@@ -1,0 +1,158 @@
+//! Assembler errors.
+
+use std::fmt;
+
+use ximd_isa::IsaError;
+
+/// An assembler error, located at a 1-based source line.
+///
+/// # Example
+///
+/// ```
+/// let err = ximd_asm::assemble("bogus").unwrap_err();
+/// assert_eq!(err.line(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmError {
+    line: usize,
+    kind: AsmErrorKind,
+}
+
+/// The category of an [`AsmError`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A directive was malformed or unknown.
+    BadDirective(String),
+    /// `.width` missing before the first instruction block.
+    WidthMissing,
+    /// An unknown data-op mnemonic.
+    UnknownMnemonic(String),
+    /// A malformed operand.
+    BadOperand(String),
+    /// Wrong number of operands for a mnemonic.
+    OperandCount {
+        /// The mnemonic.
+        mnemonic: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Operands supplied.
+        got: usize,
+    },
+    /// A malformed control operation.
+    BadControl(String),
+    /// A name was defined twice (label, register alias or constant).
+    Duplicate(String),
+    /// A reference to an undefined label.
+    UnknownLabel(String),
+    /// A reference to an undefined register or constant name.
+    UnknownName(String),
+    /// Two blocks pinned to the same address.
+    AddressConflict(u32),
+    /// An `fuK:` index outside the declared width.
+    FuOutOfWidth {
+        /// The parsed index.
+        fu: usize,
+        /// The declared width.
+        width: usize,
+    },
+    /// A line that is neither directive, label, parcel nor comment.
+    Unrecognized(String),
+    /// The assembled program failed ISA validation.
+    Isa(IsaError),
+}
+
+impl AsmError {
+    /// Creates an error at a 1-based source line.
+    pub fn new(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+
+    /// The 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::BadDirective(d) => write!(f, "bad directive {d:?}"),
+            AsmErrorKind::WidthMissing => write!(f, ".width must appear before the first block"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic {m:?}"),
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand {o:?}"),
+            AsmErrorKind::OperandCount {
+                mnemonic,
+                expected,
+                got,
+            } => {
+                write!(f, "{mnemonic} takes {expected} operands, got {got}")
+            }
+            AsmErrorKind::BadControl(c) => write!(f, "bad control operation {c:?}"),
+            AsmErrorKind::Duplicate(n) => write!(f, "duplicate definition of {n:?}"),
+            AsmErrorKind::UnknownLabel(l) => write!(f, "unknown label {l:?}"),
+            AsmErrorKind::UnknownName(n) => write!(f, "unknown register or constant {n:?}"),
+            AsmErrorKind::AddressConflict(a) => write!(f, "address {a:#04x} defined twice"),
+            AsmErrorKind::FuOutOfWidth { fu, width } => {
+                write!(f, "fu{fu} outside machine width {width}")
+            }
+            AsmErrorKind::Unrecognized(l) => write!(f, "unrecognized line {l:?}"),
+            AsmErrorKind::Isa(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            AsmErrorKind::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let err = AsmError::new(17, AsmErrorKind::UnknownMnemonic("frob".into()));
+        let msg = err.to_string();
+        assert!(msg.contains("line 17"));
+        assert!(msg.contains("frob"));
+        assert_eq!(err.line(), 17);
+    }
+
+    #[test]
+    fn all_kinds_render() {
+        let kinds = vec![
+            AsmErrorKind::BadDirective(".x".into()),
+            AsmErrorKind::WidthMissing,
+            AsmErrorKind::UnknownMnemonic("m".into()),
+            AsmErrorKind::BadOperand("o".into()),
+            AsmErrorKind::OperandCount {
+                mnemonic: "iadd".into(),
+                expected: 3,
+                got: 2,
+            },
+            AsmErrorKind::BadControl("c".into()),
+            AsmErrorKind::Duplicate("d".into()),
+            AsmErrorKind::UnknownLabel("l".into()),
+            AsmErrorKind::UnknownName("n".into()),
+            AsmErrorKind::AddressConflict(4),
+            AsmErrorKind::FuOutOfWidth { fu: 9, width: 4 },
+            AsmErrorKind::Unrecognized("?".into()),
+            AsmErrorKind::Isa(IsaError::DivideByZero),
+        ];
+        for kind in kinds {
+            assert!(!AsmError::new(1, kind).to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Assembler and disassembler for XIMD-1 programs.
+//!
+//! The paper presents programs as boxed listings: one row per instruction
+//! address, one column per functional unit, each cell holding a control
+//! operation (`-> 01:` or `if cc2 08: | 02:`), a data operation
+//! (`iadd a,b,e`) and, where synchronization matters, a `BUSY`/`DONE` sync
+//! field. This crate defines a line-oriented source format carrying the
+//! same information, an assembler producing [`ximd_isa::Program`]s, and
+//! printers that render programs back as source or as paper-style listings.
+//!
+//! # Source format
+//!
+//! ```text
+//! ; MINMAX fragment
+//! .width 4
+//! .reg tz r3            ; register aliases
+//! .const z 100          ; named integer constants
+//!
+//! 00:
+//!   fu0: load #z,#0,tz   ; -> 01:
+//!   fu1: iadd #1,#0,k    ; -> 01:
+//!   fu2: lt n,#2         ; -> 01:
+//!   fu3: iadd n,#0,tn    ; -> 01:
+//! 01:
+//!   fu0: lt tz,#maxint   ; if cc2 08: | 02:  ; DONE
+//! ```
+//!
+//! * `.width N` sets the machine width (required before any block).
+//! * `.reg NAME rK` aliases a register; `.const NAME VALUE` names an
+//!   integer (or float) constant usable as `#NAME`.
+//! * A line ending in `:` opens an instruction block. Hex labels
+//!   (`00:`, `0a:`) pin the block to that address, reproducing the paper's
+//!   address maps exactly (gaps are filled with halt words); identifier
+//!   labels (`loop:`) take the next free address.
+//! * Inside a block, `fuK: DATA ; CTRL [; BUSY|DONE]` supplies FU *K*'s
+//!   parcel. Omitted FUs get `nop ; halt`.
+//! * Control operations: `-> L`, `if ccK L1 | L2`, `if ssK L1 | L2`,
+//!   `if allss L1 | L2` (the paper's `∏dn`), `if anyss L1 | L2`, `halt`.
+//! * `;` separates the fields of a parcel line; a line starting with `;`
+//!   (or anything after `//`) is a comment.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r"
+//! .width 2
+//! .reg x r0
+//! start:
+//!   fu0: iadd x,#1,x ; -> done
+//!   fu1: nop         ; -> done
+//! done:
+//!   fu0: nop ; halt
+//!   fu1: nop ; halt
+//! ";
+//! let assembly = ximd_asm::assemble(source)?;
+//! assert_eq!(assembly.program.len(), 2);
+//! # Ok::<(), ximd_asm::AsmError>(())
+//! ```
+
+pub mod error;
+pub mod listing;
+pub mod parser;
+pub mod printer;
+pub mod symbols;
+
+pub use error::AsmError;
+pub use parser::{assemble, Assembly};
+pub use printer::print_program;
+pub use symbols::SymbolTable;

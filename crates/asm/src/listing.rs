@@ -1,0 +1,155 @@
+//! Paper-style boxed listings.
+//!
+//! The paper's Examples 1–3 display programs as a grid: one row of boxes per
+//! instruction address, one column per functional unit; each box shows the
+//! control operation on its first line, the data operation below it, and —
+//! for synchronizing programs like BITCOUNT1 — the exported sync signal on a
+//! third line (see the paper's Figure 9, "Example Code Format").
+
+use ximd_isa::{Program, SyncSignal};
+
+/// Options for [`listing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListingOptions {
+    /// Include the `BUSY`/`DONE` line in each box (the paper only shows it
+    /// for programs that synchronize, e.g. Example 3).
+    pub show_sync: bool,
+    /// Minimum column width in characters.
+    pub min_width: usize,
+}
+
+impl Default for ListingOptions {
+    fn default() -> Self {
+        ListingOptions {
+            show_sync: false,
+            min_width: 14,
+        }
+    }
+}
+
+/// Renders `program` as a paper-style boxed listing.
+///
+/// # Example
+///
+/// ```
+/// use ximd_asm::{assemble, listing::{listing, ListingOptions}};
+///
+/// let asm = assemble(".width 2\n00:\n  all: nop ; halt\n")?;
+/// let table = listing(&asm.program, ListingOptions::default());
+/// assert!(table.contains("FU0"));
+/// assert!(table.contains("halt"));
+/// # Ok::<(), ximd_asm::AsmError>(())
+/// ```
+pub fn listing(program: &Program, options: ListingOptions) -> String {
+    let width = program.width();
+    // Compute column widths from content.
+    let mut cols = vec![options.min_width; width];
+    for (_, word) in program.iter() {
+        for (fu, parcel) in word.iter().enumerate() {
+            cols[fu] = cols[fu].max(parcel.ctrl.to_string().len());
+            cols[fu] = cols[fu].max(parcel.data.to_string().len());
+        }
+    }
+
+    let mut out = String::new();
+    // Header.
+    out.push_str("     ");
+    for (fu, &w) in cols.iter().enumerate() {
+        out.push_str(&format!("| {:<w$} ", format!("FU{fu}"), w = w));
+    }
+    out.push_str("|\n");
+    let rule = {
+        let mut r = String::from("-----");
+        for &w in &cols {
+            r.push_str(&"-".repeat(w + 3));
+        }
+        r.push('-');
+        r.push('\n');
+        r
+    };
+    out.push_str(&rule);
+
+    for (addr, word) in program.iter() {
+        // Control line, prefixed by the address.
+        out.push_str(&format!("{:>4} ", format!("{:02x}:", addr.0)));
+        for (fu, parcel) in word.iter().enumerate() {
+            out.push_str(&format!("| {:<w$} ", parcel.ctrl.to_string(), w = cols[fu]));
+        }
+        out.push_str("|\n     ");
+        for (fu, parcel) in word.iter().enumerate() {
+            out.push_str(&format!("| {:<w$} ", parcel.data.to_string(), w = cols[fu]));
+        }
+        out.push_str("|\n");
+        if options.show_sync {
+            out.push_str("     ");
+            for (fu, parcel) in word.iter().enumerate() {
+                let s = match parcel.sync {
+                    SyncSignal::Busy => "BUSY",
+                    SyncSignal::Done => "DONE",
+                };
+                out.push_str(&format!("| {s:<w$} ", w = cols[fu]));
+            }
+            out.push_str("|\n");
+        }
+        out.push_str(&rule);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            r"
+.width 2
+00:
+  fu0: iadd r0,#1,r0 ; -> 01:
+  fu1: lt r0,#4 ; -> 01: ; DONE
+01:
+  all: nop ; halt
+",
+        )
+        .unwrap()
+        .program
+    }
+
+    #[test]
+    fn listing_has_one_row_per_address() {
+        let text = listing(&sample(), ListingOptions::default());
+        assert!(text.contains("00:"));
+        assert!(text.contains("01:"));
+        assert!(text.contains("iadd r0,#1,r0"));
+        assert!(text.contains("-> 01:"));
+        assert!(!text.contains("DONE"), "sync hidden by default");
+    }
+
+    #[test]
+    fn sync_line_appears_when_requested() {
+        let text = listing(
+            &sample(),
+            ListingOptions {
+                show_sync: true,
+                ..Default::default()
+            },
+        );
+        assert!(text.contains("DONE"));
+        assert!(text.contains("BUSY"));
+    }
+
+    #[test]
+    fn columns_widen_to_fit_content() {
+        let text = listing(
+            &sample(),
+            ListingOptions {
+                show_sync: false,
+                min_width: 1,
+            },
+        );
+        // Every data/ctrl string must appear unclipped.
+        assert!(text.contains("iadd r0,#1,r0"));
+        assert!(text.contains("lt r0,#4"));
+    }
+}

@@ -1,0 +1,740 @@
+//! The assembler: source text → [`Program`].
+
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg,
+    SyncSignal, UnOp, Value,
+};
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::symbols::SymbolTable;
+
+/// The result of assembling a source file.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// The assembled instruction memory.
+    pub program: Program,
+    /// Register aliases, constants and labels defined by the source.
+    pub symbols: SymbolTable,
+}
+
+struct Block<'a> {
+    addr: Addr,
+    /// (line number, raw text) of the block's `all:` default, if any.
+    default: Option<(usize, &'a str)>,
+    /// (fu index, line number, raw text) of explicit parcels.
+    parcels: Vec<(usize, usize, &'a str)>,
+}
+
+/// Returns `true` for labels that pin a numeric address: entirely hex
+/// digits *and* starting with a decimal digit (so `0a` is an address but
+/// `face` is an ordinary label).
+fn is_hex_label(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && s.chars().all(|c| c.is_ascii_hexdigit())
+}
+
+fn strip_comment(line: &str) -> &str {
+    let line = match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    };
+    line.trim()
+}
+
+/// Assembles XIMD source text (see the [crate docs](crate) for the format).
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying its source line.
+pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
+    let mut symbols = SymbolTable::new();
+    let mut width: Option<usize> = None;
+    let mut blocks: Vec<Block<'_>> = Vec::new();
+    let mut next_addr: u32 = 0;
+
+    // Pass 1: directives, block structure, label addresses.
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let err = |kind| Err(AsmError::new(lineno, kind));
+
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("width") => {
+                    let w: usize = match words.next().and_then(|t| t.parse().ok()) {
+                        Some(w) if w >= 1 => w,
+                        _ => return err(AsmErrorKind::BadDirective(line.to_owned())),
+                    };
+                    width = Some(w);
+                }
+                Some("reg") => {
+                    let (name, rtext) = match (words.next(), words.next()) {
+                        (Some(n), Some(r)) => (n, r),
+                        _ => return err(AsmErrorKind::BadDirective(line.to_owned())),
+                    };
+                    let reg = match rtext.strip_prefix('r').and_then(|n| n.parse::<u16>().ok()) {
+                        Some(n) => Reg(n),
+                        None => return err(AsmErrorKind::BadOperand(rtext.to_owned())),
+                    };
+                    if !symbols.define_reg(name, reg) {
+                        return err(AsmErrorKind::Duplicate(name.to_owned()));
+                    }
+                }
+                Some("const") => {
+                    let (name, vtext) = match (words.next(), words.next()) {
+                        (Some(n), Some(v)) => (n, v),
+                        _ => return err(AsmErrorKind::BadDirective(line.to_owned())),
+                    };
+                    let value = parse_literal(vtext).ok_or_else(|| {
+                        AsmError::new(lineno, AsmErrorKind::BadOperand(vtext.to_owned()))
+                    })?;
+                    if !symbols.define_const(name, value) {
+                        return err(AsmErrorKind::Duplicate(name.to_owned()));
+                    }
+                }
+                _ => return err(AsmErrorKind::BadDirective(line.to_owned())),
+            }
+            continue;
+        }
+
+        // Parcel lines (`all: …`, `fuK: …`) are matched before labels: a
+        // parcel line may itself end in `:` (e.g. `fu0: nop ; -> 01:`).
+        let is_parcel_line = line.starts_with("all:")
+            || (line.starts_with("fu")
+                && line[2..].find(':').is_some_and(|pos| {
+                    line[2..2 + pos].chars().all(|c| c.is_ascii_digit()) && pos > 0
+                }));
+
+        if !is_parcel_line {
+            if let Some(label) = line.strip_suffix(':') {
+                let label = label.trim();
+                if label.contains(char::is_whitespace) {
+                    return err(AsmErrorKind::Unrecognized(line.to_owned()));
+                }
+                if width.is_none() {
+                    return err(AsmErrorKind::WidthMissing);
+                }
+                let addr = if is_hex_label(label) {
+                    let a = u32::from_str_radix(label, 16).map_err(|_| {
+                        AsmError::new(lineno, AsmErrorKind::BadDirective(label.to_owned()))
+                    })?;
+                    if a < next_addr {
+                        return err(AsmErrorKind::AddressConflict(a));
+                    }
+                    Addr(a)
+                } else {
+                    Addr(next_addr)
+                };
+                if !symbols.define_label(label, addr) {
+                    return err(AsmErrorKind::Duplicate(label.to_owned()));
+                }
+                next_addr = addr.0 + 1;
+                blocks.push(Block {
+                    addr,
+                    default: None,
+                    parcels: Vec::new(),
+                });
+                continue;
+            }
+        }
+
+        // Parcel line: `fuK: ...` or `all: ...` inside the current block.
+        let Some(block) = blocks.last_mut() else {
+            return err(AsmErrorKind::Unrecognized(line.to_owned()));
+        };
+        if let Some(rest) = line.strip_prefix("all:") {
+            block.default = Some((lineno, rest.trim()));
+        } else if let Some(after) = line.strip_prefix("fu") {
+            let Some(colon) = after.find(':') else {
+                return err(AsmErrorKind::Unrecognized(line.to_owned()));
+            };
+            let fu: usize = after[..colon]
+                .parse()
+                .map_err(|_| AsmError::new(lineno, AsmErrorKind::Unrecognized(line.to_owned())))?;
+            block.parcels.push((fu, lineno, after[colon + 1..].trim()));
+        } else {
+            return err(AsmErrorKind::Unrecognized(line.to_owned()));
+        }
+    }
+
+    let width = width.ok_or_else(|| AsmError::new(1, AsmErrorKind::WidthMissing))?;
+
+    // Pass 2: parse parcels with all labels known.
+    let len = next_addr;
+    let halt_word = vec![Parcel::halt(); width];
+    let mut words = vec![halt_word; len as usize];
+    for block in &blocks {
+        let word = &mut words[block.addr.index()];
+        if let Some((lineno, text)) = block.default {
+            let parcel = parse_parcel(text, lineno, &symbols)?;
+            word.fill(parcel);
+        }
+        for &(fu, lineno, text) in &block.parcels {
+            if fu >= width {
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::FuOutOfWidth { fu, width },
+                ));
+            }
+            word[fu] = parse_parcel(text, lineno, &symbols)?;
+        }
+    }
+
+    let mut program = Program::new(width);
+    for word in words {
+        program.push(word);
+    }
+    program
+        .validate(ximd_isa::XIMD1_NUM_REGS)
+        .map_err(|e| AsmError::new(0, AsmErrorKind::Isa(e)))?;
+    Ok(Assembly { program, symbols })
+}
+
+fn parse_literal(text: &str) -> Option<Value> {
+    if text.contains('.') || text.contains("inf") || text.contains("nan") {
+        text.parse::<f32>().ok().map(Value::F32)
+    } else if let Some(hex) = text.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok().map(Value::from_bits_int)
+    } else {
+        text.parse::<i32>().ok().map(Value::I32)
+    }
+}
+
+fn parse_parcel(text: &str, lineno: usize, symbols: &SymbolTable) -> Result<Parcel, AsmError> {
+    let mut fields = text.split(';').map(str::trim);
+    let data_text = fields.next().unwrap_or("");
+    let ctrl_text = fields.next().unwrap_or("halt");
+    let sync_text = fields.next().unwrap_or("BUSY");
+    if fields.next().is_some() {
+        return Err(AsmError::new(
+            lineno,
+            AsmErrorKind::Unrecognized(text.to_owned()),
+        ));
+    }
+    let data = parse_data_op(data_text, lineno, symbols)?;
+    let ctrl = parse_control_op(ctrl_text, lineno, symbols)?;
+    let sync = match sync_text.to_ascii_uppercase().as_str() {
+        "BUSY" | "" => SyncSignal::Busy,
+        "DONE" => SyncSignal::Done,
+        _ => {
+            return Err(AsmError::new(
+                lineno,
+                AsmErrorKind::Unrecognized(sync_text.to_owned()),
+            ))
+        }
+    };
+    Ok(Parcel { data, ctrl, sync })
+}
+
+fn parse_operand(text: &str, lineno: usize, symbols: &SymbolTable) -> Result<Operand, AsmError> {
+    let text = text.trim();
+    if let Some(imm) = text.strip_prefix('#') {
+        if let Some(v) = parse_literal(imm) {
+            return Ok(Operand::Imm(v));
+        }
+        return symbols
+            .constant(imm)
+            .map(Operand::Imm)
+            .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::UnknownName(imm.to_owned())));
+    }
+    symbols
+        .reg(text)
+        .map(Operand::Reg)
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::UnknownName(text.to_owned())))
+}
+
+fn parse_dest(text: &str, lineno: usize, symbols: &SymbolTable) -> Result<Reg, AsmError> {
+    symbols
+        .reg(text.trim())
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadOperand(text.to_owned())))
+}
+
+fn parse_port(text: &str, lineno: usize) -> Result<u8, AsmError> {
+    text.trim()
+        .strip_prefix('p')
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadOperand(text.to_owned())))
+}
+
+fn parse_data_op(text: &str, lineno: usize, symbols: &SymbolTable) -> Result<DataOp, AsmError> {
+    let text = text.trim();
+    if text.is_empty() || text == "nop" {
+        return Ok(DataOp::Nop);
+    }
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let arity_err = |expected: usize| {
+        AsmError::new(
+            lineno,
+            AsmErrorKind::OperandCount {
+                mnemonic: mnemonic.to_owned(),
+                expected,
+                got: operands.len(),
+            },
+        )
+    };
+
+    if let Some(&op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        if operands.len() != 3 {
+            return Err(arity_err(3));
+        }
+        return Ok(DataOp::Alu {
+            op,
+            a: parse_operand(operands[0], lineno, symbols)?,
+            b: parse_operand(operands[1], lineno, symbols)?,
+            d: parse_dest(operands[2], lineno, symbols)?,
+        });
+    }
+    if let Some(&op) = UnOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        if operands.len() != 2 {
+            return Err(arity_err(2));
+        }
+        return Ok(DataOp::Un {
+            op,
+            a: parse_operand(operands[0], lineno, symbols)?,
+            d: parse_dest(operands[1], lineno, symbols)?,
+        });
+    }
+    if let Some(&op) = CmpOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        if operands.len() != 2 {
+            return Err(arity_err(2));
+        }
+        return Ok(DataOp::Cmp {
+            op,
+            a: parse_operand(operands[0], lineno, symbols)?,
+            b: parse_operand(operands[1], lineno, symbols)?,
+        });
+    }
+    match mnemonic {
+        "load" => {
+            if operands.len() != 3 {
+                return Err(arity_err(3));
+            }
+            Ok(DataOp::Load {
+                a: parse_operand(operands[0], lineno, symbols)?,
+                b: parse_operand(operands[1], lineno, symbols)?,
+                d: parse_dest(operands[2], lineno, symbols)?,
+            })
+        }
+        "store" => {
+            if operands.len() != 2 {
+                return Err(arity_err(2));
+            }
+            Ok(DataOp::Store {
+                a: parse_operand(operands[0], lineno, symbols)?,
+                b: parse_operand(operands[1], lineno, symbols)?,
+            })
+        }
+        "in" => {
+            if operands.len() != 2 {
+                return Err(arity_err(2));
+            }
+            Ok(DataOp::PortIn {
+                port: parse_port(operands[0], lineno)?,
+                d: parse_dest(operands[1], lineno, symbols)?,
+            })
+        }
+        "out" => {
+            if operands.len() != 2 {
+                return Err(arity_err(2));
+            }
+            Ok(DataOp::PortOut {
+                a: parse_operand(operands[0], lineno, symbols)?,
+                port: parse_port(operands[1], lineno)?,
+            })
+        }
+        _ => Err(AsmError::new(
+            lineno,
+            AsmErrorKind::UnknownMnemonic(mnemonic.to_owned()),
+        )),
+    }
+}
+
+fn resolve_target(text: &str, lineno: usize, symbols: &SymbolTable) -> Result<Addr, AsmError> {
+    let name = text.trim().trim_end_matches(':');
+    if is_hex_label(name) {
+        return u32::from_str_radix(name, 16)
+            .map(Addr)
+            .map_err(|_| AsmError::new(lineno, AsmErrorKind::UnknownLabel(name.to_owned())));
+    }
+    symbols
+        .label(name)
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::UnknownLabel(name.to_owned())))
+}
+
+fn parse_control_op(
+    text: &str,
+    lineno: usize,
+    symbols: &SymbolTable,
+) -> Result<ControlOp, AsmError> {
+    let text = text.trim();
+    if text.is_empty() || text == "halt" {
+        return Ok(ControlOp::Halt);
+    }
+    if let Some(target) = text.strip_prefix("->") {
+        return Ok(ControlOp::Goto(resolve_target(target, lineno, symbols)?));
+    }
+    if let Some(rest) = text.strip_prefix("if") {
+        let rest = rest.trim();
+        let (cond_text, targets) = match rest.find(char::is_whitespace) {
+            Some(pos) => (&rest[..pos], rest[pos..].trim()),
+            None => {
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::BadControl(text.to_owned()),
+                ))
+            }
+        };
+        let cond = if let Some(n) = cond_text.strip_prefix("cc") {
+            let fu: u8 = n
+                .parse()
+                .map_err(|_| AsmError::new(lineno, AsmErrorKind::BadControl(text.to_owned())))?;
+            CondSource::Cc(FuId(fu))
+        } else if cond_text == "allss" {
+            CondSource::AllSync
+        } else if cond_text == "anyss" {
+            CondSource::AnySync
+        } else if let Some(n) = cond_text.strip_prefix("ss") {
+            let fu: u8 = n
+                .parse()
+                .map_err(|_| AsmError::new(lineno, AsmErrorKind::BadControl(text.to_owned())))?;
+            CondSource::Sync(FuId(fu))
+        } else {
+            return Err(AsmError::new(
+                lineno,
+                AsmErrorKind::BadControl(text.to_owned()),
+            ));
+        };
+        let mut halves = targets.splitn(2, '|');
+        let t1 = halves
+            .next()
+            .filter(|s| !s.trim().is_empty())
+            .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadControl(text.to_owned())))?;
+        let t2 = halves
+            .next()
+            .filter(|s| !s.trim().is_empty())
+            .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadControl(text.to_owned())))?;
+        return Ok(ControlOp::Branch {
+            cond,
+            taken: resolve_target(t1, lineno, symbols)?,
+            not_taken: resolve_target(t2, lineno, symbols)?,
+        });
+    }
+    Err(AsmError::new(
+        lineno,
+        AsmErrorKind::BadControl(text.to_owned()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let asm = assemble(
+            r"
+.width 1
+00:
+  fu0: nop ; halt
+",
+        )
+        .unwrap();
+        assert_eq!(asm.program.len(), 1);
+        assert_eq!(asm.program.width(), 1);
+        assert_eq!(
+            *asm.program.parcel(Addr(0), FuId(0)).unwrap(),
+            Parcel::halt()
+        );
+    }
+
+    #[test]
+    fn register_aliases_and_constants() {
+        let asm = assemble(
+            r"
+.width 1
+.reg k r5
+.const base 100
+00:
+  fu0: load #base,k,k ; halt
+",
+        )
+        .unwrap();
+        let p = asm.program.parcel(Addr(0), FuId(0)).unwrap();
+        assert_eq!(
+            p.data,
+            DataOp::Load {
+                a: Operand::imm_i32(100),
+                b: Operand::Reg(Reg(5)),
+                d: Reg(5)
+            }
+        );
+    }
+
+    #[test]
+    fn builtin_constants_work() {
+        let asm = assemble(
+            r"
+.width 1
+00:
+  fu0: lt r0,#maxint ; halt
+",
+        )
+        .unwrap();
+        let p = asm.program.parcel(Addr(0), FuId(0)).unwrap();
+        assert_eq!(
+            p.data,
+            DataOp::cmp(CmpOp::Lt, Reg(0).into(), Operand::imm_i32(i32::MAX))
+        );
+    }
+
+    #[test]
+    fn control_forms() {
+        let asm = assemble(
+            r"
+.width 1
+00:
+  fu0: nop ; -> 01:
+01:
+  fu0: nop ; if cc0 02: | 00:
+02:
+  fu0: nop ; if allss 03: | 02: ; DONE
+03:
+  fu0: nop ; halt
+",
+        )
+        .unwrap();
+        let p = &asm.program;
+        assert_eq!(
+            p.parcel(Addr(0), FuId(0)).unwrap().ctrl,
+            ControlOp::Goto(Addr(1))
+        );
+        assert_eq!(
+            p.parcel(Addr(1), FuId(0)).unwrap().ctrl,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(0))
+        );
+        let barrier = p.parcel(Addr(2), FuId(0)).unwrap();
+        assert_eq!(
+            barrier.ctrl,
+            ControlOp::branch(CondSource::AllSync, Addr(3), Addr(2))
+        );
+        assert_eq!(barrier.sync, SyncSignal::Done);
+    }
+
+    #[test]
+    fn symbolic_labels_resolve() {
+        let asm = assemble(
+            r"
+.width 1
+start:
+  fu0: iadd r0,#1,r0 ; -> again
+again:
+  fu0: nop ; if cc0 start | fin
+fin:
+  fu0: nop ; halt
+",
+        )
+        .unwrap();
+        assert_eq!(asm.symbols.label("start"), Some(Addr(0)));
+        assert_eq!(asm.symbols.label("again"), Some(Addr(1)));
+        assert_eq!(asm.symbols.label("fin"), Some(Addr(2)));
+        assert_eq!(
+            asm.program.parcel(Addr(1), FuId(0)).unwrap().ctrl,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(0), Addr(2))
+        );
+    }
+
+    #[test]
+    fn hex_labels_pin_addresses_and_fill_gaps() {
+        let asm = assemble(
+            r"
+.width 1
+00:
+  fu0: nop ; -> 05:
+05:
+  fu0: nop ; halt
+",
+        )
+        .unwrap();
+        assert_eq!(asm.program.len(), 6);
+        // Gap addresses hold halt words.
+        assert_eq!(
+            *asm.program.parcel(Addr(3), FuId(0)).unwrap(),
+            Parcel::halt()
+        );
+    }
+
+    #[test]
+    fn all_prefix_sets_default_parcel() {
+        let asm = assemble(
+            r"
+.width 4
+00:
+  all: nop ; -> 01:
+  fu0: iadd r0,#1,r0 ; -> 01:
+01:
+  all: nop ; halt
+",
+        )
+        .unwrap();
+        let w = asm.program.get(Addr(0)).unwrap();
+        assert!(!w[0].data.is_nop());
+        assert!(w[1].data.is_nop());
+        assert_eq!(w[3].ctrl, ControlOp::Goto(Addr(1)));
+    }
+
+    #[test]
+    fn omitted_fus_default_to_halt() {
+        let asm = assemble(
+            r"
+.width 2
+00:
+  fu0: nop ; -> 00:
+",
+        )
+        .unwrap();
+        assert_eq!(
+            *asm.program.parcel(Addr(0), FuId(1)).unwrap(),
+            Parcel::halt()
+        );
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let asm = assemble(
+            r"
+; full-line comment
+.width 1
+00:
+  fu0: nop ; halt   // trailing comment
+",
+        )
+        .unwrap();
+        assert_eq!(asm.program.len(), 1);
+    }
+
+    #[test]
+    fn error_line_numbers_are_accurate() {
+        let err = assemble(".width 1\n00:\n  fu0: frobnicate r0,r1,r2 ; halt\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(matches!(err.kind(), AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn rejects_missing_width() {
+        let err = assemble("00:\n fu0: nop ; halt\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::WidthMissing));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let err = assemble(".width 1\n00:\n  fu0: nop ; -> nowhere\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UnknownLabel(_)));
+    }
+
+    #[test]
+    fn rejects_fu_outside_width() {
+        let err = assemble(".width 2\n00:\n  fu5: nop ; halt\n").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            AsmErrorKind::FuOutOfWidth { fu: 5, width: 2 }
+        ));
+    }
+
+    #[test]
+    fn rejects_backward_hex_label() {
+        let err =
+            assemble(".width 1\n05:\n  fu0: nop ; halt\n03:\n  fu0: nop ; halt\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::AddressConflict(3)));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = assemble(".width 1\n00:\n  fu0: iadd r0,r1 ; halt\n").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            AsmErrorKind::OperandCount {
+                expected: 3,
+                got: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_sync_field() {
+        let err = assemble(".width 1\n00:\n  fu0: nop ; halt ; MAYBE\n").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::Unrecognized(_)));
+    }
+
+    #[test]
+    fn float_and_hex_literals() {
+        let asm = assemble(
+            r"
+.width 1
+.const pi 3.25
+00:
+  fu0: fadd r0,#pi,r1 ; -> 01:
+01:
+  fu0: and r0,#0xff,r2 ; halt
+",
+        )
+        .unwrap();
+        let p0 = asm.program.parcel(Addr(0), FuId(0)).unwrap();
+        assert_eq!(
+            p0.data,
+            DataOp::alu(AluOp::Fadd, Reg(0).into(), Operand::imm_f32(3.25), Reg(1))
+        );
+        let p1 = asm.program.parcel(Addr(1), FuId(0)).unwrap();
+        assert_eq!(
+            p1.data,
+            DataOp::alu(AluOp::And, Reg(0).into(), Operand::imm_i32(0xff), Reg(2))
+        );
+    }
+
+    #[test]
+    fn port_ops_parse() {
+        let asm = assemble(
+            r"
+.width 1
+00:
+  fu0: in p2,r0 ; -> 01:
+01:
+  fu0: out r0,p3 ; halt
+",
+        )
+        .unwrap();
+        assert_eq!(
+            asm.program.parcel(Addr(0), FuId(0)).unwrap().data,
+            DataOp::PortIn { port: 2, d: Reg(0) }
+        );
+        assert_eq!(
+            asm.program.parcel(Addr(1), FuId(0)).unwrap().data,
+            DataOp::PortOut {
+                port: 3,
+                a: Reg(0).into()
+            }
+        );
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let asm = assemble(".width 1\n00:\n  fu0: iadd r0,#-7,r0 ; halt\n").unwrap();
+        assert_eq!(
+            asm.program.parcel(Addr(0), FuId(0)).unwrap().data,
+            DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(-7), Reg(0))
+        );
+    }
+}

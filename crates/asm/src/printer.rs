@@ -1,0 +1,112 @@
+//! Disassembler: [`Program`] → assembler source.
+//!
+//! The output re-assembles to an identical program (round-trip property,
+//! exercised by this crate's tests), using canonical `rN` register names,
+//! numeric immediates and hex address labels.
+
+use std::fmt::Write as _;
+
+use ximd_isa::{ControlOp, Program, SyncSignal};
+
+/// Renders `program` as assembler source accepted by
+/// [`assemble`](crate::assemble).
+///
+/// # Example
+///
+/// ```
+/// use ximd_asm::{assemble, print_program};
+///
+/// let src = ".width 1\n00:\n  fu0: iadd r0,#1,r0 ; -> 01:\n01:\n  fu0: nop ; halt\n";
+/// let asm = assemble(src)?;
+/// let printed = print_program(&asm.program);
+/// let back = assemble(&printed)?;
+/// assert_eq!(back.program, asm.program);
+/// # Ok::<(), ximd_asm::AsmError>(())
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".width {}", program.width());
+    for (addr, word) in program.iter() {
+        // Skip pure gap words (every parcel a halt+nop) unless the program
+        // is a single word; they re-appear automatically from hex labels.
+        let is_gap = word
+            .iter()
+            .all(|p| p.data.is_nop() && p.ctrl == ControlOp::Halt && p.sync == SyncSignal::Busy);
+        if is_gap && program.len() > 1 {
+            // Still print the block if something branches here? Cheaper to
+            // always print: gaps are rare and explicit blocks are clearer.
+        }
+        let _ = writeln!(out, "{:02x}:", addr.0);
+        for (fu, parcel) in word.iter().enumerate() {
+            let _ = write!(out, "  fu{fu}: {} ; {}", parcel.data, parcel.ctrl);
+            if parcel.sync == SyncSignal::Done {
+                let _ = write!(out, " ; DONE");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::assemble;
+
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let asm = assemble(src).unwrap();
+        let printed = print_program(&asm.program);
+        let back = assemble(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(back.program, asm.program, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(".width 1\n00:\n  fu0: iadd r0,#1,r0 ; -> 01:\n01:\n  fu0: nop ; halt\n");
+    }
+
+    #[test]
+    fn roundtrip_wide_with_sync_and_branches() {
+        roundtrip(
+            r"
+.width 4
+00:
+  all: nop ; -> 01:
+01:
+  fu0: lt r0,#maxint ; if cc2 03: | 02: ; DONE
+  fu1: gt r0,#minint ; if cc2 03: | 02:
+  fu2: eq r1,r2 ; if allss 03: | 01: ; DONE
+  fu3: store r0,#64 ; if anyss 03: | 01:
+02:
+  all: nop ; -> 03:
+03:
+  all: nop ; halt
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_memory_ports_floats() {
+        roundtrip(
+            r"
+.width 2
+00:
+  fu0: load #100,r1,r2 ; -> 01:
+  fu1: in p0,r3 ; -> 01:
+01:
+  fu0: fadd r2,#1.5,r2 ; halt
+  fu1: out r3,p1 ; halt
+",
+        );
+    }
+
+    #[test]
+    fn printed_form_mentions_every_fu() {
+        let asm = assemble(".width 3\n00:\n  all: nop ; halt\n").unwrap();
+        let printed = print_program(&asm.program);
+        assert!(printed.contains("fu0:"));
+        assert!(printed.contains("fu1:"));
+        assert!(printed.contains("fu2:"));
+    }
+}

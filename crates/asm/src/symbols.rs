@@ -1,0 +1,144 @@
+//! Symbol table: register aliases, named constants and labels.
+
+use std::collections::HashMap;
+
+use ximd_isa::{Addr, Reg, Value};
+
+/// Built-in named constants available in every program.
+///
+/// The paper's MINMAX example uses `#minint` ("the smallest representable
+/// integer") and `#maxint`.
+pub const BUILTIN_CONSTS: [(&str, i32); 2] = [("minint", i32::MIN), ("maxint", i32::MAX)];
+
+/// Names defined by a program's directives plus its labels.
+///
+/// # Example
+///
+/// ```
+/// use ximd_asm::SymbolTable;
+/// use ximd_isa::{Reg, Value};
+///
+/// let mut syms = SymbolTable::new();
+/// assert!(syms.define_reg("tz", Reg(3)));
+/// assert_eq!(syms.reg("tz"), Some(Reg(3)));
+/// assert_eq!(syms.constant("maxint"), Some(Value::I32(i32::MAX)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    regs: HashMap<String, Reg>,
+    consts: HashMap<String, Value>,
+    labels: HashMap<String, Addr>,
+}
+
+impl SymbolTable {
+    /// Creates a table preloaded with [`BUILTIN_CONSTS`].
+    pub fn new() -> SymbolTable {
+        let mut table = SymbolTable {
+            regs: HashMap::new(),
+            consts: HashMap::new(),
+            labels: HashMap::new(),
+        };
+        for (name, value) in BUILTIN_CONSTS {
+            table.consts.insert(name.to_owned(), Value::I32(value));
+        }
+        table
+    }
+
+    /// Defines a register alias; returns `false` if the name exists.
+    pub fn define_reg(&mut self, name: &str, reg: Reg) -> bool {
+        if self.regs.contains_key(name) || self.consts.contains_key(name) {
+            return false;
+        }
+        self.regs.insert(name.to_owned(), reg);
+        true
+    }
+
+    /// Defines a named constant; returns `false` if the name exists.
+    pub fn define_const(&mut self, name: &str, value: Value) -> bool {
+        if self.regs.contains_key(name) || self.consts.contains_key(name) {
+            return false;
+        }
+        self.consts.insert(name.to_owned(), value);
+        true
+    }
+
+    /// Defines a label; returns `false` if the name exists.
+    pub fn define_label(&mut self, name: &str, addr: Addr) -> bool {
+        if self.labels.contains_key(name) {
+            return false;
+        }
+        self.labels.insert(name.to_owned(), addr);
+        true
+    }
+
+    /// Looks up a register alias, or parses `rN` notation.
+    pub fn reg(&self, name: &str) -> Option<Reg> {
+        if let Some(&r) = self.regs.get(name) {
+            return Some(r);
+        }
+        name.strip_prefix('r')
+            .and_then(|n| n.parse::<u16>().ok())
+            .map(Reg)
+    }
+
+    /// Looks up a named constant.
+    pub fn constant(&self, name: &str) -> Option<Value> {
+        self.consts.get(name).copied()
+    }
+
+    /// Looks up a label.
+    pub fn label(&self, name: &str) -> Option<Addr> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels sorted by address (for listings).
+    pub fn labels_by_addr(&self) -> Vec<(&str, Addr)> {
+        let mut all: Vec<(&str, Addr)> =
+            self.labels.iter().map(|(n, &a)| (n.as_str(), a)).collect();
+        all.sort_by_key(|&(_, a)| a);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present() {
+        let t = SymbolTable::new();
+        assert_eq!(t.constant("minint"), Some(Value::I32(i32::MIN)));
+        assert_eq!(t.constant("maxint"), Some(Value::I32(i32::MAX)));
+    }
+
+    #[test]
+    fn rn_notation_always_parses() {
+        let t = SymbolTable::new();
+        assert_eq!(t.reg("r0"), Some(Reg(0)));
+        assert_eq!(t.reg("r255"), Some(Reg(255)));
+        assert_eq!(t.reg("rx"), None);
+        assert_eq!(t.reg("bogus"), None);
+    }
+
+    #[test]
+    fn alias_shadows_nothing_but_wins_lookup() {
+        let mut t = SymbolTable::new();
+        assert!(t.define_reg("k", Reg(7)));
+        assert_eq!(t.reg("k"), Some(Reg(7)));
+        // Redefinition rejected.
+        assert!(!t.define_reg("k", Reg(8)));
+        // A register alias may not collide with a constant either.
+        assert!(!t.define_const("k", Value::I32(1)));
+    }
+
+    #[test]
+    fn labels() {
+        let mut t = SymbolTable::new();
+        assert!(t.define_label("loop", Addr(4)));
+        assert!(!t.define_label("loop", Addr(5)));
+        assert_eq!(t.label("loop"), Some(Addr(4)));
+        t.define_label("start", Addr(0));
+        let order: Vec<&str> = t.labels_by_addr().iter().map(|&(n, _)| n).collect();
+        assert_eq!(order, vec!["start", "loop"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property test: for arbitrary well-formed programs, `print_program` then
+//! `assemble` reproduces the program exactly.
+
+use proptest::prelude::*;
+use ximd_asm::{assemble, print_program};
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg,
+    SyncSignal, UnOp,
+};
+
+const MAX_LEN: u32 = 12;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u16..32).prop_map(Reg)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        (-1000i32..1000).prop_map(Operand::imm_i32),
+    ]
+}
+
+fn arb_data() -> impl Strategy<Value = DataOp> {
+    prop_oneof![
+        Just(DataOp::Nop),
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            arb_operand(),
+            arb_operand(),
+            arb_reg()
+        )
+            .prop_map(|(op, a, b, d)| DataOp::Alu { op, a, b, d }),
+        (
+            proptest::sample::select(UnOp::ALL.to_vec()),
+            arb_operand(),
+            arb_reg()
+        )
+            .prop_map(|(op, a, d)| DataOp::Un { op, a, d }),
+        (
+            proptest::sample::select(CmpOp::ALL.to_vec()),
+            arb_operand(),
+            arb_operand()
+        )
+            .prop_map(|(op, a, b)| DataOp::Cmp { op, a, b }),
+        (arb_operand(), arb_operand(), arb_reg()).prop_map(|(a, b, d)| DataOp::Load { a, b, d }),
+        (arb_operand(), arb_operand()).prop_map(|(a, b)| DataOp::Store { a, b }),
+        (0u8..4, arb_reg()).prop_map(|(port, d)| DataOp::PortIn { port, d }),
+        (0u8..4, arb_operand()).prop_map(|(port, a)| DataOp::PortOut { port, a }),
+    ]
+}
+
+fn arb_ctrl(len: u32, width: usize) -> impl Strategy<Value = ControlOp> {
+    let fu = 0..width as u8;
+    prop_oneof![
+        (0..len).prop_map(|t| ControlOp::Goto(Addr(t))),
+        (
+            prop_oneof![
+                fu.clone().prop_map(|f| CondSource::Cc(FuId(f))),
+                fu.prop_map(|f| CondSource::Sync(FuId(f))),
+                Just(CondSource::AllSync),
+                Just(CondSource::AnySync),
+            ],
+            0..len,
+            0..len
+        )
+            .prop_map(|(cond, t1, t2)| ControlOp::branch(cond, Addr(t1), Addr(t2))),
+        Just(ControlOp::Halt),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..5, 1u32..MAX_LEN).prop_flat_map(|(width, len)| {
+        let parcel = (
+            arb_data(),
+            arb_ctrl(len, width),
+            prop_oneof![Just(SyncSignal::Busy), Just(SyncSignal::Done)],
+        )
+            .prop_map(|(data, ctrl, sync)| Parcel { data, ctrl, sync });
+        proptest::collection::vec(proptest::collection::vec(parcel, width), len as usize).prop_map(
+            move |words| {
+                let mut p = Program::new(width);
+                for w in words {
+                    p.push(w);
+                }
+                p
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_assemble_roundtrip(program in arb_program()) {
+        let printed = print_program(&program);
+        let asm = assemble(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to assemble: {e}\n{printed}"));
+        prop_assert_eq!(asm.program, program);
+    }
+
+    #[test]
+    fn listing_never_panics(program in arb_program()) {
+        let _ = ximd_asm::listing::listing(
+            &program,
+            ximd_asm::listing::ListingOptions { show_sync: true, min_width: 4 },
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion benches: compiler pipeline cost — parsing/lowering/scheduling,
+//! modulo scheduling, and the Figure 13 tile packers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ximd::compiler::pack::{pack_skyline, pack_stacked};
+use ximd::compiler::pipeline::{modulo_schedule, CountedLoop};
+use ximd::compiler::tile::menus;
+use ximd::compiler::{compile, ir};
+use ximd::isa::AluOp;
+
+const SRC: &str = r"
+fn kernel(n) {
+    let s = 0;
+    let t = 1;
+    let i = 0;
+    while (i < n) {
+        if (mem[100 + i] % 2 == 0) {
+            s = s + mem[100 + i] * 3;
+        } else {
+            t = t + s - i;
+        }
+        i = i + 1;
+    }
+    mem[50] = t;
+    return s;
+}
+";
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for width in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("kernel", width), &width, |b, &w| {
+            b.iter(|| compile(SRC, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn loop12_spec() -> CountedLoop {
+    use ir::{Inst, VReg, Val};
+    CountedLoop {
+        body: vec![
+            Inst::Bin {
+                op: AluOp::Iadd,
+                a: VReg(0).into(),
+                b: Val::Const(4999),
+                d: VReg(5),
+            },
+            Inst::Load {
+                base: Val::Const(2999),
+                off: VReg(0).into(),
+                d: VReg(2),
+            },
+            Inst::Load {
+                base: Val::Const(3000),
+                off: VReg(0).into(),
+                d: VReg(3),
+            },
+            Inst::Bin {
+                op: AluOp::Isub,
+                a: VReg(3).into(),
+                b: VReg(2).into(),
+                d: VReg(4),
+            },
+            Inst::Store {
+                val: VReg(4).into(),
+                addr: VReg(5).into(),
+            },
+        ],
+        induction: VReg(0),
+        start: 1,
+        step: 1,
+        trips: VReg(1),
+        assume_no_alias: true,
+    }
+}
+
+fn bench_modulo_schedule(c: &mut Criterion) {
+    let spec = loop12_spec();
+    let mut group = c.benchmark_group("modulo_schedule");
+    for width in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("loop12", width), &width, |b, &w| {
+            b.iter(|| modulo_schedule(&spec, w).unwrap().ii)
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    const THREADS: &str = r"
+fn a(n) { let s = 0; let i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }
+fn b(x, y) { return (x + y) * (x - y); }
+fn c2(n) { let p = 1; let i = 0; while (i < n) { p = p * 2; i = i + 1; } return p; }
+fn d(x) { return x * x * x + x; }
+fn e(n) { let i = 0; while (i < n) { mem[600+i] = mem[500+i]; i = i + 1; } return 0; }
+fn f(x, y, z) { return x * y + y * z + z * x; }
+";
+    let menus = menus(THREADS, &[1, 2, 4, 8]).unwrap();
+    let mut group = c.benchmark_group("packing");
+    group.bench_function("stacked", |b| {
+        b.iter(|| pack_stacked(&menus, 8).total_height())
+    });
+    group.bench_function("skyline", |b| {
+        b.iter(|| pack_skyline(&menus, 8, &[]).total_height())
+    });
+    group.bench_function("skyline_with_deps", |b| {
+        b.iter(|| pack_skyline(&menus, 8, &[(0, 2), (1, 3), (2, 4)]).total_height())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compile, bench_modulo_schedule, bench_packing
+}
+criterion_main!(benches);

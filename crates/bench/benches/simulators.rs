@@ -1,0 +1,98 @@
+//! Criterion benches: simulator throughput on the paper's workloads.
+//!
+//! These measure the *reproduction's* performance (simulated cycles per
+//! wall-clock second), complementing the `repro` binary which regenerates
+//! the paper's own numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ximd::isa::encode::{decode_parcel, encode_parcel};
+use ximd::prelude::*;
+use ximd::workloads::{bitcount, gen, livermore, minmax};
+
+fn bench_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmax");
+    for n in [64usize, 256] {
+        let data = gen::uniform_ints(n as u64, n, -10_000, 10_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("xsim", n), &data, |b, data| {
+            b.iter(|| minmax::run_ximd(data).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("vsim", n), &data, |b, data| {
+            b.iter(|| minmax::run_vliw(data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitcount");
+    let data = gen::bit_weighted_ints(5, 64, 24);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("xsim", |b| b.iter(|| bitcount::run_ximd(&data).unwrap()));
+    group.bench_function("vsim", |b| b.iter(|| bitcount::run_vliw(&data).unwrap()));
+    group.finish();
+}
+
+fn bench_livermore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("livermore12");
+    let y = gen::livermore_y(9, 256);
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("xsim", |b| b.iter(|| livermore::run_ximd(&y).unwrap()));
+    group.bench_function("vsim", |b| b.iter(|| livermore::run_vliw(&y).unwrap()));
+    group.finish();
+}
+
+fn bench_simulator_step_rate(c: &mut Criterion) {
+    // Raw cycle rate on an 8-wide machine running MINMAX-style code.
+    let mut group = c.benchmark_group("step_rate");
+    let data = gen::uniform_ints(1, 128, -100, 100);
+    group.bench_function("xsim_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Xsim::new(
+                minmax::ximd_assembly().program,
+                MachineConfig::with_width(4),
+            )
+            .unwrap();
+            sim.mem_mut()
+                .poke_slice(minmax::Z_BASE as i64, &data)
+                .unwrap();
+            sim.write_reg(minmax::REG_N, (data.len() as i32).into());
+            sim.write_reg(minmax::REG_MIN, i32::MAX.into());
+            sim.write_reg(minmax::REG_MAX, i32::MIN.into());
+            sim.run_until_parked(minmax::PARK, 100_000).unwrap().cycles
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let program = bitcount::ximd_assembly().program;
+    let parcels: Vec<_> = program.iter().flat_map(|(_, w)| w.clone()).collect();
+    let mut group = c.benchmark_group("parcel_encoding");
+    group.throughput(Throughput::Elements(parcels.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            parcels
+                .iter()
+                .map(|p| encode_parcel(p).unwrap())
+                .sum::<u128>()
+        })
+    });
+    let words: Vec<u128> = parcels.iter().map(|p| encode_parcel(p).unwrap()).collect();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|&w| decode_parcel(w).unwrap().sync.is_done() as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_minmax, bench_bitcount, bench_livermore, bench_simulator_step_rate, bench_encode
+}
+criterion_main!(benches);

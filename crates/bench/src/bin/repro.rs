@@ -1,0 +1,56 @@
+//! `repro` — regenerates every table and figure of the XIMD paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                 # run every experiment
+//! repro fig10 perf      # run selected experiments by id
+//! repro --list          # list experiment ids
+//! ```
+//!
+//! Exit status is non-zero if any regenerated artifact fails its check
+//! against the published values.
+
+use ximd_bench::{all_reports, Report};
+
+fn select(args: &[String]) -> Vec<Report> {
+    let all = all_reports();
+    if args.is_empty() {
+        return all;
+    }
+    let wanted: Vec<String> = args.iter().map(|a| a.to_ascii_uppercase()).collect();
+    all.into_iter()
+        .filter(|r| wanted.iter().any(|w| r.id.eq_ignore_ascii_case(w)))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for r in all_reports() {
+            println!("{:<8} {}", r.id, r.title);
+        }
+        return;
+    }
+    let reports = select(&args);
+    if reports.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+    let mut failed = 0;
+    for report in &reports {
+        println!("{report}");
+        if !report.ok {
+            failed += 1;
+        }
+    }
+    println!(
+        "== {} experiment(s), {} ok, {} mismatched ==",
+        reports.len(),
+        reports.len() - failed,
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1032 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Each `run_*` function regenerates one published artifact and returns a
+//! plain-text report (plus a machine-checkable success flag where the paper
+//! printed concrete values). The `repro` binary prints them; the criterion
+//! benches and `EXPERIMENTS.md` are built from the same functions.
+//!
+//! | function | paper artifact |
+//! |----------|----------------|
+//! | [`run_ex1_tproc`]        | Example 1 — TPROC schedule |
+//! | [`run_ll12`]             | §3.1 — Livermore Loop 12 software pipeline |
+//! | [`run_ex2_minmax`]       | Example 2 — MINMAX listing |
+//! | [`run_fig10_trace`]      | Figure 10 — MINMAX address trace |
+//! | [`run_ex3_bitcount`]     | Example 3 — BITCOUNT1 listing |
+//! | [`run_fig11_flow`]       | Figure 11 — BITCOUNT1 stream profile |
+//! | [`run_fig12_nonblocking`]| Figure 12 — sync bits vs memory flags |
+//! | [`run_fig13_tiles`]      | Figure 13 — tiles and packing |
+//! | [`run_perf_table`]       | §4.1 — xsim vs vsim comparison |
+//! | [`run_prototype`]        | §4.3 — prototype peak-rate model |
+//! | [`run_models`]           | §2 — state-machine hierarchy |
+
+use std::fmt::Write as _;
+
+use ximd::asm::listing::{listing, ListingOptions};
+use ximd::compiler::pack::{pack_skyline, pack_stacked};
+use ximd::compiler::tile::menus;
+use ximd::models::MachineClass;
+use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc};
+
+/// A regenerated experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `"FIG10"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The regenerated content.
+    pub body: String,
+    /// Whether every checked property held.
+    pub ok: bool,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "==== {} — {} [{}] ====",
+            self.id,
+            self.title,
+            if self.ok { "ok" } else { "MISMATCH" }
+        )?;
+        f.write_str(&self.body)
+    }
+}
+
+/// Example 1: the TPROC percolation-scheduled listing, its cycle count and
+/// correctness, and VLIW equivalence.
+pub fn run_ex1_tproc() -> Report {
+    let mut body = String::new();
+    let asm = tproc::ximd_assembly();
+    let _ = writeln!(body, "{}", listing(&asm.program, ListingOptions::default()));
+    let mut ok = true;
+    for (a, b, c, d) in [(1, 2, 3, 4), (-7, 11, 5, 2)] {
+        let x = tproc::run_ximd(a, b, c, d).expect("tproc runs");
+        let v = tproc::run_vliw(a, b, c, d).expect("tproc runs");
+        let oracle = tproc::oracle(a, b, c, d);
+        ok &= x.result == oracle && v == x;
+        let _ = writeln!(
+            body,
+            "tproc({a},{b},{c},{d}) = {} (oracle {oracle}), {} cycles, identical on vsim: {}",
+            x.result,
+            x.cycles,
+            v == x
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\n5 scheduled instructions + halt word; VLIW code runs unchanged on XIMD (section 3.1)"
+    );
+    Report {
+        id: "EX1",
+        title: "TPROC scalar schedule (Example 1)",
+        body,
+        ok,
+    }
+}
+
+/// §3.1: Livermore Loop 12 — software-pipelined, identical on both
+/// machines, II = 2 steady state.
+pub fn run_ll12() -> Report {
+    let mut body = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        body,
+        "{:>6} {:>12} {:>12} {:>10} {:>8}",
+        "n", "xsim cycles", "vsim cycles", "identical", "cyc/iter"
+    );
+    let mut prev: Option<(usize, u64)> = None;
+    for n in [4usize, 16, 64, 256] {
+        let y = gen::livermore_y(n as u64, n);
+        let x = livermore::run_ximd(&y).expect("ll12 runs");
+        let v = livermore::run_vliw(&y).expect("ll12 runs");
+        let oracle = livermore::oracle(&y);
+        ok &= x.x == oracle && v.x == oracle && x.cycles == v.cycles;
+        let per_iter = match prev {
+            Some((pn, pc)) => format!("{:.2}", (x.cycles - pc) as f64 / (n - pn) as f64),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            body,
+            "{n:>6} {:>12} {:>12} {:>10} {:>8}",
+            x.cycles,
+            v.cycles,
+            x.cycles == v.cycles,
+            per_iter
+        );
+        prev = Some((n, x.cycles));
+    }
+    let _ = writeln!(
+        body,
+        "\nmarginal cost/iteration = 2 cycles = the modulo schedule's initiation interval;\n\
+         vectorizable code runs 'just as efficiently on the XIMD as on a VLIW machine' (section 3.1)"
+    );
+    Report {
+        id: "LL12",
+        title: "Livermore Loop 12 software pipelining",
+        body,
+        ok,
+    }
+}
+
+/// Example 2: the MINMAX listing in the paper's boxed format.
+pub fn run_ex2_minmax() -> Report {
+    let asm = minmax::ximd_assembly();
+    let body = listing(&asm.program, ListingOptions::default());
+    Report {
+        id: "EX2",
+        title: "MINMAX implicit barrier synchronization (Example 2)",
+        body,
+        ok: true,
+    }
+}
+
+/// Figure 10: the MINMAX address trace on `IZ() = (5,3,4,7)`, checked
+/// cell-for-cell against the published table.
+pub fn run_fig10_trace() -> Report {
+    let (outcome, trace) = minmax::run_ximd_traced(&[5, 3, 4, 7]).expect("minmax runs");
+    let mut body = trace.to_table();
+    let diff = minmax::diff_figure10(&trace);
+    let ok = diff.is_none() && outcome.min == 3 && outcome.max == 7 && outcome.cycles == 14;
+    match diff {
+        None => {
+            let _ = writeln!(
+                body,
+                "\nmin = {}, max = {}, {} cycles — matches the published Figure 10 exactly",
+                outcome.min, outcome.max, outcome.cycles
+            );
+        }
+        Some((cycle, expected, actual)) => {
+            let _ = writeln!(
+                body,
+                "\nMISMATCH at cycle {cycle}: expected {expected}, got {actual}"
+            );
+        }
+    }
+    Report {
+        id: "FIG10",
+        title: "MINMAX address trace (Figure 10)",
+        body,
+        ok,
+    }
+}
+
+/// Example 3: the BITCOUNT1 listing, with the sync-signal row the paper
+/// adds for this example.
+pub fn run_ex3_bitcount() -> Report {
+    let asm = bitcount::ximd_assembly();
+    let body = listing(
+        &asm.program,
+        ListingOptions {
+            show_sync: true,
+            ..Default::default()
+        },
+    );
+    Report {
+        id: "EX3",
+        title: "BITCOUNT1 explicit barrier synchronization (Example 3)",
+        body,
+        ok: true,
+    }
+}
+
+/// Figure 11: the stream (SSET) profile of a BITCOUNT1 run — fork to four
+/// streams, barrier re-joins.
+pub fn run_fig11_flow() -> Report {
+    let data = gen::bit_weighted_ints(7, 16, 20);
+    let (outcome, trace) = bitcount::run_ximd_traced(&data).expect("bitcount runs");
+    let profile = bitcount::stream_profile(&trace);
+    let ok = outcome.b == bitcount::oracle(&data) && profile.iter().max() == Some(&4);
+    let mut body = String::new();
+    let _ = writeln!(body, "input: {data:?}");
+    let line: String = profile
+        .iter()
+        .map(|&s| char::from_digit(s as u32, 10).unwrap_or('?'))
+        .collect();
+    let _ = writeln!(body, "concurrent streams per cycle:\n{line}");
+    let joins = profile.windows(2).filter(|w| w[0] > 1 && w[1] == 1).count();
+    let _ = writeln!(
+        body,
+        "\nmax streams: {}   barrier re-joins: {joins}   total cycles: {}",
+        profile.iter().max().unwrap(),
+        outcome.cycles
+    );
+    let _ = writeln!(
+        body,
+        "the program forks at the first data-dependent inner-loop branch and re-joins at the\n\
+         ALL-SS barrier (state 10:), as diagrammed in Figure 11"
+    );
+    Report {
+        id: "FIG11",
+        title: "BITCOUNT1 control flow (Figure 11)",
+        body,
+        ok,
+    }
+}
+
+/// Figure 12: non-blocking synchronizations — sync bits vs memory flags
+/// over many seeds.
+pub fn run_fig12_nonblocking() -> Report {
+    let mut body = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        body,
+        "{:>6} {:>12} {:>12} {:>9}",
+        "seed", "sync cycles", "flag cycles", "saving"
+    );
+    let (mut tot_s, mut tot_f) = (0u64, 0u64);
+    for seed in 0..16 {
+        let s = nonblocking::Scenario::with_seed(seed);
+        let sync = nonblocking::run_sync(&s).expect("sync version runs");
+        let flags = nonblocking::run_flags(&s).expect("flags version runs");
+        ok &= sync.p1_wrote == s.xyz.to_vec()
+            && sync.p2_wrote == s.abc.to_vec()
+            && flags.p1_wrote == s.xyz.to_vec()
+            && flags.p2_wrote == s.abc.to_vec()
+            && sync.cycles <= flags.cycles;
+        let _ = writeln!(
+            body,
+            "{seed:>6} {:>12} {:>12} {:>8.1}%",
+            sync.cycles,
+            flags.cycles,
+            100.0 * (1.0 - sync.cycles as f64 / flags.cycles as f64)
+        );
+        tot_s += sync.cycles;
+        tot_f += flags.cycles;
+    }
+    let _ = writeln!(
+        body,
+        "\nmean saving {:.1}% — 'using the XIMD synchronization bits rather than register or\n\
+         memory based flags … will result in increased performance' (section 3.4)",
+        100.0 * (1.0 - tot_s as f64 / tot_f as f64)
+    );
+    Report {
+        id: "FIG12",
+        title: "Non-blocking synchronizations (Figure 12)",
+        body,
+        ok,
+    }
+}
+
+const FIG13_THREADS: &str = r"
+fn scan(n) {
+    let best = 0;
+    let i = 0;
+    while (i < n) {
+        if (mem[100 + i] > best) { best = mem[100 + i]; }
+        i = i + 1;
+    }
+    return best;
+}
+fn blend(a, b, c, d) {
+    let e = a + b; let f = c + d;
+    let g = a - b; let h = c - d;
+    return (e * f) + (g * h);
+}
+fn powsum(n) {
+    let p = 1;
+    let s = 0;
+    let i = 0;
+    while (i < n) { s = s + p; p = p * 2; i = i + 1; }
+    return s;
+}
+fn clampdiff(a, b) {
+    let d = a - b;
+    if (d < 0) { d = 0 - d; }
+    if (d > 100) { d = 100; }
+    return d;
+}
+fn copyrange(n) {
+    let i = 0;
+    while (i < n) { mem[400 + i] = mem[300 + i]; i = i + 1; }
+    return 0;
+}
+fn poly(x) {
+    return ((x * x) * x) + 3 * (x * x) - 7 * x + 42;
+}
+";
+
+/// Figure 13: six threads compiled at widths 1/2/4/8 into tiles, then two
+/// alternative packings of instruction memory.
+pub fn run_fig13_tiles() -> Report {
+    let menus = menus(FIG13_THREADS, &[1, 2, 4, 8]).expect("threads compile");
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "tile menus (height in wide instructions at each width):"
+    );
+    for m in &menus {
+        let _ = write!(body, "  {:<10}", m.name);
+        for t in &m.options {
+            let _ = write!(body, " w{}:{:>3}", t.width, t.height);
+        }
+        let _ = writeln!(body);
+    }
+    let stacked = pack_stacked(&menus, 8);
+    let deps = [(0usize, 2usize), (1, 3)];
+    let skyline = pack_skyline(&menus, 8, &deps);
+    let ok = stacked.is_valid()
+        && skyline.is_valid()
+        && skyline.respects(&deps)
+        && skyline.total_height() <= stacked.total_height()
+        && skyline.op_density() > stacked.op_density();
+    let _ = writeln!(
+        body,
+        "\nsolution 1 (stacked, widest tiles):   {:>4} words  op density {:.2}",
+        stacked.total_height(),
+        stacked.op_density()
+    );
+    let _ = writeln!(
+        body,
+        "solution 2 (skyline, min-area tiles): {:>4} words  op density {:.2}  (2 data deps honoured)",
+        skyline.total_height(),
+        skyline.op_density()
+    );
+    let _ = writeln!(
+        body,
+        "static code size reduction: {:.1}%",
+        100.0 * (1.0 - skyline.total_height() as f64 / stacked.total_height() as f64)
+    );
+    Report {
+        id: "FIG13",
+        title: "Tile generation and packing (Figure 13)",
+        body,
+        ok,
+    }
+}
+
+/// One row of the §4.1 performance table.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Cycles on xsim.
+    pub ximd_cycles: u64,
+    /// Cycles on vsim.
+    pub vliw_cycles: u64,
+    /// Maximum concurrent streams the XIMD run used.
+    pub max_streams: usize,
+    /// Results matched the oracle on both machines.
+    pub correct: bool,
+}
+
+impl PerfRow {
+    /// VLIW cycles / XIMD cycles.
+    pub fn speedup(&self) -> f64 {
+        self.vliw_cycles as f64 / self.ximd_cycles as f64
+    }
+}
+
+/// Computes the §4.1 xsim-vs-vsim table (rows computed concurrently with
+/// crossbeam — the sweep is embarrassingly parallel).
+pub fn perf_rows() -> Vec<PerfRow> {
+    let results = parking_lot::Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        scope.spawn(|_| {
+            let x = tproc::run_ximd(9, -4, 3, 12).expect("tproc");
+            let v = tproc::run_vliw(9, -4, 3, 12).expect("tproc");
+            results.lock().push((
+                0usize,
+                PerfRow {
+                    name: "tproc",
+                    ximd_cycles: x.cycles,
+                    vliw_cycles: v.cycles,
+                    max_streams: 1,
+                    correct: x.result == tproc::oracle(9, -4, 3, 12) && v.result == x.result,
+                },
+            ));
+        });
+        scope.spawn(|_| {
+            let y = gen::livermore_y(5, 128);
+            let x = livermore::run_ximd(&y).expect("ll12");
+            let v = livermore::run_vliw(&y).expect("ll12");
+            results.lock().push((
+                1,
+                PerfRow {
+                    name: "livermore12",
+                    ximd_cycles: x.cycles,
+                    vliw_cycles: v.cycles,
+                    max_streams: 1,
+                    correct: x.x == livermore::oracle(&y) && v.x == x.x,
+                },
+            ));
+        });
+        scope.spawn(|_| {
+            let data = gen::uniform_ints(8, 256, -10_000, 10_000);
+            let (_, trace) = minmax::run_ximd_traced(&data).expect("minmax");
+            let x = minmax::run_ximd(&data).expect("minmax");
+            let v = minmax::run_vliw(&data).expect("minmax");
+            results.lock().push((
+                2,
+                PerfRow {
+                    name: "minmax",
+                    ximd_cycles: x.cycles,
+                    vliw_cycles: v.cycles,
+                    max_streams: trace.max_streams(),
+                    correct: (x.min, x.max) == minmax::oracle(&data)
+                        && (v.min, v.max) == (x.min, x.max),
+                },
+            ));
+        });
+        scope.spawn(|_| {
+            let data = gen::bit_weighted_ints(13, 128, 24);
+            let (_, trace) = bitcount::run_ximd_traced(&data).expect("bitcount");
+            let x = bitcount::run_ximd(&data).expect("bitcount");
+            let v = bitcount::run_vliw(&data).expect("bitcount");
+            results.lock().push((
+                3,
+                PerfRow {
+                    name: "bitcount",
+                    ximd_cycles: x.cycles,
+                    vliw_cycles: v.cycles,
+                    max_streams: trace.max_streams(),
+                    correct: x.b == bitcount::oracle(&data) && v.b == x.b,
+                },
+            ));
+        });
+        scope.spawn(|_| {
+            let s = nonblocking::Scenario::with_seed(3);
+            let x = nonblocking::run_sync(&s).expect("nonblocking");
+            let v = nonblocking::run_flags(&s).expect("nonblocking");
+            results.lock().push((
+                4,
+                PerfRow {
+                    name: "nonblocking",
+                    ximd_cycles: x.cycles,
+                    vliw_cycles: v.cycles, // the flag version is the baseline here
+                    max_streams: 8,
+                    correct: x.p1_wrote == s.xyz.to_vec() && x.p2_wrote == s.abc.to_vec(),
+                },
+            ));
+        });
+    })
+    .expect("perf sweep threads join");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|&(i, _)| i);
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// §4.1: "Preliminary results show a significant performance increase on
+/// many programs" — the xsim-vs-vsim table.
+pub fn run_perf_table() -> Report {
+    let rows = perf_rows();
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<14} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "workload", "xsim cycles", "vsim cycles", "speedup", "streams", "correct"
+    );
+    let mut ok = true;
+    for r in &rows {
+        ok &= r.correct;
+        let _ = writeln!(
+            body,
+            "{:<14} {:>12} {:>12} {:>8.2}x {:>9} {:>9}",
+            r.name,
+            r.ximd_cycles,
+            r.vliw_cycles,
+            r.speedup(),
+            r.max_streams,
+            r.correct
+        );
+    }
+    // The paper's qualitative claims: synchronous code ties, branchy code
+    // wins.
+    let tie = |n: &str| {
+        rows.iter()
+            .find(|r| r.name == n)
+            .map(|r| r.speedup())
+            .unwrap_or(0.0)
+    };
+    ok &= (tie("tproc") - 1.0).abs() < 1e-9;
+    ok &= (tie("livermore12") - 1.0).abs() < 1e-9;
+    ok &= tie("minmax") > 1.2;
+    ok &= tie("bitcount") > 1.5;
+    ok &= tie("nonblocking") > 1.0;
+    let _ = writeln!(
+        body,
+        "\nshape check: synchronous workloads (tproc, livermore12) tie at 1.00x;\n\
+         control-parallel workloads win (minmax > 1.2x, bitcount > 1.5x, nonblocking > 1x)"
+    );
+    Report {
+        id: "PERF",
+        title: "xsim vs vsim performance (section 4.1)",
+        body,
+        ok,
+    }
+}
+
+/// §4.3: the prototype's peak-rate arithmetic — 85 ns cycle, 8 FUs, one
+/// data operation per FU per cycle ⇒ > 90 MIPS / 90 MFLOPS peak.
+pub fn run_prototype() -> Report {
+    let cycle_ns = 85.0f64;
+    let fus = 8.0f64;
+    let mips = fus / (cycle_ns * 1e-9) / 1e6;
+    let peak_ok = mips > 90.0;
+
+    // Sustained rates from the simulator's statistics, for contrast with
+    // the peak figure (the structural ceiling is one op per FU per cycle).
+    let data = gen::uniform_ints(1, 64, -100, 100);
+    let minmax_rate = {
+        let mut sim = ximd::prelude::Xsim::new(
+            minmax::ximd_assembly().program,
+            ximd::prelude::MachineConfig::with_width(4),
+        )
+        .expect("minmax program validates");
+        sim.mem_mut()
+            .poke_slice(minmax::Z_BASE as i64, &data)
+            .expect("data fits memory");
+        sim.write_reg(minmax::REG_N, (data.len() as i32).into());
+        sim.write_reg(minmax::REG_MIN, i32::MAX.into());
+        sim.write_reg(minmax::REG_MAX, i32::MIN.into());
+        sim.run_until_parked(minmax::PARK, 10_000)
+            .expect("minmax runs")
+            .stats
+            .ops_per_cycle()
+    };
+    let y = gen::livermore_y(2, 64);
+    let l = livermore::run_ximd(&y).expect("ll12 runs");
+
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "cycle time:            {cycle_ns} ns (paper's initial analysis)"
+    );
+    let _ = writeln!(
+        body,
+        "functional units:      8 (one data op each per cycle)"
+    );
+    let _ = writeln!(
+        body,
+        "peak rate:             {mips:.1} MIPS / {mips:.1} MFLOPS  (paper: 'in excess of 90')"
+    );
+    let _ = writeln!(body, "\nsimulated sustained rates for contrast:");
+    let _ = writeln!(
+        body,
+        "  minmax n=64      : {minmax_rate:.2} ops/cycle on a width-4 machine"
+    );
+    let _ = writeln!(
+        body,
+        "  livermore12 n=64 : {:.2} cycles/iteration steady state (II = 2)",
+        (l.cycles as f64 - 8.0) / 64.0
+    );
+    Report {
+        id: "PROTO",
+        title: "Prototype peak performance (section 4.3)",
+        body,
+        ok: peak_ok,
+    }
+}
+
+/// §2: the architecture-class hierarchy with shapes and emulation matrix.
+pub fn run_models() -> Report {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:<6} {:>8} {:>8} {:>8} {:>16} {:>16}",
+        "class", "lambdas", "deltas", "states", "sees all CCs", "sees other PCs"
+    );
+    for m in MachineClass::ALL {
+        let s = m.shape(8);
+        let _ = writeln!(
+            body,
+            "{:<6} {:>8} {:>8} {:>8} {:>16} {:>16}",
+            m.to_string(),
+            s.lambdas,
+            s.deltas,
+            s.states,
+            s.delta_sees_all_datapaths,
+            s.delta_sees_other_controls
+        );
+    }
+    let _ = writeln!(body, "\nemulation matrix (row emulates column):");
+    let _ = write!(body, "{:<6}", "");
+    for c in MachineClass::ALL {
+        let _ = write!(body, "{c:>6}");
+    }
+    let _ = writeln!(body);
+    let mut ok = true;
+    for r in MachineClass::ALL {
+        let _ = write!(body, "{:<6}", r.to_string());
+        for c in MachineClass::ALL {
+            let _ = write!(body, "{:>6}", if r.emulates(c) { "yes" } else { "-" });
+        }
+        let _ = writeln!(body);
+    }
+    ok &= MachineClass::Ximd.emulates(MachineClass::Vliw)
+        && MachineClass::Ximd.emulates(MachineClass::Mimd)
+        && MachineClass::Vliw.emulates(MachineClass::Simd);
+    let _ = writeln!(
+        body,
+        "\nthe executable versions of these claims (random-program equivalence) run in\n\
+         `cargo test -p ximd-models` (tests/emulation_theorems.rs)"
+    );
+    Report {
+        id: "MODELS",
+        title: "Architectural state-machine hierarchy (section 2)",
+        body,
+        ok,
+    }
+}
+
+/// Extension: coarse-grain parallelism via multi-thread XIMD codegen —
+/// "XIMD can potentially exploit medium-grained and coarse-grained
+/// parallelism as well" (§1.4). Two independently compiled threads run
+/// concurrently on disjoint FU columns with an ALL-SS join, against the
+/// same threads run back-to-back on vsim.
+pub fn run_coarse() -> Report {
+    use ximd::compiler::compile_named;
+    use ximd::compiler::ximdgen::{combine_threads, Join};
+    use ximd::prelude::*;
+
+    const SRC: &str = r"
+fn sum(n) {
+    let s = 0;
+    let i = 1;
+    while (i <= n) { s = s + i; i = i + 1; }
+    return s;
+}
+fn fib(n) {
+    let a = 0;
+    let b = 1;
+    let i = 0;
+    while (i < n) { let t = a + b; a = b; b = t; i = i + 1; }
+    return a;
+}
+";
+    let sum = compile_named(SRC, "sum", 2).expect("sum compiles");
+    let fib = compile_named(SRC, "fib", 2).expect("fib compiles");
+    let combined = combine_threads(&[&sum, &fib], 4, Join::Barrier).expect("threads fit");
+
+    let mut sim = Xsim::new(combined.program.clone(), MachineConfig::with_width(4))
+        .expect("combined program validates");
+    sim.write_reg(combined.threads[0].param_regs[0], 40i32.into());
+    sim.write_reg(combined.threads[1].param_regs[0], 30i32.into());
+    let summary = sim.run(1_000_000).expect("combined run");
+    let sum_result = sim
+        .reg(combined.threads[0].ret_reg.expect("sum returns"))
+        .as_i32();
+    let fib_result = sim
+        .reg(combined.threads[1].ret_reg.expect("fib returns"))
+        .as_i32();
+
+    let solo = |f: &ximd::compiler::CompiledFunction, arg: i32| {
+        let mut s = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width))
+            .expect("thread validates");
+        s.write_reg(f.param_regs[0], arg.into());
+        s.run(1_000_000).expect("solo run").cycles
+    };
+    let (c_sum, c_fib) = (solo(&sum, 40), solo(&fib, 30));
+    let sequential = c_sum + c_fib;
+
+    let fib30 = {
+        let (mut a, mut b) = (0i64, 1i64);
+        for _ in 0..30 {
+            let t = a + b;
+            a = b;
+            b = t;
+        }
+        a as i32
+    };
+    let ok = sum_result == 820
+        && fib_result == fib30
+        && summary.cycles < sequential
+        && summary.cycles <= c_sum.max(c_fib) + 4;
+
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "threads: sum(40) and fib(30), each compiled for 2 FUs"
+    );
+    let _ = writeln!(
+        body,
+        "results: sum = {sum_result} (expect 820), fib = {fib_result} (expect {fib30})"
+    );
+    let _ = writeln!(
+        body,
+        "sequential on vsim: {c_sum} + {c_fib} = {sequential} cycles"
+    );
+    let _ = writeln!(
+        body,
+        "concurrent on 4-FU xsim: {} cycles (dispatch + ALL-SS join overhead <= 4)",
+        summary.cycles
+    );
+    let _ = writeln!(
+        body,
+        "coarse-grain speedup: {:.2}x",
+        sequential as f64 / summary.cycles as f64
+    );
+    Report {
+        id: "COARSE",
+        title: "Coarse-grain thread parallelism (section 1.4 claim)",
+        body,
+        ok,
+    }
+}
+
+/// Extension: the modulo scheduler across Livermore kernels and machine
+/// widths — resource-bound vs recurrence-bound vs memory-carried II.
+pub fn run_ll_kernels() -> Report {
+    use ximd::workloads::livermore_ext as ext;
+    let mut body = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        body,
+        "{:<22} {:>6} {:>4} {:>7} {:>9}",
+        "kernel", "width", "II", "stages", "cycles"
+    );
+    let n = 48;
+    for width in [4usize, 8] {
+        match ext::run_loop1(width, n, 1) {
+            Ok(r) => {
+                let _ = writeln!(
+                    body,
+                    "{:<22} {width:>6} {:>4} {:>7} {:>9}",
+                    "loop1 (hydro)", r.ii, r.stages, r.cycles
+                );
+            }
+            Err(e) => {
+                ok = false;
+                let _ = writeln!(body, "loop1 width {width}: {e}");
+            }
+        }
+    }
+    for width in [4usize, 8] {
+        match ext::run_loop3(width, n, 2) {
+            Ok(r) => {
+                let _ = writeln!(
+                    body,
+                    "{:<22} {width:>6} {:>4} {:>7} {:>9}",
+                    "loop3 (inner product)", r.ii, r.stages, r.cycles
+                );
+            }
+            Err(e) => {
+                ok = false;
+                let _ = writeln!(body, "loop3 width {width}: {e}");
+            }
+        }
+    }
+    let mut loop5_ii = Vec::new();
+    for width in [4usize, 8] {
+        match ext::run_loop5(width, n, 3) {
+            Ok(r) => {
+                loop5_ii.push(r.ii);
+                let _ = writeln!(
+                    body,
+                    "{:<22} {width:>6} {:>4} {:>7} {:>9}",
+                    "loop5 (tridiagonal)", r.ii, r.stages, r.cycles
+                );
+            }
+            Err(e) => {
+                ok = false;
+                let _ = writeln!(body, "loop5 width {width}: {e}");
+            }
+        }
+    }
+    ok &= loop5_ii.len() == 2 && loop5_ii[0] == loop5_ii[1];
+    let _ = writeln!(
+        body,
+        "\nshape check: loop1's II shrinks with width (resource-bound); loop5's II is\n\
+         width-invariant (the x[i-1] -> x[i] memory recurrence bounds it) — the run-time\n\
+         disambiguation ablation from DESIGN.md"
+    );
+    Report {
+        id: "LLK",
+        title: "Modulo scheduling across kernels (software pipelining ablation)",
+        body,
+        ok,
+    }
+}
+
+/// Extension: the §3.2 fork/join codegen ablation — a classification loop
+/// with G independent guarded updates, compiled to multi-stream XIMD (one
+/// FU per guard, equal-length paths) vs the serialized single-sequencer
+/// schedule of the same loop. The gap widens with the number of guards —
+/// the paper's "control operations may begin to dominate execution time"
+/// argument, quantified.
+pub fn run_forkjoin() -> Report {
+    use ximd::compiler::forkjoin::{compile_forkjoin, compile_forkjoin_vliw, Guard, GuardedLoop};
+    use ximd::compiler::ir::{Inst, VReg, Val};
+    use ximd::isa::AluOp;
+    use ximd::prelude::*;
+
+    let mut body = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        body,
+        "{:>7} {:>12} {:>12} {:>9}",
+        "guards", "xsim cycles", "vsim cycles", "speedup"
+    );
+
+    let n = 64usize;
+    let data = gen::uniform_ints(17, n, 0, 100);
+    for guards in [2usize, 4, 7] {
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let v = VReg(2);
+        let spec = GuardedLoop {
+            prologue: vec![Inst::Load {
+                base: Val::Const(99),
+                off: ind.into(),
+                d: v,
+            }],
+            guards: (0..guards)
+                .map(|i| {
+                    let counter = VReg(3 + i as u32);
+                    Guard {
+                        op: CmpOp::Ge,
+                        a: v.into(),
+                        b: Val::Const((i as i32) * 100 / guards as i32),
+                        body: vec![Inst::Bin {
+                            op: AluOp::Iadd,
+                            a: counter.into(),
+                            b: Val::Const(1),
+                            d: counter,
+                        }],
+                    }
+                })
+                .collect(),
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+        };
+        let fj = compile_forkjoin(&spec, guards + 1).expect("fork/join compiles");
+        let vl = compile_forkjoin_vliw(&spec, guards + 1).expect("baseline compiles");
+        let run = |prog: &Program, width: usize, trips_reg: Reg| {
+            let mut sim = Xsim::new(prog.clone(), MachineConfig::with_width(width))
+                .expect("program validates");
+            sim.mem_mut().poke_slice(100, &data).expect("data fits");
+            sim.write_reg(trips_reg, (n as i32).into());
+            let cycles = sim.run(1_000_000).expect("run completes").cycles;
+            (sim, cycles)
+        };
+        let (xs, xc) = run(&fj.program, fj.width, fj.trips_reg);
+        let (vs, vc) = run(&vl.program, vl.width, vl.trips_reg);
+        // Correctness: counters match the oracle on both machines.
+        for i in 0..guards {
+            let bound = (i as i32) * 100 / guards as i32;
+            let expect = data.iter().filter(|&&x| x >= bound).count() as i32;
+            let c = VReg(3 + i as u32);
+            ok &= xs.reg(fj.reg_of[&c]).as_i32() == expect;
+            ok &= vs.reg(vl.reg_of[&c]).as_i32() == expect;
+        }
+        ok &= xc < vc;
+        let _ = writeln!(
+            body,
+            "{guards:>7} {xc:>12} {vc:>12} {:>8.2}x",
+            vc as f64 / xc as f64
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nthe XIMD loop costs a constant 4 + prologue cycles per iteration regardless of\n\
+         guard count (all branches in one cycle, equal-path re-join); the VLIW loop adds\n\
+         one branch cycle per guard — the section 1.3 control-flow bottleneck, measured"
+    );
+    Report {
+        id: "FORKJOIN",
+        title: "Fork/join guarded updates (section 3.2, generalized)",
+        body,
+        ok,
+    }
+}
+
+/// Extension: automatic software pipelining — the same mini-C loop compiled
+/// plainly and with `compile_pipelined` (modulo schedule + runtime
+/// trip-count guard + fallback), swept over n.
+pub fn run_autopipe() -> Report {
+    use ximd::compiler::autopipeline::compile_pipelined;
+    use ximd::compiler::compile;
+    use ximd::prelude::*;
+
+    const SRC: &str = r"
+fn scale(n) {
+    let i = 0;
+    while (i < n) {
+        mem[4000 + i] = mem[2000 + i] * 3 + 7;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+    let (piped, ii) = compile_pipelined(SRC, 8).expect("loop compiles");
+    let plain = compile(SRC, 8).expect("loop compiles");
+    let Some(ii) = ii else {
+        return Report {
+            id: "AUTO",
+            title: "Automatic software pipelining (extension)",
+            body: "loop failed to qualify for pipelining".into(),
+            ok: false,
+        };
+    };
+
+    let mut body = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        body,
+        "achieved II = {ii} on 8 FUs; runtime guard falls back below the pipeline depth\n"
+    );
+    let _ = writeln!(
+        body,
+        "{:>6} {:>14} {:>14} {:>9}",
+        "n", "plain cycles", "pipelined", "speedup"
+    );
+    for n in [2usize, 8, 32, 128, 512] {
+        let input: Vec<i32> = (0..n as i32).map(|i| i * 13 % 97 - 40).collect();
+        let run = |f: &ximd::compiler::CompiledFunction| {
+            let mut sim =
+                Vsim::new(f.vliw.clone(), MachineConfig::with_width(8)).expect("program validates");
+            sim.write_reg(f.param_regs[0], (n as i32).into());
+            sim.mem_mut().poke_slice(2000, &input).expect("fits");
+            let cycles = sim.run(1_000_000).expect("runs").cycles;
+            (sim.mem().peek_slice(4000, n).expect("fits"), cycles)
+        };
+        let (pout, pc) = run(&piped);
+        let (qout, qc) = run(&plain);
+        let expect: Vec<i32> = input.iter().map(|v| v * 3 + 7).collect();
+        ok &= pout == expect && qout == expect;
+        if n >= 32 {
+            ok &= pc < qc;
+        }
+        let _ = writeln!(
+            body,
+            "{n:>6} {qc:>14} {pc:>14} {:>8.2}x",
+            qc as f64 / pc as f64
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nsteady-state cost approaches II = {ii} cycles/iteration vs the plain loop's\n\
+         header-test + body + back-branch; small n uses the unmodified fallback loop"
+    );
+    Report {
+        id: "AUTO",
+        title: "Automatic software pipelining (extension)",
+        body,
+        ok,
+    }
+}
+
+/// Every experiment, in paper order.
+pub fn all_reports() -> Vec<Report> {
+    vec![
+        run_models(),
+        run_ex1_tproc(),
+        run_ll12(),
+        run_ex2_minmax(),
+        run_fig10_trace(),
+        run_ex3_bitcount(),
+        run_fig11_flow(),
+        run_fig12_nonblocking(),
+        run_fig13_tiles(),
+        run_perf_table(),
+        run_prototype(),
+        run_coarse(),
+        run_ll_kernels(),
+        run_forkjoin(),
+        run_autopipe(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_reports_ok() {
+        for report in all_reports() {
+            assert!(
+                report.ok,
+                "experiment {} failed:\n{}",
+                report.id, report.body
+            );
+        }
+    }
+
+    #[test]
+    fn perf_rows_cover_all_workloads() {
+        let rows = perf_rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["tproc", "livermore12", "minmax", "bitcount", "nonblocking"]
+        );
+        assert!(rows.iter().all(|r| r.correct));
+    }
+
+    #[test]
+    fn fig10_report_is_exact() {
+        let r = run_fig10_trace();
+        assert!(r.ok);
+        assert!(r.body.contains("matches the published Figure 10 exactly"));
+    }
+
+    #[test]
+    fn reports_render() {
+        let r = run_models();
+        let text = r.to_string();
+        assert!(text.contains("MODELS"));
+        assert!(text.contains("XIMD"));
+    }
+}

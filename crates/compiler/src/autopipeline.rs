@@ -1,0 +1,575 @@
+//! Automatic software pipelining of mini-C `while` loops.
+//!
+//! Connects the frontend to the modulo scheduler: [`compile_pipelined`]
+//! detects *counted loops* in the lowered IR —
+//!
+//! ```text
+//! while (i < n) {      // or <=; i and n untouched except the increment
+//!     ...straight-line body...
+//!     i = i + 1;
+//! }
+//! ```
+//!
+//! — modulo-schedules the body, and splices the pipelined region into the
+//! compiled function behind a **runtime trip-count guard**: when
+//! `n − i ≥ stages` control enters the pipelined region (initiation
+//! interval II per iteration), otherwise it falls back to the original
+//! scheduled loop, which remains in the program unchanged. Exit state
+//! (induction value, body-defined registers, memory) is identical on both
+//! paths, so downstream code cannot tell which one ran.
+//!
+//! Restrictions (conservative, checked): the loop is exactly a
+//! condition-header plus one straight-line latch; step is `+1`; each body
+//! register is defined once; the condition compares the induction register
+//! against a loop-invariant value with `<` or `<=`. Loops that do not match
+//! compile exactly as [`compile`](crate::compile) would.
+
+use std::collections::HashMap;
+
+use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Reg};
+use ximd_sim::{VliwInstruction, VliwProgram};
+
+use crate::cfg::Cfg;
+use crate::codegen::{compile_function, CompiledFunction};
+use crate::error::CompileError;
+use crate::ir::{BlockId, Function, Inst, Terminator, VReg, Val};
+use crate::lang;
+use crate::lower;
+use crate::pipeline::{emit_rows, solve, CountedLoop, EmitOpts};
+use crate::regalloc::allocate;
+use crate::schedule::schedule_block;
+
+/// A detected pipelinable loop.
+#[derive(Debug, Clone)]
+struct LoopPlan {
+    header: BlockId,
+    latch: BlockId,
+    exit: BlockId,
+    induction: VReg,
+    bound: Val,
+    le: bool, // `<=` (else `<`)
+    body: Vec<Inst>,
+}
+
+fn detect(func: &Function, cfg: &Cfg) -> Option<LoopPlan> {
+    for l in cfg.loops() {
+        if l.body.len() != 2 {
+            continue;
+        }
+        let header = l.header;
+        let latch = l.latch;
+        let hblock = func.block(header);
+        if !hblock.insts.is_empty() {
+            continue; // condition needs computation: not the simple shape
+        }
+        let Terminator::Branch {
+            op,
+            a,
+            b,
+            then_bb,
+            else_bb,
+        } = hblock.term
+        else {
+            continue;
+        };
+        if then_bb != latch || else_bb == header || l.body.contains(&else_bb) {
+            continue;
+        }
+        let le = match op {
+            CmpOp::Lt => false,
+            CmpOp::Le => true,
+            _ => continue,
+        };
+        let Val::Reg(induction) = a else { continue };
+        let lblock = func.block(latch);
+        if lblock.term != Terminator::Goto(header) {
+            continue;
+        }
+        // The frontend lowers `i = i + 1;` to `t = i + 1; …; i = t` with a
+        // fresh temp, so the increment is a Bin/Copy pair: find `t = i + 1`
+        // and a final `Copy { t -> i }`, with `i` written nowhere else, the
+        // temp used nowhere else in the function, and the bound invariant.
+        let mut ok = true;
+        let mut inc_bin: Option<(usize, VReg)> = None;
+        let mut inc_copy: Option<usize> = None;
+        for (idx, inst) in lblock.insts.iter().enumerate() {
+            match *inst {
+                Inst::Bin {
+                    op: AluOp::Iadd,
+                    a: Val::Reg(r),
+                    b: Val::Const(1),
+                    d,
+                } if r == induction && d != induction => {
+                    if inc_bin.is_some() {
+                        // Ambiguous: a second i+1 temp; be conservative.
+                        ok = false;
+                        break;
+                    }
+                    inc_bin = Some((idx, d));
+                }
+                Inst::Copy { a: Val::Reg(t), d } if d == induction => {
+                    if inc_copy.is_some() || inc_bin.is_none_or(|(_, tv)| tv != t) {
+                        ok = false;
+                        break;
+                    }
+                    inc_copy = Some(idx);
+                }
+                _ => {
+                    if inst.dest() == Some(induction) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if let Val::Reg(n) = b {
+                if inst.dest() == Some(n) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let (Some((bin_at, temp)), Some(copy_at)) = (inc_bin, inc_copy) else {
+            continue;
+        };
+        // The copy must be the last instruction (later reads of i would see
+        // the incremented value, which CountedLoop semantics do not model).
+        if !ok || copy_at != lblock.insts.len() - 1 {
+            continue;
+        }
+        // The temp must have no other uses anywhere in the function.
+        let temp_uses: usize = func
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.insts.iter())
+            .map(|inst| inst.sources().iter().filter(|&&r| r == temp).count())
+            .sum::<usize>()
+            + func
+                .blocks
+                .iter()
+                .map(|blk| blk.term.sources().iter().filter(|&&r| r == temp).count())
+                .sum::<usize>();
+        if temp_uses != 1 {
+            continue;
+        }
+        let mut body = lblock.insts.clone();
+        body.remove(copy_at);
+        body.remove(bin_at);
+        return Some(LoopPlan {
+            header,
+            latch,
+            exit: else_bb,
+            induction,
+            bound: b,
+            le,
+            body,
+        });
+    }
+    None
+}
+
+/// Compiles `func` with automatic software pipelining. Returns the compiled
+/// function and the achieved II (`None` if no loop qualified or no schedule
+/// beat the budget — the output then equals plain scheduling without the
+/// percolation pass).
+///
+/// # Errors
+///
+/// Propagates backend errors; detection failures are not errors.
+pub fn compile_function_pipelined(
+    func: &Function,
+    width: usize,
+) -> Result<(CompiledFunction, Option<u32>), CompileError> {
+    // Detect on the raw IR; the fallback path hands the *unmodified*
+    // function to the ordinary pipeline (which performs its own return
+    // normalization and percolation).
+    let cfg = Cfg::build(func);
+    let Some(plan) = detect(func, &cfg) else {
+        return Ok((compile_function(func, width)?, None));
+    };
+
+    let pristine = func.clone();
+    let mut func = func.clone();
+    // Return normalization (same as codegen::compile_function).
+    let mut ret_vreg = None;
+    for b in 0..func.blocks.len() {
+        if let Terminator::Return(Some(v)) = func.blocks[b].term {
+            let rv = *ret_vreg.get_or_insert_with(|| func.new_vreg());
+            func.blocks[b].insts.push(Inst::Copy { a: v, d: rv });
+            func.blocks[b].term = Terminator::Return(None);
+        }
+    }
+
+    // Fresh registers for the trip count and the kernel counter.
+    let trips_v = func.new_vreg();
+    let kc_v = func.new_vreg();
+
+    let counted = CountedLoop {
+        body: plan.body.clone(),
+        induction: plan.induction,
+        start: 0, // unused: the live induction value carries in
+        step: 1,
+        trips: trips_v,
+        assume_no_alias: false, // conservative: no alias facts from mini-C
+    };
+    let Ok(solved) = solve(&counted, width) else {
+        // The modulo scheduler declined (e.g. an unschedulable body):
+        // compile the untouched function through the plain path.
+        return Ok((compile_function(&pristine, width)?, None));
+    };
+    let stages = solved.stages();
+
+    let alloc = allocate(&func, ximd_isa::XIMD1_NUM_REGS)?;
+    let reg_map: HashMap<VReg, Reg> = (0..func.vreg_count)
+        .map(|i| (VReg(i), alloc.reg(VReg(i))))
+        .collect();
+    let ind_reg = alloc.reg(plan.induction);
+    let trips_reg = alloc.reg(trips_v);
+    let kc_reg = alloc.reg(kc_v);
+
+    // Schedule every original block (the fallback loop stays intact).
+    let scheds: Vec<_> = func
+        .blocks
+        .iter()
+        .map(|b| schedule_block(b, width))
+        .collect();
+    let mut base = Vec::with_capacity(scheds.len());
+    let mut next = 0u32;
+    for s in &scheds {
+        base.push(Addr(next));
+        next += s.len() as u32;
+    }
+    let guard_base = next;
+
+    // Guard rows: trips = bound − i (+1 for `<=`); if trips ≥ stages enter
+    // the pipelined region, else the original header.
+    let bound_operand = match plan.bound {
+        Val::Reg(r) => Operand::Reg(alloc.reg(r)),
+        Val::Const(c) => Operand::imm_i32(c),
+    };
+    let mut guard_rows: Vec<VliwInstruction> = Vec::new();
+    let mut row = vec![DataOp::Nop; width];
+    row[0] = DataOp::Alu {
+        op: AluOp::Isub,
+        a: bound_operand,
+        b: Operand::Reg(ind_reg),
+        d: trips_reg,
+    };
+    guard_rows.push(VliwInstruction {
+        ops: row,
+        ctrl: ControlOp::Goto(Addr(0)), /* fixed below */
+    });
+    if plan.le {
+        let mut row = vec![DataOp::Nop; width];
+        row[0] = DataOp::Alu {
+            op: AluOp::Iadd,
+            a: Operand::Reg(trips_reg),
+            b: Operand::imm_i32(1),
+            d: trips_reg,
+        };
+        guard_rows.push(VliwInstruction {
+            ops: row,
+            ctrl: ControlOp::Goto(Addr(0)),
+        });
+    }
+    let mut row = vec![DataOp::Nop; width];
+    row[0] = DataOp::Cmp {
+        op: CmpOp::Ge,
+        a: Operand::Reg(trips_reg),
+        b: Operand::imm_i32(stages as i32),
+    };
+    guard_rows.push(VliwInstruction {
+        ops: row,
+        ctrl: ControlOp::Goto(Addr(0)),
+    });
+    let pipe_base = guard_base + guard_rows.len() as u32 + 1;
+    // Sequential gotos inside the guard, then the decision branch.
+    let rows_n = guard_rows.len();
+    for (i, row) in guard_rows.iter_mut().enumerate() {
+        row.ctrl = ControlOp::Goto(Addr(guard_base + i as u32 + 1));
+    }
+    let _ = rows_n;
+    guard_rows.push(VliwInstruction {
+        ops: vec![DataOp::Nop; width],
+        ctrl: ControlOp::Branch {
+            cond: CondSource::Cc(FuId(0)),
+            taken: Addr(pipe_base),
+            not_taken: base[plan.header.0],
+        },
+    });
+    debug_assert_eq!(guard_base + guard_rows.len() as u32, pipe_base);
+
+    // The pipelined region, spliced after the guard; exits to the loop's
+    // exit block.
+    let pipe_rows = emit_rows(
+        &counted,
+        &solved,
+        width,
+        &reg_map,
+        kc_reg,
+        &EmitOpts {
+            base: pipe_base,
+            exit_to: Some(base[plan.exit.0]),
+            init_induction: false,
+        },
+    );
+
+    // Emit the original blocks, redirecting non-latch entries to the guard.
+    let header_addr = base[plan.header.0];
+    let guard_addr = Addr(guard_base);
+    let mut vliw = VliwProgram::new(width);
+    for (bi, (block, sched)) in func.blocks.iter().zip(&scheds).enumerate() {
+        let redirect = bi != plan.latch.0 && bi != plan.header.0;
+        let map_target = |a: Addr| {
+            if redirect && a == header_addr {
+                guard_addr
+            } else {
+                a
+            }
+        };
+        let last = sched.len() - 1;
+        for (c, srow) in sched.slots.iter().enumerate() {
+            let ops: Vec<DataOp> = srow
+                .iter()
+                .map(|slot| match slot {
+                    None => DataOp::Nop,
+                    Some(crate::dag::Node::Inst(i)) => {
+                        crate::codegen::lower_inst(&block.insts[*i], &alloc)
+                    }
+                    Some(crate::dag::Node::Cmp { op, a, b }) => DataOp::Cmp {
+                        op: *op,
+                        a: val_operand(*a, &alloc),
+                        b: val_operand(*b, &alloc),
+                    },
+                })
+                .collect();
+            let ctrl = if c < last {
+                ControlOp::Goto(Addr(base[bi].0 + c as u32 + 1))
+            } else {
+                match block.term {
+                    Terminator::Goto(t) => ControlOp::Goto(map_target(base[t.0])),
+                    Terminator::Branch {
+                        then_bb, else_bb, ..
+                    } => {
+                        let (_, fu) = sched.cmp_slot.expect("branch blocks have a compare");
+                        ControlOp::Branch {
+                            cond: CondSource::Cc(FuId(fu as u8)),
+                            taken: map_target(base[then_bb.0]),
+                            not_taken: map_target(base[else_bb.0]),
+                        }
+                    }
+                    Terminator::Return(_) => ControlOp::Halt,
+                }
+            };
+            vliw.push(VliwInstruction { ops, ctrl });
+        }
+    }
+    for row in guard_rows.into_iter().chain(pipe_rows) {
+        vliw.push(row);
+    }
+
+    let compiled = CompiledFunction {
+        name: func.name.clone(),
+        width,
+        vliw,
+        param_regs: func.params.iter().map(|&p| alloc.reg(p)).collect(),
+        ret_reg: ret_vreg.map(|r| alloc.reg(r)),
+    };
+    Ok((compiled, Some(solved.ii as u32)))
+}
+
+fn val_operand(v: Val, alloc: &crate::regalloc::Allocation) -> Operand {
+    match v {
+        Val::Reg(r) => Operand::Reg(alloc.reg(r)),
+        Val::Const(c) => Operand::imm_i32(c),
+    }
+}
+
+/// Parses mini-C and compiles the first function with automatic software
+/// pipelining. Returns the compiled function and the achieved II, if a
+/// loop was pipelined.
+///
+/// # Errors
+///
+/// Returns frontend or backend errors; see [`CompileError`].
+///
+/// # Example
+///
+/// ```
+/// let src = r"
+/// fn scale(n) {
+///     let i = 0;
+///     while (i < n) {
+///         mem[4000 + i] = mem[2000 + i] * 3;
+///         i = i + 1;
+///     }
+///     return 0;
+/// }
+/// ";
+/// let (f, ii) = ximd_compiler::autopipeline::compile_pipelined(src, 8)?;
+/// assert!(ii.is_some(), "the loop should pipeline");
+/// let _ = f;
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn compile_pipelined(
+    source: &str,
+    width: usize,
+) -> Result<(CompiledFunction, Option<u32>), CompileError> {
+    let ast = lang::parse(source)?;
+    let def = ast
+        .fns
+        .first()
+        .ok_or_else(|| CompileError::Semantic("source defines no functions".into()))?;
+    let func = lower::lower(def)?;
+    compile_function_pipelined(&func, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use ximd_isa::Value;
+    use ximd_sim::{MachineConfig, Vsim};
+
+    const COPY3: &str = r"
+fn scale(n) {
+    let i = 0;
+    while (i < n) {
+        mem[4000 + i] = mem[2000 + i] * 3;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+
+    fn run(f: &CompiledFunction, n: i32, input: &[i32]) -> (Vec<i32>, u64) {
+        let mut sim = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width)).unwrap();
+        sim.write_reg(f.param_regs[0], Value::I32(n));
+        sim.mem_mut().poke_slice(2000, input).unwrap();
+        let cycles = sim.run(1_000_000).unwrap().cycles;
+        let out = sim.mem().peek_slice(4000, input.len()).unwrap();
+        (out, cycles)
+    }
+
+    #[test]
+    fn pipelined_loop_is_correct_at_all_sizes() {
+        let (f, ii) = compile_pipelined(COPY3, 8).unwrap();
+        let ii = ii.expect("loop qualifies");
+        assert!(ii >= 2);
+        // Sizes below, at, and above the pipeline depth (fallback + both
+        // paths must agree with the oracle).
+        for n in 0usize..24 {
+            let input: Vec<i32> = (0..n as i32).map(|i| i * 7 - 3).collect();
+            let (out, _) = run(&f, n as i32, &input);
+            let expect: Vec<i32> = input.iter().map(|v| v * 3).collect();
+            assert_eq!(out, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_plain_compilation_on_long_loops() {
+        let (piped, ii) = compile_pipelined(COPY3, 8).unwrap();
+        assert!(ii.is_some());
+        let plain = compile(COPY3, 8).unwrap();
+        let input: Vec<i32> = (0..256).collect();
+        let (pout, pc) = run(&piped, 256, &input);
+        let (qout, qc) = run(&plain, 256, &input);
+        assert_eq!(pout, qout);
+        assert!(
+            pc * 3 < qc * 2,
+            "pipelined {} cycles should clearly beat plain {}",
+            pc,
+            qc
+        );
+    }
+
+    #[test]
+    fn le_condition_trip_count() {
+        let src = r"
+fn f(n) {
+    let i = 1;
+    while (i <= n) {
+        mem[600 + i] = i * i;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+        let (f, ii) = compile_pipelined(src, 8).unwrap();
+        assert!(ii.is_some());
+        for n in [0i32, 1, 2, 7, 20] {
+            let mut sim = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width)).unwrap();
+            sim.write_reg(f.param_regs[0], Value::I32(n));
+            sim.run(1_000_000).unwrap();
+            let out = sim.mem().peek_slice(601, n.max(0) as usize).unwrap();
+            let expect: Vec<i32> = (1..=n).map(|i| i * i).collect();
+            assert_eq!(out, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn induction_value_after_loop_matches_fallback() {
+        // The function returns i after the loop: both paths must leave the
+        // same induction value.
+        let src = r"
+fn f(n) {
+    let i = 0;
+    while (i < n) {
+        mem[700 + i] = i;
+        i = i + 1;
+    }
+    return i;
+}
+";
+        let (f, ii) = compile_pipelined(src, 8).unwrap();
+        assert!(ii.is_some());
+        for n in [0i32, 1, 3, 9, 50] {
+            let mut sim = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width)).unwrap();
+            sim.write_reg(f.param_regs[0], Value::I32(n));
+            sim.run(1_000_000).unwrap();
+            assert_eq!(sim.reg(f.ret_reg.unwrap()).as_i32(), n.max(0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reductions_are_not_eligible_but_still_compile() {
+        // `s = s + …` violates single-assignment? No — single def per
+        // iteration is fine; but the loop-carried dependence is legal too.
+        // This one pipelines. A loop with a conditional body does NOT:
+        let src = r"
+fn f(n) {
+    let s = 0;
+    let i = 0;
+    while (i < n) {
+        if (mem[500 + i] > 0) { s = s + 1; }
+        i = i + 1;
+    }
+    return s;
+}
+";
+        let (f, ii) = compile_pipelined(src, 8).unwrap();
+        assert!(
+            ii.is_none(),
+            "branchy bodies must fall back to plain compilation"
+        );
+        let input = [3, -1, 4, -1, 5];
+        let mut sim = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width)).unwrap();
+        sim.write_reg(f.param_regs[0], Value::I32(5));
+        sim.mem_mut().poke_slice(500, &input).unwrap();
+        sim.run(1_000_000).unwrap();
+        assert_eq!(sim.reg(f.ret_reg.unwrap()).as_i32(), 3);
+    }
+
+    #[test]
+    fn xsim_lowering_agrees() {
+        use ximd_sim::Xsim;
+        let (f, _) = compile_pipelined(COPY3, 8).unwrap();
+        let input: Vec<i32> = (0..40).map(|i| i - 20).collect();
+        let mut xs = Xsim::new(f.ximd_program(), MachineConfig::with_width(f.width)).unwrap();
+        xs.write_reg(f.param_regs[0], Value::I32(40));
+        xs.mem_mut().poke_slice(2000, &input).unwrap();
+        xs.run(1_000_000).unwrap();
+        let out = xs.mem().peek_slice(4000, 40).unwrap();
+        let expect: Vec<i32> = input.iter().map(|v| v * 3).collect();
+        assert_eq!(out, expect);
+    }
+}

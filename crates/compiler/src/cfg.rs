@@ -1,0 +1,276 @@
+//! Control-flow graph analyses: predecessors, reverse postorder,
+//! dominators (Cooper–Harvey–Kennedy) and natural loops.
+
+use std::collections::HashSet;
+
+use crate::ir::{BlockId, Function};
+
+/// Derived CFG facts for one function.
+///
+/// # Example
+///
+/// ```
+/// use ximd_compiler::{cfg::Cfg, lang, lower};
+///
+/// let ast = lang::parse("fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }")?;
+/// let func = lower::lower(&ast.fns[0])?;
+/// let cfg = Cfg::build(&func);
+/// assert_eq!(cfg.loops().len(), 1);
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    /// Immediate dominator per block (`None` for entry and unreachable).
+    idom: Vec<Option<BlockId>>,
+    loops: Vec<NaturalLoop>,
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// The source of the back edge (the latch).
+    pub latch: BlockId,
+    /// All blocks in the loop body, header included.
+    pub body: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds all CFG facts for `func`.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (i, block) in func.blocks.iter().enumerate() {
+            for s in block.term.successors() {
+                succs[i].push(s);
+                preds[s.0].push(BlockId(i));
+            }
+        }
+
+        // Postorder DFS from entry.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        fn dfs(b: BlockId, succs: &[Vec<BlockId>], visited: &mut [bool], out: &mut Vec<BlockId>) {
+            visited[b.0] = true;
+            for &s in &succs[b.0] {
+                if !visited[s.0] {
+                    dfs(s, succs, visited, out);
+                }
+            }
+            out.push(b);
+        }
+        dfs(func.entry, &succs, &mut visited, &mut postorder);
+        let rpo: Vec<BlockId> = postorder.iter().rev().copied().collect();
+
+        // Dominators (Cooper-Harvey-Kennedy over RPO).
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.0] = Some(func.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if let Some(nd) = new_idom {
+                    if idom[b.0] != Some(nd) {
+                        idom[b.0] = Some(nd);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        fn intersect(
+            mut a: BlockId,
+            mut b: BlockId,
+            idom: &[Option<BlockId>],
+            rpo_index: &[usize],
+        ) -> BlockId {
+            while a != b {
+                while rpo_index[a.0] > rpo_index[b.0] {
+                    a = idom[a.0].expect("processed");
+                }
+                while rpo_index[b.0] > rpo_index[a.0] {
+                    b = idom[b.0].expect("processed");
+                }
+            }
+            a
+        }
+        // Entry's idom is conventionally itself internally; expose None.
+        let mut exposed_idom = idom.clone();
+        exposed_idom[func.entry.0] = None;
+
+        // Natural loops: back edge latch -> header where header dominates
+        // latch.
+        let dominates = |a: BlockId, mut b: BlockId| -> bool {
+            loop {
+                if a == b {
+                    return true;
+                }
+                match idom[b.0] {
+                    Some(d) if d != b => b = d,
+                    _ => return false,
+                }
+            }
+        };
+        let mut loops = Vec::new();
+        for (i, ss) in succs.iter().enumerate() {
+            let latch = BlockId(i);
+            if !visited[i] {
+                continue;
+            }
+            for &header in ss {
+                if dominates(header, latch) {
+                    // Collect body by backward walk from latch to header.
+                    let mut body: HashSet<BlockId> = [header, latch].into_iter().collect();
+                    let mut stack = vec![latch];
+                    while let Some(b) = stack.pop() {
+                        for &p in &preds[b.0] {
+                            if b != header && body.insert(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    let mut body: Vec<BlockId> = body.into_iter().collect();
+                    body.sort();
+                    loops.push(NaturalLoop {
+                        header,
+                        latch,
+                        body,
+                    });
+                }
+            }
+        }
+        loops.sort_by_key(|l| (l.header, l.latch));
+
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            idom: exposed_idom,
+            loops,
+        }
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0]
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0]
+    }
+
+    /// Reachable blocks in reverse postorder (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Immediate dominator (`None` for the entry and unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, mut b: BlockId) -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match self.idom(b) {
+                Some(d) => b = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Natural loops sorted by (header, latch).
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Function;
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    fn build(src: &str) -> (Function, Cfg) {
+        let func = lower(&parse(src).unwrap().fns[0]).unwrap();
+        let cfg = Cfg::build(&func);
+        (func, cfg)
+    }
+
+    #[test]
+    fn straight_line_has_one_block() {
+        let (_, cfg) = build("fn f(a) { return a; }");
+        assert_eq!(cfg.rpo().len(), 1);
+        assert!(cfg.loops().is_empty());
+        assert_eq!(cfg.idom(BlockId(0)), None);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, cfg) =
+            build("fn f(a) { let r = 0; if (a > 0) { r = 1; } else { r = 2; } return r; }");
+        let entry = f.entry;
+        // All blocks dominated by entry; join's idom is entry.
+        for b in cfg.rpo() {
+            assert!(cfg.dominates(entry, *b));
+        }
+        let join = BlockId(3);
+        assert_eq!(cfg.idom(join), Some(entry));
+        assert_eq!(cfg.preds(join).len(), 2);
+    }
+
+    #[test]
+    fn while_loop_discovered() {
+        let (_, cfg) = build("fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }");
+        assert_eq!(cfg.loops().len(), 1);
+        let l = &cfg.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latch, BlockId(2));
+        assert_eq!(l.body, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn nested_loops_discovered() {
+        let (_, cfg) = build(
+            "fn f(n) { let i = 0; while (i < n) { let j = 0; while (j < n) { j = j + 1; } i = i + 1; } return i; }",
+        );
+        assert_eq!(cfg.loops().len(), 2);
+        // One loop body contains the other's header.
+        let bodies: Vec<&Vec<BlockId>> = cfg.loops().iter().map(|l| &l.body).collect();
+        let (small, big) = if bodies[0].len() < bodies[1].len() {
+            (bodies[0], bodies[1])
+        } else {
+            (bodies[1], bodies[0])
+        };
+        assert!(small.iter().all(|b| big.contains(b)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (f, cfg) = build("fn f(a) { if (a > 0) { mem[0] = 1; } return a; }");
+        assert_eq!(cfg.rpo()[0], f.entry);
+    }
+}

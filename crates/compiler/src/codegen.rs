@@ -1,0 +1,412 @@
+//! End-to-end code generation: mini-C → scheduled VLIW program.
+
+use ximd_isa::{Addr, CondSource, ControlOp, DataOp, FuId, Operand, Program, Reg, UnOp};
+use ximd_sim::{MachineConfig, VliwInstruction, VliwProgram, Vsim, Xsim};
+
+use crate::dag::Node;
+use crate::error::CompileError;
+use crate::ir::{Function, Inst, Terminator, Val};
+use crate::lang;
+use crate::lower;
+use crate::percolate;
+use crate::regalloc::{allocate, Allocation};
+use crate::schedule::schedule_block;
+
+/// A compiled function: a runnable VLIW program plus its calling
+/// convention.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// The function's name.
+    pub name: String,
+    /// Functional-unit width the code was scheduled for.
+    pub width: usize,
+    /// The program (single control stream).
+    pub vliw: VliwProgram,
+    /// Architectural registers holding the parameters on entry.
+    pub param_regs: Vec<Reg>,
+    /// Architectural register holding the return value on halt, if any.
+    pub ret_reg: Option<Reg>,
+}
+
+impl CompiledFunction {
+    /// Lowers to XIMD form (control fields duplicated into every parcel).
+    pub fn ximd_program(&self) -> Program {
+        self.vliw.to_ximd()
+    }
+
+    /// Runs on vsim with the given arguments and a memory set-up hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Sim`] on machine checks or cycle-limit
+    /// exhaustion.
+    pub fn run_vliw_with(
+        &self,
+        args: &[i32],
+        max_cycles: u64,
+        setup: impl FnOnce(&mut Vsim),
+    ) -> Result<(Option<i32>, u64), CompileError> {
+        let mut sim = Vsim::new(self.vliw.clone(), MachineConfig::with_width(self.width))?;
+        for (&reg, &value) in self.param_regs.iter().zip(args) {
+            sim.write_reg(reg, value.into());
+        }
+        setup(&mut sim);
+        let summary = sim.run(max_cycles)?;
+        Ok((self.ret_reg.map(|r| sim.reg(r).as_i32()), summary.cycles))
+    }
+
+    /// Runs on vsim and returns the result register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Sim`] on machine checks or cycle-limit
+    /// exhaustion.
+    pub fn run_vliw(&self, args: &[i32]) -> Result<Option<i32>, CompileError> {
+        self.run_vliw_with(args, 1_000_000, |_| {}).map(|(r, _)| r)
+    }
+
+    /// Runs the XIMD lowering on xsim with a memory set-up hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Sim`] on machine checks or cycle-limit
+    /// exhaustion.
+    pub fn run_ximd_with(
+        &self,
+        args: &[i32],
+        max_cycles: u64,
+        setup: impl FnOnce(&mut Xsim),
+    ) -> Result<(Option<i32>, u64), CompileError> {
+        let mut sim = Xsim::new(self.ximd_program(), MachineConfig::with_width(self.width))?;
+        for (&reg, &value) in self.param_regs.iter().zip(args) {
+            sim.write_reg(reg, value.into());
+        }
+        setup(&mut sim);
+        let summary = sim.run(max_cycles)?;
+        Ok((self.ret_reg.map(|r| sim.reg(r).as_i32()), summary.cycles))
+    }
+}
+
+fn operand(v: Val, alloc: &Allocation) -> Operand {
+    match v {
+        Val::Reg(r) => Operand::Reg(alloc.reg(r)),
+        Val::Const(c) => Operand::imm_i32(c),
+    }
+}
+
+pub(crate) fn lower_inst(inst: &Inst, alloc: &Allocation) -> DataOp {
+    match *inst {
+        Inst::Bin { op, a, b, d } => DataOp::Alu {
+            op,
+            a: operand(a, alloc),
+            b: operand(b, alloc),
+            d: alloc.reg(d),
+        },
+        Inst::Un { op, a, d } => DataOp::Un {
+            op,
+            a: operand(a, alloc),
+            d: alloc.reg(d),
+        },
+        Inst::Copy { a, d } => DataOp::Un {
+            op: UnOp::Mov,
+            a: operand(a, alloc),
+            d: alloc.reg(d),
+        },
+        Inst::Load { base, off, d } => DataOp::Load {
+            a: operand(base, alloc),
+            b: operand(off, alloc),
+            d: alloc.reg(d),
+        },
+        Inst::Store { val, addr } => DataOp::Store {
+            a: operand(val, alloc),
+            b: operand(addr, alloc),
+        },
+    }
+}
+
+/// Compiles an IR function for a machine of `width` FUs.
+///
+/// Pipeline: return normalization → percolation (upward code motion) →
+/// per-block list scheduling → register assignment → emission.
+///
+/// # Errors
+///
+/// Returns [`CompileError::OutOfRegisters`] if the function's values exceed
+/// the register file.
+pub fn compile_function(func: &Function, width: usize) -> Result<CompiledFunction, CompileError> {
+    let mut func = func.clone();
+
+    // Normalize returns: materialize the return value into one dedicated
+    // vreg so the machine-level convention is a single register.
+    let mut ret_vreg = None;
+    for b in 0..func.blocks.len() {
+        if let Terminator::Return(Some(v)) = func.blocks[b].term {
+            let rv = *ret_vreg.get_or_insert_with(|| {
+                let r = func.new_vreg();
+                r
+            });
+            func.blocks[b].insts.push(Inst::Copy { a: v, d: rv });
+            func.blocks[b].term = Terminator::Return(None);
+        }
+    }
+
+    percolate::percolate(&mut func);
+
+    let alloc = allocate(&func, ximd_isa::XIMD1_NUM_REGS)?;
+    let scheds: Vec<_> = func
+        .blocks
+        .iter()
+        .map(|b| schedule_block(b, width))
+        .collect();
+
+    // Block base addresses, in block order (entry is block 0).
+    let mut base = Vec::with_capacity(scheds.len());
+    let mut next = 0u32;
+    for s in &scheds {
+        base.push(Addr(next));
+        next += s.len() as u32;
+    }
+
+    let mut vliw = VliwProgram::new(width);
+    for (bi, (block, sched)) in func.blocks.iter().zip(&scheds).enumerate() {
+        let last = sched.len() - 1;
+        for (c, row) in sched.slots.iter().enumerate() {
+            let ops: Vec<DataOp> = row
+                .iter()
+                .map(|slot| match slot {
+                    None => DataOp::Nop,
+                    Some(Node::Inst(i)) => lower_inst(&block.insts[*i], &alloc),
+                    Some(Node::Cmp { op, a, b }) => DataOp::Cmp {
+                        op: *op,
+                        a: operand(*a, &alloc),
+                        b: operand(*b, &alloc),
+                    },
+                })
+                .collect();
+            let ctrl = if c < last {
+                ControlOp::Goto(Addr(base[bi].0 + c as u32 + 1))
+            } else {
+                match block.term {
+                    Terminator::Goto(t) => ControlOp::Goto(base[t.0]),
+                    Terminator::Branch {
+                        then_bb, else_bb, ..
+                    } => {
+                        let (_, fu) = sched.cmp_slot.expect("branch blocks have a compare");
+                        ControlOp::Branch {
+                            cond: CondSource::Cc(FuId(fu as u8)),
+                            taken: base[then_bb.0],
+                            not_taken: base[else_bb.0],
+                        }
+                    }
+                    Terminator::Return(_) => ControlOp::Halt,
+                }
+            };
+            vliw.push(VliwInstruction { ops, ctrl });
+        }
+    }
+
+    Ok(CompiledFunction {
+        name: func.name.clone(),
+        width,
+        vliw,
+        param_regs: func.params.iter().map(|&p| alloc.reg(p)).collect(),
+        ret_reg: ret_vreg.map(|r| alloc.reg(r)),
+    })
+}
+
+/// Parses mini-C source and compiles its **first** function for `width`
+/// functional units.
+///
+/// # Errors
+///
+/// Returns frontend or backend errors; see [`CompileError`].
+///
+/// # Example
+///
+/// ```
+/// let f = ximd_compiler::compile("fn sq(x) { return x * x; }", 2)?;
+/// assert_eq!(f.run_vliw(&[9])?, Some(81));
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn compile(source: &str, width: usize) -> Result<CompiledFunction, CompileError> {
+    let ast = lang::parse(source)?;
+    let def = ast
+        .fns
+        .first()
+        .ok_or_else(|| CompileError::Semantic("source defines no functions".into()))?;
+    let func = lower::lower(def)?;
+    compile_function(&func, width)
+}
+
+/// Parses mini-C source and compiles the named function.
+///
+/// # Errors
+///
+/// Returns frontend or backend errors; see [`CompileError`].
+pub fn compile_named(
+    source: &str,
+    name: &str,
+    width: usize,
+) -> Result<CompiledFunction, CompileError> {
+    let ast = lang::parse(source)?;
+    let def = ast
+        .function(name)
+        .ok_or_else(|| CompileError::Semantic(format!("no function named {name:?}")))?;
+    let func = lower::lower(def)?;
+    compile_function(&func, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_expressions() {
+        let f = compile("fn f(a, b) { return (a + b) * (a - b); }", 4).unwrap();
+        assert_eq!(f.run_vliw(&[7, 3]).unwrap(), Some(40));
+        assert_eq!(f.run_vliw(&[-2, 5]).unwrap(), Some(-21));
+    }
+
+    #[test]
+    fn division_and_modulo() {
+        let f = compile("fn f(a, b) { return a / b + a % b; }", 2).unwrap();
+        assert_eq!(f.run_vliw(&[17, 5]).unwrap(), Some(3 + 2));
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        let f = compile("fn f(a) { return ((a << 4) | (a >> 2)) & 255; }", 2).unwrap();
+        let a = 0b1011;
+        assert_eq!(f.run_vliw(&[a]).unwrap(), Some(((a << 4) | (a >> 2)) & 255));
+    }
+
+    #[test]
+    fn if_else_both_paths() {
+        let src = "fn f(a) { let r = 0; if (a > 10) { r = 1; } else { r = 2; } return r; }";
+        let f = compile(src, 4).unwrap();
+        assert_eq!(f.run_vliw(&[11]).unwrap(), Some(1));
+        assert_eq!(f.run_vliw(&[10]).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let src = r"
+fn sum(n) {
+    let s = 0;
+    let i = 1;
+    while (i <= n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+";
+        let f = compile(src, 4).unwrap();
+        assert_eq!(f.run_vliw(&[10]).unwrap(), Some(55));
+        assert_eq!(f.run_vliw(&[0]).unwrap(), Some(0));
+        assert_eq!(f.run_vliw(&[1]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let src = r"
+fn f(n) {
+    let i = 0;
+    while (i < n) {
+        mem[200 + i] = mem[100 + i] * 2;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+        let f = compile(src, 4).unwrap();
+        let (ret, _) = f
+            .run_vliw_with(&[4], 10_000, |sim| {
+                sim.mem_mut().poke_slice(100, &[5, -3, 8, 0]).unwrap();
+            })
+            .unwrap();
+        assert_eq!(ret, Some(0));
+        // Re-run keeping the sim to inspect memory.
+        let mut sim = Vsim::new(f.vliw.clone(), MachineConfig::with_width(4)).unwrap();
+        sim.write_reg(f.param_regs[0], 4i32.into());
+        sim.mem_mut().poke_slice(100, &[5, -3, 8, 0]).unwrap();
+        sim.run(10_000).unwrap();
+        assert_eq!(sim.mem().peek_slice(200, 4).unwrap(), vec![10, -6, 16, 0]);
+    }
+
+    #[test]
+    fn ximd_lowering_is_equivalent() {
+        let src =
+            "fn f(a) { let r = 1; let i = 0; while (i < a) { r = r * 2; i = i + 1; } return r; }";
+        let f = compile(src, 2).unwrap();
+        let (vliw_ret, vliw_cycles) = f.run_vliw_with(&[8], 100_000, |_| {}).unwrap();
+        let (ximd_ret, ximd_cycles) = f.run_ximd_with(&[8], 100_000, |_| {}).unwrap();
+        assert_eq!(vliw_ret, Some(256));
+        assert_eq!(vliw_ret, ximd_ret);
+        assert_eq!(vliw_cycles, ximd_cycles);
+    }
+
+    #[test]
+    fn wider_machines_run_no_slower() {
+        let src = r"
+fn f(a, b, c, d) {
+    let e = a + b;
+    let f = e + c * a;
+    let g = a - (b + c);
+    let h = d - e;
+    return (a + b + c) + d + h + (f + g);
+}
+";
+        let mut last = u64::MAX;
+        for width in [1usize, 2, 4, 8] {
+            let f = compile(src, width).unwrap();
+            let (ret, cycles) = f.run_vliw_with(&[1, 2, 3, 4], 1000, |_| {}).unwrap();
+            assert_eq!(ret, Some(13), "width {width}");
+            assert!(cycles <= last, "width {width}: {cycles} > {last}");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn compile_named_selects_function() {
+        let src = "fn a() { return 1; } fn b() { return 2; }";
+        assert_eq!(
+            compile_named(src, "b", 1).unwrap().run_vliw(&[]).unwrap(),
+            Some(2)
+        );
+        assert!(compile_named(src, "c", 1).is_err());
+    }
+
+    #[test]
+    fn void_function_returns_none() {
+        let f = compile("fn f(a) { mem[0] = a; }", 1).unwrap();
+        assert_eq!(f.run_vliw(&[3]).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_source_is_error() {
+        assert!(matches!(compile("", 4), Err(CompileError::Semantic(_))));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let src = r"
+fn collatz_steps(n) {
+    let steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}
+";
+        let f = compile(src, 4).unwrap();
+        assert_eq!(f.run_vliw(&[6]).unwrap(), Some(8));
+        assert_eq!(f.run_vliw(&[27]).unwrap(), Some(111));
+        assert_eq!(f.run_vliw(&[1]).unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-block dependence DAGs.
+//!
+//! Edge latencies encode the machine's timing model:
+//!
+//! * **RAW** (true dependence): the consumer must issue at least one cycle
+//!   after the producer — register writes commit at end of cycle.
+//! * **WAR** (anti dependence): latency 0 — a write may share the reader's
+//!   cycle because reads observe start-of-cycle state.
+//! * **WAW** (output dependence): latency 1 — two same-cycle writes to one
+//!   register are a machine check.
+//! * Memory edges are conservative (no alias analysis): load-after-store
+//!   and store-after-store are latency 1; store-after-load is latency 0.
+//!
+//! The block terminator's comparison (if any) is a DAG node like any other;
+//! the *branch* itself is handled by the scheduler, which places it one
+//! cycle after the compare (condition codes are latched).
+
+use ximd_isa::CmpOp;
+
+use crate::ir::{Block, Terminator, VReg, Val};
+
+/// A schedulable node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Node {
+    /// A block instruction (by index into `block.insts`).
+    Inst(usize),
+    /// The terminator's comparison.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+}
+
+/// A dependence DAG over one block.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    /// The nodes; the `Cmp` node (if present) is last.
+    pub nodes: Vec<Node>,
+    /// `succs[i]` = `(j, latency)`: node `j` must issue ≥ `latency` cycles
+    /// after node `i`.
+    pub succs: Vec<Vec<(usize, u32)>>,
+    /// Transposed edges.
+    pub preds: Vec<Vec<(usize, u32)>>,
+}
+
+impl Dag {
+    /// Builds the DAG for `block`, taking `insts` from it in order.
+    pub fn build(block: &Block) -> Dag {
+        let mut nodes: Vec<Node> = (0..block.insts.len()).map(Node::Inst).collect();
+        if let Terminator::Branch { op, a, b, .. } = block.term {
+            nodes.push(Node::Cmp { op, a, b });
+        }
+        let n = nodes.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+
+        let reads = |node: &Node| -> Vec<VReg> {
+            match node {
+                Node::Inst(i) => block.insts[*i].sources(),
+                Node::Cmp { a, b, .. } => [a, b].iter().filter_map(|v| v.reg()).collect(),
+            }
+        };
+        let writes = |node: &Node| -> Option<VReg> {
+            match node {
+                Node::Inst(i) => block.insts[*i].dest(),
+                Node::Cmp { .. } => None,
+            }
+        };
+        let mem_kind = |node: &Node| -> Option<bool /* is_store */> {
+            match node {
+                Node::Inst(i) => {
+                    let inst = &block.insts[*i];
+                    inst.touches_memory().then(|| inst.is_store())
+                }
+                Node::Cmp { .. } => None,
+            }
+        };
+
+        let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
+                        preds: &mut Vec<Vec<(usize, u32)>>,
+                        from: usize,
+                        to: usize,
+                        lat: u32| {
+            // Keep only the strongest constraint per pair.
+            if let Some(e) = succs[from].iter_mut().find(|(t, _)| *t == to) {
+                e.1 = e.1.max(lat);
+                if let Some(p) = preds[to].iter_mut().find(|(s, _)| *s == from) {
+                    p.1 = p.1.max(lat);
+                }
+                return;
+            }
+            succs[from].push((to, lat));
+            preds[to].push((from, lat));
+        };
+
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut lat: Option<u32> = None;
+                // RAW: j reads what i writes.
+                if let Some(d) = writes(&nodes[i]) {
+                    if reads(&nodes[j]).contains(&d) {
+                        lat = Some(lat.map_or(1, |l: u32| l.max(1)));
+                    }
+                    // WAW.
+                    if writes(&nodes[j]) == Some(d) {
+                        lat = Some(lat.map_or(1, |l: u32| l.max(1)));
+                    }
+                }
+                // WAR: j writes what i reads.
+                if let Some(dj) = writes(&nodes[j]) {
+                    if reads(&nodes[i]).contains(&dj) {
+                        lat = Some(lat.map_or(0, |l: u32| l.max(0)));
+                    }
+                }
+                // Memory (conservative).
+                if let (Some(si), Some(sj)) = (mem_kind(&nodes[i]), mem_kind(&nodes[j])) {
+                    match (si, sj) {
+                        (true, false) => lat = Some(lat.map_or(1, |l: u32| l.max(1))), // load after store
+                        (true, true) => lat = Some(lat.map_or(1, |l: u32| l.max(1))), // store after store
+                        (false, true) => lat = Some(lat.map_or(0, |l: u32| l.max(0))), // store after load
+                        (false, false) => {} // loads commute
+                    }
+                }
+                if let Some(lat) = lat {
+                    add_edge(&mut succs, &mut preds, i, j, lat);
+                }
+            }
+        }
+        Dag {
+            nodes,
+            succs,
+            preds,
+        }
+    }
+
+    /// Critical-path height of each node (longest latency path to any
+    /// sink), used as list-scheduling priority.
+    pub fn heights(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut h = vec![0u32; n];
+        // Nodes are in topological order by construction (edges go forward).
+        for i in (0..n).rev() {
+            for &(j, lat) in &self.succs[i] {
+                h[i] = h[i].max(lat + h[j]);
+            }
+        }
+        h
+    }
+
+    /// The index of the `Cmp` node, if the block ends in a branch.
+    pub fn cmp_node(&self) -> Option<usize> {
+        match self.nodes.last() {
+            Some(Node::Cmp { .. }) => Some(self.nodes.len() - 1),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockId, Inst};
+    use ximd_isa::AluOp;
+
+    fn v(i: u32) -> VReg {
+        VReg(i)
+    }
+
+    fn bin(a: Val, b: Val, d: VReg) -> Inst {
+        Inst::Bin {
+            op: AluOp::Iadd,
+            a,
+            b,
+            d,
+        }
+    }
+
+    #[test]
+    fn raw_edge_has_latency_one() {
+        let block = Block {
+            insts: vec![
+                bin(v(0).into(), Val::Const(1), v(1)),
+                bin(v(1).into(), Val::Const(2), v(2)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        assert_eq!(dag.succs[0], vec![(1, 1)]);
+    }
+
+    #[test]
+    fn war_edge_has_latency_zero() {
+        // i0 reads v1; i1 writes v1 — may share a cycle.
+        let block = Block {
+            insts: vec![
+                bin(v(1).into(), Val::Const(1), v(2)),
+                bin(v(0).into(), Val::Const(2), v(1)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        assert_eq!(dag.succs[0], vec![(1, 0)]);
+    }
+
+    #[test]
+    fn waw_edge_has_latency_one() {
+        let block = Block {
+            insts: vec![
+                bin(v(0).into(), Val::Const(1), v(1)),
+                bin(v(0).into(), Val::Const(2), v(1)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        assert_eq!(dag.succs[0], vec![(1, 1)]);
+    }
+
+    #[test]
+    fn memory_edges_are_conservative() {
+        let block = Block {
+            insts: vec![
+                Inst::Store {
+                    val: v(0).into(),
+                    addr: Val::Const(10),
+                },
+                Inst::Load {
+                    base: Val::Const(20),
+                    off: Val::Const(0),
+                    d: v(1),
+                },
+                Inst::Store {
+                    val: v(0).into(),
+                    addr: Val::Const(30),
+                },
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        // store -> load latency 1 (even though addresses differ: no alias
+        // analysis), store -> store latency 1, load -> store latency 0.
+        assert!(dag.succs[0].contains(&(1, 1)));
+        assert!(dag.succs[0].contains(&(2, 1)));
+        assert!(dag.succs[1].contains(&(2, 0)));
+    }
+
+    #[test]
+    fn independent_loads_commute() {
+        let block = Block {
+            insts: vec![
+                Inst::Load {
+                    base: Val::Const(10),
+                    off: Val::Const(0),
+                    d: v(0),
+                },
+                Inst::Load {
+                    base: Val::Const(20),
+                    off: Val::Const(0),
+                    d: v(1),
+                },
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        assert!(dag.succs[0].is_empty());
+    }
+
+    #[test]
+    fn cmp_node_depends_on_operand_defs() {
+        let block = Block {
+            insts: vec![bin(v(0).into(), Val::Const(1), v(1))],
+            term: Terminator::Branch {
+                op: CmpOp::Lt,
+                a: v(1).into(),
+                b: Val::Const(5),
+                then_bb: BlockId(0),
+                else_bb: BlockId(0),
+            },
+        };
+        let dag = Dag::build(&block);
+        let cmp = dag.cmp_node().unwrap();
+        assert_eq!(cmp, 1);
+        assert!(dag.succs[0].contains(&(cmp, 1)));
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        // Chain of three RAW deps: heights 2, 1, 0.
+        let block = Block {
+            insts: vec![
+                bin(v(0).into(), Val::Const(1), v(1)),
+                bin(v(1).into(), Val::Const(1), v(2)),
+                bin(v(2).into(), Val::Const(1), v(3)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let dag = Dag::build(&block);
+        assert_eq!(dag.heights(), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Compiler errors.
+
+use std::fmt;
+
+/// Errors from any stage of the compilation pipeline.
+///
+/// # Example
+///
+/// ```
+/// let err = ximd_compiler::compile("fn f( {", 4).unwrap_err();
+/// assert!(err.to_string().contains("line"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A lexical error at a 1-based line.
+    Lex {
+        /// Source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A parse error at a 1-based line.
+    Parse {
+        /// Source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A semantic error (undefined variable, duplicate function, …).
+    Semantic(String),
+    /// The program needs more architectural registers than the machine has.
+    OutOfRegisters {
+        /// Registers required.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// Scheduling failed (e.g. no modulo schedule within the II budget).
+    Schedule(String),
+    /// A simulation performed through a compiled artifact failed.
+    Sim(ximd_sim::SimError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            CompileError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CompileError::Semantic(m) => write!(f, "semantic error: {m}"),
+            CompileError::OutOfRegisters { needed, available } => {
+                write!(f, "needs {needed} registers, machine has {available}")
+            }
+            CompileError::Schedule(m) => write!(f, "scheduling failed: {m}"),
+            CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ximd_sim::SimError> for CompileError {
+    fn from(value: ximd_sim::SimError) -> Self {
+        CompileError::Sim(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let cases = vec![
+            CompileError::Lex {
+                line: 3,
+                message: "bad char".into(),
+            },
+            CompileError::Parse {
+                line: 9,
+                message: "expected )".into(),
+            },
+            CompileError::Semantic("undefined variable x".into()),
+            CompileError::OutOfRegisters {
+                needed: 300,
+                available: 256,
+            },
+            CompileError::Schedule("no II <= 64".into()),
+        ];
+        for err in cases {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

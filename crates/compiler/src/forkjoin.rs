@@ -1,0 +1,808 @@
+//! Fork/join XIMD code generation — the paper's §3.2 technique,
+//! generalized.
+//!
+//! MINMAX (Example 2) is the paper's template: a loop whose body contains
+//! several *independent guarded updates* (`IF (cond_i) THEN update_i`).
+//! A VLIW machine executes the guards' branches one per cycle; XIMD
+//! dedicates one functional unit per guard, forks into `G` streams for the
+//! update, and re-joins by *implicit barrier synchronization* — every path
+//! is padded to the same length, so the streams re-converge without any
+//! explicit synchronization.
+//!
+//! [`GuardedLoop`] describes such a loop (a lock-step prologue computing
+//! shared values, plus the guards); [`compile_forkjoin`] emits the XIMD
+//! program:
+//!
+//! ```text
+//! init:  induction = start; kc = trips            (lock-step)
+//! head:  prologue rows                            (lock-step, scheduled)
+//! cmps:  guard compares, one per guard FU         (lock-step)
+//! fork:  FU_i: if cc_i -> body | skip;  exit test on the counter FU
+//! body:  guard bodies, column-per-guard, padded   (G streams)
+//! skip:  nop rows of the same length              (…same partition)
+//! join:  induction += step; kc -= 1; if cc_exit -> exit | head
+//! exit:  halt
+//! ```
+//!
+//! [`compile_forkjoin_vliw`] lowers the same loop to the best
+//! single-control-stream form (guards serialized through the one
+//! sequencer), giving the paired baseline for the §4.1-style comparison.
+
+use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Parcel, Program, Reg};
+
+use crate::dag::Node;
+use crate::error::CompileError;
+use crate::ir::{Block, Inst, Terminator, VReg, Val};
+use crate::regalloc::Allocation;
+use crate::schedule::schedule_block;
+use ximd_sim::{VliwInstruction, VliwProgram};
+
+/// One guarded update.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// The guard condition.
+    pub op: CmpOp,
+    /// Left comparison operand.
+    pub a: Val,
+    /// Right comparison operand.
+    pub b: Val,
+    /// The update, executed serially on the guard's FU when the condition
+    /// holds. May read prologue results and its own earlier defs.
+    pub body: Vec<Inst>,
+}
+
+/// A counted loop of independent guarded updates.
+#[derive(Debug, Clone)]
+pub struct GuardedLoop {
+    /// Lock-step per-iteration prologue (loads, shared arithmetic).
+    pub prologue: Vec<Inst>,
+    /// The independent guards (one FU each).
+    pub guards: Vec<Guard>,
+    /// Induction register (read-only in prologue/bodies).
+    pub induction: VReg,
+    /// Initial induction value.
+    pub start: i32,
+    /// Per-iteration step.
+    pub step: i32,
+    /// Register holding the trip count at entry.
+    pub trips: VReg,
+}
+
+/// The compiled fork/join loop.
+#[derive(Debug, Clone)]
+pub struct ForkJoin {
+    /// The XIMD program (multi-stream).
+    pub program: Program,
+    /// Machine width used (`guards + 1` at minimum; wider if the prologue
+    /// needed more issue slots would not help — width is exactly
+    /// `max(guards + 1, requested)`).
+    pub width: usize,
+    /// Architectural register of the induction variable.
+    pub induction_reg: Reg,
+    /// Architectural register holding the trip count at entry.
+    pub trips_reg: Reg,
+    /// Register lookup for every virtual register in the loop.
+    pub reg_of: std::collections::HashMap<VReg, Reg>,
+}
+
+fn validate(l: &GuardedLoop) -> Result<(), CompileError> {
+    if l.guards.is_empty() {
+        return Err(CompileError::Schedule(
+            "fork/join loop needs at least one guard".into(),
+        ));
+    }
+    // Guard bodies must have pairwise-disjoint write sets (independence),
+    // must not write the prologue's defs, and nothing may write the
+    // induction or trip registers.
+    let mut prologue_defs = std::collections::HashSet::new();
+    for inst in &l.prologue {
+        if let Some(d) = inst.dest() {
+            prologue_defs.insert(d);
+        }
+    }
+    let mut seen_writes: std::collections::HashMap<VReg, usize> = std::collections::HashMap::new();
+    for (gi, guard) in l.guards.iter().enumerate() {
+        for inst in &guard.body {
+            let Some(d) = inst.dest() else { continue };
+            if d == l.induction || d == l.trips {
+                return Err(CompileError::Schedule(format!(
+                    "guard {gi} writes protected register {d}"
+                )));
+            }
+            if prologue_defs.contains(&d) {
+                return Err(CompileError::Schedule(format!(
+                    "guard {gi} writes prologue-defined register {d} (would race the next \
+                     iteration's prologue)"
+                )));
+            }
+            if let Some(&other) = seen_writes.get(&d) {
+                if other != gi {
+                    return Err(CompileError::Schedule(format!(
+                        "guards {other} and {gi} both write {d}: updates must be independent"
+                    )));
+                }
+            }
+            seen_writes.insert(d, gi);
+        }
+        // A guard body may not read another guard's writes (it would see
+        // fork-order-dependent values).
+        for inst in &guard.body {
+            for s in inst.sources() {
+                if let Some(&w) = seen_writes.get(&s) {
+                    if w != gi {
+                        return Err(CompileError::Schedule(format!(
+                            "guard {gi} reads {s}, written by guard {w}: updates must be \
+                             independent"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    if l.prologue
+        .iter()
+        .any(|i| i.dest() == Some(l.induction) || i.dest() == Some(l.trips))
+    {
+        return Err(CompileError::Schedule(
+            "prologue writes a protected register".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn collect_alloc(
+    l: &GuardedLoop,
+) -> Result<(std::collections::HashMap<VReg, Reg>, VReg), CompileError> {
+    // Allocate registers for every vreg in play plus a fresh counter.
+    fn touch(v: VReg, map: &mut std::collections::HashMap<VReg, Reg>) {
+        let next = map.len() as u16;
+        map.entry(v).or_insert(Reg(next));
+    }
+    let mut map = std::collections::HashMap::new();
+    let mut max_v = 0u32;
+    let mut all_vregs: Vec<VReg> = Vec::new();
+    for inst in l
+        .prologue
+        .iter()
+        .chain(l.guards.iter().flat_map(|g| g.body.iter()))
+    {
+        all_vregs.extend(inst.sources());
+        all_vregs.extend(inst.dest());
+    }
+    for g in &l.guards {
+        all_vregs.extend([g.a, g.b].iter().filter_map(|v| v.reg()));
+    }
+    all_vregs.push(l.induction);
+    all_vregs.push(l.trips);
+    for v in all_vregs {
+        max_v = max_v.max(v.0);
+        touch(v, &mut map);
+    }
+    let counter = VReg(max_v + 1);
+    touch(counter, &mut map);
+    if map.len() > ximd_isa::XIMD1_NUM_REGS {
+        return Err(CompileError::OutOfRegisters {
+            needed: map.len(),
+            available: ximd_isa::XIMD1_NUM_REGS,
+        });
+    }
+    Ok((map, counter))
+}
+
+use crate::codegen::lower_inst;
+
+/// Compiles a guarded loop to multi-stream XIMD code.
+///
+/// The machine width is `max(guards + 1, min_width)`: one FU per guard plus
+/// one for the loop counter, with any extra width accelerating the
+/// prologue.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Schedule`] for dependent guards or protected-
+/// register writes, and [`CompileError::OutOfRegisters`] on register-file
+/// overflow.
+pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, CompileError> {
+    validate(l)?;
+    let guard_count = l.guards.len();
+    let width = min_width.max(guard_count + 1);
+    let counter_fu = guard_count; // FU used for the exit test / counter
+
+    let (map, counter) = collect_alloc(l)?;
+    let alloc = Allocation::from_map(map.clone());
+    let ind = alloc.reg(l.induction);
+    let trips = alloc.reg(l.trips);
+    let kc = alloc.reg(counter);
+
+    // Schedule the prologue as a basic block for the machine width.
+    let prologue_block = Block {
+        insts: l.prologue.clone(),
+        term: Terminator::Return(None),
+    };
+    let sched = schedule_block(&prologue_block, width);
+    let prologue_rows: Vec<Vec<DataOp>> = if l.prologue.is_empty() {
+        Vec::new()
+    } else {
+        sched
+            .slots
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|slot| match slot {
+                        Some(Node::Inst(i)) => lower_inst(&l.prologue[*i], &alloc),
+                        _ => DataOp::Nop,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    let body_len = l
+        .guards
+        .iter()
+        .map(|g| g.body.len())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    // Address layout.
+    let init = 0u32;
+    let head = 1u32;
+    let cmps = head + prologue_rows.len() as u32;
+    let fork = cmps + 1;
+    let body0 = fork + 1;
+    let skip0 = body0 + body_len as u32;
+    let join = skip0 + body_len as u32;
+    let exit = join + 1;
+    let len = exit + 1;
+
+    let mut words: Vec<Vec<Parcel>> = (0..len)
+        .map(|row| {
+            // Default: lock-step nop falling through to the next row.
+            vec![Parcel::goto(Addr(row + 1)); width]
+        })
+        .collect();
+
+    // init: induction = start; kc = trips.
+    words[init as usize][0].data = DataOp::Un {
+        op: ximd_isa::UnOp::Mov,
+        a: ximd_isa::Operand::imm_i32(l.start),
+        d: ind,
+    };
+    words[init as usize][1.min(width - 1)] = Parcel::data(
+        DataOp::Un {
+            op: ximd_isa::UnOp::Mov,
+            a: ximd_isa::Operand::Reg(trips),
+            d: kc,
+        },
+        ControlOp::Goto(Addr(head)),
+    );
+
+    // head: prologue rows.
+    for (i, row) in prologue_rows.iter().enumerate() {
+        for (fu, op) in row.iter().enumerate() {
+            words[head as usize + i][fu].data = *op;
+        }
+    }
+
+    // cmps row: guard compares on their FUs; exit compare on the counter FU.
+    for (gi, guard) in l.guards.iter().enumerate() {
+        words[cmps as usize][gi].data = DataOp::Cmp {
+            op: guard.op,
+            a: operand(guard.a, &alloc),
+            b: operand(guard.b, &alloc),
+        };
+    }
+    words[cmps as usize][counter_fu].data = DataOp::Cmp {
+        op: CmpOp::Eq,
+        a: ximd_isa::Operand::Reg(kc),
+        b: ximd_isa::Operand::imm_i32(1),
+    };
+
+    // fork row: guard FUs branch on their own cc; everyone else to skip.
+    for fu in 0..width {
+        let ctrl = if fu < guard_count {
+            ControlOp::branch(CondSource::Cc(FuId(fu as u8)), Addr(body0), Addr(skip0))
+        } else {
+            ControlOp::Goto(Addr(skip0))
+        };
+        words[fork as usize][fu] = Parcel::data(DataOp::Nop, ctrl);
+    }
+
+    // body region: guard bodies, column per guard; every row falls through,
+    // last row jumps to join. The skip region mirrors the control shape.
+    for row in 0..body_len {
+        let next = if row + 1 == body_len {
+            Addr(join)
+        } else {
+            Addr(body0 + row as u32 + 1)
+        };
+        let skip_next = if row + 1 == body_len {
+            Addr(join)
+        } else {
+            Addr(skip0 + row as u32 + 1)
+        };
+        for fu in 0..width {
+            words[(body0 as usize) + row][fu] = Parcel::goto(next);
+            words[(skip0 as usize) + row][fu] = Parcel::goto(skip_next);
+        }
+        for (gi, guard) in l.guards.iter().enumerate() {
+            if let Some(inst) = guard.body.get(row) {
+                words[(body0 as usize) + row][gi].data = lower_inst(inst, &alloc);
+            }
+        }
+    }
+
+    // join row: induction += step on FU0's slot, kc -= 1 on the counter FU,
+    // everyone branches on the exit cc.
+    let join_ctrl = ControlOp::branch(
+        CondSource::Cc(FuId(counter_fu as u8)),
+        Addr(exit),
+        Addr(head),
+    );
+    for fu in 0..width {
+        words[join as usize][fu] = Parcel::data(DataOp::Nop, join_ctrl);
+    }
+    words[join as usize][0].data = DataOp::Alu {
+        op: AluOp::Iadd,
+        a: ximd_isa::Operand::Reg(ind),
+        b: ximd_isa::Operand::imm_i32(l.step),
+        d: ind,
+    };
+    words[join as usize][counter_fu].data = DataOp::Alu {
+        op: AluOp::Isub,
+        a: ximd_isa::Operand::Reg(kc),
+        b: ximd_isa::Operand::imm_i32(1),
+        d: kc,
+    };
+
+    // exit: halt.
+    for fu in 0..width {
+        words[exit as usize][fu] = Parcel::halt();
+    }
+
+    let mut program = Program::new(width);
+    for word in words {
+        program.push(word);
+    }
+    program
+        .validate(ximd_isa::XIMD1_NUM_REGS)
+        .map_err(|e| CompileError::Schedule(format!("fork/join program invalid: {e}")))?;
+
+    Ok(ForkJoin {
+        program,
+        width,
+        induction_reg: ind,
+        trips_reg: trips,
+        reg_of: map,
+    })
+}
+
+fn operand(v: Val, alloc: &Allocation) -> ximd_isa::Operand {
+    match v {
+        Val::Reg(r) => ximd_isa::Operand::Reg(alloc.reg(r)),
+        Val::Const(c) => ximd_isa::Operand::imm_i32(c),
+    }
+}
+
+/// Lowers the same guarded loop to the best single-control-stream (VLIW)
+/// schedule: the prologue and compares are as wide as on XIMD, but the
+/// guards' branches serialize through the one sequencer.
+///
+/// # Errors
+///
+/// Same conditions as [`compile_forkjoin`].
+pub fn compile_forkjoin_vliw(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, CompileError> {
+    validate(l)?;
+    let guard_count = l.guards.len();
+    let width = min_width.max(guard_count + 1);
+    let counter_fu = guard_count;
+    let (map, counter) = collect_alloc(l)?;
+    let alloc = Allocation::from_map(map.clone());
+    let ind = alloc.reg(l.induction);
+    let trips = alloc.reg(l.trips);
+    let kc = alloc.reg(counter);
+
+    let prologue_block = Block {
+        insts: l.prologue.clone(),
+        term: Terminator::Return(None),
+    };
+    let sched = schedule_block(&prologue_block, width);
+
+    let mut p = VliwProgram::new(width);
+    let nops = || vec![DataOp::Nop; width];
+
+    // init.
+    let mut init_ops = nops();
+    init_ops[0] = DataOp::Un {
+        op: ximd_isa::UnOp::Mov,
+        a: ximd_isa::Operand::imm_i32(l.start),
+        d: ind,
+    };
+    init_ops[1.min(width - 1)] = DataOp::Un {
+        op: ximd_isa::UnOp::Mov,
+        a: ximd_isa::Operand::Reg(trips),
+        d: kc,
+    };
+    p.push(VliwInstruction {
+        ops: init_ops,
+        ctrl: ControlOp::Goto(Addr(1)),
+    });
+
+    // head: prologue rows (addresses are assigned as we push).
+    if !l.prologue.is_empty() {
+        for row in &sched.slots {
+            let ops = row
+                .iter()
+                .map(|slot| match slot {
+                    Some(Node::Inst(i)) => lower_inst(&l.prologue[*i], &alloc),
+                    _ => DataOp::Nop,
+                })
+                .collect();
+            let next = Addr(p.len() as u32 + 1);
+            p.push(VliwInstruction {
+                ops,
+                ctrl: ControlOp::Goto(next),
+            });
+        }
+    }
+    let head = 1u32;
+
+    // cmp row: all compares fit one word (distinct FUs' ccs).
+    let mut cmp_ops = nops();
+    for (gi, guard) in l.guards.iter().enumerate() {
+        cmp_ops[gi] = DataOp::Cmp {
+            op: guard.op,
+            a: operand(guard.a, &alloc),
+            b: operand(guard.b, &alloc),
+        };
+    }
+    cmp_ops[counter_fu] = DataOp::Cmp {
+        op: CmpOp::Eq,
+        a: ximd_isa::Operand::Reg(kc),
+        b: ximd_isa::Operand::imm_i32(1),
+    };
+    let next = Addr(p.len() as u32 + 1);
+    p.push(VliwInstruction {
+        ops: cmp_ops,
+        ctrl: ControlOp::Goto(next),
+    });
+
+    // Serialized guards: for each guard, branch on its cc, then the body
+    // rows (scheduled on the full width — generous to the baseline).
+    // Addresses are computed incrementally.
+    for (gi, guard) in l.guards.iter().enumerate() {
+        let body_block = Block {
+            insts: guard.body.clone(),
+            term: Terminator::Return(None),
+        };
+        let body_sched = schedule_block(&body_block, width);
+        let body_rows = if guard.body.is_empty() {
+            0
+        } else {
+            body_sched.len() as u32
+        };
+        let branch_addr = p.len() as u32;
+        let body_start = branch_addr + 1;
+        let after = body_start + body_rows;
+        p.push(VliwInstruction {
+            ops: nops(),
+            ctrl: ControlOp::branch(
+                CondSource::Cc(FuId(gi as u8)),
+                Addr(body_start),
+                Addr(after),
+            ),
+        });
+        if !guard.body.is_empty() {
+            for row in &body_sched.slots {
+                let ops = row
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(Node::Inst(i)) => lower_inst(&guard.body[*i], &alloc),
+                        _ => DataOp::Nop,
+                    })
+                    .collect();
+                let next = Addr(p.len() as u32 + 1);
+                p.push(VliwInstruction {
+                    ops,
+                    ctrl: ControlOp::Goto(next),
+                });
+            }
+        }
+    }
+
+    // join: increment, decrement, loop.
+    let exit = p.len() as u32 + 1;
+    let mut join_ops = nops();
+    join_ops[0] = DataOp::Alu {
+        op: AluOp::Iadd,
+        a: ximd_isa::Operand::Reg(ind),
+        b: ximd_isa::Operand::imm_i32(l.step),
+        d: ind,
+    };
+    join_ops[counter_fu] = DataOp::Alu {
+        op: AluOp::Isub,
+        a: ximd_isa::Operand::Reg(kc),
+        b: ximd_isa::Operand::imm_i32(1),
+        d: kc,
+    };
+    p.push(VliwInstruction {
+        ops: join_ops,
+        ctrl: ControlOp::branch(
+            CondSource::Cc(FuId(counter_fu as u8)),
+            Addr(exit),
+            Addr(head),
+        ),
+    });
+    p.push(VliwInstruction::halt(width));
+
+    Ok(ForkJoin {
+        program: p.to_ximd(),
+        width,
+        induction_reg: ind,
+        trips_reg: trips,
+        reg_of: map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::Value;
+    use ximd_sim::{MachineConfig, Xsim};
+
+    /// MINMAX as a GuardedLoop: prologue loads IZ(k); guard 0 updates min,
+    /// guard 1 updates max.
+    fn minmax_loop() -> GuardedLoop {
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let v = VReg(2);
+        let min = VReg(3);
+        let max = VReg(4);
+        GuardedLoop {
+            prologue: vec![Inst::Load {
+                base: Val::Const(99),
+                off: ind.into(),
+                d: v,
+            }],
+            guards: vec![
+                Guard {
+                    op: CmpOp::Lt,
+                    a: v.into(),
+                    b: min.into(),
+                    body: vec![Inst::Copy {
+                        a: v.into(),
+                        d: min,
+                    }],
+                },
+                Guard {
+                    op: CmpOp::Gt,
+                    a: v.into(),
+                    b: max.into(),
+                    body: vec![Inst::Copy {
+                        a: v.into(),
+                        d: max,
+                    }],
+                },
+            ],
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+        }
+    }
+
+    fn run(fj: &ForkJoin, data: &[i32], trips: i32, seed: &[(Reg, i32)]) -> Xsim {
+        let mut sim = Xsim::new(fj.program.clone(), MachineConfig::with_width(fj.width)).unwrap();
+        sim.mem_mut().poke_slice(100, data).unwrap();
+        sim.write_reg(fj.trips_reg, Value::I32(trips));
+        for &(r, v) in seed {
+            sim.write_reg(r, Value::I32(v));
+        }
+        sim.run(1_000_000).unwrap();
+        sim
+    }
+
+    #[test]
+    fn minmax_forkjoin_is_correct() {
+        let l = minmax_loop();
+        let fj = compile_forkjoin(&l, 3).unwrap();
+        let data = [5, 3, 4, 7, -2, 9, 0];
+        let min_r = fj.reg_of[&VReg(3)];
+        let max_r = fj.reg_of[&VReg(4)];
+        let sim = run(
+            &fj,
+            &data,
+            data.len() as i32,
+            &[(min_r, i32::MAX), (max_r, i32::MIN)],
+        );
+        assert_eq!(sim.reg(min_r).as_i32(), -2);
+        assert_eq!(sim.reg(max_r).as_i32(), 9);
+    }
+
+    #[test]
+    fn forkjoin_actually_forks() {
+        let l = minmax_loop();
+        let fj = compile_forkjoin(&l, 3).unwrap();
+        let data = [5, 3, 4, 7];
+        let min_r = fj.reg_of[&VReg(3)];
+        let max_r = fj.reg_of[&VReg(4)];
+        let mut sim = Xsim::new(fj.program.clone(), MachineConfig::with_width(fj.width)).unwrap();
+        sim.mem_mut().poke_slice(100, &data).unwrap();
+        sim.write_reg(fj.trips_reg, Value::I32(4));
+        sim.write_reg(min_r, Value::I32(i32::MAX));
+        sim.write_reg(max_r, Value::I32(i32::MIN));
+        sim.enable_trace();
+        sim.run(100_000).unwrap();
+        assert!(
+            sim.trace().unwrap().max_streams() >= 3,
+            "guards + counter streams"
+        );
+    }
+
+    #[test]
+    fn ximd_forkjoin_beats_vliw_serialization() {
+        let l = minmax_loop();
+        let fj = compile_forkjoin(&l, 3).unwrap();
+        let vl = compile_forkjoin_vliw(&l, 3).unwrap();
+        let data: Vec<i32> = (0..64).map(|i| (i * 37) % 101 - 50).collect();
+        let seed = |fj: &ForkJoin| {
+            vec![
+                (fj.reg_of[&VReg(3)], i32::MAX),
+                (fj.reg_of[&VReg(4)], i32::MIN),
+            ]
+        };
+        let xs = run(&fj, &data, 64, &seed(&fj));
+        let vs = run(&vl, &data, 64, &seed(&vl));
+        // Same answers.
+        assert_eq!(
+            xs.reg(fj.reg_of[&VReg(3)]).as_i32(),
+            vs.reg(vl.reg_of[&VReg(3)]).as_i32()
+        );
+        assert_eq!(
+            xs.reg(fj.reg_of[&VReg(4)]).as_i32(),
+            vs.reg(vl.reg_of[&VReg(4)]).as_i32()
+        );
+        // Fewer cycles by parallel control flow.
+        assert!(
+            xs.cycle() < vs.cycle(),
+            "forkjoin {} vs serialized {}",
+            xs.cycle(),
+            vs.cycle()
+        );
+    }
+
+    #[test]
+    fn four_guards_with_multi_inst_bodies() {
+        // Classify each element into one of four counters (ranges), with
+        // two-instruction bodies (shift then add).
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let v = VReg(2);
+        let counts = [VReg(3), VReg(4), VReg(5), VReg(6)];
+        let scratch = [VReg(7), VReg(8), VReg(9), VReg(10)];
+        let bounds = [0, 25, 50, 75];
+        let guards = (0..4)
+            .map(|i| Guard {
+                op: CmpOp::Ge,
+                a: v.into(),
+                b: Val::Const(bounds[i]),
+                body: vec![
+                    Inst::Bin {
+                        op: AluOp::Iadd,
+                        a: v.into(),
+                        b: Val::Const(1),
+                        d: scratch[i],
+                    },
+                    Inst::Bin {
+                        op: AluOp::Iadd,
+                        a: counts[i].into(),
+                        b: Val::Const(1),
+                        d: counts[i],
+                    },
+                ],
+            })
+            .collect();
+        let l = GuardedLoop {
+            prologue: vec![Inst::Load {
+                base: Val::Const(99),
+                off: ind.into(),
+                d: v,
+            }],
+            guards,
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+        };
+        let fj = compile_forkjoin(&l, 5).unwrap();
+        let data: Vec<i32> = vec![10, 30, 60, 80, 90, 5, 55];
+        let sim = run(&fj, &data, data.len() as i32, &[]);
+        // Oracle: count elements >= each bound.
+        for (i, &b) in bounds.iter().enumerate() {
+            let expect = data.iter().filter(|&&x| x >= b).count() as i32;
+            assert_eq!(
+                sim.reg(fj.reg_of[&counts[i]]).as_i32(),
+                expect,
+                "counter {i} (>= {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn dependent_guards_are_rejected() {
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let x = VReg(2);
+        let mk = |body_dest: VReg| Guard {
+            op: CmpOp::Gt,
+            a: Val::Const(1),
+            b: Val::Const(0),
+            body: vec![Inst::Copy {
+                a: Val::Const(1),
+                d: body_dest,
+            }],
+        };
+        // Two guards writing the same register.
+        let l = GuardedLoop {
+            prologue: vec![],
+            guards: vec![mk(x), mk(x)],
+            induction: ind,
+            start: 0,
+            step: 1,
+            trips,
+        };
+        assert!(matches!(
+            compile_forkjoin(&l, 3),
+            Err(CompileError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn guard_reading_another_guards_write_is_rejected() {
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let (x, y) = (VReg(2), VReg(3));
+        let l = GuardedLoop {
+            prologue: vec![],
+            guards: vec![
+                Guard {
+                    op: CmpOp::Gt,
+                    a: Val::Const(1),
+                    b: Val::Const(0),
+                    body: vec![Inst::Copy {
+                        a: Val::Const(1),
+                        d: x,
+                    }],
+                },
+                Guard {
+                    op: CmpOp::Gt,
+                    a: Val::Const(1),
+                    b: Val::Const(0),
+                    body: vec![Inst::Copy { a: x.into(), d: y }],
+                },
+            ],
+            induction: ind,
+            start: 0,
+            step: 1,
+            trips,
+        };
+        assert!(matches!(
+            compile_forkjoin(&l, 3),
+            Err(CompileError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn empty_guard_list_rejected() {
+        let l = GuardedLoop {
+            prologue: vec![],
+            guards: vec![],
+            induction: VReg(0),
+            start: 0,
+            step: 1,
+            trips: VReg(1),
+        };
+        assert!(compile_forkjoin(&l, 4).is_err());
+    }
+}

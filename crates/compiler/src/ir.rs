@@ -1,0 +1,394 @@
+//! Three-address intermediate representation.
+//!
+//! Functions are graphs of basic blocks over an unbounded set of virtual
+//! registers. The IR mirrors the machine closely — its binary/unary opcodes
+//! are the ISA's — but keeps comparisons fused into block terminators
+//! (XIMD-1 compares write condition codes, not registers, so a comparison
+//! is only meaningful as a branch condition).
+
+use std::fmt;
+
+use ximd_isa::{AluOp, CmpOp, UnOp};
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block identifier (index into [`Function::blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An IR operand: virtual register or integer constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Val {
+    /// A virtual register.
+    Reg(VReg),
+    /// An integer constant.
+    Const(i32),
+}
+
+impl Val {
+    /// Returns the register if this operand reads one.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Val::Reg(r) => Some(r),
+            Val::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Reg(r) => write!(f, "{r}"),
+            Val::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<VReg> for Val {
+    fn from(value: VReg) -> Self {
+        Val::Reg(value)
+    }
+}
+
+impl From<i32> for Val {
+    fn from(value: i32) -> Self {
+        Val::Const(value)
+    }
+}
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `d = a op b`.
+    Bin {
+        /// The ALU opcode.
+        op: AluOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+        /// Destination.
+        d: VReg,
+    },
+    /// `d = op a`.
+    Un {
+        /// The unary opcode.
+        op: UnOp,
+        /// Operand.
+        a: Val,
+        /// Destination.
+        d: VReg,
+    },
+    /// `d = a` (lowered to `mov`).
+    Copy {
+        /// Source.
+        a: Val,
+        /// Destination.
+        d: VReg,
+    },
+    /// `d = M(base + off)`.
+    Load {
+        /// Base operand.
+        base: Val,
+        /// Offset operand.
+        off: Val,
+        /// Destination.
+        d: VReg,
+    },
+    /// `M(addr) = val`.
+    Store {
+        /// The value stored.
+        val: Val,
+        /// The address.
+        addr: Val,
+    },
+}
+
+impl Inst {
+    /// The destination register, if the instruction writes one.
+    pub fn dest(&self) -> Option<VReg> {
+        match *self {
+            Inst::Bin { d, .. }
+            | Inst::Un { d, .. }
+            | Inst::Copy { d, .. }
+            | Inst::Load { d, .. } => Some(d),
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// The registers read by the instruction.
+    pub fn sources(&self) -> Vec<VReg> {
+        let vals: &[Val] = match self {
+            Inst::Bin { a, b, .. } => &[*a, *b],
+            Inst::Un { a, .. } | Inst::Copy { a, .. } => &[*a],
+            Inst::Load { base, off, .. } => &[*base, *off],
+            Inst::Store { val, addr } => &[*val, *addr],
+        };
+        vals.iter().filter_map(|v| v.reg()).collect()
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn touches_memory(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// Returns `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, a, b, d } => write!(f, "{d} = {op} {a}, {b}"),
+            Inst::Un { op, a, d } => write!(f, "{d} = {op} {a}"),
+            Inst::Copy { a, d } => write!(f, "{d} = {a}"),
+            Inst::Load { base, off, d } => write!(f, "{d} = load {base}+{off}"),
+            Inst::Store { val, addr } => write!(f, "store {val} -> [{addr}]"),
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Conditional branch on a comparison (the comparison is materialized
+    /// at scheduling time as a machine compare feeding a condition code).
+    Branch {
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+        /// Successor when the comparison holds.
+        then_bb: BlockId,
+        /// Successor otherwise.
+        else_bb: BlockId,
+    },
+    /// Function return with an optional value.
+    Return(Option<Val>),
+}
+
+impl Terminator {
+    /// Successor blocks (0, 1 or 2).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Goto(b) => vec![b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
+            Terminator::Return(_) => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn sources(&self) -> Vec<VReg> {
+        match *self {
+            Terminator::Branch { a, b, .. } => [a, b].iter().filter_map(|v| v.reg()).collect(),
+            Terminator::Return(Some(v)) => v.reg().into_iter().collect(),
+            _ => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Goto(b) => write!(f, "goto {b}"),
+            Terminator::Branch {
+                op,
+                a,
+                b,
+                then_bb,
+                else_bb,
+            } => {
+                write!(f, "if {op} {a}, {b} then {then_bb} else {else_bb}")
+            }
+            Terminator::Return(Some(v)) => write!(f, "return {v}"),
+            Terminator::Return(None) => write!(f, "return"),
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter registers, in declaration order.
+    pub params: Vec<VReg>,
+    /// Basic blocks; [`BlockId`] indexes this vector.
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Number of virtual registers allocated (`v0..v(n-1)`).
+    pub vreg_count: u32,
+}
+
+impl Function {
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.vreg_count);
+        self.vreg_count += 1;
+        r
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// Mutable access to the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0]
+    }
+
+    /// Total IR instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({:?}) entry {}",
+            self.name, self.params, self.entry
+        )?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Function {
+        Function {
+            name: "f".into(),
+            params: vec![VReg(0)],
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: AluOp::Iadd,
+                        a: VReg(0).into(),
+                        b: Val::Const(1),
+                        d: VReg(1),
+                    }],
+                    term: Terminator::Branch {
+                        op: CmpOp::Lt,
+                        a: VReg(1).into(),
+                        b: Val::Const(10),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Terminator::Goto(BlockId(2)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Terminator::Return(Some(VReg(1).into())),
+                },
+            ],
+            entry: BlockId(0),
+            vreg_count: 2,
+        }
+    }
+
+    #[test]
+    fn inst_def_use() {
+        let i = Inst::Bin {
+            op: AluOp::Isub,
+            a: VReg(3).into(),
+            b: Val::Const(2),
+            d: VReg(4),
+        };
+        assert_eq!(i.dest(), Some(VReg(4)));
+        assert_eq!(i.sources(), vec![VReg(3)]);
+        let s = Inst::Store {
+            val: VReg(1).into(),
+            addr: VReg(2).into(),
+        };
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![VReg(1), VReg(2)]);
+        assert!(s.is_store());
+        assert!(s.touches_memory());
+    }
+
+    #[test]
+    fn terminator_successors_and_sources() {
+        let f = sample();
+        assert_eq!(
+            f.block(BlockId(0)).term.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert_eq!(f.block(BlockId(0)).term.sources(), vec![VReg(1)]);
+        assert!(f.block(BlockId(2)).term.successors().is_empty());
+    }
+
+    #[test]
+    fn new_vreg_is_fresh() {
+        let mut f = sample();
+        let v = f.new_vreg();
+        assert_eq!(v, VReg(2));
+        assert_eq!(f.new_vreg(), VReg(3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = sample().to_string();
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("v1 = iadd v0, 1"));
+        assert!(text.contains("if lt v1, 10 then bb1 else bb2"));
+    }
+
+    #[test]
+    fn inst_count_sums_blocks() {
+        assert_eq!(sample().inst_count(), 1);
+    }
+}

@@ -1,0 +1,589 @@
+//! Mini-C frontend: lexer, AST and recursive-descent parser.
+//!
+//! The language is the smallest C subset that expresses the paper's
+//! workloads (stand-in for the GNU-C frontend of the Breternitz compiler):
+//!
+//! ```text
+//! program   := fn*
+//! fn        := "fn" IDENT "(" params? ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | IDENT "=" expr ";"
+//!            | "mem" "[" expr "]" "=" expr ";"
+//!            | "if" "(" cond ")" block ("else" block)?
+//!            | "while" "(" cond ")" block
+//!            | "return" expr? ";"
+//! cond      := expr (("<"|"<="|">"|">="|"=="|"!=") expr)?   // bare expr means != 0
+//! expr      := arithmetic over + - * / % & | ^ << >> with C precedence,
+//!              unary "-", integers, variables, "mem" "[" expr "]", parens
+//! ```
+//!
+//! Comparisons appear only as conditions — XIMD-1 compares set condition
+//! codes, not registers, so the frontend keeps them fused with branches.
+
+use std::fmt;
+
+use ximd_isa::{AluOp, CmpOp};
+
+use crate::error::CompileError;
+
+/// A binary arithmetic operator (maps 1:1 to an ALU opcode).
+pub type BinOp = AluOp;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32),
+    /// Variable reference.
+    Var(String),
+    /// `mem[addr]`.
+    Mem(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// A branch condition: comparison or truthiness test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left side.
+    pub a: Expr,
+    /// Right side.
+    pub b: Expr,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;` — declares and initializes.
+    Let(String, Expr),
+    /// `x = e;`.
+    Assign(String, Expr),
+    /// `mem[a] = e;`.
+    MemStore(Expr, Expr),
+    /// `if (c) { .. } else { .. }`.
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`.
+    While(Cond, Vec<Stmt>),
+    /// `return e?;`.
+    Return(Option<Expr>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    /// Functions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+impl Ast {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i32),
+    Kw(&'static str),
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Kw(k) => write!(f, "keyword {k:?}"),
+            Tok::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+const KEYWORDS: [&str; 7] = ["fn", "let", "if", "else", "while", "return", "mem"];
+const SYMBOLS: [&str; 22] = [
+    "<<", ">>", "<=", ">=", "==", "!=", "(", ")", "{", "}", "[", "]", ",", ";", "=", "<", ">", "+",
+    "-", "*", "/", "%",
+];
+const SYMBOLS_EXTRA: [&str; 3] = ["&", "|", "^"];
+
+fn lex(source: &str) -> Result<Vec<(usize, Tok)>, CompileError> {
+    let mut toks = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = match raw.find("//") {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut rest = text.trim_start();
+        'outer: while !rest.is_empty() {
+            for sym in SYMBOLS.iter().chain(SYMBOLS_EXTRA.iter()) {
+                if let Some(after) = rest.strip_prefix(sym) {
+                    toks.push((line, Tok::Sym(sym)));
+                    rest = after.trim_start();
+                    continue 'outer;
+                }
+            }
+            let c = rest.chars().next().expect("non-empty");
+            if c.is_ascii_digit() {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                let value: i64 = rest[..end].parse().map_err(|_| CompileError::Lex {
+                    line,
+                    message: format!("integer {} out of range", &rest[..end]),
+                })?;
+                if value > i32::MAX as i64 + 1 {
+                    return Err(CompileError::Lex {
+                        line,
+                        message: format!("integer {value} out of range"),
+                    });
+                }
+                toks.push((line, Tok::Int(value as i32)));
+                rest = rest[end..].trim_start();
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let end = rest
+                    .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                    .unwrap_or(rest.len());
+                let word = &rest[..end];
+                match KEYWORDS.iter().find(|&&k| k == word) {
+                    Some(&k) => toks.push((line, Tok::Kw(k))),
+                    None => toks.push((line, Tok::Ident(word.to_owned()))),
+                }
+                rest = rest[end..].trim_start();
+            } else {
+                return Err(CompileError::Lex {
+                    line,
+                    message: format!("unexpected character {c:?}"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |(l, _)| *l)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), CompileError> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => {
+                let found = other.map_or("end of input".to_owned(), |t| t.to_string());
+                self.err(format!("expected {sym:?}, found {found}"))
+            }
+        }
+    }
+
+    fn try_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => {
+                let found = other.map_or("end of input".to_owned(), |t| t.to_string());
+                self.err(format!("expected identifier, found {found}"))
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<Ast, CompileError> {
+        let mut ast = Ast::default();
+        while self.peek().is_some() {
+            if !self.try_kw("fn") {
+                return self.err("expected `fn`");
+            }
+            let name = self.ident()?;
+            self.eat_sym("(")?;
+            let mut params = Vec::new();
+            if !self.try_sym(")") {
+                loop {
+                    params.push(self.ident()?);
+                    if self.try_sym(")") {
+                        break;
+                    }
+                    self.eat_sym(",")?;
+                }
+            }
+            let body = self.block()?;
+            if ast.function(&name).is_some() {
+                return Err(CompileError::Semantic(format!(
+                    "duplicate function {name:?}"
+                )));
+            }
+            ast.fns.push(FnDef { name, params, body });
+        }
+        Ok(ast)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_sym("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.try_kw("let") {
+            let name = self.ident()?;
+            self.eat_sym("=")?;
+            let e = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.try_kw("if") {
+            self.eat_sym("(")?;
+            let cond = self.cond()?;
+            self.eat_sym(")")?;
+            let then = self.block()?;
+            let els = if self.try_kw("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.try_kw("while") {
+            self.eat_sym("(")?;
+            let cond = self.cond()?;
+            self.eat_sym(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.try_kw("return") {
+            if self.try_sym(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.try_kw("mem") {
+            self.eat_sym("[")?;
+            let addr = self.expr()?;
+            self.eat_sym("]")?;
+            self.eat_sym("=")?;
+            let value = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::MemStore(addr, value));
+        }
+        let name = self.ident()?;
+        self.eat_sym("=")?;
+        let e = self.expr()?;
+        self.eat_sym(";")?;
+        Ok(Stmt::Assign(name, e))
+    }
+
+    fn cond(&mut self) -> Result<Cond, CompileError> {
+        let a = self.expr()?;
+        let op = match self.peek() {
+            Some(Tok::Sym(s)) => match *s {
+                "<" => Some(CmpOp::Lt),
+                "<=" => Some(CmpOp::Le),
+                ">" => Some(CmpOp::Gt),
+                ">=" => Some(CmpOp::Ge),
+                "==" => Some(CmpOp::Eq),
+                "!=" => Some(CmpOp::Ne),
+                _ => None,
+            },
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let b = self.expr()?;
+                Ok(Cond { op, a, b })
+            }
+            // Bare expression: truthiness test.
+            None => Ok(Cond {
+                op: CmpOp::Ne,
+                a,
+                b: Expr::Int(0),
+            }),
+        }
+    }
+
+    /// Precedence climbing: | ^ & then << >> then + - then * / %.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(0)
+    }
+
+    fn bin_level(&mut self, level: usize) -> Result<Expr, CompileError> {
+        const LEVELS: [&[(&str, BinOp)]; 5] = [
+            &[("|", AluOp::Or), ("^", AluOp::Xor)],
+            &[("&", AluOp::And)],
+            &[("<<", AluOp::Shl), (">>", AluOp::Shr)],
+            &[("+", AluOp::Iadd), ("-", AluOp::Isub)],
+            &[("*", AluOp::Imult), ("/", AluOp::Idiv), ("%", AluOp::Imod)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.bin_level(level + 1)?;
+        loop {
+            let hit = match self.peek() {
+                Some(Tok::Sym(s)) => LEVELS[level]
+                    .iter()
+                    .find(|(sym, _)| sym == s)
+                    .map(|&(_, op)| op),
+                _ => None,
+            };
+            match hit {
+                Some(op) => {
+                    self.pos += 1;
+                    let rhs = self.bin_level(level + 1)?;
+                    lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.try_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        if self.try_sym("(") {
+            let e = self.expr()?;
+            self.eat_sym(")")?;
+            return Ok(e);
+        }
+        if self.try_kw("mem") {
+            self.eat_sym("[")?;
+            let addr = self.expr()?;
+            self.eat_sym("]")?;
+            return Ok(Expr::Mem(Box::new(addr)));
+        }
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Ident(name)) => Ok(Expr::Var(name)),
+            other => {
+                self.pos -= 1;
+                let found = other.map_or("end of input".to_owned(), |t| t.to_string());
+                self.err(format!("expected expression, found {found}"))
+            }
+        }
+    }
+}
+
+/// Parses mini-C source into an AST.
+///
+/// # Errors
+///
+/// Returns lexical, parse or duplicate-definition errors with line numbers.
+///
+/// # Example
+///
+/// ```
+/// let ast = ximd_compiler::lang::parse("fn id(x) { return x; }")?;
+/// assert_eq!(ast.fns.len(), 1);
+/// assert_eq!(ast.fns[0].params, vec!["x".to_owned()]);
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Ast, CompileError> {
+    let toks = lex(source)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let ast = parse("fn f() { return 1; }").unwrap();
+        assert_eq!(ast.fns[0].name, "f");
+        assert_eq!(ast.fns[0].body, vec![Stmt::Return(Some(Expr::Int(1)))]);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let ast = parse("fn f(a, b) { return a + b * 2; }").unwrap();
+        match &ast.fns[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(AluOp::Iadd, l, r))) => {
+                assert_eq!(**l, Expr::Var("a".into()));
+                assert!(matches!(**r, Expr::Bin(AluOp::Imult, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let ast = parse("fn f(a, b) { return (a + b) * 2; }").unwrap();
+        assert!(matches!(
+            &ast.fns[0].body[0],
+            Stmt::Return(Some(Expr::Bin(AluOp::Imult, _, _)))
+        ));
+    }
+
+    #[test]
+    fn shift_and_bitwise_levels() {
+        // `a | b & c << 1` parses as `a | (b & (c << 1))`.
+        let ast = parse("fn f(a, b, c) { return a | b & c << 1; }").unwrap();
+        assert!(matches!(
+            &ast.fns[0].body[0],
+            Stmt::Return(Some(Expr::Bin(AluOp::Or, _, _)))
+        ));
+    }
+
+    #[test]
+    fn full_statement_forms() {
+        let src = r"
+fn g(n) {
+    let s = 0;
+    let i = 0;
+    while (i < n) {
+        if (mem[100 + i] > 0) {
+            s = s + mem[100 + i];
+        } else {
+            s = s - 1;
+        }
+        i = i + 1;
+    }
+    mem[50] = s;
+    return s;
+}
+";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.fns[0].params, vec!["n".to_owned()]);
+        assert_eq!(ast.fns[0].body.len(), 5);
+    }
+
+    #[test]
+    fn bare_condition_means_nonzero() {
+        let ast = parse("fn f(a) { while (a) { a = a - 1; } return a; }").unwrap();
+        match &ast.fns[0].body[0] {
+            Stmt::While(c, _) => {
+                assert_eq!(c.op, CmpOp::Ne);
+                assert_eq!(c.b, Expr::Int(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let ast = parse("fn f() { return -5 - -3; }").unwrap();
+        assert!(matches!(
+            &ast.fns[0].body[0],
+            Stmt::Return(Some(Expr::Bin(AluOp::Isub, _, _)))
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("fn f() {\n  let x = ;\n}").unwrap_err();
+        assert!(
+            matches!(err, CompileError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_functions() {
+        let err = parse("fn f() { return 0; } fn f() { return 1; }").unwrap_err();
+        assert!(matches!(err, CompileError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_garbage_characters() {
+        let err = parse("fn f() { let x = 1 @ 2; }").unwrap_err();
+        assert!(matches!(err, CompileError::Lex { .. }));
+    }
+
+    #[test]
+    fn min_int_literal() {
+        let ast = parse("fn f() { return -2147483648; }").unwrap();
+        assert!(matches!(
+            &ast.fns[0].body[0],
+            Stmt::Return(Some(Expr::Neg(_)))
+        ));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let ast = parse("fn f() { // comment\n return 2; // more\n}").unwrap();
+        assert_eq!(ast.fns.len(), 1);
+    }
+}

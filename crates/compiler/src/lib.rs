@@ -1,0 +1,68 @@
+//! Compiler substrate for the XIMD workspace.
+//!
+//! The paper's evaluation relies on "a retargetable VLIW compiler … based on
+//! GNU C, \[incorporating\] an expanded version of Percolation Scheduling,
+//! Software Pipelining, and run-time disambiguation", which compiles each
+//! program thread "several times with varying resource constraints" to
+//! produce *tiles* that a packing algorithm then places into instruction
+//! memory (Figure 13). That compiler was never released; this crate is the
+//! workspace's substitute, built from scratch:
+//!
+//! * [`lang`] — a mini-C frontend (functions, integers, `mem[...]` accesses,
+//!   `if`/`while`, comparisons as branch conditions);
+//! * [`ir`] — a three-address IR over virtual registers with explicit
+//!   basic-block terminators;
+//! * [`cfg`](mod@cfg) — control-flow analysis (predecessors, reverse postorder,
+//!   dominators, natural loops);
+//! * [`liveness`] — backward live-variable analysis;
+//! * [`dag`] — per-block dependence DAGs with the machine's same-cycle
+//!   read-old-value semantics encoded as edge latencies;
+//! * [`schedule`] — critical-path list scheduling into wide instructions for
+//!   any functional-unit width;
+//! * [`percolate`] — upward code motion into empty predecessor slots
+//!   (a restricted Percolation Scheduling);
+//! * [`pipeline`] — modulo scheduling (software pipelining) for
+//!   single-block loops;
+//! * [`regalloc`] — virtual-to-architectural register assignment;
+//! * [`codegen`] — end-to-end compilation to [`ximd_sim::VliwProgram`]
+//!   (which lowers to XIMD form via `to_ximd`);
+//! * [`tile`] / [`pack`] — per-width tile generation and the instruction-
+//!   memory packing experiment of Figure 13;
+//! * [`ximdgen`] — multi-thread XIMD code generation: separately compiled
+//!   threads on disjoint FU columns, joined by an `ALL-SS` barrier.
+//!
+//! # Example
+//!
+//! ```
+//! use ximd_compiler::compile;
+//!
+//! let source = r"
+//! fn triple(x) {
+//!     return x + x + x;
+//! }
+//! ";
+//! let compiled = compile(source, 4)?;
+//! assert_eq!(compiled.run_vliw(&[14])?, Some(42));
+//! # Ok::<(), ximd_compiler::CompileError>(())
+//! ```
+
+pub mod autopipeline;
+pub mod cfg;
+pub mod codegen;
+pub mod dag;
+pub mod error;
+pub mod forkjoin;
+pub mod ir;
+pub mod lang;
+pub mod liveness;
+pub mod lower;
+pub mod pack;
+pub mod percolate;
+pub mod pipeline;
+pub mod regalloc;
+pub mod schedule;
+pub mod tile;
+pub mod ximdgen;
+
+pub use codegen::{compile, compile_function, compile_named, CompiledFunction};
+pub use error::CompileError;

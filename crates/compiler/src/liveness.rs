@@ -1,0 +1,150 @@
+//! Backward live-variable analysis.
+//!
+//! Used by percolation (an op may only be hoisted above a branch if its
+//! destination is dead on the branch's other path) and by register
+//! assignment diagnostics.
+
+use std::collections::HashSet;
+
+use crate::cfg::Cfg;
+use crate::ir::{BlockId, Function, VReg};
+
+/// Per-block live-in / live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<VReg>>,
+    live_out: Vec<HashSet<VReg>>,
+}
+
+impl Liveness {
+    /// Computes liveness to a fixed point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ximd_compiler::{cfg::Cfg, lang, liveness::Liveness, lower};
+    ///
+    /// let ast = lang::parse("fn f(a) { let b = a + 1; return b; }")?;
+    /// let func = lower::lower(&ast.fns[0])?;
+    /// let cfg = Cfg::build(&func);
+    /// let live = Liveness::compute(&func, &cfg);
+    /// assert!(live.live_in(func.entry).contains(&func.params[0]));
+    /// # Ok::<(), ximd_compiler::CompileError>(())
+    /// ```
+    pub fn compute(func: &Function, cfg: &Cfg) -> Liveness {
+        let n = func.blocks.len();
+        // Per-block use/def.
+        let mut uses = vec![HashSet::new(); n];
+        let mut defs = vec![HashSet::new(); n];
+        for (i, block) in func.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                for s in inst.sources() {
+                    if !defs[i].contains(&s) {
+                        uses[i].insert(s);
+                    }
+                }
+                if let Some(d) = inst.dest() {
+                    defs[i].insert(d);
+                }
+            }
+            for s in block.term.sources() {
+                if !defs[i].contains(&s) {
+                    uses[i].insert(s);
+                }
+            }
+        }
+
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate in reverse RPO for fast convergence.
+            for &b in cfg.rpo().iter().rev() {
+                let i = b.0;
+                let mut out: HashSet<VReg> = HashSet::new();
+                for &s in cfg.succs(b) {
+                    out.extend(live_in[s.0].iter().copied());
+                }
+                let mut inn: HashSet<VReg> = uses[i].clone();
+                inn.extend(out.difference(&defs[i]).copied());
+                if inn != live_in[i] || out != live_out[i] {
+                    live_in[i] = inn;
+                    live_out[i] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live at block entry.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<VReg> {
+        &self.live_in[b.0]
+    }
+
+    /// Registers live at block exit.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<VReg> {
+        &self.live_out[b.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    fn analyze(src: &str) -> (crate::ir::Function, Cfg, Liveness) {
+        let func = lower(&parse(src).unwrap().fns[0]).unwrap();
+        let cfg = Cfg::build(&func);
+        let live = Liveness::compute(&func, &cfg);
+        (func, cfg, live)
+    }
+
+    #[test]
+    fn param_live_at_entry_when_used() {
+        let (f, _, live) = analyze("fn f(a) { return a + 1; }");
+        assert!(live.live_in(f.entry).contains(&f.params[0]));
+    }
+
+    #[test]
+    fn unused_param_not_live() {
+        let (f, _, live) = analyze("fn f(a, b) { return a; }");
+        assert!(live.live_in(f.entry).contains(&f.params[0]));
+        assert!(!live.live_in(f.entry).contains(&f.params[1]));
+    }
+
+    #[test]
+    fn loop_carried_variable_live_around_loop() {
+        let (f, cfg, live) =
+            analyze("fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }");
+        // The register holding i is live-in at the loop header.
+        let header = cfg.loops()[0].header;
+        // i's vreg: the Copy dest in the entry block.
+        let i_reg = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find_map(|x| x.dest())
+            .unwrap();
+        assert!(live.live_in(header).contains(&i_reg));
+        assert!(live.live_out(cfg.loops()[0].latch).contains(&i_reg));
+    }
+
+    #[test]
+    fn branch_sources_are_live() {
+        let (f, _, live) = analyze("fn f(a, b) { if (a < b) { mem[0] = 1; } return 0; }");
+        let ins = live.live_in(f.entry);
+        assert!(ins.contains(&f.params[0]));
+        assert!(ins.contains(&f.params[1]));
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let (f, cfg, live) = analyze("fn f(a) { let t = a * 2; mem[0] = t; return 0; }");
+        // Nothing is live out of the (single, returning) entry block.
+        assert!(live.live_out(f.entry).is_empty());
+        let _ = cfg;
+    }
+}

@@ -1,0 +1,352 @@
+//! AST → IR lowering.
+
+use std::collections::HashMap;
+
+use ximd_isa::UnOp;
+
+use crate::error::CompileError;
+use crate::ir::{Block, BlockId, Function, Inst, Terminator, VReg, Val};
+use crate::lang::{Expr, FnDef, Stmt};
+
+struct Lowerer {
+    func: Function,
+    vars: Vec<HashMap<String, VReg>>,
+    current: BlockId,
+}
+
+impl Lowerer {
+    fn new(def: &FnDef) -> Lowerer {
+        let mut func = Function {
+            name: def.name.clone(),
+            params: Vec::new(),
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Terminator::Return(None),
+            }],
+            entry: BlockId(0),
+            vreg_count: 0,
+        };
+        let mut scope = HashMap::new();
+        for p in &def.params {
+            let r = func.new_vreg();
+            func.params.push(r);
+            scope.insert(p.clone(), r);
+        }
+        Lowerer {
+            func,
+            vars: vec![scope],
+            current: BlockId(0),
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len());
+        self.func.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Return(None),
+        });
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.func.block_mut(self.current).insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        self.func.block_mut(self.current).term = term;
+    }
+
+    fn lookup(&self, name: &str) -> Result<VReg, CompileError> {
+        self.vars
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+            .ok_or_else(|| CompileError::Semantic(format!("undefined variable {name:?}")))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => Val::Const(*v),
+            Expr::Var(name) => Val::Reg(self.lookup(name)?),
+            Expr::Mem(addr) => {
+                let a = self.expr(addr)?;
+                let d = self.func.new_vreg();
+                self.emit(Inst::Load {
+                    base: a,
+                    off: Val::Const(0),
+                    d,
+                });
+                Val::Reg(d)
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.expr(l)?;
+                let b = self.expr(r)?;
+                // Constant folding for the common literal-only cases.
+                if let (Val::Const(ca), Val::Const(cb)) = (a, b) {
+                    if let Ok(v) = op.eval(ca.into(), cb.into()) {
+                        return Ok(Val::Const(v.as_i32()));
+                    }
+                }
+                let d = self.func.new_vreg();
+                self.emit(Inst::Bin { op: *op, a, b, d });
+                Val::Reg(d)
+            }
+            Expr::Neg(inner) => {
+                let a = self.expr(inner)?;
+                if let Val::Const(c) = a {
+                    return Ok(Val::Const(c.wrapping_neg()));
+                }
+                let d = self.func.new_vreg();
+                self.emit(Inst::Un {
+                    op: UnOp::Ineg,
+                    a,
+                    d,
+                });
+                Val::Reg(d)
+            }
+        })
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<bool, CompileError> {
+        self.vars.push(HashMap::new());
+        let mut terminated = false;
+        for stmt in body {
+            if terminated {
+                // Unreachable code after return: ignore, C-style.
+                break;
+            }
+            terminated = self.stmt(stmt)?;
+        }
+        self.vars.pop();
+        Ok(terminated)
+    }
+
+    /// Lowers one statement; returns `true` if it terminated the block with
+    /// a return.
+    fn stmt(&mut self, stmt: &Stmt) -> Result<bool, CompileError> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.expr(e)?;
+                let d = self.func.new_vreg();
+                self.emit(Inst::Copy { a: v, d });
+                self.vars
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), d);
+                Ok(false)
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.expr(e)?;
+                let d = self.lookup(name)?;
+                self.emit(Inst::Copy { a: v, d });
+                Ok(false)
+            }
+            Stmt::MemStore(addr, value) => {
+                let a = self.expr(addr)?;
+                let v = self.expr(value)?;
+                self.emit(Inst::Store { val: v, addr: a });
+                Ok(false)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.expr(e)?),
+                    None => None,
+                };
+                self.terminate(Terminator::Return(v));
+                Ok(true)
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                let a = self.expr(&cond.a)?;
+                let b = self.expr(&cond.b)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::Branch {
+                    op: cond.op,
+                    a,
+                    b,
+                    then_bb,
+                    else_bb,
+                });
+
+                self.current = then_bb;
+                if !self.stmts(then_body)? {
+                    self.terminate(Terminator::Goto(join));
+                }
+                self.current = else_bb;
+                if !self.stmts(else_body)? {
+                    self.terminate(Terminator::Goto(join));
+                }
+                self.current = join;
+                Ok(false)
+            }
+            Stmt::While(cond, body) => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Goto(head));
+
+                self.current = head;
+                let a = self.expr(&cond.a)?;
+                let b = self.expr(&cond.b)?;
+                self.terminate(Terminator::Branch {
+                    op: cond.op,
+                    a,
+                    b,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+
+                self.current = body_bb;
+                if !self.stmts(body)? {
+                    self.terminate(Terminator::Goto(head));
+                }
+                self.current = exit;
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Lowers one function definition to IR.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Semantic`] for undefined variables.
+///
+/// # Example
+///
+/// ```
+/// let ast = ximd_compiler::lang::parse("fn inc(x) { return x + 1; }")?;
+/// let func = ximd_compiler::lower::lower(&ast.fns[0])?;
+/// assert_eq!(func.params.len(), 1);
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn lower(def: &FnDef) -> Result<Function, CompileError> {
+    let mut l = Lowerer::new(def);
+    if !l.stmts(&def.body)? {
+        l.terminate(Terminator::Return(None));
+    }
+    Ok(l.func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use ximd_isa::CmpOp;
+
+    fn lower_src(src: &str) -> Function {
+        lower(&parse(src).unwrap().fns[0]).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let f = lower_src("fn f(a, b) { let c = a + b; return c * 2; }");
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(
+            f.block(BlockId(0)).term,
+            Terminator::Return(Some(_))
+        ));
+        assert!(f.inst_count() >= 2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let f = lower_src("fn f() { return 2 + 3 * 4; }");
+        assert_eq!(f.inst_count(), 0);
+        assert_eq!(
+            f.block(BlockId(0)).term,
+            Terminator::Return(Some(Val::Const(14)))
+        );
+    }
+
+    #[test]
+    fn if_else_builds_diamond() {
+        let f = lower_src("fn f(a) { let r = 0; if (a > 0) { r = 1; } else { r = 2; } return r; }");
+        // entry + then + else + join.
+        assert_eq!(f.blocks.len(), 4);
+        match f.block(f.entry).term {
+            Terminator::Branch {
+                op,
+                then_bb,
+                else_bb,
+                ..
+            } => {
+                assert_eq!(op, CmpOp::Gt);
+                assert_ne!(then_bb, else_bb);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_builds_loop() {
+        let f = lower_src("fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }");
+        // entry, head, body, exit.
+        assert_eq!(f.blocks.len(), 4);
+        let head = BlockId(1);
+        match f.block(head).term {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                // Body loops back to head.
+                assert_eq!(f.block(then_bb).term, Terminator::Goto(head));
+                assert!(matches!(f.block(else_bb).term, Terminator::Return(_)));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_access_lowering() {
+        let f = lower_src("fn f(i) { mem[100 + i] = mem[200 + i] + 1; return 0; }");
+        let block = f.block(f.entry);
+        assert!(block.insts.iter().any(|i| matches!(i, Inst::Load { .. })));
+        assert!(block.insts.iter().any(|i| matches!(i, Inst::Store { .. })));
+    }
+
+    #[test]
+    fn undefined_variable_is_semantic_error() {
+        let err = lower(&parse("fn f() { return zig; }").unwrap().fns[0]).unwrap_err();
+        assert!(matches!(err, CompileError::Semantic(_)));
+    }
+
+    #[test]
+    fn inner_scopes_shadow_and_expire() {
+        // `let` inside the if-body creates a new variable; the outer one is
+        // unchanged after the block.
+        let f = lower_src("fn f(a) { let x = 1; if (a > 0) { let x = 2; mem[0] = x; } return x; }");
+        // The return must reference the outer x's vreg (the Copy of 1).
+        let outer_copy = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find_map(|i| match i {
+                Inst::Copy {
+                    a: Val::Const(1),
+                    d,
+                } => Some(*d),
+                _ => None,
+            })
+            .expect("outer let");
+        let join = f
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Return(Some(_))))
+            .unwrap();
+        assert_eq!(join.term, Terminator::Return(Some(Val::Reg(outer_copy))));
+    }
+
+    #[test]
+    fn code_after_return_is_dropped() {
+        let f = lower_src("fn f() { return 1; mem[0] = 2; }");
+        assert_eq!(f.inst_count(), 0);
+    }
+
+    #[test]
+    fn missing_return_falls_through_to_void() {
+        let f = lower_src("fn f(a) { mem[0] = a; }");
+        assert_eq!(f.block(f.entry).term, Terminator::Return(None));
+    }
+}

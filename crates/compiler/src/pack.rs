@@ -1,0 +1,395 @@
+//! Tile packing — the second half of the paper's Figure 13 flow.
+//!
+//! "Once a set of tiles is produced for each code thread, a packing
+//! algorithm is used to schedule one implementation of each thread within a
+//! larger space representing the entire instruction memory. … This problem
+//! is quite similar to the problem of standard cell placement in VLSI CAD."
+//!
+//! Two packers reproduce the figure's "two alternative solutions":
+//!
+//! * [`pack_stacked`] — every thread at full machine width, stacked
+//!   vertically (the naive VLIW-style layout);
+//! * [`pack_skyline`] — each thread's minimum-area tile placed by a
+//!   skyline/best-fit heuristic, optionally under precedence constraints
+//!   modelling data dependencies between tiles.
+
+use crate::tile::TileMenu;
+
+/// One placed tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Thread index.
+    pub thread: usize,
+    /// Chosen tile width (functional units).
+    pub width: usize,
+    /// Chosen tile height (wide instructions).
+    pub height: usize,
+    /// Leftmost functional-unit column.
+    pub col: usize,
+    /// First instruction-memory row.
+    pub row: usize,
+    /// Non-nop operations in the placed tile (for op-density reporting).
+    pub ops: usize,
+}
+
+impl Placement {
+    /// One-past-the-last row.
+    pub fn end_row(&self) -> usize {
+        self.row + self.height
+    }
+
+    /// Returns `true` if two placements overlap in instruction memory.
+    pub fn overlaps(&self, other: &Placement) -> bool {
+        self.col < other.col + other.width
+            && other.col < self.col + self.width
+            && self.row < other.end_row()
+            && other.row < self.end_row()
+    }
+}
+
+/// A complete packing of all threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// One placement per thread.
+    pub placements: Vec<Placement>,
+    /// Machine width (total columns).
+    pub machine_width: usize,
+}
+
+impl Packing {
+    /// Total instruction-memory height (static code size in wide words).
+    pub fn total_height(&self) -> usize {
+        self.placements
+            .iter()
+            .map(Placement::end_row)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of the occupied rectangle covered by tiles.
+    pub fn density(&self) -> f64 {
+        let total = self.total_height() * self.machine_width;
+        if total == 0 {
+            return 0.0;
+        }
+        let used: usize = self.placements.iter().map(|p| p.width * p.height).sum();
+        used as f64 / total as f64
+    }
+
+    /// Useful (non-nop) operations per instruction-memory slot — the
+    /// "static code density" Figure 13 optimizes. Unlike [`Packing::density`],
+    /// nop padding *inside* a tile counts against this metric, so a stacked
+    /// full-width layout cannot score well by wasting slots within tiles.
+    pub fn op_density(&self) -> f64 {
+        let total = self.total_height() * self.machine_width;
+        if total == 0 {
+            return 0.0;
+        }
+        let ops: usize = self.placements.iter().map(|p| p.ops).sum();
+        ops as f64 / total as f64
+    }
+
+    /// Returns `true` if no two placements overlap and all fit the machine.
+    pub fn is_valid(&self) -> bool {
+        for (i, a) in self.placements.iter().enumerate() {
+            if a.col + a.width > self.machine_width {
+                return false;
+            }
+            for b in &self.placements[i + 1..] {
+                if a.overlaps(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if every `(before, after)` pair is honoured: the
+    /// dependent tile starts strictly after the prerequisite tile ends.
+    pub fn respects(&self, deps: &[(usize, usize)]) -> bool {
+        deps.iter().all(|&(before, after)| {
+            let b = self.placements.iter().find(|p| p.thread == before);
+            let a = self.placements.iter().find(|p| p.thread == after);
+            match (b, a) {
+                (Some(b), Some(a)) => a.row >= b.end_row(),
+                _ => false,
+            }
+        })
+    }
+}
+
+/// Baseline: every thread takes its widest tile (clamped to the machine)
+/// and the tiles are stacked vertically — one thread at a time, full-width,
+/// like a VLIW program laid out sequentially.
+pub fn pack_stacked(menus: &[TileMenu], machine_width: usize) -> Packing {
+    let mut row = 0;
+    let mut placements = Vec::with_capacity(menus.len());
+    for menu in menus {
+        let tile = menu
+            .options
+            .iter()
+            .filter(|t| t.width <= machine_width)
+            .max_by_key(|t| t.width)
+            .expect("menu has a tile fitting the machine");
+        placements.push(Placement {
+            thread: menu.thread,
+            width: tile.width,
+            height: tile.height,
+            col: 0,
+            row,
+            ops: tile.ops,
+        });
+        row += tile.height;
+    }
+    Packing {
+        placements,
+        machine_width,
+    }
+}
+
+/// Skyline best-fit: each thread contributes its minimum-area tile; threads
+/// are placed largest-area first at the position minimizing the resulting
+/// skyline height (ties broken left-most). `deps` lists `(before, after)`
+/// thread pairs whose code must be strictly ordered in instruction memory —
+/// the paper's "constraint of data dependencies between tiles".
+pub fn pack_skyline(menus: &[TileMenu], machine_width: usize, deps: &[(usize, usize)]) -> Packing {
+    let mut chosen: Vec<(usize, usize, usize, usize)> = menus
+        .iter()
+        .map(|m| {
+            let t = m
+                .options
+                .iter()
+                .filter(|t| t.width <= machine_width)
+                .min_by_key(|t| (t.area(), t.width))
+                .expect("menu has a tile fitting the machine");
+            (m.thread, t.width, t.height, t.ops)
+        })
+        .collect();
+    // Order: dependency-respecting topological layers, largest area first
+    // within a layer.
+    let order = topo_order(&chosen, deps);
+    chosen = order.into_iter().map(|i| chosen[i]).collect();
+
+    let mut skyline = vec![0usize; machine_width];
+    let mut placements: Vec<Placement> = Vec::with_capacity(chosen.len());
+    for (thread, width, height, ops) in chosen {
+        // Earliest row allowed by dependencies.
+        let dep_floor = deps
+            .iter()
+            .filter(|&&(_, after)| after == thread)
+            .filter_map(|&(before, _)| {
+                placements
+                    .iter()
+                    .find(|p| p.thread == before)
+                    .map(Placement::end_row)
+            })
+            .max()
+            .unwrap_or(0);
+        // Best column: minimal placement row, then leftmost.
+        let mut best: Option<(usize, usize)> = None; // (row, col)
+        for col in 0..=(machine_width - width) {
+            let row = skyline[col..col + width]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(dep_floor);
+            if best.is_none_or(|(br, bc)| (row, col) < (br, bc)) {
+                best = Some((row, col));
+            }
+        }
+        let (row, col) = best.expect("width fits the machine");
+        for s in &mut skyline[col..col + width] {
+            *s = row + height;
+        }
+        placements.push(Placement {
+            thread,
+            width,
+            height,
+            col,
+            row,
+            ops,
+        });
+    }
+    placements.sort_by_key(|p| p.thread);
+    Packing {
+        placements,
+        machine_width,
+    }
+}
+
+/// Topological order over thread indices (by `deps`), largest area first
+/// among ready threads. Falls back to input order on cycles.
+fn topo_order(chosen: &[(usize, usize, usize, usize)], deps: &[(usize, usize)]) -> Vec<usize> {
+    let n = chosen.len();
+    let index_of = |thread: usize| chosen.iter().position(|&(t, _, _, _)| t == thread);
+    let mut indeg = vec![0usize; n];
+    for &(before, after) in deps {
+        if let (Some(_), Some(a)) = (index_of(before), index_of(after)) {
+            indeg[a] += 1;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        let ready: Vec<usize> = (0..n).filter(|&i| !placed[i] && indeg[i] == 0).collect();
+        if ready.is_empty() {
+            // Dependency cycle: emit the rest in input order.
+            order.extend((0..n).filter(|&i| !placed[i]));
+            break;
+        }
+        let &pick = ready
+            .iter()
+            .max_by_key(|&&i| chosen[i].1 * chosen[i].2)
+            .expect("ready set non-empty");
+        placed[pick] = true;
+        order.push(pick);
+        for &(before, after) in deps {
+            if index_of(before) == Some(pick) {
+                if let Some(a) = index_of(after) {
+                    indeg[a] = indeg[a].saturating_sub(1);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::menus;
+
+    const SRC: &str = r"
+fn t0(a) {
+    let s = 0;
+    let i = 0;
+    while (i < a) { s = s + mem[100 + i]; i = i + 1; }
+    return s;
+}
+fn t1(a, b, c, d) {
+    let e = a + b; let f = c + d; let g = a - b; let h = c - d;
+    return (e + f) * (g + h);
+}
+fn t2(a) {
+    let r = 1;
+    let i = 0;
+    while (i < a) { r = r * 2; i = i + 1; }
+    return r;
+}
+fn t3(a, b) {
+    return (a + b) * (a - b) + a * b;
+}
+fn t4(a) {
+    let i = 0;
+    while (i < a) { mem[300 + i] = mem[200 + i] + 1; i = i + 1; }
+    return 0;
+}
+fn t5(a, b, c) {
+    return a * b + b * c + a * c;
+}
+";
+
+    fn six_menus() -> Vec<crate::tile::TileMenu> {
+        menus(SRC, &[1, 2, 4, 8]).unwrap()
+    }
+
+    #[test]
+    fn stacked_packing_is_valid() {
+        let p = pack_stacked(&six_menus(), 8);
+        assert!(p.is_valid());
+        assert_eq!(p.placements.len(), 6);
+        // Strictly sequential: total height is the sum of heights.
+        let sum: usize = p.placements.iter().map(|t| t.height).sum();
+        assert_eq!(p.total_height(), sum);
+    }
+
+    #[test]
+    fn skyline_packing_is_valid_and_no_taller() {
+        let menus = six_menus();
+        let stacked = pack_stacked(&menus, 8);
+        let skyline = pack_skyline(&menus, 8, &[]);
+        assert!(skyline.is_valid());
+        assert!(
+            skyline.total_height() <= stacked.total_height(),
+            "skyline {} vs stacked {}",
+            skyline.total_height(),
+            stacked.total_height()
+        );
+    }
+
+    #[test]
+    fn skyline_improves_density_markedly() {
+        let menus = six_menus();
+        let stacked = pack_stacked(&menus, 8);
+        let skyline = pack_skyline(&menus, 8, &[]);
+        assert!(
+            skyline.total_height() * 10 <= stacked.total_height() * 9,
+            "expected >= 10% static-code-size win: skyline {} stacked {}",
+            skyline.total_height(),
+            stacked.total_height()
+        );
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let menus = six_menus();
+        let deps = [(0usize, 3usize), (1, 4), (3, 5)];
+        let p = pack_skyline(&menus, 8, &deps);
+        assert!(p.is_valid());
+        assert!(p.respects(&deps));
+    }
+
+    #[test]
+    fn dependency_chain_degrades_toward_stacking() {
+        let menus = six_menus();
+        let chain: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 1)).collect();
+        let free = pack_skyline(&menus, 8, &[]);
+        let chained = pack_skyline(&menus, 8, &chain);
+        assert!(chained.is_valid());
+        assert!(chained.respects(&chain));
+        assert!(chained.total_height() >= free.total_height());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Placement {
+            thread: 0,
+            width: 2,
+            height: 3,
+            col: 0,
+            row: 0,
+            ops: 4,
+        };
+        let b = Placement {
+            thread: 1,
+            width: 2,
+            height: 3,
+            col: 1,
+            row: 2,
+            ops: 4,
+        };
+        let c = Placement {
+            thread: 2,
+            width: 2,
+            height: 3,
+            col: 2,
+            row: 0,
+            ops: 4,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        let bad = Packing {
+            placements: vec![a, b],
+            machine_width: 8,
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn density_is_sane() {
+        let p = pack_skyline(&six_menus(), 8, &[]);
+        let d = p.density();
+        assert!(d > 0.0 && d <= 1.0, "density {d}");
+    }
+}

@@ -1,0 +1,858 @@
+//! Software pipelining by modulo scheduling.
+//!
+//! The paper lists Software Pipelining [Ebcioglu87, Lam88] among the
+//! compilation techniques XIMD inherits from VLIW, and uses it both for
+//! Livermore Loop 12 (§3.1) and for the store sequence of BITCOUNT1. This
+//! module implements modulo scheduling for *counted loops*: a straight-line
+//! body executed `N` times (`N` in a register at run time), with an
+//! induction variable advancing by a constant step.
+//!
+//! The scheduler searches initiation intervals upward from the
+//! resource/recurrence lower bound. For each candidate II it solves the
+//! standard system of modulo constraints — for a dependence `(D → U)` with
+//! iteration distance δ and latency `l`, `t_U ≥ t_D + l − δ·II` — plus this
+//! machine's *register lifetime* rule: because iterations share registers
+//! (XIMD-1 has no rotating register file), the value defined by `D` must be
+//! consumed before `D`'s next-iteration instance overwrites it, i.e.
+//! `t_U ≤ t_D + (1 − δ)·II` — equality allowed thanks to the machine's
+//! read-old-value semantics. Failing lifetimes bump the II instead of
+//! spilling.
+//!
+//! Emission produces a complete runnable [`VliwProgram`]: init code,
+//! prologue (filling `S − 1` stages), a kernel of exactly II wide
+//! instructions with the loop-back branch, an epilogue draining the final
+//! iterations, and a halt. The loop-count bookkeeping (`kc`) lives only in
+//! the kernel, so the program requires `N ≥ stages` at run time
+//! ([`Pipelined::min_trips`]).
+
+use std::collections::HashMap;
+
+use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Reg, UnOp};
+use ximd_sim::{VliwInstruction, VliwProgram};
+
+use crate::error::CompileError;
+use crate::ir::{Inst, VReg, Val};
+
+/// A counted loop to be pipelined.
+#[derive(Debug, Clone)]
+pub struct CountedLoop {
+    /// One iteration's straight-line body. Each virtual register may be
+    /// defined at most once (single-assignment per iteration); the
+    /// induction variable is read-only here.
+    pub body: Vec<Inst>,
+    /// The induction variable.
+    pub induction: VReg,
+    /// Initial induction value.
+    pub start: i32,
+    /// Per-iteration induction step.
+    pub step: i32,
+    /// Register holding the trip count `N` at entry.
+    pub trips: VReg,
+    /// Assert that loads and stores in the body never alias across (or
+    /// within) iterations, removing all memory dependences. This is the
+    /// static stand-in for the "run-time disambiguation" the paper's
+    /// compiler performs; without it, a store feeding the next iteration's
+    /// loads is assumed and the II grows accordingly.
+    pub assume_no_alias: bool,
+}
+
+/// A pipelined loop ready to run.
+#[derive(Debug, Clone)]
+pub struct Pipelined {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Number of pipeline stages.
+    pub stages: u32,
+    /// The complete program (init / prologue / kernel / epilogue / halt).
+    pub vliw: VliwProgram,
+    /// Virtual-to-architectural register map (inputs are seeded through
+    /// this).
+    pub reg_of: HashMap<VReg, Reg>,
+    /// Minimum trip count the program supports (`N ≥ stages`).
+    pub min_trips: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PNode {
+    Body(usize),
+    Inc,
+    Dec,
+    Cmp,
+}
+
+/// One linear constraint `t_to − t_from ≥ base − coeff·II`.
+#[derive(Debug, Clone, Copy)]
+struct Constraint {
+    from: usize,
+    to: usize,
+    base: i64,
+    coeff: i64,
+}
+
+/// Modulo-schedules `l` for a machine of `width` FUs.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Schedule`] if the body multiply-defines a
+/// register, writes the induction/trip registers, or no schedule exists
+/// with II ≤ 64.
+pub fn modulo_schedule(l: &CountedLoop, width: usize) -> Result<Pipelined, CompileError> {
+    let solved = solve(l, width)?;
+    emit(l, &solved, width)
+}
+
+/// A feasible modulo schedule, before emission.
+#[derive(Debug, Clone)]
+pub(crate) struct Solved {
+    pub(crate) nodes: Vec<PNode>,
+    pub(crate) time: Vec<i64>,
+    pub(crate) ii: i64,
+    pub(crate) dec_idx: usize,
+    pub(crate) cmp_idx: usize,
+}
+
+impl Solved {
+    /// Number of pipeline stages.
+    pub(crate) fn stages(&self) -> u32 {
+        let max_t = self.time.iter().copied().max().unwrap_or(0);
+        (max_t / self.ii + 1) as u32
+    }
+}
+
+/// Finds the schedule (II search + iterative modulo scheduling).
+pub(crate) fn solve(l: &CountedLoop, width: usize) -> Result<Solved, CompileError> {
+    if width == 0 {
+        return Err(CompileError::Schedule("width must be positive".into()));
+    }
+    // Validate single assignment and protected registers.
+    let mut def_of: HashMap<VReg, usize> = HashMap::new();
+    for (i, inst) in l.body.iter().enumerate() {
+        if let Some(d) = inst.dest() {
+            if d == l.induction || d == l.trips {
+                return Err(CompileError::Schedule(format!(
+                    "body writes protected register {d}"
+                )));
+            }
+            if def_of.insert(d, i).is_some() {
+                return Err(CompileError::Schedule(format!(
+                    "{d} defined twice in loop body"
+                )));
+            }
+        }
+    }
+
+    // Node list: body ops, then induction increment, then kc decrement and
+    // the exit compare.
+    let mut nodes: Vec<PNode> = (0..l.body.len()).map(PNode::Body).collect();
+    let inc_idx = nodes.len();
+    nodes.push(PNode::Inc);
+    let dec_idx = nodes.len();
+    nodes.push(PNode::Dec);
+    let cmp_idx = nodes.len();
+    nodes.push(PNode::Cmp);
+    let n = nodes.len();
+
+    let reads = |node: PNode| -> Vec<VReg> {
+        match node {
+            PNode::Body(i) => l.body[i].sources(),
+            PNode::Inc => vec![l.induction],
+            PNode::Dec | PNode::Cmp => vec![], // kc handled explicitly below
+        }
+    };
+
+    let mut cons: Vec<Constraint> = Vec::new();
+    fn dep_into(cons: &mut Vec<Constraint>, from: usize, to: usize, lat: i64, delta: i64) {
+        cons.push(Constraint {
+            from,
+            to,
+            base: lat,
+            coeff: delta,
+        });
+    }
+
+    // Register dependences. Definer of each vreg: body def, or Inc for the
+    // induction variable.
+    for (u, &node) in nodes.iter().enumerate() {
+        for r in reads(node) {
+            let (d, delta) = if r == l.induction {
+                (inc_idx, 1) // this iteration's value was written by the
+                             // previous iteration's increment
+            } else if let Some(&di) = def_of.get(&r) {
+                let delta = i64::from(di >= u); // def later in body order ⇒ carried
+                (di, delta)
+            } else {
+                continue; // loop-invariant input
+            };
+            // RAW: t_u ≥ t_d + 1 − δ·II.
+            dep_into(&mut cons, d, u, 1, delta);
+            // Lifetime: t_d ≥ t_u − (1 − δ)·II  ⇔  t_u ≤ t_d + (1−δ)·II.
+            cons.push(Constraint {
+                from: u,
+                to: d,
+                base: 0,
+                coeff: 1 - delta,
+            });
+        }
+    }
+    // kc: Cmp reads kc before Dec writes it (same-cycle OK), Dec feeds the
+    // next iteration's Cmp.
+    dep_into(&mut cons, cmp_idx, dec_idx, 0, 0); // WAR: dec no earlier than cmp
+    dep_into(&mut cons, dec_idx, cmp_idx, 1, 1); // carried RAW
+    cons.push(Constraint {
+        from: cmp_idx,
+        to: dec_idx,
+        base: 0,
+        coeff: 0,
+    }); // lifetime (δ=1): t_cmp ≤ t_dec
+
+    // Memory dependences, conservative unless disambiguated away.
+    let mem_nodes: Vec<(usize, bool)> = if l.assume_no_alias {
+        Vec::new()
+    } else {
+        l.body
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.touches_memory())
+            .map(|(i, inst)| (i, inst.is_store()))
+            .collect()
+    };
+    for (ai, &(a, a_store)) in mem_nodes.iter().enumerate() {
+        for &(b, b_store) in &mem_nodes[ai + 1..] {
+            // a before b in body order (δ=0) and b before a across
+            // iterations (δ=1).
+            match (a_store, b_store) {
+                (false, false) => {}
+                (true, _) | (_, true) => {
+                    let lat = i64::from(a_store); // store→X: 1; load→store: 0
+                    dep_into(&mut cons, a, b, lat, 0);
+                    let lat_back = i64::from(b_store);
+                    dep_into(&mut cons, b, a, lat_back, 1);
+                }
+            }
+        }
+    }
+
+    // Resource + recurrence lower bound.
+    let res_mii = n.div_ceil(width) as i64;
+    let ii_min = res_mii.max(2); // the exit compare needs a slot ≤ II−2
+    const II_MAX: i64 = 64;
+
+    'ii: for ii in ii_min..=II_MAX {
+        // Longest-path earliest starts (Bellman–Ford; positive cycle ⇒
+        // recurrence exceeds II).
+        let mut est = vec![0i64; n];
+        for round in 0..=n {
+            let mut changed = false;
+            for c in &cons {
+                let need = est[c.from] + c.base - c.coeff * ii;
+                if est[c.to] < need {
+                    est[c.to] = need;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == n {
+                continue 'ii; // still relaxing: infeasible recurrence
+            }
+        }
+        if est[cmp_idx] > ii - 2 {
+            continue 'ii;
+        }
+
+        // Iterative modulo scheduling (Rau): place nodes by priority; when
+        // a node has no legal slot, force-place it at its earliest start
+        // and evict whatever conflicts, within a budget.
+        //
+        // Priority: the exit compare first (its window [0, II-2] is the
+        // tightest), then critical-path height over intra-iteration edges.
+        let mut height = vec![0i64; n];
+        for _ in 0..n {
+            for c in &cons {
+                if c.coeff == 0 && c.base > 0 {
+                    height[c.from] = height[c.from].max(c.base + height[c.to]);
+                }
+            }
+        }
+        let prio = |i: usize| -> (i64, i64, usize) {
+            (if i == cmp_idx { i64::MIN } else { 0 }, -height[i], i)
+        };
+
+        let mut time = vec![-1i64; n];
+        let mut slot_used = vec![0usize; ii as usize];
+        let mut budget = 20 * n as i64;
+        let mut feasible = true;
+        while let Some(node) = (0..n).filter(|&i| time[i] < 0).min_by_key(|&i| prio(i)) {
+            budget -= 1;
+            if budget < 0 {
+                feasible = false;
+                break;
+            }
+            // Earliest start against currently-scheduled predecessors.
+            let mut lo = est[node].max(0);
+            for c in &cons {
+                if c.to == node && time[c.from] >= 0 {
+                    lo = lo.max(time[c.from] + c.base - c.coeff * ii);
+                }
+            }
+            let hi_abs = if node == cmp_idx { ii - 2 } else { i64::MAX };
+            if lo > hi_abs {
+                feasible = false;
+                break;
+            }
+            let hi = hi_abs.min(lo + ii - 1);
+            // Try every slot in the window for a conflict-free placement.
+            let mut placed = false;
+            't: for t in lo..=hi {
+                if slot_used[(t % ii) as usize] >= width {
+                    continue;
+                }
+                for c in &cons {
+                    let ok = if c.to == node && time[c.from] >= 0 {
+                        t >= time[c.from] + c.base - c.coeff * ii
+                    } else if c.from == node && time[c.to] >= 0 {
+                        time[c.to] >= t + c.base - c.coeff * ii
+                    } else {
+                        true
+                    };
+                    if !ok {
+                        continue 't;
+                    }
+                }
+                time[node] = t;
+                slot_used[(t % ii) as usize] += 1;
+                placed = true;
+                break;
+            }
+            if placed {
+                continue;
+            }
+            // Force-place at `lo`, evicting dependence violators and, if the
+            // congruence class is full, its lowest-priority member.
+            let t = lo;
+            for m in 0..n {
+                if m == node || time[m] < 0 {
+                    continue;
+                }
+                let violates = cons.iter().any(|c| {
+                    (c.to == node && c.from == m && t < time[m] + c.base - c.coeff * ii)
+                        || (c.from == node && c.to == m && time[m] < t + c.base - c.coeff * ii)
+                });
+                if violates {
+                    slot_used[(time[m] % ii) as usize] -= 1;
+                    time[m] = -1;
+                }
+            }
+            if slot_used[(t % ii) as usize] >= width {
+                let victim = (0..n)
+                    .filter(|&m| m != node && time[m] >= 0 && time[m] % ii == t % ii)
+                    .max_by_key(|&m| prio(m));
+                match victim {
+                    Some(v) => {
+                        slot_used[(time[v] % ii) as usize] -= 1;
+                        time[v] = -1;
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            time[node] = t;
+            slot_used[(t % ii) as usize] += 1;
+        }
+        if !feasible || time.iter().any(|&t| t < 0) {
+            continue 'ii;
+        }
+        // Final validation: every constraint must hold.
+        let valid = cons
+            .iter()
+            .all(|c| time[c.to] >= time[c.from] + c.base - c.coeff * ii)
+            && time[cmp_idx] <= ii - 2
+            && (0..ii).all(|c| (0..n).filter(|&i| time[i] % ii == c).count() <= width);
+        if !valid {
+            continue 'ii;
+        }
+
+        let _ = inc_idx;
+        return Ok(Solved {
+            nodes,
+            time,
+            ii,
+            dec_idx,
+            cmp_idx,
+        });
+    }
+    Err(CompileError::Schedule(format!(
+        "no modulo schedule with II <= {II_MAX}"
+    )))
+}
+
+/// Emission options for splicing a pipelined region into a larger program.
+#[derive(Debug, Clone)]
+pub(crate) struct EmitOpts {
+    /// Address of the region's first row inside the enclosing program.
+    pub(crate) base: u32,
+    /// Where control goes after the epilogue (`None` appends a halt row).
+    pub(crate) exit_to: Option<Addr>,
+    /// Emit `induction = start` in the init rows (standalone loops); when
+    /// splicing, the induction register already holds the live value.
+    pub(crate) init_induction: bool,
+}
+
+/// Emits the region's rows with local addresses rebased to `opts.base`.
+/// Targets one-past-the-end become `opts.exit_to` (or a final halt row).
+pub(crate) fn emit_rows(
+    l: &CountedLoop,
+    s: &Solved,
+    width: usize,
+    reg_of: &HashMap<VReg, Reg>,
+    kc: Reg,
+    opts: &EmitOpts,
+) -> Vec<VliwInstruction> {
+    let (nodes, time, ii) = (&s.nodes, &s.time, s.ii);
+    let (dec_idx, cmp_idx) = (s.dec_idx, s.cmp_idx);
+    let operand = |v: Val| -> Operand {
+        match v {
+            Val::Reg(r) => Operand::Reg(reg_of[&r]),
+            Val::Const(c) => Operand::imm_i32(c),
+        }
+    };
+    let lower_node = |node: PNode| -> DataOp {
+        match node {
+            PNode::Body(i) => match l.body[i] {
+                Inst::Bin { op, a, b, d } => DataOp::Alu {
+                    op,
+                    a: operand(a),
+                    b: operand(b),
+                    d: reg_of[&d],
+                },
+                Inst::Un { op, a, d } => DataOp::Un {
+                    op,
+                    a: operand(a),
+                    d: reg_of[&d],
+                },
+                Inst::Copy { a, d } => DataOp::Un {
+                    op: UnOp::Mov,
+                    a: operand(a),
+                    d: reg_of[&d],
+                },
+                Inst::Load { base, off, d } => DataOp::Load {
+                    a: operand(base),
+                    b: operand(off),
+                    d: reg_of[&d],
+                },
+                Inst::Store { val, addr } => DataOp::Store {
+                    a: operand(val),
+                    b: operand(addr),
+                },
+            },
+            PNode::Inc => DataOp::Alu {
+                op: AluOp::Iadd,
+                a: Operand::Reg(reg_of[&l.induction]),
+                b: Operand::imm_i32(l.step),
+                d: reg_of[&l.induction],
+            },
+            PNode::Dec => DataOp::Alu {
+                op: AluOp::Isub,
+                a: Operand::Reg(kc),
+                b: Operand::imm_i32(1),
+                d: kc,
+            },
+            PNode::Cmp => DataOp::Cmp {
+                op: CmpOp::Gt,
+                a: Operand::Reg(kc),
+                b: Operand::imm_i32(1),
+            },
+        }
+    };
+
+    let stages = s.stages();
+    let prologue_len = (i64::from(stages) - 1) * ii;
+
+    // Rows are built with *local* addresses; rebasing happens at the end.
+    let mut rows: Vec<VliwInstruction> = Vec::new();
+    let push_row = |ops: Vec<(usize, DataOp)>, rows: &mut Vec<VliwInstruction>| {
+        let mut row = vec![DataOp::Nop; width];
+        for (slot, (_, op)) in ops.into_iter().enumerate() {
+            row[slot] = op;
+        }
+        let next = Addr(rows.len() as u32 + 1);
+        rows.push(VliwInstruction {
+            ops: row,
+            ctrl: ControlOp::Goto(next),
+        });
+    };
+
+    // --- init: (induction = start;) kc = trips − (stages − 1).
+    {
+        let mut init_ops = Vec::new();
+        if opts.init_induction {
+            init_ops.push(DataOp::Un {
+                op: UnOp::Mov,
+                a: Operand::imm_i32(l.start),
+                d: reg_of[&l.induction],
+            });
+        }
+        init_ops.push(DataOp::Alu {
+            op: AluOp::Isub,
+            a: Operand::Reg(reg_of[&l.trips]),
+            b: Operand::imm_i32(i64::from(stages) as i32 - 1),
+            d: kc,
+        });
+        let mut pending = init_ops;
+        while !pending.is_empty() {
+            let take: Vec<(usize, DataOp)> = pending
+                .drain(..pending.len().min(width))
+                .enumerate()
+                .collect();
+            push_row(take, &mut rows);
+        }
+    }
+
+    // --- prologue (dec/cmp are kernel-only bookkeeping).
+    for p in 0..prologue_len {
+        let mut ops = Vec::new();
+        for (idx, &node) in nodes.iter().enumerate() {
+            if idx == dec_idx || idx == cmp_idx {
+                continue;
+            }
+            if time[idx] <= p && (p - time[idx]) % ii == 0 {
+                ops.push((idx, lower_node(node)));
+            }
+        }
+        debug_assert!(ops.len() <= width);
+        push_row(ops, &mut rows);
+    }
+
+    // --- kernel.
+    let kernel_start = rows.len() as u32;
+    let epilogue_start = kernel_start + ii as u32;
+    let mut cmp_fu = 0usize;
+    for c in 0..ii {
+        let mut ops = Vec::new();
+        for (idx, &node) in nodes.iter().enumerate() {
+            if time[idx] % ii == c {
+                ops.push((idx, lower_node(node)));
+            }
+        }
+        debug_assert!(ops.len() <= width);
+        let mut row = vec![DataOp::Nop; width];
+        for (slot, (idx, op)) in ops.into_iter().enumerate() {
+            if idx == cmp_idx {
+                cmp_fu = slot;
+            }
+            row[slot] = op;
+        }
+        let ctrl = if c == ii - 1 {
+            ControlOp::Branch {
+                cond: CondSource::Cc(FuId(cmp_fu as u8)),
+                taken: Addr(kernel_start),
+                not_taken: Addr(epilogue_start),
+            }
+        } else {
+            ControlOp::Goto(Addr(rows.len() as u32 + 1))
+        };
+        rows.push(VliwInstruction { ops: row, ctrl });
+    }
+
+    // --- epilogue: drain the last S−1 iterations.
+    for e in 0..prologue_len {
+        let mut ops = Vec::new();
+        for (idx, &node) in nodes.iter().enumerate() {
+            if idx == dec_idx || idx == cmp_idx {
+                continue;
+            }
+            for d in 0..i64::from(stages) {
+                if time[idx] - (d + 1) * ii == e {
+                    ops.push((idx, lower_node(node)));
+                }
+            }
+        }
+        debug_assert!(ops.len() <= width);
+        push_row(ops, &mut rows);
+    }
+
+    // --- rebase local addresses; one-past-the-end becomes the exit.
+    let total = rows.len() as u32;
+    let exit_addr = match opts.exit_to {
+        Some(a) => a,
+        None => Addr(opts.base + total), // the halt row appended below
+    };
+    let rebase = |a: Addr| {
+        if a.0 >= total {
+            exit_addr
+        } else {
+            Addr(opts.base + a.0)
+        }
+    };
+    for row in &mut rows {
+        row.ctrl = match row.ctrl {
+            ControlOp::Goto(t) => ControlOp::Goto(rebase(t)),
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => ControlOp::Branch {
+                cond,
+                taken: rebase(taken),
+                not_taken: rebase(not_taken),
+            },
+            ControlOp::Halt => ControlOp::Halt,
+        };
+    }
+    if opts.exit_to.is_none() {
+        rows.push(VliwInstruction::halt(width));
+    }
+    rows
+}
+
+/// Allocates registers and emits a standalone pipelined program.
+fn emit(l: &CountedLoop, s: &Solved, width: usize) -> Result<Pipelined, CompileError> {
+    // Register allocation: collect every vreg in play.
+    let mut reg_of: HashMap<VReg, Reg> = HashMap::new();
+    let alloc = |r: VReg, reg_of: &mut HashMap<VReg, Reg>| {
+        let next = reg_of.len() as u16;
+        *reg_of.entry(r).or_insert(Reg(next))
+    };
+    for inst in &l.body {
+        for r in inst.sources() {
+            alloc(r, &mut reg_of);
+        }
+        if let Some(d) = inst.dest() {
+            alloc(d, &mut reg_of);
+        }
+    }
+    alloc(l.induction, &mut reg_of);
+    alloc(l.trips, &mut reg_of);
+    let kc = Reg(reg_of.len() as u16); // loop-count register, outside the map
+    if reg_of.len() + 1 > ximd_isa::XIMD1_NUM_REGS {
+        return Err(CompileError::OutOfRegisters {
+            needed: reg_of.len() + 1,
+            available: ximd_isa::XIMD1_NUM_REGS,
+        });
+    }
+
+    let rows = emit_rows(
+        l,
+        s,
+        width,
+        &reg_of,
+        kc,
+        &EmitOpts {
+            base: 0,
+            exit_to: None,
+            init_induction: true,
+        },
+    );
+    let mut vliw = VliwProgram::new(width);
+    for row in rows {
+        vliw.push(row);
+    }
+    let stages = s.stages();
+    Ok(Pipelined {
+        ii: s.ii as u32,
+        stages,
+        vliw,
+        reg_of,
+        min_trips: stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::Value;
+    use ximd_sim::{MachineConfig, Vsim};
+
+    /// Livermore Loop 12 as a counted loop: X[k] = Y[k+1] − Y[k].
+    fn loop12() -> CountedLoop {
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let a = VReg(2);
+        let b = VReg(3);
+        let x = VReg(4);
+        CountedLoop {
+            body: vec![
+                Inst::Bin {
+                    op: AluOp::Iadd,
+                    a: ind.into(),
+                    b: Val::Const(4999),
+                    d: VReg(5),
+                },
+                Inst::Load {
+                    base: Val::Const(2999),
+                    off: ind.into(),
+                    d: a,
+                },
+                Inst::Load {
+                    base: Val::Const(3000),
+                    off: ind.into(),
+                    d: b,
+                },
+                Inst::Bin {
+                    op: AluOp::Isub,
+                    a: b.into(),
+                    b: a.into(),
+                    d: x,
+                },
+                Inst::Store {
+                    val: x.into(),
+                    addr: VReg(5).into(),
+                },
+            ],
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+            assume_no_alias: true,
+        }
+    }
+
+    fn run_loop12(n: usize) -> (Vec<i32>, u64, Pipelined) {
+        let pipe = modulo_schedule(&loop12(), 4).unwrap();
+        let y: Vec<i32> = (0..=n as i32).map(|i| i * i - 3 * i).collect();
+        let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(4)).unwrap();
+        sim.mem_mut().poke_slice(3000, &y).unwrap();
+        sim.write_reg(pipe.reg_of[&VReg(1)], Value::I32(n as i32));
+        let summary = sim.run(100 + 10 * n as u64).unwrap();
+        let x = sim.mem().peek_slice(5000, n).unwrap();
+        (x, summary.cycles, pipe)
+    }
+
+    #[test]
+    fn loop12_pipelines_correctly() {
+        for n in [4usize, 5, 8, 33] {
+            let (x, _, pipe) = run_loop12(n);
+            assert!(n as u32 >= pipe.min_trips, "test precondition");
+            let y: Vec<i32> = (0..=n as i32).map(|i| i * i - 3 * i).collect();
+            let expect: Vec<i32> = y.windows(2).map(|w| w[1] - w[0]).collect();
+            assert_eq!(x, expect, "n = {n}, ii = {}", pipe.ii);
+        }
+    }
+
+    #[test]
+    fn loop12_achieves_ii_2() {
+        let pipe = modulo_schedule(&loop12(), 4).unwrap();
+        assert_eq!(pipe.ii, 2, "7 ops on 4 FUs");
+        let (_, c8, _) = run_loop12(8);
+        let (_, c9, _) = run_loop12(9);
+        assert_eq!(c9 - c8, 2, "steady-state cost per iteration is II");
+    }
+
+    #[test]
+    fn narrow_machine_raises_ii() {
+        let pipe = modulo_schedule(&loop12(), 2).unwrap();
+        assert!(pipe.ii >= 4, "7 ops on 2 FUs need II >= 4, got {}", pipe.ii);
+        // Still correct.
+        let n = 10;
+        let y: Vec<i32> = (0..=n as i32).map(|i| 2 * i + 1).collect();
+        let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(2)).unwrap();
+        sim.mem_mut().poke_slice(3000, &y).unwrap();
+        sim.write_reg(pipe.reg_of[&VReg(1)], Value::I32(n as i32));
+        sim.run(10_000).unwrap();
+        assert_eq!(sim.mem().peek_slice(5000, n).unwrap(), vec![2; n]);
+    }
+
+    #[test]
+    fn reduction_recurrence_bounds_ii() {
+        // s = s + M[k]: the loop-carried add forms a 1-cycle recurrence; II
+        // stays small but the sum must come out right.
+        let ind = VReg(0);
+        let trips = VReg(1);
+        let v = VReg(2);
+        let s = VReg(3);
+        let l = CountedLoop {
+            body: vec![
+                Inst::Load {
+                    base: Val::Const(99),
+                    off: ind.into(),
+                    d: v,
+                },
+                Inst::Bin {
+                    op: AluOp::Iadd,
+                    a: s.into(),
+                    b: v.into(),
+                    d: s,
+                },
+            ],
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+            assume_no_alias: false,
+        };
+        let pipe = modulo_schedule(&l, 4).unwrap();
+        let n = 12;
+        let data: Vec<i32> = (1..=n as i32).collect();
+        let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(4)).unwrap();
+        sim.mem_mut().poke_slice(100, &data).unwrap();
+        sim.write_reg(pipe.reg_of[&trips], Value::I32(n as i32));
+        sim.run(10_000).unwrap();
+        assert_eq!(
+            sim.reg(pipe.reg_of[&s]).as_i32(),
+            (1..=n as i32).sum::<i32>()
+        );
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let ind = VReg(0);
+        let l = CountedLoop {
+            body: vec![
+                Inst::Copy {
+                    a: Val::Const(1),
+                    d: VReg(2),
+                },
+                Inst::Copy {
+                    a: Val::Const(2),
+                    d: VReg(2),
+                },
+            ],
+            induction: ind,
+            start: 0,
+            step: 1,
+            trips: VReg(1),
+            assume_no_alias: false,
+        };
+        assert!(matches!(
+            modulo_schedule(&l, 4),
+            Err(CompileError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_writes_to_induction() {
+        let ind = VReg(0);
+        let l = CountedLoop {
+            body: vec![Inst::Copy {
+                a: Val::Const(1),
+                d: ind,
+            }],
+            induction: ind,
+            start: 0,
+            step: 1,
+            trips: VReg(1),
+            assume_no_alias: false,
+        };
+        assert!(matches!(
+            modulo_schedule(&l, 4),
+            Err(CompileError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn wider_machines_never_increase_ii() {
+        let mut last = u32::MAX;
+        for width in [1usize, 2, 4, 8] {
+            match modulo_schedule(&loop12(), width) {
+                Ok(p) => {
+                    assert!(p.ii <= last, "width {width}");
+                    last = p.ii;
+                }
+                Err(_) => assert_eq!(width, 1, "only width 1 may fail (cmp needs II-2 slot)"),
+            }
+        }
+    }
+}

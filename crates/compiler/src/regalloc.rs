@@ -1,0 +1,96 @@
+//! Virtual-to-architectural register assignment.
+//!
+//! XIMD-1's 256-entry global register file dwarfs the register pressure of
+//! the paper's workloads, so the allocator is a direct map: virtual register
+//! `vN` → architectural `rN`, with a capacity check. (A colouring allocator
+//! would only matter for functions with >256 simultaneously-live values,
+//! which the mini-C frontend cannot produce at realistic sizes.)
+
+use std::collections::HashMap;
+
+use ximd_isa::Reg;
+
+use crate::error::CompileError;
+use crate::ir::{Function, VReg};
+
+/// The assignment produced by [`allocate`].
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    map: HashMap<VReg, Reg>,
+}
+
+impl Allocation {
+    /// Builds an allocation from an explicit map (used by code generators
+    /// that assign registers themselves, e.g. fork/join lowering).
+    pub fn from_map(map: HashMap<VReg, Reg>) -> Allocation {
+        Allocation { map }
+    }
+
+    /// The architectural register for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not part of the allocated function.
+    pub fn reg(&self, v: VReg) -> Reg {
+        self.map[&v]
+    }
+
+    /// Number of architectural registers in use.
+    pub fn used(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Assigns architectural registers for every virtual register of `func`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::OutOfRegisters`] if the function needs more than
+/// `available` registers.
+///
+/// # Example
+///
+/// ```
+/// use ximd_compiler::{lang, lower, regalloc};
+///
+/// let ast = lang::parse("fn f(a, b) { return a + b; }")?;
+/// let func = lower::lower(&ast.fns[0])?;
+/// let alloc = regalloc::allocate(&func, 256)?;
+/// assert!(alloc.used() >= 2);
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn allocate(func: &Function, available: usize) -> Result<Allocation, CompileError> {
+    let needed = func.vreg_count as usize;
+    if needed > available {
+        return Err(CompileError::OutOfRegisters { needed, available });
+    }
+    let map = (0..func.vreg_count)
+        .map(|i| (VReg(i), Reg(i as u16)))
+        .collect();
+    Ok(Allocation { map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    #[test]
+    fn direct_mapping() {
+        let func = lower(&parse("fn f(a) { return a + 1; }").unwrap().fns[0]).unwrap();
+        let alloc = allocate(&func, 256).unwrap();
+        assert_eq!(alloc.reg(VReg(0)), Reg(0));
+        assert_eq!(alloc.used(), func.vreg_count as usize);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let func = lower(&parse("fn f(a, b, c) { return a + b + c; }").unwrap().fns[0]).unwrap();
+        let err = allocate(&func, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::OutOfRegisters { available: 2, .. }
+        ));
+    }
+}

@@ -1,0 +1,283 @@
+//! Critical-path list scheduling of basic blocks into wide instructions.
+
+use crate::dag::{Dag, Node};
+use crate::ir::Block;
+
+/// The schedule of one basic block.
+///
+/// `slots[c][f]` holds the DAG node issued on FU `f` in the block's cycle
+/// `c`. The block's terminator executes in the *last* cycle; if the
+/// terminator is a branch, its comparison is placed at least one cycle
+/// earlier (condition codes are latched end-of-cycle), with padding cycles
+/// appended when necessary.
+#[derive(Debug, Clone)]
+pub struct ScheduledBlock {
+    /// Issue slots: `slots[cycle][fu]`.
+    pub slots: Vec<Vec<Option<Node>>>,
+    /// Where the terminator's comparison landed (`cycle`, `fu`), if any.
+    pub cmp_slot: Option<(usize, usize)>,
+}
+
+impl ScheduledBlock {
+    /// Number of cycles (= wide instructions) the block occupies.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the block occupies no cycles (never happens: even
+    /// an empty block needs one cycle to hold its terminator).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Count of non-empty issue slots.
+    pub fn ops(&self) -> usize {
+        self.slots.iter().flatten().filter(|s| s.is_some()).count()
+    }
+}
+
+/// List-schedules `block` for a machine of `width` functional units.
+///
+/// Nodes are prioritized by critical-path height; each cycle greedily packs
+/// the ready nodes into the available issue slots.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ximd_compiler::{dag, ir, schedule};
+/// use ximd_isa::AluOp;
+///
+/// // Two independent adds: width 2 packs them into one cycle.
+/// let block = ir::Block {
+///     insts: vec![
+///         ir::Inst::Bin { op: AluOp::Iadd, a: ir::VReg(0).into(), b: ir::Val::Const(1), d: ir::VReg(1) },
+///         ir::Inst::Bin { op: AluOp::Iadd, a: ir::VReg(0).into(), b: ir::Val::Const(2), d: ir::VReg(2) },
+///     ],
+///     term: ir::Terminator::Return(None),
+/// };
+/// assert_eq!(schedule::schedule_block(&block, 2).len(), 1);
+/// assert_eq!(schedule::schedule_block(&block, 1).len(), 2);
+/// ```
+pub fn schedule_block(block: &Block, width: usize) -> ScheduledBlock {
+    assert!(width > 0, "machine width must be positive");
+    let dag = Dag::build(block);
+    let heights = dag.heights();
+    let n = dag.nodes.len();
+
+    let mut issue_cycle: Vec<Option<usize>> = vec![None; n];
+    let mut issue_fu: Vec<usize> = vec![0; n];
+    let mut unscheduled = n;
+    let mut slots: Vec<Vec<Option<Node>>> = Vec::new();
+    let mut cycle = 0usize;
+
+    while unscheduled > 0 {
+        let mut row: Vec<Option<Node>> = vec![None; width];
+        let mut used = 0;
+        // Placing a node can make its latency-0 (WAR) successors ready in
+        // the same cycle, so re-scan until the row stops filling.
+        loop {
+            let mut ready: Vec<usize> = (0..n)
+                .filter(|&i| issue_cycle[i].is_none())
+                .filter(|&i| {
+                    dag.preds[i].iter().all(|&(p, lat)| {
+                        issue_cycle[p].is_some_and(|pc| pc + lat as usize <= cycle)
+                    })
+                })
+                .collect();
+            if ready.is_empty() || used == width {
+                break;
+            }
+            // Highest critical path first; stable on original order.
+            ready.sort_by_key(|&i| (std::cmp::Reverse(heights[i]), i));
+            let before = used;
+            for &node in ready.iter().take(width - used) {
+                row[used] = Some(dag.nodes[node]);
+                issue_cycle[node] = Some(cycle);
+                issue_fu[node] = used;
+                used += 1;
+                unscheduled -= 1;
+            }
+            if used == before {
+                break;
+            }
+        }
+        slots.push(row);
+        cycle += 1;
+    }
+
+    let cmp_slot = dag
+        .cmp_node()
+        .map(|c| (issue_cycle[c].expect("all nodes scheduled"), issue_fu[c]));
+
+    // The branch executes in the last cycle and needs its condition latched:
+    // ensure at least one cycle separates the compare from the block end.
+    if slots.is_empty() {
+        slots.push(vec![None; width]);
+    }
+    if let Some((cmp_cycle, _)) = cmp_slot {
+        while cmp_cycle + 1 >= slots.len() {
+            slots.push(vec![None; width]);
+        }
+    }
+
+    ScheduledBlock { slots, cmp_slot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockId, Inst, Terminator, VReg, Val};
+    use ximd_isa::{AluOp, CmpOp};
+
+    fn add(a: Val, b: Val, d: VReg) -> Inst {
+        Inst::Bin {
+            op: AluOp::Iadd,
+            a,
+            b,
+            d,
+        }
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_cycle() {
+        let block = Block {
+            insts: (0..4)
+                .map(|i| add(VReg(0).into(), Val::Const(i), VReg(1 + i as u32)))
+                .collect(),
+            term: Terminator::Return(None),
+        };
+        let s = schedule_block(&block, 4);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ops(), 4);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let block = Block {
+            insts: vec![
+                add(VReg(0).into(), Val::Const(1), VReg(1)),
+                add(VReg(1).into(), Val::Const(1), VReg(2)),
+                add(VReg(2).into(), Val::Const(1), VReg(3)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let s = schedule_block(&block, 8);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn width_one_fully_serializes() {
+        let block = Block {
+            insts: (0..5)
+                .map(|i| add(VReg(0).into(), Val::Const(i), VReg(1 + i as u32)))
+                .collect(),
+            term: Terminator::Return(None),
+        };
+        assert_eq!(schedule_block(&block, 1).len(), 5);
+    }
+
+    #[test]
+    fn war_pairs_share_a_cycle() {
+        // i0 reads v1, i1 overwrites v1: legal in one cycle (read-old).
+        let block = Block {
+            insts: vec![
+                add(VReg(1).into(), Val::Const(1), VReg(2)),
+                add(VReg(0).into(), Val::Const(9), VReg(1)),
+            ],
+            term: Terminator::Return(None),
+        };
+        assert_eq!(schedule_block(&block, 2).len(), 1);
+    }
+
+    #[test]
+    fn branch_gets_padding_cycle_after_compare() {
+        // Empty block with a branch: the compare occupies cycle 0, the
+        // branch needs cycle 1.
+        let block = Block {
+            insts: vec![],
+            term: Terminator::Branch {
+                op: CmpOp::Lt,
+                a: VReg(0).into(),
+                b: Val::Const(3),
+                then_bb: BlockId(0),
+                else_bb: BlockId(0),
+            },
+        };
+        let s = schedule_block(&block, 4);
+        assert_eq!(s.cmp_slot, Some((0, 0)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn compare_depending_on_result_is_late() {
+        let block = Block {
+            insts: vec![add(VReg(0).into(), Val::Const(1), VReg(1))],
+            term: Terminator::Branch {
+                op: CmpOp::Eq,
+                a: VReg(1).into(),
+                b: Val::Const(0),
+                then_bb: BlockId(0),
+                else_bb: BlockId(0),
+            },
+        };
+        let s = schedule_block(&block, 4);
+        // add at 0, cmp at 1, branch at 2.
+        assert_eq!(s.cmp_slot, Some((1, 0)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_block_still_one_cycle() {
+        let block = Block {
+            insts: vec![],
+            term: Terminator::Return(None),
+        };
+        let s = schedule_block(&block, 4);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ops(), 0);
+    }
+
+    #[test]
+    fn schedule_respects_dependence_latencies() {
+        // Exhaustive check on a mixed block: every edge satisfied.
+        let block = Block {
+            insts: vec![
+                add(VReg(0).into(), Val::Const(1), VReg(1)),
+                Inst::Store {
+                    val: VReg(1).into(),
+                    addr: Val::Const(7),
+                },
+                Inst::Load {
+                    base: Val::Const(7),
+                    off: Val::Const(0),
+                    d: VReg(2),
+                },
+                add(VReg(2).into(), VReg(1).into(), VReg(3)),
+            ],
+            term: Terminator::Return(None),
+        };
+        let s = schedule_block(&block, 2);
+        let dag = Dag::build(&block);
+        // Recover issue cycles.
+        let mut at = vec![usize::MAX; dag.nodes.len()];
+        for (c, row) in s.slots.iter().enumerate() {
+            for node in row.iter().flatten() {
+                if let Node::Inst(i) = node {
+                    at[*i] = c;
+                }
+            }
+        }
+        for (i, succs) in dag.succs.iter().enumerate() {
+            for &(j, lat) in succs {
+                assert!(
+                    at[j] >= at[i] + lat as usize,
+                    "edge {i}->{j} lat {lat} violated: {at:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Tile generation — the first half of the paper's Figure 13 flow.
+//!
+//! "Each thread is compiled several times with varying resource
+//! constraints, for example, the compiler allows use of a different number
+//! of functional units. … Each can be modeled as a rectangle or tile whose
+//! width is the required number of functional units and whose length is the
+//! static code size."
+
+use crate::codegen::compile_function;
+use crate::error::CompileError;
+use crate::ir::Function;
+use crate::lang;
+use crate::lower;
+
+/// One compilation of one thread at one width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Thread index (position in the menu list).
+    pub thread: usize,
+    /// Functional units the code was compiled for.
+    pub width: usize,
+    /// Static code size in wide instructions.
+    pub height: usize,
+    /// Non-nop data operations (static).
+    pub ops: usize,
+}
+
+impl Tile {
+    /// Instruction-memory area the tile occupies.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Fraction of the tile's slots holding useful operations.
+    pub fn density(&self) -> f64 {
+        if self.area() == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.area() as f64
+        }
+    }
+}
+
+/// All width options generated for one thread.
+#[derive(Debug, Clone)]
+pub struct TileMenu {
+    /// Thread index.
+    pub thread: usize,
+    /// The thread's name (function name).
+    pub name: String,
+    /// One tile per compiled width, ascending by width.
+    pub options: Vec<Tile>,
+}
+
+impl TileMenu {
+    /// The option with the given width.
+    pub fn at_width(&self, width: usize) -> Option<&Tile> {
+        self.options.iter().find(|t| t.width == width)
+    }
+
+    /// The option with the smallest area (the static-density optimum the
+    /// Figure 13 example targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the menu has no options.
+    pub fn min_area(&self) -> &Tile {
+        self.options
+            .iter()
+            .min_by_key(|t| (t.area(), t.width))
+            .expect("non-empty menu")
+    }
+
+    /// The widest option (the latency-optimal choice a time-oriented packer
+    /// would pick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the menu has no options.
+    pub fn widest(&self) -> &Tile {
+        self.options
+            .iter()
+            .max_by_key(|t| t.width)
+            .expect("non-empty menu")
+    }
+}
+
+/// Compiles an IR function at each width in `widths`, producing its tile
+/// menu.
+///
+/// # Errors
+///
+/// Propagates compilation errors from any width.
+pub fn tiles_for_function(
+    thread: usize,
+    func: &Function,
+    widths: &[usize],
+) -> Result<TileMenu, CompileError> {
+    let mut options = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let compiled = compile_function(func, w)?;
+        options.push(Tile {
+            thread,
+            width: w,
+            height: compiled.vliw.len(),
+            ops: compiled.vliw.static_ops(),
+        });
+    }
+    options.sort_by_key(|t| t.width);
+    Ok(TileMenu {
+        thread,
+        name: func.name.clone(),
+        options,
+    })
+}
+
+/// Parses a mini-C program and builds one tile menu per function, in
+/// source order — the "separated into individual program threads" step of
+/// Figure 13.
+///
+/// # Errors
+///
+/// Propagates frontend and backend errors.
+///
+/// # Example
+///
+/// ```
+/// let menus = ximd_compiler::tile::menus(
+///     "fn a(x) { return x + 1; } fn b(x) { return x * x - x; }",
+///     &[1, 2, 4],
+/// )?;
+/// assert_eq!(menus.len(), 2);
+/// assert_eq!(menus[0].options.len(), 3);
+/// # Ok::<(), ximd_compiler::CompileError>(())
+/// ```
+pub fn menus(source: &str, widths: &[usize]) -> Result<Vec<TileMenu>, CompileError> {
+    let ast = lang::parse(source)?;
+    ast.fns
+        .iter()
+        .enumerate()
+        .map(|(i, def)| tiles_for_function(i, &lower::lower(def)?, widths))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r"
+fn narrow(a) {
+    let s = 0;
+    let i = 0;
+    while (i < a) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+fn wide(a, b, c, d) {
+    let e = a + b;
+    let f = c + d;
+    let g = a - b;
+    let h = c - d;
+    return (e + f) * (g + h);
+}
+";
+
+    #[test]
+    fn heights_shrink_or_hold_with_width() {
+        let menus = menus(SRC, &[1, 2, 4, 8]).unwrap();
+        for menu in &menus {
+            let heights: Vec<usize> = menu.options.iter().map(|t| t.height).collect();
+            for pair in heights.windows(2) {
+                assert!(pair[1] <= pair[0], "{}: heights {heights:?}", menu.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ops_are_width_invariant() {
+        // The same operations get scheduled regardless of width.
+        let menus = menus(SRC, &[1, 2, 8]).unwrap();
+        for menu in &menus {
+            let ops: Vec<usize> = menu.options.iter().map(|t| t.ops).collect();
+            assert!(
+                ops.windows(2).all(|w| w[0] == w[1]),
+                "{}: {ops:?}",
+                menu.name
+            );
+        }
+    }
+
+    #[test]
+    fn min_area_prefers_narrow_tiles_for_serial_code() {
+        let menus = menus(SRC, &[1, 2, 4, 8]).unwrap();
+        // `narrow` is a serial loop: wider machines waste slots, so the
+        // min-area tile is narrow.
+        let narrow = &menus[0];
+        assert!(narrow.min_area().width <= 2, "{:?}", narrow.options);
+    }
+
+    #[test]
+    fn density_bounded_by_one() {
+        for menu in menus(SRC, &[1, 2, 4]).unwrap() {
+            for t in &menu.options {
+                assert!(t.density() <= 1.0 && t.density() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn at_width_and_widest() {
+        let menus = menus(SRC, &[2, 4]).unwrap();
+        assert_eq!(menus[1].at_width(4).unwrap().width, 4);
+        assert!(menus[1].at_width(3).is_none());
+        assert_eq!(menus[1].widest().width, 4);
+    }
+}

@@ -1,0 +1,423 @@
+//! XIMD multi-thread code generation.
+//!
+//! The paper's compilation strategy (Figure 13 and §1.4) splits a program
+//! into threads, compiles each thread for some number of functional units,
+//! and runs them *concurrently* as separate instruction streams — "XIMD can
+//! potentially exploit medium-grained and coarse-grained parallelism as
+//! well". This module performs the runtime half of that plan:
+//! [`combine_threads`] takes separately compiled functions and emits one
+//! XIMD program in which thread *t* owns a contiguous range of FU columns
+//! and a private block of architectural registers, all threads launch from
+//! a shared dispatch word at `00:`, and (optionally) re-join at a final
+//! `ALL-SS` barrier before halting together.
+//!
+//! The result is directly comparable against running the same threads
+//! back-to-back on a VLIW machine — the coarse-grain ablation in the
+//! benchmark harness.
+
+use ximd_isa::{
+    Addr, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg, SyncSignal,
+};
+
+use crate::codegen::CompiledFunction;
+use crate::error::CompileError;
+
+/// How the combined threads terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Join {
+    /// Each thread halts its own FUs when done (MIMD-style).
+    Halt,
+    /// Threads spin at a shared `ALL-SS` barrier and halt together
+    /// (fork/join-style, the paper's §3.3 mechanism).
+    #[default]
+    Barrier,
+}
+
+/// One thread of a combined program: where it lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadLayout {
+    /// First FU column the thread owns.
+    pub fu_base: usize,
+    /// Number of FU columns.
+    pub width: usize,
+    /// First instruction address of the thread's code.
+    pub entry: Addr,
+    /// Architectural-register offset added to the thread's registers.
+    pub reg_base: u16,
+    /// The thread's parameter registers, post-offset.
+    pub param_regs: Vec<Reg>,
+    /// The thread's return register, post-offset.
+    pub ret_reg: Option<Reg>,
+}
+
+/// A combined multi-thread XIMD program.
+#[derive(Debug, Clone)]
+pub struct CombinedProgram {
+    /// The executable program.
+    pub program: Program,
+    /// Per-thread layout (same order as the input functions).
+    pub threads: Vec<ThreadLayout>,
+    /// Total machine width used.
+    pub width: usize,
+}
+
+fn offset_reg(r: Reg, base: u16) -> Reg {
+    Reg(r.0 + base)
+}
+
+fn offset_operand(o: Operand, base: u16) -> Operand {
+    match o {
+        Operand::Reg(r) => Operand::Reg(offset_reg(r, base)),
+        imm @ Operand::Imm(_) => imm,
+    }
+}
+
+fn offset_data(op: &DataOp, base: u16) -> DataOp {
+    match *op {
+        DataOp::Nop => DataOp::Nop,
+        DataOp::Alu { op, a, b, d } => DataOp::Alu {
+            op,
+            a: offset_operand(a, base),
+            b: offset_operand(b, base),
+            d: offset_reg(d, base),
+        },
+        DataOp::Un { op, a, d } => DataOp::Un {
+            op,
+            a: offset_operand(a, base),
+            d: offset_reg(d, base),
+        },
+        DataOp::Cmp { op, a, b } => DataOp::Cmp {
+            op,
+            a: offset_operand(a, base),
+            b: offset_operand(b, base),
+        },
+        DataOp::Load { a, b, d } => DataOp::Load {
+            a: offset_operand(a, base),
+            b: offset_operand(b, base),
+            d: offset_reg(d, base),
+        },
+        DataOp::Store { a, b } => DataOp::Store {
+            a: offset_operand(a, base),
+            b: offset_operand(b, base),
+        },
+        DataOp::PortIn { port, d } => DataOp::PortIn {
+            port,
+            d: offset_reg(d, base),
+        },
+        DataOp::PortOut { port, a } => DataOp::PortOut {
+            port,
+            a: offset_operand(a, base),
+        },
+    }
+}
+
+/// Combines separately compiled threads into one XIMD program.
+///
+/// Thread *t* occupies FU columns `[fu_base_t, fu_base_t + width_t)` (packed
+/// left to right in input order) and registers offset so that no two
+/// threads share architectural state. Address `00:` is a dispatch word
+/// sending every column to its thread's entry; each thread's internal
+/// branch targets and condition-code references are rebased accordingly.
+///
+/// Memory is *shared and not remapped* — as on the real machine, threads
+/// that write memory must use disjoint regions (or intentional sharing).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Schedule`] if the threads need more FU columns
+/// than `machine_width`, or [`CompileError::OutOfRegisters`] if their
+/// register blocks exceed the register file.
+pub fn combine_threads(
+    threads: &[&CompiledFunction],
+    machine_width: usize,
+    join: Join,
+) -> Result<CombinedProgram, CompileError> {
+    let total_width: usize = threads.iter().map(|t| t.width).sum();
+    if total_width > machine_width {
+        return Err(CompileError::Schedule(format!(
+            "threads need {total_width} functional units, machine has {machine_width}"
+        )));
+    }
+
+    // Register blocks.
+    let mut reg_bases: Vec<u16> = Vec::with_capacity(threads.len());
+    let mut next_reg: u32 = 0;
+    for t in threads {
+        reg_bases.push(next_reg as u16);
+        let used = t
+            .vliw
+            .iter()
+            .flat_map(|(_, i)| i.ops.iter())
+            .flat_map(|op| {
+                op.sources()
+                    .into_iter()
+                    .chain(op.dest())
+                    .map(|r| r.0 as u32 + 1)
+            })
+            .max()
+            .unwrap_or(0);
+        next_reg += used;
+    }
+    if next_reg as usize > ximd_isa::XIMD1_NUM_REGS {
+        return Err(CompileError::OutOfRegisters {
+            needed: next_reg as usize,
+            available: ximd_isa::XIMD1_NUM_REGS,
+        });
+    }
+
+    // Address layout: dispatch word at 0, then thread bodies, then the
+    // optional barrier + halt words.
+    let mut entries: Vec<Addr> = Vec::with_capacity(threads.len());
+    let mut next_addr = 1u32;
+    for t in threads {
+        entries.push(Addr(next_addr));
+        next_addr += t.vliw.len() as u32;
+    }
+    let barrier_addr = Addr(next_addr);
+    let end_addr = Addr(next_addr + 1);
+    let len = match join {
+        Join::Halt => next_addr,
+        Join::Barrier => next_addr + 2,
+    };
+
+    // Build instruction memory filled with inert parcels.
+    let mut words: Vec<Vec<Parcel>> = vec![vec![Parcel::halt(); machine_width]; len as usize];
+
+    // Dispatch word: every owned column jumps to its thread's entry.
+    let mut fu_base = 0usize;
+    let mut layouts = Vec::with_capacity(threads.len());
+    for (ti, t) in threads.iter().enumerate() {
+        let entry = entries[ti];
+        for col in fu_base..fu_base + t.width {
+            words[0][col] = Parcel::goto(entry);
+        }
+
+        // Thread body.
+        for (addr, instr) in t.vliw.iter() {
+            let row = (entry.0 + addr.0) as usize;
+            let rebase_target = |a: Addr| Addr(entry.0 + a.0);
+            let ctrl = match instr.ctrl {
+                ControlOp::Goto(a) => ControlOp::Goto(rebase_target(a)),
+                ControlOp::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    let cond = match cond {
+                        CondSource::Cc(f) => CondSource::Cc(FuId(f.0 + fu_base as u8)),
+                        other => other,
+                    };
+                    ControlOp::Branch {
+                        cond,
+                        taken: rebase_target(taken),
+                        not_taken: rebase_target(not_taken),
+                    }
+                }
+                ControlOp::Halt => match join {
+                    Join::Halt => ControlOp::Halt,
+                    Join::Barrier => ControlOp::Goto(barrier_addr),
+                },
+            };
+            for (i, op) in instr.ops.iter().enumerate() {
+                words[row][fu_base + i] = Parcel {
+                    data: offset_data(op, reg_bases[ti]),
+                    ctrl,
+                    sync: SyncSignal::Busy,
+                };
+            }
+        }
+
+        layouts.push(ThreadLayout {
+            fu_base,
+            width: t.width,
+            entry,
+            reg_base: reg_bases[ti],
+            param_regs: t
+                .param_regs
+                .iter()
+                .map(|&r| offset_reg(r, reg_bases[ti]))
+                .collect(),
+            ret_reg: t.ret_reg.map(|r| offset_reg(r, reg_bases[ti])),
+        });
+        fu_base += t.width;
+    }
+
+    if join == Join::Barrier {
+        // Barrier word: owned columns spin exporting DONE; unowned columns
+        // are already DONE-by-halt... a halted FU holds its last sync value,
+        // which defaults to BUSY — so unowned columns must halt *exporting
+        // DONE* at dispatch or the barrier never opens.
+        for col in total_width..machine_width {
+            words[0][col] = Parcel::halt().done();
+        }
+        let spin = Parcel {
+            data: DataOp::Nop,
+            ctrl: ControlOp::branch(CondSource::AllSync, end_addr, barrier_addr),
+            sync: SyncSignal::Done,
+        };
+        for col in 0..total_width {
+            words[barrier_addr.index()][col] = spin;
+        }
+        // End word: halt everyone, still exporting DONE (halted FUs hold
+        // their last value, keeping the release condition stable).
+        for col in 0..total_width {
+            words[end_addr.index()][col] = Parcel::halt().done();
+        }
+    }
+
+    let mut program = Program::new(machine_width);
+    for word in words {
+        program.push(word);
+    }
+    program
+        .validate(ximd_isa::XIMD1_NUM_REGS)
+        .map_err(|e| CompileError::Schedule(format!("combined program invalid: {e}")))?;
+
+    Ok(CombinedProgram {
+        program,
+        threads: layouts,
+        width: machine_width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile_named;
+    use ximd_sim::{MachineConfig, Vsim, Xsim};
+
+    const SRC: &str = r"
+fn sum(n) {
+    let s = 0;
+    let i = 1;
+    while (i <= n) { s = s + i; i = i + 1; }
+    return s;
+}
+fn fib(n) {
+    let a = 0;
+    let b = 1;
+    let i = 0;
+    while (i < n) { let t = a + b; a = b; b = t; i = i + 1; }
+    return a;
+}
+fn doubler(n) {
+    let i = 0;
+    while (i < n) { mem[900 + i] = mem[800 + i] * 2; i = i + 1; }
+    return 0;
+}
+";
+
+    fn compiled(name: &str, width: usize) -> CompiledFunction {
+        compile_named(SRC, name, width).unwrap()
+    }
+
+    #[test]
+    fn two_threads_run_concurrently_with_barrier() {
+        let sum = compiled("sum", 2);
+        let fib = compiled("fib", 2);
+        let combined = combine_threads(&[&sum, &fib], 4, Join::Barrier).unwrap();
+
+        let mut sim = Xsim::new(combined.program.clone(), MachineConfig::with_width(4)).unwrap();
+        sim.write_reg(combined.threads[0].param_regs[0], 10i32.into());
+        sim.write_reg(combined.threads[1].param_regs[0], 11i32.into());
+        sim.enable_trace();
+        let summary = sim.run(100_000).unwrap();
+
+        assert_eq!(sim.reg(combined.threads[0].ret_reg.unwrap()).as_i32(), 55);
+        assert_eq!(sim.reg(combined.threads[1].ret_reg.unwrap()).as_i32(), 89);
+        // Concurrency: the two threads form distinct streams.
+        assert!(sim.trace().unwrap().max_streams() >= 2);
+        assert!(sim.all_halted());
+
+        // Cost is near max of the two, not the sum.
+        let solo = |f: &CompiledFunction, arg: i32| {
+            let mut s = Vsim::new(f.vliw.clone(), MachineConfig::with_width(f.width)).unwrap();
+            s.write_reg(f.param_regs[0], arg.into());
+            s.run(100_000).unwrap().cycles
+        };
+        let (c1, c2) = (solo(&sum, 10), solo(&fib, 11));
+        assert!(
+            summary.cycles < c1 + c2,
+            "combined {} should beat sequential {}",
+            summary.cycles,
+            c1 + c2
+        );
+        // Dispatch + barrier overhead is small.
+        assert!(
+            summary.cycles <= c1.max(c2) + 4,
+            "combined {} vs max {}",
+            summary.cycles,
+            c1.max(c2)
+        );
+    }
+
+    #[test]
+    fn halt_join_leaves_threads_independent() {
+        let sum = compiled("sum", 1);
+        let fib = compiled("fib", 1);
+        let combined = combine_threads(&[&sum, &fib], 2, Join::Halt).unwrap();
+        let mut sim = Xsim::new(combined.program.clone(), MachineConfig::with_width(2)).unwrap();
+        sim.write_reg(combined.threads[0].param_regs[0], 4i32.into());
+        sim.write_reg(combined.threads[1].param_regs[0], 7i32.into());
+        sim.run(100_000).unwrap();
+        assert_eq!(sim.reg(combined.threads[0].ret_reg.unwrap()).as_i32(), 10);
+        assert_eq!(sim.reg(combined.threads[1].ret_reg.unwrap()).as_i32(), 13);
+    }
+
+    #[test]
+    fn three_threads_with_memory_regions() {
+        let sum = compiled("sum", 2);
+        let fib = compiled("fib", 2);
+        let dbl = compiled("doubler", 2);
+        let combined = combine_threads(&[&sum, &fib, &dbl], 8, Join::Barrier).unwrap();
+        let mut sim = Xsim::new(combined.program.clone(), MachineConfig::ximd1()).unwrap();
+        sim.write_reg(combined.threads[0].param_regs[0], 100i32.into());
+        sim.write_reg(combined.threads[1].param_regs[0], 20i32.into());
+        sim.write_reg(combined.threads[2].param_regs[0], 5i32.into());
+        sim.mem_mut().poke_slice(800, &[1, 2, 3, 4, 5]).unwrap();
+        sim.run(1_000_000).unwrap();
+        assert_eq!(sim.reg(combined.threads[0].ret_reg.unwrap()).as_i32(), 5050);
+        assert_eq!(sim.reg(combined.threads[1].ret_reg.unwrap()).as_i32(), 6765);
+        assert_eq!(sim.mem().peek_slice(900, 5).unwrap(), vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn register_blocks_do_not_collide() {
+        let a = compiled("sum", 1);
+        let b = compiled("sum", 1);
+        let combined = combine_threads(&[&a, &b], 2, Join::Barrier).unwrap();
+        assert_ne!(
+            combined.threads[0].param_regs[0],
+            combined.threads[1].param_regs[0]
+        );
+        let mut sim = Xsim::new(combined.program.clone(), MachineConfig::with_width(2)).unwrap();
+        sim.write_reg(combined.threads[0].param_regs[0], 3i32.into());
+        sim.write_reg(combined.threads[1].param_regs[0], 4i32.into());
+        sim.run(100_000).unwrap();
+        assert_eq!(sim.reg(combined.threads[0].ret_reg.unwrap()).as_i32(), 6);
+        assert_eq!(sim.reg(combined.threads[1].ret_reg.unwrap()).as_i32(), 10);
+    }
+
+    #[test]
+    fn too_wide_is_rejected() {
+        let a = compiled("sum", 4);
+        let b = compiled("fib", 8);
+        assert!(matches!(
+            combine_threads(&[&a, &b], 8, Join::Barrier),
+            Err(CompileError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn unused_columns_do_not_block_the_barrier() {
+        // 3 columns used of 8: the 5 unowned columns must export DONE or
+        // the ALL-SS barrier would hang.
+        let a = compiled("sum", 3);
+        let combined = combine_threads(&[&a], 8, Join::Barrier).unwrap();
+        let mut sim = Xsim::new(combined.program.clone(), MachineConfig::ximd1()).unwrap();
+        sim.write_reg(combined.threads[0].param_regs[0], 6i32.into());
+        sim.run(100_000).unwrap();
+        assert!(sim.all_halted());
+        assert_eq!(sim.reg(combined.threads[0].ret_reg.unwrap()).as_i32(), 21);
+    }
+}

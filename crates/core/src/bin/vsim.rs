@@ -1,0 +1,16 @@
+//! `vsim` — the companion VLIW simulator as a command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{}", ximd::cli::USAGE.replace("{tool}", "vsim"));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    match ximd::cli::parse_args(&args).and_then(|opts| ximd::cli::run_vsim(&opts)) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("vsim: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! `xsim` — the XIMD-1 simulator as a command-line tool (cf. \[Wolfe89\]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{}", ximd::cli::USAGE.replace("{tool}", "xsim"));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    match ximd::cli::parse_args(&args).and_then(|opts| ximd::cli::run_xsim(&opts)) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("xsim: {message}");
+            std::process::exit(1);
+        }
+    }
+}

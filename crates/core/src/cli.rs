@@ -1,0 +1,413 @@
+//! Shared implementation of the `xsim` and `vsim` command-line tools.
+//!
+//! The paper's evaluation used standalone simulators of the same names
+//! \[Wolfe89\]; these binaries expose this workspace's simulators the same
+//! way: assemble a source file, seed registers and memory from the command
+//! line, run, and report statistics (and, for xsim, the Figure-10-style
+//! partition trace).
+
+use std::fmt::Write as _;
+
+use ximd_isa::{Addr, Reg, Value};
+use ximd_sim::{MachineConfig, VliwProgram, Vsim, Xsim};
+
+/// Parsed command-line options for both tools.
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// Path to the assembler source file.
+    pub source: Option<String>,
+    /// Seed `reg = value` pairs.
+    pub regs: Vec<(Reg, i32)>,
+    /// Seed `addr = values…` memory images.
+    pub mems: Vec<(i64, Vec<i32>)>,
+    /// Cycle budget (default 1,000,000).
+    pub max_cycles: u64,
+    /// Print the per-cycle trace (xsim only).
+    pub trace: bool,
+    /// Print the trace as CSV instead of the Figure-10 table.
+    pub csv: bool,
+    /// Treat this address as a terminal self-loop park (xsim only).
+    pub park: Option<Addr>,
+    /// Registers to print after the run.
+    pub dump_regs: Vec<Reg>,
+    /// Memory ranges `(addr, len)` to print after the run.
+    pub dump_mems: Vec<(i64, usize)>,
+    /// I/O port schedules: `ports[i]` lists `(ready_cycle, value)` pairs.
+    /// Ports are attached in index order; gaps become empty ports.
+    pub ports: Vec<Vec<(u64, i32)>>,
+}
+
+/// Usage text shared by both tools.
+pub const USAGE: &str = "\
+usage: {tool} FILE.xasm [options]
+  --reg rN=V          seed register N with integer V (repeatable)
+  --mem ADDR=V,V,...  seed memory words starting at ADDR (repeatable)
+  --max-cycles N      cycle budget (default 1000000)
+  --trace             print the per-cycle address/partition trace (xsim)
+  --csv               print the trace as CSV (implies --trace)
+  --park ADDR         stop once all FUs reach the self-loop at ADDR (xsim)
+  --dump-reg rN       print a register after the run (repeatable)
+  --dump-mem ADDR:LEN print LEN memory words after the run (repeatable)
+  --port N=C:V,C:V    attach I/O port N delivering value V at cycle C (xsim)
+";
+
+fn parse_reg(text: &str) -> Result<Reg, String> {
+    text.strip_prefix('r')
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(Reg)
+        .ok_or_else(|| format!("bad register {text:?} (expected rN)"))
+}
+
+/// Parses argv (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed arguments.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        max_cycles: 1_000_000,
+        ..CliOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--reg" => {
+                let spec = need("--reg")?;
+                let (r, v) = spec.split_once('=').ok_or("--reg expects rN=V")?;
+                let value: i32 = v.parse().map_err(|_| format!("bad value {v:?}"))?;
+                opts.regs.push((parse_reg(r)?, value));
+            }
+            "--mem" => {
+                let spec = need("--mem")?;
+                let (a, vs) = spec.split_once('=').ok_or("--mem expects ADDR=V,V,...")?;
+                let addr: i64 = a.parse().map_err(|_| format!("bad address {a:?}"))?;
+                let values: Result<Vec<i32>, _> = vs.split(',').map(str::parse).collect();
+                opts.mems
+                    .push((addr, values.map_err(|_| format!("bad values {vs:?}"))?));
+            }
+            "--max-cycles" => {
+                opts.max_cycles = need("--max-cycles")?
+                    .parse()
+                    .map_err(|_| "bad --max-cycles value")?;
+            }
+            "--trace" => opts.trace = true,
+            "--csv" => {
+                opts.trace = true;
+                opts.csv = true;
+            }
+            "--park" => {
+                let a = need("--park")?;
+                let addr = u32::from_str_radix(a.trim_end_matches(':'), 16)
+                    .map_err(|_| format!("bad hex address {a:?}"))?;
+                opts.park = Some(Addr(addr));
+            }
+            "--port" => {
+                let spec = need("--port")?;
+                let (idx, sched) = spec.split_once('=').ok_or("--port expects N=C:V,...")?;
+                let idx: usize = idx.parse().map_err(|_| format!("bad port {idx:?}"))?;
+                let mut events = Vec::new();
+                for pair in sched.split(',') {
+                    let (c, v) = pair.split_once(':').ok_or("--port events are C:V")?;
+                    events.push((
+                        c.parse().map_err(|_| format!("bad cycle {c:?}"))?,
+                        v.parse().map_err(|_| format!("bad value {v:?}"))?,
+                    ));
+                }
+                if opts.ports.len() <= idx {
+                    opts.ports.resize(idx + 1, Vec::new());
+                }
+                opts.ports[idx] = events;
+            }
+            "--dump-reg" => opts.dump_regs.push(parse_reg(need("--dump-reg")?)?),
+            "--dump-mem" => {
+                let spec = need("--dump-mem")?;
+                let (a, l) = spec.split_once(':').ok_or("--dump-mem expects ADDR:LEN")?;
+                opts.dump_mems.push((
+                    a.parse().map_err(|_| format!("bad address {a:?}"))?,
+                    l.parse().map_err(|_| format!("bad length {l:?}"))?,
+                ));
+            }
+            other if !other.starts_with('-') && opts.source.is_none() => {
+                opts.source = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.source.is_none() {
+        return Err("no source file given".into());
+    }
+    Ok(opts)
+}
+
+/// Runs the xsim tool; returns the report or an error message.
+///
+/// # Errors
+///
+/// Returns a formatted message for I/O, assembly or simulation failures.
+pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
+    let path = opts.source.as_ref().expect("validated by parse_args");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+    let width = assembly.program.width();
+
+    let mut sim =
+        Xsim::new(assembly.program, MachineConfig::with_width(width)).map_err(|e| e.to_string())?;
+    for &(r, v) in &opts.regs {
+        sim.write_reg(r, Value::I32(v));
+    }
+    for (addr, values) in &opts.mems {
+        sim.mem_mut()
+            .poke_slice(*addr, values)
+            .map_err(|e| e.to_string())?;
+    }
+    for schedule in &opts.ports {
+        let mut port = ximd_sim::IoPort::new();
+        for &(cycle, value) in schedule {
+            port.schedule(cycle, Value::I32(value));
+        }
+        sim.attach_port(port);
+    }
+    if opts.trace {
+        sim.enable_trace();
+    }
+    let summary = match opts.park {
+        Some(park) => sim.run_until_parked(park, opts.max_cycles),
+        None => sim.run(opts.max_cycles),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    if let Some(trace) = sim.trace() {
+        if opts.csv {
+            let _ = write!(out, "{}", trace.to_csv());
+        } else {
+            let _ = write!(out, "{trace}");
+        }
+    }
+    let _ = writeln!(out, "cycles:        {}", summary.cycles);
+    let _ = writeln!(out, "ops executed:  {}", summary.stats.ops);
+    let _ = writeln!(
+        out,
+        "utilization:   {:.1}%",
+        summary.stats.utilization() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "streams:       max {}, avg {:.2}",
+        summary.stats.max_concurrent_streams,
+        summary.stats.avg_streams()
+    );
+    let _ = writeln!(out, "spin cycles:   {}", summary.stats.spin_cycles);
+    let per_fu: Vec<String> = summary
+        .stats
+        .fu_utilization()
+        .iter()
+        .map(|u| format!("{:.0}%", u * 100.0))
+        .collect();
+    let _ = writeln!(out, "per-FU load:   [{}]", per_fu.join(", "));
+    for (i, port) in sim.ports().iter().enumerate() {
+        if !port.written().is_empty() {
+            let values: Vec<String> = port
+                .written()
+                .iter()
+                .map(|e| format!("{}@{}", e.value.as_i32(), e.cycle))
+                .collect();
+            let _ = writeln!(out, "port {i} wrote:  [{}]", values.join(", "));
+        }
+    }
+    dump_state(
+        &mut out,
+        opts,
+        |r| sim.reg(r),
+        |a, l| sim.mem().peek_slice(a, l),
+    );
+    Ok(out)
+}
+
+/// Runs the vsim tool on a VLIW-style source (every parcel in a word must
+/// share one control operation); returns the report or an error message.
+///
+/// # Errors
+///
+/// Returns a formatted message for I/O, assembly, conversion or simulation
+/// failures.
+pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
+    let path = opts.source.as_ref().expect("validated by parse_args");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+    let width = assembly.program.width();
+    let vliw = VliwProgram::from_ximd(&assembly.program).ok_or_else(|| {
+        format!("{path}: not VLIW-style (a wide instruction has divergent control fields)")
+    })?;
+
+    let mut sim = Vsim::new(vliw, MachineConfig::with_width(width)).map_err(|e| e.to_string())?;
+    for &(r, v) in &opts.regs {
+        sim.write_reg(r, Value::I32(v));
+    }
+    for (addr, values) in &opts.mems {
+        sim.mem_mut()
+            .poke_slice(*addr, values)
+            .map_err(|e| e.to_string())?;
+    }
+    let summary = sim.run(opts.max_cycles).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles:        {}", summary.cycles);
+    let _ = writeln!(out, "ops executed:  {}", summary.stats.ops);
+    let _ = writeln!(
+        out,
+        "utilization:   {:.1}%",
+        summary.stats.utilization() * 100.0
+    );
+    dump_state(
+        &mut out,
+        opts,
+        |r| sim.reg(r),
+        |a, l| sim.mem().peek_slice(a, l),
+    );
+    Ok(out)
+}
+
+fn dump_state(
+    out: &mut String,
+    opts: &CliOptions,
+    reg: impl Fn(Reg) -> Value,
+    mem: impl Fn(i64, usize) -> Result<Vec<i32>, ximd_sim::SimError>,
+) {
+    for &r in &opts.dump_regs {
+        let _ = writeln!(out, "{r} = {}", reg(r).as_i32());
+    }
+    for &(addr, len) in &opts.dump_mems {
+        match mem(addr, len) {
+            Ok(words) => {
+                let _ = writeln!(out, "M[{addr}..{}] = {words:?}", addr + len as i64);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "M[{addr}]: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_full_command_line() {
+        let opts = parse_args(&args(&[
+            "prog.xasm",
+            "--reg",
+            "r1=42",
+            "--mem",
+            "100=1,2,3",
+            "--max-cycles",
+            "500",
+            "--trace",
+            "--park",
+            "0a",
+            "--dump-reg",
+            "r4",
+            "--dump-mem",
+            "100:3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.source.as_deref(), Some("prog.xasm"));
+        assert_eq!(opts.regs, vec![(Reg(1), 42)]);
+        assert_eq!(opts.mems, vec![(100, vec![1, 2, 3])]);
+        assert_eq!(opts.max_cycles, 500);
+        assert!(opts.trace);
+        assert_eq!(opts.park, Some(Addr(0x0a)));
+        assert_eq!(opts.dump_regs, vec![Reg(4)]);
+        assert_eq!(opts.dump_mems, vec![(100, 3)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["f.xasm", "--reg", "x1=3"])).is_err());
+        assert!(parse_args(&args(&["f.xasm", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["f.xasm", "--mem", "100"])).is_err());
+    }
+
+    #[test]
+    fn port_schedules_parse() {
+        let opts = parse_args(&args(&["f.xasm", "--port", "2=5:42,9:-1"])).unwrap();
+        assert_eq!(opts.ports.len(), 3);
+        assert_eq!(opts.ports[2], vec![(5, 42), (9, -1)]);
+        assert!(opts.ports[0].is_empty());
+        assert!(parse_args(&args(&["f.xasm", "--port", "x=1:2"])).is_err());
+    }
+
+    #[test]
+    fn csv_flag_implies_trace() {
+        let opts = parse_args(&args(&["f.xasm", "--csv"])).unwrap();
+        assert!(opts.csv && opts.trace);
+    }
+
+    #[test]
+    fn xsim_runs_a_file_end_to_end() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.xasm");
+        std::fs::write(&path, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+        let opts = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--reg",
+            "r0=37",
+            "--dump-reg",
+            "r1",
+        ]))
+        .unwrap();
+        let report = run_xsim(&opts).unwrap();
+        assert!(report.contains("r1 = 42"), "{report}");
+        assert!(report.contains("cycles:        1"), "{report}");
+    }
+
+    #[test]
+    fn vsim_rejects_divergent_control() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.xasm");
+        std::fs::write(
+            &path,
+            ".width 2\n00:\n  fu0: nop ; -> 01:\n  fu1: nop ; halt\n01:\n  all: nop ; halt\n",
+        )
+        .unwrap();
+        let opts = parse_args(&args(&[path.to_str().unwrap()])).unwrap();
+        let err = run_vsim(&opts).unwrap_err();
+        assert!(err.contains("not VLIW-style"), "{err}");
+    }
+
+    #[test]
+    fn vsim_runs_vliw_style_file() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v.xasm");
+        std::fs::write(
+            &path,
+            ".width 2\n00:\n  all: iadd r0,#1,r0 ; -> 01:\n  fu1: iadd r1,#2,r1 ; -> 01:\n01:\n  all: nop ; halt\n",
+        )
+        .unwrap();
+        let opts = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--dump-reg",
+            "r0",
+            "--dump-reg",
+            "r1",
+        ]))
+        .unwrap();
+        let report = run_vsim(&opts).unwrap();
+        assert!(report.contains("r0 = 1"), "{report}");
+        assert!(report.contains("r1 = 2"), "{report}");
+    }
+}

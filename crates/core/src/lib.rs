@@ -1,0 +1,149 @@
+//! **XIMD** — a variable instruction stream extension to the VLIW
+//! architecture.
+//!
+//! This is the umbrella crate of a from-scratch reproduction of
+//! *Wolfe & Shen, "A Variable Instruction Stream Extension to the VLIW
+//! Architecture", ASPLOS 1991*. XIMD is a VLIW-structured machine whose
+//! instruction sequencer is replicated per functional unit: shared
+//! condition codes and 1-bit sync signals let the compiler run the machine
+//! as one lock-step VLIW, as N independent streams, or as any dynamically
+//! varying partition of *synchronous sets* (SSETs) in between.
+//!
+//! The workspace is re-exported here by subsystem:
+//!
+//! * [`isa`] — the XIMD-1 instruction-set model (parcels, wide words,
+//!   control operations, binary encoding);
+//! * [`asm`] — assembler/disassembler for the paper's textual format;
+//! * [`sim`] — **xsim** (cycle-accurate XIMD-1) and **vsim** (the VLIW
+//!   companion baseline), with partition tracking and Figure-10 traces;
+//! * [`compiler`] — mini-C frontend, list scheduling, percolation, modulo
+//!   scheduling (software pipelining), tile generation and packing;
+//! * [`workloads`] — the paper's programs (TPROC, MINMAX, BITCOUNT1,
+//!   Livermore Loop 12, the Figure 12 non-blocking sync pair) plus oracles;
+//! * [`models`] — the §2 SISD/SIMD/VLIW/MIMD/XIMD state-machine hierarchy
+//!   with executable emulation theorems.
+//!
+//! # Quick start
+//!
+//! Assemble a two-FU program where the units fork on their own condition
+//! codes and re-join, then inspect the partition trace:
+//!
+//! ```
+//! use ximd::prelude::*;
+//!
+//! let source = r"
+//! .width 2
+//! 00:
+//!   fu0: lt r0,#10  ; -> 01:
+//!   fu1: gt r1,#0   ; -> 01:
+//! 01:
+//!   fu0: nop ; if cc0 02: | 03:
+//!   fu1: nop ; if cc1 02: | 03:
+//! 02:
+//!   all: nop ; -> 03:
+//! 03:
+//!   all: nop ; halt
+//! ";
+//! let assembly = ximd::asm::assemble(source)?;
+//! let mut sim = Xsim::new(assembly.program, MachineConfig::with_width(2))?;
+//! sim.enable_trace();
+//! sim.run(100)?;
+//! assert!(sim.trace().unwrap().max_streams() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cli;
+
+pub use ximd_asm as asm;
+pub use ximd_compiler as compiler;
+pub use ximd_isa as isa;
+pub use ximd_models as models;
+pub use ximd_sim as sim;
+pub use ximd_workloads as workloads;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use ximd_asm::{assemble, print_program, Assembly};
+    pub use ximd_isa::{
+        Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg,
+        SyncSignal, UnOp, Value,
+    };
+    pub use ximd_sim::{
+        IoPort, MachineConfig, Partition, SimError, SimStats, Trace, VliwInstruction, VliwProgram,
+        Vsim, Xsim,
+    };
+}
+
+use ximd_sim::SimStats;
+
+/// The result of running one workload on both machines — the row type of
+/// the paper's xsim-vs-vsim comparison (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Workload name.
+    pub name: String,
+    /// Statistics of the XIMD (xsim) run.
+    pub ximd: SimStats,
+    /// Statistics of the VLIW (vsim) run.
+    pub vliw: SimStats,
+}
+
+impl Comparison {
+    /// VLIW cycles divided by XIMD cycles (> 1 means XIMD wins).
+    pub fn speedup(&self) -> f64 {
+        if self.ximd.cycles == 0 {
+            0.0
+        } else {
+            self.vliw.cycles as f64 / self.ximd.cycles as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} xsim {:>8} cycles ({} streams max)   vsim {:>8} cycles   speedup {:.2}x",
+            self.name,
+            self.ximd.cycles,
+            self.ximd.max_concurrent_streams,
+            self.vliw.cycles,
+            self.speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_speedup() {
+        let c = Comparison {
+            name: "t".into(),
+            ximd: SimStats {
+                cycles: 50,
+                ..SimStats::default()
+            },
+            vliw: SimStats {
+                cycles: 100,
+                ..SimStats::default()
+            },
+        };
+        assert_eq!(c.speedup(), 2.0);
+        assert!(c.to_string().contains("speedup 2.00x"));
+    }
+
+    #[test]
+    fn zero_cycle_guard() {
+        let c = Comparison {
+            name: "t".into(),
+            ximd: SimStats::default(),
+            vliw: SimStats {
+                cycles: 10,
+                ..SimStats::default()
+            },
+        };
+        assert_eq!(c.speedup(), 0.0);
+    }
+}

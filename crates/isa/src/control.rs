@@ -1,0 +1,329 @@
+//! Control-path operations and synchronization signals.
+//!
+//! Each XIMD-1 instruction parcel carries, beside its data operation, a
+//! control operation executed by the FU's private sequencer. The sequencer
+//! has *no incrementer*: every parcel names two explicit branch targets `T1`
+//! and `T2`, and a condition-selection field chooses between them. Conditions
+//! are built from the globally distributed condition codes `CC_j` and
+//! synchronization signals `SS_j` (paper §2.2, Figure 8).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::types::{Addr, FuId};
+
+/// The per-FU synchronization signal `SS_i`.
+///
+/// Each parcel drives its FU's sync signal to `BUSY` or `DONE` for the cycle
+/// it executes; the value is distributed to every sequencer and used by
+/// barrier and non-blocking synchronizations (paper §3.3–3.4).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum SyncSignal {
+    /// The FU has not reached its synchronization point.
+    #[default]
+    Busy,
+    /// The FU has reached its synchronization point (or is exporting a
+    /// "value ready" flag in the non-blocking protocol of Figure 12).
+    Done,
+}
+
+impl SyncSignal {
+    /// Returns `true` for [`SyncSignal::Done`].
+    #[inline]
+    pub fn is_done(self) -> bool {
+        matches!(self, SyncSignal::Done)
+    }
+}
+
+impl fmt::Display for SyncSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncSignal::Busy => write!(f, "BUSY"),
+            SyncSignal::Done => write!(f, "DONE"),
+        }
+    }
+}
+
+/// The condition source of a conditional branch.
+///
+/// These are exactly the condition-selection criteria defined for XIMD-1
+/// (paper §2.2): one condition code, one sync signal, the AND of all sync
+/// signals, or the OR of all sync signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondSource {
+    /// `CC_j == TRUE` — branch on one condition code.
+    Cc(FuId),
+    /// `SS_j == DONE` — branch on one sync signal.
+    Sync(FuId),
+    /// `∏_j (SS_j == DONE)` — branch when **all** sync signals are DONE.
+    AllSync,
+    /// `∑_j (SS_j == DONE)` — branch when **any** sync signal is DONE.
+    AnySync,
+}
+
+impl CondSource {
+    /// Evaluates the condition against a snapshot of the distributed state.
+    ///
+    /// `ccs[j]` is `CC_j` and `sync[j]` is `SS_j` as visible *at the start of
+    /// the cycle* (the simulator is responsible for that timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source names an FU outside the snapshot; programs are
+    /// validated against the machine width before execution.
+    pub fn eval(self, ccs: &[bool], sync: &[SyncSignal]) -> bool {
+        match self {
+            CondSource::Cc(fu) => ccs[fu.index()],
+            CondSource::Sync(fu) => sync[fu.index()].is_done(),
+            CondSource::AllSync => sync.iter().all(|s| s.is_done()),
+            CondSource::AnySync => sync.iter().any(|s| s.is_done()),
+        }
+    }
+
+    /// Validates FU references against a machine of `width` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::FuOutOfRange`] if the source names a unit outside
+    /// the machine.
+    pub fn validate(self, width: usize) -> Result<(), IsaError> {
+        match self {
+            CondSource::Cc(fu) | CondSource::Sync(fu) if fu.index() >= width => {
+                Err(IsaError::FuOutOfRange { fu, width })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for CondSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondSource::Cc(fu) => write!(f, "cc{}", fu.0),
+            CondSource::Sync(fu) => write!(f, "ss{}", fu.0),
+            CondSource::AllSync => write!(f, "allss"),
+            CondSource::AnySync => write!(f, "anyss"),
+        }
+    }
+}
+
+/// The control-path half of an instruction parcel.
+///
+/// # Example
+///
+/// The paper codes an unconditional branch as `-> 05:` and a conditional as
+/// `if cc1 02: | 03:`; the [`Display`](fmt::Display) impl reproduces that
+/// notation:
+///
+/// ```
+/// use ximd_isa::{Addr, CondSource, ControlOp, FuId};
+///
+/// assert_eq!(ControlOp::Goto(Addr(5)).to_string(), "-> 05:");
+/// let br = ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(3));
+/// assert_eq!(br.to_string(), "if cc1 02: | 03:");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlOp {
+    /// Unconditional branch to the target (the paper's `Target 1` /
+    /// `Target 2` operations collapse to this form once targets are
+    /// explicit).
+    Goto(Addr),
+    /// Conditional branch: `if cond` go to `taken`, else `not_taken`.
+    Branch {
+        /// The condition-selection criteria.
+        cond: CondSource,
+        /// Next address when the condition holds (`T1`).
+        taken: Addr,
+        /// Next address otherwise (`T2`).
+        not_taken: Addr,
+    },
+    /// Stop this functional unit.
+    ///
+    /// XIMD-1 as published never stops (it is a research model); `halt` is
+    /// the conventional simulator extension used by xsim-style tools to end
+    /// a run. A halted FU keeps exporting its last `CC_i`/`SS_i` values.
+    Halt,
+}
+
+impl ControlOp {
+    /// Builds a conditional branch.
+    pub fn branch(cond: CondSource, taken: Addr, not_taken: Addr) -> ControlOp {
+        ControlOp::Branch {
+            cond,
+            taken,
+            not_taken,
+        }
+    }
+
+    /// Returns every address this operation may branch to.
+    pub fn targets(&self) -> Vec<Addr> {
+        match *self {
+            ControlOp::Goto(t) => vec![t],
+            ControlOp::Branch {
+                taken, not_taken, ..
+            } => vec![taken, not_taken],
+            ControlOp::Halt => vec![],
+        }
+    }
+
+    /// Returns the condition source, if this is a conditional branch.
+    pub fn cond(&self) -> Option<CondSource> {
+        match *self {
+            ControlOp::Branch { cond, .. } => Some(cond),
+            _ => None,
+        }
+    }
+
+    /// Validates targets against a program of `len` instructions and FU
+    /// references against a machine of `width` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::AddressOutOfRange`] or [`IsaError::FuOutOfRange`]
+    /// on the first violation.
+    pub fn validate(&self, len: u32, width: usize) -> Result<(), IsaError> {
+        for t in self.targets() {
+            if t.0 >= len {
+                return Err(IsaError::AddressOutOfRange {
+                    addr: t,
+                    limit: len,
+                });
+            }
+        }
+        if let Some(cond) = self.cond() {
+            cond.validate(width)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ControlOp {
+    fn default() -> Self {
+        ControlOp::Halt
+    }
+}
+
+impl fmt::Display for ControlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlOp::Goto(t) => write!(f, "-> {t}"),
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                write!(f, "if {cond} {taken} | {not_taken}")
+            }
+            ControlOp::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: SyncSignal = SyncSignal::Busy;
+    const D: SyncSignal = SyncSignal::Done;
+
+    #[test]
+    fn sync_signal_basics() {
+        assert_eq!(SyncSignal::default(), B);
+        assert!(D.is_done());
+        assert!(!B.is_done());
+        assert_eq!(D.to_string(), "DONE");
+    }
+
+    #[test]
+    fn cond_cc_selects_named_unit() {
+        let ccs = [false, true, false, false];
+        let sync = [B; 4];
+        assert!(CondSource::Cc(FuId(1)).eval(&ccs, &sync));
+        assert!(!CondSource::Cc(FuId(0)).eval(&ccs, &sync));
+    }
+
+    #[test]
+    fn cond_sync_single() {
+        let ccs = [false; 4];
+        let sync = [B, D, B, B];
+        assert!(CondSource::Sync(FuId(1)).eval(&ccs, &sync));
+        assert!(!CondSource::Sync(FuId(2)).eval(&ccs, &sync));
+    }
+
+    #[test]
+    fn cond_all_sync_is_product() {
+        let ccs = [false; 4];
+        assert!(!CondSource::AllSync.eval(&ccs, &[D, D, B, D]));
+        assert!(CondSource::AllSync.eval(&ccs, &[D, D, D, D]));
+    }
+
+    #[test]
+    fn cond_any_sync_is_sum() {
+        let ccs = [false; 4];
+        assert!(CondSource::AnySync.eval(&ccs, &[B, B, D, B]));
+        assert!(!CondSource::AnySync.eval(&ccs, &[B, B, B, B]));
+    }
+
+    #[test]
+    fn all_sync_on_empty_machine_is_true_any_false() {
+        // Degenerate but well-defined: product over empty set is TRUE.
+        assert!(CondSource::AllSync.eval(&[], &[]));
+        assert!(!CondSource::AnySync.eval(&[], &[]));
+    }
+
+    #[test]
+    fn cond_validate_checks_fu_range() {
+        assert!(CondSource::Cc(FuId(7)).validate(8).is_ok());
+        assert_eq!(
+            CondSource::Cc(FuId(8)).validate(8),
+            Err(IsaError::FuOutOfRange {
+                fu: FuId(8),
+                width: 8
+            })
+        );
+        assert!(CondSource::AllSync.validate(1).is_ok());
+    }
+
+    #[test]
+    fn control_targets() {
+        assert_eq!(ControlOp::Goto(Addr(3)).targets(), vec![Addr(3)]);
+        let br = ControlOp::branch(CondSource::AllSync, Addr(1), Addr(2));
+        assert_eq!(br.targets(), vec![Addr(1), Addr(2)]);
+        assert!(ControlOp::Halt.targets().is_empty());
+    }
+
+    #[test]
+    fn control_validate() {
+        let br = ControlOp::branch(CondSource::Cc(FuId(0)), Addr(9), Addr(2));
+        assert!(br.validate(10, 4).is_ok());
+        assert_eq!(
+            br.validate(9, 4),
+            Err(IsaError::AddressOutOfRange {
+                addr: Addr(9),
+                limit: 9
+            })
+        );
+        let bad_fu = ControlOp::branch(CondSource::Sync(FuId(5)), Addr(0), Addr(0));
+        assert_eq!(
+            bad_fu.validate(10, 4),
+            Err(IsaError::FuOutOfRange {
+                fu: FuId(5),
+                width: 4
+            })
+        );
+        assert!(ControlOp::Halt.validate(0, 0).is_ok());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ControlOp::Goto(Addr(1)).to_string(), "-> 01:");
+        let br = ControlOp::branch(CondSource::Cc(FuId(2)), Addr(8), Addr(2));
+        assert_eq!(br.to_string(), "if cc2 08: | 02:");
+        let all = ControlOp::branch(CondSource::AllSync, Addr(0x11), Addr(0x10));
+        assert_eq!(all.to_string(), "if allss 11: | 10:");
+    }
+}

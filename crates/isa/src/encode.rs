@@ -1,0 +1,504 @@
+//! Dense binary parcel encoding.
+//!
+//! The paper's prototype stores each FU's parcel in a private portion of
+//! instruction memory. This module defines a reference 127-bit binary format
+//! (packed in a `u128`) with a lossless round-trip, used by the workspace to
+//! measure instruction-memory footprints and to exercise store/reload paths.
+//!
+//! Field layout (LSB first):
+//!
+//! | bits | field |
+//! |------|-------|
+//! | 0..3    | data kind (nop/alu/un/cmp/load/store/in/out) |
+//! | 3..8    | opcode index |
+//! | 8..10   | operand-A mode (reg / int imm / float imm) |
+//! | 10..42  | operand-A payload |
+//! | 42..44  | operand-B mode |
+//! | 44..76  | operand-B payload |
+//! | 76..84  | destination register |
+//! | 84..89  | I/O port |
+//! | 89..91  | control kind (goto/branch/halt) |
+//! | 91..93  | condition kind (cc/ss/all/any) |
+//! | 93..98  | condition FU |
+//! | 98..112 | branch target T1 |
+//! | 112..126| branch target T2 |
+//! | 126..127| sync signal |
+//!
+//! Encoded limits: 256 registers, 32 ports, 32 functional units, and 16384
+//! instruction addresses — all strictly larger than the XIMD-1 research
+//! model needs.
+
+use crate::control::{CondSource, ControlOp, SyncSignal};
+use crate::error::IsaError;
+use crate::op::{AluOp, CmpOp, DataOp, Operand, UnOp};
+use crate::parcel::Parcel;
+use crate::types::{Addr, FuId, Reg};
+use crate::value::Value;
+
+/// Maximum encodable register index + 1.
+pub const ENC_MAX_REGS: usize = 256;
+/// Maximum encodable instruction address + 1.
+pub const ENC_MAX_ADDR: u32 = 1 << 14;
+/// Maximum encodable functional-unit index + 1.
+pub const ENC_MAX_FUS: usize = 32;
+/// Maximum encodable I/O port index + 1.
+pub const ENC_MAX_PORTS: u8 = 32;
+
+/// Size of one encoded parcel in bits.
+pub const PARCEL_BITS: u32 = 127;
+
+fn put(word: &mut u128, lo: u32, width: u32, value: u128) {
+    debug_assert!(value < (1 << width));
+    *word |= value << lo;
+}
+
+fn get(word: u128, lo: u32, width: u32) -> u64 {
+    ((word >> lo) & ((1u128 << width) - 1)) as u64
+}
+
+fn enc_reg(r: Reg) -> Result<u128, IsaError> {
+    if r.index() >= ENC_MAX_REGS {
+        return Err(IsaError::RegisterOutOfRange {
+            reg: r,
+            num_regs: ENC_MAX_REGS,
+        });
+    }
+    Ok(r.0 as u128)
+}
+
+fn enc_addr(a: Addr) -> Result<u128, IsaError> {
+    if a.0 >= ENC_MAX_ADDR {
+        return Err(IsaError::AddressOutOfRange {
+            addr: a,
+            limit: ENC_MAX_ADDR,
+        });
+    }
+    Ok(a.0 as u128)
+}
+
+fn enc_operand(o: Operand) -> Result<(u128, u128), IsaError> {
+    Ok(match o {
+        Operand::Reg(r) => (0, enc_reg(r)?),
+        Operand::Imm(Value::I32(v)) => (1, v as u32 as u128),
+        Operand::Imm(Value::F32(v)) => (2, v.to_bits() as u128),
+    })
+}
+
+fn dec_operand(mode: u64, payload: u64) -> Result<Operand, IsaError> {
+    Ok(match mode {
+        0 => Operand::Reg(Reg(payload as u16)),
+        1 => Operand::Imm(Value::from_bits_int(payload as u32)),
+        2 => Operand::Imm(Value::from_bits_float(payload as u32)),
+        _ => {
+            return Err(IsaError::Decode {
+                field: "operand mode",
+                raw: mode,
+            })
+        }
+    })
+}
+
+/// Encodes one parcel into its 127-bit binary image.
+///
+/// # Errors
+///
+/// Returns a range error if a register, port, FU or branch target exceeds
+/// the encoded field widths (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::encode::{encode_parcel, decode_parcel};
+/// use ximd_isa::{Addr, Parcel};
+///
+/// let p = Parcel::goto(Addr(3)).done();
+/// let word = encode_parcel(&p)?;
+/// assert_eq!(decode_parcel(word)?, p);
+/// # Ok::<(), ximd_isa::IsaError>(())
+/// ```
+pub fn encode_parcel(parcel: &Parcel) -> Result<u128, IsaError> {
+    let mut w = 0u128;
+
+    // Data half.
+    match parcel.data {
+        DataOp::Nop => {}
+        DataOp::Alu { op, a, b, d } => {
+            put(&mut w, 0, 3, 1);
+            let idx = AluOp::ALL
+                .iter()
+                .position(|&o| o == op)
+                .expect("opcode in table") as u128;
+            put(&mut w, 3, 5, idx);
+            let (am, ap) = enc_operand(a)?;
+            let (bm, bp) = enc_operand(b)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 42, 2, bm);
+            put(&mut w, 44, 32, bp);
+            put(&mut w, 76, 8, enc_reg(d)?);
+        }
+        DataOp::Un { op, a, d } => {
+            put(&mut w, 0, 3, 2);
+            let idx = UnOp::ALL
+                .iter()
+                .position(|&o| o == op)
+                .expect("opcode in table") as u128;
+            put(&mut w, 3, 5, idx);
+            let (am, ap) = enc_operand(a)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 76, 8, enc_reg(d)?);
+        }
+        DataOp::Cmp { op, a, b } => {
+            put(&mut w, 0, 3, 3);
+            let idx = CmpOp::ALL
+                .iter()
+                .position(|&o| o == op)
+                .expect("opcode in table") as u128;
+            put(&mut w, 3, 5, idx);
+            let (am, ap) = enc_operand(a)?;
+            let (bm, bp) = enc_operand(b)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 42, 2, bm);
+            put(&mut w, 44, 32, bp);
+        }
+        DataOp::Load { a, b, d } => {
+            put(&mut w, 0, 3, 4);
+            let (am, ap) = enc_operand(a)?;
+            let (bm, bp) = enc_operand(b)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 42, 2, bm);
+            put(&mut w, 44, 32, bp);
+            put(&mut w, 76, 8, enc_reg(d)?);
+        }
+        DataOp::Store { a, b } => {
+            put(&mut w, 0, 3, 5);
+            let (am, ap) = enc_operand(a)?;
+            let (bm, bp) = enc_operand(b)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 42, 2, bm);
+            put(&mut w, 44, 32, bp);
+        }
+        DataOp::PortIn { port, d } => {
+            if port >= ENC_MAX_PORTS {
+                return Err(IsaError::Decode {
+                    field: "port",
+                    raw: port as u64,
+                });
+            }
+            put(&mut w, 0, 3, 6);
+            put(&mut w, 76, 8, enc_reg(d)?);
+            put(&mut w, 84, 5, port as u128);
+        }
+        DataOp::PortOut { port, a } => {
+            if port >= ENC_MAX_PORTS {
+                return Err(IsaError::Decode {
+                    field: "port",
+                    raw: port as u64,
+                });
+            }
+            put(&mut w, 0, 3, 7);
+            let (am, ap) = enc_operand(a)?;
+            put(&mut w, 8, 2, am);
+            put(&mut w, 10, 32, ap);
+            put(&mut w, 84, 5, port as u128);
+        }
+    }
+
+    // Control half.
+    match parcel.ctrl {
+        ControlOp::Goto(t) => {
+            put(&mut w, 89, 2, 0);
+            put(&mut w, 98, 14, enc_addr(t)?);
+        }
+        ControlOp::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => {
+            put(&mut w, 89, 2, 1);
+            let (ck, cf): (u128, u128) = match cond {
+                CondSource::Cc(fu) => (0, fu.0 as u128),
+                CondSource::Sync(fu) => (1, fu.0 as u128),
+                CondSource::AllSync => (2, 0),
+                CondSource::AnySync => (3, 0),
+            };
+            if cf >= ENC_MAX_FUS as u128 {
+                return Err(IsaError::FuOutOfRange {
+                    fu: FuId(cf as u8),
+                    width: ENC_MAX_FUS,
+                });
+            }
+            put(&mut w, 91, 2, ck);
+            put(&mut w, 93, 5, cf);
+            put(&mut w, 98, 14, enc_addr(taken)?);
+            put(&mut w, 112, 14, enc_addr(not_taken)?);
+        }
+        ControlOp::Halt => {
+            put(&mut w, 89, 2, 2);
+        }
+    }
+
+    if parcel.sync.is_done() {
+        put(&mut w, 126, 1, 1);
+    }
+    Ok(w)
+}
+
+/// Decodes a 127-bit parcel image produced by [`encode_parcel`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] if a kind, opcode or mode field holds an
+/// out-of-table value.
+pub fn decode_parcel(word: u128) -> Result<Parcel, IsaError> {
+    let kind = get(word, 0, 3);
+    let opcode = get(word, 3, 5) as usize;
+    let am = get(word, 8, 2);
+    let ap = get(word, 10, 32);
+    let bm = get(word, 42, 2);
+    let bp = get(word, 44, 32);
+    let d = Reg(get(word, 76, 8) as u16);
+    let port = get(word, 84, 5) as u8;
+
+    let data = match kind {
+        0 => DataOp::Nop,
+        1 => {
+            let op = *AluOp::ALL.get(opcode).ok_or(IsaError::Decode {
+                field: "alu opcode",
+                raw: opcode as u64,
+            })?;
+            DataOp::Alu {
+                op,
+                a: dec_operand(am, ap)?,
+                b: dec_operand(bm, bp)?,
+                d,
+            }
+        }
+        2 => {
+            let op = *UnOp::ALL.get(opcode).ok_or(IsaError::Decode {
+                field: "unary opcode",
+                raw: opcode as u64,
+            })?;
+            DataOp::Un {
+                op,
+                a: dec_operand(am, ap)?,
+                d,
+            }
+        }
+        3 => {
+            let op = *CmpOp::ALL.get(opcode).ok_or(IsaError::Decode {
+                field: "cmp opcode",
+                raw: opcode as u64,
+            })?;
+            DataOp::Cmp {
+                op,
+                a: dec_operand(am, ap)?,
+                b: dec_operand(bm, bp)?,
+            }
+        }
+        4 => DataOp::Load {
+            a: dec_operand(am, ap)?,
+            b: dec_operand(bm, bp)?,
+            d,
+        },
+        5 => DataOp::Store {
+            a: dec_operand(am, ap)?,
+            b: dec_operand(bm, bp)?,
+        },
+        6 => DataOp::PortIn { port, d },
+        7 => DataOp::PortOut {
+            port,
+            a: dec_operand(am, ap)?,
+        },
+        _ => unreachable!("3-bit field"),
+    };
+
+    let t1 = Addr(get(word, 98, 14) as u32);
+    let t2 = Addr(get(word, 112, 14) as u32);
+    let ctrl = match get(word, 89, 2) {
+        0 => ControlOp::Goto(t1),
+        1 => {
+            let fu = FuId(get(word, 93, 5) as u8);
+            let cond = match get(word, 91, 2) {
+                0 => CondSource::Cc(fu),
+                1 => CondSource::Sync(fu),
+                2 => CondSource::AllSync,
+                3 => CondSource::AnySync,
+                _ => unreachable!("2-bit field"),
+            };
+            ControlOp::Branch {
+                cond,
+                taken: t1,
+                not_taken: t2,
+            }
+        }
+        2 => ControlOp::Halt,
+        raw => {
+            return Err(IsaError::Decode {
+                field: "control kind",
+                raw,
+            })
+        }
+    };
+
+    let sync = if get(word, 126, 1) == 1 {
+        SyncSignal::Done
+    } else {
+        SyncSignal::Busy
+    };
+    Ok(Parcel { data, ctrl, sync })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operand;
+
+    fn roundtrip(p: Parcel) {
+        let word = encode_parcel(&p).unwrap();
+        assert_eq!(decode_parcel(word).unwrap(), p, "word {word:#034x}");
+    }
+
+    #[test]
+    fn roundtrip_simple_parcels() {
+        roundtrip(Parcel::halt());
+        roundtrip(Parcel::goto(Addr(0)));
+        roundtrip(Parcel::goto(Addr(ENC_MAX_ADDR - 1)).done());
+    }
+
+    #[test]
+    fn roundtrip_all_alu_opcodes() {
+        for op in AluOp::ALL {
+            roundtrip(Parcel::data(
+                DataOp::alu(op, Reg(255).into(), Operand::imm_i32(-1), Reg(0)),
+                ControlOp::Goto(Addr(1)),
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_unary_opcodes() {
+        for op in UnOp::ALL {
+            roundtrip(Parcel::data(
+                DataOp::un(op, Operand::imm_f32(-0.5), Reg(17)),
+                ControlOp::Halt,
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_cmp_opcodes_and_branches() {
+        for (i, op) in CmpOp::ALL.into_iter().enumerate() {
+            let cond = match i % 4 {
+                0 => CondSource::Cc(FuId(7)),
+                1 => CondSource::Sync(FuId(3)),
+                2 => CondSource::AllSync,
+                _ => CondSource::AnySync,
+            };
+            roundtrip(Parcel::new(
+                DataOp::cmp(op, Reg(1).into(), Reg(2).into()),
+                ControlOp::branch(cond, Addr(10), Addr(20)),
+                SyncSignal::Done,
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_memory_and_ports() {
+        roundtrip(Parcel::data(
+            DataOp::load(Operand::imm_i32(1024), Reg(4).into(), Reg(5)),
+            ControlOp::Goto(Addr(2)),
+        ));
+        roundtrip(Parcel::data(
+            DataOp::store(Reg(6).into(), Operand::imm_i32(i32::MIN)),
+            ControlOp::Goto(Addr(2)),
+        ));
+        roundtrip(Parcel::data(
+            DataOp::PortIn {
+                port: 31,
+                d: Reg(9),
+            },
+            ControlOp::Halt,
+        ));
+        roundtrip(Parcel::data(
+            DataOp::PortOut {
+                port: 0,
+                a: Operand::imm_f32(2.5),
+            },
+            ControlOp::Halt,
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_fields() {
+        let big_reg = Parcel::data(
+            DataOp::un(UnOp::Mov, Reg(0).into(), Reg(256)),
+            ControlOp::Halt,
+        );
+        assert!(encode_parcel(&big_reg).is_err());
+
+        let big_addr = Parcel::goto(Addr(ENC_MAX_ADDR));
+        assert!(encode_parcel(&big_addr).is_err());
+
+        let big_port = Parcel::data(
+            DataOp::PortIn {
+                port: 32,
+                d: Reg(0),
+            },
+            ControlOp::Halt,
+        );
+        assert!(encode_parcel(&big_port).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_opcode() {
+        // kind=1 (alu) with opcode index 31 (out of table).
+        let mut w = 0u128;
+        put(&mut w, 0, 3, 1);
+        put(&mut w, 3, 5, 31);
+        assert!(matches!(
+            decode_parcel(w),
+            Err(IsaError::Decode {
+                field: "alu opcode",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_control_kind() {
+        let mut w = 0u128;
+        put(&mut w, 89, 2, 3);
+        assert!(matches!(
+            decode_parcel(w),
+            Err(IsaError::Decode {
+                field: "control kind",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn encoding_fits_declared_bit_budget() {
+        let p = Parcel::new(
+            DataOp::alu(
+                AluOp::Fdiv,
+                Operand::imm_f32(f32::MIN),
+                Operand::imm_f32(f32::MAX),
+                Reg(255),
+            ),
+            ControlOp::branch(
+                CondSource::AnySync,
+                Addr(ENC_MAX_ADDR - 1),
+                Addr(ENC_MAX_ADDR - 1),
+            ),
+            SyncSignal::Done,
+        );
+        let w = encode_parcel(&p).unwrap();
+        assert!(w < (1u128 << PARCEL_BITS));
+    }
+}

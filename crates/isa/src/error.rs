@@ -1,0 +1,152 @@
+//! Error type shared by ISA-level operations.
+
+use std::fmt;
+
+use crate::types::{Addr, FuId, Reg};
+
+/// Errors raised while constructing, encoding or evaluating ISA entities.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{IsaError, Reg};
+///
+/// let err = IsaError::RegisterOutOfRange { reg: Reg(200), num_regs: 64 };
+/// assert!(err.to_string().contains("register r200"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index exceeds the configured register-file size.
+    RegisterOutOfRange {
+        /// The offending register.
+        reg: Reg,
+        /// The configured register-file size.
+        num_regs: usize,
+    },
+    /// A functional-unit index exceeds the configured machine width.
+    FuOutOfRange {
+        /// The offending functional unit.
+        fu: FuId,
+        /// The configured machine width.
+        width: usize,
+    },
+    /// A branch target does not fit the 16-bit encoded address field or the
+    /// program's instruction memory.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: Addr,
+        /// The exclusive upper bound that was violated.
+        limit: u32,
+    },
+    /// An integer division or modulo by zero.
+    ///
+    /// XIMD-1 has no exception mechanism (the paper explicitly defers
+    /// interrupt and exception handling), so the simulator surfaces this as a
+    /// machine check instead of a trap.
+    DivideByZero,
+    /// A wide instruction's parcel count does not match the machine width.
+    WidthMismatch {
+        /// Parcels supplied.
+        got: usize,
+        /// Machine width expected.
+        expected: usize,
+    },
+    /// An encoded parcel word contains an invalid field.
+    Decode {
+        /// Which field failed to decode.
+        field: &'static str,
+        /// The raw field value.
+        raw: u64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RegisterOutOfRange { reg, num_regs } => {
+                write!(f, "register r{} outside register file of {num_regs}", reg.0)
+            }
+            IsaError::FuOutOfRange { fu, width } => {
+                write!(
+                    f,
+                    "functional unit {} outside machine of width {width}",
+                    fu.0
+                )
+            }
+            IsaError::AddressOutOfRange { addr, limit } => {
+                write!(f, "address {:#06x} outside limit {limit:#06x}", addr.0)
+            }
+            IsaError::DivideByZero => write!(f, "integer divide by zero"),
+            IsaError::WidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "wide instruction has {got} parcels, machine width is {expected}"
+                )
+            }
+            IsaError::Decode { field, raw } => {
+                write!(f, "invalid encoded field {field}: {raw:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(IsaError, &str)> = vec![
+            (
+                IsaError::RegisterOutOfRange {
+                    reg: Reg(42),
+                    num_regs: 16,
+                },
+                "register r42",
+            ),
+            (
+                IsaError::FuOutOfRange {
+                    fu: FuId(9),
+                    width: 8,
+                },
+                "functional unit 9",
+            ),
+            (
+                IsaError::AddressOutOfRange {
+                    addr: Addr(0x1_0000),
+                    limit: 0x1_0000,
+                },
+                "address",
+            ),
+            (IsaError::DivideByZero, "divide by zero"),
+            (
+                IsaError::WidthMismatch {
+                    got: 3,
+                    expected: 8,
+                },
+                "3 parcels",
+            ),
+            (
+                IsaError::Decode {
+                    field: "opcode",
+                    raw: 0xff,
+                },
+                "opcode",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,90 @@
+//! Instruction-set architecture model for the **XIMD-1** research machine.
+//!
+//! XIMD ("Variable Instruction Stream, Multiple Data Stream") is the
+//! VLIW extension proposed by Wolfe & Shen at ASPLOS 1991. Structurally it is
+//! a VLIW: a set of homogeneous functional units (FUs) sharing a global,
+//! multi-ported register file, each controlled by an independent field — an
+//! *instruction parcel* — of a very long instruction word. The XIMD twist is
+//! that the single global sequencer is replicated per FU, so each FU selects
+//! its own parcel through a private program counter. Shared 1-bit condition
+//! codes (`CC_i`) and synchronization signals (`SS_i`) let the compiler weave
+//! the FUs into anywhere from one lock-step stream (VLIW emulation) to N
+//! independent streams (MIMD emulation), varying cycle by cycle.
+//!
+//! This crate defines the architectural vocabulary shared by the assembler
+//! ([`ximd-asm`]), the simulators ([`ximd-sim`]) and the compiler
+//! ([`ximd-compiler`]):
+//!
+//! * [`Reg`], [`FuId`], [`Addr`] — newtypes for registers, functional units
+//!   and instruction addresses;
+//! * [`Value`] — the two architectural data types (32-bit integer and 32-bit
+//!   float) with the paper's single-cycle operation semantics;
+//! * [`DataOp`] — the data-path operation of a parcel (ALU, compare, memory);
+//! * [`ControlOp`] and [`CondSource`] — the control-path operation: two
+//!   explicit branch targets selected by a condition built from condition
+//!   codes and sync signals (there is *no* PC incrementer in XIMD-1);
+//! * [`SyncSignal`] — the per-FU `BUSY`/`DONE` signal used for barriers and
+//!   non-blocking synchronization;
+//! * [`Parcel`], [`WideInstruction`], [`Program`] — instruction memory;
+//! * [`encode`] — a dense 128-bit binary encoding with lossless round-trip.
+//!
+//! # Example
+//!
+//! Build a two-FU program where FU0 computes `r2 = r0 + r1` and both units
+//! halt:
+//!
+//! ```
+//! use ximd_isa::{Addr, ControlOp, DataOp, Operand, Parcel, Program, Reg, AluOp};
+//!
+//! let mut program = Program::new(2);
+//! program.push(vec![
+//!     Parcel::data(
+//!         DataOp::alu(AluOp::Iadd, Operand::Reg(Reg(0)), Operand::Reg(Reg(1)), Reg(2)),
+//!         ControlOp::Halt,
+//!     ),
+//!     Parcel::data(DataOp::Nop, ControlOp::Halt),
+//! ]);
+//! assert_eq!(program.len(), 1);
+//! assert_eq!(program.width(), 2);
+//! ```
+//!
+//! [`ximd-asm`]: https://example.invalid/ximd
+//! [`ximd-sim`]: https://example.invalid/ximd
+//! [`ximd-compiler`]: https://example.invalid/ximd
+
+pub mod control;
+pub mod encode;
+pub mod error;
+pub mod op;
+pub mod parcel;
+pub mod program;
+pub mod types;
+pub mod value;
+
+pub use control::{CondSource, ControlOp, SyncSignal};
+pub use error::IsaError;
+pub use op::{AluOp, CmpOp, DataOp, Operand, UnOp};
+pub use parcel::Parcel;
+pub use program::{Program, WideInstruction};
+pub use types::{Addr, FuId, Reg};
+pub use value::Value;
+
+/// Number of functional units in the XIMD-1 research model.
+///
+/// The paper's research model and hardware prototype both contain eight
+/// homogeneous universal functional units; the published code examples use
+/// four "for clarity". Machine width is configurable throughout this
+/// workspace, with this constant as the canonical default.
+pub const XIMD1_NUM_FUS: usize = 8;
+
+/// Number of registers in the global register file.
+///
+/// The XIMD-1 prototype's custom register-file chip holds 256 global
+/// registers with 16 read and 8 write ports (2 reads + 1 write per FU).
+pub const XIMD1_NUM_REGS: usize = 256;
+
+/// Register-file read ports available to each functional unit per cycle.
+pub const READS_PER_FU: usize = 2;
+
+/// Register-file write ports available to each functional unit per cycle.
+pub const WRITES_PER_FU: usize = 1;

@@ -1,0 +1,755 @@
+//! Data-path operations.
+//!
+//! Every instruction parcel carries exactly one data operation. XIMD-1 data
+//! operations are 3-address, register-to-register (`a op b -> d`), with
+//! single-cycle latency and no side effects other than the destination write
+//! (compares write the issuing FU's condition code instead). Memory
+//! operations use the paper's addressing forms: `load a,b,d` computes
+//! `M(a+b) -> d` and `store a,b` performs `a -> M(b)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::types::Reg;
+use crate::value::Value;
+
+/// A source operand: a register or an immediate constant.
+///
+/// The paper writes immediates with a `#` prefix (`#maxint`, `#1`); the
+/// [`Display`](fmt::Display) impl follows suit.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Operand, Reg, Value};
+///
+/// assert_eq!(Operand::Reg(Reg(3)).to_string(), "r3");
+/// assert_eq!(Operand::Imm(Value::I32(-2)).to_string(), "#-2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A global register.
+    Reg(Reg),
+    /// An immediate constant embedded in the parcel.
+    Imm(Value),
+}
+
+impl Operand {
+    /// Convenience constructor for an integer immediate.
+    #[inline]
+    pub fn imm_i32(v: i32) -> Operand {
+        Operand::Imm(Value::I32(v))
+    }
+
+    /// Convenience constructor for a float immediate.
+    #[inline]
+    pub fn imm_f32(v: f32) -> Operand {
+        Operand::Imm(Value::F32(v))
+    }
+
+    /// Returns the register if this operand reads one.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(value: Reg) -> Self {
+        Operand::Reg(value)
+    }
+}
+
+/// Two-source ALU opcodes (`a op b -> d`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Integer add (wrapping).
+    Iadd,
+    /// Integer subtract (wrapping).
+    Isub,
+    /// Integer multiply (wrapping).
+    Imult,
+    /// Integer divide (truncating). Division by zero is a machine check.
+    Idiv,
+    /// Integer remainder. Division by zero is a machine check.
+    Imod,
+    /// Integer minimum.
+    Imin,
+    /// Integer maximum.
+    Imax,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (count taken modulo 32).
+    Shl,
+    /// Logical shift right (count taken modulo 32).
+    Shr,
+    /// Arithmetic shift right (count taken modulo 32).
+    Sar,
+    /// Float add.
+    Fadd,
+    /// Float subtract.
+    Fsub,
+    /// Float multiply.
+    Fmult,
+    /// Float divide (IEEE semantics; divide by zero yields ±inf/NaN).
+    Fdiv,
+    /// Float minimum (IEEE-754 `minNum`-style: NaN loses to a number).
+    Fmin,
+    /// Float maximum (IEEE-754 `maxNum`-style: NaN loses to a number).
+    Fmax,
+}
+
+impl AluOp {
+    /// All ALU opcodes, in mnemonic-table order.
+    pub const ALL: [AluOp; 19] = [
+        AluOp::Iadd,
+        AluOp::Isub,
+        AluOp::Imult,
+        AluOp::Idiv,
+        AluOp::Imod,
+        AluOp::Imin,
+        AluOp::Imax,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Fadd,
+        AluOp::Fsub,
+        AluOp::Fmult,
+        AluOp::Fdiv,
+        AluOp::Fmin,
+        AluOp::Fmax,
+    ];
+
+    /// Returns the assembler mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Iadd => "iadd",
+            AluOp::Isub => "isub",
+            AluOp::Imult => "imult",
+            AluOp::Idiv => "idiv",
+            AluOp::Imod => "imod",
+            AluOp::Imin => "imin",
+            AluOp::Imax => "imax",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Fadd => "fadd",
+            AluOp::Fsub => "fsub",
+            AluOp::Fmult => "fmult",
+            AluOp::Fdiv => "fdiv",
+            AluOp::Fmin => "fmin",
+            AluOp::Fmax => "fmax",
+        }
+    }
+
+    /// Returns `true` for the floating-point opcodes.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            AluOp::Fadd | AluOp::Fsub | AluOp::Fmult | AluOp::Fdiv | AluOp::Fmin | AluOp::Fmax
+        )
+    }
+
+    /// Evaluates `a op b` with the machine's single-cycle semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::DivideByZero`] for integer division or remainder
+    /// by zero; XIMD-1 has no trap architecture, so this is a machine check.
+    pub fn eval(self, a: Value, b: Value) -> Result<Value, IsaError> {
+        let ia = a.as_i32();
+        let ib = b.as_i32();
+        let fa = a.as_f32();
+        let fb = b.as_f32();
+        Ok(match self {
+            AluOp::Iadd => Value::I32(ia.wrapping_add(ib)),
+            AluOp::Isub => Value::I32(ia.wrapping_sub(ib)),
+            AluOp::Imult => Value::I32(ia.wrapping_mul(ib)),
+            AluOp::Idiv => {
+                if ib == 0 {
+                    return Err(IsaError::DivideByZero);
+                }
+                Value::I32(ia.wrapping_div(ib))
+            }
+            AluOp::Imod => {
+                if ib == 0 {
+                    return Err(IsaError::DivideByZero);
+                }
+                Value::I32(ia.wrapping_rem(ib))
+            }
+            AluOp::Imin => Value::I32(ia.min(ib)),
+            AluOp::Imax => Value::I32(ia.max(ib)),
+            AluOp::And => Value::I32(ia & ib),
+            AluOp::Or => Value::I32(ia | ib),
+            AluOp::Xor => Value::I32(ia ^ ib),
+            AluOp::Shl => Value::I32(((ia as u32) << (ib as u32 & 31)) as i32),
+            AluOp::Shr => Value::I32(((ia as u32) >> (ib as u32 & 31)) as i32),
+            AluOp::Sar => Value::I32(ia >> (ib as u32 & 31)),
+            AluOp::Fadd => Value::F32(fa + fb),
+            AluOp::Fsub => Value::F32(fa - fb),
+            AluOp::Fmult => Value::F32(fa * fb),
+            AluOp::Fdiv => Value::F32(fa / fb),
+            AluOp::Fmin => Value::F32(fa.min(fb)),
+            AluOp::Fmax => Value::F32(fa.max(fb)),
+        })
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One-source opcodes (`op a -> d`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Copy `a` to `d` unchanged.
+    Mov,
+    /// Integer negate (wrapping; `ineg(i32::MIN) == i32::MIN`).
+    Ineg,
+    /// Integer absolute value (wrapping; `iabs(i32::MIN) == i32::MIN`).
+    Iabs,
+    /// Bitwise NOT.
+    Not,
+    /// Float negate.
+    Fneg,
+    /// Float absolute value.
+    Fabs,
+    /// Convert integer to float (round to nearest).
+    Itof,
+    /// Convert float to integer (truncate; saturates at the i32 range).
+    Ftoi,
+}
+
+impl UnOp {
+    /// All unary opcodes, in mnemonic-table order.
+    pub const ALL: [UnOp; 8] = [
+        UnOp::Mov,
+        UnOp::Ineg,
+        UnOp::Iabs,
+        UnOp::Not,
+        UnOp::Fneg,
+        UnOp::Fabs,
+        UnOp::Itof,
+        UnOp::Ftoi,
+    ];
+
+    /// Returns the assembler mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Mov => "mov",
+            UnOp::Ineg => "ineg",
+            UnOp::Iabs => "iabs",
+            UnOp::Not => "not",
+            UnOp::Fneg => "fneg",
+            UnOp::Fabs => "fabs",
+            UnOp::Itof => "itof",
+            UnOp::Ftoi => "ftoi",
+        }
+    }
+
+    /// Evaluates `op a`.
+    pub fn eval(self, a: Value) -> Value {
+        match self {
+            UnOp::Mov => a,
+            UnOp::Ineg => Value::I32(a.as_i32().wrapping_neg()),
+            UnOp::Iabs => Value::I32(a.as_i32().wrapping_abs()),
+            UnOp::Not => Value::I32(!a.as_i32()),
+            UnOp::Fneg => Value::F32(-a.as_f32()),
+            UnOp::Fabs => Value::F32(a.as_f32().abs()),
+            UnOp::Itof => Value::F32(a.as_i32() as f32),
+            UnOp::Ftoi => Value::I32(a.as_f32() as i32),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Compare opcodes: set the issuing FU's condition code to `a op b`.
+///
+/// Compares are the *only* operations that write a condition code; every
+/// other data operation leaves `CC_i` unchanged (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Integer equal.
+    Eq,
+    /// Integer not-equal.
+    Ne,
+    /// Integer signed less-than.
+    Lt,
+    /// Integer signed less-or-equal.
+    Le,
+    /// Integer signed greater-than.
+    Gt,
+    /// Integer signed greater-or-equal.
+    Ge,
+    /// Float equal (IEEE; NaN compares false).
+    Feq,
+    /// Float not-equal (IEEE; NaN compares true).
+    Fne,
+    /// Float less-than.
+    Flt,
+    /// Float less-or-equal.
+    Fle,
+    /// Float greater-than.
+    Fgt,
+    /// Float greater-or-equal.
+    Fge,
+}
+
+impl CmpOp {
+    /// All compare opcodes, in mnemonic-table order.
+    pub const ALL: [CmpOp; 12] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Feq,
+        CmpOp::Fne,
+        CmpOp::Flt,
+        CmpOp::Fle,
+        CmpOp::Fgt,
+        CmpOp::Fge,
+    ];
+
+    /// Returns the assembler mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Feq => "feq",
+            CmpOp::Fne => "fne",
+            CmpOp::Flt => "flt",
+            CmpOp::Fle => "fle",
+            CmpOp::Fgt => "fgt",
+            CmpOp::Fge => "fge",
+        }
+    }
+
+    /// Evaluates the comparison, producing the new condition-code value.
+    pub fn eval(self, a: Value, b: Value) -> bool {
+        let ia = a.as_i32();
+        let ib = b.as_i32();
+        let fa = a.as_f32();
+        let fb = b.as_f32();
+        match self {
+            CmpOp::Eq => ia == ib,
+            CmpOp::Ne => ia != ib,
+            CmpOp::Lt => ia < ib,
+            CmpOp::Le => ia <= ib,
+            CmpOp::Gt => ia > ib,
+            CmpOp::Ge => ia >= ib,
+            CmpOp::Feq => fa == fb,
+            CmpOp::Fne => fa != fb,
+            CmpOp::Flt => fa < fb,
+            CmpOp::Fle => fa <= fb,
+            CmpOp::Fgt => fa > fb,
+            CmpOp::Fge => fa >= fb,
+        }
+    }
+
+    /// Returns the comparison with operands swapped (`a op b == b op.swap() a`).
+    #[must_use]
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Feq => CmpOp::Feq,
+            CmpOp::Fne => CmpOp::Fne,
+            CmpOp::Flt => CmpOp::Fgt,
+            CmpOp::Fle => CmpOp::Fge,
+            CmpOp::Fgt => CmpOp::Flt,
+            CmpOp::Fge => CmpOp::Fle,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The data-path half of an instruction parcel.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{AluOp, DataOp, Operand, Reg};
+///
+/// let op = DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0));
+/// assert_eq!(op.to_string(), "iadd r0,#1,r0");
+/// assert_eq!(op.dest(), Some(Reg(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataOp {
+    /// No data operation this cycle.
+    Nop,
+    /// Two-source ALU operation: `a op b -> d`.
+    Alu {
+        /// The opcode.
+        op: AluOp,
+        /// Source operand A.
+        a: Operand,
+        /// Source operand B.
+        b: Operand,
+        /// Destination register.
+        d: Reg,
+    },
+    /// One-source operation: `op a -> d`.
+    Un {
+        /// The opcode.
+        op: UnOp,
+        /// Source operand.
+        a: Operand,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Compare: sets the issuing FU's condition code to `a op b`.
+    Cmp {
+        /// The comparison.
+        op: CmpOp,
+        /// Source operand A.
+        a: Operand,
+        /// Source operand B.
+        b: Operand,
+    },
+    /// Memory load: `M(a + b) -> d`.
+    Load {
+        /// Base operand.
+        a: Operand,
+        /// Offset operand.
+        b: Operand,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Memory store: `a -> M(b)`.
+    Store {
+        /// The value stored.
+        a: Operand,
+        /// The address.
+        b: Operand,
+    },
+    /// Read one word from an I/O port into `d` (used by the paper's
+    /// Figure 12 non-blocking synchronization example; a port read returns
+    /// zero until the device has data ready).
+    PortIn {
+        /// Port number.
+        port: u8,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Write operand `a` to an I/O port.
+    PortOut {
+        /// Port number.
+        port: u8,
+        /// The value written.
+        a: Operand,
+    },
+}
+
+impl DataOp {
+    /// Builds an ALU operation.
+    pub fn alu(op: AluOp, a: Operand, b: Operand, d: Reg) -> DataOp {
+        DataOp::Alu { op, a, b, d }
+    }
+
+    /// Builds a unary operation.
+    pub fn un(op: UnOp, a: Operand, d: Reg) -> DataOp {
+        DataOp::Un { op, a, d }
+    }
+
+    /// Builds a compare operation.
+    pub fn cmp(op: CmpOp, a: Operand, b: Operand) -> DataOp {
+        DataOp::Cmp { op, a, b }
+    }
+
+    /// Builds a load: `M(a + b) -> d`.
+    pub fn load(a: Operand, b: Operand, d: Reg) -> DataOp {
+        DataOp::Load { a, b, d }
+    }
+
+    /// Builds a store: `a -> M(b)`.
+    pub fn store(a: Operand, b: Operand) -> DataOp {
+        DataOp::Store { a, b }
+    }
+
+    /// Returns the destination register written by this operation, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            DataOp::Alu { d, .. }
+            | DataOp::Un { d, .. }
+            | DataOp::Load { d, .. }
+            | DataOp::PortIn { d, .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns the registers read by this operation (0, 1 or 2).
+    pub fn sources(&self) -> Vec<Reg> {
+        let mut regs = Vec::with_capacity(2);
+        let mut push = |o: Operand| {
+            if let Some(r) = o.reg() {
+                regs.push(r);
+            }
+        };
+        match *self {
+            DataOp::Nop => {}
+            DataOp::Alu { a, b, .. } | DataOp::Cmp { a, b, .. } | DataOp::Load { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            DataOp::Store { a, b } => {
+                push(a);
+                push(b);
+            }
+            DataOp::Un { a, .. } | DataOp::PortOut { a, .. } => push(a),
+            DataOp::PortIn { .. } => {}
+        }
+        regs
+    }
+
+    /// Returns `true` if this operation writes a condition code.
+    pub fn sets_cc(&self) -> bool {
+        matches!(self, DataOp::Cmp { .. })
+    }
+
+    /// Returns `true` if this operation touches memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, DataOp::Load { .. } | DataOp::Store { .. })
+    }
+
+    /// Returns `true` for [`DataOp::Nop`].
+    pub fn is_nop(&self) -> bool {
+        matches!(self, DataOp::Nop)
+    }
+
+    /// Validates that every register named by this operation fits a register
+    /// file of `num_regs` registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] on the first violation.
+    pub fn validate(&self, num_regs: usize) -> Result<(), IsaError> {
+        let check = |r: Reg| {
+            if r.index() < num_regs {
+                Ok(())
+            } else {
+                Err(IsaError::RegisterOutOfRange { reg: r, num_regs })
+            }
+        };
+        for r in self.sources() {
+            check(r)?;
+        }
+        if let Some(d) = self.dest() {
+            check(d)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for DataOp {
+    fn default() -> Self {
+        DataOp::Nop
+    }
+}
+
+impl fmt::Display for DataOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DataOp::Nop => write!(f, "nop"),
+            DataOp::Alu { op, a, b, d } => write!(f, "{op} {a},{b},{d}"),
+            DataOp::Un { op, a, d } => write!(f, "{op} {a},{d}"),
+            DataOp::Cmp { op, a, b } => write!(f, "{op} {a},{b}"),
+            DataOp::Load { a, b, d } => write!(f, "load {a},{b},{d}"),
+            DataOp::Store { a, b } => write!(f, "store {a},{b}"),
+            DataOp::PortIn { port, d } => write!(f, "in p{port},{d}"),
+            DataOp::PortOut { port, a } => write!(f, "out {a},p{port}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i32) -> Value {
+        Value::I32(v)
+    }
+
+    #[test]
+    fn integer_arithmetic_matches_paper_semantics() {
+        assert_eq!(AluOp::Iadd.eval(i(2), i(3)).unwrap(), i(5));
+        assert_eq!(AluOp::Isub.eval(i(2), i(3)).unwrap(), i(-1));
+        assert_eq!(AluOp::Imult.eval(i(-4), i(3)).unwrap(), i(-12));
+        assert_eq!(AluOp::Idiv.eval(i(7), i(2)).unwrap(), i(3));
+        assert_eq!(AluOp::Imod.eval(i(7), i(2)).unwrap(), i(1));
+    }
+
+    #[test]
+    fn integer_overflow_wraps() {
+        assert_eq!(AluOp::Iadd.eval(i(i32::MAX), i(1)).unwrap(), i(i32::MIN));
+        assert_eq!(AluOp::Imult.eval(i(i32::MAX), i(2)).unwrap(), i(-2));
+        assert_eq!(UnOp::Ineg.eval(i(i32::MIN)), i(i32::MIN));
+    }
+
+    #[test]
+    fn divide_by_zero_is_machine_check() {
+        assert_eq!(AluOp::Idiv.eval(i(1), i(0)), Err(IsaError::DivideByZero));
+        assert_eq!(AluOp::Imod.eval(i(1), i(0)), Err(IsaError::DivideByZero));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(AluOp::Imin.eval(i(3), i(-5)).unwrap(), i(-5));
+        assert_eq!(AluOp::Imax.eval(i(3), i(-5)).unwrap(), i(3));
+    }
+
+    #[test]
+    fn shifts_mask_count_to_five_bits() {
+        assert_eq!(AluOp::Shl.eval(i(1), i(33)).unwrap(), i(2));
+        assert_eq!(AluOp::Shr.eval(i(-1), i(28)).unwrap(), i(0xf));
+        assert_eq!(AluOp::Sar.eval(i(-16), i(2)).unwrap(), i(-4));
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let f = |v: f32| Value::F32(v);
+        assert_eq!(AluOp::Fadd.eval(f(1.5), f(2.5)).unwrap(), f(4.0));
+        assert_eq!(
+            AluOp::Fdiv.eval(f(1.0), f(0.0)).unwrap().as_f32(),
+            f32::INFINITY
+        );
+        assert_eq!(AluOp::Fmin.eval(f(1.0), f(2.0)).unwrap(), f(1.0));
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(UnOp::Mov.eval(i(9)), i(9));
+        assert_eq!(UnOp::Iabs.eval(i(-9)), i(9));
+        assert_eq!(UnOp::Not.eval(i(0)), i(-1));
+        assert_eq!(UnOp::Itof.eval(i(3)).as_f32(), 3.0);
+        assert_eq!(UnOp::Ftoi.eval(Value::F32(3.9)), i(3));
+        assert_eq!(UnOp::Ftoi.eval(Value::F32(-3.9)), i(-3));
+    }
+
+    #[test]
+    fn ftoi_saturates() {
+        assert_eq!(UnOp::Ftoi.eval(Value::F32(1e30)), i(i32::MAX));
+        assert_eq!(UnOp::Ftoi.eval(Value::F32(-1e30)), i(i32::MIN));
+        assert_eq!(UnOp::Ftoi.eval(Value::F32(f32::NAN)), i(0));
+    }
+
+    #[test]
+    fn compares() {
+        assert!(CmpOp::Lt.eval(i(-1), i(0)));
+        assert!(!CmpOp::Lt.eval(i(0), i(0)));
+        assert!(CmpOp::Le.eval(i(0), i(0)));
+        assert!(CmpOp::Ne.eval(i(0), i(1)));
+        assert!(CmpOp::Fgt.eval(Value::F32(2.0), Value::F32(1.0)));
+        assert!(!CmpOp::Feq.eval(Value::F32(f32::NAN), Value::F32(f32::NAN)));
+        assert!(CmpOp::Fne.eval(Value::F32(f32::NAN), Value::F32(f32::NAN)));
+    }
+
+    #[test]
+    fn cmp_swapped_is_consistent() {
+        for op in CmpOp::ALL {
+            for (a, b) in [(i(1), i(2)), (i(2), i(1)), (i(3), i(3))] {
+                assert_eq!(op.eval(a, b), op.swapped().eval(b, a), "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dataop_dest_and_sources() {
+        let op = DataOp::alu(AluOp::Iadd, Reg(1).into(), Reg(2).into(), Reg(3));
+        assert_eq!(op.dest(), Some(Reg(3)));
+        assert_eq!(op.sources(), vec![Reg(1), Reg(2)]);
+
+        let st = DataOp::store(Reg(4).into(), Operand::imm_i32(100));
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), vec![Reg(4)]);
+
+        assert!(DataOp::Nop.sources().is_empty());
+        assert!(DataOp::cmp(CmpOp::Eq, Reg(0).into(), Reg(0).into()).sets_cc());
+        assert!(DataOp::load(Reg(0).into(), Reg(1).into(), Reg(2)).is_memory());
+    }
+
+    #[test]
+    fn dataop_display_matches_paper_listing_style() {
+        let op = DataOp::alu(AluOp::Iadd, Reg(0).into(), Reg(1).into(), Reg(2));
+        assert_eq!(op.to_string(), "iadd r0,r1,r2");
+        let ld = DataOp::load(Operand::imm_i32(64), Reg(5).into(), Reg(6));
+        assert_eq!(ld.to_string(), "load #64,r5,r6");
+        assert_eq!(DataOp::Nop.to_string(), "nop");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_registers() {
+        let op = DataOp::alu(AluOp::Iadd, Reg(10).into(), Reg(1).into(), Reg(2));
+        assert!(op.validate(16).is_ok());
+        assert_eq!(
+            op.validate(8),
+            Err(IsaError::RegisterOutOfRange {
+                reg: Reg(10),
+                num_regs: 8
+            })
+        );
+        let bad_dest = DataOp::un(UnOp::Mov, Reg(0).into(), Reg(300));
+        assert!(bad_dest.validate(256).is_err());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for m in AluOp::ALL.iter().map(|o| o.mnemonic()) {
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+        }
+        for m in UnOp::ALL.iter().map(|o| o.mnemonic()) {
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+        }
+        for m in CmpOp::ALL.iter().map(|o| o.mnemonic()) {
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Instruction parcels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::control::{ControlOp, SyncSignal};
+use crate::error::IsaError;
+use crate::op::DataOp;
+
+/// One functional unit's share of a wide instruction.
+///
+/// The paper defines the *instruction parcel* as "the set of instruction
+/// fields which control each FU … the fields for the control path, data path,
+/// and synchronization signals" (§2.4). Eight parcels comprise one
+/// instruction on XIMD-1, whether or not they are issued from the same
+/// physical address.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, ControlOp, DataOp, Parcel, SyncSignal};
+///
+/// let p = Parcel::new(DataOp::Nop, ControlOp::Goto(Addr(4)), SyncSignal::Done);
+/// assert_eq!(p.to_string(), "-> 04: ; nop ; DONE");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Parcel {
+    /// The data-path operation.
+    pub data: DataOp,
+    /// The control-path operation.
+    pub ctrl: ControlOp,
+    /// The synchronization signal exported while this parcel executes.
+    pub sync: SyncSignal,
+}
+
+impl Parcel {
+    /// Builds a parcel from all three fields.
+    pub fn new(data: DataOp, ctrl: ControlOp, sync: SyncSignal) -> Parcel {
+        Parcel { data, ctrl, sync }
+    }
+
+    /// Builds a parcel exporting the default `BUSY` sync signal.
+    pub fn data(data: DataOp, ctrl: ControlOp) -> Parcel {
+        Parcel {
+            data,
+            ctrl,
+            sync: SyncSignal::Busy,
+        }
+    }
+
+    /// A parcel that performs no data operation and branches to `target`.
+    pub fn goto(target: crate::Addr) -> Parcel {
+        Parcel {
+            data: DataOp::Nop,
+            ctrl: ControlOp::Goto(target),
+            sync: SyncSignal::Busy,
+        }
+    }
+
+    /// A parcel that performs no data operation and halts its unit.
+    pub fn halt() -> Parcel {
+        Parcel {
+            data: DataOp::Nop,
+            ctrl: ControlOp::Halt,
+            sync: SyncSignal::Busy,
+        }
+    }
+
+    /// Returns a copy of this parcel exporting `DONE`.
+    #[must_use]
+    pub fn done(mut self) -> Parcel {
+        self.sync = SyncSignal::Done;
+        self
+    }
+
+    /// Validates this parcel against machine parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates register, address and FU range errors from the data and
+    /// control halves.
+    pub fn validate(
+        &self,
+        program_len: u32,
+        width: usize,
+        num_regs: usize,
+    ) -> Result<(), IsaError> {
+        self.data.validate(num_regs)?;
+        self.ctrl.validate(program_len, width)
+    }
+}
+
+impl fmt::Display for Parcel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ; {} ; {}", self.ctrl, self.data, self.sync)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, Operand};
+    use crate::types::{Addr, Reg};
+
+    #[test]
+    fn constructors() {
+        let p = Parcel::goto(Addr(7));
+        assert_eq!(p.ctrl, ControlOp::Goto(Addr(7)));
+        assert!(p.data.is_nop());
+        assert_eq!(p.sync, SyncSignal::Busy);
+
+        let h = Parcel::halt();
+        assert_eq!(h.ctrl, ControlOp::Halt);
+
+        let d = Parcel::goto(Addr(0)).done();
+        assert_eq!(d.sync, SyncSignal::Done);
+    }
+
+    #[test]
+    fn default_parcel_is_inert() {
+        let p = Parcel::default();
+        assert!(p.data.is_nop());
+        assert_eq!(p.ctrl, ControlOp::Halt);
+        assert_eq!(p.sync, SyncSignal::Busy);
+    }
+
+    #[test]
+    fn validate_checks_all_fields() {
+        let good = Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(1)),
+            ControlOp::Goto(Addr(0)),
+        );
+        assert!(good.validate(1, 4, 8).is_ok());
+
+        let bad_reg = Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(99).into(), Operand::imm_i32(1), Reg(1)),
+            ControlOp::Goto(Addr(0)),
+        );
+        assert!(bad_reg.validate(1, 4, 8).is_err());
+
+        let bad_target = Parcel::goto(Addr(5));
+        assert!(bad_target.validate(5, 4, 8).is_err());
+    }
+
+    #[test]
+    fn display_shows_all_three_fields() {
+        let p = Parcel::new(DataOp::Nop, ControlOp::Goto(Addr(1)), SyncSignal::Done);
+        assert_eq!(p.to_string(), "-> 01: ; nop ; DONE");
+    }
+}

@@ -1,0 +1,277 @@
+//! Wide instructions and instruction memory.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::parcel::Parcel;
+use crate::types::{Addr, FuId};
+
+/// One instruction-memory word: a parcel per functional unit.
+///
+/// On XIMD every FU has a private program counter, so the parcels stored at
+/// one address need not execute together — each FU *i* fetches parcel *i*
+/// from whatever address its own `PC_i` holds. On the companion VLIW machine
+/// (vsim) the whole word executes as a unit.
+pub type WideInstruction = Vec<Parcel>;
+
+/// An XIMD program: instruction memory plus its machine width.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, Parcel, Program};
+///
+/// let mut p = Program::new(4);
+/// let a0 = p.push(vec![Parcel::goto(Addr(1)); 4]);
+/// let a1 = p.push(vec![Parcel::halt(); 4]);
+/// assert_eq!((a0, a1), (Addr(0), Addr(1)));
+/// p.validate(16).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    width: usize,
+    instrs: Vec<WideInstruction>,
+}
+
+impl Program {
+    /// Creates an empty program for a machine of `width` functional units.
+    pub fn new(width: usize) -> Program {
+        Program {
+            width,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// The machine width (parcels per instruction).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of wide instructions in memory.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends a wide instruction, returning its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parcel count differs from the machine width; programs
+    /// are built by trusted tools (assembler, compiler) that size words
+    /// correctly. Use [`Program::try_push`] for fallible insertion.
+    pub fn push(&mut self, word: WideInstruction) -> Addr {
+        self.try_push(word)
+            .expect("wide instruction width must match program width")
+    }
+
+    /// Appends a wide instruction, returning its address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::WidthMismatch`] if the parcel count differs from
+    /// the machine width.
+    pub fn try_push(&mut self, word: WideInstruction) -> Result<Addr, IsaError> {
+        if word.len() != self.width {
+            return Err(IsaError::WidthMismatch {
+                got: word.len(),
+                expected: self.width,
+            });
+        }
+        let addr = Addr(self.instrs.len() as u32);
+        self.instrs.push(word);
+        Ok(addr)
+    }
+
+    /// Returns the wide instruction at `addr`.
+    pub fn get(&self, addr: Addr) -> Option<&WideInstruction> {
+        self.instrs.get(addr.index())
+    }
+
+    /// Returns the parcel functional unit `fu` would fetch from `addr`.
+    pub fn parcel(&self, addr: Addr, fu: FuId) -> Option<&Parcel> {
+        self.instrs
+            .get(addr.index())
+            .and_then(|w| w.get(fu.index()))
+    }
+
+    /// Returns a mutable reference to the parcel at (`addr`, `fu`).
+    pub fn parcel_mut(&mut self, addr: Addr, fu: FuId) -> Option<&mut Parcel> {
+        self.instrs
+            .get_mut(addr.index())
+            .and_then(|w| w.get_mut(fu.index()))
+    }
+
+    /// Iterates over `(Addr, &WideInstruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &WideInstruction)> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (Addr(i as u32), w))
+    }
+
+    /// Validates every parcel against this program's length, its width and a
+    /// register file of `num_regs` registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first register, FU or branch-target range violation.
+    pub fn validate(&self, num_regs: usize) -> Result<(), IsaError> {
+        let len = self.instrs.len() as u32;
+        for word in &self.instrs {
+            if word.len() != self.width {
+                return Err(IsaError::WidthMismatch {
+                    got: word.len(),
+                    expected: self.width,
+                });
+            }
+            for parcel in word {
+                parcel.validate(len, self.width, num_regs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of non-nop data operations (static count).
+    pub fn static_ops(&self) -> usize {
+        self.instrs
+            .iter()
+            .flatten()
+            .filter(|p| !p.data.is_nop())
+            .count()
+    }
+
+    /// Static code size in parcels (len × width).
+    pub fn static_parcels(&self) -> usize {
+        self.instrs.len() * self.width
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders a compact listing: one line per address, parcels separated by
+    /// `‖`. The paper's boxed multi-column listing lives in `ximd-asm`'s
+    /// listing printer; this form is for debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (addr, word) in self.iter() {
+            write!(f, "{addr} ")?;
+            for (i, parcel) in word.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " \u{2016} ")?;
+                }
+                write!(f, "{parcel}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{CondSource, ControlOp};
+    use crate::op::{AluOp, DataOp, Operand};
+    use crate::types::Reg;
+
+    fn two_wide() -> Program {
+        let mut p = Program::new(2);
+        p.push(vec![Parcel::goto(Addr(1)), Parcel::goto(Addr(1))]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        p
+    }
+
+    #[test]
+    fn push_assigns_sequential_addresses() {
+        let p = two_wide();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.width(), 2);
+    }
+
+    #[test]
+    fn try_push_rejects_wrong_width() {
+        let mut p = Program::new(4);
+        assert_eq!(
+            p.try_push(vec![Parcel::halt(); 3]),
+            Err(IsaError::WidthMismatch {
+                got: 3,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn push_panics_on_wrong_width() {
+        Program::new(2).push(vec![Parcel::halt()]);
+    }
+
+    #[test]
+    fn parcel_lookup_by_fu() {
+        let mut p = Program::new(2);
+        let op = DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0));
+        p.push(vec![Parcel::data(op, ControlOp::Halt), Parcel::halt()]);
+        assert_eq!(p.parcel(Addr(0), FuId(0)).unwrap().data, op);
+        assert!(p.parcel(Addr(0), FuId(1)).unwrap().data.is_nop());
+        assert!(p.parcel(Addr(1), FuId(0)).is_none());
+        assert!(p.parcel(Addr(0), FuId(2)).is_none());
+    }
+
+    #[test]
+    fn validate_catches_bad_branch_target() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::goto(Addr(9))]);
+        assert!(matches!(
+            p.validate(8),
+            Err(IsaError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_bad_cond_fu() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            Parcel::data(
+                DataOp::Nop,
+                ControlOp::branch(CondSource::Cc(FuId(3)), Addr(0), Addr(0)),
+            ),
+            Parcel::halt(),
+        ]);
+        assert!(matches!(p.validate(8), Err(IsaError::FuOutOfRange { .. })));
+    }
+
+    #[test]
+    fn static_counts() {
+        let mut p = Program::new(2);
+        let op = DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0));
+        p.push(vec![Parcel::data(op, ControlOp::Halt), Parcel::halt()]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        assert_eq!(p.static_ops(), 1);
+        assert_eq!(p.static_parcels(), 4);
+    }
+
+    #[test]
+    fn display_lists_every_address() {
+        let p = two_wide();
+        let text = p.to_string();
+        assert!(text.contains("00: "));
+        assert!(text.contains("01: "));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn iter_yields_addressed_words() {
+        let p = two_wide();
+        let addrs: Vec<Addr> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![Addr(0), Addr(1)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Newtypes for registers, functional units and instruction addresses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A global register-file index.
+///
+/// XIMD-1 provides one flat, global register file shared by every functional
+/// unit (256 registers in the research model, see
+/// [`XIMD1_NUM_REGS`](crate::XIMD1_NUM_REGS)). Registers are displayed in the
+/// conventional `rN` form.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::Reg;
+///
+/// assert_eq!(Reg(7).to_string(), "r7");
+/// assert!(Reg(3) < Reg(4));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Returns the register index as a `usize`, for indexing register files.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u16> for Reg {
+    fn from(value: u16) -> Self {
+        Reg(value)
+    }
+}
+
+/// A functional-unit index.
+///
+/// The paper numbers functional units `FU0 … FU7`. Condition codes and sync
+/// signals are addressed by the FU that owns them, so `FuId` doubles as the
+/// name of `CC_i` and `SS_i`.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::FuId;
+///
+/// assert_eq!(FuId(2).to_string(), "FU2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FuId(pub u8);
+
+impl FuId {
+    /// Returns the unit index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FU{}", self.0)
+    }
+}
+
+impl From<u8> for FuId {
+    fn from(value: u8) -> Self {
+        FuId(value)
+    }
+}
+
+/// An instruction-memory address.
+///
+/// XIMD-1 sequencers have *no incrementer*: every parcel carries two explicit
+/// branch targets, one of which becomes the next `PC`. Addresses display in
+/// the paper's two-hex-digit, colon-suffixed style (`05:`) when small, and
+/// plain hex otherwise.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::Addr;
+///
+/// assert_eq!(Addr(5).to_string(), "05:");
+/// assert_eq!(Addr(0x1a2).to_string(), "1a2:");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address as a `usize`, for indexing instruction memory.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the address immediately after `self`.
+    ///
+    /// XIMD-1 hardware has no incrementer, but the assembler and compiler use
+    /// fall-through targets pervasively when laying out code.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Addr {
+        Addr(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}:", self.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(value: u32) -> Self {
+        Addr(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(255).to_string(), "r255");
+        assert_eq!(Reg(17).index(), 17);
+    }
+
+    #[test]
+    fn fu_display_and_order() {
+        assert_eq!(FuId(0).to_string(), "FU0");
+        assert!(FuId(1) < FuId(2));
+        assert_eq!(FuId::from(3u8), FuId(3));
+    }
+
+    #[test]
+    fn addr_display_matches_paper_format() {
+        assert_eq!(Addr(0).to_string(), "00:");
+        assert_eq!(Addr(0x0a).to_string(), "0a:");
+        assert_eq!(Addr(0x30).to_string(), "30:");
+    }
+
+    #[test]
+    fn addr_next_increments() {
+        assert_eq!(Addr(4).next(), Addr(5));
+        assert_eq!(Addr(0).next().next(), Addr(2));
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Reg::from(9u16), Reg(9));
+        assert_eq!(Addr::from(77u32), Addr(77));
+    }
+}

@@ -1,0 +1,190 @@
+//! Architectural data values.
+//!
+//! XIMD-1 supports exactly two data types: 32-bit two's-complement integers
+//! and 32-bit IEEE-754 floats. Registers and memory words are untyped 32-bit
+//! containers; the operation executed determines the interpretation, exactly
+//! as on the hardware. [`Value`] keeps a typed view for ergonomic
+//! construction and display while always being convertible to and from raw
+//! bits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit architectural value, viewed as integer or float.
+///
+/// `Value` is a *view* over a 32-bit word: [`Value::bits`] and
+/// [`Value::from_bits_int`] / [`Value::from_bits_float`] convert losslessly,
+/// so storing a float and reloading it as an integer reinterprets the bits,
+/// matching the untyped register file of the machine.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::Value;
+///
+/// let v = Value::I32(-3);
+/// assert_eq!(v.as_i32(), -3);
+/// assert_eq!(Value::from_bits_int(v.bits()), v);
+///
+/// let f = Value::F32(1.5);
+/// assert_eq!(f.as_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Value {
+    /// 32-bit two's-complement integer.
+    I32(i32),
+    /// 32-bit IEEE-754 float.
+    F32(f32),
+}
+
+impl Value {
+    /// The integer zero, the reset value of every register.
+    pub const ZERO: Value = Value::I32(0);
+
+    /// Returns the raw 32-bit register image of this value.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            Value::I32(v) => v as u32,
+            Value::F32(v) => v.to_bits(),
+        }
+    }
+
+    /// Reinterprets raw bits as an integer value.
+    #[inline]
+    pub fn from_bits_int(bits: u32) -> Value {
+        Value::I32(bits as i32)
+    }
+
+    /// Reinterprets raw bits as a float value.
+    #[inline]
+    pub fn from_bits_float(bits: u32) -> Value {
+        Value::F32(f32::from_bits(bits))
+    }
+
+    /// Returns this value viewed as an integer (bit reinterpretation for
+    /// floats, as the hardware would).
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        self.bits() as i32
+    }
+
+    /// Returns this value viewed as a float (bit reinterpretation for
+    /// integers, as the hardware would).
+    #[inline]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.bits())
+    }
+
+    /// Returns `true` if the stored variant is [`Value::F32`].
+    ///
+    /// This is metadata for pretty-printing only; the machine itself is
+    /// untyped.
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, Value::F32(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl PartialEq for Value {
+    /// Bit-level equality: two values are equal iff their register images
+    /// are identical. (`F32(0.0) != F32(-0.0)`, and `F32(NaN) == F32(NaN)`
+    /// for the *same* NaN payload — register-file semantics, not IEEE
+    /// comparison. Use [`crate::CmpOp`] evaluation for IEEE comparisons.)
+    fn eq(&self, other: &Self) -> bool {
+        self.bits() == other.bits()
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bits().hash(state);
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(value: i32) -> Self {
+        Value::I32(value)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(value: f32) -> Self {
+        Value::F32(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_int() {
+        for v in [0, 1, -1, i32::MIN, i32::MAX, 123_456] {
+            let val = Value::I32(v);
+            assert_eq!(Value::from_bits_int(val.bits()), val);
+            assert_eq!(val.as_i32(), v);
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_float() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::INFINITY, f32::MIN_POSITIVE] {
+            let val = Value::F32(v);
+            assert_eq!(
+                Value::from_bits_float(val.bits()).as_f32().to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn reinterpretation_is_bitwise() {
+        let f = Value::F32(1.0);
+        assert_eq!(f.as_i32(), 0x3f80_0000);
+        let i = Value::I32(0x3f80_0000);
+        assert_eq!(i.as_f32(), 1.0);
+    }
+
+    #[test]
+    fn equality_is_bit_level() {
+        assert_eq!(Value::I32(0x3f80_0000), Value::F32(1.0));
+        assert_ne!(Value::F32(0.0), Value::F32(-0.0));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default(), Value::ZERO);
+        assert_eq!(Value::default().bits(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::I32(-7).to_string(), "-7");
+        assert_eq!(Value::F32(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn from_primitives() {
+        assert_eq!(Value::from(4i32), Value::I32(4));
+        assert_eq!(Value::from(2.0f32), Value::F32(2.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the binary parcel encoding round-trips losslessly for
+//! every representable parcel, and display forms never panic.
+
+use proptest::prelude::*;
+use ximd_isa::encode::{decode_parcel, encode_parcel, ENC_MAX_ADDR, ENC_MAX_PORTS};
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Reg, SyncSignal,
+    UnOp, Value,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u16..256).prop_map(Reg)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::I32),
+        any::<u32>().prop_map(Value::from_bits_float),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        arb_value().prop_map(Operand::Imm)
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_un() -> impl Strategy<Value = UnOp> {
+    proptest::sample::select(UnOp::ALL.to_vec())
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    proptest::sample::select(CmpOp::ALL.to_vec())
+}
+
+fn arb_data() -> impl Strategy<Value = DataOp> {
+    prop_oneof![
+        Just(DataOp::Nop),
+        (arb_alu(), arb_operand(), arb_operand(), arb_reg())
+            .prop_map(|(op, a, b, d)| DataOp::Alu { op, a, b, d }),
+        (arb_un(), arb_operand(), arb_reg()).prop_map(|(op, a, d)| DataOp::Un { op, a, d }),
+        (arb_cmp(), arb_operand(), arb_operand()).prop_map(|(op, a, b)| DataOp::Cmp { op, a, b }),
+        (arb_operand(), arb_operand(), arb_reg()).prop_map(|(a, b, d)| DataOp::Load { a, b, d }),
+        (arb_operand(), arb_operand()).prop_map(|(a, b)| DataOp::Store { a, b }),
+        (0u8..ENC_MAX_PORTS, arb_reg()).prop_map(|(port, d)| DataOp::PortIn { port, d }),
+        (0u8..ENC_MAX_PORTS, arb_operand()).prop_map(|(port, a)| DataOp::PortOut { port, a }),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (0u32..ENC_MAX_ADDR).prop_map(Addr)
+}
+
+fn arb_cond() -> impl Strategy<Value = CondSource> {
+    prop_oneof![
+        (0u8..32).prop_map(|f| CondSource::Cc(FuId(f))),
+        (0u8..32).prop_map(|f| CondSource::Sync(FuId(f))),
+        Just(CondSource::AllSync),
+        Just(CondSource::AnySync),
+    ]
+}
+
+fn arb_ctrl() -> impl Strategy<Value = ControlOp> {
+    prop_oneof![
+        arb_addr().prop_map(ControlOp::Goto),
+        (arb_cond(), arb_addr(), arb_addr()).prop_map(|(cond, taken, not_taken)| {
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            }
+        }),
+        Just(ControlOp::Halt),
+    ]
+}
+
+fn arb_parcel() -> impl Strategy<Value = Parcel> {
+    (
+        arb_data(),
+        arb_ctrl(),
+        prop_oneof![Just(SyncSignal::Busy), Just(SyncSignal::Done)],
+    )
+        .prop_map(|(data, ctrl, sync)| Parcel { data, ctrl, sync })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(parcel in arb_parcel()) {
+        let word = encode_parcel(&parcel).expect("all generated parcels are encodable");
+        let back = decode_parcel(word).expect("decode of encoded word");
+        prop_assert_eq!(back, parcel);
+    }
+
+    #[test]
+    fn encoded_word_fits_bit_budget(parcel in arb_parcel()) {
+        let word = encode_parcel(&parcel).unwrap();
+        prop_assert!(word < (1u128 << ximd_isa::encode::PARCEL_BITS));
+    }
+
+    #[test]
+    fn display_never_panics(parcel in arb_parcel()) {
+        let _ = parcel.to_string();
+    }
+
+    #[test]
+    fn alu_eval_total_except_div_by_zero(op in arb_alu(), a in arb_value(), b in arb_value()) {
+        match op.eval(a, b) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert_eq!(e, ximd_isa::IsaError::DivideByZero);
+                prop_assert!(matches!(op, AluOp::Idiv | AluOp::Imod));
+                prop_assert_eq!(b.as_i32(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_eval_swapped_consistent(op in arb_cmp(), a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(op.eval(a, b), op.swapped().eval(b, a));
+    }
+
+    #[test]
+    fn value_bits_roundtrip(bits in any::<u32>()) {
+        prop_assert_eq!(Value::from_bits_int(bits).bits(), bits);
+        prop_assert_eq!(Value::from_bits_float(bits).bits(), bits);
+    }
+}

@@ -1,0 +1,197 @@
+//! The control-path taxonomy of Figures 3–6 as data.
+//!
+//! The paper differentiates architecture classes purely by the *shape* of
+//! the control path: how many output functions λ, how many next-state
+//! functions δ, how many control-state variables S, and which state feeds
+//! each δ. [`ControlPathShape`] captures those counts; [`MachineClass`]
+//! names the classes and exposes the shape each one has for a machine of a
+//! given width, plus the partial order of functional emulation the paper
+//! establishes.
+
+use std::fmt;
+
+/// The structural parameters of a control path (paper Figures 3–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlPathShape {
+    /// Number of output functions λ (instruction decoders).
+    pub lambdas: usize,
+    /// Number of next-state functions δ (sequencers).
+    pub deltas: usize,
+    /// Number of control-state variables S (program counters).
+    pub states: usize,
+    /// Does each δ observe *every* FU's data-path state (condition codes)?
+    pub delta_sees_all_datapaths: bool,
+    /// Does each δ observe the other sequencers' control state
+    /// (sync signals)?
+    pub delta_sees_other_controls: bool,
+}
+
+/// The five architecture classes of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineClass {
+    /// Classical microprogrammed uniprocessor (Figure 3).
+    Sisd,
+    /// Single broadcast instruction stream (§2.1's SIMD simplification).
+    Simd,
+    /// One sequencer, per-FU output functions (Figure 4).
+    Vliw,
+    /// Fully independent sequencers (Figure 6).
+    Mimd,
+    /// Replicated sequencers sharing condition-code and sync state
+    /// (Figure 5).
+    Ximd,
+}
+
+impl MachineClass {
+    /// All classes, in the paper's order of presentation.
+    pub const ALL: [MachineClass; 5] = [
+        MachineClass::Sisd,
+        MachineClass::Simd,
+        MachineClass::Vliw,
+        MachineClass::Mimd,
+        MachineClass::Ximd,
+    ];
+
+    /// The control-path shape for a machine of `width` functional units.
+    pub fn shape(self, width: usize) -> ControlPathShape {
+        match self {
+            MachineClass::Sisd => ControlPathShape {
+                lambdas: 1,
+                deltas: 1,
+                states: 1,
+                delta_sees_all_datapaths: true,
+                delta_sees_other_controls: false,
+            },
+            MachineClass::Simd => ControlPathShape {
+                lambdas: 1, // one λ broadcast to every FU
+                deltas: 1,
+                states: 1,
+                delta_sees_all_datapaths: true,
+                delta_sees_other_controls: false,
+            },
+            MachineClass::Vliw => ControlPathShape {
+                lambdas: width,
+                deltas: 1,
+                states: 1,
+                delta_sees_all_datapaths: true,
+                delta_sees_other_controls: false,
+            },
+            MachineClass::Mimd => ControlPathShape {
+                lambdas: width,
+                deltas: width,
+                states: width,
+                // Each MIMD δi sees only its own data path.
+                delta_sees_all_datapaths: false,
+                delta_sees_other_controls: false,
+            },
+            MachineClass::Ximd => ControlPathShape {
+                lambdas: width,
+                deltas: width,
+                states: width,
+                delta_sees_all_datapaths: true,
+                delta_sees_other_controls: true,
+            },
+        }
+    }
+
+    /// Returns `true` if `self` can functionally emulate `other` (the
+    /// paper's §2.1 relationships, reflexively and transitively closed).
+    pub fn emulates(self, other: MachineClass) -> bool {
+        use MachineClass::*;
+        if self == other {
+            return true;
+        }
+        match self {
+            Ximd => true, // "the most general and capable control path design"
+            Vliw => matches!(other, Simd | Sisd),
+            Simd => matches!(other, Sisd),
+            Mimd => matches!(other, Sisd),
+            Sisd => false,
+        }
+    }
+}
+
+impl fmt::Display for MachineClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MachineClass::Sisd => "SISD",
+            MachineClass::Simd => "SIMD",
+            MachineClass::Vliw => "VLIW",
+            MachineClass::Mimd => "MIMD",
+            MachineClass::Ximd => "XIMD",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_figures() {
+        let w = 8;
+        assert_eq!(MachineClass::Sisd.shape(w).lambdas, 1);
+        assert_eq!(MachineClass::Vliw.shape(w).lambdas, 8);
+        assert_eq!(MachineClass::Vliw.shape(w).deltas, 1);
+        assert_eq!(MachineClass::Ximd.shape(w).deltas, 8);
+        assert_eq!(MachineClass::Mimd.shape(w).deltas, 8);
+        assert!(MachineClass::Ximd.shape(w).delta_sees_other_controls);
+        assert!(!MachineClass::Mimd.shape(w).delta_sees_other_controls);
+    }
+
+    #[test]
+    fn ximd_emulates_everything() {
+        for m in MachineClass::ALL {
+            assert!(MachineClass::Ximd.emulates(m), "XIMD should emulate {m}");
+        }
+    }
+
+    #[test]
+    fn emulation_is_a_partial_order() {
+        use MachineClass::*;
+        // Reflexive.
+        for m in MachineClass::ALL {
+            assert!(m.emulates(m));
+        }
+        // Antisymmetric (no two distinct classes emulate each other).
+        for a in MachineClass::ALL {
+            for b in MachineClass::ALL {
+                if a != b {
+                    assert!(!(a.emulates(b) && b.emulates(a)), "{a} <-> {b}");
+                }
+            }
+        }
+        // Transitive over the declared relation.
+        for a in MachineClass::ALL {
+            for b in MachineClass::ALL {
+                for c in MachineClass::ALL {
+                    if a.emulates(b) && b.emulates(c) {
+                        assert!(a.emulates(c), "{a} -> {b} -> {c}");
+                    }
+                }
+            }
+        }
+        // The paper's specific claims.
+        assert!(Vliw.emulates(Simd));
+        assert!(Ximd.emulates(Vliw));
+        assert!(Ximd.emulates(Mimd));
+        assert!(!Vliw.emulates(Mimd));
+        assert!(!Mimd.emulates(Vliw));
+    }
+
+    #[test]
+    fn vliw_and_ximd_share_lambdas_and_datapaths() {
+        // "the output functions λ1…λn and the functional unit data paths
+        // DP1…DPn are unchanged" between Figures 4 and 5.
+        let v = MachineClass::Vliw.shape(4);
+        let x = MachineClass::Ximd.shape(4);
+        assert_eq!(v.lambdas, x.lambdas);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MachineClass::Ximd.to_string(), "XIMD");
+        assert_eq!(MachineClass::Sisd.to_string(), "SISD");
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's §2 architectural state-machine models, executable.
+//!
+//! Section 2 of the paper develops SISD, SIMD, VLIW, MIMD and XIMD as a
+//! family of Moore-machine control paths over a common data path (Figures
+//! 3–6), and argues a hierarchy of *functional emulations*:
+//!
+//! * **VLIW ⊇ SIMD** — "if for a given program the functions λ1…λn are
+//!   identical … the two machines are functionally equivalent";
+//! * **XIMD ⊇ VLIW** — "if the functions δ1…δn are identical and the
+//!   initial values of the state variables S1…Sn are identical, then the
+//!   XIMD machine will be the functional equivalent of a VLIW machine";
+//! * **XIMD ⊇ MIMD** — "by selecting functions δ1…δn which disregard the
+//!   state of other functional units, XIMD can be a functional equivalent
+//!   of this MIMD model as well";
+//! * SISD is the width-1 degenerate case of all of them.
+//!
+//! This crate makes each claim *mechanically checkable*: it defines program
+//! classes for the restricted models ([`SimdProgram`], [`MimdProgram`],
+//! plain [`ximd_sim::VliwProgram`] for VLIW, width-1 VLIW for SISD),
+//! lowerings into the more general machines, and reference interpreters for
+//! the restricted semantics. The test suites (including property tests over
+//! random programs in `tests/`) check that lowering + general machine ≡
+//! reference interpreter — the paper's emulation theorems as executable
+//! artifacts. [`randprog`] supplies the random-program generators.
+
+pub mod hierarchy;
+pub mod mimd;
+pub mod randprog;
+pub mod simd;
+
+pub use hierarchy::{ControlPathShape, MachineClass};
+pub use mimd::MimdProgram;
+pub use simd::SimdProgram;

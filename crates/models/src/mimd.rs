@@ -1,0 +1,300 @@
+//! The MIMD model and its emulation by XIMD.
+//!
+//! §2.1: "By selecting functions δ1…δn which disregard the state of other
+//! functional units, XIMD can be a functional equivalent of this MIMD model
+//! as well." A [`MimdProgram`] is a set of fully independent single-FU
+//! threads; [`MimdProgram::to_ximd`] places thread *j*'s code in parcel
+//! column *j* (remapping its condition codes to `cc_j` and its registers
+//! into a private bank) so that each sequencer runs its own thread without
+//! observing the others — exactly Figure 6 realized on the Figure 5
+//! machine.
+
+use ximd_isa::{
+    Addr, CondSource, ControlOp, DataOp, FuId, IsaError, Operand, Parcel, Program, Reg,
+};
+use ximd_sim::VliwProgram;
+
+/// A set of independent single-FU threads.
+#[derive(Debug, Clone, Default)]
+pub struct MimdProgram {
+    /// The threads; each must be a width-1 program whose branches test
+    /// `cc0` (its own unit).
+    pub threads: Vec<VliwProgram>,
+    /// Registers reserved per thread; thread *j* owns architectural
+    /// registers `j*bank .. (j+1)*bank`.
+    pub reg_bank: u16,
+}
+
+impl MimdProgram {
+    /// Validates the threads: width 1, register use within the bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::WidthMismatch`] for a non-scalar thread or a
+    /// register error for bank overflow.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        for t in &self.threads {
+            if t.width() != 1 {
+                return Err(IsaError::WidthMismatch {
+                    got: t.width(),
+                    expected: 1,
+                });
+            }
+            t.validate(self.reg_bank as usize)?;
+        }
+        Ok(())
+    }
+
+    fn rebase_data(op: &DataOp, lane: u16, bank: u16) -> DataOp {
+        let shift_reg = |r: Reg| Reg(r.0 + lane * bank);
+        let shift = |o: Operand| match o {
+            Operand::Reg(r) => Operand::Reg(shift_reg(r)),
+            imm @ Operand::Imm(_) => imm,
+        };
+        match *op {
+            DataOp::Nop => DataOp::Nop,
+            DataOp::Alu { op, a, b, d } => DataOp::Alu {
+                op,
+                a: shift(a),
+                b: shift(b),
+                d: shift_reg(d),
+            },
+            DataOp::Un { op, a, d } => DataOp::Un {
+                op,
+                a: shift(a),
+                d: shift_reg(d),
+            },
+            DataOp::Cmp { op, a, b } => DataOp::Cmp {
+                op,
+                a: shift(a),
+                b: shift(b),
+            },
+            DataOp::Load { a, b, d } => DataOp::Load {
+                a: shift(a),
+                b: shift(b),
+                d: shift_reg(d),
+            },
+            DataOp::Store { a, b } => DataOp::Store {
+                a: shift(a),
+                b: shift(b),
+            },
+            DataOp::PortIn { port, d } => DataOp::PortIn {
+                port,
+                d: shift_reg(d),
+            },
+            DataOp::PortOut { port, a } => DataOp::PortOut { port, a: shift(a) },
+        }
+    }
+
+    /// Lowers to an XIMD program of `width ≥ threads` FUs. Thread *j*
+    /// occupies parcel column *j* at the same addresses it had alone;
+    /// its `cc0` conditions become `cc_j`; columns beyond the thread count,
+    /// and rows past a thread's end, hold halted parcels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more threads than FUs or the banks overflow the
+    /// register file.
+    pub fn to_ximd(&self, width: usize) -> Program {
+        assert!(
+            self.threads.len() <= width,
+            "more threads than functional units"
+        );
+        assert!(
+            width * self.reg_bank as usize <= ximd_isa::XIMD1_NUM_REGS,
+            "register banks overflow the register file"
+        );
+        let len = self.threads.iter().map(VliwProgram::len).max().unwrap_or(0);
+        let mut program = Program::new(width);
+        for row in 0..len {
+            let mut word = vec![Parcel::halt(); width];
+            for (j, thread) in self.threads.iter().enumerate() {
+                if let Some(instr) = thread.get(Addr(row as u32)) {
+                    let ctrl = match instr.ctrl {
+                        ControlOp::Branch {
+                            cond: CondSource::Cc(_),
+                            taken,
+                            not_taken,
+                        } => ControlOp::Branch {
+                            cond: CondSource::Cc(FuId(j as u8)),
+                            taken,
+                            not_taken,
+                        },
+                        other => other,
+                    };
+                    word[j] = Parcel::data(
+                        Self::rebase_data(&instr.ops[0], j as u16, self.reg_bank),
+                        ctrl,
+                    );
+                }
+            }
+            program.push(word);
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{AluOp, CmpOp, Value};
+    use ximd_sim::{MachineConfig, VliwInstruction, Vsim, Xsim};
+
+    /// A scalar thread: r1 = sum of 1..=r0, via a compare/branch loop.
+    fn sum_thread() -> VliwProgram {
+        let mut p = VliwProgram::new(1);
+        // 0: r2 = 0 (i)        -> 1
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Operand::imm_i32(0),
+                Operand::imm_i32(0),
+                Reg(2),
+            )],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        // 1: cc = i < n        -> 2
+        p.push(VliwInstruction {
+            ops: vec![DataOp::cmp(CmpOp::Lt, Reg(2).into(), Reg(0).into())],
+            ctrl: ControlOp::Goto(Addr(2)),
+        });
+        // 2: i += 1 ; if cc -> 3 else 4
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Reg(2).into(),
+                Operand::imm_i32(1),
+                Reg(2),
+            )],
+            ctrl: ControlOp::branch(CondSource::Cc(FuId(0)), Addr(3), Addr(4)),
+        });
+        // 3: r1 += i ; -> 1
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Reg(1).into(),
+                Reg(2).into(),
+                Reg(1),
+            )],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        // 4: halt
+        p.push(VliwInstruction::halt(1));
+        p
+    }
+
+    /// A scalar thread: r1 = r0 squared via repeated addition.
+    fn square_thread() -> VliwProgram {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Operand::imm_i32(0),
+                Operand::imm_i32(0),
+                Reg(2),
+            )],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction {
+            ops: vec![DataOp::cmp(CmpOp::Lt, Reg(2).into(), Reg(0).into())],
+            ctrl: ControlOp::Goto(Addr(2)),
+        });
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Reg(2).into(),
+                Operand::imm_i32(1),
+                Reg(2),
+            )],
+            ctrl: ControlOp::branch(CondSource::Cc(FuId(0)), Addr(3), Addr(4)),
+        });
+        p.push(VliwInstruction {
+            ops: vec![DataOp::alu(
+                AluOp::Iadd,
+                Reg(1).into(),
+                Reg(0).into(),
+                Reg(1),
+            )],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction::halt(1));
+        p
+    }
+
+    fn run_alone(thread: &VliwProgram, r0: i32) -> (i32, u64) {
+        let mut sim = Vsim::new(thread.clone(), MachineConfig::with_width(1)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(r0));
+        let summary = sim.run(100_000).unwrap();
+        (sim.reg(Reg(1)).as_i32(), summary.cycles)
+    }
+
+    #[test]
+    fn ximd_runs_independent_threads_concurrently() {
+        let mimd = MimdProgram {
+            threads: vec![sum_thread(), square_thread()],
+            reg_bank: 8,
+        };
+        mimd.validate().unwrap();
+        let program = mimd.to_ximd(4);
+
+        let mut sim = Xsim::new(program, MachineConfig::with_width(4)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(10)); // thread 0: n = 10
+        sim.write_reg(Reg(8), Value::I32(7)); // thread 1: n = 7
+        let summary = sim.run(100_000).unwrap();
+
+        let (sum_alone, sum_cycles) = run_alone(&sum_thread(), 10);
+        let (sq_alone, sq_cycles) = run_alone(&square_thread(), 7);
+        assert_eq!(sim.reg(Reg(1)).as_i32(), sum_alone);
+        assert_eq!(sim.reg(Reg(9)).as_i32(), sq_alone);
+        assert_eq!(sum_alone, 55);
+        assert_eq!(sq_alone, 49);
+
+        // Concurrency: combined run costs max, not sum.
+        assert_eq!(summary.cycles, sum_cycles.max(sq_cycles));
+    }
+
+    #[test]
+    fn threads_form_separate_ssets() {
+        let mimd = MimdProgram {
+            threads: vec![sum_thread(), square_thread()],
+            reg_bank: 8,
+        };
+        let mut sim = Xsim::new(mimd.to_ximd(2), MachineConfig::with_width(2)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(5));
+        sim.write_reg(Reg(8), Value::I32(5));
+        sim.enable_trace();
+        sim.run(100_000).unwrap();
+        // Each thread branches on its own cc: two streams while both run.
+        assert_eq!(sim.trace().unwrap().max_streams(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_wide_threads() {
+        let mimd = MimdProgram {
+            threads: vec![VliwProgram::new(2)],
+            reg_bank: 8,
+        };
+        assert!(mimd.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads")]
+    fn too_many_threads_panics() {
+        let mimd = MimdProgram {
+            threads: vec![sum_thread(); 3],
+            reg_bank: 8,
+        };
+        let _ = mimd.to_ximd(2);
+    }
+
+    #[test]
+    fn unused_columns_halt_immediately() {
+        let mimd = MimdProgram {
+            threads: vec![sum_thread()],
+            reg_bank: 8,
+        };
+        let program = mimd.to_ximd(4);
+        let word = program.get(Addr(0)).unwrap();
+        assert_eq!(word[3], Parcel::halt());
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's §2 emulation claims, checked over random programs.
+
+use proptest::prelude::*;
+use ximd_isa::{Reg, Value};
+use ximd_models::randprog::{random_simd_ops, straight_line_vliw};
+use ximd_models::SimdProgram;
+use ximd_sim::{MachineConfig, Vsim, Xsim};
+
+/// XIMD ⊇ VLIW: "if the functions δ1…δn are identical and the initial
+/// values of the state variables S1…Sn are identical, then the XIMD machine
+/// will be the functional equivalent of a VLIW machine."
+fn check_ximd_emulates_vliw(seed: u64, width: usize, len: usize) {
+    let num_regs = 16u16;
+    let vliw = straight_line_vliw(seed, width, len, num_regs);
+    let cfg = MachineConfig::with_width(width);
+
+    let mut vs = Vsim::new(vliw.clone(), cfg.clone()).unwrap();
+    let mut xs = Xsim::new(vliw.to_ximd(), cfg).unwrap();
+    for r in 0..num_regs {
+        let v = Value::I32(i32::from(r) * 7 - 20);
+        vs.write_reg(Reg(r), v);
+        xs.write_reg(Reg(r), v);
+    }
+    let vsum = vs.run(10 + 2 * len as u64).unwrap();
+    let xsum = xs.run(10 + 2 * len as u64).unwrap();
+
+    assert_eq!(vsum.cycles, xsum.cycles, "cycle-exact emulation");
+    for r in 0..num_regs {
+        assert_eq!(
+            vs.reg(Reg(r)),
+            xs.reg(Reg(r)),
+            "register r{r} diverged (seed {seed})"
+        );
+    }
+    // And the emulation never forks: one SSET throughout.
+    assert_eq!(xsum.stats.max_concurrent_streams, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ximd_emulates_vliw(seed in any::<u64>(), width in 1usize..6, len in 1usize..16) {
+        check_ximd_emulates_vliw(seed, width, len);
+    }
+
+    #[test]
+    fn vliw_emulates_simd(seed in any::<u64>(), lanes in 1usize..6, count in 1usize..12) {
+        let bank = 6u16;
+        let program = SimdProgram { ops: random_simd_ops(seed, count, bank), bank_size: bank };
+        program.validate().unwrap();
+
+        let init: Vec<Vec<Value>> = (0..lanes)
+            .map(|lane| (0..bank).map(|i| Value::I32(lane as i32 * 100 + i32::from(i))).collect())
+            .collect();
+        let (expect, _) = program.interpret(&init);
+
+        let mut sim = Vsim::new(program.to_vliw(lanes), MachineConfig::with_width(lanes)).unwrap();
+        for (lane, regs) in init.iter().enumerate() {
+            for (i, &v) in regs.iter().enumerate() {
+                sim.write_reg(Reg((lane * bank as usize + i) as u16), v);
+            }
+        }
+        sim.run(10 + 2 * count as u64).unwrap();
+        for (lane, regs) in expect.iter().enumerate() {
+            for (i, &v) in regs.iter().enumerate() {
+                prop_assert_eq!(
+                    sim.reg(Reg((lane * bank as usize + i) as u16)),
+                    v,
+                    "lane {} r{} (seed {})",
+                    lane,
+                    i,
+                    seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sisd_is_width_one_vliw(seed in any::<u64>(), len in 1usize..16) {
+        // The SISD model (Figure 3) is the width-1 instance: a single λ
+        // and δ. Run the same scalar stream on both simulators.
+        check_ximd_emulates_vliw(seed, 1, len);
+    }
+}

@@ -1,0 +1,119 @@
+//! Machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::{XIMD1_NUM_FUS, XIMD1_NUM_REGS};
+
+/// Policy for same-cycle write conflicts, which the paper leaves undefined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ConflictPolicy {
+    /// Abort the run with a machine check (default; surfaces compiler bugs).
+    #[default]
+    Trap,
+    /// Let the highest-numbered FU win and count the event in the
+    /// statistics. Matches what a real register file with prioritized write
+    /// ports would do, and is occasionally useful for fault-injection
+    /// studies.
+    LastWins,
+}
+
+/// Parameters of a simulated machine.
+///
+/// The defaults describe the XIMD-1 research model: 8 homogeneous FUs,
+/// 256 global registers, an idealized 1-cycle shared memory (1 Mi words
+/// here), and trapping machine checks for the behaviours the paper calls
+/// undefined.
+///
+/// # Example
+///
+/// ```
+/// use ximd_sim::MachineConfig;
+///
+/// let cfg = MachineConfig::ximd1();
+/// assert_eq!(cfg.width, 8);
+/// assert_eq!(cfg.num_regs, 256);
+///
+/// let narrow = MachineConfig::with_width(4);
+/// assert_eq!(narrow.width, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of functional units.
+    pub width: usize,
+    /// Global register-file size.
+    pub num_regs: usize,
+    /// Shared-memory size in 32-bit words.
+    pub mem_words: u32,
+    /// What to do when two FUs write one register in the same cycle.
+    pub reg_conflicts: ConflictPolicy,
+    /// What to do when two FUs write one memory word in the same cycle.
+    pub mem_conflicts: ConflictPolicy,
+}
+
+impl MachineConfig {
+    /// The XIMD-1 research model (8 FUs, 256 registers).
+    pub fn ximd1() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    /// A machine of `width` functional units, other parameters at XIMD-1
+    /// defaults. The paper's code examples use `width == 4` "for clarity".
+    pub fn with_width(width: usize) -> MachineConfig {
+        MachineConfig {
+            width,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Sets the memory size in words (builder style).
+    #[must_use]
+    pub fn mem_words(mut self, words: u32) -> MachineConfig {
+        self.mem_words = words;
+        self
+    }
+
+    /// Sets both conflict policies (builder style).
+    #[must_use]
+    pub fn conflicts(mut self, policy: ConflictPolicy) -> MachineConfig {
+        self.reg_conflicts = policy;
+        self.mem_conflicts = policy;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            width: XIMD1_NUM_FUS,
+            num_regs: XIMD1_NUM_REGS,
+            mem_words: 1 << 20,
+            reg_conflicts: ConflictPolicy::default(),
+            mem_conflicts: ConflictPolicy::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ximd1_defaults_match_paper() {
+        let cfg = MachineConfig::ximd1();
+        assert_eq!(cfg.width, 8);
+        assert_eq!(cfg.num_regs, 256);
+        assert_eq!(cfg.reg_conflicts, ConflictPolicy::Trap);
+        assert_eq!(cfg.mem_conflicts, ConflictPolicy::Trap);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = MachineConfig::with_width(4)
+            .mem_words(1024)
+            .conflicts(ConflictPolicy::LastWins);
+        assert_eq!(cfg.width, 4);
+        assert_eq!(cfg.mem_words, 1024);
+        assert_eq!(cfg.reg_conflicts, ConflictPolicy::LastWins);
+        assert_eq!(cfg.mem_conflicts, ConflictPolicy::LastWins);
+    }
+}

@@ -1,0 +1,212 @@
+//! I/O port devices.
+//!
+//! The paper's Figure 12 example synchronizes two processes that "read some
+//! data from an I/O port until the port returns a non-zero, valid value" —
+//! the canonical *bounded but non-deterministic* peripheral the compiler
+//! cannot schedule around (§1.3). We model a port as a queue of values, each
+//! becoming ready at a cycle chosen ahead of time (optionally from a seeded
+//! RNG so experiments are reproducible). A `PortIn` before the ready cycle
+//! returns 0; at or after it, the value is consumed and returned.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::Value;
+
+/// A value written to a port, with the cycle of the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortEvent {
+    /// Cycle of the `PortOut`.
+    pub cycle: u64,
+    /// The value written.
+    pub value: Value,
+}
+
+/// A bounded, non-deterministic I/O port.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::Value;
+/// use ximd_sim::IoPort;
+///
+/// let mut port = IoPort::new();
+/// port.schedule(3, Value::I32(42));
+/// assert_eq!(port.read(0).as_i32(), 0);  // not ready yet
+/// assert_eq!(port.read(3).as_i32(), 42); // ready: consumed
+/// assert_eq!(port.read(4).as_i32(), 0);  // queue empty again
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IoPort {
+    // (ready_cycle, value), kept sorted by ready_cycle.
+    incoming: Vec<(u64, Value)>,
+    outgoing: Vec<PortEvent>,
+    reads: u64,
+    polls_empty: u64,
+}
+
+impl IoPort {
+    /// Creates a port with nothing scheduled.
+    pub fn new() -> IoPort {
+        IoPort::default()
+    }
+
+    /// Schedules `value` to become readable at `ready_cycle`.
+    pub fn schedule(&mut self, ready_cycle: u64, value: Value) {
+        let pos = self.incoming.partition_point(|&(c, _)| c <= ready_cycle);
+        self.incoming.insert(pos, (ready_cycle, value));
+    }
+
+    /// Schedules `values` with inter-arrival gaps drawn uniformly from
+    /// `latency` using a seeded RNG, starting at cycle `start`. Returns the
+    /// ready cycle of the last value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is an empty range.
+    pub fn schedule_random(
+        &mut self,
+        seed: u64,
+        start: u64,
+        latency: std::ops::Range<u64>,
+        values: impl IntoIterator<Item = Value>,
+    ) -> u64 {
+        assert!(!latency.is_empty(), "latency range must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cycle = start;
+        for v in values {
+            cycle += rng.gen_range(latency.clone());
+            self.schedule(cycle, v);
+        }
+        cycle
+    }
+
+    /// Performs a port read at `cycle`: returns and consumes the oldest
+    /// ready value, or integer zero if none is ready ("until the port
+    /// returns a non-zero, valid value").
+    pub fn read(&mut self, cycle: u64) -> Value {
+        self.reads += 1;
+        if self
+            .incoming
+            .first()
+            .is_some_and(|&(ready, _)| ready <= cycle)
+        {
+            self.incoming.remove(0).1
+        } else {
+            self.polls_empty += 1;
+            Value::ZERO
+        }
+    }
+
+    /// Records a port write at `cycle`.
+    pub fn write(&mut self, cycle: u64, value: Value) {
+        self.outgoing.push(PortEvent { cycle, value });
+    }
+
+    /// Values written to this port, in write order.
+    pub fn written(&self) -> &[PortEvent] {
+        &self.outgoing
+    }
+
+    /// Total reads issued against this port.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads that polled an empty/not-ready port (busy-wait overhead).
+    pub fn polls_empty(&self) -> u64 {
+        self.polls_empty
+    }
+
+    /// Number of scheduled values not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.incoming.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_before_ready_returns_zero() {
+        let mut p = IoPort::new();
+        p.schedule(5, Value::I32(7));
+        assert_eq!(p.read(4).as_i32(), 0);
+        assert_eq!(p.read(5).as_i32(), 7);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn values_are_consumed_in_ready_order() {
+        let mut p = IoPort::new();
+        p.schedule(10, Value::I32(2));
+        p.schedule(3, Value::I32(1));
+        assert_eq!(p.read(20).as_i32(), 1);
+        assert_eq!(p.read(20).as_i32(), 2);
+    }
+
+    #[test]
+    fn equal_ready_cycles_preserve_schedule_order() {
+        let mut p = IoPort::new();
+        p.schedule(3, Value::I32(1));
+        p.schedule(3, Value::I32(2));
+        assert_eq!(p.read(3).as_i32(), 1);
+        assert_eq!(p.read(3).as_i32(), 2);
+    }
+
+    #[test]
+    fn poll_statistics() {
+        let mut p = IoPort::new();
+        p.schedule(2, Value::I32(9));
+        p.read(0);
+        p.read(1);
+        p.read(2);
+        assert_eq!(p.reads(), 3);
+        assert_eq!(p.polls_empty(), 2);
+    }
+
+    #[test]
+    fn writes_are_logged_in_order() {
+        let mut p = IoPort::new();
+        p.write(1, Value::I32(10));
+        p.write(4, Value::I32(11));
+        assert_eq!(
+            p.written(),
+            &[
+                PortEvent {
+                    cycle: 1,
+                    value: Value::I32(10)
+                },
+                PortEvent {
+                    cycle: 4,
+                    value: Value::I32(11)
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible() {
+        let mut a = IoPort::new();
+        let mut b = IoPort::new();
+        let vals = || (1..=5).map(Value::I32);
+        let last_a = a.schedule_random(42, 0, 1..10, vals());
+        let last_b = b.schedule_random(42, 0, 1..10, vals());
+        assert_eq!(last_a, last_b);
+        assert_eq!(a.incoming, b.incoming);
+        // Different seed: different schedule (overwhelmingly likely).
+        let mut c = IoPort::new();
+        c.schedule_random(43, 0, 1..10, vals());
+        assert_ne!(a.incoming, c.incoming);
+    }
+
+    #[test]
+    fn random_schedule_respects_latency_bounds() {
+        let mut p = IoPort::new();
+        p.schedule_random(7, 100, 5..6, (0..4).map(Value::I32));
+        let cycles: Vec<u64> = p.incoming.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cycles, vec![105, 110, 115, 120]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulator errors and machine checks.
+
+use std::fmt;
+
+use ximd_isa::{Addr, FuId, IsaError, Reg};
+
+/// Errors raised during simulation.
+///
+/// XIMD-1 explicitly defers exception handling, so conditions the hardware
+/// leaves *undefined* (multiple same-cycle writes, division by zero) surface
+/// as machine checks that abort the run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A structural or encoding error in the program.
+    Isa(IsaError),
+    /// A functional unit fetched from an address with no instruction.
+    PcOutOfRange {
+        /// The fetching unit.
+        fu: FuId,
+        /// Its program counter.
+        pc: Addr,
+        /// Program length.
+        len: u32,
+    },
+    /// Two or more FUs wrote the same register in one cycle.
+    RegisterWriteConflict {
+        /// The register.
+        reg: Reg,
+        /// The writers.
+        fus: Vec<FuId>,
+        /// The cycle of the conflict.
+        cycle: u64,
+    },
+    /// Two or more FUs wrote the same memory word in one cycle
+    /// ("multiple writes to the same location in one cycle are undefined",
+    /// paper §2.3).
+    MemoryWriteConflict {
+        /// The word address.
+        addr: u32,
+        /// The writers.
+        fus: Vec<FuId>,
+        /// The cycle of the conflict.
+        cycle: u64,
+    },
+    /// A memory access fell outside the configured memory size.
+    MemoryOutOfRange {
+        /// The word address.
+        addr: i64,
+        /// Memory size in words.
+        size: u32,
+    },
+    /// An I/O operation named a port that is not attached.
+    PortOutOfRange {
+        /// The port number.
+        port: u8,
+        /// Number of attached ports.
+        count: usize,
+    },
+    /// A data operation raised a machine check (currently only integer
+    /// divide by zero), attributed to a functional unit and cycle.
+    DataFault {
+        /// The faulting unit.
+        fu: FuId,
+        /// The cycle of the fault.
+        cycle: u64,
+        /// The underlying fault.
+        fault: IsaError,
+    },
+    /// The run exceeded its cycle budget without every FU halting.
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Isa(e) => write!(f, "program error: {e}"),
+            SimError::PcOutOfRange { fu, pc, len } => {
+                write!(f, "{fu} fetched {pc} outside program of {len} instructions")
+            }
+            SimError::RegisterWriteConflict { reg, fus, cycle } => {
+                write!(f, "undefined: {reg} written by {fus:?} in cycle {cycle}")
+            }
+            SimError::MemoryWriteConflict { addr, fus, cycle } => {
+                write!(
+                    f,
+                    "undefined: M[{addr:#x}] written by {fus:?} in cycle {cycle}"
+                )
+            }
+            SimError::MemoryOutOfRange { addr, size } => {
+                write!(f, "memory access at word {addr} outside {size}-word memory")
+            }
+            SimError::PortOutOfRange { port, count } => {
+                write!(f, "i/o port {port} not attached ({count} ports present)")
+            }
+            SimError::DataFault { fu, cycle, fault } => {
+                write!(f, "{fu} faulted in cycle {cycle}: {fault}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} reached before all units halted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Isa(e) => Some(e),
+            SimError::DataFault { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(value: IsaError) -> Self {
+        SimError::Isa(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<SimError> = vec![
+            SimError::Isa(IsaError::DivideByZero),
+            SimError::PcOutOfRange {
+                fu: FuId(1),
+                pc: Addr(9),
+                len: 4,
+            },
+            SimError::RegisterWriteConflict {
+                reg: Reg(3),
+                fus: vec![FuId(0), FuId(1)],
+                cycle: 7,
+            },
+            SimError::MemoryWriteConflict {
+                addr: 16,
+                fus: vec![FuId(2), FuId(3)],
+                cycle: 9,
+            },
+            SimError::MemoryOutOfRange {
+                addr: -1,
+                size: 1024,
+            },
+            SimError::PortOutOfRange { port: 4, count: 2 },
+            SimError::DataFault {
+                fu: FuId(0),
+                cycle: 3,
+                fault: IsaError::DivideByZero,
+            },
+            SimError::CycleLimit { limit: 1000 },
+        ];
+        for err in cases {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_to_isa_error() {
+        use std::error::Error;
+        let err = SimError::DataFault {
+            fu: FuId(0),
+            cycle: 1,
+            fault: IsaError::DivideByZero,
+        };
+        assert!(err.source().is_some());
+        assert!(SimError::CycleLimit { limit: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn from_isa_error() {
+        let err: SimError = IsaError::DivideByZero.into();
+        assert!(matches!(err, SimError::Isa(_)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Data-path execution shared by xsim and vsim.
+//!
+//! Both simulators use identical functional units; only the control path
+//! differs. This module evaluates one data operation with start-of-cycle
+//! reads and end-of-cycle (staged) writes.
+
+use ximd_isa::{DataOp, FuId, IsaError, Operand, Value};
+
+use crate::device::IoPort;
+use crate::error::SimError;
+use crate::memory::Memory;
+use crate::regfile::RegisterFile;
+use crate::stats::SimStats;
+
+/// Executes `op` on behalf of `fu`, staging register and memory writes.
+///
+/// Returns the new condition-code value if the operation was a compare.
+pub(crate) fn execute_data(
+    fu: FuId,
+    op: &DataOp,
+    cycle: u64,
+    regs: &mut RegisterFile,
+    mem: &mut Memory,
+    ports: &mut [IoPort],
+    stats: &mut SimStats,
+) -> Result<Option<bool>, SimError> {
+    let read = |o: Operand, regs: &RegisterFile| -> Value {
+        match o {
+            Operand::Reg(r) => regs.read(r),
+            Operand::Imm(v) => v,
+        }
+    };
+    let fault = |e: IsaError| SimError::DataFault {
+        fu,
+        cycle,
+        fault: e,
+    };
+
+    if !op.is_nop() {
+        if let Some(slot) = stats.ops_per_fu.get_mut(fu.index()) {
+            *slot += 1;
+        }
+    }
+    match *op {
+        DataOp::Nop => {
+            stats.nops += 1;
+            Ok(None)
+        }
+        DataOp::Alu { op, a, b, d } => {
+            stats.ops += 1;
+            let result = op.eval(read(a, regs), read(b, regs)).map_err(fault)?;
+            regs.stage_write(fu, d, result);
+            Ok(None)
+        }
+        DataOp::Un { op, a, d } => {
+            stats.ops += 1;
+            let result = op.eval(read(a, regs));
+            regs.stage_write(fu, d, result);
+            Ok(None)
+        }
+        DataOp::Cmp { op, a, b } => {
+            stats.ops += 1;
+            stats.compares += 1;
+            Ok(Some(op.eval(read(a, regs), read(b, regs))))
+        }
+        DataOp::Load { a, b, d } => {
+            stats.ops += 1;
+            stats.loads += 1;
+            let addr = read(a, regs).as_i32() as i64 + read(b, regs).as_i32() as i64;
+            let value = mem.read(addr)?;
+            regs.stage_write(fu, d, value);
+            Ok(None)
+        }
+        DataOp::Store { a, b } => {
+            stats.ops += 1;
+            stats.stores += 1;
+            let value = read(a, regs);
+            let addr = read(b, regs).as_i32() as i64;
+            mem.stage_write(fu, addr, value)?;
+            Ok(None)
+        }
+        DataOp::PortIn { port, d } => {
+            stats.ops += 1;
+            let count = ports.len();
+            let device = ports
+                .get_mut(port as usize)
+                .ok_or(SimError::PortOutOfRange { port, count })?;
+            let value = device.read(cycle);
+            regs.stage_write(fu, d, value);
+            Ok(None)
+        }
+        DataOp::PortOut { port, a } => {
+            stats.ops += 1;
+            let value = read(a, regs);
+            let count = ports.len();
+            let device = ports
+                .get_mut(port as usize)
+                .ok_or(SimError::PortOutOfRange { port, count })?;
+            device.write(cycle, value);
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConflictPolicy;
+    use ximd_isa::{AluOp, CmpOp, Reg, UnOp};
+
+    fn setup() -> (RegisterFile, Memory, Vec<IoPort>, SimStats) {
+        (
+            RegisterFile::new(8),
+            Memory::new(64),
+            vec![IoPort::new()],
+            SimStats::default(),
+        )
+    }
+
+    #[test]
+    fn alu_stages_result() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        regs.poke(Reg(0), Value::I32(4));
+        let op = DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(3), Reg(1));
+        let cc =
+            execute_data(FuId(0), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        assert_eq!(cc, None);
+        regs.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(regs.read(Reg(1)).as_i32(), 7);
+        assert_eq!(stats.ops, 1);
+    }
+
+    #[test]
+    fn cmp_returns_cc_without_register_write() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        let op = DataOp::cmp(CmpOp::Lt, Operand::imm_i32(1), Operand::imm_i32(2));
+        let cc =
+            execute_data(FuId(2), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        assert_eq!(cc, Some(true));
+        assert_eq!(stats.compares, 1);
+    }
+
+    #[test]
+    fn load_uses_base_plus_offset() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        mem.poke(12, Value::I32(99)).unwrap();
+        regs.poke(Reg(0), Value::I32(10));
+        let op = DataOp::load(Reg(0).into(), Operand::imm_i32(2), Reg(1));
+        execute_data(FuId(0), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        regs.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(regs.read(Reg(1)).as_i32(), 99);
+        assert_eq!(stats.loads, 1);
+    }
+
+    #[test]
+    fn store_stages_to_memory() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        regs.poke(Reg(0), Value::I32(7));
+        let op = DataOp::store(Reg(0).into(), Operand::imm_i32(20));
+        execute_data(FuId(0), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        assert_eq!(mem.read(20).unwrap().as_i32(), 0);
+        mem.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(mem.read(20).unwrap().as_i32(), 7);
+        assert_eq!(stats.stores, 1);
+    }
+
+    #[test]
+    fn divide_by_zero_is_attributed() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        let op = DataOp::alu(
+            AluOp::Idiv,
+            Operand::imm_i32(1),
+            Operand::imm_i32(0),
+            Reg(0),
+        );
+        let err =
+            execute_data(FuId(3), &op, 9, &mut regs, &mut mem, &mut ports, &mut stats).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::DataFault {
+                fu: FuId(3),
+                cycle: 9,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn port_roundtrip_and_missing_port() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        ports[0].schedule(0, Value::I32(5));
+        let op = DataOp::PortIn { port: 0, d: Reg(2) };
+        execute_data(FuId(0), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        regs.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(regs.read(Reg(2)).as_i32(), 5);
+
+        let bad = DataOp::PortOut {
+            port: 7,
+            a: Operand::imm_i32(1),
+        };
+        let err = execute_data(
+            FuId(0),
+            &bad,
+            0,
+            &mut regs,
+            &mut mem,
+            &mut ports,
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::PortOutOfRange { port: 7, .. }));
+    }
+
+    #[test]
+    fn unary_op_executes() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        let op = DataOp::un(UnOp::Ineg, Operand::imm_i32(6), Reg(4));
+        execute_data(FuId(1), &op, 0, &mut regs, &mut mem, &mut ports, &mut stats).unwrap();
+        regs.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(regs.read(Reg(4)).as_i32(), -6);
+    }
+
+    #[test]
+    fn nop_counts_but_does_nothing() {
+        let (mut regs, mut mem, mut ports, mut stats) = setup();
+        execute_data(
+            FuId(0),
+            &DataOp::Nop,
+            0,
+            &mut regs,
+            &mut mem,
+            &mut ports,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(stats.nops, 1);
+        assert_eq!(stats.ops, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cycle-accurate simulators for the XIMD-1 research machine.
+//!
+//! The paper's evaluation infrastructure consists of two companion
+//! simulators: **xsim**, which models the XIMD-1 variable-instruction-stream
+//! machine, and **vsim**, which models a VLIW processor "with similar
+//! characteristics" (identical datapath, single sequencer). This crate
+//! provides both, plus the shared substrate they run on:
+//!
+//! * [`MachineConfig`] — machine parameters (width, register file, memory,
+//!   machine-check policies);
+//! * [`Xsim`] — the XIMD simulator: per-FU program counters, distributed
+//!   condition codes and sync signals, dynamic SSET [`Partition`] tracking,
+//!   Figure-10-style address tracing;
+//! * [`Vsim`] — the VLIW companion: one sequencer, one control operation per
+//!   cycle, same functional units and register file;
+//! * [`Memory`], [`RegisterFile`] — idealized single-cycle storage with
+//!   multi-write machine checks ("multiple writes to the same location in
+//!   one cycle are undefined", paper §2.3);
+//! * [`IoPort`] — the bounded-but-non-deterministic peripheral model used by
+//!   the paper's Figure 12 non-blocking synchronization example;
+//! * [`Trace`] — per-cycle address traces in the exact format of the paper's
+//!   Figure 10.
+//!
+//! # Timing model
+//!
+//! Derived from the paper's §2.2 description and validated against the
+//! published MINMAX trace (Figure 10):
+//!
+//! * All data operations complete in one cycle. Register and memory reads
+//!   observe start-of-cycle state; writes commit at end of cycle.
+//! * Compares write the issuing FU's condition code at end of cycle; a
+//!   branch in cycle *t* therefore sees condition codes produced in cycles
+//!   `< t`.
+//! * Sync signals are **combinational**: `SS_i` during cycle *t* is the sync
+//!   field of the parcel FU *i* executes in cycle *t* (halted FUs hold their
+//!   last value). This is what lets an `ALL-SS` barrier release in the same
+//!   cycle the last thread arrives.
+//!
+//! # Example
+//!
+//! ```
+//! use ximd_isa::{Addr, AluOp, ControlOp, DataOp, Operand, Parcel, Program, Reg};
+//! use ximd_sim::{MachineConfig, Xsim};
+//!
+//! // One FU computes r1 = r0 + 5 and halts.
+//! let mut program = Program::new(1);
+//! program.push(vec![Parcel::data(
+//!     DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(5), Reg(1)),
+//!     ControlOp::Halt,
+//! )]);
+//!
+//! let mut sim = Xsim::new(program, MachineConfig::with_width(1))?;
+//! sim.write_reg(Reg(0), 37i32.into());
+//! let summary = sim.run(100)?;
+//! assert_eq!(summary.cycles, 1);
+//! assert_eq!(sim.reg(Reg(1)).as_i32(), 42);
+//! # Ok::<(), ximd_sim::SimError>(())
+//! ```
+
+pub mod config;
+pub mod device;
+pub mod error;
+mod exec;
+pub mod memory;
+pub mod partition;
+pub mod regfile;
+pub mod stats;
+pub mod trace;
+pub mod vliw;
+pub mod vsim;
+pub mod xsim;
+
+pub use config::MachineConfig;
+pub use device::{IoPort, PortEvent};
+pub use error::SimError;
+pub use memory::Memory;
+pub use partition::Partition;
+pub use regfile::RegisterFile;
+pub use stats::SimStats;
+pub use trace::{Trace, TraceRow};
+pub use vliw::{VliwInstruction, VliwProgram};
+pub use vsim::Vsim;
+pub use xsim::{RunSummary, StepStatus, Xsim};

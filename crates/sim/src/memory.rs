@@ -1,0 +1,243 @@
+//! Idealized shared memory.
+//!
+//! The paper's research scope (§2.3) assumes an idealized shared memory:
+//! every functional unit can read or write one word per cycle, all ports
+//! share a single address space, operations complete in one cycle, and
+//! "multiple writes to the same location in one cycle are undefined". This
+//! model implements exactly that, storing raw 32-bit words sparsely.
+
+use std::collections::HashMap;
+
+use ximd_isa::{FuId, Value};
+
+use crate::config::ConflictPolicy;
+use crate::error::SimError;
+
+/// Idealized single-cycle shared memory with end-of-cycle write commit.
+///
+/// Addresses are *word* addresses, as in the paper's examples where array
+/// element `IZ(k)` lives at `z + k`.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{FuId, Value};
+/// use ximd_sim::Memory;
+/// use ximd_sim::config::ConflictPolicy;
+///
+/// let mut mem = Memory::new(1024);
+/// mem.poke(100, Value::I32(5))?;
+/// assert_eq!(mem.read(100)?.as_i32(), 5);
+/// assert_eq!(mem.read(101)?.as_i32(), 0); // uninitialized words read zero
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: HashMap<u32, u32>,
+    size: u32,
+    staged: Vec<(FuId, u32, u32)>,
+    conflicts_resolved: u64,
+}
+
+impl Memory {
+    /// Creates a memory of `size` 32-bit words, all zero.
+    pub fn new(size: u32) -> Memory {
+        Memory {
+            words: HashMap::new(),
+            size,
+            staged: Vec::new(),
+            conflicts_resolved: 0,
+        }
+    }
+
+    /// Memory size in words.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    fn check(&self, addr: i64) -> Result<u32, SimError> {
+        if addr < 0 || addr >= self.size as i64 {
+            Err(SimError::MemoryOutOfRange {
+                addr,
+                size: self.size,
+            })
+        } else {
+            Ok(addr as u32)
+        }
+    }
+
+    /// Reads the word at `addr` as of the start of the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryOutOfRange`] if `addr` is outside memory.
+    pub fn read(&self, addr: i64) -> Result<Value, SimError> {
+        let addr = self.check(addr)?;
+        Ok(Value::from_bits_int(
+            self.words.get(&addr).copied().unwrap_or(0),
+        ))
+    }
+
+    /// Directly writes a word outside the cycle model (test setup, loading
+    /// workload arrays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryOutOfRange`] if `addr` is outside memory.
+    pub fn poke(&mut self, addr: i64, value: Value) -> Result<(), SimError> {
+        let addr = self.check(addr)?;
+        self.words.insert(addr, value.bits());
+        Ok(())
+    }
+
+    /// Copies a slice of integers into consecutive words starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryOutOfRange`] if the slice does not fit.
+    pub fn poke_slice(&mut self, base: i64, values: &[i32]) -> Result<(), SimError> {
+        for (i, &v) in values.iter().enumerate() {
+            self.poke(base + i as i64, Value::I32(v))?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` consecutive integers starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryOutOfRange`] if the range does not fit.
+    pub fn peek_slice(&self, base: i64, len: usize) -> Result<Vec<i32>, SimError> {
+        (0..len)
+            .map(|i| self.read(base + i as i64).map(Value::as_i32))
+            .collect()
+    }
+
+    /// Stages a write to commit at end of cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryOutOfRange`] if `addr` is outside memory.
+    pub fn stage_write(&mut self, fu: FuId, addr: i64, value: Value) -> Result<(), SimError> {
+        let addr = self.check(addr)?;
+        self.staged.push((fu, addr, value.bits()));
+        Ok(())
+    }
+
+    /// Commits all staged writes.
+    ///
+    /// # Errors
+    ///
+    /// With [`ConflictPolicy::Trap`], returns
+    /// [`SimError::MemoryWriteConflict`] if two FUs wrote one word this
+    /// cycle.
+    pub fn commit(&mut self, policy: ConflictPolicy, cycle: u64) -> Result<(), SimError> {
+        self.staged.sort_by_key(|&(fu, addr, _)| (addr, fu));
+        for pair in self.staged.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                match policy {
+                    ConflictPolicy::Trap => {
+                        let addr = pair[0].1;
+                        let fus = self
+                            .staged
+                            .iter()
+                            .filter(|w| w.1 == addr)
+                            .map(|w| w.0)
+                            .collect();
+                        self.staged.clear();
+                        return Err(SimError::MemoryWriteConflict { addr, fus, cycle });
+                    }
+                    ConflictPolicy::LastWins => self.conflicts_resolved += 1,
+                }
+            }
+        }
+        for &(_, addr, bits) in &self.staged {
+            self.words.insert(addr, bits);
+        }
+        self.staged.clear();
+        Ok(())
+    }
+
+    /// Number of conflicts resolved under [`ConflictPolicy::LastWins`].
+    pub fn conflicts_resolved(&self) -> u64 {
+        self.conflicts_resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninitialized_memory_reads_zero() {
+        let mem = Memory::new(16);
+        assert_eq!(mem.read(0).unwrap().as_i32(), 0);
+        assert_eq!(mem.read(15).unwrap().as_i32(), 0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut mem = Memory::new(16);
+        assert!(matches!(
+            mem.read(16),
+            Err(SimError::MemoryOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mem.read(-1),
+            Err(SimError::MemoryOutOfRange { .. })
+        ));
+        assert!(mem.poke(16, Value::I32(1)).is_err());
+        assert!(mem.stage_write(FuId(0), -5, Value::I32(1)).is_err());
+    }
+
+    #[test]
+    fn staged_writes_commit_at_end_of_cycle() {
+        let mut mem = Memory::new(16);
+        mem.stage_write(FuId(0), 3, Value::I32(9)).unwrap();
+        assert_eq!(mem.read(3).unwrap().as_i32(), 0);
+        mem.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(mem.read(3).unwrap().as_i32(), 9);
+    }
+
+    #[test]
+    fn same_word_conflict_traps() {
+        let mut mem = Memory::new(16);
+        mem.stage_write(FuId(0), 5, Value::I32(1)).unwrap();
+        mem.stage_write(FuId(1), 5, Value::I32(2)).unwrap();
+        let err = mem.commit(ConflictPolicy::Trap, 8).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MemoryWriteConflict {
+                addr: 5,
+                fus: vec![FuId(0), FuId(1)],
+                cycle: 8
+            }
+        );
+        assert_eq!(mem.read(5).unwrap().as_i32(), 0);
+    }
+
+    #[test]
+    fn last_wins_policy_counts_conflicts() {
+        let mut mem = Memory::new(16);
+        mem.stage_write(FuId(3), 5, Value::I32(33)).unwrap();
+        mem.stage_write(FuId(1), 5, Value::I32(11)).unwrap();
+        mem.commit(ConflictPolicy::LastWins, 0).unwrap();
+        assert_eq!(mem.read(5).unwrap().as_i32(), 33);
+        assert_eq!(mem.conflicts_resolved(), 1);
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let mut mem = Memory::new(64);
+        mem.poke_slice(10, &[5, 3, 4, 7]).unwrap();
+        assert_eq!(mem.peek_slice(10, 4).unwrap(), vec![5, 3, 4, 7]);
+        assert!(mem.poke_slice(62, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn float_bits_roundtrip_through_memory() {
+        let mut mem = Memory::new(4);
+        mem.poke(0, Value::F32(2.5)).unwrap();
+        assert_eq!(mem.read(0).unwrap().as_f32(), 2.5);
+    }
+}

@@ -1,0 +1,313 @@
+//! SSET partitions.
+//!
+//! The paper (§2.4) defines a *Synchronous Set* (SSET) as a set of
+//! functional units currently executing a single program thread — formally,
+//! FUs *i* and *j* are in the same SSET at time *t* iff, given the program
+//! and the control state of one, the control state of the other is uniquely
+//! determined. A *partition* is the current division of all FUs into SSETs,
+//! written `{0,1}{2}{3,6,7}{4,5}`.
+//!
+//! # How the simulator computes partitions
+//!
+//! The formal definition quantifies over reachable states, which is not
+//! directly computable cycle-by-cycle, so the simulator uses a *decision
+//! key* refinement that reproduces the paper's published trace (Figure 10)
+//! exactly:
+//!
+//! Each cycle, every running FU's executed control operation is summarized
+//! as a key — `Uncond(target)` for `-> T:`, or `Cond(source, t1, t2)` for a
+//! conditional branch. The next cycle's partition groups FUs by key
+//! equality:
+//!
+//! * two FUs executing the same conditional (same condition source, same
+//!   target pair) make the same decision, so one's next state determines the
+//!   other's — same SSET;
+//! * two FUs branching unconditionally to a common target join — this is
+//!   the paper's fork/join re-merge (MINMAX cycle 3 → 4);
+//! * FUs conditioned on *different* sources (`cc0` vs `cc1`) are split even
+//!   when their dynamic targets coincide — exactly why Figure 10 reports
+//!   `{0,1}{2}{3}` at cycle 3 although FU2 and FU3 both sit at `04:`;
+//! * an `ALL-SS` barrier release merges every FU spinning on it;
+//! * halted FUs have constant control state and are grouped into one
+//!   (inert) SSET.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::{Addr, CondSource, ControlOp, FuId};
+
+/// The decision summary of one FU's control operation in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DecisionKey {
+    /// Unconditional branch to a target.
+    Uncond(u32),
+    /// Conditional branch on a source with a target pair.
+    Cond(CondKey, u32, u32),
+    /// The unit halted (or was already halted).
+    Halted,
+}
+
+/// Orderable mirror of [`CondSource`] for grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CondKey {
+    /// Branch on `CC_j`.
+    Cc(u8),
+    /// Branch on `SS_j`.
+    Sync(u8),
+    /// Branch on all sync signals.
+    AllSync,
+    /// Branch on any sync signal.
+    AnySync,
+}
+
+impl From<CondSource> for CondKey {
+    fn from(value: CondSource) -> Self {
+        match value {
+            CondSource::Cc(fu) => CondKey::Cc(fu.0),
+            CondSource::Sync(fu) => CondKey::Sync(fu.0),
+            CondSource::AllSync => CondKey::AllSync,
+            CondSource::AnySync => CondKey::AnySync,
+        }
+    }
+}
+
+impl DecisionKey {
+    /// Summarizes an executed control operation.
+    pub fn of(ctrl: &ControlOp) -> DecisionKey {
+        match *ctrl {
+            ControlOp::Goto(Addr(t)) => DecisionKey::Uncond(t),
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => DecisionKey::Cond(cond.into(), taken.0, not_taken.0),
+            ControlOp::Halt => DecisionKey::Halted,
+        }
+    }
+}
+
+/// A partition of the machine's functional units into SSETs.
+///
+/// Displayed in the paper's brace notation with SSETs ordered by their
+/// lowest member: `{0,1}{2}{3}`.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::FuId;
+/// use ximd_sim::Partition;
+///
+/// let p = Partition::single(4);
+/// assert_eq!(p.to_string(), "{0,1,2,3}");
+/// assert_eq!(p.num_ssets(), 1);
+/// assert!(p.same_sset(FuId(0), FuId(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    // Invariant: each inner vec is sorted ascending and non-empty; outer vec
+    // sorted by first element; the union is exactly 0..width.
+    ssets: Vec<Vec<FuId>>,
+}
+
+impl Partition {
+    /// The partition with all `width` FUs in one SSET (machine start-up:
+    /// "assume that in every example program, all functional units begin
+    /// execution together at address 00:").
+    pub fn single(width: usize) -> Partition {
+        Partition {
+            ssets: vec![(0..width).map(|i| FuId(i as u8)).collect()],
+        }
+    }
+
+    /// Builds a partition from explicit SSETs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets are not disjoint or non-empty. Intended for tests
+    /// and assertions; the simulator builds partitions from decision keys.
+    pub fn from_ssets(mut ssets: Vec<Vec<FuId>>) -> Partition {
+        let mut seen = std::collections::HashSet::new();
+        for s in &mut ssets {
+            assert!(!s.is_empty(), "empty SSET");
+            s.sort_unstable();
+            for fu in s.iter() {
+                assert!(seen.insert(*fu), "FU {fu} in two SSETs");
+            }
+        }
+        ssets.sort_by_key(|s| s[0]);
+        Partition { ssets }
+    }
+
+    /// Computes the partition implied by one cycle's decision keys.
+    ///
+    /// `keys[i]` is FU *i*'s decision. FUs sharing a key form one SSET.
+    pub fn from_decisions(keys: &[DecisionKey]) -> Partition {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+        let mut ssets: Vec<Vec<FuId>> = Vec::new();
+        for &i in &order {
+            match ssets.last_mut() {
+                Some(last) if keys[last[0].index()] == keys[i] => last.push(FuId(i as u8)),
+                _ => ssets.push(vec![FuId(i as u8)]),
+            }
+        }
+        for s in &mut ssets {
+            s.sort_unstable();
+        }
+        ssets.sort_by_key(|s| s[0]);
+        Partition { ssets }
+    }
+
+    /// Number of SSETs (concurrent instruction streams).
+    pub fn num_ssets(&self) -> usize {
+        self.ssets.len()
+    }
+
+    /// The SSETs, each sorted ascending, ordered by lowest member.
+    pub fn ssets(&self) -> &[Vec<FuId>] {
+        &self.ssets
+    }
+
+    /// Returns `true` if `a` and `b` are currently in the same SSET.
+    pub fn same_sset(&self, a: FuId, b: FuId) -> bool {
+        self.ssets.iter().any(|s| s.contains(&a) && s.contains(&b))
+    }
+
+    /// Total number of FUs covered by the partition.
+    pub fn width(&self) -> usize {
+        self.ssets.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for sset in &self.ssets {
+            write!(f, "{{")?;
+            for (i, fu) in sset.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", fu.0)?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::ControlOp;
+
+    fn cc(fu: u8, t1: u32, t2: u32) -> DecisionKey {
+        DecisionKey::of(&ControlOp::branch(
+            CondSource::Cc(FuId(fu)),
+            Addr(t1),
+            Addr(t2),
+        ))
+    }
+
+    fn goto(t: u32) -> DecisionKey {
+        DecisionKey::of(&ControlOp::Goto(Addr(t)))
+    }
+
+    #[test]
+    fn single_partition_display() {
+        assert_eq!(Partition::single(8).to_string(), "{0,1,2,3,4,5,6,7}");
+        assert_eq!(Partition::single(1).to_string(), "{0}");
+    }
+
+    #[test]
+    fn paper_notation_for_mixed_partition() {
+        let p = Partition::from_ssets(vec![
+            vec![FuId(0), FuId(1)],
+            vec![FuId(2)],
+            vec![FuId(3), FuId(6), FuId(7)],
+            vec![FuId(4), FuId(5)],
+        ]);
+        assert_eq!(p.to_string(), "{0,1}{2}{3,6,7}{4,5}");
+        assert_eq!(p.num_ssets(), 4);
+        assert_eq!(p.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "two SSETs")]
+    fn from_ssets_rejects_overlap() {
+        Partition::from_ssets(vec![vec![FuId(0)], vec![FuId(0)]]);
+    }
+
+    #[test]
+    fn minmax_fork_cycle_2_to_3() {
+        // MINMAX at address 02: FU0/FU1 `-> 03:`, FU2 `if cc0 04:|03:`,
+        // FU3 `if cc1 04:|03:` → partition {0,1}{2}{3} even if the dynamic
+        // targets coincide (Figure 10, cycle 3).
+        let keys = [goto(3), goto(3), cc(0, 4, 3), cc(1, 4, 3)];
+        let p = Partition::from_decisions(&keys);
+        assert_eq!(p.to_string(), "{0,1}{2}{3}");
+    }
+
+    #[test]
+    fn minmax_join_cycle_3_to_4() {
+        // All four units `-> 05:` → single SSET again (Figure 10, cycle 4).
+        let keys = [goto(5), goto(5), goto(5), goto(5)];
+        assert_eq!(Partition::from_decisions(&keys).to_string(), "{0,1,2,3}");
+    }
+
+    #[test]
+    fn shared_conditional_keeps_units_together() {
+        // All four units `if cc2 08:|02:` — one global condition, one SSET
+        // (MINMAX loop-back branch).
+        let keys = [cc(2, 8, 2); 4];
+        assert_eq!(Partition::from_decisions(&keys).num_ssets(), 1);
+    }
+
+    #[test]
+    fn different_targets_split_even_same_condition() {
+        let keys = [cc(0, 8, 2), cc(0, 9, 2)];
+        assert_eq!(Partition::from_decisions(&keys).num_ssets(), 2);
+    }
+
+    #[test]
+    fn barrier_release_merges_all() {
+        let all = DecisionKey::of(&ControlOp::branch(
+            CondSource::AllSync,
+            Addr(0x11),
+            Addr(0x10),
+        ));
+        let keys = [all; 4];
+        assert_eq!(Partition::from_decisions(&keys).num_ssets(), 1);
+    }
+
+    #[test]
+    fn halted_units_form_one_inert_sset() {
+        let keys = [DecisionKey::Halted, goto(1), DecisionKey::Halted, goto(1)];
+        let p = Partition::from_decisions(&keys);
+        assert_eq!(p.to_string(), "{0,2}{1,3}");
+    }
+
+    #[test]
+    fn same_sset_queries() {
+        let keys = [goto(1), goto(1), goto(2), DecisionKey::Halted];
+        let p = Partition::from_decisions(&keys);
+        assert!(p.same_sset(FuId(0), FuId(1)));
+        assert!(!p.same_sset(FuId(0), FuId(2)));
+        assert!(!p.same_sset(FuId(2), FuId(3)));
+    }
+
+    #[test]
+    fn sync_vs_cc_conditions_split() {
+        let a = DecisionKey::of(&ControlOp::branch(
+            CondSource::Cc(FuId(0)),
+            Addr(1),
+            Addr(2),
+        ));
+        let b = DecisionKey::of(&ControlOp::branch(
+            CondSource::Sync(FuId(0)),
+            Addr(1),
+            Addr(2),
+        ));
+        assert_eq!(Partition::from_decisions(&[a, b]).num_ssets(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! The global multi-ported register file.
+//!
+//! XIMD-1's register file supports two reads and one write per functional
+//! unit per cycle (16 reads / 8 writes total on the 8-wide machine). The ISA
+//! structurally guarantees each operation needs at most two reads and one
+//! write, so port capacity can never be exceeded; this model therefore
+//! focuses on *timing*: reads observe start-of-cycle state, writes are
+//! staged during the cycle and committed at the end, and same-cycle write
+//! conflicts are detected per the machine-check policy.
+
+use ximd_isa::{FuId, Reg, Value};
+
+use crate::config::ConflictPolicy;
+use crate::error::SimError;
+
+/// The global register file with end-of-cycle write commit.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{FuId, Reg, Value};
+/// use ximd_sim::RegisterFile;
+/// use ximd_sim::config::ConflictPolicy;
+///
+/// let mut rf = RegisterFile::new(8);
+/// rf.poke(Reg(0), Value::I32(7));
+/// rf.stage_write(FuId(0), Reg(1), rf.read(Reg(0)));
+/// assert_eq!(rf.read(Reg(1)).as_i32(), 0); // not yet committed
+/// rf.commit(ConflictPolicy::Trap, 0).unwrap();
+/// assert_eq!(rf.read(Reg(1)).as_i32(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    regs: Vec<Value>,
+    staged: Vec<(FuId, Reg, Value)>,
+    /// Count of write conflicts resolved by [`ConflictPolicy::LastWins`].
+    conflicts_resolved: u64,
+}
+
+impl RegisterFile {
+    /// Creates a register file of `num_regs` registers, all zero.
+    pub fn new(num_regs: usize) -> RegisterFile {
+        RegisterFile {
+            regs: vec![Value::ZERO; num_regs],
+            staged: Vec::new(),
+            conflicts_resolved: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Returns `true` if the file has no registers (degenerate machines).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads a register as of the start of the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range; programs are validated before
+    /// execution.
+    #[inline]
+    pub fn read(&self, reg: Reg) -> Value {
+        self.regs[reg.index()]
+    }
+
+    /// Directly sets a register, outside the cycle model (test setup,
+    /// initial machine state).
+    pub fn poke(&mut self, reg: Reg, value: Value) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// Stages a write to commit at end of cycle.
+    pub fn stage_write(&mut self, fu: FuId, reg: Reg, value: Value) {
+        self.staged.push((fu, reg, value));
+    }
+
+    /// Commits all staged writes.
+    ///
+    /// # Errors
+    ///
+    /// With [`ConflictPolicy::Trap`], returns
+    /// [`SimError::RegisterWriteConflict`] if two FUs staged writes to the
+    /// same register this cycle. With [`ConflictPolicy::LastWins`] the
+    /// highest-numbered FU's value is kept and the event is counted.
+    pub fn commit(&mut self, policy: ConflictPolicy, cycle: u64) -> Result<(), SimError> {
+        // Detect conflicts: sort by (reg, fu) so duplicates are adjacent and
+        // the winning (highest-FU) write lands last.
+        self.staged.sort_by_key(|&(fu, reg, _)| (reg, fu));
+        for pair in self.staged.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                match policy {
+                    ConflictPolicy::Trap => {
+                        let reg = pair[0].1;
+                        let fus = self
+                            .staged
+                            .iter()
+                            .filter(|w| w.1 == reg)
+                            .map(|w| w.0)
+                            .collect();
+                        self.staged.clear();
+                        return Err(SimError::RegisterWriteConflict { reg, fus, cycle });
+                    }
+                    ConflictPolicy::LastWins => self.conflicts_resolved += 1,
+                }
+            }
+        }
+        for &(_, reg, value) in &self.staged {
+            self.regs[reg.index()] = value;
+        }
+        self.staged.clear();
+        Ok(())
+    }
+
+    /// Number of conflicts resolved under [`ConflictPolicy::LastWins`].
+    pub fn conflicts_resolved(&self) -> u64 {
+        self.conflicts_resolved
+    }
+
+    /// A snapshot of all register values (for dumps and assertions).
+    pub fn snapshot(&self) -> &[Value] {
+        &self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_start_of_cycle_state() {
+        let mut rf = RegisterFile::new(4);
+        rf.poke(Reg(0), Value::I32(1));
+        rf.stage_write(FuId(0), Reg(0), Value::I32(2));
+        assert_eq!(rf.read(Reg(0)).as_i32(), 1);
+        rf.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(rf.read(Reg(0)).as_i32(), 2);
+    }
+
+    #[test]
+    fn distinct_registers_commit_together() {
+        let mut rf = RegisterFile::new(4);
+        rf.stage_write(FuId(0), Reg(0), Value::I32(10));
+        rf.stage_write(FuId(1), Reg(1), Value::I32(11));
+        rf.stage_write(FuId(2), Reg(2), Value::I32(12));
+        rf.commit(ConflictPolicy::Trap, 0).unwrap();
+        assert_eq!(rf.read(Reg(0)).as_i32(), 10);
+        assert_eq!(rf.read(Reg(1)).as_i32(), 11);
+        assert_eq!(rf.read(Reg(2)).as_i32(), 12);
+    }
+
+    #[test]
+    fn conflict_traps_by_default() {
+        let mut rf = RegisterFile::new(4);
+        rf.stage_write(FuId(0), Reg(3), Value::I32(1));
+        rf.stage_write(FuId(2), Reg(3), Value::I32(2));
+        let err = rf.commit(ConflictPolicy::Trap, 42).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RegisterWriteConflict {
+                reg: Reg(3),
+                fus: vec![FuId(0), FuId(2)],
+                cycle: 42
+            }
+        );
+        // Nothing committed and the pipeline is clean for the next cycle.
+        assert_eq!(rf.read(Reg(3)).as_i32(), 0);
+        rf.commit(ConflictPolicy::Trap, 43).unwrap();
+    }
+
+    #[test]
+    fn conflict_last_wins_keeps_highest_fu() {
+        let mut rf = RegisterFile::new(4);
+        rf.stage_write(FuId(2), Reg(3), Value::I32(22));
+        rf.stage_write(FuId(0), Reg(3), Value::I32(20));
+        rf.commit(ConflictPolicy::LastWins, 0).unwrap();
+        assert_eq!(rf.read(Reg(3)).as_i32(), 22);
+        assert_eq!(rf.conflicts_resolved(), 1);
+    }
+
+    #[test]
+    fn three_way_conflict_lists_all_writers() {
+        let mut rf = RegisterFile::new(4);
+        for fu in 0..3 {
+            rf.stage_write(FuId(fu), Reg(1), Value::I32(fu as i32));
+        }
+        match rf.commit(ConflictPolicy::Trap, 0).unwrap_err() {
+            SimError::RegisterWriteConflict { fus, .. } => {
+                assert_eq!(fus, vec![FuId(0), FuId(1), FuId(2)]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_committed_state() {
+        let mut rf = RegisterFile::new(2);
+        rf.poke(Reg(1), Value::F32(1.5));
+        assert_eq!(rf.snapshot()[1].as_f32(), 1.5);
+        assert_eq!(rf.len(), 2);
+        assert!(!rf.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a simulation run.
+///
+/// Utilization and control-parallelism figures drive the paper-style
+/// XIMD-vs-VLIW comparison: a VLIW run reports `max_concurrent_streams == 1`
+/// by construction, while XIMD runs show where the machine forked.
+///
+/// # Example
+///
+/// ```
+/// use ximd_sim::SimStats;
+///
+/// let stats = SimStats::default();
+/// assert_eq!(stats.cycles, 0);
+/// assert_eq!(stats.utilization(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Machine width the run used.
+    pub width: usize,
+    /// Non-nop data operations executed (dynamic).
+    pub ops: u64,
+    /// Nop data slots executed by running (non-halted) FUs.
+    pub nops: u64,
+    /// Memory loads executed.
+    pub loads: u64,
+    /// Memory stores executed.
+    pub stores: u64,
+    /// Compare operations executed (condition-code writes).
+    pub compares: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Conditional branches whose condition held (took `T1`).
+    pub branches_taken: u64,
+    /// Cycles a running FU spent re-executing its own address (busy-wait
+    /// loops at barriers and port polls).
+    pub spin_cycles: u64,
+    /// FU-cycles in which the unit had already halted.
+    pub halted_fu_cycles: u64,
+    /// Largest number of concurrent SSETs seen in any cycle.
+    pub max_concurrent_streams: usize,
+    /// Sum over cycles of the number of SSETs (for the average).
+    pub sset_cycle_sum: u64,
+    /// Same-cycle write conflicts resolved under the `LastWins` policy.
+    pub conflicts_resolved: u64,
+    /// Non-nop data operations executed by each functional unit.
+    pub ops_per_fu: Vec<u64>,
+}
+
+impl SimStats {
+    /// Fraction of issue slots (cycles × width) holding useful data
+    /// operations.
+    pub fn utilization(&self) -> f64 {
+        let slots = self.cycles.saturating_mul(self.width as u64);
+        if slots == 0 {
+            0.0
+        } else {
+            self.ops as f64 / slots as f64
+        }
+    }
+
+    /// Average number of concurrent instruction streams per cycle.
+    pub fn avg_streams(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sset_cycle_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Dynamic operations per cycle (the paper's headline throughput
+    /// metric for a fixed-width machine).
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Per-FU utilization (useful ops / cycles), one entry per unit.
+    pub fn fu_utilization(&self) -> Vec<f64> {
+        if self.cycles == 0 {
+            return vec![0.0; self.ops_per_fu.len()];
+        }
+        self.ops_per_fu
+            .iter()
+            .map(|&o| o as f64 / self.cycles as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_counts_useful_slots_only() {
+        let stats = SimStats {
+            cycles: 10,
+            width: 4,
+            ops: 20,
+            ..SimStats::default()
+        };
+        assert_eq!(stats.utilization(), 0.5);
+        assert_eq!(stats.ops_per_cycle(), 2.0);
+    }
+
+    #[test]
+    fn zero_cycles_yield_zero_rates() {
+        let stats = SimStats::default();
+        assert_eq!(stats.utilization(), 0.0);
+        assert_eq!(stats.avg_streams(), 0.0);
+        assert_eq!(stats.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn avg_streams() {
+        let stats = SimStats {
+            cycles: 4,
+            sset_cycle_sum: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(stats.avg_streams(), 2.5);
+    }
+
+    #[test]
+    fn fu_utilization_per_unit() {
+        let stats = SimStats {
+            cycles: 10,
+            ops_per_fu: vec![10, 5, 0],
+            ..SimStats::default()
+        };
+        assert_eq!(stats.fu_utilization(), vec![1.0, 0.5, 0.0]);
+        assert!(SimStats::default().fu_utilization().is_empty());
+    }
+}

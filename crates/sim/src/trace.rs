@@ -1,0 +1,261 @@
+//! Address traces in the paper's Figure 10 format.
+//!
+//! Figure 10 tabulates, for each cycle of a MINMAX run: the per-FU program
+//! counters, the condition-code registers "as they exist at the beginning of
+//! each cycle" (`X` when never yet written), and the XIMD partition in that
+//! cycle. [`Trace`] records exactly those columns plus the sync signals, and
+//! renders them in the same layout.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::{Addr, SyncSignal};
+
+use crate::partition::Partition;
+
+/// One cycle's machine state snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Cycle number (0-based, as in Figure 10).
+    pub cycle: u64,
+    /// Program counter of each FU at the start of the cycle (`None` once
+    /// halted).
+    pub pcs: Vec<Option<Addr>>,
+    /// Condition codes at the start of the cycle; `None` renders as the
+    /// paper's `X` (never written).
+    pub ccs: Vec<Option<bool>>,
+    /// Sync signals exported *during* the cycle (combinational).
+    pub ss: Vec<SyncSignal>,
+    /// The SSET partition in effect during the cycle.
+    pub partition: Partition,
+}
+
+impl TraceRow {
+    /// Renders the condition codes in the paper's compact `TTFX` form.
+    pub fn cc_string(&self) -> String {
+        self.ccs
+            .iter()
+            .map(|cc| match cc {
+                None => 'X',
+                Some(true) => 'T',
+                Some(false) => 'F',
+            })
+            .collect()
+    }
+
+    /// Renders the sync signals compactly (`B`/`D` per FU).
+    pub fn ss_string(&self) -> String {
+        self.ss
+            .iter()
+            .map(|s| if s.is_done() { 'D' } else { 'B' })
+            .collect()
+    }
+}
+
+impl fmt::Display for TraceRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle {:<4}", self.cycle)?;
+        for pc in &self.pcs {
+            match pc {
+                Some(a) => write!(f, " {a}")?,
+                None => write!(f, " --:")?,
+            }
+        }
+        write!(f, "  {}  {}", self.cc_string(), self.partition)
+    }
+}
+
+/// A complete address trace of a run.
+///
+/// # Example
+///
+/// ```
+/// use ximd_sim::Trace;
+///
+/// let trace = Trace::new(4);
+/// assert!(trace.is_empty());
+/// assert_eq!(trace.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    width: usize,
+    rows: Vec<TraceRow>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a machine of `width` FUs.
+    pub fn new(width: usize) -> Trace {
+        Trace {
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Machine width the trace was captured on.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: TraceRow) {
+        debug_assert_eq!(row.pcs.len(), self.width);
+        self.rows.push(row);
+    }
+
+    /// The recorded rows in cycle order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The partition sequence (one entry per cycle) — the rightmost column
+    /// of Figure 10.
+    pub fn partitions(&self) -> impl Iterator<Item = &Partition> {
+        self.rows.iter().map(|r| &r.partition)
+    }
+
+    /// Largest number of concurrent streams observed.
+    pub fn max_streams(&self) -> usize {
+        self.partitions()
+            .map(Partition::num_ssets)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the trace as CSV (`cycle,pc0..pcN,ccs,ss,partition,streams`)
+    /// for external tooling; halted PCs are empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cycle");
+        for fu in 0..self.width {
+            out.push_str(&format!(",pc{fu}"));
+        }
+        out.push_str(",ccs,ss,partition,streams\n");
+        for row in &self.rows {
+            out.push_str(&row.cycle.to_string());
+            for pc in &row.pcs {
+                match pc {
+                    Some(a) => out.push_str(&format!(",{:#x}", a.0)),
+                    None => out.push(','),
+                }
+            }
+            out.push_str(&format!(
+                ",{},{},{},{}\n",
+                row.cc_string(),
+                row.ss_string(),
+                row.partition,
+                row.partition.num_ssets()
+            ));
+        }
+        out
+    }
+
+    /// Renders the whole trace as a Figure-10-style table, one line per
+    /// cycle with a header.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Cycle    ");
+        for fu in 0..self.width {
+            out.push_str(&format!(" FU{fu} "));
+        }
+        out.push_str("  CCs");
+        out.push_str(&" ".repeat(self.width.saturating_sub(3) + 2));
+        out.push_str("Partition\n");
+        for row in &self.rows {
+            out.push_str(&row.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::FuId;
+
+    fn row(cycle: u64) -> TraceRow {
+        TraceRow {
+            cycle,
+            pcs: vec![Some(Addr(0)), Some(Addr(0)), Some(Addr(0)), Some(Addr(0))],
+            ccs: vec![None, Some(true), Some(false), None],
+            ss: vec![SyncSignal::Busy; 4],
+            partition: Partition::single(4),
+        }
+    }
+
+    #[test]
+    fn cc_string_uses_paper_letters() {
+        assert_eq!(row(0).cc_string(), "XTFX");
+    }
+
+    #[test]
+    fn ss_string_is_b_and_d() {
+        let mut r = row(0);
+        r.ss[2] = SyncSignal::Done;
+        assert_eq!(r.ss_string(), "BBDB");
+    }
+
+    #[test]
+    fn row_display_matches_figure_10_layout() {
+        let r = row(3);
+        let s = r.to_string();
+        assert!(s.starts_with("Cycle 3"));
+        assert!(s.contains("00: 00: 00: 00:"));
+        assert!(s.contains("XTFX"));
+        assert!(s.ends_with("{0,1,2,3}"));
+    }
+
+    #[test]
+    fn halted_pc_renders_as_dashes() {
+        let mut r = row(0);
+        r.pcs[1] = None;
+        assert!(r.to_string().contains("00: --: 00:"));
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut t = Trace::new(4);
+        t.push(row(0));
+        let mut r1 = row(1);
+        r1.pcs[2] = None;
+        t.push(r1);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "cycle,pc0,pc1,pc2,pc3,ccs,ss,partition,streams");
+        assert!(lines[1].starts_with("0,0x0,0x0,0x0,0x0,XTFX,BBBB,"));
+        assert!(lines[2].contains(",,"), "halted PC is an empty cell");
+    }
+
+    #[test]
+    fn trace_accumulates_and_summarizes() {
+        let mut t = Trace::new(4);
+        t.push(row(0));
+        let mut r1 = row(1);
+        r1.partition =
+            Partition::from_ssets(vec![vec![FuId(0), FuId(1)], vec![FuId(2)], vec![FuId(3)]]);
+        t.push(r1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_streams(), 3);
+        let table = t.to_table();
+        assert!(table.contains("FU0"));
+        assert!(table.contains("{0,1}{2}{3}"));
+    }
+}

@@ -1,0 +1,270 @@
+//! VLIW program representation.
+//!
+//! The paper's companion simulator **vsim** models "a VLIW processor with
+//! similar characteristics": the same functional units and register file,
+//! but a *single* instruction sequencer executing one control operation per
+//! cycle (§1.3: "a VLIW processor only contains a single program counter and
+//! branch mechanism, only one control operation can be executed each
+//! cycle").
+
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::{Addr, CondSource, ControlOp, DataOp, IsaError, Parcel, Program, SyncSignal};
+
+/// One VLIW instruction: a data operation per FU plus one control op.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwInstruction {
+    /// Data operations, one per functional unit.
+    pub ops: Vec<DataOp>,
+    /// The single control operation for the global sequencer.
+    pub ctrl: ControlOp,
+}
+
+impl VliwInstruction {
+    /// A word of nops that branches to `target`.
+    pub fn goto(width: usize, target: Addr) -> VliwInstruction {
+        VliwInstruction {
+            ops: vec![DataOp::Nop; width],
+            ctrl: ControlOp::Goto(target),
+        }
+    }
+
+    /// A word of nops that halts the machine.
+    pub fn halt(width: usize) -> VliwInstruction {
+        VliwInstruction {
+            ops: vec![DataOp::Nop; width],
+            ctrl: ControlOp::Halt,
+        }
+    }
+}
+
+/// A VLIW program: single-sequencer instruction memory.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::Addr;
+/// use ximd_sim::{VliwInstruction, VliwProgram};
+///
+/// let mut p = VliwProgram::new(4);
+/// p.push(VliwInstruction::goto(4, Addr(1)));
+/// p.push(VliwInstruction::halt(4));
+/// assert_eq!(p.len(), 2);
+///
+/// // Any VLIW program maps onto XIMD by replicating the control field into
+/// // every parcel (paper §3.1).
+/// let ximd = p.to_ximd();
+/// assert_eq!(ximd.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VliwProgram {
+    width: usize,
+    instrs: Vec<VliwInstruction>,
+}
+
+impl VliwProgram {
+    /// Creates an empty program for a machine of `width` FUs.
+    pub fn new(width: usize) -> VliwProgram {
+        VliwProgram {
+            width,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Machine width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends an instruction, returning its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction's op count differs from the program width.
+    pub fn push(&mut self, instr: VliwInstruction) -> Addr {
+        assert_eq!(instr.ops.len(), self.width, "instruction width mismatch");
+        let addr = Addr(self.instrs.len() as u32);
+        self.instrs.push(instr);
+        addr
+    }
+
+    /// The instruction at `addr`.
+    pub fn get(&self, addr: Addr) -> Option<&VliwInstruction> {
+        self.instrs.get(addr.index())
+    }
+
+    /// Iterates over `(Addr, &VliwInstruction)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &VliwInstruction)> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (Addr(i as u32), w))
+    }
+
+    /// Validates registers, branch targets and condition sources.
+    ///
+    /// A VLIW machine has no sync signals, so control conditions must be
+    /// condition codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first range violation, or [`IsaError::Decode`] for a
+    /// sync-based condition.
+    pub fn validate(&self, num_regs: usize) -> Result<(), IsaError> {
+        let len = self.instrs.len() as u32;
+        for instr in &self.instrs {
+            if instr.ops.len() != self.width {
+                return Err(IsaError::WidthMismatch {
+                    got: instr.ops.len(),
+                    expected: self.width,
+                });
+            }
+            for op in &instr.ops {
+                op.validate(num_regs)?;
+            }
+            instr.ctrl.validate(len, self.width)?;
+            if let Some(CondSource::Sync(_) | CondSource::AllSync | CondSource::AnySync) =
+                instr.ctrl.cond()
+            {
+                return Err(IsaError::Decode {
+                    field: "vliw condition",
+                    raw: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers this VLIW program to an XIMD program by replicating the
+    /// control fields into every instruction parcel, exactly as the paper
+    /// describes for running VLIW-style code on XIMD: "the control path
+    /// instruction fields must be duplicated in each instruction parcel, so
+    /// that each functional unit will execute the same control" (§3.1).
+    pub fn to_ximd(&self) -> Program {
+        let mut program = Program::new(self.width);
+        for instr in &self.instrs {
+            let word = instr
+                .ops
+                .iter()
+                .map(|&data| Parcel {
+                    data,
+                    ctrl: instr.ctrl,
+                    sync: SyncSignal::Busy,
+                })
+                .collect();
+            program.push(word);
+        }
+        program
+    }
+
+    /// Attempts the inverse of [`VliwProgram::to_ximd`]: succeeds iff every
+    /// wide instruction's parcels share one control operation (the program
+    /// is "VLIW-style").
+    pub fn from_ximd(program: &Program) -> Option<VliwProgram> {
+        let mut out = VliwProgram::new(program.width());
+        for (_, word) in program.iter() {
+            let ctrl = word.first()?.ctrl;
+            if word.iter().any(|p| p.ctrl != ctrl) {
+                return None;
+            }
+            out.push(VliwInstruction {
+                ops: word.iter().map(|p| p.data).collect(),
+                ctrl,
+            });
+        }
+        Some(out)
+    }
+
+    /// Total number of non-nop data operations (static count).
+    pub fn static_ops(&self) -> usize {
+        self.instrs
+            .iter()
+            .flat_map(|i| &i.ops)
+            .filter(|o| !o.is_nop())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{AluOp, FuId, Operand, Reg};
+
+    fn sample() -> VliwProgram {
+        let mut p = VliwProgram::new(2);
+        p.push(VliwInstruction {
+            ops: vec![
+                DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0)),
+                DataOp::Nop,
+            ],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction::halt(2));
+        p
+    }
+
+    #[test]
+    fn push_and_get() {
+        let p = sample();
+        assert_eq!(p.len(), 2);
+        assert!(p.get(Addr(1)).is_some());
+        assert!(p.get(Addr(2)).is_none());
+        assert_eq!(p.static_ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn push_rejects_wrong_width() {
+        VliwProgram::new(2).push(VliwInstruction::halt(3));
+    }
+
+    #[test]
+    fn validate_rejects_sync_conditions() {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction {
+            ops: vec![DataOp::Nop],
+            ctrl: ControlOp::branch(CondSource::AllSync, Addr(0), Addr(0)),
+        });
+        assert!(p.validate(8).is_err());
+
+        let mut ok = VliwProgram::new(1);
+        ok.push(VliwInstruction {
+            ops: vec![DataOp::Nop],
+            ctrl: ControlOp::branch(CondSource::Cc(FuId(0)), Addr(0), Addr(0)),
+        });
+        assert!(ok.validate(8).is_ok());
+    }
+
+    #[test]
+    fn to_ximd_replicates_control() {
+        let ximd = sample().to_ximd();
+        assert_eq!(ximd.len(), 2);
+        let w0 = ximd.get(Addr(0)).unwrap();
+        assert_eq!(w0[0].ctrl, w0[1].ctrl);
+        assert_eq!(w0[0].ctrl, ControlOp::Goto(Addr(1)));
+    }
+
+    #[test]
+    fn from_ximd_roundtrip() {
+        let vliw = sample();
+        let back = VliwProgram::from_ximd(&vliw.to_ximd()).unwrap();
+        assert_eq!(back, vliw);
+    }
+
+    #[test]
+    fn from_ximd_rejects_divergent_control() {
+        let mut program = Program::new(2);
+        program.push(vec![Parcel::goto(Addr(0)), Parcel::halt()]);
+        assert!(VliwProgram::from_ximd(&program).is_none());
+    }
+}

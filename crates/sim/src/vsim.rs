@@ -1,0 +1,343 @@
+//! **vsim** — the companion VLIW simulator.
+//!
+//! Identical datapath to [`Xsim`](crate::Xsim) (same functional units,
+//! register file, memory, I/O ports and timing), but a single global
+//! sequencer: every cycle one wide instruction executes and *one* control
+//! operation determines the next PC. Used as the baseline in the paper's
+//! XIMD-vs-VLIW comparisons (§4.1).
+
+use ximd_isa::{Addr, ControlOp, FuId, Reg, Value};
+
+use crate::config::MachineConfig;
+use crate::device::IoPort;
+use crate::error::SimError;
+use crate::exec::execute_data;
+use crate::memory::Memory;
+use crate::regfile::RegisterFile;
+use crate::stats::SimStats;
+use crate::vliw::VliwProgram;
+use crate::xsim::{RunSummary, StepStatus};
+
+/// The VLIW simulator.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, AluOp, DataOp, Operand, Reg, ControlOp};
+/// use ximd_sim::{MachineConfig, Vsim, VliwInstruction, VliwProgram};
+///
+/// let mut p = VliwProgram::new(2);
+/// p.push(VliwInstruction {
+///     ops: vec![
+///         DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(1)),
+///         DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(2), Reg(2)),
+///     ],
+///     ctrl: ControlOp::Halt,
+/// });
+/// let mut sim = Vsim::new(p, MachineConfig::with_width(2))?;
+/// sim.write_reg(Reg(0), 10i32.into());
+/// sim.run(10)?;
+/// assert_eq!(sim.reg(Reg(1)).as_i32(), 11);
+/// assert_eq!(sim.reg(Reg(2)).as_i32(), 12);
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vsim {
+    config: MachineConfig,
+    program: VliwProgram,
+    regs: RegisterFile,
+    mem: Memory,
+    ports: Vec<IoPort>,
+    pc: Option<Addr>,
+    ccs: Vec<Option<bool>>,
+    cycle: u64,
+    stats: SimStats,
+}
+
+impl Vsim {
+    /// Builds a simulator for `program` on a machine described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Isa`] if the program fails validation (width
+    /// mismatch, out-of-range references, or sync-signal conditions, which a
+    /// VLIW machine does not have).
+    pub fn new(program: VliwProgram, config: MachineConfig) -> Result<Vsim, SimError> {
+        if program.width() != config.width {
+            return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
+                got: program.width(),
+                expected: config.width,
+            }));
+        }
+        program.validate(config.num_regs)?;
+        Ok(Vsim {
+            regs: RegisterFile::new(config.num_regs),
+            mem: Memory::new(config.mem_words),
+            ports: Vec::new(),
+            pc: Some(Addr(0)),
+            ccs: vec![None; config.width],
+            cycle: 0,
+            stats: SimStats {
+                width: config.width,
+                ops_per_fu: vec![0; config.width],
+                ..SimStats::default()
+            },
+            config,
+            program,
+        })
+    }
+
+    /// Attaches an I/O port device, returning its port number.
+    pub fn attach_port(&mut self, port: IoPort) -> u8 {
+        self.ports.push(port);
+        (self.ports.len() - 1) as u8
+    }
+
+    /// The attached I/O ports.
+    pub fn ports(&self) -> &[IoPort] {
+        &self.ports
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> Value {
+        self.regs.read(reg)
+    }
+
+    /// Sets a register (machine setup).
+    pub fn write_reg(&mut self, reg: Reg, value: Value) {
+        self.regs.poke(reg, value);
+    }
+
+    /// Shared memory (read access).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Shared memory (setup access).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The global program counter (`None` once halted).
+    pub fn pc(&self) -> Option<Addr> {
+        self.pc
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Returns `true` once the machine has halted.
+    pub fn halted(&self) -> bool {
+        self.pc.is_none()
+    }
+
+    /// Executes one machine cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a machine check on invalid fetch, same-cycle write conflicts
+    /// or data faults, exactly as [`Xsim::step`](crate::Xsim::step).
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        let Some(pc) = self.pc else {
+            return Ok(StepStatus::AllHalted);
+        };
+        let len = self.program.len() as u32;
+        if pc.0 >= len {
+            return Err(SimError::PcOutOfRange {
+                fu: FuId(0),
+                pc,
+                len,
+            });
+        }
+        let instr = self.program.get(pc).expect("bounds checked").clone();
+
+        let mut cc_updates: Vec<(usize, bool)> = Vec::new();
+        for (fu, op) in instr.ops.iter().enumerate() {
+            if let Some(cc) = execute_data(
+                FuId(fu as u8),
+                op,
+                self.cycle,
+                &mut self.regs,
+                &mut self.mem,
+                &mut self.ports,
+                &mut self.stats,
+            )? {
+                cc_updates.push((fu, cc));
+            }
+        }
+        self.regs.commit(self.config.reg_conflicts, self.cycle)?;
+        self.mem.commit(self.config.mem_conflicts, self.cycle)?;
+        self.stats.conflicts_resolved =
+            self.regs.conflicts_resolved() + self.mem.conflicts_resolved();
+
+        let cc_now: Vec<bool> = self.ccs.iter().map(|c| c.unwrap_or(false)).collect();
+        let next = match instr.ctrl {
+            ControlOp::Goto(t) => Some(t),
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                self.stats.cond_branches += 1;
+                // VLIW conditions are CC-based only (validated); the empty
+                // sync slice is never consulted.
+                if cond.eval(&cc_now, &[]) {
+                    self.stats.branches_taken += 1;
+                    Some(taken)
+                } else {
+                    Some(not_taken)
+                }
+            }
+            ControlOp::Halt => None,
+        };
+        if next == self.pc {
+            self.stats.spin_cycles += 1;
+        }
+        self.pc = next;
+
+        for (fu, cc) in cc_updates {
+            self.ccs[fu] = Some(cc);
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        // A VLIW machine executes exactly one instruction stream.
+        self.stats.max_concurrent_streams = 1;
+        self.stats.sset_cycle_sum += 1;
+
+        if self.pc.is_none() {
+            Ok(StepStatus::AllHalted)
+        } else {
+            Ok(StepStatus::Running)
+        }
+    }
+
+    /// Runs until the machine halts or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
+    /// any machine check raised by [`Vsim::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        while self.cycle < max_cycles {
+            if self.step()? == StepStatus::AllHalted {
+                return Ok(RunSummary {
+                    cycles: self.cycle,
+                    stats: self.stats.clone(),
+                });
+            }
+        }
+        if self.halted() {
+            Ok(RunSummary {
+                cycles: self.cycle,
+                stats: self.stats.clone(),
+            })
+        } else {
+            Err(SimError::CycleLimit { limit: max_cycles })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vliw::VliwInstruction;
+    use crate::xsim::Xsim;
+    use ximd_isa::{AluOp, CmpOp, CondSource, DataOp, Operand};
+
+    fn counting_loop(n: i32) -> VliwProgram {
+        // r0 counts to n: classic compare-branch loop, one control op/cycle.
+        let mut p = VliwProgram::new(2);
+        // 00: r0 += 1 | cmp r0 == n-1 (sets cc1)  ; goto 01
+        p.push(VliwInstruction {
+            ops: vec![
+                DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0)),
+                DataOp::cmp(CmpOp::Eq, Reg(0).into(), Operand::imm_i32(n - 1)),
+            ],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        // 01: if cc1 halt-path else loop
+        p.push(VliwInstruction {
+            ops: vec![DataOp::Nop, DataOp::Nop],
+            ctrl: ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(0)),
+        });
+        // 02: halt
+        p.push(VliwInstruction::halt(2));
+        p
+    }
+
+    #[test]
+    fn single_sequencer_executes_wide_words() {
+        let mut sim = Vsim::new(counting_loop(4), MachineConfig::with_width(2)).unwrap();
+        sim.run(100).unwrap();
+        assert!(sim.halted());
+        assert_eq!(sim.reg(Reg(0)).as_i32(), 4);
+        assert_eq!(sim.stats().max_concurrent_streams, 1);
+    }
+
+    #[test]
+    fn vsim_matches_xsim_on_vliw_style_programs() {
+        // The defining property (§3.1): a VLIW program runs identically on
+        // XIMD with duplicated control fields.
+        let vliw = counting_loop(7);
+        let mut vs = Vsim::new(vliw.clone(), MachineConfig::with_width(2)).unwrap();
+        let vsum = vs.run(1000).unwrap();
+
+        let mut xs = Xsim::new(vliw.to_ximd(), MachineConfig::with_width(2)).unwrap();
+        let xsum = xs.run(1000).unwrap();
+
+        assert_eq!(vsum.cycles, xsum.cycles);
+        assert_eq!(vs.reg(Reg(0)), xs.reg(Reg(0)));
+        assert_eq!(vsum.stats.ops, xsum.stats.ops);
+        // And the XIMD run never forked.
+        assert_eq!(xsum.stats.max_concurrent_streams, 1);
+    }
+
+    #[test]
+    fn halt_stops_machine() {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction::halt(1));
+        let mut sim = Vsim::new(p, MachineConfig::with_width(1)).unwrap();
+        let summary = sim.run(5).unwrap();
+        assert_eq!(summary.cycles, 1);
+        assert_eq!(sim.step().unwrap(), StepStatus::AllHalted);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction::goto(1, Addr(0)));
+        let mut sim = Vsim::new(p, MachineConfig::with_width(1)).unwrap();
+        assert_eq!(sim.run(3), Err(SimError::CycleLimit { limit: 3 }));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let p = VliwProgram::new(2);
+        assert!(Vsim::new(p, MachineConfig::with_width(4)).is_err());
+    }
+
+    #[test]
+    fn memory_and_ports_available() {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction {
+            ops: vec![DataOp::load(
+                Operand::imm_i32(5),
+                Operand::imm_i32(0),
+                Reg(1),
+            )],
+            ctrl: ControlOp::Halt,
+        });
+        let mut sim = Vsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.mem_mut().poke(5, Value::I32(55)).unwrap();
+        sim.run(5).unwrap();
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 55);
+    }
+}

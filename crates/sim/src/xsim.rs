@@ -1,0 +1,739 @@
+//! **xsim** — the cycle-accurate XIMD-1 simulator.
+//!
+//! Replicates the paper's research simulator of the same name \[Wolfe89\]:
+//! per-FU sequencers with two explicit branch targets, globally distributed
+//! condition codes (latched end-of-cycle) and sync signals (combinational),
+//! an idealized single-cycle shared memory, and dynamic SSET partition
+//! tracking with Figure-10-style address traces.
+
+use ximd_isa::{Addr, ControlOp, FuId, Program, Reg, SyncSignal, Value};
+
+use crate::config::MachineConfig;
+use crate::device::IoPort;
+use crate::error::SimError;
+use crate::exec::execute_data;
+use crate::memory::Memory;
+use crate::partition::{DecisionKey, Partition};
+use crate::regfile::RegisterFile;
+use crate::stats::SimStats;
+use crate::trace::{Trace, TraceRow};
+
+/// Result of a single [`Xsim::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// At least one FU is still running.
+    Running,
+    /// Every FU has halted; the program is complete.
+    AllHalted,
+}
+
+/// Summary of a completed [`Xsim::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Accumulated statistics.
+    pub stats: SimStats,
+}
+
+/// The XIMD-1 simulator.
+///
+/// # Example
+///
+/// A two-FU fork: FU0 branches on its own condition code while FU1 waits on
+/// FU0's sync signal.
+///
+/// ```
+/// use ximd_isa::{Addr, ControlOp, DataOp, Parcel, Program};
+/// use ximd_sim::{MachineConfig, Xsim};
+///
+/// let mut program = Program::new(2);
+/// program.push(vec![Parcel::goto(Addr(1)), Parcel::goto(Addr(1))]);
+/// program.push(vec![Parcel::halt(), Parcel::halt()]);
+///
+/// let mut sim = Xsim::new(program, MachineConfig::with_width(2))?;
+/// let summary = sim.run(10)?;
+/// assert_eq!(summary.cycles, 2);
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xsim {
+    config: MachineConfig,
+    program: Program,
+    regs: RegisterFile,
+    mem: Memory,
+    ports: Vec<IoPort>,
+    pcs: Vec<Option<Addr>>,
+    ccs: Vec<Option<bool>>,
+    ss: Vec<SyncSignal>,
+    partition: Partition,
+    cycle: u64,
+    stats: SimStats,
+    trace: Option<Trace>,
+}
+
+impl Xsim {
+    /// Builds a simulator for `program` on a machine described by `config`.
+    ///
+    /// All FUs start at address `00:` ("assume that in every example
+    /// program, all functional units begin execution together at address
+    /// 00:"), registers and memory start at zero, condition codes start
+    /// unknown (`X`), sync signals start `BUSY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Isa`] if the program's width differs from the
+    /// machine's or any parcel references an out-of-range register, FU or
+    /// branch target.
+    pub fn new(program: Program, config: MachineConfig) -> Result<Xsim, SimError> {
+        if program.width() != config.width {
+            return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
+                got: program.width(),
+                expected: config.width,
+            }));
+        }
+        program.validate(config.num_regs)?;
+        let width = config.width;
+        Ok(Xsim {
+            regs: RegisterFile::new(config.num_regs),
+            mem: Memory::new(config.mem_words),
+            ports: Vec::new(),
+            pcs: vec![Some(Addr(0)); width],
+            ccs: vec![None; width],
+            ss: vec![SyncSignal::Busy; width],
+            partition: Partition::single(width),
+            cycle: 0,
+            stats: SimStats {
+                width,
+                ops_per_fu: vec![0; width],
+                ..SimStats::default()
+            },
+            trace: None,
+            config,
+            program,
+        })
+    }
+
+    /// Enables per-cycle address tracing (Figure 10 format).
+    pub fn enable_trace(&mut self) -> &mut Self {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new(self.config.width));
+        }
+        self
+    }
+
+    /// The captured trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Attaches an I/O port device, returning its port number.
+    pub fn attach_port(&mut self, port: IoPort) -> u8 {
+        self.ports.push(port);
+        (self.ports.len() - 1) as u8
+    }
+
+    /// The attached I/O ports.
+    pub fn ports(&self) -> &[IoPort] {
+        &self.ports
+    }
+
+    /// Mutable access to an attached port (to schedule arrivals mid-test).
+    pub fn port_mut(&mut self, port: u8) -> Option<&mut IoPort> {
+        self.ports.get_mut(port as usize)
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> Value {
+        self.regs.read(reg)
+    }
+
+    /// Sets a register (machine setup).
+    pub fn write_reg(&mut self, reg: Reg, value: Value) {
+        self.regs.poke(reg, value);
+    }
+
+    /// Shared memory (read access).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Shared memory (setup access).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current cycle number (cycles completed so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Per-FU program counters (`None` once halted).
+    pub fn pcs(&self) -> &[Option<Addr>] {
+        &self.pcs
+    }
+
+    /// Condition codes as latched at the last cycle boundary.
+    pub fn ccs(&self) -> &[Option<bool>] {
+        &self.ccs
+    }
+
+    /// The SSET partition in effect for the upcoming cycle.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Returns `true` once every FU has halted.
+    pub fn all_halted(&self) -> bool {
+        self.pcs.iter().all(Option::is_none)
+    }
+
+    /// Executes one machine cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a machine check ([`SimError`]) on fetch from an invalid
+    /// address, same-cycle write conflicts (under the trapping policy),
+    /// memory range violations, or data faults.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        if self.all_halted() {
+            return Ok(StepStatus::AllHalted);
+        }
+        let width = self.config.width;
+        let len = self.program.len() as u32;
+
+        // Fetch.
+        let mut parcels = Vec::with_capacity(width);
+        for fu in 0..width {
+            match self.pcs[fu] {
+                Some(pc) => {
+                    if pc.0 >= len {
+                        return Err(SimError::PcOutOfRange {
+                            fu: FuId(fu as u8),
+                            pc,
+                            len,
+                        });
+                    }
+                    parcels.push(Some(
+                        *self.program.parcel(pc, FuId(fu as u8)).expect("validated"),
+                    ));
+                }
+                None => parcels.push(None),
+            }
+        }
+
+        // Sync signals are combinational: the executing parcel drives SS_i
+        // this cycle; halted FUs hold their last exported value.
+        for (fu, parcel) in parcels.iter().enumerate() {
+            if let Some(p) = parcel {
+                self.ss[fu] = p.sync;
+            }
+        }
+
+        // Record the trace row *before* state changes: PCs and CCs as they
+        // exist at the beginning of the cycle (Figure 10's convention), the
+        // partition in effect during this cycle, and this cycle's SS.
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRow {
+                cycle: self.cycle,
+                pcs: self.pcs.clone(),
+                ccs: self.ccs.clone(),
+                ss: self.ss.clone(),
+                partition: self.partition.clone(),
+            });
+        }
+
+        // Data phase: reads observe start-of-cycle state, writes are staged.
+        let mut cc_updates: Vec<(usize, bool)> = Vec::new();
+        for (fu, parcel) in parcels.iter().enumerate() {
+            let Some(p) = parcel else {
+                self.stats.halted_fu_cycles += 1;
+                continue;
+            };
+            if let Some(cc) = execute_data(
+                FuId(fu as u8),
+                &p.data,
+                self.cycle,
+                &mut self.regs,
+                &mut self.mem,
+                &mut self.ports,
+                &mut self.stats,
+            )? {
+                cc_updates.push((fu, cc));
+            }
+        }
+        self.regs.commit(self.config.reg_conflicts, self.cycle)?;
+        self.mem.commit(self.config.mem_conflicts, self.cycle)?;
+        self.stats.conflicts_resolved =
+            self.regs.conflicts_resolved() + self.mem.conflicts_resolved();
+
+        // Control phase: branch conditions see start-of-cycle CCs and this
+        // cycle's combinational SS.
+        let cc_now: Vec<bool> = self.ccs.iter().map(|c| c.unwrap_or(false)).collect();
+        let mut keys = Vec::with_capacity(width);
+        for (fu, parcel) in parcels.iter().enumerate() {
+            let Some(p) = parcel else {
+                keys.push(DecisionKey::Halted);
+                continue;
+            };
+            keys.push(DecisionKey::of(&p.ctrl));
+            let next = match p.ctrl {
+                ControlOp::Goto(t) => Some(t),
+                ControlOp::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    self.stats.cond_branches += 1;
+                    if cond.eval(&cc_now, &self.ss) {
+                        self.stats.branches_taken += 1;
+                        Some(taken)
+                    } else {
+                        Some(not_taken)
+                    }
+                }
+                ControlOp::Halt => None,
+            };
+            if next == self.pcs[fu] {
+                self.stats.spin_cycles += 1;
+            }
+            self.pcs[fu] = next;
+        }
+        self.partition = Partition::from_decisions(&keys);
+
+        // Latch condition codes at the cycle boundary.
+        for (fu, cc) in cc_updates {
+            self.ccs[fu] = Some(cc);
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        let streams = self.partition.num_ssets();
+        self.stats.max_concurrent_streams = self.stats.max_concurrent_streams.max(streams);
+        self.stats.sset_cycle_sum += streams as u64;
+
+        if self.all_halted() {
+            Ok(StepStatus::AllHalted)
+        } else {
+            Ok(StepStatus::Running)
+        }
+    }
+
+    /// Runs until every FU is parked on the self-loop at `park`, then
+    /// executes one final cycle (so the parked cycle appears in traces, as
+    /// in the paper's Figure 10 whose last row shows every FU at the
+    /// terminal `0a: -> 0a:`).
+    ///
+    /// The paper's example programs end in such self-loops rather than
+    /// halting; this is the standard way to complete them. Halted FUs also
+    /// count as parked, so mixed park/halt programs terminate too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
+    /// any machine check raised by [`Xsim::step`].
+    pub fn run_until_parked(
+        &mut self,
+        park: Addr,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        while self.cycle < max_cycles {
+            let parked = self.pcs.iter().all(|pc| pc.map_or(true, |a| a == park));
+            let status = self.step()?;
+            if parked || status == StepStatus::AllHalted {
+                return Ok(RunSummary {
+                    cycles: self.cycle,
+                    stats: self.stats.clone(),
+                });
+            }
+        }
+        Err(SimError::CycleLimit { limit: max_cycles })
+    }
+
+    /// Runs until every FU halts or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
+    /// any machine check raised by [`Xsim::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        while self.cycle < max_cycles {
+            if self.step()? == StepStatus::AllHalted {
+                return Ok(RunSummary {
+                    cycles: self.cycle,
+                    stats: self.stats.clone(),
+                });
+            }
+        }
+        if self.all_halted() {
+            Ok(RunSummary {
+                cycles: self.cycle,
+                stats: self.stats.clone(),
+            })
+        } else {
+            Err(SimError::CycleLimit { limit: max_cycles })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConflictPolicy;
+    use ximd_isa::{AluOp, CmpOp, CondSource, DataOp, Operand, Parcel};
+
+    fn addp(a: u16, b: i32, d: u16, ctrl: ControlOp) -> Parcel {
+        Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(a).into(), Operand::imm_i32(b), Reg(d)),
+            ctrl,
+        )
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let program = Program::new(2);
+        assert!(Xsim::new(program, MachineConfig::with_width(4)).is_err());
+    }
+
+    #[test]
+    fn empty_program_runs_zero_cycles_if_prehalted() {
+        // A width-1 program with a single halt parcel: one cycle to halt.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 1);
+        assert!(sim.all_halted());
+        // Further steps are no-ops.
+        assert_eq!(sim.step().unwrap(), StepStatus::AllHalted);
+        assert_eq!(sim.cycle(), 1);
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut p = Program::new(1);
+        p.push(vec![addp(0, 5, 1, ControlOp::Goto(Addr(1)))]);
+        p.push(vec![addp(1, 10, 2, ControlOp::Halt)]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(1));
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 2);
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 6);
+        assert_eq!(sim.reg(Reg(2)).as_i32(), 16);
+        assert_eq!(summary.stats.ops, 2);
+    }
+
+    #[test]
+    fn same_cycle_reads_see_old_values() {
+        // FU0 writes r0; FU1 reads r0 in the same cycle and must see the
+        // start-of-cycle value (TPROC relies on this).
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 100, 0, ControlOp::Halt),
+            addp(0, 1, 1, ControlOp::Halt),
+        ]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(7));
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg(0)).as_i32(), 107);
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 8); // old r0 + 1
+    }
+
+    #[test]
+    fn cc_is_latched_not_combinational() {
+        // Cycle 0: compare sets cc0; a branch in the same cycle must NOT see
+        // it (CC starts unknown = false). Cycle 1: branch sees it.
+        let mut p = Program::new(1);
+        let cmp = DataOp::cmp(CmpOp::Eq, Operand::imm_i32(1), Operand::imm_i32(1));
+        // 00: cmp; if cc0 -> 02 else 01   (cc0 unknown -> 01)
+        p.push(vec![Parcel::data(
+            cmp,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(1)),
+        )]);
+        // 01: if cc0 -> 02 else 03  (cc0 now TRUE -> 02)
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(3)),
+        )]);
+        // 02: r1 = 42; halt
+        p.push(vec![addp(1, 42, 1, ControlOp::Halt)]);
+        // 03: halt (failure path)
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 42);
+    }
+
+    #[test]
+    fn sync_signals_are_combinational() {
+        // FU0 and FU1 both branch on ALL-SS in cycle 0 while both parcels
+        // export DONE: the barrier must release immediately.
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(1), Addr(0));
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(DataOp::Nop, barrier).done(),
+        ]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 2); // barrier + halt, no spin
+        assert_eq!(summary.stats.spin_cycles, 0);
+    }
+
+    #[test]
+    fn barrier_waits_for_latecomer() {
+        // FU0 reaches the barrier at cycle 0; FU1 does one extra op first.
+        // FU0 must spin exactly once.
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(2), Addr(1));
+        // 00: FU0 at barrier (DONE); FU1 computes, goes to 01.
+        p.push(vec![
+            Parcel::data(DataOp::Nop, ControlOp::Goto(Addr(1))),
+            addp(0, 1, 0, ControlOp::Goto(Addr(1))),
+        ]);
+        // 01: both at barrier.
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(DataOp::Nop, barrier).done(),
+        ]);
+        // 02: halt.
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 3);
+        assert_eq!(sim.reg(Reg(0)).as_i32(), 1);
+        assert_eq!(summary.stats.spin_cycles, 0);
+    }
+
+    #[test]
+    fn true_spin_at_barrier_counts() {
+        // FU0 exports DONE at the barrier from cycle 0 but FU1 stays BUSY
+        // for 3 cycles in a countdown loop; FU0 spins.
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(3), Addr(0));
+        // 00: FU0 barrier(DONE); FU1 r0 += 1, if cc1 (r0 == 3) -> 02 else 01
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(
+                DataOp::cmp(CmpOp::Eq, Reg(0).into(), Operand::imm_i32(2)),
+                ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(1)),
+            ),
+        ]);
+        // 01: FU1 increments and loops back to 00.
+        p.push(vec![
+            Parcel::halt(),
+            addp(0, 1, 0, ControlOp::Goto(Addr(0))),
+        ]);
+        // 02: FU1 joins barrier.
+        p.push(vec![
+            Parcel::halt(),
+            Parcel::data(DataOp::Nop, barrier).done(),
+        ]);
+        // 03: both halt.
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        let summary = sim.run(50).unwrap();
+        assert!(summary.stats.spin_cycles > 0, "FU0 should have spun");
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn partition_tracks_fork_and_join() {
+        // Two FUs: cycle 0 both goto 1 (one SSET); cycle 1 FU0 branches on
+        // cc0, FU1 on cc1 (two SSETs); cycle 2 both goto 3 (one SSET).
+        let mut p = Program::new(2);
+        p.push(vec![Parcel::goto(Addr(1)), Parcel::goto(Addr(1))]);
+        p.push(vec![
+            Parcel::data(
+                DataOp::Nop,
+                ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(2)),
+            ),
+            Parcel::data(
+                DataOp::Nop,
+                ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(2)),
+            ),
+        ]);
+        p.push(vec![Parcel::goto(Addr(3)), Parcel::goto(Addr(3))]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        sim.enable_trace();
+        sim.run(10).unwrap();
+        let trace = sim.trace().unwrap();
+        let parts: Vec<String> = trace.partitions().map(|p| p.to_string()).collect();
+        assert_eq!(parts, vec!["{0,1}", "{0,1}", "{0}{1}", "{0,1}"]);
+        assert_eq!(sim.stats().max_concurrent_streams, 2);
+    }
+
+    #[test]
+    fn register_conflict_traps() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        assert!(matches!(
+            sim.step(),
+            Err(SimError::RegisterWriteConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn register_conflict_last_wins_when_configured() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let cfg = MachineConfig::with_width(2).conflicts(ConflictPolicy::LastWins);
+        let mut sim = Xsim::new(p, cfg).unwrap();
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg(5)).as_i32(), 2); // FU1 wins
+        assert_eq!(sim.stats().conflicts_resolved, 1);
+    }
+
+    #[test]
+    fn memory_conflict_traps() {
+        let mut p = Program::new(2);
+        let st = |v: i32| {
+            Parcel::data(
+                DataOp::store(Operand::imm_i32(v), Operand::imm_i32(64)),
+                ControlOp::Halt,
+            )
+        };
+        p.push(vec![st(1), st(2)]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        assert!(matches!(
+            sim.step(),
+            Err(SimError::MemoryWriteConflict { addr: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_limit_errors() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::goto(Addr(0))]); // infinite self-loop
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        assert_eq!(sim.run(5), Err(SimError::CycleLimit { limit: 5 }));
+        assert_eq!(sim.stats().spin_cycles, 5);
+    }
+
+    #[test]
+    fn trace_records_initial_unknown_ccs() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Lt, Operand::imm_i32(1), Operand::imm_i32(2)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.enable_trace();
+        sim.run(10).unwrap();
+        let rows = sim.trace().unwrap().rows();
+        assert_eq!(rows[0].cc_string(), "X");
+        assert_eq!(rows[1].cc_string(), "T");
+    }
+
+    #[test]
+    fn halted_units_hold_sync_signal() {
+        // FU0 halts exporting DONE; FU1 then branches on SS0 and must still
+        // see DONE two cycles later.
+        let mut p = Program::new(2);
+        // 00: FU0 halts with DONE; FU1 goto 01.
+        p.push(vec![Parcel::halt().done(), Parcel::goto(Addr(1))]);
+        // 01: FU1 nop, goto 02.
+        p.push(vec![Parcel::halt(), Parcel::goto(Addr(2))]);
+        // 02: FU1 branch on ss0 -> 03 (success) else 04 (failure).
+        p.push(vec![
+            Parcel::halt(),
+            Parcel::data(
+                DataOp::Nop,
+                ControlOp::branch(CondSource::Sync(FuId(0)), Addr(3), Addr(4)),
+            ),
+        ]);
+        // 03: r1 = 1; halt.
+        p.push(vec![Parcel::halt(), addp(1, 1, 1, ControlOp::Halt)]);
+        // 04: halt.
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(2)).unwrap();
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 1);
+    }
+
+    #[test]
+    fn io_ports_integrate() {
+        let mut p = Program::new(1);
+        // 00: in p0,r0 ; if cc0(r0 != 0 via compare next cycle)... simpler:
+        // poll until non-zero using compare+branch.
+        // 00: in p0,r0; goto 01
+        p.push(vec![Parcel::data(
+            DataOp::PortIn { port: 0, d: Reg(0) },
+            ControlOp::Goto(Addr(1)),
+        )]);
+        // 01: ne r0,#0 ; goto 02
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Ne, Reg(0).into(), Operand::imm_i32(0)),
+            ControlOp::Goto(Addr(2)),
+        )]);
+        // 02: if cc0 -> 03 else 00
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(3), Addr(0)),
+        )]);
+        // 03: out r0,p0 ; halt
+        p.push(vec![Parcel::data(
+            DataOp::PortOut {
+                port: 0,
+                a: Reg(0).into(),
+            },
+            ControlOp::Halt,
+        )]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        let mut port = IoPort::new();
+        port.schedule(4, Value::I32(77));
+        sim.attach_port(port);
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg(0)).as_i32(), 77);
+        let events = sim.ports()[0].written();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].value.as_i32(), 77);
+    }
+
+    #[test]
+    fn fetch_out_of_range_is_reported() {
+        // Program length 1 with a goto to 0 — then mutate width-1 program to
+        // jump past the end via an unvalidated path is impossible; instead
+        // build a program that validates (goto 1 with len 2) and truncate...
+        // Simplest: direct construction with validation bypassed is not
+        // possible through the public API, so we assert validation catches
+        // the bad target instead.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::goto(Addr(3))]);
+        assert!(Xsim::new(p, MachineConfig::with_width(1)).is_err());
+    }
+
+    #[test]
+    fn stats_branch_counters() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Eq, Operand::imm_i32(1), Operand::imm_i32(1)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(2)),
+        )]);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.stats.cond_branches, 1);
+        assert_eq!(summary.stats.branches_taken, 1);
+        assert_eq!(summary.stats.compares, 1);
+    }
+}

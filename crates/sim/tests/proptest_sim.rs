@@ -1,0 +1,186 @@
+//! Simulator-level property tests over random *branchy* XIMD programs.
+//!
+//! Unlike the models crate's straight-line equivalence tests, these
+//! programs contain conditional branches on arbitrary condition sources, so
+//! the machine genuinely forks and re-joins. Properties: the simulator
+//! never panics, is deterministic, its partition is always a partition, and
+//! its statistics are internally consistent.
+
+use proptest::prelude::*;
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg,
+    SyncSignal,
+};
+use ximd_sim::{MachineConfig, SimError, Xsim};
+
+const NUM_REGS: u16 = 12;
+
+fn arb_data(width: usize) -> impl Strategy<Value = DataOp> {
+    let _ = width;
+    prop_oneof![
+        3 => Just(DataOp::Nop),
+        4 => (
+            proptest::sample::select(vec![
+                AluOp::Iadd,
+                AluOp::Isub,
+                AluOp::Imult,
+                AluOp::And,
+                AluOp::Xor,
+            ]),
+            0u16..NUM_REGS,
+            -20i32..20,
+            0u16..NUM_REGS
+        )
+            .prop_map(|(op, a, imm, d)| DataOp::Alu {
+                op,
+                a: Operand::Reg(Reg(a)),
+                b: Operand::imm_i32(imm),
+                d: Reg(d),
+            }),
+        2 => (
+            proptest::sample::select(CmpOp::ALL[..6].to_vec()),
+            0u16..NUM_REGS,
+            -10i32..10
+        )
+            .prop_map(|(op, a, imm)| DataOp::Cmp {
+                op,
+                a: Operand::Reg(Reg(a)),
+                b: Operand::imm_i32(imm),
+            }),
+    ]
+}
+
+fn arb_ctrl(len: u32, width: usize) -> impl Strategy<Value = ControlOp> {
+    let fu = 0..width as u8;
+    prop_oneof![
+        3 => (0..len).prop_map(|t| ControlOp::Goto(Addr(t))),
+        3 => (
+            prop_oneof![
+                fu.clone().prop_map(|f| CondSource::Cc(FuId(f))),
+                fu.prop_map(|f| CondSource::Sync(FuId(f))),
+                Just(CondSource::AllSync),
+                Just(CondSource::AnySync),
+            ],
+            0..len,
+            0..len
+        )
+            .prop_map(|(cond, t1, t2)| ControlOp::branch(cond, Addr(t1), Addr(t2))),
+        1 => Just(ControlOp::Halt),
+    ]
+}
+
+prop_compose! {
+    fn arb_program()(width in 1usize..5, len in 2u32..10)(
+        width in Just(width),
+        len in Just(len),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(
+                (arb_data(4), arb_ctrl(10, 4), any::<bool>()),
+                1..5
+            ),
+            2..10
+        ),
+    ) -> Program {
+        // Shape the raw material into a consistent program: clamp targets to
+        // the actual length and FUs to the actual width. Destination
+        // registers are remapped into per-FU banks (reg % width == fu) so
+        // that no two FUs can ever write one register in the same cycle —
+        // with independent PCs, same-cycle writers need not share a row, so
+        // row-local dedup would not be enough. Reads stay unrestricted.
+        let len = len.min(rows.len() as u32);
+        let mut program = Program::new(width);
+        for r in 0..len {
+            let raw = &rows[r as usize];
+            let mut word = Vec::with_capacity(width);
+            for fu in 0..width {
+                let (data, ctrl, done) = raw[fu % raw.len()].clone();
+                let bank = |d: Reg| {
+                    let lanes = (NUM_REGS as usize / width).max(1) as u16;
+                    Reg((d.0 % lanes) * width as u16 + fu as u16)
+                };
+                let data = match data {
+                    DataOp::Alu { op, a, b, d } => DataOp::Alu { op, a, b, d: bank(d) },
+                    other => other,
+                };
+                let clamp = |a: Addr| Addr(a.0 % len);
+                let ctrl = match ctrl {
+                    ControlOp::Goto(t) => ControlOp::Goto(clamp(t)),
+                    ControlOp::Branch { cond, taken, not_taken } => {
+                        let cond = match cond {
+                            CondSource::Cc(f) => CondSource::Cc(FuId(f.0 % width as u8)),
+                            CondSource::Sync(f) => CondSource::Sync(FuId(f.0 % width as u8)),
+                            other => other,
+                        };
+                        ControlOp::Branch { cond, taken: clamp(taken), not_taken: clamp(not_taken) }
+                    }
+                    ControlOp::Halt => ControlOp::Halt,
+                };
+                let sync = if done { SyncSignal::Done } else { SyncSignal::Busy };
+                word.push(Parcel { data, ctrl, sync });
+            }
+            program.push(word);
+        }
+        program
+    }
+}
+
+fn run_once(program: &Program, budget: u64) -> Result<(u64, Vec<i32>, Vec<String>), SimError> {
+    let width = program.width();
+    let mut sim = Xsim::new(program.clone(), MachineConfig::with_width(width))?;
+    for r in 0..NUM_REGS {
+        sim.write_reg(Reg(r), (i32::from(r) * 5 - 7).into());
+    }
+    sim.enable_trace();
+    let result = sim.run(budget);
+    let cycles = match result {
+        Ok(summary) => summary.cycles,
+        Err(SimError::CycleLimit { .. }) => budget,
+        Err(e) => return Err(e),
+    };
+    let regs = (0..NUM_REGS).map(|r| sim.reg(Reg(r)).as_i32()).collect();
+    let parts = sim
+        .trace()
+        .unwrap()
+        .partitions()
+        .map(|p| p.to_string())
+        .collect();
+    Ok((cycles, regs, parts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branchy random programs never panic the simulator, and two runs of
+    /// the same program are bit-identical (cycles, registers, partitions).
+    #[test]
+    fn simulation_is_deterministic(program in arb_program()) {
+        let budget = 300;
+        let a = run_once(&program, budget).expect("only cycle-limit errors allowed");
+        let b = run_once(&program, budget).expect("only cycle-limit errors allowed");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The per-cycle partition always covers exactly the machine's FUs, and
+    /// statistics stay consistent with the trace.
+    #[test]
+    fn partitions_and_stats_are_consistent(program in arb_program()) {
+        let width = program.width();
+        let mut sim = Xsim::new(program, MachineConfig::with_width(width)).unwrap();
+        sim.enable_trace();
+        match sim.run(300) {
+            Ok(_) | Err(SimError::CycleLimit { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected machine check: {e}"))),
+        }
+        let stats = sim.stats().clone();
+        let trace = sim.trace().unwrap();
+        for row in trace.rows() {
+            prop_assert_eq!(row.partition.width(), width);
+            prop_assert!(row.partition.num_ssets() >= 1);
+            prop_assert!(row.partition.num_ssets() <= width);
+        }
+        prop_assert_eq!(trace.len() as u64, stats.cycles);
+        prop_assert!(stats.max_concurrent_streams <= width);
+        // Per-FU op counts sum to the total.
+        prop_assert_eq!(stats.ops_per_fu.iter().sum::<u64>(), stats.ops);
+    }
+}

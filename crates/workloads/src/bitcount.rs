@@ -1,0 +1,502 @@
+//! **BITCOUNT1** — the paper's Example 3 and Figure 11.
+//!
+//! Counts the set bits of each element of `D[]` and stores the *cumulative*
+//! count into `B[]`. The inner (bit) loop runs a data-dependent number of
+//! iterations, so the compiler schedules four copies in parallel — one per
+//! FU — and joins them with an explicit `ALL-SS` **barrier** before the
+//! software-pipelined store sequence. This is the paper's flagship
+//! demonstration of explicit barrier synchronization on XIMD.
+//!
+//! Two corrections to the published listing, both noted in `DESIGN.md`:
+//!
+//! * the exit test is `lt t,#8`, matching the listing's own caption
+//!   ("Clean Up Code for less than 8 iterations remaining") and the `le
+//!   n,#8` entry guard — the printed `lt t,4` would let a final block read
+//!   up to three elements past the array;
+//! * the `iadd #0,#0,b` at `15:` (which would zero the running total each
+//!   block) is dropped: the text specifies *cumulative* counts, which
+//!   require `b` to carry across blocks.
+//!
+//! The cleanup code at `30:`, which the paper explicitly omits ("additional
+//! code is required, but not shown"), is supplied here: a sequential
+//! single-FU loop handling the final `< 8` elements while FU1–FU3 halt.
+
+use ximd_asm::{assemble, Assembly};
+use ximd_isa::{FuId, Reg, Value};
+use ximd_sim::{MachineConfig, SimError, Trace, VliwProgram, Vsim, Xsim};
+
+/// Word address of `D[1]` minus one (`M(D0 + k) = D[k]`, 1-based).
+pub const D_BASE: i32 = 999;
+/// Word address of `B[0]` (`M(B0 + k) = B[k]`; `B[0]` is written 0).
+pub const B_BASE: i32 = 1999;
+/// Machine width of the published listing.
+pub const WIDTH: usize = 4;
+
+/// Loop index register `k`.
+pub const REG_K: Reg = Reg(0);
+/// Element-count register `n`.
+pub const REG_N: Reg = Reg(1);
+/// Running cumulative count `b`.
+pub const REG_B: Reg = Reg(3);
+
+/// Assembler source for BITCOUNT1 (paper Example 3 + our cleanup).
+pub const SOURCE: &str = r"
+; BITCOUNT1 -- paper Example 3 (explicit barrier synchronization).
+.width 4
+.reg k r0
+.reg n r1
+.reg a r2
+.reg b r3
+.reg t r4
+.reg b0 r5
+.reg b1 r6
+.reg b2 r7
+.reg b3 r8
+.reg d0 r9
+.reg d1 r10
+.reg d2 r11
+.reg d3 r12
+.reg t0 r13
+.reg t1 r14
+.reg t2 r15
+.reg t3 r16
+.const D0 999
+.const D1 1000
+.const D2 1001
+.const D3 1002
+.const B0 1999
+.const B1 2000
+.const B2 2001
+.const B3 2002
+00:
+  fu0: le n,#8      ; -> 01: ; DONE
+  fu1: iadd #1,#0,k ; -> 01: ; DONE
+  fu2: iadd #0,#0,b ; -> 01: ; DONE
+  fu3: store #0,#B0 ; -> 01: ; DONE
+01:
+  all: nop ; if cc0 30: | 02: ; DONE
+02:
+  fu0: iadd #0,#0,b0 ; -> 03:
+  fu1: iadd #0,#0,b1 ; -> 03:
+  fu2: iadd #0,#0,b2 ; -> 03:
+  fu3: iadd #0,#0,b3 ; -> 03:
+03:
+  fu0: load #D0,k,d0 ; -> 04:
+  fu1: load #D1,k,d1 ; -> 04:
+  fu2: load #D2,k,d2 ; -> 04:
+  fu3: load #D3,k,d3 ; -> 04:
+04:
+  fu0: eq d0,#0 ; -> 05:
+  fu1: eq d1,#0 ; -> 05:
+  fu2: eq d2,#0 ; -> 05:
+  fu3: eq d3,#0 ; -> 05:
+05:
+  fu0: and d0,#1,t0 ; if cc0 10: | 06:
+  fu1: and d1,#1,t1 ; if cc1 10: | 06:
+  fu2: and d2,#1,t2 ; if cc2 10: | 06:
+  fu3: and d3,#1,t3 ; if cc3 10: | 06:
+06:
+  fu0: eq #0,t0 ; -> 07:
+  fu1: eq #0,t1 ; -> 07:
+  fu2: eq #0,t2 ; -> 07:
+  fu3: eq #0,t3 ; -> 07:
+07:
+  fu0: shr d0,#1,d0 ; if cc0 04: | 08:
+  fu1: shr d1,#1,d1 ; if cc1 04: | 08:
+  fu2: shr d2,#1,d2 ; if cc2 04: | 08:
+  fu3: shr d3,#1,d3 ; if cc3 04: | 08:
+08:
+  fu0: iadd b0,#1,b0 ; -> 04:
+  fu1: iadd b1,#1,b1 ; -> 04:
+  fu2: iadd b2,#1,b2 ; -> 04:
+  fu3: iadd b3,#1,b3 ; -> 04:
+10:
+  all: nop ; if allss 11: | 10: ; DONE
+11:
+  fu0: iadd b,b0,b  ; -> 12: ; DONE
+  fu1: nop          ; -> 12: ; DONE
+  fu2: iadd k,#B0,a ; -> 12: ; DONE
+  fu3: nop          ; -> 12: ; DONE
+12:
+  fu0: iadd b,b1,b  ; -> 13: ; DONE
+  fu1: store b,a    ; -> 13: ; DONE
+  fu2: iadd k,#B1,a ; -> 13: ; DONE
+  fu3: nop          ; -> 13: ; DONE
+13:
+  fu0: iadd b,b2,b  ; -> 14: ; DONE
+  fu1: store b,a    ; -> 14: ; DONE
+  fu2: iadd k,#B2,a ; -> 14: ; DONE
+  fu3: isub n,k,t   ; -> 14: ; DONE
+14:
+  fu0: iadd b,b3,b  ; -> 15: ; DONE
+  fu1: store b,a    ; -> 15: ; DONE
+  fu2: iadd k,#B3,a ; -> 15: ; DONE
+  fu3: lt t,#8      ; -> 15: ; DONE
+15:
+  fu0: iadd k,#4,k  ; if cc3 30: | 02: ; DONE
+  fu1: store b,a    ; if cc3 30: | 02: ; DONE
+  fu2: nop          ; if cc3 30: | 02: ; DONE
+  fu3: nop          ; if cc3 30: | 02: ; DONE
+; ---- cleanup: sequential bit-count of the remaining < 8 elements on FU0.
+30:
+  fu0: gt k,n ; -> 31:
+  fu1: nop ; halt
+  fu2: nop ; halt
+  fu3: nop ; halt
+31:
+  fu0: nop ; if cc0 3c: | 32:
+32:
+  fu0: load #D0,k,d0 ; -> 33:
+33:
+  fu0: iadd #0,#0,b0 ; -> 34:
+34:
+  fu0: eq d0,#0 ; -> 35:
+35:
+  fu0: and d0,#1,t0 ; if cc0 39: | 36:
+36:
+  fu0: eq #0,t0 ; -> 37:
+37:
+  fu0: shr d0,#1,d0 ; if cc0 34: | 38:
+38:
+  fu0: iadd b0,#1,b0 ; -> 34:
+39:
+  fu0: iadd b,b0,b ; -> 3a:
+3a:
+  fu0: iadd k,#B0,a ; -> 3b:
+3b:
+  fu0: store b,a ; -> 3d:
+3c:
+  fu0: nop ; halt
+3d:
+  fu0: iadd k,#1,k ; -> 30:
+";
+
+/// Assembles the BITCOUNT1 program.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (guarded by tests).
+pub fn ximd_assembly() -> Assembly {
+    assemble(SOURCE).expect("embedded BITCOUNT1 source is valid")
+}
+
+/// Outcome of a BITCOUNT run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// `B[1..=n]`: cumulative popcounts.
+    pub b: Vec<i32>,
+    /// Cycles the run took.
+    pub cycles: u64,
+}
+
+/// Reference implementation: `B[i] = Σ_{j<=i} popcount(D[j])`.
+pub fn oracle(data: &[i32]) -> Vec<i32> {
+    let mut total = 0i32;
+    data.iter()
+        .map(|&d| {
+            total += (d as u32).count_ones() as i32;
+            total
+        })
+        .collect()
+}
+
+fn prepared_sim(data: &[i32]) -> Result<Xsim, SimError> {
+    let mut sim = Xsim::new(ximd_assembly().program, MachineConfig::with_width(WIDTH))?;
+    sim.mem_mut().poke_slice(D_BASE as i64 + 1, data)?;
+    sim.write_reg(REG_N, Value::I32(data.len() as i32));
+    Ok(sim)
+}
+
+fn extract(sim_mem: &ximd_sim::Memory, n: usize) -> Result<Vec<i32>, SimError> {
+    sim_mem.peek_slice(B_BASE as i64 + 1, n)
+}
+
+/// Runs BITCOUNT1 on xsim.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+pub fn run_ximd(data: &[i32]) -> Result<Outcome, SimError> {
+    let mut sim = prepared_sim(data)?;
+    let budget = 200 + 160 * data.len() as u64;
+    let summary = sim.run(budget)?;
+    Ok(Outcome {
+        b: extract(sim.mem(), data.len())?,
+        cycles: summary.cycles,
+    })
+}
+
+/// Runs BITCOUNT1 on xsim with tracing and returns the trace too.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+pub fn run_ximd_traced(data: &[i32]) -> Result<(Outcome, Trace), SimError> {
+    let mut sim = prepared_sim(data)?;
+    sim.enable_trace();
+    let budget = 200 + 160 * data.len() as u64;
+    let summary = sim.run(budget)?;
+    let outcome = Outcome {
+        b: extract(sim.mem(), data.len())?,
+        cycles: summary.cycles,
+    };
+    Ok((outcome, sim.trace().expect("tracing enabled").clone()))
+}
+
+/// The best single-control-stream (VLIW) schedule: the bit loops are
+/// data-dependent in length, so a single sequencer must count each element
+/// serially — exactly the handicap §3.3 describes.
+pub fn vliw_program() -> VliwProgram {
+    use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, Operand};
+    use ximd_sim::VliwInstruction;
+
+    let k = REG_K;
+    let n = REG_N;
+    let a = Reg(2);
+    let b = REG_B;
+    let b0 = Reg(5);
+    let d0 = Reg(9);
+    let t0 = Reg(13);
+    let zero = Operand::imm_i32(0);
+    let one = Operand::imm_i32(1);
+    let nop = DataOp::Nop;
+
+    let mut p = VliwProgram::new(WIDTH);
+    // 0: k = 1; b = 0; B[0] = 0                                     -> 1
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::alu(AluOp::Iadd, one, zero, k),
+            DataOp::alu(AluOp::Iadd, zero, zero, b),
+            DataOp::store(zero, Operand::imm_i32(B_BASE)),
+            nop,
+        ],
+        ctrl: ControlOp::Goto(Addr(1)),
+    });
+    // 1: cc3 = k > n                                                -> 2
+    p.push(VliwInstruction {
+        ops: vec![
+            nop,
+            nop,
+            nop,
+            DataOp::cmp(CmpOp::Gt, Operand::Reg(k), Operand::Reg(n)),
+        ],
+        ctrl: ControlOp::Goto(Addr(2)),
+    });
+    // 2: d0 = M(D0+k); b0 = 0; a = k + B0;  if cc3 -> 10 (done) else 3
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::load(Operand::imm_i32(D_BASE), Operand::Reg(k), d0),
+            DataOp::alu(AluOp::Iadd, zero, zero, b0),
+            DataOp::alu(AluOp::Iadd, Operand::Reg(k), Operand::imm_i32(B_BASE), a),
+            nop,
+        ],
+        ctrl: ControlOp::branch(CondSource::Cc(FuId(3)), Addr(10), Addr(3)),
+    });
+    // 3: cc0 = (d0 == 0)                                            -> 4
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::cmp(CmpOp::Eq, Operand::Reg(d0), zero),
+            nop,
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::Goto(Addr(4)),
+    });
+    // 4: t0 = d0 & 1;  if cc0 -> 8 (element done) else 5
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::alu(AluOp::And, Operand::Reg(d0), one, t0),
+            nop,
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::branch(CondSource::Cc(FuId(0)), Addr(8), Addr(5)),
+    });
+    // 5: cc0 = (t0 == 0)                                            -> 6
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::cmp(CmpOp::Eq, zero, Operand::Reg(t0)),
+            nop,
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::Goto(Addr(6)),
+    });
+    // 6: d0 >>= 1;  if cc0 -> 3 else 7
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::alu(AluOp::Shr, Operand::Reg(d0), one, d0),
+            nop,
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::branch(CondSource::Cc(FuId(0)), Addr(3), Addr(7)),
+    });
+    // 7: b0 += 1                                                    -> 3
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::alu(AluOp::Iadd, Operand::Reg(b0), one, b0),
+            nop,
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::Goto(Addr(3)),
+    });
+    // 8: b += b0; k += 1                                            -> 9
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::alu(AluOp::Iadd, Operand::Reg(b), Operand::Reg(b0), b),
+            DataOp::alu(AluOp::Iadd, Operand::Reg(k), one, k),
+            nop,
+            nop,
+        ],
+        ctrl: ControlOp::Goto(Addr(9)),
+    });
+    // 9: M(a) = b; cc3 = k > n                                      -> 2
+    p.push(VliwInstruction {
+        ops: vec![
+            DataOp::store(Operand::Reg(b), Operand::Reg(a)),
+            nop,
+            nop,
+            DataOp::cmp(CmpOp::Gt, Operand::Reg(k), Operand::Reg(n)),
+        ],
+        ctrl: ControlOp::Goto(Addr(2)),
+    });
+    // 10: halt
+    p.push(VliwInstruction::halt(WIDTH));
+    p
+}
+
+/// Runs BITCOUNT on the VLIW baseline.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+pub fn run_vliw(data: &[i32]) -> Result<Outcome, SimError> {
+    let mut sim = Vsim::new(vliw_program(), MachineConfig::with_width(WIDTH))?;
+    sim.mem_mut().poke_slice(D_BASE as i64 + 1, data)?;
+    sim.write_reg(REG_N, Value::I32(data.len() as i32));
+    let budget = 200 + 200 * data.len() as u64;
+    let summary = sim.run(budget)?;
+    Ok(Outcome {
+        b: extract(sim.mem(), data.len())?,
+        cycles: summary.cycles,
+    })
+}
+
+/// Figure 11 summary: the SSET transition profile of a run — for each
+/// cycle, how many concurrent streams existed. The paper's Figure 11 shows
+/// the fork at the first data-dependent inner-loop branch and the re-join
+/// at the `ALL-SS` barrier.
+pub fn stream_profile(trace: &Trace) -> Vec<usize> {
+    trace.partitions().map(|p| p.num_ssets()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_oracle_small_cases() {
+        // n <= 8 exercises the straight-to-cleanup path.
+        for data in [
+            vec![0],
+            vec![1],
+            vec![0b1011],
+            vec![1, 2, 3, 4],
+            vec![255, 0, 7, 1, 9, 15, 31, 63],
+        ] {
+            let out = run_ximd(&data).unwrap();
+            assert_eq!(out.b, oracle(&data), "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_with_parallel_blocks() {
+        // n > 8 exercises the 4-wide barrier loop plus cleanup.
+        let data = crate::gen::bit_weighted_ints(5, 23, 16);
+        let out = run_ximd(&data).unwrap();
+        assert_eq!(out.b, oracle(&data));
+    }
+
+    #[test]
+    fn matches_oracle_boundary_sizes() {
+        // Sizes around the block/cleanup boundary logic.
+        for n in [8usize, 9, 11, 12, 13, 16, 17] {
+            let data = crate::gen::bit_weighted_ints(n as u64, n, 12);
+            let out = run_ximd(&data).unwrap();
+            assert_eq!(out.b, oracle(&data), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_heavy_data_exercises_early_barrier_arrivals() {
+        let data = vec![
+            0, 0x7fffffff, 0, 0x7fffffff, 0, 0, 0x0f0f0f0f, 0, 1, 0, 0, 2,
+        ];
+        let out = run_ximd(&data).unwrap();
+        assert_eq!(out.b, oracle(&data));
+    }
+
+    #[test]
+    fn vliw_baseline_matches_oracle() {
+        for data in [vec![3, 0, 255], crate::gen::bit_weighted_ints(9, 12, 10)] {
+            let out = run_vliw(&data).unwrap();
+            assert_eq!(out.b, oracle(&data), "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn ximd_beats_vliw_substantially() {
+        let data = crate::gen::bit_weighted_ints(13, 64, 24);
+        let x = run_ximd(&data).unwrap();
+        let v = run_vliw(&data).unwrap();
+        assert_eq!(x.b, v.b);
+        let speedup = v.cycles as f64 / x.cycles as f64;
+        assert!(
+            speedup > 1.5,
+            "XIMD should win clearly by running 4 bit loops concurrently: {speedup:.2}x \
+             (ximd {} vs vliw {})",
+            x.cycles,
+            v.cycles
+        );
+    }
+
+    #[test]
+    fn forks_to_four_streams_and_rejoins() {
+        let data = crate::gen::bit_weighted_ints(3, 16, 20);
+        let (_, trace) = run_ximd_traced(&data).unwrap();
+        let profile = stream_profile(&trace);
+        assert_eq!(
+            *profile.iter().max().unwrap(),
+            4,
+            "four concurrent inner loops"
+        );
+        assert_eq!(profile[0], 1, "starts as a single SSET");
+        // The barrier re-joins all four streams at least once per block.
+        let rejoined_after_fork = profile.windows(2).any(|w| w[0] > 1 && w[1] == 1);
+        assert!(
+            rejoined_after_fork,
+            "barrier must merge the streams: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_spin_cycles_accrue_on_skewed_data() {
+        // One element with many bits, three with none: three FUs spin at
+        // the barrier while the heavy loop finishes.
+        let data = vec![0x7fffffff, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2];
+        let mut sim = prepared_sim(&data).unwrap();
+        let summary = sim.run(10_000).unwrap();
+        assert!(
+            summary.stats.spin_cycles > 30,
+            "spin cycles {}",
+            summary.stats.spin_cycles
+        );
+    }
+
+    #[test]
+    fn oracle_is_cumulative() {
+        assert_eq!(oracle(&[1, 3, 0, 7]), vec![1, 3, 3, 6]);
+    }
+}

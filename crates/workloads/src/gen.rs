@@ -1,0 +1,84 @@
+//! Seeded input generators for workload sweeps.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` integers uniform in `lo..hi` from a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+///
+/// # Example
+///
+/// ```
+/// let a = ximd_workloads::gen::uniform_ints(42, 8, -10, 10);
+/// let b = ximd_workloads::gen::uniform_ints(42, 8, -10, 10);
+/// assert_eq!(a, b);
+/// assert!(a.iter().all(|&v| (-10..10).contains(&v)));
+/// ```
+pub fn uniform_ints(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    assert!(lo < hi, "empty range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Generates `n` non-negative integers whose popcount is uniform-ish in
+/// `0..=max_bits` — the natural input distribution for BITCOUNT, whose inner
+/// loop runs once per value *and* once per set bit below the highest.
+pub fn bit_weighted_ints(seed: u64, n: usize, max_bits: u32) -> Vec<i32> {
+    assert!(max_bits <= 31, "must fit a non-negative i32");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let bits = rng.gen_range(0..=max_bits);
+            let mut v: u32 = 0;
+            for _ in 0..bits {
+                v |= 1 << rng.gen_range(0..max_bits.max(1));
+            }
+            v as i32
+        })
+        .collect()
+}
+
+/// Generates the `Y` array (length `n + 1`) for Livermore Loop 12.
+pub fn livermore_y(seed: u64, n: usize) -> Vec<i32> {
+    uniform_ints(seed, n + 1, -1000, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_bounded() {
+        let a = uniform_ints(1, 100, 0, 50);
+        assert_eq!(a, uniform_ints(1, 100, 0, 50));
+        assert_ne!(a, uniform_ints(2, 100, 0, 50));
+        assert!(a.iter().all(|&v| (0..50).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_empty_range() {
+        uniform_ints(1, 1, 5, 5);
+    }
+
+    #[test]
+    fn bit_weighted_values_are_non_negative() {
+        let v = bit_weighted_ints(7, 200, 31);
+        assert!(v.iter().all(|&x| x >= 0));
+        // The distribution must actually produce varied popcounts.
+        let counts: std::collections::HashSet<u32> =
+            v.iter().map(|&x| (x as u32).count_ones()).collect();
+        assert!(
+            counts.len() > 5,
+            "expected varied popcounts, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn livermore_y_has_n_plus_one_elements() {
+        assert_eq!(livermore_y(3, 10).len(), 11);
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's example programs and benchmark workloads.
+//!
+//! Each module reproduces one of the programs published in the paper (or a
+//! workload class its evaluation calls for), in up to three forms:
+//!
+//! * an **XIMD program** — the multi-instruction-stream version, usually a
+//!   faithful transcription of the paper's listing;
+//! * a **VLIW baseline** — the best single-control-stream schedule of the
+//!   same computation, for the xsim-vs-vsim comparison of §4.1;
+//! * a **Rust oracle** — a plain reference implementation used by the test
+//!   suite to check simulated results.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`tproc`] | Example 1 — percolation-scheduled scalar code |
+//! | [`minmax`] | Example 2 + Figure 10 — fork/join with implicit barriers |
+//! | [`bitcount`] | Example 3 + Figure 11 — explicit `ALL-SS` barrier |
+//! | [`livermore`] | §3.1 Livermore Loop 12 — software pipelining |
+//! | [`livermore_ext`] | Loops 1, 3, 5 via the modulo scheduler (width/recurrence/alias regimes) |
+//! | [`nonblocking`] | Figure 12 — non-blocking synchronizations via sync bits |
+//! | [`saxpy`] | single-precision kernel exercising the float path (prototype MFLOPS claim) |
+//! | [`race`] | first-finisher exit via `ANY-SS` (the fourth condition-selection criterion) |
+//! | [`gen`] | seeded input generators |
+//!
+//! # Example
+//!
+//! Run the paper's MINMAX program on its published data set and check the
+//! result against the oracle:
+//!
+//! ```
+//! use ximd_workloads::minmax;
+//!
+//! let data = [5, 3, 4, 7]; // Figure 10's IZ()
+//! let outcome = minmax::run_ximd(&data)?;
+//! assert_eq!((outcome.min, outcome.max), (3, 7));
+//! # Ok::<(), ximd_sim::SimError>(())
+//! ```
+
+pub mod bitcount;
+pub mod gen;
+pub mod livermore;
+pub mod livermore_ext;
+pub mod minmax;
+pub mod nonblocking;
+pub mod race;
+pub mod saxpy;
+pub mod tproc;

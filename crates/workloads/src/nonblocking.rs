@@ -1,0 +1,505 @@
+//! **Non-blocking synchronizations** — the paper's Figure 12.
+//!
+//! Two concurrent processes on an 8-FU XIMD: Process 1 (SSET `{0,1,2,3}`)
+//! reads values `a`, `b`, `c` from I/O ports, Process 2 (SSET `{4,5,6,7}`)
+//! reads `x`, `y`, `z`; each process also consumes the other's values, in
+//! order, writing them to an output port. Port response times are bounded
+//! but non-deterministic, so no static schedule exists — the paper's point
+//! is that XIMD sync bits implement the cross-process dependencies with
+//! single-cycle tests and no blocking:
+//!
+//! | variable | signal | | variable | signal |
+//! |----------|--------|-|----------|--------|
+//! | `a` | `SS0` | | `x` | `SS4` |
+//! | `b` | `SS1` | | `y` | `SS5` |
+//! | `c` | `SS2` | | `z` | `SS6` |
+//!
+//! Each producing FU polls its port, latches the value in a (globally
+//! readable) register, then parks on a hold state that exports `DONE`
+//! forever — the signal *is* the availability flag. Consumers test one sync
+//! signal per cycle. A standard `ALL-SS` barrier ends the program, exactly
+//! as the paper describes ("a standard barrier synchronization is used
+//! after both processes are completed").
+//!
+//! [`run_flags`] is the baseline the paper argues against: the same program
+//! with availability signalled through memory flags (store by producer,
+//! load + compare + branch by consumer). [`run_sync`] beats it on every
+//! seed; the benchmark harness quantifies the gap.
+
+use ximd_asm::{assemble, Assembly};
+use ximd_isa::Value;
+use ximd_sim::{IoPort, MachineConfig, SimError, Xsim};
+
+/// Machine width (the paper's full 8-FU XIMD-1).
+pub const WIDTH: usize = 8;
+
+/// Memory addresses of the ready flags used by the baseline version.
+pub const FLAG_BASE: i32 = 600;
+
+/// Input values for one run: what the six ports will eventually deliver
+/// (all must be non-zero — the protocol polls "until the port returns a
+/// non-zero, valid value") and the latency window for arrivals.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Values for `a`, `b`, `c` (Process 1 inputs, ports 0–2).
+    pub abc: [i32; 3],
+    /// Values for `x`, `y`, `z` (Process 2 inputs, ports 3–5).
+    pub xyz: [i32; 3],
+    /// RNG seed for arrival times.
+    pub seed: u64,
+    /// Arrival-gap window in cycles (uniform), e.g. `5..40`.
+    pub latency: std::ops::Range<u64>,
+}
+
+impl Scenario {
+    /// A scenario with the given seed and default values/latencies.
+    pub fn with_seed(seed: u64) -> Scenario {
+        Scenario {
+            abc: [11, 22, 33],
+            xyz: [44, 55, 66],
+            seed,
+            latency: 5..40,
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Values Process 1 wrote to its output port (must be `x, y, z`).
+    pub p1_wrote: Vec<i32>,
+    /// Values Process 2 wrote to its output port (must be `a, b, c`).
+    pub p2_wrote: Vec<i32>,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// The sync-bit version (the paper's Figure 12 design).
+pub const SOURCE_SYNC: &str = r"
+; Figure 12 -- multiple non-blocking synchronizations via sync bits.
+.width 8
+.reg ra r0
+.reg rb r1
+.reg rc r2
+.reg rx r4
+.reg ry r5
+.reg rz r6
+00:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 04:
+  fu2: nop ; -> 07:
+  fu3: nop ; -> 0a:
+  fu4: nop ; -> 20:
+  fu5: nop ; -> 23:
+  fu6: nop ; -> 26:
+  fu7: nop ; -> 2a:
+; --- process 1 producers: poll ports 0..2 for a, b, c.
+01:
+  fu0: in p0,ra ; -> 02:
+02:
+  fu0: ne ra,#0 ; -> 03:
+03:
+  fu0: nop ; if cc0 0f: | 01:
+04:
+  fu1: in p1,rb ; -> 05:
+05:
+  fu1: ne rb,#0 ; -> 06:
+06:
+  fu1: nop ; if cc1 10: | 04:
+07:
+  fu2: in p2,rc ; -> 08:
+08:
+  fu2: ne rc,#0 ; -> 09:
+09:
+  fu2: nop ; if cc2 11: | 07:
+; --- process 1 consumer: forward x, y, z (in order) to port 6.
+0a:
+  fu3: nop ; if ss4 0b: | 0a:
+0b:
+  fu3: out rx,p6 ; -> 0c:
+0c:
+  fu3: nop ; if ss5 0d: | 0c:
+0d:
+  fu3: out ry,p6 ; -> 0e:
+0e:
+  fu3: nop ; if ss6 12: | 0e:
+; --- hold states: the DONE export is the availability flag.
+0f:
+  fu0: nop ; if allss 40: | 0f: ; DONE
+10:
+  fu1: nop ; if allss 40: | 10: ; DONE
+11:
+  fu2: nop ; if allss 40: | 11: ; DONE
+12:
+  fu3: out rz,p6 ; -> 13:
+13:
+  fu3: nop ; if allss 40: | 13: ; DONE
+; --- process 2 producers: poll ports 3..5 for x, y, z.
+20:
+  fu4: in p3,rx ; -> 21:
+21:
+  fu4: ne rx,#0 ; -> 22:
+22:
+  fu4: nop ; if cc4 2e: | 20:
+23:
+  fu5: in p4,ry ; -> 24:
+24:
+  fu5: ne ry,#0 ; -> 25:
+25:
+  fu5: nop ; if cc5 2f: | 23:
+26:
+  fu6: in p5,rz ; -> 27:
+27:
+  fu6: ne rz,#0 ; -> 28:
+28:
+  fu6: nop ; if cc6 30: | 26:
+; --- process 2 consumer: forward a, b, c (in order) to port 7.
+2a:
+  fu7: nop ; if ss0 2b: | 2a:
+2b:
+  fu7: out ra,p7 ; -> 2c:
+2c:
+  fu7: nop ; if ss1 2d: | 2c:
+2d:
+  fu7: out rb,p7 ; -> 31:
+2e:
+  fu4: nop ; if allss 40: | 2e: ; DONE
+2f:
+  fu5: nop ; if allss 40: | 2f: ; DONE
+30:
+  fu6: nop ; if allss 40: | 30: ; DONE
+31:
+  fu7: nop ; if ss2 32: | 31:
+32:
+  fu7: out rc,p7 ; -> 33:
+33:
+  fu7: nop ; if allss 40: | 33: ; DONE
+40:
+  all: nop ; halt
+";
+
+/// The memory-flag baseline: identical structure, but availability is
+/// signalled by storing 1 to a flag word, and consumers poll with
+/// load + compare + branch (three cycles per test instead of one).
+pub const SOURCE_FLAGS: &str = r"
+; Figure 12 baseline -- availability through memory flags.
+.width 8
+.reg ra r0
+.reg rb r1
+.reg rc r2
+.reg rx r4
+.reg ry r5
+.reg rz r6
+.reg t3 r8
+.reg t7 r9
+.const FA 600
+.const FB 601
+.const FC 602
+.const FX 603
+.const FY 604
+.const FZ 605
+00:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 05:
+  fu2: nop ; -> 09:
+  fu3: nop ; -> 0d:
+  fu4: nop ; -> 20:
+  fu5: nop ; -> 24:
+  fu6: nop ; -> 28:
+  fu7: nop ; -> 2c:
+; --- process 1 producers: poll port, then store the ready flag.
+01:
+  fu0: in p0,ra ; -> 02:
+02:
+  fu0: ne ra,#0 ; -> 03:
+03:
+  fu0: nop ; if cc0 04: | 01:
+04:
+  fu0: store #1,#FA ; -> 13:
+05:
+  fu1: in p1,rb ; -> 06:
+06:
+  fu1: ne rb,#0 ; -> 07:
+07:
+  fu1: nop ; if cc1 08: | 05:
+08:
+  fu1: store #1,#FB ; -> 14:
+09:
+  fu2: in p2,rc ; -> 0a:
+0a:
+  fu2: ne rc,#0 ; -> 0b:
+0b:
+  fu2: nop ; if cc2 0c: | 09:
+0c:
+  fu2: store #1,#FC ; -> 15:
+; --- process 1 consumer: spin on flag words for x, y, z.
+0d:
+  fu3: load #FX,#0,t3 ; -> 0e:
+0e:
+  fu3: ne t3,#0 ; -> 0f:
+0f:
+  fu3: nop ; if cc3 10: | 0d:
+10:
+  fu3: out rx,p6 ; -> 16:
+13:
+  fu0: nop ; if allss 40: | 13: ; DONE
+14:
+  fu1: nop ; if allss 40: | 14: ; DONE
+15:
+  fu2: nop ; if allss 40: | 15: ; DONE
+16:
+  fu3: load #FY,#0,t3 ; -> 17:
+17:
+  fu3: ne t3,#0 ; -> 18:
+18:
+  fu3: nop ; if cc3 19: | 16:
+19:
+  fu3: out ry,p6 ; -> 1a:
+1a:
+  fu3: load #FZ,#0,t3 ; -> 1b:
+1b:
+  fu3: ne t3,#0 ; -> 1c:
+1c:
+  fu3: nop ; if cc3 1d: | 1a:
+1d:
+  fu3: out rz,p6 ; -> 1e:
+1e:
+  fu3: nop ; if allss 40: | 1e: ; DONE
+; --- process 2 producers.
+20:
+  fu4: in p3,rx ; -> 21:
+21:
+  fu4: ne rx,#0 ; -> 22:
+22:
+  fu4: nop ; if cc4 23: | 20:
+23:
+  fu4: store #1,#FX ; -> 36:
+24:
+  fu5: in p4,ry ; -> 25:
+25:
+  fu5: ne ry,#0 ; -> 26:
+26:
+  fu5: nop ; if cc5 27: | 24:
+27:
+  fu5: store #1,#FY ; -> 37:
+28:
+  fu6: in p5,rz ; -> 29:
+29:
+  fu6: ne rz,#0 ; -> 2a:
+2a:
+  fu6: nop ; if cc6 2b: | 28:
+2b:
+  fu6: store #1,#FZ ; -> 38:
+; --- process 2 consumer.
+2c:
+  fu7: load #FA,#0,t7 ; -> 2d:
+2d:
+  fu7: ne t7,#0 ; -> 2e:
+2e:
+  fu7: nop ; if cc7 2f: | 2c:
+2f:
+  fu7: out ra,p7 ; -> 30:
+30:
+  fu7: load #FB,#0,t7 ; -> 31:
+31:
+  fu7: ne t7,#0 ; -> 32:
+32:
+  fu7: nop ; if cc7 33: | 30:
+33:
+  fu7: out rb,p7 ; -> 34:
+34:
+  fu7: load #FC,#0,t7 ; -> 35:
+35:
+  fu7: ne t7,#0 ; -> 39:
+36:
+  fu4: nop ; if allss 40: | 36: ; DONE
+37:
+  fu5: nop ; if allss 40: | 37: ; DONE
+38:
+  fu6: nop ; if allss 40: | 38: ; DONE
+39:
+  fu7: nop ; if cc7 3a: | 34:
+3a:
+  fu7: out rc,p7 ; -> 3b:
+3b:
+  fu7: nop ; if allss 40: | 3b: ; DONE
+40:
+  all: nop ; halt
+";
+
+/// Assembles the sync-bit version.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (guarded by tests).
+pub fn sync_assembly() -> Assembly {
+    assemble(SOURCE_SYNC).expect("embedded sync source is valid")
+}
+
+/// Assembles the memory-flag baseline.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (guarded by tests).
+pub fn flags_assembly() -> Assembly {
+    assemble(SOURCE_FLAGS).expect("embedded flags source is valid")
+}
+
+fn run(program: ximd_isa::Program, scenario: &Scenario) -> Result<Outcome, SimError> {
+    let mut sim = Xsim::new(program, MachineConfig::ximd1())?;
+    // Ports 0..5: inputs a,b,c,x,y,z with seeded arrival times. Ports 6,7:
+    // outputs.
+    for (i, &v) in scenario.abc.iter().chain(scenario.xyz.iter()).enumerate() {
+        assert!(
+            v != 0,
+            "port values must be non-zero (the protocol polls for non-zero)"
+        );
+        let mut port = IoPort::new();
+        port.schedule_random(
+            scenario.seed.wrapping_add(i as u64),
+            0,
+            scenario.latency.clone(),
+            [Value::I32(v)],
+        );
+        sim.attach_port(port);
+    }
+    sim.attach_port(IoPort::new()); // p6
+    sim.attach_port(IoPort::new()); // p7
+    let max = 2000 + 20 * scenario.latency.end;
+    let summary = sim.run(max)?;
+    let collect = |port: &IoPort| port.written().iter().map(|e| e.value.as_i32()).collect();
+    Ok(Outcome {
+        p1_wrote: collect(&sim.ports()[6]),
+        p2_wrote: collect(&sim.ports()[7]),
+        cycles: summary.cycles,
+    })
+}
+
+/// Runs the sync-bit version of Figure 12.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+///
+/// # Panics
+///
+/// Panics if a scenario value is zero.
+pub fn run_sync(scenario: &Scenario) -> Result<Outcome, SimError> {
+    run(sync_assembly().program, scenario)
+}
+
+/// Runs the memory-flag baseline.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+///
+/// # Panics
+///
+/// Panics if a scenario value is zero.
+pub fn run_flags(scenario: &Scenario) -> Result<Outcome, SimError> {
+    run(flags_assembly().program, scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_outcome(out: &Outcome, s: &Scenario) {
+        assert_eq!(
+            out.p1_wrote,
+            s.xyz.to_vec(),
+            "process 1 forwards x, y, z in order"
+        );
+        assert_eq!(
+            out.p2_wrote,
+            s.abc.to_vec(),
+            "process 2 forwards a, b, c in order"
+        );
+    }
+
+    #[test]
+    fn sync_version_forwards_all_values_in_order() {
+        for seed in 0..8 {
+            let s = Scenario::with_seed(seed);
+            let out = run_sync(&s).unwrap();
+            check_outcome(&out, &s);
+        }
+    }
+
+    #[test]
+    fn flags_version_forwards_all_values_in_order() {
+        for seed in 0..8 {
+            let s = Scenario::with_seed(seed);
+            let out = run_flags(&s).unwrap();
+            check_outcome(&out, &s);
+        }
+    }
+
+    #[test]
+    fn sync_bits_beat_memory_flags() {
+        // The paper: "We will implement them using the XIMD synchronization
+        // bits rather than through register or memory based flags. This
+        // will result in increased performance."
+        let mut wins = 0;
+        for seed in 0..16 {
+            let s = Scenario::with_seed(seed);
+            let sync = run_sync(&s).unwrap();
+            let flags = run_flags(&s).unwrap();
+            check_outcome(&sync, &s);
+            check_outcome(&flags, &s);
+            assert!(
+                sync.cycles <= flags.cycles,
+                "seed {seed}: sync {} vs flags {}",
+                sync.cycles,
+                flags.cycles
+            );
+            if sync.cycles < flags.cycles {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 12,
+            "sync bits should usually win outright ({wins}/16)"
+        );
+    }
+
+    #[test]
+    fn extreme_skew_still_correct() {
+        // All of process 2's inputs arrive long before process 1's.
+        let s = Scenario {
+            abc: [1, 2, 3],
+            xyz: [7, 8, 9],
+            seed: 99,
+            latency: 100..101,
+        };
+        let out = run_sync(&s).unwrap();
+        check_outcome(&out, &s);
+
+        let quick = Scenario {
+            abc: [1, 2, 3],
+            xyz: [7, 8, 9],
+            seed: 4,
+            latency: 1..2,
+        };
+        let out = run_sync(&quick).unwrap();
+        check_outcome(&out, &quick);
+    }
+
+    #[test]
+    fn processes_run_as_independent_streams() {
+        let s = Scenario::with_seed(5);
+        let mut sim = Xsim::new(sync_assembly().program, MachineConfig::ximd1()).unwrap();
+        for (i, &v) in s.abc.iter().chain(s.xyz.iter()).enumerate() {
+            let mut port = IoPort::new();
+            port.schedule_random(s.seed + i as u64, 0, s.latency.clone(), [Value::I32(v)]);
+            sim.attach_port(port);
+        }
+        sim.attach_port(IoPort::new());
+        sim.attach_port(IoPort::new());
+        sim.enable_trace();
+        sim.run(5000).unwrap();
+        // Many concurrent streams: the 8 FUs run up to 8 distinct threads.
+        assert!(sim.trace().unwrap().max_streams() >= 6);
+    }
+}

@@ -1,0 +1,214 @@
+//! **RACE** — first-finisher synchronization via `ANY-SS`.
+//!
+//! XIMD-1 defines four condition-selection criteria; the paper's examples
+//! exercise `CC_j`, `SS_j` and `ALL-SS`, leaving `∑(SS_i == DONE)` —
+//! *branch on ANY sync signal* — described but undemonstrated. This
+//! workload is the natural use: two functional units search an array for a
+//! target value from opposite ends; whichever finds it first exports `DONE`
+//! and **both** threads exit immediately through an `if anyss` test, rather
+//! than each running to completion.
+//!
+//! The expected cycle count is therefore proportional to the *distance from
+//! the nearer end*, not to the array length — which the tests assert — and
+//! a third unit can wait on the outcome without polling memory.
+
+use ximd_asm::{assemble, Assembly};
+use ximd_isa::{Reg, Value};
+use ximd_sim::{MachineConfig, SimError, Xsim};
+
+/// Word address of the array's first element.
+pub const BASE: i32 = 100;
+/// Machine width.
+pub const WIDTH: usize = 2;
+
+/// Register receiving the forward searcher's found index (-1 if unset).
+pub const REG_RESULT_FWD: Reg = Reg(6);
+/// Register receiving the backward searcher's found index (-1 if unset).
+pub const REG_RESULT_BWD: Reg = Reg(7);
+/// Register holding the target value.
+pub const REG_TARGET: Reg = Reg(2);
+/// Register holding the array length.
+pub const REG_N: Reg = Reg(3);
+
+/// Two searchers racing from opposite ends; `anyss` ends both.
+pub const SOURCE: &str = r"
+; RACE -- bidirectional search with ANY-SS first-finisher exit.
+.width 2
+.reg lo r0
+.reg hi r1
+.reg target r2
+.reg n r3
+.reg va r4
+.reg vb r5
+.reg result r6
+.reg result2 r7
+00:
+  fu0: iadd #0,#0,lo  ; -> 01:
+  fu1: isub n,#1,hi   ; -> 01:
+; --- forward searcher (FU0) and backward searcher (FU1), in lockstep
+; shapes but independent streams once the loads diverge.
+01:
+  fu0: load #100,lo,va ; -> 02:
+  fu1: load #100,hi,vb ; -> 02:
+02:
+  fu0: eq va,target ; -> 03:
+  fu1: eq vb,target ; -> 03:
+03:
+  fu0: nop ; if cc0 08: | 04:
+  fu1: nop ; if cc1 0a: | 05:
+04:
+  fu0: iadd lo,#1,lo ; -> 06:
+05:
+  fu1: isub hi,#1,hi ; -> 06:
+06:
+  fu0: nop ; if anyss 0c: | 07:
+  fu1: nop ; if anyss 0c: | 07:
+07:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 01:
+; --- found paths: record the index, export DONE forever.
+08:
+  fu0: iadd lo,#0,result ; -> 09:
+09:
+  fu0: nop ; -> 0c: ; DONE
+0a:
+  fu1: iadd hi,#0,result2 ; -> 0b:
+0b:
+  fu1: nop ; -> 0c: ; DONE
+; --- common exit.
+0c:
+  all: nop ; halt
+";
+
+/// Assembles the RACE program.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (guarded by tests).
+pub fn ximd_assembly() -> Assembly {
+    assemble(SOURCE).expect("embedded RACE source is valid")
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The index found (whichever searcher won).
+    pub index: i32,
+    /// Cycles to completion.
+    pub cycles: u64,
+}
+
+/// Reference: the distance (in elements) from the nearer end to the first
+/// occurrence reachable by that searcher.
+pub fn oracle_indices(data: &[i32], target: i32) -> (Option<usize>, Option<usize>) {
+    let fwd = data.iter().position(|&v| v == target);
+    let bwd = data.iter().rposition(|&v| v == target);
+    (fwd, bwd)
+}
+
+/// Runs the race.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks; a missing target exhausts the cycle
+/// budget ([`SimError::CycleLimit`]) — the program as written (like the
+/// paper's examples) assumes the value is present.
+pub fn run(data: &[i32], target: i32) -> Result<Outcome, SimError> {
+    let mut sim = Xsim::new(ximd_assembly().program, MachineConfig::with_width(WIDTH))?;
+    sim.mem_mut().poke_slice(BASE as i64, data)?;
+    sim.write_reg(REG_TARGET, Value::I32(target));
+    sim.write_reg(REG_N, Value::I32(data.len() as i32));
+    sim.write_reg(REG_RESULT_FWD, Value::I32(-1));
+    sim.write_reg(REG_RESULT_BWD, Value::I32(-1));
+    let summary = sim.run(40 + 8 * data.len() as u64)?;
+    // Both searchers may find in the same cycle (distinct result registers
+    // avoid the undefined same-cycle write); report the forward winner
+    // first.
+    let fwd = sim.reg(REG_RESULT_FWD).as_i32();
+    let bwd = sim.reg(REG_RESULT_BWD).as_i32();
+    let index = if fwd >= 0 { fwd } else { bwd };
+    Ok(Outcome {
+        index,
+        cycles: summary.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_target_from_either_end() {
+        let data = vec![9, 9, 9, 5, 9, 9, 9, 9];
+        let out = run(&data, 5).unwrap();
+        assert_eq!(out.index, 3);
+
+        let near_end = vec![9, 9, 9, 9, 9, 9, 5, 9];
+        let out = run(&near_end, 5).unwrap();
+        assert_eq!(out.index, 6);
+    }
+
+    #[test]
+    fn cost_tracks_nearer_end_not_length() {
+        // Target near the front of a long array: the backward searcher
+        // would need ~n iterations, but ANY-SS stops it early.
+        let mut data = vec![0; 400];
+        data[3] = 7;
+        let near = run(&data, 7).unwrap();
+        assert_eq!(near.index, 3);
+        assert!(
+            near.cycles < 80,
+            "first-finisher exit should cost ~distance-from-front: {} cycles",
+            near.cycles
+        );
+
+        // Target dead center: both searchers work ~n/2.
+        let mut data = vec![0; 400];
+        data[200] = 7;
+        let mid = run(&data, 7).unwrap();
+        assert_eq!(mid.index, 200);
+        assert!(
+            mid.cycles > near.cycles * 5,
+            "mid {} vs near {}",
+            mid.cycles,
+            near.cycles
+        );
+    }
+
+    #[test]
+    fn duplicate_targets_return_a_valid_occurrence() {
+        let data = vec![1, 7, 2, 2, 7, 1];
+        let out = run(&data, 7).unwrap();
+        let (f, b) = oracle_indices(&data, 7);
+        assert!(
+            out.index == f.unwrap() as i32 || out.index == b.unwrap() as i32,
+            "index {} should be one of {f:?}/{b:?}",
+            out.index
+        );
+    }
+
+    #[test]
+    fn single_element() {
+        let out = run(&[42], 42).unwrap();
+        assert_eq!(out.index, 0);
+    }
+
+    #[test]
+    fn missing_target_hits_cycle_budget() {
+        let data = vec![1, 2, 3, 4];
+        assert!(matches!(run(&data, 99), Err(SimError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn searchers_run_as_independent_streams() {
+        let mut data = vec![0; 64];
+        data[40] = 7;
+        let mut sim = Xsim::new(ximd_assembly().program, MachineConfig::with_width(WIDTH)).unwrap();
+        sim.mem_mut().poke_slice(BASE as i64, &data).unwrap();
+        sim.write_reg(REG_TARGET, Value::I32(7));
+        sim.write_reg(REG_N, Value::I32(64));
+        sim.enable_trace();
+        sim.run(10_000).unwrap();
+        assert_eq!(sim.trace().unwrap().max_streams(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! The Figure 13 compilation flow: compile each program thread at several
+//! functional-unit widths (tiles), then pack one tile per thread into
+//! instruction memory, comparing the naive stacked layout against the
+//! skyline packer.
+//!
+//! Run with: `cargo run --example compile_and_tile`
+
+use ximd::compiler::compile;
+use ximd::compiler::pack::{pack_skyline, pack_stacked};
+use ximd::compiler::tile::menus;
+
+const THREADS: &str = r"
+fn scan(n) {
+    let best = 0;
+    let i = 0;
+    while (i < n) {
+        if (mem[100 + i] > best) { best = mem[100 + i]; }
+        i = i + 1;
+    }
+    return best;
+}
+fn blend(a, b, c, d) {
+    let e = a + b; let f = c + d;
+    let g = a - b; let h = c - d;
+    return (e * f) + (g * h);
+}
+fn powsum(n) {
+    let p = 1;
+    let s = 0;
+    let i = 0;
+    while (i < n) { s = s + p; p = p * 2; i = i + 1; }
+    return s;
+}
+fn clampdiff(a, b) {
+    let d = a - b;
+    if (d < 0) { d = 0 - d; }
+    if (d > 100) { d = 100; }
+    return d;
+}
+fn copyrange(n) {
+    let i = 0;
+    while (i < n) { mem[400 + i] = mem[300 + i]; i = i + 1; }
+    return 0;
+}
+fn poly(x) {
+    return ((x * x) * x) + 3 * (x * x) - 7 * x + 42;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sanity: the first thread actually runs.
+    let scan = compile(THREADS, 4)?;
+    let (best, _) = scan.run_vliw_with(&[5], 10_000, |sim| {
+        sim.mem_mut().poke_slice(100, &[3, 17, 4, 11, 9]).unwrap();
+    })?;
+    assert_eq!(best, Some(17));
+
+    println!("=== tile menus (one thread compiled at widths 1, 2, 4, 8) ===\n");
+    let menus = menus(THREADS, &[1, 2, 4, 8])?;
+    for menu in &menus {
+        print!("{:<10}", menu.name);
+        for t in &menu.options {
+            print!(
+                "  w{}: {:>3} instrs (density {:.2})",
+                t.width,
+                t.height,
+                t.density()
+            );
+        }
+        println!();
+    }
+
+    println!("\n=== packing into an 8-FU instruction memory (Figure 13) ===\n");
+    let stacked = pack_stacked(&menus, 8);
+    let deps = [(0usize, 2usize), (1, 3)]; // example data dependencies between threads
+    let skyline = pack_skyline(&menus, 8, &deps);
+    assert!(stacked.is_valid() && skyline.is_valid() && skyline.respects(&deps));
+
+    println!(
+        "solution 1 (stacked, full width): {:>4} words, op density {:.2}",
+        stacked.total_height(),
+        stacked.op_density()
+    );
+    println!(
+        "solution 2 (skyline, min-area tiles, 2 deps): {:>4} words, op density {:.2}",
+        skyline.total_height(),
+        skyline.op_density()
+    );
+    println!(
+        "\nstatic code size reduction: {:.1}%",
+        100.0 * (1.0 - skyline.total_height() as f64 / stacked.total_height() as f64)
+    );
+
+    println!("\nplacements (thread @ col..col+w, rows r..r+h):");
+    for p in &skyline.placements {
+        println!(
+            "  {:<10} w{} cols {}..{}  rows {:>3}..{:<3}",
+            menus[p.thread].name,
+            p.width,
+            p.col,
+            p.col + p.width,
+            p.row,
+            p.end_row()
+        );
+    }
+    Ok(())
+}

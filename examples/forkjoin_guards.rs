@@ -1,0 +1,92 @@
+//! Fork/join code generation (the paper's §3.2 technique, generalized):
+//! a histogram-style loop with G independent guarded updates is compiled
+//! two ways — multi-stream XIMD (one FU per guard, equal-length paths) and
+//! serialized VLIW — and the cycle counts are compared as G grows.
+//!
+//! Run with: `cargo run --example forkjoin_guards`
+
+use ximd::compiler::forkjoin::{compile_forkjoin, compile_forkjoin_vliw, Guard, GuardedLoop};
+use ximd::compiler::ir::{Inst, VReg, Val};
+use ximd::isa::AluOp;
+use ximd::prelude::*;
+use ximd::workloads::gen;
+
+fn classify_loop(guards: usize) -> GuardedLoop {
+    let ind = VReg(0);
+    let trips = VReg(1);
+    let v = VReg(2);
+    GuardedLoop {
+        prologue: vec![Inst::Load {
+            base: Val::Const(99),
+            off: ind.into(),
+            d: v,
+        }],
+        guards: (0..guards)
+            .map(|i| {
+                let counter = VReg(3 + i as u32);
+                Guard {
+                    op: CmpOp::Ge,
+                    a: v.into(),
+                    b: Val::Const((i as i32) * 100 / guards as i32),
+                    body: vec![Inst::Bin {
+                        op: AluOp::Iadd,
+                        a: counter.into(),
+                        b: Val::Const(1),
+                        d: counter,
+                    }],
+                }
+            })
+            .collect(),
+        induction: ind,
+        start: 1,
+        step: 1,
+        trips,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64usize;
+    let data = gen::uniform_ints(17, n, 0, 100);
+    println!("classifying {n} values into cumulative >= buckets\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>9} {:>9}",
+        "guards", "xsim cycles", "vsim cycles", "speedup", "streams"
+    );
+
+    for guards in [2usize, 3, 4, 5, 6, 7] {
+        let spec = classify_loop(guards);
+        let fj = compile_forkjoin(&spec, guards + 1)?;
+        let vl = compile_forkjoin_vliw(&spec, guards + 1)?;
+
+        let mut xs = Xsim::new(fj.program.clone(), MachineConfig::with_width(fj.width))?;
+        xs.mem_mut().poke_slice(100, &data)?;
+        xs.write_reg(fj.trips_reg, (n as i32).into());
+        xs.enable_trace();
+        let xc = xs.run(1_000_000)?.cycles;
+
+        let mut vs = Xsim::new(vl.program.clone(), MachineConfig::with_width(vl.width))?;
+        vs.mem_mut().poke_slice(100, &data)?;
+        vs.write_reg(vl.trips_reg, (n as i32).into());
+        let vc = vs.run(1_000_000)?.cycles;
+
+        // Verify both against the oracle.
+        for i in 0..guards {
+            let bound = (i as i32) * 100 / guards as i32;
+            let expect = data.iter().filter(|&&x| x >= bound).count() as i32;
+            let c = VReg(3 + i as u32);
+            assert_eq!(xs.reg(fj.reg_of[&c]).as_i32(), expect);
+            assert_eq!(vs.reg(vl.reg_of[&c]).as_i32(), expect);
+        }
+
+        println!(
+            "{guards:>7} {xc:>12} {vc:>12} {:>8.2}x {:>9}",
+            vc as f64 / xc as f64,
+            xs.trace().unwrap().max_streams()
+        );
+    }
+
+    println!("\nXIMD executes all guard branches in one cycle and re-joins by equal-length");
+    println!("paths (implicit barrier); the single-sequencer baseline pays one branch cycle");
+    println!("per guard — the control-flow bottleneck of section 1.3, measured.");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Cross-crate property tests: invariants that hold for arbitrary
+//! programs and workloads, spanning the assembler, both simulators, the
+//! compiler and the models.
+
+use proptest::prelude::*;
+use ximd::compiler;
+use ximd::models::randprog::straight_line_vliw;
+use ximd::prelude::*;
+use ximd::workloads::{bitcount, minmax};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MINMAX (the paper's own program) is correct on arbitrary inputs.
+    #[test]
+    fn minmax_program_is_correct(data in proptest::collection::vec(-10_000i32..10_000, 1..50)) {
+        let out = minmax::run_ximd(&data).unwrap();
+        let (emin, emax) = minmax::oracle(&data);
+        prop_assert_eq!((out.min, out.max), (emin, emax));
+    }
+
+    /// BITCOUNT1 (barrier synchronization) is correct on arbitrary
+    /// non-negative inputs, at sizes crossing the block/cleanup boundary.
+    #[test]
+    fn bitcount_program_is_correct(data in proptest::collection::vec(0i32..=i32::MAX, 1..30)) {
+        let out = bitcount::run_ximd(&data).unwrap();
+        prop_assert_eq!(out.b, bitcount::oracle(&data));
+    }
+
+    /// Any straight-line VLIW program produces identical registers and
+    /// cycle counts on vsim and on xsim after control duplication, and the
+    /// disassemble→reassemble round trip preserves behaviour.
+    #[test]
+    fn vliw_ximd_and_asm_roundtrip_agree(seed in any::<u64>(), width in 1usize..5, len in 1usize..10) {
+        let vliw = straight_line_vliw(seed, width, len, 12);
+        let cfg = MachineConfig::with_width(width);
+
+        let mut vs = Vsim::new(vliw.clone(), cfg.clone()).unwrap();
+        let mut xs = Xsim::new(vliw.to_ximd(), cfg.clone()).unwrap();
+        let printed = ximd::asm::print_program(&vliw.to_ximd());
+        let re = assemble(&printed).unwrap().program;
+        let mut rs = Xsim::new(re, cfg).unwrap();
+
+        for r in 0..12u16 {
+            let v = Value::I32(i32::from(r) * 3 - 11);
+            vs.write_reg(Reg(r), v);
+            xs.write_reg(Reg(r), v);
+            rs.write_reg(Reg(r), v);
+        }
+        let c1 = vs.run(1000).unwrap().cycles;
+        let c2 = xs.run(1000).unwrap().cycles;
+        let c3 = rs.run(1000).unwrap().cycles;
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(c2, c3);
+        for r in 0..12u16 {
+            prop_assert_eq!(vs.reg(Reg(r)), xs.reg(Reg(r)));
+            prop_assert_eq!(xs.reg(Reg(r)), rs.reg(Reg(r)));
+        }
+    }
+
+    /// Compiled arithmetic agrees with a Rust oracle for arbitrary inputs,
+    /// at every machine width.
+    #[test]
+    fn compiled_expression_is_width_independent(a in -1000i32..1000, b in -1000i32..1000) {
+        let src = "fn f(a, b) { return (a + b) * (a - b) + ((a & b) | 3); }";
+        let oracle = (a.wrapping_add(b)).wrapping_mul(a.wrapping_sub(b)).wrapping_add((a & b) | 3);
+        for width in [1usize, 2, 4, 8] {
+            let f = compiler::compile(src, width).unwrap();
+            prop_assert_eq!(f.run_vliw(&[a, b]).unwrap(), Some(oracle), "width {}", width);
+        }
+    }
+
+    /// Compiled loops agree with a Rust oracle.
+    #[test]
+    fn compiled_loop_is_correct(n in 0i32..40) {
+        let src = r"
+fn f(n) {
+    let s = 0;
+    let i = 0;
+    while (i < n) {
+        if (i % 3 == 0) { s = s + i * 2; } else { s = s - i; }
+        i = i + 1;
+    }
+    return s;
+}
+";
+        let mut s = 0i32;
+        for i in 0..n {
+            if i % 3 == 0 { s += i * 2 } else { s -= i }
+        }
+        let f = compiler::compile(src, 4).unwrap();
+        prop_assert_eq!(f.run_vliw(&[n]).unwrap(), Some(s));
+    }
+
+    /// The partition is always a valid partition of all FUs, and a
+    /// VLIW-style program never leaves one SSET.
+    #[test]
+    fn partitions_are_well_formed(seed in any::<u64>(), width in 1usize..5, len in 1usize..8) {
+        let vliw = straight_line_vliw(seed, width, len, 12);
+        let mut sim = Xsim::new(vliw.to_ximd(), MachineConfig::with_width(width)).unwrap();
+        sim.enable_trace();
+        sim.run(1000).unwrap();
+        for row in sim.trace().unwrap().rows() {
+            prop_assert_eq!(row.partition.width(), width);
+        }
+        prop_assert_eq!(sim.stats().max_concurrent_streams, 1);
+    }
+}

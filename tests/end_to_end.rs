@@ -1,0 +1,232 @@
+//! Integration tests spanning crates: assembler → simulator, compiler →
+//! both simulators, workloads → oracles, models → machines.
+
+use ximd::compiler;
+use ximd::prelude::*;
+use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc};
+
+#[test]
+fn figure10_reproduces_from_the_umbrella_crate() {
+    let (outcome, trace) = minmax::run_ximd_traced(&[5, 3, 4, 7]).unwrap();
+    assert_eq!((outcome.min, outcome.max, outcome.cycles), (3, 7, 14));
+    assert!(minmax::diff_figure10(&trace).is_none(), "{trace}");
+}
+
+#[test]
+fn all_paper_workloads_match_their_oracles() {
+    // TPROC.
+    let t = tproc::run_ximd(9, -4, 3, 12).unwrap();
+    assert_eq!(t.result, tproc::oracle(9, -4, 3, 12));
+
+    // MINMAX.
+    let data = gen::uniform_ints(3, 57, -500, 500);
+    let m = minmax::run_ximd(&data).unwrap();
+    assert_eq!((m.min, m.max), minmax::oracle(&data));
+
+    // BITCOUNT1.
+    let bits = gen::bit_weighted_ints(4, 21, 20);
+    let b = bitcount::run_ximd(&bits).unwrap();
+    assert_eq!(b.b, bitcount::oracle(&bits));
+
+    // Livermore Loop 12.
+    let y = gen::livermore_y(5, 30);
+    let l = livermore::run_ximd(&y).unwrap();
+    assert_eq!(l.x, livermore::oracle(&y));
+}
+
+#[test]
+fn paper_workloads_beat_their_vliw_baselines_where_claimed() {
+    // Branchy workloads: XIMD wins.
+    let data = gen::uniform_ints(8, 96, -100, 100);
+    let (x, v) = (
+        minmax::run_ximd(&data).unwrap(),
+        minmax::run_vliw(&data).unwrap(),
+    );
+    assert!(x.cycles < v.cycles, "minmax: {} vs {}", x.cycles, v.cycles);
+
+    let bits = gen::bit_weighted_ints(9, 48, 24);
+    let (xb, vb) = (
+        bitcount::run_ximd(&bits).unwrap(),
+        bitcount::run_vliw(&bits).unwrap(),
+    );
+    assert!(
+        xb.cycles * 3 < vb.cycles * 2,
+        "bitcount: {} vs {}",
+        xb.cycles,
+        vb.cycles
+    );
+
+    // Synchronous workloads: exact tie (§3.1).
+    let y = gen::livermore_y(6, 24);
+    assert_eq!(
+        livermore::run_ximd(&y).unwrap(),
+        livermore::run_vliw(&y).unwrap()
+    );
+    let (xt, vt) = (
+        tproc::run_ximd(1, 2, 3, 4).unwrap(),
+        tproc::run_vliw(1, 2, 3, 4).unwrap(),
+    );
+    assert_eq!(xt, vt);
+}
+
+#[test]
+fn assembled_programs_roundtrip_and_run() {
+    // MINMAX source → program → printed source → program: identical, and
+    // the reassembled program still reproduces Figure 10.
+    let original = minmax::ximd_assembly().program;
+    let printed = ximd::asm::print_program(&original);
+    let back = assemble(&printed).unwrap().program;
+    assert_eq!(back, original);
+}
+
+#[test]
+fn compiled_minmax_runs_on_both_machines() {
+    // The compiler's own minmax, from mini-C source, checked against the
+    // workload oracle on both simulators.
+    let src = r"
+fn minmax(n) {
+    let mn = 2147483647;
+    let mx = 0 - 2147483647 - 1;
+    let i = 0;
+    while (i < n) {
+        let v = mem[100 + i];
+        if (v < mn) { mn = v; }
+        if (v > mx) { mx = v; }
+        i = i + 1;
+    }
+    mem[50] = mn;
+    mem[51] = mx;
+    return 0;
+}
+";
+    let data = gen::uniform_ints(11, 40, -9999, 9999);
+    let (emin, emax) = minmax::oracle(&data);
+    let compiled = compiler::compile(src, 4).unwrap();
+
+    let mut vs = Vsim::new(compiled.vliw.clone(), MachineConfig::with_width(4)).unwrap();
+    vs.write_reg(compiled.param_regs[0], Value::I32(data.len() as i32));
+    vs.mem_mut().poke_slice(100, &data).unwrap();
+    vs.run(1_000_000).unwrap();
+    assert_eq!(vs.mem().peek_slice(50, 2).unwrap(), vec![emin, emax]);
+
+    let mut xs = Xsim::new(compiled.ximd_program(), MachineConfig::with_width(4)).unwrap();
+    xs.write_reg(compiled.param_regs[0], Value::I32(data.len() as i32));
+    xs.mem_mut().poke_slice(100, &data).unwrap();
+    xs.run(1_000_000).unwrap();
+    assert_eq!(xs.mem().peek_slice(50, 2).unwrap(), vec![emin, emax]);
+
+    assert_eq!(
+        vs.cycle(),
+        xs.cycle(),
+        "compiled code is VLIW-style: cycle-exact on XIMD"
+    );
+}
+
+#[test]
+fn pipelined_loop12_matches_handwritten_schedule_performance() {
+    // The compiler's modulo scheduler should match the hand-written II=2
+    // software pipeline from the workloads crate on the same computation.
+    use ximd::compiler::ir::{Inst, VReg, Val};
+    use ximd::compiler::pipeline::{modulo_schedule, CountedLoop};
+    use ximd_isa::AluOp;
+
+    let spec = CountedLoop {
+        body: vec![
+            Inst::Bin {
+                op: AluOp::Iadd,
+                a: VReg(0).into(),
+                b: Val::Const(livermore::X_BASE),
+                d: VReg(5),
+            },
+            Inst::Load {
+                base: Val::Const(livermore::Y_BASE),
+                off: VReg(0).into(),
+                d: VReg(2),
+            },
+            Inst::Load {
+                base: Val::Const(livermore::Y_BASE + 1),
+                off: VReg(0).into(),
+                d: VReg(3),
+            },
+            Inst::Bin {
+                op: AluOp::Isub,
+                a: VReg(3).into(),
+                b: VReg(2).into(),
+                d: VReg(4),
+            },
+            Inst::Store {
+                val: VReg(4).into(),
+                addr: VReg(5).into(),
+            },
+        ],
+        induction: VReg(0),
+        start: 1,
+        step: 1,
+        trips: VReg(1),
+        assume_no_alias: true,
+    };
+    let pipe = modulo_schedule(&spec, 4).unwrap();
+    assert_eq!(
+        pipe.ii, 2,
+        "matches the hand schedule's initiation interval"
+    );
+
+    let n = 32usize;
+    let y = gen::livermore_y(12, n);
+    let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(4)).unwrap();
+    sim.mem_mut()
+        .poke_slice(livermore::Y_BASE as i64 + 1, &y)
+        .unwrap();
+    sim.write_reg(pipe.reg_of[&VReg(1)], Value::I32(n as i32));
+    sim.run(10_000).unwrap();
+    assert_eq!(
+        sim.mem()
+            .peek_slice(livermore::X_BASE as i64 + 1, n)
+            .unwrap(),
+        livermore::oracle(&y)
+    );
+}
+
+#[test]
+fn nonblocking_sync_outperforms_memory_flags_across_seeds() {
+    for seed in [100u64, 200, 300] {
+        let s = nonblocking::Scenario::with_seed(seed);
+        let sync = nonblocking::run_sync(&s).unwrap();
+        let flags = nonblocking::run_flags(&s).unwrap();
+        assert!(sync.cycles <= flags.cycles, "seed {seed}");
+    }
+}
+
+#[test]
+fn comparison_report_formats() {
+    let data = gen::uniform_ints(2, 32, -50, 50);
+    let x = minmax::run_ximd(&data).unwrap();
+    let v = minmax::run_vliw(&data).unwrap();
+    // Build the §4.1 row via the umbrella type.
+    let row = ximd::Comparison {
+        name: "minmax".into(),
+        ximd: ximd_sim::SimStats {
+            cycles: x.cycles,
+            ..Default::default()
+        },
+        vliw: ximd_sim::SimStats {
+            cycles: v.cycles,
+            ..Default::default()
+        },
+    };
+    assert!(row.speedup() > 1.0);
+    assert!(row.to_string().contains("minmax"));
+}
+
+#[test]
+fn encoded_programs_survive_binary_roundtrip() {
+    use ximd_isa::encode::{decode_parcel, encode_parcel};
+    let program = bitcount::ximd_assembly().program;
+    for (addr, word) in program.iter() {
+        for (fu, parcel) in word.iter().enumerate() {
+            let bits =
+                encode_parcel(parcel).unwrap_or_else(|e| panic!("encode {addr} fu{fu}: {e}"));
+            assert_eq!(decode_parcel(bits).unwrap(), *parcel, "{addr} fu{fu}");
+        }
+    }
+}
