@@ -1,0 +1,139 @@
+//! Per-FU control-flow extraction and structural checks.
+//!
+//! Every XIMD parcel names its successors explicitly (T1/T2 targets — the
+//! machine has no PC incrementer), so each FU column induces a complete
+//! CFG over word addresses. This pass walks each column from the shared
+//! entry `00:` and reports: dangling targets, unreachable parcels that
+//! still encode real data work, streams with no reachable terminal, and
+//! sync-signal tests that can never observe DONE.
+
+use ximd_isa::{Addr, CondSource, ControlOp, FuId, Program};
+
+use crate::diag::{Check, Diagnostic, Severity};
+
+pub(crate) fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let width = program.width();
+    let len = program.len();
+    let mut reach = vec![vec![false; len]; width];
+    let mut can_done = vec![false; width];
+
+    for fu in 0..width {
+        let f = FuId(fu as u8);
+        let mut work = vec![Addr(0)];
+        let mut has_terminal = false;
+        while let Some(addr) = work.pop() {
+            if addr.index() >= len {
+                // Dangling targets are reported at the referencing parcel
+                // below; just don't walk past the end.
+                continue;
+            }
+            if std::mem::replace(&mut reach[fu][addr.index()], true) {
+                continue;
+            }
+            let parcel = program.parcel(addr, f).expect("address in range");
+            if parcel.sync.is_done() {
+                can_done[fu] = true;
+            }
+            match &parcel.ctrl {
+                ControlOp::Halt => has_terminal = true,
+                ControlOp::Goto(t) if *t == addr => has_terminal = true,
+                _ => {}
+            }
+            for t in parcel.ctrl.targets() {
+                if t.index() >= len {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::DanglingTarget,
+                            Severity::Error,
+                            format!(
+                                "{f} at {addr} targets {t}, past the end of the \
+                                 {len}-word program"
+                            ),
+                        )
+                        .at(addr, f),
+                    );
+                } else {
+                    work.push(t);
+                }
+            }
+        }
+        if !has_terminal {
+            diags.push(Diagnostic::new(
+                Check::MissingTerminal,
+                Severity::Warning,
+                format!("{f} reaches neither a halt nor a self-goto park loop"),
+            ));
+        }
+    }
+
+    // Unreachable cells that still encode data work. Padding cells (the
+    // assembler and codegen fill gaps with `nop ; halt`) stay silent.
+    for (addr, word) in program.iter() {
+        for (fu, parcel) in word.iter().enumerate() {
+            if !reach[fu][addr.index()] && !parcel.data.is_nop() {
+                diags.push(
+                    Diagnostic::new(
+                        Check::UnreachableCode,
+                        Severity::Warning,
+                        format!("unreachable parcel still encodes `{}`", parcel.data),
+                    )
+                    .at(addr, FuId(fu as u8)),
+                );
+            }
+        }
+    }
+
+    // Sync tests that can never see DONE. A halted FU holds its last
+    // exported value, so "FU j never exports DONE on any reachable
+    // parcel" makes SS_j (and any ALL-SS involving j) permanently BUSY.
+    for (addr, word) in program.iter() {
+        for (fu, parcel) in word.iter().enumerate() {
+            if !reach[fu][addr.index()] {
+                continue;
+            }
+            let f = FuId(fu as u8);
+            match parcel.ctrl.cond() {
+                Some(CondSource::Sync(j)) if !can_done[j.index()] => {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::SsNeverDone,
+                            Severity::Warning,
+                            format!("{f} tests ss{}, but {j} never exports DONE", j.0),
+                        )
+                        .at(addr, f),
+                    );
+                }
+                Some(CondSource::AllSync) => {
+                    let stuck: Vec<String> = (0..width)
+                        .filter(|&j| !can_done[j])
+                        .map(|j| FuId(j as u8).to_string())
+                        .collect();
+                    if !stuck.is_empty() {
+                        diags.push(
+                            Diagnostic::new(
+                                Check::SsNeverDone,
+                                Severity::Warning,
+                                format!(
+                                    "{f} tests allss, but {} never export(s) DONE",
+                                    stuck.join(", ")
+                                ),
+                            )
+                            .at(addr, f),
+                        );
+                    }
+                }
+                Some(CondSource::AnySync) if can_done.iter().all(|&d| !d) => {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::SsNeverDone,
+                            Severity::Warning,
+                            format!("{f} tests anyss, but no FU ever exports DONE"),
+                        )
+                        .at(addr, f),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

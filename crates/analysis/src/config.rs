@@ -1,0 +1,36 @@
+//! Tunable budgets and limits for an xlint run.
+
+/// Configuration for [`crate::analyze`].
+///
+/// The defaults describe XIMD-1 as built: each FU owns two register-file
+/// read ports and one write port (the ISA cannot encode more, so the
+/// per-parcel checks only fire under a stricter budget, e.g. when modeling
+/// a cheaper register file), and wide-instruction totals are uncapped.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Register-file read ports available to one parcel.
+    pub reads_per_fu: usize,
+    /// Register-file write ports available to one parcel.
+    pub writes_per_fu: usize,
+    /// Total read ports shared by a whole wide instruction, if the
+    /// register file is banked tighter than `width × reads_per_fu`.
+    pub word_read_ports: Option<usize>,
+    /// Total write ports shared by a whole wide instruction.
+    pub word_write_ports: Option<usize>,
+    /// Cap on explored product machine states. Exploration past the cap
+    /// stops with a [`crate::Check::StateSpaceTruncated`] warning and the
+    /// deadlock/race passes are skipped (they need the full space).
+    pub max_states: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            reads_per_fu: 2,
+            writes_per_fu: 1,
+            word_read_ports: None,
+            word_write_ports: None,
+            max_states: 1 << 18,
+        }
+    }
+}

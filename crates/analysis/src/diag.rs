@@ -1,0 +1,221 @@
+//! Findings: what xlint can report, and how it prints.
+
+use std::fmt;
+
+use ximd_isa::{Addr, FuId};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; does not fail a lint run.
+    Warning,
+    /// A defect: the program violates a machine invariant or can wedge.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// The individual checks xlint runs. Each diagnostic carries the check that
+/// produced it so tests (and tooling) can filter without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Check {
+    /// A branch or goto target lies outside instruction memory.
+    DanglingTarget,
+    /// A parcel with a non-nop data op can never be fetched by its FU.
+    UnreachableCode,
+    /// An FU's stream reaches neither a `halt` nor a self-goto park loop.
+    MissingTerminal,
+    /// A parcel uses more register-file read or write ports than budgeted.
+    PortBudget,
+    /// Two parcels of one wide instruction write the same register.
+    MultiWriteReg,
+    /// Two parcels of one wide instruction store to the same memory cell
+    /// (or to cells that cannot be proven distinct).
+    MultiWriteMem,
+    /// Reachable machine states from which no halt/park state is
+    /// reachable, with at least one FU waiting on a sync condition that
+    /// can never be satisfied.
+    SyncDeadlock,
+    /// Reachable machine states from which no halt/park state is
+    /// reachable (a loop with no exit, not a sync wait).
+    NoTermination,
+    /// Same-cycle conflicting register or memory accesses between FUs at
+    /// different addresses — streams the partition rule cannot prove
+    /// synchronous.
+    CrossStreamRace,
+    /// A branch reads `CC_j` before FU `j` has executed any compare
+    /// (the latch still holds "unknown", which reads as false).
+    CcBeforeCompare,
+    /// A branch waits on `SS_j` (or `ALL-SS`) but FU `j` has no reachable
+    /// parcel that exports DONE, so the condition can never see DONE.
+    SsNeverDone,
+    /// State-space exploration hit the configured cap; deadlock and race
+    /// results are incomplete.
+    StateSpaceTruncated,
+}
+
+impl Check {
+    /// Stable kebab-case code used in rendered diagnostics.
+    pub fn code(self) -> &'static str {
+        match self {
+            Check::DanglingTarget => "dangling-target",
+            Check::UnreachableCode => "unreachable-code",
+            Check::MissingTerminal => "missing-terminal",
+            Check::PortBudget => "port-budget",
+            Check::MultiWriteReg => "multi-write-reg",
+            Check::MultiWriteMem => "multi-write-mem",
+            Check::SyncDeadlock => "sync-deadlock",
+            Check::NoTermination => "no-termination",
+            Check::CrossStreamRace => "cross-stream-race",
+            Check::CcBeforeCompare => "cc-before-compare",
+            Check::SsNeverDone => "ss-never-done",
+            Check::StateSpaceTruncated => "state-space-truncated",
+        }
+    }
+}
+
+/// One finding, anchored to an instruction-memory cell and (when the
+/// program came from the assembler) a source line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub check: Check,
+    /// How serious it is.
+    pub severity: Severity,
+    /// Word address the finding anchors to, if meaningful.
+    pub addr: Option<Addr>,
+    /// Functional unit the finding anchors to, if meaningful.
+    pub fu: Option<FuId>,
+    /// 1-based assembler source line, when a source map is available.
+    pub line: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(check: Check, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            check,
+            severity,
+            addr: None,
+            fu: None,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn at(mut self, addr: Addr, fu: FuId) -> Diagnostic {
+        self.addr = Some(addr);
+        self.fu = Some(fu);
+        self
+    }
+
+    pub(crate) fn at_addr(mut self, addr: Addr) -> Diagnostic {
+        self.addr = Some(addr);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.check.code())?;
+        if let Some(addr) = self.addr {
+            write!(f, " {addr}")?;
+        }
+        if let Some(fu) = self.fu {
+            write!(f, " {fu}")?;
+        }
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The result of one xlint run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, errors first, then by address.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of product machine states explored.
+    pub states_explored: usize,
+    /// Whether exploration hit the state cap (results incomplete).
+    pub truncated: bool,
+    /// Maximum number of concurrent instruction streams (SSETs holding at
+    /// least one running FU) observed over all explored states — the
+    /// static counterpart of the simulator's dynamic stream profile.
+    pub max_live_streams: usize,
+}
+
+impl Analysis {
+    /// True if no check fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Sorts diagnostics: errors first, then by (addr, fu, check code).
+    pub(crate) fn finish(mut self) -> Analysis {
+        self.diagnostics.sort_by_key(|d| {
+            (
+                std::cmp::Reverse(d.severity),
+                d.addr.map_or(u32::MAX, |a| a.0),
+                d.fu.map_or(u8::MAX, |f| f.0),
+                d.check.code(),
+            )
+        });
+        self
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "clean ({} states, max {} concurrent streams)",
+                self.states_explored, self.max_live_streams
+            )
+        } else {
+            for d in &self.diagnostics {
+                writeln!(f, "{d}")?;
+            }
+            write!(
+                f,
+                "{} error(s), {} warning(s) ({} states, max {} concurrent streams)",
+                self.errors().count(),
+                self.warnings().count(),
+                self.states_explored,
+                self.max_live_streams
+            )
+        }
+    }
+}

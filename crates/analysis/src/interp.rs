@@ -1,0 +1,470 @@
+//! Abstract interpretation over the product of the per-FU CFGs.
+//!
+//! The abstract machine state is the tuple of per-FU PCs (or "halted"),
+//! the sync value each halted FU still exports, and which CC latches have
+//! been written. Sync conditions are evaluated *exactly* — `SS_i` is
+//! combinational, driven by the parcel each running FU executes this
+//! cycle, and a halted FU holds its last export, precisely as in
+//! `ximd_sim::Xsim`. Condition codes are the only nondeterminism: a
+//! branch on `CC_j` forks the exploration, with every FU that tests the
+//! same `CC_j` in the same cycle taking the same direction (the latch has
+//! one value per cycle). An unwritten CC latch reads as false, again
+//! matching the simulator.
+//!
+//! On the explored graph the pass reports:
+//!
+//! - states from which no halt state and no park loop (every running FU a
+//!   self-goto) is reachable — a sync wait that can never release is an
+//!   error, a plain exitless loop a warning;
+//! - same-cycle conflicting register/memory accesses between FUs sitting
+//!   at *different* addresses — streams which the decision-key partition
+//!   rule cannot prove synchronous (same-word conflicts are the word
+//!   pass's, and are errors);
+//! - branches that read `CC_j` before FU `j` has ever compared;
+//! - the maximum number of concurrent instruction streams, counted with
+//!   the same [`Partition::from_decisions`] rule the simulator uses.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ximd_isa::{Addr, CondSource, ControlOp, FuId, Parcel, Program, SyncSignal};
+use ximd_sim::{DecisionKey, Partition};
+
+use crate::config::AnalysisConfig;
+use crate::diag::{Check, Diagnostic, Severity};
+use crate::word::store_cell;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Per-FU PC; `None` is halted.
+    pcs: Vec<Option<Addr>>,
+    /// Whether each halted FU still exports DONE (running FUs' entries
+    /// are normalised to `false`; their export comes from the parcel).
+    held_done: Vec<bool>,
+    /// Whether `CC_j` has been written on this path.
+    cc_set: Vec<bool>,
+}
+
+pub(crate) struct InterpFacts {
+    pub states_explored: usize,
+    pub truncated: bool,
+    pub max_live_streams: usize,
+}
+
+fn cond_name(cond: CondSource) -> String {
+    match cond {
+        CondSource::Cc(j) => format!("cc{}", j.0),
+        CondSource::Sync(j) => format!("ss{}", j.0),
+        CondSource::AllSync => "allss".into(),
+        CondSource::AnySync => "anyss".into(),
+    }
+}
+
+/// A good terminal: nothing runs, or everything still running sits in a
+/// single-word park loop (`-> self`), the paper's idle idiom.
+fn is_terminal(state: &State, program: &Program) -> bool {
+    for (fu, pc) in state.pcs.iter().enumerate() {
+        let Some(addr) = pc else { continue };
+        let parcel = program.parcel(*addr, FuId(fu as u8)).expect("in range");
+        if parcel.ctrl != ControlOp::Goto(*addr) {
+            return false;
+        }
+    }
+    true // all halted, or every running FU sits in a park loop
+}
+
+pub(crate) fn check(
+    program: &Program,
+    config: &AnalysisConfig,
+    diags: &mut Vec<Diagnostic>,
+) -> InterpFacts {
+    let width = program.width();
+    let len = program.len();
+    let in_range = |a: Addr| a.index() < len;
+
+    let initial = State {
+        pcs: (0..width)
+            .map(|_| Some(Addr(0)).filter(|a| in_range(*a)))
+            .collect(),
+        held_done: vec![false; width],
+        cc_set: vec![false; width],
+    };
+
+    let mut states: Vec<State> = vec![initial.clone()];
+    let mut index: HashMap<State, usize> = HashMap::from([(initial, 0)]);
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut truncated = false;
+    let mut max_live_streams = 0usize;
+
+    let mut cc_warned: HashSet<(Addr, FuId)> = HashSet::new();
+    let mut race_seen: HashSet<(Addr, FuId, Addr, FuId, String)> = HashSet::new();
+
+    while let Some(si) = queue.pop_front() {
+        let state = states[si].clone();
+
+        // Fetch. A running FU whose parcel this cycle is a halt executes
+        // it (data + sync export) and is halted in every successor.
+        let parcels: Vec<Option<&Parcel>> = state
+            .pcs
+            .iter()
+            .enumerate()
+            .map(|(fu, pc)| pc.map(|a| program.parcel(a, FuId(fu as u8)).expect("in range")))
+            .collect();
+
+        // Sync signals are combinational: running FUs drive their
+        // parcel's value, halted FUs hold their last export.
+        let sync: Vec<SyncSignal> = (0..width)
+            .map(|fu| match parcels[fu] {
+                Some(p) => p.sync,
+                None => {
+                    if state.held_done[fu] {
+                        SyncSignal::Done
+                    } else {
+                        SyncSignal::Busy
+                    }
+                }
+            })
+            .collect();
+
+        // Concurrent-stream count under the simulator's partition rule.
+        let keys: Vec<DecisionKey> = (0..width)
+            .map(|fu| match parcels[fu] {
+                Some(p) => DecisionKey::of(&p.ctrl),
+                None => DecisionKey::Halted,
+            })
+            .collect();
+        let partition = Partition::from_decisions(&keys);
+        let live = partition
+            .ssets()
+            .iter()
+            .filter(|sset| sset.iter().any(|f| state.pcs[f.index()].is_some()))
+            .count();
+        max_live_streams = max_live_streams.max(live);
+
+        // Cross-stream conflicts: same cycle, different addresses.
+        for f in 0..width {
+            let (Some(af), Some(pf)) = (state.pcs[f], parcels[f]) else {
+                continue;
+            };
+            for (g, parcel_g) in parcels.iter().enumerate().skip(f + 1) {
+                let (Some(ag), Some(pg)) = (state.pcs[g], parcel_g) else {
+                    continue;
+                };
+                if af == ag {
+                    continue; // same wide instruction — the word pass owns it
+                }
+                let (ff, fg) = (FuId(f as u8), FuId(g as u8));
+                let mut race = |kind: String, message: String| {
+                    if race_seen.insert((af, ff, ag, fg, kind)) {
+                        diags.push(
+                            Diagnostic::new(Check::CrossStreamRace, Severity::Warning, message)
+                                .at(af, ff),
+                        );
+                    }
+                };
+                if let (Some(df), Some(dg)) = (pf.data.dest(), pg.data.dest()) {
+                    if df == dg {
+                        race(
+                            format!("ww r{}", df.0),
+                            format!(
+                                "{ff} at {af} and {fg} at {ag} can write {df} in the same cycle"
+                            ),
+                        );
+                    }
+                }
+                if let Some(df) = pf.data.dest() {
+                    if pg.data.sources().contains(&df) {
+                        race(
+                            format!("wr r{}", df.0),
+                            format!(
+                                "{ff} at {af} can write {df} in the same cycle {fg} at {ag} reads it"
+                            ),
+                        );
+                    }
+                }
+                if let Some(dg) = pg.data.dest() {
+                    if pf.data.sources().contains(&dg) {
+                        race(
+                            format!("rw r{}", dg.0),
+                            format!(
+                                "{fg} at {ag} can write {dg} in the same cycle {ff} at {af} reads it"
+                            ),
+                        );
+                    }
+                }
+                match (store_cell(&pf.data), store_cell(&pg.data)) {
+                    (Some(Ok(a)), Some(Ok(b))) if a == b => race(
+                        format!("mem {a}"),
+                        format!(
+                            "{ff} at {af} and {fg} at {ag} can store to M[{a}] in the same cycle"
+                        ),
+                    ),
+                    (Some(Ok(_)), Some(Ok(_))) | (None, _) | (_, None) => {}
+                    _ => race(
+                        "mem ?".into(),
+                        format!(
+                            "{ff} at {af} and {fg} at {ag} can store in the same cycle to \
+                             addresses that cannot be proven distinct"
+                        ),
+                    ),
+                }
+            }
+        }
+
+        // CC latches written this cycle become visible next cycle.
+        let mut cc_next = state.cc_set.clone();
+        for (fu, parcel) in parcels.iter().enumerate() {
+            if parcel.is_some_and(|p| p.data.sets_cc()) {
+                cc_next[fu] = true;
+            }
+        }
+
+        // Control: resolve every running FU to a fixed successor or a
+        // dependence on one CC bit.
+        enum Next {
+            Halted(bool),
+            Fixed(Addr),
+            CcDep {
+                j: usize,
+                taken: Addr,
+                not_taken: Addr,
+            },
+        }
+        let no_ccs = vec![false; width];
+        let mut nexts: Vec<Option<Next>> = Vec::with_capacity(width);
+        let mut fork: Vec<usize> = Vec::new();
+        for (fu, slot) in parcels.iter().enumerate() {
+            let Some(parcel) = slot else {
+                nexts.push(None);
+                continue;
+            };
+            let next = match &parcel.ctrl {
+                ControlOp::Halt => Next::Halted(parcel.sync.is_done()),
+                ControlOp::Goto(t) => Next::Fixed(*t),
+                ControlOp::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => match cond {
+                    CondSource::Cc(j) if state.cc_set[j.index()] => {
+                        if !fork.contains(&j.index()) {
+                            fork.push(j.index());
+                        }
+                        Next::CcDep {
+                            j: j.index(),
+                            taken: *taken,
+                            not_taken: *not_taken,
+                        }
+                    }
+                    CondSource::Cc(j) => {
+                        // The latch is unwritten and reads false.
+                        let addr = state.pcs[fu].expect("running");
+                        if cc_warned.insert((addr, FuId(fu as u8))) {
+                            diags.push(
+                                Diagnostic::new(
+                                    Check::CcBeforeCompare,
+                                    Severity::Warning,
+                                    format!(
+                                        "branch reads cc{} before {j} has executed any \
+                                         compare; the unwritten latch reads false",
+                                        j.0
+                                    ),
+                                )
+                                .at(addr, FuId(fu as u8)),
+                            );
+                        }
+                        Next::Fixed(*not_taken)
+                    }
+                    _ => {
+                        if cond.eval(&no_ccs, &sync) {
+                            Next::Fixed(*taken)
+                        } else {
+                            Next::Fixed(*not_taken)
+                        }
+                    }
+                },
+            };
+            nexts.push(Some(next));
+        }
+
+        // Expand: one successor per assignment of the forked CC bits.
+        let mut out: Vec<usize> = Vec::new();
+        for bits in 0..(1u32 << fork.len()) {
+            let cc_of = |j: usize| -> bool {
+                let pos = fork.iter().position(|&x| x == j).expect("forked");
+                bits & (1 << pos) != 0
+            };
+            let mut pcs = Vec::with_capacity(width);
+            let mut held_done = Vec::with_capacity(width);
+            for (fu, next) in nexts.iter().enumerate() {
+                match next {
+                    None => {
+                        pcs.push(None);
+                        held_done.push(state.held_done[fu]);
+                    }
+                    Some(Next::Halted(done)) => {
+                        pcs.push(None);
+                        held_done.push(*done);
+                    }
+                    Some(Next::Fixed(t)) => {
+                        pcs.push(Some(*t).filter(|a| in_range(*a)));
+                        held_done.push(false);
+                    }
+                    Some(Next::CcDep {
+                        j,
+                        taken,
+                        not_taken,
+                    }) => {
+                        let t = if cc_of(*j) { *taken } else { *not_taken };
+                        pcs.push(Some(t).filter(|a| in_range(*a)));
+                        held_done.push(false);
+                    }
+                }
+            }
+            let succ = State {
+                pcs,
+                held_done,
+                cc_set: cc_next.clone(),
+            };
+            let ti = match index.get(&succ) {
+                Some(&ti) => ti,
+                None if states.len() >= config.max_states => {
+                    truncated = true;
+                    continue;
+                }
+                None => {
+                    let ti = states.len();
+                    states.push(succ.clone());
+                    index.insert(succ, ti);
+                    queue.push_back(ti);
+                    ti
+                }
+            };
+            if !out.contains(&ti) {
+                out.push(ti);
+            }
+        }
+        debug_assert_eq!(succs.len(), si);
+        succs.push(out);
+    }
+
+    if truncated {
+        diags.push(Diagnostic::new(
+            Check::StateSpaceTruncated,
+            Severity::Warning,
+            format!(
+                "state space exceeds the cap of {} states; deadlock and \
+                 termination results are incomplete",
+                config.max_states
+            ),
+        ));
+        return InterpFacts {
+            states_explored: states.len(),
+            truncated,
+            max_live_streams,
+        };
+    }
+
+    // Termination: reverse reachability from the good terminals.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+    for (s, out) in succs.iter().enumerate() {
+        for &t in out {
+            preds[t].push(s);
+        }
+    }
+    let mut can_finish = vec![false; states.len()];
+    let mut back: VecDeque<usize> = VecDeque::new();
+    for (s, state) in states.iter().enumerate() {
+        if is_terminal(state, program) {
+            can_finish[s] = true;
+            back.push_back(s);
+        }
+    }
+    while let Some(s) = back.pop_front() {
+        for &p in &preds[s] {
+            if !can_finish[p] {
+                can_finish[p] = true;
+                back.push_back(p);
+            }
+        }
+    }
+
+    // Report one finding per distinct stuck configuration (the multiset
+    // of running (FU, address) pairs), capped to keep output readable.
+    const MAX_STUCK_REPORTS: usize = 8;
+    let mut stuck_seen: HashSet<Vec<(u8, u32)>> = HashSet::new();
+    let mut suppressed = 0usize;
+    for (s, state) in states.iter().enumerate() {
+        if can_finish[s] {
+            continue;
+        }
+        let mut signature: Vec<(u8, u32)> = state
+            .pcs
+            .iter()
+            .enumerate()
+            .filter_map(|(fu, pc)| pc.map(|a| (fu as u8, a.0)))
+            .collect();
+        signature.sort_unstable();
+        if !stuck_seen.insert(signature.clone()) {
+            continue;
+        }
+        if stuck_seen.len() > MAX_STUCK_REPORTS {
+            suppressed += 1;
+            continue;
+        }
+        let mut waits: Vec<String> = Vec::new();
+        let mut anchor: Option<(Addr, FuId)> = None;
+        for &(fu, a) in &signature {
+            let (f, addr) = (FuId(fu), Addr(a));
+            let parcel = program.parcel(addr, f).expect("in range");
+            if let Some(cond) = parcel.ctrl.cond() {
+                if !matches!(cond, CondSource::Cc(_)) {
+                    waits.push(format!("{f} at {addr} waits on {}", cond_name(cond)));
+                    anchor.get_or_insert((addr, f));
+                }
+            }
+        }
+        let running: Vec<String> = signature
+            .iter()
+            .map(|&(fu, a)| format!("{} at {}", FuId(fu), Addr(a)))
+            .collect();
+        if waits.is_empty() {
+            let (fu, a) = signature[0];
+            diags.push(
+                Diagnostic::new(
+                    Check::NoTermination,
+                    Severity::Warning,
+                    format!(
+                        "no halt or park state is reachable from here (running: {})",
+                        running.join(", ")
+                    ),
+                )
+                .at(Addr(a), FuId(fu)),
+            );
+        } else {
+            let busy: Vec<String> = (0..width)
+                .filter(|&j| state.pcs[j].is_none() && !state.held_done[j])
+                .map(|j| format!("{} (halted, BUSY)", FuId(j as u8)))
+                .collect();
+            let mut message = format!("unreleasable synchronization: {}", waits.join("; "));
+            if !busy.is_empty() {
+                message.push_str(&format!("; {}", busy.join(", ")));
+            }
+            let (addr, fu) = anchor.expect("some wait");
+            diags.push(Diagnostic::new(Check::SyncDeadlock, Severity::Error, message).at(addr, fu));
+        }
+    }
+    if suppressed > 0 {
+        diags.push(Diagnostic::new(
+            Check::NoTermination,
+            Severity::Warning,
+            format!("{suppressed} further stuck configuration(s) not shown"),
+        ));
+    }
+
+    InterpFacts {
+        states_explored: states.len(),
+        truncated,
+        max_live_streams,
+    }
+}

@@ -1,0 +1,381 @@
+//! **xlint** — static verification of XIMD-1 programs.
+//!
+//! On XIMD every parcel names its successors explicitly, so a program is a
+//! *set of per-FU control-flow graphs* sharing one instruction memory.
+//! Most VLIW static checks carry over per word; the interesting defects
+//! are the cross-stream ones — a barrier no machine state can release, or
+//! two streams whose schedules let them touch one register in the same
+//! cycle. This crate runs three passes over a [`Program`]:
+//!
+//! 1. **Structure** ([`Check::DanglingTarget`], [`Check::UnreachableCode`],
+//!    [`Check::MissingTerminal`], [`Check::SsNeverDone`]) — per-FU CFG
+//!    walks from the shared entry `00:`.
+//! 2. **Word resources** ([`Check::PortBudget`], [`Check::MultiWriteReg`],
+//!    [`Check::MultiWriteMem`]) — per wide instruction, against the
+//!    configured register-file port budgets.
+//! 3. **Product interpretation** ([`Check::SyncDeadlock`],
+//!    [`Check::NoTermination`], [`Check::CrossStreamRace`],
+//!    [`Check::CcBeforeCompare`]) — abstract interpretation over the
+//!    product of the per-FU CFGs, evaluating sync signals exactly (they
+//!    are combinational and program-determined) and treating only the CC
+//!    latches as nondeterministic, refined by the same
+//!    [`ximd_sim::Partition`] decision-key rule the simulator applies
+//!    each cycle.
+//!
+//! The pass structure mirrors how the machine actually fails: word-level
+//! defects fault both simulators identically, while cross-stream defects
+//! are XIMD-specific and invisible to a classic VLIW verifier.
+//!
+//! Diagnostics carry instruction-memory anchors; [`lint_assembly`] adds
+//! assembler source lines from the [`Assembly`]'s source map.
+//!
+//! # Precision
+//!
+//! Sync behaviour is exact, so ALL-SS release and SS handshakes are
+//! decided, not approximated. Condition codes fork the exploration each
+//! time they are read (correlated within a cycle, free across cycles),
+//! and data values are not tracked at all — so a `CC`-guarded invariant
+//! that actually keeps two streams apart is *not* visible, and such
+//! programs may draw spurious [`Check::CrossStreamRace`] warnings; this
+//! over-approximation is what makes the deadlock and race results sound.
+//! Register-addressed stores have unknown cells and are compared
+//! conservatively. State exploration is capped ([`AnalysisConfig::max_states`]);
+//! hitting the cap degrades the whole-space checks to a warning.
+
+mod cfg;
+mod config;
+mod diag;
+mod interp;
+mod word;
+
+pub use config::AnalysisConfig;
+pub use diag::{Analysis, Check, Diagnostic, Severity};
+
+use ximd_asm::Assembly;
+use ximd_isa::Program;
+
+/// Runs every check over `program`.
+pub fn analyze(program: &Program, config: &AnalysisConfig) -> Analysis {
+    let mut diagnostics = Vec::new();
+    cfg::check(program, &mut diagnostics);
+    word::check(program, config, &mut diagnostics);
+    let facts = interp::check(program, config, &mut diagnostics);
+    Analysis {
+        diagnostics,
+        states_explored: facts.states_explored,
+        truncated: facts.truncated,
+        max_live_streams: facts.max_live_streams,
+    }
+    .finish()
+}
+
+/// [`analyze`] with the default XIMD-1 configuration.
+pub fn analyze_default(program: &Program) -> Analysis {
+    analyze(program, &AnalysisConfig::default())
+}
+
+/// Lints an assembled program and anchors findings to source lines.
+pub fn lint_assembly(assembly: &Assembly, config: &AnalysisConfig) -> Analysis {
+    let mut analysis = analyze(&assembly.program, config);
+    for d in &mut analysis.diagnostics {
+        if let (Some(addr), Some(fu)) = (d.addr, d.fu) {
+            d.line = assembly.source_map.line(addr, fu);
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_asm::assemble;
+    use ximd_isa::{Addr, FuId, Parcel, Program};
+
+    fn lint(source: &str) -> Analysis {
+        lint_assembly(
+            &assemble(source).expect("fixture assembles"),
+            &AnalysisConfig::default(),
+        )
+    }
+
+    /// The canonical broken fixture: a same-word double write, and an
+    /// ALL-SS barrier that can never open because a peer halts while
+    /// still exporting BUSY.
+    const BROKEN: &str = "\
+.width 2
+00:
+  fu0: iadd r0,#1,r2 ; -> 01:
+  fu1: iadd r1,#1,r2 ; -> 01:
+01:
+  fu0: nop ; if allss 02: | 01: ; DONE
+  fu1: nop ; halt
+02:
+  all: nop ; halt
+";
+
+    #[test]
+    fn broken_fixture_double_write_is_an_error_with_span() {
+        let analysis = lint(BROKEN);
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::MultiWriteReg)
+            .expect("double write reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.addr, Some(Addr(0)));
+        // The span points at the first conflicting parcel's source line.
+        assert_eq!(d.line, Some(3));
+        assert!(d.message.contains("r2"), "{}", d.message);
+    }
+
+    #[test]
+    fn broken_fixture_unreleasable_barrier_is_a_deadlock_error() {
+        let analysis = lint(BROKEN);
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::SyncDeadlock)
+            .expect("deadlock reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!((d.addr, d.fu), (Some(Addr(1)), Some(FuId(0))));
+        assert_eq!(d.line, Some(6));
+        assert!(d.message.contains("allss"), "{}", d.message);
+        // The structural pass also explains *why*: fu1 never exports DONE.
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::SsNeverDone));
+    }
+
+    #[test]
+    fn stricter_read_budget_flags_port_oversubscription() {
+        let config = AnalysisConfig {
+            reads_per_fu: 1,
+            ..AnalysisConfig::default()
+        };
+        let assembly = assemble(BROKEN).unwrap();
+        let analysis = lint_assembly(&assembly, &config);
+        let ports: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.check == Check::PortBudget)
+            .collect();
+        // `iadd rN,#1,r2` reads one register; make one that reads two.
+        assert!(ports.is_empty());
+        let two_reads = "\
+.width 1
+00:
+  fu0: iadd r0,r1,r2 ; halt
+";
+        let analysis = lint_assembly(&assemble(two_reads).unwrap(), &config);
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::PortBudget)
+            .expect("port budget reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.line, Some(3));
+    }
+
+    #[test]
+    fn shared_word_ports_are_budgeted() {
+        let config = AnalysisConfig {
+            word_write_ports: Some(1),
+            ..AnalysisConfig::default()
+        };
+        let source = "\
+.width 2
+00:
+  fu0: iadd r0,#1,r1 ; halt
+  fu1: iadd r2,#1,r3 ; halt
+";
+        let analysis = lint_assembly(&assemble(source).unwrap(), &config);
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::PortBudget && d.addr == Some(Addr(0))));
+    }
+
+    #[test]
+    fn cross_stream_write_write_is_detected() {
+        // The streams split at 00: and write r5 from different addresses
+        // in the same cycle.
+        let analysis = lint(
+            "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 02:
+01:
+  fu0: iadd r0,#1,r5 ; -> 03:
+02:
+  fu1: iadd r1,#1,r5 ; -> 03:
+03:
+  all: nop ; -> 03:
+",
+        );
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::CrossStreamRace)
+            .expect("race reported");
+        assert!(d.message.contains("r5"), "{}", d.message);
+        assert!(!analysis.has_errors());
+    }
+
+    #[test]
+    fn cross_stream_write_read_is_detected() {
+        let analysis = lint(
+            "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 02:
+01:
+  fu0: iadd r9,#0,r1 ; -> 03:
+02:
+  fu1: iadd r0,#7,r9 ; -> 03:
+03:
+  all: nop ; -> 03:
+",
+        );
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::CrossStreamRace && d.message.contains("r9")));
+    }
+
+    #[test]
+    fn sync_handshake_is_proved_race_free() {
+        // Producer writes r9 then parks exporting DONE; the consumer
+        // polls SS1 before reading. Exact sync evaluation shows the
+        // write and the read can never share a cycle.
+        let analysis = lint(
+            "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: iadd r0,#7,r9 ; -> 03:
+01:
+  fu0: nop ; if ss1 02: | 01:
+02:
+  fu0: iadd r9,#0,r1 ; -> 04:
+03:
+  fu1: nop ; -> 03: ; DONE
+04:
+  fu0: nop ; -> 04:
+",
+        );
+        assert!(analysis.is_clean(), "{analysis}");
+        assert_eq!(analysis.max_live_streams, 2);
+    }
+
+    #[test]
+    fn cc_read_before_any_compare_warns() {
+        let analysis = lint(
+            "\
+.width 1
+00:
+  fu0: nop ; if cc0 01: | 01:
+01:
+  fu0: nop ; halt
+",
+        );
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::CcBeforeCompare)
+            .expect("cc warning");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.addr, Some(Addr(0)));
+    }
+
+    #[test]
+    fn unreachable_data_parcel_warns_but_padding_does_not() {
+        let analysis = lint(
+            "\
+.width 1
+00:
+  fu0: nop ; -> 02:
+01:
+  fu0: iadd r0,#1,r1 ; -> 02:
+02:
+  fu0: nop ; halt
+",
+        );
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::UnreachableCode)
+            .expect("unreachable data op");
+        assert_eq!(d.addr, Some(Addr(1)));
+        // A program whose gaps are pure `nop ; halt` padding stays silent.
+        let padded = lint(".width 1\n00:\n  fu0: nop ; -> 05:\n05:\n  fu0: nop ; halt\n");
+        assert!(padded.is_clean(), "{padded}");
+    }
+
+    #[test]
+    fn dangling_target_in_hand_built_program_is_an_error() {
+        let mut program = Program::new(1);
+        program.push(vec![Parcel::goto(Addr(9))]);
+        let analysis = analyze_default(&program);
+        assert!(analysis.errors().any(|d| d.check == Check::DanglingTarget));
+    }
+
+    #[test]
+    fn lockstep_program_has_one_stream() {
+        let analysis = lint(
+            "\
+.width 4
+00:
+  all: nop ; -> 01:
+01:
+  all: nop ; halt
+",
+        );
+        assert!(analysis.is_clean(), "{analysis}");
+        assert_eq!(analysis.max_live_streams, 1);
+    }
+
+    #[test]
+    fn exitless_loop_without_sync_wait_is_a_warning() {
+        let analysis = lint(
+            "\
+.width 1
+00:
+  fu0: nop ; -> 01:
+01:
+  fu0: nop ; -> 00:
+",
+        );
+        assert!(analysis.warnings().any(|d| d.check == Check::NoTermination));
+        assert!(!analysis.has_errors());
+    }
+
+    #[test]
+    fn state_cap_truncates_with_a_warning() {
+        let config = AnalysisConfig {
+            max_states: 2,
+            ..AnalysisConfig::default()
+        };
+        let assembly = assemble(
+            "\
+.width 2
+00:
+  fu0: lt r0,r1 ; -> 01:
+  fu1: lt r2,r3 ; -> 01:
+01:
+  fu0: nop ; if cc0 00: | 02:
+  fu1: nop ; if cc1 00: | 02:
+02:
+  all: nop ; halt
+",
+        )
+        .unwrap();
+        let analysis = lint_assembly(&assembly, &config);
+        assert!(analysis.truncated);
+        assert!(analysis
+            .warnings()
+            .any(|d| d.check == Check::StateSpaceTruncated));
+    }
+}

@@ -1,0 +1,148 @@
+//! Word-level resource checks: register-file port budgets and same-word
+//! write conflicts.
+//!
+//! These are purely syntactic per wide instruction. A word that encodes
+//! two writes to one register (or one memory cell) is invalid however the
+//! streams interleave — the VLIW view of the same program would co-issue
+//! every parcel of the word, and both simulators fault on commit.
+
+use std::collections::HashMap;
+
+use ximd_isa::{DataOp, FuId, Operand, Program, Value};
+
+use crate::config::AnalysisConfig;
+use crate::diag::{Check, Diagnostic, Severity};
+
+/// The memory cell a store writes, when statically known.
+pub(crate) fn store_cell(op: &DataOp) -> Option<Result<i32, ()>> {
+    match op {
+        DataOp::Store { b, .. } => match b {
+            Operand::Imm(Value::I32(v)) => Some(Ok(*v)),
+            _ => Some(Err(())),
+        },
+        _ => None,
+    }
+}
+
+pub(crate) fn check(program: &Program, config: &AnalysisConfig, diags: &mut Vec<Diagnostic>) {
+    for (addr, word) in program.iter() {
+        let mut word_reads = 0usize;
+        let mut word_writes = 0usize;
+        let mut writers: HashMap<u16, Vec<FuId>> = HashMap::new();
+        let mut stores: Vec<(FuId, Result<i32, ()>)> = Vec::new();
+
+        for (fu, parcel) in word.iter().enumerate() {
+            let f = FuId(fu as u8);
+            let reads = parcel.data.sources().len();
+            let writes = usize::from(parcel.data.dest().is_some());
+            word_reads += reads;
+            word_writes += writes;
+            if reads > config.reads_per_fu {
+                diags.push(
+                    Diagnostic::new(
+                        Check::PortBudget,
+                        Severity::Error,
+                        format!(
+                            "parcel needs {reads} register reads, budget is {}",
+                            config.reads_per_fu
+                        ),
+                    )
+                    .at(addr, f),
+                );
+            }
+            if writes > config.writes_per_fu {
+                diags.push(
+                    Diagnostic::new(
+                        Check::PortBudget,
+                        Severity::Error,
+                        format!(
+                            "parcel needs {writes} register writes, budget is {}",
+                            config.writes_per_fu
+                        ),
+                    )
+                    .at(addr, f),
+                );
+            }
+            if let Some(d) = parcel.data.dest() {
+                writers.entry(d.0).or_default().push(f);
+            }
+            if let Some(cell) = store_cell(&parcel.data) {
+                stores.push((f, cell));
+            }
+        }
+
+        if let Some(cap) = config.word_read_ports {
+            if word_reads > cap {
+                diags.push(
+                    Diagnostic::new(
+                        Check::PortBudget,
+                        Severity::Error,
+                        format!("wide instruction needs {word_reads} register reads, shared budget is {cap}"),
+                    )
+                    .at_addr(addr),
+                );
+            }
+        }
+        if let Some(cap) = config.word_write_ports {
+            if word_writes > cap {
+                diags.push(
+                    Diagnostic::new(
+                        Check::PortBudget,
+                        Severity::Error,
+                        format!("wide instruction needs {word_writes} register writes, shared budget is {cap}"),
+                    )
+                    .at_addr(addr),
+                );
+            }
+        }
+
+        for (reg, fus) in writers {
+            if fus.len() > 1 {
+                let who: Vec<String> = fus.iter().map(|f| f.to_string()).collect();
+                diags.push(
+                    Diagnostic::new(
+                        Check::MultiWriteReg,
+                        Severity::Error,
+                        format!(
+                            "{} all write r{reg} in one wide instruction",
+                            who.join(", ")
+                        ),
+                    )
+                    .at(addr, fus[0]),
+                );
+            }
+        }
+
+        for i in 0..stores.len() {
+            for (g, cell_g) in &stores[i + 1..] {
+                let (f, cell_f) = &stores[i];
+                match (cell_f, cell_g) {
+                    (Ok(a), Ok(b)) if a == b => {
+                        diags.push(
+                            Diagnostic::new(
+                                Check::MultiWriteMem,
+                                Severity::Error,
+                                format!("{f} and {g} both store to M[{a}] in one wide instruction"),
+                            )
+                            .at(addr, *f),
+                        );
+                    }
+                    (Ok(_), Ok(_)) => {}
+                    _ => {
+                        diags.push(
+                            Diagnostic::new(
+                                Check::MultiWriteMem,
+                                Severity::Warning,
+                                format!(
+                                    "{f} and {g} store in one wide instruction to addresses \
+                                     that cannot be proven distinct"
+                                ),
+                            )
+                            .at(addr, *f),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

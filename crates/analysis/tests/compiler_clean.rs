@@ -1,0 +1,139 @@
+//! Every program the compiler emits must lint clean.
+//!
+//! xlint runs as a self-check over each code-generation path: plain
+//! percolation-scheduled functions, multi-thread `ximdgen` combination
+//! (both join disciplines, including a machine wider than the packed
+//! threads), the Figure-13 tile-packing flow, fork/join guard loops, and
+//! modulo-scheduled (software-pipelined) loops. These are all
+//! compiler-built, so the bar is *zero findings*, not merely zero errors
+//! — a warning here is a codegen bug or an analysis false positive, and
+//! either deserves a failing test.
+
+use ximd_analysis::{analyze_default, Analysis};
+use ximd_compiler::autopipeline::compile_pipelined;
+use ximd_compiler::compile_named;
+use ximd_compiler::forkjoin::{compile_forkjoin, Guard, GuardedLoop};
+use ximd_compiler::ir::{Inst, VReg, Val};
+use ximd_compiler::tile::menus;
+use ximd_compiler::ximdgen::{combine_threads, Join};
+use ximd_isa::{AluOp, CmpOp, Program};
+
+const SRC: &str = r"
+fn sum(n) {
+    let s = 0;
+    let i = 1;
+    while (i <= n) { s = s + i; i = i + 1; }
+    return s;
+}
+fn fib(n) {
+    let a = 0;
+    let b = 1;
+    let i = 0;
+    while (i < n) { let t = a + b; a = b; b = t; i = i + 1; }
+    return a;
+}
+";
+
+fn assert_clean(what: &str, program: &Program) -> Analysis {
+    let analysis = analyze_default(program);
+    assert!(analysis.is_clean(), "{what}:\n{analysis}");
+    analysis
+}
+
+#[test]
+fn percolation_scheduled_functions_lint_clean() {
+    for width in [1usize, 2, 4] {
+        let f = compile_named(SRC, "sum", width).expect("sum compiles");
+        let analysis = assert_clean(&format!("sum@{width}"), &f.ximd_program());
+        assert_eq!(analysis.max_live_streams, 1, "single control stream");
+    }
+}
+
+#[test]
+fn combined_threads_lint_clean_under_both_joins() {
+    let sum = compile_named(SRC, "sum", 2).expect("sum compiles");
+    let fib = compile_named(SRC, "fib", 2).expect("fib compiles");
+    for join in [Join::Halt, Join::Barrier] {
+        let combined = combine_threads(&[&sum, &fib], 4, join).expect("threads fit");
+        let analysis = assert_clean(&format!("combine({join:?})"), &combined.program);
+        assert_eq!(analysis.max_live_streams, 2, "two threads, two streams");
+    }
+}
+
+#[test]
+fn unused_columns_do_not_deadlock_the_barrier() {
+    // A machine wider than the packed threads: the spare columns halt at
+    // dispatch. ximdgen makes them halt *exporting DONE* precisely so the
+    // ALL-SS join still opens; the deadlock pass verifies that reasoning.
+    let sum = compile_named(SRC, "sum", 2).expect("sum compiles");
+    let combined = combine_threads(&[&sum], 6, Join::Barrier).expect("thread fits");
+    assert_clean("combine(width 6, one 2-wide thread)", &combined.program);
+}
+
+#[test]
+fn tile_packed_widths_lint_clean_when_combined() {
+    // Figure 13 flow: build each thread's tile menu, pick the min-area
+    // tile, compile at that width, and combine. The packing geometry
+    // itself has no program; the packed *threads* do, and they must lint.
+    let menu = menus(SRC, &[1, 2, 4]).expect("menus build");
+    let picks: Vec<usize> = menu.iter().map(|m| m.min_area().width).collect();
+    let sum = compile_named(SRC, "sum", picks[0]).expect("sum compiles");
+    let fib = compile_named(SRC, "fib", picks[1]).expect("fib compiles");
+    let width = picks.iter().sum::<usize>().max(4);
+    let combined = combine_threads(&[&sum, &fib], width, Join::Barrier).expect("threads fit");
+    assert_clean("tile-packed combination", &combined.program);
+}
+
+#[test]
+fn forkjoin_guard_loops_lint_clean() {
+    let ind = VReg(0);
+    let trips = VReg(1);
+    let v = VReg(2);
+    for guards in [2usize, 4] {
+        let spec = GuardedLoop {
+            prologue: vec![Inst::Load {
+                base: Val::Const(99),
+                off: ind.into(),
+                d: v,
+            }],
+            guards: (0..guards)
+                .map(|i| Guard {
+                    op: CmpOp::Ge,
+                    a: v.into(),
+                    b: Val::Const(i as i32 * 10),
+                    body: vec![Inst::Bin {
+                        op: AluOp::Iadd,
+                        a: VReg(3 + i as u32).into(),
+                        b: Val::Const(1),
+                        d: VReg(3 + i as u32),
+                    }],
+                })
+                .collect(),
+            induction: ind,
+            start: 1,
+            step: 1,
+            trips,
+        };
+        let fj = compile_forkjoin(&spec, guards + 1).expect("fork/join compiles");
+        assert_clean(&format!("forkjoin({guards} guards)"), &fj.program);
+    }
+}
+
+#[test]
+fn modulo_scheduled_loops_lint_clean() {
+    const LOOP: &str = r"
+fn scale(n) {
+    let i = 0;
+    while (i < n) {
+        mem[4000 + i] = mem[2000 + i] * 3 + 7;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+    for width in [4usize, 8] {
+        let (piped, ii) = compile_pipelined(LOOP, width).expect("loop compiles");
+        assert!(ii.is_some(), "loop qualifies for pipelining");
+        assert_clean(&format!("pipelined@{width}"), &piped.ximd_program());
+    }
+}

@@ -61,9 +61,11 @@ pub mod error;
 pub mod listing;
 pub mod parser;
 pub mod printer;
+pub mod source_map;
 pub mod symbols;
 
 pub use error::AsmError;
 pub use parser::{assemble, Assembly};
 pub use printer::print_program;
+pub use source_map::SourceMap;
 pub use symbols::SymbolTable;

@@ -6,6 +6,7 @@ use ximd_isa::{
 };
 
 use crate::error::{AsmError, AsmErrorKind};
+use crate::source_map::SourceMap;
 use crate::symbols::SymbolTable;
 
 /// The result of assembling a source file.
@@ -15,6 +16,8 @@ pub struct Assembly {
     pub program: Program,
     /// Register aliases, constants and labels defined by the source.
     pub symbols: SymbolTable,
+    /// Parcel → source-line mapping (for diagnostics).
+    pub source_map: SourceMap,
 }
 
 struct Block<'a> {
@@ -168,11 +171,15 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
     let len = next_addr;
     let halt_word = vec![Parcel::halt(); width];
     let mut words = vec![halt_word; len as usize];
+    let mut source_map = SourceMap::default();
     for block in &blocks {
         let word = &mut words[block.addr.index()];
         if let Some((lineno, text)) = block.default {
             let parcel = parse_parcel(text, lineno, &symbols)?;
             word.fill(parcel);
+            for fu in 0..width {
+                source_map.record(block.addr, FuId(fu as u8), lineno as u32);
+            }
         }
         for &(fu, lineno, text) in &block.parcels {
             if fu >= width {
@@ -182,6 +189,7 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
                 ));
             }
             word[fu] = parse_parcel(text, lineno, &symbols)?;
+            source_map.record(block.addr, FuId(fu as u8), lineno as u32);
         }
     }
 
@@ -192,7 +200,11 @@ pub fn assemble(source: &str) -> Result<Assembly, AsmError> {
     program
         .validate(ximd_isa::XIMD1_NUM_REGS)
         .map_err(|e| AsmError::new(0, AsmErrorKind::Isa(e)))?;
-    Ok(Assembly { program, symbols })
+    Ok(Assembly {
+        program,
+        symbols,
+        source_map,
+    })
 }
 
 fn parse_literal(text: &str) -> Option<Value> {

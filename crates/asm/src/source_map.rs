@@ -1,0 +1,35 @@
+//! Instruction-memory → source-line mapping.
+
+use std::collections::HashMap;
+
+use ximd_isa::{Addr, FuId};
+
+/// Maps each assembled parcel back to the 1-based source line its text
+/// came from. Cells the source never names (gap padding, omitted FUs)
+/// have no entry. Cells filled by an `all:` default map to the default's
+/// line unless an explicit `fuK:` line overrode them.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    lines: HashMap<(Addr, FuId), u32>,
+}
+
+impl SourceMap {
+    /// The source line that produced the parcel at `(addr, fu)`, if any.
+    pub fn line(&self, addr: Addr, fu: FuId) -> Option<u32> {
+        self.lines.get(&(addr, fu)).copied()
+    }
+
+    /// Number of mapped parcels.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no parcel is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    pub(crate) fn record(&mut self, addr: Addr, fu: FuId, line: u32) {
+        self.lines.insert((addr, fu), line);
+    }
+}

@@ -6,12 +6,15 @@
 //! repro                 # run every experiment
 //! repro fig10 perf      # run selected experiments by id
 //! repro --list          # list experiment ids
+//! repro --no-lint       # skip the xlint preflight
 //! ```
 //!
-//! Exit status is non-zero if any regenerated artifact fails its check
-//! against the published values.
+//! Before any experiment runs, every workload program is linted; an
+//! error-severity finding aborts the run (warnings are reported only).
+//! Exit status is non-zero if the preflight fails or any regenerated
+//! artifact fails its check against the published values.
 
-use ximd_bench::{all_reports, Report};
+use ximd_bench::{all_reports, lint_preflight, Report};
 
 fn select(args: &[String]) -> Vec<Report> {
     let all = all_reports();
@@ -25,12 +28,25 @@ fn select(args: &[String]) -> Vec<Report> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list" || a == "-l") {
         for r in all_reports() {
             println!("{:<8} {}", r.id, r.title);
         }
         return;
+    }
+    let no_lint = args.iter().any(|a| a == "--no-lint");
+    args.retain(|a| a != "--no-lint");
+    if no_lint {
+        println!("== xlint preflight skipped (--no-lint) ==");
+    } else {
+        let (body, errors) = lint_preflight();
+        println!("== xlint preflight ==");
+        print!("{body}");
+        if errors {
+            eprintln!("repro: xlint preflight failed; fix the findings or pass --no-lint");
+            std::process::exit(1);
+        }
     }
     let reports = select(&args);
     if reports.is_empty() {

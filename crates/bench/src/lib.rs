@@ -968,6 +968,38 @@ fn scale(n) {
     }
 }
 
+/// Lint every program the harness executes, before any experiment runs.
+///
+/// Covers the hand-written workload listings (assembled, so findings carry
+/// source lines) and the hand-built Livermore Loop 12 kernel. Returns the
+/// per-program report and whether any *error*-severity finding was seen;
+/// warnings — MINMAX's deliberate cross-stream handoff draws two — are
+/// reported but do not fail the preflight.
+pub fn lint_preflight() -> (String, bool) {
+    use ximd::analysis::{lint_assembly, AnalysisConfig};
+
+    let config = AnalysisConfig::default();
+    let assemblies = [
+        ("tproc", tproc::ximd_assembly()),
+        ("minmax", minmax::ximd_assembly()),
+        ("bitcount", bitcount::ximd_assembly()),
+        ("nonblocking/sync", nonblocking::sync_assembly()),
+        ("nonblocking/flags", nonblocking::flags_assembly()),
+        ("race", ximd::workloads::race::ximd_assembly()),
+    ];
+    let mut body = String::new();
+    let mut errors = false;
+    for (name, assembly) in &assemblies {
+        let analysis = lint_assembly(assembly, &config);
+        errors |= analysis.has_errors();
+        let _ = writeln!(body, "{name:<18} {analysis}");
+    }
+    let ll12 = ximd::analysis::analyze(&livermore::ximd_program(), &config);
+    errors |= ll12.has_errors();
+    let _ = writeln!(body, "{:<18} {ll12}", "livermore/ll12");
+    (body, errors)
+}
+
 /// Every experiment, in paper order.
 pub fn all_reports() -> Vec<Report> {
     vec![
@@ -992,6 +1024,19 @@ pub fn all_reports() -> Vec<Report> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lint_preflight_passes() {
+        let (body, errors) = lint_preflight();
+        assert!(!errors, "preflight found errors:\n{body}");
+        // MINMAX's two cross-stream warnings are expected and must not
+        // silently vanish — they pin the analysis' sensitivity.
+        assert!(body.contains("minmax"));
+        assert!(
+            body.contains("cross-stream"),
+            "minmax warnings missing:\n{body}"
+        );
+    }
 
     #[test]
     fn every_experiment_reports_ok() {

@@ -141,10 +141,7 @@ pub fn compile_function(func: &Function, width: usize) -> Result<CompiledFunctio
     let mut ret_vreg = None;
     for b in 0..func.blocks.len() {
         if let Terminator::Return(Some(v)) = func.blocks[b].term {
-            let rv = *ret_vreg.get_or_insert_with(|| {
-                let r = func.new_vreg();
-                r
-            });
+            let rv = *ret_vreg.get_or_insert_with(|| func.new_vreg());
             func.blocks[b].insts.push(Inst::Copy { a: v, d: rv });
             func.blocks[b].term = Terminator::Return(None);
         }

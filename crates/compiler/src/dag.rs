@@ -113,7 +113,7 @@ impl Dag {
                 // WAR: j writes what i reads.
                 if let Some(dj) = writes(&nodes[j]) {
                     if reads(&nodes[i]).contains(&dj) {
-                        lat = Some(lat.map_or(0, |l: u32| l.max(0)));
+                        lat = Some(lat.unwrap_or(0));
                     }
                 }
                 // Memory (conservative).
@@ -121,8 +121,8 @@ impl Dag {
                     match (si, sj) {
                         (true, false) => lat = Some(lat.map_or(1, |l: u32| l.max(1))), // load after store
                         (true, true) => lat = Some(lat.map_or(1, |l: u32| l.max(1))), // store after store
-                        (false, true) => lat = Some(lat.map_or(0, |l: u32| l.max(0))), // store after load
-                        (false, false) => {} // loads commute
+                        (false, true) => lat = Some(lat.unwrap_or(0)), // store after load
+                        (false, false) => {}                           // loads commute
                     }
                 }
                 if let Some(lat) = lat {

@@ -300,13 +300,13 @@ pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, C
     };
 
     // fork row: guard FUs branch on their own cc; everyone else to skip.
-    for fu in 0..width {
+    for (fu, slot) in words[fork as usize].iter_mut().enumerate() {
         let ctrl = if fu < guard_count {
             ControlOp::branch(CondSource::Cc(FuId(fu as u8)), Addr(body0), Addr(skip0))
         } else {
             ControlOp::Goto(Addr(skip0))
         };
-        words[fork as usize][fu] = Parcel::data(DataOp::Nop, ctrl);
+        *slot = Parcel::data(DataOp::Nop, ctrl);
     }
 
     // body region: guard bodies, column per guard; every row falls through,
@@ -322,10 +322,8 @@ pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, C
         } else {
             Addr(skip0 + row as u32 + 1)
         };
-        for fu in 0..width {
-            words[(body0 as usize) + row][fu] = Parcel::goto(next);
-            words[(skip0 as usize) + row][fu] = Parcel::goto(skip_next);
-        }
+        words[(body0 as usize) + row].fill(Parcel::goto(next));
+        words[(skip0 as usize) + row].fill(Parcel::goto(skip_next));
         for (gi, guard) in l.guards.iter().enumerate() {
             if let Some(inst) = guard.body.get(row) {
                 words[(body0 as usize) + row][gi].data = lower_inst(inst, &alloc);
@@ -340,9 +338,7 @@ pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, C
         Addr(exit),
         Addr(head),
     );
-    for fu in 0..width {
-        words[join as usize][fu] = Parcel::data(DataOp::Nop, join_ctrl);
-    }
+    words[join as usize].fill(Parcel::data(DataOp::Nop, join_ctrl));
     words[join as usize][0].data = DataOp::Alu {
         op: AluOp::Iadd,
         a: ximd_isa::Operand::Reg(ind),
@@ -357,9 +353,7 @@ pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, C
     };
 
     // exit: halt.
-    for fu in 0..width {
-        words[exit as usize][fu] = Parcel::halt();
-    }
+    words[exit as usize].fill(Parcel::halt());
 
     let mut program = Program::new(width);
     for word in words {

@@ -785,15 +785,12 @@ mod tests {
         };
         let pipe = modulo_schedule(&l, 4).unwrap();
         let n = 12;
-        let data: Vec<i32> = (1..=n as i32).collect();
+        let data: Vec<i32> = (1..=n).collect();
         let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(4)).unwrap();
         sim.mem_mut().poke_slice(100, &data).unwrap();
-        sim.write_reg(pipe.reg_of[&trips], Value::I32(n as i32));
+        sim.write_reg(pipe.reg_of[&trips], Value::I32(n));
         sim.run(10_000).unwrap();
-        assert_eq!(
-            sim.reg(pipe.reg_of[&s]).as_i32(),
-            (1..=n as i32).sum::<i32>()
-        );
+        assert_eq!(sim.reg(pipe.reg_of[&s]).as_i32(), (1..=n).sum::<i32>());
     }
 
     #[test]

@@ -188,9 +188,7 @@ pub fn combine_threads(
     let mut layouts = Vec::with_capacity(threads.len());
     for (ti, t) in threads.iter().enumerate() {
         let entry = entries[ti];
-        for col in fu_base..fu_base + t.width {
-            words[0][col] = Parcel::goto(entry);
-        }
+        words[0][fu_base..fu_base + t.width].fill(Parcel::goto(entry));
 
         // Thread body.
         for (addr, instr) in t.vliw.iter() {
@@ -247,22 +245,16 @@ pub fn combine_threads(
         // are already DONE-by-halt... a halted FU holds its last sync value,
         // which defaults to BUSY — so unowned columns must halt *exporting
         // DONE* at dispatch or the barrier never opens.
-        for col in total_width..machine_width {
-            words[0][col] = Parcel::halt().done();
-        }
+        words[0][total_width..machine_width].fill(Parcel::halt().done());
         let spin = Parcel {
             data: DataOp::Nop,
             ctrl: ControlOp::branch(CondSource::AllSync, end_addr, barrier_addr),
             sync: SyncSignal::Done,
         };
-        for col in 0..total_width {
-            words[barrier_addr.index()][col] = spin;
-        }
+        words[barrier_addr.index()][..total_width].fill(spin);
         // End word: halt everyone, still exporting DONE (halted FUs hold
         // their last value, keeping the release condition stable).
-        for col in 0..total_width {
-            words[end_addr.index()][col] = Parcel::halt().done();
-        }
+        words[end_addr.index()][..total_width].fill(Parcel::halt().done());
     }
 
     let mut program = Program::new(machine_width);

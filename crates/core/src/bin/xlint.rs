@@ -1,0 +1,24 @@
+//! `xlint` — static verifier for XIMD-1 assembler programs.
+//!
+//! Exit status: 0 clean (or warnings without `--strict`), 1 findings,
+//! 2 usage or input errors.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{}", ximd::cli::LINT_USAGE);
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    match ximd::cli::parse_lint_args(&args).and_then(|opts| ximd::cli::run_xlint(&opts)) {
+        Ok((report, failed)) => {
+            print!("{report}");
+            if failed {
+                std::process::exit(1);
+            }
+        }
+        Err(message) => {
+            eprintln!("xlint: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -273,6 +273,89 @@ pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parsed command-line options for the `xlint` tool.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Assembler source files to lint.
+    pub sources: Vec<String>,
+    /// Treat warnings as failures.
+    pub strict: bool,
+    /// Analysis configuration overrides.
+    pub config: ximd_analysis::AnalysisConfig,
+}
+
+/// Usage text for `xlint`.
+pub const LINT_USAGE: &str = "\
+usage: xlint FILE.xasm [FILE.xasm ...] [options]
+  --strict            fail on warnings as well as errors
+  --reads N           per-parcel register read-port budget (default 2)
+  --writes N          per-parcel register write-port budget (default 1)
+  --word-reads N      shared read-port budget per wide instruction
+  --word-writes N     shared write-port budget per wide instruction
+  --max-states N      product state-space cap (default 262144)
+";
+
+/// Parses `xlint` argv (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed arguments.
+pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
+    let mut opts = LintOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad {name} value {v:?}"))
+        };
+        match arg.as_str() {
+            "--strict" => opts.strict = true,
+            "--reads" => opts.config.reads_per_fu = parse("--reads", need("--reads")?)?,
+            "--writes" => opts.config.writes_per_fu = parse("--writes", need("--writes")?)?,
+            "--word-reads" => {
+                opts.config.word_read_ports = Some(parse("--word-reads", need("--word-reads")?)?);
+            }
+            "--word-writes" => {
+                opts.config.word_write_ports =
+                    Some(parse("--word-writes", need("--word-writes")?)?);
+            }
+            "--max-states" => {
+                opts.config.max_states = parse("--max-states", need("--max-states")?)?;
+            }
+            other if !other.starts_with('-') => opts.sources.push(other.to_owned()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.sources.is_empty() {
+        return Err("no source files given".into());
+    }
+    Ok(opts)
+}
+
+/// Runs the xlint tool; returns the report and whether the lint failed
+/// (error findings, or any findings under `--strict`).
+///
+/// # Errors
+///
+/// Returns a formatted message for I/O or assembly failures.
+pub fn run_xlint(opts: &LintOptions) -> Result<(String, bool), String> {
+    let mut out = String::new();
+    let mut failed = false;
+    for path in &opts.sources {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+        let analysis = ximd_analysis::lint_assembly(&assembly, &opts.config);
+        failed |= analysis.has_errors() || (opts.strict && !analysis.is_clean());
+        let _ = writeln!(out, "{path}: {analysis}");
+    }
+    Ok((out, failed))
+}
+
 fn dump_state(
     out: &mut String,
     opts: &CliOptions,
@@ -352,6 +435,58 @@ mod tests {
     fn csv_flag_implies_trace() {
         let opts = parse_args(&args(&["f.xasm", "--csv"])).unwrap();
         assert!(opts.csv && opts.trace);
+    }
+
+    #[test]
+    fn lint_args_parse_and_reject_garbage() {
+        let opts =
+            parse_lint_args(&args(&["a.xasm", "b.xasm", "--strict", "--reads", "1"])).unwrap();
+        assert_eq!(opts.sources, vec!["a.xasm", "b.xasm"]);
+        assert!(opts.strict);
+        assert_eq!(opts.config.reads_per_fu, 1);
+        assert!(parse_lint_args(&args(&[])).is_err());
+        assert!(parse_lint_args(&args(&["a.xasm", "--bogus"])).is_err());
+        assert!(parse_lint_args(&args(&["a.xasm", "--reads", "x"])).is_err());
+    }
+
+    #[test]
+    fn xlint_reports_clean_and_broken_files() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.xasm");
+        std::fs::write(&clean, ".width 1\n00:\n  fu0: nop ; halt\n").unwrap();
+        let opts = parse_lint_args(&args(&[clean.to_str().unwrap()])).unwrap();
+        let (report, failed) = run_xlint(&opts).unwrap();
+        assert!(!failed);
+        assert!(report.contains("clean"), "{report}");
+
+        let broken = dir.join("broken.xasm");
+        std::fs::write(
+            &broken,
+            ".width 2\n00:\n  fu0: iadd r0,#1,r2 ; halt\n  fu1: iadd r1,#1,r2 ; halt\n",
+        )
+        .unwrap();
+        let opts = parse_lint_args(&args(&[broken.to_str().unwrap()])).unwrap();
+        let (report, failed) = run_xlint(&opts).unwrap();
+        assert!(failed);
+        assert!(report.contains("multi-write-reg"), "{report}");
+    }
+
+    #[test]
+    fn xlint_strict_fails_on_warnings() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warn.xasm");
+        // A cc read before any compare: warning only.
+        std::fs::write(
+            &path,
+            ".width 1\n00:\n  fu0: nop ; if cc0 01: | 01:\n01:\n  fu0: nop ; halt\n",
+        )
+        .unwrap();
+        let lax = parse_lint_args(&args(&[path.to_str().unwrap()])).unwrap();
+        assert!(!run_xlint(&lax).unwrap().1);
+        let strict = parse_lint_args(&args(&[path.to_str().unwrap(), "--strict"])).unwrap();
+        assert!(run_xlint(&strict).unwrap().1);
     }
 
     #[test]

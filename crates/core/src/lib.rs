@@ -54,6 +54,7 @@
 
 pub mod cli;
 
+pub use ximd_analysis as analysis;
 pub use ximd_asm as asm;
 pub use ximd_compiler as compiler;
 pub use ximd_isa as isa;

@@ -126,7 +126,7 @@ impl fmt::Display for CondSource {
 /// let br = ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(3));
 /// assert_eq!(br.to_string(), "if cc1 02: | 03:");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ControlOp {
     /// Unconditional branch to the target (the paper's `Target 1` /
     /// `Target 2` operations collapse to this form once targets are
@@ -146,6 +146,7 @@ pub enum ControlOp {
     /// XIMD-1 as published never stops (it is a research model); `halt` is
     /// the conventional simulator extension used by xsim-style tools to end
     /// a run. A halted FU keeps exporting its last `CC_i`/`SS_i` values.
+    #[default]
     Halt,
 }
 
@@ -198,12 +199,6 @@ impl ControlOp {
             cond.validate(width)?;
         }
         Ok(())
-    }
-}
-
-impl Default for ControlOp {
-    fn default() -> Self {
-        ControlOp::Halt
     }
 }
 

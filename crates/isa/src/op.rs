@@ -420,9 +420,10 @@ impl fmt::Display for CmpOp {
 /// assert_eq!(op.to_string(), "iadd r0,#1,r0");
 /// assert_eq!(op.dest(), Some(Reg(0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DataOp {
     /// No data operation this cycle.
+    #[default]
     Nop,
     /// Two-source ALU operation: `a op b -> d`.
     Alu {
@@ -584,12 +585,6 @@ impl DataOp {
             check(d)?;
         }
         Ok(())
-    }
-}
-
-impl Default for DataOp {
-    fn default() -> Self {
-        DataOp::Nop
     }
 }
 

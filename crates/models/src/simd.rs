@@ -200,8 +200,8 @@ mod tests {
         let init: Vec<Vec<Value>> = (0..4)
             .map(|lane| {
                 vec![
-                    Value::I32(lane as i32 + 1),
-                    Value::I32(10 * lane as i32 - 5),
+                    Value::I32(lane + 1),
+                    Value::I32(10 * lane - 5),
                     Value::ZERO,
                     Value::ZERO,
                 ]

@@ -74,7 +74,7 @@ pub use config::MachineConfig;
 pub use device::{IoPort, PortEvent};
 pub use error::SimError;
 pub use memory::Memory;
-pub use partition::Partition;
+pub use partition::{CondKey, DecisionKey, Partition};
 pub use regfile::RegisterFile;
 pub use stats::SimStats;
 pub use trace::{Trace, TraceRow};

@@ -343,7 +343,7 @@ impl Xsim {
         max_cycles: u64,
     ) -> Result<RunSummary, SimError> {
         while self.cycle < max_cycles {
-            let parked = self.pcs.iter().all(|pc| pc.map_or(true, |a| a == park));
+            let parked = self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park));
             let status = self.step()?;
             if parked || status == StepStatus::AllHalted {
                 return Ok(RunSummary {

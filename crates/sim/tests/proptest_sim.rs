@@ -93,7 +93,7 @@ prop_compose! {
             let raw = &rows[r as usize];
             let mut word = Vec::with_capacity(width);
             for fu in 0..width {
-                let (data, ctrl, done) = raw[fu % raw.len()].clone();
+                let (data, ctrl, done) = raw[fu % raw.len()];
                 let bank = |d: Reg| {
                     let lanes = (NUM_REGS as usize / width).max(1) as u16;
                     Reg((d.0 % lanes) * width as u16 + fu as u16)

@@ -12,7 +12,7 @@ use ximd_compiler::ir::{Inst, VReg, Val};
 use ximd_compiler::pipeline::{modulo_schedule, CountedLoop, Pipelined};
 use ximd_compiler::CompileError;
 use ximd_isa::{AluOp, Value};
-use ximd_sim::{MachineConfig, SimError, Vsim};
+use ximd_sim::{MachineConfig, Vsim};
 
 /// Word address of `X[1]` minus one.
 pub const X_BASE: i32 = 20_000;
@@ -107,10 +107,7 @@ pub fn run(
     }
     sim.write_reg(pipe.reg_of[&TRIPS], Value::I32(n as i32));
     sim.write_reg(pipe.reg_of[&A], Value::F32(a));
-    let summary = sim
-        .run(1_000 + 16 * n as u64)
-        .map_err(SimError::from)
-        .map_err(CompileError::from)?;
+    let summary = sim.run(1_000 + 16 * n as u64).map_err(CompileError::from)?;
 
     let z = (0..n)
         .map(|i| sim.mem().read(Z_BASE as i64 + i as i64).map(Value::as_f32))

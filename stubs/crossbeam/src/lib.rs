@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope` (see
+//! `stubs/README.md`). Only scoped spawning is provided — the single
+//! crossbeam API the workspace uses.
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// `repr(transparent)` over [`std::thread::Scope`] so a `&std` scope can be
+/// reinterpreted as `&Scope` without constructing a value whose borrow
+/// would have to last for the (caller-chosen, invariant) `'scope` lifetime.
+#[repr(transparent)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (unused by
+    /// the workspace, but part of crossbeam's signature).
+    pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Runs `f` with a scope in which threads borrowing local state can be
+/// spawned; all are joined before returning. Always `Ok` (panics propagate
+/// as panics, as with `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        // SAFETY: Scope is repr(transparent) over std::thread::Scope, so
+        // the pointer cast preserves layout; lifetimes are unchanged.
+        let wrapped =
+            unsafe { &*(s as *const std::thread::Scope<'_, 'env> as *const Scope<'_, 'env>) };
+        f(wrapped)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1, 2, 3];
+        let total = std::sync::Mutex::new(0);
+        super::scope(|scope| {
+            for &x in &data {
+                scope.spawn(|_| {
+                    *total.lock().unwrap() += x;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner().unwrap(), 6);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync` (see
+//! `stubs/README.md`). Only the `Mutex`/`RwLock` surface the workspace uses
+//! is provided; poisoning is swallowed, matching parking_lot's panic-free
+//! `lock()` signature.
+
+/// A mutex whose `lock` does not return a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// An rwlock whose guards do not return `Result`s.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read lock, ignoring poisoning.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock, ignoring poisoning.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(7);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+}

@@ -1,0 +1,727 @@
+//! Offline stand-in for `proptest` (see `stubs/README.md`).
+//!
+//! This workspace builds hermetically (no crates.io), so its property tests
+//! run against this minimal re-implementation: the same `Strategy` DSL
+//! surface (`prop_map`, `prop_flat_map`, `prop_oneof!`, `prop_compose!`,
+//! `proptest!`, `any`, `sample::select`, `collection::vec`, …) driven by a
+//! deterministic per-test splitmix64 generator. Differences from real
+//! proptest: no shrinking (a failing case reports its values, not a
+//! minimal counterexample), no persisted failure seeds, and case seeds are
+//! derived from the test's module path, so runs are fully reproducible.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic generator backing every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// The generator for case number `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h ^ (u64::from(case) << 32 | u64::from(case)))
+        }
+
+        /// The next raw 64-bit output (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The case asked to be skipped (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (skipped case) with a message.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of one type.
+    ///
+    /// Unlike real proptest there is no shrinking: a strategy is just a
+    /// seeded sampler.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then a value from the strategy
+        /// `f` builds from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Retries generation until `f` accepts the value (bounded; panics
+        /// if the filter rejects too often).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.gen_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// A closure-backed strategy (used by `prop_compose!`).
+    #[derive(Clone)]
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!options.is_empty(), "empty prop_oneof!");
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.gen_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod arbitrary {
+    use crate::strategy::{FnStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        fn arbitrary() -> impl Strategy<Value = Self> + 'static;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> impl Strategy<Value = $t> + 'static {
+                    FnStrategy(|rng: &mut TestRng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> impl Strategy<Value = bool> + 'static {
+            FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary() -> impl Strategy<Value = f32> + 'static {
+            // Finite values only, spread over a wide magnitude range.
+            FnStrategy(|rng: &mut TestRng| {
+                let mantissa = (rng.next_u64() >> 11) as f32 / (1u64 << 53) as f32;
+                let scale = [1.0f32, 1e3, 1e-3, 1e6][(rng.next_u64() % 4) as usize];
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                mantissa * scale * sign
+            })
+        }
+    }
+
+    /// The canonical strategy for `T`, as in `any::<u32>()`.
+    pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> + 'static {
+        T::arbitrary()
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select(options)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates vectors of values from an element strategy.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::…` path alias, mirroring the real prelude.
+pub mod prop {
+    pub use crate::{arbitrary, collection, sample, strategy};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Defines a function returning a strategy built from named sub-strategies,
+/// mirroring proptest's `prop_compose!` (one or two binding groups).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($args:tt)*)
+        ($($p1:pat in $s1:expr),+ $(,)?)
+        ($($p2:pat in $s2:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $p1 = $crate::strategy::Strategy::gen_value(&($s1), rng);)+
+                $(let $p2 = $crate::strategy::Strategy::gen_value(&($s2), rng);)+
+                $body
+            })
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($args:tt)*)
+        ($($p1:pat in $s1:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $p1 = $crate::strategy::Strategy::gen_value(&($s1), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, …) { body }` runs
+/// `cases` times with fresh deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rejected: u32 = 0;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $p = $crate::strategy::Strategy::gen_value(&($s), &mut __proptest_rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases,
+                            "proptest {}: every case rejected",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u32> {
+        prop_oneof![2 => 0u32..10, 1 => 90u32..100]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i32..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn oneof_picks_from_both_arms(x in arb_small()) {
+            prop_assert!(x < 10 || (90..100).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in prop::collection::vec((0u8..4).prop_map(u32::from), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(hi in 10u32..20)(lo in 0u32..10, hi in Just(hi)) -> (u32, u32) {
+            (lo, hi)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_orders_stages(pair in arb_pair()) {
+            prop_assert!(pair.0 < pair.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("x", 1);
+        let mut b = TestRng::for_case("x", 1);
+        let mut c = TestRng::for_case("x", 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn select_and_boxed() {
+        let s = crate::sample::select(vec![1, 2, 3]).boxed();
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..20 {
+            assert!((1..=3).contains(&s.gen_value(&mut rng)));
+        }
+    }
+}

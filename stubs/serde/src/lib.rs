@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde` (see `stubs/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything at runtime, so this stub keeps the *derives*
+//! compiling: the re-exported derive macros expand to nothing and the
+//! traits carry blanket impls, so `T: Serialize` bounds (if any appear)
+//! remain satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Probe {
+        _x: u32,
+    }
+
+    fn assert_bounds<T: super::Serialize + super::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        assert_bounds::<Probe>();
+        assert_bounds::<Vec<String>>();
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in
+//! (see `stubs/README.md`).
+//!
+//! The workspace only *derives* the serde traits — nothing serializes at
+//! runtime — so the derives expand to nothing and the stub `serde` crate
+//! provides blanket impls instead. `attributes(serde)` keeps any
+//! field-level `#[serde(...)]` attributes accepted.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
