@@ -1,0 +1,140 @@
+//! `xbench` — simulator throughput benchmark and perf-regression gate.
+//!
+//! Runs every workload through both execution engines (interpreter and the
+//! decoded fast path), verifies they agree exactly, measures simulated
+//! cycles per second, runs a batched multi-instance throughput pass, and
+//! writes the results as `BENCH_ximd.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! xbench                          # full run, writes BENCH_ximd.json
+//! xbench --quick                  # smaller inputs, fewer iterations (CI)
+//! xbench --out PATH               # output path (default BENCH_ximd.json)
+//! xbench --baseline PATH          # gate against a committed baseline
+//! xbench --batch N                # threads in the batched mode (default 4)
+//! xbench --iters N                # timed iterations per engine
+//! ```
+//!
+//! Exit status: `0` ok; `1` usage or I/O error; `2` correctness gate
+//! (engine divergence, or bitcount speedup below 2x); `3` perf-regression
+//! gate (a workload's speedup fell more than 20% below the baseline's).
+
+use ximd_bench::throughput::{regressions, run_benchmarks, to_json, BenchConfig};
+
+/// The decoded path must beat the interpreter by at least this factor on
+/// bitcount (the ISSUE's acceptance bar).
+const MIN_BITCOUNT_SPEEDUP: f64 = 2.0;
+/// Allowed speedup drop vs the baseline before the regression gate trips.
+const REGRESSION_TOLERANCE: f64 = 0.2;
+
+fn usage() -> ! {
+    eprintln!("usage: xbench [--quick] [--out PATH] [--baseline PATH] [--batch N] [--iters N]");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut config = BenchConfig::default();
+    let mut out_path = String::from("BENCH_ximd.json");
+    let mut baseline_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("xbench: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--quick" | "-q" => config.quick = true,
+            "--out" | "-o" => out_path = value("--out"),
+            "--baseline" | "-b" => baseline_path = Some(value("--baseline")),
+            "--batch" => {
+                config.batch_threads = value("--batch").parse().unwrap_or_else(|_| usage())
+            }
+            "--iters" => config.iters = Some(value("--iters").parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let report = run_benchmarks(&config);
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>8}  ok",
+        "workload", "cycles", "interp c/s", "decoded c/s", "speedup"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<12} {:>10} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            w.name,
+            w.sim_cycles,
+            w.interp_cps(),
+            w.decoded_cps(),
+            w.speedup(),
+            if w.equivalent { "yes" } else { "NO" }
+        );
+    }
+    let b = &report.batch;
+    println!(
+        "batch: {} threads x {} bitcount instances, {} cycles, {:.0} cycles/s",
+        b.threads,
+        b.instances_per_thread,
+        b.total_cycles,
+        b.cycles_per_sec()
+    );
+
+    let json = to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("xbench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    let mut status = 0;
+    if !report.all_equivalent() {
+        let bad: Vec<&str> = report
+            .workloads
+            .iter()
+            .filter(|w| !w.equivalent)
+            .map(|w| w.name)
+            .collect();
+        eprintln!("xbench: FAIL: engines diverged on {}", bad.join(", "));
+        status = 2;
+    }
+    if let Some(w) = report.workload("bitcount") {
+        if w.speedup() < MIN_BITCOUNT_SPEEDUP {
+            eprintln!(
+                "xbench: FAIL: bitcount speedup {:.2}x below the {MIN_BITCOUNT_SPEEDUP}x bar",
+                w.speedup()
+            );
+            status = 2;
+        }
+    }
+    if status == 0 {
+        if let Some(path) = baseline_path {
+            let baseline = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xbench: cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let regs = regressions(&report, &baseline, REGRESSION_TOLERANCE);
+            if !regs.is_empty() {
+                for (name, base, now) in &regs {
+                    eprintln!(
+                        "xbench: FAIL: {name} speedup regressed: {now:.2}x vs baseline {base:.2}x \
+                         (>{:.0}% drop)",
+                        REGRESSION_TOLERANCE * 100.0
+                    );
+                }
+                status = 3;
+            } else {
+                println!("baseline gate passed ({path})");
+            }
+        }
+    }
+    std::process::exit(status);
+}

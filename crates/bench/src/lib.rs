@@ -19,6 +19,8 @@
 //! | [`run_prototype`]        | §4.3 — prototype peak-rate model |
 //! | [`run_models`]           | §2 — state-machine hierarchy |
 
+pub mod throughput;
+
 use std::fmt::Write as _;
 
 use ximd::asm::listing::{listing, ListingOptions};

@@ -1,0 +1,493 @@
+//! Simulator throughput benchmarks: interpreter vs the decoded fast path.
+//!
+//! Drives every workload (tproc, livermore, minmax, bitcount, nonblocking,
+//! forkjoin) through both execution engines of the same prepared machine,
+//! measures wall time and simulated cycles/second, verifies the two engines
+//! agree exactly, and adds a batched multi-instance mode (N threads × M
+//! independent program instances) for the heavy-traffic axis. The `xbench`
+//! binary renders the result as `BENCH_ximd.json`.
+//!
+//! The JSON is hand-formatted (and hand-parsed for the baseline gate): the
+//! workspace's `serde` is an offline marker-trait stub without serializers.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ximd::prelude::*;
+use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc, RunSpec};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Smaller inputs and fewer iterations (CI smoke mode).
+    pub quick: bool,
+    /// Measurement rounds per engine per workload (`None` = mode default).
+    /// Each round times a calibrated batch of runs; the best round is
+    /// reported, which suppresses scheduler noise on short workloads.
+    pub iters: Option<u32>,
+    /// Threads in the batched multi-instance mode.
+    pub batch_threads: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            quick: false,
+            iters: None,
+            batch_threads: 4,
+        }
+    }
+}
+
+/// One workload's measurements.
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Workload name (stable across runs; the baseline gate keys on it).
+    pub name: &'static str,
+    /// Simulated cycles one run takes (identical for both engines).
+    pub sim_cycles: u64,
+    /// Best-of-rounds per-run interpreter wall time, seconds.
+    pub interp_secs: f64,
+    /// Best-of-rounds per-run decoded-path wall time, seconds.
+    pub decoded_secs: f64,
+    /// Total timed runs per engine.
+    pub iters: u32,
+    /// The engines agreed on `RunSummary`, registers, memory and ports.
+    pub equivalent: bool,
+}
+
+impl WorkloadBench {
+    /// Simulated cycles per wall-clock second, interpreter.
+    pub fn interp_cps(&self) -> f64 {
+        self.sim_cycles as f64 / self.interp_secs
+    }
+
+    /// Simulated cycles per wall-clock second, decoded path.
+    pub fn decoded_cps(&self) -> f64 {
+        self.sim_cycles as f64 / self.decoded_secs
+    }
+
+    /// Decoded-path speedup over the interpreter (wall-time ratio).
+    pub fn speedup(&self) -> f64 {
+        self.interp_secs / self.decoded_secs
+    }
+}
+
+/// The batched multi-instance throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchBench {
+    /// Worker threads.
+    pub threads: usize,
+    /// Program instances simulated per thread.
+    pub instances_per_thread: usize,
+    /// Total simulated cycles across every instance.
+    pub total_cycles: u64,
+    /// Wall time for the whole batch, seconds.
+    pub wall_secs: f64,
+}
+
+impl BatchBench {
+    /// Aggregate simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / self.wall_secs
+    }
+}
+
+/// A full benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Whether quick (smoke) mode was used.
+    pub quick: bool,
+    /// Per-workload measurements, in fixed order.
+    pub workloads: Vec<WorkloadBench>,
+    /// The batched multi-instance measurement (decoded engine).
+    pub batch: BatchBench,
+}
+
+impl BenchReport {
+    /// True if every workload's engines agreed exactly.
+    pub fn all_equivalent(&self) -> bool {
+        self.workloads.iter().all(|w| w.equivalent)
+    }
+
+    /// A named workload's measurements.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadBench> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+}
+
+/// Words of memory compared in the equivalence check — covers every
+/// workload's data region (largest base: livermore's `X_BASE = 4999`).
+const MEM_WINDOW: usize = 6000;
+
+fn engines_agree(interp: &Xsim, fast: &Xsim, a: &RunSummary, b: &RunSummary) -> bool {
+    if a != b || interp.pcs() != fast.pcs() || interp.ccs() != fast.ccs() {
+        return false;
+    }
+    let num_regs = interp.config().num_regs;
+    if (0..num_regs as u16).any(|r| interp.reg(Reg(r)) != fast.reg(Reg(r))) {
+        return false;
+    }
+    if interp.mem().peek_slice(0, MEM_WINDOW).ok() != fast.mem().peek_slice(0, MEM_WINDOW).ok() {
+        return false;
+    }
+    let written = |sim: &Xsim| -> Vec<Vec<(u64, i32)>> {
+        sim.ports()
+            .iter()
+            .map(|p| {
+                p.written()
+                    .iter()
+                    .map(|e| (e.cycle, e.value.as_i32()))
+                    .collect()
+            })
+            .collect()
+    };
+    written(interp) == written(fast)
+}
+
+use ximd::sim::RunSummary;
+
+/// Times one engine: `rounds` rounds of a calibrated batch of runs each,
+/// returning the best per-run time and the total run count. Short
+/// workloads finish in microseconds, where any single measurement — and
+/// the CI regression gate keyed on it — would be scheduler noise; the
+/// best-of-rounds over batches long enough to time meaningfully is stable.
+fn time_engine(
+    sim: &Xsim,
+    spec: RunSpec,
+    decoded: bool,
+    rounds: u32,
+    min_round_secs: f64,
+) -> (f64, u32) {
+    let round = |k: u32| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..k {
+            let mut s = sim.clone();
+            let t = Instant::now();
+            if decoded {
+                let _ = spec.drive_decoded(&mut s);
+            } else {
+                let _ = spec.drive(&mut s);
+            }
+            total += t.elapsed().as_secs_f64();
+        }
+        total
+    };
+    let mut batch = 1u32;
+    while round(batch) < min_round_secs && batch < 65_536 {
+        batch *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        best = best.min(round(batch) / f64::from(batch));
+    }
+    (best, rounds * batch)
+}
+
+fn bench_one(
+    name: &'static str,
+    sim: &Xsim,
+    spec: RunSpec,
+    rounds: u32,
+    min_round_secs: f64,
+) -> WorkloadBench {
+    // Correctness first: one verified pair, outside the timed loops.
+    let mut interp = sim.clone();
+    let mut fast = sim.clone();
+    let a = spec.drive(&mut interp);
+    let b = spec.drive_decoded(&mut fast);
+    let (equivalent, sim_cycles) = match (&a, &b) {
+        (Ok(sa), Ok(sb)) => (engines_agree(&interp, &fast, sa, sb), sa.cycles),
+        _ => (false, 0),
+    };
+
+    let (interp_secs, iters) = time_engine(sim, spec, false, rounds, min_round_secs);
+    let (decoded_secs, _) = time_engine(sim, spec, true, rounds, min_round_secs);
+    WorkloadBench {
+        name,
+        sim_cycles,
+        interp_secs,
+        decoded_secs,
+        iters,
+        equivalent,
+    }
+}
+
+/// Builds the fork/join guarded-update workload (the §3.2 generalization
+/// the `repro` harness measures) as a prepared simulator.
+fn forkjoin_prepared(n: usize) -> (Xsim, RunSpec) {
+    use ximd::compiler::forkjoin::{compile_forkjoin, Guard, GuardedLoop};
+    use ximd::compiler::ir::{Inst, VReg, Val};
+
+    let guards = 4usize;
+    let data = gen::uniform_ints(17, n, 0, 100);
+    let ind = VReg(0);
+    let trips = VReg(1);
+    let v = VReg(2);
+    let spec = GuardedLoop {
+        prologue: vec![Inst::Load {
+            base: Val::Const(99),
+            off: ind.into(),
+            d: v,
+        }],
+        guards: (0..guards)
+            .map(|i| Guard {
+                op: CmpOp::Ge,
+                a: v.into(),
+                b: Val::Const((i as i32) * 100 / guards as i32),
+                body: vec![Inst::Bin {
+                    op: AluOp::Iadd,
+                    a: VReg(3 + i as u32).into(),
+                    b: Val::Const(1),
+                    d: VReg(3 + i as u32),
+                }],
+            })
+            .collect(),
+        induction: ind,
+        start: 1,
+        step: 1,
+        trips,
+    };
+    let fj = compile_forkjoin(&spec, guards + 1).expect("fork/join compiles");
+    let mut sim = Xsim::new(fj.program.clone(), MachineConfig::with_width(fj.width))
+        .expect("program validates");
+    sim.mem_mut().poke_slice(100, &data).expect("data fits");
+    sim.write_reg(fj.trips_reg, (n as i32).into());
+    (sim, RunSpec::Run(1_000_000))
+}
+
+/// Runs the full benchmark suite.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build (the embedded programs always
+/// validate).
+pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
+    let (scale, default_rounds, min_round_secs) = if config.quick {
+        (32usize, 5u32, 0.005)
+    } else {
+        (256, 9, 0.02)
+    };
+    let rounds = config.iters.unwrap_or(default_rounds);
+
+    let prepared: Vec<(&'static str, Xsim, RunSpec)> = vec![
+        {
+            let (sim, spec) = tproc::prepared(9, -4, 3, 12).expect("tproc");
+            ("tproc", sim, spec)
+        },
+        {
+            let y = gen::livermore_y(5, scale);
+            let (sim, spec) = livermore::prepared(&y).expect("livermore");
+            ("livermore12", sim, spec)
+        },
+        {
+            let data = gen::uniform_ints(8, scale, -10_000, 10_000);
+            let (sim, spec) = minmax::prepared(&data).expect("minmax");
+            ("minmax", sim, spec)
+        },
+        {
+            let data = gen::bit_weighted_ints(13, scale, 24);
+            let (sim, spec) = bitcount::prepared(&data).expect("bitcount");
+            ("bitcount", sim, spec)
+        },
+        {
+            let scenario = nonblocking::Scenario::with_seed(3);
+            let (sim, spec) = nonblocking::prepared_sync(&scenario).expect("nonblocking");
+            ("nonblocking", sim, spec)
+        },
+        {
+            let (sim, spec) = forkjoin_prepared(scale);
+            ("forkjoin", sim, spec)
+        },
+    ];
+
+    let workloads: Vec<WorkloadBench> = prepared
+        .iter()
+        .map(|(name, sim, spec)| bench_one(name, sim, *spec, rounds, min_round_secs))
+        .collect();
+
+    // Heavy-traffic axis: independent bitcount instances across threads,
+    // all on the decoded engine, aggregate simulated cycles/second.
+    let batch = {
+        let threads = config.batch_threads.max(1);
+        let per_thread = if config.quick { 4usize } else { 16 };
+        let data = gen::bit_weighted_ints(29, scale, 24);
+        let (proto, spec) = bitcount::prepared(&data).expect("bitcount");
+        let total = parking_lot::Mutex::new(0u64);
+        let t = Instant::now();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut cycles = 0u64;
+                    for _ in 0..per_thread {
+                        let mut sim = proto.clone();
+                        let summary = spec.drive_decoded(&mut sim).expect("bitcount runs");
+                        cycles += summary.cycles;
+                    }
+                    *total.lock() += cycles;
+                });
+            }
+        })
+        .expect("batch threads join");
+        BatchBench {
+            threads,
+            instances_per_thread: per_thread,
+            total_cycles: total.into_inner(),
+            wall_secs: t.elapsed().as_secs_f64(),
+        }
+    };
+
+    BenchReport {
+        quick: config.quick,
+        workloads,
+        batch,
+    }
+}
+
+/// Renders a report as the `BENCH_ximd.json` document. One line per
+/// workload object, so the line-oriented baseline parser stays trivial.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ximd-xbench-v1\",");
+    let _ = writeln!(out, "  \"quick\": {},", report.quick);
+    let _ = writeln!(out, "  \"workloads\": [");
+    let n = report.workloads.len();
+    for (i, w) in report.workloads.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"iters\": {}, \
+             \"interp_wall_secs\": {:.6}, \"decoded_wall_secs\": {:.6}, \
+             \"interp_cycles_per_sec\": {:.1}, \"decoded_cycles_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"equivalent\": {}}}{comma}",
+            w.name,
+            w.sim_cycles,
+            w.iters,
+            w.interp_secs,
+            w.decoded_secs,
+            w.interp_cps(),
+            w.decoded_cps(),
+            w.speedup(),
+            w.equivalent,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let b = &report.batch;
+    let _ = writeln!(
+        out,
+        "  \"batch\": {{\"workload\": \"bitcount\", \"threads\": {}, \
+         \"instances_per_thread\": {}, \"total_cycles\": {}, \"wall_secs\": {:.6}, \
+         \"cycles_per_sec\": {:.1}}}",
+        b.threads,
+        b.instances_per_thread,
+        b.total_cycles,
+        b.wall_secs,
+        b.cycles_per_sec()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `(name, speedup)` pairs from a `BENCH_ximd.json` document
+/// (the workspace's serde stub cannot deserialize, so this is a minimal
+/// line-oriented parser for the format [`to_json`] emits).
+pub fn baseline_speedups(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let name = str_field(line, "name")?;
+            let speedup = num_field(line, "speedup")?;
+            Some((name.to_string(), speedup))
+        })
+        .collect()
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares a fresh report against a committed baseline document.
+///
+/// The gate is on the decoded-vs-interpreter **speedup ratio**, not raw
+/// cycles/second: both engines run on the same machine in the same process,
+/// so the ratio is independent of host speed while raw throughput is not —
+/// a CI runner half as fast as the baseline machine would otherwise trip
+/// the gate on every run. Returns the workloads whose speedup dropped more
+/// than `tolerance` (e.g. `0.2` = 20%) below the baseline's.
+pub fn regressions(
+    report: &BenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for (name, base) in baseline_speedups(baseline_json) {
+        if let Some(w) = report.workload(&name) {
+            if w.speedup() < base * (1.0 - tolerance) {
+                out.push((name, base, w.speedup()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_benchmarks_run_and_agree() {
+        let report = run_benchmarks(&BenchConfig {
+            quick: true,
+            iters: Some(1),
+            batch_threads: 2,
+        });
+        assert_eq!(report.workloads.len(), 6);
+        assert!(report.all_equivalent(), "engines diverged: {report:#?}");
+        assert!(report.workloads.iter().all(|w| w.sim_cycles > 0));
+        assert!(report.batch.total_cycles > 0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_baseline_parser() {
+        let report = BenchReport {
+            quick: true,
+            workloads: vec![WorkloadBench {
+                name: "bitcount",
+                sim_cycles: 1000,
+                interp_secs: 0.02,
+                decoded_secs: 0.005,
+                iters: 3,
+                equivalent: true,
+            }],
+            batch: BatchBench {
+                threads: 2,
+                instances_per_thread: 4,
+                total_cycles: 8000,
+                wall_secs: 0.01,
+            },
+        };
+        let json = to_json(&report);
+        let speedups = baseline_speedups(&json);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "bitcount");
+        assert!((speedups[0].1 - 4.0).abs() < 0.01);
+        // A baseline with a much higher speedup trips the gate...
+        let inflated = json.replace("\"speedup\": 4.000", "\"speedup\": 9.000");
+        assert_eq!(regressions(&report, &inflated, 0.2).len(), 1);
+        // ...while the report's own numbers pass it.
+        assert!(regressions(&report, &json, 0.2).is_empty());
+    }
+}

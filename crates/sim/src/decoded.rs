@@ -1,0 +1,1292 @@
+//! Pre-decoded fast-path execution engine.
+//!
+//! [`Xsim::step`] re-interprets every parcel on every cycle: operand shapes
+//! are matched (`Operand::Reg` vs `Operand::Imm`), control operations are
+//! re-summarized into [`DecisionKey`]s, and a fresh [`Partition`] — three
+//! nested `Vec`s — is allocated per cycle. All of that work is static per
+//! program. This module hoists it out of the cycle loop:
+//!
+//! * [`DecodedProgram`] lowers a [`Program`] once into a dense
+//!   `len × width` parcel table. Every operand becomes an index into a
+//!   *value pool* whose first `num_regs` slots mirror the architectural
+//!   register file and whose tail holds the program's interned immediates —
+//!   after decode there is no `Reg`/`Imm` distinction left to test.
+//!   Control operations become flat discriminants with pre-resolved branch
+//!   targets, sync exports become per-parcel bits, and decision keys are
+//!   interned to small integers (the per-cycle partition statistic reduces
+//!   to counting distinct ids).
+//! * [`FastXsim`] executes from those tables with zero per-cycle heap
+//!   allocation: condition codes and sync signals live in `u64` bitsets,
+//!   register writes are staged in a reused buffer, and the partition is
+//!   only materialized on demand (when the run finishes and state is copied
+//!   back into an [`Xsim`]).
+//!
+//! # Why the fast path cannot change observable semantics
+//!
+//! The lowering is a bijection on the information the cycle loop consumes:
+//! pool index `r` (`r < num_regs`) reads exactly what `Operand::Reg(r)`
+//! read, an interned constant slot is never written so it reads exactly
+//! what `Operand::Imm` produced, and the commit/conflict logic is the same
+//! sort-by-`(reg, fu)` adjacency scan as [`RegisterFile::commit`]
+//! (memory reuses [`Memory`] outright). Statistics counters are updated at
+//! the same points in the same order. The equivalence is pinned by property
+//! tests (`proptest_sim.rs`, `decoded_equivalence.rs`) comparing cycle
+//! counts, every counter in [`SimStats`], final registers, PCs, CCs and
+//! the final partition against the interpreter.
+//!
+//! [`RegisterFile::commit`]: crate::RegisterFile::commit
+//! [`Memory`]: crate::Memory
+
+use std::collections::HashMap;
+
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Program, Reg, SyncSignal,
+    UnOp, Value,
+};
+
+use crate::config::{ConflictPolicy, MachineConfig};
+use crate::device::IoPort;
+use crate::error::SimError;
+use crate::memory::Memory;
+use crate::partition::{DecisionKey, Partition};
+use crate::stats::SimStats;
+use crate::vsim::Vsim;
+use crate::xsim::{RunSummary, StepStatus, Xsim};
+
+/// Widest machine the bitset representation supports. [`Xsim::run_decoded`]
+/// falls back to the interpreter above this; the paper's machine is 8 wide.
+pub const MAX_FAST_WIDTH: usize = 64;
+
+/// Interned id of [`DecisionKey::Halted`] (always slot 0 of the key table).
+const HALTED_KEY: u32 = 0;
+
+/// A data operation with every operand resolved to a value-pool index.
+#[derive(Debug, Clone, Copy)]
+enum FastOp {
+    Nop,
+    Alu { op: AluOp, a: u32, b: u32, d: u16 },
+    Un { op: UnOp, a: u32, d: u16 },
+    Cmp { op: CmpOp, a: u32, b: u32 },
+    Load { a: u32, b: u32, d: u16 },
+    Store { a: u32, b: u32 },
+    PortIn { port: u8, d: u16 },
+    PortOut { port: u8, a: u32 },
+}
+
+/// A control operation with pre-resolved targets and bit-test conditions.
+#[derive(Debug, Clone, Copy)]
+enum FastCtrl {
+    Goto(u32),
+    Branch {
+        cond: FastCond,
+        taken: u32,
+        not_taken: u32,
+    },
+    Halt,
+}
+
+/// Condition evaluation over the CC/SS bitsets.
+#[derive(Debug, Clone, Copy)]
+enum FastCond {
+    Cc(u8),
+    Sync(u8),
+    AllSync,
+    AnySync,
+}
+
+impl FastCond {
+    #[inline]
+    fn eval(self, cc_bits: u64, ss_bits: u64, full_mask: u64) -> bool {
+        match self {
+            FastCond::Cc(j) => cc_bits >> j & 1 != 0,
+            FastCond::Sync(j) => ss_bits >> j & 1 != 0,
+            FastCond::AllSync => ss_bits & full_mask == full_mask,
+            FastCond::AnySync => ss_bits & full_mask != 0,
+        }
+    }
+}
+
+/// One decoded parcel: resolved data op, flat control, sync bit, key id.
+#[derive(Debug, Clone, Copy)]
+struct FastParcel {
+    op: FastOp,
+    ctrl: FastCtrl,
+    sync_done: bool,
+    key: u32,
+}
+
+/// Interns operands and decision keys while lowering a program.
+struct Decoder {
+    pool: Vec<Value>,
+    consts: HashMap<u64, u32>,
+    key_table: Vec<DecisionKey>,
+    key_ids: HashMap<DecisionKey, u32>,
+}
+
+impl Decoder {
+    fn new(num_regs: usize) -> Decoder {
+        let mut d = Decoder {
+            pool: vec![Value::ZERO; num_regs],
+            consts: HashMap::new(),
+            key_table: Vec::new(),
+            key_ids: HashMap::new(),
+        };
+        // Slot 0 of the key table is reserved for halted units so the
+        // control loop can tag them without a lookup.
+        let id = d.intern_key(DecisionKey::Halted);
+        debug_assert_eq!(id, HALTED_KEY);
+        d
+    }
+
+    fn intern_value(&mut self, v: Value) -> u32 {
+        // Distinguish I32(bits) from F32(bits): faithful write-back of the
+        // pool depends on the variant, not just the bit pattern.
+        let tag = match v {
+            Value::I32(_) => 0u64,
+            Value::F32(_) => 1u64,
+        };
+        let key = tag << 32 | u64::from(v.bits());
+        if let Some(&idx) = self.consts.get(&key) {
+            return idx;
+        }
+        let idx = self.pool.len() as u32;
+        self.pool.push(v);
+        self.consts.insert(key, idx);
+        idx
+    }
+
+    fn operand(&mut self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => u32::from(r.0),
+            Operand::Imm(v) => self.intern_value(v),
+        }
+    }
+
+    fn intern_key(&mut self, key: DecisionKey) -> u32 {
+        if let Some(&id) = self.key_ids.get(&key) {
+            return id;
+        }
+        let id = self.key_table.len() as u32;
+        self.key_table.push(key);
+        self.key_ids.insert(key, id);
+        id
+    }
+
+    fn data(&mut self, op: &DataOp) -> FastOp {
+        match *op {
+            DataOp::Nop => FastOp::Nop,
+            DataOp::Alu { op, a, b, d } => FastOp::Alu {
+                op,
+                a: self.operand(a),
+                b: self.operand(b),
+                d: d.0,
+            },
+            DataOp::Un { op, a, d } => FastOp::Un {
+                op,
+                a: self.operand(a),
+                d: d.0,
+            },
+            DataOp::Cmp { op, a, b } => FastOp::Cmp {
+                op,
+                a: self.operand(a),
+                b: self.operand(b),
+            },
+            DataOp::Load { a, b, d } => FastOp::Load {
+                a: self.operand(a),
+                b: self.operand(b),
+                d: d.0,
+            },
+            DataOp::Store { a, b } => FastOp::Store {
+                a: self.operand(a),
+                b: self.operand(b),
+            },
+            DataOp::PortIn { port, d } => FastOp::PortIn { port, d: d.0 },
+            DataOp::PortOut { port, a } => FastOp::PortOut {
+                port,
+                a: self.operand(a),
+            },
+        }
+    }
+
+    fn ctrl(&mut self, op: &ControlOp) -> (FastCtrl, u32) {
+        let key = self.intern_key(DecisionKey::of(op));
+        let fast = match *op {
+            ControlOp::Goto(t) => FastCtrl::Goto(t.0),
+            ControlOp::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => FastCtrl::Branch {
+                cond: match cond {
+                    CondSource::Cc(fu) => FastCond::Cc(fu.0),
+                    CondSource::Sync(fu) => FastCond::Sync(fu.0),
+                    CondSource::AllSync => FastCond::AllSync,
+                    CondSource::AnySync => FastCond::AnySync,
+                },
+                taken: taken.0,
+                not_taken: not_taken.0,
+            },
+            ControlOp::Halt => FastCtrl::Halt,
+        };
+        (fast, key)
+    }
+}
+
+/// A program lowered into dense per-FU tables (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    width: usize,
+    len: u32,
+    num_regs: usize,
+    /// `len × width` parcels, row-major: `parcels[addr * width + fu]`.
+    parcels: Vec<FastParcel>,
+    /// Initial value pool: `num_regs` zeros, then the interned immediates.
+    pool_init: Vec<Value>,
+    /// Interned decision keys; `key_table[id]` recovers the [`DecisionKey`].
+    key_table: Vec<DecisionKey>,
+}
+
+impl DecodedProgram {
+    /// Lowers a validated program. Infallible: every register, target and
+    /// FU reference was already range-checked by `Program::validate`.
+    fn lower(program: &Program, num_regs: usize) -> DecodedProgram {
+        let width = program.width();
+        let mut dec = Decoder::new(num_regs);
+        let mut parcels = Vec::with_capacity(program.len() * width);
+        for (_, word) in program.iter() {
+            for parcel in word {
+                let op = dec.data(&parcel.data);
+                let (ctrl, key) = dec.ctrl(&parcel.ctrl);
+                parcels.push(FastParcel {
+                    op,
+                    ctrl,
+                    sync_done: parcel.sync == SyncSignal::Done,
+                    key,
+                });
+            }
+        }
+        DecodedProgram {
+            width,
+            len: program.len() as u32,
+            num_regs,
+            parcels,
+            pool_init: dec.pool,
+            key_table: dec.key_table,
+        }
+    }
+
+    /// Machine width the tables were lowered for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Program length in wide instructions.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct interned immediates.
+    pub fn num_consts(&self) -> usize {
+        self.pool_init.len() - self.num_regs
+    }
+}
+
+/// The fast-path XIMD simulator: executes a [`DecodedProgram`] with no
+/// per-cycle allocation or operand-shape matching.
+///
+/// Semantics are cycle- and register-exact with [`Xsim`]; the interpreter
+/// remains the oracle (see the module docs). The one observable difference
+/// is error recovery: after a machine check the interpreter stops
+/// mid-cycle, while [`Xsim::run_decoded`] leaves the machine at the last
+/// completed cycle boundary.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, Parcel, Program};
+/// use ximd_sim::{FastXsim, MachineConfig};
+///
+/// let mut program = Program::new(2);
+/// program.push(vec![Parcel::goto(Addr(1)), Parcel::goto(Addr(1))]);
+/// program.push(vec![Parcel::halt(), Parcel::halt()]);
+///
+/// let mut fast = FastXsim::new(&program, &MachineConfig::with_width(2))?;
+/// assert_eq!(fast.run(10)?.cycles, 2);
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastXsim {
+    decoded: DecodedProgram,
+    reg_policy: ConflictPolicy,
+    mem_policy: ConflictPolicy,
+    /// Registers (first `num_regs` slots) followed by interned constants.
+    pool: Vec<Value>,
+    mem: Memory,
+    ports: Vec<IoPort>,
+    pcs: Vec<Option<u32>>,
+    cc_bits: u64,
+    cc_known: u64,
+    ss_bits: u64,
+    full_mask: u64,
+    cycle: u64,
+    stats: SimStats,
+    reg_conflicts: u64,
+    /// Reused staging buffer for register writes: `(fu, reg, value)`.
+    staged: Vec<(u8, u16, Value)>,
+    /// Reused buffer of condition-code updates to latch at cycle end.
+    cc_upd: Vec<(u8, bool)>,
+    /// Per-FU interned decision key of the last executed cycle.
+    keys_now: Vec<u32>,
+    ran_any: bool,
+}
+
+impl FastXsim {
+    /// Builds a fast simulator for `program`, decoding it on the spot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Isa`] on the same validation failures as
+    /// [`Xsim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.width` exceeds [`MAX_FAST_WIDTH`] (the bitset
+    /// representation); [`Xsim::run_decoded`] checks and falls back instead.
+    pub fn new(program: &Program, config: &MachineConfig) -> Result<FastXsim, SimError> {
+        assert!(
+            config.width <= MAX_FAST_WIDTH,
+            "FastXsim supports widths up to {MAX_FAST_WIDTH}"
+        );
+        if program.width() != config.width {
+            return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
+                got: program.width(),
+                expected: config.width,
+            }));
+        }
+        program.validate(config.num_regs)?;
+        let decoded = DecodedProgram::lower(program, config.num_regs);
+        let width = config.width;
+        Ok(FastXsim {
+            pool: decoded.pool_init.clone(),
+            mem: Memory::new(config.mem_words),
+            ports: Vec::new(),
+            pcs: vec![Some(0); width],
+            cc_bits: 0,
+            cc_known: 0,
+            ss_bits: 0,
+            full_mask: full_mask(width),
+            cycle: 0,
+            stats: SimStats {
+                width,
+                ops_per_fu: vec![0; width],
+                ..SimStats::default()
+            },
+            reg_conflicts: 0,
+            staged: Vec::with_capacity(width),
+            cc_upd: Vec::with_capacity(width),
+            keys_now: vec![HALTED_KEY; width],
+            ran_any: false,
+            reg_policy: config.reg_conflicts,
+            mem_policy: config.mem_conflicts,
+            decoded,
+        })
+    }
+
+    /// Snapshots a (possibly mid-run) interpreter into the fast
+    /// representation. The program was already validated by [`Xsim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
+    pub fn from_xsim(sim: &Xsim) -> FastXsim {
+        let config = &sim.config;
+        let width = config.width;
+        assert!(
+            width <= MAX_FAST_WIDTH,
+            "FastXsim supports widths up to {MAX_FAST_WIDTH}"
+        );
+        let decoded = DecodedProgram::lower(&sim.program, config.num_regs);
+        let mut pool = decoded.pool_init.clone();
+        pool[..config.num_regs].copy_from_slice(sim.regs.snapshot());
+        let mut cc_bits = 0u64;
+        let mut cc_known = 0u64;
+        for (fu, cc) in sim.ccs.iter().enumerate() {
+            if let Some(c) = *cc {
+                cc_known |= 1 << fu;
+                cc_bits |= u64::from(c) << fu;
+            }
+        }
+        let mut ss_bits = 0u64;
+        for (fu, ss) in sim.ss.iter().enumerate() {
+            ss_bits |= u64::from(*ss == SyncSignal::Done) << fu;
+        }
+        FastXsim {
+            pool,
+            mem: sim.mem.clone(),
+            ports: sim.ports.clone(),
+            pcs: sim.pcs.iter().map(|pc| pc.map(|a| a.0)).collect(),
+            cc_bits,
+            cc_known,
+            ss_bits,
+            full_mask: full_mask(width),
+            cycle: sim.cycle,
+            stats: sim.stats.clone(),
+            reg_conflicts: sim.regs.conflicts_resolved(),
+            staged: Vec::with_capacity(width),
+            cc_upd: Vec::with_capacity(width),
+            keys_now: vec![HALTED_KEY; width],
+            ran_any: false,
+            reg_policy: config.reg_conflicts,
+            mem_policy: config.mem_conflicts,
+            decoded,
+        }
+    }
+
+    /// Copies the machine state back into `sim` (registers, memory, ports,
+    /// PCs, CCs, sync signals, partition, cycle count and statistics).
+    pub(crate) fn write_back(self, sim: &mut Xsim) {
+        for (i, v) in self.pool[..self.decoded.num_regs].iter().enumerate() {
+            sim.regs.poke(Reg(i as u16), *v);
+        }
+        sim.regs.force_conflicts_resolved(self.reg_conflicts);
+        sim.mem = self.mem;
+        sim.ports = self.ports;
+        sim.pcs = self.pcs.iter().map(|pc| pc.map(Addr)).collect();
+        for fu in 0..self.decoded.width {
+            sim.ccs[fu] = if self.cc_known >> fu & 1 != 0 {
+                Some(self.cc_bits >> fu & 1 != 0)
+            } else {
+                None
+            };
+            sim.ss[fu] = if self.ss_bits >> fu & 1 != 0 {
+                SyncSignal::Done
+            } else {
+                SyncSignal::Busy
+            };
+        }
+        if self.ran_any {
+            let keys: Vec<DecisionKey> = self
+                .keys_now
+                .iter()
+                .map(|&id| self.decoded.key_table[id as usize])
+                .collect();
+            sim.partition = Partition::from_decisions(&keys);
+        }
+        sim.cycle = self.cycle;
+        sim.stats = self.stats;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> Value {
+        self.pool[reg.index()]
+    }
+
+    /// Sets a register (machine setup).
+    pub fn write_reg(&mut self, reg: Reg, value: Value) {
+        assert!(reg.index() < self.decoded.num_regs, "register out of range");
+        self.pool[reg.index()] = value;
+    }
+
+    /// Shared memory (read access).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Shared memory (setup access).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Attaches an I/O port device, returning its port number.
+    pub fn attach_port(&mut self, port: IoPort) -> u8 {
+        self.ports.push(port);
+        (self.ports.len() - 1) as u8
+    }
+
+    /// The attached I/O ports.
+    pub fn ports(&self) -> &[IoPort] {
+        &self.ports
+    }
+
+    /// Current cycle number (cycles completed so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Returns `true` once every FU has halted.
+    pub fn all_halted(&self) -> bool {
+        self.pcs.iter().all(Option::is_none)
+    }
+
+    /// Executes one machine cycle (same semantics as [`Xsim::step`]).
+    ///
+    /// # Errors
+    ///
+    /// The same machine checks as [`Xsim::step`]. After an error the fast
+    /// machine is left mid-cycle and should be discarded.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        if self.all_halted() {
+            return Ok(StepStatus::AllHalted);
+        }
+        let width = self.decoded.width;
+        let len = self.decoded.len;
+
+        // Fetch + combinational sync-signal update. Branch targets are
+        // validated at decode time, so a PC can only be out of range when
+        // the program is empty — and then the first running FU reports it
+        // before any sync signal changes, exactly like the interpreter.
+        for fu in 0..width {
+            if let Some(pc) = self.pcs[fu] {
+                if pc >= len {
+                    return Err(SimError::PcOutOfRange {
+                        fu: FuId(fu as u8),
+                        pc: Addr(pc),
+                        len,
+                    });
+                }
+                let done = self.decoded.parcels[pc as usize * width + fu].sync_done;
+                self.ss_bits = self.ss_bits & !(1 << fu) | u64::from(done) << fu;
+            }
+        }
+
+        // Data phase: reads observe start-of-cycle pool state, writes are
+        // staged into the reused buffer.
+        self.cc_upd.clear();
+        self.staged.clear();
+        for fu in 0..width {
+            let Some(pc) = self.pcs[fu] else {
+                self.stats.halted_fu_cycles += 1;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            if let Some(cc) = exec_op(
+                parcel.op,
+                fu as u8,
+                self.cycle,
+                &self.pool,
+                &mut self.staged,
+                &mut self.mem,
+                &mut self.ports,
+                &mut self.stats,
+            )? {
+                self.cc_upd.push((fu as u8, cc));
+            }
+        }
+        commit_pool(
+            &mut self.staged,
+            &mut self.pool,
+            self.reg_policy,
+            self.cycle,
+            &mut self.reg_conflicts,
+        )?;
+        self.mem.commit(self.mem_policy, self.cycle)?;
+        self.stats.conflicts_resolved = self.reg_conflicts + self.mem.conflicts_resolved();
+
+        // Control phase: branches see start-of-cycle CCs (the latched
+        // bitset) and this cycle's combinational SS bits.
+        for fu in 0..width {
+            let Some(pc) = self.pcs[fu] else {
+                self.keys_now[fu] = HALTED_KEY;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            self.keys_now[fu] = parcel.key;
+            let next = match parcel.ctrl {
+                FastCtrl::Goto(t) => Some(t),
+                FastCtrl::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    self.stats.cond_branches += 1;
+                    if cond.eval(self.cc_bits, self.ss_bits, self.full_mask) {
+                        self.stats.branches_taken += 1;
+                        Some(taken)
+                    } else {
+                        Some(not_taken)
+                    }
+                }
+                FastCtrl::Halt => None,
+            };
+            if next == Some(pc) {
+                self.stats.spin_cycles += 1;
+            }
+            self.pcs[fu] = next;
+        }
+        self.ran_any = true;
+
+        // Latch condition codes at the cycle boundary.
+        for &(fu, cc) in &self.cc_upd {
+            self.cc_known |= 1 << fu;
+            self.cc_bits = self.cc_bits & !(1 << fu) | u64::from(cc) << fu;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        // Streams this cycle = distinct decision keys; O(width²) beats any
+        // hashing for width ≤ 8 and matches `Partition::from_decisions`.
+        let mut streams = 0usize;
+        for i in 0..width {
+            let mut first = true;
+            for j in 0..i {
+                if self.keys_now[j] == self.keys_now[i] {
+                    first = false;
+                    break;
+                }
+            }
+            streams += usize::from(first);
+        }
+        self.stats.max_concurrent_streams = self.stats.max_concurrent_streams.max(streams);
+        self.stats.sset_cycle_sum += streams as u64;
+
+        if self.all_halted() {
+            Ok(StepStatus::AllHalted)
+        } else {
+            Ok(StepStatus::Running)
+        }
+    }
+
+    /// Runs until every FU halts or `max_cycles` elapse (same contract as
+    /// [`Xsim::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
+    /// any machine check raised by [`FastXsim::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        while self.cycle < max_cycles {
+            if self.step()? == StepStatus::AllHalted {
+                return Ok(self.summary());
+            }
+        }
+        if self.all_halted() {
+            Ok(self.summary())
+        } else {
+            Err(SimError::CycleLimit { limit: max_cycles })
+        }
+    }
+
+    /// Runs until every FU is parked on the self-loop at `park` (or has
+    /// halted), then executes one final cycle — the same contract as
+    /// [`Xsim::run_until_parked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
+    /// any machine check raised by [`FastXsim::step`].
+    pub fn run_until_parked(
+        &mut self,
+        park: Addr,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        while self.cycle < max_cycles {
+            let parked = self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park.0));
+            let status = self.step()?;
+            if parked || status == StepStatus::AllHalted {
+                return Ok(self.summary());
+            }
+        }
+        if self.all_halted() {
+            Ok(self.summary())
+        } else {
+            Err(SimError::CycleLimit { limit: max_cycles })
+        }
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycle,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+fn full_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Executes one decoded data operation: start-of-cycle reads from the pool,
+/// register writes staged into `staged`, memory/port effects as in
+/// `exec::execute_data`, statistics updated at the identical points.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn exec_op(
+    op: FastOp,
+    fu: u8,
+    cycle: u64,
+    pool: &[Value],
+    staged: &mut Vec<(u8, u16, Value)>,
+    mem: &mut Memory,
+    ports: &mut [IoPort],
+    stats: &mut SimStats,
+) -> Result<Option<bool>, SimError> {
+    if !matches!(op, FastOp::Nop) {
+        if let Some(slot) = stats.ops_per_fu.get_mut(fu as usize) {
+            *slot += 1;
+        }
+    }
+    match op {
+        FastOp::Nop => {
+            stats.nops += 1;
+            Ok(None)
+        }
+        FastOp::Alu { op, a, b, d } => {
+            stats.ops += 1;
+            let result = op
+                .eval(pool[a as usize], pool[b as usize])
+                .map_err(|fault| SimError::DataFault {
+                    fu: FuId(fu),
+                    cycle,
+                    fault,
+                })?;
+            staged.push((fu, d, result));
+            Ok(None)
+        }
+        FastOp::Un { op, a, d } => {
+            stats.ops += 1;
+            staged.push((fu, d, op.eval(pool[a as usize])));
+            Ok(None)
+        }
+        FastOp::Cmp { op, a, b } => {
+            stats.ops += 1;
+            stats.compares += 1;
+            Ok(Some(op.eval(pool[a as usize], pool[b as usize])))
+        }
+        FastOp::Load { a, b, d } => {
+            stats.ops += 1;
+            stats.loads += 1;
+            let addr = i64::from(pool[a as usize].as_i32()) + i64::from(pool[b as usize].as_i32());
+            let value = mem.read(addr)?;
+            staged.push((fu, d, value));
+            Ok(None)
+        }
+        FastOp::Store { a, b } => {
+            stats.ops += 1;
+            stats.stores += 1;
+            let value = pool[a as usize];
+            let addr = i64::from(pool[b as usize].as_i32());
+            mem.stage_write(FuId(fu), addr, value)?;
+            Ok(None)
+        }
+        FastOp::PortIn { port, d } => {
+            stats.ops += 1;
+            let count = ports.len();
+            let device = ports
+                .get_mut(port as usize)
+                .ok_or(SimError::PortOutOfRange { port, count })?;
+            staged.push((fu, d, device.read(cycle)));
+            Ok(None)
+        }
+        FastOp::PortOut { port, a } => {
+            stats.ops += 1;
+            let value = pool[a as usize];
+            let count = ports.len();
+            let device = ports
+                .get_mut(port as usize)
+                .ok_or(SimError::PortOutOfRange { port, count })?;
+            device.write(cycle, value);
+            Ok(None)
+        }
+    }
+}
+
+/// Commits staged register writes into the pool with the exact conflict
+/// semantics of `RegisterFile::commit`: sort by `(reg, fu)`, adjacent
+/// duplicates are conflicts, `Trap` reports the ascending writer list and
+/// clears the stage, `LastWins` keeps the highest FU and counts one event
+/// per adjacent pair.
+fn commit_pool(
+    staged: &mut Vec<(u8, u16, Value)>,
+    pool: &mut [Value],
+    policy: ConflictPolicy,
+    cycle: u64,
+    conflicts_resolved: &mut u64,
+) -> Result<(), SimError> {
+    staged.sort_unstable_by_key(|&(fu, reg, _)| (reg, fu));
+    let mut resolved = 0u64;
+    let mut trapped: Option<u16> = None;
+    for pair in staged.windows(2) {
+        if pair[0].1 == pair[1].1 {
+            match policy {
+                ConflictPolicy::Trap => {
+                    trapped = Some(pair[0].1);
+                    break;
+                }
+                ConflictPolicy::LastWins => resolved += 1,
+            }
+        }
+    }
+    if let Some(reg) = trapped {
+        let fus = staged
+            .iter()
+            .filter(|w| w.1 == reg)
+            .map(|w| FuId(w.0))
+            .collect();
+        staged.clear();
+        return Err(SimError::RegisterWriteConflict {
+            reg: Reg(reg),
+            fus,
+            cycle,
+        });
+    }
+    *conflicts_resolved += resolved;
+    for &(_, reg, value) in staged.iter() {
+        pool[reg as usize] = value;
+    }
+    staged.clear();
+    Ok(())
+}
+
+/// Decoded single-sequencer execution for [`Vsim::run_decoded`]: the same
+/// pool/bitset machinery with vsim's control semantics (one control op per
+/// cycle, CC conditions only, `max_concurrent_streams == 1`).
+pub(crate) fn run_vsim_decoded(sim: &mut Vsim, max_cycles: u64) -> Result<RunSummary, SimError> {
+    let width = sim.config.width;
+    if width > MAX_FAST_WIDTH {
+        return sim.run(max_cycles);
+    }
+    let num_regs = sim.config.num_regs;
+
+    // Lower once: a flat `len × width` op table plus one control per word.
+    let mut dec = Decoder::new(num_regs);
+    let mut ops = Vec::with_capacity(sim.program.len() * width);
+    let mut ctrls = Vec::with_capacity(sim.program.len());
+    for (_, instr) in sim.program.iter() {
+        for op in &instr.ops {
+            ops.push(dec.data(op));
+        }
+        ctrls.push(dec.ctrl(&instr.ctrl).0);
+    }
+    let len = ctrls.len() as u32;
+
+    let mut pool = dec.pool;
+    pool[..num_regs].copy_from_slice(sim.regs.snapshot());
+    let mut mem = sim.mem.clone();
+    let mut ports = sim.ports.clone();
+    let mut pc = sim.pc.map(|a| a.0);
+    let mut cc_bits = 0u64;
+    let mut cc_known = 0u64;
+    for (fu, cc) in sim.ccs.iter().enumerate() {
+        if let Some(c) = *cc {
+            cc_known |= 1 << fu;
+            cc_bits |= u64::from(c) << fu;
+        }
+    }
+    let mut cycle = sim.cycle;
+    let mut stats = sim.stats.clone();
+    let mut reg_conflicts = sim.regs.conflicts_resolved();
+    let mut staged: Vec<(u8, u16, Value)> = Vec::with_capacity(width);
+    let mut cc_upd: Vec<(u8, bool)> = Vec::with_capacity(width);
+
+    let result = loop {
+        let Some(at) = pc else {
+            break Ok(());
+        };
+        if cycle >= max_cycles {
+            break Err(SimError::CycleLimit { limit: max_cycles });
+        }
+        if at >= len {
+            break Err(SimError::PcOutOfRange {
+                fu: FuId(0),
+                pc: Addr(at),
+                len,
+            });
+        }
+
+        cc_upd.clear();
+        staged.clear();
+        let mut failed = None;
+        for fu in 0..width {
+            match exec_op(
+                ops[at as usize * width + fu],
+                fu as u8,
+                cycle,
+                &pool,
+                &mut staged,
+                &mut mem,
+                &mut ports,
+                &mut stats,
+            ) {
+                Ok(Some(cc)) => cc_upd.push((fu as u8, cc)),
+                Ok(None) => {}
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failed {
+            break Err(e);
+        }
+        if let Err(e) = commit_pool(
+            &mut staged,
+            &mut pool,
+            sim.config.reg_conflicts,
+            cycle,
+            &mut reg_conflicts,
+        ) {
+            break Err(e);
+        }
+        if let Err(e) = mem.commit(sim.config.mem_conflicts, cycle) {
+            break Err(e);
+        }
+        stats.conflicts_resolved = reg_conflicts + mem.conflicts_resolved();
+
+        let next = match ctrls[at as usize] {
+            FastCtrl::Goto(t) => Some(t),
+            FastCtrl::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                stats.cond_branches += 1;
+                // Validation restricts vsim conditions to CCs; the sync
+                // bitset is permanently empty.
+                if cond.eval(cc_bits, 0, full_mask(width)) {
+                    stats.branches_taken += 1;
+                    Some(taken)
+                } else {
+                    Some(not_taken)
+                }
+            }
+            FastCtrl::Halt => None,
+        };
+        if next == Some(at) {
+            stats.spin_cycles += 1;
+        }
+        pc = next;
+
+        for &(fu, cc) in &cc_upd {
+            cc_known |= 1 << fu;
+            cc_bits = cc_bits & !(1 << fu) | u64::from(cc) << fu;
+        }
+
+        cycle += 1;
+        stats.cycles = cycle;
+        stats.max_concurrent_streams = 1;
+        stats.sset_cycle_sum += 1;
+    };
+
+    match result {
+        Ok(()) | Err(SimError::CycleLimit { .. }) => {
+            for (i, v) in pool[..num_regs].iter().enumerate() {
+                sim.regs.poke(Reg(i as u16), *v);
+            }
+            sim.regs.force_conflicts_resolved(reg_conflicts);
+            sim.mem = mem;
+            sim.ports = ports;
+            sim.pc = pc.map(Addr);
+            for fu in 0..width {
+                sim.ccs[fu] = if cc_known >> fu & 1 != 0 {
+                    Some(cc_bits >> fu & 1 != 0)
+                } else {
+                    None
+                };
+            }
+            sim.cycle = cycle;
+            sim.stats = stats.clone();
+            result.map(|()| RunSummary {
+                cycles: cycle,
+                stats,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{Operand, Parcel};
+
+    fn addp(a: u16, b: i32, d: u16, ctrl: ControlOp) -> Parcel {
+        Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(a).into(), Operand::imm_i32(b), Reg(d)),
+            ctrl,
+        )
+    }
+
+    /// Interpreter and fast path on the same program + budget must agree on
+    /// everything observable.
+    fn assert_equivalent(program: Program, budget: u64) {
+        let width = program.width();
+        let config = MachineConfig::with_width(width);
+        let mut interp = Xsim::new(program.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(program, config.clone()).unwrap();
+        let a = interp.run(budget);
+        let b = fast.run_decoded(budget);
+        assert_eq!(a, b);
+        for r in 0..config.num_regs as u16 {
+            assert_eq!(interp.reg(Reg(r)), fast.reg(Reg(r)), "r{r}");
+        }
+        assert_eq!(interp.pcs(), fast.pcs());
+        assert_eq!(interp.ccs(), fast.ccs());
+        assert_eq!(interp.partition(), fast.partition());
+        assert_eq!(interp.stats(), fast.stats());
+        assert_eq!(interp.cycle(), fast.cycle());
+    }
+
+    #[test]
+    fn straight_line_matches_interpreter() {
+        let mut p = Program::new(1);
+        p.push(vec![addp(0, 5, 1, ControlOp::Goto(Addr(1)))]);
+        p.push(vec![addp(1, 10, 2, ControlOp::Halt)]);
+        assert_equivalent(p, 10);
+    }
+
+    #[test]
+    fn barrier_fork_join_matches_interpreter() {
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(2), Addr(1));
+        p.push(vec![
+            Parcel::data(DataOp::Nop, ControlOp::Goto(Addr(1))),
+            addp(0, 1, 0, ControlOp::Goto(Addr(1))),
+        ]);
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(DataOp::Nop, barrier).done(),
+        ]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        assert_equivalent(p, 10);
+    }
+
+    #[test]
+    fn cycle_limit_state_matches_interpreter() {
+        // Infinite spin: both engines hit the budget; the decoded path must
+        // still write the advanced state back.
+        let mut p = Program::new(1);
+        p.push(vec![addp(0, 1, 0, ControlOp::Goto(Addr(0)))]);
+        assert_equivalent(p, 7);
+    }
+
+    #[test]
+    fn cc_latch_timing_matches_interpreter() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Eq, Operand::imm_i32(1), Operand::imm_i32(1)),
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(3)),
+        )]);
+        p.push(vec![addp(1, 42, 1, ControlOp::Halt)]);
+        p.push(vec![Parcel::halt()]);
+        assert_equivalent(p, 10);
+    }
+
+    #[test]
+    fn register_conflict_traps_like_interpreter() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let config = MachineConfig::with_width(2);
+        let mut interp = Xsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = FastXsim::new(&p, &config).unwrap();
+        let a = interp.step();
+        let b = fast.step();
+        assert!(matches!(a, Err(SimError::RegisterWriteConflict { .. })));
+        assert_eq!(a, b.map(|_| StepStatus::Running));
+    }
+
+    #[test]
+    fn last_wins_conflicts_match_interpreter() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let config =
+            MachineConfig::with_width(2).conflicts(crate::config::ConflictPolicy::LastWins);
+        let mut interp = Xsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(p, config).unwrap();
+        assert_eq!(interp.run(10), fast.run_decoded(10));
+        assert_eq!(interp.reg(Reg(5)), fast.reg(Reg(5)));
+        assert_eq!(interp.stats().conflicts_resolved, 1);
+    }
+
+    #[test]
+    fn ports_match_interpreter() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::PortIn { port: 0, d: Reg(0) },
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Ne, Reg(0).into(), Operand::imm_i32(0)),
+            ControlOp::Goto(Addr(2)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(3), Addr(0)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::PortOut {
+                port: 0,
+                a: Reg(0).into(),
+            },
+            ControlOp::Halt,
+        )]);
+        let config = MachineConfig::with_width(1);
+        let seeded = |mut sim: Xsim| {
+            let mut port = IoPort::new();
+            port.schedule(4, Value::I32(77));
+            sim.attach_port(port);
+            sim
+        };
+        let mut interp = seeded(Xsim::new(p.clone(), config.clone()).unwrap());
+        let mut fast = seeded(Xsim::new(p, config).unwrap());
+        assert_eq!(interp.run(100), fast.run_decoded(100));
+        assert_eq!(interp.reg(Reg(0)).as_i32(), 77);
+        assert_eq!(interp.ports()[0].written(), fast.ports()[0].written());
+    }
+
+    #[test]
+    fn empty_program_reports_pc_out_of_range() {
+        let p = Program::new(1);
+        let config = MachineConfig::with_width(1);
+        let mut interp = Xsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(p, config).unwrap();
+        assert_eq!(interp.run(5), fast.run_decoded(5));
+        assert!(matches!(
+            fast.run_decoded(5),
+            Err(SimError::PcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn run_decoded_resumes_mid_run_state() {
+        // Step the interpreter halfway, then finish on the fast path; the
+        // result must match an all-interpreter run.
+        let mut p = Program::new(1);
+        for i in 0..4u16 {
+            p.push(vec![addp(
+                i,
+                3,
+                i + 1,
+                ControlOp::Goto(Addr(u32::from(i) + 1)),
+            )]);
+        }
+        p.push(vec![Parcel::halt()]);
+        let config = MachineConfig::with_width(1);
+        let mut full = Xsim::new(p.clone(), config.clone()).unwrap();
+        full.write_reg(Reg(0), Value::I32(9));
+        let a = full.run(100);
+
+        let mut mixed = Xsim::new(p, config).unwrap();
+        mixed.write_reg(Reg(0), Value::I32(9));
+        mixed.step().unwrap();
+        mixed.step().unwrap();
+        let b = mixed.run_decoded(100);
+        assert_eq!(a, b);
+        for r in 0..6u16 {
+            assert_eq!(full.reg(Reg(r)), mixed.reg(Reg(r)));
+        }
+    }
+
+    #[test]
+    fn run_until_parked_decoded_matches_interpreter() {
+        // Both FUs converge on a self-loop at 1.
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 0, ControlOp::Goto(Addr(1))),
+            addp(0, 2, 1, ControlOp::Goto(Addr(1))),
+        ]);
+        p.push(vec![Parcel::goto(Addr(1)), Parcel::goto(Addr(1))]);
+        let config = MachineConfig::with_width(2);
+        let mut interp = Xsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(p, config).unwrap();
+        assert_eq!(
+            interp.run_until_parked(Addr(1), 50),
+            fast.run_decoded_until_parked(Addr(1), 50)
+        );
+        assert_eq!(interp.reg(Reg(0)), fast.reg(Reg(0)));
+        assert_eq!(interp.stats(), fast.stats());
+    }
+
+    #[test]
+    fn tracing_falls_back_to_interpreter() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::goto(Addr(1))]);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.enable_trace();
+        sim.run_decoded(10).unwrap();
+        assert_eq!(sim.trace().unwrap().len(), 2, "trace rows were captured");
+    }
+
+    #[test]
+    fn decoded_program_interns_immediates() {
+        let mut p = Program::new(1);
+        // The same immediate (#5) twice, plus #7: two distinct constants.
+        p.push(vec![addp(0, 5, 1, ControlOp::Goto(Addr(1)))]);
+        p.push(vec![Parcel::data(
+            DataOp::alu(
+                AluOp::Iadd,
+                Operand::imm_i32(5),
+                Operand::imm_i32(7),
+                Reg(2),
+            ),
+            ControlOp::Halt,
+        )]);
+        let d = DecodedProgram::lower(&p, 8);
+        assert_eq!(d.num_consts(), 2);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.width(), 1);
+    }
+
+    #[test]
+    fn vsim_decoded_matches_interpreter() {
+        use crate::vliw::{VliwInstruction, VliwProgram};
+        let mut p = VliwProgram::new(2);
+        p.push(VliwInstruction {
+            ops: vec![
+                DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(0)),
+                DataOp::cmp(CmpOp::Eq, Reg(0).into(), Operand::imm_i32(4)),
+            ],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction {
+            ops: vec![DataOp::Nop, DataOp::Nop],
+            ctrl: ControlOp::branch(CondSource::Cc(FuId(1)), Addr(2), Addr(0)),
+        });
+        p.push(VliwInstruction::halt(2));
+        let config = MachineConfig::with_width(2);
+        let mut interp = Vsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Vsim::new(p, config).unwrap();
+        assert_eq!(interp.run(100), fast.run_decoded(100));
+        assert_eq!(interp.reg(Reg(0)), fast.reg(Reg(0)));
+        assert_eq!(interp.pc(), fast.pc());
+        assert_eq!(interp.stats(), fast.stats());
+    }
+
+    #[test]
+    fn vsim_decoded_cycle_limit_matches() {
+        use crate::vliw::{VliwInstruction, VliwProgram};
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction::goto(1, Addr(0)));
+        let config = MachineConfig::with_width(1);
+        let mut interp = Vsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Vsim::new(p, config).unwrap();
+        assert_eq!(interp.run(3), fast.run_decoded(3));
+        assert_eq!(interp.stats(), fast.stats());
+        assert_eq!(interp.cycle(), fast.cycle());
+    }
+}

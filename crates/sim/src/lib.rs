@@ -58,6 +58,7 @@
 //! ```
 
 pub mod config;
+pub mod decoded;
 pub mod device;
 pub mod error;
 mod exec;
@@ -71,6 +72,7 @@ pub mod vsim;
 pub mod xsim;
 
 pub use config::MachineConfig;
+pub use decoded::{DecodedProgram, FastXsim};
 pub use device::{IoPort, PortEvent};
 pub use error::SimError;
 pub use memory::Memory;

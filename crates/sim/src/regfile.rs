@@ -121,6 +121,12 @@ impl RegisterFile {
         self.conflicts_resolved
     }
 
+    /// Overwrites the resolved-conflict counter (fast-path write-back: the
+    /// decoded engine tracks the count itself and restores it here).
+    pub(crate) fn force_conflicts_resolved(&mut self, n: u64) {
+        self.conflicts_resolved = n;
+    }
+
     /// A snapshot of all register values (for dumps and assertions).
     pub fn snapshot(&self) -> &[Value] {
         &self.regs

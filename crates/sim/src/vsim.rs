@@ -43,15 +43,15 @@ use crate::xsim::{RunSummary, StepStatus};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Vsim {
-    config: MachineConfig,
-    program: VliwProgram,
-    regs: RegisterFile,
-    mem: Memory,
-    ports: Vec<IoPort>,
-    pc: Option<Addr>,
-    ccs: Vec<Option<bool>>,
-    cycle: u64,
-    stats: SimStats,
+    pub(crate) config: MachineConfig,
+    pub(crate) program: VliwProgram,
+    pub(crate) regs: RegisterFile,
+    pub(crate) mem: Memory,
+    pub(crate) ports: Vec<IoPort>,
+    pub(crate) pc: Option<Addr>,
+    pub(crate) ccs: Vec<Option<bool>>,
+    pub(crate) cycle: u64,
+    pub(crate) stats: SimStats,
 }
 
 impl Vsim {
@@ -242,6 +242,17 @@ impl Vsim {
         } else {
             Err(SimError::CycleLimit { limit: max_cycles })
         }
+    }
+
+    /// Runs on the pre-decoded fast path: same contract and observable
+    /// results as [`Vsim::run`] (see [`crate::decoded`] for the state
+    /// consistency rules after an error).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Vsim::run`] reports.
+    pub fn run_decoded(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        crate::decoded::run_vsim_decoded(self, max_cycles)
     }
 }
 

@@ -58,18 +58,18 @@ pub struct RunSummary {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Xsim {
-    config: MachineConfig,
-    program: Program,
-    regs: RegisterFile,
-    mem: Memory,
-    ports: Vec<IoPort>,
-    pcs: Vec<Option<Addr>>,
-    ccs: Vec<Option<bool>>,
-    ss: Vec<SyncSignal>,
-    partition: Partition,
-    cycle: u64,
-    stats: SimStats,
-    trace: Option<Trace>,
+    pub(crate) config: MachineConfig,
+    pub(crate) program: Program,
+    pub(crate) regs: RegisterFile,
+    pub(crate) mem: Memory,
+    pub(crate) ports: Vec<IoPort>,
+    pub(crate) pcs: Vec<Option<Addr>>,
+    pub(crate) ccs: Vec<Option<bool>>,
+    pub(crate) ss: Vec<SyncSignal>,
+    pub(crate) partition: Partition,
+    pub(crate) cycle: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) trace: Option<Trace>,
 }
 
 impl Xsim {
@@ -112,6 +112,11 @@ impl Xsim {
             config,
             program,
         })
+    }
+
+    /// The machine configuration this simulator was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
     }
 
     /// Enables per-cycle address tracing (Figure 10 format).
@@ -352,7 +357,16 @@ impl Xsim {
                 });
             }
         }
-        Err(SimError::CycleLimit { limit: max_cycles })
+        // Same post-loop accounting as `run`: a machine that already halted
+        // exactly at the budget is a success, not a cycle-limit error.
+        if self.all_halted() {
+            Ok(RunSummary {
+                cycles: self.cycle,
+                stats: self.stats.clone(),
+            })
+        } else {
+            Err(SimError::CycleLimit { limit: max_cycles })
+        }
     }
 
     /// Runs until every FU halts or `max_cycles` elapse.
@@ -378,6 +392,58 @@ impl Xsim {
         } else {
             Err(SimError::CycleLimit { limit: max_cycles })
         }
+    }
+
+    /// Runs on the pre-decoded fast path ([`crate::decoded`]): same contract
+    /// and observable results as [`Xsim::run`], typically several times
+    /// faster.
+    ///
+    /// Falls back to the interpreter when tracing is enabled (the fast path
+    /// records no trace rows) or the machine is wider than
+    /// [`crate::decoded::MAX_FAST_WIDTH`].
+    ///
+    /// On success or cycle-limit exhaustion the machine state (registers,
+    /// memory, ports, PCs, CCs, sync signals, partition, statistics) is
+    /// identical to what the interpreter would have produced. On any other
+    /// machine check the error is identical but the machine is left at the
+    /// last *completed* cycle boundary, whereas the interpreter stops
+    /// mid-cycle; a trapped run's partial state is unspecified either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Xsim::run`] reports.
+    pub fn run_decoded(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        if self.trace.is_some() || self.config.width > crate::decoded::MAX_FAST_WIDTH {
+            return self.run(max_cycles);
+        }
+        let mut fast = crate::decoded::FastXsim::from_xsim(self);
+        let result = fast.run(max_cycles);
+        if matches!(result, Ok(_) | Err(SimError::CycleLimit { .. })) {
+            fast.write_back(self);
+        }
+        result
+    }
+
+    /// Fast-path counterpart of [`Xsim::run_until_parked`]; the same
+    /// fallback and state-consistency rules as [`Xsim::run_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Xsim::run_until_parked`] reports.
+    pub fn run_decoded_until_parked(
+        &mut self,
+        park: Addr,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        if self.trace.is_some() || self.config.width > crate::decoded::MAX_FAST_WIDTH {
+            return self.run_until_parked(park, max_cycles);
+        }
+        let mut fast = crate::decoded::FastXsim::from_xsim(self);
+        let result = fast.run_until_parked(park, max_cycles);
+        if matches!(result, Ok(_) | Err(SimError::CycleLimit { .. })) {
+            fast.write_back(self);
+        }
+        result
     }
 }
 
@@ -622,6 +688,20 @@ mod tests {
         let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
         assert_eq!(sim.run(5), Err(SimError::CycleLimit { limit: 5 }));
         assert_eq!(sim.stats().spin_cycles, 5);
+    }
+
+    #[test]
+    fn run_and_run_until_parked_agree_on_halted_machine() {
+        // Regression: with the budget exactly equal to the elapsed cycle
+        // count, `run` succeeded on an already-halted machine while
+        // `run_until_parked` reported a spurious CycleLimit.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        sim.run(10).unwrap();
+        assert!(sim.all_halted());
+        let budget = sim.cycle(); // == 1: loop body never entered
+        assert_eq!(sim.run(budget), sim.run_until_parked(Addr(0), budget));
     }
 
     #[test]

@@ -160,6 +160,35 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The decoded fast path is indistinguishable from the interpreter on
+    /// branchy random programs: identical `RunSummary` (every counter in
+    /// `SimStats`, not just cycles), registers, PCs, CCs and partition.
+    #[test]
+    fn decoded_path_matches_interpreter(program in arb_program()) {
+        let width = program.width();
+        let config = MachineConfig::with_width(width);
+        let budget = 300;
+        let mut interp = Xsim::new(program.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(program, config).unwrap();
+        for r in 0..NUM_REGS {
+            interp.write_reg(Reg(r), (i32::from(r) * 5 - 7).into());
+            fast.write_reg(Reg(r), (i32::from(r) * 5 - 7).into());
+        }
+        let a = interp.run(budget);
+        let b = fast.run_decoded(budget);
+        prop_assert_eq!(a.clone(), b);
+        if matches!(a, Ok(_) | Err(SimError::CycleLimit { .. })) {
+            for r in 0..NUM_REGS {
+                prop_assert_eq!(interp.reg(Reg(r)), fast.reg(Reg(r)));
+            }
+            prop_assert_eq!(interp.pcs(), fast.pcs());
+            prop_assert_eq!(interp.ccs(), fast.ccs());
+            prop_assert_eq!(interp.partition(), fast.partition());
+            prop_assert_eq!(interp.stats(), fast.stats());
+            prop_assert_eq!(interp.cycle(), fast.cycle());
+        }
+    }
+
     /// The per-cycle partition always covers exactly the machine's FUs, and
     /// statistics stay consistent with the trace.
     #[test]

@@ -207,6 +207,16 @@ fn prepared_sim(data: &[i32]) -> Result<Xsim, SimError> {
     Ok(sim)
 }
 
+/// A seeded, ready-to-run BITCOUNT1 instance and how to drive it.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+pub fn prepared(data: &[i32]) -> Result<(Xsim, crate::RunSpec), SimError> {
+    let sim = prepared_sim(data)?;
+    Ok((sim, crate::RunSpec::Run(200 + 160 * data.len() as u64)))
+}
+
 fn extract(sim_mem: &ximd_sim::Memory, n: usize) -> Result<Vec<i32>, SimError> {
     sim_mem.peek_slice(B_BASE as i64 + 1, n)
 }

@@ -36,6 +36,62 @@
 //! # Ok::<(), ximd_sim::SimError>(())
 //! ```
 
+use ximd_isa::Addr;
+
+/// How a prepared workload simulator is driven to completion.
+///
+/// Returned alongside the seeded [`Xsim`](ximd_sim::Xsim) by each module's
+/// `prepared` constructor so harnesses (xbench, equivalence tests) can run
+/// the exact same machine through either the interpreter or the decoded
+/// fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSpec {
+    /// Drive with `run` / `run_decoded` and this cycle budget.
+    Run(u64),
+    /// Drive with `run_until_parked` / `run_decoded_until_parked`: park
+    /// address and cycle budget.
+    Parked(Addr, u64),
+}
+
+impl RunSpec {
+    /// The cycle budget regardless of drive mode.
+    pub fn budget(self) -> u64 {
+        match self {
+            RunSpec::Run(b) | RunSpec::Parked(_, b) => b,
+        }
+    }
+
+    /// Runs `sim` on the interpreter per this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator machine checks.
+    pub fn drive(
+        self,
+        sim: &mut ximd_sim::Xsim,
+    ) -> Result<ximd_sim::RunSummary, ximd_sim::SimError> {
+        match self {
+            RunSpec::Run(b) => sim.run(b),
+            RunSpec::Parked(park, b) => sim.run_until_parked(park, b),
+        }
+    }
+
+    /// Runs `sim` on the decoded fast path per this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator machine checks.
+    pub fn drive_decoded(
+        self,
+        sim: &mut ximd_sim::Xsim,
+    ) -> Result<ximd_sim::RunSummary, ximd_sim::SimError> {
+        match self {
+            RunSpec::Run(b) => sim.run_decoded(b),
+            RunSpec::Parked(park, b) => sim.run_decoded_until_parked(park, b),
+        }
+    }
+}
+
 pub mod bitcount;
 pub mod gen;
 pub mod livermore;

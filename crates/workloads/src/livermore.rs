@@ -132,6 +132,27 @@ pub struct Outcome {
     pub cycles: u64,
 }
 
+/// A seeded, ready-to-run Loop 12 instance and how to drive it.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+///
+/// # Panics
+///
+/// Panics if `y` has fewer than 2 elements (`n >= 1` required).
+pub fn prepared(y: &[i32]) -> Result<(Xsim, crate::RunSpec), SimError> {
+    assert!(
+        y.len() >= 2,
+        "loop 12 requires n >= 1 (y has n + 1 elements)"
+    );
+    let n = y.len() - 1;
+    let mut sim = Xsim::new(ximd_program(), MachineConfig::with_width(WIDTH))?;
+    sim.mem_mut().poke_slice(Y_BASE as i64 + 1, y)?;
+    sim.write_reg(REG_N, (n as i32).into());
+    Ok((sim, crate::RunSpec::Run(20 + 4 * n as u64)))
+}
+
 /// Runs Loop 12 on xsim (XIMD form).
 ///
 /// # Errors

@@ -154,6 +154,25 @@ fn prepared_sim(data: &[i32]) -> Result<Xsim, SimError> {
     Ok(sim)
 }
 
+/// A seeded, ready-to-run MINMAX instance and how to drive it (the paper's
+/// listing parks on a terminal self-loop rather than halting).
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn prepared(data: &[i32]) -> Result<(Xsim, crate::RunSpec), SimError> {
+    assert!(!data.is_empty(), "MINMAX requires n >= 1");
+    let sim = prepared_sim(data)?;
+    Ok((
+        sim,
+        crate::RunSpec::Parked(PARK, 16 + 8 * data.len() as u64),
+    ))
+}
+
 /// Runs MINMAX on xsim.
 ///
 /// # Errors

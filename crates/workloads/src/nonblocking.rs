@@ -345,7 +345,10 @@ pub fn flags_assembly() -> Assembly {
     assemble(SOURCE_FLAGS).expect("embedded flags source is valid")
 }
 
-fn run(program: ximd_isa::Program, scenario: &Scenario) -> Result<Outcome, SimError> {
+fn prepared_with(
+    program: ximd_isa::Program,
+    scenario: &Scenario,
+) -> Result<(Xsim, crate::RunSpec), SimError> {
     let mut sim = Xsim::new(program, MachineConfig::ximd1())?;
     // Ports 0..5: inputs a,b,c,x,y,z with seeded arrival times. Ports 6,7:
     // outputs.
@@ -366,7 +369,25 @@ fn run(program: ximd_isa::Program, scenario: &Scenario) -> Result<Outcome, SimEr
     sim.attach_port(IoPort::new()); // p6
     sim.attach_port(IoPort::new()); // p7
     let max = 2000 + 20 * scenario.latency.end;
-    let summary = sim.run(max)?;
+    Ok((sim, crate::RunSpec::Run(max)))
+}
+
+/// A seeded, ready-to-run sync-bit Figure 12 instance and how to drive it.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+///
+/// # Panics
+///
+/// Panics if a scenario value is zero.
+pub fn prepared_sync(scenario: &Scenario) -> Result<(Xsim, crate::RunSpec), SimError> {
+    prepared_with(sync_assembly().program, scenario)
+}
+
+fn run(program: ximd_isa::Program, scenario: &Scenario) -> Result<Outcome, SimError> {
+    let (mut sim, spec) = prepared_with(program, scenario)?;
+    let summary = spec.drive(&mut sim)?;
     let collect = |port: &IoPort| port.written().iter().map(|e| e.value.as_i32()).collect();
     Ok(Outcome {
         p1_wrote: collect(&sim.ports()[6]),

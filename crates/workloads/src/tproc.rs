@@ -129,6 +129,17 @@ fn seed_regs(write: &mut dyn FnMut(Reg, Value), a: i32, b: i32, c: i32, d: i32) 
     }
 }
 
+/// A seeded, ready-to-run TPROC instance and how to drive it.
+///
+/// # Errors
+///
+/// Propagates simulator machine checks.
+pub fn prepared(a: i32, b: i32, c: i32, d: i32) -> Result<(Xsim, crate::RunSpec), SimError> {
+    let mut sim = Xsim::new(ximd_assembly().program, MachineConfig::with_width(WIDTH))?;
+    seed_regs(&mut |r, v| sim.write_reg(r, v), a, b, c, d);
+    Ok((sim, crate::RunSpec::Run(100)))
+}
+
 /// Runs TPROC on xsim.
 ///
 /// # Errors

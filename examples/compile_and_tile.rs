@@ -4,6 +4,10 @@
 //! skyline packer.
 //!
 //! Run with: `cargo run --example compile_and_tile`
+//!
+//! With `XIMD_EMIT_ASM=<dir>` set, additionally writes each thread's
+//! compiled XIMD assembly to `<dir>/<name>.xasm` so the emitted programs
+//! can be linted (CI runs `xlint` over them).
 
 use ximd::compiler::compile;
 use ximd::compiler::pack::{pack_skyline, pack_stacked};
@@ -68,6 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         println!();
+    }
+
+    if let Ok(dir) = std::env::var("XIMD_EMIT_ASM") {
+        use ximd::compiler::compile_named;
+        use ximd::prelude::print_program;
+        std::fs::create_dir_all(&dir)?;
+        for menu in &menus {
+            let f = compile_named(THREADS, &menu.name, 4)?;
+            let path = std::path::Path::new(&dir).join(format!("{}.xasm", menu.name));
+            std::fs::write(&path, print_program(&f.ximd_program()))?;
+            println!("emitted {}", path.display());
+        }
     }
 
     println!("\n=== packing into an 8-FU instruction memory (Figure 13) ===\n");

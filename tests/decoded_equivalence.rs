@@ -1,0 +1,123 @@
+//! Decoded fast path vs interpreter, across the repo's program sources.
+//!
+//! The `crates/sim` unit and property tests cover hand-built and branchy
+//! random programs; this suite closes the loop at the workspace level:
+//! `ximd-models::randprog` sweeps (the generators the emulation theorems
+//! use) and every paper workload, each run twice — interpreter and decoded
+//! engine — and compared on `RunSummary` (cycle-exact, every `SimStats`
+//! counter), final registers, PCs, CCs, and the low memory region the
+//! workloads write.
+
+use ximd::models::randprog;
+use ximd::prelude::*;
+use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc, RunSpec};
+
+/// Words of memory compared after each run — covers every workload's data
+/// region (the largest base is livermore's `X_BASE = 4999`).
+const MEM_WINDOW: usize = 6000;
+
+fn assert_equivalent(mut interp: Xsim, mut fast: Xsim, spec: RunSpec) {
+    let a = spec.drive(&mut interp);
+    let b = spec.drive_decoded(&mut fast);
+    assert_eq!(a, b, "RunSummary diverged");
+    let num_regs = interp.config().num_regs;
+    for r in 0..num_regs as u16 {
+        assert_eq!(interp.reg(Reg(r)), fast.reg(Reg(r)), "register r{r}");
+    }
+    assert_eq!(interp.pcs(), fast.pcs(), "program counters");
+    assert_eq!(interp.ccs(), fast.ccs(), "condition codes");
+    assert_eq!(interp.stats(), fast.stats(), "statistics counters");
+    assert_eq!(
+        interp.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+        fast.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+        "memory window"
+    );
+    let written = |sim: &Xsim| -> Vec<Vec<i32>> {
+        sim.ports()
+            .iter()
+            .map(|p| p.written().iter().map(|e| e.value.as_i32()).collect())
+            .collect()
+    };
+    assert_eq!(written(&interp), written(&fast), "port output events");
+}
+
+#[test]
+fn randprog_sweeps_are_cycle_and_register_exact() {
+    for seed in 0..24u64 {
+        let width = 1 + (seed as usize % 8);
+        let len = 3 + (seed as usize % 13);
+        let vliw = randprog::straight_line_vliw(seed, width, len, 24);
+        let config = MachineConfig::with_width(width);
+        let interp = Xsim::new(vliw.to_ximd(), config.clone()).unwrap();
+        let fast = Xsim::new(vliw.to_ximd(), config).unwrap();
+        assert_equivalent(interp, fast, RunSpec::Run(10 * (len as u64 + 2)));
+    }
+}
+
+#[test]
+fn randprog_sweeps_match_on_vsim_too() {
+    for seed in 100..112u64 {
+        let width = 1 + (seed as usize % 6);
+        let vliw = randprog::straight_line_vliw(seed, width, 9, 16);
+        let config = MachineConfig::with_width(width);
+        let mut interp = Vsim::new(vliw.clone(), config.clone()).unwrap();
+        let mut fast = Vsim::new(vliw, config).unwrap();
+        let a = interp.run(200);
+        let b = fast.run_decoded(200);
+        assert_eq!(a, b, "seed {seed}");
+        for r in 0..16u16 {
+            assert_eq!(interp.reg(Reg(r)), fast.reg(Reg(r)), "seed {seed} r{r}");
+        }
+        assert_eq!(interp.pc(), fast.pc());
+        assert_eq!(interp.stats(), fast.stats());
+    }
+}
+
+#[test]
+fn tproc_decoded_matches() {
+    for (a, b, c, d) in [(1, 2, 3, 4), (9, -4, 3, 12), (-7, 11, 5, 2)] {
+        let (interp, spec) = tproc::prepared(a, b, c, d).unwrap();
+        let (fast, _) = tproc::prepared(a, b, c, d).unwrap();
+        assert_equivalent(interp, fast, spec);
+    }
+}
+
+#[test]
+fn livermore_decoded_matches() {
+    let y = gen::livermore_y(5, 64);
+    let (interp, spec) = livermore::prepared(&y).unwrap();
+    let (fast, _) = livermore::prepared(&y).unwrap();
+    assert_equivalent(interp, fast, spec);
+}
+
+#[test]
+fn minmax_decoded_matches_through_run_until_parked() {
+    // MINMAX parks rather than halting — this exercises the decoded
+    // `run_until_parked` path end to end, including the Figure 10 input.
+    for data in [vec![5, 3, 4, 7], gen::uniform_ints(8, 96, -10_000, 10_000)] {
+        let (interp, spec) = minmax::prepared(&data).unwrap();
+        let (fast, _) = minmax::prepared(&data).unwrap();
+        assert!(matches!(spec, RunSpec::Parked(..)));
+        assert_equivalent(interp, fast, spec);
+    }
+}
+
+#[test]
+fn bitcount_decoded_matches() {
+    let data = gen::bit_weighted_ints(13, 48, 24);
+    let (interp, spec) = bitcount::prepared(&data).unwrap();
+    let (fast, _) = bitcount::prepared(&data).unwrap();
+    assert_equivalent(interp, fast, spec);
+}
+
+#[test]
+fn nonblocking_decoded_matches_with_ports() {
+    // Port arrival schedules are keyed off the cycle counter, so any cycle
+    // skew between the engines surfaces as different port traffic.
+    for seed in [0u64, 3, 11] {
+        let scenario = nonblocking::Scenario::with_seed(seed);
+        let (interp, spec) = nonblocking::prepared_sync(&scenario).unwrap();
+        let (fast, _) = nonblocking::prepared_sync(&scenario).unwrap();
+        assert_equivalent(interp, fast, spec);
+    }
+}
