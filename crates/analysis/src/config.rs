@@ -1,5 +1,37 @@
 //! Tunable budgets and limits for an xlint run.
 
+/// Which engine(s) answer the cross-stream questions (races, and on the
+/// product engine also deadlock/termination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Product interpretation, falling back to the compositional SSET
+    /// engine for race results when the state cap truncates exploration.
+    #[default]
+    Auto,
+    /// Product interpretation only (the seed behaviour: truncation just
+    /// warns).
+    Product,
+    /// Compositional SSET engine only; the product interpreter does not
+    /// run at all.
+    Compositional,
+    /// Run both and report both (compositional findings the product
+    /// already reported are deduplicated).
+    Both,
+}
+
+impl EngineChoice {
+    /// Parses a CLI value.
+    pub fn parse(s: &str) -> Option<EngineChoice> {
+        match s {
+            "auto" => Some(EngineChoice::Auto),
+            "product" => Some(EngineChoice::Product),
+            "compositional" => Some(EngineChoice::Compositional),
+            "both" => Some(EngineChoice::Both),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for [`crate::analyze`].
 ///
 /// The defaults describe XIMD-1 as built: each FU owns two register-file
@@ -19,8 +51,16 @@ pub struct AnalysisConfig {
     pub word_write_ports: Option<usize>,
     /// Cap on explored product machine states. Exploration past the cap
     /// stops with a [`crate::Check::StateSpaceTruncated`] warning and the
-    /// deadlock/race passes are skipped (they need the full space).
+    /// deadlock/race passes are skipped (they need the full space); under
+    /// [`EngineChoice::Auto`] the compositional engine then supplies race
+    /// results instead.
     pub max_states: usize,
+    /// Cap on region states explored by the SSET-structure inference.
+    /// Far smaller than the product space — region states are
+    /// (member-set, address) pairs, not full machine states.
+    pub max_region_states: usize,
+    /// Which engine(s) answer the cross-stream questions.
+    pub engine: EngineChoice,
 }
 
 impl Default for AnalysisConfig {
@@ -31,6 +71,8 @@ impl Default for AnalysisConfig {
             word_read_ports: None,
             word_write_ports: None,
             max_states: 1 << 18,
+            max_region_states: 1 << 14,
+            engine: EngineChoice::Auto,
         }
     }
 }

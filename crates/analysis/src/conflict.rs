@@ -1,0 +1,79 @@
+//! Pairwise same-cycle conflict detection, shared by the product and
+//! compositional engines.
+//!
+//! Both engines answer the same question — can FU *f* at address *a* and
+//! FU *g* at a different address *b* touch one register or memory cell in
+//! one cycle? — they differ only in how they decide whether the two
+//! parcels can co-occur. Keeping the access comparison here guarantees
+//! the engines agree on what counts as a conflict, and gives them a
+//! common `kind` key so findings the product engine already reported are
+//! not re-reported by the compositional fallback.
+
+use ximd_isa::{Addr, FuId, Parcel};
+
+use crate::word::store_cell;
+
+/// One conflict between two parcels executing in the same cycle at
+/// different addresses.
+pub(crate) struct PairConflict {
+    /// Stable dedup key, identical across engines for the same conflict.
+    pub kind: String,
+    /// Rendered finding text.
+    pub message: String,
+}
+
+/// Conflicts between FU `ff` executing `pf` at `af` and FU `fg`
+/// executing `pg` at `ag` in one cycle. Callers guarantee `af != ag`
+/// (same-word conflicts belong to the word pass) and order the pair by
+/// FU index so the dedup keys line up across engines.
+pub(crate) fn pair_conflicts(
+    af: Addr,
+    ff: FuId,
+    pf: &Parcel,
+    ag: Addr,
+    fg: FuId,
+    pg: &Parcel,
+) -> Vec<PairConflict> {
+    let mut out = Vec::new();
+    let mut push = |kind: String, message: String| out.push(PairConflict { kind, message });
+
+    if let (Some(df), Some(dg)) = (pf.data.dest(), pg.data.dest()) {
+        if df == dg {
+            push(
+                format!("ww r{}", df.0),
+                format!("{ff} at {af} and {fg} at {ag} can write {df} in the same cycle"),
+            );
+        }
+    }
+    if let Some(df) = pf.data.dest() {
+        if pg.data.sources().contains(&df) {
+            push(
+                format!("wr r{}", df.0),
+                format!("{ff} at {af} can write {df} in the same cycle {fg} at {ag} reads it"),
+            );
+        }
+    }
+    if let Some(dg) = pg.data.dest() {
+        if pf.data.sources().contains(&dg) {
+            push(
+                format!("rw r{}", dg.0),
+                format!("{fg} at {ag} can write {dg} in the same cycle {ff} at {af} reads it"),
+            );
+        }
+    }
+    match (store_cell(&pf.data), store_cell(&pg.data)) {
+        (Some(Ok(a)), Some(Ok(b))) if a == b => push(
+            format!("mem {a}"),
+            format!("{ff} at {af} and {fg} at {ag} can store to M[{a}] in the same cycle"),
+        ),
+        (Some(Ok(_)), Some(Ok(_))) | (None, _) | (_, None) => {}
+        _ => push(
+            "mem ?".into(),
+            format!(
+                "{ff} at {af} and {fg} at {ag} can store in the same cycle to \
+                 addresses that cannot be proven distinct"
+            ),
+        ),
+    }
+    out
+}

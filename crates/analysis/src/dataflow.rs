@@ -1,0 +1,537 @@
+//! Generic worklist dataflow over per-FU CFGs, and the register/CC/sync
+//! lints built on it.
+//!
+//! Every XIMD parcel names its successors explicitly, so each FU column
+//! induces a complete CFG over word addresses ([`FuCfg`]). [`solve`] runs
+//! a classic iterative worklist fixpoint over one such CFG in either
+//! direction, parameterised by a join-semilattice fact type — callers
+//! supply the boundary fact, the bottom element, the join, and the
+//! per-parcel transfer function.
+//!
+//! Four analyses run on the solver:
+//!
+//! - **reaching definitions** (forward, may) — per register, the set of
+//!   write sites (or the entry pseudo-site) that reach each parcel. A
+//!   write by a provable lockstep mate in the same word counts as a
+//!   definition for this FU too, since the mate commits it in the same
+//!   cycle the FU passes through the word. Powers `uninit-read`.
+//! - **liveness** (backward, may) — with *all* registers live at halt and
+//!   park exits, because results are read out of the register file after
+//!   the run. Powers `dead-write`.
+//! - **CC def-use** (forward, must) — whether a compare of the branching
+//!   FU dominates each branch on its own CC latch. Powers `cc-stale-use`.
+//! - **sync def-observe** (whole-program) — DONE exports that no
+//!   reachable branch could ever observe. Powers `sync-never-observed`.
+//!
+//! # Precision rules (why workload programs stay clean)
+//!
+//! These lints run by default, so they must be silent on correct code
+//! that relies on XIMD conventions the CFG cannot see:
+//!
+//! - registers with no *fresh* write anywhere (every write also reads the
+//!   register, e.g. `iadd r5,#1,r5` accumulators) are assumed externally
+//!   seeded inputs — parameters are passed in the register file;
+//! - registers read in the entry word `00:` are parameters too: every FU
+//!   starts there in cycle 0, before any write can have committed, so a
+//!   first-cycle read *only* makes sense on a preloaded value (TPROC
+//!   reads three of its four inputs in its first word) — even when the
+//!   register is later reused as a fresh-written scratch;
+//! - a register written by a *foreign* FU (one not provably lockstep at
+//!   the writing word) is exempt from `uninit-read`: the cross-stream
+//!   ordering is the race engines' question, not this one's;
+//! - `uninit-read` is a *must* analysis — it fires only when no write
+//!   reaches the read on *any* path, so "seeded externally, updated in
+//!   the loop" patterns (reaching sets contain the loop write via the
+//!   back edge) stay silent;
+//! - `dead-write` is suppressed when any foreign FU reads the register —
+//!   observation from another stream keeps a value meaningful even when
+//!   this stream overwrites it.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ximd_isa::{Addr, CondSource, ControlOp, FuId, Program, Reg, XIMD1_NUM_REGS};
+
+use crate::diag::{Check, Diagnostic, Engine, Severity};
+use crate::sset::SsetInference;
+
+const REG_WORDS: usize = XIMD1_NUM_REGS.div_ceil(64);
+
+/// A dense register set sized to the XIMD-1 register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegSet([u64; REG_WORDS]);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet([0; REG_WORDS]);
+    /// Every architectural register.
+    pub const FULL: RegSet = RegSet([u64::MAX; REG_WORDS]);
+
+    /// Adds `r`.
+    pub fn insert(&mut self, r: Reg) {
+        self.0[r.0 as usize / 64] |= 1u64 << (r.0 % 64);
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        self.0[r.0 as usize / 64] &= !(1u64 << (r.0 % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0[r.0 as usize / 64] & (1u64 << (r.0 % 64)) != 0
+    }
+
+    /// In-place union; returns whether `self` grew.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+/// The control-flow graph one FU column induces over word addresses.
+pub struct FuCfg {
+    /// The FU this CFG belongs to.
+    pub fu: FuId,
+    /// Successor addresses per word (in-range targets only).
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessors, restricted to reachable words.
+    pub preds: Vec<Vec<u32>>,
+    /// Reachability from the shared entry `00:`.
+    pub reachable: Vec<bool>,
+    /// Reachable terminals: `halt` parcels and one-word self-goto parks.
+    pub exits: Vec<u32>,
+}
+
+impl FuCfg {
+    /// Builds the CFG for `fu`'s column of `program`.
+    pub fn build(program: &Program, fu: FuId) -> FuCfg {
+        let len = program.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); len];
+        for a in 0..len as u32 {
+            let parcel = program.parcel(Addr(a), fu).expect("in range");
+            for t in parcel.ctrl.targets() {
+                if t.index() < len && !succs[a as usize].contains(&t.0) {
+                    succs[a as usize].push(t.0);
+                }
+            }
+        }
+        let mut reachable = vec![false; len];
+        let mut exits = Vec::new();
+        if len > 0 {
+            let mut work = vec![0u32];
+            while let Some(a) = work.pop() {
+                if std::mem::replace(&mut reachable[a as usize], true) {
+                    continue;
+                }
+                let parcel = program.parcel(Addr(a), fu).expect("in range");
+                match parcel.ctrl {
+                    ControlOp::Halt => exits.push(a),
+                    ControlOp::Goto(t) if t.0 == a => exits.push(a),
+                    _ => {}
+                }
+                work.extend(succs[a as usize].iter().copied());
+            }
+        }
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); len];
+        for a in 0..len as u32 {
+            if !reachable[a as usize] {
+                continue;
+            }
+            for &s in &succs[a as usize] {
+                preds[s as usize].push(a);
+            }
+        }
+        FuCfg {
+            fu,
+            succs,
+            preds,
+            reachable,
+            exits,
+        }
+    }
+}
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exits; the result at a word is the fact *before*
+    /// its parcel executes.
+    Forward,
+    /// Facts flow exits → entry; the result at a word is the fact *after*
+    /// its parcel executes (e.g. live-out).
+    Backward,
+}
+
+/// Iterative worklist fixpoint over one [`FuCfg`].
+///
+/// `boundary` is the fact at the entry (forward) or joined into every
+/// exit (backward); `bottom` is the lattice's least element; `join`
+/// merges a fact into an accumulator and reports growth; `transfer` maps
+/// the fact across one word's parcel. Unreachable words keep `bottom`.
+pub fn solve<F: Clone>(
+    cfg: &FuCfg,
+    dir: Direction,
+    boundary: F,
+    bottom: F,
+    mut join: impl FnMut(&mut F, &F) -> bool,
+    mut transfer: impl FnMut(u32, &F) -> F,
+) -> Vec<F> {
+    let len = cfg.reachable.len();
+    let mut facts: Vec<F> = vec![bottom; len];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut queued = vec![false; len];
+    match dir {
+        Direction::Forward => {
+            if len > 0 && cfg.reachable[0] {
+                facts[0] = boundary;
+            }
+        }
+        Direction::Backward => {
+            for &e in &cfg.exits {
+                join(&mut facts[e as usize], &boundary);
+            }
+        }
+    }
+    for a in 0..len as u32 {
+        if cfg.reachable[a as usize] {
+            queue.push_back(a);
+            queued[a as usize] = true;
+        }
+    }
+    while let Some(a) = queue.pop_front() {
+        queued[a as usize] = false;
+        let out = transfer(a, &facts[a as usize]);
+        let flow_to: &[u32] = match dir {
+            Direction::Forward => &cfg.succs[a as usize],
+            Direction::Backward => &cfg.preds[a as usize],
+        };
+        for &t in flow_to {
+            if !cfg.reachable[t as usize] {
+                continue;
+            }
+            if join(&mut facts[t as usize], &out) && !queued[t as usize] {
+                queue.push_back(t);
+                queued[t as usize] = true;
+            }
+        }
+    }
+    facts
+}
+
+/// The entry pseudo-definition site used by reaching definitions.
+const ENTRY: u32 = u32::MAX;
+
+pub(crate) fn check(program: &Program, inference: &SsetInference, diags: &mut Vec<Diagnostic>) {
+    let width = program.width();
+    let len = program.len();
+    if width == 0 || len == 0 {
+        return;
+    }
+    let cfgs: Vec<FuCfg> = (0..width)
+        .map(|f| FuCfg::build(program, FuId(f as u8)))
+        .collect();
+
+    // Whole-program access indexes over reachable parcels.
+    let mut fresh_def = RegSet::EMPTY;
+    let mut fresh_site: HashMap<u16, (FuId, Addr)> = HashMap::new();
+    let mut writers: HashMap<u16, Vec<(u8, u32)>> = HashMap::new();
+    let mut readers: HashMap<u16, Vec<(u8, u32)>> = HashMap::new();
+    let mut done_exports: Vec<Vec<u32>> = vec![Vec::new(); width];
+    let mut sync_observed = vec![false; width];
+    let mut touched: BTreeSet<u16> = BTreeSet::new();
+    for (fu, cfg) in cfgs.iter().enumerate() {
+        let f = FuId(fu as u8);
+        for a in 0..len as u32 {
+            if !cfg.reachable[a as usize] {
+                continue;
+            }
+            let parcel = program.parcel(Addr(a), f).expect("in range");
+            let sources = parcel.data.sources();
+            for r in &sources {
+                readers.entry(r.0).or_default().push((f.0, a));
+                touched.insert(r.0);
+            }
+            if let Some(d) = parcel.data.dest() {
+                writers.entry(d.0).or_default().push((f.0, a));
+                touched.insert(d.0);
+                if !sources.contains(&d) {
+                    fresh_def.insert(d);
+                    fresh_site.entry(d.0).or_insert((f, Addr(a)));
+                }
+            }
+            if parcel.sync.is_done() && parcel.ctrl != ControlOp::Halt {
+                done_exports[fu].push(a);
+            }
+            match parcel.ctrl.cond() {
+                Some(CondSource::Sync(j)) => sync_observed[j.index()] = true,
+                Some(CondSource::AllSync) | Some(CondSource::AnySync) => {
+                    sync_observed.iter_mut().for_each(|o| *o = true)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // `g` is a lockstep mate of `f` at word `x`: same cycle, provably.
+    let is_mate = |f: FuId, x: u32, g: u8| -> bool {
+        f.0 == g || inference.mates(f, Addr(x)) & (1u64 << g) != 0
+    };
+
+    // Registers read in the entry word are preloaded parameters: cycle 0
+    // precedes every possible write.
+    let mut entry_inputs = RegSet::EMPTY;
+    for fu in 0..width {
+        let parcel = program.parcel(Addr(0), FuId(fu as u8)).expect("in range");
+        for r in parcel.data.sources() {
+            entry_inputs.insert(r);
+        }
+    }
+
+    // sync-never-observed: a DONE handshake with no consuming half.
+    for (fu, exports) in done_exports.iter().enumerate() {
+        let f = FuId(fu as u8);
+        if sync_observed[fu] {
+            continue;
+        }
+        if let Some(&a) = exports.iter().min() {
+            diags.push(
+                Diagnostic::new(
+                    Check::SyncNeverObserved,
+                    Severity::Warning,
+                    format!(
+                        "{f} exports DONE here, but no reachable branch tests \
+                         ss{fu}, allss, or anyss — the handshake has no observer"
+                    ),
+                )
+                .at(Addr(a), f)
+                .via(Engine::Dataflow),
+            );
+        }
+    }
+
+    for (fu, cfg) in cfgs.iter().enumerate() {
+        let f = FuId(fu as u8);
+
+        // Definitions this FU can rely on at word `x`: its own parcel's
+        // plus those of provable lockstep mates (committed the same
+        // cycle it passes through `x`).
+        let defs_at = |x: u32| -> Vec<Reg> {
+            let mates = inference.mates(f, Addr(x));
+            (0..width)
+                .filter(|&m| mates & (1u64 << m) != 0)
+                .filter_map(|m| {
+                    program
+                        .parcel(Addr(x), FuId(m as u8))
+                        .expect("in range")
+                        .data
+                        .dest()
+                })
+                .collect()
+        };
+        let uses_at = |x: u32| -> Vec<Reg> {
+            let mates = inference.mates(f, Addr(x));
+            (0..width)
+                .filter(|&m| mates & (1u64 << m) != 0)
+                .flat_map(|m| {
+                    program
+                        .parcel(Addr(x), FuId(m as u8))
+                        .expect("in range")
+                        .data
+                        .sources()
+                })
+                .collect()
+        };
+
+        // Reaching definitions (forward, may): facts are (register,
+        // site) pairs, ENTRY standing for "unwritten since startup".
+        let boundary: BTreeSet<(u16, u32)> = touched.iter().map(|&r| (r, ENTRY)).collect();
+        let reach = solve(
+            cfg,
+            Direction::Forward,
+            boundary,
+            BTreeSet::new(),
+            |into: &mut BTreeSet<(u16, u32)>, from| {
+                let before = into.len();
+                into.extend(from.iter().copied());
+                into.len() != before
+            },
+            |x, fact| {
+                let mut out = fact.clone();
+                for d in defs_at(x) {
+                    out.retain(|&(r, _)| r != d.0);
+                    out.insert((d.0, x));
+                }
+                out
+            },
+        );
+
+        // uninit-read: a must-uninitialized read of a register the
+        // program does freshly initialise, with no foreign writer.
+        for a in 0..len as u32 {
+            if !cfg.reachable[a as usize] {
+                continue;
+            }
+            let parcel = program.parcel(Addr(a), f).expect("in range");
+            let mut flagged = BTreeSet::new();
+            for r in parcel.data.sources() {
+                if !flagged.insert(r.0) {
+                    continue;
+                }
+                let entry_reaches = reach[a as usize].contains(&(r.0, ENTRY));
+                let def_reaches = reach[a as usize]
+                    .iter()
+                    .any(|&(rr, site)| rr == r.0 && site != ENTRY);
+                let foreign_writer = writers
+                    .get(&r.0)
+                    .is_some_and(|ws| ws.iter().any(|&(g, x)| !is_mate(f, x, g)));
+                if entry_reaches
+                    && !def_reaches
+                    && fresh_def.contains(r)
+                    && !entry_inputs.contains(r)
+                    && !foreign_writer
+                {
+                    let (gi, ga) = fresh_site[&r.0];
+                    diags.push(
+                        Diagnostic::new(
+                            Check::UninitRead,
+                            Severity::Warning,
+                            format!(
+                                "{r} is read here, but no write reaches this parcel \
+                                 on any path of {f}'s stream (first initialised at \
+                                 {ga} by {gi})"
+                            ),
+                        )
+                        .at(Addr(a), f)
+                        .via(Engine::Dataflow),
+                    );
+                }
+            }
+        }
+
+        // Liveness (backward, may): everything is live at halt and park
+        // exits — results are read out of the register file after the
+        // run — so only overwritten-before-read-on-every-path fires.
+        let live_out = solve(
+            cfg,
+            Direction::Backward,
+            RegSet::FULL,
+            RegSet::EMPTY,
+            |into: &mut RegSet, from| into.union_with(from),
+            |x, fact| {
+                let mut live = *fact;
+                for d in defs_at(x) {
+                    live.remove(d);
+                }
+                for u in uses_at(x) {
+                    live.insert(u);
+                }
+                live
+            },
+        );
+
+        // dead-write: no read of the value on any path, and no foreign
+        // stream observing the register either.
+        for a in 0..len as u32 {
+            if !cfg.reachable[a as usize] {
+                continue;
+            }
+            let parcel = program.parcel(Addr(a), f).expect("in range");
+            let Some(d) = parcel.data.dest() else {
+                continue;
+            };
+            let foreign_reader = readers
+                .get(&d.0)
+                .is_some_and(|rs| rs.iter().any(|&(g, x)| !is_mate(f, x, g)));
+            if !live_out[a as usize].contains(d) && !foreign_reader {
+                diags.push(
+                    Diagnostic::new(
+                        Check::DeadWrite,
+                        Severity::Warning,
+                        format!(
+                            "the value written to {d} is overwritten before \
+                             any read on every path"
+                        ),
+                    )
+                    .at(Addr(a), f)
+                    .via(Engine::Dataflow),
+                );
+            }
+        }
+
+        // CC def-use: branches on the FU's own latch must be dominated
+        // by one of its compares (forward must-analysis: "the latch may
+        // still be unset/stale"); branches on a foreign latch get the
+        // weak check that the owner compares at all.
+        let own_parcel =
+            |x: u32| -> &ximd_isa::Parcel { program.parcel(Addr(x), f).expect("in range") };
+        let stale_in = solve(
+            cfg,
+            Direction::Forward,
+            true,
+            false,
+            |into: &mut bool, from| {
+                let grew = *from && !*into;
+                *into |= *from;
+                grew
+            },
+            |x, fact| {
+                if own_parcel(x).data.sets_cc() {
+                    false
+                } else {
+                    *fact
+                }
+            },
+        );
+        for a in 0..len as u32 {
+            if !cfg.reachable[a as usize] {
+                continue;
+            }
+            let Some(CondSource::Cc(j)) = own_parcel(a).ctrl.cond() else {
+                continue;
+            };
+            if j == f {
+                if stale_in[a as usize] {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::CcStaleUse,
+                            Severity::Warning,
+                            format!(
+                                "branch reads cc{} with no dominating compare of \
+                                 {f}; on some path the latch holds a stale or \
+                                 never-written value",
+                                j.0
+                            ),
+                        )
+                        .at(Addr(a), f)
+                        .via(Engine::Dataflow),
+                    );
+                }
+            } else {
+                let owner_compares = (0..len as u32).any(|x| {
+                    cfgs[j.index()].reachable[x as usize]
+                        && program.parcel(Addr(x), j).expect("in range").data.sets_cc()
+                });
+                if !owner_compares {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::CcStaleUse,
+                            Severity::Warning,
+                            format!(
+                                "branch reads cc{}, but {j} has no reachable \
+                                 compare anywhere — the latch can never be set",
+                                j.0
+                            ),
+                        )
+                        .at(Addr(a), f)
+                        .via(Engine::Dataflow),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -22,6 +22,39 @@ impl fmt::Display for Severity {
     }
 }
 
+/// Which analysis engine produced a diagnostic.
+///
+/// The first three are the seed passes; [`Engine::Dataflow`] marks the
+/// per-FU dataflow lints and [`Engine::Compositional`] the SSET-region
+/// race engine that substitutes for the product interpreter past the
+/// state cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Per-FU CFG structural walk.
+    Structure,
+    /// Per-wide-instruction resource checks.
+    Word,
+    /// Exhaustive product-state abstract interpretation.
+    Product,
+    /// Worklist dataflow over per-FU CFGs.
+    Dataflow,
+    /// SSET-structure inference and region-local race checking.
+    Compositional,
+}
+
+impl Engine {
+    /// Stable lowercase name used in rendered diagnostics and SARIF.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Structure => "structure",
+            Engine::Word => "word",
+            Engine::Product => "product",
+            Engine::Dataflow => "dataflow",
+            Engine::Compositional => "compositional",
+        }
+    }
+}
+
 /// The individual checks xlint runs. Each diagnostic carries the check that
 /// produced it so tests (and tooling) can filter without parsing messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,9 +93,44 @@ pub enum Check {
     /// State-space exploration hit the configured cap; deadlock and race
     /// results are incomplete.
     StateSpaceTruncated,
+    /// A register is read with no write reaching the read on *any* path of
+    /// the reading FU's CFG (including lockstep peers' writes), although
+    /// the program does initialise the register somewhere.
+    UninitRead,
+    /// A register write whose value is overwritten before any read on
+    /// every path — the parcel does work no one can observe.
+    DeadWrite,
+    /// A branch reads a `CC_j` latch that no reachable compare of FU `j`
+    /// dominates — on some path the latch still holds a stale (or never
+    /// written) value.
+    CcStaleUse,
+    /// A reachable non-halt parcel exports DONE, but no sequencer has a
+    /// reachable branch that could ever observe that sync signal.
+    SyncNeverObserved,
 }
 
 impl Check {
+    /// Every check, in a stable order — used by `--explain` listings and
+    /// the SARIF rule table.
+    pub const ALL: [Check; 16] = [
+        Check::DanglingTarget,
+        Check::UnreachableCode,
+        Check::MissingTerminal,
+        Check::PortBudget,
+        Check::MultiWriteReg,
+        Check::MultiWriteMem,
+        Check::SyncDeadlock,
+        Check::NoTermination,
+        Check::CrossStreamRace,
+        Check::CcBeforeCompare,
+        Check::SsNeverDone,
+        Check::StateSpaceTruncated,
+        Check::UninitRead,
+        Check::DeadWrite,
+        Check::CcStaleUse,
+        Check::SyncNeverObserved,
+    ];
+
     /// Stable kebab-case code used in rendered diagnostics.
     pub fn code(self) -> &'static str {
         match self {
@@ -78,6 +146,123 @@ impl Check {
             Check::CcBeforeCompare => "cc-before-compare",
             Check::SsNeverDone => "ss-never-done",
             Check::StateSpaceTruncated => "state-space-truncated",
+            Check::UninitRead => "uninit-read",
+            Check::DeadWrite => "dead-write",
+            Check::CcStaleUse => "cc-stale-use",
+            Check::SyncNeverObserved => "sync-never-observed",
+        }
+    }
+
+    /// Looks a check up by its kebab-case code.
+    pub fn from_code(code: &str) -> Option<Check> {
+        Check::ALL.into_iter().find(|c| c.code() == code)
+    }
+
+    /// A prose explanation of the check for `xlint --explain CODE`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Check::DanglingTarget => {
+                "A branch or goto names a target address past the end of the \
+                 program. XIMD sequencers have no PC incrementer: every \
+                 successor is an explicit T1/T2 target, so a dangling target \
+                 makes the FU fetch garbage. Error.\n\n  00:\n    fu0: nop ; -> 09:   \
+                 // 09: does not exist"
+            }
+            Check::UnreachableCode => {
+                "A parcel encodes a real data operation but its FU can never \
+                 fetch it: no path from the shared entry 00: reaches the \
+                 address in that FU's column. Pure `nop ; halt` padding is \
+                 exempt. Warning."
+            }
+            Check::MissingTerminal => {
+                "An FU's control-flow graph reaches neither a `halt` parcel \
+                 nor a one-word self-goto park loop — the stream can never \
+                 settle, so the program has no well-defined end. Warning."
+            }
+            Check::PortBudget => {
+                "A parcel (or a whole wide instruction, under shared-port \
+                 budgets) uses more register-file read or write ports than \
+                 the configured register file provides. Error."
+            }
+            Check::MultiWriteReg => {
+                "Two parcels of one wide instruction write the same register; \
+                 both simulators fault at commit regardless of how the \
+                 streams interleave. Error.\n\n  00:\n    fu0: iadd r0,#1,r2 ; \
+                 -> 01:\n    fu1: iadd r1,#1,r2 ; -> 01:"
+            }
+            Check::MultiWriteMem => {
+                "Two parcels of one wide instruction store to one memory cell \
+                 (error), or to cells the analyzer cannot prove distinct \
+                 (warning)."
+            }
+            Check::SyncDeadlock => {
+                "A reachable machine state exists from which no halt/park \
+                 state is reachable, and some FU is waiting on a sync \
+                 condition (SS_j, ALL-SS, ANY-SS) that can never be \
+                 satisfied — e.g. the peer halted while still exporting BUSY. \
+                 Error."
+            }
+            Check::NoTermination => {
+                "A reachable machine state exists from which no halt/park \
+                 state is reachable, with no sync wait involved — a plain \
+                 exitless loop. Warning (spin loops can be intentional)."
+            }
+            Check::CrossStreamRace => {
+                "Two FUs in *different* synchronous sets can touch the same \
+                 register (write/write or write/read) or memory cell in the \
+                 same cycle from different addresses. The decision-key \
+                 partition rule cannot prove the streams synchronous, so the \
+                 interleaving — and therefore the value — is timing- \
+                 dependent. Warning (a CC-guarded invariant invisible to the \
+                 analyzer may make it safe)."
+            }
+            Check::CcBeforeCompare => {
+                "A branch reads CC_j before FU j has executed any compare on \
+                 the explored path; the unwritten latch reads false, which is \
+                 rarely what was meant. Warning."
+            }
+            Check::SsNeverDone => {
+                "A branch waits on SS_j (or ALL-SS/ANY-SS) but FU j has no \
+                 reachable parcel exporting DONE, so the condition can never \
+                 open. Warning (the product pass upgrades provable wedges to \
+                 sync-deadlock errors)."
+            }
+            Check::StateSpaceTruncated => {
+                "Product-state exploration hit AnalysisConfig::max_states. \
+                 Deadlock/termination results are incomplete; xlint falls \
+                 back to the compositional SSET engine for race results and \
+                 exits with code 3 (\"analysis incomplete\") instead of \
+                 pretending the program is clean."
+            }
+            Check::UninitRead => {
+                "A parcel reads a register that no write reaches on *any* \
+                 path of the reading FU's CFG — counting writes by provable \
+                 lockstep peers — although the program does freshly \
+                 initialise that register somewhere, so it is not an external \
+                 input. Classic use-before-init, VLIW edition. Warning.\n\n  \
+                 00:\n    fu0: iadd r7,#1,r1 ; -> 01:   // r7 read here...\n  \
+                 01:\n    fu0: imov #0,r7 ; halt        // ...initialised after"
+            }
+            Check::DeadWrite => {
+                "A register write is overwritten before any read on every \
+                 path (registers are considered live at halt, so final \
+                 results never trigger this; reads by other streams suppress \
+                 it). The parcel burns a write port for nothing. Warning."
+            }
+            Check::CcStaleUse => {
+                "A branch on CC_j is not dominated by a compare of FU j: on \
+                 some path to the branch the latch holds a stale or never- \
+                 written value. For a branch on a *foreign* CC the check \
+                 weakens to \"FU j has at least one reachable compare\". \
+                 Warning."
+            }
+            Check::SyncNeverObserved => {
+                "A reachable non-halt parcel exports DONE, but no FU has any \
+                 reachable branch on SS_j/ALL-SS/ANY-SS that could observe \
+                 it — the handshake's producing half with no consuming half. \
+                 DONE exported on halt parcels is exempt (the codegen join \
+                 convention). Warning."
+            }
         }
     }
 }
@@ -90,6 +275,8 @@ pub struct Diagnostic {
     pub check: Check,
     /// How serious it is.
     pub severity: Severity,
+    /// Which engine produced the finding.
+    pub engine: Engine,
     /// Word address the finding anchors to, if meaningful.
     pub addr: Option<Addr>,
     /// Functional unit the finding anchors to, if meaningful.
@@ -105,6 +292,7 @@ impl Diagnostic {
         Diagnostic {
             check,
             severity,
+            engine: Engine::Structure,
             addr: None,
             fu: None,
             line: None,
@@ -122,11 +310,30 @@ impl Diagnostic {
         self.addr = Some(addr);
         self
     }
+
+    pub(crate) fn via(mut self, engine: Engine) -> Diagnostic {
+        self.engine = engine;
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.severity, self.check.code())?;
+        // The seed passes keep their historical rendering; the two new
+        // engines tag their findings so "which engine said this" is
+        // visible in plain-text output too.
+        match self.engine {
+            Engine::Structure | Engine::Word | Engine::Product => {
+                write!(f, "{}[{}]", self.severity, self.check.code())?
+            }
+            Engine::Dataflow | Engine::Compositional => write!(
+                f,
+                "{}[{}/{}]",
+                self.severity,
+                self.check.code(),
+                self.engine.name()
+            )?,
+        }
         if let Some(addr) = self.addr {
             write!(f, " {addr}")?;
         }
@@ -152,7 +359,14 @@ pub struct Analysis {
     /// Maximum number of concurrent instruction streams (SSETs holding at
     /// least one running FU) observed over all explored states — the
     /// static counterpart of the simulator's dynamic stream profile.
+    /// Zero when the product engine did not run.
     pub max_live_streams: usize,
+    /// Number of region states the SSET-structure inference explored.
+    pub region_states: usize,
+    /// Whether the compositional race engine contributed results (always
+    /// under `--engine compositional`/`both`; under `auto`, only as the
+    /// fallback when the product exploration truncated).
+    pub compositional: bool,
 }
 
 impl Analysis {
@@ -198,23 +412,27 @@ impl Analysis {
 
 impl fmt::Display for Analysis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut stats = format!(
+            "{} states, max {} concurrent streams",
+            self.states_explored, self.max_live_streams
+        );
+        if self.compositional {
+            stats.push_str(&format!(
+                ", compositional over {} region states",
+                self.region_states
+            ));
+        }
         if self.is_clean() {
-            write!(
-                f,
-                "clean ({} states, max {} concurrent streams)",
-                self.states_explored, self.max_live_streams
-            )
+            write!(f, "clean ({stats})")
         } else {
             for d in &self.diagnostics {
                 writeln!(f, "{d}")?;
             }
             write!(
                 f,
-                "{} error(s), {} warning(s) ({} states, max {} concurrent streams)",
+                "{} error(s), {} warning(s) ({stats})",
                 self.errors().count(),
                 self.warnings().count(),
-                self.states_explored,
-                self.max_live_streams
             )
         }
     }

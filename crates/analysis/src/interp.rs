@@ -30,8 +30,8 @@ use ximd_isa::{Addr, CondSource, ControlOp, FuId, Parcel, Program, SyncSignal};
 use ximd_sim::{DecisionKey, Partition};
 
 use crate::config::AnalysisConfig;
-use crate::diag::{Check, Diagnostic, Severity};
-use crate::word::store_cell;
+use crate::conflict::pair_conflicts;
+use crate::diag::{Check, Diagnostic, Engine, Severity};
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct State {
@@ -48,6 +48,9 @@ pub(crate) struct InterpFacts {
     pub states_explored: usize,
     pub truncated: bool,
     pub max_live_streams: usize,
+    /// Race dedup keys this engine reported, so the compositional engine
+    /// can avoid duplicating them. Pairs are ordered by FU index.
+    pub race_keys: HashSet<(Addr, FuId, Addr, FuId, String)>,
 }
 
 fn cond_name(cond: CondSource) -> String {
@@ -154,59 +157,14 @@ pub(crate) fn check(
                     continue; // same wide instruction — the word pass owns it
                 }
                 let (ff, fg) = (FuId(f as u8), FuId(g as u8));
-                let mut race = |kind: String, message: String| {
-                    if race_seen.insert((af, ff, ag, fg, kind)) {
+                for c in pair_conflicts(af, ff, pf, ag, fg, pg) {
+                    if race_seen.insert((af, ff, ag, fg, c.kind)) {
                         diags.push(
-                            Diagnostic::new(Check::CrossStreamRace, Severity::Warning, message)
-                                .at(af, ff),
+                            Diagnostic::new(Check::CrossStreamRace, Severity::Warning, c.message)
+                                .at(af, ff)
+                                .via(Engine::Product),
                         );
                     }
-                };
-                if let (Some(df), Some(dg)) = (pf.data.dest(), pg.data.dest()) {
-                    if df == dg {
-                        race(
-                            format!("ww r{}", df.0),
-                            format!(
-                                "{ff} at {af} and {fg} at {ag} can write {df} in the same cycle"
-                            ),
-                        );
-                    }
-                }
-                if let Some(df) = pf.data.dest() {
-                    if pg.data.sources().contains(&df) {
-                        race(
-                            format!("wr r{}", df.0),
-                            format!(
-                                "{ff} at {af} can write {df} in the same cycle {fg} at {ag} reads it"
-                            ),
-                        );
-                    }
-                }
-                if let Some(dg) = pg.data.dest() {
-                    if pf.data.sources().contains(&dg) {
-                        race(
-                            format!("rw r{}", dg.0),
-                            format!(
-                                "{fg} at {ag} can write {dg} in the same cycle {ff} at {af} reads it"
-                            ),
-                        );
-                    }
-                }
-                match (store_cell(&pf.data), store_cell(&pg.data)) {
-                    (Some(Ok(a)), Some(Ok(b))) if a == b => race(
-                        format!("mem {a}"),
-                        format!(
-                            "{ff} at {af} and {fg} at {ag} can store to M[{a}] in the same cycle"
-                        ),
-                    ),
-                    (Some(Ok(_)), Some(Ok(_))) | (None, _) | (_, None) => {}
-                    _ => race(
-                        "mem ?".into(),
-                        format!(
-                            "{ff} at {af} and {fg} at {ag} can store in the same cycle to \
-                             addresses that cannot be proven distinct"
-                        ),
-                    ),
                 }
             }
         }
@@ -270,7 +228,8 @@ pub(crate) fn check(
                                         j.0
                                     ),
                                 )
-                                .at(addr, FuId(fu as u8)),
+                                .at(addr, FuId(fu as u8))
+                                .via(Engine::Product),
                             );
                         }
                         Next::Fixed(*not_taken)
@@ -349,19 +308,23 @@ pub(crate) fn check(
     }
 
     if truncated {
-        diags.push(Diagnostic::new(
-            Check::StateSpaceTruncated,
-            Severity::Warning,
-            format!(
-                "state space exceeds the cap of {} states; deadlock and \
-                 termination results are incomplete",
-                config.max_states
-            ),
-        ));
+        diags.push(
+            Diagnostic::new(
+                Check::StateSpaceTruncated,
+                Severity::Warning,
+                format!(
+                    "state space exceeds the cap of {} states; deadlock and \
+                     termination results are incomplete",
+                    config.max_states
+                ),
+            )
+            .via(Engine::Product),
+        );
         return InterpFacts {
             states_explored: states.len(),
             truncated,
             max_live_streams,
+            race_keys: race_seen,
         };
     }
 
@@ -439,7 +402,8 @@ pub(crate) fn check(
                         running.join(", ")
                     ),
                 )
-                .at(Addr(a), FuId(fu)),
+                .at(Addr(a), FuId(fu))
+                .via(Engine::Product),
             );
         } else {
             let busy: Vec<String> = (0..width)
@@ -451,20 +415,28 @@ pub(crate) fn check(
                 message.push_str(&format!("; {}", busy.join(", ")));
             }
             let (addr, fu) = anchor.expect("some wait");
-            diags.push(Diagnostic::new(Check::SyncDeadlock, Severity::Error, message).at(addr, fu));
+            diags.push(
+                Diagnostic::new(Check::SyncDeadlock, Severity::Error, message)
+                    .at(addr, fu)
+                    .via(Engine::Product),
+            );
         }
     }
     if suppressed > 0 {
-        diags.push(Diagnostic::new(
-            Check::NoTermination,
-            Severity::Warning,
-            format!("{suppressed} further stuck configuration(s) not shown"),
-        ));
+        diags.push(
+            Diagnostic::new(
+                Check::NoTermination,
+                Severity::Warning,
+                format!("{suppressed} further stuck configuration(s) not shown"),
+            )
+            .via(Engine::Product),
+        );
     }
 
     InterpFacts {
         states_explored: states.len(),
         truncated,
         max_live_streams,
+        race_keys: race_seen,
     }
 }

@@ -5,7 +5,7 @@
 //! Most VLIW static checks carry over per word; the interesting defects
 //! are the cross-stream ones — a barrier no machine state can release, or
 //! two streams whose schedules let them touch one register in the same
-//! cycle. This crate runs three passes over a [`Program`]:
+//! cycle. This crate runs five passes over a [`Program`]:
 //!
 //! 1. **Structure** ([`Check::DanglingTarget`], [`Check::UnreachableCode`],
 //!    [`Check::MissingTerminal`], [`Check::SsNeverDone`]) — per-FU CFG
@@ -13,7 +13,11 @@
 //! 2. **Word resources** ([`Check::PortBudget`], [`Check::MultiWriteReg`],
 //!    [`Check::MultiWriteMem`]) — per wide instruction, against the
 //!    configured register-file port budgets.
-//! 3. **Product interpretation** ([`Check::SyncDeadlock`],
+//! 3. **Dataflow** ([`Check::UninitRead`], [`Check::DeadWrite`],
+//!    [`Check::CcStaleUse`], [`Check::SyncNeverObserved`]) — worklist
+//!    fixpoints over each per-FU CFG (see [`dataflow`]), crediting writes
+//!    by provable lockstep peers via the SSET-structure inference.
+//! 4. **Product interpretation** ([`Check::SyncDeadlock`],
 //!    [`Check::NoTermination`], [`Check::CrossStreamRace`],
 //!    [`Check::CcBeforeCompare`]) — abstract interpretation over the
 //!    product of the per-FU CFGs, evaluating sync signals exactly (they
@@ -21,10 +25,18 @@
 //!    latches as nondeterministic, refined by the same
 //!    [`ximd_sim::Partition`] decision-key rule the simulator applies
 //!    each cycle.
+//! 5. **Compositional races** ([`Check::CrossStreamRace`] via the
+//!    [`sset`] engine) — the same pairwise conflict test over inferred
+//!    synchronous-region pairs instead of product states, so soundness
+//!    no longer needs the product exploration to converge. Under the
+//!    default [`EngineChoice::Auto`] it runs exactly when the product
+//!    engine truncates; `--engine compositional`/`both` select it
+//!    explicitly.
 //!
 //! The pass structure mirrors how the machine actually fails: word-level
 //! defects fault both simulators identically, while cross-stream defects
-//! are XIMD-specific and invisible to a classic VLIW verifier.
+//! are XIMD-specific and invisible to a classic VLIW verifier. Each
+//! [`Diagnostic`] records the [`Engine`] that produced it.
 //!
 //! Diagnostics carry instruction-memory anchors; [`lint_assembly`] adds
 //! assembler source lines from the [`Assembly`]'s source map.
@@ -44,12 +56,22 @@
 
 mod cfg;
 mod config;
+mod conflict;
+pub mod dataflow;
 mod diag;
 mod interp;
+mod sarif;
+pub mod sset;
 mod word;
 
-pub use config::AnalysisConfig;
-pub use diag::{Analysis, Check, Diagnostic, Severity};
+pub use config::{AnalysisConfig, EngineChoice};
+pub use diag::{Analysis, Check, Diagnostic, Engine, Severity};
+pub use sarif::to_sarif;
+pub use sset::{
+    crosscheck_hints, infer_ssets, parse_region_hints, RegionHint, RegionState, SsetInference,
+};
+
+use std::collections::HashSet;
 
 use ximd_asm::Assembly;
 use ximd_isa::Program;
@@ -59,12 +81,54 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Analysis {
     let mut diagnostics = Vec::new();
     cfg::check(program, &mut diagnostics);
     word::check(program, config, &mut diagnostics);
-    let facts = interp::check(program, config, &mut diagnostics);
+
+    // The SSET-structure inference always runs: the dataflow lints need
+    // its lockstep-mate relation, and the compositional race engine is
+    // built on it.
+    let inference = sset::infer_ssets(program, config.max_region_states);
+    dataflow::check(program, &inference, &mut diagnostics);
+
+    let facts = if config.engine == EngineChoice::Compositional {
+        None
+    } else {
+        Some(interp::check(program, config, &mut diagnostics))
+    };
+    let truncated = facts.as_ref().is_some_and(|f| f.truncated);
+    let run_compositional = match config.engine {
+        EngineChoice::Product => false,
+        EngineChoice::Compositional | EngineChoice::Both => true,
+        // The fallback: the product engine gave up, so substitute the
+        // compositional race results rather than reporting nothing.
+        EngineChoice::Auto => truncated,
+    };
+    if run_compositional {
+        if inference.truncated {
+            diagnostics.push(
+                Diagnostic::new(
+                    Check::StateSpaceTruncated,
+                    Severity::Warning,
+                    format!(
+                        "SSET inference exceeds the cap of {} region states; \
+                         compositional race results are incomplete",
+                        config.max_region_states
+                    ),
+                )
+                .via(Engine::Compositional),
+            );
+        }
+        let product_keys = facts
+            .as_ref()
+            .map(|f| f.race_keys.clone())
+            .unwrap_or_else(HashSet::new);
+        sset::race_check(program, &inference, &product_keys, &mut diagnostics);
+    }
     Analysis {
         diagnostics,
-        states_explored: facts.states_explored,
-        truncated: facts.truncated,
-        max_live_streams: facts.max_live_streams,
+        states_explored: facts.as_ref().map_or(0, |f| f.states_explored),
+        truncated,
+        max_live_streams: facts.as_ref().map_or(0, |f| f.max_live_streams),
+        region_states: inference.num_states(),
+        compositional: run_compositional,
     }
     .finish()
 }

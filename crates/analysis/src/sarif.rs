@@ -1,0 +1,96 @@
+//! A hand-rolled SARIF 2.1.0 serializer for xlint results.
+//!
+//! SARIF is what code hosts ingest to annotate diffs with static-analysis
+//! findings. The subset emitted here — one run, one rule per [`Check`],
+//! one result per diagnostic with a physical location — is the subset
+//! GitHub code scanning actually reads. Serialization is by hand because
+//! the workspace deliberately carries no JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::diag::{Analysis, Check, Severity};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one SARIF log covering `files` — pairs of (source path, its
+/// analysis). Results carry the rule id (the check's kebab code), the
+/// severity, the producing engine, and a physical location with the
+/// assembler source line when the source map had one.
+pub fn to_sarif(files: &[(String, &Analysis)]) -> String {
+    let mut rules = String::new();
+    for (i, check) in Check::ALL.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        let _ = write!(
+            rules,
+            r#"{{"id":"{id}","shortDescription":{{"text":"{text}"}}}}"#,
+            id = check.code(),
+            text = esc(check.explain().lines().next().unwrap_or(check.code())),
+        );
+    }
+
+    let mut results = String::new();
+    let mut first = true;
+    for (path, analysis) in files {
+        for d in &analysis.diagnostics {
+            if !first {
+                results.push(',');
+            }
+            first = false;
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let mut location = format!(
+                r#"{{"physicalLocation":{{"artifactLocation":{{"uri":"{}"}}"#,
+                esc(path)
+            );
+            if let Some(line) = d.line {
+                let _ = write!(location, r#","region":{{"startLine":{line}}}"#);
+            }
+            location.push_str("}}");
+            let mut properties = format!(r#""engine":"{}""#, d.engine.name());
+            if let Some(addr) = d.addr {
+                let _ = write!(properties, r#","address":"{addr}""#);
+            }
+            if let Some(fu) = d.fu {
+                let _ = write!(properties, r#","fu":"{fu}""#);
+            }
+            let _ = write!(
+                results,
+                r#"{{"ruleId":"{rule}","level":"{level}","message":{{"text":"{msg}"}},"locations":[{location}],"properties":{{{properties}}}}}"#,
+                rule = d.check.code(),
+                msg = esc(&d.message),
+            );
+        }
+    }
+
+    format!(
+        concat!(
+            r#"{{"version":"2.1.0","#,
+            r#""$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","#,
+            r#""runs":[{{"tool":{{"driver":{{"name":"xlint","informationUri":"https://example.invalid/ximd","rules":[{rules}]}}}},"#,
+            r#""results":[{results}]}}]}}"#
+        ),
+        rules = rules,
+        results = results,
+    )
+}

@@ -1,0 +1,442 @@
+//! SSET-structure inference: statically recovering the partition of FUs
+//! into synchronous sets, and the compositional race engine built on it.
+//!
+//! The paper's premise is that the compiler *knows*, cycle to cycle, how
+//! the FUs partition into synchronous sets. This module recovers that
+//! structure from the program alone by abstractly executing *region
+//! states* — pairs (member set, address) meaning "these FUs are provably
+//! lockstep at this address". The step rule is exactly the simulator's
+//! [`DecisionKey`] refinement ([`ximd_sim::Partition::from_decisions`]):
+//! members of a region grouped by the decision key of their parcel stay
+//! together; differing keys split the region, and a conditional key is
+//! followed down both targets.
+//!
+//! Splitting alone cannot see *joins* (two regions re-merging requires
+//! same-cycle arrival, which this abstraction does not track), so after
+//! the split exploration a union-merge fixpoint adds, for every address,
+//! the union of all member sets seen there as a *synthetic* state. The
+//! base (split) states stay — synthetic states only widen the structure,
+//! which keeps the two derived relations sound:
+//!
+//! - **lockstep mates** (used by the dataflow lints to credit same-word
+//!   peers' register writes) come from the *base* states only, by
+//!   intersection — a peer is a mate at an address only if every base
+//!   region containing the FU there contains the peer too;
+//! - **co-occurrence** (used by the race engine) comes from *all* states:
+//!   two FUs may co-occur at two different addresses if some pair of
+//!   member-disjoint states places them there.
+//!
+//! The compositional race check then runs the same pairwise conflict
+//! test as the product engine, but over co-occurring region-state pairs
+//! instead of explored machine states — cost bounded by regions², not by
+//! the product of the per-FU CFGs. It over-approximates the product
+//! engine (sync conditions are not evaluated, so handshakes that provably
+//! separate two accesses in time are *not* credited), which is what makes
+//! it a sound fallback once the product exploration truncates.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use ximd_isa::{Addr, FuId, Program};
+use ximd_sim::DecisionKey;
+
+use crate::conflict::pair_conflicts;
+use crate::diag::{Check, Diagnostic, Engine, Severity};
+
+/// One inferred region: a set of FUs provably executing lockstep at one
+/// address. `synthetic` marks union-merge states, which assume (rather
+/// than prove) same-cycle arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionState {
+    /// Member FUs as a bitmask (bit *i* = FU *i*).
+    pub mask: u64,
+    /// Shared address of all members.
+    pub addr: Addr,
+    /// True for union-merge states and their descendants.
+    pub synthetic: bool,
+}
+
+impl RegionState {
+    /// The member FUs, ascending.
+    pub fn members(&self) -> Vec<FuId> {
+        (0..64)
+            .filter(|i| self.mask & (1u64 << i) != 0)
+            .map(|i| FuId(i as u8))
+            .collect()
+    }
+}
+
+/// The result of SSET-structure inference over one program.
+#[derive(Debug, Clone)]
+pub struct SsetInference {
+    /// All region states, base exploration first.
+    pub states: Vec<RegionState>,
+    /// Whether exploration hit the region-state cap (structure
+    /// incomplete: mates degrade to "self only", coverage may fail).
+    pub truncated: bool,
+    width: usize,
+    by_addr: HashMap<u32, Vec<usize>>,
+}
+
+/// Infers the synchronous-set structure of `program`.
+pub fn infer_ssets(program: &Program, max_region_states: usize) -> SsetInference {
+    let width = program.width();
+    let len = program.len();
+    let full: u64 = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+
+    let mut states: Vec<RegionState> = Vec::new();
+    let mut by_addr: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut seen: HashSet<(u64, u32)> = HashSet::new();
+    let mut queue: VecDeque<(u64, u32, bool)> = VecDeque::new();
+    let mut truncated = false;
+
+    if len > 0 && width > 0 {
+        queue.push_back((full, 0, false));
+        seen.insert((full, 0));
+    }
+
+    let explore = |queue: &mut VecDeque<(u64, u32, bool)>,
+                   seen: &mut HashSet<(u64, u32)>,
+                   states: &mut Vec<RegionState>,
+                   by_addr: &mut HashMap<u32, Vec<usize>>,
+                   truncated: &mut bool| {
+        while let Some((mask, addr, synthetic)) = queue.pop_front() {
+            let idx = states.len();
+            states.push(RegionState {
+                mask,
+                addr: Addr(addr),
+                synthetic,
+            });
+            by_addr.entry(addr).or_default().push(idx);
+
+            // Group members by the decision key of their parcel — the
+            // simulator's partition rule, applied symbolically.
+            let mut groups: BTreeMap<DecisionKey, u64> = BTreeMap::new();
+            for fu in 0..width {
+                if mask & (1u64 << fu) == 0 {
+                    continue;
+                }
+                let parcel = program
+                    .parcel(Addr(addr), FuId(fu as u8))
+                    .expect("in range");
+                *groups.entry(DecisionKey::of(&parcel.ctrl)).or_insert(0) |= 1u64 << fu;
+            }
+            let mut push = |gmask: u64, t: u32| {
+                if (t as usize) < len && seen.insert((gmask, t)) {
+                    if seen.len() > max_region_states {
+                        *truncated = true;
+                    } else {
+                        queue.push_back((gmask, t, synthetic));
+                    }
+                }
+            };
+            for (key, gmask) in groups {
+                match key {
+                    DecisionKey::Halted => {}
+                    DecisionKey::Uncond(t) => push(gmask, t),
+                    DecisionKey::Cond(_, t1, t2) => {
+                        push(gmask, t1);
+                        push(gmask, t2);
+                    }
+                }
+            }
+        }
+    };
+
+    explore(
+        &mut queue,
+        &mut seen,
+        &mut states,
+        &mut by_addr,
+        &mut truncated,
+    );
+
+    // Union-merge fixpoint: joins need same-cycle arrival, which the
+    // split abstraction cannot decide, so assume every set of regions
+    // sharing an address may merge. Descendants of these synthetic
+    // states are explored with the same split rule.
+    loop {
+        let mut grew = false;
+        let addrs: Vec<u32> = by_addr.keys().copied().collect();
+        for a in addrs {
+            let union: u64 = by_addr[&a]
+                .iter()
+                .map(|&i| states[i].mask)
+                .fold(0, |x, y| x | y);
+            if seen.insert((union, a)) {
+                if seen.len() > max_region_states {
+                    truncated = true;
+                } else {
+                    queue.push_back((union, a, true));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+        explore(
+            &mut queue,
+            &mut seen,
+            &mut states,
+            &mut by_addr,
+            &mut truncated,
+        );
+    }
+
+    SsetInference {
+        states,
+        truncated,
+        width,
+        by_addr,
+    }
+}
+
+impl SsetInference {
+    /// Number of region states explored.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// FUs provably lockstep with `fu` whenever it executes `addr`, as a
+    /// bitmask including `fu` itself. Computed by intersecting the base
+    /// (non-synthetic) states — conservative: degrades to `{fu}` when
+    /// nothing is provable (or inference truncated).
+    pub fn mates(&self, fu: FuId, addr: Addr) -> u64 {
+        let bit = 1u64 << fu.index();
+        if self.truncated {
+            return bit;
+        }
+        let mut acc: Option<u64> = None;
+        for &i in self.by_addr.get(&addr.0).into_iter().flatten() {
+            let s = &self.states[i];
+            if !s.synthetic && s.mask & bit != 0 {
+                acc = Some(acc.map_or(s.mask, |m| m & s.mask));
+            }
+        }
+        acc.unwrap_or(bit)
+    }
+
+    /// True if some inferred state at `addr` contains every FU in
+    /// `members` — the coverage direction of the dynamic-agreement
+    /// property: every SSET the simulator observes must be inferred.
+    pub fn covers(&self, members: &[FuId], addr: Addr) -> bool {
+        let need: u64 = members
+            .iter()
+            .map(|f| 1u64 << f.index())
+            .fold(0, |x, y| x | y);
+        self.by_addr
+            .get(&addr.0)
+            .into_iter()
+            .flatten()
+            .any(|&i| self.states[i].mask & need == need)
+    }
+
+    /// True if `f` at `af` and `g` at `ag` may execute in the same cycle
+    /// in different synchronous sets — some pair of member-disjoint
+    /// states places them there.
+    pub fn may_co_occur(&self, f: FuId, af: Addr, g: FuId, ag: Addr) -> bool {
+        let (bf, bg) = (1u64 << f.index(), 1u64 << g.index());
+        let fs: Vec<u64> = self
+            .by_addr
+            .get(&af.0)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.states[i].mask)
+            .filter(|m| m & bf != 0)
+            .collect();
+        self.by_addr
+            .get(&ag.0)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.states[i].mask)
+            .filter(|m| m & bg != 0)
+            .any(|mg| fs.iter().any(|mf| mf & mg == 0))
+    }
+
+    /// Machine width the inference ran at.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// The compositional cross-stream race check: run the pairwise conflict
+/// test over every co-occurring pair of member-disjoint region states.
+/// `skip` carries the product engine's dedup keys so findings it already
+/// reported are not duplicated.
+pub(crate) fn race_check(
+    program: &Program,
+    inference: &SsetInference,
+    skip: &HashSet<(Addr, FuId, Addr, FuId, String)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen = skip.clone();
+    for (i, si) in inference.states.iter().enumerate() {
+        for sj in &inference.states[i + 1..] {
+            if si.mask & sj.mask != 0 || si.addr == sj.addr {
+                // Overlapping regions cannot run concurrently; same-word
+                // conflicts belong to the word pass.
+                continue;
+            }
+            for f in si.members() {
+                let pf = program.parcel(si.addr, f).expect("in range");
+                for g in sj.members() {
+                    let pg = program.parcel(sj.addr, g).expect("in range");
+                    // Order the pair by FU index, matching the product
+                    // engine's dedup-key convention.
+                    let (af, ff, pa, ag, fg, pb) = if f.0 < g.0 {
+                        (si.addr, f, pf, sj.addr, g, pg)
+                    } else {
+                        (sj.addr, g, pg, si.addr, f, pf)
+                    };
+                    for c in pair_conflicts(af, ff, pa, ag, fg, pb) {
+                        if seen.insert((af, ff, ag, fg, c.kind)) {
+                            diags.push(
+                                Diagnostic::new(
+                                    Check::CrossStreamRace,
+                                    Severity::Warning,
+                                    c.message,
+                                )
+                                .at(af, ff)
+                                .via(Engine::Compositional),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A fork/join region hint emitted by the compiler into `.xasm` comments:
+/// where the streams fork, where they re-join, and which FUs each stream
+/// owns over which address range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionHint {
+    /// Address of the fork word (streams still lockstep here).
+    pub fork: Addr,
+    /// Address of the join word (streams lockstep again here).
+    pub join: Addr,
+    /// Per-stream (member FUs, first address, last address), inclusive.
+    pub streams: Vec<(Vec<FuId>, Addr, Addr)>,
+}
+
+/// Parses `// ximd-sset: fork=XX join=YY stream=F[,F..]:LO-HI ...` hint
+/// comments out of assembly source. Addresses are hex (as the assembler
+/// prints them), FU lists decimal. Malformed hints are ignored — they
+/// are advisory, not part of the program.
+pub fn parse_region_hints(source: &str) -> Vec<RegionHint> {
+    let mut hints = Vec::new();
+    for line in source.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("//") else {
+            continue;
+        };
+        let Some(body) = rest.trim().strip_prefix("ximd-sset:") else {
+            continue;
+        };
+        let mut fork = None;
+        let mut join = None;
+        let mut streams = Vec::new();
+        let mut ok = true;
+        for tok in body.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("fork=") {
+                fork = u32::from_str_radix(v, 16).ok().map(Addr);
+            } else if let Some(v) = tok.strip_prefix("join=") {
+                join = u32::from_str_radix(v, 16).ok().map(Addr);
+            } else if let Some(v) = tok.strip_prefix("stream=") {
+                let Some((fus, range)) = v.split_once(':') else {
+                    ok = false;
+                    continue;
+                };
+                let members: Option<Vec<FuId>> = fus
+                    .split(',')
+                    .map(|f| f.parse::<u8>().ok().map(FuId))
+                    .collect();
+                let range = range.split_once('-').and_then(|(lo, hi)| {
+                    Some((
+                        u32::from_str_radix(lo, 16).ok()?,
+                        u32::from_str_radix(hi, 16).ok()?,
+                    ))
+                });
+                match (members, range) {
+                    (Some(m), Some((lo, hi))) if !m.is_empty() && lo <= hi => {
+                        streams.push((m, Addr(lo), Addr(hi)))
+                    }
+                    _ => ok = false,
+                }
+            }
+        }
+        if let (Some(fork), Some(join), true) = (fork, join, ok) {
+            if !streams.is_empty() {
+                hints.push(RegionHint {
+                    fork,
+                    join,
+                    streams,
+                });
+            }
+        }
+    }
+    hints
+}
+
+/// Cross-checks compiler-emitted region hints against the inferred
+/// structure. Returns human-readable mismatch descriptions; empty means
+/// the inference agrees with what the compiler believed it generated.
+pub fn crosscheck_hints(inference: &SsetInference, hints: &[RegionHint]) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    for hint in hints {
+        let all: u64 = hint
+            .streams
+            .iter()
+            .flat_map(|(m, _, _)| m)
+            .map(|f| 1u64 << f.index())
+            .fold(0, |x, y| x | y);
+        let union_at = |a: Addr| -> u64 {
+            inference
+                .by_addr
+                .get(&a.0)
+                .into_iter()
+                .flatten()
+                .map(|&i| inference.states[i].mask)
+                .fold(0, |x, y| x | y)
+        };
+        if union_at(hint.fork) & all != all {
+            mismatches.push(format!(
+                "no inferred region reaches the fork word {} with every hinted FU",
+                hint.fork
+            ));
+        }
+        if union_at(hint.join) & all != all {
+            mismatches.push(format!(
+                "hinted streams do not all re-join at {}",
+                hint.join
+            ));
+        }
+        for (members, lo, hi) in &hint.streams {
+            let fmask: u64 = members
+                .iter()
+                .map(|f| 1u64 << f.index())
+                .fold(0, |x, y| x | y);
+            for s in &inference.states {
+                if s.synthetic || s.addr.0 < lo.0 || s.addr.0 > hi.0 {
+                    continue;
+                }
+                if s.mask & fmask != 0 && s.mask & !fmask != 0 {
+                    mismatches.push(format!(
+                        "inferred region {:?} at {} straddles the hinted stream {:?} ({}–{})",
+                        s.members(),
+                        s.addr,
+                        members,
+                        lo,
+                        hi
+                    ));
+                }
+            }
+        }
+    }
+    mismatches
+}

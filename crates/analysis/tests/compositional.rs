@@ -1,0 +1,205 @@
+//! The compositional engine as a fallback and as a standalone engine.
+//!
+//! The acceptance property of the whole pass stack: a program whose
+//! product state space exceeds `max_states` must *still* receive race,
+//! uninit-read, and sync diagnostics — from the compositional and
+//! dataflow engines — instead of degrading to a lone truncation warning.
+
+use ximd_analysis::{
+    lint_assembly, Analysis, AnalysisConfig, Check, Engine, EngineChoice, Severity,
+};
+use ximd_asm::assemble;
+use ximd_isa::Addr;
+use ximd_workloads::minmax;
+
+/// Two CC-governed loops fork the product space; past the fork, fu0
+/// writes r9 at 02: while fu1 reads it at 03: (a genuine cross-stream
+/// race), fu0 reads r7 before its own init at 04: (a genuine uninit
+/// read), and fu1 exports a DONE nobody observes.
+const CAP_BUSTER: &str = "\
+.width 2
+00:
+  fu0: lt r0,r1 ; -> 01:
+  fu1: lt r2,r3 ; -> 01:
+01:
+  fu0: nop ; if cc0 02: | 01:
+  fu1: nop ; if cc1 03: | 01:
+02:
+  fu0: iadd r7,#1,r9 ; -> 04:
+03:
+  fu1: iadd r9,#0,r8 ; -> 05: ; DONE
+04:
+  fu0: iadd r4,#0,r7 ; -> 05:
+05:
+  all: nop ; halt
+";
+
+fn lint(source: &str, config: &AnalysisConfig) -> Analysis {
+    lint_assembly(&assemble(source).expect("fixture assembles"), config)
+}
+
+#[test]
+fn truncated_product_still_yields_attributed_diagnostics() {
+    let config = AnalysisConfig {
+        max_states: 2,
+        ..AnalysisConfig::default()
+    };
+    let analysis = lint(CAP_BUSTER, &config);
+    assert!(analysis.truncated);
+    assert!(analysis.compositional, "fallback engine must have run");
+    assert!(analysis
+        .warnings()
+        .any(|d| d.check == Check::StateSpaceTruncated));
+
+    // The race the product engine never reached, found compositionally.
+    let race = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::CrossStreamRace)
+        .expect("compositional race reported");
+    assert_eq!(race.engine, Engine::Compositional);
+    assert_eq!(race.severity, Severity::Warning);
+    assert!(race.message.contains("r9"), "{}", race.message);
+
+    // The per-stream lints are independent of the product cap entirely.
+    let uninit = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::UninitRead)
+        .expect("uninit read reported");
+    assert_eq!(uninit.engine, Engine::Dataflow);
+    assert_eq!(uninit.addr, Some(Addr(2)));
+    assert!(uninit.message.contains("r7"), "{}", uninit.message);
+    let sync = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::SyncNeverObserved)
+        .expect("unobserved DONE reported");
+    assert_eq!(sync.engine, Engine::Dataflow);
+    assert_eq!(sync.addr, Some(Addr(3)));
+
+    assert!(analysis.region_states > 0);
+}
+
+#[test]
+fn engines_agree_on_the_race_when_the_product_converges() {
+    // Same program, no cap: the product engine finds the same r9 race
+    // and the compositional engine stays out of the way (Auto).
+    let analysis = lint(CAP_BUSTER, &AnalysisConfig::default());
+    assert!(!analysis.truncated);
+    assert!(!analysis.compositional);
+    let race = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::CrossStreamRace)
+        .expect("product race reported");
+    assert_eq!(race.engine, Engine::Product);
+    assert!(race.message.contains("r9"), "{}", race.message);
+}
+
+#[test]
+fn compositional_engine_skips_product_interpretation() {
+    let config = AnalysisConfig {
+        engine: EngineChoice::Compositional,
+        ..AnalysisConfig::default()
+    };
+    let analysis = lint(CAP_BUSTER, &config);
+    assert_eq!(analysis.states_explored, 0, "product engine must not run");
+    assert!(analysis.compositional);
+    assert!(analysis
+        .diagnostics
+        .iter()
+        .any(|d| d.check == Check::CrossStreamRace
+            && d.engine == Engine::Compositional
+            && d.message.contains("r9")));
+}
+
+#[test]
+fn compositional_engine_reproduces_minmax_product_warnings() {
+    // MINMAX's two pinned cross-stream warnings (guarded updates of the
+    // shared current-element register) must survive the engine swap:
+    // everything the product engine reports on MINMAX, the compositional
+    // engine reports verbatim.
+    let assembly = minmax::ximd_assembly();
+    let product = lint_assembly(&assembly, &AnalysisConfig::default());
+    let product_races: Vec<&str> = product
+        .diagnostics
+        .iter()
+        .filter(|d| d.check == Check::CrossStreamRace)
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(product_races.len(), 2, "{product}");
+
+    let comp = lint_assembly(
+        &assembly,
+        &AnalysisConfig {
+            engine: EngineChoice::Compositional,
+            ..AnalysisConfig::default()
+        },
+    );
+    assert!(!comp.has_errors(), "{comp}");
+    for msg in product_races {
+        assert!(
+            comp.diagnostics
+                .iter()
+                .any(|d| d.check == Check::CrossStreamRace
+                    && d.engine == Engine::Compositional
+                    && d.message == msg),
+            "missing compositional race: {msg}\n{comp}"
+        );
+    }
+}
+
+#[test]
+fn both_engines_deduplicate_shared_findings() {
+    // Under `both`, a race the product engine already reported is not
+    // duplicated by the compositional pass — the dedup key is shared.
+    let config = AnalysisConfig {
+        engine: EngineChoice::Both,
+        ..AnalysisConfig::default()
+    };
+    let analysis = lint(CAP_BUSTER, &config);
+    let r9_races: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.check == Check::CrossStreamRace && d.message.contains("r9"))
+        .collect();
+    assert_eq!(r9_races.len(), 1, "{analysis}");
+    assert_eq!(r9_races[0].engine, Engine::Product);
+}
+
+#[test]
+fn compositional_engine_proves_the_sync_handshake_race_free() {
+    // The write of r9 happens in the entry word, where the streams are
+    // still one region — so no disjoint state pair can pair the write
+    // with the consumer's read, and even the sync-blind engine stays
+    // silent on this handshake.
+    let handshake = "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: iadd r0,#7,r9 ; -> 03:
+01:
+  fu0: nop ; if ss1 02: | 01:
+02:
+  fu0: iadd r9,#0,r1 ; -> 04:
+03:
+  fu1: nop ; -> 03: ; DONE
+04:
+  fu0: nop ; -> 04:
+";
+    let analysis = lint(
+        handshake,
+        &AnalysisConfig {
+            engine: EngineChoice::Both,
+            ..AnalysisConfig::default()
+        },
+    );
+    assert!(
+        !analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::CrossStreamRace),
+        "{analysis}"
+    );
+}

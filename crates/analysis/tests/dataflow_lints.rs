@@ -1,0 +1,285 @@
+//! Pinned fixtures for the dataflow lints — one positive and one
+//! negative case per code, so both the detection and the precision
+//! rules (entry-word parameters, accumulator exemption, foreign-access
+//! suppression, all-live exits, halt-DONE convention) are locked down.
+
+use ximd_analysis::{lint_assembly, Analysis, AnalysisConfig, Check, Engine, Severity};
+use ximd_asm::assemble;
+use ximd_isa::{Addr, FuId};
+
+fn lint(source: &str) -> Analysis {
+    lint_assembly(
+        &assemble(source).expect("fixture assembles"),
+        &AnalysisConfig::default(),
+    )
+}
+
+#[test]
+fn uninit_read_on_branch_that_skips_the_init() {
+    // The taken arm initialises r7 at 02:; the fall-through arm reads it
+    // at 03: before any write can have reached it.
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: lt r0,r1 ; -> 01:
+01:
+  fu0: nop ; if cc0 02: | 03:
+02:
+  fu0: iadd r4,#0,r7 ; -> 04:
+03:
+  fu0: iadd r7,#1,r8 ; -> 04:
+04:
+  fu0: nop ; halt
+",
+    );
+    assert_eq!(analysis.diagnostics.len(), 1, "{analysis}");
+    let d = &analysis.diagnostics[0];
+    assert_eq!(d.check, Check::UninitRead);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.engine, Engine::Dataflow);
+    assert_eq!((d.addr, d.fu), (Some(Addr(3)), Some(FuId(0))));
+    assert_eq!(d.line, Some(9));
+    assert!(d.message.contains("r7"), "{}", d.message);
+    assert!(d.message.contains("02:"), "{}", d.message);
+}
+
+#[test]
+fn init_before_read_is_clean() {
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: iadd r0,#0,r7 ; -> 01:
+01:
+  fu0: iadd r7,#1,r8 ; halt
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn accumulator_registers_are_assumed_seeded() {
+    // Every write of r5 also reads r5, so it has no fresh definition —
+    // the value must come from outside, like a preloaded parameter.
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: nop ; -> 01:
+01:
+  fu0: iadd r5,#1,r5 ; halt
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn entry_word_reads_are_parameters_even_when_reused_as_scratch() {
+    // r0 is read in the entry word (cycle 0 — no write can precede it)
+    // and later freshly overwritten. The read at 02: sees the fresh
+    // write; the entry read is a parameter. Neither warns.
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: iadd r0,#1,r2 ; -> 01:
+01:
+  fu0: iadd r3,#0,r0 ; -> 02:
+02:
+  fu0: iadd r0,r2,r2 ; halt
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn dead_write_overwritten_on_every_path() {
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: iadd r0,#1,r5 ; -> 01:
+01:
+  fu0: iadd r0,#2,r5 ; -> 02:
+02:
+  fu0: iadd r5,#0,r6 ; halt
+",
+    );
+    assert_eq!(analysis.diagnostics.len(), 1, "{analysis}");
+    let d = &analysis.diagnostics[0];
+    assert_eq!(d.check, Check::DeadWrite);
+    assert_eq!(d.engine, Engine::Dataflow);
+    assert_eq!((d.addr, d.fu), (Some(Addr(0)), Some(FuId(0))));
+    assert!(d.message.contains("r5"), "{}", d.message);
+}
+
+#[test]
+fn final_writes_are_live_at_exits() {
+    // r5 is written and never read, but the program halts right after —
+    // results are read out of the register file, so nothing is dead.
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: iadd r0,#1,r5 ; halt
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn lockstep_peer_read_keeps_a_write_live() {
+    // fu1 reads r5 at 01: in the same cycle fu0 overwrites it — reads
+    // happen before writes commit, so fu0's write at 00: is observed.
+    let analysis = lint(
+        "\
+.width 2
+00:
+  fu0: iadd r0,#1,r5 ; -> 01:
+  fu1: nop ; -> 01:
+01:
+  fu0: iadd r0,#2,r5 ; -> 02:
+  fu1: iadd r5,#0,r6 ; -> 02:
+02:
+  all: nop ; halt
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn cc_branch_without_dominating_compare_is_stale() {
+    // The branch at 00: fires before the only compare; the dataflow pass
+    // and the product interpreter each report their half of the story.
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: nop ; if cc0 01: | 01:
+01:
+  fu0: lt r0,r1 ; -> 02:
+02:
+  fu0: nop ; halt
+",
+    );
+    let stale = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::CcStaleUse)
+        .expect("cc-stale-use reported");
+    assert_eq!(stale.engine, Engine::Dataflow);
+    assert_eq!((stale.addr, stale.fu), (Some(Addr(0)), Some(FuId(0))));
+    assert!(stale.message.contains("cc0"), "{}", stale.message);
+    assert!(analysis
+        .diagnostics
+        .iter()
+        .any(|d| d.check == Check::CcBeforeCompare && d.engine == Engine::Product));
+}
+
+#[test]
+fn foreign_latch_with_no_compare_anywhere_is_stale() {
+    let analysis = lint(
+        "\
+.width 2
+00:
+  fu0: nop ; if cc1 01: | 01:
+  fu1: nop ; -> 01:
+01:
+  all: nop ; halt
+",
+    );
+    let d = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::CcStaleUse)
+        .expect("foreign stale latch reported");
+    assert_eq!(d.engine, Engine::Dataflow);
+    assert_eq!((d.addr, d.fu), (Some(Addr(0)), Some(FuId(0))));
+    assert!(d.message.contains("cc1"), "{}", d.message);
+    assert!(d.message.contains("FU1"), "{}", d.message);
+}
+
+#[test]
+fn dominating_compare_keeps_cc_branch_silent() {
+    let analysis = lint(
+        "\
+.width 1
+00:
+  fu0: lt r0,r1 ; -> 01:
+01:
+  fu0: nop ; if cc0 02: | 02:
+02:
+  fu0: nop ; halt
+",
+    );
+    assert!(
+        !analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::CcStaleUse),
+        "{analysis}"
+    );
+}
+
+#[test]
+fn done_export_with_no_observer_warns() {
+    let analysis = lint(
+        "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: nop ; -> 01: ; DONE
+01:
+  all: nop ; halt
+",
+    );
+    assert_eq!(analysis.diagnostics.len(), 1, "{analysis}");
+    let d = &analysis.diagnostics[0];
+    assert_eq!(d.check, Check::SyncNeverObserved);
+    assert_eq!(d.engine, Engine::Dataflow);
+    assert_eq!((d.addr, d.fu), (Some(Addr(0)), Some(FuId(1))));
+    assert!(d.message.contains("ss1"), "{}", d.message);
+}
+
+#[test]
+fn done_on_halt_is_the_join_convention_not_a_handshake() {
+    // ximdgen parks spare columns with `halt ; DONE` so ALL-SS joins
+    // open; an unobserved DONE on a halt parcel is therefore normal.
+    let analysis = lint(
+        "\
+.width 2
+00:
+  fu0: nop ; halt
+  fu1: nop ; halt ; DONE
+",
+    );
+    assert!(analysis.is_clean(), "{analysis}");
+}
+
+#[test]
+fn observed_done_export_is_silent() {
+    let analysis = lint(
+        "\
+.width 2
+00:
+  fu0: nop ; -> 01:
+  fu1: iadd r0,#7,r9 ; -> 03:
+01:
+  fu0: nop ; if ss1 02: | 01:
+02:
+  fu0: iadd r9,#0,r1 ; -> 04:
+03:
+  fu1: nop ; -> 03: ; DONE
+04:
+  fu0: nop ; -> 04:
+",
+    );
+    assert!(
+        !analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::SyncNeverObserved),
+        "{analysis}"
+    );
+}

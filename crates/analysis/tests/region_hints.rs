@@ -1,0 +1,86 @@
+//! Round trip of compiler-emitted fork/join region hints through the
+//! assembly comment format and the SSET-inference cross-check.
+
+use ximd_analysis::{crosscheck_hints, infer_ssets, parse_region_hints, AnalysisConfig};
+use ximd_asm::{assemble, print_program};
+use ximd_compiler::forkjoin::{compile_forkjoin, Guard, GuardedLoop};
+use ximd_compiler::ir::{Inst, VReg, Val};
+use ximd_isa::{AluOp, CmpOp};
+
+fn guarded_loop(guards: usize) -> GuardedLoop {
+    let (ind, trips, v) = (VReg(0), VReg(1), VReg(2));
+    GuardedLoop {
+        prologue: vec![Inst::Load {
+            base: Val::Const(99),
+            off: ind.into(),
+            d: v,
+        }],
+        guards: (0..guards)
+            .map(|i| Guard {
+                op: CmpOp::Ge,
+                a: v.into(),
+                b: Val::Const(i as i32 * 10),
+                body: vec![Inst::Bin {
+                    op: AluOp::Iadd,
+                    a: VReg(3 + i as u32).into(),
+                    b: Val::Const(1),
+                    d: VReg(3 + i as u32),
+                }],
+            })
+            .collect(),
+        induction: ind,
+        start: 1,
+        step: 1,
+        trips,
+    }
+}
+
+#[test]
+fn forkjoin_hint_round_trips_and_matches_inference() {
+    for guards in [2usize, 4] {
+        let fj = compile_forkjoin(&guarded_loop(guards), guards + 1).unwrap();
+        let summary = fj.region.clone().expect("XIMD fork/join has a region");
+
+        // Comment → source → parse: lossless.
+        let source = format!("{}\n{}", summary.comment(), print_program(&fj.program));
+        let hints = parse_region_hints(&source);
+        assert_eq!(hints.len(), 1, "one hint line emitted");
+        assert_eq!(hints[0].fork, summary.fork);
+        assert_eq!(hints[0].join, summary.join);
+        assert_eq!(hints[0].streams, summary.streams);
+
+        // The printed program must still assemble (the comment is inert).
+        let assembly = assemble(&source).expect("printed program re-assembles");
+        assert_eq!(assembly.program.len(), fj.program.len());
+
+        // And the inference must agree with what codegen intended.
+        let inference = infer_ssets(&fj.program, AnalysisConfig::default().max_region_states);
+        let mismatches = crosscheck_hints(&inference, &hints);
+        assert!(mismatches.is_empty(), "{mismatches:#?}");
+    }
+}
+
+#[test]
+fn tampered_hint_is_caught_by_the_crosscheck() {
+    let fj = compile_forkjoin(&guarded_loop(2), 3).unwrap();
+    let summary = fj.region.unwrap();
+    let source = format!("{}\n{}", summary.comment(), print_program(&fj.program));
+    let mut hints = parse_region_hints(&source);
+    // Claim the fork happens inside the body region: only the guard FUs
+    // ever reach those words, so no inferred region covers all three
+    // hinted FUs there.
+    hints[0].fork = summary.streams[0].1;
+    let inference = infer_ssets(&fj.program, AnalysisConfig::default().max_region_states);
+    assert!(!crosscheck_hints(&inference, &hints).is_empty());
+}
+
+#[test]
+fn malformed_hints_are_ignored() {
+    let source = "\
+// ximd-sset: fork=01
+// ximd-sset: fork=01 join=02 stream=zz:00-01
+// ximd-sset: fork=01 join=02 stream=0:05-01
+// not a hint at all
+";
+    assert!(parse_region_hints(source).is_empty());
+}

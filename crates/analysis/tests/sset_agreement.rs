@@ -1,0 +1,128 @@
+//! Static SSET-structure inference vs. the simulator's observed partitions.
+//!
+//! For every workload program the repo ships, run the real machine with
+//! tracing on and check, cycle by cycle, that the inference's structure
+//! contains what actually happened:
+//!
+//! - **coverage** — the running members of each dynamic SSET that share a
+//!   program counter form a lockstep group; some inferred region at that
+//!   address must contain the whole group;
+//! - **co-occurrence** — any two running FUs observed in the same cycle at
+//!   *different* addresses must be deemed able to co-occur, since that is
+//!   exactly the relation the compositional race engine prunes by.
+
+use ximd_analysis::{infer_ssets, AnalysisConfig, SsetInference};
+use ximd_isa::{Addr, FuId, Program};
+use ximd_sim::{Trace, TraceRow};
+use ximd_workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc, RunSpec};
+
+fn inference_for(program: &Program) -> SsetInference {
+    let inference = infer_ssets(program, AnalysisConfig::default().max_region_states);
+    assert!(!inference.truncated, "workload inference must converge");
+    inference
+}
+
+/// Running FUs of one dynamic SSET, grouped by their shared PC. FUs with
+/// the same decision key but different addresses land in one dynamic
+/// SSET, so lockstep groups are the per-address refinement.
+fn lockstep_groups(row: &TraceRow, sset: &[FuId]) -> Vec<(Vec<FuId>, Addr)> {
+    let mut groups: Vec<(Vec<FuId>, Addr)> = Vec::new();
+    for &f in sset {
+        let Some(pc) = row.pcs[f.index()] else {
+            continue;
+        };
+        match groups.iter_mut().find(|(_, a)| *a == pc) {
+            Some((members, _)) => members.push(f),
+            None => groups.push((vec![f], pc)),
+        }
+    }
+    groups
+}
+
+fn assert_agreement(what: &str, program: &Program, trace: &Trace) {
+    let inference = inference_for(program);
+    for row in trace.rows() {
+        let mut running: Vec<(FuId, Addr)> = Vec::new();
+        for sset in row.partition.ssets() {
+            for (members, addr) in lockstep_groups(row, sset) {
+                assert!(
+                    inference.covers(&members, addr),
+                    "{what} cycle {}: observed SSET {members:?} at {addr} \
+                     has no covering inferred region",
+                    row.cycle
+                );
+                running.extend(members.iter().map(|&f| (f, addr)));
+            }
+        }
+        for (i, &(f, af)) in running.iter().enumerate() {
+            for &(g, ag) in &running[i + 1..] {
+                if af != ag {
+                    assert!(
+                        inference.may_co_occur(f, af, g, ag),
+                        "{what} cycle {}: {f} at {af} and {g} at {ag} ran \
+                         concurrently but the inference rules it out",
+                        row.cycle
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn traced(mut sim: ximd_sim::Xsim, spec: RunSpec) -> Trace {
+    sim.enable_trace();
+    spec.drive(&mut sim).expect("workload runs clean");
+    sim.trace().expect("tracing enabled").clone()
+}
+
+#[test]
+fn minmax_partitions_agree() {
+    // Figure 10's published data set plus a few seeded ones.
+    let program = minmax::ximd_assembly().program;
+    let (_, trace) = minmax::run_ximd_traced(&[5, 3, 4, 7]).unwrap();
+    assert_agreement("minmax(fig10)", &program, &trace);
+    for seed in 0..4u64 {
+        let data = gen::uniform_ints(seed, 12, -50, 50);
+        let (_, trace) = minmax::run_ximd_traced(&data).unwrap();
+        assert_agreement(&format!("minmax(seed {seed})"), &program, &trace);
+    }
+}
+
+#[test]
+fn bitcount_partitions_agree() {
+    let program = bitcount::ximd_assembly().program;
+    for seed in 0..4u64 {
+        let data = gen::bit_weighted_ints(seed, 10, 12);
+        let (_, trace) = bitcount::run_ximd_traced(&data).unwrap();
+        assert_agreement(&format!("bitcount(seed {seed})"), &program, &trace);
+    }
+}
+
+#[test]
+fn tproc_partitions_agree() {
+    let program = tproc::ximd_assembly().program;
+    let (sim, spec) = tproc::prepared(3, 5, 7, 11).unwrap();
+    assert_agreement("tproc", &program, &traced(sim, spec));
+}
+
+#[test]
+fn livermore_partitions_agree() {
+    let program = livermore::ximd_program();
+    let y = gen::livermore_y(1, 16);
+    let (sim, spec) = livermore::prepared(&y).unwrap();
+    assert_agreement("livermore", &program, &traced(sim, spec));
+}
+
+#[test]
+fn nonblocking_sync_partitions_agree() {
+    let program = nonblocking::sync_assembly().program;
+    for seed in 0..4u64 {
+        let scenario = nonblocking::Scenario::with_seed(seed);
+        let (sim, spec) = nonblocking::prepared_sync(&scenario).unwrap();
+        assert_agreement(
+            &format!("nonblocking(seed {seed})"),
+            &program,
+            &traced(sim, spec),
+        );
+    }
+}

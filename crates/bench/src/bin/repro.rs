@@ -40,11 +40,18 @@ fn main() {
     if no_lint {
         println!("== xlint preflight skipped (--no-lint) ==");
     } else {
-        let (body, errors) = lint_preflight();
+        let pf = lint_preflight();
         println!("== xlint preflight ==");
-        print!("{body}");
-        if errors {
+        print!("{}", pf.body);
+        if pf.errors {
             eprintln!("repro: xlint preflight failed; fix the findings or pass --no-lint");
+            std::process::exit(1);
+        }
+        if pf.incomplete {
+            eprintln!(
+                "repro: xlint preflight is incomplete (product state cap hit); \
+                 raise the cap or pass --no-lint"
+            );
             std::process::exit(1);
         }
     }

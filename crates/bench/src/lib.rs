@@ -970,14 +970,28 @@ fn scale(n) {
     }
 }
 
+/// What the xlint preflight saw across every harness program.
+#[derive(Debug, Clone, Default)]
+pub struct Preflight {
+    /// Per-program report lines.
+    pub body: String,
+    /// Any error-severity finding.
+    pub errors: bool,
+    /// Some program's product exploration hit the state cap, so the
+    /// product verdicts (deadlock, termination) are incomplete — the
+    /// preflight must not pass such a run off as verified-clean.
+    pub incomplete: bool,
+}
+
 /// Lint every program the harness executes, before any experiment runs.
 ///
 /// Covers the hand-written workload listings (assembled, so findings carry
 /// source lines) and the hand-built Livermore Loop 12 kernel. Returns the
-/// per-program report and whether any *error*-severity finding was seen;
-/// warnings — MINMAX's deliberate cross-stream handoff draws two — are
-/// reported but do not fail the preflight.
-pub fn lint_preflight() -> (String, bool) {
+/// per-program report, whether any *error*-severity finding was seen, and
+/// whether any product exploration was cap-truncated; warnings — MINMAX's
+/// deliberate cross-stream handoff draws two — are reported but do not
+/// fail the preflight.
+pub fn lint_preflight() -> Preflight {
     use ximd::analysis::{lint_assembly, AnalysisConfig};
 
     let config = AnalysisConfig::default();
@@ -989,17 +1003,18 @@ pub fn lint_preflight() -> (String, bool) {
         ("nonblocking/flags", nonblocking::flags_assembly()),
         ("race", ximd::workloads::race::ximd_assembly()),
     ];
-    let mut body = String::new();
-    let mut errors = false;
+    let mut pf = Preflight::default();
     for (name, assembly) in &assemblies {
         let analysis = lint_assembly(assembly, &config);
-        errors |= analysis.has_errors();
-        let _ = writeln!(body, "{name:<18} {analysis}");
+        pf.errors |= analysis.has_errors();
+        pf.incomplete |= analysis.truncated;
+        let _ = writeln!(pf.body, "{name:<18} {analysis}");
     }
     let ll12 = ximd::analysis::analyze(&livermore::ximd_program(), &config);
-    errors |= ll12.has_errors();
-    let _ = writeln!(body, "{:<18} {ll12}", "livermore/ll12");
-    (body, errors)
+    pf.errors |= ll12.has_errors();
+    pf.incomplete |= ll12.truncated;
+    let _ = writeln!(pf.body, "{:<18} {ll12}", "livermore/ll12");
+    pf
 }
 
 /// Every experiment, in paper order.
@@ -1029,14 +1044,16 @@ mod tests {
 
     #[test]
     fn lint_preflight_passes() {
-        let (body, errors) = lint_preflight();
-        assert!(!errors, "preflight found errors:\n{body}");
+        let pf = lint_preflight();
+        assert!(!pf.errors, "preflight found errors:\n{}", pf.body);
+        assert!(!pf.incomplete, "preflight hit the state cap:\n{}", pf.body);
         // MINMAX's two cross-stream warnings are expected and must not
         // silently vanish — they pin the analysis' sensitivity.
-        assert!(body.contains("minmax"));
+        assert!(pf.body.contains("minmax"));
         assert!(
-            body.contains("cross-stream"),
-            "minmax warnings missing:\n{body}"
+            pf.body.contains("cross-stream"),
+            "minmax warnings missing:\n{}",
+            pf.body
         );
     }
 

@@ -413,9 +413,7 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
-    let end = rest
-        .find([',', '}'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }
 

@@ -83,6 +83,46 @@ pub struct ForkJoin {
     pub trips_reg: Reg,
     /// Register lookup for every virtual register in the loop.
     pub reg_of: std::collections::HashMap<VReg, Reg>,
+    /// Where the streams fork and re-join, and which FUs own which
+    /// address range in between. `None` for the single-stream (VLIW)
+    /// lowering, which never forks.
+    pub region: Option<RegionSummary>,
+}
+
+/// The fork/join region structure the code generator *intended* — emitted
+/// as an advisory `// ximd-sset:` comment so xlint's SSET-structure
+/// inference can be cross-checked against it (`ximd_analysis` parses it
+/// back with `parse_region_hints` / `crosscheck_hints`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Address of the fork word (all FUs still lockstep here).
+    pub fork: Addr,
+    /// Address of the join word (all FUs lockstep again here).
+    pub join: Addr,
+    /// Per-stream (member FUs, first address, last address), inclusive.
+    pub streams: Vec<(Vec<FuId>, Addr, Addr)>,
+}
+
+impl RegionSummary {
+    /// Renders the advisory assembly comment, e.g.
+    /// `// ximd-sset: fork=04 join=07 stream=0:05-06 stream=2:05-06`.
+    /// Addresses are bare hex; FU lists are decimal.
+    pub fn comment(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "// ximd-sset: fork={:02x} join={:02x}",
+            self.fork.0, self.join.0
+        );
+        for (members, lo, hi) in &self.streams {
+            let fus = members
+                .iter()
+                .map(|f| f.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(s, " stream={fus}:{:02x}-{:02x}", lo.0, hi.0);
+        }
+        s
+    }
 }
 
 fn validate(l: &GuardedLoop) -> Result<(), CompileError> {
@@ -363,12 +403,31 @@ pub fn compile_forkjoin(l: &GuardedLoop, min_width: usize) -> Result<ForkJoin, C
         .validate(ximd_isa::XIMD1_NUM_REGS)
         .map_err(|e| CompileError::Schedule(format!("fork/join program invalid: {e}")))?;
 
+    // The generator's own account of the fork/join structure: each guard
+    // FU runs alone between the fork and the join (its body column or the
+    // mirroring skip column), while the counter FU and any spare width
+    // stay together in the skip column.
+    let mut streams: Vec<(Vec<FuId>, Addr, Addr)> = (0..guard_count)
+        .map(|gi| (vec![FuId(gi as u8)], Addr(body0), Addr(join - 1)))
+        .collect();
+    streams.push((
+        (counter_fu..width).map(|fu| FuId(fu as u8)).collect(),
+        Addr(skip0),
+        Addr(join - 1),
+    ));
+    let region = RegionSummary {
+        fork: Addr(fork),
+        join: Addr(join),
+        streams,
+    };
+
     Ok(ForkJoin {
         program,
         width,
         induction_reg: ind,
         trips_reg: trips,
         reg_of: map,
+        region: Some(region),
     })
 }
 
@@ -536,6 +595,7 @@ pub fn compile_forkjoin_vliw(l: &GuardedLoop, min_width: usize) -> Result<ForkJo
         induction_reg: ind,
         trips_reg: trips,
         reg_of: map,
+        region: None,
     })
 }
 

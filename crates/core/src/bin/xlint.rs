@@ -1,7 +1,8 @@
 //! `xlint` — static verifier for XIMD-1 assembler programs.
 //!
 //! Exit status: 0 clean (or warnings without `--strict`), 1 findings,
-//! 2 usage or input errors.
+//! 2 usage or input errors, 3 analysis incomplete (the product state cap
+//! was hit and no error-severity finding was made).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,10 +11,13 @@ fn main() {
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     match ximd::cli::parse_lint_args(&args).and_then(|opts| ximd::cli::run_xlint(&opts)) {
-        Ok((report, failed)) => {
-            print!("{report}");
-            if failed {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.failed {
                 std::process::exit(1);
+            }
+            if outcome.incomplete {
+                std::process::exit(3);
             }
         }
         Err(message) => {

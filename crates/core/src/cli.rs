@@ -282,17 +282,30 @@ pub struct LintOptions {
     pub strict: bool,
     /// Analysis configuration overrides.
     pub config: ximd_analysis::AnalysisConfig,
+    /// Print the documentation for this lint code instead of linting.
+    pub explain: Option<String>,
+    /// Emit a SARIF 2.1.0 log instead of the text report.
+    pub sarif: bool,
 }
 
 /// Usage text for `xlint`.
 pub const LINT_USAGE: &str = "\
 usage: xlint FILE.xasm [FILE.xasm ...] [options]
+       xlint --explain CODE
   --strict            fail on warnings as well as errors
+  --engine E          cross-stream engine: auto | product | compositional | both
+                      (default auto: product, compositional fallback on cap)
+  --format F          report format: text (default) | sarif
+  --explain CODE      print what a lint code means and when it fires
   --reads N           per-parcel register read-port budget (default 2)
   --writes N          per-parcel register write-port budget (default 1)
   --word-reads N      shared read-port budget per wide instruction
   --word-writes N     shared write-port budget per wide instruction
   --max-states N      product state-space cap (default 262144)
+
+exit status: 0 clean (or warnings without --strict), 1 findings,
+             2 usage or input errors, 3 analysis incomplete (the product
+             state cap was hit and no error-severity finding was made)
 ";
 
 /// Parses `xlint` argv (excluding the program name).
@@ -315,6 +328,17 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
         };
         match arg.as_str() {
             "--strict" => opts.strict = true,
+            "--engine" => {
+                let v = need("--engine")?;
+                opts.config.engine = ximd_analysis::EngineChoice::parse(v)
+                    .ok_or_else(|| format!("bad --engine value {v:?}"))?;
+            }
+            "--format" => match need("--format")? {
+                "text" => opts.sarif = false,
+                "sarif" => opts.sarif = true,
+                other => return Err(format!("bad --format value {other:?}")),
+            },
+            "--explain" => opts.explain = Some(need("--explain")?.to_owned()),
             "--reads" => opts.config.reads_per_fu = parse("--reads", need("--reads")?)?,
             "--writes" => opts.config.writes_per_fu = parse("--writes", need("--writes")?)?,
             "--word-reads" => {
@@ -331,29 +355,56 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if opts.sources.is_empty() {
+    if opts.sources.is_empty() && opts.explain.is_none() {
         return Err("no source files given".into());
     }
     Ok(opts)
 }
 
-/// Runs the xlint tool; returns the report and whether the lint failed
-/// (error findings, or any findings under `--strict`).
+/// What one `xlint` invocation produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintOutcome {
+    /// The rendered report (text or SARIF).
+    pub report: String,
+    /// Error findings, or any findings under `--strict`.
+    pub failed: bool,
+    /// Some file's product exploration hit the state cap, so the
+    /// product-only verdicts (deadlock, termination) are incomplete.
+    pub incomplete: bool,
+}
+
+/// Runs the xlint tool.
 ///
 /// # Errors
 ///
-/// Returns a formatted message for I/O or assembly failures.
-pub fn run_xlint(opts: &LintOptions) -> Result<(String, bool), String> {
-    let mut out = String::new();
-    let mut failed = false;
+/// Returns a formatted message for I/O or assembly failures, or an
+/// unknown `--explain` code.
+pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
+    let mut outcome = LintOutcome::default();
+    if let Some(code) = &opts.explain {
+        let check = ximd_analysis::Check::from_code(code)
+            .ok_or_else(|| format!("unknown lint code {code:?}"))?;
+        let _ = writeln!(outcome.report, "{}: {}", check.code(), check.explain());
+        return Ok(outcome);
+    }
+    let mut analyses = Vec::new();
     for path in &opts.sources {
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
         let analysis = ximd_analysis::lint_assembly(&assembly, &opts.config);
-        failed |= analysis.has_errors() || (opts.strict && !analysis.is_clean());
-        let _ = writeln!(out, "{path}: {analysis}");
+        outcome.failed |= analysis.has_errors() || (opts.strict && !analysis.is_clean());
+        outcome.incomplete |= analysis.truncated;
+        if !opts.sarif {
+            let _ = writeln!(outcome.report, "{path}: {analysis}");
+        }
+        analyses.push((path.clone(), analysis));
     }
-    Ok((out, failed))
+    if opts.sarif {
+        let files: Vec<(String, &ximd_analysis::Analysis)> =
+            analyses.iter().map(|(p, a)| (p.clone(), a)).collect();
+        outcome.report = ximd_analysis::to_sarif(&files);
+    }
+    Ok(outcome)
 }
 
 fn dump_state(
@@ -447,6 +498,19 @@ mod tests {
         assert!(parse_lint_args(&args(&[])).is_err());
         assert!(parse_lint_args(&args(&["a.xasm", "--bogus"])).is_err());
         assert!(parse_lint_args(&args(&["a.xasm", "--reads", "x"])).is_err());
+
+        let opts = parse_lint_args(&args(&["a.xasm", "--engine", "both"])).unwrap();
+        assert_eq!(opts.config.engine, ximd_analysis::EngineChoice::Both);
+        assert!(parse_lint_args(&args(&["a.xasm", "--engine", "turbo"])).is_err());
+
+        let opts = parse_lint_args(&args(&["a.xasm", "--format", "sarif"])).unwrap();
+        assert!(opts.sarif);
+        assert!(parse_lint_args(&args(&["a.xasm", "--format", "xml"])).is_err());
+
+        // --explain works without source files.
+        let opts = parse_lint_args(&args(&["--explain", "uninit-read"])).unwrap();
+        assert_eq!(opts.explain.as_deref(), Some("uninit-read"));
+        assert!(opts.sources.is_empty());
     }
 
     #[test]
@@ -456,9 +520,9 @@ mod tests {
         let clean = dir.join("clean.xasm");
         std::fs::write(&clean, ".width 1\n00:\n  fu0: nop ; halt\n").unwrap();
         let opts = parse_lint_args(&args(&[clean.to_str().unwrap()])).unwrap();
-        let (report, failed) = run_xlint(&opts).unwrap();
-        assert!(!failed);
-        assert!(report.contains("clean"), "{report}");
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed && !outcome.incomplete);
+        assert!(outcome.report.contains("clean"), "{}", outcome.report);
 
         let broken = dir.join("broken.xasm");
         std::fs::write(
@@ -467,9 +531,57 @@ mod tests {
         )
         .unwrap();
         let opts = parse_lint_args(&args(&[broken.to_str().unwrap()])).unwrap();
-        let (report, failed) = run_xlint(&opts).unwrap();
-        assert!(failed);
-        assert!(report.contains("multi-write-reg"), "{report}");
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.failed);
+        assert!(
+            outcome.report.contains("multi-write-reg"),
+            "{}",
+            outcome.report
+        );
+
+        // The same file as SARIF: valid-looking JSON with the rule id.
+        let opts =
+            parse_lint_args(&args(&[broken.to_str().unwrap(), "--format", "sarif"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.failed);
+        assert!(
+            outcome.report.starts_with('{')
+                && outcome.report.contains("\"ruleId\":\"multi-write-reg\""),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn xlint_explains_codes() {
+        let opts = parse_lint_args(&args(&["--explain", "uninit-read"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed);
+        assert!(
+            outcome.report.starts_with("uninit-read: "),
+            "{}",
+            outcome.report
+        );
+        let opts = parse_lint_args(&args(&["--explain", "no-such-code"])).unwrap();
+        assert!(run_xlint(&opts).is_err());
+    }
+
+    #[test]
+    fn xlint_reports_incomplete_analysis() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capped.xasm");
+        std::fs::write(
+            &path,
+            ".width 2\n\
+             00:\n  fu0: lt r0,r1 ; -> 01:\n  fu1: lt r2,r3 ; -> 01:\n\
+             01:\n  fu0: nop ; if cc0 02: | 01:\n  fu1: nop ; if cc1 02: | 01:\n\
+             02:\n  all: nop ; halt\n",
+        )
+        .unwrap();
+        let opts = parse_lint_args(&args(&[path.to_str().unwrap(), "--max-states", "2"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.incomplete && !outcome.failed, "{}", outcome.report);
     }
 
     #[test]
@@ -484,9 +596,9 @@ mod tests {
         )
         .unwrap();
         let lax = parse_lint_args(&args(&[path.to_str().unwrap()])).unwrap();
-        assert!(!run_xlint(&lax).unwrap().1);
+        assert!(!run_xlint(&lax).unwrap().failed);
         let strict = parse_lint_args(&args(&[path.to_str().unwrap(), "--strict"])).unwrap();
-        assert!(run_xlint(&strict).unwrap().1);
+        assert!(run_xlint(&strict).unwrap().failed);
     }
 
     #[test]

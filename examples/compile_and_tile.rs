@@ -76,6 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Ok(dir) = std::env::var("XIMD_EMIT_ASM") {
         use ximd::compiler::compile_named;
+        use ximd::compiler::forkjoin::{compile_forkjoin, Guard, GuardedLoop};
+        use ximd::compiler::ir::{Inst, VReg, Val};
         use ximd::prelude::print_program;
         std::fs::create_dir_all(&dir)?;
         for menu in &menus {
@@ -84,6 +86,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::fs::write(&path, print_program(&f.ximd_program()))?;
             println!("emitted {}", path.display());
         }
+        // A genuinely multi-stream program too: a fork/join guard loop,
+        // with the generator's region hint prepended so xlint can
+        // cross-check its SSET inference against codegen's intent.
+        let (ind, trips, v) = (VReg(0), VReg(1), VReg(2));
+        let fj = compile_forkjoin(
+            &GuardedLoop {
+                prologue: vec![Inst::Load {
+                    base: Val::Const(99),
+                    off: ind.into(),
+                    d: v,
+                }],
+                guards: (0..3)
+                    .map(|i| Guard {
+                        op: ximd::isa::CmpOp::Ge,
+                        a: v.into(),
+                        b: Val::Const(i * 25),
+                        body: vec![Inst::Bin {
+                            op: ximd::isa::AluOp::Iadd,
+                            a: VReg(3 + i as u32).into(),
+                            b: Val::Const(1),
+                            d: VReg(3 + i as u32),
+                        }],
+                    })
+                    .collect(),
+                induction: ind,
+                start: 1,
+                step: 1,
+                trips,
+            },
+            4,
+        )?;
+        let hint = fj.region.expect("XIMD fork/join always has a region");
+        let path = std::path::Path::new(&dir).join("forkjoin.xasm");
+        std::fs::write(
+            &path,
+            format!("{}\n{}", hint.comment(), print_program(&fj.program)),
+        )?;
+        println!("emitted {}", path.display());
     }
 
     println!("\n=== packing into an 8-FU instruction memory (Figure 13) ===\n");
