@@ -18,7 +18,8 @@
 //!
 //! Exit status: `0` ok; `1` usage or I/O error; `2` correctness gate
 //! (engine divergence, or bitcount speedup below 2x); `3` perf-regression
-//! gate (a workload's speedup fell more than 20% below the baseline's).
+//! gate (a workload's speedup fell more than 50% below the baseline's on
+//! two consecutive measurements).
 
 use ximd_bench::throughput::{regressions, run_benchmarks, to_json, BenchConfig};
 
@@ -26,7 +27,10 @@ use ximd_bench::throughput::{regressions, run_benchmarks, to_json, BenchConfig};
 /// bitcount (the ISSUE's acceptance bar).
 const MIN_BITCOUNT_SPEEDUP: f64 = 2.0;
 /// Allowed speedup drop vs the baseline before the regression gate trips.
-const REGRESSION_TOLERANCE: f64 = 0.2;
+/// Quick-mode wall ratios jitter heavily on shared single-core runners
+/// (observed swings approach 2x), so the band is wide: it exists to catch
+/// the decoded path losing its advantage outright, not scheduler noise.
+const REGRESSION_TOLERANCE: f64 = 0.5;
 
 fn usage() -> ! {
     eprintln!("usage: xbench [--quick] [--out PATH] [--baseline PATH] [--batch N] [--iters N]");
@@ -85,6 +89,22 @@ fn main() {
         b.cycles_per_sec()
     );
 
+    println!(
+        "\n{:<18} {:<16} {:>9} {:>8} {:>11}  ok",
+        "sweep workload", "timing", "cycles", "stalls", "contention"
+    );
+    for p in &report.sweep {
+        println!(
+            "{:<18} {:<16} {:>9} {:>8} {:>11}  {}",
+            p.workload,
+            p.timing,
+            p.cycles,
+            p.stall_cycles,
+            p.contention_stalls,
+            if p.correct { "yes" } else { "NO" }
+        );
+    }
+
     let json = to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("xbench: cannot write {out_path}: {e}");
@@ -101,6 +121,19 @@ fn main() {
             .map(|w| w.name)
             .collect();
         eprintln!("xbench: FAIL: engines diverged on {}", bad.join(", "));
+        status = 2;
+    }
+    if report.sweep.iter().any(|p| !p.correct) {
+        let bad: Vec<String> = report
+            .sweep
+            .iter()
+            .filter(|p| !p.correct)
+            .map(|p| format!("{}@{}", p.workload, p.timing))
+            .collect();
+        eprintln!(
+            "xbench: FAIL: timing model changed results on {}",
+            bad.join(", ")
+        );
         status = 2;
     }
     if let Some(w) = report.workload("bitcount") {
@@ -121,12 +154,26 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let regs = regressions(&report, &baseline, REGRESSION_TOLERANCE);
+            let mut regs = regressions(&report, &baseline, REGRESSION_TOLERANCE);
+            if !regs.is_empty() {
+                // A single noisy measurement can halve one workload's
+                // ratio; a real regression reproduces. Re-measure once and
+                // keep only workloads that regress both times.
+                eprintln!(
+                    "xbench: possible regression ({}), re-measuring to confirm",
+                    regs.iter()
+                        .map(|(name, _, _)| name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let retry = regressions(&run_benchmarks(&config), &baseline, REGRESSION_TOLERANCE);
+                regs.retain(|(name, _, _)| retry.iter().any(|(n, _, _)| n == name));
+            }
             if !regs.is_empty() {
                 for (name, base, now) in &regs {
                     eprintln!(
                         "xbench: FAIL: {name} speedup regressed: {now:.2}x vs baseline {base:.2}x \
-                         (>{:.0}% drop)",
+                         (>{:.0}% drop, confirmed on re-measure)",
                         REGRESSION_TOLERANCE * 100.0
                     );
                 }

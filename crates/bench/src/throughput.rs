@@ -14,7 +14,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ximd::prelude::*;
-use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc, RunSpec};
+use ximd::sim::TimingSpec;
+use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, saxpy, tproc, RunSpec};
 
 /// Benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +43,14 @@ impl Default for BenchConfig {
 /// One workload's measurements.
 #[derive(Debug, Clone)]
 pub struct WorkloadBench {
-    /// Workload name (stable across runs; the baseline gate keys on it).
+    /// Workload name (stable across runs; the baseline gate keys on it
+    /// together with `timing`).
     pub name: &'static str,
+    /// Canonical timing-model spec the machine ran under. The
+    /// interpreter-vs-decoded comparison only exists under `"ideal"` (the
+    /// fast path requires it), but the tag keeps the baseline gate
+    /// like-for-like if non-ideal records ever land in a baseline file.
+    pub timing: String,
     /// Simulated cycles one run takes (identical for both engines).
     pub sim_cycles: u64,
     /// Best-of-rounds per-run interpreter wall time, seconds.
@@ -93,6 +100,31 @@ impl BatchBench {
     }
 }
 
+/// One point of the timing-model sweep: a lockstep-safe workload run under
+/// one non-trivial (or ideal, for the reference row) timing model.
+///
+/// Only forms whose results survive re-timing are swept — the VLIW forms
+/// (one sequencer stalls whole words) and vsim kernels; XIMD programs with
+/// implicit cycle-counted barriers are excluded by construction (see
+/// `ximd_workloads::with_timing`'s validity notes).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Workload name (keyed `"workload"` in the JSON so the baseline
+    /// parser, which keys on `"name"`, never confuses sweep rows with
+    /// speedup records).
+    pub workload: &'static str,
+    /// Canonical timing spec (`TimingSpec` display form).
+    pub timing: String,
+    /// Cycles the run took under this model.
+    pub cycles: u64,
+    /// FU-cycles spent stalled (latency or bank-queue occupancy).
+    pub stall_cycles: u64,
+    /// Stall cycles attributable to bank conflicts specifically.
+    pub contention_stalls: u64,
+    /// Results matched the workload's oracle bit-for-bit.
+    pub correct: bool,
+}
+
 /// A full benchmark run.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -102,6 +134,8 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadBench>,
     /// The batched multi-instance measurement (decoded engine).
     pub batch: BatchBench,
+    /// Cycles under swept timing models (memory latency 1–8, banked:2).
+    pub sweep: Vec<SweepPoint>,
 }
 
 impl BenchReport {
@@ -205,6 +239,7 @@ fn bench_one(
     let (decoded_secs, _) = time_engine(sim, spec, true, rounds, min_round_secs);
     WorkloadBench {
         name,
+        timing: sim.config().timing.to_string(),
         sim_cycles,
         interp_secs,
         decoded_secs,
@@ -254,6 +289,67 @@ fn forkjoin_prepared(n: usize) -> (Xsim, RunSpec) {
     sim.mem_mut().poke_slice(100, &data).expect("data fits");
     sim.write_reg(fj.trips_reg, (n as i32).into());
     (sim, RunSpec::Run(1_000_000))
+}
+
+/// Sweeps lockstep-safe workloads across timing models: memory latency
+/// 1–8 (`latency:mem=L`) and two-way banking (`banked:2`), with the ideal
+/// row as reference. Every point re-checks the oracle — timing models must
+/// stretch schedules without ever changing results.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build or run within its stretched budget
+/// (the embedded programs always do).
+pub fn run_latency_sweep(quick: bool) -> Vec<SweepPoint> {
+    let n = if quick { 16usize } else { 64 };
+    let mut specs = vec![TimingSpec::Ideal];
+    for lat in [2u64, 3, 4, 6, 8] {
+        specs.push(TimingSpec::parse(&format!("latency:mem={lat}")).expect("valid spec"));
+    }
+    specs.push(TimingSpec::parse("banked:2").expect("valid spec"));
+
+    let minmax_data = gen::uniform_ints(8, n, -10_000, 10_000);
+    let minmax_oracle = minmax::oracle(&minmax_data);
+    let ll_y = gen::livermore_y(5, n);
+    let ll_oracle = livermore::oracle(&ll_y);
+    let (sa, sx, sy) = (2.5f32, saxpy::float_vec(1, n), saxpy::float_vec(2, n));
+    let saxpy_oracle = saxpy::oracle(sa, &sx, &sy);
+
+    let mut points = Vec::new();
+    for spec in &specs {
+        let timing = spec.to_string();
+        let (out, s) = minmax::run_vliw_timed(&minmax_data, spec).expect("minmax vliw runs");
+        points.push(SweepPoint {
+            workload: "minmax_vliw",
+            timing: timing.clone(),
+            cycles: s.cycles,
+            stall_cycles: s.stats.stall_cycles,
+            contention_stalls: s.stats.contention_stalls,
+            correct: (out.min, out.max) == minmax_oracle,
+        });
+        let (out, s) = livermore::run_vliw_timed(&ll_y, spec).expect("ll12 vliw runs");
+        points.push(SweepPoint {
+            workload: "livermore12_vliw",
+            timing: timing.clone(),
+            cycles: s.cycles,
+            stall_cycles: s.stats.stall_cycles,
+            contention_stalls: s.stats.contention_stalls,
+            correct: out.x == ll_oracle,
+        });
+        let (z, s) = saxpy::run_timed(sa, &sx, &sy, 8, spec).expect("saxpy runs");
+        points.push(SweepPoint {
+            workload: "saxpy",
+            timing,
+            cycles: s.cycles,
+            stall_cycles: s.stats.stall_cycles,
+            contention_stalls: s.stats.contention_stalls,
+            correct: z
+                .iter()
+                .map(|v| v.to_bits())
+                .eq(saxpy_oracle.iter().map(|v| v.to_bits())),
+        });
+    }
+    points
 }
 
 /// Runs the full benchmark suite.
@@ -341,6 +437,7 @@ pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
         quick: config.quick,
         workloads,
         batch,
+        sweep: run_latency_sweep(config.quick),
     }
 }
 
@@ -357,11 +454,12 @@ pub fn to_json(report: &BenchReport) -> String {
         let comma = if i + 1 < n { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"iters\": {}, \
+            "    {{\"name\": \"{}\", \"timing\": \"{}\", \"sim_cycles\": {}, \"iters\": {}, \
              \"interp_wall_secs\": {:.6}, \"decoded_wall_secs\": {:.6}, \
              \"interp_cycles_per_sec\": {:.1}, \"decoded_cycles_per_sec\": {:.1}, \
              \"speedup\": {:.3}, \"equivalent\": {}}}{comma}",
             w.name,
+            w.timing,
             w.sim_cycles,
             w.iters,
             w.interp_secs,
@@ -378,26 +476,42 @@ pub fn to_json(report: &BenchReport) -> String {
         out,
         "  \"batch\": {{\"workload\": \"bitcount\", \"threads\": {}, \
          \"instances_per_thread\": {}, \"total_cycles\": {}, \"wall_secs\": {:.6}, \
-         \"cycles_per_sec\": {:.1}}}",
+         \"cycles_per_sec\": {:.1}}},",
         b.threads,
         b.instances_per_thread,
         b.total_cycles,
         b.wall_secs,
         b.cycles_per_sec()
     );
+    let _ = writeln!(out, "  \"sweep\": [");
+    let n = report.sweep.len();
+    for (i, p) in report.sweep.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"timing\": \"{}\", \"cycles\": {}, \
+             \"stall_cycles\": {}, \"contention_stalls\": {}, \"correct\": {}}}{comma}",
+            p.workload, p.timing, p.cycles, p.stall_cycles, p.contention_stalls, p.correct,
+        );
+    }
+    let _ = writeln!(out, "  ]");
     out.push_str("}\n");
     out
 }
 
-/// Extracts `(name, speedup)` pairs from a `BENCH_ximd.json` document
-/// (the workspace's serde stub cannot deserialize, so this is a minimal
-/// line-oriented parser for the format [`to_json`] emits).
-pub fn baseline_speedups(json: &str) -> Vec<(String, f64)> {
+/// Extracts `(name, timing, speedup)` triples from a `BENCH_ximd.json`
+/// document (the workspace's serde stub cannot deserialize, so this is a
+/// minimal line-oriented parser for the format [`to_json`] emits). Records
+/// written before the timing layer existed carry no `"timing"` field; those
+/// measured the ideal machine, so the tag defaults to `"ideal"`. Sweep rows
+/// key their workload as `"workload"`, not `"name"`, and are skipped here.
+pub fn baseline_speedups(json: &str) -> Vec<(String, String, f64)> {
     json.lines()
         .filter_map(|line| {
             let name = str_field(line, "name")?;
+            let timing = str_field(line, "timing").unwrap_or("ideal");
             let speedup = num_field(line, "speedup")?;
-            Some((name.to_string(), speedup))
+            Some((name.to_string(), timing.to_string(), speedup))
         })
         .collect()
 }
@@ -423,16 +537,23 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
 /// cycles/second: both engines run on the same machine in the same process,
 /// so the ratio is independent of host speed while raw throughput is not —
 /// a CI runner half as fast as the baseline machine would otherwise trip
-/// the gate on every run. Returns the workloads whose speedup dropped more
-/// than `tolerance` (e.g. `0.2` = 20%) below the baseline's.
+/// the gate on every run. Comparison is like-for-like: a baseline record
+/// only gates a fresh record with the same `(name, timing)` pair, so an
+/// ideal-machine baseline never judges a stalling machine (whose ratio it
+/// says nothing about) and vice versa. Returns the workloads whose speedup
+/// dropped more than `tolerance` (e.g. `0.2` = 20%) below the baseline's.
 pub fn regressions(
     report: &BenchReport,
     baseline_json: &str,
     tolerance: f64,
 ) -> Vec<(String, f64, f64)> {
     let mut out = Vec::new();
-    for (name, base) in baseline_speedups(baseline_json) {
-        if let Some(w) = report.workload(&name) {
+    for (name, timing, base) in baseline_speedups(baseline_json) {
+        let matched = report
+            .workloads
+            .iter()
+            .find(|w| w.name == name && w.timing == timing);
+        if let Some(w) = matched {
             if w.speedup() < base * (1.0 - tolerance) {
                 out.push((name, base, w.speedup()));
             }
@@ -455,7 +576,43 @@ mod tests {
         assert_eq!(report.workloads.len(), 6);
         assert!(report.all_equivalent(), "engines diverged: {report:#?}");
         assert!(report.workloads.iter().all(|w| w.sim_cycles > 0));
+        assert!(report.workloads.iter().all(|w| w.timing == "ideal"));
         assert!(report.batch.total_cycles > 0);
+    }
+
+    #[test]
+    fn sweep_stretches_cycles_but_never_results() {
+        let sweep = run_latency_sweep(true);
+        // 3 workloads x (ideal + 5 latencies + banked:2).
+        assert_eq!(sweep.len(), 3 * 7);
+        assert!(
+            sweep.iter().all(|p| p.correct),
+            "timing changed results: {sweep:#?}"
+        );
+        let cycles = |workload: &str, timing: &str| {
+            sweep
+                .iter()
+                .find(|p| p.workload == workload && p.timing == timing)
+                .map(|p| p.cycles)
+                .expect("sweep point present")
+        };
+        for w in ["minmax_vliw", "livermore12_vliw", "saxpy"] {
+            let ideal = cycles(w, "ideal");
+            // Memory latency stretches monotonically.
+            let mut prev = ideal;
+            for t in ["latency:mem=2", "latency:mem=4", "latency:mem=8"] {
+                let c = cycles(w, t);
+                assert!(c > prev, "{w} under {t}: {c} <= {prev}");
+                prev = c;
+            }
+        }
+        // The memory-heavy kernel hits bank conflicts.
+        let banked = sweep
+            .iter()
+            .find(|p| p.workload == "saxpy" && p.timing == "banked:2")
+            .expect("banked saxpy point");
+        assert!(banked.contention_stalls > 0);
+        assert!(banked.cycles > cycles("saxpy", "ideal"));
     }
 
     #[test]
@@ -464,6 +621,7 @@ mod tests {
             quick: true,
             workloads: vec![WorkloadBench {
                 name: "bitcount",
+                timing: "ideal".into(),
                 sim_cycles: 1000,
                 interp_secs: 0.02,
                 decoded_secs: 0.005,
@@ -476,16 +634,61 @@ mod tests {
                 total_cycles: 8000,
                 wall_secs: 0.01,
             },
+            sweep: vec![SweepPoint {
+                workload: "saxpy",
+                timing: "banked:2".into(),
+                cycles: 500,
+                stall_cycles: 120,
+                contention_stalls: 120,
+                correct: true,
+            }],
         };
         let json = to_json(&report);
         let speedups = baseline_speedups(&json);
+        // Sweep rows key on "workload", not "name" — invisible to the gate.
         assert_eq!(speedups.len(), 1);
         assert_eq!(speedups[0].0, "bitcount");
-        assert!((speedups[0].1 - 4.0).abs() < 0.01);
+        assert_eq!(speedups[0].1, "ideal");
+        assert!((speedups[0].2 - 4.0).abs() < 0.01);
         // A baseline with a much higher speedup trips the gate...
         let inflated = json.replace("\"speedup\": 4.000", "\"speedup\": 9.000");
         assert_eq!(regressions(&report, &inflated, 0.2).len(), 1);
         // ...while the report's own numbers pass it.
         assert!(regressions(&report, &json, 0.2).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_is_like_for_like() {
+        let mk = |timing: &str, decoded_secs: f64| WorkloadBench {
+            name: "bitcount",
+            timing: timing.into(),
+            sim_cycles: 1000,
+            interp_secs: 0.02,
+            decoded_secs,
+            iters: 3,
+            equivalent: true,
+        };
+        let report = BenchReport {
+            quick: true,
+            // Non-ideal record with a much weaker speedup (2x vs 4x).
+            workloads: vec![mk("ideal", 0.005), mk("latency:mem=4", 0.01)],
+            batch: BatchBench {
+                threads: 1,
+                instances_per_thread: 1,
+                total_cycles: 1,
+                wall_secs: 0.01,
+            },
+            sweep: Vec::new(),
+        };
+        // An ideal 4x baseline must not judge the latency:mem=4 record.
+        let baseline = "{\"name\": \"bitcount\", \"timing\": \"ideal\", \"speedup\": 4.000}\n";
+        assert!(regressions(&report, baseline, 0.2).is_empty());
+        // A pre-timing baseline (no "timing" field) means the ideal machine.
+        let legacy = "{\"name\": \"bitcount\", \"speedup\": 9.000}\n";
+        let regs = regressions(&report, legacy, 0.2);
+        assert_eq!(regs.len(), 1, "legacy baseline gates the ideal record");
+        // And a like-for-like non-ideal baseline gates its own kind.
+        let timed = "{\"name\": \"bitcount\", \"timing\": \"latency:mem=4\", \"speedup\": 9.000}\n";
+        assert_eq!(regressions(&report, timed, 0.2).len(), 1);
     }
 }

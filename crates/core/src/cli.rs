@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use ximd_isa::{Addr, Reg, Value};
-use ximd_sim::{MachineConfig, VliwProgram, Vsim, Xsim};
+use ximd_sim::{MachineConfig, TimingSpec, VliwProgram, Vsim, Xsim};
 
 /// Parsed command-line options for both tools.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +35,8 @@ pub struct CliOptions {
     /// I/O port schedules: `ports[i]` lists `(ready_cycle, value)` pairs.
     /// Ports are attached in index order; gaps become empty ports.
     pub ports: Vec<Vec<(u64, i32)>>,
+    /// Microarchitecture timing model (default ideal).
+    pub timing: TimingSpec,
 }
 
 /// Usage text shared by both tools.
@@ -49,6 +51,9 @@ usage: {tool} FILE.xasm [options]
   --dump-reg rN       print a register after the run (repeatable)
   --dump-mem ADDR:LEN print LEN memory words after the run (repeatable)
   --port N=C:V,C:V    attach I/O port N delivering value V at cycle C (xsim)
+  --timing MODEL      timing model: ideal | latency:CLASS=N,... | banked:N
+                      (default ideal; latency classes: alu imul idiv fadd
+                      fmul fdiv mem io)
 ";
 
 fn parse_reg(text: &str) -> Result<Reg, String> {
@@ -123,6 +128,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
                 opts.ports[idx] = events;
             }
+            "--timing" => {
+                opts.timing = TimingSpec::parse(need("--timing")?).map_err(|e| e.to_string())?;
+            }
             "--dump-reg" => opts.dump_regs.push(parse_reg(need("--dump-reg")?)?),
             "--dump-mem" => {
                 let spec = need("--dump-mem")?;
@@ -155,8 +163,8 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
     let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
     let width = assembly.program.width();
 
-    let mut sim =
-        Xsim::new(assembly.program, MachineConfig::with_width(width)).map_err(|e| e.to_string())?;
+    let config = MachineConfig::with_width(width).timing(opts.timing.clone());
+    let mut sim = Xsim::new(assembly.program, config).map_err(|e| e.to_string())?;
     for &(r, v) in &opts.regs {
         sim.write_reg(r, Value::I32(v));
     }
@@ -203,6 +211,7 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
         summary.stats.avg_streams()
     );
     let _ = writeln!(out, "spin cycles:   {}", summary.stats.spin_cycles);
+    report_timing(&mut out, &opts.timing, &summary.stats);
     let per_fu: Vec<String> = summary
         .stats
         .fu_utilization()
@@ -245,7 +254,8 @@ pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
         format!("{path}: not VLIW-style (a wide instruction has divergent control fields)")
     })?;
 
-    let mut sim = Vsim::new(vliw, MachineConfig::with_width(width)).map_err(|e| e.to_string())?;
+    let config = MachineConfig::with_width(width).timing(opts.timing.clone());
+    let mut sim = Vsim::new(vliw, config).map_err(|e| e.to_string())?;
     for &(r, v) in &opts.regs {
         sim.write_reg(r, Value::I32(v));
     }
@@ -264,6 +274,7 @@ pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
         "utilization:   {:.1}%",
         summary.stats.utilization() * 100.0
     );
+    report_timing(&mut out, &opts.timing, &summary.stats);
     dump_state(
         &mut out,
         opts,
@@ -271,6 +282,22 @@ pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
         |a, l| sim.mem().peek_slice(a, l),
     );
     Ok(out)
+}
+
+/// Appends the timing-model lines of the report. Under `ideal` timing no
+/// stalls can occur and the lines are omitted, keeping the classic report.
+fn report_timing(out: &mut String, timing: &TimingSpec, stats: &ximd_sim::SimStats) {
+    if timing.is_ideal() {
+        return;
+    }
+    let _ = writeln!(out, "timing:        {timing}");
+    let _ = writeln!(
+        out,
+        "stall cycles:  {} ({:.1}% of issue slots, {} from contention)",
+        stats.stall_cycles,
+        stats.stall_fraction() * 100.0,
+        stats.contention_stalls
+    );
 }
 
 /// Parsed command-line options for the `xlint` tool.
@@ -486,6 +513,41 @@ mod tests {
     fn csv_flag_implies_trace() {
         let opts = parse_args(&args(&["f.xasm", "--csv"])).unwrap();
         assert!(opts.csv && opts.trace);
+    }
+
+    #[test]
+    fn timing_flag_parses_and_rejects_garbage() {
+        let opts = parse_args(&args(&["f.xasm"])).unwrap();
+        assert!(opts.timing.is_ideal());
+        let opts = parse_args(&args(&["f.xasm", "--timing", "banked:2"])).unwrap();
+        assert_eq!(opts.timing, TimingSpec::Banked { banks: 2 });
+        let opts = parse_args(&args(&["f.xasm", "--timing", "latency:mem=4"])).unwrap();
+        assert_eq!(opts.timing.to_string(), "latency:mem=4");
+        let err = parse_args(&args(&["f.xasm", "--timing", "warp"])).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn xsim_reports_stalls_under_non_ideal_timing() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timed.xasm");
+        std::fs::write(&path, ".width 1\n00:\n  fu0: load r0,#0,r1 ; halt\n").unwrap();
+        let ideal = parse_args(&args(&[path.to_str().unwrap()])).unwrap();
+        let report = run_xsim(&ideal).unwrap();
+        assert!(report.contains("cycles:        1"), "{report}");
+        assert!(!report.contains("stall cycles"), "{report}");
+
+        let timed = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--timing",
+            "latency:mem=3",
+        ]))
+        .unwrap();
+        let report = run_xsim(&timed).unwrap();
+        assert!(report.contains("cycles:        3"), "{report}");
+        assert!(report.contains("timing:        latency:mem=3"), "{report}");
+        assert!(report.contains("stall cycles:  2"), "{report}");
     }
 
     #[test]

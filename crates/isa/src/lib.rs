@@ -63,7 +63,7 @@ pub mod value;
 
 pub use control::{CondSource, ControlOp, SyncSignal};
 pub use error::IsaError;
-pub use op::{AluOp, CmpOp, DataOp, Operand, UnOp};
+pub use op::{AluOp, CmpOp, DataOp, LatencyClass, Operand, UnOp};
 pub use parcel::Parcel;
 pub use program::{Program, WideInstruction};
 pub use types::{Addr, FuId, Reg};

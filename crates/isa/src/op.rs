@@ -59,6 +59,87 @@ impl Operand {
     }
 }
 
+/// Microarchitectural latency class of a data operation.
+///
+/// The paper's research model executes every operation in one cycle; a real
+/// implementation would not (§6 discusses the idealizations). Each opcode
+/// therefore carries a *latency class* — a statement about which hardware
+/// resource evaluates it, not a cycle count. Cycle counts are assigned by a
+/// timing model in the simulator (`ximd-sim`'s `TimingModel`), which maps
+/// classes to latencies; the ISA only records the classification so every
+/// layer (simulator, scheduler, linter) agrees on it.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{AluOp, DataOp, LatencyClass, Operand, Reg};
+///
+/// let mul = DataOp::alu(AluOp::Imult, Reg(0).into(), Reg(1).into(), Reg(2));
+/// assert_eq!(mul.latency_class(), LatencyClass::IntMul);
+/// assert_eq!(DataOp::Nop.latency_class(), LatencyClass::Fixed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// Single-cycle by construction: nops and other operations with no
+    /// variable-latency resource behind them. Timing models must not
+    /// stretch this class.
+    Fixed,
+    /// Simple integer/logical ALU (add, sub, min/max, logic, shifts,
+    /// compares, moves, sign manipulation, conversions).
+    Alu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating-point add/subtract/min/max (the FPU adder path).
+    FloatAdd,
+    /// Floating-point multiply.
+    FloatMul,
+    /// Floating-point divide.
+    FloatDiv,
+    /// Shared-memory access (loads and stores).
+    Memory,
+    /// I/O port access.
+    Io,
+}
+
+impl LatencyClass {
+    /// All latency classes, in declaration order.
+    pub const ALL: [LatencyClass; 9] = [
+        LatencyClass::Fixed,
+        LatencyClass::Alu,
+        LatencyClass::IntMul,
+        LatencyClass::IntDiv,
+        LatencyClass::FloatAdd,
+        LatencyClass::FloatMul,
+        LatencyClass::FloatDiv,
+        LatencyClass::Memory,
+        LatencyClass::Io,
+    ];
+
+    /// A short stable key for this class (used by `--timing latency:<spec>`
+    /// parsers and report tags).
+    pub fn key(self) -> &'static str {
+        match self {
+            LatencyClass::Fixed => "fixed",
+            LatencyClass::Alu => "alu",
+            LatencyClass::IntMul => "imul",
+            LatencyClass::IntDiv => "idiv",
+            LatencyClass::FloatAdd => "fadd",
+            LatencyClass::FloatMul => "fmul",
+            LatencyClass::FloatDiv => "fdiv",
+            LatencyClass::Memory => "mem",
+            LatencyClass::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for LatencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -174,6 +255,18 @@ impl AluOp {
         )
     }
 
+    /// The latency class of this opcode.
+    pub fn latency_class(self) -> LatencyClass {
+        match self {
+            AluOp::Imult => LatencyClass::IntMul,
+            AluOp::Idiv | AluOp::Imod => LatencyClass::IntDiv,
+            AluOp::Fadd | AluOp::Fsub | AluOp::Fmin | AluOp::Fmax => LatencyClass::FloatAdd,
+            AluOp::Fmult => LatencyClass::FloatMul,
+            AluOp::Fdiv => LatencyClass::FloatDiv,
+            _ => LatencyClass::Alu,
+        }
+    }
+
     /// Evaluates `a op b` with the machine's single-cycle semantics.
     ///
     /// # Errors
@@ -270,6 +363,18 @@ impl UnOp {
             UnOp::Fabs => "fabs",
             UnOp::Itof => "itof",
             UnOp::Ftoi => "ftoi",
+        }
+    }
+
+    /// The latency class of this opcode.
+    ///
+    /// Float negate/absolute-value are sign-bit manipulations, and the
+    /// conversions share the FPU adder's normalization path, so only the
+    /// latter are classed as float work.
+    pub fn latency_class(self) -> LatencyClass {
+        match self {
+            UnOp::Itof | UnOp::Ftoi => LatencyClass::FloatAdd,
+            _ => LatencyClass::Alu,
         }
     }
 
@@ -554,6 +659,23 @@ impl DataOp {
         matches!(self, DataOp::Cmp { .. })
     }
 
+    /// The latency class of this operation.
+    ///
+    /// Compares are classed as ALU work regardless of type: XIMD-1's
+    /// condition codes are produced combinationally alongside the ALU
+    /// result, and a timing model that stretched them would also have to
+    /// stretch the CC distribution the paper defines as end-of-cycle.
+    pub fn latency_class(&self) -> LatencyClass {
+        match *self {
+            DataOp::Nop => LatencyClass::Fixed,
+            DataOp::Alu { op, .. } => op.latency_class(),
+            DataOp::Un { op, .. } => op.latency_class(),
+            DataOp::Cmp { .. } => LatencyClass::Alu,
+            DataOp::Load { .. } | DataOp::Store { .. } => LatencyClass::Memory,
+            DataOp::PortIn { .. } | DataOp::PortOut { .. } => LatencyClass::Io,
+        }
+    }
+
     /// Returns `true` if this operation touches memory.
     pub fn is_memory(&self) -> bool {
         matches!(self, DataOp::Load { .. } | DataOp::Store { .. })
@@ -731,6 +853,55 @@ mod tests {
         );
         let bad_dest = DataOp::un(UnOp::Mov, Reg(0).into(), Reg(300));
         assert!(bad_dest.validate(256).is_err());
+    }
+
+    #[test]
+    fn latency_classes_cover_every_opcode() {
+        // Every opcode maps to a class, and the classification is stable:
+        // nop is Fixed, memory ops are Memory, multiplies/divides are split
+        // from the 1-cycle ALU path.
+        assert_eq!(DataOp::Nop.latency_class(), LatencyClass::Fixed);
+        for op in AluOp::ALL {
+            let class = op.latency_class();
+            if op.is_float() {
+                assert!(
+                    matches!(
+                        class,
+                        LatencyClass::FloatAdd | LatencyClass::FloatMul | LatencyClass::FloatDiv
+                    ),
+                    "{op} classed {class}"
+                );
+            } else {
+                assert!(
+                    matches!(
+                        class,
+                        LatencyClass::Alu | LatencyClass::IntMul | LatencyClass::IntDiv
+                    ),
+                    "{op} classed {class}"
+                );
+            }
+        }
+        assert_eq!(AluOp::Imult.latency_class(), LatencyClass::IntMul);
+        assert_eq!(AluOp::Idiv.latency_class(), LatencyClass::IntDiv);
+        assert_eq!(AluOp::Fdiv.latency_class(), LatencyClass::FloatDiv);
+        for op in UnOp::ALL {
+            assert!(matches!(
+                op.latency_class(),
+                LatencyClass::Alu | LatencyClass::FloatAdd
+            ));
+        }
+        let ld = DataOp::load(Reg(0).into(), Reg(1).into(), Reg(2));
+        assert_eq!(ld.latency_class(), LatencyClass::Memory);
+        let st = DataOp::store(Reg(0).into(), Operand::imm_i32(4));
+        assert_eq!(st.latency_class(), LatencyClass::Memory);
+        assert_eq!(
+            DataOp::PortIn { port: 0, d: Reg(0) }.latency_class(),
+            LatencyClass::Io
+        );
+        // Stable keys, one per class, all distinct.
+        use std::collections::HashSet;
+        let keys: HashSet<&str> = LatencyClass::ALL.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), LatencyClass::ALL.len());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use ximd_isa::{XIMD1_NUM_FUS, XIMD1_NUM_REGS};
+use ximd_isa::{READS_PER_FU, WRITES_PER_FU, XIMD1_NUM_FUS, XIMD1_NUM_REGS};
+
+use crate::error::{ConfigError, SimError};
+use crate::timing::TimingSpec;
 
 /// Policy for same-cycle write conflicts, which the paper leaves undefined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -48,6 +51,13 @@ pub struct MachineConfig {
     pub reg_conflicts: ConflictPolicy,
     /// What to do when two FUs write one memory word in the same cycle.
     pub mem_conflicts: ConflictPolicy,
+    /// Register-file read ports per FU. The ISA's two-source parcel format
+    /// assumes 2 (the XIMD-1 register chip has 16 read ports for 8 FUs).
+    pub reg_read_ports: usize,
+    /// Register-file write ports per FU (1 on XIMD-1).
+    pub reg_write_ports: usize,
+    /// The microarchitecture timing model (see [`TimingSpec`]).
+    pub timing: TimingSpec,
 }
 
 impl MachineConfig {
@@ -79,6 +89,48 @@ impl MachineConfig {
         self.mem_conflicts = policy;
         self
     }
+
+    /// Sets the timing model (builder style).
+    #[must_use]
+    pub fn timing(mut self, spec: TimingSpec) -> MachineConfig {
+        self.timing = spec;
+        self
+    }
+
+    /// Sets the per-FU register-file port counts (builder style).
+    #[must_use]
+    pub fn reg_ports(mut self, read: usize, write: usize) -> MachineConfig {
+        self.reg_read_ports = read;
+        self.reg_write_ports = write;
+        self
+    }
+
+    /// Checks the configuration for shapes no machine could have. Every
+    /// simulator constructor calls this, so a zero-FU machine or an
+    /// inconsistent port declaration is a typed [`SimError::Config`] before
+    /// the first cycle rather than a mid-run panic.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.width == 0 {
+            return Err(ConfigError::ZeroWidth.into());
+        }
+        if self.num_regs == 0 {
+            return Err(ConfigError::ZeroRegisters.into());
+        }
+        if self.reg_read_ports == 0 {
+            return Err(ConfigError::ZeroReadPorts.into());
+        }
+        if self.reg_write_ports == 0 {
+            return Err(ConfigError::ZeroWritePorts.into());
+        }
+        if self.reg_write_ports > self.reg_read_ports {
+            return Err(ConfigError::PortImbalance {
+                read_ports: self.reg_read_ports,
+                write_ports: self.reg_write_ports,
+            }
+            .into());
+        }
+        self.timing.validate()
+    }
 }
 
 impl Default for MachineConfig {
@@ -89,6 +141,9 @@ impl Default for MachineConfig {
             mem_words: 1 << 20,
             reg_conflicts: ConflictPolicy::default(),
             mem_conflicts: ConflictPolicy::default(),
+            reg_read_ports: READS_PER_FU,
+            reg_write_ports: WRITES_PER_FU,
+            timing: TimingSpec::default(),
         }
     }
 }
@@ -110,10 +165,68 @@ mod tests {
     fn builders_compose() {
         let cfg = MachineConfig::with_width(4)
             .mem_words(1024)
-            .conflicts(ConflictPolicy::LastWins);
+            .conflicts(ConflictPolicy::LastWins)
+            .timing(TimingSpec::Banked { banks: 4 });
         assert_eq!(cfg.width, 4);
         assert_eq!(cfg.mem_words, 1024);
         assert_eq!(cfg.reg_conflicts, ConflictPolicy::LastWins);
         assert_eq!(cfg.mem_conflicts, ConflictPolicy::LastWins);
+        assert_eq!(cfg.timing, TimingSpec::Banked { banks: 4 });
+    }
+
+    #[test]
+    fn defaults_validate_and_match_hardware_ports() {
+        let cfg = MachineConfig::ximd1();
+        assert_eq!(cfg.reg_read_ports, 2);
+        assert_eq!(cfg.reg_write_ports, 1);
+        assert_eq!(cfg.timing, TimingSpec::Ideal);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_fu_machines() {
+        let err = MachineConfig::with_width(0).validate().unwrap_err();
+        assert_eq!(err, SimError::Config(ConfigError::ZeroWidth));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_register_files() {
+        let mut cfg = MachineConfig::ximd1();
+        cfg.num_regs = 0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::Config(ConfigError::ZeroRegisters)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_port_counts() {
+        let cfg = MachineConfig::ximd1().reg_ports(0, 1);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::Config(ConfigError::ZeroReadPorts)
+        );
+        let cfg = MachineConfig::ximd1().reg_ports(2, 0);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::Config(ConfigError::ZeroWritePorts)
+        );
+        let cfg = MachineConfig::ximd1().reg_ports(1, 3);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::Config(ConfigError::PortImbalance {
+                read_ports: 1,
+                write_ports: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_delegates_to_timing_spec() {
+        let cfg = MachineConfig::ximd1().timing(TimingSpec::Banked { banks: 0 });
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::Config(ConfigError::ZeroBanks)
+        );
     }
 }

@@ -46,7 +46,8 @@ use ximd_isa::{
 
 use crate::config::{ConflictPolicy, MachineConfig};
 use crate::device::IoPort;
-use crate::error::SimError;
+use crate::engine::{self, Engine};
+use crate::error::{ConfigError, SimError};
 use crate::memory::Memory;
 use crate::partition::{DecisionKey, Partition};
 use crate::stats::SimStats;
@@ -351,7 +352,10 @@ impl FastXsim {
     /// # Errors
     ///
     /// Returns [`SimError::Isa`] on the same validation failures as
-    /// [`Xsim::new`].
+    /// [`Xsim::new`], or [`ConfigError::DecodedRequiresIdeal`] when the
+    /// config selects a non-ideal timing model — the fast path hard-codes
+    /// single-cycle occupancy ([`Xsim::run_decoded`] checks and falls back
+    /// to the interpreter instead).
     ///
     /// # Panics
     ///
@@ -362,6 +366,10 @@ impl FastXsim {
             config.width <= MAX_FAST_WIDTH,
             "FastXsim supports widths up to {MAX_FAST_WIDTH}"
         );
+        config.validate()?;
+        if !config.timing.is_ideal() {
+            return Err(ConfigError::DecodedRequiresIdeal.into());
+        }
         if program.width() != config.width {
             return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
                 got: program.width(),
@@ -664,16 +672,7 @@ impl FastXsim {
     /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
     /// any machine check raised by [`FastXsim::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        while self.cycle < max_cycles {
-            if self.step()? == StepStatus::AllHalted {
-                return Ok(self.summary());
-            }
-        }
-        if self.all_halted() {
-            Ok(self.summary())
-        } else {
-            Err(SimError::CycleLimit { limit: max_cycles })
-        }
+        engine::run_loop(self, None, max_cycles)
     }
 
     /// Runs until every FU is parked on the self-loop at `park` (or has
@@ -689,18 +688,7 @@ impl FastXsim {
         park: Addr,
         max_cycles: u64,
     ) -> Result<RunSummary, SimError> {
-        while self.cycle < max_cycles {
-            let parked = self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park.0));
-            let status = self.step()?;
-            if parked || status == StepStatus::AllHalted {
-                return Ok(self.summary());
-            }
-        }
-        if self.all_halted() {
-            Ok(self.summary())
-        } else {
-            Err(SimError::CycleLimit { limit: max_cycles })
-        }
+        engine::run_loop(self, Some(park), max_cycles)
     }
 
     fn summary(&self) -> RunSummary {
@@ -708,6 +696,28 @@ impl FastXsim {
             cycles: self.cycle,
             stats: self.stats.clone(),
         }
+    }
+}
+
+impl Engine for FastXsim {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        FastXsim::step(self)
+    }
+
+    fn all_parked(&self, park: Addr) -> bool {
+        self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park.0))
+    }
+
+    fn finished(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn summary(&self) -> RunSummary {
+        FastXsim::summary(self)
     }
 }
 
@@ -721,7 +731,7 @@ fn full_mask(width: usize) -> u64 {
 
 /// Executes one decoded data operation: start-of-cycle reads from the pool,
 /// register writes staged into `staged`, memory/port effects as in
-/// `exec::execute_data`, statistics updated at the identical points.
+/// `engine::execute_data`, statistics updated at the identical points.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn exec_op(
@@ -851,113 +861,151 @@ fn commit_pool(
     Ok(())
 }
 
-/// Decoded single-sequencer execution for [`Vsim::run_decoded`]: the same
-/// pool/bitset machinery with vsim's control semantics (one control op per
-/// cycle, CC conditions only, `max_concurrent_streams == 1`).
-pub(crate) fn run_vsim_decoded(sim: &mut Vsim, max_cycles: u64) -> Result<RunSummary, SimError> {
-    let width = sim.config.width;
-    if width > MAX_FAST_WIDTH {
-        return sim.run(max_cycles);
-    }
-    let num_regs = sim.config.num_regs;
+/// Decoded single-sequencer engine for [`Vsim::run_decoded`]: the same
+/// pool/bitset machinery as [`FastXsim`] with vsim's control semantics (one
+/// control op per cycle, CC conditions only, `max_concurrent_streams == 1`).
+#[derive(Debug, Clone)]
+struct FastVsim {
+    width: usize,
+    len: u32,
+    num_regs: usize,
+    reg_policy: ConflictPolicy,
+    mem_policy: ConflictPolicy,
+    /// `len × width` data ops, row-major, plus one control per word.
+    ops: Vec<FastOp>,
+    ctrls: Vec<FastCtrl>,
+    pool: Vec<Value>,
+    mem: Memory,
+    ports: Vec<IoPort>,
+    pc: Option<u32>,
+    cc_bits: u64,
+    cc_known: u64,
+    cycle: u64,
+    stats: SimStats,
+    reg_conflicts: u64,
+    staged: Vec<(u8, u16, Value)>,
+    cc_upd: Vec<(u8, bool)>,
+}
 
-    // Lower once: a flat `len × width` op table plus one control per word.
-    let mut dec = Decoder::new(num_regs);
-    let mut ops = Vec::with_capacity(sim.program.len() * width);
-    let mut ctrls = Vec::with_capacity(sim.program.len());
-    for (_, instr) in sim.program.iter() {
-        for op in &instr.ops {
-            ops.push(dec.data(op));
+impl FastVsim {
+    /// Snapshots a (possibly mid-run) VLIW interpreter, lowering its program
+    /// on the spot. The program was already validated by [`Vsim::new`].
+    fn from_vsim(sim: &Vsim) -> FastVsim {
+        let width = sim.config.width;
+        let num_regs = sim.config.num_regs;
+        let mut dec = Decoder::new(num_regs);
+        let mut ops = Vec::with_capacity(sim.program.len() * width);
+        let mut ctrls = Vec::with_capacity(sim.program.len());
+        for (_, instr) in sim.program.iter() {
+            for op in &instr.ops {
+                ops.push(dec.data(op));
+            }
+            ctrls.push(dec.ctrl(&instr.ctrl).0);
         }
-        ctrls.push(dec.ctrl(&instr.ctrl).0);
-    }
-    let len = ctrls.len() as u32;
-
-    let mut pool = dec.pool;
-    pool[..num_regs].copy_from_slice(sim.regs.snapshot());
-    let mut mem = sim.mem.clone();
-    let mut ports = sim.ports.clone();
-    let mut pc = sim.pc.map(|a| a.0);
-    let mut cc_bits = 0u64;
-    let mut cc_known = 0u64;
-    for (fu, cc) in sim.ccs.iter().enumerate() {
-        if let Some(c) = *cc {
-            cc_known |= 1 << fu;
-            cc_bits |= u64::from(c) << fu;
-        }
-    }
-    let mut cycle = sim.cycle;
-    let mut stats = sim.stats.clone();
-    let mut reg_conflicts = sim.regs.conflicts_resolved();
-    let mut staged: Vec<(u8, u16, Value)> = Vec::with_capacity(width);
-    let mut cc_upd: Vec<(u8, bool)> = Vec::with_capacity(width);
-
-    let result = loop {
-        let Some(at) = pc else {
-            break Ok(());
-        };
-        if cycle >= max_cycles {
-            break Err(SimError::CycleLimit { limit: max_cycles });
-        }
-        if at >= len {
-            break Err(SimError::PcOutOfRange {
-                fu: FuId(0),
-                pc: Addr(at),
-                len,
-            });
-        }
-
-        cc_upd.clear();
-        staged.clear();
-        let mut failed = None;
-        for fu in 0..width {
-            match exec_op(
-                ops[at as usize * width + fu],
-                fu as u8,
-                cycle,
-                &pool,
-                &mut staged,
-                &mut mem,
-                &mut ports,
-                &mut stats,
-            ) {
-                Ok(Some(cc)) => cc_upd.push((fu as u8, cc)),
-                Ok(None) => {}
-                Err(e) => {
-                    failed = Some(e);
-                    break;
-                }
+        let mut pool = dec.pool;
+        pool[..num_regs].copy_from_slice(sim.regs.snapshot());
+        let mut cc_bits = 0u64;
+        let mut cc_known = 0u64;
+        for (fu, cc) in sim.ccs.iter().enumerate() {
+            if let Some(c) = *cc {
+                cc_known |= 1 << fu;
+                cc_bits |= u64::from(c) << fu;
             }
         }
-        if let Some(e) = failed {
-            break Err(e);
+        FastVsim {
+            width,
+            len: ctrls.len() as u32,
+            num_regs,
+            reg_policy: sim.config.reg_conflicts,
+            mem_policy: sim.config.mem_conflicts,
+            ops,
+            ctrls,
+            pool,
+            mem: sim.mem.clone(),
+            ports: sim.ports.clone(),
+            pc: sim.pc.map(|a| a.0),
+            cc_bits,
+            cc_known,
+            cycle: sim.cycle,
+            stats: sim.stats.clone(),
+            reg_conflicts: sim.regs.conflicts_resolved(),
+            staged: Vec::with_capacity(width),
+            cc_upd: Vec::with_capacity(width),
         }
-        if let Err(e) = commit_pool(
-            &mut staged,
-            &mut pool,
-            sim.config.reg_conflicts,
-            cycle,
-            &mut reg_conflicts,
-        ) {
-            break Err(e);
-        }
-        if let Err(e) = mem.commit(sim.config.mem_conflicts, cycle) {
-            break Err(e);
-        }
-        stats.conflicts_resolved = reg_conflicts + mem.conflicts_resolved();
+    }
 
-        let next = match ctrls[at as usize] {
+    /// Copies the machine state back into `sim`.
+    fn write_back(self, sim: &mut Vsim) {
+        for (i, v) in self.pool[..self.num_regs].iter().enumerate() {
+            sim.regs.poke(Reg(i as u16), *v);
+        }
+        sim.regs.force_conflicts_resolved(self.reg_conflicts);
+        sim.mem = self.mem;
+        sim.ports = self.ports;
+        sim.pc = self.pc.map(Addr);
+        for fu in 0..self.width {
+            sim.ccs[fu] = if self.cc_known >> fu & 1 != 0 {
+                Some(self.cc_bits >> fu & 1 != 0)
+            } else {
+                None
+            };
+        }
+        sim.cycle = self.cycle;
+        sim.stats = self.stats;
+    }
+
+    /// Executes one wide instruction (same semantics as [`Vsim::step`]).
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        let Some(at) = self.pc else {
+            return Ok(StepStatus::AllHalted);
+        };
+        if at >= self.len {
+            return Err(SimError::PcOutOfRange {
+                fu: FuId(0),
+                pc: Addr(at),
+                len: self.len,
+            });
+        }
+        let width = self.width;
+
+        self.cc_upd.clear();
+        self.staged.clear();
+        for fu in 0..width {
+            if let Some(cc) = exec_op(
+                self.ops[at as usize * width + fu],
+                fu as u8,
+                self.cycle,
+                &self.pool,
+                &mut self.staged,
+                &mut self.mem,
+                &mut self.ports,
+                &mut self.stats,
+            )? {
+                self.cc_upd.push((fu as u8, cc));
+            }
+        }
+        commit_pool(
+            &mut self.staged,
+            &mut self.pool,
+            self.reg_policy,
+            self.cycle,
+            &mut self.reg_conflicts,
+        )?;
+        self.mem.commit(self.mem_policy, self.cycle)?;
+        self.stats.conflicts_resolved = self.reg_conflicts + self.mem.conflicts_resolved();
+
+        let next = match self.ctrls[at as usize] {
             FastCtrl::Goto(t) => Some(t),
             FastCtrl::Branch {
                 cond,
                 taken,
                 not_taken,
             } => {
-                stats.cond_branches += 1;
+                self.stats.cond_branches += 1;
                 // Validation restricts vsim conditions to CCs; the sync
                 // bitset is permanently empty.
-                if cond.eval(cc_bits, 0, full_mask(width)) {
-                    stats.branches_taken += 1;
+                if cond.eval(self.cc_bits, 0, full_mask(width)) {
+                    self.stats.branches_taken += 1;
                     Some(taken)
                 } else {
                     Some(not_taken)
@@ -966,46 +1014,68 @@ pub(crate) fn run_vsim_decoded(sim: &mut Vsim, max_cycles: u64) -> Result<RunSum
             FastCtrl::Halt => None,
         };
         if next == Some(at) {
-            stats.spin_cycles += 1;
+            self.stats.spin_cycles += 1;
         }
-        pc = next;
+        self.pc = next;
 
-        for &(fu, cc) in &cc_upd {
-            cc_known |= 1 << fu;
-            cc_bits = cc_bits & !(1 << fu) | u64::from(cc) << fu;
+        for &(fu, cc) in &self.cc_upd {
+            self.cc_known |= 1 << fu;
+            self.cc_bits = self.cc_bits & !(1 << fu) | u64::from(cc) << fu;
         }
 
-        cycle += 1;
-        stats.cycles = cycle;
-        stats.max_concurrent_streams = 1;
-        stats.sset_cycle_sum += 1;
-    };
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.stats.max_concurrent_streams = 1;
+        self.stats.sset_cycle_sum += 1;
 
-    match result {
-        Ok(()) | Err(SimError::CycleLimit { .. }) => {
-            for (i, v) in pool[..num_regs].iter().enumerate() {
-                sim.regs.poke(Reg(i as u16), *v);
-            }
-            sim.regs.force_conflicts_resolved(reg_conflicts);
-            sim.mem = mem;
-            sim.ports = ports;
-            sim.pc = pc.map(Addr);
-            for fu in 0..width {
-                sim.ccs[fu] = if cc_known >> fu & 1 != 0 {
-                    Some(cc_bits >> fu & 1 != 0)
-                } else {
-                    None
-                };
-            }
-            sim.cycle = cycle;
-            sim.stats = stats.clone();
-            result.map(|()| RunSummary {
-                cycles: cycle,
-                stats,
-            })
+        if self.pc.is_none() {
+            Ok(StepStatus::AllHalted)
+        } else {
+            Ok(StepStatus::Running)
         }
-        Err(e) => Err(e),
     }
+}
+
+impl Engine for FastVsim {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        FastVsim::step(self)
+    }
+
+    fn all_parked(&self, park: Addr) -> bool {
+        self.pc.is_none_or(|a| a == park.0)
+    }
+
+    fn finished(&self) -> bool {
+        self.pc.is_none()
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycle,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// Decoded single-sequencer execution for [`Vsim::run_decoded`]. Falls back
+/// to the interpreter for machines the bitsets cannot represent and for
+/// non-ideal timing models (the fast path hard-codes single-cycle
+/// occupancy).
+pub(crate) fn run_vsim_decoded(sim: &mut Vsim, max_cycles: u64) -> Result<RunSummary, SimError> {
+    if sim.config.width > MAX_FAST_WIDTH || !sim.config.timing.is_ideal() {
+        return sim.run(max_cycles);
+    }
+    engine::run_fast_path(
+        sim,
+        None,
+        max_cycles,
+        FastVsim::from_vsim,
+        FastVsim::write_back,
+    )
 }
 
 #[cfg(test)]
@@ -1288,5 +1358,62 @@ mod tests {
         assert_eq!(interp.run(3), fast.run_decoded(3));
         assert_eq!(interp.stats(), fast.stats());
         assert_eq!(interp.cycle(), fast.cycle());
+    }
+
+    #[test]
+    fn fast_xsim_requires_ideal_timing() {
+        use crate::error::ConfigError;
+        use crate::timing::TimingSpec;
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let config = MachineConfig::with_width(1).timing(TimingSpec::Banked { banks: 2 });
+        let err = FastXsim::new(&p, &config).unwrap_err();
+        assert_eq!(err, SimError::Config(ConfigError::DecodedRequiresIdeal));
+    }
+
+    #[test]
+    fn non_ideal_timing_falls_back_to_interpreter() {
+        // `run_decoded` under a multi-cycle memory model must report the
+        // stretched (interpreter) schedule, not the fast path's ideal one.
+        use crate::timing::TimingSpec;
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::load(Operand::imm_i32(0), Operand::imm_i32(0), Reg(0)),
+            ControlOp::Halt,
+        )]);
+        let config =
+            MachineConfig::with_width(1).timing(TimingSpec::parse("latency:mem=3").unwrap());
+        let mut interp = Xsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Xsim::new(p, config).unwrap();
+        let a = interp.run(100).unwrap();
+        let b = fast.run_decoded(100).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.cycles, 3, "load occupies its FU for three cycles");
+        assert_eq!(b.stats.stall_cycles, 2);
+    }
+
+    #[test]
+    fn vsim_decoded_with_timing_matches_interpreter() {
+        use crate::timing::TimingSpec;
+        use crate::vliw::{VliwInstruction, VliwProgram};
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction {
+            ops: vec![DataOp::load(
+                Operand::imm_i32(0),
+                Operand::imm_i32(0),
+                Reg(0),
+            )],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction::halt(1));
+        let config =
+            MachineConfig::with_width(1).timing(TimingSpec::parse("latency:mem=4").unwrap());
+        let mut interp = Vsim::new(p.clone(), config.clone()).unwrap();
+        let mut fast = Vsim::new(p, config).unwrap();
+        let a = interp.run(100).unwrap();
+        let b = fast.run_decoded(100).unwrap();
+        assert_eq!(a, b);
+        assert!(b.stats.stall_cycles > 0, "fallback kept the stall schedule");
+        assert_eq!(interp.stats(), fast.stats());
     }
 }

@@ -1,16 +1,32 @@
-//! Data-path execution shared by xsim and vsim.
+//! The execution core shared by every simulator engine.
 //!
-//! Both simulators use identical functional units; only the control path
-//! differs. This module evaluates one data operation with start-of-cycle
-//! reads and end-of-cycle (staged) writes.
+//! All engines — [`crate::Xsim`], [`crate::Vsim`] and the decoded fast path
+//! in [`crate::decoded`] — use identical functional units; what differs is
+//! the control path (per-FU sequencers vs. one global sequencer) and the
+//! instruction representation (interpreted vs. pre-decoded). This module
+//! holds the single definition of the *semantics*:
+//!
+//! * [`execute_data`] — one data operation, start-of-cycle reads,
+//!   end-of-cycle (staged) writes;
+//! * [`memory_addr`] — the effective address a memory parcel will touch
+//!   (what a [`TimingModel`](crate::TimingModel) arbitrates over);
+//! * [`control_next`] — one control operation against latched CCs and this
+//!   cycle's combinational sync signals;
+//! * [`Engine`] / [`run_loop`] / [`run_fast_path`] — the run-to-completion
+//!   and park-detection loop shared by every engine, including the decoded
+//!   fast path's build/run/write-back plumbing.
+//!
+//! Timing lives *outside* this module: a [`crate::TimingModel`] only
+//! stretches FU occupancy; it never changes what these functions compute.
 
-use ximd_isa::{DataOp, FuId, IsaError, Operand, Value};
+use ximd_isa::{Addr, ControlOp, DataOp, FuId, IsaError, Operand, Value};
 
 use crate::device::IoPort;
 use crate::error::SimError;
 use crate::memory::Memory;
 use crate::regfile::RegisterFile;
 use crate::stats::SimStats;
+use crate::xsim::{RunSummary, StepStatus};
 
 /// Executes `op` on behalf of `fu`, staging register and memory writes.
 ///
@@ -100,6 +116,115 @@ pub(crate) fn execute_data(
             Ok(None)
         }
     }
+}
+
+/// The effective word address `op` will touch, computed from start-of-cycle
+/// register state (the same reads [`execute_data`] performs). `None` for
+/// non-memory operations. This is what bank-aware timing models arbitrate
+/// over, *before* the access itself runs.
+pub(crate) fn memory_addr(op: &DataOp, regs: &RegisterFile) -> Option<i64> {
+    let read = |o: Operand| -> Value {
+        match o {
+            Operand::Reg(r) => regs.read(r),
+            Operand::Imm(v) => v,
+        }
+    };
+    match *op {
+        DataOp::Load { a, b, .. } => Some(read(a).as_i32() as i64 + read(b).as_i32() as i64),
+        DataOp::Store { b, .. } => Some(read(b).as_i32() as i64),
+        _ => None,
+    }
+}
+
+/// Evaluates one control operation: branch conditions see the latched
+/// condition codes in `cc_now` and this cycle's combinational sync signals
+/// in `ss` (a VLIW machine passes an empty slice — it has no sync network).
+/// Returns the next program counter, `None` on halt, and accumulates the
+/// branch statistics.
+pub(crate) fn control_next(
+    ctrl: &ControlOp,
+    cc_now: &[bool],
+    ss: &[ximd_isa::SyncSignal],
+    stats: &mut SimStats,
+) -> Option<Addr> {
+    match *ctrl {
+        ControlOp::Goto(t) => Some(t),
+        ControlOp::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => {
+            stats.cond_branches += 1;
+            if cond.eval(cc_now, ss) {
+                stats.branches_taken += 1;
+                Some(taken)
+            } else {
+                Some(not_taken)
+            }
+        }
+        ControlOp::Halt => None,
+    }
+}
+
+/// The run-loop interface every engine implements (interpreted XIMD,
+/// interpreted VLIW, and both decoded fast paths), so the termination,
+/// park-detection and cycle-budget rules exist in exactly one place:
+/// [`run_loop`].
+pub(crate) trait Engine {
+    /// Cycles completed so far.
+    fn cycle(&self) -> u64;
+    /// Executes one machine cycle.
+    fn step(&mut self) -> Result<StepStatus, SimError>;
+    /// True when every still-running FU sits at `park`.
+    fn all_parked(&self, park: Addr) -> bool;
+    /// True when every FU has halted.
+    fn finished(&self) -> bool;
+    /// The summary of the run so far.
+    fn summary(&self) -> RunSummary;
+}
+
+/// Runs `sim` until every FU halts, the optional park condition holds (all
+/// running FUs at `park`, after which one final cycle executes so the
+/// parked cycle appears in traces — the paper's Figure 10 convention), or
+/// the cycle budget is exhausted. A machine that already halted exactly at
+/// the budget is a success, not a [`SimError::CycleLimit`].
+pub(crate) fn run_loop<E: Engine>(
+    sim: &mut E,
+    park: Option<Addr>,
+    max_cycles: u64,
+) -> Result<RunSummary, SimError> {
+    while sim.cycle() < max_cycles {
+        let parked = park.is_some_and(|p| sim.all_parked(p));
+        let status = sim.step()?;
+        if parked || status == StepStatus::AllHalted {
+            return Ok(sim.summary());
+        }
+    }
+    if sim.finished() {
+        Ok(sim.summary())
+    } else {
+        Err(SimError::CycleLimit { limit: max_cycles })
+    }
+}
+
+/// The decoded fast-path plumbing shared by `Xsim` and `Vsim`: lower the
+/// interpreter into its decoded engine, drive it with [`run_loop`], and
+/// write the machine state back on the outcomes where the decoded state is
+/// well-defined (success and cycle-limit exhaustion — on any other machine
+/// check the interpreter keeps its pre-run state).
+pub(crate) fn run_fast_path<S, F: Engine>(
+    sim: &mut S,
+    park: Option<Addr>,
+    max_cycles: u64,
+    decode: impl FnOnce(&S) -> F,
+    write_back: impl FnOnce(F, &mut S),
+) -> Result<RunSummary, SimError> {
+    let mut fast = decode(sim);
+    let result = run_loop(&mut fast, park, max_cycles);
+    if matches!(result, Ok(_) | Err(SimError::CycleLimit { .. })) {
+        write_back(fast, sim);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -235,5 +360,34 @@ mod tests {
         .unwrap();
         assert_eq!(stats.nops, 1);
         assert_eq!(stats.ops, 0);
+    }
+
+    #[test]
+    fn memory_addr_matches_execute_semantics() {
+        let (mut regs, ..) = setup();
+        regs.poke(Reg(0), Value::I32(10));
+        let load = DataOp::load(Reg(0).into(), Operand::imm_i32(2), Reg(1));
+        assert_eq!(memory_addr(&load, &regs), Some(12));
+        let store = DataOp::store(Reg(0).into(), Operand::imm_i32(20));
+        assert_eq!(memory_addr(&store, &regs), Some(20));
+        let alu = DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(1));
+        assert_eq!(memory_addr(&alu, &regs), None);
+        assert_eq!(memory_addr(&DataOp::Nop, &regs), None);
+    }
+
+    #[test]
+    fn control_next_counts_branches() {
+        use ximd_isa::{Addr, CondSource, ControlOp};
+        let mut stats = SimStats::default();
+        assert_eq!(
+            control_next(&ControlOp::Goto(Addr(3)), &[], &[], &mut stats),
+            Some(Addr(3))
+        );
+        assert_eq!(control_next(&ControlOp::Halt, &[], &[], &mut stats), None);
+        let br = ControlOp::branch(CondSource::Cc(FuId(0)), Addr(1), Addr(2));
+        assert_eq!(control_next(&br, &[true], &[], &mut stats), Some(Addr(1)));
+        assert_eq!(control_next(&br, &[false], &[], &mut stats), Some(Addr(2)));
+        assert_eq!(stats.cond_branches, 2);
+        assert_eq!(stats.branches_taken, 1);
     }
 }

@@ -2,7 +2,84 @@
 
 use std::fmt;
 
-use ximd_isa::{Addr, FuId, IsaError, Reg};
+use ximd_isa::{Addr, FuId, IsaError, LatencyClass, Reg};
+
+/// A nonsensical [`MachineConfig`](crate::MachineConfig) or
+/// [`TimingSpec`](crate::TimingSpec), rejected up front by
+/// [`MachineConfig::validate`](crate::MachineConfig::validate) instead of
+/// panicking (or silently misbehaving) mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A machine with zero functional units.
+    ZeroWidth,
+    /// A machine with an empty register file.
+    ZeroRegisters,
+    /// A register file with no read ports per FU.
+    ZeroReadPorts,
+    /// A register file with no write ports per FU.
+    ZeroWritePorts,
+    /// More write ports than read ports per FU — inconsistent with the
+    /// ISA's two-source, one-destination parcel format.
+    PortImbalance {
+        /// Declared read ports per FU.
+        read_ports: usize,
+        /// Declared write ports per FU.
+        write_ports: usize,
+    },
+    /// A banked memory with zero banks.
+    ZeroBanks,
+    /// A latency table entry of zero cycles.
+    ZeroLatency {
+        /// The offending class.
+        class: LatencyClass,
+    },
+    /// A `--timing` spec string that does not parse.
+    InvalidTimingSpec {
+        /// The offending spec text.
+        spec: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The decoded fast path was built for a non-ideal timing model; it is
+    /// only a valid implementation of [`Ideal`](crate::Ideal).
+    DecodedRequiresIdeal,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWidth => write!(f, "machine width must be at least 1 FU"),
+            ConfigError::ZeroRegisters => write!(f, "register file must hold at least 1 register"),
+            ConfigError::ZeroReadPorts => {
+                write!(f, "each FU needs at least 1 register-file read port")
+            }
+            ConfigError::ZeroWritePorts => {
+                write!(f, "each FU needs at least 1 register-file write port")
+            }
+            ConfigError::PortImbalance {
+                read_ports,
+                write_ports,
+            } => write!(
+                f,
+                "{write_ports} write ports exceed {read_ports} read ports per FU"
+            ),
+            ConfigError::ZeroBanks => write!(f, "banked memory needs at least 1 bank"),
+            ConfigError::ZeroLatency { class } => {
+                write!(f, "latency class `{class}` must be at least 1 cycle")
+            }
+            ConfigError::InvalidTimingSpec { spec, reason } => {
+                write!(f, "bad timing spec `{spec}`: {reason}")
+            }
+            ConfigError::DecodedRequiresIdeal => {
+                write!(
+                    f,
+                    "decoded fast path only implements the ideal timing model"
+                )
+            }
+        }
+    }
+}
 
 /// Errors raised during simulation.
 ///
@@ -72,6 +149,9 @@ pub enum SimError {
         /// The budget that was exhausted.
         limit: u64,
     },
+    /// The machine configuration itself is invalid (checked before the
+    /// first cycle, so no partial run ever happens).
+    Config(ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -102,7 +182,14 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => {
                 write!(f, "cycle limit of {limit} reached before all units halted")
             }
+            SimError::Config(e) => write!(f, "invalid machine configuration: {e}"),
         }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(value: ConfigError) -> Self {
+        SimError::Config(value)
     }
 }
 
@@ -156,9 +243,39 @@ mod tests {
                 fault: IsaError::DivideByZero,
             },
             SimError::CycleLimit { limit: 1000 },
+            SimError::Config(ConfigError::ZeroWidth),
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_error_displays_cover_all_variants() {
+        let cases: Vec<ConfigError> = vec![
+            ConfigError::ZeroWidth,
+            ConfigError::ZeroRegisters,
+            ConfigError::ZeroReadPorts,
+            ConfigError::ZeroWritePorts,
+            ConfigError::PortImbalance {
+                read_ports: 1,
+                write_ports: 2,
+            },
+            ConfigError::ZeroBanks,
+            ConfigError::ZeroLatency {
+                class: LatencyClass::Memory,
+            },
+            ConfigError::InvalidTimingSpec {
+                spec: "warp".to_string(),
+                reason: "unknown model",
+            },
+            ConfigError::DecodedRequiresIdeal,
+        ];
+        for err in cases {
+            let wrapped = SimError::Config(err);
+            assert!(wrapped
+                .to_string()
+                .starts_with("invalid machine configuration"));
         }
     }
 

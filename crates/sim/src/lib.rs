@@ -23,11 +23,11 @@
 //!
 //! # Timing model
 //!
-//! Derived from the paper's §2.2 description and validated against the
-//! published MINMAX trace (Figure 10):
+//! Execution *semantics* are derived from the paper's §2.2 description and
+//! validated against the published MINMAX trace (Figure 10):
 //!
-//! * All data operations complete in one cycle. Register and memory reads
-//!   observe start-of-cycle state; writes commit at end of cycle.
+//! * Register and memory reads observe start-of-cycle state; writes commit
+//!   at end of cycle.
 //! * Compares write the issuing FU's condition code at end of cycle; a
 //!   branch in cycle *t* therefore sees condition codes produced in cycles
 //!   `< t`.
@@ -35,6 +35,24 @@
 //!   field of the parcel FU *i* executes in cycle *t* (halted FUs hold their
 //!   last value). This is what lets an `ALL-SS` barrier release in the same
 //!   cycle the last thread arrives.
+//!
+//! *When* operations complete is delegated to a pluggable [`TimingModel`]
+//! selected by [`MachineConfig::timing`](config::MachineConfig::timing) via
+//! [`TimingSpec`]:
+//!
+//! * [`Ideal`] (the default) — every operation completes in one cycle,
+//!   reproducing the paper's idealized machine bit-exactly;
+//! * [`LatencyClasses`] — per-class multi-cycle operation latencies
+//!   (`latency:mem=4,fdiv=12`); an issuing FU holds its parcel, PC and sync
+//!   signal for the extra cycles;
+//! * [`BankedMemory`] — an `N`-bank memory with per-bank, per-cycle
+//!   arbitration (`banked:2`); same-cycle accesses to one bank queue up and
+//!   the losers stall.
+//!
+//! Timing models stretch FU occupancy but never change what an operation
+//! computes; stalls surface in [`SimStats::stall_cycles`],
+//! [`SimStats::contention_stalls`] and the per-cycle [`Trace`] stall
+//! markers.
 //!
 //! # Example
 //!
@@ -60,12 +78,13 @@
 pub mod config;
 pub mod decoded;
 pub mod device;
+mod engine;
 pub mod error;
-mod exec;
 pub mod memory;
 pub mod partition;
 pub mod regfile;
 pub mod stats;
+pub mod timing;
 pub mod trace;
 pub mod vliw;
 pub mod vsim;
@@ -74,11 +93,14 @@ pub mod xsim;
 pub use config::MachineConfig;
 pub use decoded::{DecodedProgram, FastXsim};
 pub use device::{IoPort, PortEvent};
-pub use error::SimError;
+pub use error::{ConfigError, SimError};
 pub use memory::Memory;
 pub use partition::{CondKey, DecisionKey, Partition};
 pub use regfile::RegisterFile;
 pub use stats::SimStats;
+pub use timing::{
+    BankedMemory, Ideal, Issue, LatencyClasses, LatencyConfig, TimingModel, TimingSpec,
+};
 pub use trace::{Trace, TraceRow};
 pub use vliw::{VliwInstruction, VliwProgram};
 pub use vsim::Vsim;

@@ -48,6 +48,12 @@ pub struct SimStats {
     pub sset_cycle_sum: u64,
     /// Same-cycle write conflicts resolved under the `LastWins` policy.
     pub conflicts_resolved: u64,
+    /// FU-cycles spent blocked by the timing model: the unit held an issued
+    /// multi-cycle parcel and could not fetch. Always 0 under `ideal`.
+    pub stall_cycles: u64,
+    /// Stall cycles charged to structural contention (e.g. bank queues)
+    /// rather than intrinsic operation latency. At most `stall_cycles`.
+    pub contention_stalls: u64,
     /// Non-nop data operations executed by each functional unit.
     pub ops_per_fu: Vec<u64>,
 }
@@ -80,6 +86,17 @@ impl SimStats {
             0.0
         } else {
             self.ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issue slots (cycles × width) lost to timing-model
+    /// stalls. Zero under `ideal` timing.
+    pub fn stall_fraction(&self) -> f64 {
+        let slots = self.cycles.saturating_mul(self.width as u64);
+        if slots == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / slots as f64
         }
     }
 
@@ -117,6 +134,19 @@ mod tests {
         assert_eq!(stats.utilization(), 0.0);
         assert_eq!(stats.avg_streams(), 0.0);
         assert_eq!(stats.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn stall_fraction_over_issue_slots() {
+        let stats = SimStats {
+            cycles: 10,
+            width: 4,
+            stall_cycles: 10,
+            contention_stalls: 4,
+            ..SimStats::default()
+        };
+        assert_eq!(stats.stall_fraction(), 0.25);
+        assert_eq!(SimStats::default().stall_fraction(), 0.0);
     }
 
     #[test]

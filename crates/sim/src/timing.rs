@@ -1,0 +1,603 @@
+//! Pluggable microarchitecture timing models.
+//!
+//! The XIMD-1 research model idealizes the machine: every universal FU
+//! completes any operation in one cycle and the shared memory services all
+//! eight ports conflict-free. The execution *semantics* (what a parcel
+//! computes) live in the crate-private `engine` module shared by every
+//! simulator; this module layers *timing* (how many
+//! cycles a parcel occupies its FU) on top, so the same engine core can
+//! reproduce the paper's idealized counts or explore realistic regimes.
+//!
+//! # Contract
+//!
+//! A [`TimingModel`] is consulted once per issued parcel. Its [`Issue`]
+//! answer says how many **extra** cycles (beyond the architectural single
+//! cycle) the parcel occupies its functional unit:
+//!
+//! * The parcel's data semantics still execute at issue — operand reads,
+//!   staged writes, the CC update and the control decision all happen in the
+//!   issue cycle exactly as under [`Ideal`]. What stretches is *occupancy*:
+//!   the FU then blocks for `extra_cycles`, holding its program counter,
+//!   holding (re-asserting) the sync signal the issued parcel drove, and
+//!   remaining in the same SSET for partition accounting. The buffered
+//!   control outcome is applied when the occupancy expires.
+//! * This keeps architectural values timing-independent for race-free
+//!   programs while cycle counts, stall statistics and SS-handshake waiting
+//!   respond to the model: an FU stalled on a long-latency operation keeps
+//!   its `BUSY`/`DONE` signal asserted, so partners spinning at an `ALL-SS`
+//!   barrier simply spin longer — the paper's non-blocking synchronization
+//!   composes with variable latency without any new architectural state.
+//! * A model must return `extra_cycles == 0` for [`LatencyClass::Fixed`]
+//!   operations (control-only parcels, `nop`); the per-FU sequencers
+//!   advance every cycle regardless of the data path.
+//!
+//! Models see issues in ascending FU order within a cycle, bracketed by
+//! [`TimingModel::begin_cycle`]; arbitration (e.g. bank queues) may rely on
+//! that order, which mirrors the hardware's fixed port priority.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ximd_isa::{DataOp, FuId, LatencyClass};
+
+use crate::error::{ConfigError, SimError};
+
+/// A timing model's answer for one issued parcel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Issue {
+    /// FU-occupancy cycles beyond the architectural single cycle.
+    pub extra_cycles: u64,
+    /// The subset of `extra_cycles` attributable to structural contention
+    /// (bank queues, port arbitration) rather than intrinsic latency.
+    /// Must not exceed `extra_cycles`.
+    pub contention_stalls: u64,
+}
+
+impl Issue {
+    /// The single-cycle answer: no extra occupancy, no contention.
+    pub const IDEAL: Issue = Issue {
+        extra_cycles: 0,
+        contention_stalls: 0,
+    };
+}
+
+/// A pluggable microarchitecture timing layer (see the module docs for the
+/// full contract).
+pub trait TimingModel: fmt::Debug + Send + Sync {
+    /// Short human-readable name, used for trace banners and bench tags
+    /// (e.g. `"ideal"`, `"banked:2"`).
+    fn name(&self) -> String;
+
+    /// True iff this model always answers [`Issue::IDEAL`]. The decoded
+    /// fast path is only valid for ideal models.
+    fn is_ideal(&self) -> bool {
+        false
+    }
+
+    /// Called once at the start of every machine cycle, before any `issue`.
+    fn begin_cycle(&mut self, _cycle: u64) {}
+
+    /// Called once per parcel issued this cycle, in ascending FU order.
+    /// `mem_addr` is the effective word address for loads/stores, `None`
+    /// for non-memory operations.
+    fn issue(&mut self, fu: FuId, op: &DataOp, mem_addr: Option<i64>) -> Issue;
+
+    /// Clones the model into a fresh box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn TimingModel>;
+}
+
+impl Clone for Box<dyn TimingModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The paper's research model: every operation single-cycle, memory
+/// conflict-free. Bit-exact with the pre-timing-layer simulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ideal;
+
+impl TimingModel for Ideal {
+    fn name(&self) -> String {
+        "ideal".to_string()
+    }
+
+    fn is_ideal(&self) -> bool {
+        true
+    }
+
+    fn issue(&mut self, _fu: FuId, _op: &DataOp, _mem_addr: Option<i64>) -> Issue {
+        Issue::IDEAL
+    }
+
+    fn clone_box(&self) -> Box<dyn TimingModel> {
+        Box::new(*self)
+    }
+}
+
+/// Total per-class operation latencies, in cycles (minimum 1).
+///
+/// A latency of 1 means single-cycle (no extra occupancy); the all-ones
+/// [`LatencyConfig::unit`] table therefore reproduces ideal cycle counts
+/// through the stall machinery — a useful differential check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Integer add/sub/logic/shift and compares.
+    pub alu: u64,
+    /// Integer multiply.
+    pub imul: u64,
+    /// Integer divide / modulo.
+    pub idiv: u64,
+    /// Float add/sub/min/max and int↔float conversion.
+    pub fadd: u64,
+    /// Float multiply.
+    pub fmul: u64,
+    /// Float divide.
+    pub fdiv: u64,
+    /// Shared-memory load/store.
+    pub mem: u64,
+    /// I/O port transfer.
+    pub io: u64,
+}
+
+impl LatencyConfig {
+    /// All classes single-cycle (equivalent to [`Ideal`] cycle counts).
+    pub fn unit() -> LatencyConfig {
+        LatencyConfig {
+            alu: 1,
+            imul: 1,
+            idiv: 1,
+            fadd: 1,
+            fmul: 1,
+            fdiv: 1,
+            mem: 1,
+            io: 1,
+        }
+    }
+
+    /// Total latency for a class. [`LatencyClass::Fixed`] is always 1.
+    pub fn latency_of(&self, class: LatencyClass) -> u64 {
+        match class {
+            LatencyClass::Fixed => 1,
+            LatencyClass::Alu => self.alu,
+            LatencyClass::IntMul => self.imul,
+            LatencyClass::IntDiv => self.idiv,
+            LatencyClass::FloatAdd => self.fadd,
+            LatencyClass::FloatMul => self.fmul,
+            LatencyClass::FloatDiv => self.fdiv,
+            LatencyClass::Memory => self.mem,
+            LatencyClass::Io => self.io,
+        }
+    }
+
+    /// Largest latency in the table (worst-case per-cycle stretch; useful
+    /// for scaling cycle budgets when swapping timing models).
+    pub fn max_latency(&self) -> u64 {
+        LatencyClass::ALL
+            .into_iter()
+            .map(|c| self.latency_of(c))
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn set(&mut self, class: LatencyClass, cycles: u64) {
+        match class {
+            LatencyClass::Fixed => {}
+            LatencyClass::Alu => self.alu = cycles,
+            LatencyClass::IntMul => self.imul = cycles,
+            LatencyClass::IntDiv => self.idiv = cycles,
+            LatencyClass::FloatAdd => self.fadd = cycles,
+            LatencyClass::FloatMul => self.fmul = cycles,
+            LatencyClass::FloatDiv => self.fdiv = cycles,
+            LatencyClass::Memory => self.mem = cycles,
+            LatencyClass::Io => self.io = cycles,
+        }
+    }
+
+    fn is_unit(&self) -> bool {
+        *self == LatencyConfig::unit()
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for class in LatencyClass::ALL {
+            if self.latency_of(class) == 0 {
+                return Err(SimError::Config(ConfigError::ZeroLatency { class }));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig::unit()
+    }
+}
+
+impl fmt::Display for LatencyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unit() {
+            return write!(f, "unit");
+        }
+        let mut first = true;
+        for class in LatencyClass::ALL {
+            if class == LatencyClass::Fixed {
+                continue;
+            }
+            let cycles = self.latency_of(class);
+            if cycles != 1 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}={cycles}", class.key())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-opcode multi-cycle latencies: an issued parcel occupies its FU for
+/// the full class latency of its data operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyClasses {
+    /// The latency table.
+    pub latencies: LatencyConfig,
+}
+
+impl LatencyClasses {
+    /// A model over the given latency table.
+    pub fn new(latencies: LatencyConfig) -> LatencyClasses {
+        LatencyClasses { latencies }
+    }
+}
+
+impl TimingModel for LatencyClasses {
+    fn name(&self) -> String {
+        format!("latency:{}", self.latencies)
+    }
+
+    fn issue(&mut self, _fu: FuId, op: &DataOp, _mem_addr: Option<i64>) -> Issue {
+        Issue {
+            extra_cycles: self.latencies.latency_of(op.latency_class()) - 1,
+            contention_stalls: 0,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn TimingModel> {
+        Box::new(*self)
+    }
+}
+
+/// N-bank shared memory with per-bank queues: word addresses interleave
+/// across banks (`bank = addr mod n`), each bank services one access per
+/// cycle, and same-cycle accesses to one bank queue behind each other in FU
+/// order. Non-memory operations stay single-cycle.
+///
+/// This is the MASIM-style first-order contention model: an FU whose access
+/// lands `k`-th in its bank's queue stalls `k` extra cycles, all of them
+/// counted as contention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankedMemory {
+    /// Number of banks (≥ 1).
+    pub banks: u32,
+    /// Accesses claimed per bank in the current cycle.
+    claims: Vec<u32>,
+}
+
+impl BankedMemory {
+    /// A banked memory with `banks` banks.
+    pub fn new(banks: u32) -> BankedMemory {
+        BankedMemory {
+            banks,
+            claims: vec![0; banks.max(1) as usize],
+        }
+    }
+}
+
+impl TimingModel for BankedMemory {
+    fn name(&self) -> String {
+        format!("banked:{}", self.banks)
+    }
+
+    fn begin_cycle(&mut self, _cycle: u64) {
+        self.claims.fill(0);
+    }
+
+    fn issue(&mut self, _fu: FuId, _op: &DataOp, mem_addr: Option<i64>) -> Issue {
+        let Some(addr) = mem_addr else {
+            return Issue::IDEAL;
+        };
+        let bank = addr.rem_euclid(i64::from(self.banks.max(1))) as usize;
+        let queued = u64::from(self.claims[bank]);
+        self.claims[bank] += 1;
+        Issue {
+            extra_cycles: queued,
+            contention_stalls: queued,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn TimingModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// Declarative timing-model selection, part of [`crate::MachineConfig`].
+///
+/// Parses from and displays as the CLI syntax:
+///
+/// * `ideal` — the paper's single-cycle model;
+/// * `latency:<class>=<cycles>,...` — per-class latencies over a unit base
+///   table (classes: `alu`, `imul`, `idiv`, `fadd`, `fmul`, `fdiv`, `mem`,
+///   `io`); `latency:unit` (or bare `latency`) is the all-ones table;
+/// * `banked:<n>` — `n`-bank shared memory with contention queues.
+///
+/// ```
+/// use ximd_sim::TimingSpec;
+///
+/// let spec = TimingSpec::parse("latency:mem=4,fdiv=12").unwrap();
+/// assert_eq!(spec.to_string(), "latency:fdiv=12,mem=4");
+/// assert!(TimingSpec::parse("ideal").unwrap().is_ideal());
+/// assert!(TimingSpec::parse("banked:0").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TimingSpec {
+    /// Single-cycle everything (the default; decoded fast path eligible).
+    #[default]
+    Ideal,
+    /// Per-opcode-class latencies.
+    Latency(LatencyConfig),
+    /// Banked shared memory with contention queues.
+    Banked {
+        /// Number of banks.
+        banks: u32,
+    },
+}
+
+impl TimingSpec {
+    /// Parses the CLI syntax described on the type.
+    pub fn parse(spec: &str) -> Result<TimingSpec, SimError> {
+        let bad = |reason: &'static str| {
+            Err(SimError::Config(ConfigError::InvalidTimingSpec {
+                spec: spec.to_string(),
+                reason,
+            }))
+        };
+        let (model, rest) = match spec.split_once(':') {
+            Some((model, rest)) => (model, Some(rest)),
+            None => (spec, None),
+        };
+        match model {
+            "ideal" => match rest {
+                None | Some("") => Ok(TimingSpec::Ideal),
+                Some(_) => bad("`ideal` takes no parameters"),
+            },
+            "latency" => {
+                let mut cfg = LatencyConfig::unit();
+                let rest = rest.unwrap_or("unit");
+                if rest != "unit" && !rest.is_empty() {
+                    for pair in rest.split(',') {
+                        let Some((key, value)) = pair.split_once('=') else {
+                            return bad("expected `<class>=<cycles>` pairs");
+                        };
+                        let Some(class) = LatencyClass::ALL
+                            .into_iter()
+                            .find(|c| *c != LatencyClass::Fixed && c.key() == key)
+                        else {
+                            return bad("unknown latency class");
+                        };
+                        let Ok(cycles) = value.parse::<u64>() else {
+                            return bad("cycle count is not a number");
+                        };
+                        if cycles == 0 {
+                            return bad("latencies must be at least 1 cycle");
+                        }
+                        cfg.set(class, cycles);
+                    }
+                }
+                Ok(TimingSpec::Latency(cfg))
+            }
+            "banked" => {
+                let Some(rest) = rest else {
+                    return bad("expected `banked:<n>`");
+                };
+                let Ok(banks) = rest.parse::<u32>() else {
+                    return bad("bank count is not a number");
+                };
+                if banks == 0 {
+                    return bad("bank count must be at least 1");
+                }
+                Ok(TimingSpec::Banked { banks })
+            }
+            _ => bad("unknown model (expected ideal, latency:<spec> or banked:<n>)"),
+        }
+    }
+
+    /// True for specs whose model is ideal (including the unit latency
+    /// table, which produces identical cycle counts by construction but is
+    /// deliberately *not* short-circuited: it exercises the stall
+    /// machinery).
+    pub fn is_ideal(&self) -> bool {
+        matches!(self, TimingSpec::Ideal)
+    }
+
+    /// Checks the spec for nonsensical parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match self {
+            TimingSpec::Ideal => Ok(()),
+            TimingSpec::Latency(cfg) => cfg.validate(),
+            TimingSpec::Banked { banks } => {
+                if *banks == 0 {
+                    Err(SimError::Config(ConfigError::ZeroBanks))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Instantiates the model this spec describes.
+    pub fn build(&self) -> Box<dyn TimingModel> {
+        match self {
+            TimingSpec::Ideal => Box::new(Ideal),
+            TimingSpec::Latency(cfg) => Box::new(LatencyClasses::new(*cfg)),
+            TimingSpec::Banked { banks } => Box::new(BankedMemory::new(*banks)),
+        }
+    }
+}
+
+// `Display` round-trips through `parse`; keep the two in sync.
+impl fmt::Display for TimingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingSpec::Ideal => write!(f, "ideal"),
+            TimingSpec::Latency(cfg) => write!(f, "latency:{cfg}"),
+            TimingSpec::Banked { banks } => write!(f, "banked:{banks}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{AluOp, Operand, Reg};
+
+    fn alu_op() -> DataOp {
+        DataOp::alu(
+            AluOp::Iadd,
+            Operand::Reg(Reg(0)),
+            Operand::Reg(Reg(1)),
+            Reg(2),
+        )
+    }
+
+    fn load_op() -> DataOp {
+        DataOp::load(Operand::Reg(Reg(0)), Operand::imm_i32(0), Reg(1))
+    }
+
+    #[test]
+    fn ideal_always_single_cycle() {
+        let mut m = Ideal;
+        assert!(m.is_ideal());
+        assert_eq!(m.issue(FuId(0), &load_op(), Some(7)), Issue::IDEAL);
+        assert_eq!(m.name(), "ideal");
+    }
+
+    #[test]
+    fn latency_classes_charge_class_latency() {
+        let mut cfg = LatencyConfig::unit();
+        cfg.mem = 4;
+        let mut m = LatencyClasses::new(cfg);
+        assert!(!m.is_ideal());
+        let issue = m.issue(FuId(0), &load_op(), Some(7));
+        assert_eq!(issue.extra_cycles, 3);
+        assert_eq!(issue.contention_stalls, 0);
+        assert_eq!(m.issue(FuId(1), &alu_op(), None), Issue::IDEAL);
+    }
+
+    #[test]
+    fn unit_latency_table_is_single_cycle_but_not_ideal_flagged() {
+        let mut m = LatencyClasses::new(LatencyConfig::unit());
+        assert!(!m.is_ideal());
+        assert_eq!(m.issue(FuId(0), &load_op(), Some(7)), Issue::IDEAL);
+        assert_eq!(m.name(), "latency:unit");
+    }
+
+    #[test]
+    fn banked_memory_queues_same_bank_accesses() {
+        let mut m = BankedMemory::new(2);
+        m.begin_cycle(0);
+        // Three accesses: banks 0, 0, 1. Second bank-0 access queues.
+        assert_eq!(m.issue(FuId(0), &load_op(), Some(4)).extra_cycles, 0);
+        let second = m.issue(FuId(1), &load_op(), Some(10));
+        assert_eq!(second.extra_cycles, 1);
+        assert_eq!(second.contention_stalls, 1);
+        assert_eq!(m.issue(FuId(2), &load_op(), Some(5)).extra_cycles, 0);
+        // Non-memory ops never touch the banks.
+        assert_eq!(m.issue(FuId(3), &alu_op(), None), Issue::IDEAL);
+        // Queues drain at the cycle boundary.
+        m.begin_cycle(1);
+        assert_eq!(m.issue(FuId(0), &load_op(), Some(4)).extra_cycles, 0);
+    }
+
+    #[test]
+    fn banked_memory_negative_addresses_use_euclidean_bank() {
+        let mut m = BankedMemory::new(4);
+        m.begin_cycle(0);
+        // -1 maps to bank 3, not a negative index.
+        assert_eq!(m.issue(FuId(0), &load_op(), Some(-1)).extra_cycles, 0);
+        assert_eq!(m.issue(FuId(1), &load_op(), Some(3)).extra_cycles, 1);
+    }
+
+    #[test]
+    fn spec_parse_round_trips_through_display() {
+        for text in ["ideal", "latency:unit", "latency:fdiv=12,mem=4", "banked:2"] {
+            let spec = TimingSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(TimingSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        // Entries render in canonical class order regardless of input order.
+        assert_eq!(
+            TimingSpec::parse("latency:mem=4,fdiv=12")
+                .unwrap()
+                .to_string(),
+            "latency:fdiv=12,mem=4"
+        );
+        assert_eq!(
+            TimingSpec::parse("latency").unwrap(),
+            TimingSpec::Latency(LatencyConfig::unit())
+        );
+    }
+
+    #[test]
+    fn spec_parse_rejects_malformed_input() {
+        for text in [
+            "warp-drive",
+            "ideal:3",
+            "latency:mem",
+            "latency:teleport=2",
+            "latency:mem=zero",
+            "latency:mem=0",
+            "banked",
+            "banked:0",
+            "banked:two",
+        ] {
+            let err = TimingSpec::parse(text).unwrap_err();
+            assert!(
+                matches!(err, SimError::Config(ConfigError::InvalidTimingSpec { .. })),
+                "{text}: {err:?}"
+            );
+            assert!(err.to_string().contains(text.split(':').next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn spec_validate_catches_programmatic_zeroes() {
+        assert!(TimingSpec::Banked { banks: 0 }.validate().is_err());
+        let mut cfg = LatencyConfig::unit();
+        cfg.fdiv = 0;
+        assert!(TimingSpec::Latency(cfg).validate().is_err());
+        assert!(TimingSpec::Ideal.validate().is_ok());
+    }
+
+    #[test]
+    fn build_produces_matching_models() {
+        assert!(TimingSpec::Ideal.build().is_ideal());
+        assert_eq!(
+            TimingSpec::parse("banked:3").unwrap().build().name(),
+            "banked:3"
+        );
+        assert_eq!(
+            TimingSpec::parse("latency:imul=2").unwrap().build().name(),
+            "latency:imul=2"
+        );
+    }
+
+    #[test]
+    fn boxed_models_clone() {
+        let boxed: Box<dyn TimingModel> = Box::new(BankedMemory::new(2));
+        let cloned = boxed.clone();
+        assert_eq!(cloned.name(), "banked:2");
+    }
+}

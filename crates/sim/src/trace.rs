@@ -27,6 +27,10 @@ pub struct TraceRow {
     pub ccs: Vec<Option<bool>>,
     /// Sync signals exported *during* the cycle (combinational).
     pub ss: Vec<SyncSignal>,
+    /// Which FUs spent the cycle stalled by the timing model (occupied by
+    /// an earlier multi-cycle parcel, not fetching). Always all-false under
+    /// ideal timing.
+    pub stalls: Vec<bool>,
     /// The SSET partition in effect during the cycle.
     pub partition: Partition,
 }
@@ -51,6 +55,19 @@ impl TraceRow {
             .map(|s| if s.is_done() { 'D' } else { 'B' })
             .collect()
     }
+
+    /// Renders the stall markers compactly (`S` stalled / `.` not).
+    pub fn stall_string(&self) -> String {
+        self.stalls
+            .iter()
+            .map(|&s| if s { 'S' } else { '.' })
+            .collect()
+    }
+
+    /// True if any FU was stalled this cycle.
+    pub fn any_stall(&self) -> bool {
+        self.stalls.iter().any(|&s| s)
+    }
 }
 
 impl fmt::Display for TraceRow {
@@ -62,7 +79,11 @@ impl fmt::Display for TraceRow {
                 None => write!(f, " --:")?,
             }
         }
-        write!(f, "  {}  {}", self.cc_string(), self.partition)
+        write!(f, "  {}  {}", self.cc_string(), self.partition)?;
+        if self.any_stall() {
+            write!(f, "  [{}]", self.stall_string())?;
+        }
+        Ok(())
     }
 }
 
@@ -132,15 +153,16 @@ impl Trace {
             .unwrap_or(0)
     }
 
-    /// Renders the trace as CSV (`cycle,pc0..pcN,ccs,ss,partition,streams`)
-    /// for external tooling; halted PCs are empty cells.
+    /// Renders the trace as CSV
+    /// (`cycle,pc0..pcN,ccs,ss,stalls,partition,streams`) for external
+    /// tooling; halted PCs are empty cells.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str("cycle");
         for fu in 0..self.width {
             out.push_str(&format!(",pc{fu}"));
         }
-        out.push_str(",ccs,ss,partition,streams\n");
+        out.push_str(",ccs,ss,stalls,partition,streams\n");
         for row in &self.rows {
             out.push_str(&row.cycle.to_string());
             for pc in &row.pcs {
@@ -150,9 +172,10 @@ impl Trace {
                 }
             }
             out.push_str(&format!(
-                ",{},{},{},{}\n",
+                ",{},{},{},{},{}\n",
                 row.cc_string(),
                 row.ss_string(),
+                row.stall_string(),
                 row.partition,
                 row.partition.num_ssets()
             ));
@@ -196,6 +219,7 @@ mod tests {
             pcs: vec![Some(Addr(0)), Some(Addr(0)), Some(Addr(0)), Some(Addr(0))],
             ccs: vec![None, Some(true), Some(false), None],
             ss: vec![SyncSignal::Busy; 4],
+            stalls: vec![false; 4],
             partition: Partition::single(4),
         }
     }
@@ -239,9 +263,24 @@ mod tests {
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "cycle,pc0,pc1,pc2,pc3,ccs,ss,partition,streams");
-        assert!(lines[1].starts_with("0,0x0,0x0,0x0,0x0,XTFX,BBBB,"));
+        assert_eq!(
+            lines[0],
+            "cycle,pc0,pc1,pc2,pc3,ccs,ss,stalls,partition,streams"
+        );
+        assert!(lines[1].starts_with("0,0x0,0x0,0x0,0x0,XTFX,BBBB,....,"));
         assert!(lines[2].contains(",,"), "halted PC is an empty cell");
+    }
+
+    #[test]
+    fn stall_markers_render_only_when_present() {
+        let quiet = row(0);
+        assert_eq!(quiet.stall_string(), "....");
+        assert!(!quiet.any_stall());
+        assert!(!quiet.to_string().contains('['));
+        let mut stalled = row(1);
+        stalled.stalls[2] = true;
+        assert!(stalled.any_stall());
+        assert!(stalled.to_string().ends_with("[..S.]"));
     }
 
     #[test]

@@ -6,15 +6,16 @@
 //! operation determines the next PC. Used as the baseline in the paper's
 //! XIMD-vs-VLIW comparisons (§4.1).
 
-use ximd_isa::{Addr, ControlOp, FuId, Reg, Value};
+use ximd_isa::{Addr, FuId, Reg, Value};
 
 use crate::config::MachineConfig;
 use crate::device::IoPort;
+use crate::engine::{control_next, execute_data, memory_addr, run_loop, Engine};
 use crate::error::SimError;
-use crate::exec::execute_data;
 use crate::memory::Memory;
 use crate::regfile::RegisterFile;
 use crate::stats::SimStats;
+use crate::timing::{TimingModel, TimingSpec};
 use crate::vliw::VliwProgram;
 use crate::xsim::{RunSummary, StepStatus};
 
@@ -52,6 +53,11 @@ pub struct Vsim {
     pub(crate) ccs: Vec<Option<bool>>,
     pub(crate) cycle: u64,
     pub(crate) stats: SimStats,
+    pub(crate) timing: Box<dyn TimingModel>,
+    /// Whole-word stall state: a VLIW machine advances in lock step, so the
+    /// word stalls for the *longest* of its parcels' extra cycles.
+    stall_remaining: u64,
+    stall_next: Option<Addr>,
 }
 
 impl Vsim {
@@ -59,10 +65,12 @@ impl Vsim {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Isa`] if the program fails validation (width
-    /// mismatch, out-of-range references, or sync-signal conditions, which a
-    /// VLIW machine does not have).
+    /// Returns [`SimError::Config`] if the configuration is nonsensical, or
+    /// [`SimError::Isa`] if the program fails validation (width mismatch,
+    /// out-of-range references, or sync-signal conditions, which a VLIW
+    /// machine does not have).
     pub fn new(program: VliwProgram, config: MachineConfig) -> Result<Vsim, SimError> {
+        config.validate()?;
         if program.width() != config.width {
             return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
                 got: program.width(),
@@ -82,9 +90,39 @@ impl Vsim {
                 ops_per_fu: vec![0; config.width],
                 ..SimStats::default()
             },
+            timing: config.timing.build(),
+            stall_remaining: 0,
+            stall_next: None,
             config,
             program,
         })
+    }
+
+    /// The machine configuration the simulator was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The active timing model.
+    pub fn timing(&self) -> &dyn TimingModel {
+        &*self.timing
+    }
+
+    /// Replaces the timing model (machine setup; see
+    /// [`Xsim::set_timing`](crate::Xsim::set_timing)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for degenerate specs.
+    pub fn set_timing(&mut self, spec: &TimingSpec) -> Result<(), SimError> {
+        spec.validate()?;
+        if self.stall_remaining > 0 {
+            self.stall_remaining = 0;
+            self.pc = self.stall_next;
+        }
+        self.config.timing = spec.clone();
+        self.timing = spec.build();
+        Ok(())
     }
 
     /// Attaches an I/O port device, returning its port number.
@@ -148,6 +186,26 @@ impl Vsim {
         let Some(pc) = self.pc else {
             return Ok(StepStatus::AllHalted);
         };
+
+        // A stalled word holds the whole machine: the VLIW has one
+        // sequencer, so every FU waits out the longest parcel latency.
+        if self.stall_remaining > 0 {
+            self.stall_remaining -= 1;
+            self.stats.stall_cycles += self.config.width as u64;
+            if self.stall_remaining == 0 {
+                self.pc = self.stall_next;
+            }
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            self.stats.max_concurrent_streams = 1;
+            self.stats.sset_cycle_sum += 1;
+            return Ok(if self.pc.is_none() {
+                StepStatus::AllHalted
+            } else {
+                StepStatus::Running
+            });
+        }
+
         let len = self.program.len() as u32;
         if pc.0 >= len {
             return Err(SimError::PcOutOfRange {
@@ -157,9 +215,16 @@ impl Vsim {
             });
         }
         let instr = self.program.get(pc).expect("bounds checked").clone();
+        self.timing.begin_cycle(self.cycle);
 
         let mut cc_updates: Vec<(usize, bool)> = Vec::new();
+        let mut extra = 0u64;
         for (fu, op) in instr.ops.iter().enumerate() {
+            let issue = self
+                .timing
+                .issue(FuId(fu as u8), op, memory_addr(op, &self.regs));
+            extra = extra.max(issue.extra_cycles);
+            self.stats.contention_stalls += issue.contention_stalls;
             if let Some(cc) = execute_data(
                 FuId(fu as u8),
                 op,
@@ -177,30 +242,19 @@ impl Vsim {
         self.stats.conflicts_resolved =
             self.regs.conflicts_resolved() + self.mem.conflicts_resolved();
 
+        // VLIW conditions are CC-based only (validated); the empty sync
+        // slice is never consulted.
         let cc_now: Vec<bool> = self.ccs.iter().map(|c| c.unwrap_or(false)).collect();
-        let next = match instr.ctrl {
-            ControlOp::Goto(t) => Some(t),
-            ControlOp::Branch {
-                cond,
-                taken,
-                not_taken,
-            } => {
-                self.stats.cond_branches += 1;
-                // VLIW conditions are CC-based only (validated); the empty
-                // sync slice is never consulted.
-                if cond.eval(&cc_now, &[]) {
-                    self.stats.branches_taken += 1;
-                    Some(taken)
-                } else {
-                    Some(not_taken)
-                }
-            }
-            ControlOp::Halt => None,
-        };
+        let next = control_next(&instr.ctrl, &cc_now, &[], &mut self.stats);
         if next == self.pc {
             self.stats.spin_cycles += 1;
         }
-        self.pc = next;
+        if extra > 0 {
+            self.stall_remaining = extra;
+            self.stall_next = next;
+        } else {
+            self.pc = next;
+        }
 
         for (fu, cc) in cc_updates {
             self.ccs[fu] = Some(cc);
@@ -226,22 +280,7 @@ impl Vsim {
     /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
     /// any machine check raised by [`Vsim::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        while self.cycle < max_cycles {
-            if self.step()? == StepStatus::AllHalted {
-                return Ok(RunSummary {
-                    cycles: self.cycle,
-                    stats: self.stats.clone(),
-                });
-            }
-        }
-        if self.halted() {
-            Ok(RunSummary {
-                cycles: self.cycle,
-                stats: self.stats.clone(),
-            })
-        } else {
-            Err(SimError::CycleLimit { limit: max_cycles })
-        }
+        run_loop(self, None, max_cycles)
     }
 
     /// Runs on the pre-decoded fast path: same contract and observable
@@ -256,12 +295,37 @@ impl Vsim {
     }
 }
 
+impl Engine for Vsim {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        Vsim::step(self)
+    }
+
+    fn all_parked(&self, park: Addr) -> bool {
+        self.pc.is_none_or(|a| a == park)
+    }
+
+    fn finished(&self) -> bool {
+        self.halted()
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycle,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::vliw::VliwInstruction;
     use crate::xsim::Xsim;
-    use ximd_isa::{AluOp, CmpOp, CondSource, DataOp, Operand};
+    use ximd_isa::{AluOp, CmpOp, CondSource, ControlOp, DataOp, Operand};
 
     fn counting_loop(n: i32) -> VliwProgram {
         // r0 counts to n: classic compare-branch loop, one control op/cycle.
@@ -333,6 +397,56 @@ mod tests {
     fn width_mismatch_rejected() {
         let p = VliwProgram::new(2);
         assert!(Vsim::new(p, MachineConfig::with_width(4)).is_err());
+    }
+
+    #[test]
+    fn word_level_stall_under_latency_model() {
+        // One load in a 2-wide word stalls the whole machine: lock-step
+        // sequencing means both FUs wait out the longest parcel latency.
+        let mut p = VliwProgram::new(2);
+        p.push(VliwInstruction {
+            ops: vec![
+                DataOp::load(Operand::imm_i32(5), Operand::imm_i32(0), Reg(1)),
+                DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(2)),
+            ],
+            ctrl: ControlOp::Goto(Addr(1)),
+        });
+        p.push(VliwInstruction::halt(2));
+        let cfg = MachineConfig::with_width(2).timing(TimingSpec::parse("latency:mem=4").unwrap());
+        let mut sim = Vsim::new(p, cfg).unwrap();
+        sim.mem_mut().poke(5, Value::I32(9)).unwrap();
+        let summary = sim.run(20).unwrap();
+        // 2 ideal cycles + 3 stall cycles for the word.
+        assert_eq!(summary.cycles, 5);
+        assert_eq!(summary.stats.stall_cycles, 6, "2 FUs x 3 stalled cycles");
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 9);
+        assert_eq!(sim.reg(Reg(2)).as_i32(), 1);
+    }
+
+    #[test]
+    fn banked_contention_in_one_word() {
+        let mut p = VliwProgram::new(2);
+        p.push(VliwInstruction {
+            ops: vec![
+                DataOp::load(Operand::imm_i32(4), Operand::imm_i32(0), Reg(1)),
+                DataOp::load(Operand::imm_i32(6), Operand::imm_i32(0), Reg(2)),
+            ],
+            ctrl: ControlOp::Halt,
+        });
+        let cfg = MachineConfig::with_width(2).timing(TimingSpec::parse("banked:2").unwrap());
+        let mut sim = Vsim::new(p, cfg).unwrap();
+        let summary = sim.run(20).unwrap();
+        // Both loads hit bank 0 of 2: the second queues one cycle.
+        assert_eq!(summary.stats.contention_stalls, 1);
+        assert_eq!(summary.cycles, 2);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut p = VliwProgram::new(1);
+        p.push(VliwInstruction::halt(1));
+        let err = Vsim::new(p, MachineConfig::with_width(0)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
     }
 
     #[test]

@@ -6,16 +6,17 @@
 //! an idealized single-cycle shared memory, and dynamic SSET partition
 //! tracking with Figure-10-style address traces.
 
-use ximd_isa::{Addr, ControlOp, FuId, Program, Reg, SyncSignal, Value};
+use ximd_isa::{Addr, FuId, Program, Reg, SyncSignal, Value};
 
 use crate::config::MachineConfig;
 use crate::device::IoPort;
+use crate::engine::{self, control_next, execute_data, memory_addr, run_loop, Engine};
 use crate::error::SimError;
-use crate::exec::execute_data;
 use crate::memory::Memory;
 use crate::partition::{DecisionKey, Partition};
 use crate::regfile::RegisterFile;
 use crate::stats::SimStats;
+use crate::timing::{TimingModel, TimingSpec};
 use crate::trace::{Trace, TraceRow};
 
 /// Result of a single [`Xsim::step`].
@@ -70,6 +71,30 @@ pub struct Xsim {
     pub(crate) cycle: u64,
     pub(crate) stats: SimStats,
     pub(crate) trace: Option<Trace>,
+    pub(crate) timing: Box<dyn TimingModel>,
+    pub(crate) pending: Vec<Pending>,
+}
+
+/// Per-FU occupancy state for multi-cycle parcels: the parcel's semantics
+/// ran at issue, but the unit stays busy for `remaining` more cycles,
+/// holding its PC, re-asserting its sync signal, and keeping its issued
+/// decision key for SSET-partition accounting. `next` is the buffered
+/// control outcome, applied when the occupancy expires.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    remaining: u64,
+    next: Option<Addr>,
+    key: DecisionKey,
+}
+
+impl Default for Pending {
+    fn default() -> Self {
+        Pending {
+            remaining: 0,
+            next: None,
+            key: DecisionKey::Halted,
+        }
+    }
 }
 
 impl Xsim {
@@ -82,10 +107,13 @@ impl Xsim {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Isa`] if the program's width differs from the
+    /// Returns [`SimError::Config`] if the configuration is nonsensical
+    /// (zero FUs, inconsistent register-file ports, a degenerate timing
+    /// spec), or [`SimError::Isa`] if the program's width differs from the
     /// machine's or any parcel references an out-of-range register, FU or
     /// branch target.
     pub fn new(program: Program, config: MachineConfig) -> Result<Xsim, SimError> {
+        config.validate()?;
         if program.width() != config.width {
             return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
                 got: program.width(),
@@ -109,6 +137,8 @@ impl Xsim {
                 ..SimStats::default()
             },
             trace: None,
+            timing: config.timing.build(),
+            pending: vec![Pending::default(); width],
             config,
             program,
         })
@@ -117,6 +147,32 @@ impl Xsim {
     /// The machine configuration this simulator was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The active timing model.
+    pub fn timing(&self) -> &dyn TimingModel {
+        &*self.timing
+    }
+
+    /// Replaces the timing model (machine setup; typically before the first
+    /// cycle, e.g. when sweeping one prepared workload across specs). Any
+    /// in-flight multi-cycle parcels of a previous model are completed
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for degenerate specs.
+    pub fn set_timing(&mut self, spec: &TimingSpec) -> Result<(), SimError> {
+        spec.validate()?;
+        for fu in 0..self.config.width {
+            if self.pending[fu].remaining > 0 {
+                self.pending[fu].remaining = 0;
+                self.pcs[fu] = self.pending[fu].next;
+            }
+        }
+        self.config.timing = spec.clone();
+        self.timing = spec.build();
+        Ok(())
     }
 
     /// Enables per-cycle address tracing (Figure 10 format).
@@ -211,11 +267,20 @@ impl Xsim {
         }
         let width = self.config.width;
         let len = self.program.len() as u32;
+        self.timing.begin_cycle(self.cycle);
 
-        // Fetch.
+        // Fetch. A unit still occupied by an earlier multi-cycle parcel
+        // does not fetch; `stalled` marks it for the later phases. Under
+        // ideal timing nothing ever stalls and this is exactly the
+        // pre-timing-layer fetch.
         let mut parcels = Vec::with_capacity(width);
-        for fu in 0..width {
+        let mut stalled = vec![false; width];
+        for (fu, stall) in stalled.iter_mut().enumerate() {
             match self.pcs[fu] {
+                Some(_) if self.pending[fu].remaining > 0 => {
+                    *stall = true;
+                    parcels.push(None);
+                }
                 Some(pc) => {
                     if pc.0 >= len {
                         return Err(SimError::PcOutOfRange {
@@ -233,7 +298,9 @@ impl Xsim {
         }
 
         // Sync signals are combinational: the executing parcel drives SS_i
-        // this cycle; halted FUs hold their last exported value.
+        // this cycle; halted FUs hold their last exported value, and a
+        // stalled FU keeps asserting what its in-flight parcel drove (so
+        // partners at an ALL-SS barrier wait out the stall).
         for (fu, parcel) in parcels.iter().enumerate() {
             if let Some(p) = parcel {
                 self.ss[fu] = p.sync;
@@ -249,17 +316,30 @@ impl Xsim {
                 pcs: self.pcs.clone(),
                 ccs: self.ccs.clone(),
                 ss: self.ss.clone(),
+                stalls: stalled.clone(),
                 partition: self.partition.clone(),
             });
         }
 
         // Data phase: reads observe start-of-cycle state, writes are staged.
+        // The timing model is consulted per issued parcel; the parcel's
+        // semantics run in full at issue either way (see `crate::timing`).
         let mut cc_updates: Vec<(usize, bool)> = Vec::new();
+        let mut extra = vec![0u64; width];
         for (fu, parcel) in parcels.iter().enumerate() {
             let Some(p) = parcel else {
-                self.stats.halted_fu_cycles += 1;
+                if stalled[fu] {
+                    self.stats.stall_cycles += 1;
+                } else {
+                    self.stats.halted_fu_cycles += 1;
+                }
                 continue;
             };
+            let issue =
+                self.timing
+                    .issue(FuId(fu as u8), &p.data, memory_addr(&p.data, &self.regs));
+            extra[fu] = issue.extra_cycles;
+            self.stats.contention_stalls += issue.contention_stalls;
             if let Some(cc) = execute_data(
                 FuId(fu as u8),
                 &p.data,
@@ -278,36 +358,39 @@ impl Xsim {
             self.regs.conflicts_resolved() + self.mem.conflicts_resolved();
 
         // Control phase: branch conditions see start-of-cycle CCs and this
-        // cycle's combinational SS.
+        // cycle's combinational SS. A multi-cycle parcel decides its branch
+        // now but buffers the outcome; a stalled FU keeps its issued
+        // decision key so it stays in the same SSET while occupied.
         let cc_now: Vec<bool> = self.ccs.iter().map(|c| c.unwrap_or(false)).collect();
         let mut keys = Vec::with_capacity(width);
         for (fu, parcel) in parcels.iter().enumerate() {
             let Some(p) = parcel else {
-                keys.push(DecisionKey::Halted);
+                if stalled[fu] {
+                    keys.push(self.pending[fu].key);
+                    self.pending[fu].remaining -= 1;
+                    if self.pending[fu].remaining == 0 {
+                        self.pcs[fu] = self.pending[fu].next;
+                    }
+                } else {
+                    keys.push(DecisionKey::Halted);
+                }
                 continue;
             };
-            keys.push(DecisionKey::of(&p.ctrl));
-            let next = match p.ctrl {
-                ControlOp::Goto(t) => Some(t),
-                ControlOp::Branch {
-                    cond,
-                    taken,
-                    not_taken,
-                } => {
-                    self.stats.cond_branches += 1;
-                    if cond.eval(&cc_now, &self.ss) {
-                        self.stats.branches_taken += 1;
-                        Some(taken)
-                    } else {
-                        Some(not_taken)
-                    }
-                }
-                ControlOp::Halt => None,
-            };
+            let key = DecisionKey::of(&p.ctrl);
+            keys.push(key);
+            let next = control_next(&p.ctrl, &cc_now, &self.ss, &mut self.stats);
             if next == self.pcs[fu] {
                 self.stats.spin_cycles += 1;
             }
-            self.pcs[fu] = next;
+            if extra[fu] > 0 {
+                self.pending[fu] = Pending {
+                    remaining: extra[fu],
+                    next,
+                    key,
+                };
+            } else {
+                self.pcs[fu] = next;
+            }
         }
         self.partition = Partition::from_decisions(&keys);
 
@@ -347,26 +430,7 @@ impl Xsim {
         park: Addr,
         max_cycles: u64,
     ) -> Result<RunSummary, SimError> {
-        while self.cycle < max_cycles {
-            let parked = self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park));
-            let status = self.step()?;
-            if parked || status == StepStatus::AllHalted {
-                return Ok(RunSummary {
-                    cycles: self.cycle,
-                    stats: self.stats.clone(),
-                });
-            }
-        }
-        // Same post-loop accounting as `run`: a machine that already halted
-        // exactly at the budget is a success, not a cycle-limit error.
-        if self.all_halted() {
-            Ok(RunSummary {
-                cycles: self.cycle,
-                stats: self.stats.clone(),
-            })
-        } else {
-            Err(SimError::CycleLimit { limit: max_cycles })
-        }
+        run_loop(self, Some(park), max_cycles)
     }
 
     /// Runs until every FU halts or `max_cycles` elapse.
@@ -376,22 +440,7 @@ impl Xsim {
     /// Returns [`SimError::CycleLimit`] if the budget is exhausted first, or
     /// any machine check raised by [`Xsim::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        while self.cycle < max_cycles {
-            if self.step()? == StepStatus::AllHalted {
-                return Ok(RunSummary {
-                    cycles: self.cycle,
-                    stats: self.stats.clone(),
-                });
-            }
-        }
-        if self.all_halted() {
-            Ok(RunSummary {
-                cycles: self.cycle,
-                stats: self.stats.clone(),
-            })
-        } else {
-            Err(SimError::CycleLimit { limit: max_cycles })
-        }
+        run_loop(self, None, max_cycles)
     }
 
     /// Runs on the pre-decoded fast path ([`crate::decoded`]): same contract
@@ -399,8 +448,10 @@ impl Xsim {
     /// faster.
     ///
     /// Falls back to the interpreter when tracing is enabled (the fast path
-    /// records no trace rows) or the machine is wider than
-    /// [`crate::decoded::MAX_FAST_WIDTH`].
+    /// records no trace rows), the machine is wider than
+    /// [`crate::decoded::MAX_FAST_WIDTH`], or a non-ideal timing model is
+    /// configured (the fast path is the hot-loop implementation of
+    /// [`crate::Ideal`] only).
     ///
     /// On success or cycle-limit exhaustion the machine state (registers,
     /// memory, ports, PCs, CCs, sync signals, partition, statistics) is
@@ -413,15 +464,7 @@ impl Xsim {
     ///
     /// Exactly the errors [`Xsim::run`] reports.
     pub fn run_decoded(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        if self.trace.is_some() || self.config.width > crate::decoded::MAX_FAST_WIDTH {
-            return self.run(max_cycles);
-        }
-        let mut fast = crate::decoded::FastXsim::from_xsim(self);
-        let result = fast.run(max_cycles);
-        if matches!(result, Ok(_) | Err(SimError::CycleLimit { .. })) {
-            fast.write_back(self);
-        }
-        result
+        self.run_decoded_inner(None, max_cycles)
     }
 
     /// Fast-path counterpart of [`Xsim::run_until_parked`]; the same
@@ -435,15 +478,52 @@ impl Xsim {
         park: Addr,
         max_cycles: u64,
     ) -> Result<RunSummary, SimError> {
-        if self.trace.is_some() || self.config.width > crate::decoded::MAX_FAST_WIDTH {
-            return self.run_until_parked(park, max_cycles);
+        self.run_decoded_inner(Some(park), max_cycles)
+    }
+
+    fn run_decoded_inner(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        if self.trace.is_some()
+            || self.config.width > crate::decoded::MAX_FAST_WIDTH
+            || !self.config.timing.is_ideal()
+        {
+            return run_loop(self, park, max_cycles);
         }
-        let mut fast = crate::decoded::FastXsim::from_xsim(self);
-        let result = fast.run_until_parked(park, max_cycles);
-        if matches!(result, Ok(_) | Err(SimError::CycleLimit { .. })) {
-            fast.write_back(self);
+        engine::run_fast_path(
+            self,
+            park,
+            max_cycles,
+            crate::decoded::FastXsim::from_xsim,
+            crate::decoded::FastXsim::write_back,
+        )
+    }
+}
+
+impl Engine for Xsim {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        Xsim::step(self)
+    }
+
+    fn all_parked(&self, park: Addr) -> bool {
+        self.pcs.iter().all(|pc| pc.is_none_or(|a| a == park))
+    }
+
+    fn finished(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycle,
+            stats: self.stats.clone(),
         }
-        result
     }
 }
 
@@ -451,7 +531,7 @@ impl Xsim {
 mod tests {
     use super::*;
     use crate::config::ConflictPolicy;
-    use ximd_isa::{AluOp, CmpOp, CondSource, DataOp, Operand, Parcel};
+    use ximd_isa::{AluOp, CmpOp, CondSource, ControlOp, DataOp, Operand, Parcel};
 
     fn addp(a: u16, b: i32, d: u16, ctrl: ControlOp) -> Parcel {
         Parcel::data(
@@ -815,5 +895,124 @@ mod tests {
         assert_eq!(summary.stats.cond_branches, 1);
         assert_eq!(summary.stats.branches_taken, 1);
         assert_eq!(summary.stats.compares, 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let err = Xsim::new(p, MachineConfig::with_width(1).reg_ports(1, 2)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn latency_stall_holds_pc_and_buffers_branch() {
+        use crate::timing::TimingSpec;
+        // 00: load r1 = M[0]; goto 01.   01: halt.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::load(Operand::imm_i32(0), Operand::imm_i32(0), Reg(1)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::halt()]);
+        let cfg = MachineConfig::with_width(1).timing(TimingSpec::parse("latency:mem=3").unwrap());
+        let mut sim = Xsim::new(p, cfg).unwrap();
+        sim.mem_mut().poke(0, Value::I32(42)).unwrap();
+
+        // Cycle 0 issues the load (value commits immediately) and begins a
+        // 2-cycle stall with the goto buffered.
+        sim.step().unwrap();
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 42);
+        assert_eq!(sim.pcs(), &[Some(Addr(0))], "stall holds the PC");
+        sim.step().unwrap();
+        assert_eq!(sim.pcs(), &[Some(Addr(0))]);
+        sim.step().unwrap();
+        assert_eq!(sim.pcs(), &[Some(Addr(1))], "buffered goto applies");
+
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 4, "2 ideal cycles + 2 stall cycles");
+        assert_eq!(summary.stats.stall_cycles, 2);
+        assert_eq!(summary.stats.contention_stalls, 0);
+    }
+
+    #[test]
+    fn stalled_fu_holds_busy_so_barrier_waits_out_the_stall() {
+        use crate::timing::TimingSpec;
+        // FU0: slow load (BUSY held through the stall), then DONE+halt.
+        // FU1: ALL-SS barrier spin until FU0 arrives.
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(1), Addr(0));
+        p.push(vec![
+            Parcel::data(
+                DataOp::load(Operand::imm_i32(0), Operand::imm_i32(0), Reg(1)),
+                ControlOp::Goto(Addr(1)),
+            ),
+            Parcel::data(DataOp::Nop, barrier).done(),
+        ]);
+        p.push(vec![Parcel::halt().done(), Parcel::halt().done()]);
+        let cfg = MachineConfig::with_width(2).timing(TimingSpec::parse("latency:mem=5").unwrap());
+        let mut sim = Xsim::new(p, cfg).unwrap();
+        sim.mem_mut().poke(0, Value::I32(7)).unwrap();
+        let summary = sim.run(50).unwrap();
+        // Cycle 0 issues the load; cycles 1-4 stall FU0 while FU1 spins;
+        // cycle 5 FU0 halts with DONE, releasing FU1; cycle 6 FU1 halts.
+        assert_eq!(summary.cycles, 7);
+        assert_eq!(summary.stats.stall_cycles, 4);
+        assert_eq!(summary.stats.spin_cycles, 5);
+        assert_eq!(sim.reg(Reg(1)).as_i32(), 7);
+    }
+
+    #[test]
+    fn banked_memory_contention_is_counted() {
+        use crate::timing::TimingSpec;
+        // Two same-cycle loads forced into one bank.
+        let mut p = Program::new(2);
+        p.push(vec![
+            Parcel::data(
+                DataOp::load(Operand::imm_i32(0), Operand::imm_i32(0), Reg(1)),
+                ControlOp::Halt,
+            ),
+            Parcel::data(
+                DataOp::load(Operand::imm_i32(1), Operand::imm_i32(0), Reg(2)),
+                ControlOp::Halt,
+            ),
+        ]);
+        let ideal = {
+            let mut sim = Xsim::new(p.clone(), MachineConfig::with_width(2)).unwrap();
+            sim.run(10).unwrap().cycles
+        };
+        let cfg = MachineConfig::with_width(2).timing(TimingSpec::parse("banked:1").unwrap());
+        let mut sim = Xsim::new(p, cfg).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert!(summary.cycles > ideal);
+        assert_eq!(summary.stats.contention_stalls, 1);
+        assert_eq!(summary.stats.stall_cycles, 1);
+    }
+
+    #[test]
+    fn unit_latency_matches_ideal_counts() {
+        use crate::timing::TimingSpec;
+        let mut p = Program::new(1);
+        p.push(vec![addp(0, 5, 1, ControlOp::Goto(Addr(1)))]);
+        p.push(vec![addp(1, 10, 2, ControlOp::Halt)]);
+        let cfg = MachineConfig::with_width(1).timing(TimingSpec::parse("latency:unit").unwrap());
+        let mut sim = Xsim::new(p, cfg).unwrap();
+        let summary = sim.run(10).unwrap();
+        assert_eq!(summary.cycles, 2);
+        assert_eq!(summary.stats.stall_cycles, 0);
+    }
+
+    #[test]
+    fn set_timing_validates_and_swaps_models() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let mut sim = Xsim::new(p, MachineConfig::with_width(1)).unwrap();
+        assert!(sim
+            .set_timing(&crate::TimingSpec::Banked { banks: 0 })
+            .is_err());
+        sim.set_timing(&crate::TimingSpec::Banked { banks: 2 })
+            .unwrap();
+        assert_eq!(sim.timing().name(), "banked:2");
+        assert_eq!(sim.config().timing, crate::TimingSpec::Banked { banks: 2 });
     }
 }

@@ -61,6 +61,16 @@ impl RunSpec {
         }
     }
 
+    /// The same drive mode with the cycle budget multiplied by `factor`
+    /// (saturating). Non-ideal timing models stretch schedules, so budgets
+    /// tuned for the ideal machine must stretch with them.
+    pub fn scaled(self, factor: u64) -> RunSpec {
+        match self {
+            RunSpec::Run(b) => RunSpec::Run(b.saturating_mul(factor)),
+            RunSpec::Parked(park, b) => RunSpec::Parked(park, b.saturating_mul(factor)),
+        }
+    }
+
     /// Runs `sim` on the interpreter per this spec.
     ///
     /// # Errors
@@ -90,6 +100,59 @@ impl RunSpec {
             RunSpec::Parked(park, b) => sim.run_decoded_until_parked(park, b),
         }
     }
+}
+
+/// Worst-case factor by which `timing` can stretch an ideal-machine
+/// schedule on a `width`-wide machine: the longest class latency for a
+/// latency table, the machine width for banked contention (every FU queued
+/// on one bank), 1 for ideal.
+pub fn timing_budget_factor(timing: &ximd_sim::TimingSpec, width: usize) -> u64 {
+    match timing {
+        ximd_sim::TimingSpec::Ideal => 1,
+        ximd_sim::TimingSpec::Latency(cfg) => cfg.max_latency(),
+        ximd_sim::TimingSpec::Banked { .. } => width.max(1) as u64,
+    }
+}
+
+/// Re-times a prepared workload: swaps the machine onto `timing` and
+/// stretches the cycle budget by the model's worst-case factor. Composes
+/// with every module's `prepared` constructor:
+///
+/// ```
+/// use ximd_sim::TimingSpec;
+/// use ximd_workloads::{minmax, with_timing};
+///
+/// let spec = TimingSpec::parse("latency:mem=4").unwrap();
+/// let (mut sim, run) = with_timing(minmax::prepared(&[5, 3, 4, 7])?, &spec)?;
+/// assert!(run.drive(&mut sim)?.stats.stall_cycles > 0);
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+///
+/// # Timing validity
+///
+/// Non-ideal models stall each FU independently, which skews the relative
+/// arrival times of the streams. XIMD programs that synchronize *by cycle
+/// counting* — the implicit barriers of percolation scheduling ([`tproc`],
+/// [`minmax`], the XIMD forms of [`livermore`]) — still run, and their
+/// stall counters are real, but their *results* are only meaningful under
+/// ideal timing: the schedule's timing assumptions are part of the program.
+/// Programs that synchronize explicitly through sync signals held at a
+/// level (`ALL-SS`/`ANY-SS` spin loops), and every VLIW form (the single
+/// sequencer stalls whole words, preserving lockstep), stay correct under
+/// any model. For timed sweeps use those: [`minmax::run_vliw_timed`],
+/// [`livermore::run_vliw_timed`], [`saxpy::run_timed`].
+///
+/// # Errors
+///
+/// Returns [`ximd_sim::SimError::Config`] for degenerate specs.
+pub fn with_timing(
+    prepared: (ximd_sim::Xsim, RunSpec),
+    timing: &ximd_sim::TimingSpec,
+) -> Result<(ximd_sim::Xsim, RunSpec), ximd_sim::SimError> {
+    let (mut sim, spec) = prepared;
+    sim.set_timing(timing)?;
+    let factor = timing_budget_factor(timing, sim.config().width);
+    Ok((sim, spec.scaled(factor)))
 }
 
 pub mod bitcount;

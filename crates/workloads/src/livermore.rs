@@ -188,19 +188,40 @@ pub fn run_ximd(y: &[i32]) -> Result<Outcome, SimError> {
 ///
 /// Panics if `y` has fewer than 2 elements.
 pub fn run_vliw(y: &[i32]) -> Result<Outcome, SimError> {
+    run_vliw_timed(y, &ximd_sim::TimingSpec::Ideal).map(|(out, _)| out)
+}
+
+/// Runs the Loop 12 VLIW form under an explicit timing model. Whole-word
+/// stalling preserves the software pipeline's lockstep, so results stay
+/// correct while the schedule stretches.
+///
+/// # Errors
+///
+/// Propagates configuration and simulator machine checks.
+///
+/// # Panics
+///
+/// Panics if `y` has fewer than 2 elements.
+pub fn run_vliw_timed(
+    y: &[i32],
+    timing: &ximd_sim::TimingSpec,
+) -> Result<(Outcome, ximd_sim::RunSummary), SimError> {
     assert!(
         y.len() >= 2,
         "loop 12 requires n >= 1 (y has n + 1 elements)"
     );
     let n = y.len() - 1;
     let mut sim = Vsim::new(vliw_program(), MachineConfig::with_width(WIDTH))?;
+    sim.set_timing(timing)?;
     sim.mem_mut().poke_slice(Y_BASE as i64 + 1, y)?;
     sim.write_reg(REG_N, (n as i32).into());
-    let summary = sim.run(20 + 4 * n as u64)?;
-    Ok(Outcome {
+    let budget = (20 + 4 * n as u64).saturating_mul(crate::timing_budget_factor(timing, WIDTH));
+    let summary = sim.run(budget)?;
+    let outcome = Outcome {
         x: sim.mem().peek_slice(X_BASE as i64 + 1, n)?,
         cycles: summary.cycles,
-    })
+    };
+    Ok((outcome, summary))
 }
 
 #[cfg(test)]

@@ -332,16 +332,39 @@ pub fn vliw_program() -> VliwProgram {
 ///
 /// Panics on an empty slice.
 pub fn run_vliw(data: &[i32]) -> Result<Outcome, SimError> {
+    run_vliw_timed(data, &ximd_sim::TimingSpec::Ideal).map(|(out, _)| out)
+}
+
+/// Runs the MINMAX VLIW baseline under an explicit timing model. The single
+/// sequencer stalls whole instruction words, so lockstep — and therefore
+/// the computed min/max — survives any timing model (unlike the XIMD form,
+/// whose implicit cycle-counted barriers assume ideal timing).
+///
+/// # Errors
+///
+/// Propagates configuration and simulator machine checks.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn run_vliw_timed(
+    data: &[i32],
+    timing: &ximd_sim::TimingSpec,
+) -> Result<(Outcome, ximd_sim::RunSummary), SimError> {
     assert!(!data.is_empty(), "MINMAX requires n >= 1");
     let mut sim = Vsim::new(vliw_program(), MachineConfig::with_width(WIDTH))?;
+    sim.set_timing(timing)?;
     sim.mem_mut().poke_slice(Z_BASE as i64, data)?;
     sim.write_reg(REG_N, Value::I32(data.len() as i32));
-    let summary = sim.run(16 + 16 * data.len() as u64)?;
-    Ok(Outcome {
+    let budget =
+        (16 + 16 * data.len() as u64).saturating_mul(crate::timing_budget_factor(timing, WIDTH));
+    let summary = sim.run(budget)?;
+    let outcome = Outcome {
         min: sim.reg(REG_MIN).as_i32(),
         max: sim.reg(REG_MAX).as_i32(),
         cycles: summary.cycles,
-    })
+    };
+    Ok((outcome, summary))
 }
 
 /// Checks a captured trace against [`figure10_trace`], returning the first

@@ -12,7 +12,7 @@ use ximd_compiler::ir::{Inst, VReg, Val};
 use ximd_compiler::pipeline::{modulo_schedule, CountedLoop, Pipelined};
 use ximd_compiler::CompileError;
 use ximd_isa::{AluOp, Value};
-use ximd_sim::{MachineConfig, Vsim};
+use ximd_sim::{MachineConfig, RunSummary, SimError, TimingSpec, Vsim};
 
 /// Word address of `X[1]` minus one.
 pub const X_BASE: i32 = 20_000;
@@ -77,6 +77,52 @@ pub fn oracle(a: f32, x: &[f32], y: &[f32]) -> Vec<f32> {
     x.iter().zip(y).map(|(&xv, &yv)| a * xv + yv).collect()
 }
 
+/// Pipelines SAXPY and seeds a vsim without running it; returns the
+/// machine, its ideal-timing cycle budget and the schedule. Harnesses can
+/// retime the machine ([`Vsim::set_timing`]) before driving it.
+///
+/// # Errors
+///
+/// Returns scheduling or simulation failures.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length or are shorter than the pipeline
+/// depth.
+pub fn prepared(
+    a: f32,
+    x: &[f32],
+    y: &[f32],
+    width: usize,
+) -> Result<(Vsim, u64, Pipelined), CompileError> {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let n = x.len();
+    let pipe = modulo_schedule(&spec(), width)?;
+    assert!(n as u32 >= pipe.min_trips, "n below pipeline depth");
+
+    let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(width))?;
+    for (i, (&xv, &yv)) in x.iter().zip(y).enumerate() {
+        sim.mem_mut()
+            .poke(X_BASE as i64 + i as i64, Value::F32(xv))?;
+        sim.mem_mut()
+            .poke(Y_BASE as i64 + i as i64, Value::F32(yv))?;
+    }
+    sim.write_reg(pipe.reg_of[&TRIPS], Value::I32(n as i32));
+    sim.write_reg(pipe.reg_of[&A], Value::F32(a));
+    Ok((sim, 1_000 + 16 * n as u64, pipe))
+}
+
+/// Reads `Z[0..n]` back out of a finished machine.
+///
+/// # Errors
+///
+/// Propagates memory range checks.
+pub fn read_z(sim: &Vsim, n: usize) -> Result<Vec<f32>, SimError> {
+    (0..n)
+        .map(|i| sim.mem().read(Z_BASE as i64 + i as i64).map(Value::as_f32))
+        .collect()
+}
+
 /// Pipelines and runs SAXPY on vsim; returns `(z, cycles, pipelined)`.
 ///
 /// # Errors
@@ -93,26 +139,38 @@ pub fn run(
     y: &[f32],
     width: usize,
 ) -> Result<(Vec<f32>, u64, Pipelined), CompileError> {
-    assert_eq!(x.len(), y.len(), "x and y must have equal length");
-    let n = x.len();
-    let pipe = modulo_schedule(&spec(), width)?;
-    assert!(n as u32 >= pipe.min_trips, "n below pipeline depth");
-
-    let mut sim = Vsim::new(pipe.vliw.clone(), MachineConfig::with_width(width))?;
-    for (i, (&xv, &yv)) in x.iter().zip(y).enumerate() {
-        sim.mem_mut()
-            .poke(X_BASE as i64 + i as i64, Value::F32(xv))?;
-        sim.mem_mut()
-            .poke(Y_BASE as i64 + i as i64, Value::F32(yv))?;
-    }
-    sim.write_reg(pipe.reg_of[&TRIPS], Value::I32(n as i32));
-    sim.write_reg(pipe.reg_of[&A], Value::F32(a));
-    let summary = sim.run(1_000 + 16 * n as u64).map_err(CompileError::from)?;
-
-    let z = (0..n)
-        .map(|i| sim.mem().read(Z_BASE as i64 + i as i64).map(Value::as_f32))
-        .collect::<Result<Vec<f32>, _>>()?;
+    let (mut sim, budget, pipe) = prepared(a, x, y, width)?;
+    let summary = sim.run(budget).map_err(CompileError::from)?;
+    let z = read_z(&sim, x.len())?;
     Ok((z, summary.cycles, pipe))
+}
+
+/// Runs SAXPY under an explicit timing model (budget stretched by the
+/// model's worst-case factor); returns `(z, summary)`. The kernel is
+/// memory-heavy — two loads and a store per trip — so banked and
+/// memory-latency models visibly stretch it.
+///
+/// # Errors
+///
+/// Returns scheduling, configuration or simulation failures.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length or are shorter than the pipeline
+/// depth.
+pub fn run_timed(
+    a: f32,
+    x: &[f32],
+    y: &[f32],
+    width: usize,
+    timing: &TimingSpec,
+) -> Result<(Vec<f32>, RunSummary), CompileError> {
+    let (mut sim, budget, _) = prepared(a, x, y, width)?;
+    sim.set_timing(timing).map_err(CompileError::from)?;
+    let budget = budget.saturating_mul(crate::timing_budget_factor(timing, width));
+    let summary = sim.run(budget).map_err(CompileError::from)?;
+    let z = read_z(&sim, x.len())?;
+    Ok((z, summary))
 }
 
 /// Generates a deterministic float vector (finite, varied magnitudes).
@@ -149,6 +207,29 @@ mod tests {
             pipe.ii <= 3,
             "9 nodes on 8 FUs, chain-limited: got II = {}",
             pipe.ii
+        );
+    }
+
+    #[test]
+    fn banked_memory_contends_but_stays_correct() {
+        let a = 2.5f32;
+        let x = float_vec(1, 32);
+        let y = float_vec(2, 32);
+        let (_, ideal) = run_timed(a, &x, &y, 8, &TimingSpec::Ideal).unwrap();
+        // X, Y and Z bases share parity, so 2 banks serialize the accesses.
+        let spec = TimingSpec::parse("banked:2").unwrap();
+        let (z, banked) = run_timed(a, &x, &y, 8, &spec).unwrap();
+        assert!(
+            banked.stats.contention_stalls > 0,
+            "same-parity arrays must collide: {:?}",
+            banked.stats
+        );
+        assert!(banked.cycles > ideal.cycles, "contention costs cycles");
+        let expect = oracle(a, &x, &y);
+        assert_eq!(
+            z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "timing must never change results"
         );
     }
 

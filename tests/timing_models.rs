@@ -1,0 +1,266 @@
+//! Timing-layer integration: the `Ideal` model is pinned bit-exact to the
+//! seed interpreter, and every other way of driving the same machine —
+//! decoded fast path, the not-short-circuited unit-latency table — must be
+//! indistinguishable from it, workload by workload, down to every counter.
+//!
+//! The cycle/op/stream numbers below were captured from the tree as it
+//! stood before the timing layer landed (the "seed" interpreter). They pin
+//! the refactor: if splitting semantics from timing shifts any workload by
+//! a single cycle, op, or stream, a pin here fails.
+//!
+//! Non-ideal models are then exercised where their results are defined:
+//! single-sequencer (vsim) forms and explicit-sync programs stay correct
+//! under any model (whole-word stalls preserve lockstep), and the
+//! memory-heavy SAXPY kernel demonstrates bank contention — nonzero
+//! `contention_stalls`, strictly more cycles than ideal, identical output.
+
+use proptest::prelude::*;
+use ximd::models::randprog;
+use ximd::prelude::*;
+use ximd::sim::TimingSpec;
+use ximd::workloads::{
+    bitcount, gen, livermore, livermore_ext, minmax, nonblocking, race, saxpy, tproc, with_timing,
+    RunSpec,
+};
+
+/// Words of memory compared after each run — covers every workload's data
+/// region (the largest base is livermore's `X_BASE = 4999`).
+const MEM_WINDOW: usize = 6000;
+
+fn assert_same_state(name: &str, a: &Xsim, b: &Xsim) {
+    let num_regs = a.config().num_regs;
+    for r in 0..num_regs as u16 {
+        assert_eq!(a.reg(Reg(r)), b.reg(Reg(r)), "{name}: register r{r}");
+    }
+    assert_eq!(a.pcs(), b.pcs(), "{name}: program counters");
+    assert_eq!(a.ccs(), b.ccs(), "{name}: condition codes");
+    assert_eq!(a.stats(), b.stats(), "{name}: statistics counters");
+    assert_eq!(
+        a.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+        b.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+        "{name}: memory window"
+    );
+}
+
+/// Runs one prepared workload three ways — seed interpreter (ideal),
+/// decoded fast path, and the unit-latency table (which is *not*
+/// short-circuited to `Ideal`: it runs the stalling engine with every
+/// extra-cycle count zero) — pins the first against the seed numbers and
+/// requires the other two to match it in full machine state.
+fn pin(
+    name: &str,
+    prepared: impl Fn() -> (Xsim, RunSpec),
+    cycles: u64,
+    ops: u64,
+    streams: usize,
+    sset_cycle_sum: u64,
+) {
+    let (mut interp, spec) = prepared();
+    let a = spec.drive(&mut interp).unwrap();
+    assert_eq!(a.cycles, cycles, "{name}: seed cycle pin");
+    assert_eq!(interp.stats().ops, ops, "{name}: seed op pin");
+    assert_eq!(
+        interp.stats().max_concurrent_streams,
+        streams,
+        "{name}: seed stream pin"
+    );
+    assert_eq!(
+        interp.stats().sset_cycle_sum,
+        sset_cycle_sum,
+        "{name}: seed SSET pin"
+    );
+    assert_eq!(interp.stats().stall_cycles, 0, "{name}: ideal never stalls");
+    assert_eq!(
+        interp.stats().contention_stalls,
+        0,
+        "{name}: ideal never queues"
+    );
+
+    let (mut fast, spec) = prepared();
+    let b = spec.drive_decoded(&mut fast).unwrap();
+    assert_eq!(a, b, "{name}: decoded summary");
+    assert_same_state(name, &interp, &fast);
+
+    let unit = TimingSpec::parse("latency:mem=1").unwrap();
+    assert!(!unit.is_ideal(), "unit table must take the stalling path");
+    let (mut timed, spec) = with_timing(prepared(), &unit).unwrap();
+    let c = spec.drive(&mut timed).unwrap();
+    assert_eq!(a, c, "{name}: unit-latency summary");
+    assert_same_state(name, &interp, &timed);
+}
+
+#[test]
+fn tproc_pins_to_seed() {
+    pin(
+        "tproc",
+        || tproc::prepared(9, -4, 3, 12).unwrap(),
+        6,
+        11,
+        1,
+        6,
+    );
+}
+
+#[test]
+fn minmax_figure10_pins_to_seed() {
+    pin(
+        "minmax/fig10",
+        || minmax::prepared(&[5, 3, 4, 7]).unwrap(),
+        14,
+        26,
+        3,
+        22,
+    );
+}
+
+#[test]
+fn minmax_large_pins_to_seed() {
+    let data = gen::uniform_ints(8, 96, -10_000, 10_000);
+    pin(
+        "minmax/96",
+        || minmax::prepared(&data).unwrap(),
+        289,
+        495,
+        3,
+        481,
+    );
+}
+
+#[test]
+fn bitcount_pins_to_seed() {
+    let data = gen::bit_weighted_ints(13, 48, 24);
+    pin(
+        "bitcount/48",
+        || bitcount::prepared(&data).unwrap(),
+        1736,
+        4857,
+        4,
+        4874,
+    );
+}
+
+#[test]
+fn livermore12_pins_to_seed() {
+    let y = gen::livermore_y(5, 64);
+    pin(
+        "livermore12/64",
+        || livermore::prepared(&y).unwrap(),
+        131,
+        513,
+        1,
+        131,
+    );
+}
+
+#[test]
+fn nonblocking_pins_to_seed() {
+    let scenario = nonblocking::Scenario::with_seed(3);
+    pin(
+        "nonblocking/seed3",
+        || nonblocking::prepared_sync(&scenario).unwrap(),
+        42,
+        124,
+        8,
+        329,
+    );
+}
+
+#[test]
+fn compiled_workload_cycles_pin_to_seed() {
+    let x = saxpy::float_vec(1, 64);
+    let y = saxpy::float_vec(2, 64);
+    let (_, c8, _) = saxpy::run(2.5, &x, &y, 8).unwrap();
+    let (_, c4, _) = saxpy::run(2.5, &x, &y, 4).unwrap();
+    assert_eq!((c8, c4), (132, 197), "saxpy width-8/width-4 cycle pins");
+
+    assert_eq!(livermore_ext::run_loop1(8, 64, 7).unwrap().cycles, 197);
+    assert_eq!(livermore_ext::run_loop3(8, 64, 7).unwrap().cycles, 132);
+    assert_eq!(livermore_ext::run_loop5(8, 64, 7).unwrap().cycles, 258);
+
+    let data = gen::uniform_ints(11, 64, -100, 100);
+    assert_eq!(race::run(&data, data[40]).unwrap().cycles, 31);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random straight-line program runs identically under the ideal
+    /// model and the unit-latency table — summary, registers and stats.
+    #[test]
+    fn randprog_unit_latency_is_ideal(seed in 0u64..4096) {
+        let width = 1 + (seed as usize % 8);
+        let len = 3 + (seed as usize % 13);
+        let vliw = randprog::straight_line_vliw(seed, width, len, 24);
+        let budget = 10 * (len as u64 + 2);
+
+        let config = MachineConfig::with_width(width);
+        let mut ideal = Xsim::new(vliw.to_ximd(), config.clone()).unwrap();
+        let a = ideal.run(budget);
+
+        let unit = TimingSpec::parse("latency:mem=1").unwrap();
+        let mut timed = Xsim::new(vliw.to_ximd(), config.timing(unit)).unwrap();
+        let b = timed.run(budget);
+
+        prop_assert_eq!(&a, &b, "seed {}", seed);
+        for r in 0..24u16 {
+            prop_assert_eq!(ideal.reg(Reg(r)), timed.reg(Reg(r)), "seed {} r{}", seed, r);
+        }
+        prop_assert_eq!(ideal.pcs(), timed.pcs());
+        prop_assert_eq!(ideal.stats(), timed.stats());
+    }
+}
+
+/// The ISSUE's acceptance check: `banked:2` on a memory-heavy workload
+/// reports nonzero contention stalls and strictly more cycles than ideal,
+/// with bit-identical results.
+#[test]
+fn banked_memory_contends_on_saxpy() {
+    let a = 2.5f32;
+    let x = saxpy::float_vec(1, 64);
+    let y = saxpy::float_vec(2, 64);
+    let (_, ideal) = saxpy::run_timed(a, &x, &y, 8, &TimingSpec::Ideal).unwrap();
+    let banked_spec = TimingSpec::parse("banked:2").unwrap();
+    let (z, banked) = saxpy::run_timed(a, &x, &y, 8, &banked_spec).unwrap();
+
+    assert!(
+        banked.stats.contention_stalls > 0,
+        "no contention: {:?}",
+        banked.stats
+    );
+    assert!(banked.cycles > ideal.cycles, "contention must cost cycles");
+    let oracle = saxpy::oracle(a, &x, &y);
+    assert_eq!(
+        z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        oracle.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "timing must never change results"
+    );
+}
+
+/// Lockstep-safe workloads stay correct under whatever model `XIMD_TIMING`
+/// names (CI sets it to a non-ideal spec; defaults to `latency:mem=3`).
+#[test]
+fn env_selected_timing_keeps_lockstep_workloads_correct() {
+    let spec = std::env::var("XIMD_TIMING").unwrap_or_else(|_| "latency:mem=3".into());
+    let spec = TimingSpec::parse(&spec).unwrap();
+
+    let data = gen::uniform_ints(21, 48, -10_000, 10_000);
+    let (out, _) = minmax::run_vliw_timed(&data, &spec).unwrap();
+    assert_eq!(
+        (out.min, out.max),
+        minmax::oracle(&data),
+        "minmax under {spec}"
+    );
+
+    let y = gen::livermore_y(9, 48);
+    let (out, _) = livermore::run_vliw_timed(&y, &spec).unwrap();
+    assert_eq!(out.x, livermore::oracle(&y), "livermore12 under {spec}");
+
+    let (a, x, yv) = (1.5f32, saxpy::float_vec(3, 48), saxpy::float_vec(4, 48));
+    let (z, _) = saxpy::run_timed(a, &x, &yv, 8, &spec).unwrap();
+    let oracle = saxpy::oracle(a, &x, &yv);
+    assert_eq!(
+        z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        oracle.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "saxpy under {spec}"
+    );
+}
