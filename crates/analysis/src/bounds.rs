@@ -1,0 +1,1162 @@
+//! Static worst-case cycle bounds — the performance oracle behind
+//! `xlint --cycle-bounds`.
+//!
+//! The oracle answers, without running the program: *how many cycles can
+//! this take, under a given [`TimingSpec`]?* The recipe, per FU column:
+//!
+//! 1. structure the [`FuCfg`] into natural loops (dominators + back
+//!    edges); irreducible control flow gives up honestly;
+//! 2. bound each loop's trip count from the interval facts of the
+//!    [`crate::range`] pass — a recognized induction variable stepped by a
+//!    constant, tested by the single in-loop compare against a
+//!    loop-invariant interval, gives `span/|step| + 2` trips;
+//! 3. charge every reachable word its per-parcel cost under the timing
+//!    model (`1` for ideal, the class latency for `latency:<spec>`, and
+//!    `1 + possible bank contenders` for `banked:<n>`, with bank sets
+//!    derived from address intervals), multiplied by the trip bounds of
+//!    every enclosing loop;
+//! 4. combine the per-FU sums: independent streams (no sync conditions
+//!    anywhere) finish when the slowest does, so the bound is the max;
+//!    synchronizing streams interleave progress, so the bound is the sum
+//!    — sound because a cycle in which *no* FU completes charged work is
+//!    a cycle in which every FU spins on a false sync condition, a state
+//!    that would repeat forever (deadlock, not slowness).
+//!
+//! Sync-spin loops (all-nop bodies that poll a sync condition) are charged
+//! once, not per trip: their waiting cycles are exactly the cycles some
+//! other FU is doing charged work.
+//!
+//! # Timing soundness and lockstep
+//!
+//! Crediting SSET lockstep mates (for induction-variable steps or compare
+//! visibility) is valid only when lockstep actually holds. On the XIMD
+//! machine it holds under ideal timing; non-ideal timing can desynchronize
+//! implicitly-barriered streams, so under [`Lockstep::Auto`] the oracle
+//! credits mates only for ideal timing, and multi-stream loops whose trip
+//! evidence lives in a mate column honestly become unbounded. For
+//! single-sequencer (VLIW) programs lockstep holds under *any* timing
+//! model — the whole word stalls together — and [`Lockstep::Assume`]
+//! states that: the oracle then bounds the word machine, costing each word
+//! at the max of its parcels.
+
+use std::fmt;
+
+use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Program, Reg};
+use ximd_sim::{MemGeometry, TimingSpec};
+
+use crate::config::AnalysisConfig;
+use crate::dataflow::FuCfg;
+use crate::diag::{Check, Diagnostic, Engine, Severity};
+use crate::range::{addr_proved, addr_range, FuRanges, Interval, Mates, RangePass, RangeState};
+use crate::sset;
+
+/// Extra trips allowed beyond the arithmetic window, absorbing the
+/// one-iteration lag between a compare writing its CC and the branch that
+/// reads it, plus entry/exit boundary iterations.
+const TRIP_SLACK: u64 = 2;
+
+/// Whether the oracle may assume all FUs advance in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lockstep {
+    /// Derive it: credit provable SSET mates under ideal timing, nothing
+    /// under non-ideal timing (stalls can desynchronize streams).
+    #[default]
+    Auto,
+    /// Assert whole-word lockstep under any timing model. Sound for
+    /// single-sequencer programs (VLIW forms, `all:`-style code), where a
+    /// stall holds the entire word.
+    Assume,
+}
+
+impl Lockstep {
+    /// Parses a CLI value.
+    pub fn parse(s: &str) -> Option<Lockstep> {
+        match s {
+            "auto" => Some(Lockstep::Auto),
+            "assume" => Some(Lockstep::Assume),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of one oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct BoundsConfig {
+    /// The timing model the bound is computed against.
+    pub timing: TimingSpec,
+    /// The lockstep assumption (see [`Lockstep`]).
+    pub lockstep: Lockstep,
+}
+
+/// One loop the oracle found, with its trip-count verdict.
+#[derive(Debug, Clone)]
+pub struct LoopBound {
+    /// The FU column the loop lives in (the word machine's column 0 under
+    /// [`Lockstep::Assume`]).
+    pub fu: FuId,
+    /// The loop head (target of its back edges).
+    pub head: Addr,
+    /// Every word in the loop body, sorted, head included.
+    pub body: Vec<Addr>,
+    /// Upper bound on iterations; `None` when unproven.
+    pub trips: Option<u64>,
+    /// True for all-nop sync-polling loops, which are charged once rather
+    /// than per trip and are exempt from `trip-count-unbounded`.
+    pub sync_spin: bool,
+}
+
+/// One FU column's worst-case busy-cycle bound.
+#[derive(Debug, Clone, Copy)]
+pub struct FuBound {
+    /// The FU.
+    pub fu: FuId,
+    /// Worst-case charged cycles; `None` when some non-spin loop has no
+    /// trip bound (or control flow is irreducible).
+    pub cycles: Option<u64>,
+}
+
+/// A loop ranked by its share of the predicted cycles.
+#[derive(Debug, Clone)]
+pub struct HotRegion {
+    /// The FU column.
+    pub fu: FuId,
+    /// The loop head.
+    pub head: Addr,
+    /// The loop's trip bound, if proven.
+    pub trips: Option<u64>,
+    /// Predicted worst-case cycles spent inside the loop; `None` when
+    /// unbounded.
+    pub predicted_cycles: Option<u64>,
+    /// Fraction of the whole-program bound, when both are finite.
+    pub share: Option<f64>,
+}
+
+/// Everything `xlint --cycle-bounds` reports.
+#[derive(Debug, Clone)]
+pub struct BoundsReport {
+    /// The timing model the bound holds for.
+    pub timing: TimingSpec,
+    /// True when whole-word lockstep was assumed ([`Lockstep::Assume`]).
+    pub lockstep: bool,
+    /// True when SSET mates were credited (ideal-timing multi-stream view).
+    pub mates_credited: bool,
+    /// True when any reachable branch tests a sync condition; decides the
+    /// max-vs-sum combination of per-FU bounds.
+    pub synchronizing: bool,
+    /// Per-FU bounds (a single column under [`Lockstep::Assume`]).
+    pub per_fu: Vec<FuBound>,
+    /// Every loop found, with trip verdicts.
+    pub loops: Vec<LoopBound>,
+    /// Loops ranked by predicted cycle share (worst first, top five).
+    pub hot: Vec<HotRegion>,
+    /// The whole-program worst-case cycle bound; `None` when any FU is
+    /// unbounded.
+    pub total: Option<u64>,
+    /// `trip-count-unbounded` and `bank-conflict-hotspot` findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Computes the static cycle bound of `program` under `bounds.timing`.
+///
+/// Entry-state assumptions ([`AnalysisConfig::assume`]) make harness-seeded
+/// registers (trip counts, base addresses) visible to the trip analysis;
+/// without them data-dependent loops are honestly unbounded.
+pub fn cycle_bounds(
+    program: &Program,
+    config: &AnalysisConfig,
+    bounds: &BoundsConfig,
+) -> BoundsReport {
+    let width = program.width();
+    let lockstep = bounds.lockstep == Lockstep::Assume;
+    let mates = match bounds.lockstep {
+        Lockstep::Assume => Mates::All,
+        Lockstep::Auto if bounds.timing.is_ideal() => Mates::Inferred,
+        Lockstep::Auto => Mates::None,
+    };
+    let inference = sset::infer_ssets(program, config.max_region_states);
+    let pass = RangePass::run(program, config, &inference, mates);
+
+    let columns: Vec<usize> = if lockstep {
+        vec![0]
+    } else {
+        (0..width).collect()
+    };
+    let synchronizing = (0..width).any(|f| {
+        let cfg = &pass.per_fu[f].cfg;
+        (0..program.len() as u32).any(|x| {
+            cfg.reachable[x as usize]
+                && matches!(
+                    program
+                        .parcel(Addr(x), FuId(f as u8))
+                        .expect("in range")
+                        .ctrl,
+                    ControlOp::Branch {
+                        cond: CondSource::Sync(_) | CondSource::AllSync | CondSource::AnySync,
+                        ..
+                    }
+                )
+        })
+    });
+
+    let mut per_fu = Vec::new();
+    let mut loops = Vec::new();
+    let mut hot = Vec::new();
+    let mut diagnostics = Vec::new();
+    for &f in &columns {
+        let col = analyze_column(program, config, bounds, &pass.per_fu[f], lockstep);
+        per_fu.push(FuBound {
+            fu: FuId(f as u8),
+            cycles: col.work,
+        });
+        loops.extend(col.loops);
+        hot.extend(col.hot);
+        diagnostics.extend(col.diagnostics);
+    }
+
+    // max for independent streams, sum when sync couples their progress.
+    // Under the lockstep assumption there is only the word column.
+    let total = if lockstep || !synchronizing {
+        per_fu
+            .iter()
+            .map(|b| b.cycles)
+            .try_fold(0u64, |m, c| c.map(|c| m.max(c)))
+    } else {
+        per_fu
+            .iter()
+            .map(|b| b.cycles)
+            .try_fold(0u64, |s, c| c.map(|c| s.saturating_add(c)))
+    };
+
+    // Rank hot regions by predicted cycles, unbounded loops first.
+    hot.sort_by(|a, b| {
+        b.predicted_cycles
+            .unwrap_or(u64::MAX)
+            .cmp(&a.predicted_cycles.unwrap_or(u64::MAX))
+    });
+    hot.truncate(5);
+    if let Some(total) = total {
+        for h in &mut hot {
+            h.share = match h.predicted_cycles {
+                Some(p) if total > 0 => Some(p as f64 / total as f64),
+                _ => None,
+            };
+        }
+    }
+
+    BoundsReport {
+        timing: bounds.timing.clone(),
+        lockstep,
+        mates_credited: mates == Mates::Inferred,
+        synchronizing,
+        per_fu,
+        loops,
+        hot,
+        total,
+        diagnostics,
+    }
+}
+
+/// Which banks a memory access can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BankSet {
+    /// Could be any bank (address unproven or interval spans them all).
+    All,
+    /// Exactly these banks (bit `b` = bank `b`).
+    Mask(u64),
+}
+
+impl BankSet {
+    fn intersects(self, other: BankSet) -> bool {
+        match (self, other) {
+            (BankSet::All, _) | (_, BankSet::All) => true,
+            (BankSet::Mask(a), BankSet::Mask(b)) => a & b != 0,
+        }
+    }
+}
+
+/// The bank set of a parcel's memory access; `None` for non-memory ops.
+fn bank_set(state: &RangeState, data: &DataOp, geo: MemGeometry) -> Option<BankSet> {
+    let (lo, hi) = addr_range(state, data)?;
+    if !addr_proved(state, data) || geo.banks > 64 {
+        return Some(BankSet::All);
+    }
+    let span = hi - lo;
+    if span + 1 >= i64::from(geo.banks) {
+        return Some(BankSet::All);
+    }
+    let mut mask = 0u64;
+    for addr in lo..=hi {
+        mask |= 1 << geo.bank_of(addr);
+    }
+    Some(BankSet::Mask(mask))
+}
+
+/// A structured natural loop (merged by head).
+struct NaturalLoop {
+    head: u32,
+    body: Vec<u32>,
+    in_body: Vec<bool>,
+    latches: Vec<u32>,
+    sync_spin: bool,
+    trips: Option<u64>,
+}
+
+struct ColumnBound {
+    work: Option<u64>,
+    loops: Vec<LoopBound>,
+    hot: Vec<HotRegion>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+fn analyze_column(
+    program: &Program,
+    config: &AnalysisConfig,
+    bounds: &BoundsConfig,
+    fr: &FuRanges,
+    word_costs: bool,
+) -> ColumnBound {
+    let f = fr.cfg.fu;
+    let len = program.len();
+    let mut diagnostics = Vec::new();
+
+    let dom = dominators(&fr.cfg);
+    let mut natural = find_loops(program, fr, &dom);
+    let reducible = is_reducible(&fr.cfg, &natural);
+    if !reducible {
+        diagnostics.push(
+            Diagnostic::new(
+                Check::TripCountUnbounded,
+                Severity::Warning,
+                format!(
+                    "fu{} has irreducible control flow; its cycle bound is unbounded",
+                    f.0
+                ),
+            )
+            .via(Engine::Range),
+        );
+    }
+
+    // Trip bounds need the full loop set (inner-loop nesting checks), so
+    // they run after structure discovery.
+    for i in 0..natural.len() {
+        if natural[i].sync_spin {
+            continue;
+        }
+        natural[i].trips = loop_trips(program, fr, &dom, &natural, i);
+        if natural[i].trips.is_none() {
+            diagnostics.push(
+                Diagnostic::new(
+                    Check::TripCountUnbounded,
+                    Severity::Warning,
+                    format!(
+                        "loop at {} has no provable trip bound (no recognized \
+                         induction variable with a loop-invariant exit compare); \
+                         fu{}'s cycle bound is unbounded",
+                        Addr(natural[i].head),
+                        f.0
+                    ),
+                )
+                .at(Addr(natural[i].head), f)
+                .via(Engine::Range),
+            );
+        }
+    }
+
+    // Node multiplicity: product of enclosing loops' trip factors.
+    let multiplicity = |x: u32| -> Option<u64> {
+        let mut m = 1u64;
+        for l in &natural {
+            if l.in_body[x as usize] {
+                let factor = if l.sync_spin { 1 } else { l.trips? };
+                m = m.saturating_mul(factor);
+            }
+        }
+        Some(m)
+    };
+    let in_any_loop = |x: u32| -> bool { natural.iter().any(|l| l.in_body[x as usize]) };
+
+    // Per-node cost under the timing model.
+    let width = program.width();
+    let geo = config.geometry;
+    let mut cost_of = |x: u32| -> u64 {
+        match &bounds.timing {
+            TimingSpec::Ideal => 1,
+            TimingSpec::Latency(cfg) => {
+                if word_costs {
+                    (0..width as u8)
+                        .map(|g| {
+                            let p = program.parcel(Addr(x), FuId(g)).expect("in range");
+                            cfg.latency_of(p.data.latency_class())
+                        })
+                        .max()
+                        .unwrap_or(1)
+                } else {
+                    let p = program.parcel(Addr(x), f).expect("in range");
+                    cfg.latency_of(p.data.latency_class())
+                }
+            }
+            TimingSpec::Banked { .. } => banked_cost(
+                program,
+                fr,
+                geo,
+                x,
+                word_costs,
+                in_any_loop(x),
+                &mut diagnostics,
+            ),
+        }
+    };
+
+    let mut work: Option<u64> = if reducible { Some(0) } else { None };
+    for x in 0..len as u32 {
+        if !fr.cfg.reachable[x as usize] {
+            continue;
+        }
+        let cost = cost_of(x);
+        if let Some(w) = work {
+            work = multiplicity(x).map(|m| w.saturating_add(cost.saturating_mul(m)));
+        }
+    }
+
+    // Hot regions: each loop's predicted in-body cycles.
+    let mut hot = Vec::new();
+    for l in &natural {
+        let mut predicted: Option<u64> = Some(0);
+        for &x in &l.body {
+            let cost = node_cost_quiet(program, fr, geo, bounds, x, word_costs);
+            predicted = match (predicted, multiplicity(x)) {
+                (Some(p), Some(m)) => Some(p.saturating_add(cost.saturating_mul(m))),
+                _ => None,
+            };
+        }
+        hot.push(HotRegion {
+            fu: f,
+            head: Addr(l.head),
+            trips: if l.sync_spin { Some(1) } else { l.trips },
+            predicted_cycles: predicted,
+            share: None,
+        });
+    }
+
+    let loops = natural
+        .iter()
+        .map(|l| LoopBound {
+            fu: f,
+            head: Addr(l.head),
+            body: l.body.iter().map(|&x| Addr(x)).collect(),
+            trips: l.trips,
+            sync_spin: l.sync_spin,
+        })
+        .collect();
+
+    ColumnBound {
+        work,
+        loops,
+        hot,
+        diagnostics,
+    }
+}
+
+/// Banked-timing cost of one node, emitting `bank-conflict-hotspot`
+/// findings for contended accesses inside loops.
+fn banked_cost(
+    program: &Program,
+    fr: &FuRanges,
+    geo: MemGeometry,
+    x: u32,
+    word_costs: bool,
+    in_loop: bool,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> u64 {
+    let f = fr.cfg.fu;
+    let width = program.width();
+    let Some(state) = fr.facts[x as usize].as_ref() else {
+        return 1;
+    };
+    if word_costs {
+        // Whole-word cost: every bank serves one access per cycle, and the
+        // word holds until the deepest queue drains. Each access counts
+        // toward every bank it might touch, so the max is an upper bound.
+        let sets: Vec<BankSet> = (0..width as u8)
+            .filter_map(|g| {
+                let p = program.parcel(Addr(x), FuId(g)).expect("in range");
+                bank_set(state, &p.data, geo)
+            })
+            .collect();
+        if sets.is_empty() {
+            return 1;
+        }
+        let wildcards = sets.iter().filter(|s| matches!(s, BankSet::All)).count() as u64;
+        let deepest = (0..geo.banks.min(64))
+            .map(|b| {
+                sets.iter()
+                    .filter(|s| s.intersects(BankSet::Mask(1 << b)))
+                    .count() as u64
+            })
+            .max()
+            .unwrap_or(wildcards);
+        let cost = deepest.max(1);
+        if cost > 1 && in_loop {
+            diagnostics.push(
+                Diagnostic::new(
+                    Check::BankConflictHotspot,
+                    Severity::Warning,
+                    format!(
+                        "up to {} same-word accesses can hit one of the {} memory \
+                         banks, stalling the word {} extra cycle(s) every iteration",
+                        cost,
+                        geo.banks,
+                        cost - 1
+                    ),
+                )
+                .at(Addr(x), f)
+                .via(Engine::Range),
+            );
+        }
+        return cost;
+    }
+
+    let p = program.parcel(Addr(x), f).expect("in range");
+    let Some(own) = bank_set(state, &p.data, geo) else {
+        return 1;
+    };
+    // Each other FU issues at most one memory access per cycle, and a
+    // banked access's stall is fixed at issue time (no re-contention), so
+    // each possibly-colliding FU adds at most one cycle.
+    let mut contenders: Vec<FuId> = Vec::new();
+    for g in 0..width as u8 {
+        if g == f.0 {
+            continue;
+        }
+        let collides = if fr.mates[x as usize] & (1 << g) != 0 {
+            // Lockstep mate: only its same-word parcel can collide.
+            let gp = program.parcel(Addr(x), FuId(g)).expect("in range");
+            bank_set(state, &gp.data, geo).is_some_and(|s| s.intersects(own))
+        } else {
+            // Unsynchronized stream: any reachable access may coincide,
+            // and without g's own facts at an unknowable moment any bank
+            // claim would be unsound — assume every access can collide.
+            let gcfg = FuCfg::build(program, FuId(g));
+            (0..program.len() as u32).any(|y| {
+                gcfg.reachable[y as usize]
+                    && program
+                        .parcel(Addr(y), FuId(g))
+                        .expect("in range")
+                        .data
+                        .is_memory()
+            })
+        };
+        if collides {
+            contenders.push(FuId(g));
+        }
+    }
+    let cost = 1 + contenders.len() as u64;
+    if !contenders.is_empty() && in_loop {
+        let names: Vec<String> = contenders.iter().map(|g| format!("fu{}", g.0)).collect();
+        diagnostics.push(
+            Diagnostic::new(
+                Check::BankConflictHotspot,
+                Severity::Warning,
+                format!(
+                    "memory access may contend for a bank with {} every iteration \
+                     (up to {} stall cycle(s) per access under banked:{})",
+                    names.join(", "),
+                    contenders.len(),
+                    geo.banks
+                ),
+            )
+            .at(Addr(x), f)
+            .via(Engine::Range),
+        );
+    }
+    cost
+}
+
+/// [`banked_cost`]'s arithmetic without the diagnostics side channel, for
+/// hot-region accounting (the lint already fired during the work pass).
+fn node_cost_quiet(
+    program: &Program,
+    fr: &FuRanges,
+    geo: MemGeometry,
+    bounds: &BoundsConfig,
+    x: u32,
+    word_costs: bool,
+) -> u64 {
+    match &bounds.timing {
+        TimingSpec::Ideal => 1,
+        TimingSpec::Latency(cfg) => {
+            if word_costs {
+                (0..program.width() as u8)
+                    .map(|g| {
+                        let p = program.parcel(Addr(x), FuId(g)).expect("in range");
+                        cfg.latency_of(p.data.latency_class())
+                    })
+                    .max()
+                    .unwrap_or(1)
+            } else {
+                let p = program.parcel(Addr(x), fr.cfg.fu).expect("in range");
+                cfg.latency_of(p.data.latency_class())
+            }
+        }
+        TimingSpec::Banked { .. } => {
+            let mut sink = Vec::new();
+            banked_cost(program, fr, geo, x, word_costs, false, &mut sink)
+        }
+    }
+}
+
+/// Iterative bitset dominator computation over the reachable subgraph.
+struct Dominators {
+    rows: Vec<Vec<u64>>,
+}
+
+impl Dominators {
+    fn dominates(&self, a: u32, b: u32) -> bool {
+        self.rows[b as usize][a as usize / 64] & (1 << (a % 64)) != 0
+    }
+}
+
+fn dominators(cfg: &FuCfg) -> Dominators {
+    let len = cfg.reachable.len();
+    let words = len.div_ceil(64);
+    let full = vec![u64::MAX; words];
+    let mut rows = vec![full; len];
+    if len == 0 || !cfg.reachable[0] {
+        return Dominators { rows };
+    }
+    rows[0] = vec![0; words];
+    rows[0][0] = 1;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for n in 1..len {
+            if !cfg.reachable[n] {
+                continue;
+            }
+            let mut meet = vec![u64::MAX; words];
+            for &p in &cfg.preds[n] {
+                for (m, r) in meet.iter_mut().zip(&rows[p as usize]) {
+                    *m &= r;
+                }
+            }
+            meet[n / 64] |= 1 << (n % 64);
+            if meet != rows[n] {
+                rows[n] = meet;
+                changed = true;
+            }
+        }
+    }
+    Dominators { rows }
+}
+
+/// Natural loops from dominating back edges, merged per head; sync-spin
+/// loops are classified here.
+fn find_loops(program: &Program, fr: &FuRanges, dom: &Dominators) -> Vec<NaturalLoop> {
+    let cfg = &fr.cfg;
+    let len = cfg.reachable.len();
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for u in 0..len as u32 {
+        if !cfg.reachable[u as usize] {
+            continue;
+        }
+        for &h in &cfg.succs[u as usize] {
+            if !cfg.reachable[h as usize] || !dom.dominates(h, u) {
+                continue;
+            }
+            // A one-word self-goto is a park — a terminal state the FU
+            // occupies once — not a loop (it is in `cfg.exits`).
+            if h == u && cfg.exits.contains(&u) {
+                continue;
+            }
+            let entry = loops.iter().position(|l| l.head == h);
+            let l = match entry {
+                Some(i) => &mut loops[i],
+                None => {
+                    loops.push(NaturalLoop {
+                        head: h,
+                        body: vec![h],
+                        in_body: {
+                            let mut v = vec![false; len];
+                            v[h as usize] = true;
+                            v
+                        },
+                        latches: Vec::new(),
+                        sync_spin: false,
+                        trips: None,
+                    });
+                    loops.last_mut().expect("just pushed")
+                }
+            };
+            l.latches.push(u);
+            // Standard natural-loop body walk: preds back from the latch
+            // until the head.
+            let mut stack = vec![u];
+            while let Some(n) = stack.pop() {
+                if l.in_body[n as usize] {
+                    continue;
+                }
+                l.in_body[n as usize] = true;
+                l.body.push(n);
+                stack.extend(cfg.preds[n as usize].iter().copied());
+            }
+        }
+    }
+    for l in &mut loops {
+        l.body.sort_unstable();
+        l.sync_spin = classify_sync_spin(program, fr, l);
+    }
+    loops
+}
+
+/// A sync-spin loop does no data work and leaves only on a sync condition:
+/// its iterations cost the machine nothing another FU isn't already being
+/// charged for.
+fn classify_sync_spin(program: &Program, fr: &FuRanges, l: &NaturalLoop) -> bool {
+    let f = fr.cfg.fu;
+    let mut saw_sync_exit = false;
+    for &x in &l.body {
+        let p = program.parcel(Addr(x), f).expect("in range");
+        if !p.data.is_nop() {
+            return false;
+        }
+        let exits_here = fr.cfg.succs[x as usize]
+            .iter()
+            .any(|&s| !l.in_body[s as usize]);
+        // A parcel with an in-range exit successor must poll sync to leave;
+        // halting out of the body (no successor) never re-enters the loop.
+        if exits_here {
+            match p.ctrl {
+                ControlOp::Branch {
+                    cond: CondSource::Sync(_) | CondSource::AllSync | CondSource::AnySync,
+                    ..
+                } => saw_sync_exit = true,
+                _ => return false,
+            }
+        }
+    }
+    saw_sync_exit
+}
+
+/// Back edges removed, the graph must be acyclic — otherwise some cycle
+/// avoids every dominating head and the loop forest is meaningless.
+fn is_reducible(cfg: &FuCfg, loops: &[NaturalLoop]) -> bool {
+    let len = cfg.reachable.len();
+    let is_back = |u: u32, v: u32| {
+        // Park self-edges are terminal, not cyclic (see `find_loops`).
+        (u == v && cfg.exits.contains(&u))
+            || loops.iter().any(|l| l.head == v && l.latches.contains(&u))
+    };
+    // Kahn's algorithm over forward edges.
+    let mut indeg = vec![0usize; len];
+    for u in 0..len as u32 {
+        if !cfg.reachable[u as usize] {
+            continue;
+        }
+        for &v in &cfg.succs[u as usize] {
+            if cfg.reachable[v as usize] && !is_back(u, v) {
+                indeg[v as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<u32> = (0..len as u32)
+        .filter(|&n| cfg.reachable[n as usize] && indeg[n as usize] == 0)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &cfg.succs[u as usize] {
+            if cfg.reachable[v as usize] && !is_back(u, v) {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    seen == cfg.reachable.iter().filter(|&&r| r).count()
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn swap_sides(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        other => other, // Eq/Ne are symmetric
+    }
+}
+
+/// Bounds the trip count of `loops[which]`, or `None` when unproven.
+fn loop_trips(
+    program: &Program,
+    fr: &FuRanges,
+    dom: &Dominators,
+    loops: &[NaturalLoop],
+    which: usize,
+) -> Option<u64> {
+    let l = &loops[which];
+    let f = fr.cfg.fu;
+    let dominates_all_latches = |x: u32| l.latches.iter().all(|&u| dom.dominates(x, u));
+
+    // Every register written inside the body by a credited parcel, with
+    // its writing node and (for the `r = r ± const` shape) the step.
+    let mut writes: Vec<(Reg, u32, Option<i64>)> = Vec::new();
+    for &x in &l.body {
+        for g in 0..program.width() as u8 {
+            if fr.mates[x as usize] & (1 << g) == 0 {
+                continue;
+            }
+            let data = &program.parcel(Addr(x), FuId(g)).expect("in range").data;
+            if let Some(d) = data.dest() {
+                let step = match *data {
+                    DataOp::Alu {
+                        op: AluOp::Iadd,
+                        a: Operand::Reg(r),
+                        b: Operand::Imm(c),
+                        d,
+                    } if r == d => Some(i64::from(c.as_i32())),
+                    DataOp::Alu {
+                        op: AluOp::Iadd,
+                        a: Operand::Imm(c),
+                        b: Operand::Reg(r),
+                        d,
+                    } if r == d => Some(i64::from(c.as_i32())),
+                    DataOp::Alu {
+                        op: AluOp::Isub,
+                        a: Operand::Reg(r),
+                        b: Operand::Imm(c),
+                        d,
+                    } if r == d => Some(-i64::from(c.as_i32())),
+                    _ => None,
+                };
+                writes.push((d, x, step));
+            }
+        }
+    }
+
+    // The exit: a conditional CC branch, executed every iteration, with
+    // exactly one way out of the body.
+    let exit = l.body.iter().find_map(|&x| {
+        let p = program.parcel(Addr(x), f).expect("in range");
+        let ControlOp::Branch {
+            cond: CondSource::Cc(j),
+            taken,
+            not_taken,
+        } = p.ctrl
+        else {
+            return None;
+        };
+        let out = |t: Addr| t.index() >= l.in_body.len() || !l.in_body[t.index()];
+        if out(taken) == out(not_taken) || !dominates_all_latches(x) {
+            return None;
+        }
+        Some((x, j, out(taken)))
+    })?;
+    let (_exit_node, cc_fu, exit_on_true) = exit;
+
+    // If the CC owner is another FU it must be a lockstep mate at every
+    // word this column can reach — otherwise its compares land at
+    // unknowable moments and the latch contents prove nothing.
+    if cc_fu != f {
+        let everywhere = (0..fr.cfg.reachable.len())
+            .all(|x| !fr.cfg.reachable[x] || fr.mates[x] & (1 << cc_fu.0) != 0);
+        if !everywhere {
+            return None;
+        }
+    }
+
+    // Exactly one in-body compare feeds that CC, once per iteration.
+    let mut compares = l.body.iter().filter_map(|&x| {
+        match program.parcel(Addr(x), cc_fu).expect("in range").data {
+            DataOp::Cmp { op, a, b } => Some((x, op, a, b)),
+            _ => None,
+        }
+    });
+    let (cmp_node, cmp_op, cmp_a, cmp_b) = compares.next()?;
+    if compares.next().is_some() || !dominates_all_latches(cmp_node) {
+        return None;
+    }
+    if !matches!(
+        cmp_op,
+        CmpOp::Eq | CmpOp::Ne | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge
+    ) {
+        return None;
+    }
+
+    // One side is the induction variable, the other is loop-invariant.
+    let written = |r: Reg| writes.iter().any(|&(d, _, _)| d == r);
+    let candidate = |iv_op: Operand, other: Operand, swapped: bool| -> Option<u64> {
+        let Operand::Reg(iv) = iv_op else { return None };
+        if fr.havoc.contains(iv) {
+            return None;
+        }
+        // The IV has exactly one in-body write, an affine step, executed
+        // exactly once per iteration.
+        let mut iv_writes = writes.iter().filter(|&&(d, _, _)| d == iv);
+        let &(_, step_node, step) = iv_writes.next()?;
+        if iv_writes.next().is_some() {
+            return None;
+        }
+        let step = step?;
+        if step == 0 || !dominates_all_latches(step_node) {
+            return None;
+        }
+        let inside_inner = loops.iter().enumerate().any(|(i, l2)| {
+            i != which && l.in_body[l2.head as usize] && l2.in_body[step_node as usize]
+        });
+        if inside_inner {
+            return None;
+        }
+
+        let bound = match other {
+            Operand::Imm(v) => Interval::exact(v.as_i32()),
+            Operand::Reg(s) => {
+                if written(s) || fr.havoc.contains(s) {
+                    return None;
+                }
+                fr.facts[cmp_node as usize].as_ref()?.reg(s)
+            }
+        };
+        if bound.touches_extreme() {
+            return None;
+        }
+
+        // Initial IV interval: joined over the loop's entry edges.
+        let mut init: Option<Interval> = None;
+        let mut fold = |iv_int: Interval| {
+            init = Some(init.map_or(iv_int, |i| i.join(iv_int)));
+        };
+        if l.head == 0 {
+            fold(fr.entry.reg(iv));
+        }
+        for &p in &fr.cfg.preds[l.head as usize] {
+            if !l.in_body[p as usize] {
+                fold(fr.posts[p as usize].as_ref()?.reg(iv));
+            }
+        }
+        let init = init?;
+        if init.touches_extreme() {
+            return None;
+        }
+
+        // Normalize to "continue while IV REL bound".
+        let mut rel = if swapped { swap_sides(cmp_op) } else { cmp_op };
+        if exit_on_true {
+            rel = negate(rel);
+        }
+        let (ilo, ihi) = (i64::from(init.lo), i64::from(init.hi));
+        let (blo, bhi) = (i64::from(bound.lo), i64::from(bound.hi));
+        let span = match (step > 0, rel) {
+            // Monotone window: each iteration moves the IV |step| closer
+            // to violating the relation.
+            (true, CmpOp::Lt | CmpOp::Le) => bhi - ilo,
+            (false, CmpOp::Gt | CmpOp::Ge) => ihi - blo,
+            // Equality exit must provably *hit* the bound: unit step,
+            // starting on the approaching side.
+            (true, CmpOp::Ne) if step == 1 && ihi <= blo => bhi - ilo,
+            (false, CmpOp::Ne) if step == -1 && ilo >= bhi => ihi - blo,
+            // Continue-while-equal breaks as soon as the IV moves.
+            (_, CmpOp::Eq) => return Some(TRIP_SLACK),
+            // Wrong-direction or unprovable-hit loops never provably exit.
+            _ => return None,
+        };
+        if span < 0 {
+            return match rel {
+                CmpOp::Ne => None, // bound already passed: never hits
+                _ => Some(TRIP_SLACK),
+            };
+        }
+        Some((span / step.abs()) as u64 + TRIP_SLACK)
+    };
+
+    if let Some(t) = candidate(cmp_a, cmp_b, false) {
+        return Some(t);
+    }
+    candidate(cmp_b, cmp_a, true)
+}
+
+impl fmt::Display for BoundsReport {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = if self.lockstep {
+            "word lockstep assumed"
+        } else if self.mates_credited {
+            "per-FU streams, SSET mates credited"
+        } else {
+            "per-FU streams, no lockstep credit"
+        };
+        let combine = if self.lockstep {
+            "word machine"
+        } else if self.synchronizing {
+            "sum (streams synchronize)"
+        } else {
+            "max (independent streams)"
+        };
+        writeln!(
+            out,
+            "static cycle bound [timing {}; {}; combine: {}]",
+            self.timing, mode, combine
+        )?;
+        for b in &self.per_fu {
+            match b.cycles {
+                Some(c) => writeln!(out, "  fu{}: <= {} cycles", b.fu.0, c)?,
+                None => writeln!(out, "  fu{}: unbounded", b.fu.0)?,
+            }
+        }
+        match self.total {
+            Some(t) => writeln!(out, "  total: <= {t} cycles")?,
+            None => writeln!(out, "  total: unbounded")?,
+        }
+        if !self.loops.is_empty() {
+            writeln!(out, "loops:")?;
+            for l in &self.loops {
+                let verdict = if l.sync_spin {
+                    "sync spin (charged once)".to_string()
+                } else {
+                    match l.trips {
+                        Some(t) => format!("trips <= {t}"),
+                        None => "trips unbounded".to_string(),
+                    }
+                };
+                writeln!(
+                    out,
+                    "  fu{} @ {} {} ({}-word body)",
+                    l.fu.0,
+                    l.head,
+                    verdict,
+                    l.body.len()
+                )?;
+            }
+        }
+        if !self.hot.is_empty() {
+            writeln!(out, "hot regions:")?;
+            for (i, h) in self.hot.iter().enumerate() {
+                let cycles = match h.predicted_cycles {
+                    Some(p) => format!("<= {p} cycles"),
+                    None => "unbounded".to_string(),
+                };
+                let share = match h.share {
+                    Some(s) => format!(" ({:.0}% of bound)", s * 100.0),
+                    None => String::new(),
+                };
+                writeln!(
+                    out,
+                    "  {}. fu{} @ {} {}{}",
+                    i + 1,
+                    h.fu.0,
+                    h.head,
+                    cycles,
+                    share
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(source: &str, assume: &[(Reg, i32, i32)]) -> BoundsReport {
+        let assembly = ximd_asm::assemble(source).expect("fixture assembles");
+        let config = AnalysisConfig {
+            assume: assume.to_vec(),
+            ..AnalysisConfig::default()
+        };
+        cycle_bounds(&assembly.program, &config, &BoundsConfig::default())
+    }
+
+    /// A counted down-loop: r0 starts at 8, decrements, exits at zero.
+    const COUNTDOWN: &str = r"
+.width 1
+00:
+  fu0: iadd r0,#0,r0 ; -> 01:
+01:
+  fu0: gt r0,#0      ; -> 02:
+02:
+  fu0: isub r0,#1,r0 ; if cc0 01: | 03:
+03:
+  fu0: nop ; halt
+";
+
+    #[test]
+    fn countdown_trip_arithmetic() {
+        let r = report(COUNTDOWN, &[(Reg(0), 8, 8)]);
+        assert_eq!(r.loops.len(), 1, "one natural loop: {:?}", r.loops);
+        let l = &r.loops[0];
+        // span 8, |step| 1 => 8 trips plus the CC-lag slack.
+        assert_eq!(l.trips, Some(8 + TRIP_SLACK), "{l:?}");
+        assert!(!l.sync_spin);
+        let total = r.total.expect("bounded");
+        // 1 entry word + 2-word body * trips + exit word, ideal cost 1.
+        assert!(total >= 2 + 2 * 8, "bound {total} under-covers the loop");
+    }
+
+    #[test]
+    fn unseeded_counter_is_honestly_unbounded() {
+        let r = report(COUNTDOWN, &[]);
+        assert_eq!(r.total, None, "no entry fact, no bound");
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::TripCountUnbounded));
+    }
+
+    /// The paper's terminal park (`-> self`) is an exit, not a loop.
+    #[test]
+    fn park_self_goto_is_not_a_loop() {
+        let source = r"
+.width 1
+00:
+  fu0: iadd r1,#1,r1 ; -> 01:
+01:
+  fu0: nop ; -> 01:
+";
+        let r = report(source, &[]);
+        assert!(r.loops.is_empty(), "park misread as a loop: {:?}", r.loops);
+        assert_eq!(r.total, Some(2), "entry word + park word");
+    }
+
+    /// An all-nop body whose only exits are sync branches is a barrier
+    /// spin: charged once, never reported trip-count-unbounded.
+    #[test]
+    fn sync_spin_is_classified_and_exempt() {
+        let source = r"
+.width 2
+00:
+  fu0: iadd r0,#1,r0 ; -> 01:
+  fu1: nop           ; -> 01:
+01:
+  fu0: nop ; if allss 02: | 01: ; DONE
+  fu1: nop ; if allss 02: | 01: ; DONE
+02:
+  all: nop ; halt
+";
+        let r = report(source, &[]);
+        let spins: Vec<_> = r.loops.iter().filter(|l| l.sync_spin).collect();
+        assert!(!spins.is_empty(), "spin not classified: {:?}", r.loops);
+        assert!(
+            !r.diagnostics
+                .iter()
+                .any(|d| d.check == Check::TripCountUnbounded),
+            "barrier spins must not be flagged unbounded: {:?}",
+            r.diagnostics
+        );
+        assert!(
+            r.total.is_some(),
+            "spin charged once keeps the bound finite"
+        );
+    }
+}

@@ -1,5 +1,8 @@
 //! Tunable budgets and limits for an xlint run.
 
+use ximd_isa::Reg;
+use ximd_sim::{MachineConfig, MemGeometry};
+
 /// Which engine(s) answer the cross-stream questions (races, and on the
 /// product engine also deadlock/termination).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +64,23 @@ pub struct AnalysisConfig {
     pub max_region_states: usize,
     /// Which engine(s) answer the cross-stream questions.
     pub engine: EngineChoice,
+    /// The data-memory geometry the interval analysis checks addresses
+    /// against — taken from the simulator's own configuration surface so
+    /// the static OOB and bank lints agree with `memory.rs` by
+    /// construction. Defaults to the XIMD-1 machine (1 Mi words, flat).
+    pub geometry: MemGeometry,
+    /// Entry-state assumptions: `(register, lo, hi)` means the register
+    /// holds a value in `lo..=hi` (as a signed 32-bit integer) when the
+    /// program starts. Unlisted registers that a parcel reads before any
+    /// write are unconstrained parameters. Seeded harness registers (trip
+    /// counts, base addresses) go here to make trip bounds provable.
+    pub assume: Vec<(Reg, i32, i32)>,
+    /// Report loads/stores whose address the interval analysis cannot
+    /// bound at all, as warning-severity `oob-memory-access` findings.
+    /// Off by default (unbounded addresses are normal in parameterized
+    /// code); the differential soundness tests switch it on to make the
+    /// lint conservative by construction.
+    pub flag_unknown_mem: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -73,6 +93,9 @@ impl Default for AnalysisConfig {
             max_states: 1 << 18,
             max_region_states: 1 << 14,
             engine: EngineChoice::Auto,
+            geometry: MachineConfig::default().mem_geometry(),
+            assume: Vec::new(),
+            flag_unknown_mem: false,
         }
     }
 }

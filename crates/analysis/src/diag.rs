@@ -40,6 +40,9 @@ pub enum Engine {
     Dataflow,
     /// SSET-structure inference and region-local race checking.
     Compositional,
+    /// Interval (value-range) abstract interpretation and the static
+    /// cycle-bound oracle built on it.
+    Range,
 }
 
 impl Engine {
@@ -51,6 +54,7 @@ impl Engine {
             Engine::Product => "product",
             Engine::Dataflow => "dataflow",
             Engine::Compositional => "compositional",
+            Engine::Range => "range",
         }
     }
 }
@@ -107,12 +111,24 @@ pub enum Check {
     /// A reachable non-halt parcel exports DONE, but no sequencer has a
     /// reachable branch that could ever observe that sync signal.
     SyncNeverObserved,
+    /// A load or store whose effective address interval lies outside (or
+    /// partially outside) the machine's data memory.
+    OobMemoryAccess,
+    /// The trip-count analysis could not bound a (non-sync-wait) loop, so
+    /// no finite cycle bound exists for its FU.
+    TripCountUnbounded,
+    /// A branch whose condition the interval analysis proves constant —
+    /// one successor is dead code.
+    BranchAlways,
+    /// A memory access that contends for a bank with other FUs' accesses
+    /// every time it executes, under a banked timing model.
+    BankConflictHotspot,
 }
 
 impl Check {
     /// Every check, in a stable order — used by `--explain` listings and
     /// the SARIF rule table.
-    pub const ALL: [Check; 16] = [
+    pub const ALL: [Check; 20] = [
         Check::DanglingTarget,
         Check::UnreachableCode,
         Check::MissingTerminal,
@@ -129,6 +145,10 @@ impl Check {
         Check::DeadWrite,
         Check::CcStaleUse,
         Check::SyncNeverObserved,
+        Check::OobMemoryAccess,
+        Check::TripCountUnbounded,
+        Check::BranchAlways,
+        Check::BankConflictHotspot,
     ];
 
     /// Stable kebab-case code used in rendered diagnostics.
@@ -150,6 +170,10 @@ impl Check {
             Check::DeadWrite => "dead-write",
             Check::CcStaleUse => "cc-stale-use",
             Check::SyncNeverObserved => "sync-never-observed",
+            Check::OobMemoryAccess => "oob-memory-access",
+            Check::TripCountUnbounded => "trip-count-unbounded",
+            Check::BranchAlways => "branch-always",
+            Check::BankConflictHotspot => "bank-conflict-hotspot",
         }
     }
 
@@ -263,6 +287,38 @@ impl Check {
                  DONE exported on halt parcels is exempt (the codegen join \
                  convention). Warning."
             }
+            Check::OobMemoryAccess => {
+                "The interval analysis bounds a load/store's effective word \
+                 address outside the machine's data memory. If the whole \
+                 interval misses memory the access faults on every execution \
+                 (error); if only part of a *finite* interval is out of range \
+                 the access can fault on some executions (warning). \
+                 Addresses the analysis cannot bound are not reported — the \
+                 simulator's range check stays the oracle.\n\n  00:\n    \
+                 fu0: load #-3,#0,r1 ; halt   // M[-3] faults"
+            }
+            Check::TripCountUnbounded => {
+                "The induction-variable analysis could not bound how often a \
+                 loop iterates (data-dependent exit, irreducible region, or \
+                 a counter the interval analysis cannot track), so the cycle \
+                 oracle reports an infinite worst-case bound for that FU. \
+                 Sync-wait spin loops are exempt: they cost what their \
+                 partners cost. Reported by `xlint --cycle-bounds`. Warning."
+            }
+            Check::BranchAlways => {
+                "The interval analysis proves a branch condition constant: \
+                 the same successor is taken on every execution, and the \
+                 other target is dead code on this path. Often a compare \
+                 against the wrong register or an off-by-one bound. Warning."
+            }
+            Check::BankConflictHotspot => {
+                "Under a banked timing model, this memory access can collide \
+                 with other FUs' same-cycle accesses to its bank every time \
+                 it executes — a statically predictable contention hotspot \
+                 the scheduler could avoid by re-striding addresses. \
+                 Reported by `xlint --cycle-bounds --timing banked:<n>`. \
+                 Warning."
+            }
         }
     }
 }
@@ -326,7 +382,7 @@ impl fmt::Display for Diagnostic {
             Engine::Structure | Engine::Word | Engine::Product => {
                 write!(f, "{}[{}]", self.severity, self.check.code())?
             }
-            Engine::Dataflow | Engine::Compositional => write!(
+            Engine::Dataflow | Engine::Compositional | Engine::Range => write!(
                 f,
                 "{}[{}/{}]",
                 self.severity,
@@ -435,5 +491,44 @@ impl fmt::Display for Analysis {
                 self.warnings().count(),
             )
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Every check round-trips through its code, codes are unique, and
+    /// every explanation is non-empty and distinct — the registry the SARIF
+    /// rule table and `xlint --explain` are built from stays coherent as
+    /// checks are added.
+    #[test]
+    fn check_registry_is_consistent() {
+        let mut codes = HashSet::new();
+        let mut explains = HashSet::new();
+        for check in Check::ALL {
+            let code = check.code();
+            assert!(!code.is_empty(), "{check:?} has an empty code");
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{check:?} code {code:?} is not kebab-case"
+            );
+            assert_eq!(
+                Check::from_code(code),
+                Some(check),
+                "{check:?} does not round-trip through {code:?}"
+            );
+            assert!(codes.insert(code), "duplicate code {code:?}");
+
+            let explain = check.explain();
+            assert!(!explain.is_empty(), "{check:?} has no explanation");
+            assert!(
+                explains.insert(explain),
+                "{check:?} shares its explanation with another check"
+            );
+        }
+        assert_eq!(codes.len(), Check::ALL.len());
+        assert_eq!(Check::from_code("no-such-lint"), None);
     }
 }

@@ -5,7 +5,7 @@
 //! Most VLIW static checks carry over per word; the interesting defects
 //! are the cross-stream ones — a barrier no machine state can release, or
 //! two streams whose schedules let them touch one register in the same
-//! cycle. This crate runs five passes over a [`Program`]:
+//! cycle. This crate runs six passes over a [`Program`]:
 //!
 //! 1. **Structure** ([`Check::DanglingTarget`], [`Check::UnreachableCode`],
 //!    [`Check::MissingTerminal`], [`Check::SsNeverDone`]) — per-FU CFG
@@ -17,7 +17,13 @@
 //!    [`Check::CcStaleUse`], [`Check::SyncNeverObserved`]) — worklist
 //!    fixpoints over each per-FU CFG (see [`dataflow`]), crediting writes
 //!    by provable lockstep peers via the SSET-structure inference.
-//! 4. **Product interpretation** ([`Check::SyncDeadlock`],
+//! 4. **Value ranges** ([`Check::OobMemoryAccess`],
+//!    [`Check::BranchAlways`]) — interval abstract interpretation over
+//!    each per-FU CFG (see [`range`]), widening at loop heads; the same
+//!    facts drive the static cycle-bound oracle in [`bounds`], whose
+//!    [`Check::TripCountUnbounded`] and [`Check::BankConflictHotspot`]
+//!    findings appear in `xlint --cycle-bounds` reports.
+//! 5. **Product interpretation** ([`Check::SyncDeadlock`],
 //!    [`Check::NoTermination`], [`Check::CrossStreamRace`],
 //!    [`Check::CcBeforeCompare`]) — abstract interpretation over the
 //!    product of the per-FU CFGs, evaluating sync signals exactly (they
@@ -25,7 +31,7 @@
 //!    latches as nondeterministic, refined by the same
 //!    [`ximd_sim::Partition`] decision-key rule the simulator applies
 //!    each cycle.
-//! 5. **Compositional races** ([`Check::CrossStreamRace`] via the
+//! 6. **Compositional races** ([`Check::CrossStreamRace`] via the
 //!    [`sset`] engine) — the same pairwise conflict test over inferred
 //!    synchronous-region pairs instead of product states, so soundness
 //!    no longer needs the product exploration to converge. Under the
@@ -54,18 +60,24 @@
 //! conservatively. State exploration is capped ([`AnalysisConfig::max_states`]);
 //! hitting the cap degrades the whole-space checks to a warning.
 
+pub mod bounds;
 mod cfg;
 mod config;
 mod conflict;
 pub mod dataflow;
 mod diag;
 mod interp;
+pub mod range;
 mod sarif;
 pub mod sset;
 mod word;
 
+pub use bounds::{
+    cycle_bounds, BoundsConfig, BoundsReport, FuBound, HotRegion, Lockstep, LoopBound,
+};
 pub use config::{AnalysisConfig, EngineChoice};
 pub use diag::{Analysis, Check, Diagnostic, Engine, Severity};
+pub use range::{CcFact, Interval};
 pub use sarif::to_sarif;
 pub use sset::{
     crosscheck_hints, infer_ssets, parse_region_hints, RegionHint, RegionState, SsetInference,
@@ -87,6 +99,11 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Analysis {
     // built on it.
     let inference = sset::infer_ssets(program, config.max_region_states);
     dataflow::check(program, &inference, &mut diagnostics);
+
+    // Value-range pass: interval facts per FU (crediting provable lockstep
+    // mates, the ideal-machine view) power the OOB and dead-branch lints.
+    let ranges = range::RangePass::run(program, config, &inference, range::Mates::Inferred);
+    range::check(program, config, &ranges, &mut diagnostics);
 
     let facts = if config.engine == EngineChoice::Compositional {
         None

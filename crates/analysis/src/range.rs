@@ -1,0 +1,726 @@
+//! Interval (value-range) abstract interpretation, per FU.
+//!
+//! Registers are abstracted as intervals over their 32-bit images (the
+//! machine stores bit patterns; integer arithmetic and compares act on the
+//! image as a signed `i32`, exactly like the execution engine). Each FU
+//! column gets a forward fixpoint over its [`FuCfg`]: the fact at a word is
+//! the register/CC state *before* its parcel executes, transfer applies the
+//! parcel — plus, under the lockstep assumption, the same-word parcels of
+//! provable SSET mates, which commit in the same cycle — and joins widen at
+//! loop heads so the fixpoint terminates in a handful of passes.
+//!
+//! Soundness around the things one FU cannot see:
+//!
+//! - a register written anywhere by a *non-mate* FU is havocked — pinned to
+//!   [`Interval::TOP`] throughout this FU's analysis (cross-stream ordering
+//!   is the race engines' question, not this one's);
+//! - a CC latch compared anywhere by its non-mate owner is likewise pinned
+//!   to unknown;
+//! - loads, port reads and float arithmetic whose operands are not exact
+//!   produce `TOP`; exact (singleton) operands are evaluated through the
+//!   very same [`AluOp::eval`]/[`UnOp::eval`]/[`CmpOp::eval`] the simulator
+//!   executes, so constant folding is bit-exact by construction;
+//! - interval ends are always genuine `i32` values; an end that has been
+//!   widened away sits at the `i32` extreme, and consumers treat extremes
+//!   as "unknown" rather than as proof.
+//!
+//! Two default-mode lints read the fixpoint directly: `oob-memory-access`
+//! (effective address interval vs. the machine's [`MemGeometry`](ximd_sim::MemGeometry)) and
+//! `branch-always` (a CC fact the analysis proves constant at a branch).
+//! The static cycle oracle in [`crate::bounds`] consumes the rest.
+
+use ximd_isa::{
+    Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Program, Reg, UnOp, Value,
+    XIMD1_NUM_REGS,
+};
+
+use crate::config::AnalysisConfig;
+use crate::dataflow::{FuCfg, RegSet};
+use crate::diag::{Check, Diagnostic, Engine, Severity};
+use crate::sset::SsetInference;
+
+/// Joins at a loop head beyond this count widen grown bounds to the
+/// `i32` extremes instead of creeping toward them.
+const WIDEN_DELAY: usize = 2;
+
+/// An inclusive range of 32-bit register images, ordered as `i32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible signed image.
+    pub lo: i32,
+    /// Largest possible signed image.
+    pub hi: i32,
+}
+
+impl Interval {
+    /// No information: any 32-bit image.
+    pub const TOP: Interval = Interval {
+        lo: i32::MIN,
+        hi: i32::MAX,
+    };
+
+    /// The singleton interval `[v, v]`.
+    pub fn exact(v: i32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from explicit bounds (callers keep `lo <= hi`).
+    pub fn new(lo: i32, hi: i32) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval { lo, hi }
+    }
+
+    /// The single value, if this interval is a singleton.
+    pub fn singleton(self) -> Option<i32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// True when either end sits at an `i32` extreme — the widened /
+    /// unknown ends. Consumers needing *proof* (trip bounds, precise OOB)
+    /// require `!touches_extreme()`.
+    pub fn touches_extreme(self) -> bool {
+        self.lo == i32::MIN || self.hi == i32::MAX
+    }
+
+    /// Smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// From an exact `i64` range: the interval itself if it fits in `i32`
+    /// (wrapping arithmetic cannot have wrapped), `TOP` otherwise.
+    fn from_i64(lo: i64, hi: i64) -> Interval {
+        if lo >= i64::from(i32::MIN) && hi <= i64::from(i32::MAX) {
+            Interval {
+                lo: lo as i32,
+                hi: hi as i32,
+            }
+        } else {
+            Interval::TOP
+        }
+    }
+}
+
+/// What the analysis knows about a CC latch at a program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcFact {
+    /// Proved true on every path reaching here.
+    True,
+    /// Proved false on every path reaching here.
+    False,
+    /// Undetermined (or deliberately havocked).
+    Unknown,
+}
+
+impl CcFact {
+    fn join(self, other: CcFact) -> CcFact {
+        if self == other {
+            self
+        } else {
+            CcFact::Unknown
+        }
+    }
+}
+
+/// The abstract machine state before one word executes: an interval per
+/// architectural register plus a fact per CC latch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeState {
+    regs: Vec<Interval>,
+    ccs: Vec<CcFact>,
+}
+
+impl RangeState {
+    /// The interval this state assigns to `r`.
+    pub fn reg(&self, r: Reg) -> Interval {
+        self.regs
+            .get(r.0 as usize)
+            .copied()
+            .unwrap_or(Interval::TOP)
+    }
+
+    /// The fact this state holds for `CC_j`.
+    pub fn cc(&self, j: FuId) -> CcFact {
+        self.ccs.get(j.index()).copied().unwrap_or(CcFact::Unknown)
+    }
+
+    /// The interval of an operand in this state.
+    pub fn operand(&self, op: Operand) -> Interval {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => Interval::exact(v.as_i32()),
+        }
+    }
+
+    fn join_from(&mut self, other: &RangeState) -> bool {
+        let mut grew = false;
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            let next = a.join(*b);
+            grew |= next != *a;
+            *a = next;
+        }
+        for (a, b) in self.ccs.iter_mut().zip(&other.ccs) {
+            let next = a.join(*b);
+            grew |= next != *a;
+            *a = next;
+        }
+        grew
+    }
+
+    /// Widening step: any bound that grew past `old` jumps to its `i32`
+    /// extreme, so ascending chains at loop heads stabilise immediately.
+    fn widen_against(&mut self, old: &RangeState) {
+        for (a, o) in self.regs.iter_mut().zip(&old.regs) {
+            if a.lo < o.lo {
+                a.lo = i32::MIN;
+            }
+            if a.hi > o.hi {
+                a.hi = i32::MAX;
+            }
+        }
+    }
+}
+
+/// Abstract binary ALU evaluation. Exact operands run through the ISA's
+/// own evaluator; otherwise per-opcode interval rules for the integer ops,
+/// `TOP` for everything the abstraction does not model.
+fn eval_alu(op: AluOp, a: Interval, b: Interval) -> Interval {
+    if let (Some(x), Some(y)) = (a.singleton(), b.singleton()) {
+        return match op.eval(Value::I32(x), Value::I32(y)) {
+            Ok(v) => Interval::exact(v.as_i32()),
+            Err(_) => Interval::TOP, // divide by zero traps at runtime
+        };
+    }
+    let (al, ah) = (i64::from(a.lo), i64::from(a.hi));
+    let (bl, bh) = (i64::from(b.lo), i64::from(b.hi));
+    match op {
+        AluOp::Iadd => Interval::from_i64(al + bl, ah + bh),
+        AluOp::Isub => Interval::from_i64(al - bh, ah - bl),
+        AluOp::Imult => {
+            let corners = [al * bl, al * bh, ah * bl, ah * bh];
+            Interval::from_i64(
+                corners.iter().copied().min().expect("nonempty"),
+                corners.iter().copied().max().expect("nonempty"),
+            )
+        }
+        AluOp::Imin => Interval::new(a.lo.min(b.lo), a.hi.min(b.hi)),
+        AluOp::Imax => Interval::new(a.lo.max(b.lo), a.hi.max(b.hi)),
+        // Bitwise ops on nonnegative ranges cannot exceed the wider
+        // operand's bit-width; And additionally cannot exceed either bound.
+        AluOp::And if a.lo >= 0 && b.lo >= 0 => Interval::new(0, a.hi.min(b.hi)),
+        AluOp::Or | AluOp::Xor if a.lo >= 0 && b.lo >= 0 => {
+            let bits = 32 - i32::leading_zeros(a.hi | b.hi).min(31);
+            Interval::new(0, ((1i64 << bits) - 1) as i32)
+        }
+        _ => Interval::TOP,
+    }
+}
+
+/// Abstract unary evaluation.
+fn eval_un(op: UnOp, a: Interval) -> Interval {
+    if let Some(x) = a.singleton() {
+        return Interval::exact(op.eval(Value::I32(x)).as_i32());
+    }
+    match op {
+        UnOp::Mov => a,
+        UnOp::Ineg if a.lo != i32::MIN => Interval::new(-a.hi, -a.lo),
+        UnOp::Iabs if a.lo >= 0 => a,
+        UnOp::Iabs if a.lo != i32::MIN && a.hi <= 0 => Interval::new(-a.hi, -a.lo),
+        UnOp::Not => Interval::new(!a.hi, !a.lo),
+        _ => Interval::TOP,
+    }
+}
+
+/// Abstract compare evaluation (integer relations only; float compares and
+/// exact operands defer to the ISA evaluator / stay unknown).
+pub(crate) fn eval_cmp(op: CmpOp, a: Interval, b: Interval) -> CcFact {
+    if let (Some(x), Some(y)) = (a.singleton(), b.singleton()) {
+        if matches!(
+            op,
+            CmpOp::Eq | CmpOp::Ne | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge
+        ) {
+            return if op.eval(Value::I32(x), Value::I32(y)) {
+                CcFact::True
+            } else {
+                CcFact::False
+            };
+        }
+        return CcFact::Unknown;
+    }
+    let disjoint = a.hi < b.lo || b.hi < a.lo;
+    match op {
+        CmpOp::Eq if disjoint => CcFact::False,
+        CmpOp::Ne if disjoint => CcFact::True,
+        CmpOp::Lt if a.hi < b.lo => CcFact::True,
+        CmpOp::Lt if a.lo >= b.hi => CcFact::False,
+        CmpOp::Le if a.hi <= b.lo => CcFact::True,
+        CmpOp::Le if a.lo > b.hi => CcFact::False,
+        CmpOp::Gt if a.lo > b.hi => CcFact::True,
+        CmpOp::Gt if a.hi <= b.lo => CcFact::False,
+        CmpOp::Ge if a.lo >= b.hi => CcFact::True,
+        CmpOp::Ge if a.hi < b.lo => CcFact::False,
+        _ => CcFact::Unknown,
+    }
+}
+
+/// The effective memory address range of a parcel, in the engine's `i64`
+/// arithmetic (loads add two register images without wrapping; stores use
+/// the single address operand). `None` for non-memory parcels.
+pub(crate) fn addr_range(state: &RangeState, data: &DataOp) -> Option<(i64, i64)> {
+    match data {
+        DataOp::Load { a, b, .. } => {
+            let ia = state.operand(*a);
+            let ib = state.operand(*b);
+            Some((
+                i64::from(ia.lo) + i64::from(ib.lo),
+                i64::from(ia.hi) + i64::from(ib.hi),
+            ))
+        }
+        DataOp::Store { b, .. } => {
+            let ib = state.operand(*b);
+            Some((i64::from(ib.lo), i64::from(ib.hi)))
+        }
+        _ => None,
+    }
+}
+
+/// True when the address range was derived from fully-proved operand
+/// intervals (no widened/unknown ends anywhere in its derivation).
+pub(crate) fn addr_proved(state: &RangeState, data: &DataOp) -> bool {
+    let ops: &[Operand] = match data {
+        DataOp::Load { a, b, .. } => &[*a, *b],
+        DataOp::Store { b, .. } => &[*b],
+        _ => return false,
+    };
+    ops.iter().all(|op| !state.operand(*op).touches_extreme())
+}
+
+/// Which same-word parcels one FU's analysis may credit as its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mates {
+    /// Only the FU itself: the timing-independent view. Non-ideal timing
+    /// can desynchronize streams, so this is what the cycle oracle uses
+    /// unless lockstep is otherwise guaranteed.
+    None,
+    /// The FU plus its provable SSET lockstep mates (ideal-machine view;
+    /// what the default lints report).
+    Inferred,
+    /// Every FU at every word — valid only for single-sequencer (VLIW)
+    /// programs, where whole-word stalls preserve lockstep under any
+    /// timing model.
+    All,
+}
+
+/// One FU column's converged range facts.
+pub(crate) struct FuRanges {
+    /// The CFG the fixpoint ran over.
+    pub cfg: FuCfg,
+    /// Pre-state per word; `None` for unreachable words.
+    pub facts: Vec<Option<RangeState>>,
+    /// Post-state per word (the pre-state pushed through the word's
+    /// credited parcels); `None` for unreachable words.
+    pub posts: Vec<Option<RangeState>>,
+    /// Per word: bitmask of FUs whose parcels this analysis credits there
+    /// (the FU's own bit is always set).
+    pub mates: Vec<u64>,
+    /// The abstract state at program entry (assumptions applied).
+    pub entry: RangeState,
+    /// Registers pinned to `TOP` because a non-mate FU writes them.
+    pub havoc: RegSet,
+}
+
+/// The whole-program result of the range pass.
+pub(crate) struct RangePass {
+    /// Per-FU facts, indexed by FU number.
+    pub per_fu: Vec<FuRanges>,
+}
+
+impl RangePass {
+    /// Runs the fixpoint for every FU column under the given mate rule.
+    pub fn run(
+        program: &Program,
+        config: &AnalysisConfig,
+        inference: &SsetInference,
+        mates: Mates,
+    ) -> RangePass {
+        let width = program.width();
+        let len = program.len();
+        let per_fu = (0..width)
+            .map(|f| run_fu(program, config, inference, mates, FuId(f as u8), len))
+            .collect();
+        RangePass { per_fu }
+    }
+}
+
+fn run_fu(
+    program: &Program,
+    config: &AnalysisConfig,
+    inference: &SsetInference,
+    mates: Mates,
+    f: FuId,
+    len: usize,
+) -> FuRanges {
+    let width = program.width();
+    let cfg = FuCfg::build(program, f);
+    let is_mate = |x: u32, g: u8| -> bool {
+        match mates {
+            Mates::None => f.0 == g,
+            Mates::Inferred => f.0 == g || inference.mates(f, Addr(x)) & (1u64 << g) != 0,
+            Mates::All => true,
+        }
+    };
+
+    // Havoc sets: registers and CC latches a non-mate FU can change at a
+    // moment this FU cannot correlate with its own position.
+    let mut havoc = RegSet::EMPTY;
+    let mut cc_havoc = vec![false; width];
+    for g in 0..width as u8 {
+        let gcfg = if g == f.0 {
+            None // own column: every write is applied by the transfer
+        } else {
+            Some(FuCfg::build(program, FuId(g)))
+        };
+        let Some(gcfg) = gcfg else { continue };
+        for x in 0..len as u32 {
+            if !gcfg.reachable[x as usize] || is_mate(x, g) {
+                continue;
+            }
+            let parcel = program.parcel(Addr(x), FuId(g)).expect("in range");
+            if let Some(d) = parcel.data.dest() {
+                havoc.insert(d);
+            }
+            if parcel.data.sets_cc() {
+                cc_havoc[g as usize] = true;
+            }
+        }
+    }
+
+    let mate_masks: Vec<u64> = (0..len as u32)
+        .map(|x| {
+            (0..width as u8)
+                .filter(|&g| is_mate(x, g))
+                .fold(0u64, |m, g| m | (1 << g))
+        })
+        .collect();
+
+    // Entry state: configured assumptions, TOP elsewhere, havoc pinned.
+    let mut entry = RangeState {
+        regs: vec![Interval::TOP; XIMD1_NUM_REGS],
+        ccs: vec![CcFact::Unknown; width],
+    };
+    for &(r, lo, hi) in &config.assume {
+        if (r.0 as usize) < entry.regs.len() && lo <= hi && !havoc.contains(r) {
+            entry.regs[r.0 as usize] = Interval::new(lo, hi);
+        }
+    }
+
+    // Loop heads (targets of DFS back edges) get widened joins.
+    let is_head = loop_heads(&cfg);
+
+    let transfer = |x: u32, fact: &RangeState| -> RangeState {
+        let mut out = fact.clone();
+        // All mate parcels at this word read the pre-state and commit
+        // together at end of cycle: stage every write, then apply.
+        let mut reg_writes: Vec<(Reg, Interval)> = Vec::new();
+        let mut cc_writes: Vec<(u8, CcFact)> = Vec::new();
+        for g in 0..width as u8 {
+            if !is_mate(x, g) {
+                continue;
+            }
+            let parcel = program.parcel(Addr(x), FuId(g)).expect("in range");
+            match &parcel.data {
+                DataOp::Nop | DataOp::Store { .. } | DataOp::PortOut { .. } => {}
+                DataOp::Alu { op, a, b, d } => {
+                    reg_writes.push((*d, eval_alu(*op, fact.operand(*a), fact.operand(*b))));
+                }
+                DataOp::Un { op, a, d } => {
+                    reg_writes.push((*d, eval_un(*op, fact.operand(*a))));
+                }
+                DataOp::Cmp { op, a, b } => {
+                    cc_writes.push((g, eval_cmp(*op, fact.operand(*a), fact.operand(*b))));
+                }
+                DataOp::Load { d, .. } | DataOp::PortIn { d, .. } => {
+                    reg_writes.push((*d, Interval::TOP));
+                }
+            }
+        }
+        for (d, v) in reg_writes {
+            if (d.0 as usize) < out.regs.len() {
+                out.regs[d.0 as usize] = v;
+            }
+        }
+        for (g, v) in cc_writes {
+            out.ccs[g as usize] = v;
+        }
+        // Non-mate interference can strike between any two cycles.
+        for r in 0..XIMD1_NUM_REGS as u16 {
+            if havoc.contains(Reg(r)) {
+                out.regs[r as usize] = Interval::TOP;
+            }
+        }
+        for (g, havocked) in cc_havoc.iter().enumerate() {
+            if *havocked {
+                out.ccs[g] = CcFact::Unknown;
+            }
+        }
+        out
+    };
+
+    // Worklist fixpoint with widening at loop heads.
+    let mut facts: Vec<Option<RangeState>> = vec![None; len];
+    let mut grow_count = vec![0usize; len];
+    let mut queue = std::collections::VecDeque::new();
+    let mut queued = vec![false; len];
+    if len > 0 && cfg.reachable[0] {
+        facts[0] = Some(entry.clone());
+        queue.push_back(0u32);
+        queued[0] = true;
+    }
+    while let Some(x) = queue.pop_front() {
+        queued[x as usize] = false;
+        let out = transfer(x, facts[x as usize].as_ref().expect("queued ⇒ fact"));
+        for &s in &cfg.succs[x as usize] {
+            if !cfg.reachable[s as usize] {
+                continue;
+            }
+            let grew = match &mut facts[s as usize] {
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+                Some(old) => {
+                    let snapshot = old.clone();
+                    let grew = old.join_from(&out);
+                    if grew && is_head[s as usize] {
+                        grow_count[s as usize] += 1;
+                        if grow_count[s as usize] > WIDEN_DELAY {
+                            old.widen_against(&snapshot);
+                        }
+                    }
+                    grew
+                }
+            };
+            if grew && !queued[s as usize] {
+                queue.push_back(s);
+                queued[s as usize] = true;
+            }
+        }
+    }
+
+    let posts = facts
+        .iter()
+        .enumerate()
+        .map(|(x, fact)| fact.as_ref().map(|s| transfer(x as u32, s)))
+        .collect();
+
+    FuRanges {
+        cfg,
+        facts,
+        posts,
+        mates: mate_masks,
+        entry,
+        havoc,
+    }
+}
+
+/// Marks the targets of DFS back edges — every cycle in the CFG passes
+/// through at least one marked node, so widening there is enough for
+/// termination.
+pub(crate) fn loop_heads(cfg: &FuCfg) -> Vec<bool> {
+    let len = cfg.reachable.len();
+    let mut heads = vec![false; len];
+    let mut state = vec![0u8; len]; // 0 unvisited, 1 on stack, 2 done
+    if len == 0 || !cfg.reachable[0] {
+        return heads;
+    }
+    // Iterative DFS keeping an explicit "on current path" mark.
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (x, ref mut i)) = stack.last_mut() {
+        let succs = &cfg.succs[x as usize];
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !cfg.reachable[s as usize] {
+                continue;
+            }
+            match state[s as usize] {
+                0 => {
+                    state[s as usize] = 1;
+                    stack.push((s, 0));
+                }
+                1 => heads[s as usize] = true,
+                _ => {}
+            }
+        } else {
+            state[x as usize] = 2;
+            stack.pop();
+        }
+    }
+    heads
+}
+
+/// The default-mode lints the range pass powers: definite / possible OOB
+/// memory accesses and statically-decided branches.
+pub(crate) fn check(
+    program: &Program,
+    config: &AnalysisConfig,
+    pass: &RangePass,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let geo = config.geometry;
+    let valid = (0i64, i64::from(geo.words));
+    for (fu, ranges) in pass.per_fu.iter().enumerate() {
+        let f = FuId(fu as u8);
+        for x in 0..program.len() as u32 {
+            let Some(state) = &ranges.facts[x as usize] else {
+                continue;
+            };
+            let parcel = program.parcel(Addr(x), f).expect("in range");
+
+            if let Some((lo, hi)) = addr_range(state, &parcel.data) {
+                let kind = if matches!(parcel.data, DataOp::Load { .. }) {
+                    "load"
+                } else {
+                    "store"
+                };
+                if hi < valid.0 || lo >= valid.1 {
+                    diags.push(
+                        Diagnostic::new(
+                            Check::OobMemoryAccess,
+                            Severity::Error,
+                            format!(
+                                "{kind} address is always outside memory: every \
+                                 execution touches M[{lo}..={hi}], but valid words \
+                                 are 0..{}",
+                                geo.words
+                            ),
+                        )
+                        .at(Addr(x), f)
+                        .via(Engine::Range),
+                    );
+                } else if lo < valid.0 || hi >= valid.1 {
+                    if addr_proved(state, &parcel.data) {
+                        diags.push(
+                            Diagnostic::new(
+                                Check::OobMemoryAccess,
+                                Severity::Warning,
+                                format!(
+                                    "{kind} address can leave memory: \
+                                     M[{lo}..={hi}] overlaps the valid words \
+                                     0..{} only partially",
+                                    geo.words
+                                ),
+                            )
+                            .at(Addr(x), f)
+                            .via(Engine::Range),
+                        );
+                    } else if config.flag_unknown_mem {
+                        diags.push(
+                            Diagnostic::new(
+                                Check::OobMemoryAccess,
+                                Severity::Warning,
+                                format!(
+                                    "{kind} address cannot be proven in-bounds \
+                                     (analysis sees M[{lo}..={hi}], valid words \
+                                     are 0..{})",
+                                    geo.words
+                                ),
+                            )
+                            .at(Addr(x), f)
+                            .via(Engine::Range),
+                        );
+                    }
+                }
+            }
+
+            // branch-always: a two-way branch whose condition is proved
+            // constant — the other target is dead on this column.
+            if let ControlOp::Branch {
+                cond: CondSource::Cc(j),
+                taken,
+                not_taken,
+            } = parcel.ctrl
+            {
+                if taken != not_taken {
+                    let (verdict, dead) = match state.cc(j) {
+                        CcFact::True => ("true", not_taken),
+                        CcFact::False => ("false", taken),
+                        CcFact::Unknown => continue,
+                    };
+                    diags.push(
+                        Diagnostic::new(
+                            Check::BranchAlways,
+                            Severity::Warning,
+                            format!(
+                                "branch condition cc{} is always {verdict} here; \
+                                 the {dead} target is dead on this path",
+                                j.0
+                            ),
+                        )
+                        .at(Addr(x), f)
+                        .via(Engine::Range),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i32, hi: i32) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn interval_arithmetic_is_exact_until_it_can_wrap() {
+        assert_eq!(eval_alu(AluOp::Iadd, iv(1, 5), iv(10, 20)), iv(11, 25));
+        assert_eq!(eval_alu(AluOp::Isub, iv(1, 5), iv(10, 20)), iv(-19, -5));
+        assert_eq!(eval_alu(AluOp::Imult, iv(-2, 3), iv(4, 5)), iv(-10, 15));
+        // A sum that can exceed i32 wraps at runtime: no information.
+        assert_eq!(
+            eval_alu(AluOp::Iadd, iv(1, i32::MAX), iv(1, 1)),
+            Interval::TOP
+        );
+        // Singletons fold through the ISA evaluator, wrapping included.
+        assert_eq!(
+            eval_alu(AluOp::Iadd, iv(i32::MAX, i32::MAX), iv(1, 1)),
+            Interval::exact(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn division_by_possible_zero_is_unknown() {
+        assert_eq!(eval_alu(AluOp::Idiv, iv(8, 8), iv(0, 0)), Interval::TOP);
+        assert_eq!(
+            eval_alu(AluOp::Idiv, iv(8, 8), iv(2, 2)),
+            Interval::exact(4)
+        );
+    }
+
+    #[test]
+    fn compares_decide_only_disjoint_or_singleton_cases() {
+        assert_eq!(eval_cmp(CmpOp::Lt, iv(1, 3), iv(5, 9)), CcFact::True);
+        assert_eq!(eval_cmp(CmpOp::Lt, iv(5, 9), iv(1, 3)), CcFact::False);
+        assert_eq!(eval_cmp(CmpOp::Lt, iv(1, 6), iv(5, 9)), CcFact::Unknown);
+        assert_eq!(eval_cmp(CmpOp::Eq, iv(4, 4), iv(4, 4)), CcFact::True);
+        assert_eq!(eval_cmp(CmpOp::Eq, iv(1, 9), iv(4, 4)), CcFact::Unknown);
+        // Float relations are outside the integer abstraction.
+        assert_eq!(eval_cmp(CmpOp::Flt, iv(1, 1), iv(2, 2)), CcFact::Unknown);
+    }
+
+    #[test]
+    fn unary_rules_track_sign_information() {
+        assert_eq!(eval_un(UnOp::Ineg, iv(2, 7)), iv(-7, -2));
+        assert_eq!(eval_un(UnOp::Iabs, iv(-7, -2)), iv(2, 7));
+        assert_eq!(eval_un(UnOp::Iabs, iv(3, 9)), iv(3, 9));
+        assert_eq!(eval_un(UnOp::Not, iv(0, 3)), iv(-4, -1));
+        assert_eq!(eval_un(UnOp::Mov, Interval::TOP), Interval::TOP);
+    }
+}

@@ -94,3 +94,194 @@ pub fn to_sarif(files: &[(String, &Analysis)]) -> String {
         results = results,
     )
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use crate::config::AnalysisConfig;
+
+    /// A minimal JSON well-formedness checker (the workspace carries no
+    /// JSON dependency, so the snapshot validates itself the same way the
+    /// serializer was written: by hand). Returns the rest after one value.
+    fn skip_value(s: &[u8], mut i: usize) -> Result<usize, String> {
+        let err = |i: usize| format!("malformed JSON at byte {i}");
+        while i < s.len() && s[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match s.get(i) {
+            Some(b'{') | Some(b'[') => {
+                let (open, close) = if s[i] == b'{' {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                i += 1;
+                loop {
+                    while i < s.len() && s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    match s.get(i) {
+                        Some(&c) if c == close => return Ok(i + 1),
+                        None => return Err(err(i)),
+                        _ => {}
+                    }
+                    if open == b'{' {
+                        i = skip_value(s, i)?; // key (validated as a value)
+                        while i < s.len() && s[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                        if s.get(i) != Some(&b':') {
+                            return Err(err(i));
+                        }
+                        i += 1;
+                    }
+                    i = skip_value(s, i)?;
+                    while i < s.len() && s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    match s.get(i) {
+                        Some(b',') => i += 1,
+                        Some(&c) if c == close => return Ok(i + 1),
+                        _ => return Err(err(i)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                i += 1;
+                while let Some(&c) = s.get(i) {
+                    match c {
+                        b'\\' => i += 2,
+                        b'"' => return Ok(i + 1),
+                        _ => i += 1,
+                    }
+                }
+                Err(err(i))
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                i += 1;
+                while s
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(c))
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if s[i..].starts_with(lit.as_bytes()) {
+                        return Ok(i + lit.len());
+                    }
+                }
+                Err(err(i))
+            }
+        }
+    }
+
+    fn assert_valid_json(doc: &str) {
+        let end = skip_value(doc.as_bytes(), 0).unwrap_or_else(|e| panic!("{e}:\n{doc}"));
+        assert_eq!(
+            doc[end..].trim(),
+            "",
+            "trailing garbage after the JSON document"
+        );
+    }
+
+    /// A fixed program with one known error (constant OOB store) and one
+    /// known warning (decided branch), rendered to SARIF.
+    fn snapshot() -> String {
+        let source = r"
+.width 1
+00:
+  fu0: gt r0,#0        ; -> 01:
+01:
+  fu0: iadd r0,#0,r1   ; if cc0 02: | 03:
+02:
+  fu0: isub r0,#0,r1   ; -> 03:
+03:
+  fu0: iadd r1,#0,r2 ; halt
+";
+        let assembly = ximd_asm::assemble(source).expect("fixture assembles");
+        let config = AnalysisConfig {
+            assume: vec![(ximd_isa::Reg(0), 5, 5)],
+            ..AnalysisConfig::default()
+        };
+        let analysis = analyze(&assembly.program, &config);
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.check == Check::BranchAlways),
+            "fixture must trip branch-always: {analysis}"
+        );
+        to_sarif(&[("programs/fixture.xasm".to_string(), &analysis)])
+    }
+
+    #[test]
+    fn sarif_snapshot_is_stable_valid_and_complete() {
+        let doc = snapshot();
+        assert_eq!(doc, snapshot(), "serialization must be deterministic");
+        assert_valid_json(&doc);
+
+        assert!(doc.starts_with(r#"{"version":"2.1.0""#));
+        assert!(doc.contains("sarif-schema-2.1.0.json"));
+
+        // The rule table carries every registered check, including the
+        // value-range / cycle-bound quartet.
+        for check in Check::ALL {
+            assert!(
+                doc.contains(&format!(r#""id":"{}""#, check.code())),
+                "rule table is missing {}",
+                check.code()
+            );
+        }
+        for code in [
+            "oob-memory-access",
+            "trip-count-unbounded",
+            "branch-always",
+            "bank-conflict-hotspot",
+        ] {
+            assert!(Check::from_code(code).is_some(), "{code} is not registered");
+        }
+
+        // Severities map onto SARIF levels.
+        assert!(
+            doc.contains(r#""level":"warning""#),
+            "warning level missing:\n{doc}"
+        );
+        assert!(
+            doc.contains(r#""ruleId":"branch-always""#),
+            "branch-always result missing:\n{doc}"
+        );
+    }
+
+    #[test]
+    fn sarif_errors_map_to_error_level() {
+        let source = r"
+.width 1
+00:
+  fu0: isub r0,#0,r0 ; -> 01:
+01:
+  fu0: nop ; halt
+";
+        let assembly = ximd_asm::assemble(source).expect("fixture assembles");
+        let mut program = assembly.program;
+        // Splice in a store that is always out of range for a 32-word
+        // memory: `r0 -> M(#40)`.
+        use ximd_isa::{Addr, DataOp, FuId, Operand, Reg};
+        program.parcel_mut(Addr(0), FuId(0)).expect("in range").data = DataOp::Store {
+            a: Operand::Reg(Reg(0)),
+            b: Operand::imm_i32(40),
+        };
+        let mut config = AnalysisConfig::default();
+        config.geometry.words = 32;
+        let analysis = analyze(&program, &config);
+        let doc = to_sarif(&[("oob.xasm".to_string(), &analysis)]);
+        assert_valid_json(&doc);
+        assert!(
+            doc.contains(r#""ruleId":"oob-memory-access","level":"error""#),
+            "OOB store must surface as an error-level result:\n{doc}"
+        );
+    }
+}

@@ -992,7 +992,19 @@ pub struct Preflight {
 /// deliberate cross-stream handoff draws two — are reported but do not
 /// fail the preflight.
 pub fn lint_preflight() -> Preflight {
-    use ximd::analysis::{lint_assembly, AnalysisConfig};
+    use ximd::analysis::{cycle_bounds, lint_assembly, AnalysisConfig, BoundsConfig};
+
+    // One static-oracle line per program: the worst-case cycle bound under
+    // ideal timing, or `unbounded` where streams honestly diverge. These
+    // are informational — unbounded is the truthful verdict for most XIMD
+    // forms without harness entry facts.
+    fn bound_line(program: &ximd::isa::Program, config: &AnalysisConfig) -> String {
+        let report = cycle_bounds(program, config, &BoundsConfig::default());
+        match report.total {
+            Some(total) => format!("cycle bound <= {total}"),
+            None => "cycle bound unbounded".to_string(),
+        }
+    }
 
     let config = AnalysisConfig::default();
     let assemblies = [
@@ -1008,12 +1020,15 @@ pub fn lint_preflight() -> Preflight {
         let analysis = lint_assembly(assembly, &config);
         pf.errors |= analysis.has_errors();
         pf.incomplete |= analysis.truncated;
-        let _ = writeln!(pf.body, "{name:<18} {analysis}");
+        let bounds = bound_line(&assembly.program, &config);
+        let _ = writeln!(pf.body, "{name:<18} {analysis}; {bounds}");
     }
-    let ll12 = ximd::analysis::analyze(&livermore::ximd_program(), &config);
+    let ll12_program = livermore::ximd_program();
+    let ll12 = ximd::analysis::analyze(&ll12_program, &config);
     pf.errors |= ll12.has_errors();
     pf.incomplete |= ll12.truncated;
-    let _ = writeln!(pf.body, "{:<18} {ll12}", "livermore/ll12");
+    let bounds = bound_line(&ll12_program, &config);
+    let _ = writeln!(pf.body, "{:<18} {ll12}; {bounds}", "livermore/ll12");
     pf
 }
 

@@ -313,6 +313,10 @@ pub struct LintOptions {
     pub explain: Option<String>,
     /// Emit a SARIF 2.1.0 log instead of the text report.
     pub sarif: bool,
+    /// Run the static cycle-bound oracle instead of the lint passes.
+    pub cycle_bounds: bool,
+    /// Timing model and lockstep assumption for `--cycle-bounds`.
+    pub bounds: ximd_analysis::BoundsConfig,
 }
 
 /// Usage text for `xlint`.
@@ -329,6 +333,14 @@ usage: xlint FILE.xasm [FILE.xasm ...] [options]
   --word-reads N      shared read-port budget per wide instruction
   --word-writes N     shared write-port budget per wide instruction
   --max-states N      product state-space cap (default 262144)
+  --cycle-bounds      report static worst-case cycle bounds, loop trip
+                      bounds and hot regions instead of the lint passes
+  --timing SPEC       timing model for --cycle-bounds: ideal (default),
+                      latency:<class>=<cycles>,..., banked:<n>
+  --lockstep MODE     auto (default: credit lockstep only when provable)
+                      or assume (single-sequencer/VLIW word lockstep)
+  --assume R=LO[..HI] entry-value assumption for a register, e.g.
+                      --assume r1=64 or --assume r2=0..7 (repeatable)
 
 exit status: 0 clean (or warnings without --strict), 1 findings,
              2 usage or input errors, 3 analysis incomplete (the product
@@ -378,6 +390,20 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
             "--max-states" => {
                 opts.config.max_states = parse("--max-states", need("--max-states")?)?;
             }
+            "--cycle-bounds" => opts.cycle_bounds = true,
+            "--timing" => {
+                let v = need("--timing")?;
+                opts.bounds.timing =
+                    TimingSpec::parse(v).map_err(|e| format!("bad --timing value {v:?}: {e}"))?;
+            }
+            "--lockstep" => {
+                let v = need("--lockstep")?;
+                opts.bounds.lockstep = ximd_analysis::Lockstep::parse(v)
+                    .ok_or_else(|| format!("bad --lockstep value {v:?}"))?;
+            }
+            "--assume" => {
+                opts.config.assume.push(parse_assume(need("--assume")?)?);
+            }
             other if !other.starts_with('-') => opts.sources.push(other.to_owned()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -386,6 +412,26 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
         return Err("no source files given".into());
     }
     Ok(opts)
+}
+
+/// Parses one `--assume` value: `rN=LO` or `rN=LO..HI` (signed 32-bit).
+fn parse_assume(v: &str) -> Result<(Reg, i32, i32), String> {
+    let bad = || format!("bad --assume value {v:?} (expected rN=LO or rN=LO..HI)");
+    let (reg, range) = v.split_once('=').ok_or_else(bad)?;
+    let n: u16 = reg
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(bad)?;
+    let (lo, hi) = match range.split_once("..") {
+        Some((lo, hi)) => (lo, hi),
+        None => (range, range),
+    };
+    let lo: i32 = lo.parse().map_err(|_| bad())?;
+    let hi: i32 = hi.parse().map_err(|_| bad())?;
+    if lo > hi {
+        return Err(format!("bad --assume value {v:?}: empty range"));
+    }
+    Ok((Reg(n), lo, hi))
 }
 
 /// What one `xlint` invocation produced.
@@ -412,6 +458,27 @@ pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
         let check = ximd_analysis::Check::from_code(code)
             .ok_or_else(|| format!("unknown lint code {code:?}"))?;
         let _ = writeln!(outcome.report, "{}: {}", check.code(), check.explain());
+        return Ok(outcome);
+    }
+    if opts.cycle_bounds {
+        // The static oracle must judge addresses against the same memory
+        // geometry the selected timing model banks them into.
+        let mut config = opts.config.clone();
+        config.geometry.banks = opts.bounds.timing.banks().unwrap_or(1);
+        for path in &opts.sources {
+            let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
+            let report = ximd_analysis::cycle_bounds(&assembly.program, &config, &opts.bounds);
+            let _ = write!(outcome.report, "{path}:\n{report}");
+            for d in &report.diagnostics {
+                let mut d = d.clone();
+                if let (Some(addr), Some(fu)) = (d.addr, d.fu) {
+                    d.line = assembly.source_map.line(addr, fu);
+                }
+                let _ = writeln!(outcome.report, "{d}");
+            }
+            outcome.failed |= opts.strict && !report.diagnostics.is_empty();
+        }
         return Ok(outcome);
     }
     let mut analyses = Vec::new();
@@ -718,5 +785,82 @@ mod tests {
         let report = run_vsim(&opts).unwrap();
         assert!(report.contains("r0 = 1"), "{report}");
         assert!(report.contains("r1 = 2"), "{report}");
+    }
+
+    #[test]
+    fn cycle_bounds_flags_parse_and_reject_garbage() {
+        let opts = parse_lint_args(&args(&[
+            "f.xasm",
+            "--cycle-bounds",
+            "--timing",
+            "banked:2",
+            "--lockstep",
+            "assume",
+            "--assume",
+            "r1=64",
+            "--assume",
+            "r2=0..7",
+        ]))
+        .unwrap();
+        assert!(opts.cycle_bounds);
+        assert_eq!(opts.bounds.timing, TimingSpec::Banked { banks: 2 });
+        assert_eq!(opts.bounds.lockstep, ximd_analysis::Lockstep::Assume);
+        assert_eq!(opts.config.assume, vec![(Reg(1), 64, 64), (Reg(2), 0, 7)]);
+
+        for bad in [
+            ["f.xasm", "--timing", "warp"],
+            ["f.xasm", "--lockstep", "maybe"],
+            ["f.xasm", "--assume", "r1"],
+            ["f.xasm", "--assume", "x1=3"],
+            ["f.xasm", "--assume", "r1=7..3"],
+        ] {
+            assert!(parse_lint_args(&args(&bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_bounds_reports_a_finite_loop_bound() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("count.xasm");
+        std::fs::write(
+            &path,
+            ".width 1\n00:\n  fu0: gt r0,#0      ; -> 01:\n01:\n  fu0: isub r0,#1,r0 ; if cc0 00: | 02:\n02:\n  fu0: nop ; halt\n",
+        )
+        .unwrap();
+
+        // Without entry facts the counter is honestly unbounded.
+        let opts = parse_lint_args(&args(&[path.to_str().unwrap(), "--cycle-bounds"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.report.contains("unbounded"), "{}", outcome.report);
+        assert!(
+            outcome.report.contains("trip-count-unbounded"),
+            "{}",
+            outcome.report
+        );
+
+        // With `--assume` the trip count and the total bound are finite.
+        let opts = parse_lint_args(&args(&[
+            path.to_str().unwrap(),
+            "--cycle-bounds",
+            "--assume",
+            "r0=8",
+        ]))
+        .unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed);
+        assert!(outcome.report.contains("trips <= 10"), "{}", outcome.report);
+        assert!(outcome.report.contains("total: <="), "{}", outcome.report);
+
+        // The report announces the timing model it was computed against.
+        let opts = parse_lint_args(&args(&[
+            path.to_str().unwrap(),
+            "--cycle-bounds",
+            "--timing",
+            "banked:2",
+        ]))
+        .unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.report.contains("banked:2"), "{}", outcome.report);
     }
 }

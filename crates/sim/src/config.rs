@@ -20,6 +20,40 @@ pub enum ConflictPolicy {
     LastWins,
 }
 
+/// The data-memory geometry a machine enforces: how many words exist and
+/// how they interleave across banks.
+///
+/// This is the single shared surface between the simulator's runtime checks
+/// and static analysis: `memory.rs` rejects exactly the addresses outside
+/// [`MemGeometry::contains`], and the banked timing model queues exactly the
+/// accesses that collide under [`MemGeometry::bank_of`]. The analysis crate
+/// consumes this struct instead of re-hardcoding sizes, so a static
+/// `oob-memory-access` or `bank-conflict-hotspot` finding can never disagree
+/// with what the machine would do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemGeometry {
+    /// Data-memory size in 32-bit words; valid addresses are `0..words`.
+    pub words: u32,
+    /// Number of interleaved banks (≥ 1); word `a` lives in bank
+    /// `a mod banks` (stride 1, word-interleaved).
+    pub banks: u32,
+}
+
+impl MemGeometry {
+    /// True iff `addr` names an existing memory word — the same predicate
+    /// the simulator's memory range check enforces.
+    pub fn contains(self, addr: i64) -> bool {
+        addr >= 0 && addr < i64::from(self.words)
+    }
+
+    /// The bank servicing word `addr` (Euclidean, so negative addresses map
+    /// to a valid bank rather than a negative index — matching the banked
+    /// timing model's queues exactly).
+    pub fn bank_of(self, addr: i64) -> u32 {
+        addr.rem_euclid(i64::from(self.banks.max(1))) as u32
+    }
+}
+
 /// Parameters of a simulated machine.
 ///
 /// The defaults describe the XIMD-1 research model: 8 homogeneous FUs,
@@ -95,6 +129,17 @@ impl MachineConfig {
     pub fn timing(mut self, spec: TimingSpec) -> MachineConfig {
         self.timing = spec;
         self
+    }
+
+    /// The memory geometry this machine enforces: its word count plus the
+    /// bank interleaving of its timing model (1 bank unless the model is
+    /// banked). This is what the analysis crate should consume for OOB and
+    /// bank-conflict reasoning.
+    pub fn mem_geometry(&self) -> MemGeometry {
+        MemGeometry {
+            words: self.mem_words,
+            banks: self.timing.banks().unwrap_or(1),
+        }
     }
 
     /// Sets the per-FU register-file port counts (builder style).
@@ -219,6 +264,48 @@ mod tests {
                 write_ports: 3,
             })
         );
+    }
+
+    #[test]
+    fn mem_geometry_reflects_size_and_banking() {
+        let flat = MachineConfig::ximd1();
+        assert_eq!(
+            flat.mem_geometry(),
+            MemGeometry {
+                words: 1 << 20,
+                banks: 1
+            }
+        );
+        let banked = MachineConfig::with_width(4)
+            .mem_words(64)
+            .timing(TimingSpec::Banked { banks: 4 });
+        let geo = banked.mem_geometry();
+        assert_eq!((geo.words, geo.banks), (64, 4));
+        // Latency tables do not bank the memory.
+        let latency = MachineConfig::ximd1().timing(TimingSpec::parse("latency:mem=4").unwrap());
+        assert_eq!(latency.mem_geometry().banks, 1);
+    }
+
+    #[test]
+    fn geometry_contains_matches_range_check() {
+        let geo = MemGeometry { words: 8, banks: 2 };
+        assert!(geo.contains(0) && geo.contains(7));
+        assert!(!geo.contains(-1) && !geo.contains(8));
+    }
+
+    #[test]
+    fn geometry_bank_of_is_euclidean() {
+        let geo = MemGeometry {
+            words: 64,
+            banks: 4,
+        };
+        assert_eq!(geo.bank_of(5), 1);
+        assert_eq!(geo.bank_of(-1), 3);
+        let degenerate = MemGeometry {
+            words: 64,
+            banks: 0,
+        };
+        assert_eq!(degenerate.bank_of(9), 0);
     }
 
     #[test]

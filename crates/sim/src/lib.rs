@@ -90,7 +90,7 @@ pub mod vliw;
 pub mod vsim;
 pub mod xsim;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, MemGeometry};
 pub use decoded::{DecodedProgram, FastXsim};
 pub use device::{IoPort, PortEvent};
 pub use error::{ConfigError, SimError};

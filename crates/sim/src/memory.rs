@@ -191,6 +191,20 @@ mod tests {
     }
 
     #[test]
+    fn geometry_contains_agrees_with_range_check() {
+        // `MemGeometry` is the static mirror of this module's range check:
+        // an address is accepted by `read` iff the geometry contains it.
+        let mem = Memory::new(16);
+        let geo = crate::config::MemGeometry {
+            words: 16,
+            banks: 2,
+        };
+        for addr in -3i64..20 {
+            assert_eq!(mem.read(addr).is_ok(), geo.contains(addr), "addr {addr}");
+        }
+    }
+
+    #[test]
     fn staged_writes_commit_at_end_of_cycle() {
         let mut mem = Memory::new(16);
         mem.stage_write(FuId(0), 3, Value::I32(9)).unwrap();

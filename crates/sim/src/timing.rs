@@ -309,7 +309,14 @@ impl TimingModel for BankedMemory {
         let Some(addr) = mem_addr else {
             return Issue::IDEAL;
         };
-        let bank = addr.rem_euclid(i64::from(self.banks.max(1))) as usize;
+        // The shared geometry surface is the one source of truth for the
+        // address→bank map; static bank-conflict analysis uses the same
+        // function, so the two can never disagree.
+        let geo = crate::config::MemGeometry {
+            words: 0,
+            banks: self.banks,
+        };
+        let bank = geo.bank_of(addr) as usize;
         let queued = u64::from(self.claims[bank]);
         self.claims[bank] += 1;
         Issue {
@@ -420,6 +427,15 @@ impl TimingSpec {
     /// machinery).
     pub fn is_ideal(&self) -> bool {
         matches!(self, TimingSpec::Ideal)
+    }
+
+    /// The bank count this spec implies for the shared memory: `Some(n)`
+    /// for `banked:<n>`, `None` for models that leave the memory flat.
+    pub fn banks(&self) -> Option<u32> {
+        match self {
+            TimingSpec::Banked { banks } => Some(*banks),
+            TimingSpec::Ideal | TimingSpec::Latency(_) => None,
+        }
     }
 
     /// Checks the spec for nonsensical parameters.

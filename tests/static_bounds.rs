@@ -1,0 +1,434 @@
+//! Differential soundness for the static cycle-bound oracle.
+//!
+//! For every workload × timing model the static bound from
+//! [`ximd_analysis::cycle_bounds`] must *dominate* the simulator: a finite
+//! bound is an upper bound on measured cycles, and a reported trip count
+//! covers the iterations an address trace actually records. An `unbounded`
+//! verdict is always sound (and several XIMD-form workloads honestly earn
+//! one: their streams diverge, so no static mate crediting applies).
+//!
+//! The random-program property at the bottom checks the other acceptance
+//! direction: an *executed* out-of-bounds access never escapes the
+//! `oob-memory-access` lint.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ximd::analysis::{cycle_bounds, AnalysisConfig, BoundsConfig, BoundsReport, Check, Lockstep};
+use ximd::models::randprog;
+use ximd::prelude::*;
+use ximd::sim::TimingSpec;
+use ximd::workloads::{
+    bitcount, gen, livermore, minmax, nonblocking, race, saxpy, tproc, with_timing, RunSpec,
+};
+
+/// The acceptance matrix's timing column: ideal, a latency table, banking.
+fn timing_specs() -> Vec<TimingSpec> {
+    ["ideal", "latency:mem=4", "banked:2"]
+        .iter()
+        .map(|s| TimingSpec::parse(s).expect("spec parses"))
+        .collect()
+}
+
+/// Analysis config matching the default simulator machine under `spec`,
+/// with entry assumptions for seeded registers.
+fn analysis_config(spec: &TimingSpec, assume: &[(Reg, i32, i32)]) -> AnalysisConfig {
+    let mut config = AnalysisConfig::default();
+    config.geometry.banks = spec.banks().unwrap_or(1);
+    config.assume = assume.to_vec();
+    config
+}
+
+fn bound(
+    program: &Program,
+    spec: &TimingSpec,
+    lockstep: Lockstep,
+    assume: &[(Reg, i32, i32)],
+) -> BoundsReport {
+    let config = analysis_config(spec, assume);
+    let bounds = BoundsConfig {
+        timing: spec.clone(),
+        lockstep,
+    };
+    cycle_bounds(program, &config, &bounds)
+}
+
+/// One workload in the differential: its program, a fresh seeded simulator,
+/// and the analysis-side facts that mirror the seeding.
+struct Case {
+    name: &'static str,
+    program: Program,
+    prepare: Box<dyn Fn() -> (Xsim, RunSpec)>,
+    lockstep: Lockstep,
+    assume: Vec<(Reg, i32, i32)>,
+}
+
+fn cases() -> Vec<Case> {
+    let minmax_data = [5, 3, 4, 7];
+    let bitcount_data = gen::bit_weighted_ints(13, 48, 24);
+    let livermore_y = gen::livermore_y(5, 64);
+    let livermore_n = livermore_y.len() as i32 - 1;
+    let scenario = nonblocking::Scenario::with_seed(3);
+    let race_data = gen::uniform_ints(11, 64, -100, 100);
+    let race_target = race_data[40];
+
+    vec![
+        Case {
+            name: "tproc",
+            program: tproc::ximd_assembly().program,
+            prepare: Box::new(|| tproc::prepared(9, -4, 3, 12).expect("tproc prepares")),
+            lockstep: Lockstep::Auto,
+            assume: vec![],
+        },
+        Case {
+            name: "minmax",
+            program: minmax::ximd_assembly().program,
+            prepare: Box::new(move || minmax::prepared(&minmax_data).expect("minmax prepares")),
+            lockstep: Lockstep::Auto,
+            assume: vec![(minmax::REG_N, 4, 4)],
+        },
+        Case {
+            name: "bitcount",
+            program: bitcount::ximd_assembly().program,
+            prepare: Box::new(move || {
+                bitcount::prepared(&bitcount_data).expect("bitcount prepares")
+            }),
+            lockstep: Lockstep::Auto,
+            assume: vec![],
+        },
+        Case {
+            name: "livermore12",
+            program: livermore::ximd_program(),
+            prepare: Box::new(move || livermore::prepared(&livermore_y).expect("ll12 prepares")),
+            lockstep: Lockstep::Auto,
+            assume: vec![
+                (livermore::REG_K, 0, 0),
+                (livermore::REG_N, livermore_n, livermore_n),
+            ],
+        },
+        // The same schedule bounded as the single-sequencer word machine it
+        // was compiled as: lockstep holds under any timing model, so the
+        // oracle may credit whole-word facts and prove the loop finite.
+        Case {
+            name: "livermore12/lockstep",
+            program: livermore::ximd_program(),
+            prepare: Box::new(move || {
+                livermore::prepared(&gen::livermore_y(5, 64)).expect("ll12 prepares")
+            }),
+            lockstep: Lockstep::Assume,
+            assume: vec![
+                (livermore::REG_K, 0, 0),
+                (livermore::REG_N, livermore_n, livermore_n),
+            ],
+        },
+        Case {
+            name: "nonblocking/sync",
+            program: nonblocking::sync_assembly().program,
+            prepare: Box::new(move || {
+                nonblocking::prepared_sync(&scenario).expect("figure 12 prepares")
+            }),
+            lockstep: Lockstep::Auto,
+            assume: vec![],
+        },
+        Case {
+            name: "race",
+            program: race::ximd_assembly().program,
+            prepare: Box::new(move || {
+                let mut sim = Xsim::new(
+                    race::ximd_assembly().program,
+                    MachineConfig::with_width(race::WIDTH),
+                )
+                .expect("race builds");
+                sim.mem_mut()
+                    .poke_slice(race::BASE as i64, &race_data)
+                    .expect("race data fits");
+                sim.write_reg(race::REG_TARGET, Value::I32(race_target));
+                sim.write_reg(race::REG_N, Value::I32(race_data.len() as i32));
+                sim.write_reg(race::REG_RESULT_FWD, Value::I32(-1));
+                sim.write_reg(race::REG_RESULT_BWD, Value::I32(-1));
+                (sim, RunSpec::Run(40 + 8 * race_data.len() as u64))
+            }),
+            lockstep: Lockstep::Auto,
+            assume: vec![],
+        },
+    ]
+}
+
+/// The tentpole acceptance check: for every workload × timing model, a
+/// finite static bound is never beaten by the machine it abstracts.
+#[test]
+fn static_bound_dominates_simulated_cycles() {
+    for case in cases() {
+        for spec in timing_specs() {
+            let (mut sim, run) = with_timing((case.prepare)(), &spec).expect("timing spec applies");
+            let summary = match run.drive(&mut sim) {
+                Ok(summary) => summary,
+                // Cycle-counting XIMD schedules embed ideal-timing
+                // assumptions (see `with_timing`'s docs); a workload that
+                // cannot converge under a model has no measured cycle count
+                // to compare against, so that matrix cell is vacuous.
+                Err(SimError::CycleLimit { .. }) => continue,
+                Err(e) => panic!("{} under {spec} must complete: {e}", case.name),
+            };
+            let report = bound(&case.program, &spec, case.lockstep, &case.assume);
+            if let Some(total) = report.total {
+                assert!(
+                    total >= summary.cycles,
+                    "{} under {spec}: static bound {total} < simulated {} cycles",
+                    case.name,
+                    summary.cycles
+                );
+            }
+        }
+    }
+}
+
+/// SAXPY's modulo-scheduled VLIW pipeline, bounded as the word machine it
+/// is: lockstep is architectural on vsim, so `Lockstep::Assume` applies
+/// under every timing model.
+#[test]
+fn saxpy_bound_dominates_vliw_pipeline() {
+    let a = 2.5f32;
+    let x = saxpy::float_vec(1, 64);
+    let y = saxpy::float_vec(2, 64);
+    let pipe = ximd::compiler::pipeline::modulo_schedule(&saxpy::spec(), 8)
+        .expect("saxpy schedules at width 8");
+    let program = pipe.vliw.to_ximd();
+    let trips_reg = pipe.reg_of[&saxpy::spec().trips];
+    let n = x.len() as i32;
+
+    for spec in timing_specs() {
+        let (_, outcome) = saxpy::run_timed(a, &x, &y, 8, &spec).expect("saxpy runs");
+        let report = bound(&program, &spec, Lockstep::Assume, &[(trips_reg, n, n)]);
+        if let Some(total) = report.total {
+            assert!(
+                total >= outcome.cycles,
+                "saxpy under {spec}: static bound {total} < simulated {} cycles",
+                outcome.cycles
+            );
+        }
+    }
+}
+
+/// Straight-line TPROC is fully boundable: the oracle proves a finite bound
+/// under every timing model, and under ideal timing it is *exact* — the
+/// pinned 6-cycle schedule of Example 1.
+#[test]
+fn tproc_bound_is_finite_and_ideal_exact() {
+    let program = tproc::ximd_assembly().program;
+    for spec in timing_specs() {
+        let report = bound(&program, &spec, Lockstep::Auto, &[]);
+        assert!(
+            report.total.is_some(),
+            "tproc (loop-free) must bound under {spec}"
+        );
+    }
+    let ideal = bound(&program, &TimingSpec::Ideal, Lockstep::Auto, &[]);
+    assert_eq!(ideal.total, Some(6), "ideal bound matches the 6-cycle pin");
+}
+
+/// Under the lockstep (single-sequencer) reading with entry facts for the
+/// seeded registers, Livermore Loop 12's trip count is proved and the whole
+/// program gets a finite bound that covers the measured 131 cycles.
+#[test]
+fn livermore_lockstep_bound_is_finite() {
+    let y = gen::livermore_y(5, 64);
+    let n = y.len() as i32 - 1;
+    let assume = [(livermore::REG_K, 0, 0), (livermore::REG_N, n, n)];
+
+    let (mut sim, run) = livermore::prepared(&y).expect("ll12 prepares");
+    let cycles = run.drive(&mut sim).expect("ll12 runs").cycles;
+
+    let report = bound(
+        &livermore::ximd_program(),
+        &TimingSpec::Ideal,
+        Lockstep::Assume,
+        &assume,
+    );
+    let total = report
+        .total
+        .expect("lockstep + entry facts must bound loop 12");
+    assert!(total >= cycles, "bound {total} < measured {cycles}");
+    assert!(
+        report.loops.iter().any(|l| l.trips.is_some()),
+        "the k-loop's trip count must be proved"
+    );
+}
+
+/// Trip-count soundness against address traces: wherever the oracle claims
+/// `trips <= T`, the trace visits that loop head at most `T` times.
+#[test]
+fn static_trips_cover_traced_iterations() {
+    // MINMAX, the paper's Figure 10 program (honest `unbounded` verdicts
+    // still participate: `None` covers any visit count).
+    let (_, trace) = minmax::run_ximd_traced(&[5, 3, 4, 7]).expect("minmax runs traced");
+    let report = bound(
+        &minmax::ximd_assembly().program,
+        &TimingSpec::Ideal,
+        Lockstep::Auto,
+        &[(minmax::REG_N, 4, 4)],
+    );
+    assert_trips_cover(&report, &trace, "minmax");
+
+    // Loop 12 under the lockstep reading: here the trip count is finite,
+    // so the coverage check has real teeth.
+    let y = gen::livermore_y(5, 64);
+    let n = y.len() as i32 - 1;
+    let (mut sim, run) = livermore::prepared(&y).expect("ll12 prepares");
+    sim.enable_trace();
+    run.drive(&mut sim).expect("ll12 runs");
+    let trace = sim.trace().expect("tracing enabled").clone();
+    let report = bound(
+        &livermore::ximd_program(),
+        &TimingSpec::Ideal,
+        Lockstep::Assume,
+        &[(livermore::REG_K, 0, 0), (livermore::REG_N, n, n)],
+    );
+    assert!(
+        report.loops.iter().any(|l| l.trips.is_some()),
+        "need at least one finite trip count for a non-vacuous check"
+    );
+    assert_trips_cover(&report, &trace, "livermore12");
+}
+
+fn assert_trips_cover(report: &BoundsReport, trace: &ximd::sim::Trace, name: &str) {
+    for l in &report.loops {
+        let Some(trips) = l.trips else { continue };
+        let visits = trace
+            .rows()
+            .iter()
+            .filter(|row| row.pcs[l.fu.0 as usize] == Some(l.head))
+            .count() as u64;
+        assert!(
+            trips >= visits,
+            "{name}: fu{} loop at {} claims trips <= {trips} but the trace \
+             visits the head {visits} times",
+            l.fu.0,
+            l.head
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random-program OOB property
+// ---------------------------------------------------------------------------
+
+const MEM_WORDS: u32 = 32;
+const NUM_REGS: u16 = 8;
+
+/// A single-FU straight-line program mixing safe register ops with memory
+/// traffic whose addresses straddle the `MEM_WORDS` boundary. Registers
+/// start at the reset value (0), which the analysis mirrors via `assume`.
+fn mem_program(seed: u64, len: usize) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut program = Program::new(1);
+    let reg = |rng: &mut SmallRng| Reg(rng.gen_range(0..NUM_REGS));
+    for i in 0..len {
+        let data = match rng.gen_range(0..10) {
+            0..=2 => DataOp::Load {
+                a: Operand::imm_i32(rng.gen_range(-8..(MEM_WORDS as i32 + 8))),
+                b: Operand::Reg(reg(&mut rng)),
+                d: reg(&mut rng),
+            },
+            3 | 4 => DataOp::Store {
+                a: Operand::Reg(reg(&mut rng)),
+                b: Operand::imm_i32(rng.gen_range(-8..(MEM_WORDS as i32 + 8))),
+            },
+            _ => randprog::random_data_op(&mut rng, NUM_REGS),
+        };
+        program.push(vec![Parcel::data(
+            data,
+            ControlOp::Goto(Addr(i as u32 + 1)),
+        )]);
+    }
+    program.push(vec![Parcel::halt()]);
+    program
+}
+
+fn oob_findings(program: &Program) -> usize {
+    let mut config = AnalysisConfig::default();
+    config.geometry.words = MEM_WORDS;
+    config.assume = (0..NUM_REGS).map(|r| (Reg(r), 0, 0)).collect();
+    // Loaded values are unknown to the analysis; an address computed from
+    // one cannot be proven safe, so have the lint flag it rather than let
+    // an executed fault slip through silently.
+    config.flag_unknown_mem = true;
+    ximd::analysis::analyze(program, &config)
+        .diagnostics
+        .iter()
+        .filter(|d| d.check == Check::OobMemoryAccess)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ISSUE's acceptance property: a random program whose execution
+    /// faults on memory ALWAYS carries at least one `oob-memory-access`
+    /// finding. (The reverse needn't hold — `flag_unknown_mem` warnings are
+    /// allowed on clean runs.)
+    #[test]
+    fn executed_oob_never_escapes_the_lint(seed in 0u64..4096) {
+        let len = 3 + (seed as usize % 13);
+        let program = mem_program(seed, len);
+
+        let mut sim = Xsim::new(
+            program.clone(),
+            MachineConfig::with_width(1).mem_words(MEM_WORDS),
+        )
+        .expect("generated program is valid");
+        let faulted = match sim.run(10 * (len as u64 + 2)) {
+            Err(SimError::MemoryOutOfRange { .. }) => true,
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Ok(_) => false,
+        };
+
+        if faulted {
+            prop_assert!(
+                oob_findings(&program) > 0,
+                "seed {}: simulator faulted on memory but the lint is silent",
+                seed
+            );
+        }
+    }
+}
+
+/// Deterministic anchor for the property above: a store past the end of
+/// memory is caught as an *error* (always out of bounds), and the machine
+/// indeed faults on it.
+#[test]
+fn constant_oob_store_is_an_error() {
+    let mut program = Program::new(1);
+    program.push(vec![Parcel::data(
+        DataOp::Store {
+            a: Operand::Reg(Reg(0)),
+            b: Operand::imm_i32(MEM_WORDS as i32 + 8),
+        },
+        ControlOp::Goto(Addr(1)),
+    )]);
+    program.push(vec![Parcel::halt()]);
+
+    let mut sim = Xsim::new(
+        program.clone(),
+        MachineConfig::with_width(1).mem_words(MEM_WORDS),
+    )
+    .expect("program is valid");
+    assert!(matches!(
+        sim.run(10),
+        Err(SimError::MemoryOutOfRange { .. })
+    ));
+
+    let mut config = AnalysisConfig::default();
+    config.geometry.words = MEM_WORDS;
+    let analysis = ximd::analysis::analyze(&program, &config);
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::OobMemoryAccess
+                && d.severity == ximd::analysis::Severity::Error),
+        "constant OOB store must be an error: {:?}",
+        analysis.diagnostics
+    );
+}
