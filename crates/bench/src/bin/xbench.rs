@@ -2,7 +2,8 @@
 //!
 //! Runs every workload through both execution engines (interpreter and the
 //! decoded fast path), verifies they agree exactly, measures simulated
-//! cycles per second, runs a batched multi-instance throughput pass, and
+//! cycles per second, runs the batched multi-instance throughput passes
+//! (threads × decoded instances, and the single-core SoA lane engine), and
 //! writes the results as `BENCH_ximd.json`.
 //!
 //! Usage:
@@ -17,11 +18,12 @@
 //! ```
 //!
 //! Exit status: `0` ok; `1` usage or I/O error; `2` correctness gate
-//! (engine divergence, or bitcount speedup below 2x); `3` perf-regression
-//! gate (a workload's speedup fell more than 50% below the baseline's on
-//! two consecutive measurements).
+//! (engine or lane divergence, bitcount speedup below 2x, or the uniform
+//! lane row's throughput falling below the threaded row's floor); `3`
+//! perf-regression gate (a gated ratio fell below the baseline's tolerance
+//! band on two consecutive measurements).
 
-use ximd_bench::throughput::{regressions, run_benchmarks, to_json, BenchConfig};
+use ximd_bench::throughput::{lane_regressions, regressions, run_benchmarks, to_json, BenchConfig};
 
 /// The decoded path must beat the interpreter by at least this factor on
 /// bitcount (the ISSUE's acceptance bar).
@@ -31,6 +33,21 @@ const MIN_BITCOUNT_SPEEDUP: f64 = 2.0;
 /// (observed swings approach 2x), so the band is wide: it exists to catch
 /// the decoded path losing its advantage outright, not scheduler noise.
 const REGRESSION_TOLERANCE: f64 = 0.5;
+/// Absolute floor for the uniform lane row's `vs_threads` ratio. The
+/// threaded `batch` row scales with however many of its (default 4)
+/// threads get real cores, while the lane engine uses exactly one core —
+/// so the ratio is machine-dependent: ~4-8x on a single-core runner,
+/// near 1x on a 4-core one. The floor asserts the structural claim that
+/// survives that variance: one lane-engine core must deliver at least
+/// half of what the whole threaded batch does.
+const MIN_LANE_VS_THREADS: f64 = 0.5;
+/// Allowed `vs_threads` drop vs the baseline's before the lane regression
+/// gate trips. Far wider than `REGRESSION_TOLERANCE` because the baseline
+/// may have been recorded on a machine with a different core count (a
+/// 1-core baseline ratio is ~4x a 4-core runner's); the band only catches
+/// the lane engine losing its single-core advantage by an order of
+/// magnitude.
+const LANE_TOLERANCE: f64 = 0.85;
 
 fn usage() -> ! {
     eprintln!("usage: xbench [--quick] [--out PATH] [--baseline PATH] [--batch N] [--iters N]");
@@ -88,6 +105,18 @@ fn main() {
         b.total_cycles,
         b.cycles_per_sec()
     );
+    for l in &report.batch_lanes {
+        println!(
+            "batch_lanes: {} x {} ({}), {} cycles, {:.0} cycles/s, {:.2}x vs threads, {}",
+            l.lanes,
+            l.workload,
+            l.mode,
+            l.total_cycles,
+            l.cycles_per_sec(),
+            report.lane_vs_threads(l),
+            if l.equivalent { "ok" } else { "DIVERGED" }
+        );
+    }
 
     println!(
         "\n{:<18} {:<16} {:>9} {:>8} {:>11}  ok",
@@ -114,11 +143,18 @@ fn main() {
 
     let mut status = 0;
     if !report.all_equivalent() {
-        let bad: Vec<&str> = report
+        let bad: Vec<String> = report
             .workloads
             .iter()
             .filter(|w| !w.equivalent)
-            .map(|w| w.name)
+            .map(|w| w.name.to_string())
+            .chain(
+                report
+                    .batch_lanes
+                    .iter()
+                    .filter(|l| !l.equivalent)
+                    .map(|l| format!("lanes:{}:{}", l.workload, l.mode)),
+            )
             .collect();
         eprintln!("xbench: FAIL: engines diverged on {}", bad.join(", "));
         status = 2;
@@ -145,6 +181,16 @@ fn main() {
             status = 2;
         }
     }
+    if let Some(l) = report.batch_lanes.iter().find(|l| l.mode == "uniform") {
+        let ratio = report.lane_vs_threads(l);
+        if ratio < MIN_LANE_VS_THREADS {
+            eprintln!(
+                "xbench: FAIL: uniform lane batch at {ratio:.2}x the threaded row, \
+                 below the {MIN_LANE_VS_THREADS}x floor"
+            );
+            status = 2;
+        }
+    }
     if status == 0 {
         if let Some(path) = baseline_path {
             let baseline = match std::fs::read_to_string(&path) {
@@ -155,26 +201,38 @@ fn main() {
                 }
             };
             let mut regs = regressions(&report, &baseline, REGRESSION_TOLERANCE);
-            if !regs.is_empty() {
+            let mut lane_regs = lane_regressions(&report, &baseline, LANE_TOLERANCE);
+            if !regs.is_empty() || !lane_regs.is_empty() {
                 // A single noisy measurement can halve one workload's
                 // ratio; a real regression reproduces. Re-measure once and
-                // keep only workloads that regress both times.
+                // keep only records that regress both times.
                 eprintln!(
                     "xbench: possible regression ({}), re-measuring to confirm",
                     regs.iter()
                         .map(|(name, _, _)| name.as_str())
+                        .chain(lane_regs.iter().map(|_| "batch_lanes"))
                         .collect::<Vec<_>>()
                         .join(", ")
                 );
-                let retry = regressions(&run_benchmarks(&config), &baseline, REGRESSION_TOLERANCE);
+                let remeasured = run_benchmarks(&config);
+                let retry = regressions(&remeasured, &baseline, REGRESSION_TOLERANCE);
                 regs.retain(|(name, _, _)| retry.iter().any(|(n, _, _)| n == name));
+                let lane_retry = lane_regressions(&remeasured, &baseline, LANE_TOLERANCE);
+                lane_regs.retain(|(name, _, _)| lane_retry.iter().any(|(n, _, _)| n == name));
             }
-            if !regs.is_empty() {
+            if !regs.is_empty() || !lane_regs.is_empty() {
                 for (name, base, now) in &regs {
                     eprintln!(
                         "xbench: FAIL: {name} speedup regressed: {now:.2}x vs baseline {base:.2}x \
                          (>{:.0}% drop, confirmed on re-measure)",
                         REGRESSION_TOLERANCE * 100.0
+                    );
+                }
+                for (name, base, now) in &lane_regs {
+                    eprintln!(
+                        "xbench: FAIL: {name} lane batch vs_threads regressed: {now:.2}x vs \
+                         baseline {base:.2}x (>{:.0}% drop, confirmed on re-measure)",
+                        LANE_TOLERANCE * 100.0
                     );
                 }
                 status = 3;

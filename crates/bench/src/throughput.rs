@@ -14,8 +14,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ximd::prelude::*;
-use ximd::sim::TimingSpec;
-use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, saxpy, tproc, RunSpec};
+use ximd::sim::{LaneXsim, TimingSpec};
+use ximd::workloads::{
+    bitcount, gen, lane_batch, livermore, minmax, nonblocking, saxpy, tproc, RunSpec,
+};
 
 /// Benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +63,18 @@ pub struct WorkloadBench {
     pub iters: u32,
     /// The engines agreed on `RunSummary`, registers, memory and ports.
     pub equivalent: bool,
+    /// Whether the baseline speedup gate applies to this record. Workloads
+    /// below [`MIN_GATED_SIM_CYCLES`] finish in well under a microsecond,
+    /// where the interpreter-vs-decoded ratio is dominated by fixed per-run
+    /// overhead and scheduler noise rather than engine throughput; their
+    /// ratios are reported but exempt from the regression gate.
+    pub gated: bool,
 }
+
+/// Minimum simulated cycles per run for a workload's speedup ratio to be
+/// meaningful enough to gate on (tproc's 6-cycle run sits far below this;
+/// every real kernel is far above it).
+pub const MIN_GATED_SIM_CYCLES: u64 = 32;
 
 impl WorkloadBench {
     /// Simulated cycles per wall-clock second, interpreter.
@@ -95,6 +108,37 @@ pub struct BatchBench {
 
 impl BatchBench {
     /// Aggregate simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / self.wall_secs
+    }
+}
+
+/// One lane-engine batch measurement: N instances of one program stepped
+/// in lockstep on a single core by `ximd_sim::LaneXsim`.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneBatchBench {
+    /// Workload name.
+    pub workload: &'static str,
+    /// `"uniform"` — identical lanes, like-for-like with the threaded
+    /// `batch` row (same prototype, same data); stays on the vectorized
+    /// path the whole run. `"seeded"` — per-lane input data, so lanes
+    /// diverge and park at different cycles, exercising the scalar
+    /// fallback; every lane is verified against its own independent
+    /// decoded run.
+    pub mode: &'static str,
+    /// Lanes in the batch.
+    pub lanes: usize,
+    /// Sum of per-lane simulated cycles.
+    pub total_cycles: u64,
+    /// Wall time for the whole batch (including batch assembly, matching
+    /// the threaded row's per-instance clone cost), seconds.
+    pub wall_secs: f64,
+    /// Lane state matched independent decoded runs exactly.
+    pub equivalent: bool,
+}
+
+impl LaneBatchBench {
+    /// Aggregate simulated lane-cycles per wall-clock second.
     pub fn cycles_per_sec(&self) -> f64 {
         self.total_cycles as f64 / self.wall_secs
     }
@@ -134,14 +178,26 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadBench>,
     /// The batched multi-instance measurement (decoded engine).
     pub batch: BatchBench,
+    /// Lane-engine batch measurements (uniform + seeded rows).
+    pub batch_lanes: Vec<LaneBatchBench>,
     /// Cycles under swept timing models (memory latency 1–8, banked:2).
     pub sweep: Vec<SweepPoint>,
 }
 
 impl BenchReport {
-    /// True if every workload's engines agreed exactly.
+    /// True if every workload's engines agreed exactly, including every
+    /// verified lane of the lane-batch rows.
     pub fn all_equivalent(&self) -> bool {
-        self.workloads.iter().all(|w| w.equivalent)
+        self.workloads.iter().all(|w| w.equivalent) && self.batch_lanes.iter().all(|l| l.equivalent)
+    }
+
+    /// A lane row's aggregate throughput relative to the threaded `batch`
+    /// row of the same report (both measured on this host, so the ratio is
+    /// host-speed independent — though it does scale with the runner's
+    /// core count, since the threaded row uses every core and the lane
+    /// row exactly one).
+    pub fn lane_vs_threads(&self, row: &LaneBatchBench) -> f64 {
+        row.cycles_per_sec() / self.batch.cycles_per_sec()
     }
 
     /// A named workload's measurements.
@@ -177,6 +233,37 @@ fn engines_agree(interp: &Xsim, fast: &Xsim, a: &RunSummary, b: &RunSummary) -> 
             .collect()
     };
     written(interp) == written(fast)
+}
+
+/// Full-state check of one lane of a finished batch against an independent
+/// decoded run of the same machine: summary, registers, PCs, CCs, the
+/// memory window and port traffic.
+fn lane_agrees(lanes: &LaneXsim, lane: usize, solo: &Xsim, summary: &RunSummary) -> bool {
+    if lanes.summary(lane) != Some(summary)
+        || lanes.pcs(lane) != solo.pcs()
+        || lanes.ccs(lane) != solo.ccs()
+    {
+        return false;
+    }
+    let num_regs = solo.config().num_regs;
+    if (0..num_regs as u16).any(|r| lanes.reg(lane, Reg(r)) != solo.reg(Reg(r))) {
+        return false;
+    }
+    if lanes.mem_peek_slice(lane, 0, MEM_WINDOW).ok() != solo.mem().peek_slice(0, MEM_WINDOW).ok() {
+        return false;
+    }
+    let events = |ports: &[IoPort]| -> Vec<Vec<(u64, i32)>> {
+        ports
+            .iter()
+            .map(|p| {
+                p.written()
+                    .iter()
+                    .map(|e| (e.cycle, e.value.as_i32()))
+                    .collect()
+            })
+            .collect()
+    };
+    events(lanes.ports(lane)) == events(solo.ports())
 }
 
 use ximd::sim::RunSummary;
@@ -245,6 +332,7 @@ fn bench_one(
         decoded_secs,
         iters,
         equivalent,
+        gated: sim_cycles >= MIN_GATED_SIM_CYCLES,
     }
 }
 
@@ -433,10 +521,76 @@ pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
         }
     };
 
+    // The same heavy-traffic axis on the lane engine: one decoded program,
+    // N lanes stepped in lockstep on one core.
+    let mut batch_lanes = Vec::new();
+
+    // Uniform row — like-for-like with the threaded `batch` row: same
+    // prototype, same data, every lane identical, so the run never leaves
+    // the vectorized path. Timed region includes batch assembly, matching
+    // the threaded row's per-instance clone cost. Identical lanes make
+    // per-lane checks redundant; three spot-checked lanes against one
+    // independent run pin the whole batch.
+    {
+        let lanes_n = if config.quick { 256usize } else { 1024 };
+        let data = gen::bit_weighted_ints(29, scale, 24);
+        let (proto, spec) = bitcount::prepared(&data).expect("bitcount");
+        let t = Instant::now();
+        let mut lanes = LaneXsim::replicate(&proto, lanes_n).expect("lane batch assembles");
+        spec.drive_lanes(&mut lanes).expect("lane batch runs");
+        let wall_secs = t.elapsed().as_secs_f64();
+        let mut solo = proto.clone();
+        let summary = spec.drive_decoded(&mut solo).expect("bitcount runs");
+        let equivalent = [0, lanes_n / 2, lanes_n - 1]
+            .iter()
+            .all(|&l| lane_agrees(&lanes, l, &solo, &summary));
+        batch_lanes.push(LaneBatchBench {
+            workload: "bitcount",
+            mode: "uniform",
+            lanes: lanes_n,
+            total_cycles: lanes.total_cycles(),
+            wall_secs,
+            equivalent,
+        });
+    }
+
+    // Seeded row — per-lane input data, so lanes diverge on data-dependent
+    // branches and park at different cycles: the honest number for mixed
+    // populations, exercising the scalar fallback and masking paths. Every
+    // lane is verified against its own independent decoded run.
+    {
+        let lanes_n = if config.quick { 64usize } else { 256 };
+        let lane_data: Vec<Vec<i32>> = (0..lanes_n)
+            .map(|lane| gen::bit_weighted_ints(1000 + lane as u64, scale, 24))
+            .collect();
+        let prepared: Vec<(Xsim, RunSpec)> = lane_data
+            .iter()
+            .map(|data| bitcount::prepared(data).expect("bitcount"))
+            .collect();
+        let t = Instant::now();
+        let (mut lanes, spec) = lane_batch(prepared).expect("lane batch assembles");
+        spec.drive_lanes(&mut lanes).expect("lane batch runs");
+        let wall_secs = t.elapsed().as_secs_f64();
+        let equivalent = lane_data.iter().enumerate().all(|(l, data)| {
+            let (mut solo, solo_spec) = bitcount::prepared(data).expect("bitcount");
+            let summary = solo_spec.drive_decoded(&mut solo).expect("bitcount runs");
+            lane_agrees(&lanes, l, &solo, &summary)
+        });
+        batch_lanes.push(LaneBatchBench {
+            workload: "bitcount",
+            mode: "seeded",
+            lanes: lanes_n,
+            total_cycles: lanes.total_cycles(),
+            wall_secs,
+            equivalent,
+        });
+    }
+
     BenchReport {
         quick: config.quick,
         workloads,
         batch,
+        batch_lanes,
         sweep: run_latency_sweep(config.quick),
     }
 }
@@ -457,7 +611,7 @@ pub fn to_json(report: &BenchReport) -> String {
             "    {{\"name\": \"{}\", \"timing\": \"{}\", \"sim_cycles\": {}, \"iters\": {}, \
              \"interp_wall_secs\": {:.6}, \"decoded_wall_secs\": {:.6}, \
              \"interp_cycles_per_sec\": {:.1}, \"decoded_cycles_per_sec\": {:.1}, \
-             \"speedup\": {:.3}, \"equivalent\": {}}}{comma}",
+             \"speedup\": {:.3}, \"equivalent\": {}, \"gated\": {}}}{comma}",
             w.name,
             w.timing,
             w.sim_cycles,
@@ -468,6 +622,7 @@ pub fn to_json(report: &BenchReport) -> String {
             w.decoded_cps(),
             w.speedup(),
             w.equivalent,
+            w.gated,
         );
     }
     let _ = writeln!(out, "  ],");
@@ -483,6 +638,26 @@ pub fn to_json(report: &BenchReport) -> String {
         b.wall_secs,
         b.cycles_per_sec()
     );
+    let _ = writeln!(out, "  \"batch_lanes\": [");
+    let n = report.batch_lanes.len();
+    for (i, l) in report.batch_lanes.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"lanes\": {}, \
+             \"total_cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"vs_threads\": {:.3}, \"equivalent\": {}}}{comma}",
+            l.workload,
+            l.mode,
+            l.lanes,
+            l.total_cycles,
+            l.wall_secs,
+            l.cycles_per_sec(),
+            report.lane_vs_threads(l),
+            l.equivalent,
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"sweep\": [");
     let n = report.sweep.len();
     for (i, p) in report.sweep.iter().enumerate() {
@@ -504,10 +679,15 @@ pub fn to_json(report: &BenchReport) -> String {
 /// minimal line-oriented parser for the format [`to_json`] emits). Records
 /// written before the timing layer existed carry no `"timing"` field; those
 /// measured the ideal machine, so the tag defaults to `"ideal"`. Sweep rows
-/// key their workload as `"workload"`, not `"name"`, and are skipped here.
+/// key their workload as `"workload"`, not `"name"`, and are skipped here,
+/// as are records explicitly marked `"gated": false` (sub-microsecond
+/// workloads whose ratio is noise — see [`MIN_GATED_SIM_CYCLES`]).
 pub fn baseline_speedups(json: &str) -> Vec<(String, String, f64)> {
     json.lines()
         .filter_map(|line| {
+            if line.contains("\"gated\": false") {
+                return None;
+            }
             let name = str_field(line, "name")?;
             let timing = str_field(line, "timing").unwrap_or("ideal");
             let speedup = num_field(line, "speedup")?;
@@ -540,8 +720,10 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
 /// the gate on every run. Comparison is like-for-like: a baseline record
 /// only gates a fresh record with the same `(name, timing)` pair, so an
 /// ideal-machine baseline never judges a stalling machine (whose ratio it
-/// says nothing about) and vice versa. Returns the workloads whose speedup
-/// dropped more than `tolerance` (e.g. `0.2` = 20%) below the baseline's.
+/// says nothing about) and vice versa, and a record exempt from gating on
+/// *either* side (fresh `gated: false`, or a baseline line so marked) is
+/// skipped. Returns the workloads whose speedup dropped more than
+/// `tolerance` (e.g. `0.2` = 20%) below the baseline's.
 pub fn regressions(
     report: &BenchReport,
     baseline_json: &str,
@@ -552,10 +734,51 @@ pub fn regressions(
         let matched = report
             .workloads
             .iter()
-            .find(|w| w.name == name && w.timing == timing);
+            .find(|w| w.gated && w.name == name && w.timing == timing);
         if let Some(w) = matched {
             if w.speedup() < base * (1.0 - tolerance) {
                 out.push((name, base, w.speedup()));
+            }
+        }
+    }
+    out
+}
+
+/// Compares the fresh lane-engine rows against a committed baseline's
+/// `batch_lanes` records, keyed like-for-like on `(workload, mode)`.
+///
+/// The gated quantity is `vs_threads` — lane aggregate cycles/s over the
+/// same report's threaded-batch cycles/s. Both sides of that ratio are
+/// measured on the same host in the same process, so it is host-speed
+/// independent; it *does* scale inversely with the runner's core count
+/// (threads use every core, lanes exactly one), which is why callers pass
+/// a generous tolerance rather than a tight one. Only `"uniform"` rows are
+/// gated: the seeded row's throughput depends on how the per-lane data
+/// happens to diverge and is reported, not gated. Returns
+/// `(workload, baseline vs_threads, fresh vs_threads)` for rows that fell
+/// more than `tolerance` below the baseline.
+pub fn lane_regressions(
+    report: &BenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for line in baseline_json.lines() {
+        let (Some(workload), Some("uniform"), Some(base)) = (
+            str_field(line, "workload"),
+            str_field(line, "mode"),
+            num_field(line, "vs_threads"),
+        ) else {
+            continue;
+        };
+        let matched = report
+            .batch_lanes
+            .iter()
+            .find(|l| l.workload == workload && l.mode == "uniform");
+        if let Some(l) = matched {
+            let fresh = report.lane_vs_threads(l);
+            if fresh < base * (1.0 - tolerance) {
+                out.push((workload.to_string(), base, fresh));
             }
         }
     }
@@ -578,6 +801,15 @@ mod tests {
         assert!(report.workloads.iter().all(|w| w.sim_cycles > 0));
         assert!(report.workloads.iter().all(|w| w.timing == "ideal"));
         assert!(report.batch.total_cycles > 0);
+        // tproc's 6-cycle run is exempt from the ratio gate; the real
+        // kernels are gated.
+        assert!(!report.workload("tproc").unwrap().gated);
+        assert!(report.workload("bitcount").unwrap().gated);
+        // Both lane rows ran and verified against independent runs.
+        assert_eq!(report.batch_lanes.len(), 2);
+        assert_eq!(report.batch_lanes[0].mode, "uniform");
+        assert_eq!(report.batch_lanes[1].mode, "seeded");
+        assert!(report.batch_lanes.iter().all(|l| l.total_cycles > 0));
     }
 
     #[test]
@@ -627,6 +859,7 @@ mod tests {
                 decoded_secs: 0.005,
                 iters: 3,
                 equivalent: true,
+                gated: true,
             }],
             batch: BatchBench {
                 threads: 2,
@@ -634,6 +867,14 @@ mod tests {
                 total_cycles: 8000,
                 wall_secs: 0.01,
             },
+            batch_lanes: vec![LaneBatchBench {
+                workload: "bitcount",
+                mode: "uniform",
+                lanes: 256,
+                total_cycles: 256_000,
+                wall_secs: 0.08,
+                equivalent: true,
+            }],
             sweep: vec![SweepPoint {
                 workload: "saxpy",
                 timing: "banked:2".into(),
@@ -655,6 +896,46 @@ mod tests {
         assert_eq!(regressions(&report, &inflated, 0.2).len(), 1);
         // ...while the report's own numbers pass it.
         assert!(regressions(&report, &json, 0.2).is_empty());
+        // Lane rows round-trip too: vs_threads = (256000/0.08)/(8000/0.01).
+        assert!(lane_regressions(&report, &json, 0.2).is_empty());
+        let lane_inflated = json.replace("\"vs_threads\": 4.000", "\"vs_threads\": 9.000");
+        let regs = lane_regressions(&report, &lane_inflated, 0.2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, "bitcount");
+        assert!((regs[0].2 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ungated_workloads_are_exempt_from_the_ratio_gate() {
+        let report = BenchReport {
+            quick: true,
+            // A sub-threshold workload whose measured ratio collapsed.
+            workloads: vec![WorkloadBench {
+                name: "tproc",
+                timing: "ideal".into(),
+                sim_cycles: 6,
+                interp_secs: 0.001,
+                decoded_secs: 0.002,
+                iters: 3,
+                equivalent: true,
+                gated: false,
+            }],
+            batch: BatchBench {
+                threads: 1,
+                instances_per_thread: 1,
+                total_cycles: 1,
+                wall_secs: 0.01,
+            },
+            batch_lanes: Vec::new(),
+            sweep: Vec::new(),
+        };
+        // Exempt on the fresh side: even an inflated baseline can't trip it.
+        let baseline = "{\"name\": \"tproc\", \"timing\": \"ideal\", \"speedup\": 9.000}\n";
+        assert!(regressions(&report, baseline, 0.2).is_empty());
+        // Exempt on the baseline side: a gated:false line never gates.
+        let json = to_json(&report);
+        assert!(json.contains("\"gated\": false"));
+        assert!(baseline_speedups(&json).is_empty());
     }
 
     #[test]
@@ -667,6 +948,7 @@ mod tests {
             decoded_secs,
             iters: 3,
             equivalent: true,
+            gated: true,
         };
         let report = BenchReport {
             quick: true,
@@ -678,6 +960,7 @@ mod tests {
                 total_cycles: 1,
                 wall_secs: 0.01,
             },
+            batch_lanes: Vec::new(),
             sweep: Vec::new(),
         };
         // An ideal 4x baseline must not judge the latency:mem=4 record.

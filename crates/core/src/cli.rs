@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use ximd_isa::{Addr, Reg, Value};
-use ximd_sim::{MachineConfig, TimingSpec, VliwProgram, Vsim, Xsim};
+use ximd_sim::{LaneXsim, MachineConfig, TimingSpec, VliwProgram, Vsim, Xsim};
 
 /// Parsed command-line options for both tools.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +37,9 @@ pub struct CliOptions {
     pub ports: Vec<Vec<(u64, i32)>>,
     /// Microarchitecture timing model (default ideal).
     pub timing: TimingSpec,
+    /// Number of identical lane-engine instances to run in lockstep
+    /// (xsim only; default 1 = the ordinary interpreter).
+    pub lanes: usize,
 }
 
 /// Usage text shared by both tools.
@@ -54,6 +57,8 @@ usage: {tool} FILE.xasm [options]
   --timing MODEL      timing model: ideal | latency:CLASS=N,... | banked:N
                       (default ideal; latency classes: alu imul idiv fadd
                       fmul fdiv mem io)
+  --lanes N           run N identical instances on the SoA lane engine
+                      (xsim; ideal timing only, incompatible with --trace)
 ";
 
 fn parse_reg(text: &str) -> Result<Reg, String> {
@@ -71,6 +76,7 @@ fn parse_reg(text: &str) -> Result<Reg, String> {
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut opts = CliOptions {
         max_cycles: 1_000_000,
+        lanes: 1,
         ..CliOptions::default()
     };
     let mut it = args.iter();
@@ -131,6 +137,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--timing" => {
                 opts.timing = TimingSpec::parse(need("--timing")?).map_err(|e| e.to_string())?;
             }
+            "--lanes" => {
+                opts.lanes = need("--lanes")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --lanes value (expected N >= 1)")?;
+            }
             "--dump-reg" => opts.dump_regs.push(parse_reg(need("--dump-reg")?)?),
             "--dump-mem" => {
                 let spec = need("--dump-mem")?;
@@ -148,6 +161,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if opts.source.is_none() {
         return Err("no source file given".into());
+    }
+    if opts.lanes > 1 && opts.trace {
+        return Err("--lanes is incompatible with --trace (lanes share one fetch)".into());
     }
     Ok(opts)
 }
@@ -179,6 +195,9 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
             port.schedule(cycle, Value::I32(value));
         }
         sim.attach_port(port);
+    }
+    if opts.lanes > 1 {
+        return run_xsim_lanes(opts, &sim);
     }
     if opts.trace {
         sim.enable_trace();
@@ -234,6 +253,57 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
         opts,
         |r| sim.reg(r),
         |a, l| sim.mem().peek_slice(a, l),
+    );
+    Ok(out)
+}
+
+/// Runs a seeded machine as `--lanes N` identical instances on the SoA
+/// lane engine and reports the aggregate plus lane 0's view (every lane is
+/// identical, so lane 0 stands for all of them).
+fn run_xsim_lanes(opts: &CliOptions, proto: &Xsim) -> Result<String, String> {
+    let mut lanes = LaneXsim::replicate(proto, opts.lanes).map_err(|e| e.to_string())?;
+    let aggregate = match opts.park {
+        Some(park) => lanes.run_until_parked(park, opts.max_cycles),
+        None => lanes.run(opts.max_cycles),
+    }
+    .map_err(|e| e.to_string())?;
+    let summary = lanes.summary(0).expect("lane 0 finished").clone();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lanes:         {} ({} aggregate cycles)",
+        aggregate.lanes, aggregate.total_cycles
+    );
+    let _ = writeln!(out, "cycles:        {}", summary.cycles);
+    let _ = writeln!(out, "ops executed:  {}", summary.stats.ops);
+    let _ = writeln!(
+        out,
+        "utilization:   {:.1}%",
+        summary.stats.utilization() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "streams:       max {}, avg {:.2}",
+        summary.stats.max_concurrent_streams,
+        summary.stats.avg_streams()
+    );
+    let _ = writeln!(out, "spin cycles:   {}", summary.stats.spin_cycles);
+    for (i, port) in lanes.ports(0).iter().enumerate() {
+        if !port.written().is_empty() {
+            let values: Vec<String> = port
+                .written()
+                .iter()
+                .map(|e| format!("{}@{}", e.value.as_i32(), e.cycle))
+                .collect();
+            let _ = writeln!(out, "port {i} wrote:  [{}]", values.join(", "));
+        }
+    }
+    dump_state(
+        &mut out,
+        opts,
+        |r| lanes.reg(0, r),
+        |a, l| lanes.mem_peek_slice(0, a, l),
     );
     Ok(out)
 }
@@ -728,6 +798,56 @@ mod tests {
         assert!(!run_xlint(&lax).unwrap().failed);
         let strict = parse_lint_args(&args(&[path.to_str().unwrap(), "--strict"])).unwrap();
         assert!(run_xlint(&strict).unwrap().failed);
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_rejects_garbage() {
+        let opts = parse_args(&args(&["f.xasm"])).unwrap();
+        assert_eq!(opts.lanes, 1);
+        let opts = parse_args(&args(&["f.xasm", "--lanes", "64"])).unwrap();
+        assert_eq!(opts.lanes, 64);
+        assert!(parse_args(&args(&["f.xasm", "--lanes", "0"])).is_err());
+        assert!(parse_args(&args(&["f.xasm", "--lanes", "x"])).is_err());
+        // Tracing shows one machine's per-cycle addresses; a batch has none.
+        assert!(parse_args(&args(&["f.xasm", "--lanes", "4", "--trace"])).is_err());
+        assert!(parse_args(&args(&["f.xasm", "--trace", "--lanes", "4"])).is_err());
+    }
+
+    #[test]
+    fn xsim_runs_a_lane_batch_end_to_end() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lanes.xasm");
+        std::fs::write(&path, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+        let opts = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--lanes",
+            "8",
+            "--reg",
+            "r0=37",
+            "--dump-reg",
+            "r1",
+        ]))
+        .unwrap();
+        let report = run_xsim(&opts).unwrap();
+        assert!(
+            report.contains("lanes:         8 (8 aggregate cycles)"),
+            "{report}"
+        );
+        assert!(report.contains("cycles:        1"), "{report}");
+        assert!(report.contains("r1 = 42"), "{report}");
+
+        // The lane engine is ideal-only; a timed batch is rejected cleanly.
+        let timed = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--lanes",
+            "2",
+            "--timing",
+            "latency:mem=3",
+        ]))
+        .unwrap();
+        let err = run_xsim(&timed).unwrap_err();
+        assert!(err.contains("ideal"), "{err}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ use ximd_isa::{
 
 use crate::config::{ConflictPolicy, MachineConfig};
 use crate::device::IoPort;
-use crate::engine::{self, Engine};
+use crate::engine::{self, CycleMem, Engine};
 use crate::error::{ConfigError, SimError};
 use crate::memory::Memory;
 use crate::partition::{DecisionKey, Partition};
@@ -59,11 +59,11 @@ use crate::xsim::{RunSummary, StepStatus, Xsim};
 pub const MAX_FAST_WIDTH: usize = 64;
 
 /// Interned id of [`DecisionKey::Halted`] (always slot 0 of the key table).
-const HALTED_KEY: u32 = 0;
+pub(crate) const HALTED_KEY: u32 = 0;
 
 /// A data operation with every operand resolved to a value-pool index.
 #[derive(Debug, Clone, Copy)]
-enum FastOp {
+pub(crate) enum FastOp {
     Nop,
     Alu { op: AluOp, a: u32, b: u32, d: u16 },
     Un { op: UnOp, a: u32, d: u16 },
@@ -76,7 +76,7 @@ enum FastOp {
 
 /// A control operation with pre-resolved targets and bit-test conditions.
 #[derive(Debug, Clone, Copy)]
-enum FastCtrl {
+pub(crate) enum FastCtrl {
     Goto(u32),
     Branch {
         cond: FastCond,
@@ -88,7 +88,7 @@ enum FastCtrl {
 
 /// Condition evaluation over the CC/SS bitsets.
 #[derive(Debug, Clone, Copy)]
-enum FastCond {
+pub(crate) enum FastCond {
     Cc(u8),
     Sync(u8),
     AllSync,
@@ -97,7 +97,7 @@ enum FastCond {
 
 impl FastCond {
     #[inline]
-    fn eval(self, cc_bits: u64, ss_bits: u64, full_mask: u64) -> bool {
+    pub(crate) fn eval(self, cc_bits: u64, ss_bits: u64, full_mask: u64) -> bool {
         match self {
             FastCond::Cc(j) => cc_bits >> j & 1 != 0,
             FastCond::Sync(j) => ss_bits >> j & 1 != 0,
@@ -109,11 +109,11 @@ impl FastCond {
 
 /// One decoded parcel: resolved data op, flat control, sync bit, key id.
 #[derive(Debug, Clone, Copy)]
-struct FastParcel {
-    op: FastOp,
-    ctrl: FastCtrl,
-    sync_done: bool,
-    key: u32,
+pub(crate) struct FastParcel {
+    pub(crate) op: FastOp,
+    pub(crate) ctrl: FastCtrl,
+    pub(crate) sync_done: bool,
+    pub(crate) key: u32,
 }
 
 /// Interns operands and decision keys while lowering a program.
@@ -236,21 +236,21 @@ impl Decoder {
 /// A program lowered into dense per-FU tables (see the module docs).
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
-    width: usize,
-    len: u32,
-    num_regs: usize,
+    pub(crate) width: usize,
+    pub(crate) len: u32,
+    pub(crate) num_regs: usize,
     /// `len × width` parcels, row-major: `parcels[addr * width + fu]`.
-    parcels: Vec<FastParcel>,
+    pub(crate) parcels: Vec<FastParcel>,
     /// Initial value pool: `num_regs` zeros, then the interned immediates.
-    pool_init: Vec<Value>,
+    pub(crate) pool_init: Vec<Value>,
     /// Interned decision keys; `key_table[id]` recovers the [`DecisionKey`].
-    key_table: Vec<DecisionKey>,
+    pub(crate) key_table: Vec<DecisionKey>,
 }
 
 impl DecodedProgram {
     /// Lowers a validated program. Infallible: every register, target and
     /// FU reference was already range-checked by `Program::validate`.
-    fn lower(program: &Program, num_regs: usize) -> DecodedProgram {
+    pub(crate) fn lower(program: &Program, num_regs: usize) -> DecodedProgram {
         let width = program.width();
         let mut dec = Decoder::new(num_regs);
         let mut parcels = Vec::with_capacity(program.len() * width);
@@ -721,7 +721,7 @@ impl Engine for FastXsim {
     }
 }
 
-fn full_mask(width: usize) -> u64 {
+pub(crate) fn full_mask(width: usize) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {
@@ -732,15 +732,17 @@ fn full_mask(width: usize) -> u64 {
 /// Executes one decoded data operation: start-of-cycle reads from the pool,
 /// register writes staged into `staged`, memory/port effects as in
 /// `engine::execute_data`, statistics updated at the identical points.
+/// Generic over [`CycleMem`] so the lane engine can route the same code at
+/// one lane's slab of a batched memory.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn exec_op(
+pub(crate) fn exec_op<M: CycleMem>(
     op: FastOp,
     fu: u8,
     cycle: u64,
     pool: &[Value],
     staged: &mut Vec<(u8, u16, Value)>,
-    mem: &mut Memory,
+    mem: &mut M,
     ports: &mut [IoPort],
     stats: &mut SimStats,
 ) -> Result<Option<bool>, SimError> {
@@ -819,7 +821,7 @@ fn exec_op(
 /// duplicates are conflicts, `Trap` reports the ascending writer list and
 /// clears the stage, `LastWins` keeps the highest FU and counts one event
 /// per adjacent pair.
-fn commit_pool(
+pub(crate) fn commit_pool(
     staged: &mut Vec<(u8, u16, Value)>,
     pool: &mut [Value],
     policy: ConflictPolicy,

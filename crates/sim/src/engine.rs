@@ -28,6 +28,30 @@ use crate::regfile::RegisterFile;
 use crate::stats::SimStats;
 use crate::xsim::{RunSummary, StepStatus};
 
+/// The cycle-model memory interface the decoded data phase executes
+/// against: start-of-cycle reads, end-of-cycle staged writes. [`Memory`]
+/// implements it directly; the lane engine implements it with a per-lane
+/// view that routes the same operations at one lane's slab of a batched
+/// memory, so `decoded::exec_op` is shared verbatim between the two.
+pub(crate) trait CycleMem {
+    /// Reads the word at `addr` as of the start of the current cycle.
+    fn read(&self, addr: i64) -> Result<Value, SimError>;
+    /// Stages a write to commit at end of cycle.
+    fn stage_write(&mut self, fu: FuId, addr: i64, value: Value) -> Result<(), SimError>;
+}
+
+impl CycleMem for Memory {
+    #[inline]
+    fn read(&self, addr: i64) -> Result<Value, SimError> {
+        Memory::read(self, addr)
+    }
+
+    #[inline]
+    fn stage_write(&mut self, fu: FuId, addr: i64, value: Value) -> Result<(), SimError> {
+        Memory::stage_write(self, fu, addr, value)
+    }
+}
+
 /// Executes `op` on behalf of `fu`, staging register and memory writes.
 ///
 /// Returns the new condition-code value if the operation was a compare.
@@ -183,6 +207,49 @@ pub(crate) trait Engine {
     fn summary(&self) -> RunSummary;
 }
 
+/// The termination rules of [`run_loop`], factored out so an engine that
+/// steps many machines at once (the lane engine) can apply the *identical*
+/// budget/park/halt decisions to each lane independently. Keeping the rules
+/// in one struct is what makes "lane k behaves exactly like a standalone
+/// `run`/`run_until_parked` of machine k" a structural property rather than
+/// a re-implementation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Governor {
+    park: Option<Addr>,
+    max_cycles: u64,
+}
+
+impl Governor {
+    pub(crate) fn new(park: Option<Addr>, max_cycles: u64) -> Governor {
+        Governor { park, max_cycles }
+    }
+
+    /// True when a machine at `cycle` has no budget left to step.
+    pub(crate) fn out_of_budget(&self, cycle: u64) -> bool {
+        cycle >= self.max_cycles
+    }
+
+    /// The verdict for a machine whose budget ran out: a machine that
+    /// already halted exactly at the budget is a success, anything else is
+    /// a [`SimError::CycleLimit`].
+    pub(crate) fn budget_verdict(&self, finished: bool) -> Result<(), SimError> {
+        if finished {
+            Ok(())
+        } else {
+            Err(SimError::CycleLimit {
+                limit: self.max_cycles,
+            })
+        }
+    }
+
+    /// Whether the park condition holds *before* a step. A parked machine
+    /// still executes that one final cycle so the parked cycle appears in
+    /// traces — the paper's Figure 10 convention.
+    pub(crate) fn observes_park(&self, all_parked: impl FnOnce(Addr) -> bool) -> bool {
+        self.park.is_some_and(all_parked)
+    }
+}
+
 /// Runs `sim` until every FU halts, the optional park condition holds (all
 /// running FUs at `park`, after which one final cycle executes so the
 /// parked cycle appears in traces — the paper's Figure 10 convention), or
@@ -193,18 +260,15 @@ pub(crate) fn run_loop<E: Engine>(
     park: Option<Addr>,
     max_cycles: u64,
 ) -> Result<RunSummary, SimError> {
-    while sim.cycle() < max_cycles {
-        let parked = park.is_some_and(|p| sim.all_parked(p));
+    let gov = Governor::new(park, max_cycles);
+    while !gov.out_of_budget(sim.cycle()) {
+        let parked = gov.observes_park(|p| sim.all_parked(p));
         let status = sim.step()?;
         if parked || status == StepStatus::AllHalted {
             return Ok(sim.summary());
         }
     }
-    if sim.finished() {
-        Ok(sim.summary())
-    } else {
-        Err(SimError::CycleLimit { limit: max_cycles })
-    }
+    gov.budget_verdict(sim.finished()).map(|()| sim.summary())
 }
 
 /// The decoded fast-path plumbing shared by `Xsim` and `Vsim`: lower the

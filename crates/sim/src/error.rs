@@ -44,6 +44,14 @@ pub enum ConfigError {
     /// The decoded fast path was built for a non-ideal timing model; it is
     /// only a valid implementation of [`Ideal`](crate::Ideal).
     DecodedRequiresIdeal,
+    /// A lane batch with zero lanes.
+    ZeroLanes,
+    /// A lane batch whose instances disagree on program or configuration —
+    /// the lane engine shares one decoded program across all lanes.
+    LaneMismatch {
+        /// The first lane that differs from lane 0.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -75,6 +83,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "decoded fast path only implements the ideal timing model"
+                )
+            }
+            ConfigError::ZeroLanes => write!(f, "lane batch needs at least 1 lane"),
+            ConfigError::LaneMismatch { lane } => {
+                write!(
+                    f,
+                    "lane {lane} runs a different program or configuration than lane 0"
                 )
             }
         }
@@ -152,6 +167,15 @@ pub enum SimError {
     /// The machine configuration itself is invalid (checked before the
     /// first cycle, so no partial run ever happens).
     Config(ConfigError),
+    /// An error raised by one lane of a batched lane-engine run, attributed
+    /// to that lane. The inner error is what an independent run of that
+    /// lane's machine would have reported.
+    Lane {
+        /// The lane whose machine raised the error.
+        lane: usize,
+        /// The underlying error.
+        error: Box<SimError>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -183,6 +207,7 @@ impl fmt::Display for SimError {
                 write!(f, "cycle limit of {limit} reached before all units halted")
             }
             SimError::Config(e) => write!(f, "invalid machine configuration: {e}"),
+            SimError::Lane { lane, error } => write!(f, "lane {lane}: {error}"),
         }
     }
 }
@@ -198,6 +223,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Isa(e) => Some(e),
             SimError::DataFault { fault, .. } => Some(fault),
+            SimError::Lane { error, .. } => Some(error.as_ref()),
             _ => None,
         }
     }
@@ -244,6 +270,10 @@ mod tests {
             },
             SimError::CycleLimit { limit: 1000 },
             SimError::Config(ConfigError::ZeroWidth),
+            SimError::Lane {
+                lane: 3,
+                error: Box::new(SimError::CycleLimit { limit: 10 }),
+            },
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());
@@ -270,6 +300,8 @@ mod tests {
                 reason: "unknown model",
             },
             ConfigError::DecodedRequiresIdeal,
+            ConfigError::ZeroLanes,
+            ConfigError::LaneMismatch { lane: 2 },
         ];
         for err in cases {
             let wrapped = SimError::Config(err);

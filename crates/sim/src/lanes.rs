@@ -1,0 +1,1597 @@
+//! Wide-batch SoA lane engine: N machines per core off one decoded program.
+//!
+//! The decoded fast path ([`FastXsim`](crate::FastXsim)) simulates one
+//! machine at a time, so running a population of independent instances —
+//! parameter sweeps, per-seed workload batches, Monte-Carlo fault studies —
+//! pays the full fetch/decode/dispatch overhead once *per instance per
+//! cycle*. But N instances of the *same* program differ only in data state.
+//! [`LaneXsim`] exploits that: it lowers the program once and steps all N
+//! instances ("lanes") in lockstep over structure-of-arrays state —
+//!
+//! * register files as one `[lane][reg]`-contiguous value-pool array,
+//! * condition codes and sync signals as per-lane `u64` bitsets,
+//! * data memory as contiguous per-lane slabs (`LaneMemory`),
+//!
+//! so a single fetch/decode/dispatch drives every lane and the inner loops
+//! are tight strides over flat arrays.
+//!
+//! # Masking and the scalar fallback
+//!
+//! While every active lane shares one PC vector the engine runs in
+//! **uniform** mode: parcels are fetched once, each operation's dispatch
+//! happens once, and only the data loop runs per lane. The moment a
+//! conditional branch resolves differently across lanes the engine
+//! materializes per-lane PC vectors and drops to a **scalar** fallback that
+//! steps each lane exactly like [`FastXsim::step`](crate::FastXsim::step)
+//! (it literally shares `exec_op`/`commit_pool` with the decoded engine).
+//! When all active lanes land back on one PC vector the engine reconverges
+//! to uniform mode. Lanes that halt or park are *masked*: they leave the
+//! active set and their registers, memory, ports and statistics are frozen
+//! — exactly the state an independent run of that lane would have stopped
+//! with.
+//!
+//! # Validity
+//!
+//! Like the decoded path, the lane engine hard-codes single-cycle occupancy
+//! and is therefore only a valid implementation of the ideal timing model;
+//! constructors reject non-ideal configs with
+//! [`ConfigError::DecodedRequiresIdeal`]. The interpreter remains the
+//! oracle: `tests/decoded_equivalence.rs` and the proptest suite pin
+//! full-state per-lane equivalence against N independent decoded runs,
+//! including divergence-heavy workloads.
+//!
+//! # Errors
+//!
+//! A machine check in any lane aborts the whole batch with
+//! [`SimError::Lane`] wrapping the error an independent run of that lane
+//! would have reported. As with [`FastXsim`](crate::FastXsim), the batch is
+//! left mid-cycle after an error and should be discarded.
+
+use std::collections::HashMap;
+
+use ximd_isa::{Addr, FuId, Program, Reg, SyncSignal, Value};
+
+use crate::config::{ConflictPolicy, MachineConfig};
+use crate::decoded::{
+    commit_pool, exec_op, full_mask, DecodedProgram, FastCtrl, FastOp, HALTED_KEY, MAX_FAST_WIDTH,
+};
+use crate::device::IoPort;
+use crate::engine::{CycleMem, Governor};
+use crate::error::{ConfigError, SimError};
+use crate::stats::SimStats;
+use crate::xsim::{RunSummary, Xsim};
+
+/// Words per lane kept in the dense slab; addresses beyond this spill to a
+/// shared overflow map. 8 Ki words (32 KiB) covers every shipped workload's
+/// footprint while keeping a 1024-lane batch at 32 MiB of slab.
+const DENSE_WORDS: u32 = 1 << 13;
+
+/// Aggregate result of a batched run: every lane ran to completion under
+/// the run's park/halt/budget rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRunSummary {
+    /// Number of lanes in the batch.
+    pub lanes: usize,
+    /// Sum of the per-lane cycle counters (the aggregate throughput
+    /// numerator; per-lane summaries are available via
+    /// [`LaneXsim::summary`]).
+    pub total_cycles: u64,
+}
+
+/// Per-lane data memory: one dense slab per lane for the hot low addresses
+/// plus a shared sparse overflow map, with the exact bounds-check and
+/// end-of-cycle commit/conflict semantics of [`Memory`](crate::Memory).
+#[derive(Debug, Clone)]
+struct LaneMemory {
+    size: u32,
+    dense: u32,
+    /// `lanes × dense` words, lane-major.
+    slab: Vec<u32>,
+    /// Words at `addr >= dense`, keyed `lane << 32 | addr`.
+    overflow: HashMap<u64, u32>,
+    /// Staged end-of-cycle writes: `(lane, fu, addr, bits)`.
+    staged: Vec<(u32, FuId, u32, u32)>,
+    /// Per-lane conflicts resolved under [`ConflictPolicy::LastWins`].
+    conflicts: Vec<u64>,
+}
+
+fn overflow_key(lane: usize, addr: u32) -> u64 {
+    (lane as u64) << 32 | u64::from(addr)
+}
+
+impl LaneMemory {
+    fn new(size: u32, lanes: usize) -> LaneMemory {
+        let dense = size.min(DENSE_WORDS);
+        LaneMemory {
+            size,
+            dense,
+            slab: vec![0; lanes * dense as usize],
+            overflow: HashMap::new(),
+            staged: Vec::new(),
+            conflicts: vec![0; lanes],
+        }
+    }
+
+    fn check(&self, addr: i64) -> Result<u32, SimError> {
+        if addr < 0 || addr >= i64::from(self.size) {
+            Err(SimError::MemoryOutOfRange {
+                addr,
+                size: self.size,
+            })
+        } else {
+            Ok(addr as u32)
+        }
+    }
+
+    fn read(&self, lane: usize, addr: i64) -> Result<Value, SimError> {
+        let addr = self.check(addr)?;
+        let bits = if addr < self.dense {
+            self.slab[lane * self.dense as usize + addr as usize]
+        } else {
+            self.overflow
+                .get(&overflow_key(lane, addr))
+                .copied()
+                .unwrap_or(0)
+        };
+        Ok(Value::from_bits_int(bits))
+    }
+
+    fn stage_write(
+        &mut self,
+        lane: usize,
+        fu: FuId,
+        addr: i64,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let addr = self.check(addr)?;
+        self.staged.push((lane as u32, fu, addr, value.bits()));
+        Ok(())
+    }
+
+    fn write(&mut self, lane: usize, addr: u32, bits: u32) {
+        if addr < self.dense {
+            self.slab[lane * self.dense as usize + addr as usize] = bits;
+        } else {
+            self.overflow.insert(overflow_key(lane, addr), bits);
+        }
+    }
+
+    /// Commits all staged writes with `Memory::commit`'s conflict semantics
+    /// applied per lane: sort by `(lane, addr, fu)`, adjacent same-word
+    /// duplicates within a lane are conflicts, `LastWins` lets the highest
+    /// FU win and counts one event per adjacent pair.
+    fn commit(&mut self, policy: ConflictPolicy, cycles: &[u64]) -> Result<(), SimError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        self.staged
+            .sort_by_key(|&(lane, fu, addr, _)| (lane, addr, fu));
+        for pair in self.staged.windows(2) {
+            if pair[0].0 == pair[1].0 && pair[0].2 == pair[1].2 {
+                match policy {
+                    ConflictPolicy::Trap => {
+                        let (lane, _, addr, _) = pair[0];
+                        let fus = self
+                            .staged
+                            .iter()
+                            .filter(|w| w.0 == lane && w.2 == addr)
+                            .map(|w| w.1)
+                            .collect();
+                        self.staged.clear();
+                        return Err(SimError::Lane {
+                            lane: lane as usize,
+                            error: Box::new(SimError::MemoryWriteConflict {
+                                addr,
+                                fus,
+                                cycle: cycles[lane as usize],
+                            }),
+                        });
+                    }
+                    ConflictPolicy::LastWins => self.conflicts[pair[0].0 as usize] += 1,
+                }
+            }
+        }
+        for i in 0..self.staged.len() {
+            let (lane, _, addr, bits) = self.staged[i];
+            self.write(lane as usize, addr, bits);
+        }
+        self.staged.clear();
+        Ok(())
+    }
+
+    fn lane_conflicts(&self, lane: usize) -> u64 {
+        self.conflicts[lane]
+    }
+}
+
+/// Routes [`exec_op`]'s memory traffic at one lane's slab, so the scalar
+/// fallback shares the decoded engine's data phase verbatim.
+struct LaneMemView<'a> {
+    mem: &'a mut LaneMemory,
+    lane: usize,
+}
+
+impl CycleMem for LaneMemView<'_> {
+    #[inline]
+    fn read(&self, addr: i64) -> Result<Value, SimError> {
+        self.mem.read(self.lane, addr)
+    }
+
+    #[inline]
+    fn stage_write(&mut self, fu: FuId, addr: i64, value: Value) -> Result<(), SimError> {
+        self.mem.stage_write(self.lane, fu, addr, value)
+    }
+}
+
+fn lane_err(lane: usize, error: SimError) -> SimError {
+    SimError::Lane {
+        lane,
+        error: Box::new(error),
+    }
+}
+
+/// The batched lane engine: N machines running one [`DecodedProgram`] in
+/// lockstep over structure-of-arrays state (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, Parcel, Program, Reg, Value};
+/// use ximd_sim::{LaneXsim, MachineConfig, Xsim};
+///
+/// let mut program = Program::new(1);
+/// program.push(vec![Parcel::goto(Addr(1))]);
+/// program.push(vec![Parcel::halt()]);
+///
+/// let proto = Xsim::new(program, MachineConfig::with_width(1))?;
+/// let mut lanes = LaneXsim::replicate(&proto, 4)?;
+/// let summary = lanes.run(10)?;
+/// assert_eq!(summary.lanes, 4);
+/// assert_eq!(summary.total_cycles, 8); // 2 cycles × 4 lanes
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneXsim {
+    decoded: DecodedProgram,
+    reg_policy: ConflictPolicy,
+    mem_policy: ConflictPolicy,
+    lanes: usize,
+    pool_len: usize,
+    width: usize,
+    full_mask: u64,
+    /// `lanes × pool_len` values, lane-major: registers then interned
+    /// constants (constants are duplicated per lane so every operand index
+    /// is a plain `base + idx`).
+    pool: Vec<Value>,
+    mem: LaneMemory,
+    /// Per-lane attached I/O ports.
+    ports: Vec<Vec<IoPort>>,
+    /// Per-lane PC vectors, `lanes × width` lane-major. Authoritative in
+    /// scalar mode; stale for active lanes while `uniform` holds.
+    pcs: Vec<Option<u32>>,
+    /// The shared PC vector all active lanes agree on in uniform mode.
+    upcs: Vec<Option<u32>>,
+    uniform: bool,
+    /// Per-lane latched condition codes / known mask / sync signals.
+    cc_bits: Vec<u64>,
+    cc_known: Vec<u64>,
+    ss_bits: Vec<u64>,
+    /// Per-lane cycle counters (lanes may enter mid-run at different
+    /// cycles; active lanes advance together, one cycle per global step).
+    cycles: Vec<u64>,
+    stats: Vec<SimStats>,
+    /// Per-lane register conflicts resolved under `LastWins`.
+    reg_conflicts: Vec<u64>,
+    /// Static statistics accumulated while in uniform mode (identical for
+    /// every active lane), merged into per-lane stats on materialization.
+    ustats: SimStats,
+    /// Static register-write conflicts accumulated in uniform mode.
+    ureg_conflicts: u64,
+    /// Ascending lane ids still running.
+    active: Vec<usize>,
+    done: Vec<bool>,
+    summaries: Vec<Option<RunSummary>>,
+    // Reused per-cycle scratch (uniform mode).
+    unext: Vec<Option<u32>>,
+    ukeys: Vec<u32>,
+    slot_meta: Vec<(u8, u16)>,
+    slot_order: Vec<usize>,
+    vvals: Vec<Value>,
+    cmp_fus: Vec<u8>,
+    vcc: Vec<bool>,
+    branch_slots: Vec<(usize, u32, u32, u32)>,
+    vtaken: Vec<bool>,
+    // Reused per-cycle scratch (scalar mode).
+    staged: Vec<(u8, u16, Value)>,
+    cc_upd: Vec<(u8, bool)>,
+    skeys: Vec<u32>,
+    parked_pre: Vec<bool>,
+}
+
+impl LaneXsim {
+    /// Builds a lane batch from independent (possibly mid-run) interpreter
+    /// instances. All instances must run the same program under the same
+    /// configuration — the whole point is sharing one decode — but their
+    /// data state (registers, memory, ports, CCs, PCs, cycle counts) is
+    /// copied per lane verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroLanes`] for an empty batch,
+    /// [`ConfigError::LaneMismatch`] if an instance's program or config
+    /// differs from lane 0's, and [`ConfigError::DecodedRequiresIdeal`] for
+    /// non-ideal timing (the lane engine, like the decoded path, hard-codes
+    /// single-cycle occupancy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
+    pub fn from_instances(sims: &[Xsim]) -> Result<LaneXsim, SimError> {
+        let refs: Vec<&Xsim> = sims.iter().collect();
+        LaneXsim::assemble(&refs)
+    }
+
+    /// Builds a lane batch of `lanes` copies of one prototype machine
+    /// (decode once, tile the state). Per-lane inputs are then poked in via
+    /// [`LaneXsim::write_reg`] / [`LaneXsim::mem_poke_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaneXsim::from_instances`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
+    pub fn replicate(proto: &Xsim, lanes: usize) -> Result<LaneXsim, SimError> {
+        let refs: Vec<&Xsim> = std::iter::repeat_n(proto, lanes).collect();
+        LaneXsim::assemble(&refs)
+    }
+
+    fn assemble(sims: &[&Xsim]) -> Result<LaneXsim, SimError> {
+        let Some(first) = sims.first() else {
+            return Err(ConfigError::ZeroLanes.into());
+        };
+        let config: &MachineConfig = &first.config;
+        let width = config.width;
+        assert!(
+            width <= MAX_FAST_WIDTH,
+            "LaneXsim supports widths up to {MAX_FAST_WIDTH}"
+        );
+        if !config.timing.is_ideal() {
+            return Err(ConfigError::DecodedRequiresIdeal.into());
+        }
+        let first_program: &Program = &first.program;
+        for (lane, sim) in sims.iter().enumerate().skip(1) {
+            if sim.program != *first_program || sim.config != *config {
+                return Err(ConfigError::LaneMismatch { lane }.into());
+            }
+        }
+        let decoded = DecodedProgram::lower(first_program, config.num_regs);
+        let lanes = sims.len();
+        let pool_len = decoded.pool_init.len();
+
+        let mut pool = Vec::with_capacity(lanes * pool_len);
+        let mut mem = LaneMemory::new(config.mem_words, lanes);
+        let mut ports = Vec::with_capacity(lanes);
+        let mut pcs = Vec::with_capacity(lanes * width);
+        let mut cc_bits = Vec::with_capacity(lanes);
+        let mut cc_known = Vec::with_capacity(lanes);
+        let mut ss_bits = Vec::with_capacity(lanes);
+        let mut cycles = Vec::with_capacity(lanes);
+        let mut stats = Vec::with_capacity(lanes);
+        let mut reg_conflicts = Vec::with_capacity(lanes);
+        for (lane, sim) in sims.iter().enumerate() {
+            let start = pool.len();
+            pool.extend_from_slice(&decoded.pool_init);
+            pool[start..start + config.num_regs].copy_from_slice(sim.regs.snapshot());
+            for (addr, bits) in sim.mem.iter_words() {
+                mem.write(lane, addr, bits);
+            }
+            mem.conflicts[lane] = sim.mem.conflicts_resolved();
+            ports.push(sim.ports.clone());
+            pcs.extend(sim.pcs.iter().map(|pc| pc.map(|a| a.0)));
+            let (mut cb, mut ck, mut sb) = (0u64, 0u64, 0u64);
+            for (fu, cc) in sim.ccs.iter().enumerate() {
+                if let Some(c) = *cc {
+                    ck |= 1 << fu;
+                    cb |= u64::from(c) << fu;
+                }
+            }
+            for (fu, ss) in sim.ss.iter().enumerate() {
+                sb |= u64::from(*ss == SyncSignal::Done) << fu;
+            }
+            cc_bits.push(cb);
+            cc_known.push(ck);
+            ss_bits.push(sb);
+            cycles.push(sim.cycle);
+            stats.push(sim.stats.clone());
+            reg_conflicts.push(sim.regs.conflicts_resolved());
+        }
+        let uniform = pcs.chunks_exact(width).all(|row| row == &pcs[..width]);
+        let upcs = pcs[..width].to_vec();
+        Ok(LaneXsim {
+            reg_policy: config.reg_conflicts,
+            mem_policy: config.mem_conflicts,
+            lanes,
+            pool_len,
+            width,
+            full_mask: full_mask(width),
+            pool,
+            mem,
+            ports,
+            pcs,
+            upcs,
+            uniform,
+            cc_bits,
+            cc_known,
+            ss_bits,
+            cycles,
+            stats,
+            reg_conflicts,
+            ustats: SimStats {
+                width,
+                ops_per_fu: vec![0; width],
+                ..SimStats::default()
+            },
+            ureg_conflicts: 0,
+            active: (0..lanes).collect(),
+            done: vec![false; lanes],
+            summaries: vec![None; lanes],
+            unext: vec![None; width],
+            ukeys: vec![HALTED_KEY; width],
+            slot_meta: Vec::with_capacity(width),
+            slot_order: Vec::with_capacity(width),
+            vvals: Vec::new(),
+            cmp_fus: Vec::with_capacity(width),
+            vcc: Vec::new(),
+            branch_slots: Vec::with_capacity(width),
+            vtaken: Vec::new(),
+            staged: Vec::with_capacity(width),
+            cc_upd: Vec::with_capacity(width),
+            skeys: vec![HALTED_KEY; width],
+            parked_pre: Vec::new(),
+            decoded,
+        })
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Machine width the batch was lowered for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// True once lane `lane` has finished (halted, parked or already
+    /// summarized by a completed run).
+    pub fn done(&self, lane: usize) -> bool {
+        self.done[lane]
+    }
+
+    /// True once every lane has finished.
+    pub fn all_done(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// The finished lane's run summary — exactly what an independent
+    /// `run`/`run_until_parked` of that machine would have returned.
+    pub fn summary(&self, lane: usize) -> Option<&RunSummary> {
+        self.summaries[lane].as_ref()
+    }
+
+    /// Reads a register of one lane.
+    pub fn reg(&self, lane: usize, reg: Reg) -> Value {
+        self.pool[lane * self.pool_len + reg.index()]
+    }
+
+    /// Sets a register of one lane (machine setup).
+    pub fn write_reg(&mut self, lane: usize, reg: Reg, value: Value) {
+        assert!(reg.index() < self.decoded.num_regs, "register out of range");
+        self.pool[lane * self.pool_len + reg.index()] = value;
+    }
+
+    /// Directly writes one lane's memory word outside the cycle model.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfRange`] if `addr` is outside memory.
+    pub fn mem_poke(&mut self, lane: usize, addr: i64, value: Value) -> Result<(), SimError> {
+        let addr = self.mem.check(addr)?;
+        self.mem.write(lane, addr, value.bits());
+        Ok(())
+    }
+
+    /// Copies a slice of integers into one lane's memory starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfRange`] if the slice does not fit.
+    pub fn mem_poke_slice(
+        &mut self,
+        lane: usize,
+        base: i64,
+        values: &[i32],
+    ) -> Result<(), SimError> {
+        for (i, &v) in values.iter().enumerate() {
+            self.mem_poke(lane, base + i as i64, Value::I32(v))?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` consecutive integers from one lane's memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfRange`] if the range does not fit.
+    pub fn mem_peek_slice(&self, lane: usize, base: i64, len: usize) -> Result<Vec<i32>, SimError> {
+        (0..len)
+            .map(|i| self.mem.read(lane, base + i as i64).map(Value::as_i32))
+            .collect()
+    }
+
+    /// Attaches an I/O port device to one lane, returning its port number.
+    pub fn attach_port(&mut self, lane: usize, port: IoPort) -> u8 {
+        self.ports[lane].push(port);
+        (self.ports[lane].len() - 1) as u8
+    }
+
+    /// One lane's attached I/O ports.
+    pub fn ports(&self, lane: usize) -> &[IoPort] {
+        &self.ports[lane]
+    }
+
+    /// One lane's cycle counter.
+    pub fn cycle(&self, lane: usize) -> u64 {
+        self.cycles[lane]
+    }
+
+    /// Sum of the per-lane cycle counters.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// One lane's statistics.
+    pub fn stats(&self, lane: usize) -> &SimStats {
+        &self.stats[lane]
+    }
+
+    /// One lane's program counters.
+    pub fn pcs(&self, lane: usize) -> Vec<Option<Addr>> {
+        self.lane_pc_row(lane)
+            .iter()
+            .map(|pc| pc.map(Addr))
+            .collect()
+    }
+
+    /// One lane's latched condition codes.
+    pub fn ccs(&self, lane: usize) -> Vec<Option<bool>> {
+        (0..self.width)
+            .map(|fu| {
+                (self.cc_known[lane] >> fu & 1 != 0).then(|| self.cc_bits[lane] >> fu & 1 != 0)
+            })
+            .collect()
+    }
+
+    /// One lane's sync signals.
+    pub fn ss(&self, lane: usize) -> Vec<SyncSignal> {
+        (0..self.width)
+            .map(|fu| {
+                if self.ss_bits[lane] >> fu & 1 != 0 {
+                    SyncSignal::Done
+                } else {
+                    SyncSignal::Busy
+                }
+            })
+            .collect()
+    }
+
+    fn lane_pc_row(&self, lane: usize) -> &[Option<u32>] {
+        if self.uniform && !self.done[lane] {
+            &self.upcs
+        } else {
+            &self.pcs[lane * self.width..(lane + 1) * self.width]
+        }
+    }
+
+    fn lane_all_halted(&self, lane: usize) -> bool {
+        self.lane_pc_row(lane).iter().all(Option::is_none)
+    }
+
+    fn lane_all_parked(&self, lane: usize, park: Addr) -> bool {
+        self.lane_pc_row(lane)
+            .iter()
+            .all(|pc| pc.is_none_or(|a| a == park.0))
+    }
+
+    /// Merges the uniform-mode accumulator into one lane's statistics and
+    /// recomputes the derived counters. Does not clear the accumulator: a
+    /// lane finishing mid-uniform-run takes its share while the remaining
+    /// lanes keep accumulating.
+    fn materialize_lane(&mut self, lane: usize) {
+        let u = &self.ustats;
+        let s = &mut self.stats[lane];
+        s.ops += u.ops;
+        s.nops += u.nops;
+        s.loads += u.loads;
+        s.stores += u.stores;
+        s.compares += u.compares;
+        s.cond_branches += u.cond_branches;
+        s.spin_cycles += u.spin_cycles;
+        s.halted_fu_cycles += u.halted_fu_cycles;
+        s.sset_cycle_sum += u.sset_cycle_sum;
+        s.max_concurrent_streams = s.max_concurrent_streams.max(u.max_concurrent_streams);
+        for (slot, &o) in s.ops_per_fu.iter_mut().zip(&u.ops_per_fu) {
+            *slot += o;
+        }
+        s.cycles = self.cycles[lane];
+        self.reg_conflicts[lane] += self.ureg_conflicts;
+        self.stats[lane].conflicts_resolved =
+            self.reg_conflicts[lane] + self.mem.lane_conflicts(lane);
+    }
+
+    /// Clears the uniform accumulator after every active lane has been
+    /// materialized (mode switch to scalar).
+    fn clear_uniform_accumulator(&mut self) {
+        self.ustats = SimStats {
+            width: self.width,
+            ops_per_fu: vec![0; self.width],
+            ..SimStats::default()
+        };
+        self.ureg_conflicts = 0;
+    }
+
+    /// Finishes the lane at position `idx` of the active list: materializes
+    /// its statistics, records its summary and masks it out.
+    fn finish_lane_at(&mut self, idx: usize) {
+        let lane = self.active.remove(idx);
+        if self.uniform {
+            self.materialize_lane(lane);
+            let row = lane * self.width;
+            self.pcs[row..row + self.width].copy_from_slice(&self.upcs);
+        }
+        self.done[lane] = true;
+        self.summaries[lane] = Some(RunSummary {
+            cycles: self.cycles[lane],
+            stats: self.stats[lane].clone(),
+        });
+    }
+
+    /// Runs every lane until it halts or its cycle budget is exhausted —
+    /// lane k terminates exactly when an independent
+    /// [`Xsim::run`]-style loop over machine k would.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Lane`] wrapping the first lane's machine check or
+    /// [`SimError::CycleLimit`]. The batch is poisoned after an error.
+    pub fn run(&mut self, max_cycles: u64) -> Result<LaneRunSummary, SimError> {
+        self.run_inner(Governor::new(None, max_cycles))
+    }
+
+    /// Runs every lane until all its running FUs park on the self-loop at
+    /// `park` (then executes the one final parked cycle), it halts, or its
+    /// budget is exhausted — per lane, the exact
+    /// [`Xsim::run_until_parked`] contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Lane`] wrapping the first lane's machine check or
+    /// [`SimError::CycleLimit`]. The batch is poisoned after an error.
+    pub fn run_until_parked(
+        &mut self,
+        park: Addr,
+        max_cycles: u64,
+    ) -> Result<LaneRunSummary, SimError> {
+        self.run_inner(Governor::new(Some(park), max_cycles))
+    }
+
+    fn run_inner(&mut self, gov: Governor) -> Result<LaneRunSummary, SimError> {
+        while !self.active.is_empty() {
+            // Budget pre-check, per lane (`run_loop`'s `while cycle < max`):
+            // a lane that already halted exactly at the budget succeeds,
+            // anything else out of budget is that lane's CycleLimit.
+            let mut idx = 0;
+            while idx < self.active.len() {
+                let lane = self.active[idx];
+                if gov.out_of_budget(self.cycles[lane]) {
+                    gov.budget_verdict(self.lane_all_halted(lane))
+                        .map_err(|e| lane_err(lane, e))?;
+                    self.finish_lane_at(idx);
+                } else {
+                    idx += 1;
+                }
+            }
+            if self.active.is_empty() {
+                break;
+            }
+
+            // Park observed before the step; the parked cycle still runs.
+            self.parked_pre.clear();
+            if self.uniform {
+                let parked =
+                    gov.observes_park(|p| self.upcs.iter().all(|pc| pc.is_none_or(|a| a == p.0)));
+                self.parked_pre.extend(self.active.iter().map(|_| parked));
+            } else {
+                for i in 0..self.active.len() {
+                    let lane = self.active[i];
+                    self.parked_pre
+                        .push(gov.observes_park(|p| self.lane_all_parked(lane, p)));
+                }
+            }
+
+            // One cycle for every active lane.
+            if self.uniform {
+                self.step_uniform()?;
+            } else {
+                for i in 0..self.active.len() {
+                    let lane = self.active[i];
+                    self.step_scalar(lane)?;
+                }
+            }
+
+            // Mask out lanes that parked before this cycle or halted in it.
+            let mut idx = 0;
+            while idx < self.active.len() {
+                let lane = self.active[idx];
+                if self.parked_pre[idx] || self.lane_all_halted(lane) {
+                    self.finish_lane_at(idx);
+                    self.parked_pre.remove(idx);
+                } else {
+                    idx += 1;
+                }
+            }
+
+            // Reconverge to uniform mode when all remaining lanes agree on
+            // one PC vector again.
+            if !self.uniform && !self.active.is_empty() {
+                let first = self.active[0] * self.width;
+                let converged = self.active[1..].iter().all(|&l| {
+                    let row = l * self.width;
+                    self.pcs[row..row + self.width] == self.pcs[first..first + self.width]
+                });
+                if converged {
+                    self.upcs.clear();
+                    self.upcs
+                        .extend_from_slice(&self.pcs[first..first + self.width]);
+                    self.uniform = true;
+                }
+            }
+        }
+        Ok(LaneRunSummary {
+            lanes: self.lanes,
+            total_cycles: self.total_cycles(),
+        })
+    }
+
+    /// One lockstep cycle for every active lane off the shared PC vector:
+    /// fetch/dispatch once, data loops per lane, branch outcomes evaluated
+    /// per lane. On mixed branch outcomes the per-lane PC vectors are
+    /// materialized and the engine switches to the scalar fallback.
+    fn step_uniform(&mut self) -> Result<(), SimError> {
+        let width = self.width;
+        let len = self.decoded.len;
+        let nact = self.active.len();
+        if self.upcs.iter().all(Option::is_none) {
+            return Ok(());
+        }
+
+        // Fetch once + per-lane combinational sync-signal update. An
+        // out-of-range PC is reported by the first running FU, attributed
+        // to the first active lane (every lane would raise it identically).
+        let mut run_mask = 0u64;
+        let mut done_bits = 0u64;
+        for fu in 0..width {
+            if let Some(pc) = self.upcs[fu] {
+                if pc >= len {
+                    let lane = self.active[0];
+                    return Err(lane_err(
+                        lane,
+                        SimError::PcOutOfRange {
+                            fu: FuId(fu as u8),
+                            pc: Addr(pc),
+                            len,
+                        },
+                    ));
+                }
+                run_mask |= 1 << fu;
+                let done = self.decoded.parcels[pc as usize * width + fu].sync_done;
+                done_bits |= u64::from(done) << fu;
+            }
+        }
+        for &lane in &self.active {
+            self.ss_bits[lane] = self.ss_bits[lane] & !run_mask | done_bits;
+        }
+
+        // Data phase: dispatch each FU's operation once, then stride over
+        // the active lanes. Reads observe start-of-cycle pool state; writes
+        // land in `vvals` (slot-major) until the end-of-cycle commit. Port
+        // order is preserved per lane because FUs are walked in ascending
+        // order and ports are per-lane.
+        self.slot_meta.clear();
+        self.vvals.clear();
+        self.cmp_fus.clear();
+        self.vcc.clear();
+        let mut any_store = false;
+        for fu in 0..width {
+            let Some(pc) = self.upcs[fu] else {
+                self.ustats.halted_fu_cycles += 1;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            let fu8 = fu as u8;
+            if !matches!(parcel.op, FastOp::Nop) {
+                if let Some(slot) = self.ustats.ops_per_fu.get_mut(fu) {
+                    *slot += 1;
+                }
+            }
+            match parcel.op {
+                FastOp::Nop => {
+                    self.ustats.nops += 1;
+                }
+                FastOp::Alu { op, a, b, d } => {
+                    self.ustats.ops += 1;
+                    self.slot_meta.push((fu8, d));
+                    for &lane in &self.active {
+                        let base = lane * self.pool_len;
+                        let result = op
+                            .eval(self.pool[base + a as usize], self.pool[base + b as usize])
+                            .map_err(|fault| {
+                                lane_err(
+                                    lane,
+                                    SimError::DataFault {
+                                        fu: FuId(fu8),
+                                        cycle: self.cycles[lane],
+                                        fault,
+                                    },
+                                )
+                            })?;
+                        self.vvals.push(result);
+                    }
+                }
+                FastOp::Un { op, a, d } => {
+                    self.ustats.ops += 1;
+                    self.slot_meta.push((fu8, d));
+                    for &lane in &self.active {
+                        let base = lane * self.pool_len;
+                        self.vvals.push(op.eval(self.pool[base + a as usize]));
+                    }
+                }
+                FastOp::Cmp { op, a, b } => {
+                    self.ustats.ops += 1;
+                    self.ustats.compares += 1;
+                    self.cmp_fus.push(fu8);
+                    for &lane in &self.active {
+                        let base = lane * self.pool_len;
+                        self.vcc.push(
+                            op.eval(self.pool[base + a as usize], self.pool[base + b as usize]),
+                        );
+                    }
+                }
+                FastOp::Load { a, b, d } => {
+                    self.ustats.ops += 1;
+                    self.ustats.loads += 1;
+                    self.slot_meta.push((fu8, d));
+                    for &lane in &self.active {
+                        let base = lane * self.pool_len;
+                        let addr = i64::from(self.pool[base + a as usize].as_i32())
+                            + i64::from(self.pool[base + b as usize].as_i32());
+                        let value = self.mem.read(lane, addr).map_err(|e| lane_err(lane, e))?;
+                        self.vvals.push(value);
+                    }
+                }
+                FastOp::Store { a, b } => {
+                    self.ustats.ops += 1;
+                    self.ustats.stores += 1;
+                    any_store = true;
+                    for &lane in &self.active {
+                        let base = lane * self.pool_len;
+                        let value = self.pool[base + a as usize];
+                        let addr = i64::from(self.pool[base + b as usize].as_i32());
+                        self.mem
+                            .stage_write(lane, FuId(fu8), addr, value)
+                            .map_err(|e| lane_err(lane, e))?;
+                    }
+                }
+                FastOp::PortIn { port, d } => {
+                    self.ustats.ops += 1;
+                    self.slot_meta.push((fu8, d));
+                    for &lane in &self.active {
+                        let devices = &mut self.ports[lane];
+                        let count = devices.len();
+                        let device = devices.get_mut(port as usize).ok_or_else(|| {
+                            lane_err(lane, SimError::PortOutOfRange { port, count })
+                        })?;
+                        self.vvals.push(device.read(self.cycles[lane]));
+                    }
+                }
+                FastOp::PortOut { port, a } => {
+                    self.ustats.ops += 1;
+                    for &lane in &self.active {
+                        let value = self.pool[lane * self.pool_len + a as usize];
+                        let devices = &mut self.ports[lane];
+                        let count = devices.len();
+                        let device = devices.get_mut(port as usize).ok_or_else(|| {
+                            lane_err(lane, SimError::PortOutOfRange { port, count })
+                        })?;
+                        device.write(self.cycles[lane], value);
+                    }
+                }
+            }
+        }
+
+        // Register commit: the write slots are static across lanes, so the
+        // `(reg, fu)` sort and conflict scan run once; only the value
+        // application strides over lanes. Same adjacency semantics as
+        // `commit_pool`.
+        self.slot_order.clear();
+        self.slot_order.extend(0..self.slot_meta.len());
+        {
+            let meta = &self.slot_meta;
+            self.slot_order.sort_unstable_by_key(|&s| {
+                let (fu, reg) = meta[s];
+                (reg, fu)
+            });
+        }
+        let mut resolved = 0u64;
+        let mut trapped: Option<u16> = None;
+        for pair in self.slot_order.windows(2) {
+            if self.slot_meta[pair[0]].1 == self.slot_meta[pair[1]].1 {
+                match self.reg_policy {
+                    ConflictPolicy::Trap => {
+                        trapped = Some(self.slot_meta[pair[0]].1);
+                        break;
+                    }
+                    ConflictPolicy::LastWins => resolved += 1,
+                }
+            }
+        }
+        if let Some(reg) = trapped {
+            // slot_meta is built in ascending FU order, so this is the
+            // ascending writer list the scalar engines report.
+            let fus = self
+                .slot_meta
+                .iter()
+                .filter(|&&(_, r)| r == reg)
+                .map(|&(fu, _)| FuId(fu))
+                .collect();
+            let lane = self.active[0];
+            return Err(lane_err(
+                lane,
+                SimError::RegisterWriteConflict {
+                    reg: Reg(reg),
+                    fus,
+                    cycle: self.cycles[lane],
+                },
+            ));
+        }
+        self.ureg_conflicts += resolved;
+        for &s in &self.slot_order {
+            let reg = self.slot_meta[s].1 as usize;
+            for (i, &lane) in self.active.iter().enumerate() {
+                self.pool[lane * self.pool_len + reg] = self.vvals[s * nact + i];
+            }
+        }
+        if any_store {
+            self.mem.commit(self.mem_policy, &self.cycles)?;
+        }
+
+        // Control phase: branch conditions read per-lane CC/SS bitsets;
+        // everything else is uniform. Mixed outcomes on any branch slot
+        // trigger divergence.
+        self.branch_slots.clear();
+        self.vtaken.clear();
+        let mut diverged = false;
+        for fu in 0..width {
+            let Some(pc) = self.upcs[fu] else {
+                self.ukeys[fu] = HALTED_KEY;
+                self.unext[fu] = None;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            self.ukeys[fu] = parcel.key;
+            match parcel.ctrl {
+                FastCtrl::Goto(t) => {
+                    if t == pc {
+                        self.ustats.spin_cycles += 1;
+                    }
+                    self.unext[fu] = Some(t);
+                }
+                FastCtrl::Halt => {
+                    self.unext[fu] = None;
+                }
+                FastCtrl::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    self.ustats.cond_branches += 1;
+                    self.branch_slots.push((fu, taken, not_taken, pc));
+                    let mut first_outcome = false;
+                    for (i, &lane) in self.active.iter().enumerate() {
+                        let outcome =
+                            cond.eval(self.cc_bits[lane], self.ss_bits[lane], self.full_mask);
+                        if i == 0 {
+                            first_outcome = outcome;
+                        } else if outcome != first_outcome {
+                            diverged = true;
+                        }
+                        if outcome {
+                            self.stats[lane].branches_taken += 1;
+                        }
+                        let target = if outcome { taken } else { not_taken };
+                        if target == pc {
+                            self.stats[lane].spin_cycles += 1;
+                        }
+                        self.vtaken.push(outcome);
+                    }
+                    self.unext[fu] = Some(if first_outcome { taken } else { not_taken });
+                }
+            }
+        }
+
+        // Latch condition codes per lane at the cycle boundary.
+        for (ci, &fu) in self.cmp_fus.iter().enumerate() {
+            for (i, &lane) in self.active.iter().enumerate() {
+                let cc = self.vcc[ci * nact + i];
+                self.cc_known[lane] |= 1 << fu;
+                self.cc_bits[lane] = self.cc_bits[lane] & !(1 << fu) | u64::from(cc) << fu;
+            }
+        }
+
+        for &lane in &self.active {
+            self.cycles[lane] += 1;
+        }
+        // Streams this cycle: identical for every lane, counted once.
+        let mut streams = 0usize;
+        for i in 0..width {
+            let mut first = true;
+            for j in 0..i {
+                if self.ukeys[j] == self.ukeys[i] {
+                    first = false;
+                    break;
+                }
+            }
+            streams += usize::from(first);
+        }
+        self.ustats.max_concurrent_streams = self.ustats.max_concurrent_streams.max(streams);
+        self.ustats.sset_cycle_sum += streams as u64;
+
+        if diverged {
+            // Materialize per-lane PC vectors (branch slots take each
+            // lane's own outcome) and statistics, then fall back to the
+            // scalar path.
+            for &lane in &self.active {
+                let row = lane * width;
+                self.pcs[row..row + width].copy_from_slice(&self.unext);
+            }
+            for (bi, &(fu, taken, not_taken, _)) in self.branch_slots.iter().enumerate() {
+                for (i, &lane) in self.active.iter().enumerate() {
+                    self.pcs[lane * width + fu] = Some(if self.vtaken[bi * nact + i] {
+                        taken
+                    } else {
+                        not_taken
+                    });
+                }
+            }
+            for i in 0..self.active.len() {
+                let lane = self.active[i];
+                self.materialize_lane(lane);
+            }
+            self.clear_uniform_accumulator();
+            self.uniform = false;
+        } else {
+            self.upcs.copy_from_slice(&self.unext);
+        }
+        Ok(())
+    }
+
+    /// One cycle for a single lane — [`FastXsim::step`](crate::FastXsim)'s
+    /// exact sequence over this lane's slice of the SoA state, sharing
+    /// [`exec_op`]/[`commit_pool`] with the decoded engine.
+    fn step_scalar(&mut self, lane: usize) -> Result<(), SimError> {
+        let width = self.width;
+        let len = self.decoded.len;
+        let row = lane * width;
+        if self.pcs[row..row + width].iter().all(Option::is_none) {
+            return Ok(());
+        }
+
+        for fu in 0..width {
+            if let Some(pc) = self.pcs[row + fu] {
+                if pc >= len {
+                    return Err(lane_err(
+                        lane,
+                        SimError::PcOutOfRange {
+                            fu: FuId(fu as u8),
+                            pc: Addr(pc),
+                            len,
+                        },
+                    ));
+                }
+                let done = self.decoded.parcels[pc as usize * width + fu].sync_done;
+                self.ss_bits[lane] = self.ss_bits[lane] & !(1 << fu) | u64::from(done) << fu;
+            }
+        }
+
+        self.cc_upd.clear();
+        self.staged.clear();
+        let base = lane * self.pool_len;
+        for fu in 0..width {
+            let Some(pc) = self.pcs[row + fu] else {
+                self.stats[lane].halted_fu_cycles += 1;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            let mut view = LaneMemView {
+                mem: &mut self.mem,
+                lane,
+            };
+            if let Some(cc) = exec_op(
+                parcel.op,
+                fu as u8,
+                self.cycles[lane],
+                &self.pool[base..base + self.pool_len],
+                &mut self.staged,
+                &mut view,
+                &mut self.ports[lane],
+                &mut self.stats[lane],
+            )
+            .map_err(|e| lane_err(lane, e))?
+            {
+                self.cc_upd.push((fu as u8, cc));
+            }
+        }
+        commit_pool(
+            &mut self.staged,
+            &mut self.pool[base..base + self.pool_len],
+            self.reg_policy,
+            self.cycles[lane],
+            &mut self.reg_conflicts[lane],
+        )
+        .map_err(|e| lane_err(lane, e))?;
+        self.mem.commit(self.mem_policy, &self.cycles)?;
+        self.stats[lane].conflicts_resolved =
+            self.reg_conflicts[lane] + self.mem.lane_conflicts(lane);
+
+        for fu in 0..width {
+            let Some(pc) = self.pcs[row + fu] else {
+                self.skeys[fu] = HALTED_KEY;
+                continue;
+            };
+            let parcel = self.decoded.parcels[pc as usize * width + fu];
+            self.skeys[fu] = parcel.key;
+            let next = match parcel.ctrl {
+                FastCtrl::Goto(t) => Some(t),
+                FastCtrl::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    self.stats[lane].cond_branches += 1;
+                    if cond.eval(self.cc_bits[lane], self.ss_bits[lane], self.full_mask) {
+                        self.stats[lane].branches_taken += 1;
+                        Some(taken)
+                    } else {
+                        Some(not_taken)
+                    }
+                }
+                FastCtrl::Halt => None,
+            };
+            if next == Some(pc) {
+                self.stats[lane].spin_cycles += 1;
+            }
+            self.pcs[row + fu] = next;
+        }
+
+        for &(fu, cc) in &self.cc_upd {
+            self.cc_known[lane] |= 1 << fu;
+            self.cc_bits[lane] = self.cc_bits[lane] & !(1 << fu) | u64::from(cc) << fu;
+        }
+
+        self.cycles[lane] += 1;
+        self.stats[lane].cycles = self.cycles[lane];
+        let mut streams = 0usize;
+        for i in 0..width {
+            let mut first = true;
+            for j in 0..i {
+                if self.skeys[j] == self.skeys[i] {
+                    first = false;
+                    break;
+                }
+            }
+            streams += usize::from(first);
+        }
+        self.stats[lane].max_concurrent_streams =
+            self.stats[lane].max_concurrent_streams.max(streams);
+        self.stats[lane].sset_cycle_sum += streams as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xsim::Xsim;
+    use ximd_isa::{
+        Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, Operand, Parcel, Program, Reg,
+    };
+
+    fn addp(a: u16, b: i32, d: u16, ctrl: ControlOp) -> Parcel {
+        Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(a).into(), Operand::imm_i32(b), Reg(d)),
+            ctrl,
+        )
+    }
+
+    /// A one-FU countdown: r0 -= 1 each cycle until r0 == 0, then fall
+    /// through to a store of r1 at M[20] and a park self-loop at 3.
+    fn countdown_program() -> Program {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Gt, Reg(0).into(), Operand::imm_i32(0)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::alu(AluOp::Isub, Reg(0).into(), Operand::imm_i32(1), Reg(0)),
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(0), Addr(2)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::store(Reg(1).into(), Operand::imm_i32(20)),
+            ControlOp::Goto(Addr(3)),
+        )]);
+        p.push(vec![Parcel::goto(Addr(3))]);
+        p
+    }
+
+    fn independent_run(program: &Program, seed: &[(u16, i32)], budget: u64) -> Xsim {
+        let config = MachineConfig::with_width(program.width());
+        let mut sim = Xsim::new(program.clone(), config).unwrap();
+        for &(r, v) in seed {
+            sim.write_reg(Reg(r), Value::I32(v));
+        }
+        sim.run_decoded_until_parked(Addr(3), budget).unwrap();
+        sim
+    }
+
+    fn batch(program: &Program, seeds: &[&[(u16, i32)]]) -> LaneXsim {
+        let config = MachineConfig::with_width(program.width());
+        let sims: Vec<Xsim> = seeds
+            .iter()
+            .map(|seed| {
+                let mut sim = Xsim::new(program.clone(), config.clone()).unwrap();
+                for &(r, v) in *seed {
+                    sim.write_reg(Reg(r), Value::I32(v));
+                }
+                sim
+            })
+            .collect();
+        LaneXsim::from_instances(&sims).unwrap()
+    }
+
+    #[test]
+    fn lanes_match_independent_runs_despite_divergence() {
+        // Different countdown lengths: the branch at address 1 diverges,
+        // lanes park at different cycles, and each lane's full state must
+        // match its own independent decoded run.
+        let p = countdown_program();
+        let seeds: Vec<Vec<(u16, i32)>> =
+            (0..6).map(|i| vec![(0, 3 + 2 * i), (1, 100 + i)]).collect();
+        let seed_refs: Vec<&[(u16, i32)]> = seeds.iter().map(Vec::as_slice).collect();
+        let mut lanes = batch(&p, &seed_refs);
+        lanes.run_until_parked(Addr(3), 200).unwrap();
+        for (l, seed) in seeds.iter().enumerate() {
+            let solo = independent_run(&p, seed, 200);
+            assert_eq!(lanes.cycle(l), solo.cycle(), "lane {l} cycles");
+            assert_eq!(lanes.stats(l), solo.stats(), "lane {l} stats");
+            assert_eq!(lanes.reg(l, Reg(0)), solo.reg(Reg(0)), "lane {l} r0");
+            assert_eq!(lanes.reg(l, Reg(1)), solo.reg(Reg(1)), "lane {l} r1");
+            assert_eq!(lanes.pcs(l), solo.pcs(), "lane {l} pcs");
+            assert_eq!(lanes.ccs(l), solo.ccs(), "lane {l} ccs");
+            assert_eq!(
+                lanes.mem_peek_slice(l, 0, 32).unwrap(),
+                solo.mem().peek_slice(0, 32).unwrap(),
+                "lane {l} memory"
+            );
+            assert_eq!(
+                lanes.summary(l).unwrap().cycles,
+                solo.cycle(),
+                "lane {l} summary"
+            );
+        }
+        // The countdowns genuinely differ, so lanes parked at different
+        // cycles — the masking path ran.
+        assert!(lanes.cycle(0) < lanes.cycle(5));
+    }
+
+    #[test]
+    fn opposite_branches_keep_masked_lanes_untouched() {
+        // Lane 0 takes the branch, lane 1 falls through to a halt. The
+        // halted (masked) lane's registers and memory must stay frozen
+        // while lane 0 keeps running and storing.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::cmp(CmpOp::Gt, Reg(0).into(), Operand::imm_i32(0)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::Nop,
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(4)),
+        )]);
+        // Taken path: bump r1 five times, storing each value to M[10].
+        p.push(vec![Parcel::data(
+            DataOp::alu(AluOp::Iadd, Reg(1).into(), Operand::imm_i32(1), Reg(1)),
+            ControlOp::Goto(Addr(3)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::store(Reg(1).into(), Operand::imm_i32(10)),
+            ControlOp::branch(CondSource::Cc(FuId(0)), Addr(2), Addr(4)),
+        )]);
+        p.push(vec![Parcel::halt()]);
+        let mut lanes = batch(&p, &[&[(0, 1)], &[(0, 0)]]);
+        // Lane 0 loops forever (cc stays true), so run to a budget and
+        // compare against an independent run with the same budget.
+        let err = lanes.run(50).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Lane {
+                lane: 0,
+                error: Box::new(SimError::CycleLimit { limit: 50 })
+            }
+        );
+        // Lane 1 halted after 3 cycles and was masked: registers and
+        // memory untouched since.
+        assert!(lanes.done(1));
+        assert_eq!(lanes.cycle(1), 3);
+        assert_eq!(lanes.reg(1, Reg(1)).as_i32(), 0, "masked lane r1 frozen");
+        assert_eq!(
+            lanes.mem_peek_slice(1, 10, 1).unwrap(),
+            vec![0],
+            "masked lane memory frozen"
+        );
+        // Lane 0 meanwhile kept writing.
+        assert!(lanes.reg(0, Reg(1)).as_i32() > 0);
+        assert!(lanes.mem_peek_slice(0, 10, 1).unwrap()[0] > 0);
+    }
+
+    #[test]
+    fn lanes_sync_across_streams_at_different_times() {
+        // Two FUs: FU1 counts down a per-lane workload while FU0 waits at
+        // an ALL-SS barrier; lanes reach the barrier at different cycles.
+        let mut p = Program::new(2);
+        let barrier = ControlOp::branch(CondSource::AllSync, Addr(3), Addr(0));
+        // 0: FU0 parks at the barrier (Done); FU1 decrements and tests.
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(
+                DataOp::alu(AluOp::Isub, Reg(1).into(), Operand::imm_i32(1), Reg(1)),
+                ControlOp::Goto(Addr(1)),
+            ),
+        ]);
+        // 1: FU1 compares r1 > 0.
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(
+                DataOp::cmp(CmpOp::Gt, Reg(1).into(), Operand::imm_i32(0)),
+                ControlOp::Goto(Addr(2)),
+            ),
+        ]);
+        // 2: FU1 loops back while work remains, else proceeds to the park
+        // block — only there does it assert Done, releasing the barrier.
+        p.push(vec![
+            Parcel::data(DataOp::Nop, barrier).done(),
+            Parcel::data(
+                DataOp::Nop,
+                ControlOp::branch(CondSource::Cc(FuId(1)), Addr(0), Addr(3)),
+            ),
+        ]);
+        // 3: both park, Done.
+        p.push(vec![
+            Parcel::goto(Addr(3)).done(),
+            Parcel::goto(Addr(3)).done(),
+        ]);
+        let config = MachineConfig::with_width(2);
+        let seeds: Vec<Vec<(u16, i32)>> = vec![vec![(1, 2)], vec![(1, 5)], vec![(1, 9)]];
+        let seed_refs: Vec<&[(u16, i32)]> = seeds.iter().map(Vec::as_slice).collect();
+        let mut lanes = batch(&p, &seed_refs);
+        lanes.run_until_parked(Addr(3), 200).unwrap();
+        let mut parked_cycles = Vec::new();
+        for (l, seed) in seeds.iter().enumerate() {
+            let mut solo = Xsim::new(p.clone(), config.clone()).unwrap();
+            for &(r, v) in seed {
+                solo.write_reg(Reg(r), Value::I32(v));
+            }
+            solo.run_decoded_until_parked(Addr(3), 200).unwrap();
+            assert_eq!(lanes.cycle(l), solo.cycle(), "lane {l} cycles");
+            assert_eq!(lanes.stats(l), solo.stats(), "lane {l} stats");
+            assert_eq!(lanes.pcs(l), solo.pcs(), "lane {l} pcs");
+            assert_eq!(lanes.ss(l), vec![SyncSignal::Done; 2], "lane {l} synced");
+            parked_cycles.push(lanes.cycle(l));
+        }
+        assert!(parked_cycles[0] < parked_cycles[1]);
+        assert!(parked_cycles[1] < parked_cycles[2]);
+    }
+
+    #[test]
+    fn uniform_batch_matches_single_run() {
+        // Identical lanes never diverge; each must still report exactly the
+        // single-machine summary.
+        let p = countdown_program();
+        let config = MachineConfig::with_width(1);
+        let mut proto = Xsim::new(p.clone(), config.clone()).unwrap();
+        proto.write_reg(Reg(0), Value::I32(7));
+        proto.write_reg(Reg(1), Value::I32(55));
+        let mut lanes = LaneXsim::replicate(&proto, 8).unwrap();
+        let summary = lanes.run_until_parked(Addr(3), 100).unwrap();
+
+        let mut solo = Xsim::new(p, config).unwrap();
+        solo.write_reg(Reg(0), Value::I32(7));
+        solo.write_reg(Reg(1), Value::I32(55));
+        let solo_summary = solo.run_decoded_until_parked(Addr(3), 100).unwrap();
+        assert_eq!(summary.lanes, 8);
+        assert_eq!(summary.total_cycles, 8 * solo_summary.cycles);
+        for l in 0..8 {
+            assert_eq!(lanes.summary(l).unwrap(), &solo_summary, "lane {l}");
+            assert_eq!(lanes.mem_peek_slice(l, 20, 1).unwrap(), vec![55]);
+        }
+    }
+
+    #[test]
+    fn lane_error_is_attributed() {
+        // Lane 2 divides by zero; the batch reports exactly the error an
+        // independent run of lane 2 would have raised, wrapped with its id.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::alu(AluOp::Idiv, Operand::imm_i32(1), Reg(0).into(), Reg(1)),
+            ControlOp::Halt,
+        )]);
+        let mut lanes = batch(&p, &[&[(0, 2)], &[(0, 3)], &[(0, 0)]]);
+        let err = lanes.run(10).unwrap_err();
+        let SimError::Lane { lane, error } = err else {
+            panic!("expected lane error, got {err:?}");
+        };
+        assert_eq!(lane, 2);
+        assert!(matches!(*error, SimError::DataFault { .. }));
+    }
+
+    #[test]
+    fn constructors_validate_the_batch() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::halt()]);
+        let config = MachineConfig::with_width(1);
+        let proto = Xsim::new(p.clone(), config.clone()).unwrap();
+
+        assert_eq!(
+            LaneXsim::from_instances(&[]).unwrap_err(),
+            SimError::Config(ConfigError::ZeroLanes)
+        );
+        assert_eq!(
+            LaneXsim::replicate(&proto, 0).unwrap_err(),
+            SimError::Config(ConfigError::ZeroLanes)
+        );
+
+        let mut other = Program::new(1);
+        other.push(vec![Parcel::goto(Addr(0))]);
+        let mismatched = vec![
+            Xsim::new(p.clone(), config.clone()).unwrap(),
+            Xsim::new(other, config.clone()).unwrap(),
+        ];
+        assert_eq!(
+            LaneXsim::from_instances(&mismatched).unwrap_err(),
+            SimError::Config(ConfigError::LaneMismatch { lane: 1 })
+        );
+
+        let timed = MachineConfig::with_width(1)
+            .timing(crate::timing::TimingSpec::parse("latency:mem=4").unwrap());
+        let sims = vec![Xsim::new(p, timed).unwrap()];
+        assert_eq!(
+            LaneXsim::from_instances(&sims).unwrap_err(),
+            SimError::Config(ConfigError::DecodedRequiresIdeal)
+        );
+    }
+
+    #[test]
+    fn memory_overflow_addresses_work_per_lane() {
+        // Addresses beyond the dense slab spill into the overflow map and
+        // stay lane-private.
+        let mut p = Program::new(1);
+        let far = 1 << 16; // beyond DENSE_WORDS, within default mem_words
+        p.push(vec![Parcel::data(
+            DataOp::store(Reg(0).into(), Operand::imm_i32(far)),
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::load(Operand::imm_i32(far), Operand::imm_i32(0), Reg(1)),
+            ControlOp::Halt,
+        )]);
+        let mut lanes = batch(&p, &[&[(0, 11)], &[(0, 22)]]);
+        lanes.run(10).unwrap();
+        assert_eq!(lanes.reg(0, Reg(1)).as_i32(), 11);
+        assert_eq!(lanes.reg(1, Reg(1)).as_i32(), 22);
+        assert_eq!(
+            lanes.mem_peek_slice(0, i64::from(far), 1).unwrap(),
+            vec![11]
+        );
+        assert_eq!(
+            lanes.mem_peek_slice(1, i64::from(far), 1).unwrap(),
+            vec![22]
+        );
+    }
+
+    #[test]
+    fn write_conflicts_trap_with_lane_attribution() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let mut lanes = batch(&p, &[&[(0, 0)], &[(0, 0)]]);
+        let err = lanes.run(10).unwrap_err();
+        let SimError::Lane { lane: 0, error } = err else {
+            panic!("expected lane 0 error, got {err:?}");
+        };
+        assert!(matches!(*error, SimError::RegisterWriteConflict { .. }));
+    }
+
+    #[test]
+    fn last_wins_conflicts_count_per_lane() {
+        let mut p = Program::new(2);
+        p.push(vec![
+            addp(0, 1, 5, ControlOp::Halt),
+            addp(0, 2, 5, ControlOp::Halt),
+        ]);
+        let config = MachineConfig::with_width(2).conflicts(ConflictPolicy::LastWins);
+        let sims: Vec<Xsim> = (0..3)
+            .map(|_| Xsim::new(p.clone(), config.clone()).unwrap())
+            .collect();
+        let mut lanes = LaneXsim::from_instances(&sims).unwrap();
+        lanes.run(10).unwrap();
+        for l in 0..3 {
+            assert_eq!(lanes.stats(l).conflicts_resolved, 1, "lane {l}");
+            assert_eq!(lanes.reg(l, Reg(5)).as_i32(), 2, "highest FU wins");
+        }
+    }
+
+    #[test]
+    fn ports_are_per_lane() {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::data(
+            DataOp::PortIn { port: 0, d: Reg(0) },
+            ControlOp::Goto(Addr(1)),
+        )]);
+        p.push(vec![Parcel::data(
+            DataOp::PortOut {
+                port: 0,
+                a: Reg(0).into(),
+            },
+            ControlOp::Halt,
+        )]);
+        let config = MachineConfig::with_width(1);
+        let sims: Vec<Xsim> = (0..2)
+            .map(|i| {
+                let mut sim = Xsim::new(p.clone(), config.clone()).unwrap();
+                let mut port = IoPort::new();
+                port.schedule(0, Value::I32(40 + i));
+                sim.attach_port(port);
+                sim
+            })
+            .collect();
+        let mut lanes = LaneXsim::from_instances(&sims).unwrap();
+        lanes.run(10).unwrap();
+        assert_eq!(lanes.reg(0, Reg(0)).as_i32(), 40);
+        assert_eq!(lanes.reg(1, Reg(0)).as_i32(), 41);
+        assert_eq!(lanes.ports(0)[0].written().len(), 1);
+        assert_eq!(lanes.ports(1)[0].written().len(), 1);
+    }
+
+    #[test]
+    fn rerun_after_completion_is_idempotent() {
+        let p = countdown_program();
+        let mut lanes = batch(&p, &[&[(0, 3)], &[(0, 5)]]);
+        let first = lanes.run_until_parked(Addr(3), 100).unwrap();
+        let again = lanes.run_until_parked(Addr(3), 100).unwrap();
+        assert_eq!(first, again);
+        assert!(lanes.all_done());
+    }
+}

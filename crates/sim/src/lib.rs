@@ -19,7 +19,11 @@
 //! * [`IoPort`] — the bounded-but-non-deterministic peripheral model used by
 //!   the paper's Figure 12 non-blocking synchronization example;
 //! * [`Trace`] — per-cycle address traces in the exact format of the paper's
-//!   Figure 10.
+//!   Figure 10;
+//! * [`LaneXsim`] — the wide-batch lane engine: N instances of one decoded
+//!   program stepped in lockstep over structure-of-arrays state, with
+//!   per-lane masking and a scalar fallback when lanes diverge (ideal
+//!   timing only).
 //!
 //! # Timing model
 //!
@@ -80,6 +84,7 @@ pub mod decoded;
 pub mod device;
 mod engine;
 pub mod error;
+pub mod lanes;
 pub mod memory;
 pub mod partition;
 pub mod regfile;
@@ -94,6 +99,7 @@ pub use config::{MachineConfig, MemGeometry};
 pub use decoded::{DecodedProgram, FastXsim};
 pub use device::{IoPort, PortEvent};
 pub use error::{ConfigError, SimError};
+pub use lanes::{LaneRunSummary, LaneXsim};
 pub use memory::Memory;
 pub use partition::{CondKey, DecisionKey, Partition};
 pub use regfile::RegisterFile;

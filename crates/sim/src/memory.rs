@@ -162,6 +162,12 @@ impl Memory {
     pub fn conflicts_resolved(&self) -> u64 {
         self.conflicts_resolved
     }
+
+    /// Iterates over the non-zero words (the lane engine seeds its slabs
+    /// from this without densifying the sparse map).
+    pub(crate) fn iter_words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.words.iter().map(|(&addr, &bits)| (addr, bits))
+    }
 }
 
 #[cfg(test)]

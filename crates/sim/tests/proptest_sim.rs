@@ -11,7 +11,7 @@ use ximd_isa::{
     Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Parcel, Program, Reg,
     SyncSignal,
 };
-use ximd_sim::{MachineConfig, SimError, Xsim};
+use ximd_sim::{LaneXsim, MachineConfig, SimError, Xsim};
 
 const NUM_REGS: u16 = 12;
 
@@ -186,6 +186,70 @@ proptest! {
             prop_assert_eq!(interp.partition(), fast.partition());
             prop_assert_eq!(interp.stats(), fast.stats());
             prop_assert_eq!(interp.cycle(), fast.cycle());
+        }
+    }
+
+    /// The lane engine on branchy random programs: a batch whose lanes
+    /// differ only in initial register state finishes with every lane
+    /// bit-identical to its own independent decoded run — summary (every
+    /// `SimStats` counter), registers, PCs and CCs. A batch abort must
+    /// carry the first failing lane's own error.
+    #[test]
+    fn lane_batches_match_independent_decoded_runs(
+        program in arb_program(),
+        seeds in proptest::collection::vec(-50i32..50, 2..6),
+    ) {
+        let width = program.width();
+        let config = MachineConfig::with_width(width);
+        let budget = 300;
+        let mk = |seed: i32| {
+            let mut sim = Xsim::new(program.clone(), config.clone()).unwrap();
+            for r in 0..NUM_REGS {
+                sim.write_reg(Reg(r), (i32::from(r) * 3 + seed).into());
+            }
+            sim
+        };
+
+        let instances: Vec<Xsim> = seeds.iter().map(|&s| mk(s)).collect();
+        let mut lanes = LaneXsim::from_instances(&instances).unwrap();
+        let batch = lanes.run(budget);
+
+        // The oracle: each lane as its own independent decoded run.
+        let solos: Vec<(Xsim, Result<_, SimError>)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut solo = mk(s);
+                let r = solo.run_decoded(budget);
+                (solo, r)
+            })
+            .collect();
+
+        match batch {
+            Ok(_) => {
+                for (l, (solo, result)) in solos.iter().enumerate() {
+                    let summary = result
+                        .as_ref()
+                        .expect("batch succeeded, so every independent run must");
+                    prop_assert_eq!(lanes.summary(l), Some(summary), "lane {}", l);
+                    for r in 0..NUM_REGS {
+                        prop_assert_eq!(lanes.reg(l, Reg(r)), solo.reg(Reg(r)), "lane {} r{}", l, r);
+                    }
+                    prop_assert_eq!(lanes.pcs(l), solo.pcs(), "lane {}", l);
+                    prop_assert_eq!(lanes.ccs(l), solo.ccs(), "lane {}", l);
+                }
+            }
+            Err(SimError::Lane { lane, error }) => {
+                let first = solos
+                    .iter()
+                    .position(|(_, r)| r.is_err())
+                    .expect("batch failed, so some independent run must");
+                prop_assert_eq!(lane, first, "error attributed to the wrong lane");
+                let solo_err = solos[first].1.as_ref().unwrap_err();
+                prop_assert_eq!(&*error, solo_err, "lane {}", lane);
+            }
+            Err(e) => {
+                return Err(TestCaseError::fail(format!("unattributed batch error: {e}")));
+            }
         }
     }
 

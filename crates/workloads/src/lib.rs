@@ -100,6 +100,68 @@ impl RunSpec {
             RunSpec::Parked(park, b) => sim.run_decoded_until_parked(park, b),
         }
     }
+
+    /// Runs a lane batch per this spec (every lane gets the same budget and
+    /// park rule, matching what `drive_decoded` would apply per instance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator machine checks, attributed per lane.
+    pub fn drive_lanes(
+        self,
+        lanes: &mut ximd_sim::LaneXsim,
+    ) -> Result<ximd_sim::LaneRunSummary, ximd_sim::SimError> {
+        match self {
+            RunSpec::Run(b) => lanes.run(b),
+            RunSpec::Parked(park, b) => lanes.run_until_parked(park, b),
+        }
+    }
+}
+
+/// Assembles independently prepared `(machine, spec)` instances of one
+/// workload into a lane batch plus the drive spec that covers every lane:
+/// the common drive mode with the largest budget.
+///
+/// # Example
+///
+/// Batch four bitcount instances with per-lane seeded data:
+///
+/// ```
+/// use ximd_workloads::{bitcount, gen, lane_batch};
+///
+/// let prepared = (0..4)
+///     .map(|lane| bitcount::prepared(&gen::bit_weighted_ints(lane, 16, 24)))
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let (mut lanes, spec) = lane_batch(prepared)?;
+/// spec.drive_lanes(&mut lanes)?;
+/// assert!(lanes.all_done());
+/// # Ok::<(), ximd_sim::SimError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ximd_sim::ConfigError::ZeroLanes`] for an empty batch,
+/// [`ximd_sim::ConfigError::LaneMismatch`] if instances disagree on
+/// program, configuration or drive mode (same-workload instances always
+/// agree — the park address is part of the program's shape).
+pub fn lane_batch(
+    prepared: Vec<(ximd_sim::Xsim, RunSpec)>,
+) -> Result<(ximd_sim::LaneXsim, RunSpec), ximd_sim::SimError> {
+    let Some(&(_, first)) = prepared.first() else {
+        return Err(ximd_sim::ConfigError::ZeroLanes.into());
+    };
+    let mut spec = first;
+    for (lane, &(_, other)) in prepared.iter().enumerate().skip(1) {
+        spec = match (spec, other) {
+            (RunSpec::Run(a), RunSpec::Run(b)) => RunSpec::Run(a.max(b)),
+            (RunSpec::Parked(park, a), RunSpec::Parked(other_park, b)) if park == other_park => {
+                RunSpec::Parked(park, a.max(b))
+            }
+            _ => return Err(ximd_sim::ConfigError::LaneMismatch { lane }.into()),
+        };
+    }
+    let sims: Vec<ximd_sim::Xsim> = prepared.into_iter().map(|(sim, _)| sim).collect();
+    Ok((ximd_sim::LaneXsim::from_instances(&sims)?, spec))
 }
 
 /// Worst-case factor by which `timing` can stretch an ideal-machine

@@ -10,7 +10,8 @@
 
 use ximd::models::randprog;
 use ximd::prelude::*;
-use ximd::workloads::{bitcount, gen, livermore, minmax, nonblocking, tproc, RunSpec};
+use ximd::sim::LaneXsim;
+use ximd::workloads::{bitcount, gen, lane_batch, livermore, minmax, nonblocking, tproc, RunSpec};
 
 /// Words of memory compared after each run — covers every workload's data
 /// region (the largest base is livermore's `X_BASE = 4999`).
@@ -39,6 +40,47 @@ fn assert_equivalent(mut interp: Xsim, mut fast: Xsim, spec: RunSpec) {
             .collect()
     };
     assert_eq!(written(&interp), written(&fast), "port output events");
+}
+
+/// Batches the prepared instances on the lane engine, runs the batch, and
+/// asserts every lane's full final state — summary (cycle-exact, every
+/// `SimStats` counter), registers, PCs, CCs, the memory window and port
+/// traffic — matches an independent decoded run of the same instance.
+fn assert_lanes_equivalent(prepared: Vec<(Xsim, RunSpec)>) {
+    let solos: Vec<(Xsim, RunSpec)> = prepared.clone();
+    let (mut lanes, spec) = lane_batch(prepared).expect("lane batch assembles");
+    spec.drive_lanes(&mut lanes).expect("lane batch runs");
+    for (l, (mut solo, solo_spec)) in solos.into_iter().enumerate() {
+        let summary = solo_spec.drive_decoded(&mut solo).expect("solo run");
+        assert_eq!(lanes.summary(l), Some(&summary), "lane {l} summary");
+        let num_regs = solo.config().num_regs;
+        for r in 0..num_regs as u16 {
+            assert_eq!(lanes.reg(l, Reg(r)), solo.reg(Reg(r)), "lane {l} r{r}");
+        }
+        assert_eq!(lanes.pcs(l), solo.pcs(), "lane {l} program counters");
+        assert_eq!(lanes.ccs(l), solo.ccs(), "lane {l} condition codes");
+        assert_eq!(
+            lanes.mem_peek_slice(l, 0, MEM_WINDOW).unwrap(),
+            solo.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+            "lane {l} memory window"
+        );
+        let events = |ports: &[IoPort]| -> Vec<Vec<(u64, i32)>> {
+            ports
+                .iter()
+                .map(|p| {
+                    p.written()
+                        .iter()
+                        .map(|e| (e.cycle, e.value.as_i32()))
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(
+            events(lanes.ports(l)),
+            events(solo.ports()),
+            "lane {l} port output events"
+        );
+    }
 }
 
 #[test]
@@ -108,6 +150,105 @@ fn bitcount_decoded_matches() {
     let (interp, spec) = bitcount::prepared(&data).unwrap();
     let (fast, _) = bitcount::prepared(&data).unwrap();
     assert_equivalent(interp, fast, spec);
+}
+
+#[test]
+fn minmax_lane_batch_matches_independent_runs() {
+    // Per-lane data of different sizes and values: the comparison tree's
+    // branches diverge across lanes and each lane parks at its own cycle —
+    // the divergence-heaviest workload the repo has.
+    let prepared = (0..12u64)
+        .map(|lane| {
+            let n = 8 + 11 * lane as usize;
+            let data = gen::uniform_ints(40 + lane, n, -10_000, 10_000);
+            minmax::prepared(&data).expect("minmax prepares")
+        })
+        .collect();
+    assert_lanes_equivalent(prepared);
+}
+
+#[test]
+fn bitcount_lane_batch_matches_independent_runs() {
+    // Per-lane bit weights give each FU a different trip count, so lanes
+    // hit the explicit ALL-SS barrier at different cycles.
+    let prepared = (0..8u64)
+        .map(|lane| {
+            let data = gen::bit_weighted_ints(70 + lane, 32, 1 + 3 * lane as u32 % 24);
+            bitcount::prepared(&data).expect("bitcount prepares")
+        })
+        .collect();
+    assert_lanes_equivalent(prepared);
+}
+
+#[test]
+fn tproc_lane_batch_matches_independent_runs() {
+    // Identical program, per-lane register inputs: stays uniform end to
+    // end, the pure vectorized path.
+    let prepared = [(1, 2, 3, 4), (9, -4, 3, 12), (-7, 11, 5, 2), (0, 0, 0, 1)]
+        .into_iter()
+        .map(|(a, b, c, d)| tproc::prepared(a, b, c, d).expect("tproc prepares"))
+        .collect();
+    assert_lanes_equivalent(prepared);
+}
+
+#[test]
+fn randprog_lane_batches_match_with_per_lane_register_seeds() {
+    // Straight-line random programs shared across a batch whose lanes
+    // differ only in initial register state.
+    for seed in 0..12u64 {
+        let width = 1 + (seed as usize % 8);
+        let len = 3 + (seed as usize % 13);
+        let vliw = randprog::straight_line_vliw(seed, width, len, 24);
+        let config = MachineConfig::with_width(width);
+        let spec = RunSpec::Run(10 * (len as u64 + 2));
+        let prepared: Vec<(Xsim, RunSpec)> = (0..6u16)
+            .map(|lane| {
+                let mut sim = Xsim::new(vliw.to_ximd(), config.clone()).unwrap();
+                for r in 0..24u16 {
+                    sim.write_reg(Reg(r), Value::I32(i32::from(lane * 131 + r * 17) - 900));
+                }
+                (sim, spec)
+            })
+            .collect();
+        assert_lanes_equivalent(prepared);
+    }
+}
+
+#[test]
+fn mixed_lane_batches_are_rejected() {
+    // Batching two different workloads is a configuration error, caught at
+    // assembly with the offending lane.
+    let (a, sa) = tproc::prepared(1, 2, 3, 4).unwrap();
+    let (b, sb) = bitcount::prepared(&[1, 2, 3]).unwrap();
+    let err = lane_batch(vec![(a, sa), (b, sb)]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::Config(ximd::sim::ConfigError::LaneMismatch { .. })
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn uniform_lane_replication_matches_one_decoded_run() {
+    // N identical lanes of one prepared machine: every lane must finish
+    // with exactly the single decoded run's state.
+    let data = gen::bit_weighted_ints(13, 48, 24);
+    let (proto, spec) = bitcount::prepared(&data).unwrap();
+    let mut lanes = LaneXsim::replicate(&proto, 16).unwrap();
+    spec.drive_lanes(&mut lanes).unwrap();
+    let mut solo = proto.clone();
+    let summary = spec.drive_decoded(&mut solo).unwrap();
+    for l in 0..16 {
+        assert_eq!(lanes.summary(l), Some(&summary), "lane {l}");
+        assert_eq!(lanes.pcs(l), solo.pcs(), "lane {l}");
+        assert_eq!(
+            lanes.mem_peek_slice(l, 0, MEM_WINDOW).unwrap(),
+            solo.mem().peek_slice(0, MEM_WINDOW).unwrap(),
+            "lane {l}"
+        );
+    }
 }
 
 #[test]
