@@ -17,11 +17,12 @@
 //! xbench --iters N                # timed iterations per engine
 //! ```
 //!
-//! Exit status: `0` ok; `1` usage or I/O error; `2` correctness gate
-//! (engine or lane divergence, bitcount speedup below 2x, or the uniform
-//! lane row's throughput falling below the threaded row's floor); `3`
-//! perf-regression gate (a gated ratio fell below the baseline's tolerance
-//! band on two consecutive measurements).
+//! Exit status follows the workspace convention: `0` ok; `1` failure —
+//! an I/O error, the correctness gate (engine or lane divergence,
+//! bitcount speedup below 2x, the uniform lane row's throughput falling
+//! below the threaded row's floor), or the perf-regression gate (a gated
+//! ratio fell below the baseline's tolerance band on two consecutive
+//! measurements); `2` usage error.
 
 use ximd_bench::throughput::{lane_regressions, regressions, run_benchmarks, to_json, BenchConfig};
 
@@ -49,9 +50,12 @@ const MIN_LANE_VS_THREADS: f64 = 0.5;
 /// magnitude.
 const LANE_TOLERANCE: f64 = 0.85;
 
+const USAGE: &str =
+    "usage: xbench [--quick] [--out PATH] [--baseline PATH] [--batch N] [--iters N]";
+
 fn usage() -> ! {
-    eprintln!("usage: xbench [--quick] [--out PATH] [--baseline PATH] [--batch N] [--iters N]");
-    std::process::exit(1);
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
 fn main() {
@@ -75,7 +79,10 @@ fn main() {
                 config.batch_threads = value("--batch").parse().unwrap_or_else(|_| usage())
             }
             "--iters" => config.iters = Some(value("--iters").parse().unwrap_or_else(|_| usage())),
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             _ => usage(),
         }
     }
@@ -157,7 +164,7 @@ fn main() {
             )
             .collect();
         eprintln!("xbench: FAIL: engines diverged on {}", bad.join(", "));
-        status = 2;
+        status = 1;
     }
     if report.sweep.iter().any(|p| !p.correct) {
         let bad: Vec<String> = report
@@ -170,7 +177,7 @@ fn main() {
             "xbench: FAIL: timing model changed results on {}",
             bad.join(", ")
         );
-        status = 2;
+        status = 1;
     }
     if let Some(w) = report.workload("bitcount") {
         if w.speedup() < MIN_BITCOUNT_SPEEDUP {
@@ -178,7 +185,7 @@ fn main() {
                 "xbench: FAIL: bitcount speedup {:.2}x below the {MIN_BITCOUNT_SPEEDUP}x bar",
                 w.speedup()
             );
-            status = 2;
+            status = 1;
         }
     }
     if let Some(l) = report.batch_lanes.iter().find(|l| l.mode == "uniform") {
@@ -188,7 +195,7 @@ fn main() {
                 "xbench: FAIL: uniform lane batch at {ratio:.2}x the threaded row, \
                  below the {MIN_LANE_VS_THREADS}x floor"
             );
-            status = 2;
+            status = 1;
         }
     }
     if status == 0 {
@@ -235,7 +242,7 @@ fn main() {
                         LANE_TOLERANCE * 100.0
                     );
                 }
-                status = 3;
+                status = 1;
             } else {
                 println!("baseline gate passed ({path})");
             }

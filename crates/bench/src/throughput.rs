@@ -7,8 +7,9 @@
 //! independent program instances) for the heavy-traffic axis. The `xbench`
 //! binary renders the result as `BENCH_ximd.json`.
 //!
-//! The JSON is hand-formatted (and hand-parsed for the baseline gate): the
-//! workspace's `serde` is an offline marker-trait stub without serializers.
+//! The JSON is hand-emitted and hand-parsed through `ximd_serve::json`
+//! (shared with the daemon's stats endpoint): the workspace's `serde` is an
+//! offline marker-trait stub without serializers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -18,6 +19,7 @@ use ximd::sim::{LaneXsim, TimingSpec};
 use ximd::workloads::{
     bitcount, gen, lane_batch, livermore, minmax, nonblocking, saxpy, tproc, RunSpec,
 };
+use ximd_serve::json::{num_field, str_field, JsonWriter};
 
 /// Benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -606,68 +608,66 @@ pub fn to_json(report: &BenchReport) -> String {
     let n = report.workloads.len();
     for (i, w) in report.workloads.iter().enumerate() {
         let comma = if i + 1 < n { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"timing\": \"{}\", \"sim_cycles\": {}, \"iters\": {}, \
-             \"interp_wall_secs\": {:.6}, \"decoded_wall_secs\": {:.6}, \
-             \"interp_cycles_per_sec\": {:.1}, \"decoded_cycles_per_sec\": {:.1}, \
-             \"speedup\": {:.3}, \"equivalent\": {}, \"gated\": {}}}{comma}",
-            w.name,
-            w.timing,
-            w.sim_cycles,
-            w.iters,
-            w.interp_secs,
-            w.decoded_secs,
-            w.interp_cps(),
-            w.decoded_cps(),
-            w.speedup(),
-            w.equivalent,
-            w.gated,
-        );
+        let mut rec = JsonWriter::new();
+        rec.begin_object();
+        rec.field_str("name", w.name);
+        rec.field_str("timing", &w.timing);
+        rec.field_u64("sim_cycles", w.sim_cycles);
+        rec.field_u64("iters", u64::from(w.iters));
+        rec.field_f64("interp_wall_secs", w.interp_secs, 6);
+        rec.field_f64("decoded_wall_secs", w.decoded_secs, 6);
+        rec.field_f64("interp_cycles_per_sec", w.interp_cps(), 1);
+        rec.field_f64("decoded_cycles_per_sec", w.decoded_cps(), 1);
+        rec.field_f64("speedup", w.speedup(), 3);
+        rec.field_bool("equivalent", w.equivalent);
+        rec.field_bool("gated", w.gated);
+        rec.end_object();
+        let _ = writeln!(out, "    {}{comma}", rec.finish());
     }
     let _ = writeln!(out, "  ],");
     let b = &report.batch;
-    let _ = writeln!(
-        out,
-        "  \"batch\": {{\"workload\": \"bitcount\", \"threads\": {}, \
-         \"instances_per_thread\": {}, \"total_cycles\": {}, \"wall_secs\": {:.6}, \
-         \"cycles_per_sec\": {:.1}}},",
-        b.threads,
-        b.instances_per_thread,
-        b.total_cycles,
-        b.wall_secs,
-        b.cycles_per_sec()
-    );
+    let mut rec = JsonWriter::new();
+    rec.begin_object();
+    rec.field_str("workload", "bitcount");
+    rec.field_u64("threads", b.threads as u64);
+    rec.field_u64("instances_per_thread", b.instances_per_thread as u64);
+    rec.field_u64("total_cycles", b.total_cycles);
+    rec.field_f64("wall_secs", b.wall_secs, 6);
+    rec.field_f64("cycles_per_sec", b.cycles_per_sec(), 1);
+    rec.end_object();
+    let _ = writeln!(out, "  \"batch\": {},", rec.finish());
     let _ = writeln!(out, "  \"batch_lanes\": [");
     let n = report.batch_lanes.len();
     for (i, l) in report.batch_lanes.iter().enumerate() {
         let comma = if i + 1 < n { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"lanes\": {}, \
-             \"total_cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
-             \"vs_threads\": {:.3}, \"equivalent\": {}}}{comma}",
-            l.workload,
-            l.mode,
-            l.lanes,
-            l.total_cycles,
-            l.wall_secs,
-            l.cycles_per_sec(),
-            report.lane_vs_threads(l),
-            l.equivalent,
-        );
+        let mut rec = JsonWriter::new();
+        rec.begin_object();
+        rec.field_str("workload", l.workload);
+        rec.field_str("mode", l.mode);
+        rec.field_u64("lanes", l.lanes as u64);
+        rec.field_u64("total_cycles", l.total_cycles);
+        rec.field_f64("wall_secs", l.wall_secs, 6);
+        rec.field_f64("cycles_per_sec", l.cycles_per_sec(), 1);
+        rec.field_f64("vs_threads", report.lane_vs_threads(l), 3);
+        rec.field_bool("equivalent", l.equivalent);
+        rec.end_object();
+        let _ = writeln!(out, "    {}{comma}", rec.finish());
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"sweep\": [");
     let n = report.sweep.len();
     for (i, p) in report.sweep.iter().enumerate() {
         let comma = if i + 1 < n { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"workload\": \"{}\", \"timing\": \"{}\", \"cycles\": {}, \
-             \"stall_cycles\": {}, \"contention_stalls\": {}, \"correct\": {}}}{comma}",
-            p.workload, p.timing, p.cycles, p.stall_cycles, p.contention_stalls, p.correct,
-        );
+        let mut rec = JsonWriter::new();
+        rec.begin_object();
+        rec.field_str("workload", p.workload);
+        rec.field_str("timing", &p.timing);
+        rec.field_u64("cycles", p.cycles);
+        rec.field_u64("stall_cycles", p.stall_cycles);
+        rec.field_u64("contention_stalls", p.contention_stalls);
+        rec.field_bool("correct", p.correct);
+        rec.end_object();
+        let _ = writeln!(out, "    {}{comma}", rec.finish());
     }
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
@@ -694,21 +694,6 @@ pub fn baseline_speedups(json: &str) -> Vec<(String, String, f64)> {
             Some((name.to_string(), timing.to_string(), speedup))
         })
         .collect()
-}
-
-fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(&line[start..start + end])
-}
-
-fn num_field(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
 }
 
 /// Compares a fresh report against a committed baseline document.

@@ -1,4 +1,6 @@
 //! `xsim` — the XIMD-1 simulator as a command-line tool (cf. \[Wolfe89\]).
+//!
+//! Exit status: 0 ok, 1 simulation failure, 2 usage or input error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +8,14 @@ fn main() {
         eprint!("{}", ximd::cli::USAGE.replace("{tool}", "xsim"));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    match ximd::cli::parse_args(&args).and_then(|opts| ximd::cli::run_xsim(&opts)) {
+    let opts = match ximd::cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("xsim: {message}");
+            std::process::exit(2);
+        }
+    };
+    match ximd::cli::run_xsim(&opts) {
         Ok(report) => print!("{report}"),
         Err(message) => {
             eprintln!("xsim: {message}");

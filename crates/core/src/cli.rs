@@ -5,11 +5,22 @@
 //! way: assemble a source file, seed registers and memory from the command
 //! line, run, and report statistics (and, for xsim, the Figure-10-style
 //! partition trace).
+//!
+//! Local runs are plumbed through the service layer's primitives — an
+//! [`ximd_serve::ArtifactStore`] for assembly and a [`ximd_sim::Session`]
+//! for execution — so the in-process path and the daemon exercise the
+//! same code. With `--connect HOST:PORT` the tools become thin clients of
+//! a running `ximd-serve` daemon instead of simulating in-process.
+//!
+//! Exit codes are uniform across the workspace binaries: 0 ok, 1
+//! simulation/lint failure, 2 usage or input error, 3 analysis incomplete
+//! (`xlint` only).
 
 use std::fmt::Write as _;
 
 use ximd_isa::{Addr, Reg, Value};
-use ximd_sim::{LaneXsim, MachineConfig, TimingSpec, VliwProgram, Vsim, Xsim};
+use ximd_serve::{json, ArtifactStore, Client, Message};
+use ximd_sim::{EngineKind, LaneXsim, MachineConfig, Session, TimingSpec, VliwProgram, Vsim, Xsim};
 
 /// Parsed command-line options for both tools.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +51,11 @@ pub struct CliOptions {
     /// Number of identical lane-engine instances to run in lockstep
     /// (xsim only; default 1 = the ordinary interpreter).
     pub lanes: usize,
+    /// Execution engine for the run (xsim only; default interpreter).
+    pub engine: EngineKind,
+    /// Submit the job to a running `ximd-serve` daemon at this address
+    /// instead of simulating in-process (xsim only).
+    pub connect: Option<String>,
 }
 
 /// Usage text shared by both tools.
@@ -59,6 +75,14 @@ usage: {tool} FILE.xasm [options]
                       fmul fdiv mem io)
   --lanes N           run N identical instances on the SoA lane engine
                       (xsim; ideal timing only, incompatible with --trace)
+  --engine E          execution engine: interp (default) | decoded | lanes
+                      (xsim; decoded/lanes fall back to the interpreter
+                      where the fast path does not apply)
+  --connect HOST:PORT submit the job to a running ximd-serve daemon and
+                      report its response (xsim; machine state stays on
+                      the daemon, so seeding and dump flags do not apply)
+
+exit status: 0 ok, 1 simulation failure, 2 usage or input error
 ";
 
 fn parse_reg(text: &str) -> Result<Reg, String> {
@@ -144,6 +168,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("bad --lanes value (expected N >= 1)")?;
             }
+            "--engine" => {
+                let v = need("--engine")?;
+                opts.engine =
+                    EngineKind::parse(v).ok_or_else(|| format!("bad --engine value {v:?}"))?;
+            }
+            "--connect" => opts.connect = Some(need("--connect")?.to_owned()),
             "--dump-reg" => opts.dump_regs.push(parse_reg(need("--dump-reg")?)?),
             "--dump-mem" => {
                 let spec = need("--dump-mem")?;
@@ -165,6 +195,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if opts.lanes > 1 && opts.trace {
         return Err("--lanes is incompatible with --trace (lanes share one fetch)".into());
     }
+    if opts.connect.is_some() {
+        // The daemon's simulate op carries source + engine + budget +
+        // park + timing; machine state never leaves the daemon.
+        let unsupported = [
+            (!opts.regs.is_empty(), "--reg"),
+            (!opts.mems.is_empty(), "--mem"),
+            (!opts.ports.is_empty(), "--port"),
+            (opts.trace, "--trace"),
+            (!opts.dump_regs.is_empty(), "--dump-reg"),
+            (!opts.dump_mems.is_empty(), "--dump-mem"),
+            (opts.lanes > 1, "--lanes"),
+        ];
+        if let Some((_, flag)) = unsupported.iter().find(|(on, _)| *on) {
+            return Err(format!(
+                "{flag} is not supported with --connect (machine state stays on the daemon)"
+            ));
+        }
+    }
     Ok(opts)
 }
 
@@ -176,11 +224,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
     let path = opts.source.as_ref().expect("validated by parse_args");
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
-    let width = assembly.program.width();
+    if let Some(addr) = &opts.connect {
+        return run_xsim_remote(opts, addr, &source);
+    }
+    // Local runs go through the same artifact layer the daemon uses; a
+    // one-shot process never hits the cache, but errors, hashing and the
+    // assemble path are identical in both modes.
+    let store = ArtifactStore::new();
+    let (artifact, _) = store
+        .assemble(&source)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let program = artifact.assembly.program.clone();
+    let width = program.width();
 
     let config = MachineConfig::with_width(width).timing(opts.timing.clone());
-    let mut sim = Xsim::new(assembly.program, config).map_err(|e| e.to_string())?;
+    let mut sim = Xsim::new(program, config).map_err(|e| e.to_string())?;
     for &(r, v) in &opts.regs {
         sim.write_reg(r, Value::I32(v));
     }
@@ -202,11 +260,15 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
     if opts.trace {
         sim.enable_trace();
     }
-    let summary = match opts.park {
-        Some(park) => sim.run_until_parked(park, opts.max_cycles),
-        None => sim.run(opts.max_cycles),
-    }
-    .map_err(|e| e.to_string())?;
+    // The session layer owns engine dispatch (interp vs the decoded fast
+    // path); the interpreter remains the default and the trace/timing
+    // fallbacks live behind `Session::finish`.
+    let mut session = Session::from_machine(sim);
+    let summary = session
+        .finish(opts.park, opts.max_cycles, opts.engine)
+        .map_err(|e| e.to_string())?
+        .expect("a single-machine session reports a summary");
+    let sim = session.machine().expect("single-machine session");
 
     let mut out = String::new();
     if let Some(trace) = sim.trace() {
@@ -308,6 +370,67 @@ fn run_xsim_lanes(opts: &CliOptions, proto: &Xsim) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs one xsim job on a remote `ximd-serve` daemon and renders its
+/// response in the local report shape, prefixed with a `daemon:` line
+/// carrying the artifact-cache verdicts.
+fn run_xsim_remote(opts: &CliOptions, addr: &str, source: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut req = Message::request("simulate")
+        .with("engine", opts.engine.name())
+        .with("budget", &opts.max_cycles.to_string());
+    if let Some(park) = opts.park {
+        req = req.with("park", &park.0.to_string());
+    }
+    if !opts.timing.is_ideal() {
+        req = req.with("timing", &opts.timing.to_string());
+    }
+    req.body = source.as_bytes().to_vec();
+    let resp = client.call_ok(&req).map_err(|e| e.to_string())?;
+    let stats = String::from_utf8(resp.body.clone())
+        .map_err(|_| "daemon sent a non-UTF-8 stats body".to_string())?;
+
+    let cached = |key: &str| {
+        if resp.get(key) == Some("true") {
+            "cached"
+        } else {
+            "fresh"
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "daemon:        {addr} engine {} (program {}, decode {})",
+        resp.get("engine").unwrap_or("?"),
+        cached("cached_program"),
+        cached("cached_decode"),
+    );
+    let field = |key: &str| json::u64_field(&stats, key).unwrap_or(0);
+    let _ = writeln!(out, "cycles:        {}", field("cycles"));
+    let _ = writeln!(out, "ops executed:  {}", field("ops"));
+    let _ = writeln!(
+        out,
+        "utilization:   {:.1}%",
+        json::num_field(&stats, "utilization").unwrap_or(0.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "streams:       max {}, avg {:.2}",
+        field("max_concurrent_streams"),
+        json::num_field(&stats, "avg_streams").unwrap_or(0.0)
+    );
+    let _ = writeln!(out, "spin cycles:   {}", field("spin_cycles"));
+    if !opts.timing.is_ideal() {
+        let _ = writeln!(out, "timing:        {}", opts.timing);
+        let _ = writeln!(
+            out,
+            "stall cycles:  {} ({} from contention)",
+            field("stall_cycles"),
+            field("contention_stalls")
+        );
+    }
+    Ok(out)
+}
+
 /// Runs the vsim tool on a VLIW-style source (every parcel in a word must
 /// share one control operation); returns the report or an error message.
 ///
@@ -316,6 +439,14 @@ fn run_xsim_lanes(opts: &CliOptions, proto: &Xsim) -> Result<String, String> {
 /// Returns a formatted message for I/O, assembly, conversion or simulation
 /// failures.
 pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
+    if opts.connect.is_some() {
+        return Err(
+            "--connect is not supported by vsim (the daemon serves the XIMD machine)".into(),
+        );
+    }
+    if opts.engine != EngineKind::Interp {
+        return Err("--engine is an xsim flag (vsim has a single engine)".into());
+    }
     let path = opts.source.as_ref().expect("validated by parse_args");
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
@@ -387,6 +518,9 @@ pub struct LintOptions {
     pub cycle_bounds: bool,
     /// Timing model and lockstep assumption for `--cycle-bounds`.
     pub bounds: ximd_analysis::BoundsConfig,
+    /// Lint on a running `ximd-serve` daemon at this address (default
+    /// analysis configuration only).
+    pub connect: Option<String>,
 }
 
 /// Usage text for `xlint`.
@@ -411,6 +545,8 @@ usage: xlint FILE.xasm [FILE.xasm ...] [options]
                       or assume (single-sequencer/VLIW word lockstep)
   --assume R=LO[..HI] entry-value assumption for a register, e.g.
                       --assume r1=64 or --assume r2=0..7 (repeatable)
+  --connect HOST:PORT lint on a running ximd-serve daemon (cached across
+                      submissions; default analysis configuration only)
 
 exit status: 0 clean (or warnings without --strict), 1 findings,
              2 usage or input errors, 3 analysis incomplete (the product
@@ -424,6 +560,10 @@ exit status: 0 clean (or warnings without --strict), 1 findings,
 /// Returns a human-readable message for malformed arguments.
 pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
     let mut opts = LintOptions::default();
+    // Set when a flag changes the analysis configuration; the daemon
+    // lints with its own default configuration, so these flags cannot
+    // ride along with --connect.
+    let mut tuned = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut need = |name: &str| {
@@ -437,7 +577,9 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
         };
         match arg.as_str() {
             "--strict" => opts.strict = true,
+            "--connect" => opts.connect = Some(need("--connect")?.to_owned()),
             "--engine" => {
+                tuned = true;
                 let v = need("--engine")?;
                 opts.config.engine = ximd_analysis::EngineChoice::parse(v)
                     .ok_or_else(|| format!("bad --engine value {v:?}"))?;
@@ -448,16 +590,25 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
                 other => return Err(format!("bad --format value {other:?}")),
             },
             "--explain" => opts.explain = Some(need("--explain")?.to_owned()),
-            "--reads" => opts.config.reads_per_fu = parse("--reads", need("--reads")?)?,
-            "--writes" => opts.config.writes_per_fu = parse("--writes", need("--writes")?)?,
+            "--reads" => {
+                tuned = true;
+                opts.config.reads_per_fu = parse("--reads", need("--reads")?)?;
+            }
+            "--writes" => {
+                tuned = true;
+                opts.config.writes_per_fu = parse("--writes", need("--writes")?)?;
+            }
             "--word-reads" => {
+                tuned = true;
                 opts.config.word_read_ports = Some(parse("--word-reads", need("--word-reads")?)?);
             }
             "--word-writes" => {
+                tuned = true;
                 opts.config.word_write_ports =
                     Some(parse("--word-writes", need("--word-writes")?)?);
             }
             "--max-states" => {
+                tuned = true;
                 opts.config.max_states = parse("--max-states", need("--max-states")?)?;
             }
             "--cycle-bounds" => opts.cycle_bounds = true,
@@ -472,6 +623,7 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
                     .ok_or_else(|| format!("bad --lockstep value {v:?}"))?;
             }
             "--assume" => {
+                tuned = true;
                 opts.config.assume.push(parse_assume(need("--assume")?)?);
             }
             other if !other.starts_with('-') => opts.sources.push(other.to_owned()),
@@ -480,6 +632,15 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
     }
     if opts.sources.is_empty() && opts.explain.is_none() {
         return Err("no source files given".into());
+    }
+    if opts.connect.is_some()
+        && (tuned || opts.cycle_bounds || opts.explain.is_some() || opts.sarif)
+    {
+        return Err(
+            "--connect lints with the daemon's default configuration only (no analysis \
+             overrides, --cycle-bounds, --explain or --format sarif)"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -523,6 +684,9 @@ pub struct LintOutcome {
 /// Returns a formatted message for I/O or assembly failures, or an
 /// unknown `--explain` code.
 pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
+    if let Some(addr) = &opts.connect {
+        return run_xlint_remote(opts, addr);
+    }
     let mut outcome = LintOutcome::default();
     if let Some(code) = &opts.explain {
         let check = ximd_analysis::Check::from_code(code)
@@ -567,6 +731,35 @@ pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
         let files: Vec<(String, &ximd_analysis::Analysis)> =
             analyses.iter().map(|(p, a)| (p.clone(), a)).collect();
         outcome.report = ximd_analysis::to_sarif(&files);
+    }
+    Ok(outcome)
+}
+
+/// Lints every source file on a remote `ximd-serve` daemon. The verdicts
+/// come from the response headers; the body carries one JSON diagnostic
+/// per line, rendered indented under the per-file summary.
+fn run_xlint_remote(opts: &LintOptions, addr: &str) -> Result<LintOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut outcome = LintOutcome::default();
+    for path in &opts.sources {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let resp = client.lint(&source).map_err(|e| format!("{path}: {e}"))?;
+        let flag = |key: &str| resp.get(key) == Some("true");
+        let clean = flag("clean");
+        outcome.failed |= flag("errors") || (opts.strict && !clean);
+        outcome.incomplete |= flag("truncated");
+        let _ = writeln!(
+            outcome.report,
+            "{path}: {} ({} diagnostics{})",
+            if clean { "clean" } else { "findings" },
+            resp.get("diagnostics").unwrap_or("0"),
+            if flag("cached_lint") { ", cached" } else { "" },
+        );
+        for line in String::from_utf8_lossy(&resp.body).lines() {
+            if let Some(message) = json::str_field(line, "message") {
+                let _ = writeln!(outcome.report, "  {message}");
+            }
+        }
     }
     Ok(outcome)
 }
@@ -848,6 +1041,133 @@ mod tests {
         .unwrap();
         let err = run_xsim(&timed).unwrap_err();
         assert!(err.contains("ideal"), "{err}");
+    }
+
+    #[test]
+    fn engine_flag_parses_and_rejects_garbage() {
+        let opts = parse_args(&args(&["f.xasm"])).unwrap();
+        assert_eq!(opts.engine, EngineKind::Interp);
+        let opts = parse_args(&args(&["f.xasm", "--engine", "decoded"])).unwrap();
+        assert_eq!(opts.engine, EngineKind::Decoded);
+        assert!(parse_args(&args(&["f.xasm", "--engine", "warp"])).is_err());
+
+        // vsim has one engine and no daemon op.
+        let opts = parse_args(&args(&["f.xasm", "--engine", "decoded"])).unwrap();
+        assert!(run_vsim(&opts).unwrap_err().contains("xsim flag"));
+        let opts = parse_args(&args(&["f.xasm", "--connect", "127.0.0.1:1"])).unwrap();
+        assert!(run_vsim(&opts).unwrap_err().contains("--connect"));
+    }
+
+    #[test]
+    fn connect_rejects_machine_state_flags() {
+        for bad in [
+            ["f.xasm", "--connect", "h:1", "--reg", "r1=2"],
+            ["f.xasm", "--connect", "h:1", "--mem", "0=1"],
+            ["f.xasm", "--connect", "h:1", "--trace", "--csv"],
+            ["f.xasm", "--connect", "h:1", "--dump-reg", "r1"],
+            ["f.xasm", "--connect", "h:1", "--lanes", "4"],
+        ] {
+            let err = parse_args(&args(&bad)).unwrap_err();
+            assert!(err.contains("--connect"), "{bad:?}: {err}");
+        }
+        // Engine, budget, park and timing all travel over the wire.
+        let opts = parse_args(&args(&[
+            "f.xasm",
+            "--connect",
+            "h:1",
+            "--engine",
+            "lanes",
+            "--max-cycles",
+            "64",
+            "--timing",
+            "banked:2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.connect.as_deref(), Some("h:1"));
+    }
+
+    #[test]
+    fn decoded_engine_matches_the_interpreter_report() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.xasm");
+        std::fs::write(
+            &path,
+            ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; -> 01:\n01:\n  fu0: isub r1,#2,r2 ; halt\n",
+        )
+        .unwrap();
+        let base = args(&[path.to_str().unwrap(), "--dump-reg", "r2"]);
+        let interp = run_xsim(&parse_args(&base).unwrap()).unwrap();
+        let mut decoded_args = base.clone();
+        decoded_args.extend(args(&["--engine", "decoded"]));
+        let decoded = run_xsim(&parse_args(&decoded_args).unwrap()).unwrap();
+        assert_eq!(interp, decoded);
+        assert!(decoded.contains("r2 = 3"), "{decoded}");
+    }
+
+    #[test]
+    fn thin_client_xsim_and_xlint_round_trip_a_daemon() {
+        let handle = ximd_serve::spawn(ximd_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+        })
+        .expect("daemon spawns");
+        let addr = handle.addr().to_string();
+
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("remote.xasm");
+        std::fs::write(&path, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+
+        let opts = parse_args(&args(&[
+            path.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--engine",
+            "decoded",
+        ]))
+        .unwrap();
+        let first = run_xsim(&opts).unwrap();
+        assert!(first.contains("daemon:"), "{first}");
+        assert!(first.contains("program fresh"), "{first}");
+        assert!(first.contains("cycles:        1"), "{first}");
+        // The daemon's artifact cache sees the identical source again.
+        let second = run_xsim(&opts).unwrap();
+        assert!(second.contains("program cached"), "{second}");
+        assert!(second.contains("decode cached"), "{second}");
+
+        let lint = parse_lint_args(&args(&[path.to_str().unwrap(), "--connect", &addr])).unwrap();
+        let outcome = run_xlint(&lint).unwrap();
+        assert!(!outcome.failed && !outcome.incomplete);
+        assert!(outcome.report.contains("clean"), "{}", outcome.report);
+
+        // A broken file surfaces the remote assembly error.
+        let broken = dir.join("remote-broken.xasm");
+        std::fs::write(&broken, ".width 1\n00:\n  fu0: bogus ; halt\n").unwrap();
+        let opts = parse_args(&args(&[broken.to_str().unwrap(), "--connect", &addr])).unwrap();
+        assert!(run_xsim(&opts).is_err());
+
+        Client::connect(&addr)
+            .and_then(|mut c| c.shutdown())
+            .expect("daemon shuts down");
+        handle.join().expect("clean exit");
+    }
+
+    #[test]
+    fn lint_connect_rejects_non_default_configuration() {
+        for bad in [
+            ["a.xasm", "--connect", "h:1", "--reads", "1"],
+            ["a.xasm", "--connect", "h:1", "--engine", "both"],
+            ["a.xasm", "--connect", "h:1", "--cycle-bounds", "--strict"],
+            ["a.xasm", "--connect", "h:1", "--format", "sarif"],
+            ["a.xasm", "--connect", "h:1", "--assume", "r1=4"],
+        ] {
+            let err = parse_lint_args(&args(&bad)).unwrap_err();
+            assert!(err.contains("--connect"), "{bad:?}: {err}");
+        }
+        // --strict stays a client-side verdict and is allowed.
+        let opts = parse_lint_args(&args(&["a.xasm", "--connect", "h:1", "--strict"])).unwrap();
+        assert!(opts.strict && opts.connect.is_some());
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Content-addressed artifact cache.
+//!
+//! One source text flows through up to three derivation stages before it
+//! can execute: assembly (text → [`Program`]), lint (program →
+//! [`Analysis`] report) and decode (program → [`DecodedProgram`] execution
+//! tables). The [`ArtifactStore`] memoizes each stage under an FNV-1a
+//! content hash, so a program submitted twice skips every stage already
+//! done — the second `simulate` of the same source performs zero parsing
+//! and zero lowering, it just tiles fresh machine state.
+//!
+//! Assembly and lint are keyed by the *source text*; decode is keyed by
+//! the *program contents* ([`program_hash`]), because decoded tables are
+//! also reachable without source — named-workload jobs and snapshot
+//! resumes carry a [`Program`] directly, and they deserve the same cache.
+//!
+//! Per-stage hit/miss counters are first-class: every store operation
+//! reports whether it hit, the daemon forwards that in each response, and
+//! the `stats` endpoint exposes the running totals — which is how the CI
+//! smoke test *proves* the second submission skipped the decode stage
+//! instead of trusting that it did.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ximd_analysis::{lint_assembly, Analysis, AnalysisConfig};
+use ximd_asm::{assemble, AsmError, Assembly};
+use ximd_isa::{encode::encode_parcel, Program};
+use ximd_sim::DecodedProgram;
+
+use crate::hash::{fnv1a, FNV_OFFSET, FNV_PRIME};
+
+/// FNV-1a digest of a program's contents: width, length and every encoded
+/// parcel. Two structurally equal programs hash equally regardless of how
+/// they were produced (assembled from text, built by a workload generator,
+/// or restored from a snapshot image).
+#[must_use]
+pub fn program_hash(program: &Program) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(&(program.width() as u64).to_le_bytes());
+    mix(&(program.len() as u64).to_le_bytes());
+    for (_, instr) in program.iter() {
+        for parcel in instr {
+            // Every stored program passed `Program::validate`, so encoding
+            // cannot fail; an unencodable parcel would have been rejected
+            // long before it reached a cache.
+            let word = encode_parcel(parcel).expect("validated parcel encodes");
+            mix(&word.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Monotonic hit/miss counters for each derivation stage. Shared across
+/// worker threads; all updates are relaxed atomics (the counters order
+/// nothing, they only count).
+#[derive(Default)]
+pub struct StageCounters {
+    assemble_hits: AtomicU64,
+    assemble_misses: AtomicU64,
+    lint_hits: AtomicU64,
+    lint_misses: AtomicU64,
+    decode_hits: AtomicU64,
+    decode_misses: AtomicU64,
+}
+
+impl StageCounters {
+    fn count(&self, stage: Stage, hit: bool) {
+        let counter = match (stage, hit) {
+            (Stage::Assemble, true) => &self.assemble_hits,
+            (Stage::Assemble, false) => &self.assemble_misses,
+            (Stage::Lint, true) => &self.lint_hits,
+            (Stage::Lint, false) => &self.lint_misses,
+            (Stage::Decode, true) => &self.decode_hits,
+            (Stage::Decode, false) => &self.decode_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as plain integers (for JSON emission).
+    #[must_use]
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            assemble_hits: self.assemble_hits.load(Ordering::Relaxed),
+            assemble_misses: self.assemble_misses.load(Ordering::Relaxed),
+            lint_hits: self.lint_hits.load(Ordering::Relaxed),
+            lint_misses: self.lint_misses.load(Ordering::Relaxed),
+            decode_hits: self.decode_hits.load(Ordering::Relaxed),
+            decode_misses: self.decode_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Stage {
+    Assemble,
+    Lint,
+    Decode,
+}
+
+/// Plain-integer view of [`StageCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageSnapshot {
+    pub assemble_hits: u64,
+    pub assemble_misses: u64,
+    pub lint_hits: u64,
+    pub lint_misses: u64,
+    pub decode_hits: u64,
+    pub decode_misses: u64,
+}
+
+/// Everything derived from one source text, cached under its content hash.
+pub struct ProgramArtifact {
+    /// FNV-1a digest of the source.
+    pub hash: u64,
+    /// The source itself — kept so lookups can verify a hash hit against
+    /// the full text (FNV-1a is not collision-resistant; see
+    /// [`crate::hash`]).
+    pub source: String,
+    /// The assembled program plus symbol table and source map.
+    pub assembly: Assembly,
+    lint: Mutex<Option<Arc<Analysis>>>,
+}
+
+/// Content-addressed cache of assembled programs, lint reports and decoded
+/// tables, with per-stage hit/miss accounting. Designed to sit behind an
+/// [`Arc`]: all interior state is locked or atomic.
+///
+/// Every lookup returns `(value, hit)`; the `hit` flag is what the daemon
+/// reports per response.
+///
+/// # Example
+///
+/// ```
+/// use ximd_serve::ArtifactStore;
+///
+/// let store = ArtifactStore::new();
+/// let src = ".width 1\nmain:\n  fu0: nop ; halt\n";
+/// let (first, hit1) = store.assemble(src)?;
+/// let (again, hit2) = store.assemble(src)?;
+/// assert_eq!(first.hash, again.hash);
+/// assert_eq!((hit1, hit2), (false, true));
+/// # Ok::<(), ximd_asm::AsmError>(())
+/// ```
+/// A cached decode: the exact program the tables were built from (decode
+/// keys on program content, so a hit must verify against it) plus the
+/// tables themselves.
+type DecodedEntry = (Arc<Program>, Arc<DecodedProgram>);
+
+#[derive(Default)]
+pub struct ArtifactStore {
+    entries: Mutex<HashMap<u64, Arc<ProgramArtifact>>>,
+    decoded: Mutex<HashMap<(u64, usize), DecodedEntry>>,
+    counters: StageCounters,
+}
+
+impl ArtifactStore {
+    #[must_use]
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Returns the artifact for `source` and whether it was already
+    /// cached, assembling on first sight. Assembly errors are not cached:
+    /// a failing source re-parses (and re-fails) on every submission,
+    /// which keeps error reporting simple and penalizes only broken
+    /// clients.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AsmError`] the assembler reports.
+    pub fn assemble(&self, source: &str) -> Result<(Arc<ProgramArtifact>, bool), AsmError> {
+        let hash = fnv1a(source.as_bytes());
+        if let Some(entry) = self.entries.lock().unwrap().get(&hash) {
+            if entry.source == source {
+                self.counters.count(Stage::Assemble, true);
+                return Ok((Arc::clone(entry), true));
+            }
+            // Genuine FNV collision: fall through and assemble fresh. The
+            // colliding artifact stays cached; this one is returned
+            // uncached, so correctness never depends on hash uniqueness.
+        }
+        self.counters.count(Stage::Assemble, false);
+        let assembly = assemble(source)?;
+        let artifact = Arc::new(ProgramArtifact {
+            hash,
+            source: source.to_string(),
+            assembly,
+            lint: Mutex::new(None),
+        });
+        let mut entries = self.entries.lock().unwrap();
+        let slot = entries.entry(hash).or_insert_with(|| Arc::clone(&artifact));
+        if slot.source == source {
+            Ok((Arc::clone(slot), false))
+        } else {
+            Ok((artifact, false))
+        }
+    }
+
+    /// Returns the lint report for an artifact and whether it was cached,
+    /// running the analyzer on first request. The report is computed with
+    /// the default [`AnalysisConfig`]; the daemon exposes no per-request
+    /// analysis knobs, so one cached report serves every client.
+    #[must_use]
+    pub fn lint(&self, artifact: &ProgramArtifact) -> (Arc<Analysis>, bool) {
+        let mut slot = artifact.lint.lock().unwrap();
+        if let Some(report) = slot.as_ref() {
+            self.counters.count(Stage::Lint, true);
+            return (Arc::clone(report), true);
+        }
+        self.counters.count(Stage::Lint, false);
+        let report = Arc::new(lint_assembly(
+            &artifact.assembly,
+            &AnalysisConfig::default(),
+        ));
+        *slot = Some(Arc::clone(&report));
+        (report, false)
+    }
+
+    /// Returns decoded execution tables for `program` lowered against a
+    /// `num_regs`-register machine, and whether they were cached. Keyed by
+    /// program *contents*, so the same tables serve a program whether it
+    /// arrived as source text, as a named workload, or inside a snapshot
+    /// image. A hash collision is disarmed by comparing the stored program
+    /// before declaring a hit.
+    #[must_use]
+    pub fn decoded(&self, program: &Program, num_regs: usize) -> (Arc<DecodedProgram>, bool) {
+        let key = (program_hash(program), num_regs);
+        let mut slot = self.decoded.lock().unwrap();
+        if let Some((stored, tables)) = slot.get(&key) {
+            if **stored == *program {
+                self.counters.count(Stage::Decode, true);
+                return (Arc::clone(tables), true);
+            }
+        }
+        self.counters.count(Stage::Decode, false);
+        let tables = Arc::new(DecodedProgram::lower(program, num_regs));
+        slot.insert(key, (Arc::new(program.clone()), Arc::clone(&tables)));
+        (tables, false)
+    }
+
+    /// The stage hit/miss counters.
+    #[must_use]
+    pub fn counters(&self) -> &StageCounters {
+        &self.counters
+    }
+
+    /// Number of distinct source programs cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct decoded-table entries cached.
+    #[must_use]
+    pub fn decoded_len(&self) -> usize {
+        self.decoded.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+.width 2
+loop:
+  fu0: lt r0,#8      ; -> next
+  fu1: iadd r1,r0,r1 ; -> next
+next:
+  fu0: iadd r0,#1,r0 ; if cc0 loop | done
+  fu1: nop           ; if cc0 loop | done
+done:
+  fu0: nop ; halt
+  fu1: nop ; halt
+";
+
+    #[test]
+    fn second_submission_skips_every_stage() {
+        let store = ArtifactStore::new();
+        let (a, hit_a) = store.assemble(SRC).expect("assembles");
+        let (lint_a, lhit_a) = store.lint(&a);
+        let (dec_a, dhit_a) = store.decoded(&a.assembly.program, 16);
+        assert!(!hit_a && !lhit_a && !dhit_a);
+
+        let (b, hit_b) = store.assemble(SRC).expect("assembles");
+        let (lint_b, lhit_b) = store.lint(&b);
+        let (dec_b, dhit_b) = store.decoded(&b.assembly.program, 16);
+        assert!(hit_b && lhit_b && dhit_b);
+
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&lint_a, &lint_b));
+        assert!(Arc::ptr_eq(&dec_a, &dec_b));
+        let c = store.counters().snapshot();
+        assert_eq!((c.assemble_hits, c.assemble_misses), (1, 1));
+        assert_eq!((c.lint_hits, c.lint_misses), (1, 1));
+        assert_eq!((c.decode_hits, c.decode_misses), (1, 1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.decoded_len(), 1);
+    }
+
+    #[test]
+    fn decode_cache_is_program_keyed_not_source_keyed() {
+        let store = ArtifactStore::new();
+        // Same program text with different comments/whitespace assembles to
+        // the same Program, so the decode stage hits even though the
+        // assemble stage misses.
+        let variant = SRC.replace("loop:", "loop: // hot loop");
+        let (a, _) = store.assemble(SRC).expect("assembles");
+        let (b, hit) = store.assemble(&variant).expect("assembles");
+        assert!(!hit, "different text is a different source artifact");
+        assert_eq!(
+            program_hash(&a.assembly.program),
+            program_hash(&b.assembly.program)
+        );
+        let (_, dhit_a) = store.decoded(&a.assembly.program, 16);
+        let (_, dhit_b) = store.decoded(&b.assembly.program, 16);
+        assert!(!dhit_a);
+        assert!(dhit_b, "structurally equal programs share decoded tables");
+    }
+
+    #[test]
+    fn distinct_register_counts_decode_separately() {
+        let store = ArtifactStore::new();
+        let (a, _) = store.assemble(SRC).expect("assembles");
+        let (d16, _) = store.decoded(&a.assembly.program, 16);
+        let (d32, _) = store.decoded(&a.assembly.program, 32);
+        assert_eq!(d16.num_regs(), 16);
+        assert_eq!(d32.num_regs(), 32);
+        let c = store.counters().snapshot();
+        assert_eq!((c.decode_hits, c.decode_misses), (0, 2));
+    }
+
+    #[test]
+    fn assembly_errors_are_not_cached() {
+        let store = ArtifactStore::new();
+        assert!(store
+            .assemble(".width 1\nmain:\n  fu0: bogus ; halt\n")
+            .is_err());
+        assert!(store
+            .assemble(".width 1\nmain:\n  fu0: bogus ; halt\n")
+            .is_err());
+        assert!(store.is_empty());
+        let c = store.counters().snapshot();
+        assert_eq!((c.assemble_hits, c.assemble_misses), (0, 2));
+    }
+}

@@ -1,0 +1,71 @@
+//! `ximd-serve` — the XIMD toolchain job daemon.
+//!
+//! Serves assemble / lint / simulate / batch / snapshot / resume / stats
+//! over the length-prefixed wire protocol (see `ximd-serve`'s crate docs
+//! and DESIGN.md §8). Prints the bound address on stdout once listening,
+//! so scripts can bind port 0 and parse the line:
+//!
+//! ```text
+//! $ ximd-serve --addr 127.0.0.1:0 --threads 4
+//! ximd-serve listening on 127.0.0.1:40913
+//! ```
+//!
+//! Exit codes follow the workspace convention: 0 clean shutdown, 1
+//! runtime failure, 2 usage error.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use ximd_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: ximd-serve [--addr HOST:PORT] [--threads N]
+
+  --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 picks a
+                     free port, printed on stdout once bound)
+  --threads N        worker threads (default: one per core, capped at 8)
+";
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => config.addr = a,
+                None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.threads = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ximd-serve: cannot bind {}: {e}", config.addr);
+            return ExitCode::from(1);
+        }
+    };
+    println!("ximd-serve listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ximd-serve: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ximd-serve: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

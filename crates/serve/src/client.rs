@@ -1,0 +1,149 @@
+//! Blocking client for the `ximd-serve` daemon.
+//!
+//! One [`Client`] owns one TCP connection and issues synchronous
+//! request/response calls. The CLI's `--connect` thin-client mode and the
+//! CI smoke tests are both built on this; anything not covered by a
+//! convenience method goes through [`Client::call`] with a hand-built
+//! [`Message`].
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{Message, WireError};
+
+/// A connected daemon client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (any `host:port` form).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, wrapped as [`WireError::Io`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sets a read timeout so a wedged daemon fails the call instead of
+    /// hanging the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, wrapped as [`WireError::Io`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.stream.set_read_timeout(timeout).map_err(WireError::Io)
+    }
+
+    /// Sends one request and reads one response. Transport errors only;
+    /// an application-level error still comes back `Ok` (check
+    /// [`Message::is_ok`] or chain [`Message::into_result`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing or the socket.
+    pub fn call(&mut self, req: &Message) -> Result<Message, WireError> {
+        req.write_to(&mut self.stream)?;
+        Message::read_from(&mut self.stream)
+    }
+
+    /// [`Client::call`] plus [`Message::into_result`]: application errors
+    /// become [`WireError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including remote application errors.
+    pub fn call_ok(&mut self, req: &Message) -> Result<Message, WireError> {
+        self.call(req)?.into_result()
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        self.call_ok(&Message::request("ping")).map(|_| ())
+    }
+
+    /// Assembles `source` on the daemon; returns the response (headers:
+    /// `hash`, `width`, `len`, `cached`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including assembly errors reported remotely.
+    pub fn assemble(&mut self, source: &str) -> Result<Message, WireError> {
+        let mut req = Message::request("assemble");
+        req.body = source.as_bytes().to_vec();
+        self.call_ok(&req)
+    }
+
+    /// Lints `source` on the daemon; returns the response (headers:
+    /// `clean`, `errors`, `diagnostics`, cache flags; body: one JSON
+    /// diagnostic per line).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including assembly errors reported remotely.
+    pub fn lint(&mut self, source: &str) -> Result<Message, WireError> {
+        let mut req = Message::request("lint");
+        req.body = source.as_bytes().to_vec();
+        self.call_ok(&req)
+    }
+
+    /// Simulates `source` on the daemon (headers per the `simulate` op;
+    /// body: the run's statistics as one JSON line).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including simulation errors reported remotely.
+    pub fn simulate_source(&mut self, source: &str, engine: &str) -> Result<Message, WireError> {
+        let mut req = Message::request("simulate").with("engine", engine);
+        req.body = source.as_bytes().to_vec();
+        self.call_ok(&req)
+    }
+
+    /// Runs a named workload (`bitcount`, `livermore`, `minmax`, `tproc`)
+    /// with seeded data on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including simulation errors reported remotely.
+    pub fn simulate_workload(
+        &mut self,
+        name: &str,
+        n: usize,
+        seed: u64,
+        engine: &str,
+    ) -> Result<Message, WireError> {
+        let req = Message::request("simulate")
+            .with("workload", name)
+            .with("n", &n.to_string())
+            .with("seed", &seed.to_string())
+            .with("engine", engine);
+        self.call_ok(&req)
+    }
+
+    /// Fetches the daemon's stats document (cache stage counters, job
+    /// counts, uptime) as JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn stats(&mut self) -> Result<String, WireError> {
+        let resp = self.call_ok(&Message::request("stats"))?;
+        String::from_utf8(resp.body).map_err(|_| WireError::Malformed("non-UTF-8 stats body"))
+    }
+
+    /// Asks the daemon to shut down after replying.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.call_ok(&Message::request("shutdown")).map(|_| ())
+    }
+}

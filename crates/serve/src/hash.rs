@@ -1,0 +1,75 @@
+//! Content hashing for the artifact store.
+//!
+//! The cache keys on a 64-bit FNV-1a digest of the source text. FNV-1a is
+//! not cryptographic — a client could construct colliding submissions — but
+//! the store never *trusts* the hash: on every lookup it compares the full
+//! source before declaring a hit (see
+//! [`ArtifactStore`](crate::ArtifactStore)), so a collision costs one cache
+//! miss, never a wrong program. Within that contract FNV-1a wins on being
+//! four lines of dependency-free code with excellent dispersion on short
+//! ASCII inputs.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a digest of `bytes`.
+///
+/// # Example
+///
+/// ```
+/// use ximd_serve::hash::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a(b"fu0: iadd r0, 1, r0"), fnv1a(b"fu0: iadd r0, 1, r1"));
+/// ```
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Formats a digest the way the wire protocol and logs spell it: 16
+/// lowercase hex digits, zero-padded.
+#[must_use]
+pub fn format_digest(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parses a digest formatted by [`format_digest`].
+#[must_use]
+pub fn parse_digest(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_round_trips_through_text() {
+        for h in [0u64, 1, FNV_OFFSET, u64::MAX] {
+            let s = format_digest(h);
+            assert_eq!(s.len(), 16);
+            assert_eq!(parse_digest(&s), Some(h));
+        }
+        assert_eq!(parse_digest("xyz"), None);
+        assert_eq!(parse_digest("00"), None);
+    }
+}

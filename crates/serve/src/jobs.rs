@@ -1,0 +1,257 @@
+//! Job execution: the named-workload registry and the engine dispatch the
+//! daemon runs every simulation through.
+//!
+//! The daemon accepts work in two forms — raw source text (assembled
+//! through the [`ArtifactStore`](crate::ArtifactStore)) and *named
+//! workloads*: the paper's benchmark programs, instantiated with seeded
+//! data so a one-line request (`workload: bitcount, n: 64, seed: 7`)
+//! reproduces bit-identical runs on any host. Both forms funnel into
+//! [`run_one`], which picks the interpreter, the decoded fast path or the
+//! lane engine behind one enum and feeds cached decode tables through the
+//! `*_cached` entry points so a warm cache skips lowering entirely.
+
+use ximd_sim::{DecodedProgram, EngineKind, LaneXsim, SimError, SimStats, TimingSpec, Xsim};
+use ximd_workloads::{bitcount, gen, livermore, minmax, tproc, with_timing, RunSpec};
+
+use crate::json::JsonWriter;
+
+/// Workloads the daemon can instantiate by name. All are `Xsim`-based and
+/// deterministic in `(n, seed)`. (`saxpy` is the VLIW companion's workload
+/// and `nonblocking` needs an I/O-port scenario; neither fits the
+/// name-plus-scale request shape.)
+pub const WORKLOADS: &[&str] = &["bitcount", "livermore", "minmax", "tproc"];
+
+/// Instantiates a named workload: a ready-to-run machine plus the drive
+/// spec (budget and park address) its `prepared` constructor mandates.
+/// `n` scales the data set (clamped to each workload's minimum); `seed`
+/// fixes the generated inputs.
+///
+/// # Errors
+///
+/// An unknown name, or any [`SimError`] from the workload constructor,
+/// rendered as text (the daemon forwards it in the error response).
+pub fn prepare(name: &str, n: usize, seed: u64) -> Result<(Xsim, RunSpec), String> {
+    let prepared = match name {
+        "bitcount" => bitcount::prepared(&gen::bit_weighted_ints(seed, n.max(1), 24)),
+        "livermore" => livermore::prepared(&gen::livermore_y(seed, n.max(1))),
+        "minmax" => minmax::prepared(&gen::uniform_ints(seed, n.max(1), -1000, 1000)),
+        "tproc" => {
+            let v = gen::uniform_ints(seed, 4, -100, 100);
+            tproc::prepared(v[0], v[1], v[2], v[3])
+        }
+        _ => {
+            return Err(format!(
+                "unknown workload {name:?} (expected one of {})",
+                WORKLOADS.join(", ")
+            ))
+        }
+    };
+    prepared.map_err(|e| format!("workload {name} failed to prepare: {e}"))
+}
+
+/// [`prepare`] plus an optional timing override: swaps the machine onto
+/// `timing` and stretches the budget by the model's worst-case factor,
+/// exactly as `ximd-workloads::with_timing` does for local runs.
+///
+/// # Errors
+///
+/// As [`prepare`], plus degenerate timing specs.
+pub fn prepare_timed(
+    name: &str,
+    n: usize,
+    seed: u64,
+    timing: Option<&TimingSpec>,
+) -> Result<(Xsim, RunSpec), String> {
+    let prepared = prepare(name, n, seed)?;
+    match timing {
+        None => Ok(prepared),
+        Some(spec) => with_timing(prepared, spec).map_err(|e| format!("timing override: {e}")),
+    }
+}
+
+/// Drives one machine to completion on the chosen engine and returns its
+/// final statistics.
+///
+/// `decoded` carries cached tables from the artifact store; `None` (or a
+/// non-matching table, or a non-ideal timing model) lowers on the fly via
+/// the engines' own fallback rules, so the choice only affects *where the
+/// decode time goes*, never the result. The lane engine runs the machine
+/// as a one-lane batch — pointless for throughput, but it makes `engine:
+/// lanes` mean the same code path in a single-machine request as in a
+/// batch, which is what the equivalence tests want to pin.
+///
+/// # Errors
+///
+/// Any [`SimError`] the underlying engine reports.
+pub fn run_one(
+    sim: &mut Xsim,
+    spec: RunSpec,
+    engine: EngineKind,
+    decoded: Option<&DecodedProgram>,
+) -> Result<SimStats, SimError> {
+    match engine {
+        EngineKind::Interp => spec.drive(sim).map(|s| s.stats),
+        EngineKind::Decoded => {
+            let (park, budget) = match spec {
+                RunSpec::Run(b) => (None, b),
+                RunSpec::Parked(p, b) => (Some(p), b),
+            };
+            match decoded {
+                Some(tables) => sim
+                    .run_decoded_cached(tables, park, budget)
+                    .map(|s| s.stats),
+                None => match spec {
+                    RunSpec::Run(b) => sim.run_decoded(b),
+                    RunSpec::Parked(p, b) => sim.run_decoded_until_parked(p, b),
+                }
+                .map(|s| s.stats),
+            }
+        }
+        EngineKind::Lanes => {
+            let mut lanes = match decoded {
+                Some(tables) => LaneXsim::from_instances_cached(std::slice::from_ref(sim), tables)?,
+                None => LaneXsim::from_instances(std::slice::from_ref(sim))?,
+            };
+            spec.drive_lanes(&mut lanes)?;
+            Ok(lanes.stats(0).clone())
+        }
+    }
+}
+
+/// Drives a shard of same-workload machines as one lane batch and returns
+/// per-lane statistics. The shard must be drive-uniform (same park mode);
+/// the budget covering every lane is the per-lane maximum, mirroring
+/// `ximd_workloads::lane_batch`.
+///
+/// # Errors
+///
+/// Any [`SimError`] from batch assembly or the run.
+pub fn run_shard_lanes(
+    prepared: Vec<(Xsim, RunSpec)>,
+    decoded: Option<&DecodedProgram>,
+) -> Result<Vec<SimStats>, SimError> {
+    let Some(&(_, mut spec)) = prepared.first() else {
+        return Ok(Vec::new());
+    };
+    for &(_, other) in prepared.iter().skip(1) {
+        spec = match (spec, other) {
+            (RunSpec::Run(a), RunSpec::Run(b)) => RunSpec::Run(a.max(b)),
+            (RunSpec::Parked(p, a), RunSpec::Parked(q, b)) if p == q => {
+                RunSpec::Parked(p, a.max(b))
+            }
+            _ => spec, // heterogeneous shards never get here; prepare() is uniform
+        };
+    }
+    let sims: Vec<Xsim> = prepared.into_iter().map(|(sim, _)| sim).collect();
+    let mut lanes = match decoded {
+        Some(tables) => LaneXsim::from_instances_cached(&sims, tables)?,
+        None => LaneXsim::from_instances(&sims)?,
+    };
+    spec.drive_lanes(&mut lanes)?;
+    Ok((0..lanes.lanes()).map(|l| lanes.stats(l).clone()).collect())
+}
+
+/// Renders [`SimStats`] as a single-line JSON object — the body of every
+/// `simulate`/`resume` response and of each per-lane batch record. Derived
+/// rates ride along so thin clients need no arithmetic.
+#[must_use]
+pub fn stats_json(stats: &SimStats) -> String {
+    let mut w = JsonWriter::new();
+    write_stats(&mut w, stats);
+    w.finish()
+}
+
+/// Emits the stats object into an open writer (for embedding in larger
+/// documents).
+pub fn write_stats(w: &mut JsonWriter, stats: &SimStats) {
+    w.begin_object();
+    w.field_u64("cycles", stats.cycles);
+    w.field_u64("width", stats.width as u64);
+    w.field_u64("ops", stats.ops);
+    w.field_u64("nops", stats.nops);
+    w.field_u64("loads", stats.loads);
+    w.field_u64("stores", stats.stores);
+    w.field_u64("compares", stats.compares);
+    w.field_u64("cond_branches", stats.cond_branches);
+    w.field_u64("branches_taken", stats.branches_taken);
+    w.field_u64("spin_cycles", stats.spin_cycles);
+    w.field_u64("halted_fu_cycles", stats.halted_fu_cycles);
+    w.field_u64(
+        "max_concurrent_streams",
+        stats.max_concurrent_streams as u64,
+    );
+    w.field_u64("sset_cycle_sum", stats.sset_cycle_sum);
+    w.field_u64("conflicts_resolved", stats.conflicts_resolved);
+    w.field_u64("stall_cycles", stats.stall_cycles);
+    w.field_u64("contention_stalls", stats.contention_stalls);
+    w.key("ops_per_fu");
+    w.begin_array();
+    for &o in &stats.ops_per_fu {
+        w.value_u64(o);
+    }
+    w.end_array();
+    w.field_f64("utilization", stats.utilization(), 6);
+    w.field_f64("avg_streams", stats.avg_streams(), 6);
+    w.field_f64("ops_per_cycle", stats.ops_per_cycle(), 6);
+    w.end_object();
+}
+
+/// Parses the engine selector header (defaulting to the decoded fast
+/// path, the daemon's workhorse).
+///
+/// # Errors
+///
+/// A usage message naming the valid selectors.
+pub fn parse_engine(value: Option<&str>) -> Result<EngineKind, String> {
+    match value {
+        None => Ok(EngineKind::Decoded),
+        Some(s) => EngineKind::parse(s)
+            .ok_or_else(|| format!("unknown engine {s:?} (expected interp, decoded or lanes)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_runs_every_workload_on_every_engine() {
+        for &name in WORKLOADS {
+            let baseline = {
+                let (mut sim, spec) = prepare(name, 8, 3).expect("prepares");
+                run_one(&mut sim, spec, EngineKind::Interp, None).expect("interp runs")
+            };
+            for engine in [EngineKind::Decoded, EngineKind::Lanes] {
+                let (mut sim, spec) = prepare(name, 8, 3).expect("prepares");
+                let stats = run_one(&mut sim, spec, engine, None).expect("engine runs");
+                assert_eq!(stats, baseline, "{name} diverges on {}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_tables_change_nothing() {
+        let (mut a, spec_a) = prepare("minmax", 12, 9).expect("prepares");
+        let tables = DecodedProgram::lower(a.program(), a.config().num_regs);
+        let cached = run_one(&mut a, spec_a, EngineKind::Decoded, Some(&tables)).expect("runs");
+        let (mut b, spec_b) = prepare("minmax", 12, 9).expect("prepares");
+        let fresh = run_one(&mut b, spec_b, EngineKind::Decoded, None).expect("runs");
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn timed_preparation_stretches_budget_and_stalls() {
+        let spec = TimingSpec::parse("latency:mem=4").expect("parses");
+        let (mut sim, run) = prepare_timed("minmax", 8, 1, Some(&spec)).expect("prepares");
+        let stats = run_one(&mut sim, run, EngineKind::Interp, None).expect("runs");
+        assert!(stats.stall_cycles > 0, "mem latency must stall");
+    }
+
+    #[test]
+    fn unknown_workload_is_a_text_error() {
+        let err = prepare("fibonacci", 8, 0).unwrap_err();
+        assert!(err.contains("unknown workload"));
+        assert!(parse_engine(Some("warp")).is_err());
+        assert!(matches!(parse_engine(None), Ok(EngineKind::Decoded)));
+    }
+}

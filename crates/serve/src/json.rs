@@ -1,0 +1,305 @@
+//! Hand-rolled JSON emit and parse helpers.
+//!
+//! The workspace's serde stand-in is a marker-trait stub (see
+//! `stubs/README.md`): it satisfies derive bounds but cannot serialize a
+//! byte. Every JSON document in the tree — `BENCH_ximd.json`, the daemon's
+//! stats endpoint, simulation results on the wire — is therefore written
+//! and read by hand. This module centralizes the two halves that used to
+//! live privately in `ximd-bench`:
+//!
+//! * [`JsonWriter`] — a comma-tracking emitter for objects and arrays;
+//! * [`str_field`] / [`num_field`] / [`u64_field`] / [`bool_field`] — the
+//!   line-oriented field extractors the baseline-gate parser is built on.
+//!
+//! The parsers are deliberately line-oriented, not a full JSON reader:
+//! every emitter in this workspace writes one object per line, which keeps
+//! the reader four lines long and the documents diffable.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum Ctx {
+    Object,
+    Array,
+}
+
+/// A minimal JSON emitter: tracks nesting and comma placement so callers
+/// only state structure. Output is compact (no indentation); emitters that
+/// want the one-object-per-line convention insert their own newlines via
+/// [`JsonWriter::newline`].
+///
+/// # Example
+///
+/// ```
+/// use ximd_serve::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("name", "minmax");
+/// w.field_u64("cycles", 14);
+/// w.key("ok");
+/// w.value_bool(true);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name": "minmax", "cycles": 14, "ok": true}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    ctx: Vec<(Ctx, bool)>, // (context, wrote_first_item)
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    #[must_use]
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if objects or arrays are still open — an emitter bug, not a
+    /// data error.
+    #[must_use]
+    pub fn finish(self) -> String {
+        assert!(
+            self.ctx.is_empty() && !self.pending_key,
+            "JsonWriter finished with unclosed structure"
+        );
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some((_, first)) = self.ctx.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push_str(", ");
+            }
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.ctx.push((Ctx::Object, true));
+    }
+
+    pub fn end_object(&mut self) {
+        assert!(
+            matches!(self.ctx.pop(), Some((Ctx::Object, _))),
+            "end_object outside an object"
+        );
+        self.out.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.ctx.push((Ctx::Array, true));
+    }
+
+    pub fn end_array(&mut self) {
+        assert!(
+            matches!(self.ctx.pop(), Some((Ctx::Array, _))),
+            "end_array outside an array"
+        );
+        self.out.push(']');
+    }
+
+    /// Emits an object key; the next `value_*`/`begin_*` call supplies its
+    /// value.
+    pub fn key(&mut self, key: &str) {
+        assert!(
+            matches!(self.ctx.last(), Some((Ctx::Object, _))),
+            "key outside an object"
+        );
+        self.before_value();
+        let _ = write!(self.out, "\"{}\": ", escape(key));
+        self.pending_key = true;
+    }
+
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    pub fn value_i64(&mut self, v: i64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emits a float with `decimals` fractional digits (the emitters in
+    /// this workspace always fix precision so documents diff cleanly).
+    pub fn value_f64(&mut self, v: f64, decimals: usize) {
+        self.before_value();
+        let _ = write!(self.out, "{v:.decimals$}");
+    }
+
+    pub fn value_bool(&mut self, v: bool) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emits pre-rendered JSON verbatim (for embedding documents built
+    /// elsewhere).
+    pub fn value_raw(&mut self, v: &str) {
+        self.before_value();
+        self.out.push_str(v);
+    }
+
+    /// Inserts a raw newline between items (cosmetic; keeps the
+    /// one-object-per-line convention the parsers rely on).
+    pub fn newline(&mut self) {
+        self.out.push('\n');
+    }
+
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.value_str(v);
+    }
+
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.value_u64(v);
+    }
+
+    pub fn field_f64(&mut self, key: &str, v: f64, decimals: usize) {
+        self.key(key);
+        self.value_f64(v, decimals);
+    }
+
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.value_bool(v);
+    }
+}
+
+/// Extracts the string value of `"key": "..."` from one line of a document
+/// written by the emitters in this workspace. Returns a borrow of the raw
+/// (still-escaped) contents; fields written from identifier-like strings
+/// (workload names, timing specs) contain no escapes.
+#[must_use]
+pub fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extracts the numeric value of `"key": 1.25` from one line.
+#[must_use]
+pub fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the integer value of `"key": 42` from one line. Unlike
+/// [`num_field`] this refuses fractional or exponent forms, so counters
+/// parse losslessly.
+#[must_use]
+pub fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the boolean value of `"key": true` from one line.
+#[must_use]
+pub fn bool_field(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    match rest[..end].trim() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_places_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("a", "x");
+        w.key("list");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.begin_object();
+        w.field_bool("ok", false);
+        w.end_object();
+        w.end_array();
+        w.field_f64("r", 0.5, 3);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"a": "x", "list": [1, 2, {"ok": false}], "r": 0.500}"#
+        );
+    }
+
+    #[test]
+    fn escape_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn field_extractors_round_trip_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "livermore");
+        w.field_u64("cycles", 420);
+        w.field_f64("speedup", 3.25, 3);
+        w.field_bool("equivalent", true);
+        w.end_object();
+        let line = w.finish();
+        assert_eq!(str_field(&line, "name"), Some("livermore"));
+        assert_eq!(u64_field(&line, "cycles"), Some(420));
+        assert_eq!(num_field(&line, "speedup"), Some(3.25));
+        assert_eq!(bool_field(&line, "equivalent"), Some(true));
+        assert_eq!(str_field(&line, "missing"), None);
+        assert_eq!(u64_field(&line, "speedup"), None);
+    }
+}

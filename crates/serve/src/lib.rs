@@ -1,0 +1,40 @@
+//! Session/artifact service layer for the XIMD toolchain.
+//!
+//! The simulators in `ximd-sim` are libraries: every caller re-assembles,
+//! re-lints and re-decodes its program from scratch. This crate adds the
+//! infrastructure to amortize that work across submissions and across
+//! processes:
+//!
+//! * [`hash`] — the FNV-1a content hash that keys every cache;
+//! * [`ArtifactStore`] — a content-addressed cache mapping source text to
+//!   its assembled [`Program`](ximd_isa::Program), lint report and decoded
+//!   execution tables, with per-stage hit/miss counters so clients can
+//!   verify which stages were actually skipped;
+//! * [`json`] — the hand-rolled JSON emit/parse helpers shared with
+//!   `ximd-bench` (the workspace's serde stand-in cannot serialize, so
+//!   every JSON document in the tree goes through these);
+//! * [`wire`] — the length-prefixed request/response framing the daemon
+//!   speaks;
+//! * [`server`] — the `ximd-serve` job daemon: a std-only thread pool and
+//!   work queue behind a `TcpListener`, sharding batch jobs across workers
+//!   and dispatching to the interpreter, decoded or lane engine;
+//! * [`Client`] — the blocking client used by the CLI's `--connect` mode
+//!   and the CI smoke tests.
+//!
+//! Everything is hand-rolled on `std`: no async runtime, no serialization
+//! framework, no HTTP. See DESIGN.md §8 for the architecture rationale.
+
+pub mod artifact;
+pub mod hash;
+pub mod jobs;
+pub mod json;
+pub mod wire;
+
+pub mod client;
+pub mod server;
+
+pub use artifact::{ArtifactStore, ProgramArtifact, StageCounters, StageSnapshot};
+pub use client::Client;
+pub use hash::fnv1a;
+pub use server::{spawn, Server, ServerConfig, ServerHandle};
+pub use wire::{Message, WireError};

@@ -1,0 +1,699 @@
+//! The `ximd-serve` job daemon.
+//!
+//! Architecture: one acceptor (the thread that called [`Server::run`])
+//! plus a fixed pool of worker threads draining a shared `Job` queue.
+//! Accepted connections become `Job::Conn` entries; a worker owns a
+//! connection for its whole lifetime, answering frames in a loop
+//! (request pipelining is the client's prerogative; responses come back
+//! in order). Batch requests shard their lanes into `Job::Shard` closures
+//! pushed onto the *same* queue, so idle workers help finish a big batch
+//! — and the sharding worker drains shard jobs itself while it waits, so
+//! a single-threaded pool can never deadlock on its own batch.
+//!
+//! All state the handlers share lives in [`ServerState`]: the
+//! content-addressed [`ArtifactStore`] and the per-op job counters. There
+//! is no session table — snapshot state travels in the protocol body
+//! (`snapshot` returns the image, `resume` carries it back), which keeps
+//! the daemon restartable and the ops idempotent.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use ximd_isa::Addr;
+use ximd_sim::{
+    decoded::MAX_FAST_WIDTH, DecodedProgram, EngineKind, MachineConfig, Session, SimStats,
+    TimingSpec, Xsim,
+};
+use ximd_workloads::RunSpec;
+
+use crate::artifact::{program_hash, ArtifactStore};
+use crate::hash::format_digest;
+use crate::jobs;
+use crate::json::JsonWriter;
+use crate::wire::{Message, WireError};
+
+/// How a [`Server`] is stood up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (query
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads. Zero means one per available core, capped at 8.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        thread::available_parallelism().map_or(2, |n| n.get().min(8))
+    }
+}
+
+enum Job {
+    Conn(TcpStream),
+    Shard(Box<dyn FnOnce() + Send>),
+    Stop,
+}
+
+#[derive(Default)]
+struct JobQueue {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.q.lock().unwrap().push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return job;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Removes one queued `Shard` (skipping connections) — the
+    /// work-stealing path a batching worker uses while it waits for its
+    /// own shards.
+    fn try_pop_shard(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        let mut q = self.q.lock().unwrap();
+        let idx = q.iter().position(|j| matches!(j, Job::Shard(_)))?;
+        match q.remove(idx) {
+            Some(Job::Shard(f)) => Some(f),
+            _ => unreachable!("position() found a shard"),
+        }
+    }
+}
+
+/// Shared daemon state: artifact cache, job queue, counters.
+pub struct ServerState {
+    store: ArtifactStore,
+    queue: JobQueue,
+    ops: Mutex<HashMap<String, u64>>,
+    threads: usize,
+    started: Instant,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// The content-addressed artifact cache.
+    #[must_use]
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A daemon running on a background thread (the shape tests and the CLI's
+/// self-hosting mode use).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to exit (after a `shutdown` request).
+    ///
+    /// # Errors
+    ///
+    /// The acceptor's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptor thread itself panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Binds a server and runs it on a background thread.
+///
+/// # Errors
+///
+/// Any bind error.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let server = Server::bind(&config)?;
+    let addr = server.local_addr();
+    let thread = thread::spawn(move || server.run());
+    Ok(ServerHandle { addr, thread })
+}
+
+impl Server {
+    /// Binds the listening socket and allocates shared state; workers
+    /// start in [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Any `TcpListener::bind` error.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            store: ArtifactStore::new(),
+            queue: JobQueue::default(),
+            ops: Mutex::new(HashMap::new()),
+            threads: config.effective_threads(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives, then
+    /// drains the workers and returns. Consumes the server.
+    ///
+    /// # Errors
+    ///
+    /// A fatal `accept` error (per-connection errors are swallowed; the
+    /// peer sees a closed socket).
+    pub fn run(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.state.threads)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                thread::spawn(move || loop {
+                    match state.queue.pop() {
+                        Job::Conn(stream) => serve_conn(&state, stream),
+                        Job::Shard(f) => f(),
+                        Job::Stop => break,
+                    }
+                })
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => self.state.queue.push(Job::Conn(s)),
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        for _ in 0..self.state.threads {
+            self.state.queue.push(Job::Stop);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match Message::read_from(&mut stream) {
+            Ok(req) => req,
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                let _ = Message::error("usage", &e.to_string()).write_to(&mut stream);
+                return;
+            }
+        };
+        let is_shutdown = req.op() == Some("shutdown");
+        let resp = dispatch(state, req);
+        if resp.write_to(&mut stream).is_err() {
+            return;
+        }
+        if is_shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor out of its blocking accept.
+            let _ = TcpStream::connect(state.addr);
+            return;
+        }
+    }
+}
+
+fn dispatch(state: &Arc<ServerState>, req: Message) -> Message {
+    let op = req.op().unwrap_or("").to_string();
+    *state.ops.lock().unwrap().entry(op.clone()).or_insert(0) += 1;
+    let result = match op.as_str() {
+        "ping" => Ok(Message::ok()
+            .with("server", "ximd-serve")
+            .with("proto", "1")),
+        "assemble" => handle_assemble(state, &req),
+        "lint" => handle_lint(state, &req),
+        "simulate" => handle_simulate(state, &req),
+        "batch" => handle_batch(state, &req),
+        "snapshot" => handle_snapshot(state, &req),
+        "resume" => handle_resume(state, &req),
+        "stats" => Ok(handle_stats(state)),
+        "shutdown" => Ok(Message::ok()),
+        "" => Err(("usage", "missing op header".to_string())),
+        other => Err(("usage", format!("unknown op {other:?}"))),
+    };
+    result.unwrap_or_else(|(code, msg)| Message::error(code, &msg))
+}
+
+type HandlerResult = Result<Message, (&'static str, String)>;
+
+fn source_of(req: &Message) -> Result<String, (&'static str, String)> {
+    String::from_utf8(req.body.clone())
+        .map_err(|_| ("usage", "request body is not UTF-8 source text".to_string()))
+}
+
+fn timing_of(req: &Message) -> Result<Option<TimingSpec>, (&'static str, String)> {
+    match req.get("timing") {
+        None => Ok(None),
+        Some(s) => TimingSpec::parse(s)
+            .map(Some)
+            .map_err(|e| ("usage", format!("bad timing spec: {e}"))),
+    }
+}
+
+fn park_of(req: &Message) -> Result<Option<Addr>, (&'static str, String)> {
+    match req.get("park") {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u32>()
+            .map(|a| Some(Addr(a)))
+            .map_err(|_| ("usage", format!("bad park address {s:?}"))),
+    }
+}
+
+fn handle_assemble(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let source = source_of(req)?;
+    let (artifact, hit) = state
+        .store
+        .assemble(&source)
+        .map_err(|e| ("asm", e.to_string()))?;
+    let program = &artifact.assembly.program;
+    Ok(Message::ok()
+        .with("hash", &format_digest(artifact.hash))
+        .with("width", &program.width().to_string())
+        .with("len", &program.len().to_string())
+        .with("cached", if hit { "true" } else { "false" }))
+}
+
+fn handle_lint(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let source = source_of(req)?;
+    let (artifact, program_hit) = state
+        .store
+        .assemble(&source)
+        .map_err(|e| ("asm", e.to_string()))?;
+    let (report, lint_hit) = state.store.lint(&artifact);
+    let mut body = String::new();
+    for d in &report.diagnostics {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("severity", &d.severity.to_string());
+        w.field_str("message", &d.to_string());
+        w.end_object();
+        body.push_str(&w.finish());
+        body.push('\n');
+    }
+    let errors = report.has_errors();
+    let mut resp = Message::ok()
+        .with("hash", &format_digest(artifact.hash))
+        .with("cached_program", if program_hit { "true" } else { "false" })
+        .with("cached_lint", if lint_hit { "true" } else { "false" })
+        .with("clean", if report.is_clean() { "true" } else { "false" })
+        .with("errors", if errors { "true" } else { "false" })
+        .with("truncated", if report.truncated { "true" } else { "false" })
+        .with("diagnostics", &report.diagnostics.len().to_string());
+    resp.body = body.into_bytes();
+    Ok(resp)
+}
+
+/// A machine plus drive spec from either input form (`workload` header or
+/// source body), with decode tables when the cache applies.
+struct PreparedJob {
+    sim: Xsim,
+    spec: RunSpec,
+    hash: u64,
+    cached_program: bool,
+    tables: Option<Arc<DecodedProgram>>,
+    cached_decode: bool,
+}
+
+fn prepare_job(
+    state: &Arc<ServerState>,
+    req: &Message,
+    engine: EngineKind,
+) -> Result<PreparedJob, (&'static str, String)> {
+    let timing = timing_of(req)?;
+    let (sim, mut spec, cached_program) = if let Some(name) = req.get("workload") {
+        let n = req.get_usize("n").unwrap_or(32);
+        let seed = req.get_u64("seed").unwrap_or(0);
+        let (sim, spec) =
+            jobs::prepare_timed(name, n, seed, timing.as_ref()).map_err(|e| ("usage", e))?;
+        (sim, spec, false)
+    } else {
+        let source = source_of(req)?;
+        let (artifact, hit) = state
+            .store
+            .assemble(&source)
+            .map_err(|e| ("asm", e.to_string()))?;
+        let program = artifact.assembly.program.clone();
+        let mut config = MachineConfig::with_width(program.width());
+        if let Some(t) = &timing {
+            config.timing = t.clone();
+        }
+        let sim = Xsim::new(program, config).map_err(|e| ("sim", e.to_string()))?;
+        let budget = req.get_u64("budget").unwrap_or(1 << 20);
+        let spec = match park_of(req)? {
+            Some(p) => RunSpec::Parked(p, budget),
+            None => RunSpec::Run(budget),
+        };
+        (sim, spec, hit)
+    };
+    // Explicit budget/park headers override a workload's defaults too.
+    if req.get("workload").is_some() {
+        if let Some(b) = req.get_u64("budget") {
+            spec = match spec {
+                RunSpec::Run(_) => RunSpec::Run(b),
+                RunSpec::Parked(p, _) => RunSpec::Parked(p, b),
+            };
+        }
+        if let Some(p) = park_of(req)? {
+            spec = RunSpec::Parked(p, spec.budget());
+        }
+    }
+    let hash = program_hash(sim.program());
+    let cacheable = engine != EngineKind::Interp
+        && sim.config().timing.is_ideal()
+        && sim.config().width <= MAX_FAST_WIDTH;
+    let (tables, cached_decode) = if cacheable {
+        let (t, hit) = state.store.decoded(sim.program(), sim.config().num_regs);
+        (Some(t), hit)
+    } else {
+        (None, false)
+    };
+    Ok(PreparedJob {
+        sim,
+        spec,
+        hash,
+        cached_program,
+        tables,
+        cached_decode,
+    })
+}
+
+fn handle_simulate(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
+    let mut job = prepare_job(state, req, engine)?;
+    let stats = jobs::run_one(&mut job.sim, job.spec, engine, job.tables.as_deref())
+        .map_err(|e| ("sim", e.to_string()))?;
+    let mut resp = Message::ok()
+        .with("hash", &format_digest(job.hash))
+        .with("engine", engine.name())
+        .with(
+            "cached_program",
+            if job.cached_program { "true" } else { "false" },
+        )
+        .with(
+            "cached_decode",
+            if job.cached_decode { "true" } else { "false" },
+        )
+        .with("cycles", &stats.cycles.to_string());
+    resp.body = jobs::stats_json(&stats).into_bytes();
+    Ok(resp)
+}
+
+fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
+    let Some(name) = req.get("workload") else {
+        return Err(("usage", "batch requires a workload header".to_string()));
+    };
+    let name = name.to_string();
+    let lanes = req.get_usize("lanes").unwrap_or(8).clamp(1, 4096);
+    let n = req.get_usize("n").unwrap_or(32);
+    let seed = req.get_u64("seed").unwrap_or(0);
+    let timing = timing_of(req)?;
+
+    let mut prepared = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        prepared.push(
+            jobs::prepare_timed(&name, n, seed.wrapping_add(lane as u64), timing.as_ref())
+                .map_err(|e| ("usage", e))?,
+        );
+    }
+    let proto = &prepared[0].0;
+    let cacheable = engine != EngineKind::Interp
+        && proto.config().timing.is_ideal()
+        && proto.config().width <= MAX_FAST_WIDTH;
+    let (tables, cached_decode) = if cacheable {
+        let (t, hit) = state
+            .store
+            .decoded(proto.program(), proto.config().num_regs);
+        (Some(t), hit)
+    } else {
+        (None, false)
+    };
+    let hash = program_hash(proto.program());
+
+    // Shard across the pool: ceil-split into at most `threads` chunks,
+    // queue all but the first, run the first inline, then steal queued
+    // shards while waiting. Every shard is thus guaranteed a thread even
+    // on a single-worker pool.
+    let shards = state.threads.clamp(1, lanes);
+    let chunk = lanes.div_ceil(shards);
+    let (tx, rx) = mpsc::channel::<(usize, Result<Vec<SimStats>, String>)>();
+    let mut chunks: Vec<Vec<(Xsim, RunSpec)>> = Vec::new();
+    while !prepared.is_empty() {
+        let rest = prepared.split_off(prepared.len().min(chunk));
+        chunks.push(std::mem::replace(&mut prepared, rest));
+    }
+    let num_shards = chunks.len();
+    let run_shard = {
+        let tables = tables.clone();
+        move |shard: Vec<(Xsim, RunSpec)>, engine: EngineKind| -> Result<Vec<SimStats>, String> {
+            if engine == EngineKind::Lanes {
+                jobs::run_shard_lanes(shard, tables.as_deref()).map_err(|e| e.to_string())
+            } else {
+                shard
+                    .into_iter()
+                    .map(|(mut sim, spec)| {
+                        jobs::run_one(&mut sim, spec, engine, tables.as_deref())
+                            .map_err(|e| e.to_string())
+                    })
+                    .collect()
+            }
+        }
+    };
+    let run_shard = Arc::new(run_shard);
+    let mut iter = chunks.into_iter().enumerate();
+    let first = iter.next();
+    for (idx, shard) in iter {
+        let tx = tx.clone();
+        let run_shard = Arc::clone(&run_shard);
+        state.queue.push(Job::Shard(Box::new(move || {
+            let _ = tx.send((idx, run_shard(shard, engine)));
+        })));
+    }
+    if let Some((idx, shard)) = first {
+        let _ = tx.send((idx, run_shard(shard, engine)));
+    }
+    drop(tx);
+    let mut results: Vec<Option<Vec<SimStats>>> = vec![None; num_shards];
+    let mut received = 0;
+    while received < num_shards {
+        // Prefer stealing queued shard work (ours or anyone's) over
+        // blocking, so the pool can never wedge on its own batch.
+        if let Some(f) = state.queue.try_pop_shard() {
+            f();
+            continue;
+        }
+        match rx.recv() {
+            Ok((idx, result)) => {
+                results[idx] = Some(result.map_err(|e| ("sim", e))?);
+                received += 1;
+            }
+            Err(_) => break,
+        }
+    }
+
+    let mut all: Vec<SimStats> = Vec::with_capacity(lanes);
+    for r in results {
+        all.extend(r.ok_or(("internal", "batch shard lost".to_string()))?);
+    }
+    let total_cycles: u64 = all.iter().map(|s| s.cycles).sum();
+    let total_ops: u64 = all.iter().map(|s| s.ops).sum();
+    let max_cycles = all.iter().map(|s| s.cycles).max().unwrap_or(0);
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("workload", &name);
+    w.field_str("engine", engine.name());
+    w.field_u64("lanes", lanes as u64);
+    w.field_u64("shards", num_shards as u64);
+    w.field_u64("total_cycles", total_cycles);
+    w.field_u64("total_ops", total_ops);
+    w.field_u64("max_cycles", max_cycles);
+    w.key("lane_cycles");
+    w.begin_array();
+    for s in &all {
+        w.value_u64(s.cycles);
+    }
+    w.end_array();
+    w.end_object();
+
+    let mut resp = Message::ok()
+        .with("hash", &format_digest(hash))
+        .with("engine", engine.name())
+        .with("lanes", &lanes.to_string())
+        .with("shards", &num_shards.to_string())
+        .with(
+            "cached_decode",
+            if cached_decode { "true" } else { "false" },
+        )
+        .with("total_cycles", &total_cycles.to_string());
+    resp.body = w.finish().into_bytes();
+    Ok(resp)
+}
+
+fn handle_snapshot(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let Some(upto) = req.get_u64("upto") else {
+        return Err((
+            "usage",
+            "snapshot requires an upto header (cycle mark)".to_string(),
+        ));
+    };
+    // Engine choice is a finish-time concern; advancing is interpreter
+    // stepping either way. Parse for validation only.
+    let _ = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
+    let job = prepare_job(state, req, EngineKind::Interp)?;
+    let (park, budget) = match job.spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
+    };
+    let mut session = Session::from_machine(job.sim);
+    session
+        .advance_to(park, upto)
+        .map_err(|e| ("sim", e.to_string()))?;
+    let image = session
+        .snapshot()
+        .map_err(|e| ("internal", e.to_string()))?;
+    let mut resp = Message::ok()
+        .with("hash", &format_digest(job.hash))
+        .with("cycle", &session.cycle().to_string())
+        .with(
+            "complete",
+            if session.complete() { "true" } else { "false" },
+        )
+        .with("budget", &budget.to_string())
+        .with("bytes", &image.len().to_string());
+    if let Some(p) = park {
+        resp.set("park", &p.0.to_string());
+    }
+    resp.body = image;
+    Ok(resp)
+}
+
+fn handle_resume(_state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let Some(budget) = req.get_u64("budget") else {
+        return Err((
+            "usage",
+            "resume requires a budget header (absolute cycle budget)".to_string(),
+        ));
+    };
+    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
+    let park = park_of(req)?;
+    let mut session = Session::restore(&req.body).map_err(|e| ("sim", e.to_string()))?;
+    session
+        .finish(park, budget, engine)
+        .map_err(|e| ("sim", e.to_string()))?;
+    let hash = session.machine().map(|sim| program_hash(sim.program()));
+    let mut resp = Message::ok()
+        .with("engine", engine.name())
+        .with("cycles", &session.cycle().to_string())
+        .with(
+            "complete",
+            if session.complete() { "true" } else { "false" },
+        );
+    if let Some(h) = hash {
+        resp.set("hash", &format_digest(h));
+    }
+    let body = match session.machine() {
+        Some(sim) => jobs::stats_json(sim.stats()),
+        None => {
+            let batch = session.batch().expect("session is machine or batch");
+            let mut lines = String::new();
+            for lane in 0..batch.lanes() {
+                lines.push_str(&jobs::stats_json(batch.stats(lane)));
+                lines.push('\n');
+            }
+            lines
+        }
+    };
+    resp.body = body.into_bytes();
+    Ok(resp)
+}
+
+fn handle_stats(state: &Arc<ServerState>) -> Message {
+    let stages = state.store.counters().snapshot();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("server", "ximd-serve");
+    w.field_f64("uptime_secs", state.started.elapsed().as_secs_f64(), 3);
+    w.field_u64("threads", state.threads as u64);
+    w.field_u64("programs_cached", state.store.len() as u64);
+    w.field_u64("decoded_cached", state.store.decoded_len() as u64);
+    w.newline();
+    w.key("stages");
+    w.begin_object();
+    w.field_u64("assemble_hits", stages.assemble_hits);
+    w.field_u64("assemble_misses", stages.assemble_misses);
+    w.field_u64("lint_hits", stages.lint_hits);
+    w.field_u64("lint_misses", stages.lint_misses);
+    w.field_u64("decode_hits", stages.decode_hits);
+    w.field_u64("decode_misses", stages.decode_misses);
+    w.end_object();
+    w.newline();
+    w.key("jobs");
+    w.begin_object();
+    let ops = state.ops.lock().unwrap();
+    let mut names: Vec<_> = ops.keys().collect();
+    names.sort();
+    for name in names {
+        w.field_u64(name, ops[name]);
+    }
+    drop(ops);
+    w.end_object();
+    w.end_object();
+    let mut resp = Message::ok();
+    resp.body = w.finish().into_bytes();
+    resp
+}

@@ -1,0 +1,371 @@
+//! The `ximd-serve` wire protocol: length-prefixed frames, text headers,
+//! binary bodies.
+//!
+//! A frame on the socket is:
+//!
+//! ```text
+//! u32 LE  payload length (header block + body)
+//! u32 LE  header block length
+//! bytes   header block — UTF-8 `key: value` lines, '\n'-separated
+//! bytes   body — arbitrary binary (source text, snapshot image, JSON)
+//! ```
+//!
+//! Requests carry an `op` header naming the operation; responses carry a
+//! `status` header (`ok` or `error`, plus `code`/`error` detail headers on
+//! failure). Everything else is op-specific. Binary payloads (snapshot
+//! images) ride in the body untouched — no base64, no escaping — which is
+//! the reason for the explicit header-length word instead of a separator
+//! scan.
+//!
+//! The format is deliberately dumb: both sides read a whole frame into
+//! memory before acting, connections are synchronous request/response, and
+//! a frame longer than [`MAX_FRAME`] is a protocol error (the daemon must
+//! not let one client allocate unbounded memory).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload (64 MiB). Large enough for any
+/// snapshot image the simulators produce, small enough to bound a
+/// malicious client's allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Errors reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// An I/O error on the socket.
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The frame's structure is inconsistent (header block longer than the
+    /// payload, non-UTF-8 headers, malformed `key: value` line).
+    Malformed(&'static str),
+    /// A well-formed response reported an application error.
+    Remote { code: String, message: String },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// One protocol message: ordered `key: value` headers plus a binary body.
+///
+/// # Example
+///
+/// ```
+/// use ximd_serve::Message;
+///
+/// let mut req = Message::request("simulate");
+/// req.set("engine", "decoded");
+/// req.body = b".width 1\nmain:\n  fu0: nop ; halt\n".to_vec();
+///
+/// let mut buf = Vec::new();
+/// req.write_to(&mut buf).unwrap();
+/// let back = Message::read_from(&mut buf.as_slice()).unwrap();
+/// assert_eq!(back.op(), Some("simulate"));
+/// assert_eq!(back.get("engine"), Some("decoded"));
+/// assert_eq!(back.body, req.body);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Message {
+    headers: Vec<(String, String)>,
+    /// Binary payload (source text, snapshot image, JSON document — per
+    /// the operation's contract).
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    /// A new request for operation `op`.
+    #[must_use]
+    pub fn request(op: &str) -> Message {
+        let mut m = Message::default();
+        m.set("op", op);
+        m
+    }
+
+    /// A new success response.
+    #[must_use]
+    pub fn ok() -> Message {
+        let mut m = Message::default();
+        m.set("status", "ok");
+        m
+    }
+
+    /// A new error response. `code` is one of the documented error classes
+    /// (`usage`, `asm`, `lint`, `sim`, `internal`); `message` is free text.
+    #[must_use]
+    pub fn error(code: &str, message: &str) -> Message {
+        let mut m = Message::default();
+        m.set("status", "error");
+        m.set("code", code);
+        m.set("error", message);
+        m
+    }
+
+    /// Sets header `key`, replacing any existing value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key or value contains a newline or the key contains a
+    /// colon — those cannot be framed, and reaching here with one is a
+    /// caller bug, not input data.
+    pub fn set(&mut self, key: &str, value: &str) -> &mut Message {
+        assert!(
+            !key.contains([':', '\n']) && !value.contains('\n'),
+            "header keys/values must be single-line; key must be colon-free"
+        );
+        if let Some(slot) = self.headers.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.headers.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// Builder-style [`Message::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: &str) -> Message {
+        self.set(key, value);
+        self
+    }
+
+    /// The value of header `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses header `key` as a `u64`.
+    #[must_use]
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Parses header `key` as a `usize`.
+    #[must_use]
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Parses header `key` as a boolean (`true`/`false`).
+    #[must_use]
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The request's operation name.
+    #[must_use]
+    pub fn op(&self) -> Option<&str> {
+        self.get("op")
+    }
+
+    /// True for a response whose `status` is `ok`.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.get("status") == Some("ok")
+    }
+
+    /// Converts an error response into a [`WireError::Remote`]; passes an
+    /// `ok` response through. Lets clients write
+    /// `client.call(req)?.into_result()?`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] when the response's status is not `ok`.
+    pub fn into_result(self) -> Result<Message, WireError> {
+        if self.is_ok() {
+            Ok(self)
+        } else {
+            Err(WireError::Remote {
+                code: self.get("code").unwrap_or("unknown").to_string(),
+                message: self.get("error").unwrap_or("unspecified").to_string(),
+            })
+        }
+    }
+
+    /// All headers in insertion order.
+    #[must_use]
+    pub fn headers(&self) -> &[(String, String)] {
+        &self.headers
+    }
+
+    fn header_block(&self) -> String {
+        let mut block = String::new();
+        for (k, v) in &self.headers {
+            block.push_str(k);
+            block.push_str(": ");
+            block.push_str(v);
+            block.push('\n');
+        }
+        block
+    }
+
+    /// Frames and writes the message.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let header = self.header_block();
+        let payload_len = 4 + header.len() + self.body.len();
+        assert!(payload_len <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        w.write_all(&(payload_len as u32).to_le_bytes())?;
+        w.write_all(&(header.len() as u32).to_le_bytes())?;
+        w.write_all(header.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Reads and decodes one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] on clean EOF before the first length byte,
+    /// and the other [`WireError`] variants per their documentation.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Message, WireError> {
+        let mut len4 = [0u8; 4];
+        // Distinguish a clean close (zero bytes then EOF) from a frame
+        // truncated mid-prefix.
+        let mut got = 0;
+        while got < 4 {
+            let n = r.read(&mut len4[got..]).map_err(WireError::from)?;
+            if n == 0 {
+                return if got == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Malformed("truncated length prefix"))
+                };
+            }
+            got += n;
+        }
+        let payload_len = u32::from_le_bytes(len4) as usize;
+        if payload_len > MAX_FRAME {
+            return Err(WireError::TooLarge(payload_len));
+        }
+        if payload_len < 4 {
+            return Err(WireError::Malformed("payload shorter than header length"));
+        }
+        let mut payload = vec![0u8; payload_len];
+        r.read_exact(&mut payload)?;
+        let header_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        if 4 + header_len > payload_len {
+            return Err(WireError::Malformed("header block overruns payload"));
+        }
+        let header = std::str::from_utf8(&payload[4..4 + header_len])
+            .map_err(|_| WireError::Malformed("non-UTF-8 header block"))?;
+        let mut headers = Vec::new();
+        for line in header.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(": ")
+                .ok_or(WireError::Malformed("header line without ': '"))?;
+            headers.push((k.to_string(), v.to_string()));
+        }
+        let body = payload[4 + header_len..].to_vec();
+        Ok(Message { headers, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_with_binary_bodies() {
+        let mut msg = Message::request("resume");
+        msg.set("budget", "4096");
+        msg.body = (0u16..600).flat_map(|v| v.to_le_bytes()).collect();
+        // A body full of newlines and fake header text must survive.
+        msg.body.extend_from_slice(b"\n\nop: fake\n");
+
+        let mut buf = Vec::new();
+        msg.write_to(&mut buf).unwrap();
+        let back = Message::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn multiple_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        Message::request("ping").write_to(&mut buf).unwrap();
+        Message::request("stats").write_to(&mut buf).unwrap();
+        let mut cursor = buf.as_slice();
+        assert_eq!(Message::read_from(&mut cursor).unwrap().op(), Some("ping"));
+        assert_eq!(Message::read_from(&mut cursor).unwrap().op(), Some("stats"));
+        assert!(matches!(
+            Message::read_from(&mut cursor),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            Message::read_from(&mut buf.as_slice()),
+            Err(WireError::TooLarge(_))
+        ));
+
+        let mut torn = Vec::new();
+        Message::request("ping").write_to(&mut torn).unwrap();
+        torn.truncate(torn.len() - 1);
+        assert!(matches!(
+            Message::read_from(&mut torn.as_slice()),
+            Err(WireError::Closed) | Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn error_responses_surface_as_remote_errors() {
+        let resp = Message::error("usage", "missing op");
+        let err = resp.into_result().unwrap_err();
+        match err {
+            WireError::Remote { code, message } => {
+                assert_eq!(code, "usage");
+                assert_eq!(message, "missing op");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Message::ok().into_result().is_ok());
+    }
+
+    #[test]
+    fn set_replaces_existing_headers() {
+        let mut m = Message::request("x");
+        m.set("k", "1").set("k", "2");
+        assert_eq!(m.get("k"), Some("2"));
+        assert_eq!(m.headers().len(), 2); // op + k
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end daemon tests: a real server on a loopback socket, a real
+//! client, every protocol op.
+
+use ximd_serve::{json, spawn, Client, Message, ServerConfig};
+
+const SRC: &str = "\
+.width 2
+loop:
+  fu0: lt r0,#6      ; -> next
+  fu1: iadd r1,r0,r1 ; -> next
+next:
+  fu0: iadd r0,#1,r0 ; if cc0 loop | done
+  fu1: nop           ; if cc0 loop | done
+done:
+  fu0: nop ; halt
+  fu1: nop ; halt
+";
+
+fn client(threads: usize) -> (Client, ximd_serve::ServerHandle) {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+    })
+    .expect("daemon spawns");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    (client, handle)
+}
+
+#[test]
+fn second_submission_reports_cache_hits_and_identical_stats() {
+    let (mut c, handle) = client(2);
+    c.ping().expect("ping");
+
+    let first = c.simulate_source(SRC, "decoded").expect("first run");
+    assert_eq!(first.get("cached_program"), Some("false"));
+    assert_eq!(first.get("cached_decode"), Some("false"));
+
+    let second = c.simulate_source(SRC, "decoded").expect("second run");
+    assert_eq!(second.get("cached_program"), Some("true"));
+    assert_eq!(second.get("cached_decode"), Some("true"));
+    assert_eq!(second.get("hash"), first.get("hash"));
+    assert_eq!(second.body, first.body, "identical stats bodies");
+
+    // The stats endpoint corroborates the per-response flags.
+    let stats = c.stats().expect("stats");
+    let stages = stats
+        .lines()
+        .find(|l| l.contains("assemble_hits"))
+        .expect("stages line");
+    assert_eq!(json::u64_field(stages, "assemble_hits"), Some(1));
+    assert_eq!(json::u64_field(stages, "assemble_misses"), Some(1));
+    assert_eq!(json::u64_field(stages, "decode_hits"), Some(1));
+    assert_eq!(json::u64_field(stages, "decode_misses"), Some(1));
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn workload_runs_agree_across_engines_and_cache_decode() {
+    let (mut c, handle) = client(2);
+    let interp = c
+        .simulate_workload("minmax", 16, 5, "interp")
+        .expect("interp");
+    let decoded = c
+        .simulate_workload("minmax", 16, 5, "decoded")
+        .expect("decoded");
+    let lanes = c
+        .simulate_workload("minmax", 16, 5, "lanes")
+        .expect("lanes");
+    assert_eq!(interp.body, decoded.body);
+    assert_eq!(interp.body, lanes.body);
+    // interp never consults the decode cache; decoded missed then lanes hit.
+    assert_eq!(interp.get("cached_decode"), Some("false"));
+    assert_eq!(decoded.get("cached_decode"), Some("false"));
+    assert_eq!(lanes.get("cached_decode"), Some("true"));
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn lint_reports_and_caches() {
+    let (mut c, handle) = client(1);
+    let first = c.lint(SRC).expect("lint");
+    assert_eq!(first.get("cached_lint"), Some("false"));
+    assert_eq!(first.get("errors"), Some("false"));
+    let second = c.lint(SRC).expect("lint again");
+    assert_eq!(second.get("cached_lint"), Some("true"));
+    assert_eq!(second.get("cached_program"), Some("true"));
+
+    let err = c.lint(".width 1\nmain:\n  fu0: bogus ; halt\n");
+    assert!(err.is_err(), "assembly failure surfaces as remote error");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn batch_shards_across_single_worker_without_deadlock() {
+    // threads=1 is the adversarial case: the connection handler occupies
+    // the only worker, so its shards must be self-drained.
+    let (mut c, handle) = client(1);
+    let req = Message::request("batch")
+        .with("workload", "bitcount")
+        .with("lanes", "6")
+        .with("n", "8")
+        .with("engine", "lanes");
+    let resp = c.call_ok(&req).expect("batch runs");
+    let body = String::from_utf8(resp.body).expect("utf-8 body");
+    assert_eq!(json::u64_field(&body, "lanes"), Some(6));
+    assert!(json::u64_field(&body, "total_cycles").unwrap() > 0);
+
+    // Per-lane results must equal solo runs of the same seeds.
+    for lane in 0..3u64 {
+        let solo = c
+            .simulate_workload("bitcount", 8, lane, "decoded")
+            .expect("solo");
+        let solo_body = String::from_utf8(solo.body).expect("utf-8");
+        let solo_cycles = json::u64_field(&solo_body, "cycles").unwrap();
+        let lane_cycles: Vec<u64> = body
+            .split("\"lane_cycles\": [")
+            .nth(1)
+            .and_then(|rest| rest.split(']').next())
+            .expect("lane_cycles array")
+            .split(", ")
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(lane_cycles.len(), 6);
+        assert_eq!(lane_cycles[lane as usize], solo_cycles);
+    }
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn snapshot_resume_round_trips_bit_exactly() {
+    let (mut c, handle) = client(2);
+    // Uninterrupted baseline.
+    let solo = c
+        .simulate_workload("livermore", 24, 11, "interp")
+        .expect("solo run");
+
+    // Snapshot mid-flight, then resume to completion.
+    let snap = c
+        .call_ok(
+            &Message::request("snapshot")
+                .with("workload", "livermore")
+                .with("n", "24")
+                .with("seed", "11")
+                .with("upto", "17"),
+        )
+        .expect("snapshot");
+    assert_eq!(snap.get("complete"), Some("false"));
+    assert_eq!(snap.get("cycle"), Some("17"));
+    let budget = snap.get("budget").expect("budget header").to_string();
+
+    let mut resume = Message::request("resume")
+        .with("budget", &budget)
+        .with("engine", "interp");
+    resume.body = snap.body.clone();
+    let resumed = c.call_ok(&resume).expect("resume");
+    assert_eq!(resumed.get("complete"), Some("true"));
+    assert_eq!(
+        resumed.body, solo.body,
+        "resumed run must match uninterrupted stats bit-for-bit"
+    );
+    assert_eq!(resumed.get("hash"), solo.get("hash"));
+
+    // Same under a stalling timing model.
+    let solo_t = c
+        .call_ok(
+            &Message::request("simulate")
+                .with("workload", "livermore")
+                .with("n", "24")
+                .with("seed", "11")
+                .with("engine", "interp")
+                .with("timing", "latency:mem=4"),
+        )
+        .expect("timed solo");
+    let snap_t = c
+        .call_ok(
+            &Message::request("snapshot")
+                .with("workload", "livermore")
+                .with("n", "24")
+                .with("seed", "11")
+                .with("timing", "latency:mem=4")
+                .with("upto", "33"),
+        )
+        .expect("timed snapshot");
+    let mut resume_t = Message::request("resume")
+        .with("budget", snap_t.get("budget").unwrap())
+        .with("engine", "interp");
+    resume_t.body = snap_t.body.clone();
+    let resumed_t = c.call_ok(&resume_t).expect("timed resume");
+    assert_eq!(resumed_t.body, solo_t.body);
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn usage_errors_are_typed() {
+    let (mut c, handle) = client(1);
+    let bad_engine = c
+        .call(
+            &Message::request("simulate")
+                .with("workload", "minmax")
+                .with("engine", "warp"),
+        )
+        .expect("transport ok");
+    assert!(!bad_engine.is_ok());
+    assert_eq!(bad_engine.get("code"), Some("usage"));
+
+    let no_op = c
+        .call(&Message::default().with("x", "y"))
+        .expect("transport ok");
+    assert_eq!(no_op.get("code"), Some("usage"));
+
+    let bad_workload = c
+        .call(&Message::request("simulate").with("workload", "fibonacci"))
+        .expect("transport ok");
+    assert_eq!(bad_workload.get("code"), Some("usage"));
+    c.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}

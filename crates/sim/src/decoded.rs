@@ -250,7 +250,12 @@ pub struct DecodedProgram {
 impl DecodedProgram {
     /// Lowers a validated program. Infallible: every register, target and
     /// FU reference was already range-checked by `Program::validate`.
-    pub(crate) fn lower(program: &Program, num_regs: usize) -> DecodedProgram {
+    ///
+    /// Public so artifact caches can lower once and replay the tables
+    /// across many runs ([`Xsim::run_decoded_cached`],
+    /// [`crate::LaneXsim::from_instances_cached`]); the engines lower on
+    /// the fly when no cache is involved.
+    pub fn lower(program: &Program, num_regs: usize) -> DecodedProgram {
         let width = program.width();
         let mut dec = Decoder::new(num_regs);
         let mut parcels = Vec::with_capacity(program.len() * width);
@@ -294,6 +299,19 @@ impl DecodedProgram {
     /// Number of distinct interned immediates.
     pub fn num_consts(&self) -> usize {
         self.pool_init.len() - self.num_regs
+    }
+
+    /// Register-file size the tables were lowered for.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// True when these tables could have been lowered from `program` on a
+    /// machine with `num_regs` registers — the cheap dimensional check the
+    /// cached-decode entry points gate on (callers pair tables with
+    /// programs by content hash; this guards against plumbing mistakes).
+    pub fn matches(&self, program: &Program, num_regs: usize) -> bool {
+        self.width == program.width() && self.num_regs == num_regs && self.len() == program.len()
     }
 }
 
@@ -412,13 +430,35 @@ impl FastXsim {
     ///
     /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
     pub fn from_xsim(sim: &Xsim) -> FastXsim {
+        let decoded = DecodedProgram::lower(&sim.program, sim.config.num_regs);
+        FastXsim::from_xsim_decoded(sim, decoded)
+    }
+
+    /// Like [`FastXsim::from_xsim`] but reuses already-lowered tables
+    /// (the artifact-cache decode-skip path) instead of lowering again.
+    /// The caller must pass tables lowered from this machine's own program
+    /// and register count — pair them by content hash and verify with
+    /// [`DecodedProgram::matches`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is wider than [`MAX_FAST_WIDTH`] or the
+    /// tables' dimensions do not match the machine.
+    pub fn from_xsim_cached(sim: &Xsim, decoded: &DecodedProgram) -> FastXsim {
+        assert!(
+            decoded.matches(&sim.program, sim.config.num_regs),
+            "cached tables do not match the machine"
+        );
+        FastXsim::from_xsim_decoded(sim, decoded.clone())
+    }
+
+    fn from_xsim_decoded(sim: &Xsim, decoded: DecodedProgram) -> FastXsim {
         let config = &sim.config;
         let width = config.width;
         assert!(
             width <= MAX_FAST_WIDTH,
             "FastXsim supports widths up to {MAX_FAST_WIDTH}"
         );
-        let decoded = DecodedProgram::lower(&sim.program, config.num_regs);
         let mut pool = decoded.pool_init.clone();
         pool[..config.num_regs].copy_from_slice(sim.regs.snapshot());
         let mut cc_bits = 0u64;

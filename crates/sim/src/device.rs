@@ -123,6 +123,27 @@ impl IoPort {
     pub fn pending(&self) -> usize {
         self.incoming.len()
     }
+
+    /// The full device state for snapshot encoding: scheduled arrivals,
+    /// logged writes, and the poll counters.
+    pub(crate) fn export(&self) -> (&[(u64, Value)], &[PortEvent], u64, u64) {
+        (&self.incoming, &self.outgoing, self.reads, self.polls_empty)
+    }
+
+    /// Rebuilds a device from snapshot state (inverse of `export`).
+    pub(crate) fn from_parts(
+        incoming: Vec<(u64, Value)>,
+        outgoing: Vec<PortEvent>,
+        reads: u64,
+        polls_empty: u64,
+    ) -> IoPort {
+        IoPort {
+            incoming,
+            outgoing,
+            reads,
+            polls_empty,
+        }
+    }
 }
 
 #[cfg(test)]

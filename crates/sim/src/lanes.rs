@@ -328,7 +328,28 @@ impl LaneXsim {
     /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
     pub fn from_instances(sims: &[Xsim]) -> Result<LaneXsim, SimError> {
         let refs: Vec<&Xsim> = sims.iter().collect();
-        LaneXsim::assemble(&refs)
+        LaneXsim::assemble(&refs, None)
+    }
+
+    /// [`LaneXsim::from_instances`] fed from an artifact cache: `decoded`
+    /// holds tables already lowered from the instances' shared program, so
+    /// the per-batch decode is skipped. A dimensional mismatch falls back to
+    /// lowering on the fly (callers pair tables with programs by content
+    /// hash; the check only guards plumbing bugs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaneXsim::from_instances`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
+    pub fn from_instances_cached(
+        sims: &[Xsim],
+        decoded: &DecodedProgram,
+    ) -> Result<LaneXsim, SimError> {
+        let refs: Vec<&Xsim> = sims.iter().collect();
+        LaneXsim::assemble(&refs, Some(decoded))
     }
 
     /// Builds a lane batch of `lanes` copies of one prototype machine
@@ -344,10 +365,10 @@ impl LaneXsim {
     /// Panics if the machine is wider than [`MAX_FAST_WIDTH`].
     pub fn replicate(proto: &Xsim, lanes: usize) -> Result<LaneXsim, SimError> {
         let refs: Vec<&Xsim> = std::iter::repeat_n(proto, lanes).collect();
-        LaneXsim::assemble(&refs)
+        LaneXsim::assemble(&refs, None)
     }
 
-    fn assemble(sims: &[&Xsim]) -> Result<LaneXsim, SimError> {
+    fn assemble(sims: &[&Xsim], cached: Option<&DecodedProgram>) -> Result<LaneXsim, SimError> {
         let Some(first) = sims.first() else {
             return Err(ConfigError::ZeroLanes.into());
         };
@@ -366,7 +387,10 @@ impl LaneXsim {
                 return Err(ConfigError::LaneMismatch { lane }.into());
             }
         }
-        let decoded = DecodedProgram::lower(first_program, config.num_regs);
+        let decoded = match cached {
+            Some(d) if d.matches(first_program, config.num_regs) => d.clone(),
+            _ => DecodedProgram::lower(first_program, config.num_regs),
+        };
         let lanes = sims.len();
         let pool_len = decoded.pool_init.len();
 
@@ -587,6 +611,77 @@ impl LaneXsim {
             .collect()
     }
 
+    /// One lane's architectural registers (snapshot encoding).
+    pub(crate) fn export_lane_regs(&self, lane: usize) -> &[Value] {
+        let base = lane * self.pool_len;
+        &self.pool[base..base + self.decoded.num_regs]
+    }
+
+    /// One lane's non-zero memory words as `(addr, bits)` pairs, unordered
+    /// (snapshot encoding sorts them for determinism).
+    pub(crate) fn export_lane_mem(&self, lane: usize) -> Vec<(u32, u32)> {
+        let dense = self.mem.dense as usize;
+        let base = lane * dense;
+        let mut words: Vec<(u32, u32)> = self.mem.slab[base..base + dense]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &bits)| bits != 0)
+            .map(|(addr, &bits)| (addr as u32, bits))
+            .collect();
+        words.extend(self.mem.overflow.iter().filter_map(|(&key, &bits)| {
+            ((key >> 32) as usize == lane).then_some((key as u32, bits))
+        }));
+        words
+    }
+
+    /// One lane's statistics with the uniform-mode accumulator folded in
+    /// and the derived counters brought current — what
+    /// [`LaneXsim::summary`] would report if the lane finished right now.
+    pub(crate) fn export_lane_stats(&self, lane: usize) -> SimStats {
+        let mut s = self.stats[lane].clone();
+        let mut reg_conflicts = self.reg_conflicts[lane];
+        if self.uniform && !self.done[lane] {
+            let u = &self.ustats;
+            s.ops += u.ops;
+            s.nops += u.nops;
+            s.loads += u.loads;
+            s.stores += u.stores;
+            s.compares += u.compares;
+            s.cond_branches += u.cond_branches;
+            s.spin_cycles += u.spin_cycles;
+            s.halted_fu_cycles += u.halted_fu_cycles;
+            s.sset_cycle_sum += u.sset_cycle_sum;
+            s.max_concurrent_streams = s.max_concurrent_streams.max(u.max_concurrent_streams);
+            for (slot, &o) in s.ops_per_fu.iter_mut().zip(&u.ops_per_fu) {
+                *slot += o;
+            }
+            reg_conflicts += self.ureg_conflicts;
+        }
+        s.cycles = self.cycles[lane];
+        s.conflicts_resolved = reg_conflicts + self.mem.lane_conflicts(lane);
+        s
+    }
+
+    /// One lane's conflict counters split by resource (register, memory),
+    /// with the uniform-mode share folded in — the split an equivalent
+    /// standalone [`Xsim`] would hold internally.
+    pub(crate) fn export_lane_conflicts(&self, lane: usize) -> (u64, u64) {
+        let mut reg = self.reg_conflicts[lane];
+        if self.uniform && !self.done[lane] {
+            reg += self.ureg_conflicts;
+        }
+        (reg, self.mem.lane_conflicts(lane))
+    }
+
+    /// Marks an active lane finished without running it (snapshot restore
+    /// of a lane that had already completed before the snapshot). No-op if
+    /// the lane is already done.
+    pub(crate) fn mask_lane(&mut self, lane: usize) {
+        if let Some(idx) = self.active.iter().position(|&l| l == lane) {
+            self.finish_lane_at(idx);
+        }
+    }
+
     fn lane_pc_row(&self, lane: usize) -> &[Option<u32>] {
         if self.uniform && !self.done[lane] {
             &self.upcs
@@ -667,7 +762,7 @@ impl LaneXsim {
     /// [`SimError::Lane`] wrapping the first lane's machine check or
     /// [`SimError::CycleLimit`]. The batch is poisoned after an error.
     pub fn run(&mut self, max_cycles: u64) -> Result<LaneRunSummary, SimError> {
-        self.run_inner(Governor::new(None, max_cycles))
+        self.run_inner(Governor::new(None, max_cycles), None)
     }
 
     /// Runs every lane until all its running FUs park on the self-loop at
@@ -684,11 +779,38 @@ impl LaneXsim {
         park: Addr,
         max_cycles: u64,
     ) -> Result<LaneRunSummary, SimError> {
-        self.run_inner(Governor::new(Some(park), max_cycles))
+        self.run_inner(Governor::new(Some(park), max_cycles), None)
     }
 
-    fn run_inner(&mut self, gov: Governor) -> Result<LaneRunSummary, SimError> {
+    /// Advances the batch until every active lane's cycle counter reaches
+    /// `upto_cycle` (or parks/halts first, under the usual rules for the
+    /// optional `park` address). Unlike [`LaneXsim::run`], reaching the
+    /// cycle mark is not an error: lanes stopped there stay active and a
+    /// later `run`/`run_until_parked`/`run_for` continues them exactly
+    /// where an uninterrupted run would be. This is the suspension point
+    /// the session snapshot layer pauses batches at.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Lane`] wrapping a lane's machine check. The batch is
+    /// poisoned after an error.
+    pub fn run_for(&mut self, park: Option<Addr>, upto_cycle: u64) -> Result<(), SimError> {
+        self.run_inner(Governor::new(park, u64::MAX), Some(upto_cycle))
+            .map(|_| ())
+    }
+
+    fn run_inner(
+        &mut self,
+        gov: Governor,
+        pause_at: Option<u64>,
+    ) -> Result<LaneRunSummary, SimError> {
         while !self.active.is_empty() {
+            // Suspension point: every active lane reached the pause mark.
+            if let Some(mark) = pause_at {
+                if self.active.iter().all(|&l| self.cycles[l] >= mark) {
+                    break;
+                }
+            }
             // Budget pre-check, per lane (`run_loop`'s `while cycle < max`):
             // a lane that already halted exactly at the budget succeeds,
             // anything else out of budget is that lane's CycleLimit.

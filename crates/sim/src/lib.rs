@@ -88,6 +88,8 @@ pub mod lanes;
 pub mod memory;
 pub mod partition;
 pub mod regfile;
+pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod timing;
 pub mod trace;
@@ -103,6 +105,8 @@ pub use lanes::{LaneRunSummary, LaneXsim};
 pub use memory::Memory;
 pub use partition::{CondKey, DecisionKey, Partition};
 pub use regfile::RegisterFile;
+pub use session::{EngineKind, Session};
+pub use snapshot::{SnapshotError, SnapshotKind};
 pub use stats::SimStats;
 pub use timing::{
     BankedMemory, Ideal, Issue, LatencyClasses, LatencyConfig, TimingModel, TimingSpec,

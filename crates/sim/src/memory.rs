@@ -168,6 +168,11 @@ impl Memory {
     pub(crate) fn iter_words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.words.iter().map(|(&addr, &bits)| (addr, bits))
     }
+
+    /// Overwrites the resolved-conflict counter (snapshot restore).
+    pub(crate) fn force_conflicts_resolved(&mut self, n: u64) {
+        self.conflicts_resolved = n;
+    }
 }
 
 #[cfg(test)]

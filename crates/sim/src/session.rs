@@ -1,0 +1,405 @@
+//! Suspendable simulation sessions.
+//!
+//! A [`Session`] wraps either a single [`Xsim`] machine or a whole
+//! [`LaneXsim`] batch behind one lifecycle: advance to a cycle mark,
+//! suspend into a byte image ([`Session::snapshot`]), restore later —
+//! possibly in another process — and drive to completion, with the
+//! snapshot module's bit-exactness guarantee end to end: *suspend + resume
+//! ≡ uninterrupted run*.
+//!
+//! The subtlety the session layer exists to manage is **park overshoot**.
+//! The run loop observes the park condition *before* a step and still
+//! executes that one parked cycle (the paper's Figure 10 convention), so a
+//! machine that already finished by parking must never be re-driven — one
+//! more `run_until_parked` would execute a second parked cycle and break
+//! bit-exactness. The session records completion when it happens, persists
+//! the flag inside the snapshot, and makes every later drive a no-op.
+//!
+//! Cycle budgets are **absolute**, matching [`Xsim::run`]: a session
+//! advanced to cycle *k* and then finished with budget *n* executes the
+//! same cycles an uninterrupted `run(n)` would, because the run loop
+//! compares the machine's own cycle counter against the budget.
+
+use ximd_isa::{Addr, Program};
+
+use crate::config::MachineConfig;
+use crate::engine::Engine as _;
+use crate::error::SimError;
+use crate::lanes::LaneXsim;
+use crate::snapshot::{self, SnapshotError, SnapshotKind};
+use crate::xsim::{RunSummary, StepStatus, Xsim};
+
+/// Which execution engine a [`Session::finish`] dispatches to.
+///
+/// For a lane-batch session the engine is always the lane engine and this
+/// choice is ignored. For a single-machine session, `Lanes` degenerates to
+/// `Decoded` (a one-lane batch and the decoded fast path are the same
+/// computation; the decoded path avoids the batch setup cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The cycle-accurate interpreter — any timing model, trace-capable.
+    #[default]
+    Interp,
+    /// The decoded fast path — ideal timing only (the interpreter is used
+    /// automatically where the fast path does not apply).
+    Decoded,
+    /// The SoA lane engine — ideal timing only, lockstep batches.
+    Lanes,
+}
+
+impl EngineKind {
+    /// Parses the CLI/wire spelling (`interp` / `decoded` / `lanes`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "interp" => Some(EngineKind::Interp),
+            "decoded" => Some(EngineKind::Decoded),
+            "lanes" => Some(EngineKind::Lanes),
+            _ => None,
+        }
+    }
+
+    /// The CLI/wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::Decoded => "decoded",
+            EngineKind::Lanes => "lanes",
+        }
+    }
+}
+
+enum State {
+    Machine {
+        sim: Box<Xsim>,
+        complete: bool,
+    },
+    Lanes {
+        batch: Box<LaneXsim>,
+        program: Program,
+        config: MachineConfig,
+    },
+}
+
+/// A suspendable run of one machine or one lane batch. See the module
+/// docs for the lifecycle and the bit-exactness contract.
+///
+/// # Example
+///
+/// ```
+/// use ximd_isa::{Addr, ControlOp, Parcel, Program};
+/// use ximd_sim::{MachineConfig, Session, Xsim};
+///
+/// let mut program = Program::new(1);
+/// program.push(vec![Parcel::goto(Addr(1))]);
+/// program.push(vec![Parcel::goto(Addr(1))]); // self-loop: parks at 1
+///
+/// let sim = Xsim::new(program, MachineConfig::with_width(1))?;
+/// let mut session = Session::from_machine(sim);
+/// session.advance_to(None, 1)?;               // run one cycle...
+/// let image = session.snapshot()?;            // ...suspend...
+/// let mut resumed = Session::restore(&image)?; // ...resume elsewhere...
+/// resumed.finish(Some(Addr(1)), 100, Default::default())?;
+/// assert!(resumed.complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session {
+    state: State,
+}
+
+impl Session {
+    /// Wraps a (possibly mid-run) machine in a session.
+    pub fn from_machine(sim: Xsim) -> Session {
+        Session {
+            state: State::Machine {
+                sim: Box::new(sim),
+                complete: false,
+            },
+        }
+    }
+
+    /// Builds a lane-batch session from independent machine instances (all
+    /// running the same program under the same configuration).
+    ///
+    /// # Errors
+    ///
+    /// The [`LaneXsim::from_instances`] validation errors.
+    pub fn from_instances(sims: &[Xsim]) -> Result<Session, SimError> {
+        let batch = LaneXsim::from_instances(sims)?;
+        let first = &sims[0];
+        Ok(Session {
+            state: State::Lanes {
+                program: first.program().clone(),
+                config: first.config().clone(),
+                batch: Box::new(batch),
+            },
+        })
+    }
+
+    /// The wrapped machine, if this is a single-machine session.
+    pub fn machine(&self) -> Option<&Xsim> {
+        match &self.state {
+            State::Machine { sim, .. } => Some(sim),
+            State::Lanes { .. } => None,
+        }
+    }
+
+    /// Mutable access to the wrapped machine (test setup: poking inputs,
+    /// attaching ports before the first advance).
+    pub fn machine_mut(&mut self) -> Option<&mut Xsim> {
+        match &mut self.state {
+            State::Machine { sim, .. } => Some(sim),
+            State::Lanes { .. } => None,
+        }
+    }
+
+    /// The wrapped lane batch, if this is a batch session.
+    pub fn batch(&self) -> Option<&LaneXsim> {
+        match &self.state {
+            State::Machine { .. } => None,
+            State::Lanes { batch, .. } => Some(batch),
+        }
+    }
+
+    /// True once the run has finished (halted or parked out). A complete
+    /// session ignores further drives — that is the park-overshoot guard.
+    pub fn complete(&self) -> bool {
+        match &self.state {
+            State::Machine { complete, .. } => *complete,
+            State::Lanes { batch, .. } => batch.all_done(),
+        }
+    }
+
+    /// The session's cycle counter: the machine's cycle, or the furthest
+    /// lane's cycle for a batch.
+    pub fn cycle(&self) -> u64 {
+        match &self.state {
+            State::Machine { sim, .. } => sim.cycle(),
+            State::Lanes { batch, .. } => (0..batch.lanes())
+                .map(|l| batch.cycle(l))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Advances to the absolute cycle mark `upto_cycle` (the suspension
+    /// point), stopping earlier if the run completes. Replicates the run
+    /// loop's rules exactly — park observed before the step, the parked
+    /// cycle still executes — so that `advance_to(k)` + `finish(n)` is
+    /// indistinguishable from an uninterrupted `finish(n)`.
+    ///
+    /// # Errors
+    ///
+    /// A machine check ([`SimError`]) from the underlying step.
+    pub fn advance_to(&mut self, park: Option<Addr>, upto_cycle: u64) -> Result<(), SimError> {
+        match &mut self.state {
+            State::Machine { sim, complete } => {
+                while !*complete && sim.cycle() < upto_cycle {
+                    let parked = park.is_some_and(|p| sim.all_parked(p));
+                    let status = sim.step()?;
+                    if parked || status == StepStatus::AllHalted {
+                        *complete = true;
+                    }
+                }
+                Ok(())
+            }
+            State::Lanes { batch, .. } => batch.run_for(park, upto_cycle),
+        }
+    }
+
+    /// Drives the run to completion under an **absolute** cycle budget,
+    /// exactly [`Xsim::run`] / [`Xsim::run_until_parked`] semantics
+    /// continued from wherever the session stands. No-op if already
+    /// complete. Returns the machine's summary (single-machine sessions)
+    /// or `None` (batch sessions report per-lane via
+    /// [`LaneXsim::summary`]).
+    ///
+    /// # Errors
+    ///
+    /// A machine check or [`SimError::CycleLimit`] if the budget expires
+    /// first.
+    pub fn finish(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+        engine: EngineKind,
+    ) -> Result<Option<RunSummary>, SimError> {
+        match &mut self.state {
+            State::Machine { sim, complete } => {
+                if *complete {
+                    return Ok(Some(RunSummary {
+                        cycles: sim.cycle(),
+                        stats: sim.stats().clone(),
+                    }));
+                }
+                let summary = match (engine, park) {
+                    (EngineKind::Interp, None) => sim.run(max_cycles)?,
+                    (EngineKind::Interp, Some(p)) => sim.run_until_parked(p, max_cycles)?,
+                    (EngineKind::Decoded | EngineKind::Lanes, None) => {
+                        sim.run_decoded(max_cycles)?
+                    }
+                    (EngineKind::Decoded | EngineKind::Lanes, Some(p)) => {
+                        sim.run_decoded_until_parked(p, max_cycles)?
+                    }
+                };
+                *complete = true;
+                Ok(Some(summary))
+            }
+            State::Lanes { batch, .. } => {
+                match park {
+                    None => batch.run(max_cycles)?,
+                    Some(p) => batch.run_until_parked(p, max_cycles)?,
+                };
+                Ok(None)
+            }
+        }
+    }
+
+    /// Serializes the session into a self-describing byte image (see the
+    /// [`snapshot`] module for the format).
+    ///
+    /// # Errors
+    ///
+    /// The snapshot module's encoding errors.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        match &self.state {
+            State::Machine { sim, complete } => snapshot::encode_machine(sim, *complete),
+            State::Lanes {
+                batch,
+                program,
+                config,
+            } => snapshot::encode_lanes(batch, program, config),
+        }
+    }
+
+    /// Restores a session from a snapshot image, machine or batch alike.
+    ///
+    /// # Errors
+    ///
+    /// The snapshot module's decoding errors.
+    pub fn restore(bytes: &[u8]) -> Result<Session, SnapshotError> {
+        match snapshot::kind(bytes)? {
+            SnapshotKind::Machine => {
+                let (sim, complete) = snapshot::decode_machine(bytes)?;
+                Ok(Session {
+                    state: State::Machine {
+                        sim: Box::new(sim),
+                        complete,
+                    },
+                })
+            }
+            SnapshotKind::Lanes => {
+                let (batch, program, config) = snapshot::decode_lanes(bytes)?;
+                Ok(Session {
+                    state: State::Lanes {
+                        batch: Box::new(batch),
+                        program,
+                        config,
+                    },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{AluOp, ControlOp, DataOp, Operand, Parcel, Reg, Value};
+
+    fn spin_program() -> Program {
+        // FU0 counts r0 down to zero and parks on the self-loop at 2:
+        // 0: compare, 1: decrement and branch on the latched CC.
+        let mut p = Program::new(1);
+        p.push(vec![Parcel {
+            data: DataOp::Cmp {
+                op: ximd_isa::CmpOp::Le,
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(Value::I32(0)),
+            },
+            ctrl: ControlOp::Goto(Addr(1)),
+            sync: ximd_isa::SyncSignal::Busy,
+        }]);
+        p.push(vec![Parcel {
+            data: DataOp::Alu {
+                op: AluOp::Isub,
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(Value::I32(1)),
+                d: Reg(0),
+            },
+            ctrl: ControlOp::Branch {
+                cond: ximd_isa::CondSource::Cc(ximd_isa::FuId(0)),
+                taken: Addr(2),
+                not_taken: Addr(0),
+            },
+            sync: ximd_isa::SyncSignal::Busy,
+        }]);
+        p.push(vec![Parcel::goto(Addr(2))]); // 2: park
+        p
+    }
+
+    fn machine(iters: i32) -> Xsim {
+        let mut sim = Xsim::new(spin_program(), MachineConfig::with_width(1)).unwrap();
+        sim.write_reg(Reg(0), Value::I32(iters));
+        sim
+    }
+
+    #[test]
+    fn suspended_session_matches_uninterrupted_parked_run() {
+        let park = Some(Addr(2));
+        let mut baseline = Session::from_machine(machine(6));
+        let base_summary = baseline.finish(park, 1000, EngineKind::Interp).unwrap();
+
+        let mut session = Session::from_machine(machine(6));
+        session.advance_to(park, 5).unwrap();
+        let image = session.snapshot().unwrap();
+        let mut resumed = Session::restore(&image).unwrap();
+        let summary = resumed.finish(park, 1000, EngineKind::Interp).unwrap();
+
+        assert_eq!(summary, base_summary);
+        let (a, b) = (resumed.machine().unwrap(), baseline.machine().unwrap());
+        assert_eq!(a.regs.snapshot(), b.regs.snapshot());
+        assert_eq!(a.pcs(), b.pcs());
+        assert_eq!(a.cycle(), b.cycle());
+    }
+
+    #[test]
+    fn complete_session_is_not_redriven() {
+        let park = Some(Addr(2));
+        let mut session = Session::from_machine(machine(3));
+        session.finish(park, 1000, EngineKind::Interp).unwrap();
+        assert!(session.complete());
+        let cycle = session.cycle();
+
+        // Round-trip the completed session and drive it again: the
+        // completion flag must survive and suppress the extra parked cycle.
+        let resumed = Session::restore(&session.snapshot().unwrap());
+        let mut resumed = resumed.unwrap();
+        assert!(resumed.complete());
+        resumed.finish(park, 1000, EngineKind::Interp).unwrap();
+        resumed.advance_to(park, cycle + 10).unwrap();
+        assert_eq!(resumed.cycle(), cycle);
+    }
+
+    #[test]
+    fn batch_session_round_trips() {
+        let sims: Vec<Xsim> = [3, 9, 6].iter().map(|&n| machine(n)).collect();
+        let mut baseline = Session::from_instances(&sims).unwrap();
+        baseline
+            .finish(Some(Addr(2)), 1000, EngineKind::Lanes)
+            .unwrap();
+
+        let mut session = Session::from_instances(&sims).unwrap();
+        session.advance_to(Some(Addr(2)), 4).unwrap();
+        let mut resumed = Session::restore(&session.snapshot().unwrap()).unwrap();
+        resumed
+            .finish(Some(Addr(2)), 1000, EngineKind::Lanes)
+            .unwrap();
+
+        let (a, b) = (resumed.batch().unwrap(), baseline.batch().unwrap());
+        for lane in 0..a.lanes() {
+            assert_eq!(a.summary(lane), b.summary(lane), "lane {lane}");
+            assert_eq!(a.pcs(lane), b.pcs(lane), "lane {lane}");
+        }
+        assert!(resumed.complete());
+    }
+}

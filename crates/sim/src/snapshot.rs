@@ -1,0 +1,1091 @@
+//! Machine-state snapshot encoding.
+//!
+//! Serializes a complete [`Xsim`] (or a whole [`LaneXsim`] batch) into a
+//! self-describing, length-prefixed binary image and restores it losslessly:
+//! registers, memory (including the lane engine's overflow map), I/O port
+//! queues and counters, PCs, latched condition codes, sync signals, the
+//! SSET partition, accumulated statistics, and per-FU occupancy state from
+//! multi-cycle timing models. The contract the session layer builds on is
+//! **bit-exactness**: suspending a run at any cycle boundary, round-tripping
+//! the state through [`encode_machine`]/[`decode_machine`], and resuming
+//! with the original drive produces exactly the state an uninterrupted run
+//! would — same registers, same memory, same statistics, same cycle count.
+//!
+//! Two things are deliberately *not* captured. The execution trace
+//! ([`Xsim::trace`]) is an observer, not machine state; a restored machine
+//! starts with tracing off. And the timing-model object is rebuilt from its
+//! [`TimingSpec`] string (the spec's `Display` round-trips through `parse`)
+//! rather than serialized — only the per-FU `Pending` occupancy state
+//! carries between cycles, and that is captured in full.
+//!
+//! The format is hand-rolled (the workspace's serde is a marker-trait stub)
+//! and versioned: eight magic bytes, a `u16` version, a kind tag, then the
+//! body. All integers are little-endian; vectors are `u32`-length-prefixed.
+
+use ximd_isa::{
+    encode::{decode_parcel, encode_parcel},
+    Addr, FuId, IsaError, Program, Reg, SyncSignal, Value,
+};
+
+use crate::config::{ConflictPolicy, MachineConfig};
+use crate::device::{IoPort, PortEvent};
+use crate::error::SimError;
+use crate::lanes::LaneXsim;
+use crate::partition::{CondKey, DecisionKey, Partition};
+use crate::stats::SimStats;
+use crate::timing::TimingSpec;
+use crate::xsim::{Pending, Xsim};
+
+/// The eight magic bytes every snapshot starts with.
+pub const MAGIC: &[u8; 8] = b"XIMDSNAP";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// What a snapshot image contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A single [`Xsim`] machine.
+    Machine,
+    /// A [`LaneXsim`] batch plus its shared program and configuration.
+    Lanes,
+}
+
+/// Why a snapshot image could not be decoded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The image ended before the announced data.
+    Truncated,
+    /// The image does not start with [`const@MAGIC`].
+    BadMagic,
+    /// The image's version is not [`VERSION`].
+    BadVersion(u16),
+    /// A field held a value no machine state could produce.
+    Corrupt(&'static str),
+    /// Rebuilding the machine rejected the decoded state.
+    Sim(SimError),
+    /// A program parcel failed to encode or decode.
+    Isa(IsaError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a XIMD snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {VERSION})")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Sim(e) => write!(f, "snapshot state rejected: {e}"),
+            SnapshotError::Isa(e) => write!(f, "snapshot program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SimError> for SnapshotError {
+    fn from(e: SimError) -> SnapshotError {
+        SnapshotError::Sim(e)
+    }
+}
+
+impl From<IsaError> for SnapshotError {
+    fn from(e: IsaError) -> SnapshotError {
+        SnapshotError::Isa(e)
+    }
+}
+
+const KIND_MACHINE: u8 = 0;
+const KIND_LANES: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Byte-level writer/reader
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn value(&mut self, v: Value) {
+        self.u8(match v {
+            Value::I32(_) => 0,
+            Value::F32(_) => 1,
+        });
+        self.u32(v.bits());
+    }
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Truncated)?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// A `u32` length prefix, sanity-bounded so a corrupt length cannot ask
+    /// for more elements than bytes remain in the image.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.buf.len() - self.pos {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let n = self.len(1)?;
+        std::str::from_utf8(self.take(n)?).map_err(|_| SnapshotError::Corrupt("non-UTF-8 string"))
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(SnapshotError::Corrupt("option tag")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SnapshotError> {
+        let tag = self.u8()?;
+        let bits = self.u32()?;
+        match tag {
+            0 => Ok(Value::from_bits_int(bits)),
+            1 => Ok(Value::from_bits_float(bits)),
+            _ => Err(SnapshotError::Corrupt("value tag")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field-group encoders (shared by the machine and lane images)
+// ---------------------------------------------------------------------------
+
+fn policy_code(p: ConflictPolicy) -> u8 {
+    match p {
+        ConflictPolicy::Trap => 0,
+        ConflictPolicy::LastWins => 1,
+    }
+}
+
+fn policy_decode(code: u8) -> Result<ConflictPolicy, SnapshotError> {
+    match code {
+        0 => Ok(ConflictPolicy::Trap),
+        1 => Ok(ConflictPolicy::LastWins),
+        _ => Err(SnapshotError::Corrupt("conflict policy")),
+    }
+}
+
+fn put_config(w: &mut ByteWriter, config: &MachineConfig) {
+    w.u32(config.width as u32);
+    w.u32(config.num_regs as u32);
+    w.u32(config.mem_words);
+    w.u8(policy_code(config.reg_conflicts));
+    w.u8(policy_code(config.mem_conflicts));
+    w.u32(config.reg_read_ports as u32);
+    w.u32(config.reg_write_ports as u32);
+    w.str(&config.timing.to_string());
+}
+
+fn get_config(r: &mut ByteReader) -> Result<MachineConfig, SnapshotError> {
+    let width = r.u32()? as usize;
+    let num_regs = r.u32()? as usize;
+    // Bound the allocation-driving fields before any machine is built so a
+    // corrupt image cannot demand gigabytes; real configs are far smaller.
+    if width == 0 || width > 1 << 16 {
+        return Err(SnapshotError::Corrupt("machine width"));
+    }
+    if num_regs > 1 << 20 {
+        return Err(SnapshotError::Corrupt("register-file size"));
+    }
+    let mem_words = r.u32()?;
+    let reg_conflicts = policy_decode(r.u8()?)?;
+    let mem_conflicts = policy_decode(r.u8()?)?;
+    let reg_read_ports = r.u32()? as usize;
+    let reg_write_ports = r.u32()? as usize;
+    let timing = TimingSpec::parse(r.str()?)?;
+    Ok(MachineConfig {
+        width,
+        num_regs,
+        mem_words,
+        reg_conflicts,
+        mem_conflicts,
+        reg_read_ports,
+        reg_write_ports,
+        timing,
+    })
+}
+
+fn put_program(w: &mut ByteWriter, program: &Program) -> Result<(), SnapshotError> {
+    w.u32(program.len() as u32);
+    for (_, instr) in program.iter() {
+        for parcel in instr {
+            w.u128(encode_parcel(parcel)?);
+        }
+    }
+    Ok(())
+}
+
+fn get_program(r: &mut ByteReader, width: usize) -> Result<Program, SnapshotError> {
+    let len = r.len(16 * width.max(1))?;
+    let mut program = Program::new(width);
+    for _ in 0..len {
+        let mut instr = Vec::with_capacity(width);
+        for _ in 0..width {
+            instr.push(decode_parcel(r.u128()?)?);
+        }
+        program.try_push(instr)?;
+    }
+    Ok(program)
+}
+
+fn put_values(w: &mut ByteWriter, values: &[Value]) {
+    w.u32(values.len() as u32);
+    for &v in values {
+        w.value(v);
+    }
+}
+
+fn get_values(r: &mut ByteReader) -> Result<Vec<Value>, SnapshotError> {
+    let n = r.len(5)?;
+    (0..n).map(|_| r.value()).collect()
+}
+
+/// Memory as sorted `(addr, bits)` pairs — sorted so identical states
+/// encode to identical bytes regardless of hash-map iteration order.
+fn put_mem_words(w: &mut ByteWriter, mut words: Vec<(u32, u32)>) {
+    words.sort_unstable();
+    w.u32(words.len() as u32);
+    for (addr, bits) in words {
+        w.u32(addr);
+        w.u32(bits);
+    }
+}
+
+fn get_mem_words(r: &mut ByteReader) -> Result<Vec<(u32, u32)>, SnapshotError> {
+    let n = r.len(8)?;
+    (0..n).map(|_| Ok((r.u32()?, r.u32()?))).collect()
+}
+
+fn put_ports(w: &mut ByteWriter, ports: &[IoPort]) {
+    w.u32(ports.len() as u32);
+    for port in ports {
+        let (incoming, outgoing, reads, polls_empty) = port.export();
+        w.u32(incoming.len() as u32);
+        for &(ready, v) in incoming {
+            w.u64(ready);
+            w.value(v);
+        }
+        w.u32(outgoing.len() as u32);
+        for ev in outgoing {
+            w.u64(ev.cycle);
+            w.value(ev.value);
+        }
+        w.u64(reads);
+        w.u64(polls_empty);
+    }
+}
+
+fn get_ports(r: &mut ByteReader) -> Result<Vec<IoPort>, SnapshotError> {
+    let n = r.len(20)?;
+    (0..n)
+        .map(|_| {
+            let ni = r.len(13)?;
+            let incoming = (0..ni)
+                .map(|_| Ok((r.u64()?, r.value()?)))
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            if incoming.windows(2).any(|p| p[0].0 > p[1].0) {
+                return Err(SnapshotError::Corrupt("port queue out of order"));
+            }
+            let no = r.len(13)?;
+            let outgoing = (0..no)
+                .map(|_| {
+                    Ok(PortEvent {
+                        cycle: r.u64()?,
+                        value: r.value()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            let reads = r.u64()?;
+            let polls_empty = r.u64()?;
+            Ok(IoPort::from_parts(incoming, outgoing, reads, polls_empty))
+        })
+        .collect()
+}
+
+fn put_pcs(w: &mut ByteWriter, pcs: &[Option<Addr>]) {
+    for pc in pcs {
+        w.opt_u32(pc.map(|a| a.0));
+    }
+}
+
+fn get_pcs(r: &mut ByteReader, width: usize) -> Result<Vec<Option<Addr>>, SnapshotError> {
+    (0..width).map(|_| Ok(r.opt_u32()?.map(Addr))).collect()
+}
+
+fn put_ccs(w: &mut ByteWriter, ccs: &[Option<bool>]) {
+    for cc in ccs {
+        w.u8(match cc {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+    }
+}
+
+fn get_ccs(r: &mut ByteReader, width: usize) -> Result<Vec<Option<bool>>, SnapshotError> {
+    (0..width)
+        .map(|_| match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            _ => Err(SnapshotError::Corrupt("condition code")),
+        })
+        .collect()
+}
+
+fn put_ss(w: &mut ByteWriter, ss: &[SyncSignal]) {
+    for s in ss {
+        w.u8(u8::from(*s == SyncSignal::Done));
+    }
+}
+
+fn get_ss(r: &mut ByteReader, width: usize) -> Result<Vec<SyncSignal>, SnapshotError> {
+    (0..width)
+        .map(|_| match r.u8()? {
+            0 => Ok(SyncSignal::Busy),
+            1 => Ok(SyncSignal::Done),
+            _ => Err(SnapshotError::Corrupt("sync signal")),
+        })
+        .collect()
+}
+
+fn put_partition(w: &mut ByteWriter, partition: &Partition) {
+    let ssets = partition.ssets();
+    w.u32(ssets.len() as u32);
+    for sset in ssets {
+        w.u32(sset.len() as u32);
+        for fu in sset {
+            w.u8(fu.0);
+        }
+    }
+}
+
+fn get_partition(r: &mut ByteReader, width: usize) -> Result<Partition, SnapshotError> {
+    let n = r.len(5)?;
+    let mut seen = vec![false; width];
+    let mut ssets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.len(1)?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("empty SSET"));
+        }
+        let mut sset = Vec::with_capacity(k);
+        for _ in 0..k {
+            let fu = r.u8()? as usize;
+            if fu >= width || seen[fu] {
+                return Err(SnapshotError::Corrupt("SSET member"));
+            }
+            seen[fu] = true;
+            sset.push(FuId(fu as u8));
+        }
+        ssets.push(sset);
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(SnapshotError::Corrupt("partition does not cover all FUs"));
+    }
+    // Disjointness and non-emptiness were just validated, so the
+    // normalizing constructor cannot panic.
+    Ok(Partition::from_ssets(ssets))
+}
+
+fn put_stats(w: &mut ByteWriter, stats: &SimStats) {
+    w.u64(stats.cycles);
+    w.u32(stats.width as u32);
+    w.u64(stats.ops);
+    w.u64(stats.nops);
+    w.u64(stats.loads);
+    w.u64(stats.stores);
+    w.u64(stats.compares);
+    w.u64(stats.cond_branches);
+    w.u64(stats.branches_taken);
+    w.u64(stats.spin_cycles);
+    w.u64(stats.halted_fu_cycles);
+    w.u32(stats.max_concurrent_streams as u32);
+    w.u64(stats.sset_cycle_sum);
+    w.u64(stats.conflicts_resolved);
+    w.u64(stats.stall_cycles);
+    w.u64(stats.contention_stalls);
+    w.u32(stats.ops_per_fu.len() as u32);
+    for &o in &stats.ops_per_fu {
+        w.u64(o);
+    }
+}
+
+fn get_stats(r: &mut ByteReader) -> Result<SimStats, SnapshotError> {
+    let cycles = r.u64()?;
+    let width = r.u32()? as usize;
+    let ops = r.u64()?;
+    let nops = r.u64()?;
+    let loads = r.u64()?;
+    let stores = r.u64()?;
+    let compares = r.u64()?;
+    let cond_branches = r.u64()?;
+    let branches_taken = r.u64()?;
+    let spin_cycles = r.u64()?;
+    let halted_fu_cycles = r.u64()?;
+    let max_concurrent_streams = r.u32()? as usize;
+    let sset_cycle_sum = r.u64()?;
+    let conflicts_resolved = r.u64()?;
+    let stall_cycles = r.u64()?;
+    let contention_stalls = r.u64()?;
+    let n = r.len(8)?;
+    let ops_per_fu = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    Ok(SimStats {
+        cycles,
+        width,
+        ops,
+        nops,
+        loads,
+        stores,
+        compares,
+        cond_branches,
+        branches_taken,
+        spin_cycles,
+        halted_fu_cycles,
+        max_concurrent_streams,
+        sset_cycle_sum,
+        conflicts_resolved,
+        stall_cycles,
+        contention_stalls,
+        ops_per_fu,
+    })
+}
+
+fn put_decision_key(w: &mut ByteWriter, key: DecisionKey) {
+    match key {
+        DecisionKey::Uncond(t) => {
+            w.u8(0);
+            w.u32(t);
+        }
+        DecisionKey::Cond(cond, taken, not_taken) => {
+            w.u8(1);
+            match cond {
+                CondKey::Cc(fu) => {
+                    w.u8(0);
+                    w.u8(fu);
+                }
+                CondKey::Sync(fu) => {
+                    w.u8(1);
+                    w.u8(fu);
+                }
+                CondKey::AllSync => {
+                    w.u8(2);
+                    w.u8(0);
+                }
+                CondKey::AnySync => {
+                    w.u8(3);
+                    w.u8(0);
+                }
+            }
+            w.u32(taken);
+            w.u32(not_taken);
+        }
+        DecisionKey::Halted => w.u8(2),
+    }
+}
+
+fn get_decision_key(r: &mut ByteReader) -> Result<DecisionKey, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(DecisionKey::Uncond(r.u32()?)),
+        1 => {
+            let tag = r.u8()?;
+            let fu = r.u8()?;
+            let cond = match tag {
+                0 => CondKey::Cc(fu),
+                1 => CondKey::Sync(fu),
+                2 => CondKey::AllSync,
+                3 => CondKey::AnySync,
+                _ => return Err(SnapshotError::Corrupt("condition key")),
+            };
+            Ok(DecisionKey::Cond(cond, r.u32()?, r.u32()?))
+        }
+        2 => Ok(DecisionKey::Halted),
+        _ => Err(SnapshotError::Corrupt("decision key")),
+    }
+}
+
+fn put_pending(w: &mut ByteWriter, pending: &[Pending]) {
+    w.u32(pending.len() as u32);
+    for p in pending {
+        w.u64(p.remaining);
+        w.opt_u32(p.next.map(|a| a.0));
+        put_decision_key(w, p.key);
+    }
+}
+
+fn get_pending(r: &mut ByteReader) -> Result<Vec<Pending>, SnapshotError> {
+    let n = r.len(10)?;
+    (0..n)
+        .map(|_| {
+            Ok(Pending {
+                remaining: r.u64()?,
+                next: r.opt_u32()?.map(Addr),
+                key: get_decision_key(r)?,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Machine image
+// ---------------------------------------------------------------------------
+
+/// Per-lane dynamic state shared between the encode and decode paths of the
+/// lane image (everything the machine image carries minus config/program,
+/// which the batch shares).
+struct LaneRecord {
+    done: bool,
+    regs: Vec<Value>,
+    reg_conflicts: u64,
+    mem_words: Vec<(u32, u32)>,
+    mem_conflicts: u64,
+    ports: Vec<IoPort>,
+    pcs: Vec<Option<Addr>>,
+    ccs: Vec<Option<bool>>,
+    ss: Vec<SyncSignal>,
+    cycle: u64,
+    stats: SimStats,
+}
+
+fn header(kind: u8) -> ByteWriter {
+    let mut w = ByteWriter::default();
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.u8(kind);
+    w
+}
+
+fn check_header(r: &mut ByteReader) -> Result<u8, SnapshotError> {
+    if r.take(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    r.u8()
+}
+
+/// Reads the kind tag of a snapshot image without decoding the body.
+///
+/// # Errors
+///
+/// [`SnapshotError`] if the header is truncated, foreign, or a later
+/// version.
+pub fn kind(bytes: &[u8]) -> Result<SnapshotKind, SnapshotError> {
+    match check_header(&mut ByteReader::new(bytes))? {
+        KIND_MACHINE => Ok(SnapshotKind::Machine),
+        KIND_LANES => Ok(SnapshotKind::Lanes),
+        _ => Err(SnapshotError::Corrupt("kind tag")),
+    }
+}
+
+/// Serializes a machine mid-run. `complete` is the session-level "this run
+/// already finished (halted or parked out)" flag; it rides along so a
+/// restored session does not re-drive a finished machine through an extra
+/// parked cycle.
+///
+/// # Errors
+///
+/// [`SnapshotError::Isa`] if a program parcel exceeds the fixed-width
+/// parcel encoding's limits (wider than 32 FUs, more than 256 registers).
+pub fn encode_machine(sim: &Xsim, complete: bool) -> Result<Vec<u8>, SnapshotError> {
+    let mut w = header(KIND_MACHINE);
+    w.u8(u8::from(complete));
+    put_config(&mut w, &sim.config);
+    put_program(&mut w, &sim.program)?;
+    put_values(&mut w, sim.regs.snapshot());
+    w.u64(sim.regs.conflicts_resolved());
+    put_mem_words(&mut w, sim.mem.iter_words().collect());
+    w.u64(sim.mem.conflicts_resolved());
+    put_ports(&mut w, &sim.ports);
+    put_pcs(&mut w, &sim.pcs);
+    put_ccs(&mut w, &sim.ccs);
+    put_ss(&mut w, &sim.ss);
+    put_partition(&mut w, &sim.partition);
+    w.u64(sim.cycle);
+    put_stats(&mut w, &sim.stats);
+    put_pending(&mut w, &sim.pending);
+    Ok(w.buf)
+}
+
+/// Restores a machine serialized by [`encode_machine`]. Returns the machine
+/// and the session-level `complete` flag. The restored machine has tracing
+/// off regardless of the original's trace setting.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`]: truncation, foreign or future images, corrupt
+/// fields, or decoded state the simulator's own validation rejects.
+pub fn decode_machine(bytes: &[u8]) -> Result<(Xsim, bool), SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    if check_header(&mut r)? != KIND_MACHINE {
+        return Err(SnapshotError::Corrupt("expected a machine snapshot"));
+    }
+    let complete = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("complete flag")),
+    };
+    let config = get_config(&mut r)?;
+    let program = get_program(&mut r, config.width)?;
+    let sim = restore_machine_body(&mut r, program, config)?;
+    r.finish()?;
+    Ok((sim, complete))
+}
+
+/// Decodes the dynamic-state fields and grafts them onto a freshly built
+/// machine. `Xsim::new` re-runs config and program validation, so a corrupt
+/// image surfaces as a typed error rather than a mid-run panic.
+fn restore_machine_body(
+    r: &mut ByteReader,
+    program: Program,
+    config: MachineConfig,
+) -> Result<Xsim, SnapshotError> {
+    let width = config.width;
+    let mut sim = Xsim::new(program, config)?;
+
+    let regs = get_values(r)?;
+    if regs.len() != sim.regs.len() {
+        return Err(SnapshotError::Corrupt("register count"));
+    }
+    for (i, &v) in regs.iter().enumerate() {
+        sim.regs.poke(Reg(i as u16), v);
+    }
+    sim.regs.force_conflicts_resolved(r.u64()?);
+
+    for (addr, bits) in get_mem_words(r)? {
+        sim.mem
+            .poke(i64::from(addr), Value::from_bits_int(bits))
+            .map_err(|_| SnapshotError::Corrupt("memory address"))?;
+    }
+    sim.mem.force_conflicts_resolved(r.u64()?);
+
+    sim.ports = get_ports(r)?;
+    sim.pcs = get_pcs(r, width)?;
+    let len = sim.program.len() as u32;
+    if sim.pcs.iter().flatten().any(|pc| pc.0 >= len) {
+        return Err(SnapshotError::Corrupt("program counter"));
+    }
+    sim.ccs = get_ccs(r, width)?;
+    sim.ss = get_ss(r, width)?;
+    sim.partition = get_partition(r, width)?;
+    sim.cycle = r.u64()?;
+    let stats = get_stats(r)?;
+    if stats.width != width || stats.ops_per_fu.len() != width {
+        return Err(SnapshotError::Corrupt("statistics width"));
+    }
+    sim.stats = stats;
+    let pending = get_pending(r)?;
+    if pending.len() != width {
+        return Err(SnapshotError::Corrupt("pending count"));
+    }
+    sim.pending = pending;
+    Ok(sim)
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batch image
+// ---------------------------------------------------------------------------
+
+/// Serializes a whole lane batch mid-run: the shared program and
+/// configuration once, then every lane's dynamic state (including finished
+/// lanes, whose `done` flag and final statistics ride along so a restored
+/// batch never re-drives them).
+///
+/// The batch does not retain its source program/config (it keeps only the
+/// decoded tables), so the caller — normally a
+/// [`Session`](crate::session::Session) — supplies them.
+///
+/// # Errors
+///
+/// [`SnapshotError::Isa`] under the same parcel-encoding limits as
+/// [`encode_machine`].
+pub fn encode_lanes(
+    batch: &LaneXsim,
+    program: &Program,
+    config: &MachineConfig,
+) -> Result<Vec<u8>, SnapshotError> {
+    let mut w = header(KIND_LANES);
+    put_config(&mut w, config);
+    put_program(&mut w, program)?;
+    w.u32(batch.lanes() as u32);
+    for lane in 0..batch.lanes() {
+        let (reg_conflicts, mem_conflicts) = batch.export_lane_conflicts(lane);
+        w.u8(u8::from(batch.done(lane)));
+        put_values(&mut w, batch.export_lane_regs(lane));
+        w.u64(reg_conflicts);
+        put_mem_words(&mut w, batch.export_lane_mem(lane));
+        w.u64(mem_conflicts);
+        put_ports(&mut w, batch.ports(lane));
+        put_pcs(&mut w, &batch.pcs(lane));
+        put_ccs(&mut w, &batch.ccs(lane));
+        put_ss(&mut w, &batch.ss(lane));
+        w.u64(batch.cycle(lane));
+        put_stats(&mut w, &batch.export_lane_stats(lane));
+    }
+    Ok(w.buf)
+}
+
+/// Restores a lane batch serialized by [`encode_lanes`]. Returns the batch
+/// plus the shared program and configuration (which the batch itself does
+/// not retain). Lanes that were finished at snapshot time come back
+/// finished, with their summaries intact.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`].
+pub fn decode_lanes(bytes: &[u8]) -> Result<(LaneXsim, Program, MachineConfig), SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    if check_header(&mut r)? != KIND_LANES {
+        return Err(SnapshotError::Corrupt("expected a lane-batch snapshot"));
+    }
+    let config = get_config(&mut r)?;
+    let program = get_program(&mut r, config.width)?;
+    let lanes = r.len(1)?;
+    if lanes == 0 {
+        return Err(SnapshotError::Corrupt("zero lanes"));
+    }
+    let mut records = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        let done = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("done flag")),
+        };
+        let regs = get_values(&mut r)?;
+        let reg_conflicts = r.u64()?;
+        let mem_words = get_mem_words(&mut r)?;
+        let mem_conflicts = r.u64()?;
+        let ports = get_ports(&mut r)?;
+        let pcs = get_pcs(&mut r, config.width)?;
+        let ccs = get_ccs(&mut r, config.width)?;
+        let ss = get_ss(&mut r, config.width)?;
+        let cycle = r.u64()?;
+        let stats = get_stats(&mut r)?;
+        records.push(LaneRecord {
+            done,
+            regs,
+            reg_conflicts,
+            mem_words,
+            mem_conflicts,
+            ports,
+            pcs,
+            ccs,
+            ss,
+            cycle,
+            stats,
+        });
+    }
+    r.finish()?;
+
+    // Rebuild each lane as a standalone machine, assemble the batch off
+    // them (one shared decode), then mask the lanes that had already
+    // finished so a resumed drive never steps them again.
+    let mut sims = Vec::with_capacity(lanes);
+    for rec in &records {
+        let mut sim = Xsim::new(program.clone(), config.clone())?;
+        if rec.regs.len() != sim.regs.len() {
+            return Err(SnapshotError::Corrupt("register count"));
+        }
+        for (i, &v) in rec.regs.iter().enumerate() {
+            sim.regs.poke(Reg(i as u16), v);
+        }
+        sim.regs.force_conflicts_resolved(rec.reg_conflicts);
+        for &(addr, bits) in &rec.mem_words {
+            sim.mem
+                .poke(i64::from(addr), Value::from_bits_int(bits))
+                .map_err(|_| SnapshotError::Corrupt("memory address"))?;
+        }
+        sim.mem.force_conflicts_resolved(rec.mem_conflicts);
+        sim.ports = rec.ports.clone();
+        if rec
+            .pcs
+            .iter()
+            .flatten()
+            .any(|pc| pc.0 >= program.len() as u32)
+        {
+            return Err(SnapshotError::Corrupt("program counter"));
+        }
+        sim.pcs = rec.pcs.clone();
+        sim.ccs = rec.ccs.clone();
+        sim.ss = rec.ss.clone();
+        sim.cycle = rec.cycle;
+        if rec.stats.width != config.width || rec.stats.ops_per_fu.len() != config.width {
+            return Err(SnapshotError::Corrupt("statistics width"));
+        }
+        sim.stats = rec.stats.clone();
+        sims.push(sim);
+    }
+    let mut batch = LaneXsim::from_instances(&sims)?;
+    for (lane, rec) in records.iter().enumerate() {
+        if rec.done {
+            batch.mask_lane(lane);
+        }
+    }
+    Ok((batch, program, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd_isa::{AluOp, ControlOp, DataOp, Operand, Parcel};
+
+    fn addi(a: u16, b: i32, d: u16, ctrl: ControlOp) -> Parcel {
+        Parcel {
+            data: DataOp::Alu {
+                op: AluOp::Iadd,
+                a: Operand::Reg(Reg(a)),
+                b: Operand::Imm(Value::I32(b)),
+                d: Reg(d),
+            },
+            ctrl,
+            sync: SyncSignal::Busy,
+        }
+    }
+
+    fn looping_program() -> Program {
+        // Both FUs loop 0 -> 1 -> 0 ... on FU0's CC (r0 < 20) and halt
+        // together at 2. FU0 counts, FU1 accumulates.
+        let branch = ControlOp::Branch {
+            cond: ximd_isa::CondSource::Cc(FuId(0)),
+            taken: Addr(0),
+            not_taken: Addr(2),
+        };
+        let mut p = Program::new(2);
+        p.push(vec![
+            Parcel {
+                data: DataOp::Cmp {
+                    op: ximd_isa::CmpOp::Lt,
+                    a: Operand::Reg(Reg(0)),
+                    b: Operand::Imm(Value::I32(20)),
+                },
+                ctrl: ControlOp::Goto(Addr(1)),
+                sync: SyncSignal::Busy,
+            },
+            addi(1, 2, 1, ControlOp::Goto(Addr(1))),
+        ]);
+        p.push(vec![addi(0, 1, 0, branch), addi(1, 1, 1, branch)]);
+        p.push(vec![Parcel::halt(), Parcel::halt()]);
+        p
+    }
+
+    fn assert_same_state(a: &Xsim, b: &Xsim) {
+        assert_eq!(a.regs.snapshot(), b.regs.snapshot());
+        let mut wa: Vec<_> = a.mem.iter_words().collect();
+        let mut wb: Vec<_> = b.mem.iter_words().collect();
+        wa.sort_unstable();
+        wb.sort_unstable();
+        assert_eq!(wa, wb);
+        assert_eq!(a.pcs, b.pcs);
+        assert_eq!(a.ccs, b.ccs);
+        assert_eq!(a.ss, b.ss);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn machine_image_round_trips_mid_run() {
+        let mut sim = Xsim::new(looping_program(), MachineConfig::with_width(2)).unwrap();
+        for _ in 0..7 {
+            sim.step().unwrap();
+        }
+        let bytes = encode_machine(&sim, false).unwrap();
+        assert_eq!(kind(&bytes).unwrap(), SnapshotKind::Machine);
+        let (restored, complete) = decode_machine(&bytes).unwrap();
+        assert!(!complete);
+        assert_same_state(&sim, &restored);
+    }
+
+    #[test]
+    fn resumed_machine_matches_uninterrupted_run() {
+        let config = MachineConfig::with_width(2);
+        let mut baseline = Xsim::new(looping_program(), config.clone()).unwrap();
+        baseline.run(200).unwrap();
+
+        let mut sim = Xsim::new(looping_program(), config).unwrap();
+        for _ in 0..9 {
+            sim.step().unwrap();
+        }
+        let bytes = encode_machine(&sim, false).unwrap();
+        let (mut restored, _) = decode_machine(&bytes).unwrap();
+        restored.run(200).unwrap();
+        assert_same_state(&baseline, &restored);
+    }
+
+    #[test]
+    fn pending_stall_state_survives_the_round_trip() {
+        let config =
+            MachineConfig::with_width(2).timing(TimingSpec::parse("latency:mem=4").unwrap());
+        let mut program = Program::new(2);
+        program.push(vec![
+            Parcel {
+                data: DataOp::Load {
+                    a: Operand::Imm(Value::I32(3)),
+                    b: Operand::Imm(Value::I32(0)),
+                    d: Reg(0),
+                },
+                ctrl: ControlOp::Goto(Addr(1)),
+                sync: SyncSignal::Busy,
+            },
+            addi(1, 5, 1, ControlOp::Goto(Addr(1))),
+        ]);
+        program.push(vec![Parcel::halt(), Parcel::halt()]);
+
+        let mut baseline = Xsim::new(program.clone(), config.clone()).unwrap();
+        baseline.run(100).unwrap();
+
+        let mut sim = Xsim::new(program, config).unwrap();
+        sim.step().unwrap(); // mid-stall: FU0 occupied by the 4-cycle load
+        let (mut restored, _) = decode_machine(&encode_machine(&sim, false).unwrap()).unwrap();
+        assert_eq!(restored.pending[0].remaining, sim.pending[0].remaining);
+        restored.run(100).unwrap();
+        assert_same_state(&baseline, &restored);
+    }
+
+    #[test]
+    fn corrupt_images_are_typed_errors() {
+        let sim = Xsim::new(looping_program(), MachineConfig::with_width(2)).unwrap();
+        let bytes = encode_machine(&sim, false).unwrap();
+        assert!(matches!(
+            decode_machine(&bytes[..bytes.len() - 3]),
+            Err(SnapshotError::Truncated) | Err(SnapshotError::Corrupt(_))
+        ));
+        let mut foreign = bytes.clone();
+        foreign[0] = b'Y';
+        assert!(matches!(
+            decode_machine(&foreign),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut future = bytes.clone();
+        future[8] = 0xFF;
+        assert!(matches!(
+            decode_machine(&future),
+            Err(SnapshotError::BadVersion(_))
+        ));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            decode_machine(&trailing),
+            Err(SnapshotError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn lane_batch_round_trips_with_mixed_done_lanes() {
+        let program = looping_program();
+        let config = MachineConfig::with_width(2);
+        let mut sims = Vec::new();
+        for start in [0, 30] {
+            let mut sim = Xsim::new(program.clone(), config.clone()).unwrap();
+            sim.write_reg(Reg(0), Value::I32(start));
+            sims.push(sim);
+        }
+        let mut batch = LaneXsim::from_instances(&sims).unwrap();
+        // Lane 1 starts at 30 (>= 20) and halts quickly; run far enough
+        // that it finishes while lane 0 is still looping.
+        batch.run_for(None, 12).unwrap();
+        assert!(batch.done(1) && !batch.done(0));
+
+        let bytes = encode_lanes(&batch, &program, &config).unwrap();
+        assert_eq!(kind(&bytes).unwrap(), SnapshotKind::Lanes);
+        let (mut restored, rprogram, rconfig) = decode_lanes(&bytes).unwrap();
+        assert_eq!(rprogram, program);
+        assert_eq!(rconfig, config);
+        assert!(restored.done(1) && !restored.done(0));
+        assert_eq!(restored.summary(1), batch.summary(1));
+
+        let mut baseline = LaneXsim::from_instances(&sims).unwrap();
+        baseline.run(1000).unwrap();
+        restored.run(1000).unwrap();
+        for lane in 0..2 {
+            assert_eq!(restored.summary(lane), baseline.summary(lane));
+            assert_eq!(restored.pcs(lane), baseline.pcs(lane));
+            assert_eq!(
+                restored.mem_peek_slice(lane, 0, 8).unwrap(),
+                baseline.mem_peek_slice(lane, 0, 8).unwrap()
+            );
+        }
+    }
+}

@@ -82,9 +82,9 @@ pub struct Xsim {
 /// control outcome, applied when the occupancy expires.
 #[derive(Debug, Clone)]
 pub(crate) struct Pending {
-    remaining: u64,
-    next: Option<Addr>,
-    key: DecisionKey,
+    pub(crate) remaining: u64,
+    pub(crate) next: Option<Addr>,
+    pub(crate) key: DecisionKey,
 }
 
 impl Default for Pending {
@@ -147,6 +147,17 @@ impl Xsim {
     /// The machine configuration this simulator was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The program loaded into instruction memory.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The sync signals as driven in the last executed cycle (`BUSY` before
+    /// the first cycle).
+    pub fn ss(&self) -> &[SyncSignal] {
+        &self.ss
     }
 
     /// The active timing model.
@@ -497,6 +508,41 @@ impl Xsim {
             park,
             max_cycles,
             crate::decoded::FastXsim::from_xsim,
+            crate::decoded::FastXsim::write_back,
+        )
+    }
+
+    /// [`Xsim::run_decoded`] fed from an artifact cache: `decoded` holds
+    /// tables already lowered from this machine's program, so the decode
+    /// stage is skipped entirely. The caller pairs tables with programs by
+    /// content hash; a dimensional mismatch (wrong width, register count or
+    /// program length — a plumbing bug, not a corrupt cache) falls back to
+    /// lowering on the fly. The interpreter fallback conditions and state
+    /// guarantees are exactly those of [`Xsim::run_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Xsim::run`] reports.
+    pub fn run_decoded_cached(
+        &mut self,
+        decoded: &crate::DecodedProgram,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<RunSummary, SimError> {
+        if self.trace.is_some()
+            || self.config.width > crate::decoded::MAX_FAST_WIDTH
+            || !self.config.timing.is_ideal()
+        {
+            return run_loop(self, park, max_cycles);
+        }
+        if !decoded.matches(&self.program, self.config.num_regs) {
+            return self.run_decoded_inner(park, max_cycles);
+        }
+        engine::run_fast_path(
+            self,
+            park,
+            max_cycles,
+            |sim| crate::decoded::FastXsim::from_xsim_cached(sim, decoded),
             crate::decoded::FastXsim::write_back,
         )
     }

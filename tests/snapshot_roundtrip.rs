@@ -1,0 +1,151 @@
+//! Snapshot round-trip properties: suspending a run at an arbitrary cycle
+//! and resuming it from the serialized image must be invisible — the
+//! resumed machine's full state (one byte image covers registers, memory,
+//! sequencers, condition codes, ports, statistics and the completion
+//! flag) equals an uninterrupted run's, across every execution engine and
+//! timing model.
+//!
+//! The comparison is deliberately blunt: both sessions are re-serialized
+//! after finishing and the images must be byte-identical. Anything the
+//! snapshot codec carries — which is everything the machine is — is
+//! therefore covered by one equality.
+
+use proptest::prelude::*;
+use ximd_serve::jobs;
+use ximd_sim::{EngineKind, Session, TimingSpec};
+use ximd_workloads::RunSpec;
+
+const WORKLOADS: &[&str] = &["bitcount", "livermore", "minmax", "tproc"];
+const TIMINGS: &[&str] = &["ideal", "latency:mem=4", "banked:2"];
+const ENGINES: &[EngineKind] = &[EngineKind::Interp, EngineKind::Decoded, EngineKind::Lanes];
+
+/// Builds the same seeded machine twice (workload generators are
+/// deterministic in `(n, seed)`) plus its drive spec.
+fn twin_machines(
+    workload: &str,
+    n: usize,
+    seed: u64,
+    timing: &TimingSpec,
+) -> (ximd_sim::Xsim, ximd_sim::Xsim, RunSpec) {
+    let t = (!timing.is_ideal()).then_some(timing);
+    let (a, spec) = jobs::prepare_timed(workload, n, seed, t).expect("workload prepares");
+    let (b, _) = jobs::prepare_timed(workload, n, seed, t).expect("workload prepares");
+    (a, b, spec)
+}
+
+fn park_of(spec: RunSpec) -> Option<ximd_isa::Addr> {
+    match spec {
+        RunSpec::Run(_) => None,
+        RunSpec::Parked(p, _) => Some(p),
+    }
+}
+
+/// One round trip: drive a twin uninterrupted; drive the other to cycle
+/// `k`, serialize, restore, finish; compare the final byte images.
+///
+/// Some combinations never finish (bitcount's barrier livelocks under
+/// memory stalls — only the lockstep-safe workloads are guaranteed to
+/// terminate on a non-ideal machine), so budget exhaustion is part of the
+/// property too: both runs must then report the same `CycleLimit` and
+/// still land in identical machine states.
+fn assert_roundtrip(workload: &str, n: usize, seed: u64, k: u64, engine: EngineKind, timing: &str) {
+    let timing = TimingSpec::parse(timing).expect("timing parses");
+    let (solo_sim, split_sim, spec) = twin_machines(workload, n, seed, &timing);
+    let (park, budget) = (park_of(spec), spec.budget().saturating_mul(2));
+    let tag = format!(
+        "{workload} n={n} seed={seed} k={k} engine={} timing={timing}",
+        engine.name()
+    );
+
+    let mut solo = Session::from_machine(solo_sim);
+    let solo_run = solo.finish(park, budget, engine);
+
+    let mut split = Session::from_machine(split_sim);
+    split.advance_to(park, k.min(budget)).expect("advance");
+    let image = split.snapshot().expect("snapshot");
+    let mut resumed = Session::restore(&image).expect("restore");
+    let resumed_run = resumed.finish(park, budget, engine);
+
+    match (&solo_run, &resumed_run) {
+        (Ok(_), Ok(_)) => assert!(solo.complete() && resumed.complete(), "{tag}"),
+        (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}"), "{tag}"),
+        _ => panic!("{tag}: one run finished, the other did not: {solo_run:?} vs {resumed_run:?}"),
+    }
+    assert_eq!(resumed.cycle(), solo.cycle(), "{tag}");
+    assert_eq!(
+        resumed.snapshot().expect("final image"),
+        solo.snapshot().expect("final image"),
+        "{tag}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Suspend + resume ≡ uninterrupted run, for a random workload,
+    /// input size, seed and suspension cycle, on every engine under
+    /// every timing model.
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact(
+        which in 0usize..4,
+        n in 1usize..24,
+        seed in any::<u64>(),
+        k in 0u64..400,
+        eng in 0usize..3,
+        t in 0usize..3,
+    ) {
+        assert_roundtrip(WORKLOADS[which], n, seed, k, ENGINES[eng], TIMINGS[t]);
+    }
+
+    /// The same property for a whole lane-batch session: every lane's
+    /// state survives one shared suspend/resume.
+    #[test]
+    fn lane_batch_snapshot_roundtrip_is_bit_exact(
+        which in 0usize..4,
+        lanes in 2usize..5,
+        n in 1usize..16,
+        seed in any::<u64>(),
+        k in 0u64..200,
+    ) {
+        let workload = WORKLOADS[which];
+        let mut solo_sims = Vec::new();
+        let mut split_sims = Vec::new();
+        let mut budget = 0u64;
+        let mut park = None;
+        for lane in 0..lanes as u64 {
+            let timing = TimingSpec::Ideal; // the lane engine is ideal-only
+            let (a, b, spec) = twin_machines(workload, n, seed ^ lane, &timing);
+            solo_sims.push(a);
+            split_sims.push(b);
+            budget = budget.max(spec.budget());
+            park = park_of(spec);
+        }
+
+        let mut solo = Session::from_instances(&solo_sims).expect("batch");
+        solo.finish(park, budget, EngineKind::Lanes).expect("solo batch");
+
+        let mut split = Session::from_instances(&split_sims).expect("batch");
+        split.advance_to(park, k.min(budget)).expect("advance");
+        let image = split.snapshot().expect("snapshot");
+        let mut resumed = Session::restore(&image).expect("restore");
+        resumed.finish(park, budget, EngineKind::Lanes).expect("resumed batch");
+
+        prop_assert_eq!(
+            resumed.snapshot().expect("final image"),
+            solo.snapshot().expect("final image")
+        );
+    }
+}
+
+/// The deterministic corners the random sweep may miss: k = 0 (suspend
+/// before the first cycle) and a k past the program's end (the session is
+/// already complete when suspended; resuming must not re-drive it).
+#[test]
+fn snapshot_roundtrip_corner_cycles() {
+    for engine in ENGINES {
+        for timing in TIMINGS {
+            assert_roundtrip("minmax", 8, 7, 0, *engine, timing);
+            assert_roundtrip("minmax", 8, 7, u64::MAX, *engine, timing);
+        }
+    }
+}
