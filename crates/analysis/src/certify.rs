@@ -1,0 +1,1034 @@
+//! Schedule certifier: translation validation for compiled XIMD schedules.
+//!
+//! The compiler emits, alongside each program, a machine-checkable
+//! *schedule certificate* ([`ximd_isa::cert`]): the source operations in
+//! source order, their claimed placements, speculation guards, and — for
+//! modulo-scheduled loops — the claimed initiation interval and per-node
+//! issue times. This pass re-derives everything checkable from the emitted
+//! parcels (the untrusted artifact) and verifies the claims:
+//!
+//! * every claimed source operation appears exactly once per iteration and
+//!   no unclaimed operation appears at all ([`Check::SchedOpLost`]);
+//! * every data dependence (RAW/WAR/WAW, conservative memory ordering) is
+//!   respected at the machine's latencies, across parcels, FUs and
+//!   modulo-kernel iteration overlap ([`Check::SchedDepViolated`]);
+//! * speculated (percolated) operations are safe to execute early and
+//!   never clobber a value still live on the path they were hoisted
+//!   above; pipelined lifetimes never wrap ([`Check::SchedClobber`]);
+//! * region shape — lockstep row chaining, loop-back branch wiring,
+//!   initiation interval, prologue/kernel/epilogue layout — matches the
+//!   certificate ([`Check::SchedIiMismatch`]).
+//!
+//! What is trusted: the source-order op list itself, and the recorded
+//! `assume_no_alias` scheduling assumption (an *assumption*, reported as
+//! such, not re-derived). Everything else — placements, times, wiring —
+//! is checked against the bits. Dependence latencies mirror the
+//! compiler's DAG (and the machine's read-old-value semantics): RAW and
+//! WAW cost one cycle, WAR is free, stores order against other memory
+//! ops conservatively (no alias analysis), loads commute.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ximd_asm::Assembly;
+use ximd_isa::cert::{CmpClaim, OpClaim, Region, ScheduleCertificate, TermClaim};
+use ximd_isa::{Addr, AluOp, CondSource, ControlOp, DataOp, FuId, Program, Reg};
+
+use crate::diag::{Analysis, Check, Diagnostic, Engine, Severity};
+
+/// The result of a certification attempt.
+#[derive(Debug)]
+pub enum CertifyOutcome {
+    /// The source carries no `// ximd-cert:` lines at all.
+    Missing,
+    /// Certificate lines exist but do not parse.
+    Unparseable(String),
+    /// The certificate parsed; findings (possibly none) are in the report.
+    Report(Analysis),
+}
+
+/// Certifies assembled source: extracts the embedded certificate, checks
+/// the program against it, and anchors findings to source lines.
+pub fn certify_assembly(source: &str, assembly: &Assembly) -> CertifyOutcome {
+    match ScheduleCertificate::parse(source) {
+        Err(e) => CertifyOutcome::Unparseable(e),
+        Ok(None) => CertifyOutcome::Missing,
+        Ok(Some(cert)) => {
+            let mut analysis = certify_program(&assembly.program, &cert);
+            for d in &mut analysis.diagnostics {
+                if let (Some(addr), Some(fu)) = (d.addr, d.fu) {
+                    d.line = assembly.source_map.line(addr, fu);
+                }
+            }
+            CertifyOutcome::Report(analysis)
+        }
+    }
+}
+
+/// Checks `program` against `cert` and reports every violation.
+pub fn certify_program(program: &Program, cert: &ScheduleCertificate) -> Analysis {
+    let mut diags = Vec::new();
+    if cert.width as usize != program.width() {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "certificate is for machine width {} but the program has width {}",
+                cert.width,
+                program.width()
+            ),
+        ));
+        return wrap(diags);
+    }
+    let mut covered = vec![false; program.len()];
+    for region in &cert.regions {
+        match region {
+            Region::Block {
+                base,
+                rows,
+                ops,
+                cmp,
+                term,
+            } => check_block(
+                program,
+                *base,
+                *rows,
+                ops,
+                cmp,
+                term,
+                &mut covered,
+                &mut diags,
+            ),
+            Region::Pipelined { .. } => check_pipelined(program, region, &mut covered, &mut diags),
+        }
+    }
+    // Anything executing outside every certified region computes something
+    // the certificate never promised.
+    for (addr, wide) in program.iter() {
+        if covered.get(addr.0 as usize).copied().unwrap_or(false) {
+            continue;
+        }
+        for (f, p) in wide.iter().enumerate() {
+            if !p.data.is_nop() {
+                diags.push(
+                    err(
+                        Check::SchedOpLost,
+                        format!("op `{}` lies outside every certified region", p.data),
+                    )
+                    .at(addr, FuId(f as u8)),
+                );
+            }
+        }
+    }
+    wrap(diags)
+}
+
+fn err(check: Check, message: String) -> Diagnostic {
+    Diagnostic::new(check, Severity::Error, message).via(Engine::Certify)
+}
+
+fn wrap(diags: Vec<Diagnostic>) -> Analysis {
+    Analysis {
+        diagnostics: diags,
+        states_explored: 0,
+        truncated: false,
+        max_live_streams: 0,
+        region_states: 0,
+        compositional: false,
+    }
+    .finish()
+}
+
+/// The minimum issue distance (in rows) the machine requires between an
+/// earlier op `a` and a later op `b`, with a human-readable edge label.
+/// `None` means the pair is independent. Mirrors the compiler's DAG:
+/// same-cycle reads see old values (WAR = 0), writes land at end of cycle
+/// (RAW/WAW = 1), memory is ordered conservatively.
+fn dep_edge(a: &DataOp, b: &DataOp) -> Option<(i64, String)> {
+    let mut best: Option<(i64, String)> = None;
+    let mut consider = |lat: i64, why: String| {
+        if best.as_ref().is_none_or(|(l, _)| lat > *l) {
+            best = Some((lat, why));
+        }
+    };
+    if let Some(r) = a.dest() {
+        if b.sources().contains(&r) {
+            consider(1, format!("RAW on r{}", r.0));
+        }
+        if b.dest() == Some(r) {
+            consider(1, format!("WAW on r{}", r.0));
+        }
+    }
+    if let Some(r) = b.dest() {
+        if a.sources().contains(&r) {
+            consider(0, format!("WAR on r{}", r.0));
+        }
+    }
+    let (a_st, b_st) = (is_store(a), is_store(b));
+    if a.is_memory() && b.is_memory() && (a_st || b_st) {
+        if a_st {
+            consider(1, "store-to-memory ordering".to_string());
+        } else {
+            consider(0, "load-before-store ordering".to_string());
+        }
+    }
+    best
+}
+
+fn is_store(op: &DataOp) -> bool {
+    matches!(op, DataOp::Store { .. })
+}
+
+/// True if the op is safe to execute on a path that would not have run it:
+/// no memory traffic, no port I/O, no faulting divide.
+fn spec_safe(op: &DataOp) -> bool {
+    match op {
+        DataOp::Load { .. }
+        | DataOp::Store { .. }
+        | DataOp::PortIn { .. }
+        | DataOp::PortOut { .. } => false,
+        DataOp::Alu { op, .. } => !matches!(op, AluOp::Idiv | AluOp::Imod),
+        DataOp::Nop | DataOp::Un { .. } | DataOp::Cmp { .. } => true,
+    }
+}
+
+/// Searches the claimed region for a parcel equal to `op`, preferring the
+/// claimed spot, then the lowest unmatched (row, fu). Marks the match.
+fn locate(
+    program: &Program,
+    base: u32,
+    rows: u32,
+    matched: &mut [Vec<bool>],
+    op: &DataOp,
+    claim_row: u32,
+    claim_fu: u32,
+) -> Option<(u32, u32)> {
+    let width = program.width() as u32;
+    if claim_row < rows && claim_fu < width && !matched[claim_row as usize][claim_fu as usize] {
+        if let Some(p) = program.parcel(Addr(base + claim_row), FuId(claim_fu as u8)) {
+            if p.data == *op {
+                matched[claim_row as usize][claim_fu as usize] = true;
+                return Some((claim_row, claim_fu));
+            }
+        }
+    }
+    for r in 0..rows {
+        for f in 0..width {
+            if matched[r as usize][f as usize] {
+                continue;
+            }
+            if let Some(p) = program.parcel(Addr(base + r), FuId(f as u8)) {
+                if p.data == *op {
+                    matched[r as usize][f as usize] = true;
+                    return Some((r, f));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// On the path entered at `entry`, returns the first parcel that reads `d`
+/// before any parcel redefines it — the witness that a speculated write of
+/// `d` clobbers a live value. Reads in a word count even when another
+/// parcel of the same word writes `d` (read-old-value semantics).
+fn first_read_on_path(program: &Program, entry: Addr, d: Reg) -> Option<(Addr, FuId)> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    if seen.insert(entry) {
+        queue.push_back(entry);
+    }
+    while let Some(a) = queue.pop_front() {
+        let Some(wide) = program.get(a) else { continue };
+        let mut writes = false;
+        for (f, p) in wide.iter().enumerate() {
+            if p.data.sources().contains(&d) {
+                return Some((a, FuId(f as u8)));
+            }
+            if p.data.dest() == Some(d) {
+                writes = true;
+            }
+        }
+        if writes {
+            continue; // the path redefines d before any read: dead here
+        }
+        for p in wide {
+            for t in p.ctrl.targets() {
+                if seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks the lockstep row chaining of `rows` rows at `base`: every FU's
+/// control field identical per row, interior rows chained to the next row,
+/// and the last row's control equal to `last`.
+fn check_chaining(
+    program: &Program,
+    base: u32,
+    rows: u32,
+    last: &ControlOp,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for r in 0..rows {
+        let addr = Addr(base + r);
+        let wide = program.get(addr).expect("bounds checked by caller");
+        let ctrl0 = wide[0].ctrl;
+        if let Some((f, _)) = wide.iter().enumerate().find(|(_, p)| p.ctrl != ctrl0) {
+            diags.push(
+                err(
+                    Check::SchedIiMismatch,
+                    format!(
+                        "region rows must run in lockstep, but fu{f} disagrees \
+                         with fu0 on the control op at {addr}"
+                    ),
+                )
+                .at(addr, FuId(f as u8)),
+            );
+            continue;
+        }
+        let expected = if r + 1 < rows {
+            ControlOp::Goto(Addr(base + r + 1))
+        } else {
+            *last
+        };
+        if ctrl0 != expected {
+            diags.push(
+                err(
+                    Check::SchedIiMismatch,
+                    format!("row control is `{ctrl0}` where the certificate requires `{expected}`"),
+                )
+                .at_addr(addr),
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_block(
+    program: &Program,
+    base: u32,
+    rows: u32,
+    ops: &[OpClaim],
+    cmp: &Option<CmpClaim>,
+    term: &TermClaim,
+    covered: &mut [bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let len = program.len() as u32;
+    if rows == 0 || base >= len || base + rows > len {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "certified block claims rows {base}..{} but the program has {len} instructions",
+                base + rows
+            ),
+        ));
+        return;
+    }
+    for r in base..base + rows {
+        covered[r as usize] = true;
+    }
+    let width = program.width() as u32;
+
+    // Lockstep chaining and the claimed terminator.
+    let last = match *term {
+        TermClaim::Goto(t) => ControlOp::Goto(Addr(t)),
+        TermClaim::Branch {
+            fu,
+            taken,
+            not_taken,
+        } => ControlOp::branch(CondSource::Cc(FuId(fu as u8)), Addr(taken), Addr(not_taken)),
+        TermClaim::Halt => ControlOp::Halt,
+    };
+    check_chaining(program, base, rows, &last, diags);
+
+    // Locate every claimed op: exactly once each, preferring the claimed
+    // placement so duplicates pair up the way the compiler meant.
+    let mut matched = vec![vec![false; width as usize]; rows as usize];
+    let mut located: Vec<Option<(u32, u32)>> = Vec::with_capacity(ops.len());
+    for claim in ops {
+        let pos = locate(
+            program,
+            base,
+            rows,
+            &mut matched,
+            &claim.op,
+            claim.row,
+            claim.fu,
+        );
+        if pos.is_none() {
+            diags.push(
+                err(
+                    Check::SchedOpLost,
+                    format!(
+                        "claimed op `{}` does not appear in the block at {}",
+                        claim.op,
+                        Addr(base)
+                    ),
+                )
+                .at_addr(Addr(base)),
+            );
+        }
+        located.push(pos);
+    }
+    let cmp_pos = cmp.as_ref().and_then(|c| {
+        let pos = locate(program, base, rows, &mut matched, &c.op, c.row, c.fu);
+        if pos.is_none() {
+            diags.push(
+                err(
+                    Check::SchedOpLost,
+                    format!(
+                        "claimed compare `{}` does not appear in the block at {}",
+                        c.op,
+                        Addr(base)
+                    ),
+                )
+                .at_addr(Addr(base)),
+            );
+        }
+        pos
+    });
+
+    // Anything left over computes something the certificate never claimed.
+    for r in 0..rows {
+        for f in 0..width {
+            if matched[r as usize][f as usize] {
+                continue;
+            }
+            let p = program
+                .parcel(Addr(base + r), FuId(f as u8))
+                .expect("in bounds");
+            if !p.data.is_nop() {
+                diags.push(
+                    err(
+                        Check::SchedOpLost,
+                        format!("op `{}` is not claimed by the certificate", p.data),
+                    )
+                    .at(Addr(base + r), FuId(f as u8)),
+                );
+            }
+        }
+    }
+
+    // Pairwise dependences over the *actual* placements, in source order.
+    // Chain edges (RAW through the latest def, WAW between successive
+    // defs) imply every such pairwise edge transitively, so a schedule
+    // honouring the compiler's DAG always passes; a schedule breaking any
+    // real edge always fails some pair.
+    for i in 0..ops.len() {
+        let Some((ri, _)) = located[i] else { continue };
+        for j in i + 1..ops.len() {
+            let Some((rj, _)) = located[j] else { continue };
+            if let Some((lat, why)) = dep_edge(&ops[i].op, &ops[j].op) {
+                if i64::from(rj) - i64::from(ri) < lat {
+                    diags.push(
+                        err(
+                            Check::SchedDepViolated,
+                            format!(
+                                "`{}` at {} must issue at least {lat} cycle(s) after \
+                                 `{}` at {} ({why}), but issues {} cycle(s) after",
+                                ops[j].op,
+                                Addr(base + rj),
+                                ops[i].op,
+                                Addr(base + ri),
+                                i64::from(rj) - i64::from(ri),
+                            ),
+                        )
+                        .at_addr(Addr(base + rj)),
+                    );
+                }
+            }
+        }
+        // The terminating compare reads its operands after every claimed op.
+        if let (Some(c), Some((rc, _))) = (cmp, cmp_pos) {
+            if let Some((lat, why)) = dep_edge(&ops[i].op, &c.op) {
+                if i64::from(rc) - i64::from(ri) < lat {
+                    diags.push(
+                        err(
+                            Check::SchedDepViolated,
+                            format!(
+                                "compare `{}` at {} must issue at least {lat} cycle(s) \
+                                 after `{}` at {} ({why})",
+                                c.op,
+                                Addr(base + rc),
+                                ops[i].op,
+                                Addr(base + ri),
+                            ),
+                        )
+                        .at_addr(Addr(base + rc)),
+                    );
+                }
+            }
+        }
+    }
+
+    // The branch reads the CC latch one cycle after the compare writes it,
+    // from the FU the compare *actually* ran on.
+    if let Some((rc, fc)) = cmp_pos {
+        if rc + 2 > rows {
+            diags.push(
+                err(
+                    Check::SchedDepViolated,
+                    format!(
+                        "compare `{}` issues at {} but the branch at {} reads its \
+                         condition code the very same cycle — the latch still \
+                         holds the previous value",
+                        cmp.as_ref().expect("cmp_pos implies cmp").op,
+                        Addr(base + rc),
+                        Addr(base + rows - 1),
+                    ),
+                )
+                .at_addr(Addr(base + rc)),
+            );
+        }
+        if matches!(term, TermClaim::Branch { .. }) {
+            let actual = program
+                .parcel(Addr(base + rows - 1), FuId(0))
+                .expect("in bounds")
+                .ctrl;
+            if let Some(CondSource::Cc(sel)) = actual.cond() {
+                if u32::from(sel.0) != fc {
+                    diags.push(
+                        err(
+                            Check::SchedIiMismatch,
+                            format!(
+                                "branch selects on cc{} but the compare executes on fu{fc}",
+                                sel.0
+                            ),
+                        )
+                        .at_addr(Addr(base + rows - 1)),
+                    );
+                }
+            }
+        }
+    }
+
+    // Exactly the claimed compares may touch the region's condition codes:
+    // a stray compare silently rewires the terminator.
+    let mut cc_writers: HashSet<(u32, u32)> = located
+        .iter()
+        .zip(ops)
+        .filter(|(_, c)| c.op.sets_cc())
+        .filter_map(|(p, _)| *p)
+        .collect();
+    if let Some(pos) = cmp_pos {
+        cc_writers.insert(pos);
+    }
+    for r in 0..rows {
+        for f in 0..width {
+            let p = program
+                .parcel(Addr(base + r), FuId(f as u8))
+                .expect("in bounds");
+            if p.data.sets_cc() && !cc_writers.contains(&(r, f)) {
+                diags.push(
+                    err(
+                        Check::SchedClobber,
+                        format!(
+                            "unclaimed compare `{}` clobbers the region's condition code",
+                            p.data
+                        ),
+                    )
+                    .at(Addr(base + r), FuId(f as u8)),
+                );
+            }
+        }
+    }
+
+    // Speculated ops: safe to run early, and their destination dead on
+    // every path they were hoisted above.
+    for claim in ops {
+        if claim.spec.is_empty() {
+            continue;
+        }
+        if !spec_safe(&claim.op) {
+            diags.push(
+                err(
+                    Check::SchedClobber,
+                    format!(
+                        "op `{}` was speculated above a branch but can fault or \
+                         touch memory — it must not escape its guard",
+                        claim.op
+                    ),
+                )
+                .at_addr(Addr(base + claim.row)),
+            );
+        }
+        let Some(d) = claim.op.dest() else { continue };
+        for &other in &claim.spec {
+            if let Some((addr, fu)) = first_read_on_path(program, Addr(other), d) {
+                diags.push(
+                    err(
+                        Check::SchedClobber,
+                        format!(
+                            "speculated op `{}` clobbers r{}, which the untaken \
+                             path entered at {} still reads at {} ({})",
+                            claim.op,
+                            d.0,
+                            Addr(other),
+                            addr,
+                            fu,
+                        ),
+                    )
+                    .at(addr, fu),
+                );
+            }
+        }
+    }
+}
+
+fn check_pipelined(
+    program: &Program,
+    region: &Region,
+    covered: &mut [bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Region::Pipelined {
+        base,
+        ii,
+        stages,
+        init_rows,
+        exit,
+        assume_no_alias,
+        nodes,
+        inc,
+        dec,
+        cmp,
+        induction,
+        trips,
+        kc,
+    } = region
+    else {
+        unreachable!("caller matched Pipelined")
+    };
+    let (base, ii, stages, init_rows, exit) = (*base, *ii, *stages, *init_rows, *exit);
+    let len = program.len() as u32;
+    if ii == 0 || stages == 0 {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!("pipelined region claims ii={ii}, stages={stages}; both must be positive"),
+        ));
+        return;
+    }
+    let fringe = (stages - 1) * ii; // prologue rows == epilogue rows
+    let total = init_rows + fringe + ii + fringe;
+    if base >= len || base + total > len {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "pipelined region claims rows {base}..{} but the program has {len} instructions",
+                base + total
+            ),
+        ));
+        return;
+    }
+    for r in base..base + total {
+        covered[r as usize] = true;
+    }
+    let width = program.width() as u32;
+    let kernel_lo = init_rows + fringe; // local offset of the kernel
+    let epi_lo = kernel_lo + ii;
+
+    // Bookkeeping register roles must hold, or the mirrored loop
+    // constraints below would be checking the wrong recurrences.
+    if inc.1.dest() != Some(Reg(*induction)) {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "certificate's induction increment `{}` does not write r{induction}",
+                inc.1
+            ),
+        ));
+    }
+    if dec.1.dest() != Some(Reg(*kc)) {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "certificate's kernel-count decrement `{}` does not write r{kc}",
+                dec.1
+            ),
+        ));
+    }
+    if !cmp.1.sets_cc() {
+        diags.push(err(
+            Check::SchedIiMismatch,
+            format!(
+                "certificate's loop-back compare `{}` is not a compare",
+                cmp.1
+            ),
+        ));
+    }
+    for (_, op) in nodes {
+        if let Some(d) = op.dest() {
+            if [*induction, *trips, *kc].contains(&d.0) {
+                diags.push(err(
+                    Check::SchedClobber,
+                    format!(
+                        "loop-body op `{op}` writes r{}, a register reserved for \
+                         the pipeline's bookkeeping (induction/trips/kc)",
+                        d.0
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Init rows: the kernel-count setup (kc = trips - (stages-1)) and
+    // optionally the induction initialisation, nothing else.
+    let kc_init = DataOp::Alu {
+        op: AluOp::Isub,
+        a: ximd_isa::Operand::Reg(Reg(*trips)),
+        b: ximd_isa::Operand::imm_i32((stages - 1) as i32),
+        d: Reg(*kc),
+    };
+    let mut kc_init_seen = false;
+    for r in 0..init_rows {
+        for f in 0..width {
+            let p = program
+                .parcel(Addr(base + r), FuId(f as u8))
+                .expect("in bounds");
+            if p.data.is_nop() {
+                continue;
+            }
+            if p.data == kc_init && !kc_init_seen {
+                kc_init_seen = true;
+            } else if matches!(p.data, DataOp::Un { d, .. } if d == Reg(*induction)) {
+                // induction initialisation — allowed
+            } else {
+                diags.push(
+                    err(
+                        Check::SchedOpLost,
+                        format!("op `{}` in the pipeline's init rows is not claimed", p.data),
+                    )
+                    .at(Addr(base + r), FuId(f as u8)),
+                );
+            }
+        }
+    }
+    if !kc_init_seen {
+        diags.push(
+            err(
+                Check::SchedOpLost,
+                format!(
+                    "the pipeline's kernel-count setup `{kc_init}` is missing from \
+                     its init rows"
+                ),
+            )
+            .at_addr(Addr(base)),
+        );
+    }
+
+    // --- Locate every node in the kernel (each appears exactly once per
+    // kernel) and derive its actual issue time: keep the claimed stage,
+    // take the kernel row the op actually sits in.
+    let n_body = nodes.len();
+    let all: Vec<(u32, &DataOp)> = nodes
+        .iter()
+        .map(|(t, op)| (*t, op))
+        .chain([(inc.0, &inc.1), (dec.0, &dec.1), (cmp.0, &cmp.1)])
+        .collect();
+    let mut matched = vec![vec![false; width as usize]; ii as usize];
+    let mut derived: Vec<Option<i64>> = Vec::with_capacity(all.len());
+    let mut kernel_fu: Vec<Option<u32>> = Vec::with_capacity(all.len());
+    for (t, op) in &all {
+        match locate(
+            program,
+            base + kernel_lo,
+            ii,
+            &mut matched,
+            op,
+            t % ii,
+            width,
+        ) {
+            Some((k, f)) => {
+                derived.push(Some(i64::from((t / ii) * ii + k)));
+                kernel_fu.push(Some(f));
+            }
+            None => {
+                diags.push(
+                    err(
+                        Check::SchedOpLost,
+                        format!(
+                            "claimed loop op `{op}` does not appear in the \
+                             pipelined kernel at {}",
+                            Addr(base + kernel_lo)
+                        ),
+                    )
+                    .at_addr(Addr(base + kernel_lo)),
+                );
+                derived.push(None);
+                kernel_fu.push(None);
+            }
+        }
+    }
+    for k in 0..ii {
+        for f in 0..width {
+            if matched[k as usize][f as usize] {
+                continue;
+            }
+            let p = program
+                .parcel(Addr(base + kernel_lo + k), FuId(f as u8))
+                .expect("in bounds");
+            if !p.data.is_nop() {
+                diags.push(
+                    err(
+                        Check::SchedOpLost,
+                        format!("kernel op `{}` is not claimed by the certificate", p.data),
+                    )
+                    .at(Addr(base + kernel_lo + k), FuId(f as u8)),
+                );
+            }
+        }
+    }
+
+    // --- Forward-verify the prologue and epilogue from the derived times:
+    // body and increment nodes ramp in and drain out; the decrement and
+    // compare run only in the kernel.
+    let fringe_nodes = || {
+        all.iter()
+            .enumerate()
+            .take(n_body + 1)
+            .filter_map(|(i, (_, op))| derived[i].map(|t| (t, *op)))
+    };
+    for p in 0..fringe {
+        let expected: Vec<&DataOp> = fringe_nodes()
+            .filter(|(t, _)| *t <= i64::from(p) && (i64::from(p) - t) % i64::from(ii) == 0)
+            .map(|(_, op)| op)
+            .collect();
+        verify_row_ops(
+            program,
+            Addr(base + init_rows + p),
+            &expected,
+            "prologue",
+            diags,
+        );
+    }
+    for e in 0..fringe {
+        let expected: Vec<&DataOp> = fringe_nodes()
+            .filter(|(t, _)| (0..stages).any(|d| t - i64::from((d + 1) * ii) == i64::from(e)))
+            .map(|(_, op)| op)
+            .collect();
+        verify_row_ops(
+            program,
+            Addr(base + epi_lo + e),
+            &expected,
+            "epilogue",
+            diags,
+        );
+    }
+
+    // --- Row chaining: everything chains to the next row (the final row
+    // chains to the exit), except the kernel's last row, which loops back
+    // on the compare's actual FU.
+    let back_fu = kernel_fu[n_body + 2].unwrap_or(cmp.0 % ii); // compare's kernel FU
+    let not_taken = if epi_lo == total {
+        Addr(exit) // single-stage pipeline: no epilogue
+    } else {
+        Addr(base + epi_lo)
+    };
+    for l in 0..total {
+        let addr = Addr(base + l);
+        let wide = program.get(addr).expect("in bounds");
+        let ctrl0 = wide[0].ctrl;
+        if let Some((f, _)) = wide.iter().enumerate().find(|(_, p)| p.ctrl != ctrl0) {
+            diags.push(
+                err(
+                    Check::SchedIiMismatch,
+                    format!(
+                        "pipelined rows must run in lockstep, but fu{f} disagrees \
+                         with fu0 on the control op at {addr}"
+                    ),
+                )
+                .at(addr, FuId(f as u8)),
+            );
+            continue;
+        }
+        let expected = if l == kernel_lo + ii - 1 {
+            ControlOp::branch(
+                CondSource::Cc(FuId(back_fu as u8)),
+                Addr(base + kernel_lo),
+                not_taken,
+            )
+        } else if l + 1 == total {
+            ControlOp::Goto(Addr(exit))
+        } else {
+            ControlOp::Goto(Addr(base + l + 1))
+        };
+        if ctrl0 != expected {
+            diags.push(
+                err(
+                    Check::SchedIiMismatch,
+                    format!(
+                        "pipelined row control is `{ctrl0}` where the achieved \
+                         ii={ii}, stages={stages} layout requires `{expected}`"
+                    ),
+                )
+                .at_addr(addr),
+            );
+        }
+    }
+
+    // --- Mirror the modulo scheduler's constraint system on the *derived*
+    // times. t_to - t_from >= base - coeff*II, with coeff the iteration
+    // distance: 1 for cross-iteration edges, 0 within an iteration.
+    let inc_i = n_body;
+    let dec_i = n_body + 1;
+    let cmp_i = n_body + 2;
+    let kernel_addr = |t: i64| Addr(base + kernel_lo + (t.rem_euclid(i64::from(ii))) as u32);
+    let mut def_of: HashMap<u16, usize> = HashMap::new();
+    for (i, (_, op)) in nodes.iter().enumerate() {
+        if let Some(d) = op.dest() {
+            def_of.insert(d.0, i);
+        }
+    }
+    let big_ii = i64::from(ii);
+    let mut dep = |from: usize, to: usize, base_c: i64, coeff: i64, check: Check, why: String| {
+        let (Some(tf), Some(tt)) = (derived[from], derived[to]) else {
+            return;
+        };
+        if tt - tf < base_c - coeff * big_ii {
+            let (fo, to_op) = (all[from].1, all[to].1);
+            let dist = if coeff == 1 { "next-iteration " } else { "" };
+            diags.push(
+                err(
+                    check,
+                    format!(
+                        "`{to_op}` issues at kernel cycle {tt} but must issue at \
+                         least {base_c} cycle(s) after the {dist}`{fo}` at cycle \
+                         {tf} minus {coeff}×ii ({why})"
+                    ),
+                )
+                .at_addr(kernel_addr(tt)),
+            );
+        }
+    };
+    for (u, &(_, op)) in all.iter().enumerate().take(n_body + 1) {
+        for r in op.sources() {
+            let (d, delta) = if r.0 == *induction {
+                (inc_i, 1)
+            } else if let Some(&di) = def_of.get(&r.0) {
+                (di, i64::from(di >= u))
+            } else {
+                continue; // loop-invariant: defined outside the body
+            };
+            dep(
+                d,
+                u,
+                1,
+                delta,
+                Check::SchedDepViolated,
+                format!("RAW on r{}", r.0),
+            );
+            // Lifetime: the next iteration's def must not land before this
+            // read consumes the old value.
+            dep(
+                u,
+                d,
+                0,
+                1 - delta,
+                Check::SchedClobber,
+                format!("next-iteration write of r{} overwrites a live value", r.0),
+            );
+        }
+    }
+    dep(
+        cmp_i,
+        dec_i,
+        0,
+        0,
+        Check::SchedClobber,
+        format!("the decrement overwrites r{kc} before the loop-back compare reads it"),
+    );
+    dep(
+        dec_i,
+        cmp_i,
+        1,
+        1,
+        Check::SchedDepViolated,
+        format!("RAW on r{kc}"),
+    );
+    if !assume_no_alias {
+        for a in 0..n_body {
+            for b in a + 1..n_body {
+                let (oa, ob) = (all[a].1, all[b].1);
+                if !(oa.is_memory() && ob.is_memory()) || !(is_store(oa) || is_store(ob)) {
+                    continue;
+                }
+                dep(
+                    a,
+                    b,
+                    i64::from(is_store(oa)),
+                    0,
+                    Check::SchedDepViolated,
+                    "conservative memory ordering".to_string(),
+                );
+                dep(
+                    b,
+                    a,
+                    i64::from(is_store(ob)),
+                    1,
+                    Check::SchedDepViolated,
+                    "conservative cross-iteration memory ordering".to_string(),
+                );
+            }
+        }
+    }
+    // The loop-back branch reads the compare's CC one cycle later, in the
+    // kernel's last row: the compare must settle by ii-2.
+    if let Some(tc) = derived[cmp_i] {
+        if tc > i64::from(ii) - 2 {
+            diags.push(
+                err(
+                    Check::SchedDepViolated,
+                    format!(
+                        "loop-back compare `{}` issues at kernel cycle {tc}, too \
+                         late for the branch at the kernel's last row (cycle {}) \
+                         to read its condition code",
+                        cmp.1,
+                        ii - 1
+                    ),
+                )
+                .at_addr(kernel_addr(tc)),
+            );
+        }
+    }
+}
+
+/// Compares the non-nop data ops of one emitted row against the expected
+/// multiset, reporting ops missing from and foreign to the row.
+fn verify_row_ops(
+    program: &Program,
+    addr: Addr,
+    expected: &[&DataOp],
+    where_: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let wide = program.get(addr).expect("in bounds");
+    let mut remaining: Vec<&DataOp> = expected.to_vec();
+    for (f, p) in wide.iter().enumerate() {
+        if p.data.is_nop() {
+            continue;
+        }
+        if let Some(i) = remaining.iter().position(|e| **e == p.data) {
+            remaining.swap_remove(i);
+        } else {
+            diags.push(
+                err(
+                    Check::SchedOpLost,
+                    format!("op `{}` does not belong in this {where_} row", p.data),
+                )
+                .at(addr, FuId(f as u8)),
+            );
+        }
+    }
+    for op in remaining {
+        diags.push(
+            err(
+                Check::SchedOpLost,
+                format!("op `{op}` is missing from its {where_} row at {addr}"),
+            )
+            .at_addr(addr),
+        );
+    }
+}

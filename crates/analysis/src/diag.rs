@@ -43,6 +43,9 @@ pub enum Engine {
     /// Interval (value-range) abstract interpretation and the static
     /// cycle-bound oracle built on it.
     Range,
+    /// Schedule translation validation against a compiler-emitted
+    /// certificate.
+    Certify,
 }
 
 impl Engine {
@@ -55,6 +58,7 @@ impl Engine {
             Engine::Dataflow => "dataflow",
             Engine::Compositional => "compositional",
             Engine::Range => "range",
+            Engine::Certify => "certify",
         }
     }
 }
@@ -123,12 +127,29 @@ pub enum Check {
     /// A memory access that contends for a bank with other FUs' accesses
     /// every time it executes, under a banked timing model.
     BankConflictHotspot,
+    /// The emitted schedule violates a dependence edge the certificate
+    /// claims (or the re-derived DAG requires): a consumer issues before
+    /// its producer's latency has elapsed.
+    SchedDepViolated,
+    /// A source operation the certificate claims is missing from the
+    /// emitted schedule, appears more than once per iteration, or the
+    /// emitted code contains an operation the certificate never claimed.
+    SchedOpLost,
+    /// A speculated/percolated op can clobber a live value on a path it
+    /// was hoisted above, an extra compare clobbers the region's condition
+    /// code, or a pipelined register's next-iteration write lands before
+    /// the previous iteration's last read.
+    SchedClobber,
+    /// The emitted region's shape disagrees with the certificate: wrong
+    /// initiation interval, row count, lockstep chaining, or branch
+    /// wiring.
+    SchedIiMismatch,
 }
 
 impl Check {
     /// Every check, in a stable order — used by `--explain` listings and
     /// the SARIF rule table.
-    pub const ALL: [Check; 20] = [
+    pub const ALL: [Check; 24] = [
         Check::DanglingTarget,
         Check::UnreachableCode,
         Check::MissingTerminal,
@@ -149,6 +170,10 @@ impl Check {
         Check::TripCountUnbounded,
         Check::BranchAlways,
         Check::BankConflictHotspot,
+        Check::SchedDepViolated,
+        Check::SchedOpLost,
+        Check::SchedClobber,
+        Check::SchedIiMismatch,
     ];
 
     /// Stable kebab-case code used in rendered diagnostics.
@@ -174,6 +199,10 @@ impl Check {
             Check::TripCountUnbounded => "trip-count-unbounded",
             Check::BranchAlways => "branch-always",
             Check::BankConflictHotspot => "bank-conflict-hotspot",
+            Check::SchedDepViolated => "sched-dep-violated",
+            Check::SchedOpLost => "sched-op-lost",
+            Check::SchedClobber => "sched-clobber",
+            Check::SchedIiMismatch => "sched-ii-mismatch",
         }
     }
 
@@ -319,6 +348,41 @@ impl Check {
                  Reported by `xlint --cycle-bounds --timing banked:<n>`. \
                  Warning."
             }
+            Check::SchedDepViolated => {
+                "Translation validation: the emitted schedule issues a \
+                 consumer before its producer's latency has elapsed — a RAW, \
+                 WAR, WAW or memory-ordering edge of the certified dependence \
+                 DAG (re-derived from the emitted parcels, not trusted from \
+                 the compiler) is broken. The diagnostic names both \
+                 operations and the violated edge. Reported by \
+                 `xlint --certify`. Error."
+            }
+            Check::SchedOpLost => {
+                "Translation validation: a source operation the certificate \
+                 claims does not appear (exactly once per iteration) in the \
+                 emitted region, or the emitted region contains a non-nop \
+                 operation the certificate never claimed. Either way the \
+                 schedule no longer computes the source program. Reported by \
+                 `xlint --certify`. Error."
+            }
+            Check::SchedClobber => {
+                "Translation validation: an operation can destroy a value \
+                 that is still live — a speculated op hoisted above a branch \
+                 writes a register read on the path it escaped, an unclaimed \
+                 compare clobbers the region's condition code, or a modulo- \
+                 scheduled register's next-iteration write lands before the \
+                 previous iteration's last read (lifetime constraint \
+                 violated). Reported by `xlint --certify`. Error."
+            }
+            Check::SchedIiMismatch => {
+                "Translation validation: the emitted region's shape disagrees \
+                 with its certificate — achieved initiation interval, row \
+                 count, prologue/kernel/epilogue layout, lockstep row \
+                 chaining, or loop-back branch wiring. The code may still be \
+                 correct but is not the schedule the compiler certified, so \
+                 nothing downstream (cycle bounds, quality metrics) can be \
+                 trusted. Reported by `xlint --certify`. Error."
+            }
         }
     }
 }
@@ -382,7 +446,7 @@ impl fmt::Display for Diagnostic {
             Engine::Structure | Engine::Word | Engine::Product => {
                 write!(f, "{}[{}]", self.severity, self.check.code())?
             }
-            Engine::Dataflow | Engine::Compositional | Engine::Range => write!(
+            Engine::Dataflow | Engine::Compositional | Engine::Range | Engine::Certify => write!(
                 f,
                 "{}[{}/{}]",
                 self.severity,

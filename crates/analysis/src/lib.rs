@@ -61,6 +61,7 @@
 //! hitting the cap degrades the whole-space checks to a warning.
 
 pub mod bounds;
+pub mod certify;
 mod cfg;
 mod config;
 mod conflict;
@@ -75,6 +76,7 @@ mod word;
 pub use bounds::{
     cycle_bounds, BoundsConfig, BoundsReport, FuBound, HotRegion, Lockstep, LoopBound,
 };
+pub use certify::{certify_assembly, certify_program, CertifyOutcome};
 pub use config::{AnalysisConfig, EngineChoice};
 pub use diag::{Analysis, Check, Diagnostic, Engine, Severity};
 pub use range::{CcFact, Interval};

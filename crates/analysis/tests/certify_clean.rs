@@ -1,0 +1,60 @@
+//! The compiler's own output must certify clean: every suite workload,
+//! pipelined or not, and the percolation (speculation) path.
+
+use ximd_analysis::certify_program;
+use ximd_compiler::suite::{HOISTED, SUITE};
+
+#[test]
+fn suite_workloads_certify_clean() {
+    for width in [2usize, 4, 8] {
+        for w in SUITE {
+            let (f, _) = w.compile(width).expect("suite workload compiles");
+            let cert = f
+                .cert
+                .as_ref()
+                .expect("compiled output carries a certificate");
+            let report = certify_program(&f.ximd_program(), cert);
+            assert!(
+                report.is_clean(),
+                "{} at width {width} must certify clean:\n{report}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn speculated_ops_certify_clean() {
+    let (f, _) = HOISTED.compile(4).expect("hoisted workload compiles");
+    let cert = f.cert.as_ref().expect("certificate");
+    assert!(
+        cert.render().contains("spec="),
+        "percolation must record speculation guards:\n{}",
+        cert.render()
+    );
+    let report = certify_program(&f.ximd_program(), cert);
+    assert!(
+        report.is_clean(),
+        "hoisted diamond must certify clean:\n{report}"
+    );
+}
+
+#[test]
+fn certificate_survives_assembly_round_trip() {
+    let (f, ii) = ximd_compiler::suite::SAXPY.compile(4).unwrap();
+    assert!(ii.is_some(), "saxpy pipelines");
+    let cert = f.cert.as_ref().unwrap();
+    // Render the program as the emitter does: cert lines, then assembly.
+    let mut text = cert.render();
+    text.push_str(&ximd_asm::print_program(&f.ximd_program()));
+    let assembly = ximd_asm::assemble(&text).expect("emitted assembly reassembles");
+    match ximd_analysis::certify_assembly(&text, &assembly) {
+        ximd_analysis::CertifyOutcome::Report(report) => {
+            assert!(
+                report.is_clean(),
+                "round-tripped saxpy certifies clean:\n{report}"
+            );
+        }
+        other => panic!("expected a report, got {other:?}"),
+    }
+}

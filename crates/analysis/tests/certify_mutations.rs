@@ -1,0 +1,330 @@
+//! Mutation testing for the schedule certifier.
+//!
+//! Property: the certifier must detect every semantics-changing mutation
+//! of a compiler-emitted schedule. Ground truth is the simulator: a
+//! mutant whose observable behaviour (return value + watched memory)
+//! differs from the original — or that faults or diverges — must draw at
+//! least one certify diagnostic. The fuzzer perturbs real compiled
+//! programs the ways a broken scheduler would: swapping parcels, dropping
+//! ops, renaming destination registers, and rewiring row chaining
+//! (which shifts modulo-kernel stages).
+
+use proptest::prelude::*;
+use ximd_analysis::{certify_program, Check};
+use ximd_compiler::suite::{SuiteWorkload, SUITE};
+use ximd_compiler::CompiledFunction;
+use ximd_isa::cert::ScheduleCertificate;
+use ximd_isa::{Addr, ControlOp, DataOp, FuId, Program, Reg};
+use ximd_sim::{MachineConfig, Xsim};
+
+const WIDTH: usize = 4;
+
+/// Per-workload fixed inputs and observed memory cells.
+fn harness(name: &str) -> (Vec<i32>, Vec<(i64, i32)>, Vec<i64>) {
+    match name {
+        "saxpy" => (
+            vec![3, 4],
+            vec![
+                (1000, 1),
+                (1001, 2),
+                (1002, 3),
+                (1003, 4),
+                (2000, 10),
+                (2001, 10),
+                (2002, 10),
+                (2003, 10),
+            ],
+            (3000..3004).collect(),
+        ),
+        "livermore" => (
+            vec![4],
+            vec![(2999, 5), (3000, 9), (3001, 2), (3002, 14), (3003, 11)],
+            (5000..5004).collect(),
+        ),
+        "minmax" => (
+            vec![5],
+            vec![(1000, 3), (1001, -7), (1002, 12), (1003, 0), (1004, 5)],
+            vec![2000, 2001],
+        ),
+        "bitcount" => (
+            vec![3],
+            vec![(1000, 7), (1001, 0), (1002, 255)],
+            (2000..2003).collect(),
+        ),
+        "tproc" => (
+            vec![3],
+            vec![(1000, 97), (1001, 65), (1002, 122)],
+            (2000..2003).collect(),
+        ),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Observable behaviour of a program: return register + watched cells.
+/// `None` means the run faulted or timed out — always "changed".
+fn behaviour(
+    program: &Program,
+    f: &CompiledFunction,
+    args: &[i32],
+    mem: &[(i64, i32)],
+    watch: &[i64],
+) -> Option<(Option<i32>, Vec<i32>)> {
+    let mut sim = Xsim::new(program.clone(), MachineConfig::with_width(WIDTH)).ok()?;
+    for (&reg, &value) in f.param_regs.iter().zip(args) {
+        sim.write_reg(reg, value.into());
+    }
+    for &(a, v) in mem {
+        sim.mem_mut().poke(a, v.into()).ok()?;
+    }
+    sim.run(200_000).ok()?;
+    let ret = f.ret_reg.map(|r| sim.reg(r).as_i32());
+    let cells = watch
+        .iter()
+        .map(|&a| sim.mem().read(a).ok().map(|v| v.as_i32()))
+        .collect::<Option<Vec<_>>>()?;
+    Some((ret, cells))
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Swap the data ops of two parcels (control untouched).
+    Swap { a: usize, b: usize },
+    /// Replace one parcel's data op with a nop.
+    Drop { at: usize },
+    /// Rename one parcel's destination register.
+    Rename { at: usize, delta: u8 },
+    /// Rewire one row's goto target (shifts pipeline stages / chaining).
+    Retarget { row: usize, delta: u32 },
+}
+
+/// All (row, fu) cells holding a non-nop data op.
+fn op_cells(program: &Program) -> Vec<(Addr, FuId)> {
+    let mut cells = Vec::new();
+    for (addr, wide) in program.iter() {
+        for (f, p) in wide.iter().enumerate() {
+            if !p.data.is_nop() {
+                cells.push((addr, FuId(f as u8)));
+            }
+        }
+    }
+    cells
+}
+
+fn with_dest(op: &DataOp, d: Reg) -> Option<DataOp> {
+    let mut new = *op;
+    match &mut new {
+        DataOp::Alu { d: x, .. }
+        | DataOp::Un { d: x, .. }
+        | DataOp::Load { d: x, .. }
+        | DataOp::PortIn { d: x, .. } => *x = d,
+        DataOp::Nop | DataOp::Cmp { .. } | DataOp::Store { .. } | DataOp::PortOut { .. } => {
+            return None
+        }
+    }
+    Some(new)
+}
+
+/// Applies the mutation; returns `None` when it would be the identity.
+fn apply(program: &Program, m: Mutation) -> Option<Program> {
+    let cells = op_cells(program);
+    let mut out = program.clone();
+    match m {
+        Mutation::Swap { a, b } => {
+            let (aa, af) = cells[a % cells.len()];
+            let (ba, bf) = cells[b % cells.len()];
+            if (aa, af) == (ba, bf) {
+                return None;
+            }
+            let da = out.parcel(aa, af)?.data;
+            let db = out.parcel(ba, bf)?.data;
+            if da == db {
+                return None;
+            }
+            out.parcel_mut(aa, af)?.data = db;
+            out.parcel_mut(ba, bf)?.data = da;
+        }
+        Mutation::Drop { at } => {
+            let (a, f) = cells[at % cells.len()];
+            out.parcel_mut(a, f)?.data = DataOp::Nop;
+        }
+        Mutation::Rename { at, delta } => {
+            let (a, f) = cells[at % cells.len()];
+            let op = out.parcel(a, f)?.data;
+            let d = op.dest()?;
+            let delta = u16::from(delta % 63 + 1);
+            let new = with_dest(&op, Reg((d.0 + delta) % 256))?;
+            out.parcel_mut(a, f)?.data = new;
+        }
+        Mutation::Retarget { row, delta } => {
+            let len = out.len() as u32;
+            let addr = Addr(row as u32 % len);
+            let ControlOp::Goto(t) = out.parcel(addr, FuId(0))?.ctrl else {
+                return None;
+            };
+            let new_t = Addr((t.0 + delta % 3 + 1) % len);
+            if new_t == t {
+                return None;
+            }
+            // Keep the mutant lockstep: rewire every FU's parcel.
+            for f in 0..WIDTH {
+                out.parcel_mut(addr, FuId(f as u8))?.ctrl = ControlOp::Goto(new_t);
+            }
+        }
+    }
+    Some(out)
+}
+
+fn compiled(w: &SuiteWorkload) -> (CompiledFunction, ScheduleCertificate) {
+    let (f, _) = w.compile(WIDTH).expect("suite workload compiles");
+    let cert = f.cert.clone().expect("certificate");
+    (f, cert)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A mutant the certifier passes clean must behave exactly like the
+    /// original program on the workload's harness inputs.
+    #[test]
+    fn certified_clean_mutants_preserve_behaviour(
+        wl in 0..SUITE.len(),
+        kind in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        delta in 0u8..255,
+    ) {
+        let w = &SUITE[wl];
+        let (f, cert) = compiled(w);
+        let program = f.ximd_program();
+        let m = match kind {
+            0 => Mutation::Swap { a, b },
+            1 => Mutation::Drop { at: a },
+            2 => Mutation::Rename { at: a, delta },
+            _ => Mutation::Retarget { row: a, delta: u32::from(delta) },
+        };
+        let Some(mutant) = apply(&program, m) else { return Ok(()) };
+        let report = certify_program(&mutant, &cert);
+        if report.is_clean() {
+            let (args, mem, watch) = harness(w.name);
+            let before = behaviour(&program, &f, &args, &mem, &watch);
+            let after = behaviour(&mutant, &f, &args, &mem, &watch);
+            prop_assert!(before.is_some(), "{}: original program must run", w.name);
+            prop_assert_eq!(
+                before, after,
+                "{}: certifier passed a behaviour-changing mutation {:?}", w.name, m
+            );
+        }
+    }
+}
+
+/// Swapping two dependent ops across rows must produce a dependence-edge
+/// diagnostic that names *both* operations.
+#[test]
+fn dependent_swap_names_both_ops() {
+    let (f, _) = ximd_compiler::compile(
+        "fn f(a) { let x = a + 1; let y = x * 3; mem[100] = y; return y; }",
+        1,
+    )
+    .map(|f| (f, ()))
+    .expect("compiles");
+    let cert = f.cert.clone().expect("certificate");
+    let program = f.ximd_program();
+    // Find the producer/consumer pair: the add defines x, the mult reads it.
+    let cells = op_cells(&program);
+    let add = cells
+        .iter()
+        .find(|(a, fu)| {
+            matches!(
+                program.parcel(*a, *fu).unwrap().data,
+                DataOp::Alu {
+                    op: ximd_isa::AluOp::Iadd,
+                    ..
+                }
+            )
+        })
+        .copied()
+        .expect("add emitted");
+    let mult = cells
+        .iter()
+        .find(|(a, fu)| {
+            matches!(
+                program.parcel(*a, *fu).unwrap().data,
+                DataOp::Alu {
+                    op: ximd_isa::AluOp::Imult,
+                    ..
+                }
+            )
+        })
+        .copied()
+        .expect("mult emitted");
+    let add_op = program.parcel(add.0, add.1).unwrap().data;
+    let mult_op = program.parcel(mult.0, mult.1).unwrap().data;
+    let mut mutant = program.clone();
+    mutant.parcel_mut(add.0, add.1).unwrap().data = mult_op;
+    mutant.parcel_mut(mult.0, mult.1).unwrap().data = add_op;
+    let report = certify_program(&mutant, &cert);
+    // The violated RAW edge ends at the hoisted multiply; the diagnostic
+    // must name it and its producer (`after `op``), at machine latencies.
+    let dep = report
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::SchedDepViolated && d.message.contains(&mult_op.to_string()))
+        .unwrap_or_else(|| {
+            panic!("dependent swap must violate an edge at the multiply:\n{report}")
+        });
+    assert!(
+        dep.message.contains("RAW") && dep.message.contains(" after `"),
+        "diagnostic must name the edge and both ops: {}",
+        dep.message
+    );
+}
+
+/// Dropping an op must report exactly which source op was lost.
+#[test]
+fn dropped_op_is_reported_lost() {
+    let (f, cert) = compiled(&ximd_compiler::suite::MINMAX);
+    let program = f.ximd_program();
+    let cells = op_cells(&program);
+    let (addr, fu) = cells[cells.len() / 2];
+    let lost = program.parcel(addr, fu).unwrap().data;
+    let mut mutant = program.clone();
+    mutant.parcel_mut(addr, fu).unwrap().data = DataOp::Nop;
+    let report = certify_program(&mutant, &cert);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::SchedOpLost && d.message.contains(&lost.to_string())),
+        "dropping `{lost}` must be reported as a lost op:\n{report}"
+    );
+}
+
+/// Shifting the modulo kernel's loop-back edge must be an ii mismatch.
+#[test]
+fn kernel_retarget_is_an_ii_mismatch() {
+    let (f, cert) = compiled(&ximd_compiler::suite::SAXPY);
+    let program = f.ximd_program();
+    // Find the kernel's loop-back branch row and shift its taken target.
+    let back = program
+        .iter()
+        .find_map(|(addr, wide)| match wide[0].ctrl {
+            ControlOp::Branch { taken, .. } if taken < addr => Some(addr),
+            _ => None,
+        })
+        .expect("pipelined saxpy has a loop-back branch");
+    let mut mutant = program.clone();
+    for fu in 0..WIDTH {
+        let p = mutant.parcel_mut(back, FuId(fu as u8)).unwrap();
+        if let ControlOp::Branch { taken, .. } = &mut p.ctrl {
+            taken.0 += 1;
+        }
+    }
+    let report = certify_program(&mutant, &cert);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == Check::SchedIiMismatch),
+        "rewiring the loop-back branch must mismatch the certified layout:\n{report}"
+    );
+}

@@ -104,6 +104,23 @@ fn main() {
             if w.equivalent { "yes" } else { "NO" }
         );
     }
+    println!(
+        "\n{:<12} {:>5} {:>5} {:>5} {:>11} {:>4}  certified",
+        "schedule", "width", "ops", "rows", "ops/parcel", "ii"
+    );
+    for s in &report.schedule {
+        println!(
+            "{:<12} {:>5} {:>5} {:>5} {:>11.3} {:>4}  {}",
+            s.workload,
+            s.width,
+            s.ops,
+            s.rows,
+            s.density(),
+            s.ii.map_or_else(|| "-".to_string(), |ii| ii.to_string()),
+            if s.certified { "yes" } else { "NO" }
+        );
+    }
+
     let b = &report.batch;
     println!(
         "batch: {} threads x {} bitcount instances, {} cycles, {:.0} cycles/s",

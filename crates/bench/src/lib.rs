@@ -986,7 +986,8 @@ pub struct Preflight {
 /// Lint every program the harness executes, before any experiment runs.
 ///
 /// Covers the hand-written workload listings (assembled, so findings carry
-/// source lines) and the hand-built Livermore Loop 12 kernel. Returns the
+/// source lines), the hand-built Livermore Loop 12 kernel, and — via the
+/// schedule certifier — every compiler-emitted suite schedule. Returns the
 /// per-program report, whether any *error*-severity finding was seen, and
 /// whether any product exploration was cap-truncated; warnings — MINMAX's
 /// deliberate cross-stream handoff draws two — are reported but do not
@@ -1029,6 +1030,20 @@ pub fn lint_preflight() -> Preflight {
     pf.incomplete |= ll12.truncated;
     let bounds = bound_line(&ll12_program, &config);
     let _ = writeln!(pf.body, "{:<18} {ll12}; {bounds}", "livermore/ll12");
+    // Translation validation for the compiler-emitted schedules: every
+    // suite workload's compiled program must verify against its embedded
+    // schedule certificate before the harness trusts its numbers.
+    for w in &ximd::compiler::suite::SUITE {
+        let (f, _) = w.compile(4).expect("suite workload compiles");
+        let cert = f
+            .cert
+            .as_ref()
+            .expect("compiled output carries a certificate");
+        let report = ximd::analysis::certify_program(&f.ximd_program(), cert);
+        pf.errors |= report.has_errors();
+        let name = format!("compiled/{}", w.name);
+        let _ = writeln!(pf.body, "{name:<18} certify: {report}");
+    }
     pf
 }
 
@@ -1070,6 +1085,14 @@ mod tests {
             "minmax warnings missing:\n{}",
             pf.body
         );
+        // The compiler-emitted suite schedules certify clean.
+        for name in ["saxpy", "livermore", "minmax", "bitcount", "tproc"] {
+            assert!(
+                pf.body.contains(&format!("compiled/{name}")),
+                "certify line for {name} missing:\n{}",
+                pf.body
+            );
+        }
     }
 
     #[test]

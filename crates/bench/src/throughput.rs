@@ -171,6 +171,66 @@ pub struct SweepPoint {
     pub correct: bool,
 }
 
+/// Static schedule-quality metrics for one compiler-emitted workload,
+/// derived from the compiled program and its schedule certificate — no
+/// simulation involved, so the numbers are exact and deterministic.
+#[derive(Debug, Clone)]
+pub struct ScheduleQuality {
+    /// Suite workload name.
+    pub workload: &'static str,
+    /// Machine width the workload was compiled for.
+    pub width: usize,
+    /// Non-nop data operations in the emitted program.
+    pub ops: u64,
+    /// Schedule length: wide instructions (rows) emitted.
+    pub rows: u64,
+    /// Achieved initiation interval, for workloads that software-pipelined.
+    pub ii: Option<u32>,
+    /// The emitted schedule passed `xlint --certify`.
+    pub certified: bool,
+}
+
+impl ScheduleQuality {
+    /// Issue-slot density: ops per parcel slot (`ops / (rows * width)`).
+    pub fn density(&self) -> f64 {
+        self.ops as f64 / (self.rows as f64 * self.width as f64)
+    }
+}
+
+/// Compiles every suite workload at `width` and measures the emitted
+/// schedule: op count, schedule length, issue-slot density, achieved II,
+/// and whether the schedule certificate verifies clean.
+///
+/// # Panics
+///
+/// Panics if a suite workload fails to compile (they always do).
+pub fn schedule_quality(width: usize) -> Vec<ScheduleQuality> {
+    ximd::compiler::suite::SUITE
+        .iter()
+        .map(|w| {
+            let (f, ii) = w.compile(width).expect("suite workload compiles");
+            let program = f.ximd_program();
+            let rows = program.len() as u64;
+            let ops: u64 = program
+                .iter()
+                .map(|(_, wide)| wide.iter().filter(|p| !p.data.is_nop()).count() as u64)
+                .sum();
+            let certified = f
+                .cert
+                .as_ref()
+                .is_some_and(|c| ximd::analysis::certify_program(&program, c).is_clean());
+            ScheduleQuality {
+                workload: w.name,
+                width,
+                ops,
+                rows,
+                ii,
+                certified,
+            }
+        })
+        .collect()
+}
+
 /// A full benchmark run.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -184,6 +244,8 @@ pub struct BenchReport {
     pub batch_lanes: Vec<LaneBatchBench>,
     /// Cycles under swept timing models (memory latency 1–8, banked:2).
     pub sweep: Vec<SweepPoint>,
+    /// Static schedule-quality metrics for the compiled suite workloads.
+    pub schedule: Vec<ScheduleQuality>,
 }
 
 impl BenchReport {
@@ -594,6 +656,7 @@ pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
         batch,
         batch_lanes,
         sweep: run_latency_sweep(config.quick),
+        schedule: schedule_quality(4),
     }
 }
 
@@ -650,6 +713,25 @@ pub fn to_json(report: &BenchReport) -> String {
         rec.field_f64("cycles_per_sec", l.cycles_per_sec(), 1);
         rec.field_f64("vs_threads", report.lane_vs_threads(l), 3);
         rec.field_bool("equivalent", l.equivalent);
+        rec.end_object();
+        let _ = writeln!(out, "    {}{comma}", rec.finish());
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"schedule\": [");
+    let n = report.schedule.len();
+    for (i, s) in report.schedule.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let mut rec = JsonWriter::new();
+        rec.begin_object();
+        rec.field_str("workload", s.workload);
+        rec.field_u64("width", s.width as u64);
+        rec.field_u64("ops", s.ops);
+        rec.field_u64("rows", s.rows);
+        rec.field_f64("density", s.density(), 3);
+        if let Some(ii) = s.ii {
+            rec.field_u64("ii", u64::from(ii));
+        }
+        rec.field_bool("certified", s.certified);
         rec.end_object();
         let _ = writeln!(out, "    {}{comma}", rec.finish());
     }
@@ -795,6 +877,24 @@ mod tests {
         assert_eq!(report.batch_lanes[0].mode, "uniform");
         assert_eq!(report.batch_lanes[1].mode, "seeded");
         assert!(report.batch_lanes.iter().all(|l| l.total_cycles > 0));
+        // Every compiled suite workload reports schedule quality and its
+        // emitted schedule passes the certifier.
+        assert_eq!(report.schedule.len(), 5);
+        for s in &report.schedule {
+            assert!(s.certified, "{} must certify clean", s.workload);
+            assert!(s.ops > 0 && s.rows > 0);
+            assert!(s.density() > 0.0 && s.density() <= 1.0, "{}", s.workload);
+        }
+        // The pipelined kernels report their achieved II.
+        let ii_of = |name: &str| {
+            report
+                .schedule
+                .iter()
+                .find(|s| s.workload == name)
+                .and_then(|s| s.ii)
+        };
+        assert!(ii_of("saxpy").is_some() && ii_of("livermore").is_some());
+        assert!(ii_of("minmax").is_none());
     }
 
     #[test]
@@ -868,6 +968,7 @@ mod tests {
                 contention_stalls: 120,
                 correct: true,
             }],
+            schedule: Vec::new(),
         };
         let json = to_json(&report);
         let speedups = baseline_speedups(&json);
@@ -913,6 +1014,7 @@ mod tests {
             },
             batch_lanes: Vec::new(),
             sweep: Vec::new(),
+            schedule: Vec::new(),
         };
         // Exempt on the fresh side: even an inflated baseline can't trip it.
         let baseline = "{\"name\": \"tproc\", \"timing\": \"ideal\", \"speedup\": 9.000}\n";
@@ -947,6 +1049,7 @@ mod tests {
             },
             batch_lanes: Vec::new(),
             sweep: Vec::new(),
+            schedule: Vec::new(),
         };
         // An ideal 4x baseline must not judge the latency:mem=4 record.
         let baseline = "{\"name\": \"bitcount\", \"timing\": \"ideal\", \"speedup\": 4.000}\n";

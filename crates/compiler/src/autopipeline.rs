@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 
+use ximd_isa::cert::{CmpClaim, OpClaim, Region, ScheduleCertificate, TermClaim};
 use ximd_isa::{Addr, AluOp, CmpOp, CondSource, ControlOp, DataOp, FuId, Operand, Reg};
 use ximd_sim::{VliwInstruction, VliwProgram};
 
@@ -363,9 +364,170 @@ pub fn compile_function_pipelined(
             vliw.push(VliwInstruction { ops, ctrl });
         }
     }
+    let guard_len = guard_rows.len() as u32; // init rows + decision branch
     for row in guard_rows.into_iter().chain(pipe_rows) {
         vliw.push(row);
     }
+
+    // Certificate: one block region per original block (branch targets as
+    // actually redirected), the guard block, and the pipelined region. The
+    // pipelined path never percolates, so no op carries speculation guards.
+    let mut regions = Vec::with_capacity(func.blocks.len() + 2);
+    for (bi, (block, sched)) in func.blocks.iter().zip(&scheds).enumerate() {
+        let redirect = bi != plan.latch.0 && bi != plan.header.0;
+        let map_target = |a: Addr| {
+            if redirect && a == header_addr {
+                guard_addr
+            } else {
+                a
+            }
+        };
+        let mut placement = vec![(0u32, 0u32); block.insts.len()];
+        let mut cmp_claim = None;
+        for (c, srow) in sched.slots.iter().enumerate() {
+            for (f, slot) in srow.iter().enumerate() {
+                match slot {
+                    Some(crate::dag::Node::Inst(i)) => placement[*i] = (c as u32, f as u32),
+                    Some(crate::dag::Node::Cmp { op, a, b }) => {
+                        cmp_claim = Some(CmpClaim {
+                            op: DataOp::Cmp {
+                                op: *op,
+                                a: val_operand(*a, &alloc),
+                                b: val_operand(*b, &alloc),
+                            },
+                            row: c as u32,
+                            fu: f as u32,
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+        let ops = block
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| OpClaim {
+                op: crate::codegen::lower_inst(inst, &alloc),
+                row: placement[i].0,
+                fu: placement[i].1,
+                spec: Vec::new(),
+            })
+            .collect();
+        let term = match block.term {
+            Terminator::Goto(t) => TermClaim::Goto(map_target(base[t.0]).0),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                let (_, fu) = sched.cmp_slot.expect("branch blocks have a compare");
+                TermClaim::Branch {
+                    fu: fu as u32,
+                    taken: map_target(base[then_bb.0]).0,
+                    not_taken: map_target(base[else_bb.0]).0,
+                }
+            }
+            Terminator::Return(_) => TermClaim::Halt,
+        };
+        regions.push(Region::Block {
+            base: base[bi].0,
+            rows: sched.len() as u32,
+            ops,
+            cmp: cmp_claim,
+            term,
+        });
+    }
+    // The guard block (trip-count computation + decision branch).
+    let mut guard_ops = vec![OpClaim {
+        op: DataOp::Alu {
+            op: AluOp::Isub,
+            a: bound_operand,
+            b: Operand::Reg(ind_reg),
+            d: trips_reg,
+        },
+        row: 0,
+        fu: 0,
+        spec: Vec::new(),
+    }];
+    if plan.le {
+        guard_ops.push(OpClaim {
+            op: DataOp::Alu {
+                op: AluOp::Iadd,
+                a: Operand::Reg(trips_reg),
+                b: Operand::imm_i32(1),
+                d: trips_reg,
+            },
+            row: 1,
+            fu: 0,
+            spec: Vec::new(),
+        });
+    }
+    regions.push(Region::Block {
+        base: guard_base,
+        rows: guard_len,
+        ops: guard_ops,
+        cmp: Some(CmpClaim {
+            op: DataOp::Cmp {
+                op: CmpOp::Ge,
+                a: Operand::Reg(trips_reg),
+                b: Operand::imm_i32(stages as i32),
+            },
+            row: guard_len - 2,
+            fu: 0,
+        }),
+        term: TermClaim::Branch {
+            fu: 0,
+            taken: pipe_base,
+            not_taken: header_addr.0,
+        },
+    });
+    // The pipelined region itself: body ops in source order with solved
+    // issue times, plus the bookkeeping nodes and register roles.
+    let body_len = counted.body.len();
+    regions.push(Region::Pipelined {
+        base: pipe_base,
+        ii: solved.ii as u32,
+        stages,
+        init_rows: 1, // kc = trips − (stages − 1), no induction init
+        exit: base[plan.exit.0].0,
+        assume_no_alias: counted.assume_no_alias,
+        nodes: (0..body_len)
+            .map(|i| {
+                (
+                    solved.time[i] as u32,
+                    crate::codegen::lower_inst(&counted.body[i], &alloc),
+                )
+            })
+            .collect(),
+        inc: (
+            solved.time[body_len] as u32,
+            DataOp::Alu {
+                op: AluOp::Iadd,
+                a: Operand::Reg(ind_reg),
+                b: Operand::imm_i32(counted.step),
+                d: ind_reg,
+            },
+        ),
+        dec: (
+            solved.time[solved.dec_idx] as u32,
+            DataOp::Alu {
+                op: AluOp::Isub,
+                a: Operand::Reg(kc_reg),
+                b: Operand::imm_i32(1),
+                d: kc_reg,
+            },
+        ),
+        cmp: (
+            solved.time[solved.cmp_idx] as u32,
+            DataOp::Cmp {
+                op: CmpOp::Gt,
+                a: Operand::Reg(kc_reg),
+                b: Operand::imm_i32(1),
+            },
+        ),
+        induction: ind_reg.0,
+        trips: trips_reg.0,
+        kc: kc_reg.0,
+    });
 
     let compiled = CompiledFunction {
         name: func.name.clone(),
@@ -373,6 +535,10 @@ pub fn compile_function_pipelined(
         vliw,
         param_regs: func.params.iter().map(|&p| alloc.reg(p)).collect(),
         ret_reg: ret_vreg.map(|r| alloc.reg(r)),
+        cert: Some(ScheduleCertificate {
+            width: width as u32,
+            regions,
+        }),
     };
     Ok((compiled, Some(solved.ii as u32)))
 }

@@ -1,11 +1,12 @@
 //! End-to-end code generation: mini-C → scheduled VLIW program.
 
+use ximd_isa::cert::{CmpClaim, OpClaim, Region, ScheduleCertificate, TermClaim};
 use ximd_isa::{Addr, CondSource, ControlOp, DataOp, FuId, Operand, Program, Reg, UnOp};
 use ximd_sim::{MachineConfig, VliwInstruction, VliwProgram, Vsim, Xsim};
 
 use crate::dag::Node;
 use crate::error::CompileError;
-use crate::ir::{Function, Inst, Terminator, Val};
+use crate::ir::{BlockId, Function, Inst, Terminator, Val};
 use crate::lang;
 use crate::lower;
 use crate::percolate;
@@ -26,6 +27,9 @@ pub struct CompiledFunction {
     pub param_regs: Vec<Reg>,
     /// Architectural register holding the return value on halt, if any.
     pub ret_reg: Option<Reg>,
+    /// The schedule certificate for translation validation (`None` only for
+    /// hand-assembled combinations that bypass the scheduling pipeline).
+    pub cert: Option<ScheduleCertificate>,
 }
 
 impl CompiledFunction {
@@ -147,7 +151,7 @@ pub fn compile_function(func: &Function, width: usize) -> Result<CompiledFunctio
         }
     }
 
-    percolate::percolate(&mut func);
+    let (_, spec_records) = percolate::percolate_with_info(&mut func);
 
     let alloc = allocate(&func, ximd_isa::XIMD1_NUM_REGS)?;
     let scheds: Vec<_> = func
@@ -202,12 +206,79 @@ pub fn compile_function(func: &Function, width: usize) -> Result<CompiledFunctio
         }
     }
 
+    // The schedule certificate: the compiler's claim of where every source
+    // op landed, in source order, with speculation guards from percolation.
+    let mut regions = Vec::with_capacity(func.blocks.len());
+    for (bi, (block, sched)) in func.blocks.iter().zip(&scheds).enumerate() {
+        let mut placement = vec![(0u32, 0u32); block.insts.len()];
+        let mut cmp_claim = None;
+        for (c, row) in sched.slots.iter().enumerate() {
+            for (f, slot) in row.iter().enumerate() {
+                match slot {
+                    Some(Node::Inst(i)) => placement[*i] = (c as u32, f as u32),
+                    Some(Node::Cmp { op, a, b }) => {
+                        cmp_claim = Some(CmpClaim {
+                            op: DataOp::Cmp {
+                                op: *op,
+                                a: operand(*a, &alloc),
+                                b: operand(*b, &alloc),
+                            },
+                            row: c as u32,
+                            fu: f as u32,
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+        let ops = block
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| OpClaim {
+                op: lower_inst(inst, &alloc),
+                row: placement[i].0,
+                fu: placement[i].1,
+                spec: spec_records
+                    .iter()
+                    .find(|r| r.block == BlockId(bi) && r.idx == i)
+                    .map(|r| r.others.iter().map(|o| base[o.0].0).collect())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        let term = match block.term {
+            Terminator::Goto(t) => TermClaim::Goto(base[t.0].0),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                let (_, fu) = sched.cmp_slot.expect("branch blocks have a compare");
+                TermClaim::Branch {
+                    fu: fu as u32,
+                    taken: base[then_bb.0].0,
+                    not_taken: base[else_bb.0].0,
+                }
+            }
+            Terminator::Return(_) => TermClaim::Halt,
+        };
+        regions.push(Region::Block {
+            base: base[bi].0,
+            rows: sched.len() as u32,
+            ops,
+            cmp: cmp_claim,
+            term,
+        });
+    }
+
     Ok(CompiledFunction {
         name: func.name.clone(),
         width,
         vliw,
         param_regs: func.params.iter().map(|&p| alloc.reg(p)).collect(),
         ret_reg: ret_vreg.map(|r| alloc.reg(r)),
+        cert: Some(ScheduleCertificate {
+            width: width as u32,
+            regions,
+        }),
     })
 }
 

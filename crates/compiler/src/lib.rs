@@ -61,6 +61,7 @@ pub mod percolate;
 pub mod pipeline;
 pub mod regalloc;
 pub mod schedule;
+pub mod suite;
 pub mod tile;
 pub mod ximdgen;
 

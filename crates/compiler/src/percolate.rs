@@ -33,22 +33,47 @@ fn is_speculable(inst: &Inst) -> bool {
     }
 }
 
+/// Where a speculatively hoisted instruction ended up after percolation.
+///
+/// The scheduler later packs the instruction wherever it likes inside
+/// `block`; the record pins down *which* instruction was speculated (by its
+/// final block/index) and the control-flow paths it was hoisted above, so
+/// certificate emission can claim — and the certifier independently verify
+/// — that its destination is dead along every `others` path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecRecord {
+    /// The block now holding the hoisted instruction.
+    pub block: BlockId,
+    /// Index of the instruction within `block.insts`.
+    pub idx: usize,
+    /// Successor blocks on whose paths the instruction's destination must
+    /// be dead (one entry per hoist the instruction underwent).
+    pub others: Vec<BlockId>,
+}
+
 /// Runs the code-motion pass in place. Returns the number of instructions
 /// moved (merged blocks count their whole body).
 pub fn percolate(func: &mut Function) -> usize {
+    percolate_with_info(func).0
+}
+
+/// Like [`percolate`], but also reports where every speculatively hoisted
+/// instruction ended up and which paths it was hoisted above.
+pub fn percolate_with_info(func: &mut Function) -> (usize, Vec<SpecRecord>) {
     let mut moved = 0;
+    let mut records: Vec<SpecRecord> = Vec::new();
     loop {
-        let step = merge_pass(func) + hoist_pass(func);
+        let step = merge_pass(func, &mut records) + hoist_pass(func, &mut records);
         if step == 0 {
             break;
         }
         moved += step;
     }
-    remove_unreachable(func);
-    moved
+    remove_unreachable(func, &mut records);
+    (moved, records)
 }
 
-fn merge_pass(func: &mut Function) -> usize {
+fn merge_pass(func: &mut Function, records: &mut [SpecRecord]) -> usize {
     let cfg = Cfg::build(func);
     let mut moved = 0;
     // Find P -> B where P ends Goto(B) and B's only predecessor is P.
@@ -59,6 +84,7 @@ fn merge_pass(func: &mut Function) -> usize {
         }
         if let Terminator::Goto(b) = func.blocks[p].term {
             if b != pid && cfg.preds(b).len() == 1 && b != func.entry {
+                let offset = func.blocks[p].insts.len();
                 let body = std::mem::take(&mut func.blocks[b.0].insts);
                 let term = func.blocks[b.0].term;
                 moved += body.len() + 1;
@@ -66,6 +92,10 @@ fn merge_pass(func: &mut Function) -> usize {
                 func.blocks[p].term = term;
                 // B becomes an unreachable self-loop placeholder.
                 func.blocks[b.0].term = Terminator::Return(None);
+                for r in records.iter_mut().filter(|r| r.block == b) {
+                    r.block = pid;
+                    r.idx += offset;
+                }
                 // Only one merge per pass: CFG facts are stale afterwards.
                 return moved;
             }
@@ -74,7 +104,7 @@ fn merge_pass(func: &mut Function) -> usize {
     moved
 }
 
-fn hoist_pass(func: &mut Function) -> usize {
+fn hoist_pass(func: &mut Function, records: &mut Vec<SpecRecord>) -> usize {
     let mut moved = 0;
     // Each hoist changes liveness (removing a definition from B *grows*
     // B's live-in), so the analyses are recomputed after every move.
@@ -112,6 +142,28 @@ fn hoist_pass(func: &mut Function) -> usize {
             }
             func.blocks[b.0].insts.remove(0);
             func.blocks[p.0].insts.push(first);
+            let new_idx = func.blocks[p.0].insts.len() - 1;
+            // Re-home the moved instruction's record (a repeatedly hoisted
+            // op accumulates one guard path per hop) and shift the records
+            // of the instructions left behind in B.
+            let mut covered = false;
+            for r in records.iter_mut().filter(|r| r.block == b) {
+                if r.idx == 0 {
+                    r.block = p;
+                    r.idx = new_idx;
+                    r.others.push(other);
+                    covered = true;
+                } else {
+                    r.idx -= 1;
+                }
+            }
+            if !covered {
+                records.push(SpecRecord {
+                    block: p,
+                    idx: new_idx,
+                    others: vec![other],
+                });
+            }
             moved += 1;
             hoisted = true;
             break; // analyses are stale now
@@ -123,7 +175,7 @@ fn hoist_pass(func: &mut Function) -> usize {
 }
 
 /// Deletes unreachable blocks and compacts ids.
-fn remove_unreachable(func: &mut Function) {
+fn remove_unreachable(func: &mut Function, records: &mut Vec<SpecRecord>) {
     let cfg = Cfg::build(func);
     let reachable: HashSet<BlockId> = cfg.rpo().iter().copied().collect();
     if reachable.len() == func.blocks.len() {
@@ -137,6 +189,20 @@ fn remove_unreachable(func: &mut Function) {
             new_blocks.push(block.clone());
         }
     }
+    records.retain_mut(|r| match remap[r.block.0] {
+        Some(nb) => {
+            r.block = nb;
+            r.others.retain_mut(|o| match remap[o.0] {
+                Some(no) => {
+                    *o = no;
+                    true
+                }
+                None => false,
+            });
+            true
+        }
+        None => false,
+    });
     for block in &mut new_blocks {
         block.term = match block.term {
             Terminator::Goto(t) => Terminator::Goto(remap[t.0].expect("reachable target")),
@@ -291,6 +357,26 @@ fn f(a) {
         let compiled = crate::compile(src, 4).unwrap();
         for a in -3..12 {
             assert_eq!(compiled.run_vliw(&[a]).unwrap(), Some(oracle(a)), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn hoist_records_name_the_guarded_path() {
+        let mut f =
+            lowered("fn f(a) { let r = 0; if (a > 0) { r = a * 2; } else { r = 5; } return r; }");
+        let (moved, records) = percolate_with_info(&mut f);
+        assert!(moved > 0);
+        assert!(!records.is_empty(), "the multiply hoist must be recorded");
+        for r in &records {
+            let inst = f.blocks[r.block.0]
+                .insts
+                .get(r.idx)
+                .expect("record points at a real instruction");
+            assert!(is_speculable(inst));
+            assert!(!r.others.is_empty());
+            for o in &r.others {
+                assert!(o.0 < f.blocks.len(), "guard path remapped into range");
+            }
         }
     }
 

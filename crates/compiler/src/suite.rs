@@ -1,0 +1,213 @@
+//! Canonical compiler-emitted workload suite.
+//!
+//! Five small mini-C programs exercised end-to-end across the workspace:
+//! emitted as assembly with schedule certificates (`compile_and_tile`),
+//! certified in CI (`xlint --certify`), and measured for schedule quality
+//! in xbench. Two pipeline through the modulo scheduler; three keep the
+//! plain block-scheduled shape (branchy control flow does not pipeline).
+
+use crate::autopipeline::compile_pipelined;
+use crate::codegen::{compile, CompiledFunction};
+use crate::error::CompileError;
+
+/// One named workload of the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteWorkload {
+    /// Short name used for emitted file stems and table rows.
+    pub name: &'static str,
+    /// Mini-C source (single function).
+    pub source: &'static str,
+    /// Whether the workload is compiled through the software pipeliner.
+    pub pipelined: bool,
+}
+
+impl SuiteWorkload {
+    /// Compiles at the given width, returning the achieved initiation
+    /// interval for pipelined workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on frontend or backend failure.
+    pub fn compile(&self, width: usize) -> Result<(CompiledFunction, Option<u32>), CompileError> {
+        if self.pipelined {
+            compile_pipelined(self.source, width)
+        } else {
+            compile(self.source, width).map(|f| (f, None))
+        }
+    }
+}
+
+/// SAXPY inner loop: `y[i] = a * x[i] + y[i]` (Livermore-style streams).
+pub const SAXPY: SuiteWorkload = SuiteWorkload {
+    name: "saxpy",
+    source: r"
+fn saxpy(a, n) {
+    let i = 0;
+    while (i < n) {
+        mem[3000 + i] = a * mem[1000 + i] + mem[2000 + i];
+        i = i + 1;
+    }
+    return 0;
+}
+",
+    pipelined: true,
+};
+
+/// Livermore Loop 12: first difference, `x[i] = y[i+1] - y[i]`.
+pub const LIVERMORE: SuiteWorkload = SuiteWorkload {
+    name: "livermore",
+    source: r"
+fn ll12(n) {
+    let i = 1;
+    while (i <= n) {
+        mem[4999 + i] = mem[3000 + i] - mem[2999 + i];
+        i = i + 1;
+    }
+    return 0;
+}
+",
+    pipelined: true,
+};
+
+/// Running min/max over a memory window (branchy loop body).
+pub const MINMAX: SuiteWorkload = SuiteWorkload {
+    name: "minmax",
+    source: r"
+fn minmax(n) {
+    let i = 0;
+    let lo = mem[1000];
+    let hi = mem[1000];
+    while (i < n) {
+        let v = mem[1000 + i];
+        if (v < lo) { lo = v; }
+        if (v > hi) { hi = v; }
+        i = i + 1;
+    }
+    mem[2000] = lo;
+    mem[2001] = hi;
+    return hi - lo;
+}
+",
+    pipelined: false,
+};
+
+/// Population count via shift-and-mask (nested while).
+pub const BITCOUNT: SuiteWorkload = SuiteWorkload {
+    name: "bitcount",
+    source: r"
+fn bitcount(n) {
+    let i = 0;
+    let total = 0;
+    while (i < n) {
+        let w = mem[1000 + i];
+        let c = 0;
+        while (w != 0) {
+            c = c + (w & 1);
+            w = w >> 1;
+        }
+        mem[2000 + i] = c;
+        total = total + c;
+        i = i + 1;
+    }
+    return total;
+}
+",
+    pipelined: false,
+};
+
+/// Text transform: uppercase ASCII letters, copy everything else.
+pub const TPROC: SuiteWorkload = SuiteWorkload {
+    name: "tproc",
+    source: r"
+fn tproc(n) {
+    let i = 0;
+    let changed = 0;
+    while (i < n) {
+        let c = mem[1000 + i];
+        if (c >= 97) {
+            if (c <= 122) {
+                c = c - 32;
+                changed = changed + 1;
+            }
+        }
+        mem[2000 + i] = c;
+        i = i + 1;
+    }
+    return changed;
+}
+",
+    pipelined: false,
+};
+
+/// All suite workloads, in canonical order.
+pub const SUITE: [SuiteWorkload; 5] = [MINMAX, LIVERMORE, SAXPY, BITCOUNT, TPROC];
+
+/// A diamond whose arms the percolator hoists speculatively — exercises
+/// the certificate's speculation guards (`spec=` op annotations).
+pub const HOISTED: SuiteWorkload = SuiteWorkload {
+    name: "hoisted",
+    source: r"
+fn f(a) {
+    let r = 0;
+    if (a > 0) { r = a * 2; } else { r = 5; }
+    return r;
+}
+",
+    pipelined: false,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_compiles_and_pipelines_as_annotated() {
+        for w in SUITE {
+            let (f, ii) = w.compile(4).unwrap();
+            assert!(f.cert.is_some(), "{} must carry a certificate", w.name);
+            assert_eq!(
+                ii.is_some(),
+                w.pipelined,
+                "{} pipelining annotation",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_workloads_run_correctly() {
+        let (f, _) = SAXPY.compile(4).unwrap();
+        let (ret, _) = f
+            .run_vliw_with(&[3, 4], 100_000, |sim| {
+                sim.mem_mut().poke_slice(1000, &[1, 2, 3, 4]).unwrap();
+                sim.mem_mut().poke_slice(2000, &[10, 10, 10, 10]).unwrap();
+            })
+            .unwrap();
+        assert_eq!(ret, Some(0));
+
+        let (f, _) = MINMAX.compile(4).unwrap();
+        let (ret, _) = f
+            .run_vliw_with(&[5], 100_000, |sim| {
+                sim.mem_mut().poke_slice(1000, &[3, -7, 12, 0, 5]).unwrap();
+            })
+            .unwrap();
+        assert_eq!(ret, Some(19));
+
+        let (f, _) = BITCOUNT.compile(4).unwrap();
+        let (ret, _) = f
+            .run_vliw_with(&[3], 100_000, |sim| {
+                sim.mem_mut().poke_slice(1000, &[7, 0, 255]).unwrap();
+            })
+            .unwrap();
+        assert_eq!(ret, Some(11));
+
+        let (f, _) = TPROC.compile(4).unwrap();
+        let (ret, _) = f
+            .run_vliw_with(&[3], 100_000, |sim| {
+                // 'a', 'A', 'z'
+                sim.mem_mut().poke_slice(1000, &[97, 65, 122]).unwrap();
+            })
+            .unwrap();
+        assert_eq!(ret, Some(2));
+    }
+}

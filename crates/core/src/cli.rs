@@ -516,6 +516,9 @@ pub struct LintOptions {
     pub sarif: bool,
     /// Run the static cycle-bound oracle instead of the lint passes.
     pub cycle_bounds: bool,
+    /// Verify the embedded schedule certificate (translation validation)
+    /// instead of the lint passes.
+    pub certify: bool,
     /// Timing model and lockstep assumption for `--cycle-bounds`.
     pub bounds: ximd_analysis::BoundsConfig,
     /// Lint on a running `ximd-serve` daemon at this address (default
@@ -539,6 +542,10 @@ usage: xlint FILE.xasm [FILE.xasm ...] [options]
   --max-states N      product state-space cap (default 262144)
   --cycle-bounds      report static worst-case cycle bounds, loop trip
                       bounds and hot regions instead of the lint passes
+  --certify           verify the embedded schedule certificate (translation
+                      validation of the compiled schedule) instead of the
+                      lint passes; a missing or unparseable certificate
+                      exits 3
   --timing SPEC       timing model for --cycle-bounds: ideal (default),
                       latency:<class>=<cycles>,..., banked:<n>
   --lockstep MODE     auto (default: credit lockstep only when provable)
@@ -550,7 +557,8 @@ usage: xlint FILE.xasm [FILE.xasm ...] [options]
 
 exit status: 0 clean (or warnings without --strict), 1 findings,
              2 usage or input errors, 3 analysis incomplete (the product
-             state cap was hit and no error-severity finding was made)
+             state cap was hit and no error-severity finding was made,
+             or --certify found no usable certificate)
 ";
 
 /// Parses `xlint` argv (excluding the program name).
@@ -612,6 +620,7 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
                 opts.config.max_states = parse("--max-states", need("--max-states")?)?;
             }
             "--cycle-bounds" => opts.cycle_bounds = true,
+            "--certify" => opts.certify = true,
             "--timing" => {
                 let v = need("--timing")?;
                 opts.bounds.timing =
@@ -633,6 +642,11 @@ pub fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
     if opts.sources.is_empty() && opts.explain.is_none() {
         return Err("no source files given".into());
     }
+    if opts.certify && opts.cycle_bounds {
+        return Err("--certify and --cycle-bounds are separate modes; pick one".into());
+    }
+    // --certify is deliberately absent here: certificate checking takes no
+    // analysis knobs, so the daemon's report is the same as a local one.
     if opts.connect.is_some()
         && (tuned || opts.cycle_bounds || opts.explain.is_some() || opts.sarif)
     {
@@ -719,7 +733,29 @@ pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
     for path in &opts.sources {
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let assembly = ximd_asm::assemble(&source).map_err(|e| format!("{path}: {e}"))?;
-        let analysis = ximd_analysis::lint_assembly(&assembly, &opts.config);
+        let analysis = if opts.certify {
+            match ximd_analysis::certify_assembly(&source, &assembly) {
+                ximd_analysis::CertifyOutcome::Missing => {
+                    let _ = writeln!(
+                        outcome.report,
+                        "{path}: no schedule certificate (`// ximd-cert:` lines missing)"
+                    );
+                    outcome.incomplete = true;
+                    continue;
+                }
+                ximd_analysis::CertifyOutcome::Unparseable(e) => {
+                    let _ = writeln!(
+                        outcome.report,
+                        "{path}: unparseable schedule certificate: {e}"
+                    );
+                    outcome.incomplete = true;
+                    continue;
+                }
+                ximd_analysis::CertifyOutcome::Report(analysis) => analysis,
+            }
+        } else {
+            ximd_analysis::lint_assembly(&assembly, &opts.config)
+        };
         outcome.failed |= analysis.has_errors() || (opts.strict && !analysis.is_clean());
         outcome.incomplete |= analysis.truncated;
         if !opts.sarif {
@@ -735,25 +771,60 @@ pub fn run_xlint(opts: &LintOptions) -> Result<LintOutcome, String> {
     Ok(outcome)
 }
 
-/// Lints every source file on a remote `ximd-serve` daemon. The verdicts
-/// come from the response headers; the body carries one JSON diagnostic
-/// per line, rendered indented under the per-file summary.
+/// Lints (or, under `--certify`, certificate-checks) every source file on
+/// a remote `ximd-serve` daemon. The verdicts come from the response
+/// headers; the body carries one JSON diagnostic per line, rendered
+/// indented under the per-file summary.
 fn run_xlint_remote(opts: &LintOptions, addr: &str) -> Result<LintOutcome, String> {
     let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     let mut outcome = LintOutcome::default();
     for path in &opts.sources {
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let resp = client.lint(&source).map_err(|e| format!("{path}: {e}"))?;
+        let resp = if opts.certify {
+            client.certify(&source)
+        } else {
+            client.lint(&source)
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
         let flag = |key: &str| resp.get(key) == Some("true");
+        if opts.certify {
+            match resp.get("certificate") {
+                Some("missing") => {
+                    let _ = writeln!(outcome.report, "{path}: no schedule certificate");
+                    outcome.incomplete = true;
+                    continue;
+                }
+                Some("invalid") => {
+                    let _ = writeln!(
+                        outcome.report,
+                        "{path}: unparseable schedule certificate: {}",
+                        String::from_utf8_lossy(&resp.body)
+                    );
+                    outcome.incomplete = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
         let clean = flag("clean");
         outcome.failed |= flag("errors") || (opts.strict && !clean);
         outcome.incomplete |= flag("truncated");
+        let cached = flag(if opts.certify {
+            "cached_certify"
+        } else {
+            "cached_lint"
+        });
         let _ = writeln!(
             outcome.report,
             "{path}: {} ({} diagnostics{})",
             if clean { "clean" } else { "findings" },
             resp.get("diagnostics").unwrap_or("0"),
-            if flag("cached_lint") { ", cached" } else { "" },
+            match (opts.certify, cached) {
+                (true, true) => ", certify cached",
+                (true, false) => ", certify fresh",
+                (false, true) => ", cached",
+                (false, false) => "",
+            },
         );
         for line in String::from_utf8_lossy(&resp.body).lines() {
             if let Some(message) = json::str_field(line, "message") {
@@ -1168,6 +1239,127 @@ mod tests {
         // --strict stays a client-side verdict and is allowed.
         let opts = parse_lint_args(&args(&["a.xasm", "--connect", "h:1", "--strict"])).unwrap();
         assert!(opts.strict && opts.connect.is_some());
+    }
+
+    /// Renders a compiled suite workload the way the emitter does:
+    /// certificate comment lines first, then the program text.
+    fn certified_source(w: &ximd_compiler::suite::SuiteWorkload) -> String {
+        let (f, _) = w.compile(4).expect("suite workload compiles");
+        let mut text = f.cert.as_ref().expect("certificate").render();
+        text.push_str(&ximd_asm::print_program(&f.ximd_program()));
+        text
+    }
+
+    #[test]
+    fn xlint_certify_pins_the_exit_code_contract() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Clean certificate: neither failed nor incomplete (exit 0).
+        let clean = dir.join("certify-clean.xasm");
+        std::fs::write(&clean, certified_source(&ximd_compiler::suite::SAXPY)).unwrap();
+        let opts = parse_lint_args(&args(&[clean.to_str().unwrap(), "--certify"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed && !outcome.incomplete, "{}", outcome.report);
+        assert!(outcome.report.contains("clean"), "{}", outcome.report);
+
+        // A schedule that lost an op: failed (exit 1).
+        let (f, _) = ximd_compiler::suite::MINMAX.compile(4).unwrap();
+        let cert = f.cert.as_ref().unwrap().render();
+        let mut program = f.ximd_program();
+        let cell = program
+            .iter()
+            .find_map(|(addr, wide)| {
+                wide.iter()
+                    .position(|p| !p.data.is_nop())
+                    .map(|fu| (addr, ximd_isa::FuId(fu as u8)))
+            })
+            .expect("compiled minmax has data ops");
+        program.parcel_mut(cell.0, cell.1).unwrap().data = ximd_isa::DataOp::Nop;
+        let broken = dir.join("certify-broken.xasm");
+        std::fs::write(&broken, cert + &ximd_asm::print_program(&program)).unwrap();
+        let opts = parse_lint_args(&args(&[broken.to_str().unwrap(), "--certify"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(outcome.failed, "{}", outcome.report);
+        assert!(outcome.report.contains("sched-"), "{}", outcome.report);
+
+        // No certificate at all: incomplete (exit 3), not a failure.
+        let plain = dir.join("certify-none.xasm");
+        std::fs::write(&plain, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+        let opts = parse_lint_args(&args(&[plain.to_str().unwrap(), "--certify"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed && outcome.incomplete, "{}", outcome.report);
+        assert!(
+            outcome.report.contains("no schedule certificate"),
+            "{}",
+            outcome.report
+        );
+
+        // A corrupt certificate: also incomplete (exit 3).
+        let corrupt = dir.join("certify-corrupt.xasm");
+        std::fs::write(
+            &corrupt,
+            "// ximd-cert: v1 width=banana\n.width 1\n00:\n  fu0: nop ; halt\n",
+        )
+        .unwrap();
+        let opts = parse_lint_args(&args(&[corrupt.to_str().unwrap(), "--certify"])).unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed && outcome.incomplete, "{}", outcome.report);
+
+        // The two report-replacing modes cannot be combined.
+        assert!(parse_lint_args(&args(&["f.xasm", "--certify", "--cycle-bounds"])).is_err());
+    }
+
+    #[test]
+    fn thin_client_certify_round_trips_and_caches() {
+        let handle = ximd_serve::spawn(ximd_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+        })
+        .expect("daemon spawns");
+        let addr = handle.addr().to_string();
+
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("remote-cert.xasm");
+        std::fs::write(&path, certified_source(&ximd_compiler::suite::SAXPY)).unwrap();
+
+        // --certify rides along with --connect (unlike the tuned flags).
+        let opts = parse_lint_args(&args(&[
+            path.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--certify",
+        ]))
+        .unwrap();
+        let first = run_xlint(&opts).unwrap();
+        assert!(!first.failed && !first.incomplete, "{}", first.report);
+        assert!(first.report.contains("certify fresh"), "{}", first.report);
+        // Resubmission hits the daemon's program-keyed certify cache.
+        let second = run_xlint(&opts).unwrap();
+        assert!(
+            second.report.contains("certify cached"),
+            "{}",
+            second.report
+        );
+
+        // Missing certificate over the wire still maps to incomplete.
+        let plain = dir.join("remote-nocert.xasm");
+        std::fs::write(&plain, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+        let opts = parse_lint_args(&args(&[
+            plain.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--certify",
+        ]))
+        .unwrap();
+        let outcome = run_xlint(&opts).unwrap();
+        assert!(!outcome.failed && outcome.incomplete, "{}", outcome.report);
+
+        Client::connect(&addr)
+            .and_then(|mut c| c.shutdown())
+            .expect("daemon shuts down");
+        handle.join().expect("clean exit");
     }
 
     #[test]

@@ -1,0 +1,631 @@
+//! Schedule certificates — the compiler's machine-checkable claim about how
+//! source operations were placed into the emitted program.
+//!
+//! A certificate travels *with* the untrusted artifact: it is rendered as
+//! `// ximd-cert:` comment lines prepended to the emitted assembly, which
+//! the assembler ignores and any tool holding the source can recover. The
+//! certificate records only what the checker cannot re-derive from the
+//! binary — the identity and source order of the operations the compiler
+//! claims to have scheduled, the region structure (straight-line block vs.
+//! modulo-pipelined loop), speculation guards introduced by percolation,
+//! and for pipelined loops the claimed initiation interval, stage count and
+//! the roles of the induction/trip-count/kernel-count registers. Everything
+//! else — where each op actually landed, the dependence edges between the
+//! located ops, row chaining, branch wiring — is re-derived from the
+//! emitted program by `ximd-analysis`'s certify pass and checked against
+//! these claims.
+//!
+//! Data operations are serialized losslessly as the hex image of the
+//! parcel encoding ([`crate::encode::encode_parcel`] with a `halt` control
+//! half), so the claimed op compares bit-exactly against the located one.
+//!
+//! # Example
+//!
+//! ```
+//! use ximd_isa::cert::{Region, ScheduleCertificate, TermClaim};
+//!
+//! let cert = ScheduleCertificate {
+//!     width: 4,
+//!     regions: vec![Region::Block {
+//!         base: 0,
+//!         rows: 1,
+//!         ops: vec![],
+//!         cmp: None,
+//!         term: TermClaim::Halt,
+//!     }],
+//! };
+//! let text = cert.render();
+//! assert!(text.starts_with("// ximd-cert: v1"));
+//! let back = ScheduleCertificate::parse(&text).unwrap().unwrap();
+//! assert_eq!(back, cert);
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::control::ControlOp;
+use crate::encode::{decode_parcel, encode_parcel};
+use crate::op::DataOp;
+use crate::parcel::Parcel;
+
+/// The line prefix that marks a certificate directive in assembly source.
+pub const CERT_PREFIX: &str = "// ximd-cert:";
+
+/// One source operation's claimed placement inside a block region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpClaim {
+    /// The data operation, exactly as the compiler lowered it.
+    pub op: DataOp,
+    /// Claimed row, relative to the region base.
+    pub row: u32,
+    /// Claimed functional unit.
+    pub fu: u32,
+    /// Absolute addresses of the *other* control-flow paths this op was
+    /// speculatively hoisted above (empty for non-speculated ops). The
+    /// checker must prove the op's destination is dead along each of them.
+    pub spec: Vec<u32>,
+}
+
+/// The claimed terminator of a block region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermClaim {
+    /// Falls through to an absolute address.
+    Goto(u32),
+    /// Conditional branch on `cc<fu>` between two absolute addresses.
+    Branch {
+        /// The FU whose condition code the branch reads.
+        fu: u32,
+        /// Absolute taken target.
+        taken: u32,
+        /// Absolute not-taken target.
+        not_taken: u32,
+    },
+    /// The region halts the machine.
+    Halt,
+}
+
+/// The claimed placement of a block region's terminating comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpClaim {
+    /// The compare operation.
+    pub op: DataOp,
+    /// Claimed row, relative to the region base.
+    pub row: u32,
+    /// Claimed functional unit.
+    pub fu: u32,
+}
+
+/// One certified region of the emitted program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A straight-line scheduled basic block: `rows` consecutive wide
+    /// instructions starting at `base`, executing in lockstep.
+    Block {
+        /// Absolute address of the first row.
+        base: u32,
+        /// Number of rows the region occupies.
+        rows: u32,
+        /// Source operations in source order.
+        ops: Vec<OpClaim>,
+        /// The terminating comparison, when `term` is a branch.
+        cmp: Option<CmpClaim>,
+        /// The claimed terminator.
+        term: TermClaim,
+    },
+    /// A modulo-pipelined counted loop: init rows, prologue, `ii`-row
+    /// kernel and epilogue, laid out contiguously from `base`.
+    Pipelined {
+        /// Absolute address of the first init row.
+        base: u32,
+        /// Claimed initiation interval.
+        ii: u32,
+        /// Claimed stage count.
+        stages: u32,
+        /// Number of init rows before the prologue.
+        init_rows: u32,
+        /// Absolute address execution continues at after the loop.
+        exit: u32,
+        /// Whether the scheduler assumed loop memory accesses don't alias
+        /// (a recorded *assumption*, trusted — not re-derived).
+        assume_no_alias: bool,
+        /// Loop-body operations in source order with claimed issue times
+        /// (cycles from kernel steady-state zero, as solved).
+        nodes: Vec<(u32, DataOp)>,
+        /// The induction increment and its claimed time.
+        inc: (u32, DataOp),
+        /// The kernel-count decrement and its claimed time.
+        dec: (u32, DataOp),
+        /// The loop-back compare and its claimed time.
+        cmp: (u32, DataOp),
+        /// Architectural register holding the induction variable.
+        induction: u16,
+        /// Architectural register holding the trip count.
+        trips: u16,
+        /// Architectural register holding the kernel count.
+        kc: u16,
+    },
+}
+
+impl Region {
+    /// Absolute address of the region's first row.
+    pub fn base(&self) -> u32 {
+        match self {
+            Region::Block { base, .. } | Region::Pipelined { base, .. } => *base,
+        }
+    }
+}
+
+/// A complete schedule certificate for one emitted program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleCertificate {
+    /// Machine width the program was compiled for.
+    pub width: u32,
+    /// Certified regions, in emission order.
+    pub regions: Vec<Region>,
+}
+
+fn op_hex(op: &DataOp) -> String {
+    let word = encode_parcel(&Parcel::data(*op, ControlOp::Halt))
+        .expect("certificate data op must be encodable");
+    format!("{word:032x}")
+}
+
+fn op_from_hex(hex: &str) -> Result<DataOp, String> {
+    let word = u128::from_str_radix(hex, 16).map_err(|e| format!("bad op image {hex:?}: {e}"))?;
+    decode_parcel(word)
+        .map(|p| p.data)
+        .map_err(|e| format!("bad op image {hex:?}: {e}"))
+}
+
+impl ScheduleCertificate {
+    /// Renders the certificate as `// ximd-cert:` directive lines, ready to
+    /// prepend to the emitted assembly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |body: &str| {
+            let _ = writeln!(out, "{CERT_PREFIX} {body}");
+        };
+        line(&format!(
+            "v1 width={} regions={}",
+            self.width,
+            self.regions.len()
+        ));
+        for region in &self.regions {
+            match region {
+                Region::Block {
+                    base,
+                    rows,
+                    ops,
+                    cmp,
+                    term,
+                } => {
+                    let term_s = match term {
+                        TermClaim::Goto(t) => format!("goto:{t}"),
+                        TermClaim::Branch {
+                            fu,
+                            taken,
+                            not_taken,
+                        } => format!("branch:{fu}:{taken}:{not_taken}"),
+                        TermClaim::Halt => "halt".to_string(),
+                    };
+                    line(&format!("block base={base} rows={rows} term={term_s}"));
+                    for op in ops {
+                        let spec = if op.spec.is_empty() {
+                            String::new()
+                        } else {
+                            let addrs: Vec<String> =
+                                op.spec.iter().map(|a| a.to_string()).collect();
+                            format!(" spec={}", addrs.join(","))
+                        };
+                        line(&format!(
+                            "op row={} fu={}{spec} {}",
+                            op.row,
+                            op.fu,
+                            op_hex(&op.op)
+                        ));
+                    }
+                    if let Some(c) = cmp {
+                        line(&format!("cmp row={} fu={} {}", c.row, c.fu, op_hex(&c.op)));
+                    }
+                }
+                Region::Pipelined {
+                    base,
+                    ii,
+                    stages,
+                    init_rows,
+                    exit,
+                    assume_no_alias,
+                    nodes,
+                    inc,
+                    dec,
+                    cmp,
+                    induction,
+                    trips,
+                    kc,
+                } => {
+                    line(&format!(
+                        "pipe base={base} ii={ii} stages={stages} init={init_rows} \
+                         exit={exit} alias={}",
+                        u32::from(*assume_no_alias)
+                    ));
+                    for (t, op) in nodes {
+                        line(&format!("node t={t} {}", op_hex(op)));
+                    }
+                    line(&format!("inc t={} {}", inc.0, op_hex(&inc.1)));
+                    line(&format!("dec t={} {}", dec.0, op_hex(&dec.1)));
+                    line(&format!("cmp t={} {}", cmp.0, op_hex(&cmp.1)));
+                    line(&format!("regs ind=r{induction} trips=r{trips} kc=r{kc}"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts and parses the certificate embedded in assembly `source`.
+    ///
+    /// Returns `Ok(None)` when the source carries no certificate lines at
+    /// all (an uncertified program, as opposed to a corrupt certificate).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// directive.
+    pub fn parse(source: &str) -> Result<Option<ScheduleCertificate>, String> {
+        let mut directives: Vec<&str> = Vec::new();
+        for raw in source.lines() {
+            if let Some(rest) = raw.trim_start().strip_prefix(CERT_PREFIX) {
+                directives.push(rest.trim());
+            }
+        }
+        if directives.is_empty() {
+            return Ok(None);
+        }
+
+        let kv = |tok: &str, key: &str| -> Result<String, String> {
+            tok.strip_prefix(key)
+                .and_then(|s| s.strip_prefix('='))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {key}=..., got {tok:?}"))
+        };
+        let num = |tok: &str, key: &str| -> Result<u32, String> {
+            let v = kv(tok, key)?;
+            v.parse().map_err(|e| format!("bad {key}={v:?}: {e}"))
+        };
+        let reg = |tok: &str, key: &str| -> Result<u16, String> {
+            let v = kv(tok, key)?;
+            let v = v
+                .strip_prefix('r')
+                .ok_or_else(|| format!("bad {key}={v:?}: expected r<N>"))?;
+            v.parse().map_err(|e| format!("bad {key} register: {e}"))
+        };
+
+        let mut lines = directives.into_iter();
+        let header = lines.next().expect("non-empty");
+        let mut toks = header.split_whitespace();
+        if toks.next() != Some("v1") {
+            return Err(format!("unsupported certificate version in {header:?}"));
+        }
+        let width = num(toks.next().ok_or("missing width")?, "width")?;
+        let region_count = num(toks.next().ok_or("missing regions")?, "regions")?;
+
+        // The inc/dec/cmp placements of a pipelined region still being
+        // assembled, each an optional (row, op) pair.
+        type PipeParts = (
+            Option<(u32, DataOp)>,
+            Option<(u32, DataOp)>,
+            Option<(u32, DataOp)>,
+        );
+
+        let mut regions: Vec<Region> = Vec::new();
+        // Trailing fields of a pipelined region still being assembled.
+        let mut pipe_regs: Option<(u16, u16, u16)> = None;
+        let mut pipe_parts: Option<PipeParts> = None;
+
+        let finish_pipe = |regions: &mut Vec<Region>,
+                           parts: &mut Option<PipeParts>,
+                           regs: &mut Option<(u16, u16, u16)>|
+         -> Result<(), String> {
+            if let Some(Region::Pipelined {
+                inc,
+                dec,
+                cmp,
+                induction,
+                trips,
+                kc,
+                ..
+            }) = regions.last_mut()
+            {
+                let (pi, pd, pc) = parts.take().ok_or("pipe region missing inc/dec/cmp")?;
+                *inc = pi.ok_or("pipe region missing inc")?;
+                *dec = pd.ok_or("pipe region missing dec")?;
+                *cmp = pc.ok_or("pipe region missing cmp")?;
+                let (ri, rt, rk) = regs.take().ok_or("pipe region missing regs")?;
+                *induction = ri;
+                *trips = rt;
+                *kc = rk;
+            }
+            Ok(())
+        };
+
+        for line in lines {
+            let mut toks = line.split_whitespace();
+            let head = match toks.next() {
+                Some(h) => h,
+                None => continue,
+            };
+            match head {
+                "block" => {
+                    if pipe_parts.is_some() {
+                        finish_pipe(&mut regions, &mut pipe_parts, &mut pipe_regs)?;
+                    }
+                    let base = num(toks.next().ok_or("block missing base")?, "base")?;
+                    let rows = num(toks.next().ok_or("block missing rows")?, "rows")?;
+                    let term_s = kv(toks.next().ok_or("block missing term")?, "term")?;
+                    let mut parts = term_s.split(':');
+                    let term = match parts.next() {
+                        Some("goto") => TermClaim::Goto(
+                            parts
+                                .next()
+                                .ok_or("goto missing target")?
+                                .parse()
+                                .map_err(|e| format!("bad goto target: {e}"))?,
+                        ),
+                        Some("branch") => {
+                            let mut three = || -> Result<u32, String> {
+                                parts
+                                    .next()
+                                    .ok_or_else(|| "branch missing field".to_string())?
+                                    .parse()
+                                    .map_err(|e| format!("bad branch field: {e}"))
+                            };
+                            TermClaim::Branch {
+                                fu: three()?,
+                                taken: three()?,
+                                not_taken: three()?,
+                            }
+                        }
+                        Some("halt") => TermClaim::Halt,
+                        other => return Err(format!("bad term {other:?}")),
+                    };
+                    regions.push(Region::Block {
+                        base,
+                        rows,
+                        ops: Vec::new(),
+                        cmp: None,
+                        term,
+                    });
+                }
+                "op" | "cmp" if matches!(regions.last(), Some(Region::Block { .. })) => {
+                    let row = num(toks.next().ok_or("op missing row")?, "row")?;
+                    let fu = num(toks.next().ok_or("op missing fu")?, "fu")?;
+                    let mut spec = Vec::new();
+                    let mut hex_tok = toks.next().ok_or("op missing image")?;
+                    if let Ok(list) = kv(hex_tok, "spec") {
+                        for part in list.split(',') {
+                            spec.push(
+                                part.parse()
+                                    .map_err(|e| format!("bad spec address {part:?}: {e}"))?,
+                            );
+                        }
+                        hex_tok = toks.next().ok_or("op missing image")?;
+                    }
+                    let op = op_from_hex(hex_tok)?;
+                    if let Some(Region::Block { ops, cmp, .. }) = regions.last_mut() {
+                        if head == "op" {
+                            ops.push(OpClaim { op, row, fu, spec });
+                        } else {
+                            *cmp = Some(CmpClaim { op, row, fu });
+                        }
+                    }
+                }
+                "pipe" => {
+                    if pipe_parts.is_some() {
+                        finish_pipe(&mut regions, &mut pipe_parts, &mut pipe_regs)?;
+                    }
+                    let base = num(toks.next().ok_or("pipe missing base")?, "base")?;
+                    let ii = num(toks.next().ok_or("pipe missing ii")?, "ii")?;
+                    let stages = num(toks.next().ok_or("pipe missing stages")?, "stages")?;
+                    let init_rows = num(toks.next().ok_or("pipe missing init")?, "init")?;
+                    let exit = num(toks.next().ok_or("pipe missing exit")?, "exit")?;
+                    let alias = num(toks.next().ok_or("pipe missing alias")?, "alias")?;
+                    regions.push(Region::Pipelined {
+                        base,
+                        ii,
+                        stages,
+                        init_rows,
+                        exit,
+                        assume_no_alias: alias != 0,
+                        nodes: Vec::new(),
+                        inc: (0, DataOp::Nop),
+                        dec: (0, DataOp::Nop),
+                        cmp: (0, DataOp::Nop),
+                        induction: 0,
+                        trips: 0,
+                        kc: 0,
+                    });
+                    pipe_parts = Some((None, None, None));
+                    pipe_regs = None;
+                }
+                "node" | "inc" | "dec" | "cmp" => {
+                    let t = num(toks.next().ok_or("node missing t")?, "t")?;
+                    let op = op_from_hex(toks.next().ok_or("node missing image")?)?;
+                    let parts = pipe_parts
+                        .as_mut()
+                        .ok_or_else(|| format!("{head} directive outside a pipe region"))?;
+                    match head {
+                        "node" => {
+                            if let Some(Region::Pipelined { nodes, .. }) = regions.last_mut() {
+                                nodes.push((t, op));
+                            }
+                        }
+                        "inc" => parts.0 = Some((t, op)),
+                        "dec" => parts.1 = Some((t, op)),
+                        _ => parts.2 = Some((t, op)),
+                    }
+                }
+                "regs" => {
+                    if pipe_parts.is_none() {
+                        return Err("regs directive outside a pipe region".to_string());
+                    }
+                    let ind = reg(toks.next().ok_or("regs missing ind")?, "ind")?;
+                    let trips = reg(toks.next().ok_or("regs missing trips")?, "trips")?;
+                    let kc = reg(toks.next().ok_or("regs missing kc")?, "kc")?;
+                    pipe_regs = Some((ind, trips, kc));
+                }
+                other => return Err(format!("unknown certificate directive {other:?}")),
+            }
+        }
+        if pipe_parts.is_some() {
+            finish_pipe(&mut regions, &mut pipe_parts, &mut pipe_regs)?;
+        }
+        if regions.len() != region_count as usize {
+            return Err(format!(
+                "certificate declares {region_count} regions but carries {}",
+                regions.len()
+            ));
+        }
+        Ok(Some(ScheduleCertificate { width, regions }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, CmpOp, Operand, UnOp};
+    use crate::types::Reg;
+
+    fn add(d: u16) -> DataOp {
+        DataOp::alu(AluOp::Iadd, Reg(0).into(), Operand::imm_i32(1), Reg(d))
+    }
+
+    fn sample_block() -> Region {
+        Region::Block {
+            base: 3,
+            rows: 4,
+            ops: vec![
+                OpClaim {
+                    op: add(5),
+                    row: 0,
+                    fu: 0,
+                    spec: vec![],
+                },
+                OpClaim {
+                    op: DataOp::un(UnOp::Mov, Reg(5).into(), Reg(6)),
+                    row: 1,
+                    fu: 2,
+                    spec: vec![9, 12],
+                },
+            ],
+            cmp: Some(CmpClaim {
+                op: DataOp::cmp(CmpOp::Lt, Reg(6).into(), Operand::imm_i32(10)),
+                row: 2,
+                fu: 1,
+            }),
+            term: TermClaim::Branch {
+                fu: 1,
+                taken: 3,
+                not_taken: 9,
+            },
+        }
+    }
+
+    fn sample_pipe() -> Region {
+        Region::Pipelined {
+            base: 10,
+            ii: 2,
+            stages: 3,
+            init_rows: 1,
+            exit: 30,
+            assume_no_alias: false,
+            nodes: vec![
+                (0, DataOp::load(Reg(1).into(), Reg(2).into(), Reg(3))),
+                (1, add(4)),
+            ],
+            inc: (0, add(1)),
+            dec: (
+                1,
+                DataOp::alu(AluOp::Isub, Reg(7).into(), Operand::imm_i32(1), Reg(7)),
+            ),
+            cmp: (
+                1,
+                DataOp::cmp(CmpOp::Gt, Reg(7).into(), Operand::imm_i32(1)),
+            ),
+            induction: 1,
+            trips: 8,
+            kc: 7,
+        }
+    }
+
+    #[test]
+    fn round_trips_block_regions() {
+        let cert = ScheduleCertificate {
+            width: 4,
+            regions: vec![
+                sample_block(),
+                Region::Block {
+                    base: 9,
+                    rows: 1,
+                    ops: vec![],
+                    cmp: None,
+                    term: TermClaim::Halt,
+                },
+            ],
+        };
+        let text = cert.render();
+        assert_eq!(ScheduleCertificate::parse(&text).unwrap().unwrap(), cert);
+    }
+
+    #[test]
+    fn round_trips_pipelined_regions() {
+        let cert = ScheduleCertificate {
+            width: 4,
+            regions: vec![
+                sample_block(),
+                sample_pipe(),
+                Region::Block {
+                    base: 30,
+                    rows: 1,
+                    ops: vec![],
+                    cmp: None,
+                    term: TermClaim::Goto(0),
+                },
+            ],
+        };
+        let text = cert.render();
+        assert_eq!(ScheduleCertificate::parse(&text).unwrap().unwrap(), cert);
+    }
+
+    #[test]
+    fn survives_embedding_in_assembly_source() {
+        let cert = ScheduleCertificate {
+            width: 2,
+            regions: vec![sample_block()],
+        };
+        let source = format!("{}\n.width 2\n00: nop ; halt\n", cert.render());
+        assert_eq!(ScheduleCertificate::parse(&source).unwrap().unwrap(), cert);
+    }
+
+    #[test]
+    fn absent_certificate_is_none() {
+        assert_eq!(
+            ScheduleCertificate::parse(".width 2\n00: nop").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_directives_are_errors() {
+        assert!(ScheduleCertificate::parse("// ximd-cert: v2 width=2 regions=0").is_err());
+        assert!(ScheduleCertificate::parse("// ximd-cert: v1 width=2 regions=1").is_err());
+        assert!(ScheduleCertificate::parse(
+            "// ximd-cert: v1 width=2 regions=1\n// ximd-cert: block base=0 rows=1 term=frob"
+        )
+        .is_err());
+        // Truncated op image.
+        assert!(ScheduleCertificate::parse(
+            "// ximd-cert: v1 width=2 regions=1\n\
+             // ximd-cert: block base=0 rows=1 term=halt\n\
+             // ximd-cert: op row=0 fu=0 zzzz"
+        )
+        .is_err());
+    }
+}

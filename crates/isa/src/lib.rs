@@ -52,6 +52,7 @@
 //! [`ximd-sim`]: https://example.invalid/ximd
 //! [`ximd-compiler`]: https://example.invalid/ximd
 
+pub mod cert;
 pub mod control;
 pub mod encode;
 pub mod error;

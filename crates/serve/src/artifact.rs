@@ -1,17 +1,18 @@
 //! Content-addressed artifact cache.
 //!
-//! One source text flows through up to three derivation stages before it
+//! One source text flows through up to four derivation stages before it
 //! can execute: assembly (text → [`Program`]), lint (program →
-//! [`Analysis`] report) and decode (program → [`DecodedProgram`] execution
-//! tables). The [`ArtifactStore`] memoizes each stage under an FNV-1a
-//! content hash, so a program submitted twice skips every stage already
-//! done — the second `simulate` of the same source performs zero parsing
-//! and zero lowering, it just tiles fresh machine state.
+//! [`Analysis`] report), certify (program + embedded schedule certificate
+//! → [`CertifyOutcome`] report) and decode (program → [`DecodedProgram`]
+//! execution tables). The [`ArtifactStore`] memoizes each stage under an
+//! FNV-1a content hash, so a program submitted twice skips every stage
+//! already done — the second `simulate` of the same source performs zero
+//! parsing and zero lowering, it just tiles fresh machine state.
 //!
-//! Assembly and lint are keyed by the *source text*; decode is keyed by
-//! the *program contents* ([`program_hash`]), because decoded tables are
-//! also reachable without source — named-workload jobs and snapshot
-//! resumes carry a [`Program`] directly, and they deserve the same cache.
+//! Assembly and lint are keyed by the *source text*; decode and certify
+//! are keyed by the *program contents* ([`program_hash`]), because those
+//! results depend only on what was assembled — resubmitting a compiled
+//! program under a new file name or with reflowed comments still hits.
 //!
 //! Per-stage hit/miss counters are first-class: every store operation
 //! reports whether it hit, the daemon forwards that in each response, and
@@ -23,8 +24,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ximd_analysis::{lint_assembly, Analysis, AnalysisConfig};
+use ximd_analysis::{certify_assembly, lint_assembly, Analysis, AnalysisConfig, CertifyOutcome};
 use ximd_asm::{assemble, AsmError, Assembly};
+use ximd_isa::cert::CERT_PREFIX;
 use ximd_isa::{encode::encode_parcel, Program};
 use ximd_sim::DecodedProgram;
 
@@ -68,6 +70,8 @@ pub struct StageCounters {
     lint_misses: AtomicU64,
     decode_hits: AtomicU64,
     decode_misses: AtomicU64,
+    certify_hits: AtomicU64,
+    certify_misses: AtomicU64,
 }
 
 impl StageCounters {
@@ -79,6 +83,8 @@ impl StageCounters {
             (Stage::Lint, false) => &self.lint_misses,
             (Stage::Decode, true) => &self.decode_hits,
             (Stage::Decode, false) => &self.decode_misses,
+            (Stage::Certify, true) => &self.certify_hits,
+            (Stage::Certify, false) => &self.certify_misses,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -93,6 +99,8 @@ impl StageCounters {
             lint_misses: self.lint_misses.load(Ordering::Relaxed),
             decode_hits: self.decode_hits.load(Ordering::Relaxed),
             decode_misses: self.decode_misses.load(Ordering::Relaxed),
+            certify_hits: self.certify_hits.load(Ordering::Relaxed),
+            certify_misses: self.certify_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +110,7 @@ enum Stage {
     Assemble,
     Lint,
     Decode,
+    Certify,
 }
 
 /// Plain-integer view of [`StageCounters`].
@@ -113,6 +122,8 @@ pub struct StageSnapshot {
     pub lint_misses: u64,
     pub decode_hits: u64,
     pub decode_misses: u64,
+    pub certify_hits: u64,
+    pub certify_misses: u64,
 }
 
 /// Everything derived from one source text, cached under its content hash.
@@ -153,11 +164,29 @@ pub struct ProgramArtifact {
 /// tables themselves.
 type DecodedEntry = (Arc<Program>, Arc<DecodedProgram>);
 
+/// A cached certify report: the program the certificate was checked
+/// against (certify keys on program content, so a hit must verify
+/// against it), the certificate lines that accompanied it, and the
+/// outcome of the check.
+type CertifiedEntry = (Arc<Program>, String, Arc<CertifyOutcome>);
+
 #[derive(Default)]
 pub struct ArtifactStore {
     entries: Mutex<HashMap<u64, Arc<ProgramArtifact>>>,
     decoded: Mutex<HashMap<(u64, usize), DecodedEntry>>,
+    certified: Mutex<HashMap<u64, CertifiedEntry>>,
     counters: StageCounters,
+}
+
+/// The certificate comment lines of a source text, isolated so two
+/// sources that assemble to the same program but carry different
+/// certificates never share a cached certify report.
+fn cert_lines(source: &str) -> String {
+    source
+        .lines()
+        .filter(|line| line.trim_start().starts_with(CERT_PREFIX))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 impl ArtifactStore {
@@ -221,6 +250,29 @@ impl ArtifactStore {
         ));
         *slot = Some(Arc::clone(&report));
         (report, false)
+    }
+
+    /// Returns the schedule-certificate verification report for an
+    /// artifact and whether it was cached, running the certifier on first
+    /// request. Keyed by program *contents* plus the certificate lines,
+    /// so resubmitting the same compiled program (even under a different
+    /// file name or with reflowed non-cert comments) hits the cache.
+    #[must_use]
+    pub fn certify(&self, artifact: &ProgramArtifact) -> (Arc<CertifyOutcome>, bool) {
+        let program = &artifact.assembly.program;
+        let key = program_hash(program);
+        let cert = cert_lines(&artifact.source);
+        let mut slot = self.certified.lock().unwrap();
+        if let Some((stored, stored_cert, outcome)) = slot.get(&key) {
+            if **stored == *program && *stored_cert == cert {
+                self.counters.count(Stage::Certify, true);
+                return (Arc::clone(outcome), true);
+            }
+        }
+        self.counters.count(Stage::Certify, false);
+        let outcome = Arc::new(certify_assembly(&artifact.source, &artifact.assembly));
+        slot.insert(key, (Arc::new(program.clone()), cert, Arc::clone(&outcome)));
+        (outcome, false)
     }
 
     /// Returns decoded execution tables for `program` lowered against a
@@ -340,6 +392,24 @@ done:
         assert_eq!(d32.num_regs(), 32);
         let c = store.counters().snapshot();
         assert_eq!((c.decode_hits, c.decode_misses), (0, 2));
+    }
+
+    #[test]
+    fn certify_reports_are_program_keyed_and_cached() {
+        let store = ArtifactStore::new();
+        let (a, _) = store.assemble(SRC).expect("assembles");
+        let (out_a, hit_a) = store.certify(&a);
+        assert!(!hit_a);
+        assert!(matches!(*out_a, CertifyOutcome::Missing));
+        // Same program under different non-cert comments: assemble misses,
+        // certify hits (keyed by program content + cert lines).
+        let variant = SRC.replace("loop:", "loop: // hot loop");
+        let (b, _) = store.assemble(&variant).expect("assembles");
+        let (out_b, hit_b) = store.certify(&b);
+        assert!(hit_b, "structurally equal programs share certify reports");
+        assert!(Arc::ptr_eq(&out_a, &out_b));
+        let c = store.counters().snapshot();
+        assert_eq!((c.certify_hits, c.certify_misses), (1, 1));
     }
 
     #[test]

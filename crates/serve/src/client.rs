@@ -94,6 +94,20 @@ impl Client {
         self.call_ok(&req)
     }
 
+    /// Verifies `source`'s embedded schedule certificate on the daemon;
+    /// returns the response (headers: `certificate` = `ok`/`missing`/
+    /// `invalid`, `clean`, `errors`, `diagnostics`, cache flags; body:
+    /// one JSON diagnostic per line, or the parse error for `invalid`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including assembly errors reported remotely.
+    pub fn certify(&mut self, source: &str) -> Result<Message, WireError> {
+        let mut req = Message::request("certify");
+        req.body = source.as_bytes().to_vec();
+        self.call_ok(&req)
+    }
+
     /// Simulates `source` on the daemon (headers per the `simulate` op;
     /// body: the run's statistics as one JSON line).
     ///

@@ -275,6 +275,7 @@ fn dispatch(state: &Arc<ServerState>, req: Message) -> Message {
             .with("proto", "1")),
         "assemble" => handle_assemble(state, &req),
         "lint" => handle_lint(state, &req),
+        "certify" => handle_certify(state, &req),
         "simulate" => handle_simulate(state, &req),
         "batch" => handle_batch(state, &req),
         "snapshot" => handle_snapshot(state, &req),
@@ -354,6 +355,46 @@ fn handle_lint(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
         .with("truncated", if report.truncated { "true" } else { "false" })
         .with("diagnostics", &report.diagnostics.len().to_string());
     resp.body = body.into_bytes();
+    Ok(resp)
+}
+
+fn handle_certify(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+    let source = source_of(req)?;
+    let (artifact, program_hit) = state
+        .store
+        .assemble(&source)
+        .map_err(|e| ("asm", e.to_string()))?;
+    let (outcome, certify_hit) = state.store.certify(&artifact);
+    let mut resp = Message::ok()
+        .with("hash", &format_digest(artifact.hash))
+        .with("cached_program", if program_hit { "true" } else { "false" })
+        .with("cached_certify", if certify_hit { "true" } else { "false" });
+    match &*outcome {
+        ximd_analysis::CertifyOutcome::Missing => {
+            resp.set("certificate", "missing");
+        }
+        ximd_analysis::CertifyOutcome::Unparseable(err) => {
+            resp.set("certificate", "invalid");
+            resp.body = err.clone().into_bytes();
+        }
+        ximd_analysis::CertifyOutcome::Report(report) => {
+            resp.set("certificate", "ok");
+            resp.set("clean", if report.is_clean() { "true" } else { "false" });
+            resp.set("errors", if report.has_errors() { "true" } else { "false" });
+            resp.set("diagnostics", &report.diagnostics.len().to_string());
+            let mut body = String::new();
+            for d in &report.diagnostics {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.field_str("severity", &d.severity.to_string());
+                w.field_str("message", &d.to_string());
+                w.end_object();
+                body.push_str(&w.finish());
+                body.push('\n');
+            }
+            resp.body = body.into_bytes();
+        }
+    }
     Ok(resp)
 }
 
@@ -680,6 +721,8 @@ fn handle_stats(state: &Arc<ServerState>) -> Message {
     w.field_u64("lint_misses", stages.lint_misses);
     w.field_u64("decode_hits", stages.decode_hits);
     w.field_u64("decode_misses", stages.decode_misses);
+    w.field_u64("certify_hits", stages.certify_hits);
+    w.field_u64("certify_misses", stages.certify_misses);
     w.end_object();
     w.newline();
     w.key("jobs");

@@ -6,8 +6,14 @@
 //! Run with: `cargo run --example compile_and_tile`
 //!
 //! With `XIMD_EMIT_ASM=<dir>` set, additionally writes each thread's
-//! compiled XIMD assembly to `<dir>/<name>.xasm` so the emitted programs
-//! can be linted (CI runs `xlint` over them).
+//! compiled XIMD assembly to `<dir>/<name>.xasm` — with its schedule
+//! certificate prepended as `// ximd-cert:` lines — plus every suite
+//! workload, so the emitted programs can be linted and certified (CI runs
+//! `xlint` and `xlint --certify` over them).
+//!
+//! With `XIMD_EMIT_MUTANTS=<dir>` set, also writes deliberately broken
+//! schedules (a dropped op, a rewired modulo kernel) under their original
+//! certificates; CI asserts `xlint --certify` rejects every one.
 
 use ximd::compiler::compile;
 use ximd::compiler::pack::{pack_skyline, pack_stacked};
@@ -82,8 +88,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::create_dir_all(&dir)?;
         for menu in &menus {
             let f = compile_named(THREADS, &menu.name, 4)?;
+            let mut text = f.cert.as_ref().map(|c| c.render()).unwrap_or_default();
+            text.push_str(&print_program(&f.ximd_program()));
             let path = std::path::Path::new(&dir).join(format!("{}.xasm", menu.name));
-            std::fs::write(&path, print_program(&f.ximd_program()))?;
+            std::fs::write(&path, text)?;
+            println!("emitted {}", path.display());
+        }
+        // The suite workloads (including the software-pipelined kernels),
+        // each with its schedule certificate, so CI can run translation
+        // validation over exactly what the compiler claims it scheduled.
+        for w in &ximd::compiler::suite::SUITE {
+            let (f, _) = w.compile(4)?;
+            let cert = f
+                .cert
+                .as_ref()
+                .expect("compiled output carries a certificate");
+            let mut text = cert.render();
+            text.push_str(&print_program(&f.ximd_program()));
+            let path = std::path::Path::new(&dir).join(format!("{}.xasm", w.name));
+            std::fs::write(&path, text)?;
             println!("emitted {}", path.display());
         }
         // A genuinely multi-stream program too: a fork/join guard loop,
@@ -124,6 +147,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{}\n{}", hint.comment(), print_program(&fj.program)),
         )?;
         println!("emitted {}", path.display());
+    }
+
+    if let Ok(dir) = std::env::var("XIMD_EMIT_MUTANTS") {
+        use ximd::isa::{ControlOp, DataOp, FuId};
+        use ximd::prelude::print_program;
+        std::fs::create_dir_all(&dir)?;
+
+        // A schedule that lost an op: the middle data op becomes a nop.
+        let (f, _) = ximd::compiler::suite::MINMAX.compile(4)?;
+        let cert = f.cert.as_ref().expect("certificate").render();
+        let mut program = f.ximd_program();
+        let cells: Vec<_> = program
+            .iter()
+            .flat_map(|(addr, wide)| {
+                wide.iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.data.is_nop())
+                    .map(move |(fu, _)| (addr, FuId(fu as u8)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let (addr, fu) = cells[cells.len() / 2];
+        program.parcel_mut(addr, fu).expect("cell exists").data = DataOp::Nop;
+        let path = std::path::Path::new(&dir).join("minmax_dropped.xasm");
+        std::fs::write(&path, cert + &print_program(&program))?;
+        println!("emitted mutant {}", path.display());
+
+        // A modulo kernel whose loop-back edge was rewired one row late.
+        let (f, _) = ximd::compiler::suite::SAXPY.compile(4)?;
+        let cert = f.cert.as_ref().expect("certificate").render();
+        let mut program = f.ximd_program();
+        let back = program
+            .iter()
+            .find_map(|(addr, wide)| match wide[0].ctrl {
+                ControlOp::Branch { taken, .. } if taken < addr => Some(addr),
+                _ => None,
+            })
+            .expect("pipelined saxpy has a loop-back branch");
+        for fu in 0..program.width() {
+            let p = program.parcel_mut(back, FuId(fu as u8)).expect("parcel");
+            if let ControlOp::Branch { taken, .. } = &mut p.ctrl {
+                taken.0 += 1;
+            }
+        }
+        let path = std::path::Path::new(&dir).join("saxpy_retargeted.xasm");
+        std::fs::write(&path, cert + &print_program(&program))?;
+        println!("emitted mutant {}", path.display());
     }
 
     println!("\n=== packing into an 8-FU instruction memory (Figure 13) ===\n");
