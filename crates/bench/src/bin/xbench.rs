@@ -1,10 +1,14 @@
 //! `xbench` — simulator throughput benchmark and perf-regression gate.
 //!
-//! Runs every workload through both execution engines (interpreter and the
-//! decoded fast path), verifies they agree exactly, measures simulated
-//! cycles per second, runs the batched multi-instance throughput passes
-//! (threads × decoded instances, and the single-core SoA lane engine), and
-//! writes the results as `BENCH_ximd.json`.
+//! Runs every workload through every backend in the execution-backend
+//! registry capable of the run (the built-ins plus this crate's `shadow`
+//! differential backend), verifies they all agree with the interpreter
+//! oracle exactly, measures simulated cycles per second, runs the batched
+//! multi-instance throughput passes (threads × decoded instances, and the
+//! single-core SoA lane engine), and writes the results as
+//! `BENCH_ximd.json`. The printed table and the committed baselines keep
+//! the interpreter-vs-decoded speedup columns; other backends' wall times
+//! land in the JSON as `<name>_wall_secs` fields.
 //!
 //! Usage:
 //!
@@ -89,6 +93,10 @@ fn main() {
 
     let report = run_benchmarks(&config);
 
+    if let Some(w) = report.workloads.first() {
+        let timed: Vec<&str> = w.backends.iter().map(|t| t.backend.as_str()).collect();
+        println!("backends: {}", timed.join(", "));
+    }
     println!(
         "{:<12} {:>10} {:>14} {:>14} {:>8}  ok",
         "workload", "cycles", "interp c/s", "decoded c/s", "speedup"

@@ -19,6 +19,7 @@
 //! | [`run_prototype`]        | §4.3 — prototype peak-rate model |
 //! | [`run_models`]           | §2 — state-machine hierarchy |
 
+pub mod shadow;
 pub mod throughput;
 
 use std::fmt::Write as _;

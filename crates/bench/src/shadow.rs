@@ -1,0 +1,339 @@
+//! The `shadow` differential backend: two registered backends in lockstep.
+//!
+//! `shadow` is the out-of-crate proof that `ximd_sim::backend` is a real
+//! plugin seam: it lives in the benchmark crate, implements
+//! [`ExecutionBackend`] purely against the public registry/session API, and
+//! registers under its own name like any third-party engine would. What it
+//! *does* is turn the equivalence tests into a runtime tool — every drive
+//! runs two sub-backends on bit-identical twin sessions and cross-checks
+//! the full observable state ([`backend::state_digest`]) at intermediate
+//! cycle marks and at the end. A future JIT can be validated in production
+//! simply by running `--backend shadow` with the JIT as one half.
+//!
+//! The twin is built through the snapshot codec, so a shadow run also
+//! exercises mid-run suspend/resume fidelity for free: any state the codec
+//! dropped would show up as a divergence at the first cycle mark.
+
+use std::sync::Arc;
+
+use ximd::isa::Addr;
+use ximd::sim::backend::{self, state_digest, BackendHandle, Capabilities, ExecutionBackend};
+use ximd::sim::{RunSummary, Session, SimError};
+
+/// Cycle marks (relative to the session's cycle at drive start) where the
+/// two halves are stopped and their full state compared before running on.
+const CHECK_MARKS: [u64; 3] = [64, 512, 4096];
+
+/// One half of a shadow pair: a registry name resolved at drive time, or
+/// an explicit handle pinned at construction (how a not-yet-registered
+/// engine gets validated before it registers).
+#[derive(Debug, Clone)]
+enum Half {
+    Named(String),
+    Pinned(BackendHandle),
+}
+
+impl Half {
+    fn label(&self) -> String {
+        match self {
+            Half::Named(name) => name.clone(),
+            Half::Pinned(handle) => handle.name().to_string(),
+        }
+    }
+
+    fn resolve(&self) -> Option<BackendHandle> {
+        match self {
+            Half::Named(name) => backend::lookup(name),
+            Half::Pinned(handle) => Some(Arc::clone(handle)),
+        }
+    }
+}
+
+/// A differential backend running two registered backends in lockstep.
+///
+/// [`ShadowBackend::finish`] drives the session with the *primary* half and
+/// a snapshot-restored twin with the *secondary* half, comparing state
+/// digests at fixed cycle marks (`CHECK_MARKS`) and after completion. The
+/// primary's summary is returned; any divergence is a
+/// [`SimError::Backend`] naming `shadow`.
+#[derive(Debug, Clone)]
+pub struct ShadowBackend {
+    primary: Half,
+    secondary: Half,
+}
+
+impl Default for ShadowBackend {
+    /// The classic differential pair: the decoded fast path checked
+    /// against the cycle-accurate interpreter oracle.
+    fn default() -> ShadowBackend {
+        ShadowBackend::new("decoded", "interp")
+    }
+}
+
+impl ShadowBackend {
+    /// A shadow over the `primary`/`secondary` registered backend names.
+    /// The halves are resolved from the registry at drive time, so a pair
+    /// may be constructed before its halves register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either half names `shadow` itself (the drive would
+    /// recurse forever).
+    #[must_use]
+    pub fn new(primary: &str, secondary: &str) -> ShadowBackend {
+        assert!(
+            primary != "shadow" && secondary != "shadow",
+            "shadow cannot shadow itself"
+        );
+        ShadowBackend {
+            primary: Half::Named(primary.to_string()),
+            secondary: Half::Named(secondary.to_string()),
+        }
+    }
+
+    /// A shadow over two explicit handles, bypassing the registry — the
+    /// way to differential-test an engine before (or without) registering
+    /// it under a name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle calls itself `shadow`.
+    #[must_use]
+    pub fn over(primary: BackendHandle, secondary: BackendHandle) -> ShadowBackend {
+        assert!(
+            primary.name() != "shadow" && secondary.name() != "shadow",
+            "shadow cannot shadow itself"
+        );
+        ShadowBackend {
+            primary: Half::Pinned(primary),
+            secondary: Half::Pinned(secondary),
+        }
+    }
+
+    /// The labels of the two halves, primary first.
+    #[must_use]
+    pub fn halves(&self) -> (String, String) {
+        (self.primary.label(), self.secondary.label())
+    }
+
+    fn fault(&self, detail: String) -> SimError {
+        SimError::Backend {
+            backend: self.name().to_string(),
+            detail,
+        }
+    }
+
+    fn half(&self, half: &Half) -> Result<BackendHandle, SimError> {
+        half.resolve()
+            .ok_or_else(|| self.fault(format!("sub-backend {:?} is not registered", half.label())))
+    }
+
+    fn cross_check(&self, session: &Session, twin: &Session, at: &str) -> Result<(), SimError> {
+        let (p, s) = self.halves();
+        if session.cycle() != twin.cycle() || session.complete() != twin.complete() {
+            return Err(self.fault(format!(
+                "{p}/{s} diverged at {at}: cycle {} (complete: {}) vs cycle {} (complete: {})",
+                session.cycle(),
+                session.complete(),
+                twin.cycle(),
+                twin.complete(),
+            )));
+        }
+        let (a, b) = (state_digest(session), state_digest(twin));
+        if a != b {
+            return Err(self.fault(format!(
+                "{p}/{s} diverged at {at} (cycle {}): state digests {a:#018x} vs {b:#018x}",
+                session.cycle(),
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl ExecutionBackend for ShadowBackend {
+    fn name(&self) -> &'static str {
+        "shadow"
+    }
+
+    /// The intersection of the two halves' capabilities: shadow can only
+    /// do what both halves do. Rank 0 keeps it out of auto-selection (ties
+    /// at rank 0 go to the interpreter, which registers first). Unresolved
+    /// halves declare nothing, so every request is rejected up front with
+    /// a capability mismatch rather than failing mid-drive.
+    fn capabilities(&self) -> Capabilities {
+        let none = Capabilities {
+            non_ideal_timing: false,
+            lane_batching: false,
+            snapshotting: false,
+            trace_emission: false,
+            uses_decoded_tables: false,
+            rank: 0,
+        };
+        let (Some(a), Some(b)) = (self.primary.resolve(), self.secondary.resolve()) else {
+            return none;
+        };
+        let (a, b) = (a.capabilities(), b.capabilities());
+        Capabilities {
+            non_ideal_timing: a.non_ideal_timing && b.non_ideal_timing,
+            lane_batching: a.lane_batching && b.lane_batching,
+            // The twin is built through snapshot/restore, so both halves
+            // must round-trip the codec for shadow to operate at all.
+            snapshotting: a.snapshotting && b.snapshotting,
+            trace_emission: a.trace_emission && b.trace_emission,
+            uses_decoded_tables: a.uses_decoded_tables || b.uses_decoded_tables,
+            rank: 0,
+        }
+    }
+
+    fn finish(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.check(&session.backend_request())?;
+        let primary = self.half(&self.primary)?;
+        let secondary = self.half(&self.secondary)?;
+
+        let image = session
+            .snapshot()
+            .map_err(|e| self.fault(format!("cannot snapshot the session for the twin: {e}")))?;
+        let mut twin = Session::restore(&image)
+            .map_err(|e| self.fault(format!("cannot restore the twin session: {e}")))?;
+        self.cross_check(session, &twin, "the twin's restore point")?;
+
+        let start = session.cycle();
+        for mark in CHECK_MARKS {
+            let upto = start.saturating_add(mark);
+            if upto >= max_cycles || session.complete() {
+                break;
+            }
+            primary.advance_to(session, park, upto)?;
+            secondary.advance_to(&mut twin, park, upto)?;
+            self.cross_check(session, &twin, &format!("cycle mark {upto}"))?;
+        }
+
+        let a = primary.finish(session, park, max_cycles)?;
+        let b = secondary.finish(&mut twin, park, max_cycles)?;
+        if a != b {
+            let (p, s) = self.halves();
+            return Err(self.fault(format!(
+                "run summaries diverge: {p} returned {a:?}, {s} returned {b:?}",
+            )));
+        }
+        self.cross_check(session, &twin, "the final state")?;
+        Ok(a)
+    }
+}
+
+/// Registers the default `shadow` pair (decoded checked against interp)
+/// process-wide. Idempotent: re-registration replaces the entry.
+pub fn register() {
+    backend::register(Arc::new(ShadowBackend::default()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ximd::workloads::{bitcount, gen, RunSpec};
+
+    fn drive(backend: &dyn ExecutionBackend) -> (Session, Option<RunSummary>) {
+        let data = gen::bit_weighted_ints(7, 24, 20);
+        let (sim, spec) = bitcount::prepared(&data).expect("bitcount prepares");
+        let (park, budget) = match spec {
+            RunSpec::Run(b) => (None, b),
+            RunSpec::Parked(p, b) => (Some(p), b),
+        };
+        let mut session = backend.prepare(vec![sim], None).expect("session prepares");
+        let summary = backend
+            .finish(&mut session, park, budget)
+            .expect("shadowed run finishes");
+        (session, summary)
+    }
+
+    #[test]
+    fn shadow_registers_and_matches_its_halves() {
+        register();
+        assert!(backend::names().contains(&"shadow".to_string()));
+        let shadow = backend::lookup("shadow").expect("registered");
+        let caps = shadow.capabilities();
+        // decoded ∩ interp: ideal-only, single-machine, snapshot-capable.
+        assert!(!caps.non_ideal_timing && !caps.lane_batching && !caps.trace_emission);
+        assert!(caps.snapshotting && caps.uses_decoded_tables);
+
+        let (shadowed, summary) = drive(shadow.as_ref());
+        let (reference, ref_summary) =
+            drive(backend::lookup("decoded").expect("built-in").as_ref());
+        assert_eq!(summary, ref_summary);
+        assert_eq!(state_digest(&shadowed), state_digest(&reference));
+    }
+
+    #[test]
+    fn shadow_never_wins_auto_selection() {
+        register();
+        let picked = backend::select(&backend::BackendRequest::single_ideal()).expect("selects");
+        assert_eq!(picked.name(), "decoded");
+    }
+
+    #[test]
+    fn a_lying_half_is_caught() {
+        // A backend that quietly under-runs: it stops one cycle short of
+        // the interpreter's answer and reports no summary. Shadowing it
+        // against the interpreter must surface the divergence as a
+        // `shadow` backend error, not as a wrong result. The liar is
+        // pinned by handle, not registered — exactly how a pre-release
+        // engine would be differential-tested.
+        #[derive(Debug)]
+        struct Limp;
+        impl ExecutionBackend for Limp {
+            fn name(&self) -> &'static str {
+                "limp"
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities {
+                    non_ideal_timing: false,
+                    lane_batching: false,
+                    snapshotting: true,
+                    trace_emission: false,
+                    uses_decoded_tables: false,
+                    rank: 0,
+                }
+            }
+            fn finish(
+                &self,
+                session: &mut Session,
+                park: Option<Addr>,
+                max_cycles: u64,
+            ) -> Result<Option<RunSummary>, SimError> {
+                session.advance_to(park, max_cycles.saturating_sub(1))?;
+                Ok(None)
+            }
+        }
+        let shadow =
+            ShadowBackend::over(Arc::new(Limp), backend::lookup("interp").expect("built-in"));
+
+        let data = gen::bit_weighted_ints(3, 16, 20);
+        let (sim, spec) = bitcount::prepared(&data).expect("bitcount prepares");
+        let (park, budget) = match spec {
+            RunSpec::Run(b) => (None, b),
+            RunSpec::Parked(p, b) => (Some(p), b),
+        };
+        let mut session = shadow.prepare(vec![sim], None).expect("session prepares");
+        let err = shadow
+            .finish(&mut session, park, budget)
+            .expect_err("divergence must be reported");
+        match err {
+            SimError::Backend { backend, detail } => {
+                assert_eq!(backend, "shadow");
+                assert!(detail.contains("diverge"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected a shadow backend error, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow cannot shadow itself")]
+    fn shadow_rejects_recursive_halves() {
+        let _ = ShadowBackend::new("shadow", "interp");
+    }
+}

@@ -1,11 +1,14 @@
-//! Simulator throughput benchmarks: interpreter vs the decoded fast path.
+//! Simulator throughput benchmarks across the execution-backend registry.
 //!
 //! Drives every workload (tproc, livermore, minmax, bitcount, nonblocking,
-//! forkjoin) through both execution engines of the same prepared machine,
-//! measures wall time and simulated cycles/second, verifies the two engines
-//! agree exactly, and adds a batched multi-instance mode (N threads × M
-//! independent program instances) for the heavy-traffic axis. The `xbench`
-//! binary renders the result as `BENCH_ximd.json`.
+//! forkjoin) through **every registered backend** capable of the run
+//! (`ximd_sim::backend::all()`, including this crate's [`crate::shadow`]
+//! differential backend), measures wall time and simulated cycles/second,
+//! verifies all backends agree with the interpreter oracle exactly, and
+//! adds a batched multi-instance mode (N threads × M independent program
+//! instances) for the heavy-traffic axis. The `xbench` binary renders the
+//! result as `BENCH_ximd.json`; the interpreter-vs-decoded speedup keeps
+//! its dedicated JSON fields because the committed baselines gate on them.
 //!
 //! The JSON is hand-emitted and hand-parsed through `ximd_serve::json`
 //! (shared with the daemon's stats endpoint): the workspace's `serde` is an
@@ -15,7 +18,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ximd::prelude::*;
-use ximd::sim::{LaneXsim, TimingSpec};
+use ximd::sim::backend::{self, state_digest, BackendRequest, ExecutionBackend};
+use ximd::sim::{LaneXsim, Session, SimError, TimingSpec};
 use ximd::workloads::{
     bitcount, gen, lane_batch, livermore, minmax, nonblocking, saxpy, tproc, RunSpec,
 };
@@ -44,6 +48,15 @@ impl Default for BenchConfig {
     }
 }
 
+/// One registered backend's best-of-rounds wall time on a workload.
+#[derive(Debug, Clone)]
+pub struct BackendTime {
+    /// The backend's registry name.
+    pub backend: String,
+    /// Best-of-rounds per-run wall time, seconds.
+    pub secs: f64,
+}
+
 /// One workload's measurements.
 #[derive(Debug, Clone)]
 pub struct WorkloadBench {
@@ -61,9 +74,15 @@ pub struct WorkloadBench {
     pub interp_secs: f64,
     /// Best-of-rounds per-run decoded-path wall time, seconds.
     pub decoded_secs: f64,
-    /// Total timed runs per engine.
+    /// Per-run wall time for every registered backend that supports the
+    /// run (registration order). `interp_secs`/`decoded_secs` above are
+    /// the two entries the committed baselines gate on.
+    pub backends: Vec<BackendTime>,
+    /// Total timed interpreter runs (each backend calibrates its own
+    /// batch size from the same round budget).
     pub iters: u32,
-    /// The engines agreed on `RunSummary`, registers, memory and ports.
+    /// Every capable backend agreed with the interpreter oracle on
+    /// `RunSummary`, full state digest and port traffic.
     pub equivalent: bool,
     /// Whether the baseline speedup gate applies to this record. Workloads
     /// below [`MIN_GATED_SIM_CYCLES`] finish in well under a microsecond,
@@ -274,17 +293,10 @@ impl BenchReport {
 /// workload's data region (largest base: livermore's `X_BASE = 4999`).
 const MEM_WINDOW: usize = 6000;
 
-fn engines_agree(interp: &Xsim, fast: &Xsim, a: &RunSummary, b: &RunSummary) -> bool {
-    if a != b || interp.pcs() != fast.pcs() || interp.ccs() != fast.ccs() {
-        return false;
-    }
-    let num_regs = interp.config().num_regs;
-    if (0..num_regs as u16).any(|r| interp.reg(Reg(r)) != fast.reg(Reg(r))) {
-        return false;
-    }
-    if interp.mem().peek_slice(0, MEM_WINDOW).ok() != fast.mem().peek_slice(0, MEM_WINDOW).ok() {
-        return false;
-    }
+/// Port-traffic comparison between two machines — the one observable
+/// [`backend::state_digest`] deliberately excludes, so the benchmark's
+/// equivalence verdict checks it separately.
+fn ports_agree(a: &Xsim, b: &Xsim) -> bool {
     let written = |sim: &Xsim| -> Vec<Vec<(u64, i32)>> {
         sim.ports()
             .iter()
@@ -296,7 +308,23 @@ fn engines_agree(interp: &Xsim, fast: &Xsim, a: &RunSummary, b: &RunSummary) -> 
             })
             .collect()
     };
-    written(interp) == written(fast)
+    written(a) == written(b)
+}
+
+/// Runs one prepared machine to completion on `backend` through the
+/// session layer, returning the finished session and its summary.
+fn drive_session(
+    backend: &dyn ExecutionBackend,
+    sim: &Xsim,
+    spec: RunSpec,
+) -> Result<(Session, Option<RunSummary>), SimError> {
+    let (park, budget) = match spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
+    };
+    let mut session = backend.prepare(vec![sim.clone()], None)?;
+    let summary = backend.finish(&mut session, park, budget)?;
+    Ok((session, summary))
 }
 
 /// Full-state check of one lane of a finished batch against an independent
@@ -332,28 +360,29 @@ fn lane_agrees(lanes: &LaneXsim, lane: usize, solo: &Xsim, summary: &RunSummary)
 
 use ximd::sim::RunSummary;
 
-/// Times one engine: `rounds` rounds of a calibrated batch of runs each,
+/// Times one backend: `rounds` rounds of a calibrated batch of runs each,
 /// returning the best per-run time and the total run count. Short
 /// workloads finish in microseconds, where any single measurement — and
 /// the CI regression gate keyed on it — would be scheduler noise; the
 /// best-of-rounds over batches long enough to time meaningfully is stable.
-fn time_engine(
+fn time_backend(
+    backend: &dyn ExecutionBackend,
     sim: &Xsim,
     spec: RunSpec,
-    decoded: bool,
     rounds: u32,
     min_round_secs: f64,
 ) -> (f64, u32) {
+    let (park, budget) = match spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
+    };
     let round = |k: u32| -> f64 {
         let mut total = 0.0;
         for _ in 0..k {
-            let mut s = sim.clone();
+            let s = sim.clone();
             let t = Instant::now();
-            if decoded {
-                let _ = spec.drive_decoded(&mut s);
-            } else {
-                let _ = spec.drive(&mut s);
-            }
+            let mut session = backend.prepare(vec![s], None).expect("session prepares");
+            let _ = backend.finish(&mut session, park, budget);
             total += t.elapsed().as_secs_f64();
         }
         total
@@ -376,24 +405,57 @@ fn bench_one(
     rounds: u32,
     min_round_secs: f64,
 ) -> WorkloadBench {
-    // Correctness first: one verified pair, outside the timed loops.
-    let mut interp = sim.clone();
-    let mut fast = sim.clone();
-    let a = spec.drive(&mut interp);
-    let b = spec.drive_decoded(&mut fast);
-    let (equivalent, sim_cycles) = match (&a, &b) {
-        (Ok(sa), Ok(sb)) => (engines_agree(&interp, &fast, sa, sb), sa.cycles),
-        _ => (false, 0),
-    };
+    // Correctness first: one verified run per capable registry backend
+    // against the interpreter oracle, outside the timed loops.
+    let request = BackendRequest::single_ideal();
+    let interp = backend::lookup("interp").expect("built-in backend");
+    let (reference, ref_summary) =
+        drive_session(interp.as_ref(), sim, spec).expect("the interpreter runs everything");
+    let ref_digest = state_digest(&reference);
+    let sim_cycles = ref_summary.as_ref().map_or(0, |s| s.cycles);
+    let mut equivalent = ref_summary.is_some();
 
-    let (interp_secs, iters) = time_engine(sim, spec, false, rounds, min_round_secs);
-    let (decoded_secs, _) = time_engine(sim, spec, true, rounds, min_round_secs);
+    let mut iters = rounds;
+    let mut backends = Vec::new();
+    for b in backend::all() {
+        if !b.capabilities().supports(&request) {
+            continue;
+        }
+        if b.name() != "interp" {
+            equivalent &= match drive_session(b.as_ref(), sim, spec) {
+                Ok((session, summary)) => {
+                    summary == ref_summary
+                        && state_digest(&session) == ref_digest
+                        && matches!(
+                            (reference.machine(), session.machine()),
+                            (Some(a), Some(s)) if ports_agree(a, s)
+                        )
+                }
+                Err(_) => false,
+            };
+        }
+        let (secs, n) = time_backend(b.as_ref(), sim, spec, rounds, min_round_secs);
+        if b.name() == "interp" {
+            iters = n;
+        }
+        backends.push(BackendTime {
+            backend: b.name().to_string(),
+            secs,
+        });
+    }
+    let secs_of = |name: &str| {
+        backends
+            .iter()
+            .find(|t| t.backend == name)
+            .map_or(f64::INFINITY, |t| t.secs)
+    };
     WorkloadBench {
         name,
         timing: sim.config().timing.to_string(),
         sim_cycles,
-        interp_secs,
-        decoded_secs,
+        interp_secs: secs_of("interp"),
+        decoded_secs: secs_of("decoded"),
+        backends,
         iters,
         equivalent,
         gated: sim_cycles >= MIN_GATED_SIM_CYCLES,
@@ -511,6 +573,10 @@ pub fn run_latency_sweep(quick: bool) -> Vec<SweepPoint> {
 /// Panics if a workload fails to build (the embedded programs always
 /// validate).
 pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
+    // The differential backend rides along in every workload row: each
+    // xbench run exercises the decoded-vs-interp lockstep check under
+    // real workloads, not just the unit suites.
+    crate::shadow::register();
     let (scale, default_rounds, min_round_secs) = if config.quick {
         (32usize, 5u32, 0.005)
     } else {
@@ -679,6 +745,13 @@ pub fn to_json(report: &BenchReport) -> String {
         rec.field_u64("iters", u64::from(w.iters));
         rec.field_f64("interp_wall_secs", w.interp_secs, 6);
         rec.field_f64("decoded_wall_secs", w.decoded_secs, 6);
+        // Registry backends beyond the two baseline-gated ones get flat
+        // per-line fields so the line-oriented parser stays trivial.
+        for t in &w.backends {
+            if t.backend != "interp" && t.backend != "decoded" {
+                rec.field_f64(&format!("{}_wall_secs", t.backend), t.secs, 6);
+            }
+        }
         rec.field_f64("interp_cycles_per_sec", w.interp_cps(), 1);
         rec.field_f64("decoded_cycles_per_sec", w.decoded_cps(), 1);
         rec.field_f64("speedup", w.speedup(), 3);
@@ -867,6 +940,18 @@ mod tests {
         assert!(report.all_equivalent(), "engines diverged: {report:#?}");
         assert!(report.workloads.iter().all(|w| w.sim_cycles > 0));
         assert!(report.workloads.iter().all(|w| w.timing == "ideal"));
+        // Every row covered the whole registry, including the
+        // differential backend registered by this crate.
+        for w in &report.workloads {
+            let timed: Vec<&str> = w.backends.iter().map(|t| t.backend.as_str()).collect();
+            for expected in ["interp", "decoded", "lanes", "shadow"] {
+                assert!(timed.contains(&expected), "{}: missing {expected}", w.name);
+            }
+            assert!(w
+                .backends
+                .iter()
+                .all(|t| t.secs.is_finite() && t.secs > 0.0));
+        }
         assert!(report.batch.total_cycles > 0);
         // tproc's 6-cycle run is exempt from the ratio gate; the real
         // kernels are gated.
@@ -942,6 +1027,7 @@ mod tests {
                 sim_cycles: 1000,
                 interp_secs: 0.02,
                 decoded_secs: 0.005,
+                backends: Vec::new(),
                 iters: 3,
                 equivalent: true,
                 gated: true,
@@ -1002,6 +1088,7 @@ mod tests {
                 sim_cycles: 6,
                 interp_secs: 0.001,
                 decoded_secs: 0.002,
+                backends: Vec::new(),
                 iters: 3,
                 equivalent: true,
                 gated: false,
@@ -1033,6 +1120,7 @@ mod tests {
             sim_cycles: 1000,
             interp_secs: 0.02,
             decoded_secs,
+            backends: Vec::new(),
             iters: 3,
             equivalent: true,
             gated: true,

@@ -20,7 +20,8 @@ use std::fmt::Write as _;
 
 use ximd_isa::{Addr, Reg, Value};
 use ximd_serve::{json, ArtifactStore, Client, Message};
-use ximd_sim::{EngineKind, LaneXsim, MachineConfig, Session, TimingSpec, VliwProgram, Vsim, Xsim};
+use ximd_sim::backend::{self, BackendHandle, BackendRequest};
+use ximd_sim::{MachineConfig, TimingSpec, VliwProgram, Vsim, Xsim};
 
 /// Parsed command-line options for both tools.
 #[derive(Debug, Clone, Default)]
@@ -49,10 +50,12 @@ pub struct CliOptions {
     /// Microarchitecture timing model (default ideal).
     pub timing: TimingSpec,
     /// Number of identical lane-engine instances to run in lockstep
-    /// (xsim only; default 1 = the ordinary interpreter).
+    /// (xsim only; default 1 = a single machine).
     pub lanes: usize,
-    /// Execution engine for the run (xsim only; default interpreter).
-    pub engine: EngineKind,
+    /// Execution backend for the run (xsim only): a registry name or
+    /// `auto`. `None` means `auto` with the `XIMD_BACKEND` environment
+    /// variable as a soft preference.
+    pub backend: Option<String>,
     /// Submit the job to a running `ximd-serve` daemon at this address
     /// instead of simulating in-process (xsim only).
     pub connect: Option<String>,
@@ -75,9 +78,12 @@ usage: {tool} FILE.xasm [options]
                       fmul fdiv mem io)
   --lanes N           run N identical instances on the SoA lane engine
                       (xsim; ideal timing only, incompatible with --trace)
-  --engine E          execution engine: interp (default) | decoded | lanes
-                      (xsim; decoded/lanes fall back to the interpreter
-                      where the fast path does not apply)
+  --backend B         execution backend: auto (default) | interp | decoded |
+                      lanes (xsim; auto picks the most capable registered
+                      backend for the request, and XIMD_BACKEND=NAME is a
+                      soft preference honoured when that backend fits; a
+                      named backend that cannot satisfy the request is a
+                      usage error)
   --connect HOST:PORT submit the job to a running ximd-serve daemon and
                       report its response (xsim; machine state stays on
                       the daemon, so seeding and dump flags do not apply)
@@ -168,10 +174,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("bad --lanes value (expected N >= 1)")?;
             }
+            "--backend" => opts.backend = Some(need("--backend")?.to_owned()),
             "--engine" => {
-                let v = need("--engine")?;
-                opts.engine =
-                    EngineKind::parse(v).ok_or_else(|| format!("bad --engine value {v:?}"))?;
+                return Err(
+                    "--engine is the xlint analysis flag; use --backend NAME|auto to pick an \
+                     execution backend"
+                        .into(),
+                );
             }
             "--connect" => opts.connect = Some(need("--connect")?.to_owned()),
             "--dump-reg" => opts.dump_regs.push(parse_reg(need("--dump-reg")?)?),
@@ -212,8 +221,46 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 "{flag} is not supported with --connect (machine state stays on the daemon)"
             ));
         }
+    } else {
+        // Resolve the backend eagerly so an unknown name or a capability
+        // mismatch is a usage error (exit 2), before any file I/O. With
+        // --connect the daemon is the registry of record and validates.
+        resolve_backend(&opts)?;
     }
     Ok(opts)
+}
+
+/// The [`BackendRequest`] implied by this invocation's flags.
+fn backend_request(opts: &CliOptions) -> BackendRequest {
+    BackendRequest {
+        non_ideal_timing: !opts.timing.is_ideal(),
+        lanes: opts.lanes,
+        trace: opts.trace,
+        snapshot: false,
+    }
+}
+
+/// Resolves the effective execution backend: an explicit `--backend` is
+/// hard (a mismatch is an error), the `XIMD_BACKEND` environment variable
+/// is a soft preference (auto-selection covers for it when it cannot
+/// satisfy the request, so test matrices can sweep it without tripping
+/// trace or timing runs), and the default is `auto`.
+fn resolve_backend(opts: &CliOptions) -> Result<BackendHandle, String> {
+    let env = std::env::var("XIMD_BACKEND").ok();
+    resolve_backend_with(opts, env.as_deref())
+}
+
+fn resolve_backend_with(opts: &CliOptions, env: Option<&str>) -> Result<BackendHandle, String> {
+    let request = backend_request(opts);
+    match opts.backend.as_deref() {
+        Some(spec) => backend::resolve(spec, &request).map_err(|e| e.to_string()),
+        None => match env.filter(|name| !name.is_empty()) {
+            Some(name) => backend::resolve(name, &request)
+                .or_else(|_| backend::select(&request))
+                .map_err(|e| e.to_string()),
+            None => backend::select(&request).map_err(|e| e.to_string()),
+        },
+    }
 }
 
 /// Runs the xsim tool; returns the report or an error message.
@@ -260,12 +307,14 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
     if opts.trace {
         sim.enable_trace();
     }
-    // The session layer owns engine dispatch (interp vs the decoded fast
-    // path); the interpreter remains the default and the trace/timing
-    // fallbacks live behind `Session::finish`.
-    let mut session = Session::from_machine(sim);
-    let summary = session
-        .finish(opts.park, opts.max_cycles, opts.engine)
+    // The backend layer owns engine dispatch; the resolved handle drives
+    // the same `Session` machinery the daemon uses.
+    let backend = resolve_backend(opts)?;
+    let mut session = backend
+        .prepare(vec![sim], None)
+        .map_err(|e| e.to_string())?;
+    let summary = backend
+        .finish(&mut session, opts.park, opts.max_cycles)
         .map_err(|e| e.to_string())?
         .expect("a single-machine session reports a summary");
     let sim = session.machine().expect("single-machine session");
@@ -278,6 +327,7 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
             let _ = write!(out, "{trace}");
         }
     }
+    let _ = writeln!(out, "backend:       {}", backend.name());
     let _ = writeln!(out, "cycles:        {}", summary.cycles);
     let _ = writeln!(out, "ops executed:  {}", summary.stats.ops);
     let _ = writeln!(
@@ -319,23 +369,29 @@ pub fn run_xsim(opts: &CliOptions) -> Result<String, String> {
     Ok(out)
 }
 
-/// Runs a seeded machine as `--lanes N` identical instances on the SoA
-/// lane engine and reports the aggregate plus lane 0's view (every lane is
-/// identical, so lane 0 stands for all of them).
+/// Runs a seeded machine as `--lanes N` identical instances on a
+/// lane-batching backend and reports the aggregate plus lane 0's view
+/// (every lane is identical, so lane 0 stands for all of them).
 fn run_xsim_lanes(opts: &CliOptions, proto: &Xsim) -> Result<String, String> {
-    let mut lanes = LaneXsim::replicate(proto, opts.lanes).map_err(|e| e.to_string())?;
-    let aggregate = match opts.park {
-        Some(park) => lanes.run_until_parked(park, opts.max_cycles),
-        None => lanes.run(opts.max_cycles),
-    }
-    .map_err(|e| e.to_string())?;
+    let backend = resolve_backend(opts)?;
+    let instances = vec![proto.clone(); opts.lanes];
+    let mut session = backend
+        .prepare(instances, None)
+        .map_err(|e| e.to_string())?;
+    backend
+        .finish(&mut session, opts.park, opts.max_cycles)
+        .map_err(|e| e.to_string())?;
+    let lanes = session.batch().expect("a --lanes run builds a batch");
     let summary = lanes.summary(0).expect("lane 0 finished").clone();
+    let total_cycles: u64 = (0..lanes.lanes()).map(|l| lanes.cycle(l)).sum();
 
     let mut out = String::new();
+    let _ = writeln!(out, "backend:       {}", backend.name());
     let _ = writeln!(
         out,
         "lanes:         {} ({} aggregate cycles)",
-        aggregate.lanes, aggregate.total_cycles
+        lanes.lanes(),
+        total_cycles
     );
     let _ = writeln!(out, "cycles:        {}", summary.cycles);
     let _ = writeln!(out, "ops executed:  {}", summary.stats.ops);
@@ -376,7 +432,7 @@ fn run_xsim_lanes(opts: &CliOptions, proto: &Xsim) -> Result<String, String> {
 fn run_xsim_remote(opts: &CliOptions, addr: &str, source: &str) -> Result<String, String> {
     let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     let mut req = Message::request("simulate")
-        .with("engine", opts.engine.name())
+        .with("backend", opts.backend.as_deref().unwrap_or("auto"))
         .with("budget", &opts.max_cycles.to_string());
     if let Some(park) = opts.park {
         req = req.with("park", &park.0.to_string());
@@ -399,8 +455,8 @@ fn run_xsim_remote(opts: &CliOptions, addr: &str, source: &str) -> Result<String
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "daemon:        {addr} engine {} (program {}, decode {})",
-        resp.get("engine").unwrap_or("?"),
+        "daemon:        {addr} backend {} (program {}, decode {})",
+        resp.get("backend").unwrap_or("?"),
         cached("cached_program"),
         cached("cached_decode"),
     );
@@ -444,8 +500,8 @@ pub fn run_vsim(opts: &CliOptions) -> Result<String, String> {
             "--connect is not supported by vsim (the daemon serves the XIMD machine)".into(),
         );
     }
-    if opts.engine != EngineKind::Interp {
-        return Err("--engine is an xsim flag (vsim has a single engine)".into());
+    if opts.backend.is_some() {
+        return Err("--backend is an xsim flag (vsim has a single engine)".into());
     }
     let path = opts.source.as_ref().expect("validated by parse_args");
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -1101,32 +1157,112 @@ mod tests {
         assert!(report.contains("cycles:        1"), "{report}");
         assert!(report.contains("r1 = 42"), "{report}");
 
-        // The lane engine is ideal-only; a timed batch is rejected cleanly.
-        let timed = parse_args(&args(&[
+        // No backend can batch lanes under a non-ideal timing model; the
+        // request is rejected as a usage error at parse time, blaming the
+        // lane engine's timing limit.
+        let err = parse_args(&args(&[
             path.to_str().unwrap(),
             "--lanes",
             "2",
             "--timing",
             "latency:mem=3",
         ]))
-        .unwrap();
-        let err = run_xsim(&timed).unwrap_err();
-        assert!(err.contains("ideal"), "{err}");
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "backend \"lanes\" does not support non-ideal timing models"
+        );
     }
 
     #[test]
-    fn engine_flag_parses_and_rejects_garbage() {
+    fn backend_flag_parses_and_rejects_garbage() {
         let opts = parse_args(&args(&["f.xasm"])).unwrap();
-        assert_eq!(opts.engine, EngineKind::Interp);
-        let opts = parse_args(&args(&["f.xasm", "--engine", "decoded"])).unwrap();
-        assert_eq!(opts.engine, EngineKind::Decoded);
-        assert!(parse_args(&args(&["f.xasm", "--engine", "warp"])).is_err());
+        assert_eq!(opts.backend, None);
+        let opts = parse_args(&args(&["f.xasm", "--backend", "decoded"])).unwrap();
+        assert_eq!(opts.backend.as_deref(), Some("decoded"));
+        let err = parse_args(&args(&["f.xasm", "--backend", "warp"])).unwrap_err();
+        assert!(err.starts_with("unknown backend \"warp\""), "{err}");
+
+        // The retired --engine spelling points at --backend (xlint keeps
+        // --engine for its analysis engines).
+        let err = parse_args(&args(&["f.xasm", "--engine", "decoded"])).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
+        assert!(err.contains("xlint"), "{err}");
 
         // vsim has one engine and no daemon op.
-        let opts = parse_args(&args(&["f.xasm", "--engine", "decoded"])).unwrap();
+        let opts = parse_args(&args(&["f.xasm", "--backend", "decoded"])).unwrap();
         assert!(run_vsim(&opts).unwrap_err().contains("xsim flag"));
         let opts = parse_args(&args(&["f.xasm", "--connect", "127.0.0.1:1"])).unwrap();
         assert!(run_vsim(&opts).unwrap_err().contains("--connect"));
+    }
+
+    #[test]
+    fn backend_capability_mismatches_are_usage_errors() {
+        // The uniform capability-mismatch rejection, pinned text and all.
+        // These fail in parse_args, which the xsim binary maps to exit 2.
+        for (flags, expected) in [
+            (
+                &[
+                    "f.xasm",
+                    "--backend",
+                    "decoded",
+                    "--timing",
+                    "latency:mem=4",
+                ][..],
+                "backend \"decoded\" does not support non-ideal timing models",
+            ),
+            (
+                &["f.xasm", "--backend", "decoded", "--trace"][..],
+                "backend \"decoded\" does not support trace emission",
+            ),
+            (
+                &["f.xasm", "--backend", "interp", "--lanes", "4"][..],
+                "backend \"interp\" does not support lane batching",
+            ),
+            (
+                &["f.xasm", "--backend", "lanes", "--timing", "banked:2"][..],
+                "backend \"lanes\" does not support non-ideal timing models",
+            ),
+        ] {
+            let err = parse_args(&args(flags)).unwrap_err();
+            assert_eq!(err, expected, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn auto_selection_policy_is_pinned() {
+        // `--backend auto` (and the default with no XIMD_BACKEND set)
+        // picks the decoded fast path for a plain single-machine run,
+        // the lane engine for --lanes N, and the interpreter whenever
+        // non-ideal timing or tracing is in play.
+        let resolved = |flags: &[&str]| {
+            let opts = parse_args(&args(flags)).unwrap();
+            resolve_backend_with(&opts, None).unwrap().name()
+        };
+        assert_eq!(resolved(&["f.xasm"]), "decoded");
+        assert_eq!(resolved(&["f.xasm", "--backend", "auto"]), "decoded");
+        assert_eq!(resolved(&["f.xasm", "--lanes", "16"]), "lanes");
+        assert_eq!(resolved(&["f.xasm", "--timing", "latency:mem=4"]), "interp");
+        assert_eq!(resolved(&["f.xasm", "--trace"]), "interp");
+
+        // XIMD_BACKEND is a soft preference: honoured when capable,
+        // silently out-selected when not.
+        let opts = parse_args(&args(&["f.xasm"])).unwrap();
+        let b = resolve_backend_with(&opts, Some("interp")).unwrap();
+        assert_eq!(b.name(), "interp");
+        let opts = parse_args(&args(&["f.xasm", "--timing", "latency:mem=4"])).unwrap();
+        let b = resolve_backend_with(&opts, Some("decoded")).unwrap();
+        assert_eq!(b.name(), "interp");
+        // ...while an explicit --backend flag stays hard.
+        let opts = CliOptions {
+            source: Some("f.xasm".into()),
+            backend: Some("decoded".into()),
+            timing: TimingSpec::parse("latency:mem=4").unwrap(),
+            max_cycles: 1,
+            lanes: 1,
+            ..CliOptions::default()
+        };
+        assert!(resolve_backend_with(&opts, Some("interp")).is_err());
     }
 
     #[test]
@@ -1141,12 +1277,13 @@ mod tests {
             let err = parse_args(&args(&bad)).unwrap_err();
             assert!(err.contains("--connect"), "{bad:?}: {err}");
         }
-        // Engine, budget, park and timing all travel over the wire.
+        // Backend, budget, park and timing all travel over the wire (the
+        // daemon is the registry of record, so no local resolution).
         let opts = parse_args(&args(&[
             "f.xasm",
             "--connect",
             "h:1",
-            "--engine",
+            "--backend",
             "lanes",
             "--max-cycles",
             "64",
@@ -1155,10 +1292,11 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(opts.connect.as_deref(), Some("h:1"));
+        assert_eq!(opts.backend.as_deref(), Some("lanes"));
     }
 
     #[test]
-    fn decoded_engine_matches_the_interpreter_report() {
+    fn every_capable_backend_matches_the_interpreter_report() {
         let dir = std::env::temp_dir().join("ximd-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("engine.xasm");
@@ -1167,13 +1305,50 @@ mod tests {
             ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; -> 01:\n01:\n  fu0: isub r1,#2,r2 ; halt\n",
         )
         .unwrap();
+        // The backend: line names the engine; everything below it must be
+        // identical across backends.
+        let strip = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("backend:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
         let base = args(&[path.to_str().unwrap(), "--dump-reg", "r2"]);
-        let interp = run_xsim(&parse_args(&base).unwrap()).unwrap();
-        let mut decoded_args = base.clone();
-        decoded_args.extend(args(&["--engine", "decoded"]));
-        let decoded = run_xsim(&parse_args(&decoded_args).unwrap()).unwrap();
-        assert_eq!(interp, decoded);
-        assert!(decoded.contains("r2 = 3"), "{decoded}");
+        let mut interp_args = base.clone();
+        interp_args.extend(args(&["--backend", "interp"]));
+        let interp_report = run_xsim(&parse_args(&interp_args).unwrap()).unwrap();
+        assert!(
+            interp_report.contains("backend:       interp"),
+            "{interp_report}"
+        );
+        let interp_report = strip(interp_report);
+        for name in backend::names() {
+            let mut next = base.clone();
+            next.extend(args(&["--backend", &name]));
+            let report = strip(run_xsim(&parse_args(&next).unwrap()).unwrap());
+            assert_eq!(report, interp_report, "{name} report diverges");
+            assert!(report.contains("r2 = 3"), "{report}");
+        }
+    }
+
+    #[test]
+    fn auto_backend_report_pins_the_selection() {
+        let dir = std::env::temp_dir().join("ximd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.xasm");
+        std::fs::write(&path, ".width 1\n00:\n  fu0: iadd r0,#5,r1 ; halt\n").unwrap();
+        // `--backend auto` is explicit, so the XIMD_BACKEND preference in
+        // a test-matrix environment cannot skew these pins.
+        let report = |extra: &[&str]| {
+            let mut a = args(&[path.to_str().unwrap(), "--backend", "auto"]);
+            a.extend(args(extra));
+            run_xsim(&parse_args(&a).unwrap()).unwrap()
+        };
+        assert!(report(&[]).contains("backend:       decoded"));
+        assert!(report(&["--lanes", "4"]).contains("backend:       lanes"));
+        assert!(report(&["--timing", "latency:mem=4"]).contains("backend:       interp"));
+        assert!(report(&["--trace"]).contains("backend:       interp"));
     }
 
     #[test]
@@ -1194,7 +1369,7 @@ mod tests {
             path.to_str().unwrap(),
             "--connect",
             &addr,
-            "--engine",
+            "--backend",
             "decoded",
         ]))
         .unwrap();

@@ -10,20 +10,26 @@
 //! ximd-serve listening on 127.0.0.1:40913
 //! ```
 //!
+//! With `--stats ADDR` it runs as a one-shot client instead: fetch the
+//! daemon's stats JSON (cache stages, job counts, per-backend counters)
+//! and print it — the shape CI's daemon-smoke step greps.
+//!
 //! Exit codes follow the workspace convention: 0 clean shutdown, 1
 //! runtime failure, 2 usage error.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use ximd_serve::{Server, ServerConfig};
+use ximd_serve::{Client, Server, ServerConfig};
 
 const USAGE: &str = "\
 usage: ximd-serve [--addr HOST:PORT] [--threads N]
+       ximd-serve --stats HOST:PORT
 
   --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 picks a
                      free port, printed on stdout once bound)
   --threads N        worker threads (default: one per core, capped at 8)
+  --stats HOST:PORT  client mode: print a running daemon's stats JSON
 ";
 
 fn main() -> ExitCode {
@@ -34,6 +40,10 @@ fn main() -> ExitCode {
             "--addr" => match args.next() {
                 Some(a) => config.addr = a,
                 None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--stats" => match args.next() {
+                Some(addr) => return print_stats(&addr),
+                None => return usage("--stats needs a HOST:PORT value"),
             },
             "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => config.threads = n,
@@ -60,6 +70,20 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("ximd-serve: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn print_stats(addr: &str) -> ExitCode {
+    let result = Client::connect(addr).and_then(|mut c| c.stats());
+    match result {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ximd-serve: stats from {addr} failed: {e}");
             ExitCode::from(1)
         }
     }

@@ -109,19 +109,21 @@ impl Client {
     }
 
     /// Simulates `source` on the daemon (headers per the `simulate` op;
-    /// body: the run's statistics as one JSON line).
+    /// body: the run's statistics as one JSON line). `backend` is a
+    /// registry name or `auto`.
     ///
     /// # Errors
     ///
     /// Any [`WireError`], including simulation errors reported remotely.
-    pub fn simulate_source(&mut self, source: &str, engine: &str) -> Result<Message, WireError> {
-        let mut req = Message::request("simulate").with("engine", engine);
+    pub fn simulate_source(&mut self, source: &str, backend: &str) -> Result<Message, WireError> {
+        let mut req = Message::request("simulate").with("backend", backend);
         req.body = source.as_bytes().to_vec();
         self.call_ok(&req)
     }
 
     /// Runs a named workload (`bitcount`, `livermore`, `minmax`, `tproc`)
-    /// with seeded data on the daemon.
+    /// with seeded data on the daemon. `backend` is a registry name or
+    /// `auto`.
     ///
     /// # Errors
     ///
@@ -131,13 +133,13 @@ impl Client {
         name: &str,
         n: usize,
         seed: u64,
-        engine: &str,
+        backend: &str,
     ) -> Result<Message, WireError> {
         let req = Message::request("simulate")
             .with("workload", name)
             .with("n", &n.to_string())
             .with("seed", &seed.to_string())
-            .with("engine", engine);
+            .with("backend", backend);
         self.call_ok(&req)
     }
 

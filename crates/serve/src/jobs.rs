@@ -1,16 +1,20 @@
-//! Job execution: the named-workload registry and the engine dispatch the
-//! daemon runs every simulation through.
+//! Job execution: the named-workload registry and the backend dispatch
+//! the daemon runs every simulation through.
 //!
 //! The daemon accepts work in two forms — raw source text (assembled
 //! through the [`ArtifactStore`](crate::ArtifactStore)) and *named
 //! workloads*: the paper's benchmark programs, instantiated with seeded
 //! data so a one-line request (`workload: bitcount, n: 64, seed: 7`)
 //! reproduces bit-identical runs on any host. Both forms funnel into
-//! [`run_one`], which picks the interpreter, the decoded fast path or the
-//! lane engine behind one enum and feeds cached decode tables through the
-//! `*_cached` entry points so a warm cache skips lowering entirely.
+//! [`run_one`], which drives whatever [`ExecutionBackend`] the request
+//! resolved to (see [`resolve_backend`]) and feeds cached decode tables
+//! through [`ExecutionBackend::prepare`] so a warm cache skips lowering
+//! entirely.
 
-use ximd_sim::{DecodedProgram, EngineKind, LaneXsim, SimError, SimStats, TimingSpec, Xsim};
+use std::sync::Arc;
+
+use ximd_sim::backend::{self, BackendHandle, BackendRequest, ExecutionBackend};
+use ximd_sim::{DecodedProgram, SimError, SimStats, TimingSpec, Xsim};
 use ximd_workloads::{bitcount, gen, livermore, minmax, tproc, with_timing, RunSpec};
 
 use crate::json::JsonWriter;
@@ -69,70 +73,57 @@ pub fn prepare_timed(
     }
 }
 
-/// Drives one machine to completion on the chosen engine and returns its
-/// final statistics.
+/// Drives one machine to completion on the resolved backend and returns
+/// its final statistics.
 ///
-/// `decoded` carries cached tables from the artifact store; `None` (or a
-/// non-matching table, or a non-ideal timing model) lowers on the fly via
-/// the engines' own fallback rules, so the choice only affects *where the
-/// decode time goes*, never the result. The lane engine runs the machine
-/// as a one-lane batch — pointless for throughput, but it makes `engine:
-/// lanes` mean the same code path in a single-machine request as in a
-/// batch, which is what the equivalence tests want to pin.
+/// `tables` carries cached decode tables from the artifact store; `None`
+/// (or a non-matching table) lowers on the fly, so the choice only
+/// affects *where the decode time goes*, never the result. Backends that
+/// cannot run this machine (a non-ideal timing model on an ideal-only
+/// backend) reject with the uniform capability-mismatch error.
 ///
 /// # Errors
 ///
-/// Any [`SimError`] the underlying engine reports.
+/// Any [`SimError`] the backend reports, including capability mismatches.
 pub fn run_one(
-    sim: &mut Xsim,
+    sim: Xsim,
     spec: RunSpec,
-    engine: EngineKind,
-    decoded: Option<&DecodedProgram>,
+    backend: &dyn ExecutionBackend,
+    tables: Option<Arc<DecodedProgram>>,
 ) -> Result<SimStats, SimError> {
-    match engine {
-        EngineKind::Interp => spec.drive(sim).map(|s| s.stats),
-        EngineKind::Decoded => {
-            let (park, budget) = match spec {
-                RunSpec::Run(b) => (None, b),
-                RunSpec::Parked(p, b) => (Some(p), b),
-            };
-            match decoded {
-                Some(tables) => sim
-                    .run_decoded_cached(tables, park, budget)
-                    .map(|s| s.stats),
-                None => match spec {
-                    RunSpec::Run(b) => sim.run_decoded(b),
-                    RunSpec::Parked(p, b) => sim.run_decoded_until_parked(p, b),
-                }
-                .map(|s| s.stats),
-            }
-        }
-        EngineKind::Lanes => {
-            let mut lanes = match decoded {
-                Some(tables) => LaneXsim::from_instances_cached(std::slice::from_ref(sim), tables)?,
-                None => LaneXsim::from_instances(std::slice::from_ref(sim))?,
-            };
-            spec.drive_lanes(&mut lanes)?;
-            Ok(lanes.stats(0).clone())
-        }
-    }
+    let mut session = backend.prepare(vec![sim], tables)?;
+    let (park, budget) = match spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
+    };
+    backend.finish(&mut session, park, budget)?;
+    Ok(backend.stats(&session).clone())
 }
 
-/// Drives a shard of same-workload machines as one lane batch and returns
-/// per-lane statistics. The shard must be drive-uniform (same park mode);
-/// the budget covering every lane is the per-lane maximum, mirroring
-/// `ximd_workloads::lane_batch`.
+/// Drives a shard of same-workload machines on one backend and returns
+/// per-machine statistics. A lane-batching backend runs the whole shard
+/// as one lockstep batch (the shard must be drive-uniform — same park
+/// mode — with the budget covering every lane being the per-lane maximum,
+/// mirroring `ximd_workloads::lane_batch`); any other backend runs the
+/// machines one at a time.
 ///
 /// # Errors
 ///
-/// Any [`SimError`] from batch assembly or the run.
-pub fn run_shard_lanes(
+/// Any [`SimError`] from batch assembly or the runs.
+pub fn run_shard(
     prepared: Vec<(Xsim, RunSpec)>,
-    decoded: Option<&DecodedProgram>,
+    backend: &dyn ExecutionBackend,
+    tables: Option<Arc<DecodedProgram>>,
 ) -> Result<Vec<SimStats>, SimError> {
     let Some(&(_, mut spec)) = prepared.first() else {
         return Ok(Vec::new());
     };
+    if !backend.capabilities().lane_batching || prepared.len() == 1 {
+        return prepared
+            .into_iter()
+            .map(|(sim, spec)| run_one(sim, spec, backend, tables.clone()))
+            .collect();
+    }
     for &(_, other) in prepared.iter().skip(1) {
         spec = match (spec, other) {
             (RunSpec::Run(a), RunSpec::Run(b)) => RunSpec::Run(a.max(b)),
@@ -143,12 +134,16 @@ pub fn run_shard_lanes(
         };
     }
     let sims: Vec<Xsim> = prepared.into_iter().map(|(sim, _)| sim).collect();
-    let mut lanes = match decoded {
-        Some(tables) => LaneXsim::from_instances_cached(&sims, tables)?,
-        None => LaneXsim::from_instances(&sims)?,
+    let mut session = backend.prepare(sims, tables)?;
+    let (park, budget) = match spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
     };
-    spec.drive_lanes(&mut lanes)?;
-    Ok((0..lanes.lanes()).map(|l| lanes.stats(l).clone()).collect())
+    backend.finish(&mut session, park, budget)?;
+    let batch = session
+        .batch()
+        .expect("lane-batching backend built a batch");
+    Ok((0..batch.lanes()).map(|l| batch.stats(l).clone()).collect())
 }
 
 /// Renders [`SimStats`] as a single-line JSON object — the body of every
@@ -196,62 +191,96 @@ pub fn write_stats(w: &mut JsonWriter, stats: &SimStats) {
     w.end_object();
 }
 
-/// Parses the engine selector header (defaulting to the decoded fast
-/// path, the daemon's workhorse).
+/// Resolves the `backend:` selector header against the process-wide
+/// registry: a missing header means `auto` (pick the most capable backend
+/// for the request — the decoded fast path for a plain single-machine
+/// run, the daemon's workhorse), a name must be registered and capable.
 ///
 /// # Errors
 ///
-/// A usage message naming the valid selectors.
-pub fn parse_engine(value: Option<&str>) -> Result<EngineKind, String> {
-    match value {
-        None => Ok(EngineKind::Decoded),
-        Some(s) => EngineKind::parse(s)
-            .ok_or_else(|| format!("unknown engine {s:?} (expected interp, decoded or lanes)")),
-    }
+/// A usage message: an unknown backend name, or a capability mismatch.
+pub fn resolve_backend(
+    value: Option<&str>,
+    request: &BackendRequest,
+) -> Result<BackendHandle, String> {
+    backend::resolve(value.unwrap_or("auto"), request).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn by_name(name: &str) -> BackendHandle {
+        backend::lookup(name).expect("built-in backend")
+    }
+
     #[test]
-    fn registry_runs_every_workload_on_every_engine() {
+    fn registry_runs_every_workload_on_every_backend() {
         for &name in WORKLOADS {
             let baseline = {
-                let (mut sim, spec) = prepare(name, 8, 3).expect("prepares");
-                run_one(&mut sim, spec, EngineKind::Interp, None).expect("interp runs")
+                let (sim, spec) = prepare(name, 8, 3).expect("prepares");
+                run_one(sim, spec, by_name("interp").as_ref(), None).expect("interp runs")
             };
-            for engine in [EngineKind::Decoded, EngineKind::Lanes] {
-                let (mut sim, spec) = prepare(name, 8, 3).expect("prepares");
-                let stats = run_one(&mut sim, spec, engine, None).expect("engine runs");
-                assert_eq!(stats, baseline, "{name} diverges on {}", engine.name());
+            for b in backend::all() {
+                if !b.capabilities().supports(&BackendRequest::single_ideal()) {
+                    continue;
+                }
+                let (sim, spec) = prepare(name, 8, 3).expect("prepares");
+                let stats = run_one(sim, spec, b.as_ref(), None).expect("backend runs");
+                assert_eq!(stats, baseline, "{name} diverges on {}", b.name());
             }
         }
     }
 
     #[test]
     fn cached_tables_change_nothing() {
-        let (mut a, spec_a) = prepare("minmax", 12, 9).expect("prepares");
-        let tables = DecodedProgram::lower(a.program(), a.config().num_regs);
-        let cached = run_one(&mut a, spec_a, EngineKind::Decoded, Some(&tables)).expect("runs");
-        let (mut b, spec_b) = prepare("minmax", 12, 9).expect("prepares");
-        let fresh = run_one(&mut b, spec_b, EngineKind::Decoded, None).expect("runs");
+        let decoded = by_name("decoded");
+        let (a, spec_a) = prepare("minmax", 12, 9).expect("prepares");
+        let tables = Arc::new(DecodedProgram::lower(a.program(), a.config().num_regs));
+        let cached = run_one(a, spec_a, decoded.as_ref(), Some(tables)).expect("runs");
+        let (b, spec_b) = prepare("minmax", 12, 9).expect("prepares");
+        let fresh = run_one(b, spec_b, decoded.as_ref(), None).expect("runs");
         assert_eq!(cached, fresh);
     }
 
     #[test]
     fn timed_preparation_stretches_budget_and_stalls() {
         let spec = TimingSpec::parse("latency:mem=4").expect("parses");
-        let (mut sim, run) = prepare_timed("minmax", 8, 1, Some(&spec)).expect("prepares");
-        let stats = run_one(&mut sim, run, EngineKind::Interp, None).expect("runs");
+        let (sim, run) = prepare_timed("minmax", 8, 1, Some(&spec)).expect("prepares");
+        let stats = run_one(sim, run, by_name("interp").as_ref(), None).expect("runs");
         assert!(stats.stall_cycles > 0, "mem latency must stall");
+    }
+
+    #[test]
+    fn timed_runs_on_ideal_only_backends_are_capability_errors() {
+        let spec = TimingSpec::parse("latency:mem=4").expect("parses");
+        let (sim, run) = prepare_timed("minmax", 8, 1, Some(&spec)).expect("prepares");
+        let err = run_one(sim, run, by_name("decoded").as_ref(), None).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid machine configuration: backend \"decoded\" does not support \
+             non-ideal timing models"
+        );
     }
 
     #[test]
     fn unknown_workload_is_a_text_error() {
         let err = prepare("fibonacci", 8, 0).unwrap_err();
         assert!(err.contains("unknown workload"));
-        assert!(parse_engine(Some("warp")).is_err());
-        assert!(matches!(parse_engine(None), Ok(EngineKind::Decoded)));
+        let err = resolve_backend(Some("warp"), &BackendRequest::single_ideal()).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        // The default (auto) selection for a plain run is the decoded path.
+        let auto = resolve_backend(None, &BackendRequest::single_ideal()).unwrap();
+        assert_eq!(auto.name(), "decoded");
+        // ...and the interpreter under a non-ideal timing model.
+        let timed = resolve_backend(
+            None,
+            &BackendRequest {
+                non_ideal_timing: true,
+                ..BackendRequest::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(timed.name(), "interp");
     }
 }

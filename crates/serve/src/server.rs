@@ -26,9 +26,9 @@ use std::thread;
 use std::time::Instant;
 
 use ximd_isa::Addr;
+use ximd_sim::backend::{BackendHandle, BackendRequest, ExecutionBackend};
 use ximd_sim::{
-    decoded::MAX_FAST_WIDTH, DecodedProgram, EngineKind, MachineConfig, Session, SimStats,
-    TimingSpec, Xsim,
+    decoded::MAX_FAST_WIDTH, DecodedProgram, MachineConfig, Session, SimStats, TimingSpec, Xsim,
 };
 use ximd_workloads::RunSpec;
 
@@ -107,11 +107,21 @@ impl JobQueue {
     }
 }
 
+/// Per-backend usage counters, reported by the `stats` op.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackendCounters {
+    /// Machines driven to completion on this backend.
+    runs: u64,
+    /// Runs that reused cached decode tables from the artifact store.
+    decode_cache_hits: u64,
+}
+
 /// Shared daemon state: artifact cache, job queue, counters.
 pub struct ServerState {
     store: ArtifactStore,
     queue: JobQueue,
     ops: Mutex<HashMap<String, u64>>,
+    backends: Mutex<HashMap<String, BackendCounters>>,
     threads: usize,
     started: Instant,
     shutdown: AtomicBool,
@@ -123,6 +133,13 @@ impl ServerState {
     #[must_use]
     pub fn store(&self) -> &ArtifactStore {
         &self.store
+    }
+
+    fn record_backend(&self, name: &str, runs: u64, cache_hit: bool) {
+        let mut map = self.backends.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_default();
+        entry.runs += runs;
+        entry.decode_cache_hits += u64::from(cache_hit);
     }
 }
 
@@ -186,6 +203,7 @@ impl Server {
             store: ArtifactStore::new(),
             queue: JobQueue::default(),
             ops: Mutex::new(HashMap::new()),
+            backends: Mutex::new(HashMap::new()),
             threads: config.effective_threads(),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -304,6 +322,26 @@ fn timing_of(req: &Message) -> Result<Option<TimingSpec>, (&'static str, String)
     }
 }
 
+/// Resolves the request's `backend:` header against the registry (the old
+/// `engine:` spelling is rejected with a pointer — it collided with
+/// xlint's analysis-engine flag and was retired with `EngineKind`).
+fn backend_of(
+    req: &Message,
+    request: &BackendRequest,
+) -> Result<BackendHandle, (&'static str, String)> {
+    if req.get("engine").is_some() {
+        return Err((
+            "usage",
+            "the engine header was renamed; send backend: NAME|auto".to_string(),
+        ));
+    }
+    jobs::resolve_backend(req.get("backend"), request).map_err(|e| ("usage", e))
+}
+
+fn non_ideal_of(req: &Message) -> Result<bool, (&'static str, String)> {
+    Ok(timing_of(req)?.is_some_and(|t| !t.is_ideal()))
+}
+
 fn park_of(req: &Message) -> Result<Option<Addr>, (&'static str, String)> {
     match req.get("park") {
         None => Ok(None),
@@ -412,7 +450,7 @@ struct PreparedJob {
 fn prepare_job(
     state: &Arc<ServerState>,
     req: &Message,
-    engine: EngineKind,
+    backend: &dyn ExecutionBackend,
 ) -> Result<PreparedJob, (&'static str, String)> {
     let timing = timing_of(req)?;
     let (sim, mut spec, cached_program) = if let Some(name) = req.get("workload") {
@@ -453,7 +491,7 @@ fn prepare_job(
         }
     }
     let hash = program_hash(sim.program());
-    let cacheable = engine != EngineKind::Interp
+    let cacheable = backend.capabilities().uses_decoded_tables
         && sim.config().timing.is_ideal()
         && sim.config().width <= MAX_FAST_WIDTH;
     let (tables, cached_decode) = if cacheable {
@@ -473,13 +511,18 @@ fn prepare_job(
 }
 
 fn handle_simulate(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
-    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
-    let mut job = prepare_job(state, req, engine)?;
-    let stats = jobs::run_one(&mut job.sim, job.spec, engine, job.tables.as_deref())
+    let request = BackendRequest {
+        non_ideal_timing: non_ideal_of(req)?,
+        ..BackendRequest::default()
+    };
+    let backend = backend_of(req, &request)?;
+    let job = prepare_job(state, req, backend.as_ref())?;
+    let stats = jobs::run_one(job.sim, job.spec, backend.as_ref(), job.tables.clone())
         .map_err(|e| ("sim", e.to_string()))?;
+    state.record_backend(backend.name(), 1, job.cached_decode);
     let mut resp = Message::ok()
         .with("hash", &format_digest(job.hash))
-        .with("engine", engine.name())
+        .with("backend", backend.name())
         .with(
             "cached_program",
             if job.cached_program { "true" } else { "false" },
@@ -494,7 +537,6 @@ fn handle_simulate(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
 }
 
 fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
-    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
     let Some(name) = req.get("workload") else {
         return Err(("usage", "batch requires a workload header".to_string()));
     };
@@ -503,6 +545,12 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     let n = req.get_usize("n").unwrap_or(32);
     let seed = req.get_u64("seed").unwrap_or(0);
     let timing = timing_of(req)?;
+    let request = BackendRequest {
+        non_ideal_timing: timing.as_ref().is_some_and(|t| !t.is_ideal()),
+        lanes,
+        ..BackendRequest::default()
+    };
+    let backend = backend_of(req, &request)?;
 
     let mut prepared = Vec::with_capacity(lanes);
     for lane in 0..lanes {
@@ -512,7 +560,7 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
         );
     }
     let proto = &prepared[0].0;
-    let cacheable = engine != EngineKind::Interp
+    let cacheable = backend.capabilities().uses_decoded_tables
         && proto.config().timing.is_ideal()
         && proto.config().width <= MAX_FAST_WIDTH;
     let (tables, cached_decode) = if cacheable {
@@ -540,18 +588,9 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     let num_shards = chunks.len();
     let run_shard = {
         let tables = tables.clone();
-        move |shard: Vec<(Xsim, RunSpec)>, engine: EngineKind| -> Result<Vec<SimStats>, String> {
-            if engine == EngineKind::Lanes {
-                jobs::run_shard_lanes(shard, tables.as_deref()).map_err(|e| e.to_string())
-            } else {
-                shard
-                    .into_iter()
-                    .map(|(mut sim, spec)| {
-                        jobs::run_one(&mut sim, spec, engine, tables.as_deref())
-                            .map_err(|e| e.to_string())
-                    })
-                    .collect()
-            }
+        let backend = backend.clone();
+        move |shard: Vec<(Xsim, RunSpec)>| -> Result<Vec<SimStats>, String> {
+            jobs::run_shard(shard, backend.as_ref(), tables.clone()).map_err(|e| e.to_string())
         }
     };
     let run_shard = Arc::new(run_shard);
@@ -561,11 +600,11 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
         let tx = tx.clone();
         let run_shard = Arc::clone(&run_shard);
         state.queue.push(Job::Shard(Box::new(move || {
-            let _ = tx.send((idx, run_shard(shard, engine)));
+            let _ = tx.send((idx, run_shard(shard)));
         })));
     }
     if let Some((idx, shard)) = first {
-        let _ = tx.send((idx, run_shard(shard, engine)));
+        let _ = tx.send((idx, run_shard(shard)));
     }
     drop(tx);
     let mut results: Vec<Option<Vec<SimStats>>> = vec![None; num_shards];
@@ -590,6 +629,7 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     for r in results {
         all.extend(r.ok_or(("internal", "batch shard lost".to_string()))?);
     }
+    state.record_backend(backend.name(), lanes as u64, cached_decode);
     let total_cycles: u64 = all.iter().map(|s| s.cycles).sum();
     let total_ops: u64 = all.iter().map(|s| s.ops).sum();
     let max_cycles = all.iter().map(|s| s.cycles).max().unwrap_or(0);
@@ -597,7 +637,7 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("workload", &name);
-    w.field_str("engine", engine.name());
+    w.field_str("backend", backend.name());
     w.field_u64("lanes", lanes as u64);
     w.field_u64("shards", num_shards as u64);
     w.field_u64("total_cycles", total_cycles);
@@ -613,7 +653,7 @@ fn handle_batch(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
 
     let mut resp = Message::ok()
         .with("hash", &format_digest(hash))
-        .with("engine", engine.name())
+        .with("backend", backend.name())
         .with("lanes", &lanes.to_string())
         .with("shards", &num_shards.to_string())
         .with(
@@ -632,23 +672,33 @@ fn handle_snapshot(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
             "snapshot requires an upto header (cycle mark)".to_string(),
         ));
     };
-    // Engine choice is a finish-time concern; advancing is interpreter
-    // stepping either way. Parse for validation only.
-    let _ = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
-    let job = prepare_job(state, req, EngineKind::Interp)?;
+    // Advancing to a mark is interpreter stepping on every backend (the
+    // advance_to default), but the handle still carries the decode-table
+    // policy and the capability check.
+    let request = BackendRequest {
+        non_ideal_timing: non_ideal_of(req)?,
+        snapshot: true,
+        ..BackendRequest::default()
+    };
+    let backend = backend_of(req, &request)?;
+    let job = prepare_job(state, req, backend.as_ref())?;
     let (park, budget) = match job.spec {
         RunSpec::Run(b) => (None, b),
         RunSpec::Parked(p, b) => (Some(p), b),
     };
-    let mut session = Session::from_machine(job.sim);
-    session
-        .advance_to(park, upto)
+    let mut session = backend
+        .prepare(vec![job.sim], job.tables.clone())
         .map_err(|e| ("sim", e.to_string()))?;
-    let image = session
-        .snapshot()
+    backend
+        .advance_to(&mut session, park, upto)
+        .map_err(|e| ("sim", e.to_string()))?;
+    let image = backend
+        .snapshot(&session)
         .map_err(|e| ("internal", e.to_string()))?;
+    state.record_backend(backend.name(), 1, job.cached_decode);
     let mut resp = Message::ok()
         .with("hash", &format_digest(job.hash))
+        .with("backend", backend.name())
         .with("cycle", &session.cycle().to_string())
         .with(
             "complete",
@@ -663,22 +713,23 @@ fn handle_snapshot(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     Ok(resp)
 }
 
-fn handle_resume(_state: &Arc<ServerState>, req: &Message) -> HandlerResult {
+fn handle_resume(state: &Arc<ServerState>, req: &Message) -> HandlerResult {
     let Some(budget) = req.get_u64("budget") else {
         return Err((
             "usage",
             "resume requires a budget header (absolute cycle budget)".to_string(),
         ));
     };
-    let engine = jobs::parse_engine(req.get("engine")).map_err(|e| ("usage", e))?;
     let park = park_of(req)?;
     let mut session = Session::restore(&req.body).map_err(|e| ("sim", e.to_string()))?;
+    let backend = backend_of(req, &session.backend_request())?;
     session
-        .finish(park, budget, engine)
+        .finish(park, budget, backend.as_ref())
         .map_err(|e| ("sim", e.to_string()))?;
+    state.record_backend(backend.name(), 1, false);
     let hash = session.machine().map(|sim| program_hash(sim.program()));
     let mut resp = Message::ok()
-        .with("engine", engine.name())
+        .with("backend", backend.name())
         .with("cycles", &session.cycle().to_string())
         .with(
             "complete",
@@ -734,6 +785,22 @@ fn handle_stats(state: &Arc<ServerState>) -> Message {
         w.field_u64(name, ops[name]);
     }
     drop(ops);
+    w.end_object();
+    w.newline();
+    w.key("backends");
+    w.begin_object();
+    let backends = state.backends.lock().unwrap();
+    let mut names: Vec<_> = backends.keys().collect();
+    names.sort();
+    for name in names {
+        let c = backends[name];
+        w.key(name);
+        w.begin_object();
+        w.field_u64("runs", c.runs);
+        w.field_u64("decode_cache_hits", c.decode_cache_hits);
+        w.end_object();
+    }
+    drop(backends);
     w.end_object();
     w.end_object();
     let mut resp = Message::ok();

@@ -57,7 +57,7 @@ fn second_submission_reports_cache_hits_and_identical_stats() {
 }
 
 #[test]
-fn workload_runs_agree_across_engines_and_cache_decode() {
+fn workload_runs_agree_across_backends_and_cache_decode() {
     let (mut c, handle) = client(2);
     let interp = c
         .simulate_workload("minmax", 16, 5, "interp")
@@ -70,10 +70,39 @@ fn workload_runs_agree_across_engines_and_cache_decode() {
         .expect("lanes");
     assert_eq!(interp.body, decoded.body);
     assert_eq!(interp.body, lanes.body);
+    assert_eq!(interp.get("backend"), Some("interp"));
+    assert_eq!(decoded.get("backend"), Some("decoded"));
+    assert_eq!(lanes.get("backend"), Some("lanes"));
     // interp never consults the decode cache; decoded missed then lanes hit.
     assert_eq!(interp.get("cached_decode"), Some("false"));
     assert_eq!(decoded.get("cached_decode"), Some("false"));
     assert_eq!(lanes.get("cached_decode"), Some("true"));
+    // An omitted backend header means auto, which picks the decoded fast
+    // path for a plain single-machine run.
+    let auto = c
+        .call_ok(
+            &Message::request("simulate")
+                .with("workload", "minmax")
+                .with("n", "16")
+                .with("seed", "5"),
+        )
+        .expect("auto");
+    assert_eq!(auto.get("backend"), Some("decoded"));
+    assert_eq!(auto.body, interp.body);
+
+    // The stats op reports per-backend run and decode-cache counters.
+    let stats = c.stats().expect("stats");
+    let line = stats
+        .lines()
+        .find(|l| l.contains("\"backends\""))
+        .expect("backends line");
+    for piece in [
+        "\"interp\": {\"runs\": 1, \"decode_cache_hits\": 0}",
+        "\"decoded\": {\"runs\": 2, \"decode_cache_hits\": 1}",
+        "\"lanes\": {\"runs\": 1, \"decode_cache_hits\": 1}",
+    ] {
+        assert!(line.contains(piece), "missing {piece} in {line}");
+    }
     c.shutdown().expect("shutdown");
     handle.join().expect("clean exit");
 }
@@ -103,7 +132,7 @@ fn batch_shards_across_single_worker_without_deadlock() {
         .with("workload", "bitcount")
         .with("lanes", "6")
         .with("n", "8")
-        .with("engine", "lanes");
+        .with("backend", "lanes");
     let resp = c.call_ok(&req).expect("batch runs");
     let body = String::from_utf8(resp.body).expect("utf-8 body");
     assert_eq!(json::u64_field(&body, "lanes"), Some(6));
@@ -155,7 +184,7 @@ fn snapshot_resume_round_trips_bit_exactly() {
 
     let mut resume = Message::request("resume")
         .with("budget", &budget)
-        .with("engine", "interp");
+        .with("backend", "interp");
     resume.body = snap.body.clone();
     let resumed = c.call_ok(&resume).expect("resume");
     assert_eq!(resumed.get("complete"), Some("true"));
@@ -172,7 +201,7 @@ fn snapshot_resume_round_trips_bit_exactly() {
                 .with("workload", "livermore")
                 .with("n", "24")
                 .with("seed", "11")
-                .with("engine", "interp")
+                .with("backend", "interp")
                 .with("timing", "latency:mem=4"),
         )
         .expect("timed solo");
@@ -188,7 +217,7 @@ fn snapshot_resume_round_trips_bit_exactly() {
         .expect("timed snapshot");
     let mut resume_t = Message::request("resume")
         .with("budget", snap_t.get("budget").unwrap())
-        .with("engine", "interp");
+        .with("backend", "interp");
     resume_t.body = snap_t.body.clone();
     let resumed_t = c.call_ok(&resume_t).expect("timed resume");
     assert_eq!(resumed_t.body, solo_t.body);
@@ -200,15 +229,58 @@ fn snapshot_resume_round_trips_bit_exactly() {
 #[test]
 fn usage_errors_are_typed() {
     let (mut c, handle) = client(1);
-    let bad_engine = c
+    let bad_backend = c
         .call(
             &Message::request("simulate")
                 .with("workload", "minmax")
-                .with("engine", "warp"),
+                .with("backend", "warp"),
         )
         .expect("transport ok");
-    assert!(!bad_engine.is_ok());
-    assert_eq!(bad_engine.get("code"), Some("usage"));
+    assert!(!bad_backend.is_ok());
+    assert_eq!(bad_backend.get("code"), Some("usage"));
+    assert!(
+        bad_backend
+            .get("error")
+            .unwrap()
+            .contains("unknown backend"),
+        "{:?}",
+        bad_backend.get("error")
+    );
+
+    // The retired engine: spelling is rejected with a pointer, not
+    // silently accepted or treated as an unknown header.
+    let old_spelling = c
+        .call(
+            &Message::request("simulate")
+                .with("workload", "minmax")
+                .with("engine", "decoded"),
+        )
+        .expect("transport ok");
+    assert_eq!(old_spelling.get("code"), Some("usage"));
+    assert!(
+        old_spelling
+            .get("error")
+            .unwrap()
+            .contains("backend: NAME|auto"),
+        "{:?}",
+        old_spelling.get("error")
+    );
+
+    // Asking an ideal-only backend for a non-ideal timing model is the
+    // uniform capability-mismatch rejection.
+    let mismatch = c
+        .call(
+            &Message::request("simulate")
+                .with("workload", "minmax")
+                .with("backend", "decoded")
+                .with("timing", "latency:mem=4"),
+        )
+        .expect("transport ok");
+    assert_eq!(mismatch.get("code"), Some("usage"));
+    assert_eq!(
+        mismatch.get("error"),
+        Some("backend \"decoded\" does not support non-ideal timing models")
+    );
 
     let no_op = c
         .call(&Message::default().with("x", "y"))

@@ -1,0 +1,709 @@
+//! Execution backends: one trait, declared capabilities, a named registry.
+//!
+//! The paper's claim is that one XIMD machine subsumes many execution
+//! regimes; this module is the code-side mirror of that claim. Every way
+//! of *running* a program — the cycle-accurate interpreter, the decoded
+//! fast path, the SoA lane engine, and any future translation/JIT engine —
+//! implements [`ExecutionBackend`] and registers under a name. Consumers
+//! (the CLI, the job daemon, the benchmark harness, the test suites) stop
+//! hard-coding engine enums and instead ask the registry for a backend by
+//! name, or let [`select`] pick the most capable one for a request.
+//!
+//! # Capabilities and selection
+//!
+//! A backend declares what it can do in a [`Capabilities`] record:
+//! non-ideal timing models, lane batching, snapshot/restore, per-cycle
+//! trace emission. A caller describes what it needs in a
+//! [`BackendRequest`]. Selection is mechanical:
+//!
+//! 1. drop every backend whose capabilities do not cover the request;
+//! 2. among the survivors pick the highest [`Capabilities::rank`]
+//!    (ties go to the earlier registration).
+//!
+//! The interpreter declares every semantic capability at rank 0, so it is
+//! the universal fallback: any satisfiable request resolves to *something*.
+//! Explicitly naming a backend that cannot satisfy the request is a
+//! uniform [`ConfigError::CapabilityMismatch`] — the one spelling that
+//! replaces the ad-hoc `DecodedRequiresIdeal`-style guards that used to be
+//! scattered across the consumers.
+//!
+//! # Registering a third-party backend
+//!
+//! A JIT (or any out-of-crate engine) implements the trait against the
+//! public [`Session`] API and calls [`register`] once at startup:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ximd_isa::Addr;
+//! use ximd_sim::backend::{self, Capabilities, ExecutionBackend};
+//! use ximd_sim::{RunSummary, Session, SimError};
+//!
+//! struct MyJit;
+//!
+//! impl ExecutionBackend for MyJit {
+//!     fn name(&self) -> &'static str {
+//!         "myjit"
+//!     }
+//!     fn capabilities(&self) -> Capabilities {
+//!         Capabilities {
+//!             rank: 4, // prefer over the decoded path when capable
+//!             ..backend::lookup("decoded").unwrap().capabilities()
+//!         }
+//!     }
+//!     fn finish(
+//!         &self,
+//!         session: &mut Session,
+//!         park: Option<Addr>,
+//!         max_cycles: u64,
+//!     ) -> Result<Option<RunSummary>, SimError> {
+//!         // a real JIT would run compiled code; delegating is legal too
+//!         backend::lookup("decoded").unwrap().finish(session, park, max_cycles)
+//!     }
+//! }
+//!
+//! backend::register(Arc::new(MyJit));
+//! assert!(backend::names().contains(&"myjit".to_string()));
+//! ```
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ximd_isa::Addr;
+
+use crate::decoded::DecodedProgram;
+use crate::error::{ConfigError, SimError};
+use crate::session::Session;
+use crate::snapshot::SnapshotError;
+use crate::stats::SimStats;
+use crate::xsim::{RunSummary, Xsim};
+
+/// What a backend declares it can do. Selection and explicit-name
+/// validation both reduce to comparing one of these against a
+/// [`BackendRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Implements non-ideal timing models (latency classes, banked
+    /// memory) natively. Backends without it are ideal-machine only.
+    pub non_ideal_timing: bool,
+    /// Runs many same-program instances as one lockstep batch.
+    pub lane_batching: bool,
+    /// Sessions driven by this backend can suspend to a byte image and
+    /// resume bit-exactly.
+    pub snapshotting: bool,
+    /// Emits per-cycle address traces (the paper's Figure 10 format).
+    pub trace_emission: bool,
+    /// Consumes pre-lowered decode tables when offered (the artifact
+    /// cache uses this to decide whether lowering is worth caching).
+    pub uses_decoded_tables: bool,
+    /// Auto-selection preference among capable backends; higher wins.
+    pub rank: u8,
+}
+
+impl Capabilities {
+    /// The first capability in `request` this record lacks, as the noun
+    /// phrase used in error messages; `None` when fully capable.
+    #[must_use]
+    pub fn missing(&self, request: &BackendRequest) -> Option<&'static str> {
+        if request.non_ideal_timing && !self.non_ideal_timing {
+            Some("non-ideal timing models")
+        } else if request.lanes > 1 && !self.lane_batching {
+            Some("lane batching")
+        } else if request.trace && !self.trace_emission {
+            Some("trace emission")
+        } else if request.snapshot && !self.snapshotting {
+            Some("snapshot/restore")
+        } else {
+            None
+        }
+    }
+
+    /// True when every capability in `request` is covered.
+    #[must_use]
+    pub fn supports(&self, request: &BackendRequest) -> bool {
+        self.missing(request).is_none()
+    }
+}
+
+/// What a caller needs from a backend. Build one from the run parameters
+/// (CLI flags, wire headers) or from an existing session via
+/// [`Session::backend_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendRequest {
+    /// The machine runs under a non-ideal timing model.
+    pub non_ideal_timing: bool,
+    /// Number of lockstep instances (`<= 1` means a single machine).
+    pub lanes: usize,
+    /// The run wants a per-cycle trace.
+    pub trace: bool,
+    /// The run will be suspended/resumed through snapshots.
+    pub snapshot: bool,
+}
+
+impl BackendRequest {
+    /// The common case: one machine, ideal timing, no trace.
+    #[must_use]
+    pub fn single_ideal() -> BackendRequest {
+        BackendRequest::default()
+    }
+
+    /// Derives the request implied by a set of prepared machine
+    /// instances: their count and their (shared) timing model.
+    #[must_use]
+    pub fn for_instances(sims: &[Xsim]) -> BackendRequest {
+        BackendRequest {
+            non_ideal_timing: sims.first().is_some_and(|s| !s.config().timing.is_ideal()),
+            lanes: sims.len(),
+            ..BackendRequest::default()
+        }
+    }
+}
+
+/// One way of executing XIMD programs: prepare machines into a
+/// [`Session`], drive it (to a cycle mark or to completion), and move it
+/// through snapshots. All methods except [`ExecutionBackend::finish`]
+/// have defaults that delegate to the session layer, so a minimal backend
+/// is `name` + `capabilities` + `finish`.
+pub trait ExecutionBackend: Send + Sync {
+    /// The registry/CLI/wire name (`interp`, `decoded`, `lanes`, ...).
+    fn name(&self) -> &'static str;
+
+    /// What this backend can do; see [`Capabilities`].
+    fn capabilities(&self) -> Capabilities;
+
+    /// Builds a session from machine instances (one instance = a
+    /// single-machine session, several = a lane batch), optionally seeded
+    /// with pre-lowered decode tables from an artifact cache. The default
+    /// validates the implied [`BackendRequest`] against this backend's
+    /// capabilities and rejects mismatches uniformly.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::CapabilityMismatch`] when the instances need
+    /// something this backend lacks; any [`SimError`] from batch assembly.
+    fn prepare(
+        &self,
+        sims: Vec<Xsim>,
+        tables: Option<Arc<DecodedProgram>>,
+    ) -> Result<Session, SimError> {
+        self.check(&BackendRequest::for_instances(&sims))?;
+        if sims.is_empty() {
+            return Err(ConfigError::ZeroLanes.into());
+        }
+        if sims.len() == 1 {
+            let sim = sims.into_iter().next().expect("one instance");
+            Ok(match tables {
+                Some(t) => Session::from_machine_cached(sim, t),
+                None => Session::from_machine(sim),
+            })
+        } else {
+            Session::from_instances_cached(&sims, tables)
+        }
+    }
+
+    /// Advances a session to the absolute cycle mark `upto_cycle` (the
+    /// suspension point), with the session layer's park-overshoot rules.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from the underlying steps.
+    fn advance_to(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        upto_cycle: u64,
+    ) -> Result<(), SimError> {
+        session.advance_to(park, upto_cycle)
+    }
+
+    /// Drives the session to completion under an **absolute** cycle
+    /// budget (see [`Session::finish`] for the exact semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::CapabilityMismatch`] if the session needs something
+    /// this backend lacks; otherwise the underlying engine's errors.
+    fn finish(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError>;
+
+    /// Serializes the session into a self-describing byte image.
+    ///
+    /// # Errors
+    ///
+    /// The snapshot codec's encoding errors.
+    fn snapshot(&self, session: &Session) -> Result<Vec<u8>, SnapshotError> {
+        session.snapshot()
+    }
+
+    /// Restores a session from a snapshot image.
+    ///
+    /// # Errors
+    ///
+    /// The snapshot codec's decoding errors.
+    fn restore(&self, image: &[u8]) -> Result<Session, SnapshotError> {
+        Session::restore(image)
+    }
+
+    /// The session's final statistics (the machine's, or lane 0's for a
+    /// batch — per-lane numbers come from [`Session::batch`]).
+    fn stats<'s>(&self, session: &'s Session) -> &'s SimStats {
+        session.stats()
+    }
+
+    /// Validates a request against this backend's capabilities; the
+    /// uniform replacement for ad-hoc "engine X requires Y" guards.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::CapabilityMismatch`] naming the first unmet need.
+    fn check(&self, request: &BackendRequest) -> Result<(), ConfigError> {
+        match self.capabilities().missing(request) {
+            None => Ok(()),
+            Some(capability) => Err(ConfigError::CapabilityMismatch {
+                backend: self.name().to_string(),
+                capability,
+            }),
+        }
+    }
+}
+
+/// A stable digest of a session's observable state: cycle, registers,
+/// PCs, condition codes, statistics and memory (per lane, for batches).
+/// Two sessions that ran the same program the same number of cycles must
+/// digest equal no matter which backend drove them — differential
+/// backends (and the pairwise equivalence suite) compare these.
+///
+/// Engine-internal bookkeeping (pending occupancy keys, trace buffers,
+/// I/O-port event logs) is deliberately excluded: it is not part of the
+/// cross-engine equivalence contract.
+#[must_use]
+pub fn state_digest(session: &Session) -> u64 {
+    // FNV-1a over Debug renderings, the same construction the artifact
+    // store keys on. Debug formats are stable within one build, which is
+    // the only scope digests are ever compared in.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut put = |piece: &dyn std::fmt::Debug| {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "{piece:?}/");
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match session.machine() {
+        Some(sim) => {
+            put(&sim.cycle());
+            put(&sim.regs.snapshot());
+            put(&sim.pcs());
+            put(&sim.ccs());
+            put(&sim.stats());
+            // The backing store iterates in hash order, which a snapshot
+            // round-trip does not preserve; sort so twin sessions with
+            // identical contents digest equal.
+            let mut words: Vec<_> = sim.mem.iter_words().collect();
+            words.sort_unstable();
+            put(&words);
+        }
+        None => {
+            let batch = session.batch().expect("machine or batch");
+            for lane in 0..batch.lanes() {
+                put(&batch.cycle(lane));
+                put(&batch.pcs(lane));
+                put(&batch.ccs(lane));
+                put(&batch.stats(lane));
+            }
+        }
+    }
+    h
+}
+
+/// The cycle-accurate interpreter: every timing model, trace-capable,
+/// snapshot-capable — the universal fallback at rank 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpBackend;
+
+impl ExecutionBackend for InterpBackend {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            non_ideal_timing: true,
+            lane_batching: false,
+            snapshotting: true,
+            trace_emission: true,
+            uses_decoded_tables: false,
+            rank: 0,
+        }
+    }
+
+    fn finish(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.check(&session.backend_request())?;
+        session.finish_interp(park, max_cycles)
+    }
+}
+
+/// The decoded fast path: ideal timing only, single machines, the
+/// highest-throughput single-instance engine (rank 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodedBackend;
+
+impl ExecutionBackend for DecodedBackend {
+    fn name(&self) -> &'static str {
+        "decoded"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            non_ideal_timing: false,
+            lane_batching: false,
+            snapshotting: true,
+            trace_emission: false,
+            uses_decoded_tables: true,
+            rank: 3,
+        }
+    }
+
+    fn finish(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.check(&session.backend_request())?;
+        session.finish_decoded(park, max_cycles)
+    }
+}
+
+/// The SoA lane engine: ideal timing only, lockstep batches. On a
+/// single-machine session it degenerates to the decoded fast path (a
+/// one-lane batch and the decoded path are the same computation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LanesBackend;
+
+impl ExecutionBackend for LanesBackend {
+    fn name(&self) -> &'static str {
+        "lanes"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            non_ideal_timing: false,
+            lane_batching: true,
+            snapshotting: true,
+            trace_emission: false,
+            uses_decoded_tables: true,
+            rank: 2,
+        }
+    }
+
+    fn finish(
+        &self,
+        session: &mut Session,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.check(&session.backend_request())?;
+        if session.batch().is_some() {
+            session.finish_lanes(park, max_cycles)
+        } else {
+            session.finish_decoded(park, max_cycles)
+        }
+    }
+}
+
+impl std::fmt::Debug for dyn ExecutionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExecutionBackend({})", self.name())
+    }
+}
+
+/// The backend handle every registry call hands out.
+pub type BackendHandle = Arc<dyn ExecutionBackend>;
+
+fn registry() -> &'static Mutex<Vec<BackendHandle>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BackendHandle>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(vec![
+            Arc::new(InterpBackend),
+            Arc::new(DecodedBackend),
+            Arc::new(LanesBackend),
+        ])
+    })
+}
+
+/// Registers a backend (process-wide). Re-registering a name replaces the
+/// previous entry, so tests and plugins can swap implementations.
+pub fn register(backend: BackendHandle) {
+    let mut reg = registry().lock().expect("backend registry poisoned");
+    if let Some(slot) = reg.iter_mut().find(|b| b.name() == backend.name()) {
+        *slot = backend;
+    } else {
+        reg.push(backend);
+    }
+}
+
+/// Looks a backend up by its registered name. `None` for unknown names —
+/// use [`resolve`] to get the usage-error spelling.
+#[must_use]
+pub fn lookup(name: &str) -> Option<BackendHandle> {
+    registry()
+        .lock()
+        .expect("backend registry poisoned")
+        .iter()
+        .find(|b| b.name() == name)
+        .cloned()
+}
+
+/// Every registered backend, in registration order.
+#[must_use]
+pub fn all() -> Vec<BackendHandle> {
+    registry()
+        .lock()
+        .expect("backend registry poisoned")
+        .clone()
+}
+
+/// Registered backend names, in registration order.
+#[must_use]
+pub fn names() -> Vec<String> {
+    all().iter().map(|b| b.name().to_string()).collect()
+}
+
+/// Auto-selection: the highest-ranked registered backend whose
+/// capabilities cover `request` (ties go to the earlier registration).
+/// The interpreter's universal semantic capabilities make this total for
+/// every single-machine request; an unsatisfiable request (e.g. a lane
+/// batch under non-ideal timing) reports the closest backend's first
+/// missing capability.
+///
+/// # Errors
+///
+/// [`ConfigError::CapabilityMismatch`] when no registered backend covers
+/// the request.
+pub fn select(request: &BackendRequest) -> Result<BackendHandle, ConfigError> {
+    let all = all();
+    let best = all
+        .iter()
+        .filter(|b| b.capabilities().supports(request))
+        .max_by_key(|b| b.capabilities().rank);
+    match best {
+        Some(b) => Ok(Arc::clone(b)),
+        None => {
+            // Report against the backend that comes closest (fewest unmet
+            // needs), so "lanes + non-ideal timing" blames the timing.
+            let closest = all
+                .iter()
+                .min_by_key(|b| {
+                    let caps = b.capabilities();
+                    let mut miss = 0u32;
+                    let mut probe = *request;
+                    while let Some(_c) = caps.missing(&probe) {
+                        miss += 1;
+                        // Clear the reported need and look for the next.
+                        if probe.non_ideal_timing && !caps.non_ideal_timing {
+                            probe.non_ideal_timing = false;
+                        } else if probe.lanes > 1 && !caps.lane_batching {
+                            probe.lanes = 1;
+                        } else if probe.trace && !caps.trace_emission {
+                            probe.trace = false;
+                        } else {
+                            probe.snapshot = false;
+                        }
+                    }
+                    // Ties go to the higher-ranked backend, so "lanes +
+                    // non-ideal timing" blames the lane engine's timing
+                    // limit rather than the interpreter's batching one.
+                    (miss, u8::MAX - caps.rank)
+                })
+                .expect("registry always holds the built-ins");
+            Err(ConfigError::CapabilityMismatch {
+                backend: closest.name().to_string(),
+                capability: closest
+                    .capabilities()
+                    .missing(request)
+                    .unwrap_or("the request"),
+            })
+        }
+    }
+}
+
+/// Resolves a CLI/wire backend spec: `"auto"` runs [`select`]; any other
+/// spelling must name a registered backend whose capabilities cover the
+/// request.
+///
+/// # Errors
+///
+/// [`ConfigError::UnknownBackend`] for unregistered names,
+/// [`ConfigError::CapabilityMismatch`] when the named backend cannot
+/// satisfy the request.
+pub fn resolve(spec: &str, request: &BackendRequest) -> Result<BackendHandle, ConfigError> {
+    if spec == "auto" {
+        return select(request);
+    }
+    let backend = lookup(spec).ok_or_else(|| ConfigError::UnknownBackend {
+        name: spec.to_string(),
+        registered: names().join(", "),
+    })?;
+    backend.check(request).map(|()| backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use ximd_isa::{Parcel, Program};
+
+    fn tiny_machine() -> Xsim {
+        let mut p = Program::new(1);
+        p.push(vec![Parcel::goto(Addr(1))]);
+        p.push(vec![Parcel::goto(Addr(1))]); // parks at 1
+        Xsim::new(p, MachineConfig::with_width(1)).unwrap()
+    }
+
+    #[test]
+    fn built_ins_are_registered_in_order() {
+        let names = names();
+        assert_eq!(&names[..3], &["interp", "decoded", "lanes"]);
+    }
+
+    #[test]
+    fn auto_selection_follows_the_capability_policy() {
+        // Single-instance ideal: the decoded fast path wins.
+        let b = select(&BackendRequest::single_ideal()).unwrap();
+        assert_eq!(b.name(), "decoded");
+
+        // A lane batch: only the lane engine batches.
+        let b = select(&BackendRequest {
+            lanes: 8,
+            ..BackendRequest::default()
+        })
+        .unwrap();
+        assert_eq!(b.name(), "lanes");
+
+        // Non-ideal timing: the interpreter is the universal fallback.
+        let b = select(&BackendRequest {
+            non_ideal_timing: true,
+            ..BackendRequest::default()
+        })
+        .unwrap();
+        assert_eq!(b.name(), "interp");
+
+        // Tracing likewise.
+        let b = select(&BackendRequest {
+            trace: true,
+            ..BackendRequest::default()
+        })
+        .unwrap();
+        assert_eq!(b.name(), "interp");
+    }
+
+    #[test]
+    fn unsatisfiable_requests_blame_the_closest_backend() {
+        let err = select(&BackendRequest {
+            lanes: 4,
+            non_ideal_timing: true,
+            ..BackendRequest::default()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ConfigError::CapabilityMismatch { backend, capability }
+                    if (backend == "lanes" && *capability == "non-ideal timing models")
+                        || (backend == "interp" && *capability == "lane batching")
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn explicit_names_resolve_or_reject_uniformly() {
+        assert_eq!(
+            resolve("interp", &BackendRequest::single_ideal())
+                .unwrap()
+                .name(),
+            "interp"
+        );
+        let err = resolve(
+            "decoded",
+            &BackendRequest {
+                non_ideal_timing: true,
+                ..BackendRequest::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "backend \"decoded\" does not support non-ideal timing models"
+        );
+        let err = resolve("warp", &BackendRequest::single_ideal()).unwrap_err();
+        assert!(err.to_string().starts_with("unknown backend \"warp\""));
+    }
+
+    #[test]
+    fn every_builtin_finishes_the_tiny_run_identically() {
+        let mut digests = Vec::new();
+        for backend in all().into_iter().filter(|b| b.name() != "interp") {
+            let mut session = backend.prepare(vec![tiny_machine()], None).unwrap();
+            backend.finish(&mut session, Some(Addr(1)), 100).unwrap();
+            if session.machine().is_some() {
+                digests.push((backend.name(), state_digest(&session)));
+            }
+        }
+        let interp = lookup("interp").unwrap();
+        let mut session = interp.prepare(vec![tiny_machine()], None).unwrap();
+        interp.finish(&mut session, Some(Addr(1)), 100).unwrap();
+        let reference = state_digest(&session);
+        for (name, digest) in digests {
+            assert_eq!(digest, reference, "{name} diverges from interp");
+        }
+    }
+
+    #[test]
+    fn registration_replaces_same_name_entries() {
+        // Use a throwaway name so other tests sharing the process-wide
+        // registry are unaffected.
+        #[derive(Debug)]
+        struct Probe(u8);
+        impl ExecutionBackend for Probe {
+            fn name(&self) -> &'static str {
+                "probe-replaced"
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities {
+                    non_ideal_timing: false,
+                    lane_batching: false,
+                    snapshotting: false,
+                    trace_emission: false,
+                    uses_decoded_tables: false,
+                    rank: self.0,
+                }
+            }
+            fn finish(
+                &self,
+                _session: &mut Session,
+                _park: Option<Addr>,
+                _max_cycles: u64,
+            ) -> Result<Option<RunSummary>, SimError> {
+                unimplemented!("probe backend never runs")
+            }
+        }
+        register(Arc::new(Probe(1)));
+        register(Arc::new(Probe(9)));
+        let found = lookup("probe-replaced").unwrap();
+        assert_eq!(found.capabilities().rank, 9);
+        assert_eq!(names().iter().filter(|n| *n == "probe-replaced").count(), 1);
+    }
+}

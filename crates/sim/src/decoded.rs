@@ -370,7 +370,7 @@ impl FastXsim {
     /// # Errors
     ///
     /// Returns [`SimError::Isa`] on the same validation failures as
-    /// [`Xsim::new`], or [`ConfigError::DecodedRequiresIdeal`] when the
+    /// [`Xsim::new`], or [`ConfigError::CapabilityMismatch`] when the
     /// config selects a non-ideal timing model — the fast path hard-codes
     /// single-cycle occupancy ([`Xsim::run_decoded`] checks and falls back
     /// to the interpreter instead).
@@ -386,7 +386,11 @@ impl FastXsim {
         );
         config.validate()?;
         if !config.timing.is_ideal() {
-            return Err(ConfigError::DecodedRequiresIdeal.into());
+            return Err(ConfigError::CapabilityMismatch {
+                backend: "decoded".to_string(),
+                capability: "non-ideal timing models",
+            }
+            .into());
         }
         if program.width() != config.width {
             return Err(SimError::Isa(ximd_isa::IsaError::WidthMismatch {
@@ -1410,7 +1414,10 @@ mod tests {
         p.push(vec![Parcel::halt()]);
         let config = MachineConfig::with_width(1).timing(TimingSpec::Banked { banks: 2 });
         let err = FastXsim::new(&p, &config).unwrap_err();
-        assert_eq!(err, SimError::Config(ConfigError::DecodedRequiresIdeal));
+        assert!(matches!(
+            err,
+            SimError::Config(ConfigError::CapabilityMismatch { ref backend, .. }) if backend == "decoded"
+        ));
     }
 
     #[test]

@@ -41,9 +41,25 @@ pub enum ConfigError {
         /// What was wrong with it.
         reason: &'static str,
     },
-    /// The decoded fast path was built for a non-ideal timing model; it is
-    /// only a valid implementation of [`Ideal`](crate::Ideal).
-    DecodedRequiresIdeal,
+    /// An execution backend was asked for something its declared
+    /// [`Capabilities`](crate::backend::Capabilities) do not cover — the
+    /// uniform rejection for every "engine X requires Y" condition (the
+    /// decoded fast path and the lane engine under non-ideal timing, a
+    /// trace request on a non-tracing backend, a lane batch on a
+    /// single-machine backend).
+    CapabilityMismatch {
+        /// The backend that was asked.
+        backend: String,
+        /// The capability it lacks, as a noun phrase.
+        capability: &'static str,
+    },
+    /// A backend name that is not in the registry.
+    UnknownBackend {
+        /// The requested name.
+        name: String,
+        /// The names that are registered, comma-joined.
+        registered: String,
+    },
     /// A lane batch with zero lanes.
     ZeroLanes,
     /// A lane batch whose instances disagree on program or configuration —
@@ -79,11 +95,14 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidTimingSpec { spec, reason } => {
                 write!(f, "bad timing spec `{spec}`: {reason}")
             }
-            ConfigError::DecodedRequiresIdeal => {
-                write!(
-                    f,
-                    "decoded fast path only implements the ideal timing model"
-                )
+            ConfigError::CapabilityMismatch {
+                backend,
+                capability,
+            } => {
+                write!(f, "backend {backend:?} does not support {capability}")
+            }
+            ConfigError::UnknownBackend { name, registered } => {
+                write!(f, "unknown backend {name:?} (registered: {registered})")
             }
             ConfigError::ZeroLanes => write!(f, "lane batch needs at least 1 lane"),
             ConfigError::LaneMismatch { lane } => {
@@ -176,6 +195,15 @@ pub enum SimError {
         /// The underlying error.
         error: Box<SimError>,
     },
+    /// A failure inside an execution backend that is not a machine check —
+    /// a differential backend detecting divergence, a plugin's codec
+    /// failing. Out-of-crate backends construct this directly.
+    Backend {
+        /// The reporting backend's registered name.
+        backend: String,
+        /// What went wrong, in the backend's own words.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -208,6 +236,7 @@ impl fmt::Display for SimError {
             }
             SimError::Config(e) => write!(f, "invalid machine configuration: {e}"),
             SimError::Lane { lane, error } => write!(f, "lane {lane}: {error}"),
+            SimError::Backend { backend, detail } => write!(f, "backend {backend}: {detail}"),
         }
     }
 }
@@ -274,6 +303,10 @@ mod tests {
                 lane: 3,
                 error: Box::new(SimError::CycleLimit { limit: 10 }),
             },
+            SimError::Backend {
+                backend: "shadow".to_string(),
+                detail: "interp and decoded diverged at cycle 12".to_string(),
+            },
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());
@@ -299,7 +332,14 @@ mod tests {
                 spec: "warp".to_string(),
                 reason: "unknown model",
             },
-            ConfigError::DecodedRequiresIdeal,
+            ConfigError::CapabilityMismatch {
+                backend: "decoded".to_string(),
+                capability: "non-ideal timing models",
+            },
+            ConfigError::UnknownBackend {
+                name: "warp".to_string(),
+                registered: "interp, decoded, lanes".to_string(),
+            },
             ConfigError::ZeroLanes,
             ConfigError::LaneMismatch { lane: 2 },
         ];

@@ -35,7 +35,7 @@
 //! Like the decoded path, the lane engine hard-codes single-cycle occupancy
 //! and is therefore only a valid implementation of the ideal timing model;
 //! constructors reject non-ideal configs with
-//! [`ConfigError::DecodedRequiresIdeal`]. The interpreter remains the
+//! [`ConfigError::CapabilityMismatch`]. The interpreter remains the
 //! oracle: `tests/decoded_equivalence.rs` and the proptest suite pin
 //! full-state per-lane equivalence against N independent decoded runs,
 //! including divergence-heavy workloads.
@@ -319,7 +319,7 @@ impl LaneXsim {
     ///
     /// [`ConfigError::ZeroLanes`] for an empty batch,
     /// [`ConfigError::LaneMismatch`] if an instance's program or config
-    /// differs from lane 0's, and [`ConfigError::DecodedRequiresIdeal`] for
+    /// differs from lane 0's, and [`ConfigError::CapabilityMismatch`] for
     /// non-ideal timing (the lane engine, like the decoded path, hard-codes
     /// single-cycle occupancy).
     ///
@@ -379,7 +379,11 @@ impl LaneXsim {
             "LaneXsim supports widths up to {MAX_FAST_WIDTH}"
         );
         if !config.timing.is_ideal() {
-            return Err(ConfigError::DecodedRequiresIdeal.into());
+            return Err(ConfigError::CapabilityMismatch {
+                backend: "lanes".to_string(),
+                capability: "non-ideal timing models",
+            }
+            .into());
         }
         let first_program: &Program = &first.program;
         for (lane, sim) in sims.iter().enumerate().skip(1) {
@@ -1607,10 +1611,10 @@ mod tests {
         let timed = MachineConfig::with_width(1)
             .timing(crate::timing::TimingSpec::parse("latency:mem=4").unwrap());
         let sims = vec![Xsim::new(p, timed).unwrap()];
-        assert_eq!(
+        assert!(matches!(
             LaneXsim::from_instances(&sims).unwrap_err(),
-            SimError::Config(ConfigError::DecodedRequiresIdeal)
-        );
+            SimError::Config(ConfigError::CapabilityMismatch { ref backend, .. }) if backend == "lanes"
+        ));
     }
 
     #[test]

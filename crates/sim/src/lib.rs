@@ -23,7 +23,11 @@
 //! * [`LaneXsim`] — the wide-batch lane engine: N instances of one decoded
 //!   program stepped in lockstep over structure-of-arrays state, with
 //!   per-lane masking and a scalar fallback when lanes diverge (ideal
-//!   timing only).
+//!   timing only);
+//! * [`backend`] — the execution-backend layer: every way of running a
+//!   program (interpreter, decoded fast path, lane engine, third-party
+//!   plugins) behind one capability-declaring trait and a named registry
+//!   with auto-selection.
 //!
 //! # Timing model
 //!
@@ -79,6 +83,7 @@
 //! # Ok::<(), ximd_sim::SimError>(())
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod decoded;
 pub mod device;
@@ -97,6 +102,7 @@ pub mod vliw;
 pub mod vsim;
 pub mod xsim;
 
+pub use backend::{BackendHandle, BackendRequest, Capabilities, ExecutionBackend};
 pub use config::{MachineConfig, MemGeometry};
 pub use decoded::{DecodedProgram, FastXsim};
 pub use device::{IoPort, PortEvent};
@@ -105,7 +111,7 @@ pub use lanes::{LaneRunSummary, LaneXsim};
 pub use memory::Memory;
 pub use partition::{CondKey, DecisionKey, Partition};
 pub use regfile::RegisterFile;
-pub use session::{EngineKind, Session};
+pub use session::Session;
 pub use snapshot::{SnapshotError, SnapshotKind};
 pub use stats::SimStats;
 pub use timing::{

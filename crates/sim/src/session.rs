@@ -20,58 +20,28 @@
 //! same cycles an uninterrupted `run(n)` would, because the run loop
 //! compares the machine's own cycle counter against the budget.
 
+use std::sync::Arc;
+
 use ximd_isa::{Addr, Program};
 
+use crate::backend::{BackendRequest, ExecutionBackend};
 use crate::config::MachineConfig;
+use crate::decoded::DecodedProgram;
 use crate::engine::Engine as _;
 use crate::error::SimError;
 use crate::lanes::LaneXsim;
 use crate::snapshot::{self, SnapshotError, SnapshotKind};
+use crate::stats::SimStats;
 use crate::xsim::{RunSummary, StepStatus, Xsim};
-
-/// Which execution engine a [`Session::finish`] dispatches to.
-///
-/// For a lane-batch session the engine is always the lane engine and this
-/// choice is ignored. For a single-machine session, `Lanes` degenerates to
-/// `Decoded` (a one-lane batch and the decoded fast path are the same
-/// computation; the decoded path avoids the batch setup cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineKind {
-    /// The cycle-accurate interpreter — any timing model, trace-capable.
-    #[default]
-    Interp,
-    /// The decoded fast path — ideal timing only (the interpreter is used
-    /// automatically where the fast path does not apply).
-    Decoded,
-    /// The SoA lane engine — ideal timing only, lockstep batches.
-    Lanes,
-}
-
-impl EngineKind {
-    /// Parses the CLI/wire spelling (`interp` / `decoded` / `lanes`).
-    pub fn parse(s: &str) -> Option<EngineKind> {
-        match s {
-            "interp" => Some(EngineKind::Interp),
-            "decoded" => Some(EngineKind::Decoded),
-            "lanes" => Some(EngineKind::Lanes),
-            _ => None,
-        }
-    }
-
-    /// The CLI/wire spelling.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Interp => "interp",
-            EngineKind::Decoded => "decoded",
-            EngineKind::Lanes => "lanes",
-        }
-    }
-}
 
 enum State {
     Machine {
         sim: Box<Xsim>,
         complete: bool,
+        /// Pre-lowered decode tables from an artifact cache; consulted by
+        /// the decoded backend, never serialized (a restored session
+        /// lowers on the fly, which changes timing, not results).
+        tables: Option<Arc<DecodedProgram>>,
     },
     Lanes {
         batch: Box<LaneXsim>,
@@ -98,7 +68,8 @@ enum State {
 /// session.advance_to(None, 1)?;               // run one cycle...
 /// let image = session.snapshot()?;            // ...suspend...
 /// let mut resumed = Session::restore(&image)?; // ...resume elsewhere...
-/// resumed.finish(Some(Addr(1)), 100, Default::default())?;
+/// let backend = ximd_sim::backend::lookup("interp").unwrap();
+/// resumed.finish(Some(Addr(1)), 100, backend.as_ref())?;
 /// assert!(resumed.complete());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -113,6 +84,20 @@ impl Session {
             state: State::Machine {
                 sim: Box::new(sim),
                 complete: false,
+                tables: None,
+            },
+        }
+    }
+
+    /// [`Session::from_machine`] with pre-lowered decode tables from an
+    /// artifact cache: a decoded-backend finish skips lowering when the
+    /// tables match the machine's program.
+    pub fn from_machine_cached(sim: Xsim, tables: Arc<DecodedProgram>) -> Session {
+        Session {
+            state: State::Machine {
+                sim: Box::new(sim),
+                complete: false,
+                tables: Some(tables),
             },
         }
     }
@@ -124,7 +109,23 @@ impl Session {
     ///
     /// The [`LaneXsim::from_instances`] validation errors.
     pub fn from_instances(sims: &[Xsim]) -> Result<Session, SimError> {
-        let batch = LaneXsim::from_instances(sims)?;
+        Session::from_instances_cached(sims, None)
+    }
+
+    /// [`Session::from_instances`] with optional pre-lowered decode tables
+    /// (the per-batch decode is skipped when they match).
+    ///
+    /// # Errors
+    ///
+    /// The [`LaneXsim::from_instances`] validation errors.
+    pub fn from_instances_cached(
+        sims: &[Xsim],
+        tables: Option<Arc<DecodedProgram>>,
+    ) -> Result<Session, SimError> {
+        let batch = match tables {
+            Some(t) => LaneXsim::from_instances_cached(sims, &t)?,
+            None => LaneXsim::from_instances(sims)?,
+        };
         let first = &sims[0];
         Ok(Session {
             state: State::Lanes {
@@ -192,7 +193,7 @@ impl Session {
     /// A machine check ([`SimError`]) from the underlying step.
     pub fn advance_to(&mut self, park: Option<Addr>, upto_cycle: u64) -> Result<(), SimError> {
         match &mut self.state {
-            State::Machine { sim, complete } => {
+            State::Machine { sim, complete, .. } => {
                 while !*complete && sim.cycle() < upto_cycle {
                     let parked = park.is_some_and(|p| sim.all_parked(p));
                     let status = sim.step()?;
@@ -208,50 +209,126 @@ impl Session {
 
     /// Drives the run to completion under an **absolute** cycle budget,
     /// exactly [`Xsim::run`] / [`Xsim::run_until_parked`] semantics
-    /// continued from wherever the session stands. No-op if already
-    /// complete. Returns the machine's summary (single-machine sessions)
-    /// or `None` (batch sessions report per-lane via
+    /// continued from wherever the session stands, on the given execution
+    /// backend (a registry handle — see [`crate::backend`]). No-op if
+    /// already complete. Returns the machine's summary (single-machine
+    /// sessions) or `None` (batch sessions report per-lane via
     /// [`LaneXsim::summary`]).
     ///
     /// # Errors
     ///
-    /// A machine check or [`SimError::CycleLimit`] if the budget expires
-    /// first.
+    /// [`ConfigError::CapabilityMismatch`](crate::ConfigError) if this
+    /// session needs something the backend lacks; otherwise a machine
+    /// check or [`SimError::CycleLimit`] if the budget expires first.
     pub fn finish(
         &mut self,
         park: Option<Addr>,
         max_cycles: u64,
-        engine: EngineKind,
+        backend: &dyn ExecutionBackend,
     ) -> Result<Option<RunSummary>, SimError> {
-        match &mut self.state {
-            State::Machine { sim, complete } => {
-                if *complete {
-                    return Ok(Some(RunSummary {
-                        cycles: sim.cycle(),
-                        stats: sim.stats().clone(),
-                    }));
-                }
-                let summary = match (engine, park) {
-                    (EngineKind::Interp, None) => sim.run(max_cycles)?,
-                    (EngineKind::Interp, Some(p)) => sim.run_until_parked(p, max_cycles)?,
-                    (EngineKind::Decoded | EngineKind::Lanes, None) => {
-                        sim.run_decoded(max_cycles)?
-                    }
-                    (EngineKind::Decoded | EngineKind::Lanes, Some(p)) => {
-                        sim.run_decoded_until_parked(p, max_cycles)?
-                    }
-                };
-                *complete = true;
-                Ok(Some(summary))
-            }
-            State::Lanes { batch, .. } => {
-                match park {
-                    None => batch.run(max_cycles)?,
-                    Some(p) => batch.run_until_parked(p, max_cycles)?,
-                };
-                Ok(None)
-            }
+        backend.finish(self, park, max_cycles)
+    }
+
+    /// The request this session's shape implies: its lane count and timing
+    /// model. Backends validate their capabilities against it before
+    /// driving; auto-selection on a restored session starts here.
+    #[must_use]
+    pub fn backend_request(&self) -> BackendRequest {
+        match &self.state {
+            State::Machine { sim, .. } => BackendRequest {
+                non_ideal_timing: !sim.config().timing.is_ideal(),
+                lanes: 1,
+                ..BackendRequest::default()
+            },
+            // Lane batches are assembled ideal-only; only the count matters.
+            State::Lanes { batch, .. } => BackendRequest {
+                lanes: batch.lanes().max(2),
+                ..BackendRequest::default()
+            },
         }
+    }
+
+    /// The run's statistics so far: the machine's, or lane 0's for a batch
+    /// (per-lane numbers come from [`Session::batch`]).
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        match &self.state {
+            State::Machine { sim, .. } => sim.stats(),
+            State::Lanes { batch, .. } => batch.stats(0),
+        }
+    }
+
+    /// The interpreter drive: [`Xsim::run`] / [`Xsim::run_until_parked`]
+    /// semantics. Backend implementations call this; everyone else goes
+    /// through [`Session::finish`] with a registry handle.
+    pub(crate) fn finish_interp(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.finish_machine(park, max_cycles, false)
+    }
+
+    /// The decoded-fast-path drive, consulting cached tables when present.
+    pub(crate) fn finish_decoded(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        self.finish_machine(park, max_cycles, true)
+    }
+
+    fn finish_machine(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+        decoded: bool,
+    ) -> Result<Option<RunSummary>, SimError> {
+        let State::Machine {
+            sim,
+            complete,
+            tables,
+        } = &mut self.state
+        else {
+            return Err(SimError::Backend {
+                backend: (if decoded { "decoded" } else { "interp" }).to_string(),
+                detail: "single-machine backend driving a lane-batch session".to_string(),
+            });
+        };
+        if *complete {
+            return Ok(Some(RunSummary {
+                cycles: sim.cycle(),
+                stats: sim.stats().clone(),
+            }));
+        }
+        let summary = match (decoded, &tables, park) {
+            (false, _, None) => sim.run(max_cycles)?,
+            (false, _, Some(p)) => sim.run_until_parked(p, max_cycles)?,
+            (true, Some(t), _) => sim.run_decoded_cached(t, park, max_cycles)?,
+            (true, None, None) => sim.run_decoded(max_cycles)?,
+            (true, None, Some(p)) => sim.run_decoded_until_parked(p, max_cycles)?,
+        };
+        *complete = true;
+        Ok(Some(summary))
+    }
+
+    /// The lane-engine drive for batch sessions.
+    pub(crate) fn finish_lanes(
+        &mut self,
+        park: Option<Addr>,
+        max_cycles: u64,
+    ) -> Result<Option<RunSummary>, SimError> {
+        let State::Lanes { batch, .. } = &mut self.state else {
+            return Err(SimError::Backend {
+                backend: "lanes".to_string(),
+                detail: "lane-batch drive on a single-machine session".to_string(),
+            });
+        };
+        match park {
+            None => batch.run(max_cycles)?,
+            Some(p) => batch.run_until_parked(p, max_cycles)?,
+        };
+        Ok(None)
     }
 
     /// Serializes the session into a self-describing byte image (see the
@@ -262,7 +339,7 @@ impl Session {
     /// The snapshot module's encoding errors.
     pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         match &self.state {
-            State::Machine { sim, complete } => snapshot::encode_machine(sim, *complete),
+            State::Machine { sim, complete, .. } => snapshot::encode_machine(sim, *complete),
             State::Lanes {
                 batch,
                 program,
@@ -284,6 +361,7 @@ impl Session {
                     state: State::Machine {
                         sim: Box::new(sim),
                         complete,
+                        tables: None,
                     },
                 })
             }
@@ -304,7 +382,12 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{lookup, BackendHandle};
     use ximd_isa::{AluOp, ControlOp, DataOp, Operand, Parcel, Reg, Value};
+
+    fn backend(name: &str) -> BackendHandle {
+        lookup(name).expect("built-in backend")
+    }
 
     fn spin_program() -> Program {
         // FU0 counts r0 down to zero and parks on the self-loop at 2:
@@ -347,13 +430,17 @@ mod tests {
     fn suspended_session_matches_uninterrupted_parked_run() {
         let park = Some(Addr(2));
         let mut baseline = Session::from_machine(machine(6));
-        let base_summary = baseline.finish(park, 1000, EngineKind::Interp).unwrap();
+        let base_summary = baseline
+            .finish(park, 1000, backend("interp").as_ref())
+            .unwrap();
 
         let mut session = Session::from_machine(machine(6));
         session.advance_to(park, 5).unwrap();
         let image = session.snapshot().unwrap();
         let mut resumed = Session::restore(&image).unwrap();
-        let summary = resumed.finish(park, 1000, EngineKind::Interp).unwrap();
+        let summary = resumed
+            .finish(park, 1000, backend("interp").as_ref())
+            .unwrap();
 
         assert_eq!(summary, base_summary);
         let (a, b) = (resumed.machine().unwrap(), baseline.machine().unwrap());
@@ -366,7 +453,9 @@ mod tests {
     fn complete_session_is_not_redriven() {
         let park = Some(Addr(2));
         let mut session = Session::from_machine(machine(3));
-        session.finish(park, 1000, EngineKind::Interp).unwrap();
+        session
+            .finish(park, 1000, backend("interp").as_ref())
+            .unwrap();
         assert!(session.complete());
         let cycle = session.cycle();
 
@@ -375,9 +464,32 @@ mod tests {
         let resumed = Session::restore(&session.snapshot().unwrap());
         let mut resumed = resumed.unwrap();
         assert!(resumed.complete());
-        resumed.finish(park, 1000, EngineKind::Interp).unwrap();
+        resumed
+            .finish(park, 1000, backend("interp").as_ref())
+            .unwrap();
         resumed.advance_to(park, cycle + 10).unwrap();
         assert_eq!(resumed.cycle(), cycle);
+    }
+
+    #[test]
+    fn single_machine_backends_reject_batch_sessions() {
+        let sims: Vec<Xsim> = [3, 9].iter().map(|&n| machine(n)).collect();
+        let mut session = Session::from_instances(&sims).unwrap();
+        for name in ["interp", "decoded"] {
+            let err = session
+                .finish(Some(Addr(2)), 1000, backend(name).as_ref())
+                .unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    SimError::Config(crate::error::ConfigError::CapabilityMismatch {
+                        capability: "lane batching",
+                        ..
+                    })
+                ),
+                "{name}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -385,14 +497,14 @@ mod tests {
         let sims: Vec<Xsim> = [3, 9, 6].iter().map(|&n| machine(n)).collect();
         let mut baseline = Session::from_instances(&sims).unwrap();
         baseline
-            .finish(Some(Addr(2)), 1000, EngineKind::Lanes)
+            .finish(Some(Addr(2)), 1000, backend("lanes").as_ref())
             .unwrap();
 
         let mut session = Session::from_instances(&sims).unwrap();
         session.advance_to(Some(Addr(2)), 4).unwrap();
         let mut resumed = Session::restore(&session.snapshot().unwrap()).unwrap();
         resumed
-            .finish(Some(Addr(2)), 1000, EngineKind::Lanes)
+            .finish(Some(Addr(2)), 1000, backend("lanes").as_ref())
             .unwrap();
 
         let (a, b) = (resumed.batch().unwrap(), baseline.batch().unwrap());

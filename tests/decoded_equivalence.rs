@@ -1,45 +1,104 @@
-//! Decoded fast path vs interpreter, across the repo's program sources.
+//! Pairwise execution-backend equivalence, across the repo's program
+//! sources.
 //!
 //! The `crates/sim` unit and property tests cover hand-built and branchy
-//! random programs; this suite closes the loop at the workspace level:
-//! `ximd-models::randprog` sweeps (the generators the emulation theorems
-//! use) and every paper workload, each run twice — interpreter and decoded
-//! engine — and compared on `RunSummary` (cycle-exact, every `SimStats`
-//! counter), final registers, PCs, CCs, and the low memory region the
-//! workloads write.
+//! random programs; this suite closes the loop at the workspace level,
+//! generically over the backend registry: `ximd-models::randprog` sweeps
+//! (the generators the emulation theorems use) and every paper workload
+//! run once per registered backend capable of the request — the built-in
+//! interpreter, decoded and lane engines plus the bench crate's
+//! out-of-tree `shadow` differential backend — and every backend pair is
+//! compared on the full observable state: `RunSummary` (cycle-exact,
+//! every `SimStats` counter), [`backend::state_digest`] (registers, PCs,
+//! CCs, statistics, all of memory) and port output events (the one
+//! observable the digest excludes).
+//!
+//! The lane-batch sections additionally pin the SoA engine's per-lane
+//! state against independent decoded runs, which the single-machine
+//! pairwise sweep cannot see.
 
 use ximd::models::randprog;
 use ximd::prelude::*;
-use ximd::sim::LaneXsim;
+use ximd::sim::backend::{self, state_digest, BackendHandle, BackendRequest};
+use ximd::sim::{LaneXsim, RunSummary, Session};
 use ximd::workloads::{bitcount, gen, lane_batch, livermore, minmax, nonblocking, tproc, RunSpec};
 
-/// Words of memory compared after each run — covers every workload's data
-/// region (the largest base is livermore's `X_BASE = 4999`).
+/// Words of memory compared after each lane-batch run — covers every
+/// workload's data region (the largest base is livermore's `X_BASE =
+/// 4999`). The pairwise sweep needs no window: `state_digest` hashes the
+/// whole backing store.
 const MEM_WINDOW: usize = 6000;
 
-fn assert_equivalent(mut interp: Xsim, mut fast: Xsim, spec: RunSpec) {
-    let a = spec.drive(&mut interp);
-    let b = spec.drive_decoded(&mut fast);
-    assert_eq!(a, b, "RunSummary diverged");
-    let num_regs = interp.config().num_regs;
-    for r in 0..num_regs as u16 {
-        assert_eq!(interp.reg(Reg(r)), fast.reg(Reg(r)), "register r{r}");
+/// Every backend the pairwise sweep must cover. Pinned by name so a
+/// registry regression that silently drops one fails loudly rather than
+/// shrinking the sweep.
+const SUITE_BACKENDS: &[&str] = &["interp", "decoded", "lanes", "shadow"];
+
+/// All registered backends capable of `request`, with the out-of-crate
+/// `shadow` differential backend registered alongside the built-ins.
+fn capable_backends(request: &BackendRequest) -> Vec<BackendHandle> {
+    ximd_bench::shadow::register();
+    let capable: Vec<BackendHandle> = backend::all()
+        .into_iter()
+        .filter(|b| b.capabilities().supports(request))
+        .collect();
+    for name in SUITE_BACKENDS {
+        assert!(
+            capable.iter().any(|b| b.name() == *name),
+            "suite backend {name} missing from the capable set"
+        );
     }
-    assert_eq!(interp.pcs(), fast.pcs(), "program counters");
-    assert_eq!(interp.ccs(), fast.ccs(), "condition codes");
-    assert_eq!(interp.stats(), fast.stats(), "statistics counters");
-    assert_eq!(
-        interp.mem().peek_slice(0, MEM_WINDOW).unwrap(),
-        fast.mem().peek_slice(0, MEM_WINDOW).unwrap(),
-        "memory window"
-    );
-    let written = |sim: &Xsim| -> Vec<Vec<i32>> {
-        sim.ports()
-            .iter()
-            .map(|p| p.written().iter().map(|e| e.value.as_i32()).collect())
-            .collect()
+    capable
+}
+
+/// Port output events per port: the observable `state_digest` excludes.
+fn port_events(sim: &Xsim) -> Vec<Vec<(u64, i32)>> {
+    sim.ports()
+        .iter()
+        .map(|p| {
+            p.written()
+                .iter()
+                .map(|e| (e.cycle, e.value.as_i32()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one prepared machine through a backend trait object.
+fn drive_with(be: &BackendHandle, sim: &Xsim, spec: RunSpec) -> (Session, Option<RunSummary>) {
+    let (park, budget) = match spec {
+        RunSpec::Run(b) => (None, b),
+        RunSpec::Parked(p, b) => (Some(p), b),
     };
-    assert_eq!(written(&interp), written(&fast), "port output events");
+    let mut session = be
+        .prepare(vec![sim.clone()], None)
+        .unwrap_or_else(|e| panic!("{} prepare: {e}", be.name()));
+    let summary = be
+        .finish(&mut session, park, budget)
+        .unwrap_or_else(|e| panic!("{} finish: {e}", be.name()));
+    (session, summary)
+}
+
+/// Drives `proto` on every capable registered backend and asserts every
+/// pair agrees on summary, state digest and port traffic.
+fn assert_pairwise_equivalent(proto: &Xsim, spec: RunSpec, tag: &str) {
+    let request = BackendRequest::for_instances(std::slice::from_ref(proto));
+    let mut runs = Vec::new();
+    for be in capable_backends(&request) {
+        let (session, summary) = drive_with(&be, proto, spec);
+        let digest = state_digest(&session);
+        let ports = port_events(session.machine().expect("single-machine session"));
+        runs.push((be.name(), summary, digest, ports));
+    }
+    for i in 0..runs.len() {
+        for j in i + 1..runs.len() {
+            let (a, b) = (&runs[i], &runs[j]);
+            let pair = format!("{tag}: {} vs {}", a.0, b.0);
+            assert_eq!(a.1, b.1, "{pair}: RunSummary diverged");
+            assert_eq!(a.2, b.2, "{pair}: state digest diverged");
+            assert_eq!(a.3, b.3, "{pair}: port output events diverged");
+        }
+    }
 }
 
 /// Batches the prepared instances on the lane engine, runs the batch, and
@@ -84,15 +143,15 @@ fn assert_lanes_equivalent(prepared: Vec<(Xsim, RunSpec)>) {
 }
 
 #[test]
-fn randprog_sweeps_are_cycle_and_register_exact() {
+fn randprog_sweeps_are_cycle_and_register_exact_on_every_backend() {
     for seed in 0..24u64 {
         let width = 1 + (seed as usize % 8);
         let len = 3 + (seed as usize % 13);
         let vliw = randprog::straight_line_vliw(seed, width, len, 24);
         let config = MachineConfig::with_width(width);
-        let interp = Xsim::new(vliw.to_ximd(), config.clone()).unwrap();
-        let fast = Xsim::new(vliw.to_ximd(), config).unwrap();
-        assert_equivalent(interp, fast, RunSpec::Run(10 * (len as u64 + 2)));
+        let proto = Xsim::new(vliw.to_ximd(), config).unwrap();
+        let spec = RunSpec::Run(10 * (len as u64 + 2));
+        assert_pairwise_equivalent(&proto, spec, &format!("randprog seed {seed}"));
     }
 }
 
@@ -116,40 +175,47 @@ fn randprog_sweeps_match_on_vsim_too() {
 }
 
 #[test]
-fn tproc_decoded_matches() {
+fn tproc_all_backends_agree() {
     for (a, b, c, d) in [(1, 2, 3, 4), (9, -4, 3, 12), (-7, 11, 5, 2)] {
-        let (interp, spec) = tproc::prepared(a, b, c, d).unwrap();
-        let (fast, _) = tproc::prepared(a, b, c, d).unwrap();
-        assert_equivalent(interp, fast, spec);
+        let (proto, spec) = tproc::prepared(a, b, c, d).unwrap();
+        assert_pairwise_equivalent(&proto, spec, &format!("tproc({a},{b},{c},{d})"));
     }
 }
 
 #[test]
-fn livermore_decoded_matches() {
+fn livermore_all_backends_agree() {
     let y = gen::livermore_y(5, 64);
-    let (interp, spec) = livermore::prepared(&y).unwrap();
-    let (fast, _) = livermore::prepared(&y).unwrap();
-    assert_equivalent(interp, fast, spec);
+    let (proto, spec) = livermore::prepared(&y).unwrap();
+    assert_pairwise_equivalent(&proto, spec, "livermore");
 }
 
 #[test]
-fn minmax_decoded_matches_through_run_until_parked() {
-    // MINMAX parks rather than halting — this exercises the decoded
-    // `run_until_parked` path end to end, including the Figure 10 input.
+fn minmax_all_backends_agree_through_run_until_parked() {
+    // MINMAX parks rather than halting — this exercises every backend's
+    // run-until-parked path end to end, including the Figure 10 input.
     for data in [vec![5, 3, 4, 7], gen::uniform_ints(8, 96, -10_000, 10_000)] {
-        let (interp, spec) = minmax::prepared(&data).unwrap();
-        let (fast, _) = minmax::prepared(&data).unwrap();
+        let (proto, spec) = minmax::prepared(&data).unwrap();
         assert!(matches!(spec, RunSpec::Parked(..)));
-        assert_equivalent(interp, fast, spec);
+        assert_pairwise_equivalent(&proto, spec, "minmax");
     }
 }
 
 #[test]
-fn bitcount_decoded_matches() {
+fn bitcount_all_backends_agree() {
     let data = gen::bit_weighted_ints(13, 48, 24);
-    let (interp, spec) = bitcount::prepared(&data).unwrap();
-    let (fast, _) = bitcount::prepared(&data).unwrap();
-    assert_equivalent(interp, fast, spec);
+    let (proto, spec) = bitcount::prepared(&data).unwrap();
+    assert_pairwise_equivalent(&proto, spec, "bitcount");
+}
+
+#[test]
+fn nonblocking_all_backends_agree_with_ports() {
+    // Port arrival schedules are keyed off the cycle counter, so any cycle
+    // skew between backends surfaces as different port traffic.
+    for seed in [0u64, 3, 11] {
+        let scenario = nonblocking::Scenario::with_seed(seed);
+        let (proto, spec) = nonblocking::prepared_sync(&scenario).unwrap();
+        assert_pairwise_equivalent(&proto, spec, &format!("nonblocking seed {seed}"));
+    }
 }
 
 #[test]
@@ -248,17 +314,5 @@ fn uniform_lane_replication_matches_one_decoded_run() {
             solo.mem().peek_slice(0, MEM_WINDOW).unwrap(),
             "lane {l}"
         );
-    }
-}
-
-#[test]
-fn nonblocking_decoded_matches_with_ports() {
-    // Port arrival schedules are keyed off the cycle counter, so any cycle
-    // skew between the engines surfaces as different port traffic.
-    for seed in [0u64, 3, 11] {
-        let scenario = nonblocking::Scenario::with_seed(seed);
-        let (interp, spec) = nonblocking::prepared_sync(&scenario).unwrap();
-        let (fast, _) = nonblocking::prepared_sync(&scenario).unwrap();
-        assert_equivalent(interp, fast, spec);
     }
 }

@@ -2,8 +2,16 @@
 //! and resuming it from the serialized image must be invisible — the
 //! resumed machine's full state (one byte image covers registers, memory,
 //! sequencers, condition codes, ports, statistics and the completion
-//! flag) equals an uninterrupted run's, across every execution engine and
-//! timing model.
+//! flag) equals an uninterrupted run's, across every execution backend in
+//! the registry and every timing model the backend is capable of.
+//!
+//! The backends come from `ximd_sim::backend` through trait objects — the
+//! built-ins plus the bench crate's out-of-tree `shadow` differential
+//! backend — and every step (prepare, advance, snapshot, restore, finish)
+//! goes through the trait, so the property also pins the trait's default
+//! snapshot plumbing. Backend × timing combinations the backend's declared
+//! capabilities reject (the decoded family is ideal-only) are skipped via
+//! the same [`BackendRequest`] check the CLI and daemon use.
 //!
 //! The comparison is deliberately blunt: both sessions are re-serialized
 //! after finishing and the images must be byte-identical. Anything the
@@ -12,12 +20,26 @@
 
 use proptest::prelude::*;
 use ximd_serve::jobs;
-use ximd_sim::{EngineKind, Session, TimingSpec};
+use ximd_sim::backend::{self, BackendHandle, BackendRequest};
+use ximd_sim::TimingSpec;
 use ximd_workloads::RunSpec;
 
 const WORKLOADS: &[&str] = &["bitcount", "livermore", "minmax", "tproc"];
 const TIMINGS: &[&str] = &["ideal", "latency:mem=4", "banked:2"];
-const ENGINES: &[EngineKind] = &[EngineKind::Interp, EngineKind::Decoded, EngineKind::Lanes];
+/// Every backend the suite drives. Pinned by name (rather than taking
+/// whatever `backend::all()` holds) so a registry regression that silently
+/// drops one of them fails loudly here.
+const BACKENDS: &[&str] = &["interp", "decoded", "lanes", "shadow"];
+
+/// The registry handles for [`BACKENDS`], with the out-of-crate `shadow`
+/// differential backend registered first.
+fn backends() -> Vec<BackendHandle> {
+    ximd_bench::shadow::register();
+    BACKENDS
+        .iter()
+        .map(|name| backend::lookup(name).expect("suite backend is registered"))
+        .collect()
+}
 
 /// Builds the same seeded machine twice (workload generators are
 /// deterministic in `(n, seed)`) plus its drive spec.
@@ -41,30 +63,44 @@ fn park_of(spec: RunSpec) -> Option<ximd_isa::Addr> {
 }
 
 /// One round trip: drive a twin uninterrupted; drive the other to cycle
-/// `k`, serialize, restore, finish; compare the final byte images.
+/// `k`, serialize, restore, finish; compare the final byte images. Every
+/// session operation goes through the backend trait object.
+///
+/// Combinations the backend's capabilities reject (non-ideal timing on
+/// the decoded family) are skipped — the skip predicate is the same
+/// `Capabilities::supports` check `--backend NAME` validation uses.
 ///
 /// Some combinations never finish (bitcount's barrier livelocks under
 /// memory stalls — only the lockstep-safe workloads are guaranteed to
 /// terminate on a non-ideal machine), so budget exhaustion is part of the
 /// property too: both runs must then report the same `CycleLimit` and
 /// still land in identical machine states.
-fn assert_roundtrip(workload: &str, n: usize, seed: u64, k: u64, engine: EngineKind, timing: &str) {
+fn assert_roundtrip(workload: &str, n: usize, seed: u64, k: u64, be: &BackendHandle, timing: &str) {
     let timing = TimingSpec::parse(timing).expect("timing parses");
+    let request = BackendRequest {
+        non_ideal_timing: !timing.is_ideal(),
+        snapshot: true,
+        ..BackendRequest::default()
+    };
+    if !be.capabilities().supports(&request) {
+        return;
+    }
     let (solo_sim, split_sim, spec) = twin_machines(workload, n, seed, &timing);
     let (park, budget) = (park_of(spec), spec.budget().saturating_mul(2));
     let tag = format!(
-        "{workload} n={n} seed={seed} k={k} engine={} timing={timing}",
-        engine.name()
+        "{workload} n={n} seed={seed} k={k} backend={} timing={timing}",
+        be.name()
     );
 
-    let mut solo = Session::from_machine(solo_sim);
-    let solo_run = solo.finish(park, budget, engine);
+    let mut solo = be.prepare(vec![solo_sim], None).expect("prepare");
+    let solo_run = be.finish(&mut solo, park, budget);
 
-    let mut split = Session::from_machine(split_sim);
-    split.advance_to(park, k.min(budget)).expect("advance");
-    let image = split.snapshot().expect("snapshot");
-    let mut resumed = Session::restore(&image).expect("restore");
-    let resumed_run = resumed.finish(park, budget, engine);
+    let mut split = be.prepare(vec![split_sim], None).expect("prepare");
+    be.advance_to(&mut split, park, k.min(budget))
+        .expect("advance");
+    let image = be.snapshot(&split).expect("snapshot");
+    let mut resumed = be.restore(&image).expect("restore");
+    let resumed_run = be.finish(&mut resumed, park, budget);
 
     match (&solo_run, &resumed_run) {
         (Ok(_), Ok(_)) => assert!(solo.complete() && resumed.complete(), "{tag}"),
@@ -73,8 +109,8 @@ fn assert_roundtrip(workload: &str, n: usize, seed: u64, k: u64, engine: EngineK
     }
     assert_eq!(resumed.cycle(), solo.cycle(), "{tag}");
     assert_eq!(
-        resumed.snapshot().expect("final image"),
-        solo.snapshot().expect("final image"),
+        be.snapshot(&resumed).expect("final image"),
+        be.snapshot(&solo).expect("final image"),
         "{tag}"
     );
 }
@@ -83,18 +119,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Suspend + resume ≡ uninterrupted run, for a random workload,
-    /// input size, seed and suspension cycle, on every engine under
-    /// every timing model.
+    /// input size, seed and suspension cycle, on every registered backend
+    /// under every timing model it supports.
     #[test]
     fn snapshot_roundtrip_is_bit_exact(
         which in 0usize..4,
         n in 1usize..24,
         seed in any::<u64>(),
         k in 0u64..400,
-        eng in 0usize..3,
+        be in 0usize..4,
         t in 0usize..3,
     ) {
-        assert_roundtrip(WORKLOADS[which], n, seed, k, ENGINES[eng], TIMINGS[t]);
+        assert_roundtrip(WORKLOADS[which], n, seed, k, &backends()[be], TIMINGS[t]);
     }
 
     /// The same property for a whole lane-batch session: every lane's
@@ -120,19 +156,20 @@ proptest! {
             budget = budget.max(spec.budget());
             park = park_of(spec);
         }
+        let be = backend::lookup("lanes").expect("built-in");
 
-        let mut solo = Session::from_instances(&solo_sims).expect("batch");
-        solo.finish(park, budget, EngineKind::Lanes).expect("solo batch");
+        let mut solo = be.prepare(solo_sims, None).expect("batch");
+        be.finish(&mut solo, park, budget).expect("solo batch");
 
-        let mut split = Session::from_instances(&split_sims).expect("batch");
-        split.advance_to(park, k.min(budget)).expect("advance");
-        let image = split.snapshot().expect("snapshot");
-        let mut resumed = Session::restore(&image).expect("restore");
-        resumed.finish(park, budget, EngineKind::Lanes).expect("resumed batch");
+        let mut split = be.prepare(split_sims, None).expect("batch");
+        be.advance_to(&mut split, park, k.min(budget)).expect("advance");
+        let image = be.snapshot(&split).expect("snapshot");
+        let mut resumed = be.restore(&image).expect("restore");
+        be.finish(&mut resumed, park, budget).expect("resumed batch");
 
         prop_assert_eq!(
-            resumed.snapshot().expect("final image"),
-            solo.snapshot().expect("final image")
+            be.snapshot(&resumed).expect("final image"),
+            be.snapshot(&solo).expect("final image")
         );
     }
 }
@@ -142,10 +179,23 @@ proptest! {
 /// already complete when suspended; resuming must not re-drive it).
 #[test]
 fn snapshot_roundtrip_corner_cycles() {
-    for engine in ENGINES {
+    for be in &backends() {
         for timing in TIMINGS {
-            assert_roundtrip("minmax", 8, 7, 0, *engine, timing);
-            assert_roundtrip("minmax", 8, 7, u64::MAX, *engine, timing);
+            assert_roundtrip("minmax", 8, 7, 0, be, timing);
+            assert_roundtrip("minmax", 8, 7, u64::MAX, be, timing);
         }
+    }
+}
+
+/// Every suite backend declares the snapshot capability; otherwise the
+/// round-trip properties above would silently skip it.
+#[test]
+fn suite_backends_all_declare_snapshotting() {
+    for be in &backends() {
+        assert!(
+            be.capabilities().snapshotting,
+            "{} cannot snapshot; the round-trip suite would skip it",
+            be.name()
+        );
     }
 }
